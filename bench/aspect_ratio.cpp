@@ -1,0 +1,69 @@
+// Rectangular switches: the paper develops the model for general N1 x N2
+// but evaluates only squares.  This bench puts the generality to work:
+// split a fixed budget of N1 + N2 = 64 ports across the two sides and ask
+// which split carries the most traffic at equal per-tuple load, and how
+// blocking behaves when one side is scarce.
+//
+// Expected shape: blocking is governed by min(N1, N2) (the feasibility
+// cap), so the square is optimal for symmetric traffic; the penalty for
+// asymmetry is steep because every circuit needs a port on BOTH sides.
+
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace xbar;
+  using core::CrossbarModel;
+  using core::Dims;
+  using core::TrafficClass;
+
+  constexpr unsigned kBudget = 64;  // N1 + N2
+  // Hold the per-tuple arrival rate fixed so only geometry varies:
+  // alpha~ = alpha_tuple * C(N2, 1).
+  constexpr double kAlphaTuple = 0.002;
+
+  std::cout << "=== Port-budget split: N1 + N2 = " << kBudget
+            << ", per-tuple load fixed at " << kAlphaTuple << " ===\n\n";
+
+  report::Table table({"N1", "N2", "cap", "blocking", "carried",
+                       "utilization"});
+  report::Series carried_series{"carried", {}, {}};
+  report::Series blocking_series{"blocking", {}, {}};
+  for (unsigned n1 = 4; n1 <= kBudget - 4; n1 += 4) {
+    const unsigned n2 = kBudget - n1;
+    const CrossbarModel model(
+        Dims{n1, n2},
+        {TrafficClass::bursty("t", kAlphaTuple * n2, 0.0)});
+    const auto measures = core::solve(model);
+    table.add_row({report::Table::integer(n1), report::Table::integer(n2),
+                   report::Table::integer(std::min(n1, n2)),
+                   report::Table::num(measures.per_class[0].blocking, 5),
+                   report::Table::num(measures.per_class[0].concurrency, 5),
+                   report::Table::num(measures.utilization, 4)});
+    carried_series.x.push_back(n1);
+    carried_series.y.push_back(measures.per_class[0].concurrency);
+    blocking_series.x.push_back(n1);
+    blocking_series.y.push_back(measures.per_class[0].blocking);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  report::ChartOptions chart;
+  chart.title = "carried circuits vs split (N1 on the x axis)";
+  chart.x_label = "N1 (N2 = 64 - N1)";
+  chart.y_label = "carried circuits";
+  chart.height = 12;
+  report::render_chart(std::cout, {carried_series}, chart);
+
+  std::cout
+      << "\nReading guide:\n"
+      << "  * carried traffic peaks at the square split (cap = min(N1,N2)\n"
+      << "    is maximized) and falls off steeply toward either extreme;\n"
+      << "  * the B_r formula makes the mechanism explicit: blocking is\n"
+      << "    1 - Q(N - I)/(P(N1,1) P(N2,1) Q(N)), and the scarce side's\n"
+      << "    factorial dominates the ratio.\n";
+  return 0;
+}

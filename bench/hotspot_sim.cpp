@@ -1,0 +1,79 @@
+// Hot-spot stress test: how far can the paper's uniform-traffic model be
+// trusted when the traffic is not uniform?  (The authors analyzed hot
+// spots separately in reference [28]; here the simulator plays that role.)
+//
+// A 16x16 crossbar carries one Poisson class; a fraction h of every
+// request's output choices is redirected to output 0.  The uniform model's
+// blocking is exact at h = 0 and becomes an optimistic bound as h grows —
+// the hot output saturates while the rest of the switch idles.
+//
+// The "exact hotspot" column is this library's reconstruction of [28]'s
+// analysis (src/core/hotspot): the (hot-busy, cold-count) chain is exactly
+// lumpable, so it must agree with the simulation at every h.
+
+#include <iostream>
+
+#include "core/hotspot.hpp"
+#include "core/solver.hpp"
+#include "fabric/crossbar.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace xbar;
+  using core::CrossbarModel;
+  using core::Dims;
+  using core::TrafficClass;
+
+  constexpr unsigned kN = 16;
+  const CrossbarModel model(Dims::square(kN),
+                            {TrafficClass::poisson("p", 1.0)});
+  const auto analytic = core::solve(model);
+
+  sim::SimulationConfig cfg;
+  cfg.warmup_time = 500.0;
+  cfg.measurement_time = 20'000.0;
+  cfg.num_batches = 20;
+  cfg.seed = 99;
+
+  std::cout << "=== Hot-spot traffic vs the uniform model (" << kN << "x"
+            << kN << ", rho~ = 1) ===\n"
+            << "uniform-model blocking: "
+            << report::Table::num(analytic.per_class[0].blocking, 5)
+            << ", utilization: "
+            << report::Table::num(analytic.utilization, 4) << "\n\n";
+
+  report::Table table({"hot fraction", "sim blocking (CI)", "exact hotspot",
+                       "uniform-model error", "utilization",
+                       "hot util (exact)"});
+  for (const double h : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    fabric::CrossbarFabric fabric(kN, kN);
+    sim::Simulator simulator(model, fabric, cfg);
+    simulator.set_output_selector(sim::make_hotspot_selector(h, 0));
+    const auto result = simulator.run();
+    const auto& cc = result.per_class[0].call_congestion;
+    const double err =
+        (cc.mean - analytic.per_class[0].blocking) /
+        analytic.per_class[0].blocking;
+    const auto exact_hot = core::hotspot_crossbar(kN, 1.0, h);
+    table.add_row({report::Table::num(h, 2),
+                   report::Table::num(cc.mean, 5) + " +- " +
+                       report::Table::num(cc.half_width, 2),
+                   report::Table::num(exact_hot.blocking_overall, 5),
+                   report::Table::num(100.0 * err, 3) + "%",
+                   report::Table::num(result.utilization.mean, 4),
+                   report::Table::num(exact_hot.hot_utilization, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading guide:\n"
+      << "  * h = 0 reproduces the uniform model within CI (exactness);\n"
+      << "  * blocking rises steeply with h while utilization *falls* —\n"
+      << "    the hot output saturates and strands the rest of the switch;\n"
+      << "  * the uniform model's error column is the price of assuming\n"
+      << "    uniformity; the 'exact hotspot' column (src/core/hotspot,\n"
+      << "    reconstructing ref [28]'s analysis) tracks the simulation at\n"
+      << "    every h — non-uniform loads need the non-uniform model.\n";
+  return 0;
+}

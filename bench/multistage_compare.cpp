@@ -1,0 +1,106 @@
+// Crossbar vs banyan (omega) multistage network under identical offered
+// circuit traffic — the trade-off the paper's introduction frames: the
+// crossbar spends O(N^2) crosspoints to be internally non-blocking, the
+// multistage network spends O(N log N) but adds internal link blocking.
+//
+// For each load level the same BPP traffic runs through both fabrics; the
+// banyan's extra blocking is split into port conflicts (shared with the
+// crossbar) and internal link conflicts (its own).  The analytic crossbar
+// blocking is printed as the reference the crossbar simulation must track.
+
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "fabric/banyan.hpp"
+#include "fabric/lee_model.hpp"
+#include "fabric/crossbar.hpp"
+#include "report/table.hpp"
+#include "sim/replication.hpp"
+
+int main() {
+  using namespace xbar;
+  using core::CrossbarModel;
+  using core::Dims;
+  using core::TrafficClass;
+
+  constexpr unsigned kN = 16;
+  const std::vector<double> loads = {0.5, 1.0, 2.0, 4.0, 8.0};
+
+  sim::ReplicationConfig cfg;
+  cfg.replications = 4;
+  cfg.sim.warmup_time = 300.0;
+  cfg.sim.measurement_time = 4000.0;
+  cfg.sim.num_batches = 16;
+  cfg.sim.seed = 77;
+
+  std::cout << "=== Crossbar vs banyan (" << kN << "x" << kN << ", "
+            << "omega network with " << fabric::BanyanFabric(kN).num_stages()
+            << " stages) ===\n"
+            << "crosspoint budget: crossbar " << kN * kN << " vs banyan "
+            << 4 * (kN / 2) * fabric::BanyanFabric(kN).num_stages()
+            << " (2x2 elements x4)\n\n";
+
+  report::Table table({"rho~", "analytic xbar", "sim xbar (CI)",
+                       "sim banyan (CI)", "Lee banyan", "banyan/xbar",
+                       "internal share"});
+  for (const double load : loads) {
+    const CrossbarModel model(Dims::square(kN),
+                              {TrafficClass::poisson("p", load)});
+    const double analytic = core::solve(model).per_class[0].blocking;
+
+    const auto xbar_run = sim::run_crossbar_replications(model, cfg);
+
+    // For the banyan we also want the rejection split, so run one instance
+    // outside the replication helper to read its counters.
+    std::uint64_t internal = 0;
+    std::uint64_t port = 0;
+    const auto banyan_run = sim::run_replications(
+        model,
+        [&](std::size_t) {
+          auto f = std::make_unique<fabric::BanyanFabric>(kN);
+          return f;
+        },
+        cfg);
+    {
+      fabric::BanyanFabric probe(kN);
+      auto probe_cfg = cfg.sim;
+      probe_cfg.seed = 123456;
+      sim::Simulator probe_sim(model, probe, probe_cfg);
+      (void)probe_sim.run();
+      internal = probe.rejected_internal();
+      port = probe.rejected_port();
+    }
+
+    const double bx = xbar_run.per_class[0].call_congestion.mean;
+    const double bb = banyan_run.per_class[0].call_congestion.mean;
+    const double internal_share =
+        internal + port > 0
+            ? static_cast<double>(internal) / static_cast<double>(internal + port)
+            : 0.0;
+    const double lee = fabric::lee_banyan(kN, load).blocking;
+    table.add_row(
+        {report::Table::num(load, 3), report::Table::num(analytic, 5),
+         report::Table::num(bx, 5) + " +- " +
+             report::Table::num(xbar_run.per_class[0].call_congestion.half_width, 2),
+         report::Table::num(bb, 5) + " +- " +
+             report::Table::num(banyan_run.per_class[0].call_congestion.half_width, 2),
+         report::Table::num(lee, 5),
+         report::Table::num(bb / (bx > 0 ? bx : 1e-12), 3),
+         report::Table::num(100.0 * internal_share, 3) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading guide:\n"
+      << "  * sim xbar tracks the analytic column (the model is exact for\n"
+      << "    the crossbar);\n"
+      << "  * the banyan blocks strictly more at every load; the last\n"
+      << "    column shows what fraction of its rejections are *internal*\n"
+      << "    link conflicts — blocking the crossbar architecture simply\n"
+      << "    does not have, which is the paper's case for optical\n"
+      << "    crossbars over MINs;\n"
+      << "  * the 'Lee banyan' column is the link-independence fixed point\n"
+      << "    (src/fabric/lee_model) — the paper's future-work multistage\n"
+      << "    analysis, accurate to tens of percent against simulation.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks for §5's complexity claims: both algorithms are
+// O(N1 N2 (R1 + R2)).  Doubling N should roughly quadruple the time;
+// doubling R should roughly double it.  Also benchmarks the numeric
+// backends of Algorithm 1 and the exact-gradient layer.
+
+#include <benchmark/benchmark.h>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm2.hpp"
+#include "core/brute_force.hpp"
+#include "core/revenue.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace xbar;
+
+core::CrossbarModel model_with_classes(unsigned n, unsigned num_classes) {
+  std::vector<core::TrafficClass> classes;
+  for (unsigned r = 0; r < num_classes; ++r) {
+    if (r % 2 == 0) {
+      classes.push_back(core::TrafficClass::poisson(
+          "p" + std::to_string(r), 0.01 + 0.002 * r, 1 + r % 2));
+    } else {
+      classes.push_back(core::TrafficClass::bursty(
+          "b" + std::to_string(r), 0.01 + 0.002 * r, 0.005, 1 + r % 2));
+    }
+  }
+  return core::CrossbarModel(core::Dims::square(n), std::move(classes));
+}
+
+void BM_Algorithm1_SizeSweep(benchmark::State& state) {
+  const auto model =
+      model_with_classes(static_cast<unsigned>(state.range(0)), 2);
+  for (auto _ : state) {
+    core::Algorithm1Solver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_SizeSweep)->RangeMultiplier(2)->Range(8, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Algorithm2_SizeSweep(benchmark::State& state) {
+  const auto model =
+      model_with_classes(static_cast<unsigned>(state.range(0)), 2);
+  for (auto _ : state) {
+    core::Algorithm2Solver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm2_SizeSweep)->RangeMultiplier(2)->Range(8, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Algorithm1_ClassSweep(benchmark::State& state) {
+  const auto model =
+      model_with_classes(32, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    core::Algorithm1Solver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_ClassSweep)->RangeMultiplier(2)->Range(1, 16)
+    ->Complexity(benchmark::oN);
+
+void BM_Algorithm2_ClassSweep(benchmark::State& state) {
+  const auto model =
+      model_with_classes(32, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    core::Algorithm2Solver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm2_ClassSweep)->RangeMultiplier(2)->Range(1, 16)
+    ->Complexity(benchmark::oN);
+
+void BM_Algorithm1_Backend(benchmark::State& state) {
+  const auto backend = static_cast<core::Algorithm1Backend>(state.range(0));
+  const auto model = model_with_classes(64, 2);
+  for (auto _ : state) {
+    core::Algorithm1Solver solver(model, {backend});
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_Algorithm1_Backend)
+    ->Arg(static_cast<int>(core::Algorithm1Backend::kScaledFloat))
+    ->Arg(static_cast<int>(core::Algorithm1Backend::kDoubleDynamicScaling))
+    ->Arg(static_cast<int>(core::Algorithm1Backend::kLongDouble))
+    ->Arg(static_cast<int>(core::Algorithm1Backend::kDoubleRaw));
+
+void BM_BruteForce_SizeSweep(benchmark::State& state) {
+  // Exponential state space: only tiny systems are feasible.
+  const auto model =
+      model_with_classes(static_cast<unsigned>(state.range(0)), 2);
+  for (auto _ : state) {
+    core::BruteForceSolver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_BruteForce_SizeSweep)->DenseRange(2, 8, 2);
+
+void BM_ExactGradient(benchmark::State& state) {
+  const auto model = workload::table2_model(
+      static_cast<unsigned>(state.range(0)), workload::table2_sets().front());
+  const core::RevenueAnalyzer analyzer(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.d_revenue_d_x_exact(1));
+  }
+}
+BENCHMARK(BM_ExactGradient)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_ForwardDifferenceGradient(benchmark::State& state) {
+  const auto model = workload::table2_model(
+      static_cast<unsigned>(state.range(0)), workload::table2_sets().front());
+  const core::RevenueAnalyzer analyzer(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.d_revenue_d_x_numeric(
+        1, core::GradientMethod::kForwardDifference, 1e-4));
+  }
+}
+BENCHMARK(BM_ForwardDifferenceGradient)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Simulator throughput benchmarks: events per second across switch sizes,
+// class counts and fabrics, plus fabric primitive costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.hpp"
+#include "dist/rng.hpp"
+#include "fabric/banyan.hpp"
+#include "fabric/crossbar.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace xbar;
+
+core::CrossbarModel sim_model(unsigned n, unsigned classes) {
+  std::vector<core::TrafficClass> cls;
+  for (unsigned r = 0; r < classes; ++r) {
+    cls.push_back(core::TrafficClass::bursty(
+        "c" + std::to_string(r), 0.2 + 0.1 * r, 0.05, 1));
+  }
+  return core::CrossbarModel(core::Dims::square(n), std::move(cls));
+}
+
+void BM_Simulator_Crossbar(benchmark::State& state) {
+  const auto model = sim_model(static_cast<unsigned>(state.range(0)), 2);
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fabric::CrossbarFabric fabric(model.dims().n1, model.dims().n2);
+    sim::SimulationConfig cfg;
+    cfg.warmup_time = 10.0;
+    cfg.measurement_time = 500.0;
+    cfg.num_batches = 5;
+    cfg.seed = seed++;
+    sim::Simulator simulator(model, fabric, cfg);
+    const auto result = simulator.run();
+    events += result.events;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulator_Crossbar)->RangeMultiplier(2)->Range(4, 64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Simulator_Banyan(benchmark::State& state) {
+  const auto model = sim_model(static_cast<unsigned>(state.range(0)), 2);
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fabric::BanyanFabric fabric(model.dims().n1);
+    sim::SimulationConfig cfg;
+    cfg.warmup_time = 10.0;
+    cfg.measurement_time = 500.0;
+    cfg.num_batches = 5;
+    cfg.seed = seed++;
+    sim::Simulator simulator(model, fabric, cfg);
+    const auto result = simulator.run();
+    events += result.events;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulator_Banyan)->RangeMultiplier(2)->Range(4, 64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrossbarFabric_ConnectRelease(benchmark::State& state) {
+  fabric::CrossbarFabric fabric(64, 64);
+  dist::Xoshiro256 rng(5);
+  const std::vector<unsigned> in = {1, 17};
+  const std::vector<unsigned> out = {3, 42};
+  for (auto _ : state) {
+    const auto id = fabric.try_connect(in, out);
+    benchmark::DoNotOptimize(id);
+    if (id) {
+      fabric.release(*id);
+    }
+  }
+}
+BENCHMARK(BM_CrossbarFabric_ConnectRelease);
+
+void BM_BanyanFabric_ConnectRelease(benchmark::State& state) {
+  fabric::BanyanFabric fabric(64);
+  const std::vector<unsigned> in = {1, 17};
+  const std::vector<unsigned> out = {3, 42};
+  for (auto _ : state) {
+    const auto id = fabric.try_connect(in, out);
+    benchmark::DoNotOptimize(id);
+    if (id) {
+      fabric.release(*id);
+    }
+  }
+}
+BENCHMARK(BM_BanyanFabric_ConnectRelease);
+
+void BM_Rng_Exponential(benchmark::State& state) {
+  dist::Xoshiro256 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+}
+BENCHMARK(BM_Rng_Exponential);
+
+}  // namespace

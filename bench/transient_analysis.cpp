@@ -1,0 +1,103 @@
+// Transient behaviour — beyond the paper's steady-state scope.
+//
+// The product form says nothing about *how fast* the switch reaches the
+// operating point its figures describe.  Using the explicit CTMC and
+// uniformization (src/core/markov), this bench tracks the time-dependent
+// blocking probe B_r(t) after (a) a cold start (empty switch) and (b) a
+// surge (switch handed over fully loaded), for smooth/regular/peaky
+// traffic at equal mean load.
+//
+// Expected shape: all traces relax exponentially to the paper's stationary
+// value with time constants of a few mean holding times; peaky traffic
+// relaxes slower (its state-dependent arrivals fight the drain).
+
+#include <iostream>
+
+#include "core/markov.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace xbar;
+  using core::CrossbarModel;
+  using core::Dims;
+  using core::MarkovChain;
+  using core::TrafficClass;
+
+  struct Shape {
+    std::string label;
+    CrossbarModel model;
+  };
+  // Equal infinite-server mean load (4 erlangs on an 8x8), three shapes.
+  const std::vector<Shape> shapes = {
+      {"smooth", CrossbarModel(Dims::square(8),
+                               {TrafficClass::bursty("sm", 6.0, -0.5)})},
+      {"regular", CrossbarModel(Dims::square(8),
+                                {TrafficClass::poisson("p", 4.0)})},
+      {"peaky", CrossbarModel(Dims::square(8),
+                              {TrafficClass::bursty("pk", 2.0, 0.5)})},
+  };
+  const std::vector<double> times = {0.0, 0.1, 0.25, 0.5, 1.0,
+                                     1.5,  2.0, 3.0, 5.0, 8.0};
+
+  std::cout << "=== Transient blocking B_r(t), 8x8 switch, mu = 1 ===\n\n";
+
+  for (const bool surge : {false, true}) {
+    std::cout << (surge ? "--- surge start (fully loaded switch) ---\n"
+                        : "--- cold start (empty switch) ---\n");
+    std::vector<std::string> headers = {"t"};
+    for (const auto& s : shapes) {
+      headers.push_back(s.label);
+    }
+    headers.push_back("(stationary)");
+    report::Table table(headers);
+    std::vector<report::Series> series(shapes.size());
+
+    std::vector<MarkovChain> chains;
+    chains.reserve(shapes.size());
+    for (const auto& s : shapes) {
+      chains.emplace_back(s.model);
+    }
+    std::vector<double> stationary_blocking(shapes.size());
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      const auto pi = chains[i].stationary();
+      stationary_blocking[i] = 1.0 - chains[i].non_blocking_under(pi, 0);
+      series[i].label = shapes[i].label;
+    }
+
+    for (const double t : times) {
+      std::vector<std::string> row = {report::Table::num(t, 3)};
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        const auto start = surge ? chains[i].saturated_state()
+                                 : chains[i].empty_state();
+        const auto p = chains[i].transient(t, start);
+        const double blocking = 1.0 - chains[i].non_blocking_under(p, 0);
+        row.push_back(report::Table::num(blocking, 5));
+        series[i].x.push_back(t);
+        series[i].y.push_back(blocking);
+      }
+      std::string st = "";
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        st += (i ? " / " : "") + report::Table::num(stationary_blocking[i], 3);
+      }
+      row.push_back(st);
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    report::ChartOptions chart;
+    chart.title = surge ? "blocking relaxation after surge"
+                        : "blocking build-up from cold start";
+    chart.x_label = "t (mean holding times)";
+    chart.y_label = "blocking";
+    chart.height = 12;
+    report::render_chart(std::cout, series, chart);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading guide: the stationary values are exactly what the\n"
+               "paper's algorithms produce; the transient traces show the\n"
+               "switch forgets its initial condition within ~3-5 mean\n"
+               "holding times, with the peaky class relaxing slowest.\n";
+  return 0;
+}

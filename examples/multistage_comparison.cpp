@@ -1,0 +1,80 @@
+// Why the paper wants a crossbar: route the same circuit traffic through an
+// internally non-blocking crossbar and through a banyan (omega) multistage
+// network of 2x2 elements, and attribute every rejection.
+//
+// The banyan's appeal is hardware: N/2 * log2(N) two-by-two elements instead
+// of N^2 crosspoints.  The price is internal blocking — two circuits whose
+// end ports are all free can still collide on a shared inter-stage link.
+//
+//   build/examples/multistage_comparison [--n=16] [--load=2.0]
+
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "fabric/banyan.hpp"
+#include "fabric/crossbar.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xbar;
+  const report::Args args(argc, argv);
+  const unsigned n = args.get_unsigned("n", 16);
+  const double load = args.get_double("load", 2.0);
+
+  const core::CrossbarModel model(
+      core::Dims::square(n), {core::TrafficClass::poisson("circuits", load)});
+
+  fabric::BanyanFabric banyan(n);
+  std::cout << "=== " << banyan.name() << " vs crossbar(" << n << "x" << n
+            << ") at rho~ = " << load << " ===\n"
+            << "hardware: " << n * n << " crosspoints vs "
+            << (n / 2) * banyan.num_stages() << " 2x2 elements\n\n";
+
+  sim::SimulationConfig cfg;
+  cfg.warmup_time = 500.0;
+  cfg.measurement_time = 20'000.0;
+  cfg.num_batches = 20;
+  cfg.seed = 7;
+
+  // Crossbar run (analytic reference + simulation).
+  fabric::CrossbarFabric xbar_fabric(n, n);
+  sim::Simulator xbar_sim(model, xbar_fabric, cfg);
+  const auto xbar_result = xbar_sim.run();
+  const double analytic = core::solve(model).per_class[0].blocking;
+
+  // Banyan run.
+  sim::Simulator banyan_sim(model, banyan, cfg);
+  const auto banyan_result = banyan_sim.run();
+
+  report::Table table({"fabric", "blocking (sim)", "CI", "vs analytic xbar"});
+  table.add_row({"crossbar",
+                 report::Table::num(
+                     xbar_result.per_class[0].call_congestion.mean, 5),
+                 report::Table::num(
+                     xbar_result.per_class[0].call_congestion.half_width, 2),
+                 report::Table::num(analytic, 5)});
+  table.add_row({"banyan",
+                 report::Table::num(
+                     banyan_result.per_class[0].call_congestion.mean, 5),
+                 report::Table::num(
+                     banyan_result.per_class[0].call_congestion.half_width, 2),
+                 "-"});
+  table.print(std::cout);
+
+  const auto total_rejects = banyan.rejected_port() + banyan.rejected_internal();
+  std::cout << "\nbanyan rejection anatomy: " << banyan.rejected_port()
+            << " port conflicts + " << banyan.rejected_internal()
+            << " internal link conflicts";
+  if (total_rejects > 0) {
+    std::cout << "  ("
+              << 100.0 * static_cast<double>(banyan.rejected_internal()) /
+                     static_cast<double>(total_rejects)
+              << "% internal)";
+  }
+  std::cout << "\n\nEvery internal conflict is blocking the crossbar would\n"
+               "not have suffered — the architectural argument of the\n"
+               "paper's introduction, quantified.\n";
+  return 0;
+}

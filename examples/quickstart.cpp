@@ -1,0 +1,88 @@
+// Quickstart: model a 64x64 all-optical crossbar carrying two traffic
+// classes — smooth voice circuits and peaky bulk-data bursts — and read off
+// every performance measure the library computes.
+//
+//   build/examples/quickstart [--n=64]
+
+#include <iostream>
+
+#include "core/model.hpp"
+#include "core/revenue.hpp"
+#include "core/solver.hpp"
+#include "dist/bpp.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xbar;
+  const report::Args args(argc, argv);
+  const unsigned n = args.get_unsigned("n", 64);
+
+  // 1. Describe the offered traffic in the paper's aggregate ("tilde")
+  //    units.  Classes carry a name, a bandwidth a_r (ports per circuit),
+  //    BPP parameters (alpha~, beta~), a holding rate mu and a revenue
+  //    weight.
+  const core::TrafficClass voice =
+      core::TrafficClass::poisson("voice", /*rho_tilde=*/0.45,
+                                  /*bandwidth=*/1, /*mu=*/1.0,
+                                  /*weight=*/1.0);
+  const core::TrafficClass video =  // two ports per circuit, smooth
+      core::TrafficClass::bursty("video", /*alpha~=*/0.0008,
+                                 /*beta~=*/-2e-6,
+                                 /*bandwidth=*/2, /*mu=*/0.5,
+                                 /*weight=*/3.0);
+  const core::TrafficClass bulk =  // peaky (Pascal) data bursts
+      core::TrafficClass::bursty("bulk", /*alpha~=*/0.1, /*beta~=*/0.05,
+                                 /*bandwidth=*/1, /*mu=*/2.0,
+                                 /*weight=*/0.2);
+
+  // 2. Bind them to a switch.  The constructor validates the configuration
+  //    (bandwidths vs dimensions, BPP admissibility) and normalizes the
+  //    tilde rates to per-tuple rates.
+  const core::CrossbarModel model(core::Dims::square(n),
+                                  {voice, video, bulk});
+
+  std::cout << "switch: " << n << "x" << n << " asynchronous crossbar, "
+            << model.num_classes() << " classes\n";
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& c = model.normalized(r);
+    std::cout << "  " << model.classes()[r].name << ": "
+              << dist::to_string(c.bpp().shape()) << " traffic, Z = "
+              << c.bpp().peakedness() << ", a = " << c.bandwidth << "\n";
+  }
+
+  // 3. Solve.  kAuto picks Algorithm 1 (exact Q-grid convolution) for small
+  //    switches and Algorithm 2 (stable mean-value recursion) for large.
+  const core::Measures measures = core::solve(model);
+
+  report::Table table({"class", "blocking", "concurrency", "throughput",
+                       "port usage"});
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& cm = measures.per_class[r];
+    table.add_row({model.classes()[r].name,
+                   report::Table::num(cm.blocking, 5),
+                   report::Table::num(cm.concurrency, 5),
+                   report::Table::num(cm.throughput, 5),
+                   report::Table::num(cm.port_usage, 5)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nutilization: " << 100.0 * measures.utilization
+            << "%   total throughput: " << measures.total_throughput
+            << "   revenue rate W(N): " << measures.revenue << "\n";
+
+  // 4. Ask the economic question (paper §4): is more of each class worth
+  //    admitting at the margin?
+  const core::RevenueAnalyzer analyzer(model);
+  const auto report = analyzer.analyze();
+  std::cout << "\nshadow-cost analysis:\n";
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& s = report.per_class[r];
+    std::cout << "  " << model.classes()[r].name << ": shadow cost "
+              << s.shadow_cost << ", dW/drho = " << s.d_revenue_d_rho
+              << (s.worth_admitting ? "  -> admit more"
+                                    : "  -> crowds out better traffic")
+              << "\n";
+  }
+  return 0;
+}

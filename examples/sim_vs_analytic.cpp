@@ -1,0 +1,80 @@
+// Drive the discrete-event simulator against the analytic model and watch
+// the three congestion notions separate for non-Poisson traffic:
+//
+//   * time congestion  (1 - B_r)     — fraction of time a request *would*
+//     be blocked; what the paper's formulas give;
+//   * call congestion               — fraction of arrivals actually
+//     blocked; equals time congestion only for Poisson arrivals (PASTA);
+//   * concurrency E_r               — carried circuits, always comparable.
+//
+// Peaky arrivals come in bursts, so they see a busier switch than the time
+// average (call > time); smooth arrivals see an emptier one (call < time).
+//
+//   build/examples/sim_vs_analytic [--n=8] [--reps=5] [--time=6000]
+
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+#include "sim/replication.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xbar;
+  const report::Args args(argc, argv);
+  const unsigned n = args.get_unsigned("n", 8);
+  const std::size_t reps = args.get_unsigned("reps", 5);
+  const double horizon = args.get_double("time", 6000.0);
+
+  // Equal mean load, three shapes.
+  const core::CrossbarModel model(
+      core::Dims::square(n),
+      {core::TrafficClass::bursty("smooth", 0.9, -0.05),
+       core::TrafficClass::poisson("regular", 0.6),
+       core::TrafficClass::bursty("peaky", 0.3, 0.15)});
+
+  const auto analytic = core::solve(model);
+
+  sim::ReplicationConfig cfg;
+  cfg.replications = reps;
+  cfg.sim.warmup_time = horizon / 20.0;
+  cfg.sim.measurement_time = horizon;
+  cfg.sim.num_batches = 20;
+  cfg.sim.seed = 42;
+  const auto simulated = sim::run_crossbar_replications(model, cfg);
+
+  std::cout << "=== " << n << "x" << n << " crossbar, " << reps
+            << " replications x " << horizon << " time units ===\n\n";
+  report::Table table({"class", "analytic 1-B", "sim time-cong",
+                       "sim call-cong", "analytic E", "sim E",
+                       "call vs time"});
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& a = analytic.per_class[r];
+    const auto& s = simulated.per_class[r];
+    const char* relation =
+        s.call_congestion.mean > s.time_congestion.mean * 1.02 ? "call > time"
+        : s.call_congestion.mean < s.time_congestion.mean * 0.98
+            ? "call < time"
+            : "call ~ time";
+    table.add_row(
+        {model.classes()[r].name, report::Table::num(a.blocking, 4),
+         report::Table::num(s.time_congestion.mean, 4) + " +- " +
+             report::Table::num(s.time_congestion.half_width, 2),
+         report::Table::num(s.call_congestion.mean, 4) + " +- " +
+             report::Table::num(s.call_congestion.half_width, 2),
+         report::Table::num(a.concurrency, 4),
+         report::Table::num(s.concurrency.mean, 4) + " +- " +
+             report::Table::num(s.concurrency.half_width, 2),
+         relation});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nevents simulated: " << simulated.total_events
+            << ", utilization " << 100.0 * simulated.utilization.mean
+            << "% (analytic " << 100.0 * analytic.utilization << "%)\n"
+            << "\nExpected pattern: time congestion matches the analytic\n"
+            << "column for ALL classes; call congestion sits above it for\n"
+            << "the peaky class, below for the smooth class, and on it for\n"
+            << "the regular (Poisson) class.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "config/ini.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace xbar::config {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_comment(const std::string& s) {
+  const auto pos = s.find_first_of("#;");
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace
+
+std::optional<std::string> IniSection::get(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+double IniSection::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("[" + name + "] " + key +
+                                ": not a number: '" + *v + "'");
+  }
+  return parsed;
+}
+
+unsigned IniSection::get_unsigned(const std::string& key,
+                                  unsigned fallback) const {
+  const auto v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("[" + name + "] " + key +
+                                ": not an unsigned integer: '" + *v + "'");
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+std::string IniSection::require(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) {
+    throw std::invalid_argument("[" + name +
+                                (label.empty() ? "" : " " + label) +
+                                "] missing required key '" + key + "'");
+  }
+  return *v;
+}
+
+double IniSection::require_double(const std::string& key) const {
+  (void)require(key);
+  return get_double(key, 0.0);
+}
+
+const IniSection* IniFile::find(const std::string& name) const {
+  for (const auto& s : sections) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const IniSection*> IniFile::find_all(
+    const std::string& name) const {
+  std::vector<const IniSection*> out;
+  for (const auto& s : sections) {
+    if (s.name == name) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+IniFile parse_ini(std::istream& in) {
+  IniFile file;
+  std::string raw;
+  unsigned line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw IniError(line_no, "unterminated section header");
+      }
+      const std::string header = trim(line.substr(1, line.size() - 2));
+      if (header.empty()) {
+        throw IniError(line_no, "empty section header");
+      }
+      IniSection section;
+      const auto space = header.find_first_of(" \t");
+      if (space == std::string::npos) {
+        section.name = header;
+      } else {
+        section.name = header.substr(0, space);
+        section.label = trim(header.substr(space + 1));
+      }
+      file.sections.push_back(std::move(section));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw IniError(line_no, "expected 'key = value': '" + line + "'");
+    }
+    if (file.sections.empty()) {
+      throw IniError(line_no, "key/value pair before any [section]");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw IniError(line_no, "empty key");
+    }
+    file.sections.back().entries.emplace_back(key, value);
+  }
+  return file;
+}
+
+IniFile parse_ini_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_ini(in);
+}
+
+}  // namespace xbar::config

@@ -1,0 +1,76 @@
+// Minimal INI reader for scenario files.
+//
+// Grammar (a deliberate subset of common INI):
+//   * `[section]` or `[section label]` headers; repeated sections are kept
+//     in file order (e.g. one `[class ...]` per traffic class);
+//   * `key = value` pairs; values are raw strings, trimmed;
+//   * `#` or `;` start a comment (full line or trailing);
+//   * blank lines ignored.
+//
+// Parse errors carry 1-based line numbers.
+
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xbar::config {
+
+/// Parse error with location.
+class IniError : public std::runtime_error {
+ public:
+  IniError(unsigned line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  [[nodiscard]] unsigned line() const noexcept { return line_; }
+
+ private:
+  unsigned line_;
+};
+
+/// One `[name label]` section with its key/value pairs in file order.
+struct IniSection {
+  std::string name;   ///< first word of the header
+  std::string label;  ///< rest of the header (may be empty)
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// Value of `key`, if present (first occurrence).
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Value of `key` parsed as double; throws IniError-free
+  /// std::invalid_argument mentioning the key on garbage.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// Value of `key` parsed as unsigned.
+  [[nodiscard]] unsigned get_unsigned(const std::string& key,
+                                      unsigned fallback) const;
+
+  /// Required variants: throw std::invalid_argument when missing.
+  [[nodiscard]] std::string require(const std::string& key) const;
+  [[nodiscard]] double require_double(const std::string& key) const;
+};
+
+/// A parsed INI document.
+struct IniFile {
+  std::vector<IniSection> sections;
+
+  /// First section with the given name, if any.
+  [[nodiscard]] const IniSection* find(const std::string& name) const;
+
+  /// All sections with the given name, in file order.
+  [[nodiscard]] std::vector<const IniSection*> find_all(
+      const std::string& name) const;
+};
+
+/// Parse from a stream; throws IniError on malformed input.
+[[nodiscard]] IniFile parse_ini(std::istream& in);
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] IniFile parse_ini_string(const std::string& text);
+
+}  // namespace xbar::config

@@ -1,0 +1,115 @@
+#include "config/scenario_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "config/ini.hpp"
+
+namespace xbar::config {
+
+namespace {
+
+core::SolverKind parse_solver(const std::string& value) {
+  if (value == "auto") {
+    return core::SolverKind::kAuto;
+  }
+  if (value == "algorithm1") {
+    return core::SolverKind::kAlgorithm1;
+  }
+  if (value == "algorithm2") {
+    return core::SolverKind::kAlgorithm2;
+  }
+  if (value == "brute") {
+    return core::SolverKind::kBruteForce;
+  }
+  throw std::invalid_argument("[solve] unknown algorithm '" + value +
+                              "' (expected auto|algorithm1|algorithm2|brute)");
+}
+
+core::TrafficClass parse_class(const IniSection& section) {
+  const std::string name =
+      section.label.empty() ? "class" + std::to_string(0) : section.label;
+  const std::string shape = section.require("shape");
+  const auto bandwidth = section.get_unsigned("bandwidth", 1);
+  const double mu = section.get_double("mu", 1.0);
+  const double weight = section.get_double("weight", 1.0);
+  if (shape == "poisson") {
+    return core::TrafficClass::poisson(name, section.require_double("rho"),
+                                       bandwidth, mu, weight);
+  }
+  if (shape == "bursty") {
+    return core::TrafficClass::bursty(name, section.require_double("alpha"),
+                                      section.get_double("beta", 0.0),
+                                      bandwidth, mu, weight);
+  }
+  throw std::invalid_argument("[class " + section.label +
+                              "] unknown shape '" + shape +
+                              "' (expected poisson|bursty)");
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::istream& in) {
+  const IniFile ini = parse_ini(in);
+
+  const IniSection* sw = ini.find("switch");
+  if (sw == nullptr) {
+    throw std::invalid_argument("scenario needs a [switch] section");
+  }
+  const unsigned n1 = sw->get_unsigned("inputs", 0);
+  const unsigned n2 = sw->get_unsigned("outputs", n1);
+  if (n1 == 0) {
+    throw std::invalid_argument("[switch] inputs must be set and positive");
+  }
+
+  std::vector<core::TrafficClass> classes;
+  for (const IniSection* section : ini.find_all("class")) {
+    classes.push_back(parse_class(*section));
+  }
+  if (classes.empty()) {
+    throw std::invalid_argument("scenario needs at least one [class ...]");
+  }
+
+  Scenario scenario{
+      .model = core::CrossbarModel(core::Dims{n1, n2}, std::move(classes)),
+      .solver = core::SolverKind::kAuto,
+      .sim = {},
+      .replications = 5,
+      .hotspot_fraction = 0.0,
+      .has_simulation_section = false,
+  };
+
+  if (const IniSection* solve = ini.find("solve")) {
+    if (const auto algo = solve->get("algorithm")) {
+      scenario.solver = parse_solver(*algo);
+    }
+  }
+  if (const IniSection* simulate = ini.find("simulate")) {
+    scenario.has_simulation_section = true;
+    scenario.sim.warmup_time = simulate->get_double("warmup", 500.0);
+    scenario.sim.measurement_time = simulate->get_double("time", 10'000.0);
+    scenario.sim.num_batches = simulate->get_unsigned("batches", 20);
+    scenario.sim.seed = simulate->get_unsigned("seed", 0x5EED);
+    scenario.replications = simulate->get_unsigned("replications", 5);
+    scenario.hotspot_fraction = simulate->get_double("hotspot", 0.0);
+    if (scenario.hotspot_fraction < 0.0 || scenario.hotspot_fraction > 1.0) {
+      throw std::invalid_argument("[simulate] hotspot must be in [0, 1]");
+    }
+  }
+  return scenario;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open scenario file: " + path);
+  }
+  return parse_scenario(in);
+}
+
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+}  // namespace xbar::config

@@ -1,0 +1,64 @@
+// Scenario files: declare a switch + traffic mix (+ run options) in a small
+// INI dialect, so experiments can be run from the command line (tools/xbar)
+// without writing C++.
+//
+//   [switch]
+//   inputs  = 64
+//   outputs = 64
+//
+//   [class voice]            # one section per traffic class
+//   shape     = poisson      # poisson | bursty
+//   rho       = 0.45         # poisson: offered load rho~
+//   bandwidth = 1            # optional, default 1
+//   mu        = 1.0          # optional, default 1.0
+//   weight    = 1.0          # optional, default 1.0
+//
+//   [class bulk]
+//   shape = bursty
+//   alpha = 0.1              # bursty: alpha~ and beta~
+//   beta  = 0.05
+//
+//   [solve]                  # optional
+//   algorithm = auto         # auto | algorithm1 | algorithm2 | brute
+//
+//   [simulate]               # optional; enables `xbar simulate`
+//   warmup       = 500
+//   time         = 10000
+//   batches      = 20
+//   replications = 5
+//   seed         = 42
+//   hotspot      = 0.0       # optional non-uniform output fraction
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/solver.hpp"
+#include "sim/simulator.hpp"
+
+namespace xbar::config {
+
+/// Parsed scenario.
+struct Scenario {
+  core::CrossbarModel model;
+  core::SolverKind solver = core::SolverKind::kAuto;
+  sim::SimulationConfig sim;
+  std::size_t replications = 5;
+  double hotspot_fraction = 0.0;
+  bool has_simulation_section = false;
+};
+
+/// Parse a scenario from a stream.  Throws IniError for syntax problems and
+/// std::invalid_argument for semantic ones (missing sections/keys, unknown
+/// shapes, model validation failures).
+[[nodiscard]] Scenario parse_scenario(std::istream& in);
+
+/// Parse a scenario from a file path.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// Parse from a string (tests).
+[[nodiscard]] Scenario parse_scenario_string(const std::string& text);
+
+}  // namespace xbar::config

@@ -1,0 +1,415 @@
+#include "core/algorithm1.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "numeric/combinatorics.hpp"
+#include "numeric/scaled_float.hpp"
+
+namespace xbar::core {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Small adapter so one kernel serves ScaledFloat, long double and double.
+template <typename Real>
+struct RealOps {
+  static Real from_double(double v) { return static_cast<Real>(v); }
+  static double log_of(Real v) {
+    return std::log(static_cast<double>(v));
+  }
+};
+
+template <>
+struct RealOps<num::ScaledFloat> {
+  static num::ScaledFloat from_double(double v) {
+    return num::ScaledFloat{v};
+  }
+  static double log_of(const num::ScaledFloat& v) {
+    if (v.is_zero()) {
+      return kNegInf;
+    }
+    if (v.sign() < 0) {
+      // Only reachable through catastrophic cancellation in the Bernoulli
+      // V-recursion; surfaces as NaN so degeneracy detection catches it.
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return v.log();
+  }
+};
+
+template <>
+struct RealOps<long double> {
+  static long double from_double(double v) { return v; }
+  static double log_of(long double v) {
+    if (v == 0.0L) {
+      return kNegInf;
+    }
+    if (v < 0.0L) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return static_cast<double>(std::log(v));
+  }
+};
+
+// Per-class constants hoisted out of the grid loops.
+struct ClassConst {
+  unsigned a = 1;
+  double rho = 0.0;
+  double x = 0.0;  // beta/mu
+  bool poisson = true;
+};
+
+std::vector<ClassConst> class_constants(const CrossbarModel& model) {
+  std::vector<ClassConst> cs;
+  cs.reserve(model.num_classes());
+  for (const auto& c : model.normalized_classes()) {
+    cs.push_back(ClassConst{c.bandwidth, c.rho(), c.x(), c.is_poisson()});
+  }
+  return cs;
+}
+
+// Straightforward kernel: computes Q (and V for bursty classes) over the
+// whole grid in the chosen Real arithmetic, then snapshots natural logs.
+template <typename Real>
+void build_grid(const CrossbarModel& model, std::vector<double>& log_q,
+                std::vector<std::vector<double>>& log_v) {
+  using Ops = RealOps<Real>;
+  const unsigned w = model.dims().n1 + 1;
+  const unsigned h = model.dims().n2 + 1;
+  const auto classes = class_constants(model);
+  const std::size_t R = classes.size();
+
+  std::vector<Real> q(static_cast<std::size_t>(w) * h, Ops::from_double(0.0));
+  std::vector<std::vector<Real>> v(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    if (!classes[r].poisson) {
+      v[r].assign(static_cast<std::size_t>(w) * h, Ops::from_double(0.0));
+    }
+  }
+  const auto idx = [w](unsigned n1, unsigned n2) {
+    return static_cast<std::size_t>(n2) * w + n1;
+  };
+
+  q[idx(0, 0)] = Ops::from_double(1.0);
+  for (unsigned n2 = 0; n2 < h; ++n2) {
+    for (unsigned n1 = 0; n1 < w; ++n1) {
+      // V(n, r) = Q(n - a I) + x_r V(n - a I, r); zero if n - a I is
+      // off-grid.  Needed before Q(n) because Q(n)'s bursty term uses V(n).
+      for (std::size_t r = 0; r < R; ++r) {
+        if (classes[r].poisson) {
+          continue;
+        }
+        const unsigned a = classes[r].a;
+        if (n1 >= a && n2 >= a) {
+          const std::size_t back = idx(n1 - a, n2 - a);
+          v[r][idx(n1, n2)] =
+              q[back] + Ops::from_double(classes[r].x) * v[r][back];
+        }
+      }
+      if (n1 == 0 && n2 == 0) {
+        continue;  // Q(0,0) already set
+      }
+      // Advance along i = 1 when possible, else along i = 2; the recurrence
+      // is consistent in both directions.
+      Real sum = (n1 > 0) ? q[idx(n1 - 1, n2)] : q[idx(n1, n2 - 1)];
+      const double divisor = (n1 > 0) ? n1 : n2;
+      for (std::size_t r = 0; r < R; ++r) {
+        const unsigned a = classes[r].a;
+        if (n1 < a || n2 < a) {
+          continue;
+        }
+        const Real coeff = Ops::from_double(a * classes[r].rho);
+        if (classes[r].poisson) {
+          sum += coeff * q[idx(n1 - a, n2 - a)];
+        } else {
+          sum += coeff * v[r][idx(n1, n2)];
+        }
+      }
+      q[idx(n1, n2)] = sum / Ops::from_double(divisor);
+    }
+  }
+
+  // Snapshot logs for measure queries.
+  log_q.resize(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    log_q[i] = Ops::log_of(q[i]);
+  }
+  log_v.assign(R, {});
+  for (std::size_t r = 0; r < R; ++r) {
+    if (classes[r].poisson) {
+      continue;
+    }
+    log_v[r].resize(v[r].size());
+    for (std::size_t i = 0; i < v[r].size(); ++i) {
+      log_v[r][i] = Ops::log_of(v[r][i]);
+    }
+  }
+}
+
+// The paper's §6 backend: IEEE double with explicit dynamic scaling.  Each
+// row carries a cumulative log scale; rows are renormalized whenever their
+// largest entry leaves [scale_low, scale_high].  References to earlier rows
+// are adjusted by the scale difference, and the log snapshot subtracts the
+// row scale so measures are unaffected — the paper's observation that
+// "the scaling factor does not affect the performance measure results".
+void build_grid_dynamic_scaling(const CrossbarModel& model,
+                                const Algorithm1Options& opts,
+                                std::vector<double>& log_q,
+                                std::vector<std::vector<double>>& log_v,
+                                unsigned& scaling_events) {
+  const unsigned w = model.dims().n1 + 1;
+  const unsigned h = model.dims().n2 + 1;
+  const auto classes = class_constants(model);
+  const std::size_t R = classes.size();
+
+  std::vector<double> q(static_cast<std::size_t>(w) * h, 0.0);
+  std::vector<std::vector<double>> v(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    if (!classes[r].poisson) {
+      v[r].assign(static_cast<std::size_t>(w) * h, 0.0);
+    }
+  }
+  std::vector<double> row_log_scale(h, 0.0);  // stored = true * exp(scale)
+  const auto idx = [w](unsigned n1, unsigned n2) {
+    return static_cast<std::size_t>(n2) * w + n1;
+  };
+
+  q[idx(0, 0)] = 1.0;
+  for (unsigned n2 = 0; n2 < h; ++n2) {
+    if (n2 > 0) {
+      row_log_scale[n2] = row_log_scale[n2 - 1];
+    }
+    for (unsigned n1 = 0; n1 < w; ++n1) {
+      for (std::size_t r = 0; r < R; ++r) {
+        if (classes[r].poisson) {
+          continue;
+        }
+        const unsigned a = classes[r].a;
+        if (n1 >= a && n2 >= a) {
+          // Bring row (n2 - a) values into this row's scale.
+          const double adjust =
+              std::exp(row_log_scale[n2] - row_log_scale[n2 - a]);
+          const std::size_t back = idx(n1 - a, n2 - a);
+          v[r][idx(n1, n2)] =
+              adjust * (q[back] + classes[r].x * v[r][back]);
+        }
+      }
+      if (n1 == 0 && n2 == 0) {
+        continue;
+      }
+      double sum;
+      if (n1 > 0) {
+        sum = q[idx(n1 - 1, n2)];
+      } else {
+        sum = q[idx(0, n2 - 1)] *
+              std::exp(row_log_scale[n2] - row_log_scale[n2 - 1]);
+      }
+      const double divisor = (n1 > 0) ? n1 : n2;
+      for (std::size_t r = 0; r < R; ++r) {
+        const unsigned a = classes[r].a;
+        if (n1 < a || n2 < a) {
+          continue;
+        }
+        const double coeff = static_cast<double>(a) * classes[r].rho;
+        if (classes[r].poisson) {
+          const double adjust =
+              std::exp(row_log_scale[n2] - row_log_scale[n2 - a]);
+          sum += coeff * adjust * q[idx(n1 - a, n2 - a)];
+        } else {
+          sum += coeff * v[r][idx(n1, n2)];  // already in this row's scale
+        }
+      }
+      const double qval = sum / divisor;
+      q[idx(n1, n2)] = qval;
+
+      // Dynamic scaling (paper §6): Q spans hundreds of decades even within
+      // a single row (Q ~ 1/(n1! n2!)), so the check runs per cell.  When
+      // the newest value leaves [scale_low, scale_high], multiply the
+      // already-filled prefix of this row by omega and fold omega into the
+      // row's scale; references to earlier rows adjust through the
+      // row_log_scale difference.
+      if (qval > 0.0 &&
+          (qval > opts.scale_high || qval < opts.scale_low)) {
+        const double omega = 1.0 / qval;
+        for (unsigned m1 = 0; m1 <= n1; ++m1) {
+          q[idx(m1, n2)] *= omega;
+          for (std::size_t r = 0; r < R; ++r) {
+            if (!classes[r].poisson) {
+              v[r][idx(m1, n2)] *= omega;
+            }
+          }
+        }
+        row_log_scale[n2] += std::log(omega);
+        ++scaling_events;
+      }
+    }
+  }
+
+  log_q.resize(q.size());
+  log_v.assign(R, {});
+  for (std::size_t r = 0; r < R; ++r) {
+    if (!classes[r].poisson) {
+      log_v[r].resize(v[r].size());
+    }
+  }
+  for (unsigned n2 = 0; n2 < h; ++n2) {
+    for (unsigned n1 = 0; n1 < w; ++n1) {
+      const std::size_t i = idx(n1, n2);
+      log_q[i] = std::log(q[i]) - row_log_scale[n2];
+      for (std::size_t r = 0; r < R; ++r) {
+        if (!classes[r].poisson) {
+          log_v[r][i] =
+              v[r][i] > 0.0 ? std::log(v[r][i]) - row_log_scale[n2] : kNegInf;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+struct Algorithm1Solver::Impl {
+  CrossbarModel model;
+  Algorithm1Options options;
+  std::vector<double> log_q;                 // (N1+1) x (N2+1), row-major n2
+  std::vector<std::vector<double>> log_v;    // per class; empty for Poisson
+  unsigned scaling_events = 0;
+  bool degenerate = false;
+
+  Impl(CrossbarModel m, Algorithm1Options o)
+      : model(std::move(m)), options(o) {
+    switch (options.backend) {
+      case Algorithm1Backend::kScaledFloat:
+        build_grid<num::ScaledFloat>(model, log_q, log_v);
+        break;
+      case Algorithm1Backend::kLongDouble:
+        build_grid<long double>(model, log_q, log_v);
+        break;
+      case Algorithm1Backend::kDoubleRaw:
+        build_grid<double>(model, log_q, log_v);
+        break;
+      case Algorithm1Backend::kDoubleDynamicScaling:
+        build_grid_dynamic_scaling(model, options, log_q, log_v,
+                                   scaling_events);
+        break;
+    }
+    // Q(n) > 0 for every grid cell (the empty state always contributes
+    // 1/(n1! n2!)), so any non-finite log flags arithmetic breakdown.
+    for (const double lq : log_q) {
+      if (!std::isfinite(lq)) {
+        degenerate = true;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t index(unsigned n1, unsigned n2) const {
+    return static_cast<std::size_t>(n2) * (model.dims().n1 + 1) + n1;
+  }
+
+  [[nodiscard]] double lq(Dims at) const {
+    assert(at.n1 <= model.dims().n1 && at.n2 <= model.dims().n2);
+    return log_q[index(at.n1, at.n2)];
+  }
+
+  // ln V(at, r); -inf when V == 0 (subsystem too small).
+  [[nodiscard]] double lv(std::size_t r, Dims at) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return kNegInf;
+    }
+    return log_v[r][index(at.n1, at.n2)];
+  }
+
+  [[nodiscard]] double non_blocking_at(std::size_t r, Dims at) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;  // the class can never fit in this subsystem
+    }
+    const double log_b = lq(Dims{at.n1 - a, at.n2 - a}) - lq(at) -
+                         num::log_falling_factorial(at.n1, a) -
+                         num::log_falling_factorial(at.n2, a);
+    return std::exp(log_b);
+  }
+
+  [[nodiscard]] double concurrency_at(std::size_t r, Dims at) const {
+    const NormalizedClass& c = model.normalized(r);
+    const unsigned a = c.bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;
+    }
+    if (c.is_poisson()) {
+      // E_r = rho_r Q(N - a I)/Q(N)
+      return c.rho() * std::exp(lq(Dims{at.n1 - a, at.n2 - a}) - lq(at));
+    }
+    // E_r = rho_r V(N, r)/Q(N)
+    const double logv = lv(r, at);
+    if (logv == kNegInf) {
+      return 0.0;
+    }
+    return c.rho() * std::exp(logv - lq(at));
+  }
+
+  [[nodiscard]] Measures measures_at(Dims at) const {
+    Measures m;
+    const std::size_t R = model.num_classes();
+    m.per_class.resize(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      const NormalizedClass& c = model.normalized(r);
+      ClassMeasures& cm = m.per_class[r];
+      cm.non_blocking = non_blocking_at(r, at);
+      cm.blocking = 1.0 - cm.non_blocking;
+      cm.concurrency = concurrency_at(r, at);
+      cm.throughput = cm.concurrency * c.mu;
+      cm.port_usage = cm.concurrency * static_cast<double>(c.bandwidth);
+      m.revenue += c.weight * cm.concurrency;
+      m.total_throughput += cm.throughput;
+      m.utilization += cm.port_usage;
+    }
+    const unsigned cap = at.cap();
+    m.utilization = cap > 0 ? m.utilization / cap : 0.0;
+    return m;
+  }
+};
+
+Algorithm1Solver::Algorithm1Solver(CrossbarModel model,
+                                   Algorithm1Options options)
+    : impl_(std::make_unique<Impl>(std::move(model), options)) {}
+
+Algorithm1Solver::~Algorithm1Solver() = default;
+Algorithm1Solver::Algorithm1Solver(Algorithm1Solver&&) noexcept = default;
+Algorithm1Solver& Algorithm1Solver::operator=(Algorithm1Solver&&) noexcept =
+    default;
+
+Measures Algorithm1Solver::solve() const {
+  return impl_->measures_at(impl_->model.dims());
+}
+
+Measures Algorithm1Solver::solve_at(Dims at) const {
+  return impl_->measures_at(at);
+}
+
+double Algorithm1Solver::log_q(Dims at) const { return impl_->lq(at); }
+
+double Algorithm1Solver::non_blocking(std::size_t r, Dims at) const {
+  return impl_->non_blocking_at(r, at);
+}
+
+unsigned Algorithm1Solver::scaling_events() const noexcept {
+  return impl_->scaling_events;
+}
+
+bool Algorithm1Solver::degenerate() const noexcept {
+  return impl_->degenerate;
+}
+
+const CrossbarModel& Algorithm1Solver::model() const noexcept {
+  return impl_->model;
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,95 @@
+// Algorithm 1 (paper §5): recursive computation of the scaled normalization
+// function Q(N) = G(N)/(N1! N2!) over the full (N1+1) x (N2+1) grid,
+//
+//   Q(n+1_i) = [ Q(n) + sum_{r in R1} a_r rho_r Q(n+1_i - a_r I)
+//                     + sum_{r in R2} a_r rho_r V(n+1_i, r) ] / (n_i + 1)
+//   V(n, r)  = Q(n - a_r I) + (beta_r/mu_r) V(n - a_r I, r)
+//
+// with Q(0,0) = 1 and Q == 0 off the non-negative quadrant.  Complexity
+// O(N1 N2 (R1 + R2)), exactly as the paper claims.
+//
+// Numeric backends:
+//   * kScaledFloat (default)      — every cell carries its own binary
+//     exponent; immune to under/overflow at any system size.
+//   * kDoubleDynamicScaling       — IEEE double with the paper's §6 global
+//     rescaling by omega whenever the grid drifts out of range.
+//   * kLongDouble / kDoubleRaw    — plain arithmetic; kDoubleRaw exists to
+//     demonstrate *why* scaling is needed (see bench/ablation_scaling).
+//
+// Because all performance measures are ratios of Q values, the scaling factor
+// cancels (paper §6), so every backend reports identical measures wherever it
+// doesn't under/overflow.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// Arithmetic used for the Q grid.
+enum class Algorithm1Backend {
+  kScaledFloat,
+  kDoubleDynamicScaling,
+  kLongDouble,
+  kDoubleRaw,
+};
+
+/// Options for Algorithm 1.
+struct Algorithm1Options {
+  Algorithm1Backend backend = Algorithm1Backend::kScaledFloat;
+
+  /// Dynamic-scaling thresholds (kDoubleDynamicScaling only): when any cell
+  /// of the most recent row leaves [scale_low, scale_high], the whole grid is
+  /// multiplied by a compensating omega.
+  double scale_high = 1e150;
+  double scale_low = 1e-150;
+};
+
+/// Computes the Q/V grids once and answers measure queries for the full
+/// system and any subsystem (needed by the shadow-cost analysis, which
+/// evaluates W(N - a_r I) with unchanged per-tuple rates).
+class Algorithm1Solver {
+ public:
+  explicit Algorithm1Solver(CrossbarModel model, Algorithm1Options options = {});
+  ~Algorithm1Solver();
+
+  Algorithm1Solver(Algorithm1Solver&&) noexcept;
+  Algorithm1Solver& operator=(Algorithm1Solver&&) noexcept;
+  Algorithm1Solver(const Algorithm1Solver&) = delete;
+  Algorithm1Solver& operator=(const Algorithm1Solver&) = delete;
+
+  /// Measures at the full dimensions.
+  [[nodiscard]] Measures solve() const;
+
+  /// Measures at a subsystem (component-wise <= the model dims) with the
+  /// same per-tuple rates.
+  [[nodiscard]] Measures solve_at(Dims at) const;
+
+  /// ln Q(at) — for cross-validation against the brute-force and
+  /// generating-function solvers.  Meaningless (and asserts) for kDoubleRaw
+  /// after an overflow.
+  [[nodiscard]] double log_q(Dims at) const;
+
+  /// Non-blocking probability B_r at a subsystem.
+  [[nodiscard]] double non_blocking(std::size_t r, Dims at) const;
+
+  /// Number of times the dynamic-scaling backend rescaled the grid (0 for
+  /// other backends) — exposed for the §6 ablation.
+  [[nodiscard]] unsigned scaling_events() const noexcept;
+
+  /// True if the backend's arithmetic degenerated (inf/NaN/total underflow
+  /// anywhere in the grid) — only possible for kDoubleRaw / kLongDouble.
+  [[nodiscard]] bool degenerate() const noexcept;
+
+  [[nodiscard]] const CrossbarModel& model() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,225 @@
+#include "core/algorithm2.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+
+struct Algorithm2Solver::Impl {
+  CrossbarModel model;
+  unsigned w = 0;  // N1 + 1
+  unsigned h = 0;  // N2 + 1
+  std::vector<double> f1;                 // F_1(n), valid for n1 >= 1
+  std::vector<double> f2;                 // F_2(n), valid for n2 >= 1
+  std::vector<std::vector<double>> hr;    // H_r(n) per class
+  std::vector<std::vector<double>> dr;    // D_r(n) per bursty class
+
+  explicit Impl(CrossbarModel m) : model(std::move(m)) {
+    w = model.dims().n1 + 1;
+    h = model.dims().n2 + 1;
+    const std::size_t cells = static_cast<std::size_t>(w) * h;
+    const std::size_t R = model.num_classes();
+    f1.assign(cells, 0.0);
+    f2.assign(cells, 0.0);
+    hr.assign(R, std::vector<double>(cells, 0.0));
+    dr.resize(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      if (!model.normalized(r).is_poisson()) {
+        dr[r].assign(cells, 1.0);
+      }
+    }
+    build();
+  }
+
+  [[nodiscard]] std::size_t idx(unsigned n1, unsigned n2) const {
+    return static_cast<std::size_t>(n2) * w + n1;
+  }
+
+  // U_r(n, 1) = Q(n - a_r I)/Q(n - 1_1) as a product of F factors along the
+  // lattice path (n1-1, n2) -> (n1-a, n2) -> (n1-a, n2-a).
+  [[nodiscard]] double u1(unsigned a, unsigned n1, unsigned n2) const {
+    if (n1 < a || n2 < a) {
+      return 0.0;
+    }
+    double u = 1.0;
+    for (unsigned s = 0; s + 1 < a; ++s) {
+      u *= f1[idx(n1 - 1 - s, n2)];
+    }
+    for (unsigned s = 0; s < a; ++s) {
+      u *= f2[idx(n1 - a, n2 - s)];
+    }
+    return u;
+  }
+
+  // U_r(n, 2) = Q(n - a_r I)/Q(n - 1_2) along (n1, n2-1) -> (n1, n2-a)
+  // -> (n1-a, n2-a).
+  [[nodiscard]] double u2(unsigned a, unsigned n1, unsigned n2) const {
+    if (n1 < a || n2 < a) {
+      return 0.0;
+    }
+    double u = 1.0;
+    for (unsigned s = 0; s + 1 < a; ++s) {
+      u *= f2[idx(n1, n2 - 1 - s)];
+    }
+    for (unsigned s = 0; s < a; ++s) {
+      u *= f1[idx(n1 - s, n2 - a)];
+    }
+    return u;
+  }
+
+  void build() {
+    const auto classes = model.normalized_classes();
+    const std::size_t R = classes.size();
+
+    // Boundaries: Q(n1, 0) = 1/n1!, Q(0, n2) = 1/n2!.
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      f1[idx(n1, 0)] = n1;
+    }
+    for (unsigned n2 = 1; n2 < h; ++n2) {
+      f2[idx(0, n2)] = n2;
+    }
+    // H_r and D_r on the boundary rows/columns stay at their initialized
+    // values (0 and 1): no class fits when one side has no ports.
+
+    for (unsigned n2 = 1; n2 < h; ++n2) {
+      for (unsigned n1 = 1; n1 < w; ++n1) {
+        // F_1 via the i = 1 recurrence.
+        double denom1 = 1.0;
+        double denom2 = 1.0;
+        for (std::size_t r = 0; r < R; ++r) {
+          const auto& c = classes[r];
+          const unsigned a = c.bandwidth;
+          const double load = static_cast<double>(a) * c.rho();
+          const double d_prev =
+              c.is_poisson()
+                  ? 1.0
+                  : ((n1 >= a && n2 >= a) ? dr[r][idx(n1 - a, n2 - a)] : 1.0);
+          denom1 += load * u1(a, n1, n2) * d_prev;
+          denom2 += load * u2(a, n1, n2) * d_prev;
+        }
+        const double f1v = static_cast<double>(n1) / denom1;
+        const double f2v = static_cast<double>(n2) / denom2;
+        f1[idx(n1, n2)] = f1v;
+        f2[idx(n1, n2)] = f2v;
+
+        // H_r and D_r at this cell.
+        for (std::size_t r = 0; r < R; ++r) {
+          const auto& c = classes[r];
+          const unsigned a = c.bandwidth;
+          if (n1 < a || n2 < a) {
+            continue;  // H stays 0, D stays 1
+          }
+          const double h_val = f1v * u1(a, n1, n2);
+          hr[r][idx(n1, n2)] = h_val;
+          if (!c.is_poisson()) {
+            dr[r][idx(n1, n2)] =
+                1.0 + c.x() * h_val * dr[r][idx(n1 - a, n2 - a)];
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double non_blocking_at(std::size_t r, Dims at) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;
+    }
+    return hr[r][idx(at.n1, at.n2)] /
+           (num::falling_factorial(at.n1, a) *
+            num::falling_factorial(at.n2, a));
+  }
+
+  [[nodiscard]] double concurrency_at(std::size_t r, Dims at) const {
+    const NormalizedClass& c = model.normalized(r);
+    const unsigned a = c.bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;
+    }
+    const double h_val = hr[r][idx(at.n1, at.n2)];
+    if (c.is_poisson()) {
+      return c.rho() * h_val;  // E_r = rho_r Q(N - a I)/Q(N)
+    }
+    // E_r = rho_r H_r(N) D_r(N - a_r I)
+    return c.rho() * h_val * dr[r][idx(at.n1 - a, at.n2 - a)];
+  }
+
+  [[nodiscard]] Measures measures_at(Dims at) const {
+    Measures m;
+    const std::size_t R = model.num_classes();
+    m.per_class.resize(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      const NormalizedClass& c = model.normalized(r);
+      ClassMeasures& cm = m.per_class[r];
+      cm.non_blocking = non_blocking_at(r, at);
+      cm.blocking = 1.0 - cm.non_blocking;
+      cm.concurrency = concurrency_at(r, at);
+      cm.throughput = cm.concurrency * c.mu;
+      cm.port_usage = cm.concurrency * static_cast<double>(c.bandwidth);
+      m.revenue += c.weight * cm.concurrency;
+      m.total_throughput += cm.throughput;
+      m.utilization += cm.port_usage;
+    }
+    const unsigned cap = at.cap();
+    m.utilization = cap > 0 ? m.utilization / cap : 0.0;
+    return m;
+  }
+};
+
+Algorithm2Solver::Algorithm2Solver(CrossbarModel model)
+    : impl_(std::make_unique<Impl>(std::move(model))) {}
+
+Algorithm2Solver::~Algorithm2Solver() = default;
+Algorithm2Solver::Algorithm2Solver(Algorithm2Solver&&) noexcept = default;
+Algorithm2Solver& Algorithm2Solver::operator=(Algorithm2Solver&&) noexcept =
+    default;
+
+Measures Algorithm2Solver::solve() const {
+  return impl_->measures_at(impl_->model.dims());
+}
+
+Measures Algorithm2Solver::solve_at(Dims at) const {
+  assert(at.n1 <= impl_->model.dims().n1 && at.n2 <= impl_->model.dims().n2);
+  return impl_->measures_at(at);
+}
+
+double Algorithm2Solver::non_blocking(std::size_t r, Dims at) const {
+  return impl_->non_blocking_at(r, at);
+}
+
+double Algorithm2Solver::f1(Dims at) const {
+  assert(at.n1 >= 1);
+  return impl_->f1[impl_->idx(at.n1, at.n2)];
+}
+
+double Algorithm2Solver::f2(Dims at) const {
+  assert(at.n2 >= 1);
+  return impl_->f2[impl_->idx(at.n1, at.n2)];
+}
+
+double Algorithm2Solver::h(std::size_t r, Dims at) const {
+  return impl_->hr[r][impl_->idx(at.n1, at.n2)];
+}
+
+double Algorithm2Solver::log_q(Dims at) const {
+  // Q(at) = Q(0,0) / prod of F factors along (0,0) -> (at.n1,0) -> at;
+  // Q(0,0) = 1.  F_1(n1,0) = n1 reproduces 1/n1! along the bottom row.
+  double log_q_val = 0.0;
+  for (unsigned n1 = 1; n1 <= at.n1; ++n1) {
+    log_q_val -= std::log(impl_->f1[impl_->idx(n1, 0)]);
+  }
+  for (unsigned n2 = 1; n2 <= at.n2; ++n2) {
+    log_q_val -= std::log(impl_->f2[impl_->idx(at.n1, n2)]);
+  }
+  return log_q_val;
+}
+
+const CrossbarModel& Algorithm2Solver::model() const noexcept {
+  return impl_->model;
+}
+
+}  // namespace xbar::core

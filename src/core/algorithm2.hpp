@@ -1,0 +1,71 @@
+// Algorithm 2 (paper §5.1): mean-value computation directly on ratios of
+// normalization functions, avoiding the astronomically scaled Q values
+// entirely — the numerically stable choice for large switches.
+//
+// Grids maintained over the (N1+1) x (N2+1) lattice:
+//
+//   F_i(n) = Q(n - 1_i)/Q(n)
+//   H_r(n) = Q(n - a_r I)/Q(n)                   (0 when min(n) < a_r)
+//   D_r(n) = sum_m x_r^m Q(n - m a_r I)/Q(n)     (bursty classes only)
+//
+// with the corrected recursions (see DESIGN.md "Paper errata"):
+//
+//   F_i(n) = n_i / (1 + sum_{R1} a_r rho_r U_r(n,i)
+//                    + sum_{R2} a_r rho_r U_r(n,i) D_r(n - a_r I))
+//   U_r(n,i) = Q(n - a_r I)/Q(n - 1_i)   — a product of already-computed
+//              F factors along a lattice path (the paper's L_{jr})
+//   H_r(n) = F_i(n) U_r(n,i)             (paper eq. 14)
+//   D_r(n) = 1 + x_r H_r(n) D_r(n - a_r I)
+//
+// Boundaries: Q(n1,0) = 1/n1! gives F_1(n1,0) = n1 and F_2(0,n2) = n2;
+// H_r = 0 and D_r = 1 wherever the class cannot fit.
+//
+// Complexity O(N1 N2 R a_max); every stored quantity is a tame ratio, so the
+// algorithm runs at any system size without scaling tricks.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+class Algorithm2Solver {
+ public:
+  explicit Algorithm2Solver(CrossbarModel model);
+  ~Algorithm2Solver();
+
+  Algorithm2Solver(Algorithm2Solver&&) noexcept;
+  Algorithm2Solver& operator=(Algorithm2Solver&&) noexcept;
+  Algorithm2Solver(const Algorithm2Solver&) = delete;
+  Algorithm2Solver& operator=(const Algorithm2Solver&) = delete;
+
+  /// Measures at the full dimensions.
+  [[nodiscard]] Measures solve() const;
+
+  /// Measures at a subsystem with the same per-tuple rates.
+  [[nodiscard]] Measures solve_at(Dims at) const;
+
+  /// Non-blocking probability B_r at a subsystem.
+  [[nodiscard]] double non_blocking(std::size_t r, Dims at) const;
+
+  /// Ratio accessors for cross-validation tests.
+  [[nodiscard]] double f1(Dims at) const;  ///< Q(n-1_1)/Q(n), n1 >= 1
+  [[nodiscard]] double f2(Dims at) const;  ///< Q(n-1_2)/Q(n), n2 >= 1
+  [[nodiscard]] double h(std::size_t r, Dims at) const;  ///< Q(n-a_r I)/Q(n)
+
+  /// ln Q(at) reconstructed by summing ln F factors along a lattice path —
+  /// used only by validation tests (Algorithm 2 never needs Q itself).
+  [[nodiscard]] double log_q(Dims at) const;
+
+  [[nodiscard]] const CrossbarModel& model() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,158 @@
+#include "core/brute_force.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/state_space.hpp"
+#include "numeric/combinatorics.hpp"
+#include "numeric/log_domain.hpp"
+
+namespace xbar::core {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+BruteForceSolver::BruteForceSolver(CrossbarModel model)
+    : model_(std::move(model)) {
+  bandwidths_.reserve(model_.num_classes());
+  for (const auto& c : model_.normalized_classes()) {
+    bandwidths_.push_back(c.bandwidth);
+  }
+}
+
+double BruteForceSolver::log_weight(std::span<const unsigned> k,
+                                    unsigned usage, Dims dims) const {
+  // Psi(k) = P(N1, k·A) * P(N2, k·A)
+  double lw = num::log_falling_factorial(dims.n1, usage) +
+              num::log_falling_factorial(dims.n2, usage);
+  // Phi_r(k_r) = prod_{l=1..k_r} lambda_r(l-1) / (l mu_r)
+  for (std::size_t r = 0; r < k.size(); ++r) {
+    const NormalizedClass& c = model_.normalized(r);
+    for (unsigned l = 1; l <= k[r]; ++l) {
+      const double lam = c.alpha + c.beta * static_cast<double>(l - 1);
+      if (!(lam > 0.0)) {
+        return kNegInf;  // Bernoulli population exhausted: zero weight
+      }
+      lw += std::log(lam) - std::log(static_cast<double>(l) * c.mu);
+    }
+  }
+  return lw;
+}
+
+double BruteForceSolver::log_g() const { return log_q() +
+    num::log_factorial(model_.dims().n1) + num::log_factorial(model_.dims().n2); }
+
+double BruteForceSolver::log_q() const { return log_q(model_.dims()); }
+
+double BruteForceSolver::log_q(Dims dims) const {
+  num::LogSum sum;
+  for_each_state(bandwidths_, dims.cap(),
+                 [&](std::span<const unsigned> k, unsigned usage) {
+                   sum.add_log(log_weight(k, usage, dims));
+                 });
+  // Q = G / (N1! N2!)
+  return sum.log_value() - num::log_factorial(dims.n1) -
+         num::log_factorial(dims.n2);
+}
+
+double BruteForceSolver::log_pi(std::span<const unsigned> k) const {
+  unsigned usage = 0;
+  for (std::size_t r = 0; r < k.size(); ++r) {
+    usage += k[r] * bandwidths_[r];
+  }
+  if (usage > model_.dims().cap()) {
+    return kNegInf;
+  }
+  const double lg = log_q() + num::log_factorial(model_.dims().n1) +
+                    num::log_factorial(model_.dims().n2);
+  return log_weight(k, usage, model_.dims()) - lg;
+}
+
+Measures BruteForceSolver::solve() const {
+  const Dims dims = model_.dims();
+  const std::size_t R = model_.num_classes();
+
+  // One pass for G(N) and the k_r-weighted sums.
+  num::LogSum log_gsum;
+  std::vector<num::LogSum> log_er_num(R);
+  for_each_state(bandwidths_, dims.cap(),
+                 [&](std::span<const unsigned> k, unsigned usage) {
+                   const double lw = log_weight(k, usage, dims);
+                   log_gsum.add_log(lw);
+                   for (std::size_t r = 0; r < R; ++r) {
+                     if (k[r] > 0) {
+                       log_er_num[r].add_log(
+                           lw + std::log(static_cast<double>(k[r])));
+                     }
+                   }
+                 });
+  const double lg = log_gsum.log_value();
+
+  Measures m;
+  m.per_class.resize(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    const NormalizedClass& c = model_.normalized(r);
+    ClassMeasures& cm = m.per_class[r];
+
+    // B_r(N) = G(N - a_r I)/G(N): enumerate the shrunken system with the
+    // same per-tuple rates.
+    const Dims sub = dims.shrunk_by(c.bandwidth);
+    num::LogSum log_gsub;
+    for_each_state(bandwidths_, sub.cap(),
+                   [&](std::span<const unsigned> k, unsigned usage) {
+                     log_gsub.add_log(log_weight(k, usage, sub));
+                   });
+    cm.non_blocking = std::exp(log_gsub.log_value() - lg);
+    cm.blocking = 1.0 - cm.non_blocking;
+
+    cm.concurrency = std::exp(log_er_num[r].log_value() - lg);
+    cm.throughput = cm.concurrency * c.mu;
+    cm.port_usage = cm.concurrency * static_cast<double>(c.bandwidth);
+
+    m.revenue += c.weight * cm.concurrency;
+    m.total_throughput += cm.throughput;
+    m.utilization += cm.port_usage;
+  }
+  m.utilization /= static_cast<double>(dims.cap());
+  return m;
+}
+
+double BruteForceSolver::call_congestion(std::size_t r) const {
+  const Dims dims = model_.dims();
+  const NormalizedClass& c = model_.normalized(r);
+  const unsigned a = c.bandwidth;
+
+  // offered(k)  = P(N1,a) P(N2,a) lambda_r(k_r)
+  // accepted(k) = P(N1-kA,a) P(N2-kA,a) lambda_r(k_r)
+  num::LogSum log_offered;
+  num::LogSum log_accepted;
+  const double log_total_tuples = num::log_falling_factorial(dims.n1, a) +
+                                  num::log_falling_factorial(dims.n2, a);
+  for_each_state(
+      bandwidths_, dims.cap(),
+      [&](std::span<const unsigned> k, unsigned usage) {
+        const double lw = log_weight(k, usage, dims);
+        if (lw == kNegInf) {
+          return;
+        }
+        const double lam = c.intensity(k[r]);
+        if (!(lam > 0.0)) {
+          return;
+        }
+        const double base = lw + std::log(lam);
+        log_offered.add_log(base + log_total_tuples);
+        if (usage + a <= dims.cap()) {
+          log_accepted.add_log(base +
+                               num::log_falling_factorial(dims.n1 - usage, a) +
+                               num::log_falling_factorial(dims.n2 - usage, a));
+        }
+      });
+  if (log_offered.log_value() == kNegInf) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(log_accepted.log_value() - log_offered.log_value());
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,60 @@
+// Reference solver by exhaustive enumeration of Γ(N).
+//
+// Evaluates the product-form distribution (paper eq. 2) term by term in the
+// log domain and computes every performance measure directly from its
+// definition (E_r = sum k_r pi(k), B_r = G(N - a_r I)/G(N), ...).  It is
+// exponential in the number of classes and so only practical for small
+// systems, but it contains no recurrence cleverness at all — which makes it
+// the ground truth that Algorithm 1, Algorithm 2 and the generating-function
+// expansion are all tested against.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+class BruteForceSolver {
+ public:
+  explicit BruteForceSolver(CrossbarModel model);
+
+  /// All measures, straight from the definitions.
+  [[nodiscard]] Measures solve() const;
+
+  /// ln G(N) — the normalization function, eq. 3.
+  [[nodiscard]] double log_g() const;
+
+  /// ln Q(N) = ln G(N) - ln N1! - ln N2!  (the quantity Algorithm 1 tracks).
+  [[nodiscard]] double log_q() const;
+
+  /// ln Q for an arbitrary subsystem size with this model's per-tuple rates.
+  [[nodiscard]] double log_q(Dims dims) const;
+
+  /// ln pi(k) of a specific state (normalized).  k.size() must equal R;
+  /// returns -inf for infeasible states.
+  [[nodiscard]] double log_pi(std::span<const unsigned> k) const;
+
+  /// Fraction of class-r *arrivals* that are blocked ("call congestion").
+  /// For Poisson classes this equals 1 - B_r (PASTA); for bursty classes it
+  /// differs from the time-stationary 1 - B_r — the simulator measures this
+  /// quantity directly.
+  [[nodiscard]] double call_congestion(std::size_t r) const;
+
+  /// The model being solved.
+  [[nodiscard]] const CrossbarModel& model() const noexcept { return model_; }
+
+ private:
+  /// ln of the unnormalized stationary weight Psi(k) * prod Phi_r(k_r) for a
+  /// switch of the given dims (state must satisfy k·A <= dims.cap()).
+  [[nodiscard]] double log_weight(std::span<const unsigned> k, unsigned usage,
+                                  Dims dims) const;
+
+  CrossbarModel model_;
+  std::vector<unsigned> bandwidths_;
+};
+
+}  // namespace xbar::core

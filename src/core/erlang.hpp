@@ -1,0 +1,32 @@
+// Classical Erlang loss formulas — the baselines any teletraffic engineer
+// reaches for before building the full crossbar model.
+//
+// Used by bench/baseline_compare to show what the paper's two-sided
+// product form buys over (a) a single Erlang-B group and (b) the
+// "independence" approximation that treats the input and output sides as
+// separate Erlang groups.
+
+#pragma once
+
+namespace xbar::core {
+
+/// Erlang-B blocking probability: offered load `a` (erlangs) on `c`
+/// circuits, Poisson arrivals, blocked-calls-cleared.  Computed by the
+/// standard numerically stable recursion B(0) = 1,
+/// B(c) = a B(c-1) / (c + a B(c-1)); O(c), exact.
+[[nodiscard]] double erlang_b(double a, unsigned c);
+
+/// Extended Erlang-B: real (non-integral) number of circuits via the
+/// continued product on the incomplete-gamma representation; agrees with
+/// `erlang_b` at integer c.  Used by calibration-style interpolation.
+[[nodiscard]] double erlang_b_real(double a, double c);
+
+/// Erlang-C probability of waiting (M/M/c queue), derived from Erlang-B.
+/// Requires a < c for stability; returns 1 otherwise.
+[[nodiscard]] double erlang_c(double a, unsigned c);
+
+/// Inverse problem: the largest offered load such that Erlang-B blocking
+/// does not exceed `target` on `c` circuits (bisection; monotone).
+[[nodiscard]] double erlang_b_inverse_load(double target, unsigned c);
+
+}  // namespace xbar::core

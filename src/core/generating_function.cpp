@@ -1,0 +1,96 @@
+#include "core/generating_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/combinatorics.hpp"
+#include "numeric/scaled_float.hpp"
+
+namespace xbar::core {
+
+double log_z(const CrossbarModel& model, double t1, double t2) {
+  double exponent = t1 + t2;
+  double log_pascal = 0.0;
+  for (const auto& c : model.normalized_classes()) {
+    const double s = std::pow(t1 * t2, static_cast<double>(c.bandwidth));
+    if (c.is_poisson()) {
+      exponent += c.rho() * s;
+    } else {
+      const double y = c.x() * s;
+      if (y >= 1.0) {
+        throw std::domain_error(
+            "log_z: outside the Pascal factor's radius of convergence");
+      }
+      // (1 - y)^{-alpha/beta}: for Bernoulli classes alpha/beta < 0 and
+      // y < 0, so log1p(-y) is still well-defined.
+      log_pascal += -(c.alpha / c.beta) * std::log1p(-y);
+    }
+  }
+  return exponent + log_pascal;
+}
+
+std::vector<double> series_log_q_grid(const CrossbarModel& model) {
+  using num::ScaledFloat;
+  const unsigned w = model.dims().n1 + 1;
+  const unsigned h = model.dims().n2 + 1;
+  const auto idx = [w](unsigned n1, unsigned n2) {
+    return static_cast<std::size_t>(n2) * w + n1;
+  };
+
+  // Base grid: coefficients of exp(t1) exp(t2).
+  std::vector<ScaledFloat> grid(static_cast<std::size_t>(w) * h);
+  for (unsigned n2 = 0; n2 < h; ++n2) {
+    for (unsigned n1 = 0; n1 < w; ++n1) {
+      grid[idx(n1, n2)] = ScaledFloat::from_log(
+          -num::log_factorial(n1) - num::log_factorial(n2));
+    }
+  }
+
+  // Convolve with each class's diagonal series Phi_r(k) at (k a, k a).
+  for (const auto& c : model.normalized_classes()) {
+    const unsigned a = c.bandwidth;
+    const unsigned max_k = model.dims().cap() / a;
+
+    // Phi_r(k) = prod_{l=1..k} lambda(l-1)/(l mu); truncate where the
+    // Bernoulli population is exhausted (lambda <= 0).
+    std::vector<ScaledFloat> phi;
+    phi.reserve(max_k + 1);
+    phi.push_back(ScaledFloat::one());
+    for (unsigned k = 1; k <= max_k; ++k) {
+      const double lam = c.alpha + c.beta * static_cast<double>(k - 1);
+      if (!(lam > 0.0)) {
+        break;
+      }
+      phi.push_back(phi.back() *
+                    ScaledFloat{lam / (static_cast<double>(k) * c.mu)});
+    }
+
+    std::vector<ScaledFloat> next(grid.size());
+    for (unsigned n2 = 0; n2 < h; ++n2) {
+      for (unsigned n1 = 0; n1 < w; ++n1) {
+        ScaledFloat acc;
+        const unsigned diag = std::min(n1, n2) / a;
+        const unsigned terms =
+            std::min<unsigned>(diag, static_cast<unsigned>(phi.size()) - 1);
+        for (unsigned k = 0; k <= terms; ++k) {
+          acc += phi[k] * grid[idx(n1 - k * a, n2 - k * a)];
+        }
+        next[idx(n1, n2)] = acc;
+      }
+    }
+    grid = std::move(next);
+  }
+
+  std::vector<double> logs(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    logs[i] = grid[i].log();
+  }
+  return logs;
+}
+
+double series_log_q(const CrossbarModel& model) {
+  const auto grid = series_log_q_grid(model);
+  return grid.back();
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,38 @@
+// The exponential generating function of Q(N) (paper eq. 5):
+//
+//   Z(t) = sum_N Q(N) t1^N1 t2^N2
+//        = exp( t1 + t2 + sum_{r in R1} rho_r (t1 t2)^{a_r} )
+//          * prod_{r in R2} (1 - (beta_r/mu_r)(t1 t2)^{a_r})^{-alpha_r/beta_r}
+//
+// This module provides two independent computation paths used purely for
+// validation of Algorithms 1 and 2:
+//
+//  1. `log_z` — the closed form above, compared in tests against the
+//     truncated series sum_N Q(N) t^N built from a solver's Q grid.
+//  2. `series_log_q_grid` — Q(N) for every N on the grid obtained by 2-D
+//     series convolution: the base exp(t1)exp(t2) grid 1/(n1! n2!) convolved
+//     with each class's diagonal series Phi_r(k) placed at (k a_r, k a_r).
+//     No recurrence is involved, so agreement with Algorithm 1/2 is a strong
+//     correctness check.
+
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// ln Z(t1, t2) by the closed form (eq. 5).  Requires
+/// (beta_r/mu_r) (t1 t2)^{a_r} < 1 for every Pascal class (the radius of
+/// convergence); throws std::domain_error otherwise.
+[[nodiscard]] double log_z(const CrossbarModel& model, double t1, double t2);
+
+/// ln Q(n1, n2) for the whole (N1+1) x (N2+1) grid (row-major, row = n2) by
+/// series convolution.  O(R * N1 * N2 * min(N)/a) time.
+[[nodiscard]] std::vector<double> series_log_q_grid(const CrossbarModel& model);
+
+/// Convenience: ln Q at the model's own dimensions, by series convolution.
+[[nodiscard]] double series_log_q(const CrossbarModel& model);
+
+}  // namespace xbar::core

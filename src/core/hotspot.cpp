@@ -1,0 +1,137 @@
+#include "core/hotspot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xbar::core {
+
+namespace {
+
+struct Rates {
+  double to_hot = 0.0;     // (0,k) -> (1,k)
+  double to_cold = 0.0;    // (b,k) -> (b,k+1)
+  double hot_done = 0.0;   // (1,k) -> (0,k)
+  double cold_done = 0.0;  // (b,k) -> (b,k-1)
+};
+
+}  // namespace
+
+HotspotResult solve_hotspot(const HotspotParams& params) {
+  const unsigned n = params.ports;
+  if (n < 2 || !(params.arrival_rate > 0.0) || !(params.mu > 0.0) ||
+      params.hot_fraction < 0.0 || params.hot_fraction > 1.0) {
+    throw std::invalid_argument("solve_hotspot: invalid parameters");
+  }
+  const double nd = n;
+  const double p_hot = params.hot_fraction + (1.0 - params.hot_fraction) / nd;
+
+  // State index: s = b * n + k, b in {0,1}, k in [0, n-1].
+  const std::size_t states = 2 * n;
+  const auto idx = [n](unsigned b, unsigned k) {
+    return static_cast<std::size_t>(b) * n + k;
+  };
+  const auto rates = [&](unsigned b, unsigned k) {
+    Rates r;
+    const double free_inputs = (nd - b - k) / nd;
+    if (b == 0) {
+      r.to_hot = params.arrival_rate * p_hot * free_inputs;
+    }
+    if (k < n - 1) {
+      r.to_cold = params.arrival_rate * (1.0 - p_hot) *
+                  ((nd - 1.0 - k) / (nd - 1.0)) * free_inputs;
+    }
+    r.hot_done = b == 1 ? params.mu : 0.0;
+    r.cold_done = k * params.mu;
+    return r;
+  };
+
+  // Uniformization rate.
+  double lambda_max = 1e-12;
+  for (unsigned b = 0; b <= 1; ++b) {
+    for (unsigned k = 0; k < n; ++k) {
+      const Rates r = rates(b, k);
+      lambda_max =
+          std::max(lambda_max, r.to_hot + r.to_cold + r.hot_done + r.cold_done);
+    }
+  }
+  lambda_max *= 1.02;
+
+  // Power iteration on P = I + Q/Lambda.
+  std::vector<double> p(states, 1.0 / static_cast<double>(states));
+  std::vector<double> next(states);
+  for (int iter = 0; iter < 200000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (unsigned b = 0; b <= 1; ++b) {
+      for (unsigned k = 0; k < n; ++k) {
+        const std::size_t s = idx(b, k);
+        const Rates r = rates(b, k);
+        const double exit = r.to_hot + r.to_cold + r.hot_done + r.cold_done;
+        next[s] += p[s] * (1.0 - exit / lambda_max);
+        if (r.to_hot > 0.0) {
+          next[idx(1, k)] += p[s] * r.to_hot / lambda_max;
+        }
+        if (r.to_cold > 0.0) {
+          next[idx(b, k + 1)] += p[s] * r.to_cold / lambda_max;
+        }
+        if (r.hot_done > 0.0) {
+          next[idx(0, k)] += p[s] * r.hot_done / lambda_max;
+        }
+        if (r.cold_done > 0.0) {
+          next[idx(b, k - 1)] += p[s] * r.cold_done / lambda_max;
+        }
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t s = 0; s < states; ++s) {
+      delta = std::max(delta, std::fabs(next[s] - p[s]));
+    }
+    p.swap(next);
+    if (delta < 1e-14) {
+      break;
+    }
+  }
+  double total = 0.0;
+  for (const double v : p) {
+    total += v;
+  }
+  for (double& v : p) {
+    v /= total;
+  }
+
+  // PASTA: per-stream acceptance probabilities.
+  HotspotResult result;
+  double accept_hot = 0.0;
+  double accept_cold = 0.0;
+  for (unsigned b = 0; b <= 1; ++b) {
+    for (unsigned k = 0; k < n; ++k) {
+      const double pi = p[idx(b, k)];
+      const double free_inputs = (nd - b - k) / nd;
+      if (b == 0) {
+        accept_hot += pi * free_inputs;
+      }
+      accept_cold += pi * ((nd - 1.0 - k) / (nd - 1.0)) * free_inputs;
+      result.hot_utilization += pi * b;
+      result.cold_utilization += pi * k;
+      result.mean_circuits += pi * (b + k);
+    }
+  }
+  result.utilization = result.mean_circuits / nd;
+  result.cold_utilization /= (nd - 1.0);
+  result.blocking_hot = 1.0 - accept_hot;
+  result.blocking_cold = 1.0 - accept_cold;
+  result.blocking_overall =
+      p_hot * result.blocking_hot + (1.0 - p_hot) * result.blocking_cold;
+  return result;
+}
+
+HotspotResult hotspot_crossbar(unsigned n, double rho_tilde,
+                               double hot_fraction, double mu) {
+  HotspotParams params;
+  params.ports = n;
+  params.arrival_rate = rho_tilde * static_cast<double>(n) * mu;
+  params.mu = mu;
+  params.hot_fraction = hot_fraction;
+  return solve_hotspot(params);
+}
+
+}  // namespace xbar::core

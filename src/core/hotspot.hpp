@@ -1,0 +1,59 @@
+// Exact analytic model of HOT-SPOT traffic on an N x N crossbar — the
+// subject of the authors' companion paper (reference [28]), reconstructed.
+//
+// Setting: a single a = 1 Poisson stream of total rate Lambda; each request
+// picks a uniformly random input, and its output is the designated hot port
+// with probability p_hot = h + (1-h)/N (matching sim::make_hotspot_selector
+// with hot fraction h) or a uniformly random cold port otherwise.  Blocked
+// requests are cleared; holding times are exponential(mu).
+//
+// By symmetry among inputs and among cold outputs, the full chain lumps
+// EXACTLY onto (b, k) where b in {0,1} flags the hot output busy and k
+// counts cold-output circuits (0 <= k <= N-1, b + k <= N inputs busy):
+//
+//   (b,k) -> (1,k)   : Lambda p_hot  (N-b-k)/N          (b = 0)
+//   (b,k) -> (b,k+1) : Lambda (1-p_hot) (N-1-k)/(N-1) * (N-b-k)/N
+//   (1,k) -> (0,k)   : mu
+//   (b,k) -> (b,k-1) : k mu
+//
+// so the model is exact, not an approximation — the two-dimensional
+// analogue of the paper's uniform product form, which this chain reduces to
+// at h = 0.  Stationary probabilities come from the (2N)-state generator;
+// per-stream blocking follows by PASTA.
+
+#pragma once
+
+#include <vector>
+
+namespace xbar::core {
+
+/// Parameters of the hot-spot model.
+struct HotspotParams {
+  unsigned ports = 8;        ///< N (square switch)
+  double arrival_rate = 1.0; ///< Lambda: total request rate
+  double mu = 1.0;           ///< holding rate
+  double hot_fraction = 0.0; ///< h: probability the hot port is forced
+};
+
+/// Solution of the hot-spot chain.
+struct HotspotResult {
+  double blocking_overall = 0.0;  ///< arrival-weighted blocking
+  double blocking_hot = 0.0;      ///< blocking of hot-port requests
+  double blocking_cold = 0.0;     ///< blocking of cold-port requests
+  double hot_utilization = 0.0;   ///< P(hot output busy)
+  double cold_utilization = 0.0;  ///< mean busy cold outputs / (N-1)
+  double utilization = 0.0;       ///< mean busy outputs / N
+  double mean_circuits = 0.0;     ///< E[b + k]
+};
+
+/// Solve the (b, k) chain exactly.  Throws std::invalid_argument for
+/// degenerate parameters (ports < 2, rates <= 0, h outside [0,1]).
+[[nodiscard]] HotspotResult solve_hotspot(const HotspotParams& params);
+
+/// Convenience: the same traffic the uniform model sees at tilde load
+/// rho~ on an n x n switch (Lambda = rho~ n mu), with hot fraction h.
+[[nodiscard]] HotspotResult hotspot_crossbar(unsigned n, double rho_tilde,
+                                             double hot_fraction,
+                                             double mu = 1.0);
+
+}  // namespace xbar::core

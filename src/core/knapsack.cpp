@@ -1,0 +1,132 @@
+#include "core/knapsack.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "numeric/combinatorics.hpp"
+#include "numeric/scaled_float.hpp"
+
+namespace xbar::core {
+
+KnapsackResult solve_knapsack(unsigned capacity,
+                              std::span<const KnapsackClass> classes) {
+  using num::ScaledFloat;
+  for (const auto& c : classes) {
+    if (c.trunks == 0 || c.trunks > capacity) {
+      throw std::invalid_argument("knapsack: class trunks out of range");
+    }
+    if (!(c.alpha > 0.0) || !(c.mu > 0.0)) {
+      throw std::invalid_argument("knapsack: inadmissible class parameters");
+    }
+    // x >= 1 is fine here: the knapsack truncates the chain at C trunks, so
+    // unlike the infinite-server case the stationary law exists for any
+    // x >= 0 (the recursion is formal coefficient matching).  Smooth
+    // classes must merely keep the intensity non-negative over the
+    // feasible range.
+    if (c.beta < 0.0 &&
+        c.alpha + c.beta * static_cast<double>(capacity) < -1e-15) {
+      throw std::invalid_argument(
+          "knapsack: smooth class intensity goes negative in range");
+    }
+  }
+
+  // Unnormalized occupancy g(j) and per-class y_r(j), in extended range
+  // (heavy overload can push g far past double).
+  const std::size_t R = classes.size();
+  std::vector<ScaledFloat> g(capacity + 1);
+  std::vector<std::vector<ScaledFloat>> y(R,
+                                          std::vector<ScaledFloat>(capacity + 1));
+  g[0] = ScaledFloat::one();
+  for (unsigned j = 1; j <= capacity; ++j) {
+    ScaledFloat sum;
+    for (std::size_t r = 0; r < R; ++r) {
+      const unsigned a = classes[r].trunks;
+      if (j < a) {
+        continue;
+      }
+      y[r][j] = g[j - a] + ScaledFloat{classes[r].x()} * y[r][j - a];
+      sum += ScaledFloat{static_cast<double>(a) * classes[r].rho()} * y[r][j];
+    }
+    g[j] = sum / ScaledFloat{static_cast<double>(j)};
+  }
+
+  // Prefix sums S(c) = sum_{j<=c} g(j).
+  std::vector<ScaledFloat> prefix(capacity + 1);
+  prefix[0] = g[0];
+  for (unsigned j = 1; j <= capacity; ++j) {
+    prefix[j] = prefix[j - 1] + g[j];
+  }
+  const ScaledFloat total = prefix[capacity];
+
+  KnapsackResult result;
+  result.occupancy.resize(capacity + 1);
+  double mean_occupancy = 0.0;
+  for (unsigned j = 0; j <= capacity; ++j) {
+    result.occupancy[j] = ScaledFloat::ratio(g[j], total);
+    mean_occupancy += static_cast<double>(j) * result.occupancy[j];
+  }
+  result.utilization =
+      capacity > 0 ? mean_occupancy / static_cast<double>(capacity) : 0.0;
+
+  result.time_congestion.resize(R);
+  result.call_congestion.resize(R);
+  result.concurrency.resize(R);
+  // E[k_r 1{occupancy <= t}] = rho_r sum_m x^m S(t - (m+1)a) — the same
+  // derivative identity as the crossbar's V, with the feasibility
+  // constraint passing through as an index shift.
+  const auto truncated_mean = [&](std::size_t r, long t) {
+    const unsigned a = classes[r].trunks;
+    ScaledFloat acc;
+    ScaledFloat xm = ScaledFloat::one();
+    for (unsigned m = 0;; ++m) {
+      const long idx =
+          t - static_cast<long>(a) * (static_cast<long>(m) + 1);
+      if (idx < 0) {
+        break;
+      }
+      acc += xm * prefix[static_cast<std::size_t>(idx)];
+      if (classes[r].x() == 0.0) {
+        break;
+      }
+      xm *= ScaledFloat{classes[r].x()};
+    }
+    return classes[r].rho() * ScaledFloat::ratio(acc, total);
+  };
+  for (std::size_t r = 0; r < R; ++r) {
+    const unsigned a = classes[r].trunks;
+    const long free_cap = static_cast<long>(capacity) - static_cast<long>(a);
+    // Time congestion: P(occupancy > C - a).
+    result.time_congestion[r] =
+        1.0 - ScaledFloat::ratio(prefix[capacity - a], total);
+    result.concurrency[r] = truncated_mean(r, static_cast<long>(capacity));
+    // Call congestion: 1 - E[lambda_r 1{fits}] / E[lambda_r] with
+    // lambda_r = alpha_r + beta_r k_r (equals time congestion for Poisson).
+    const double p_fits = ScaledFloat::ratio(prefix[capacity - a], total);
+    const double accepted = classes[r].alpha * p_fits +
+                            classes[r].beta * truncated_mean(r, free_cap);
+    const double offered =
+        classes[r].alpha + classes[r].beta * result.concurrency[r];
+    result.call_congestion[r] =
+        offered > 0.0 ? 1.0 - accepted / offered : 0.0;
+  }
+  return result;
+}
+
+KnapsackResult knapsack_approximation(const CrossbarModel& model) {
+  const Dims dims = model.dims();
+  std::vector<KnapsackClass> classes;
+  classes.reserve(model.num_classes());
+  for (const auto& c : model.normalized_classes()) {
+    const double tuples = num::falling_factorial(dims.n1, c.bandwidth) *
+                          num::falling_factorial(dims.n2, c.bandwidth);
+    KnapsackClass k;
+    k.trunks = c.bandwidth;
+    k.alpha = tuples * c.alpha;  // empty-switch arrival rate, exactly
+    k.beta = tuples * c.beta;
+    k.mu = c.mu;
+    classes.push_back(k);
+  }
+  return solve_knapsack(dims.cap(), classes);
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,67 @@
+// Stochastic-knapsack (single-resource) baseline: the Kaufman-Roberts
+// occupancy recursion, generalized to BPP arrivals per Delbrouck (the
+// paper's references [11] and [13]).
+//
+// A knapsack of C trunks carries R classes; class r holds a_r trunks per
+// connection and arrives with BPP intensity lambda_r(k_r) = alpha_r +
+// beta_r k_r.  The stationary trunk-occupancy distribution q(j) satisfies
+//
+//     j q(j) = sum_r a_r rho_r y_r(j),
+//     y_r(j) = q(j - a_r) + (beta_r/mu_r) y_r(j - a_r),
+//
+// the 1-D analogue of the paper's Algorithm 1 (the crossbar's V recursion
+// collapses onto it when the Psi resource-thinning factor is dropped).
+//
+// As a *crossbar approximation* the knapsack treats the switch as
+// C = min(N1, N2) interchangeable trunks: it keeps the capacity constraint
+// but ignores the two-sided port-matching factor
+// P(N1-u,a) P(N2-u,a) / (P(N1,a) P(N2,a)) that thins acceptance even when
+// capacity remains — so it *underestimates* blocking, increasingly with
+// utilization.  bench/baseline_compare quantifies the gap.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// One class offered to the knapsack, in knapsack-native units (arrival
+/// intensity per *class*, not per tuple).
+struct KnapsackClass {
+  unsigned trunks = 1;   ///< a_r
+  double alpha = 0.0;    ///< state-independent arrival intensity
+  double beta = 0.0;     ///< state-dependent slope (BPP)
+  double mu = 1.0;       ///< per-connection completion rate
+
+  [[nodiscard]] double rho() const noexcept { return alpha / mu; }
+  [[nodiscard]] double x() const noexcept { return beta / mu; }
+};
+
+/// Knapsack solution.
+struct KnapsackResult {
+  std::vector<double> occupancy;        ///< q(j), j = 0..C, normalized
+  std::vector<double> time_congestion;  ///< per class: P(free trunks < a_r)
+  std::vector<double> call_congestion;  ///< per class: blocked arrival share
+  std::vector<double> concurrency;      ///< per class: E[k_r]
+  double utilization = 0.0;             ///< E[j] / C
+};
+
+/// Solve the knapsack exactly via the Kaufman-Roberts/Delbrouck recursion.
+/// O(C R) time.  Peaky classes may have any x_r >= 0 (the truncation at C
+/// trunks keeps the chain ergodic even where the infinite-server series
+/// diverges); smooth classes must keep their intensity non-negative over
+/// the feasible range.
+[[nodiscard]] KnapsackResult solve_knapsack(
+    unsigned capacity, std::span<const KnapsackClass> classes);
+
+/// The knapsack viewed as an approximation of a crossbar model: capacity
+/// min(N1, N2), class intensities aggregated over all port tuples
+/// (alpha_K = P(N1,a) P(N2,a) alpha_r etc.), which matches the crossbar's
+/// empty-switch arrival rates exactly and drops only the port-matching
+/// thinning.
+[[nodiscard]] KnapsackResult knapsack_approximation(const CrossbarModel& model);
+
+}  // namespace xbar::core

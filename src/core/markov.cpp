@@ -1,0 +1,217 @@
+#include "core/markov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+
+MarkovChain::MarkovChain(CrossbarModel model, std::size_t max_states)
+    : model_(std::move(model)) {
+  std::vector<unsigned> bandwidths;
+  bandwidths.reserve(model_.num_classes());
+  for (const auto& c : model_.normalized_classes()) {
+    bandwidths.push_back(c.bandwidth);
+  }
+  const Dims dims = model_.dims();
+  const unsigned cap = dims.cap();
+
+  for_each_state(bandwidths, cap,
+                 [&](std::span<const unsigned> k, unsigned usage) {
+                   states_.emplace_back(k.begin(), k.end());
+                   usage_.push_back(usage);
+                 });
+  if (states_.size() > max_states) {
+    throw std::invalid_argument(
+        "MarkovChain: state space too large (" +
+        std::to_string(states_.size()) + " states)");
+  }
+
+  // Build the generator.  Enumeration is lexicographic, so neighbours are
+  // found by binary search over the sorted state list.
+  const auto find = [&](const StateVector& k) {
+    const auto it = std::lower_bound(states_.begin(), states_.end(), k);
+    assert(it != states_.end() && *it == k);
+    return static_cast<std::size_t>(it - states_.begin());
+  };
+
+  exit_rate_.assign(states_.size(), 0.0);
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    const StateVector& k = states_[s];
+    const unsigned u = usage_[s];
+    for (std::size_t r = 0; r < k.size(); ++r) {
+      const NormalizedClass& c = model_.normalized(r);
+      const unsigned a = c.bandwidth;
+      // Arrival (accepted) transition.
+      if (u + a <= cap) {
+        const double lam = c.intensity(k[r]);
+        if (lam > 0.0) {
+          const double rate = lam *
+                              num::falling_factorial(dims.n1 - u, a) *
+                              num::falling_factorial(dims.n2 - u, a);
+          StateVector up = k;
+          ++up[r];
+          transitions_.push_back(Transition{static_cast<std::uint32_t>(s),
+                                            static_cast<std::uint32_t>(
+                                                find(up)),
+                                            rate});
+          exit_rate_[s] += rate;
+        }
+      }
+      // Completion transition.
+      if (k[r] > 0) {
+        const double rate = static_cast<double>(k[r]) * c.mu;
+        StateVector down = k;
+        --down[r];
+        transitions_.push_back(Transition{static_cast<std::uint32_t>(s),
+                                          static_cast<std::uint32_t>(
+                                              find(down)),
+                                          rate});
+        exit_rate_[s] += rate;
+      }
+    }
+  }
+  lambda_ = 0.0;
+  for (const double e : exit_rate_) {
+    lambda_ = std::max(lambda_, e);
+  }
+  // Strictly positive uniformization rate even for a frozen chain.
+  lambda_ = std::max(lambda_, 1e-12) * 1.02;  // 2% headroom keeps P aperiodic
+}
+
+std::size_t MarkovChain::state_index(std::span<const unsigned> k) const {
+  const StateVector key(k.begin(), k.end());
+  const auto it = std::lower_bound(states_.begin(), states_.end(), key);
+  if (it == states_.end() || *it != key) {
+    throw std::out_of_range("MarkovChain: infeasible state");
+  }
+  return static_cast<std::size_t>(it - states_.begin());
+}
+
+std::size_t MarkovChain::saturated_state() const {
+  const unsigned cap = model_.dims().cap();
+  StateVector k(model_.num_classes(), 0);
+  unsigned used = 0;
+  for (std::size_t r = 0; r < k.size(); ++r) {
+    const unsigned a = model_.normalized(r).bandwidth;
+    while (used + a <= cap) {
+      ++k[r];
+      used += a;
+    }
+  }
+  return state_index(k);
+}
+
+void MarkovChain::step(std::span<const double> in,
+                       std::span<double> out) const {
+  // out = in * (I + Q/Lambda): diagonal part first, then transitions.
+  for (std::size_t s = 0; s < in.size(); ++s) {
+    out[s] = in[s] * (1.0 - exit_rate_[s] / lambda_);
+  }
+  for (const Transition& t : transitions_) {
+    out[t.to] += in[t.from] * (t.rate / lambda_);
+  }
+}
+
+std::vector<double> MarkovChain::stationary(double tolerance,
+                                            int max_iterations) const {
+  std::vector<double> p(states_.size(),
+                        1.0 / static_cast<double>(states_.size()));
+  std::vector<double> next(states_.size());
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    step(p, next);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < p.size(); ++s) {
+      delta = std::max(delta, std::fabs(next[s] - p[s]));
+    }
+    p.swap(next);
+    if (delta < tolerance) {
+      break;
+    }
+  }
+  // Renormalize against accumulated rounding.
+  double total = 0.0;
+  for (const double v : p) {
+    total += v;
+  }
+  for (double& v : p) {
+    v /= total;
+  }
+  return p;
+}
+
+std::vector<double> MarkovChain::transient(double t,
+                                           std::size_t initial_state,
+                                           double epsilon) const {
+  assert(t >= 0.0);
+  std::vector<double> result(states_.size(), 0.0);
+  std::vector<double> p(states_.size(), 0.0);
+  p.at(initial_state) = 1.0;
+  if (t == 0.0) {
+    return p;
+  }
+
+  // Uniformization: p(t) = sum_m Poisson(m; Lambda t) * p0 P^m, truncated
+  // when the accumulated Poisson mass reaches 1 - epsilon.
+  const double lt = lambda_ * t;
+  double log_weight = -lt;  // log Poisson(0)
+  double accumulated = 0.0;
+  std::vector<double> next(states_.size());
+  const auto max_terms = static_cast<std::size_t>(
+      lt + 12.0 * std::sqrt(lt + 1.0) + 64.0);
+  for (std::size_t m = 0;; ++m) {
+    const double w = std::exp(log_weight);
+    for (std::size_t s = 0; s < p.size(); ++s) {
+      result[s] += w * p[s];
+    }
+    accumulated += w;
+    if (accumulated >= 1.0 - epsilon || m >= max_terms) {
+      break;
+    }
+    step(p, next);
+    p.swap(next);
+    log_weight += std::log(lt) - std::log(static_cast<double>(m) + 1.0);
+  }
+  // Distribute the truncated tail mass proportionally (renormalize).
+  double total = 0.0;
+  for (const double v : result) {
+    total += v;
+  }
+  for (double& v : result) {
+    v /= total;
+  }
+  return result;
+}
+
+double MarkovChain::non_blocking_under(std::span<const double> p,
+                                       std::size_t r) const {
+  const NormalizedClass& c = model_.normalized(r);
+  const unsigned a = c.bandwidth;
+  const Dims dims = model_.dims();
+  const double tuples = num::falling_factorial(dims.n1, a) *
+                        num::falling_factorial(dims.n2, a);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    const unsigned u = usage_[s];
+    if (u + a > dims.cap()) {
+      continue;
+    }
+    acc += p[s] * num::falling_factorial(dims.n1 - u, a) *
+           num::falling_factorial(dims.n2 - u, a) / tuples;
+  }
+  return acc;
+}
+
+double MarkovChain::concurrency_under(std::span<const double> p,
+                                      std::size_t r) const {
+  double acc = 0.0;
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    acc += p[s] * static_cast<double>(states_[s][r]);
+  }
+  return acc;
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,100 @@
+// Explicit continuous-time Markov chain over the enumerated state space.
+//
+// The product form (paper eq. 2) answers only steady-state questions.  For
+// small systems this module builds the full generator of {k(t)} and adds:
+//
+//   * an independent stationary solver (power iteration on the uniformized
+//     chain) — the fifth computation path cross-validating the product
+//     form, and one that does NOT assume reversibility;
+//   * transient analysis via uniformization: the state distribution p(t)
+//     from any initial state, hence time-dependent blocking B_r(t) — how
+//     fast a cold or saturated switch relaxes to the steady state the
+//     paper computes (bench/transient_analysis).
+//
+// State space is exponential in R; practical up to a few thousand states
+// (e.g. 16x16 with 2-3 classes).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/state_space.hpp"
+
+namespace xbar::core {
+
+class MarkovChain {
+ public:
+  /// Enumerates Γ(N) and builds the sparse generator.  Throws
+  /// std::invalid_argument if the state space exceeds `max_states`
+  /// (guardrail against accidental blow-up).
+  explicit MarkovChain(CrossbarModel model, std::size_t max_states = 2'000'000);
+
+  /// Number of states |Γ(N)|.
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return states_.size();
+  }
+
+  /// The state vector of state index s.
+  [[nodiscard]] std::span<const unsigned> state(std::size_t s) const {
+    return states_.at(s);
+  }
+
+  /// Index of a state vector (states are stored in lexicographic order).
+  /// Throws std::out_of_range for infeasible states.
+  [[nodiscard]] std::size_t state_index(std::span<const unsigned> k) const;
+
+  /// Index of the empty state k = 0.
+  [[nodiscard]] std::size_t empty_state() const noexcept { return 0; }
+
+  /// Index of a maximally loaded state: greedily fills classes in order.
+  [[nodiscard]] std::size_t saturated_state() const;
+
+  /// Stationary distribution by power iteration on the uniformized DTMC.
+  /// Converges for any irreducible finite chain; no reversibility assumed.
+  [[nodiscard]] std::vector<double> stationary(double tolerance = 1e-13,
+                                               int max_iterations = 200000) const;
+
+  /// Transient distribution p(t) from the given initial state, by
+  /// uniformization with Poisson-tail truncation at `epsilon`.
+  [[nodiscard]] std::vector<double> transient(double t,
+                                              std::size_t initial_state,
+                                              double epsilon = 1e-12) const;
+
+  /// Non-blocking probability of class r under an arbitrary state
+  /// distribution: sum_k p(k) P(N1-u,a)P(N2-u,a)/(P(N1,a)P(N2,a)) — the
+  /// same probe the simulator uses; equals B_r(N) under the stationary law.
+  [[nodiscard]] double non_blocking_under(std::span<const double> p,
+                                          std::size_t r) const;
+
+  /// E[k_r] under an arbitrary state distribution.
+  [[nodiscard]] double concurrency_under(std::span<const double> p,
+                                         std::size_t r) const;
+
+  /// The uniformization rate Lambda (max total outflow over states).
+  [[nodiscard]] double uniformization_rate() const noexcept { return lambda_; }
+
+  [[nodiscard]] const CrossbarModel& model() const noexcept { return model_; }
+
+ private:
+  /// One step of the uniformized DTMC: out = in * P where
+  /// P = I + Q/Lambda.
+  void step(std::span<const double> in, std::span<double> out) const;
+
+  struct Transition {
+    std::uint32_t from;
+    std::uint32_t to;
+    double rate;
+  };
+
+  CrossbarModel model_;
+  std::vector<StateVector> states_;
+  std::vector<unsigned> usage_;          // k·A per state
+  std::vector<Transition> transitions_;  // off-diagonal rates
+  std::vector<double> exit_rate_;        // total outflow per state
+  double lambda_ = 0.0;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,19 @@
+#include "core/measures.hpp"
+
+#include <ostream>
+
+namespace xbar::core {
+
+std::ostream& operator<<(std::ostream& os, const Measures& m) {
+  os << "Measures{revenue=" << m.revenue
+     << ", throughput=" << m.total_throughput
+     << ", utilization=" << m.utilization;
+  for (std::size_t r = 0; r < m.per_class.size(); ++r) {
+    const auto& c = m.per_class[r];
+    os << ", class" << r << "{B=" << c.blocking << ", E=" << c.concurrency
+       << "}";
+  }
+  return os << "}";
+}
+
+}  // namespace xbar::core

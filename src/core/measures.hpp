@@ -1,0 +1,51 @@
+// Performance measure result types (paper §3–§4).
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace xbar::core {
+
+/// Per-class steady-state measures.
+struct ClassMeasures {
+  /// Non-blocking probability B_r(N) = G(N - a_r I)/G(N): the long-run
+  /// fraction of class-r requests accepted (paper eq. 4).
+  double non_blocking = 0.0;
+
+  /// Blocking probability 1 - B_r(N) — what the paper's figures plot.
+  double blocking = 0.0;
+
+  /// Concurrency E_r(N): mean number of simultaneous class-r connections.
+  double concurrency = 0.0;
+
+  /// Carried throughput E_r * mu_r (completed connections per unit time).
+  double throughput = 0.0;
+
+  /// Mean number of busy input/output port pairs held by this class,
+  /// a_r * E_r.
+  double port_usage = 0.0;
+};
+
+/// Full solution for one switch configuration.
+struct Measures {
+  std::vector<ClassMeasures> per_class;
+
+  /// Weighted throughput / revenue W(N) = sum_r w_r E_r(N)  (paper §4).
+  double revenue = 0.0;
+
+  /// Unweighted total throughput sum_r mu_r E_r(N).
+  double total_throughput = 0.0;
+
+  /// Mean total port-pair utilization sum_r a_r E_r(N) / min(N1,N2).
+  double utilization = 0.0;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return per_class.size();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Measures& m);
+
+}  // namespace xbar::core

@@ -1,0 +1,114 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+
+TrafficClass TrafficClass::poisson(std::string name, double rho_tilde,
+                                   unsigned bandwidth, double mu,
+                                   double weight) {
+  TrafficClass c;
+  c.name = std::move(name);
+  c.bandwidth = bandwidth;
+  c.alpha_tilde = rho_tilde * mu;
+  c.beta_tilde = 0.0;
+  c.mu = mu;
+  c.weight = weight;
+  return c;
+}
+
+TrafficClass TrafficClass::bursty(std::string name, double alpha_tilde,
+                                  double beta_tilde, unsigned bandwidth,
+                                  double mu, double weight) {
+  TrafficClass c;
+  c.name = std::move(name);
+  c.bandwidth = bandwidth;
+  c.alpha_tilde = alpha_tilde;
+  c.beta_tilde = beta_tilde;
+  c.mu = mu;
+  c.weight = weight;
+  return c;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("CrossbarModel: " + what);
+}
+
+NormalizedClass normalize(const TrafficClass& c, const Dims& dims) {
+  const double sets = num::binomial(dims.n2, c.bandwidth);
+  NormalizedClass n;
+  n.bandwidth = c.bandwidth;
+  n.alpha = c.alpha_tilde / sets;
+  n.beta = c.beta_tilde / sets;
+  n.mu = c.mu;
+  n.weight = c.weight;
+  return n;
+}
+
+void validate_class(const TrafficClass& c, const NormalizedClass& n,
+                    const Dims& dims) {
+  if (c.bandwidth == 0) {
+    fail("class '" + c.name + "': bandwidth a_r must be >= 1");
+  }
+  if (c.bandwidth > dims.cap()) {
+    std::ostringstream os;
+    os << "class '" << c.name << "': bandwidth " << c.bandwidth
+       << " exceeds min(N1,N2) = " << dims.cap();
+    fail(os.str());
+  }
+  if (!(c.alpha_tilde > 0.0)) {
+    fail("class '" + c.name + "': alpha~ must be > 0");
+  }
+  if (!(c.mu > 0.0)) {
+    fail("class '" + c.name + "': mu must be > 0");
+  }
+  if (!n.bpp().is_admissible(dims.max_side())) {
+    std::ostringstream os;
+    os << "class '" << c.name << "': inadmissible BPP parameters (alpha="
+       << n.alpha << ", beta=" << n.beta << ", mu=" << n.mu
+       << "); Pascal requires beta/mu < 1, smooth traffic requires "
+          "alpha + beta*max(N1,N2) >= 0";
+    fail(os.str());
+  }
+}
+
+}  // namespace
+
+CrossbarModel::CrossbarModel(Dims dims, std::vector<TrafficClass> classes)
+    : dims_(dims), classes_(std::move(classes)) {
+  if (dims_.n1 == 0 || dims_.n2 == 0) {
+    fail("dimensions must be positive");
+  }
+  if (classes_.empty()) {
+    fail("at least one traffic class is required");
+  }
+  normalized_.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    NormalizedClass n = normalize(c, dims_);
+    validate_class(c, n, dims_);
+    normalized_.push_back(n);
+  }
+}
+
+CrossbarModel CrossbarModel::with_dims_same_tuple_rates(Dims dims) const {
+  std::vector<TrafficClass> scaled;
+  scaled.reserve(classes_.size());
+  for (std::size_t r = 0; r < classes_.size(); ++r) {
+    const NormalizedClass& n = normalized_[r];
+    TrafficClass c = classes_[r];
+    const double sets = num::binomial(dims.n2, n.bandwidth);
+    c.alpha_tilde = n.alpha * sets;
+    c.beta_tilde = n.beta * sets;
+    scaled.push_back(std::move(c));
+  }
+  return CrossbarModel(dims, std::move(scaled));
+}
+
+}  // namespace xbar::core

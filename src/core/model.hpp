@@ -1,0 +1,154 @@
+// Model configuration for the N1 x N2 asynchronous multi-rate crossbar
+// (paper §2).
+//
+// A `CrossbarModel` bundles the switch dimensions with the offered traffic
+// classes.  Class parameters are specified in the paper's "tilde" units —
+// aggregate intensity over all output sets, the units every figure and table
+// in the paper uses — and converted internally to per-tuple intensities via
+//
+//     lambda_r = lambda~_r / C(N2, a_r)        (paper §2)
+//
+// so rho_r = rho~_r / C(N2, a_r) and beta_r = beta~_r / C(N2, a_r).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/bpp.hpp"
+
+namespace xbar::core {
+
+/// Switch dimensions: N1 input ports, N2 output ports.
+struct Dims {
+  unsigned n1 = 0;
+  unsigned n2 = 0;
+
+  /// The feasibility cap min(N1, N2): at most this many port-pairs can be in
+  /// use simultaneously.
+  [[nodiscard]] unsigned cap() const noexcept { return n1 < n2 ? n1 : n2; }
+
+  /// max(N1, N2) — the bound used in the Bernoulli validity rule.
+  [[nodiscard]] unsigned max_side() const noexcept {
+    return n1 > n2 ? n1 : n2;
+  }
+
+  /// Square switch helper.
+  static Dims square(unsigned n) noexcept { return Dims{n, n}; }
+
+  /// The subsystem reached by removing `a` inputs and `a` outputs
+  /// (clamped at zero).
+  [[nodiscard]] Dims shrunk_by(unsigned a) const noexcept {
+    return Dims{n1 >= a ? n1 - a : 0, n2 >= a ? n2 - a : 0};
+  }
+
+  friend bool operator==(const Dims&, const Dims&) = default;
+};
+
+/// One offered traffic class, in the paper's tilde (aggregate) units.
+struct TrafficClass {
+  std::string name;          ///< label for reports
+  unsigned bandwidth = 1;    ///< a_r: inputs (= outputs) per connection
+  double alpha_tilde = 0.0;  ///< aggregate state-independent intensity
+  double beta_tilde = 0.0;   ///< aggregate state-dependent slope
+  double mu = 1.0;           ///< holding-time completion rate
+  double weight = 1.0;       ///< revenue w_r per active connection
+
+  /// Aggregate offered load rho~_r = alpha~_r / mu_r.
+  [[nodiscard]] double rho_tilde() const noexcept { return alpha_tilde / mu; }
+
+  /// Convenience factory for a Poisson class.
+  static TrafficClass poisson(std::string name, double rho_tilde,
+                              unsigned bandwidth = 1, double mu = 1.0,
+                              double weight = 1.0);
+
+  /// Convenience factory for a bursty (Bernoulli or Pascal) class.
+  static TrafficClass bursty(std::string name, double alpha_tilde,
+                             double beta_tilde, unsigned bandwidth = 1,
+                             double mu = 1.0, double weight = 1.0);
+};
+
+/// A traffic class with parameters normalized to per-tuple units for a
+/// specific switch size.  This is the form the algorithms consume.
+struct NormalizedClass {
+  unsigned bandwidth = 1;  ///< a_r
+  double alpha = 0.0;      ///< per-tuple state-independent intensity
+  double beta = 0.0;       ///< per-tuple state-dependent slope
+  double mu = 1.0;         ///< completion rate
+  double weight = 1.0;     ///< revenue weight
+
+  /// rho_r = alpha_r / mu_r (per-tuple offered load).
+  [[nodiscard]] double rho() const noexcept { return alpha / mu; }
+
+  /// x_r = beta_r / mu_r — the geometric ratio in the V/D recursions.
+  [[nodiscard]] double x() const noexcept { return beta / mu; }
+
+  /// True for Poisson classes (beta == 0, the paper's set R1).
+  [[nodiscard]] bool is_poisson() const noexcept { return beta == 0.0; }
+
+  /// Arrival intensity lambda_r(k) = alpha_r + beta_r k, clamped at 0.
+  [[nodiscard]] double intensity(unsigned k) const noexcept {
+    const double v = alpha + beta * static_cast<double>(k);
+    return v > 0.0 ? v : 0.0;
+  }
+
+  /// The BPP parameter view of this class.
+  [[nodiscard]] dist::BppParams bpp() const noexcept {
+    return dist::BppParams{alpha, beta, mu};
+  }
+};
+
+/// Validated model: dimensions + classes, with normalized parameters.
+///
+/// Throws std::invalid_argument from the constructor when the configuration
+/// violates the paper's well-posedness rules (§2): positive dimensions,
+/// 1 <= a_r <= min(N1,N2), alpha~_r > 0, mu_r > 0, Pascal ratio
+/// beta_r/mu_r < 1, and Bernoulli streams with integral -alpha/beta staying
+/// non-negative across feasible states.
+class CrossbarModel {
+ public:
+  CrossbarModel(Dims dims, std::vector<TrafficClass> classes);
+
+  [[nodiscard]] const Dims& dims() const noexcept { return dims_; }
+
+  /// Number of traffic classes R.
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+
+  /// The classes in tilde units, as configured.
+  [[nodiscard]] std::span<const TrafficClass> classes() const noexcept {
+    return classes_;
+  }
+
+  /// Per-tuple normalized parameters of class r.
+  [[nodiscard]] const NormalizedClass& normalized(std::size_t r) const {
+    return normalized_.at(r);
+  }
+
+  /// All normalized classes.
+  [[nodiscard]] std::span<const NormalizedClass> normalized_classes()
+      const noexcept {
+    return normalized_;
+  }
+
+  /// A copy of this model re-normalized for a *subsystem* of size `dims`
+  /// keeping the same per-tuple parameters (used by the W(N - a_r I) shadow
+  /// cost, where the paper evaluates the same traffic on the shrunken
+  /// switch).
+  [[nodiscard]] CrossbarModel with_dims_same_tuple_rates(Dims dims) const;
+
+  /// Largest total number of busy input (or output) ports, min(N1,N2).
+  [[nodiscard]] unsigned state_cap() const noexcept { return dims_.cap(); }
+
+ private:
+  CrossbarModel() = default;
+
+  Dims dims_;
+  std::vector<TrafficClass> classes_;
+  std::vector<NormalizedClass> normalized_;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,343 @@
+#include "core/revenue.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/combinatorics.hpp"
+#include "numeric/kahan.hpp"
+#include "numeric/scaled_float.hpp"
+
+namespace xbar::core {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Signed lattice point: subsystem coordinates that may fall off the grid.
+struct Point {
+  long n1 = 0;
+  long n2 = 0;
+
+  [[nodiscard]] bool on_grid() const noexcept { return n1 >= 0 && n2 >= 0; }
+  [[nodiscard]] Point minus(unsigned a, unsigned count = 1) const noexcept {
+    const long d = static_cast<long>(a) * static_cast<long>(count);
+    return Point{n1 - d, n2 - d};
+  }
+  [[nodiscard]] Dims dims() const noexcept {
+    return Dims{static_cast<unsigned>(n1), static_cast<unsigned>(n2)};
+  }
+};
+
+// All exact-gradient sums are linear combinations of terms
+//   sign * exp(log_coeff) * Q(M) / Q(N).
+// Individual Q ratios reach e^1000 while the coefficients reach e^-2000, so
+// each term's exponent is assembled fully in the log domain and the signed
+// accumulation runs in extended-range ScaledFloat; only the final (moderate)
+// totals are converted back to double.
+class ExactGradient {
+ public:
+  explicit ExactGradient(const Algorithm1Solver& solver)
+      : solver_(solver),
+        model_(solver.model()),
+        root_(Point{static_cast<long>(model_.dims().n1),
+                    static_cast<long>(model_.dims().n2)}),
+        log_q_root_(solver.log_q(model_.dims())),
+        measures_(solver.solve()) {}
+
+  // dW/drho_r with x_r (= beta_r/mu_r) held fixed; exact series.
+  [[nodiscard]] double d_revenue_d_rho(std::size_t r) const {
+    const NormalizedClass& cr = model_.normalized(r);
+    num::ScaledFloat total;
+    // Explicit-rho term: w_r T_r(N)/Q(N) = w_r E_r / rho_r.
+    total += num::ScaledFloat{cr.weight *
+                              measures_.per_class[r].concurrency / cr.rho()};
+    // Q-mediated terms: sum_s w_s rho_s d(T_s)/drho_r / Q(N).
+    for (std::size_t s = 0; s < model_.num_classes(); ++s) {
+      const NormalizedClass& cs = model_.normalized(s);
+      total += num::ScaledFloat{cs.weight * cs.rho()} *
+               mediated_sum(s, [&](Point m, double lp, int sp) {
+                 return rho_series(r, m, lp, sp);
+               });
+    }
+    // Normalization term: -W * dQ(N)/drho_r / Q(N).
+    total -= num::ScaledFloat{measures_.revenue} * rho_series(r, root_, 0.0, 1);
+    return total.to_double();
+  }
+
+  // dW/dx_r with rho_r held fixed; exact series.  Defined for every class
+  // (for Poisson classes it is the sensitivity to becoming bursty).
+  [[nodiscard]] double d_revenue_d_x(std::size_t r) const {
+    const NormalizedClass& cr = model_.normalized(r);
+    const unsigned a = cr.bandwidth;
+    num::ScaledFloat total;
+    for (std::size_t s = 0; s < model_.num_classes(); ++s) {
+      const NormalizedClass& cs = model_.normalized(s);
+      num::ScaledFloat mediated =
+          mediated_sum(s, [&](Point m, double lp, int sp) {
+            return x_series(r, m, lp, sp);
+          });
+      if (s == r) {
+        // V(N,r) depends on x explicitly: sum_j j x^{j-1} Q(N-(j+1)a I),
+        // reindexed as sum_{i>=0} (i+1) x^i Q(N-(i+2)a I).
+        mediated += geometric_sum(
+            cr.x(), [&](unsigned i, double log_xi, int sign) -> num::ScaledFloat {
+              const Point m = root_.minus(a, i + 2);
+              if (!m.on_grid()) {
+                return num::ScaledFloat{};
+              }
+              return signed_exp(std::log(static_cast<double>(i) + 1.0) +
+                                    log_xi + lq(m) - log_q_root_,
+                                sign);
+            });
+      }
+      total += num::ScaledFloat{cs.weight * cs.rho()} * mediated;
+    }
+    total -= num::ScaledFloat{measures_.revenue} * x_series(r, root_, 0.0, 1);
+    return total.to_double();
+  }
+
+ private:
+  static num::ScaledFloat signed_exp(double log_abs, int sign) {
+    if (log_abs == kNegInf) {
+      return num::ScaledFloat{};
+    }
+    num::ScaledFloat v = num::ScaledFloat::from_log(log_abs);
+    return sign < 0 ? -v : v;
+  }
+
+  [[nodiscard]] double lq(Point m) const {
+    return m.on_grid() ? solver_.log_q(m.dims()) : kNegInf;
+  }
+
+  // sum over j >= 0 of term(j, ln|x^j|, sign(x^j)); stops once the series
+  // walks off the grid (signalled by a zero term after j = 0).
+  template <typename TermFn>
+  [[nodiscard]] num::ScaledFloat geometric_sum(double x, TermFn term) const {
+    num::ScaledFloat acc;
+    const unsigned max_j = model_.dims().cap() + 2;
+    const double log_ax = x != 0.0 ? std::log(std::fabs(x)) : kNegInf;
+    const int sign_x = x < 0.0 ? -1 : 1;
+    for (unsigned j = 0; j <= max_j; ++j) {
+      double log_xj;
+      if (j == 0) {
+        log_xj = 0.0;  // 0^0 = 1
+      } else if (x == 0.0) {
+        break;
+      } else {
+        log_xj = static_cast<double>(j) * log_ax;
+      }
+      const int sign = (j % 2 == 1 && sign_x < 0) ? -1 : 1;
+      const num::ScaledFloat t = term(j, log_xj, sign);
+      if (t.is_zero() && j > 0) {
+        break;  // walked off the grid; all later terms vanish too
+      }
+      acc += t;
+    }
+    return acc;
+  }
+
+  // R-hat_r(M) = dQ(M)/drho_r / Q(N)
+  //            = sum_{m>=1} x^{m-1}/m * Q(M - m a_r I) / Q(N),
+  // scaled by sign_pref * exp(log_pref).
+  [[nodiscard]] num::ScaledFloat rho_series(std::size_t r, Point base,
+                                            double log_pref,
+                                            int sign_pref) const {
+    const NormalizedClass& c = model_.normalized(r);
+    const unsigned a = c.bandwidth;
+    return geometric_sum(
+        c.x(), [&](unsigned j, double log_xj, int sign) -> num::ScaledFloat {
+          const unsigned m = j + 1;  // m >= 1, x^{m-1} = x^j
+          const Point p = base.minus(a, m);
+          if (!p.on_grid()) {
+            return num::ScaledFloat{};
+          }
+          return signed_exp(log_pref + log_xj -
+                                std::log(static_cast<double>(m)) + lq(p) -
+                                log_q_root_,
+                            sign * sign_pref);
+        });
+  }
+
+  // S-hat_r(M) = dQ(M)/dx_r / Q(N)
+  //            = rho_r sum_{m>=2} ((m-1)/m) x^{m-2} Q(M - m a_r I) / Q(N),
+  // scaled by sign_pref * exp(log_pref).
+  [[nodiscard]] num::ScaledFloat x_series(std::size_t r, Point base,
+                                          double log_pref,
+                                          int sign_pref) const {
+    const NormalizedClass& c = model_.normalized(r);
+    const unsigned a = c.bandwidth;
+    const double log_rho = std::log(c.rho());
+    return geometric_sum(
+        c.x(), [&](unsigned j, double log_xj, int sign) -> num::ScaledFloat {
+          const unsigned m = j + 2;  // m >= 2, x^{m-2} = x^j
+          const Point p = base.minus(a, m);
+          if (!p.on_grid()) {
+            return num::ScaledFloat{};
+          }
+          const double md = static_cast<double>(m);
+          return signed_exp(log_pref + log_rho + std::log((md - 1.0) / md) +
+                                log_xj + lq(p) - log_q_root_,
+                            sign * sign_pref);
+        });
+  }
+
+  // sum_j x_s^j InnerSeries(N - (j+1) a_s I, ln|x_s^j|, sign(x_s^j)) — the
+  // chain rule through T_s = V(N, s); for Poisson s only the j = 0 term.
+  template <typename InnerFn>
+  [[nodiscard]] num::ScaledFloat mediated_sum(std::size_t s,
+                                              InnerFn inner) const {
+    const NormalizedClass& cs = model_.normalized(s);
+    const unsigned a = cs.bandwidth;
+    const double xs = cs.x();
+    const double log_ax = xs != 0.0 ? std::log(std::fabs(xs)) : kNegInf;
+    num::ScaledFloat acc;
+    const unsigned max_j = model_.dims().cap() / a + 1;
+    for (unsigned j = 0; j <= max_j; ++j) {
+      const Point m = root_.minus(a, j + 1);
+      if (!m.on_grid()) {
+        break;
+      }
+      const double log_pref = j == 0 ? 0.0 : static_cast<double>(j) * log_ax;
+      const int sign_pref = (xs < 0.0 && j % 2 == 1) ? -1 : 1;
+      acc += inner(m, log_pref, sign_pref);
+      if (xs == 0.0) {
+        break;  // Poisson: only j = 0
+      }
+    }
+    return acc;
+  }
+
+  const Algorithm1Solver& solver_;
+  const CrossbarModel& model_;
+  Point root_;
+  double log_q_root_;
+  Measures measures_;
+};
+
+// Rebuild the model with class r's alpha~ (or beta~) shifted so that the
+// per-tuple rho_r (or x_r) moves by `delta`.
+CrossbarModel perturbed_model(const CrossbarModel& model, std::size_t r,
+                              double delta_rho, double delta_x) {
+  const NormalizedClass& c = model.normalized(r);
+  const double sets = num::binomial(model.dims().n2, c.bandwidth);
+  std::vector<TrafficClass> classes(model.classes().begin(),
+                                    model.classes().end());
+  classes[r].alpha_tilde += delta_rho * c.mu * sets;
+  classes[r].beta_tilde += delta_x * c.mu * sets;
+  return CrossbarModel(model.dims(), std::move(classes));
+}
+
+double revenue_of(const CrossbarModel& model) {
+  return Algorithm1Solver(model).solve().revenue;
+}
+
+}  // namespace
+
+RevenueAnalyzer::RevenueAnalyzer(CrossbarModel model)
+    : solver_(std::move(model)) {}
+
+double RevenueAnalyzer::revenue() const { return solver_.solve().revenue; }
+
+double RevenueAnalyzer::revenue_at(Dims at) const {
+  return solver_.solve_at(at).revenue;
+}
+
+double RevenueAnalyzer::shadow_cost(std::size_t r) const {
+  const Dims dims = solver_.model().dims();
+  const unsigned a = solver_.model().normalized(r).bandwidth;
+  if (dims.n1 < a || dims.n2 < a) {
+    return revenue();
+  }
+  return revenue() - revenue_at(Dims{dims.n1 - a, dims.n2 - a});
+}
+
+double RevenueAnalyzer::d_revenue_d_rho_exact(std::size_t r) const {
+  const NormalizedClass& c = solver_.model().normalized(r);
+  if (c.is_poisson()) {
+    // Closed form (paper §4, exact also with bursty classes present —
+    // DESIGN.md): P(N1,a) P(N2,a) B_r (w_r - DeltaW_r).
+    const Dims dims = solver_.model().dims();
+    const double pp = num::falling_factorial(dims.n1, c.bandwidth) *
+                      num::falling_factorial(dims.n2, c.bandwidth);
+    const double b = solver_.non_blocking(r, dims);
+    return pp * b * (c.weight - shadow_cost(r));
+  }
+  return ExactGradient(solver_).d_revenue_d_rho(r);
+}
+
+double RevenueAnalyzer::d_revenue_d_x_exact(std::size_t r) const {
+  return ExactGradient(solver_).d_revenue_d_x(r);
+}
+
+double RevenueAnalyzer::d_revenue_d_rho_numeric(std::size_t r,
+                                                GradientMethod method,
+                                                double relative_step) const {
+  const NormalizedClass& c = solver_.model().normalized(r);
+  const double h = relative_step * c.rho();
+  const double w0 = revenue();
+  switch (method) {
+    case GradientMethod::kForwardDifference:
+      return (revenue_of(perturbed_model(solver_.model(), r, h, 0.0)) - w0) /
+             h;
+    case GradientMethod::kCentralDifference:
+      return (revenue_of(perturbed_model(solver_.model(), r, h, 0.0)) -
+              revenue_of(perturbed_model(solver_.model(), r, -h, 0.0))) /
+             (2.0 * h);
+    case GradientMethod::kExact:
+      return d_revenue_d_rho_exact(r);
+  }
+  throw std::logic_error("unreachable gradient method");
+}
+
+double RevenueAnalyzer::d_revenue_d_x_numeric(std::size_t r,
+                                              GradientMethod method,
+                                              double relative_step) const {
+  const NormalizedClass& c = solver_.model().normalized(r);
+  const double scale = c.x() != 0.0 ? std::fabs(c.x()) : c.rho();
+  const double h = relative_step * scale;
+  const double w0 = revenue();
+  switch (method) {
+    case GradientMethod::kForwardDifference:
+      return (revenue_of(perturbed_model(solver_.model(), r, 0.0, h)) - w0) /
+             h;
+    case GradientMethod::kCentralDifference:
+      return (revenue_of(perturbed_model(solver_.model(), r, 0.0, h)) -
+              revenue_of(perturbed_model(solver_.model(), r, 0.0, -h))) /
+             (2.0 * h);
+    case GradientMethod::kExact:
+      return d_revenue_d_x_exact(r);
+  }
+  throw std::logic_error("unreachable gradient method");
+}
+
+RevenueReport RevenueAnalyzer::analyze(GradientMethod method) const {
+  RevenueReport report;
+  report.measures = solver_.solve();
+  report.revenue = report.measures.revenue;
+  const std::size_t R = solver_.model().num_classes();
+  report.per_class.resize(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    ClassSensitivity& s = report.per_class[r];
+    s.shadow_cost = shadow_cost(r);
+    constexpr double kStep = 1e-4;
+    switch (method) {
+      case GradientMethod::kExact:
+        s.d_revenue_d_rho = d_revenue_d_rho_exact(r);
+        s.d_revenue_d_x = d_revenue_d_x_exact(r);
+        break;
+      case GradientMethod::kForwardDifference:
+      case GradientMethod::kCentralDifference:
+        s.d_revenue_d_rho = d_revenue_d_rho_numeric(r, method, kStep);
+        s.d_revenue_d_x = d_revenue_d_x_numeric(r, method, kStep);
+        break;
+    }
+    s.worth_admitting =
+        solver_.model().normalized(r).weight > s.shadow_cost;
+  }
+  return report;
+}
+
+}  // namespace xbar::core

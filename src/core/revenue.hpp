@@ -1,0 +1,108 @@
+// Revenue-oriented performance analysis (paper §4).
+//
+// An accepted class-r connection earns revenue w_r, so the long-run revenue
+// rate is the weighted throughput W(N) = sum_r w_r E_r(N).  The economics of
+// admitting more class-r traffic are captured by the shadow cost
+// DeltaW_r = W(N) - W(N - a_r I): a class whose weight exceeds its shadow
+// cost raises revenue when its load grows; otherwise it crowds out more
+// valuable traffic (the paper's "economic interpretation").
+//
+// Gradients:
+//   * dW/drho_r — the paper gives the closed form
+//       P(N1,a_r) P(N2,a_r) B_r(N) (w_r - DeltaW_r)
+//     for Poisson classes.  We prove (DESIGN.md) it remains exact with
+//     bursty classes present, and additionally derive an exact series for
+//     bursty r:  dQ(M)/drho_r = sum_{m>=1} x^{m-1}/m Q(M - m a_r I).
+//   * dW/dx_r (x = beta_r/mu_r) — the paper resorts to a forward
+//     difference.  We implement that (for fidelity) *and* the exact series
+//       dQ(M)/dx_r = rho_r sum_{m>=2} ((m-1)/m) x^{m-2} Q(M - m a_r I),
+//     so Table 2 can be regenerated with either method.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// How to compute load-sensitivity gradients.
+enum class GradientMethod {
+  kExact,              ///< closed form / exact series (this library)
+  kForwardDifference,  ///< the paper's §4 method
+  kCentralDifference,  ///< O(h^2) numeric check
+};
+
+/// Sensitivity of the revenue W(N) to one class's load.
+struct ClassSensitivity {
+  /// Shadow cost DeltaW_r = W(N) - W(N - a_r I).
+  double shadow_cost = 0.0;
+
+  /// dW/drho_r at the per-tuple scale.
+  double d_revenue_d_rho = 0.0;
+
+  /// dW/d(beta_r/mu_r) at the per-tuple scale; 0 exactly has no meaning for
+  /// Poisson-only perturbations but the derivative is still well defined.
+  double d_revenue_d_x = 0.0;
+
+  /// Paper's admission economics: accepting more class-r traffic increases
+  /// revenue iff w_r > DeltaW_r.
+  bool worth_admitting = false;
+};
+
+/// Full revenue report for one configuration.
+struct RevenueReport {
+  double revenue = 0.0;                     ///< W(N)
+  Measures measures;                        ///< underlying solution
+  std::vector<ClassSensitivity> per_class;  ///< sensitivities per class
+};
+
+/// Computes W(N), shadow costs and gradients on top of an Algorithm 1 grid.
+class RevenueAnalyzer {
+ public:
+  explicit RevenueAnalyzer(CrossbarModel model);
+
+  /// Full report with the requested gradient method.
+  [[nodiscard]] RevenueReport analyze(
+      GradientMethod method = GradientMethod::kExact) const;
+
+  /// W(N).
+  [[nodiscard]] double revenue() const;
+
+  /// W at a subsystem (same per-tuple rates) — the W(N - a_r I) of the
+  /// shadow-cost formula.
+  [[nodiscard]] double revenue_at(Dims at) const;
+
+  /// Shadow cost DeltaW_r.
+  [[nodiscard]] double shadow_cost(std::size_t r) const;
+
+  /// Exact dW/drho_r (per-tuple scale); closed form for Poisson classes,
+  /// series for bursty classes.
+  [[nodiscard]] double d_revenue_d_rho_exact(std::size_t r) const;
+
+  /// Exact dW/dx_r (per-tuple scale).
+  [[nodiscard]] double d_revenue_d_x_exact(std::size_t r) const;
+
+  /// Numeric dW/drho_r by re-solving a perturbed model.
+  [[nodiscard]] double d_revenue_d_rho_numeric(std::size_t r,
+                                               GradientMethod method,
+                                               double relative_step) const;
+
+  /// Numeric dW/dx_r by re-solving a perturbed model.  `relative_step` is
+  /// relative to x_r when nonzero, to rho_r otherwise.
+  [[nodiscard]] double d_revenue_d_x_numeric(std::size_t r,
+                                             GradientMethod method,
+                                             double relative_step) const;
+
+  [[nodiscard]] const CrossbarModel& model() const noexcept {
+    return solver_.model();
+  }
+
+ private:
+  Algorithm1Solver solver_;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,34 @@
+#include "core/solver.hpp"
+
+#include <stdexcept>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm2.hpp"
+#include "core/brute_force.hpp"
+
+namespace xbar::core {
+
+Measures solve(const CrossbarModel& model, SolverKind kind) {
+  if (kind == SolverKind::kAuto) {
+    kind = model.dims().cap() <= 32 ? SolverKind::kAlgorithm1
+                                    : SolverKind::kAlgorithm2;
+  }
+  switch (kind) {
+    case SolverKind::kAlgorithm1:
+      return Algorithm1Solver(model).solve();
+    case SolverKind::kAlgorithm2:
+      return Algorithm2Solver(model).solve();
+    case SolverKind::kBruteForce:
+      return BruteForceSolver(model).solve();
+    case SolverKind::kAuto:
+      break;
+  }
+  throw std::logic_error("unreachable solver kind");
+}
+
+double blocking_probability(const CrossbarModel& model, std::size_t r,
+                            SolverKind kind) {
+  return solve(model, kind).per_class.at(r).blocking;
+}
+
+}  // namespace xbar::core

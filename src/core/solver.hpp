@@ -1,0 +1,35 @@
+// Solver facade: one entry point that picks the right algorithm.
+//
+// Paper §5: "Algorithm 1 is preferable for computing the performance
+// measures of small dimension crossbars (N <= 32) whereas Algorithm 2 is
+// advantageous for larger system sizes."  With the ScaledFloat backend both
+// are robust at any size; kAuto follows the paper's guidance anyway (it is
+// also the faster split in practice: Algorithm 1 does less work per cell for
+// small grids, Algorithm 2 avoids extended-precision arithmetic for big
+// ones).
+
+#pragma once
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// Which algorithm solves the model.
+enum class SolverKind {
+  kAuto,        ///< paper's guidance: Algorithm 1 for N <= 32, else 2
+  kAlgorithm1,  ///< Q-grid convolution (ScaledFloat backend)
+  kAlgorithm2,  ///< mean-value ratio recursion
+  kBruteForce,  ///< exhaustive enumeration (tests/small systems only)
+};
+
+/// Solve the model and return all measures.
+[[nodiscard]] Measures solve(const CrossbarModel& model,
+                             SolverKind kind = SolverKind::kAuto);
+
+/// Blocking probability of class r — the quantity the paper's figures plot.
+[[nodiscard]] double blocking_probability(const CrossbarModel& model,
+                                          std::size_t r,
+                                          SolverKind kind = SolverKind::kAuto);
+
+}  // namespace xbar::core

@@ -1,0 +1,45 @@
+#include "core/state_space.hpp"
+
+namespace xbar::core {
+
+namespace {
+
+void recurse(std::span<const unsigned> bandwidths, unsigned cap,
+             std::size_t r, unsigned used, StateVector& k,
+             const std::function<void(std::span<const unsigned>, unsigned)>&
+                 visit) {
+  if (r == bandwidths.size()) {
+    visit(k, used);
+    return;
+  }
+  const unsigned a = bandwidths[r];
+  for (unsigned kr = 0;; ++kr) {
+    const unsigned extra = kr * a;
+    if (used + extra > cap) {
+      break;
+    }
+    k[r] = kr;
+    recurse(bandwidths, cap, r + 1, used + extra, k, visit);
+  }
+  k[r] = 0;
+}
+
+}  // namespace
+
+void for_each_state(
+    std::span<const unsigned> bandwidths, unsigned cap,
+    const std::function<void(std::span<const unsigned> k, unsigned usage)>&
+        visit) {
+  StateVector k(bandwidths.size(), 0);
+  recurse(bandwidths, cap, 0, 0, k, visit);
+}
+
+std::uint64_t count_states(std::span<const unsigned> bandwidths,
+                           unsigned cap) {
+  std::uint64_t n = 0;
+  for_each_state(bandwidths, cap,
+                 [&n](std::span<const unsigned>, unsigned) { ++n; });
+  return n;
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,32 @@
+// Enumeration of the feasible state space Γ(N) (paper §2):
+//
+//     Γ(N) = { k = (k_1..k_R) : 0 <= k·A <= min(N1, N2) }
+//
+// Exponential in R, so this is only used by the brute-force reference solver
+// and tests; the production algorithms never materialize Γ.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace xbar::core {
+
+/// State vector: k[r] = number of active class-r connections.
+using StateVector = std::vector<unsigned>;
+
+/// Visit every k with sum_r k[r]*bandwidths[r] <= cap.  The visitor receives
+/// the state and its total port usage k·A.  States are visited in
+/// lexicographic order of k.
+void for_each_state(
+    std::span<const unsigned> bandwidths, unsigned cap,
+    const std::function<void(std::span<const unsigned> k, unsigned usage)>&
+        visit);
+
+/// |Γ| for the given bandwidth vector and cap.
+[[nodiscard]] std::uint64_t count_states(std::span<const unsigned> bandwidths,
+                                         unsigned cap);
+
+}  // namespace xbar::core

@@ -1,0 +1,55 @@
+#include "core/wilkinson.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/erlang.hpp"
+
+namespace xbar::core {
+
+OverflowMoments overflow_moments(double a, unsigned c) {
+  assert(a >= 0.0);
+  OverflowMoments m;
+  if (a == 0.0) {
+    return m;
+  }
+  const double b = erlang_b(a, c);
+  m.mean = a * b;
+  m.variance = m.mean * (1.0 - m.mean +
+                         a / (static_cast<double>(c) + 1.0 - a + m.mean));
+  return m;
+}
+
+EquivalentRandom fit_equivalent_random(double mean, double z) {
+  if (!(mean > 0.0) || z < 1.0) {
+    throw std::invalid_argument(
+        "ERT fit requires mean > 0 and peakedness Z >= 1");
+  }
+  EquivalentRandom eq;
+  const double variance = z * mean;
+  // Rapp's approximation.
+  eq.load = variance + 3.0 * z * (z - 1.0);
+  eq.trunks = eq.load * (mean + z) / (mean + z - 1.0) - mean - 1.0;
+  if (eq.trunks < 0.0) {
+    eq.trunks = 0.0;
+  }
+  return eq;
+}
+
+double wilkinson_blocking(double mean, double z, unsigned trunks) {
+  if (z < 1.0) {
+    throw std::invalid_argument("ERT requires peakedness Z >= 1");
+  }
+  if (z == 1.0) {
+    return erlang_b(mean, trunks);
+  }
+  const EquivalentRandom eq = fit_equivalent_random(mean, z);
+  // Overflow mean past (c* + C) trunks, relative to the stream's own mean.
+  const double total = eq.trunks + static_cast<double>(trunks);
+  const double overflow = eq.load * erlang_b_real(eq.load, total);
+  const double blocking = overflow / mean;
+  return blocking < 1.0 ? blocking : 1.0;
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,56 @@
+// Wilkinson's Equivalent Random Theory (ERT) — the paper's reference [33],
+// the 1956 method that motivated characterizing traffic by mean and
+// peakedness in the first place.
+//
+// A peaky stream with mean M and peakedness Z > 1 is modelled as the
+// *overflow* of an equivalent Poisson load A* offered to c* primary trunks
+// (A*, c* fitted to reproduce M and V = ZM, via Rapp's approximation).
+// Its blocking on C further trunks is then the conditional overflow ratio
+//
+//     B  =  m(c* + C) / m(c*) = m(c* + C) / M,
+//
+// where m(x) = A* ErlangB(A*, x) is the overflow mean past x trunks.
+//
+// Here ERT serves as a historical baseline for the BPP knapsack: both map
+// (M, Z) to a blocking estimate on C trunks; Delbrouck's recursion
+// (src/core/knapsack) is exact for the BPP process, ERT is the classical
+// approximation.  bench/baseline_compare shows how close the 1956 method
+// lands.
+
+#pragma once
+
+namespace xbar::core {
+
+/// Overflow moments of Poisson load `a` past `c` trunks (Kosten's
+/// formulas): mean m = a B(a,c) and variance
+/// v = m (1 - m + a/(c + 1 - a + m)).
+struct OverflowMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  [[nodiscard]] double peakedness() const noexcept {
+    return mean > 0.0 ? variance / mean : 1.0;
+  }
+};
+
+/// Compute overflow moments of load `a` on `c` trunks.
+[[nodiscard]] OverflowMoments overflow_moments(double a, unsigned c);
+
+/// The fitted equivalent random source.
+struct EquivalentRandom {
+  double load = 0.0;    ///< A*: equivalent Poisson load
+  double trunks = 0.0;  ///< c*: equivalent primary group size (real-valued)
+};
+
+/// Rapp's approximation for the ERT fit: given overflow mean M and
+/// peakedness Z >= 1, A* ~ V + 3 Z (Z - 1) and
+/// c* ~ A* (M + Z)/(M + Z - 1) - M - 1 (clamped at 0).
+[[nodiscard]] EquivalentRandom fit_equivalent_random(double mean, double z);
+
+/// ERT blocking estimate: a (peaky) stream with mean M and peakedness Z
+/// offered to `trunks` circuits.  For Z = 1 this degenerates to Erlang-B.
+/// Requires Z >= 1 (smooth traffic is outside ERT's domain).
+[[nodiscard]] double wilkinson_blocking(double mean, double z,
+                                        unsigned trunks);
+
+}  // namespace xbar::core

@@ -1,0 +1,107 @@
+#include "dist/bpp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace xbar::dist {
+
+std::string_view to_string(TrafficShape shape) noexcept {
+  switch (shape) {
+    case TrafficShape::kSmooth:
+      return "smooth";
+    case TrafficShape::kRegular:
+      return "regular";
+    case TrafficShape::kPeaky:
+      return "peaky";
+  }
+  return "?";
+}
+
+TrafficShape BppParams::shape() const noexcept {
+  if (beta < 0.0) {
+    return TrafficShape::kSmooth;
+  }
+  if (beta > 0.0) {
+    return TrafficShape::kPeaky;
+  }
+  return TrafficShape::kRegular;
+}
+
+double BppParams::intensity(unsigned k) const noexcept {
+  const double v = alpha + beta * static_cast<double>(k);
+  return v > 0.0 ? v : 0.0;
+}
+
+double BppParams::mean() const noexcept {
+  if (beta >= mu) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return alpha / (mu - beta);
+}
+
+double BppParams::variance() const noexcept {
+  if (beta >= mu) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double d = mu - beta;
+  return alpha * mu / (d * d);
+}
+
+double BppParams::peakedness() const noexcept {
+  if (beta >= mu) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / (1.0 - beta / mu);
+}
+
+double BppParams::source_population() const noexcept {
+  return -alpha / beta;
+}
+
+bool BppParams::is_valid(unsigned port_bound) const noexcept {
+  if (!(alpha > 0.0) || !(mu > 0.0)) {
+    return false;
+  }
+  if (beta == 0.0) {
+    return true;  // Poisson
+  }
+  if (beta > 0.0) {
+    return beta / mu < 1.0;  // Pascal
+  }
+  // Bernoulli: alpha/beta must be a negative integer ...
+  const double ratio = alpha / beta;  // negative
+  const double rounded = std::round(ratio);
+  constexpr double kIntegerTol = 1e-9;
+  if (std::fabs(ratio - rounded) > kIntegerTol * std::fabs(ratio)) {
+    return false;
+  }
+  // ... and the intensity must stay non-negative over every feasible state.
+  return alpha + beta * static_cast<double>(port_bound) >= -1e-15;
+}
+
+bool BppParams::is_admissible(unsigned port_bound) const noexcept {
+  if (!(alpha > 0.0) || !(mu > 0.0)) {
+    return false;
+  }
+  if (beta >= 0.0) {
+    return beta / mu < 1.0;
+  }
+  return alpha + beta * static_cast<double>(port_bound) >= -1e-15;
+}
+
+BppParams BppParams::from_mean_peakedness(double mean, double z,
+                                          double mu) noexcept {
+  BppParams p;
+  p.mu = mu;
+  p.beta = mu * (1.0 - 1.0 / z);
+  p.alpha = mean * (mu - p.beta);
+  return p;
+}
+
+std::ostream& operator<<(std::ostream& os, const BppParams& p) {
+  return os << "BPP{alpha=" << p.alpha << ", beta=" << p.beta
+            << ", mu=" << p.mu << ", " << to_string(p.shape()) << "}";
+}
+
+}  // namespace xbar::dist

@@ -1,0 +1,89 @@
+// The Bernoulli–Poisson–Pascal (BPP) arrival family (paper §2).
+//
+// A BPP process is the linear state-dependent arrival process
+//
+//     lambda(k) = alpha + beta * k,      alpha > 0,
+//
+// offered to a group of servers with per-connection completion rate mu.  On
+// an infinite server group the number of busy servers is distributed
+//
+//     Bernoulli (binomial)  for beta < 0 with alpha/beta a negative integer,
+//     Poisson               for beta = 0,
+//     Pascal (neg. binomial) for 0 < beta < mu,
+//
+// which is why the family serves as a unified approximation for smooth,
+// regular and peaky traffic.  Peakedness Z = V/M = 1/(1 - beta/mu)
+// classifies the three regimes (Z<1 smooth, Z=1 regular, Z>1 peaky).
+
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+namespace xbar::dist {
+
+/// Traffic shape classification by peakedness.
+enum class TrafficShape {
+  kSmooth,   ///< beta < 0 (Bernoulli / binomial, Z < 1)
+  kRegular,  ///< beta = 0 (Poisson, Z = 1)
+  kPeaky,    ///< beta > 0 (Pascal / negative binomial, Z > 1)
+};
+
+/// Human-readable name of a shape ("smooth" / "regular" / "peaky").
+[[nodiscard]] std::string_view to_string(TrafficShape shape) noexcept;
+
+/// Parameters of one BPP arrival stream.
+struct BppParams {
+  double alpha = 0.0;  ///< state-independent intensity, > 0
+  double beta = 0.0;   ///< state-dependent slope (sign selects the family)
+  double mu = 1.0;     ///< service completion rate, > 0
+
+  /// Shape implied by the sign of beta.
+  [[nodiscard]] TrafficShape shape() const noexcept;
+
+  /// Arrival intensity in state k (clamped at zero: for Bernoulli streams
+  /// lambda is zero beyond the source population).
+  [[nodiscard]] double intensity(unsigned k) const noexcept;
+
+  /// Offered load rho = alpha / mu.
+  [[nodiscard]] double rho() const noexcept { return alpha / mu; }
+
+  /// Infinite-server mean M = alpha / (mu - beta) (the paper's
+  /// alpha/(1-beta) with mu = 1).  Requires beta < mu.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Infinite-server variance V = alpha * mu / (mu - beta)^2.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Peakedness Z = V / M = 1 / (1 - beta/mu).
+  [[nodiscard]] double peakedness() const noexcept;
+
+  /// For smooth traffic, the implied source population n = -alpha/beta
+  /// (only meaningful when `is_valid_bernoulli` holds).
+  [[nodiscard]] double source_population() const noexcept;
+
+  /// Paper §2 validity conditions:
+  ///  * Bernoulli: alpha/beta a negative integer and alpha + beta*n >= 0 for
+  ///    n <= port_bound (so the intensity never goes negative in a feasible
+  ///    state);
+  ///  * Poisson: beta == 0;
+  ///  * Pascal: alpha >= 0 and 0 < beta/mu < 1 (geometric series converges).
+  [[nodiscard]] bool is_valid(unsigned port_bound) const noexcept;
+
+  /// Relaxed admissibility for the finite-switch model: the product form
+  /// only needs lambda(k) >= 0 over feasible states and beta/mu < 1.  The
+  /// integer-population requirement matters solely for the infinite-server
+  /// Bernoulli interpretation (`infinite_server_occupancy`), and relaxing it
+  /// lets gradients be taken with respect to beta.
+  [[nodiscard]] bool is_admissible(unsigned port_bound) const noexcept;
+
+  /// Construct a stream with a target mean M and peakedness Z (mu given):
+  /// beta = mu (1 - 1/Z), alpha = M (mu - beta).  Inverse of mean()/
+  /// peakedness(); handy for experiment design.
+  static BppParams from_mean_peakedness(double mean, double z,
+                                        double mu = 1.0) noexcept;
+};
+
+std::ostream& operator<<(std::ostream& os, const BppParams& p);
+
+}  // namespace xbar::dist

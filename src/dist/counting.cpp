@@ -1,0 +1,125 @@
+#include "dist/counting.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "numeric/combinatorics.hpp"
+#include "numeric/kahan.hpp"
+
+namespace xbar::dist {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double CountingDistribution::cdf(unsigned k) const {
+  num::KahanSum sum;
+  for (unsigned i = 0; i <= k; ++i) {
+    sum.add(pmf(i));
+  }
+  const double v = sum.value();
+  return v < 1.0 ? v : 1.0;
+}
+
+BinomialCounting::BinomialCounting(unsigned n, double p) : n_(n), p_(p) {
+  assert(p >= 0.0 && p <= 1.0);
+}
+
+double BinomialCounting::log_pmf(unsigned k) const {
+  if (k > n_) {
+    return kNegInf;
+  }
+  if (p_ == 0.0) {
+    return k == 0 ? 0.0 : kNegInf;
+  }
+  if (p_ == 1.0) {
+    return k == n_ ? 0.0 : kNegInf;
+  }
+  return num::log_binomial(n_, k) + static_cast<double>(k) * std::log(p_) +
+         static_cast<double>(n_ - k) * std::log1p(-p_);
+}
+
+double BinomialCounting::pmf(unsigned k) const { return std::exp(log_pmf(k)); }
+
+double BinomialCounting::mean() const { return static_cast<double>(n_) * p_; }
+
+double BinomialCounting::variance() const {
+  return static_cast<double>(n_) * p_ * (1.0 - p_);
+}
+
+std::string BinomialCounting::name() const {
+  std::ostringstream os;
+  os << "Binomial(n=" << n_ << ", p=" << p_ << ")";
+  return os.str();
+}
+
+PoissonCounting::PoissonCounting(double rho) : rho_(rho) {
+  assert(rho >= 0.0);
+}
+
+double PoissonCounting::log_pmf(unsigned k) const {
+  if (rho_ == 0.0) {
+    return k == 0 ? 0.0 : kNegInf;
+  }
+  return static_cast<double>(k) * std::log(rho_) - rho_ -
+         num::log_factorial(k);
+}
+
+double PoissonCounting::pmf(unsigned k) const { return std::exp(log_pmf(k)); }
+
+double PoissonCounting::mean() const { return rho_; }
+
+double PoissonCounting::variance() const { return rho_; }
+
+std::string PoissonCounting::name() const {
+  std::ostringstream os;
+  os << "Poisson(rho=" << rho_ << ")";
+  return os.str();
+}
+
+PascalCounting::PascalCounting(double r, double p) : r_(r), p_(p) {
+  assert(r > 0.0);
+  assert(p > 0.0 && p < 1.0);
+}
+
+double PascalCounting::log_pmf(unsigned k) const {
+  // C(r-1+k, k) = Gamma(r+k) / (Gamma(k+1) Gamma(r)) for real r.
+  const double kd = static_cast<double>(k);
+  const double log_coeff =
+      std::lgamma(r_ + kd) - num::log_factorial(k) - std::lgamma(r_);
+  return log_coeff + kd * std::log(p_) + r_ * std::log1p(-p_);
+}
+
+double PascalCounting::pmf(unsigned k) const { return std::exp(log_pmf(k)); }
+
+double PascalCounting::mean() const { return r_ * p_ / (1.0 - p_); }
+
+double PascalCounting::variance() const {
+  const double q = 1.0 - p_;
+  return r_ * p_ / (q * q);
+}
+
+std::string PascalCounting::name() const {
+  std::ostringstream os;
+  os << "Pascal(r=" << r_ << ", p=" << p_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<CountingDistribution> infinite_server_occupancy(
+    const BppParams& params) {
+  if (params.beta < 0.0) {
+    const double n = params.source_population();
+    const double q = -params.beta / params.mu;
+    return std::make_unique<BinomialCounting>(
+        static_cast<unsigned>(std::llround(n)), q / (1.0 + q));
+  }
+  if (params.beta > 0.0) {
+    return std::make_unique<PascalCounting>(params.alpha / params.beta,
+                                            params.beta / params.mu);
+  }
+  return std::make_unique<PoissonCounting>(params.rho());
+}
+
+}  // namespace xbar::dist

@@ -1,0 +1,113 @@
+// Counting distributions of the BPP family.
+//
+// These are the stationary distributions of the number of busy servers when
+// a BPP stream is offered to an *infinite* server group — binomial for the
+// Bernoulli case, Poisson for the regular case, negative binomial (Pascal)
+// for the peaky case.  The crossbar model truncates these by the switch
+// feasibility constraint; the untruncated versions are used to validate the
+// distribution layer and the simulator's arrival processes.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/bpp.hpp"
+
+namespace xbar::dist {
+
+/// Discrete distribution on {0, 1, 2, ...}.
+class CountingDistribution {
+ public:
+  virtual ~CountingDistribution() = default;
+
+  /// P(X = k).
+  [[nodiscard]] virtual double pmf(unsigned k) const = 0;
+
+  /// ln P(X = k); -inf where the pmf is zero.
+  [[nodiscard]] virtual double log_pmf(unsigned k) const = 0;
+
+  /// E[X].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Var[X].
+  [[nodiscard]] virtual double variance() const = 0;
+
+  /// Largest k with positive mass, or nullopt-like sentinel
+  /// (unbounded support returns no bound).
+  [[nodiscard]] virtual bool has_finite_support() const = 0;
+
+  /// Upper end of the support when finite (undefined otherwise).
+  [[nodiscard]] virtual unsigned support_bound() const = 0;
+
+  /// Display name, e.g. "Binomial(n=600, p=0.001)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Peakedness Z = Var/Mean.
+  [[nodiscard]] double peakedness() const { return variance() / mean(); }
+
+  /// P(X <= k) by direct summation of the pmf.
+  [[nodiscard]] double cdf(unsigned k) const;
+};
+
+/// Binomial(n, p): Bernoulli (smooth) occupancy.
+class BinomialCounting final : public CountingDistribution {
+ public:
+  BinomialCounting(unsigned n, double p);
+
+  [[nodiscard]] double pmf(unsigned k) const override;
+  [[nodiscard]] double log_pmf(unsigned k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] bool has_finite_support() const override { return true; }
+  [[nodiscard]] unsigned support_bound() const override { return n_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  unsigned n_;
+  double p_;
+};
+
+/// Poisson(rho): regular occupancy.
+class PoissonCounting final : public CountingDistribution {
+ public:
+  explicit PoissonCounting(double rho);
+
+  [[nodiscard]] double pmf(unsigned k) const override;
+  [[nodiscard]] double log_pmf(unsigned k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] bool has_finite_support() const override { return false; }
+  [[nodiscard]] unsigned support_bound() const override { return 0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double rho_;
+};
+
+/// Negative binomial with r successes and success probability p, counting
+/// failures: P(X=k) = C(r-1+k, k) p^k (1-p)^r with p in (0,1).  This is the
+/// Pascal (peaky) occupancy with r = alpha/beta, p = beta/mu.
+class PascalCounting final : public CountingDistribution {
+ public:
+  PascalCounting(double r, double p);
+
+  [[nodiscard]] double pmf(unsigned k) const override;
+  [[nodiscard]] double log_pmf(unsigned k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] bool has_finite_support() const override { return false; }
+  [[nodiscard]] unsigned support_bound() const override { return 0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double r_;
+  double p_;
+};
+
+/// Factory: the infinite-server occupancy distribution of a BPP stream.
+/// Dispatches on the sign of beta per §2 of the paper.
+[[nodiscard]] std::unique_ptr<CountingDistribution> infinite_server_occupancy(
+    const BppParams& params);
+
+}  // namespace xbar::dist

@@ -1,0 +1,71 @@
+#include "dist/empirical.hpp"
+
+#include <cmath>
+
+namespace xbar::dist {
+
+void RunningMoments::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningMoments::peakedness() const noexcept {
+  return mean_ != 0.0 ? variance() / mean_ : 0.0;
+}
+
+void TimeWeightedMoments::add(double value, double duration) noexcept {
+  if (duration <= 0.0) {
+    return;
+  }
+  total_time_ += duration;
+  weighted_sum_ += value * duration;
+  weighted_sq_sum_ += value * value * duration;
+}
+
+double TimeWeightedMoments::mean() const noexcept {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+double TimeWeightedMoments::variance() const noexcept {
+  if (total_time_ <= 0.0) {
+    return 0.0;
+  }
+  const double m = mean();
+  const double second = weighted_sq_sum_ / total_time_;
+  const double v = second - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+double TimeWeightedMoments::peakedness() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? variance() / m : 0.0;
+}
+
+Histogram::Histogram(std::size_t max_value) : counts_(max_value + 1, 0) {}
+
+void Histogram::add(std::size_t value) noexcept {
+  const std::size_t bucket =
+      value < counts_.size() ? value : counts_.size() - 1;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::frequency(std::size_t k) const noexcept {
+  if (total_ == 0 || k >= counts_.size()) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[k]) / static_cast<double>(total_);
+}
+
+}  // namespace xbar::dist

@@ -1,0 +1,89 @@
+// Empirical moment estimation.
+//
+// Used to validate samplers against their analytic moments and to estimate
+// the peakedness (Z-factor) of simulated occupancy processes, closing the
+// loop on the paper's claim that BPP parameters control traffic burstiness.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xbar::dist {
+
+/// Welford online mean/variance of i.i.d. samples.
+class RunningMoments {
+ public:
+  /// Incorporate one sample.
+  void add(double x) noexcept;
+
+  /// Number of samples seen.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Sample mean (0 when empty).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (0 with fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Peakedness estimate Var/Mean (0 when mean is 0).
+  [[nodiscard]] double peakedness() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted moments of a piecewise-constant process (e.g. the number of
+/// busy ports over simulated time): feed (value, duration) segments.
+class TimeWeightedMoments {
+ public:
+  /// Incorporate a segment during which the process held `value`.
+  void add(double value, double duration) noexcept;
+
+  /// Total observed time.
+  [[nodiscard]] double total_time() const noexcept { return total_time_; }
+
+  /// Time-average of the process.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Time-weighted variance.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Peakedness Var/Mean.
+  [[nodiscard]] double peakedness() const noexcept;
+
+ private:
+  double total_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double weighted_sq_sum_ = 0.0;
+};
+
+/// Frequency histogram over {0..max} for integer-valued samples; values
+/// beyond `max` are clamped into the last bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_value);
+
+  /// Count one observation.
+  void add(std::size_t value) noexcept;
+
+  /// Observations recorded.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Empirical probability of bucket k.
+  [[nodiscard]] double frequency(std::size_t k) const noexcept;
+
+  /// Number of buckets.
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace xbar::dist

@@ -1,0 +1,74 @@
+// Pseudo-random number generation for the simulator.
+//
+// xoshiro256** (Blackman & Vigna): fast, tiny state, excellent statistical
+// quality, and `jump()` provides 2^128 non-overlapping subsequences so each
+// replication / traffic class gets an independent stream from one seed.
+// Satisfies std::uniform_random_bit_generator, so it plugs into <random>.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace xbar::dist {
+
+/// SplitMix64 — used to expand a single 64-bit seed into full generator
+/// state (the standard seeding procedure recommended for xoshiro).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion.
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  /// std::uniform_random_bit_generator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Next 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  double uniform01_open_left() noexcept { return 1.0 - uniform01(); }
+
+  /// Exponential variate with the given positive rate.
+  double exponential(double rate) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method with
+  /// rejection).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Advance the state by 2^128 steps: returns a generator whose future
+  /// output never overlaps this one's next 2^128 draws.
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+ private:
+  void jump() noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace xbar::dist

@@ -1,0 +1,188 @@
+#include "dist/service.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace xbar::dist {
+
+namespace {
+
+class Exponential final : public ServiceDistribution {
+ public:
+  explicit Exponential(double mu) : mu_(mu) { assert(mu > 0.0); }
+
+  double sample(Xoshiro256& rng) const override {
+    return rng.exponential(mu_);
+  }
+  double mean() const override { return 1.0 / mu_; }
+  double scv() const override { return 1.0; }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "Exponential(mu=" << mu_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mu_;
+};
+
+class Deterministic final : public ServiceDistribution {
+ public:
+  explicit Deterministic(double mean) : mean_(mean) { assert(mean > 0.0); }
+
+  double sample(Xoshiro256&) const override { return mean_; }
+  double mean() const override { return mean_; }
+  double scv() const override { return 0.0; }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "Deterministic(" << mean_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mean_;
+};
+
+class Erlang final : public ServiceDistribution {
+ public:
+  Erlang(unsigned k, double mean) : k_(k), phase_rate_(k / mean) {
+    assert(k >= 1);
+    assert(mean > 0.0);
+  }
+
+  double sample(Xoshiro256& rng) const override {
+    // Sum of k exponentials = -log(prod U_i)/rate; multiply first for speed.
+    double prod = 1.0;
+    for (unsigned i = 0; i < k_; ++i) {
+      prod *= rng.uniform01_open_left();
+    }
+    return -std::log(prod) / phase_rate_;
+  }
+  double mean() const override {
+    return static_cast<double>(k_) / phase_rate_;
+  }
+  double scv() const override { return 1.0 / static_cast<double>(k_); }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "Erlang(k=" << k_ << ", mean=" << mean() << ")";
+    return os.str();
+  }
+
+ private:
+  unsigned k_;
+  double phase_rate_;
+};
+
+// Balanced-means two-phase hyperexponential: phase i chosen with prob p_i,
+// exponential rate mu_i, with p1/mu1 == p2/mu2 (the standard H2 fit).
+class Hyperexponential final : public ServiceDistribution {
+ public:
+  Hyperexponential(double mean, double scv) : mean_(mean), scv_(scv) {
+    assert(mean > 0.0);
+    assert(scv > 1.0);
+    const double c2 = scv;
+    p1_ = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+    mu1_ = 2.0 * p1_ / mean;
+    mu2_ = 2.0 * (1.0 - p1_) / mean;
+  }
+
+  double sample(Xoshiro256& rng) const override {
+    const double rate = rng.uniform01() < p1_ ? mu1_ : mu2_;
+    return rng.exponential(rate);
+  }
+  double mean() const override { return mean_; }
+  double scv() const override { return scv_; }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "Hyperexp(mean=" << mean_ << ", scv=" << scv_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mean_;
+  double scv_;
+  double p1_;
+  double mu1_;
+  double mu2_;
+};
+
+class UniformService final : public ServiceDistribution {
+ public:
+  explicit UniformService(double mean) : mean_(mean) { assert(mean > 0.0); }
+
+  double sample(Xoshiro256& rng) const override {
+    return 2.0 * mean_ * rng.uniform01();
+  }
+  double mean() const override { return mean_; }
+  double scv() const override { return 1.0 / 3.0; }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "Uniform[0," << 2.0 * mean_ << "]";
+    return os.str();
+  }
+
+ private:
+  double mean_;
+};
+
+class LogNormal final : public ServiceDistribution {
+ public:
+  LogNormal(double mean, double scv) : mean_(mean), scv_(scv) {
+    assert(mean > 0.0);
+    assert(scv > 0.0);
+    sigma2_ = std::log1p(scv);
+    m_ = std::log(mean) - 0.5 * sigma2_;
+  }
+
+  double sample(Xoshiro256& rng) const override {
+    // Box–Muller; one normal per call keeps the class stateless.
+    const double u1 = rng.uniform01_open_left();
+    const double u2 = rng.uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return std::exp(m_ + std::sqrt(sigma2_) * z);
+  }
+  double mean() const override { return mean_; }
+  double scv() const override { return scv_; }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "LogNormal(mean=" << mean_ << ", scv=" << scv_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mean_;
+  double scv_;
+  double m_;
+  double sigma2_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServiceDistribution> make_exponential(double mu) {
+  return std::make_unique<Exponential>(mu);
+}
+
+std::unique_ptr<ServiceDistribution> make_deterministic(double mean) {
+  return std::make_unique<Deterministic>(mean);
+}
+
+std::unique_ptr<ServiceDistribution> make_erlang(unsigned k, double mean) {
+  return std::make_unique<Erlang>(k, mean);
+}
+
+std::unique_ptr<ServiceDistribution> make_hyperexponential(double mean,
+                                                           double scv) {
+  return std::make_unique<Hyperexponential>(mean, scv);
+}
+
+std::unique_ptr<ServiceDistribution> make_uniform(double mean) {
+  return std::make_unique<UniformService>(mean);
+}
+
+std::unique_ptr<ServiceDistribution> make_lognormal(double mean, double scv) {
+  return std::make_unique<LogNormal>(mean, scv);
+}
+
+}  // namespace xbar::dist

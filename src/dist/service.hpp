@@ -1,0 +1,59 @@
+// Holding-time (service) distributions.
+//
+// The paper's model is *insensitive*: the product form depends on the
+// holding-time distribution only through its mean 1/mu (reference [7] of the
+// paper).  The simulator exercises this claim by plugging in distributions
+// with very different shapes but identical means; the analytic and simulated
+// blocking must still agree.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/rng.hpp"
+
+namespace xbar::dist {
+
+/// A positive continuous distribution used for circuit holding times.
+class ServiceDistribution {
+ public:
+  virtual ~ServiceDistribution() = default;
+
+  /// Draw one holding time.
+  [[nodiscard]] virtual double sample(Xoshiro256& rng) const = 0;
+
+  /// E[X].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Squared coefficient of variation Var/Mean^2 (shape fingerprint:
+  /// 0 deterministic, 1/k Erlang-k, 1 exponential, >1 hyperexponential).
+  [[nodiscard]] virtual double scv() const = 0;
+
+  /// Display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exponential(mu): the paper's baseline assumption.
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_exponential(double mu);
+
+/// Point mass at `mean` (SCV = 0).
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_deterministic(
+    double mean);
+
+/// Erlang-k with the given mean (SCV = 1/k).
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_erlang(unsigned k,
+                                                               double mean);
+
+/// Balanced two-phase hyperexponential with the given mean and SCV > 1.
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_hyperexponential(
+    double mean, double scv);
+
+/// Uniform on [0, 2*mean] (SCV = 1/3).
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_uniform(double mean);
+
+/// Log-normal with the given mean and SCV.
+[[nodiscard]] std::unique_ptr<ServiceDistribution> make_lognormal(double mean,
+                                                                  double scv);
+
+}  // namespace xbar::dist

@@ -1,0 +1,179 @@
+#include "fabric/banyan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xbar::fabric {
+
+namespace {
+
+bool is_power_of_two(unsigned v) noexcept { return v >= 2 && (v & (v - 1)) == 0; }
+
+unsigned log2_exact(unsigned v) noexcept {
+  unsigned bits = 0;
+  while ((1u << bits) < v) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+BanyanFabric::BanyanFabric(unsigned n)
+    : n_(n),
+      stages_(log2_exact(n)),
+      input_busy_(n, 0),
+      output_busy_(n, 0) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("BanyanFabric: N must be a power of two >= 2");
+  }
+  link_busy_.assign(static_cast<std::size_t>(stages_) * n_, 0);
+}
+
+std::vector<unsigned> BanyanFabric::route(unsigned src, unsigned dst) const {
+  assert(src < n_ && dst < n_);
+  std::vector<unsigned> links;
+  links.reserve(stages_);
+  unsigned p = src;
+  for (unsigned s = 0; s < stages_; ++s) {
+    p = shuffle(p);
+    // Destination-tag routing: the stage-s element forwards to its upper or
+    // lower output according to bit (stages - 1 - s) of the destination.
+    const unsigned bit = (dst >> (stages_ - 1 - s)) & 1u;
+    p = (p & ~1u) | bit;
+    links.push_back(p);
+  }
+  assert(p == dst);  // omega networks deliver to the destination by design
+  return links;
+}
+
+std::optional<CircuitId> BanyanFabric::try_connect(
+    std::span<const unsigned> inputs, std::span<const unsigned> outputs) {
+  assert(inputs.size() == outputs.size());
+  assert(!inputs.empty());
+  for (const unsigned in : inputs) {
+    assert(in < n_);
+    if (input_busy_[in]) {
+      ++rejected_port_;
+      return std::nullopt;
+    }
+  }
+  for (const unsigned out : outputs) {
+    assert(out < n_);
+    if (output_busy_[out]) {
+      ++rejected_port_;
+      return std::nullopt;
+    }
+  }
+  // All end ports free: any failure from here on is internal blocking.
+  std::vector<unsigned> links;
+  links.reserve(inputs.size() * stages_);
+  std::vector<std::uint8_t> claimed(link_busy_.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto path = route(inputs[i], outputs[i]);
+    for (unsigned s = 0; s < stages_; ++s) {
+      const std::size_t li = link_index(s, path[s]);
+      if (link_busy_[li] || claimed[li]) {
+        ++rejected_internal_;
+        return std::nullopt;
+      }
+      claimed[li] = 1;
+      links.push_back(path[s]);
+    }
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_busy_[inputs[i]] = 1;
+    output_busy_[outputs[i]] = 1;
+    for (unsigned s = 0; s < stages_; ++s) {
+      link_busy_[link_index(s, links[i * stages_ + s])] = 1;
+    }
+  }
+  busy_inputs_ += static_cast<unsigned>(inputs.size());
+  busy_outputs_ += static_cast<unsigned>(outputs.size());
+  const CircuitId id{next_id_++};
+  circuits_.emplace(id.value, Circuit{{inputs.begin(), inputs.end()},
+                                      {outputs.begin(), outputs.end()},
+                                      std::move(links)});
+  return id;
+}
+
+void BanyanFabric::release(CircuitId id) {
+  const auto it = circuits_.find(id.value);
+  if (it == circuits_.end()) {
+    throw std::logic_error("BanyanFabric::release: unknown circuit id");
+  }
+  const Circuit& c = it->second;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    input_busy_[c.inputs[i]] = 0;
+    output_busy_[c.outputs[i]] = 0;
+    for (unsigned s = 0; s < stages_; ++s) {
+      link_busy_[link_index(s, c.links[i * stages_ + s])] = 0;
+    }
+  }
+  busy_inputs_ -= static_cast<unsigned>(c.inputs.size());
+  busy_outputs_ -= static_cast<unsigned>(c.outputs.size());
+  circuits_.erase(it);
+}
+
+bool BanyanFabric::input_busy(unsigned port) const {
+  assert(port < n_);
+  return input_busy_[port] != 0;
+}
+
+bool BanyanFabric::output_busy(unsigned port) const {
+  assert(port < n_);
+  return output_busy_[port] != 0;
+}
+
+unsigned BanyanFabric::free_inputs() const noexcept {
+  return n_ - busy_inputs_;
+}
+
+unsigned BanyanFabric::free_outputs() const noexcept {
+  return n_ - busy_outputs_;
+}
+
+unsigned BanyanFabric::active_circuits() const noexcept {
+  return static_cast<unsigned>(circuits_.size());
+}
+
+std::string BanyanFabric::name() const {
+  return "banyan(" + std::to_string(n_) + "x" + std::to_string(n_) + ", " +
+         std::to_string(stages_) + " stages)";
+}
+
+bool BanyanFabric::check_invariants() const {
+  std::vector<std::uint8_t> in_expect(n_, 0);
+  std::vector<std::uint8_t> out_expect(n_, 0);
+  std::vector<std::uint8_t> link_expect(link_busy_.size(), 0);
+  for (const auto& [id, c] : circuits_) {
+    if (c.inputs.size() != c.outputs.size() ||
+        c.links.size() != c.inputs.size() * stages_) {
+      return false;
+    }
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      if (in_expect[c.inputs[i]] || out_expect[c.outputs[i]]) {
+        return false;
+      }
+      in_expect[c.inputs[i]] = 1;
+      out_expect[c.outputs[i]] = 1;
+      // The recorded links must match the topology's unique path.
+      const auto path = route(c.inputs[i], c.outputs[i]);
+      for (unsigned s = 0; s < stages_; ++s) {
+        if (path[s] != c.links[i * stages_ + s]) {
+          return false;
+        }
+        const std::size_t li = link_index(s, path[s]);
+        if (link_expect[li]) {
+          return false;  // two circuits share a link
+        }
+        link_expect[li] = 1;
+      }
+    }
+  }
+  return in_expect == input_busy_ && out_expect == output_busy_ &&
+         link_expect == link_busy_;
+}
+
+}  // namespace xbar::fabric

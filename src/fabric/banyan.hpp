@@ -1,0 +1,94 @@
+// Banyan (omega) multistage interconnection network.
+//
+// The paper's introduction motivates the crossbar against multistage
+// networks: an N x N omega network uses log2(N) stages of 2x2 crossbars
+// (O(N log N) crosspoints vs the crossbar's O(N^2)) but pays for it with
+// *internal* blocking — two circuits can conflict on a shared inter-stage
+// link even when all four end ports are idle.  `BanyanFabric` implements the
+// classic destination-tag-routed omega network so the simulator can quantify
+// that trade-off under the same offered traffic (bench/multistage_compare).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/switch_fabric.hpp"
+
+namespace xbar::fabric {
+
+class BanyanFabric final : public SwitchFabric {
+ public:
+  /// Build an idle N x N omega network; N must be a power of two >= 2.
+  explicit BanyanFabric(unsigned n);
+
+  [[nodiscard]] unsigned num_inputs() const noexcept override { return n_; }
+  [[nodiscard]] unsigned num_outputs() const noexcept override { return n_; }
+
+  [[nodiscard]] std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs,
+      std::span<const unsigned> outputs) override;
+
+  void release(CircuitId id) override;
+
+  [[nodiscard]] bool input_busy(unsigned port) const override;
+  [[nodiscard]] bool output_busy(unsigned port) const override;
+  [[nodiscard]] unsigned free_inputs() const noexcept override;
+  [[nodiscard]] unsigned free_outputs() const noexcept override;
+  [[nodiscard]] unsigned active_circuits() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Number of 2x2 switching stages (log2 N).
+  [[nodiscard]] unsigned num_stages() const noexcept { return stages_; }
+
+  /// The unique omega path of (src -> dst) as the sequence of stage-output
+  /// link positions (one entry per stage).  Pure topology; no state change.
+  [[nodiscard]] std::vector<unsigned> route(unsigned src, unsigned dst) const;
+
+  /// Rejections caused by a busy end port.
+  [[nodiscard]] std::uint64_t rejected_port() const noexcept {
+    return rejected_port_;
+  }
+
+  /// Rejections caused by an internal link conflict while all end ports
+  /// were free — the blocking mode the crossbar does not have.
+  [[nodiscard]] std::uint64_t rejected_internal() const noexcept {
+    return rejected_internal_;
+  }
+
+  /// Internal consistency check (link occupancy vs circuit table).
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Circuit {
+    std::vector<unsigned> inputs;
+    std::vector<unsigned> outputs;
+    std::vector<unsigned> links;  // stages_ entries per port pair
+  };
+
+  /// Perfect shuffle on `stages_`-bit positions: rotate left one bit.
+  [[nodiscard]] unsigned shuffle(unsigned p) const noexcept {
+    return ((p << 1) | (p >> (stages_ - 1))) & (n_ - 1);
+  }
+
+  [[nodiscard]] std::size_t link_index(unsigned stage, unsigned pos) const {
+    return static_cast<std::size_t>(stage) * n_ + pos;
+  }
+
+  unsigned n_;
+  unsigned stages_;
+  std::vector<std::uint8_t> input_busy_;
+  std::vector<std::uint8_t> output_busy_;
+  std::vector<std::uint8_t> link_busy_;  // stages_ x n_
+  std::unordered_map<std::uint64_t, Circuit> circuits_;
+  std::uint64_t next_id_ = 1;
+  unsigned busy_inputs_ = 0;
+  unsigned busy_outputs_ = 0;
+  std::uint64_t rejected_port_ = 0;
+  std::uint64_t rejected_internal_ = 0;
+};
+
+}  // namespace xbar::fabric

@@ -1,0 +1,136 @@
+#include "fabric/crossbar.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xbar::fabric {
+
+CrossbarFabric::CrossbarFabric(unsigned n1, unsigned n2)
+    : n1_(n1),
+      n2_(n2),
+      input_busy_(n1, 0),
+      output_busy_(n2, 0),
+      crosspoint_(static_cast<std::size_t>(n1) * n2, 0) {
+  if (n1 == 0 || n2 == 0) {
+    throw std::invalid_argument("CrossbarFabric: dimensions must be positive");
+  }
+}
+
+std::optional<CircuitId> CrossbarFabric::try_connect(
+    std::span<const unsigned> inputs, std::span<const unsigned> outputs) {
+  assert(inputs.size() == outputs.size());
+  assert(!inputs.empty());
+  // All-or-nothing admission: check everything before touching state.
+  for (const unsigned in : inputs) {
+    assert(in < n1_);
+    if (input_busy_[in]) {
+      return std::nullopt;
+    }
+  }
+  for (const unsigned out : outputs) {
+    assert(out < n2_);
+    if (output_busy_[out]) {
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_busy_[inputs[i]] = 1;
+    output_busy_[outputs[i]] = 1;
+    crosspoint_[xp_index(inputs[i], outputs[i])] = 1;
+  }
+  busy_inputs_ += static_cast<unsigned>(inputs.size());
+  busy_outputs_ += static_cast<unsigned>(outputs.size());
+  const CircuitId id{next_id_++};
+  circuits_.emplace(id.value,
+                    Circuit{{inputs.begin(), inputs.end()},
+                            {outputs.begin(), outputs.end()}});
+  return id;
+}
+
+void CrossbarFabric::release(CircuitId id) {
+  const auto it = circuits_.find(id.value);
+  if (it == circuits_.end()) {
+    throw std::logic_error("CrossbarFabric::release: unknown circuit id");
+  }
+  const Circuit& c = it->second;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    input_busy_[c.inputs[i]] = 0;
+    output_busy_[c.outputs[i]] = 0;
+    crosspoint_[xp_index(c.inputs[i], c.outputs[i])] = 0;
+  }
+  busy_inputs_ -= static_cast<unsigned>(c.inputs.size());
+  busy_outputs_ -= static_cast<unsigned>(c.outputs.size());
+  circuits_.erase(it);
+}
+
+bool CrossbarFabric::input_busy(unsigned port) const {
+  assert(port < n1_);
+  return input_busy_[port] != 0;
+}
+
+bool CrossbarFabric::output_busy(unsigned port) const {
+  assert(port < n2_);
+  return output_busy_[port] != 0;
+}
+
+unsigned CrossbarFabric::free_inputs() const noexcept {
+  return n1_ - busy_inputs_;
+}
+
+unsigned CrossbarFabric::free_outputs() const noexcept {
+  return n2_ - busy_outputs_;
+}
+
+unsigned CrossbarFabric::active_circuits() const noexcept {
+  return static_cast<unsigned>(circuits_.size());
+}
+
+std::string CrossbarFabric::name() const {
+  return "crossbar(" + std::to_string(n1_) + "x" + std::to_string(n2_) + ")";
+}
+
+bool CrossbarFabric::crosspoint_closed(unsigned input, unsigned output) const {
+  assert(input < n1_ && output < n2_);
+  return crosspoint_[xp_index(input, output)] != 0;
+}
+
+bool CrossbarFabric::check_invariants() const {
+  // Rebuild the expected port/crosspoint state from the circuit table.
+  std::vector<std::uint8_t> in_expect(n1_, 0);
+  std::vector<std::uint8_t> out_expect(n2_, 0);
+  std::vector<std::uint8_t> xp_expect(crosspoint_.size(), 0);
+  for (const auto& [id, c] : circuits_) {
+    if (c.inputs.size() != c.outputs.size() || c.inputs.empty()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      if (c.inputs[i] >= n1_ || c.outputs[i] >= n2_) {
+        return false;
+      }
+      if (in_expect[c.inputs[i]] || out_expect[c.outputs[i]]) {
+        return false;  // two circuits share a port
+      }
+      in_expect[c.inputs[i]] = 1;
+      out_expect[c.outputs[i]] = 1;
+      xp_expect[xp_index(c.inputs[i], c.outputs[i])] = 1;
+    }
+  }
+  unsigned busy_in = 0;
+  unsigned busy_out = 0;
+  for (unsigned p = 0; p < n1_; ++p) {
+    if (in_expect[p] != input_busy_[p]) {
+      return false;
+    }
+    busy_in += in_expect[p];
+  }
+  for (unsigned p = 0; p < n2_; ++p) {
+    if (out_expect[p] != output_busy_[p]) {
+      return false;
+    }
+    busy_out += out_expect[p];
+  }
+  return xp_expect == crosspoint_ && busy_in == busy_inputs_ &&
+         busy_out == busy_outputs_;
+}
+
+}  // namespace xbar::fabric

@@ -1,0 +1,70 @@
+// Structural N1 x N2 crossbar (paper §2's switch, made concrete).
+//
+// Tracks per-port occupancy and the closed crosspoints of every active
+// circuit.  Internally non-blocking: `try_connect` fails only when a named
+// port is already busy.  `check_invariants` cross-verifies the port state
+// against the crosspoint matrix and the circuit table — used by the
+// fabric property tests under random churn.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/switch_fabric.hpp"
+
+namespace xbar::fabric {
+
+class CrossbarFabric final : public SwitchFabric {
+ public:
+  /// Build an idle N1 x N2 crossbar.
+  CrossbarFabric(unsigned n1, unsigned n2);
+
+  [[nodiscard]] unsigned num_inputs() const noexcept override { return n1_; }
+  [[nodiscard]] unsigned num_outputs() const noexcept override { return n2_; }
+
+  [[nodiscard]] std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs,
+      std::span<const unsigned> outputs) override;
+
+  void release(CircuitId id) override;
+
+  [[nodiscard]] bool input_busy(unsigned port) const override;
+  [[nodiscard]] bool output_busy(unsigned port) const override;
+  [[nodiscard]] unsigned free_inputs() const noexcept override;
+  [[nodiscard]] unsigned free_outputs() const noexcept override;
+  [[nodiscard]] unsigned active_circuits() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+
+  /// True if crosspoint (input, output) is closed (carrying light).
+  [[nodiscard]] bool crosspoint_closed(unsigned input, unsigned output) const;
+
+  /// Exhaustive internal consistency check (ports vs crosspoints vs circuit
+  /// table); returns false and leaves diagnostics to the caller on breakage.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Circuit {
+    std::vector<unsigned> inputs;
+    std::vector<unsigned> outputs;
+  };
+
+  [[nodiscard]] std::size_t xp_index(unsigned input, unsigned output) const {
+    return static_cast<std::size_t>(input) * n2_ + output;
+  }
+
+  unsigned n1_;
+  unsigned n2_;
+  std::vector<std::uint8_t> input_busy_;   // per input port
+  std::vector<std::uint8_t> output_busy_;  // per output port
+  std::vector<std::uint8_t> crosspoint_;   // n1*n2 matrix
+  std::unordered_map<std::uint64_t, Circuit> circuits_;
+  std::uint64_t next_id_ = 1;
+  unsigned busy_inputs_ = 0;
+  unsigned busy_outputs_ = 0;
+};
+
+}  // namespace xbar::fabric

@@ -1,0 +1,71 @@
+#include "fabric/lee_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xbar::fabric {
+
+LeeResult solve_lee(const LeeParams& params, double tolerance,
+                    int max_iterations) {
+  assert(params.ports > 0);
+  assert(params.mu > 0.0);
+  const double n = params.ports;
+  const double offered = params.arrival_rate / params.mu;
+  // Acceptance probability given E circuits in progress: input free,
+  // output free, S-1 intermediate links free, all independent with
+  // occupancy E/N.
+  const auto acceptance = [&](double e) {
+    const double free = 1.0 - std::min(e / n, 1.0);
+    return std::pow(free, 2.0 + static_cast<double>(params.stages) - 1.0);
+  };
+
+  LeeResult result;
+  double e = std::min(offered, n * 0.5);  // any start in [0, N)
+  for (int i = 0; i < max_iterations; ++i) {
+    const double target = offered * acceptance(e);
+    const double next = 0.5 * (e + std::min(target, n));  // damped
+    result.iterations = i + 1;
+    if (std::fabs(next - e) < tolerance * (1.0 + e)) {
+      e = next;
+      result.converged = true;
+      break;
+    }
+    e = next;
+  }
+  result.carried = e;
+  result.link_load = e / n;
+  result.blocking = 1.0 - acceptance(e);
+  return result;
+}
+
+namespace {
+
+unsigned log2_ceil(unsigned v) noexcept {
+  unsigned bits = 0;
+  while ((1u << bits) < v) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+LeeResult lee_banyan(unsigned n, double rho_tilde, double mu) {
+  LeeParams params;
+  params.ports = n;
+  params.stages = log2_ceil(n);
+  params.arrival_rate = rho_tilde * static_cast<double>(n) * mu;
+  params.mu = mu;
+  return solve_lee(params);
+}
+
+LeeResult lee_crossbar(unsigned n, double rho_tilde, double mu) {
+  LeeParams params;
+  params.ports = n;
+  params.stages = 1;  // no intermediate links: input + output only
+  params.arrival_rate = rho_tilde * static_cast<double>(n) * mu;
+  params.mu = mu;
+  return solve_lee(params);
+}
+
+}  // namespace xbar::fabric

@@ -1,0 +1,64 @@
+// Approximate analytic model of the banyan under circuit-switched traffic —
+// the paper's stated future work ("extending this analysis to asynchronous
+// all-optical multi-stage networks"), delivered as a C. Y. Lee-style
+// link-independence fixed point.
+//
+// Model: an N x N omega network (S = log2 N stages) offered single-port
+// Poisson circuit requests at total rate Lambda (class-level), holding time
+// 1/mu, blocked-calls-cleared.  With E established circuits:
+//
+//   * every circuit occupies its input, its output, and one link in each
+//     of the S-1 intermediate link columns;
+//   * under uniform traffic each port/link is busy with probability E/N;
+//   * Lee's independence assumption: a request is accepted iff its input,
+//     its output and its S-1 intermediate links are all free, treated as
+//     independent events:
+//
+//       A(E) = (1 - E/N)^2 (1 - E/N)^(S-1)
+//
+//   * flow balance Lambda A(E) = E mu fixes E; blocking = 1 - A(E).
+//
+// The same machinery with S = 1 (no intermediate links) is the analogous
+// single-path approximation of the crossbar, so the bench can show both
+// the banyan approximation quality and what Lee's method loses vs the
+// paper's exact two-sided analysis.
+
+#pragma once
+
+namespace xbar::fabric {
+
+/// Result of the Lee fixed point.
+struct LeeResult {
+  double carried = 0.0;      ///< E: mean established circuits
+  double blocking = 0.0;     ///< 1 - A(E)
+  double link_load = 0.0;    ///< E/N: per-port/per-link occupancy
+  int iterations = 0;        ///< fixed-point iterations used
+  bool converged = false;
+};
+
+/// Parameters of the Lee approximation.
+struct LeeParams {
+  unsigned ports = 8;        ///< N (power of two for a real banyan)
+  unsigned stages = 3;       ///< S = log2 N for the omega network
+  double arrival_rate = 1.0; ///< Lambda: total circuit request rate
+  double mu = 1.0;           ///< holding rate
+};
+
+/// Solve the Lee fixed point E = (Lambda/mu) A(E) by damped iteration.
+[[nodiscard]] LeeResult solve_lee(const LeeParams& params,
+                                  double tolerance = 1e-12,
+                                  int max_iterations = 10000);
+
+/// Convenience: Lee approximation for an N x N omega network carrying a
+/// single a = 1 Poisson class with the crossbar model's tilde load rho~
+/// (class-level arrival rate Lambda = rho~ * N * mu, matching the
+/// crossbar's empty-switch offered rate).
+[[nodiscard]] LeeResult lee_banyan(unsigned n, double rho_tilde,
+                                   double mu = 1.0);
+
+/// The same approximation with no intermediate stages (S = 1): Lee's view
+/// of the crossbar itself, for calibrating the method's baseline error.
+[[nodiscard]] LeeResult lee_crossbar(unsigned n, double rho_tilde,
+                                     double mu = 1.0);
+
+}  // namespace xbar::fabric

@@ -1,0 +1,69 @@
+// Abstract circuit-switching fabric interface.
+//
+// The analytical model abstracts the switch to "a_r free inputs AND a_r free
+// outputs"; the fabric layer gives it a concrete body so the discrete-event
+// simulator can exercise real admission and teardown.  Two implementations:
+//
+//   * `CrossbarFabric`   — N1 x N2 crosspoint matrix, internally non-blocking
+//     (the paper's switch: a request fails only due to busy ports).
+//   * `BanyanFabric`     — log2(N)-stage delta network of 2x2 elements with
+//     internal link blocking (the multistage alternative the paper's
+//     introduction compares against).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace xbar::fabric {
+
+/// Opaque handle to an established circuit.
+struct CircuitId {
+  std::uint64_t value = 0;
+  friend bool operator==(const CircuitId&, const CircuitId&) = default;
+};
+
+/// A circuit-switching fabric: ports, admission, teardown.
+class SwitchFabric {
+ public:
+  virtual ~SwitchFabric() = default;
+
+  /// Number of input ports.
+  [[nodiscard]] virtual unsigned num_inputs() const noexcept = 0;
+
+  /// Number of output ports.
+  [[nodiscard]] virtual unsigned num_outputs() const noexcept = 0;
+
+  /// Attempt to establish a circuit bundle connecting inputs[i] -> outputs[i]
+  /// for every i.  Port lists must be duplicate-free and in range.  Returns
+  /// nullopt if any port is busy or (for blocking fabrics) no internal path
+  /// exists; on failure the fabric state is unchanged (all-or-nothing).
+  [[nodiscard]] virtual std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs, std::span<const unsigned> outputs) = 0;
+
+  /// Tear down a previously established circuit.  Unknown ids are a
+  /// precondition violation.
+  virtual void release(CircuitId id) = 0;
+
+  /// True if the input port is currently part of a circuit.
+  [[nodiscard]] virtual bool input_busy(unsigned port) const = 0;
+
+  /// True if the output port is currently part of a circuit.
+  [[nodiscard]] virtual bool output_busy(unsigned port) const = 0;
+
+  /// Number of idle input ports.
+  [[nodiscard]] virtual unsigned free_inputs() const noexcept = 0;
+
+  /// Number of idle output ports.
+  [[nodiscard]] virtual unsigned free_outputs() const noexcept = 0;
+
+  /// Number of circuits currently established.
+  [[nodiscard]] virtual unsigned active_circuits() const noexcept = 0;
+
+  /// Implementation name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace xbar::fabric

@@ -1,0 +1,132 @@
+#include "numeric/combinatorics.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace xbar::num {
+
+namespace {
+
+// 21! overflows uint64.
+constexpr unsigned kMaxExactFactorial = 20;
+
+constexpr std::array<std::uint64_t, kMaxExactFactorial + 1> kFactorials = [] {
+  std::array<std::uint64_t, kMaxExactFactorial + 1> t{};
+  t[0] = 1;
+  for (unsigned i = 1; i <= kMaxExactFactorial; ++i) {
+    t[i] = t[i - 1] * i;
+  }
+  return t;
+}();
+
+constexpr unsigned kLogFactorialTableSize = 1025;
+
+const std::array<double, kLogFactorialTableSize>& log_factorial_table() {
+  static const auto table = [] {
+    std::array<double, kLogFactorialTableSize> t{};
+    t[0] = 0.0;
+    for (unsigned i = 1; i < kLogFactorialTableSize; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// a*b with overflow check.
+std::optional<std::uint64_t> checked_mul(std::uint64_t a,
+                                         std::uint64_t b) noexcept {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> factorial_exact(unsigned n) noexcept {
+  if (n > kMaxExactFactorial) {
+    return std::nullopt;
+  }
+  return kFactorials[n];
+}
+
+std::optional<std::uint64_t> falling_factorial_exact(unsigned n,
+                                                     unsigned a) noexcept {
+  if (a > n) {
+    return 0;
+  }
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < a; ++i) {
+    const auto next = checked_mul(result, n - i);
+    if (!next) {
+      return std::nullopt;
+    }
+    result = *next;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> binomial_exact(unsigned n, unsigned a) noexcept {
+  if (a > n) {
+    return 0;
+  }
+  if (a > n - a) {
+    a = n - a;
+  }
+  // Multiply/divide alternately to keep intermediates minimal and exact:
+  // C(n,k) = C(n,k-1) * (n-k+1) / k, and the division is always exact.
+  std::uint64_t result = 1;
+  for (unsigned k = 1; k <= a; ++k) {
+    const auto scaled = checked_mul(result, n - k + 1);
+    if (!scaled) {
+      return std::nullopt;
+    }
+    result = *scaled / k;
+  }
+  return result;
+}
+
+double log_factorial(unsigned n) noexcept {
+  if (n < kLogFactorialTableSize) {
+    return log_factorial_table()[n];
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_falling_factorial(unsigned n, unsigned a) noexcept {
+  if (a > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return log_factorial(n) - log_factorial(n - a);
+}
+
+double log_binomial(unsigned n, unsigned a) noexcept {
+  if (a > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return log_factorial(n) - log_factorial(a) - log_factorial(n - a);
+}
+
+double falling_factorial(unsigned n, unsigned a) noexcept {
+  if (a > n) {
+    return 0.0;
+  }
+  if (const auto exact = falling_factorial_exact(n, a)) {
+    return static_cast<double>(*exact);
+  }
+  return std::exp(log_falling_factorial(n, a));
+}
+
+double binomial(unsigned n, unsigned a) noexcept {
+  if (a > n) {
+    return 0.0;
+  }
+  if (const auto exact = binomial_exact(n, a)) {
+    return static_cast<double>(*exact);
+  }
+  return std::exp(log_binomial(n, a));
+}
+
+}  // namespace xbar::num

@@ -1,0 +1,45 @@
+// Factorials, falling factorials (permutations) and binomial coefficients.
+//
+// The model uses P(n,a) = n!/(n-a)! and C(n,a) both as exact small integers
+// (a_r is a handful, n up to a few hundred) and inside log-domain products.
+// We provide exact 64-bit versions with overflow detection plus lgamma-based
+// real/log versions that are valid for any magnitude.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace xbar::num {
+
+/// Exact n! as uint64 when it fits (n <= 20), otherwise nullopt.
+[[nodiscard]] std::optional<std::uint64_t> factorial_exact(unsigned n) noexcept;
+
+/// Exact falling factorial P(n,a) = n (n-1) ... (n-a+1) when it fits in
+/// uint64, otherwise nullopt.  P(n,0) = 1; P(n,a) = 0 when a > n.
+[[nodiscard]] std::optional<std::uint64_t> falling_factorial_exact(
+    unsigned n, unsigned a) noexcept;
+
+/// Exact binomial coefficient C(n,a) when it fits in uint64, otherwise
+/// nullopt.  C(n,a) = 0 when a > n.
+[[nodiscard]] std::optional<std::uint64_t> binomial_exact(unsigned n,
+                                                          unsigned a) noexcept;
+
+/// ln(n!) using a cached table for small n and lgamma beyond.
+[[nodiscard]] double log_factorial(unsigned n) noexcept;
+
+/// ln P(n,a); requires a <= n (P would be zero otherwise — callers must
+/// handle that case; we return -inf for convenience).
+[[nodiscard]] double log_falling_factorial(unsigned n, unsigned a) noexcept;
+
+/// ln C(n,a); -inf when a > n.
+[[nodiscard]] double log_binomial(unsigned n, unsigned a) noexcept;
+
+/// P(n,a) as a double (exact for the sizes the model sweeps; lgamma-based
+/// fallback beyond).  0 when a > n.
+[[nodiscard]] double falling_factorial(unsigned n, unsigned a) noexcept;
+
+/// C(n,a) as a double.  0 when a > n.
+[[nodiscard]] double binomial(unsigned n, unsigned a) noexcept;
+
+}  // namespace xbar::num

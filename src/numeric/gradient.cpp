@@ -1,0 +1,28 @@
+#include "numeric/gradient.hpp"
+
+#include <cmath>
+
+namespace xbar::num {
+
+double forward_difference(const ScalarFn& f, double x, double h) {
+  return (f(x + h) - f(x)) / h;
+}
+
+double central_difference(const ScalarFn& f, double x, double h) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double richardson_derivative(const ScalarFn& f, double x, double h) {
+  const double d_h = central_difference(f, x, h);
+  const double d_h2 = central_difference(f, x, h / 2.0);
+  return (4.0 * d_h2 - d_h) / 3.0;
+}
+
+double default_step(double x) noexcept {
+  // cbrt(eps) balances truncation vs rounding error for central differences.
+  constexpr double kCbrtEps = 6.055454452393343e-06;
+  const double scale = std::fabs(x) > 1.0 ? std::fabs(x) : 1.0;
+  return kCbrtEps * scale;
+}
+
+}  // namespace xbar::num

@@ -1,0 +1,33 @@
+// Finite-difference derivatives.
+//
+// Section 4 of the paper: "A closed form expression for the gradient of the
+// weighted throughput was not found for the more general case ... The
+// gradient dW/d(beta_r/mu_r) is approximated via a forward difference."
+// We provide forward and central differences plus Richardson extrapolation so
+// the revenue analysis (Table 2) can report well-converged gradients.
+
+#pragma once
+
+#include <functional>
+
+namespace xbar::num {
+
+/// A scalar function of one real variable.
+using ScalarFn = std::function<double(double)>;
+
+/// One-sided forward difference (f(x+h) - f(x)) / h — the paper's method.
+[[nodiscard]] double forward_difference(const ScalarFn& f, double x, double h);
+
+/// Central difference (f(x+h) - f(x-h)) / (2h); O(h^2) accurate.
+[[nodiscard]] double central_difference(const ScalarFn& f, double x, double h);
+
+/// Richardson-extrapolated central difference: combines step sizes h and h/2
+/// to cancel the leading error term; O(h^4) accurate.
+[[nodiscard]] double richardson_derivative(const ScalarFn& f, double x,
+                                           double h);
+
+/// A reasonable step for differencing around `x`: relative to |x| with an
+/// absolute floor, tuned for functions evaluated in double precision.
+[[nodiscard]] double default_step(double x) noexcept;
+
+}  // namespace xbar::num

@@ -1,0 +1,54 @@
+// Compensated (Neumaier) summation.
+//
+// The brute-force solver and the simulator's time-weighted statistics both
+// accumulate millions of terms that span many orders of magnitude; naive
+// summation loses the small terms that carry the blocking-probability signal.
+
+#pragma once
+
+namespace xbar::num {
+
+/// Running sum with Neumaier compensation (a variant of Kahan summation that
+/// also handles the case where the addend is larger than the running sum).
+class KahanSum {
+ public:
+  constexpr KahanSum() noexcept = default;
+
+  /// Start from an initial value.
+  explicit constexpr KahanSum(double initial) noexcept : sum_(initial) {}
+
+  /// Add one term.
+  constexpr void add(double term) noexcept {
+    const double t = sum_ + term;
+    const double abs_sum = sum_ < 0 ? -sum_ : sum_;
+    const double abs_term = term < 0 ? -term : term;
+    if (abs_sum >= abs_term) {
+      compensation_ += (sum_ - t) + term;
+    } else {
+      compensation_ += (term - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanSum& operator+=(double term) noexcept {
+    add(term);
+    return *this;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] constexpr double value() const noexcept {
+    return sum_ + compensation_;
+  }
+
+  /// Reset to zero.
+  constexpr void reset() noexcept {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace xbar::num

@@ -1,0 +1,62 @@
+// Log-domain arithmetic for non-negative reals.
+//
+// The brute-force reference solver enumerates the full state space Γ(N) and
+// sums terms like N1! N2! prod_r Phi_r(k_r) / ((N1-kA)! (N2-kA)!).  Working
+// with natural logs keeps every intermediate finite and gives an independent
+// numerical path against which both paper algorithms are validated.
+
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace xbar::num {
+
+/// `log(exp(a) + exp(b))` computed without overflow.  Either argument may be
+/// -inf (representing zero).
+[[nodiscard]] inline double log_add(double a, double b) noexcept {
+  if (a == -std::numeric_limits<double>::infinity()) {
+    return b;
+  }
+  if (b == -std::numeric_limits<double>::infinity()) {
+    return a;
+  }
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+/// `log(exp(a) - exp(b))` for a >= b; returns -inf when a == b.
+/// Precondition: a >= b (the difference must be non-negative).
+[[nodiscard]] inline double log_sub(double a, double b) noexcept {
+  if (b == -std::numeric_limits<double>::infinity()) {
+    return a;
+  }
+  if (a <= b) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return a + std::log1p(-std::exp(b - a));
+}
+
+/// Accumulator for `log(sum_i exp(x_i))` built incrementally.
+class LogSum {
+ public:
+  constexpr LogSum() noexcept = default;
+
+  /// Add a term given as its natural log (-inf adds zero).
+  void add_log(double log_term) noexcept { value_ = log_add(value_, log_term); }
+
+  /// Add a positive term given in linear domain.
+  void add(double term) noexcept { add_log(std::log(term)); }
+
+  /// `log` of the accumulated sum (-inf if empty/zero).
+  [[nodiscard]] double log_value() const noexcept { return value_; }
+
+  /// Linear value of the sum; may overflow to +inf for huge sums.
+  [[nodiscard]] double value() const noexcept { return std::exp(value_); }
+
+ private:
+  double value_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace xbar::num

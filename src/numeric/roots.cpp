@@ -1,0 +1,132 @@
+#include "numeric/roots.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace xbar::num {
+
+namespace {
+
+bool opposite_signs(double a, double b) noexcept {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+}  // namespace
+
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const RootOptions& options) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (!opposite_signs(flo, fhi)) {
+    return std::nullopt;
+  }
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.x = mid;
+    result.f = fmid;
+    result.iterations = i + 1;
+    if (std::fabs(fmid) <= options.f_tolerance ||
+        (hi - lo) * 0.5 <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return result;
+}
+
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (!opposite_signs(fa, fb)) {
+    return std::nullopt;
+  }
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  bool used_bisection = true;
+
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    result.iterations = i + 1;
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = 0.5 * (a + b);
+    const bool s_outside = !((s > mid && s < b) || (s < mid && s > b));
+    const double step_prev = std::fabs(used_bisection ? b - c : d);
+    if (s_outside || std::fabs(s - b) >= 0.5 * step_prev) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    result.x = b;
+    result.f = fb;
+    if (std::fabs(fb) <= options.f_tolerance ||
+        std::fabs(b - a) <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double initial_width,
+    int max_growth) {
+  const double flo = f(lo);
+  double width = initial_width;
+  for (int i = 0; i < max_growth; ++i) {
+    const double hi = lo + width;
+    const double fhi = f(hi);
+    if (opposite_signs(flo, fhi)) {
+      return std::make_pair(lo, hi);
+    }
+    width *= 2.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xbar::num

@@ -1,0 +1,48 @@
+// Bracketing root finders.
+//
+// Used by the workload calibration layer to invert the model: e.g. "what
+// offered load alpha~ drives a 64x64 switch to 0.5% blocking?" (the operating
+// point the paper's figures are tuned to).
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace xbar::num {
+
+/// Options for the root finders.
+struct RootOptions {
+  double x_tolerance = 1e-12;   ///< Stop when the bracket is this narrow.
+  double f_tolerance = 0.0;     ///< Stop when |f| falls below this.
+  int max_iterations = 200;     ///< Hard iteration cap.
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;         ///< Best estimate of the root.
+  double f = 0.0;         ///< f(x) at the estimate.
+  int iterations = 0;     ///< Iterations consumed.
+  bool converged = false; ///< True if a tolerance was met within the cap.
+};
+
+/// Bisection on [lo, hi].  Requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be zero); returns nullopt if the bracket is invalid.
+[[nodiscard]] std::optional<RootResult> bisect(
+    const std::function<double(double)>& f, double lo, double hi,
+    const RootOptions& options = {});
+
+/// Brent's method on [lo, hi]: inverse-quadratic/secant steps guarded by
+/// bisection.  Same bracketing requirement as `bisect`.
+[[nodiscard]] std::optional<RootResult> brent(
+    const std::function<double(double)>& f, double lo, double hi,
+    const RootOptions& options = {});
+
+/// Grow `hi` geometrically from `lo` until f changes sign, then return the
+/// bracket.  Returns nullopt if no sign change is found within `max_growth`
+/// doublings.
+[[nodiscard]] std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double initial_width,
+    int max_growth = 60);
+
+}  // namespace xbar::num

@@ -1,0 +1,223 @@
+#include "numeric/scaled_float.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace xbar::num {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453094;
+constexpr double kLog10Of2 = 0.3010299956639811952;
+}  // namespace
+
+ScaledFloat::ScaledFloat(double value) {
+  assert(std::isfinite(value));
+  if (value == 0.0) {
+    return;
+  }
+  int e = 0;
+  mantissa_ = std::frexp(value, &e);  // preserves sign
+  exponent_ = e;
+}
+
+ScaledFloat ScaledFloat::from_mantissa_exp(double mantissa,
+                                           std::int64_t exp2) {
+  ScaledFloat r;
+  r.mantissa_ = mantissa;
+  r.exponent_ = exp2;
+  r.normalize();
+  return r;
+}
+
+ScaledFloat ScaledFloat::from_log(double log_value) {
+  if (log_value == -std::numeric_limits<double>::infinity()) {
+    return ScaledFloat{};
+  }
+  // log_value = ln(m * 2^e) = ln m + e ln 2.  Pick e = floor(log2) and
+  // exponentiate the (small) remainder.
+  const double log2v = log_value / kLn2;
+  const auto e = static_cast<std::int64_t>(std::floor(log2v));
+  const double m = std::exp(log_value - static_cast<double>(e) * kLn2);
+  return from_mantissa_exp(m, e);
+}
+
+void ScaledFloat::normalize() noexcept {
+  assert(std::isfinite(mantissa_));
+  if (mantissa_ == 0.0) {
+    mantissa_ = 0.0;  // normalize -0.0 too
+    exponent_ = 0;
+    return;
+  }
+  int shift = 0;
+  mantissa_ = std::frexp(mantissa_, &shift);
+  exponent_ += shift;
+}
+
+double ScaledFloat::to_double() const noexcept {
+  if (mantissa_ == 0.0) {
+    return 0.0;
+  }
+  if (exponent_ > std::numeric_limits<double>::max_exponent) {
+    return mantissa_ > 0 ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+  }
+  if (exponent_ < std::numeric_limits<double>::min_exponent -
+                      std::numeric_limits<double>::digits) {
+    return 0.0;
+  }
+  return std::ldexp(mantissa_, static_cast<int>(exponent_));
+}
+
+double ScaledFloat::log() const noexcept {
+  assert(mantissa_ >= 0.0);
+  if (mantissa_ <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::log(mantissa_) + static_cast<double>(exponent_) * kLn2;
+}
+
+double ScaledFloat::log10() const noexcept {
+  assert(mantissa_ >= 0.0);
+  if (mantissa_ <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::log10(mantissa_) + static_cast<double>(exponent_) * kLog10Of2;
+}
+
+ScaledFloat ScaledFloat::abs() const noexcept {
+  ScaledFloat r = *this;
+  r.mantissa_ = std::fabs(r.mantissa_);
+  return r;
+}
+
+ScaledFloat ScaledFloat::operator-() const noexcept {
+  ScaledFloat r = *this;
+  r.mantissa_ = -r.mantissa_;
+  return r;
+}
+
+ScaledFloat& ScaledFloat::operator+=(const ScaledFloat& rhs) noexcept {
+  if (rhs.mantissa_ == 0.0) {
+    return *this;
+  }
+  if (mantissa_ == 0.0) {
+    *this = rhs;
+    return *this;
+  }
+  // Align to the larger exponent; if the gap exceeds double precision the
+  // smaller operand vanishes, which is the mathematically correct rounding.
+  const ScaledFloat& hi = (exponent_ >= rhs.exponent_) ? *this : rhs;
+  const ScaledFloat& lo = (exponent_ >= rhs.exponent_) ? rhs : *this;
+  const std::int64_t gap = hi.exponent_ - lo.exponent_;
+  double sum = hi.mantissa_;
+  if (gap <= std::numeric_limits<double>::digits + 1) {
+    sum += std::ldexp(lo.mantissa_, -static_cast<int>(gap));
+  }
+  const std::int64_t e = hi.exponent_;
+  mantissa_ = sum;
+  exponent_ = e;
+  normalize();
+  return *this;
+}
+
+ScaledFloat& ScaledFloat::operator-=(const ScaledFloat& rhs) noexcept {
+  return *this += -rhs;
+}
+
+ScaledFloat& ScaledFloat::operator*=(const ScaledFloat& rhs) noexcept {
+  if (mantissa_ == 0.0 || rhs.mantissa_ == 0.0) {
+    mantissa_ = 0.0;
+    exponent_ = 0;
+    return *this;
+  }
+  mantissa_ *= rhs.mantissa_;  // |m| in [0.25, 1): no overflow possible
+  exponent_ += rhs.exponent_;
+  normalize();
+  return *this;
+}
+
+ScaledFloat& ScaledFloat::operator/=(const ScaledFloat& rhs) noexcept {
+  assert(!rhs.is_zero());
+  if (mantissa_ == 0.0) {
+    return *this;
+  }
+  mantissa_ /= rhs.mantissa_;  // |m| in (0.5, 2): no overflow possible
+  exponent_ -= rhs.exponent_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const ScaledFloat& a,
+                                 const ScaledFloat& b) noexcept {
+  const int sa = a.sign();
+  const int sb = b.sign();
+  if (sa != sb) {
+    return sa < sb ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (sa == 0) {
+    return std::strong_ordering::equal;
+  }
+  // Same nonzero sign: compare magnitudes, flipping for negatives.
+  std::strong_ordering mag = std::strong_ordering::equal;
+  if (a.exponent_ != b.exponent_) {
+    mag = a.exponent_ < b.exponent_ ? std::strong_ordering::less
+                                    : std::strong_ordering::greater;
+  } else {
+    const double ma = std::fabs(a.mantissa_);
+    const double mb = std::fabs(b.mantissa_);
+    if (ma < mb) {
+      mag = std::strong_ordering::less;
+    } else if (ma > mb) {
+      mag = std::strong_ordering::greater;
+    }
+  }
+  if (sa > 0) {
+    return mag;
+  }
+  if (mag == std::strong_ordering::less) {
+    return std::strong_ordering::greater;
+  }
+  if (mag == std::strong_ordering::greater) {
+    return std::strong_ordering::less;
+  }
+  return std::strong_ordering::equal;
+}
+
+double ScaledFloat::ratio(const ScaledFloat& a, const ScaledFloat& b) noexcept {
+  if (b.is_zero()) {
+    if (a.is_zero()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return a.sign() > 0 ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+  }
+  if (a.is_zero()) {
+    return 0.0;
+  }
+  const std::int64_t gap = a.exponent_ - b.exponent_;
+  const double m = a.mantissa_ / b.mantissa_;
+  if (gap > std::numeric_limits<double>::max_exponent) {
+    return m > 0 ? std::numeric_limits<double>::infinity()
+                 : -std::numeric_limits<double>::infinity();
+  }
+  if (gap < std::numeric_limits<double>::min_exponent -
+                std::numeric_limits<double>::digits) {
+    return 0.0;
+  }
+  return std::ldexp(m, static_cast<int>(gap));
+}
+
+std::ostream& operator<<(std::ostream& os, const ScaledFloat& v) {
+  if (v.is_zero()) {
+    return os << "0";
+  }
+  if (v.sign() < 0) {
+    os << "-";
+  }
+  const double l10 = v.abs().log10();
+  const double e = std::floor(l10);
+  const double m = std::pow(10.0, l10 - e);
+  return os << m << "e" << static_cast<long long>(e);
+}
+
+}  // namespace xbar::num

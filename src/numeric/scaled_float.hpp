@@ -1,0 +1,119 @@
+// Extended-range floating point.
+//
+// The normalization function G(N) of the crossbar model (paper eq. 3) mixes
+// factorial terms with products of per-class loads that can be as small as
+// 1e-7, so a direct evaluation over- or under-flows IEEE double well before
+// the system sizes the paper reports (N = 256).  Section 6 of the paper
+// proposes dynamic scaling by a factor "omega"; `ScaledFloat` is the
+// systematic version of that idea: every value carries its own 64-bit binary
+// exponent, giving ~2^63 binades of range while retaining full double
+// precision in the mantissa.
+//
+// Values are signed: smooth (Bernoulli) traffic has beta < 0, which makes
+// the V-recursion of Algorithm 1 an alternating sum.
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace xbar::num {
+
+/// A real number `mantissa * 2^exponent` with |mantissa| in [0.5, 1) (or
+/// exactly 0).  Supports the arithmetic the model's recurrences need:
+/// addition, subtraction, multiplication, division, comparisons and
+/// conversion to/from `double` and natural log.
+class ScaledFloat {
+ public:
+  /// Zero.
+  constexpr ScaledFloat() noexcept = default;
+
+  /// Construct from a finite double.
+  explicit ScaledFloat(double value);
+
+  /// Named constructor from `mantissa * 2^exp2`; any finite mantissa is
+  /// accepted and renormalized.
+  static ScaledFloat from_mantissa_exp(double mantissa, std::int64_t exp2);
+
+  /// Named constructor for `exp(log_value)`; accepts any finite double and
+  /// -inf (maps to zero).  Useful to ingest log-domain results.
+  static ScaledFloat from_log(double log_value);
+
+  /// One.
+  static ScaledFloat one() { return ScaledFloat{1.0}; }
+
+  /// True iff the value is exactly zero.
+  [[nodiscard]] bool is_zero() const noexcept { return mantissa_ == 0.0; }
+
+  /// -1, 0 or +1.
+  [[nodiscard]] int sign() const noexcept {
+    return mantissa_ > 0.0 ? 1 : (mantissa_ < 0.0 ? -1 : 0);
+  }
+
+  /// Signed mantissa with |m| in [0.5, 1) (0 iff the value is zero).
+  [[nodiscard]] double mantissa() const noexcept { return mantissa_; }
+
+  /// Binary exponent (0 iff the value is zero).
+  [[nodiscard]] std::int64_t exponent2() const noexcept { return exponent_; }
+
+  /// Nearest double; saturates to +/-inf or 0 when out of double range.
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Natural logarithm; requires a non-negative value (-inf for zero).
+  [[nodiscard]] double log() const noexcept;
+
+  /// Base-10 logarithm; requires a non-negative value (-inf for zero).
+  [[nodiscard]] double log10() const noexcept;
+
+  /// Absolute value.
+  [[nodiscard]] ScaledFloat abs() const noexcept;
+
+  ScaledFloat operator-() const noexcept;
+
+  ScaledFloat& operator+=(const ScaledFloat& rhs) noexcept;
+  ScaledFloat& operator-=(const ScaledFloat& rhs) noexcept;
+  ScaledFloat& operator*=(const ScaledFloat& rhs) noexcept;
+  ScaledFloat& operator/=(const ScaledFloat& rhs) noexcept;
+
+  friend ScaledFloat operator+(ScaledFloat a, const ScaledFloat& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend ScaledFloat operator-(ScaledFloat a, const ScaledFloat& b) noexcept {
+    a -= b;
+    return a;
+  }
+  friend ScaledFloat operator*(ScaledFloat a, const ScaledFloat& b) noexcept {
+    a *= b;
+    return a;
+  }
+  friend ScaledFloat operator/(ScaledFloat a, const ScaledFloat& b) noexcept {
+    a /= b;
+    return a;
+  }
+
+  /// Exact ordering (compares as real numbers).
+  friend std::strong_ordering operator<=>(const ScaledFloat& a,
+                                          const ScaledFloat& b) noexcept;
+  friend bool operator==(const ScaledFloat& a, const ScaledFloat& b) noexcept {
+    return a.mantissa_ == b.mantissa_ && a.exponent_ == b.exponent_;
+  }
+
+  /// `a/b` as a double, valid whenever the *ratio* is in double range even if
+  /// neither operand is.  Division by zero yields +/-inf (or NaN for 0/0),
+  /// mirroring IEEE semantics.
+  static double ratio(const ScaledFloat& a, const ScaledFloat& b) noexcept;
+
+ private:
+  void normalize() noexcept;
+
+  double mantissa_ = 0.0;       // 0, or |m| in [0.5, 1), sign carried here
+  std::int64_t exponent_ = 0;   // value = mantissa_ * 2^exponent_
+};
+
+std::ostream& operator<<(std::ostream& os, const ScaledFloat& v);
+
+}  // namespace xbar::num

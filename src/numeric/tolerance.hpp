@@ -1,0 +1,29 @@
+// Approximate floating-point comparison helpers shared by tests and the
+// algorithm cross-validation layer.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace xbar::num {
+
+/// True when `a` and `b` agree within `rel` relative tolerance or `abs`
+/// absolute tolerance (whichever is looser) — the standard combined test.
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel = 1e-9,
+                                       double abs = 1e-12) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) {
+    return true;
+  }
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel * scale;
+}
+
+/// Relative error |a-b| / max(|b|, floor); convenient for reporting.
+[[nodiscard]] inline double relative_error(double a, double b,
+                                           double floor = 1e-300) noexcept {
+  return std::fabs(a - b) / std::max(std::fabs(b), floor);
+}
+
+}  // namespace xbar::num

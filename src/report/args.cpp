@@ -1,0 +1,49 @@
+#include "report/args.hpp"
+
+#include <cstdlib>
+
+namespace xbar::report {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_.emplace(arg.substr(2), "");
+      } else {
+        flags_.emplace(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) {
+    return fallback;
+  }
+  return std::strtod(v->c_str(), nullptr);
+}
+
+unsigned Args::get_unsigned(const std::string& key, unsigned fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) {
+    return fallback;
+  }
+  return static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 10));
+}
+
+bool Args::has(const std::string& key) const { return flags_.contains(key); }
+
+}  // namespace xbar::report

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Accepts --key=value and --flag forms; anything else is a positional.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xbar::report {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Value of --key=value, if present.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// --key=value parsed as double, or `fallback`.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// --key=value parsed as unsigned, or `fallback`.
+  [[nodiscard]] unsigned get_unsigned(const std::string& key,
+                                      unsigned fallback) const;
+
+  /// True when --key was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Non-flag arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace xbar::report

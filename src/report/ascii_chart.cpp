@@ -1,0 +1,117 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace xbar::report {
+
+namespace {
+
+constexpr std::string_view kGlyphs = "*+xo#@%&";
+
+double transform(double y, Scale scale) {
+  if (scale == Scale::kLog10) {
+    return y > 0.0 ? std::log10(y) : std::numeric_limits<double>::quiet_NaN();
+  }
+  return y;
+}
+
+std::string format_tick(double value, Scale scale) {
+  std::ostringstream os;
+  os.precision(3);
+  if (scale == Scale::kLog10) {
+    os << std::scientific << std::pow(10.0, value);
+  } else {
+    os << std::scientific << value;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void render_chart(std::ostream& os, const std::vector<Series>& series,
+                  const ChartOptions& options) {
+  // Determine data ranges in transformed coordinates.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double ty = transform(s.y[i], options.scale);
+      if (std::isnan(ty)) {
+        continue;
+      }
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_min = std::min(y_min, ty);
+      y_max = std::max(y_max, ty);
+    }
+  }
+  if (!(x_min <= x_max) || !(y_min <= y_max)) {
+    os << "(no data)\n";
+    return;
+  }
+  if (x_max == x_min) {
+    x_max = x_min + 1.0;
+  }
+  if (y_max == y_min) {
+    y_max = y_min + 1.0;
+  }
+
+  const unsigned w = options.width;
+  const unsigned h = options.height;
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % kGlyphs.size()];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double ty = transform(s.y[i], options.scale);
+      if (std::isnan(ty)) {
+        continue;
+      }
+      const auto col = static_cast<unsigned>(
+          std::lround((s.x[i] - x_min) / (x_max - x_min) * (w - 1)));
+      const auto row = static_cast<unsigned>(
+          std::lround((ty - y_min) / (y_max - y_min) * (h - 1)));
+      canvas[h - 1 - row][col] = glyph;
+    }
+  }
+
+  if (!options.title.empty()) {
+    os << options.title << '\n';
+  }
+  const std::string y_hi = format_tick(y_max, options.scale);
+  const std::string y_lo = format_tick(y_min, options.scale);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size());
+  for (unsigned r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) {
+      label = y_hi + std::string(margin - y_hi.size(), ' ');
+    } else if (r == h - 1) {
+      label = y_lo + std::string(margin - y_lo.size(), ' ');
+    }
+    os << label << " |" << canvas[r] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+' << std::string(w, '-') << '\n';
+  std::ostringstream xs;
+  xs.precision(4);
+  xs << x_min;
+  std::ostringstream xe;
+  xe.precision(4);
+  xe << x_max;
+  os << std::string(margin + 2, ' ') << xs.str() << " <- " << options.x_label
+     << " -> " << xe.str() << '\n';
+  os << "  y: " << options.y_label
+     << (options.scale == Scale::kLog10 ? " (log scale)" : "") << "   legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % kGlyphs.size()] << "=" << series[si].label;
+  }
+  os << '\n';
+}
+
+}  // namespace xbar::report

@@ -1,0 +1,39 @@
+// Terminal line charts: the closest a bench binary can get to "regenerating
+// a figure".  Multiple named series share one canvas; linear or log-10
+// vertical scale (the paper plots blocking on a linear 1e-3 scale, but the
+// peaky sweeps span decades and read better in log).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xbar::report {
+
+/// Vertical axis scaling.
+enum class Scale { kLinear, kLog10 };
+
+/// One plotted series.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render options.
+struct ChartOptions {
+  unsigned width = 72;    ///< plot area columns
+  unsigned height = 20;   ///< plot area rows
+  Scale scale = Scale::kLinear;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Scatter/line chart of the series onto `os`.  Each series is drawn with
+/// its own glyph and listed in a legend.  X is always linear.
+void render_chart(std::ostream& os, const std::vector<Series>& series,
+                  const ChartOptions& options);
+
+}  // namespace xbar::report

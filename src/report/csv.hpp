@@ -1,0 +1,27 @@
+// Minimal CSV writer: every bench also emits machine-readable data next to
+// its human-readable table so results can be post-processed/plotted.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xbar::report {
+
+/// Streams rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one row.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ostream& os_;
+};
+
+}  // namespace xbar::report

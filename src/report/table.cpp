@@ -1,0 +1,75 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xbar::report {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  if (alignments_.empty()) {
+    alignments_.assign(headers_.size(), Align::kRight);
+  }
+  if (alignments_.size() != headers_.size()) {
+    throw std::invalid_argument("Table: alignment/header count mismatch");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::sci(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::scientific << value;
+  return os.str();
+}
+
+std::string Table::integer(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << (c == 0 ? "" : "  ");
+      if (alignments_[c] == Align::kRight) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = headers_.empty() ? 0 : (headers_.size() - 1) * 2;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace xbar::report

@@ -1,0 +1,47 @@
+// Fixed-width text tables for the benchmark harnesses, mirroring the
+// paper's table layout.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xbar::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple column-oriented table: declare headers, append rows of cells,
+/// print with automatic width computation.
+class Table {
+ public:
+  /// Declare the columns; alignment defaults to right (numeric).
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> alignments = {});
+
+  /// Append one row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` significant digits (general format).
+  static std::string num(double value, int precision = 6);
+
+  /// Format a double in scientific notation.
+  static std::string sci(double value, int precision = 5);
+
+  /// Format an integer.
+  static std::string integer(long long value);
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xbar::report

@@ -1,0 +1,103 @@
+// Discrete-event calendar.
+//
+// A binary-heap future-event list with O(log n) schedule/pop and O(1)
+// cancellation (lazy: cancelled entries are dropped when they surface).
+// Ties in time break by schedule order, making runs deterministic.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace xbar::sim {
+
+/// Handle to a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Priority queue of (time, payload) with cancellation.
+template <typename Payload>
+class EventQueue {
+ public:
+  /// Schedule `payload` at absolute `time`; returns a cancellable handle.
+  EventId schedule(double time, Payload payload) {
+    const EventId id{next_id_++};
+    heap_.push(Entry{time, id.value, std::move(payload)});
+    ++live_;
+    return id;
+  }
+
+  /// Cancel a previously scheduled event.  Cancelling an already-fired or
+  /// already-cancelled event is harmless (idempotent).
+  void cancel(EventId id) {
+    if (cancelled_.insert(id.value).second && live_ > 0) {
+      --live_;
+    }
+  }
+
+  /// Earliest pending event time, if any.
+  [[nodiscard]] std::optional<double> peek_time() {
+    skip_cancelled();
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    return heap_.top().time;
+  }
+
+  /// Pop the earliest pending event.
+  std::optional<std::pair<double, Payload>> pop() {
+    skip_cancelled();
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return std::make_pair(top.time, std::move(top.payload));
+  }
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t id;
+    Payload payload;
+
+    // Min-heap via std::priority_queue's max-heap + inverted comparison;
+    // id tiebreak keeps FIFO order for simultaneous events.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) {
+        return;
+      }
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace xbar::sim

@@ -1,0 +1,110 @@
+#include "sim/replication.hpp"
+
+#include <thread>
+
+#include "fabric/crossbar.hpp"
+
+namespace xbar::sim {
+
+namespace {
+
+// Combine per-replication point estimates into a Student-t interval.
+Estimate combine(const std::vector<double>& values) {
+  BatchMeans bm;
+  for (const double v : values) {
+    bm.add(v);
+  }
+  return bm.estimate();
+}
+
+}  // namespace
+
+ReplicationResult run_replications(const core::CrossbarModel& model,
+                                   const FabricFactory& factory,
+                                   const ReplicationConfig& config) {
+  const std::size_t R = model.num_classes();
+  const std::size_t reps = config.replications;
+  std::vector<SimulationResult> results(reps);
+
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, reps));
+
+  // Static partition of replications over worker threads; each replication
+  // owns its fabric and RNG stream, so there is no shared mutable state.
+  const auto worker = [&](unsigned tid) {
+    for (std::size_t rep = tid; rep < reps; rep += threads) {
+      auto fabric = factory(rep);
+      SimulationConfig sim_cfg = config.sim;
+      sim_cfg.seed = config.sim.seed + 0x9E3779B9u * (rep + 1);
+      Simulator simulator(model, *fabric, sim_cfg);
+      if (config.service_factory) {
+        for (std::size_t r = 0; r < R; ++r) {
+          simulator.set_service_distribution(
+              r, config.service_factory(r, model.normalized(r).mu));
+        }
+      }
+      results[rep] = simulator.run();
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned tid = 0; tid < threads; ++tid) {
+      pool.emplace_back(worker, tid);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+
+  ReplicationResult agg;
+  agg.replications = reps;
+  agg.per_class.resize(R);
+  std::vector<double> util;
+  util.reserve(reps);
+  for (const auto& res : results) {
+    agg.total_events += res.events;
+    util.push_back(res.utilization.mean);
+  }
+  agg.utilization = combine(util);
+  for (std::size_t r = 0; r < R; ++r) {
+    std::vector<double> cc;
+    std::vector<double> tc;
+    std::vector<double> conc;
+    for (const auto& res : results) {
+      const auto& c = res.per_class[r];
+      if (c.offered > 0) {
+        cc.push_back(static_cast<double>(c.blocked) /
+                     static_cast<double>(c.offered));
+      }
+      tc.push_back(c.time_congestion.mean);
+      conc.push_back(c.concurrency.mean);
+      agg.per_class[r].offered += c.offered;
+      agg.per_class[r].blocked += c.blocked;
+    }
+    agg.per_class[r].call_congestion = combine(cc);
+    agg.per_class[r].time_congestion = combine(tc);
+    agg.per_class[r].concurrency = combine(conc);
+  }
+  return agg;
+}
+
+ReplicationResult run_crossbar_replications(const core::CrossbarModel& model,
+                                            const ReplicationConfig& config) {
+  const core::Dims dims = model.dims();
+  return run_replications(
+      model,
+      [dims](std::size_t) {
+        return std::make_unique<fabric::CrossbarFabric>(dims.n1, dims.n2);
+      },
+      config);
+}
+
+}  // namespace xbar::sim

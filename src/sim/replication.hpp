@@ -1,0 +1,64 @@
+// Independent replications.
+//
+// Batch means within one run can correlate at high load; running R
+// independent replications (distinct seed streams) and forming the
+// Student-t interval over replication means is the standard, more robust
+// alternative.  This layer also parallelizes trivially.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "dist/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace xbar::sim {
+
+/// How each replication builds its fabric: called with the replication
+/// index, must return a fresh idle fabric of the model's dimensions.
+using FabricFactory =
+    std::function<std::unique_ptr<fabric::SwitchFabric>(std::size_t rep)>;
+
+/// Optional per-replication service-distribution override for one class.
+using ServiceFactory = std::function<std::unique_ptr<dist::ServiceDistribution>(
+    std::size_t cls, double mu)>;
+
+/// Aggregated per-class statistics across replications.
+struct ClassReplicationStats {
+  Estimate call_congestion;
+  Estimate time_congestion;
+  Estimate concurrency;
+  std::uint64_t offered = 0;
+  std::uint64_t blocked = 0;
+};
+
+/// Aggregated result of a replication study.
+struct ReplicationResult {
+  std::vector<ClassReplicationStats> per_class;
+  Estimate utilization;
+  std::uint64_t total_events = 0;
+  std::size_t replications = 0;
+};
+
+/// Options for a replication study.
+struct ReplicationConfig {
+  std::size_t replications = 5;
+  SimulationConfig sim;  ///< per-replication run lengths; seed is offset
+  ServiceFactory service_factory;  ///< nullptr => exponential
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Run `config.replications` independent simulations of `model` (each on a
+/// fresh fabric from `factory`) and combine replication means.
+[[nodiscard]] ReplicationResult run_replications(
+    const core::CrossbarModel& model, const FabricFactory& factory,
+    const ReplicationConfig& config);
+
+/// Convenience: replications on fresh CrossbarFabric instances.
+[[nodiscard]] ReplicationResult run_crossbar_replications(
+    const core::CrossbarModel& model, const ReplicationConfig& config);
+
+}  // namespace xbar::sim

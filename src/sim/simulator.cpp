@@ -1,0 +1,326 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/combinatorics.hpp"
+#include "sim/event_queue.hpp"
+
+namespace xbar::sim {
+
+namespace {
+
+enum class EventKind { kArrival, kCompletion };
+
+struct Event {
+  EventKind kind = EventKind::kArrival;
+  std::uint32_t cls = 0;
+  fabric::CircuitId circuit;
+};
+
+// Per-batch accumulators, reset at each batch boundary.
+struct BatchAccum {
+  std::vector<double> kr_dt;     // integral of k_r over the batch
+  std::vector<double> probe_dt;  // integral of the B_r probe
+  std::vector<std::uint64_t> offered;
+  std::vector<std::uint64_t> blocked;
+  double port_dt = 0.0;  // integral of busy-port count
+  double span = 0.0;     // batch duration actually accumulated
+
+  explicit BatchAccum(std::size_t R)
+      : kr_dt(R, 0.0), probe_dt(R, 0.0), offered(R, 0), blocked(R, 0) {}
+
+  void reset() {
+    std::fill(kr_dt.begin(), kr_dt.end(), 0.0);
+    std::fill(probe_dt.begin(), probe_dt.end(), 0.0);
+    std::fill(offered.begin(), offered.end(), 0);
+    std::fill(blocked.begin(), blocked.end(), 0);
+    port_dt = 0.0;
+    span = 0.0;
+  }
+};
+
+}  // namespace
+
+struct Simulator::Impl {
+  core::CrossbarModel model;
+  fabric::SwitchFabric& fabric;
+  SimulationConfig cfg;
+  dist::Xoshiro256 rng;
+  std::vector<std::unique_ptr<dist::ServiceDistribution>> services;
+  std::unique_ptr<OutputSelector> output_selector = make_uniform_selector();
+
+  // Dynamic state.
+  double now = 0.0;
+  std::vector<unsigned> k;        // active circuits per class
+  unsigned busy_ports = 0;        // sum a_r k_r
+  EventQueue<Event> queue;
+  std::vector<EventId> pending_arrival;
+  std::vector<bool> arrival_scheduled;
+  std::uint64_t events_processed = 0;
+  bool ran = false;
+
+  // Per-class constants.
+  std::vector<double> tuple_count;  // P(N1,a) P(N2,a)
+
+  // Output analysis.
+  BatchAccum accum;
+  std::vector<BatchMeans> bm_concurrency;
+  std::vector<BatchMeans> bm_call_congestion;
+  std::vector<BatchMeans> bm_time_congestion;
+  BatchMeans bm_utilization;
+  std::vector<std::uint64_t> total_offered;
+  std::vector<std::uint64_t> total_blocked;
+
+  Impl(const core::CrossbarModel& m, fabric::SwitchFabric& f,
+       SimulationConfig c)
+      : model(m),
+        fabric(f),
+        cfg(c),
+        rng(c.seed),
+        k(m.num_classes(), 0),
+        pending_arrival(m.num_classes()),
+        arrival_scheduled(m.num_classes(), false),
+        accum(m.num_classes()),
+        bm_concurrency(m.num_classes()),
+        bm_call_congestion(m.num_classes()),
+        bm_time_congestion(m.num_classes()),
+        total_offered(m.num_classes(), 0),
+        total_blocked(m.num_classes(), 0) {
+    if (fabric.num_inputs() != model.dims().n1 ||
+        fabric.num_outputs() != model.dims().n2) {
+      throw std::invalid_argument(
+          "Simulator: fabric dimensions do not match the model");
+    }
+    services.reserve(model.num_classes());
+    tuple_count.reserve(model.num_classes());
+    for (const auto& cls : model.normalized_classes()) {
+      services.push_back(dist::make_exponential(cls.mu));
+      tuple_count.push_back(
+          num::falling_factorial(model.dims().n1, cls.bandwidth) *
+          num::falling_factorial(model.dims().n2, cls.bandwidth));
+    }
+  }
+
+  // Total class-r arrival intensity in the current state.
+  [[nodiscard]] double arrival_rate(std::size_t r) const {
+    return tuple_count[r] * model.normalized(r).intensity(k[r]);
+  }
+
+  void schedule_arrival(std::size_t r) {
+    if (arrival_scheduled[r]) {
+      queue.cancel(pending_arrival[r]);
+      arrival_scheduled[r] = false;
+    }
+    const double rate = arrival_rate(r);
+    if (rate <= 0.0) {
+      return;  // Bernoulli population exhausted; resumes on next completion
+    }
+    pending_arrival[r] = queue.schedule(
+        now + rng.exponential(rate),
+        Event{EventKind::kArrival, static_cast<std::uint32_t>(r), {}});
+    arrival_scheduled[r] = true;
+  }
+
+  // a distinct uniform values in [0, n) — rejection is cheap for a << n.
+  void sample_distinct(unsigned n, unsigned a, std::vector<unsigned>& out) {
+    out.clear();
+    while (out.size() < a) {
+      const auto candidate = static_cast<unsigned>(rng.uniform_below(n));
+      if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+        out.push_back(candidate);
+      }
+    }
+  }
+
+  // Probe value whose time average is the non-blocking probability B_r.
+  [[nodiscard]] double probe(std::size_t r) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    const core::Dims d = model.dims();
+    if (busy_ports + a > d.cap()) {
+      return 0.0;
+    }
+    return num::falling_factorial(d.n1 - busy_ports, a) *
+           num::falling_factorial(d.n2 - busy_ports, a) / tuple_count[r];
+  }
+
+  // Accumulate the piecewise-constant state over [now, now + dt].
+  void accumulate(double dt) {
+    if (dt <= 0.0) {
+      return;
+    }
+    for (std::size_t r = 0; r < k.size(); ++r) {
+      accum.kr_dt[r] += static_cast<double>(k[r]) * dt;
+      accum.probe_dt[r] += probe(r) * dt;
+    }
+    accum.port_dt += static_cast<double>(busy_ports) * dt;
+    accum.span += dt;
+  }
+
+  void close_batch() {
+    const double span = accum.span;
+    if (span <= 0.0) {
+      accum.reset();
+      return;
+    }
+    for (std::size_t r = 0; r < k.size(); ++r) {
+      bm_concurrency[r].add(accum.kr_dt[r] / span);
+      bm_time_congestion[r].add(1.0 - accum.probe_dt[r] / span);
+      if (accum.offered[r] > 0) {
+        bm_call_congestion[r].add(static_cast<double>(accum.blocked[r]) /
+                                  static_cast<double>(accum.offered[r]));
+      }
+      total_offered[r] += accum.offered[r];
+      total_blocked[r] += accum.blocked[r];
+    }
+    bm_utilization.add(accum.port_dt /
+                       (span * static_cast<double>(model.dims().cap())));
+    accum.reset();
+  }
+
+  void handle_arrival(std::size_t r, bool measuring,
+                      std::vector<unsigned>& in_scratch,
+                      std::vector<unsigned>& out_scratch) {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (measuring) {
+      ++accum.offered[r];
+    }
+    sample_distinct(model.dims().n1, a, in_scratch);
+    output_selector->sample(rng, model.dims().n2, a, out_scratch);
+    const auto circuit = fabric.try_connect(in_scratch, out_scratch);
+    if (circuit) {
+      ++k[r];
+      busy_ports += a;
+      queue.schedule(now + services[r]->sample(rng),
+                     Event{EventKind::kCompletion,
+                           static_cast<std::uint32_t>(r), *circuit});
+    } else if (measuring) {
+      ++accum.blocked[r];
+    }
+    // The pending arrival was consumed, and the rate may have changed.
+    arrival_scheduled[r] = false;
+    schedule_arrival(r);
+  }
+
+  void handle_completion(std::size_t r, fabric::CircuitId circuit) {
+    fabric.release(circuit);
+    const unsigned a = model.normalized(r).bandwidth;
+    assert(k[r] > 0);
+    --k[r];
+    busy_ports -= a;
+    schedule_arrival(r);  // lambda_r(k_r) changed
+  }
+
+  SimulationResult run() {
+    if (ran) {
+      throw std::logic_error("Simulator::run may only be called once");
+    }
+    ran = true;
+
+    const double measure_start = cfg.warmup_time;
+    const double measure_end = cfg.warmup_time + cfg.measurement_time;
+    const double batch_len =
+        cfg.measurement_time / static_cast<double>(cfg.num_batches);
+    unsigned batch_idx = 0;
+
+    for (std::size_t r = 0; r < k.size(); ++r) {
+      schedule_arrival(r);
+    }
+
+    std::vector<unsigned> in_scratch;
+    std::vector<unsigned> out_scratch;
+
+    // Advance `now` to t2, splitting the span at batch boundaries.
+    const auto advance_to = [&](double t2) {
+      while (now < t2) {
+        if (now < measure_start) {
+          now = std::min(t2, measure_start);
+          continue;
+        }
+        if (batch_idx >= cfg.num_batches) {
+          now = t2;
+          break;
+        }
+        const double boundary =
+            measure_start + batch_len * static_cast<double>(batch_idx + 1);
+        const double seg_end = std::min(t2, boundary);
+        accumulate(seg_end - now);
+        now = seg_end;
+        if (now >= boundary) {
+          close_batch();
+          ++batch_idx;
+        }
+      }
+    };
+
+    while (true) {
+      auto ev = queue.pop();
+      if (!ev) {
+        advance_to(measure_end);
+        break;
+      }
+      const auto& [te, e] = *ev;
+      if (te >= measure_end) {
+        advance_to(measure_end);
+        break;
+      }
+      advance_to(te);
+      ++events_processed;
+      const bool measuring = te >= measure_start && batch_idx < cfg.num_batches;
+      if (e.kind == EventKind::kArrival) {
+        handle_arrival(e.cls, measuring, in_scratch, out_scratch);
+      } else {
+        handle_completion(e.cls, e.circuit);
+      }
+    }
+    // Close a final partial batch (possible only through float drift).
+    if (accum.span > 0.0) {
+      close_batch();
+    }
+
+    SimulationResult result;
+    result.simulated_time = cfg.measurement_time;
+    result.events = events_processed;
+    result.utilization = bm_utilization.estimate();
+    result.per_class.resize(k.size());
+    for (std::size_t r = 0; r < k.size(); ++r) {
+      ClassSimStats& s = result.per_class[r];
+      s.offered = total_offered[r];
+      s.blocked = total_blocked[r];
+      s.call_congestion = bm_call_congestion[r].estimate();
+      s.time_congestion = bm_time_congestion[r].estimate();
+      s.concurrency = bm_concurrency[r].estimate();
+    }
+    return result;
+  }
+};
+
+Simulator::Simulator(const core::CrossbarModel& model,
+                     fabric::SwitchFabric& fabric, SimulationConfig config)
+    : impl_(std::make_unique<Impl>(model, fabric, config)) {}
+
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+void Simulator::set_service_distribution(
+    std::size_t r, std::unique_ptr<dist::ServiceDistribution> d) {
+  if (!d) {
+    throw std::invalid_argument("null service distribution");
+  }
+  impl_->services.at(r) = std::move(d);
+}
+
+void Simulator::set_output_selector(std::unique_ptr<OutputSelector> selector) {
+  if (!selector) {
+    throw std::invalid_argument("null output selector");
+  }
+  impl_->output_selector = std::move(selector);
+}
+
+SimulationResult Simulator::run() { return impl_->run(); }
+
+}  // namespace xbar::sim

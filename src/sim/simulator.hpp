@@ -1,0 +1,98 @@
+// Discrete-event simulator of the asynchronous multi-rate crossbar.
+//
+// The paper's own future work: "comparing our analytical results with
+// simulation".  The simulator runs the *physical* process the product-form
+// model abstracts:
+//
+//   * class-r requests arrive with total intensity
+//       Lambda_r(k_r) = P(N1,a_r) P(N2,a_r) lambda_r(k_r)
+//     — the state-dependent BPP stream summed over every (ordered) choice
+//     of a_r inputs and a_r outputs;
+//   * each request names a_r uniformly random distinct inputs and outputs
+//     (uniform traffic); if any named port is busy — or, for a blocking
+//     fabric like the banyan, no internal path exists — the request is
+//     cleared (no buffering, the all-optical constraint);
+//   * accepted circuits hold their ports for a generally distributed time
+//     with mean 1/mu_r (insensitivity is exercised by swapping the service
+//     distribution).
+//
+// Measured per class, with batch-means confidence intervals:
+//   * concurrency  — time-average number of active circuits (model's E_r);
+//   * call congestion — blocked fraction of arrivals (equals 1 - B_r for
+//     Poisson classes by PASTA; differs for bursty classes);
+//   * time congestion — the virtual-probe estimator
+//       1 - E[ P(N1-u,a) P(N2-u,a) / (P(N1,a) P(N2,a)) ]
+//     whose expectation is exactly the model's 1 - B_r for any class.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "dist/rng.hpp"
+#include "dist/service.hpp"
+#include "fabric/switch_fabric.hpp"
+#include "sim/stats.hpp"
+#include "sim/traffic_pattern.hpp"
+
+namespace xbar::sim {
+
+/// Run-length and output-analysis knobs.
+struct SimulationConfig {
+  double warmup_time = 1'000.0;        ///< discarded transient, model time
+  double measurement_time = 10'000.0;  ///< observed window, model time
+  unsigned num_batches = 20;           ///< batch count for CIs
+  std::uint64_t seed = 0x5EEDu;        ///< RNG seed (replications offset it)
+};
+
+/// Per-class simulation output.
+struct ClassSimStats {
+  std::uint64_t offered = 0;  ///< arrivals during measurement
+  std::uint64_t blocked = 0;  ///< cleared during measurement
+  Estimate call_congestion;   ///< blocked / offered
+  Estimate time_congestion;   ///< probe estimate of 1 - B_r
+  Estimate concurrency;       ///< time-average k_r (model's E_r)
+};
+
+/// Whole-run simulation output.
+struct SimulationResult {
+  std::vector<ClassSimStats> per_class;
+  Estimate utilization;        ///< time-average busy-port fraction
+  double simulated_time = 0.0; ///< measurement window length
+  std::uint64_t events = 0;    ///< events processed (incl. warmup)
+};
+
+/// One simulation run over a caller-supplied fabric.
+class Simulator {
+ public:
+  /// The fabric must outlive the simulator and have dimensions matching the
+  /// model.  Service distributions default to Exponential(mu_r).
+  Simulator(const core::CrossbarModel& model, fabric::SwitchFabric& fabric,
+            SimulationConfig config);
+  ~Simulator();
+
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Replace class r's holding-time distribution (mean should stay 1/mu_r
+  /// for the analytic comparison to be meaningful — insensitivity).
+  void set_service_distribution(std::size_t r,
+                                std::unique_ptr<dist::ServiceDistribution> d);
+
+  /// Replace the output-port selection pattern (default: the paper's
+  /// uniform pattern, under which the analytic model is exact).
+  void set_output_selector(std::unique_ptr<OutputSelector> selector);
+
+  /// Run warmup + measurement and collect statistics.  May be called once.
+  [[nodiscard]] SimulationResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xbar::sim

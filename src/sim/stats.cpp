@@ -1,0 +1,84 @@
+#include "sim/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace xbar::sim {
+
+void BatchMeans::add(double batch_mean) { batches_.push_back(batch_mean); }
+
+Estimate BatchMeans::estimate() const {
+  Estimate e;
+  e.samples = batches_.size();
+  if (batches_.empty()) {
+    return e;
+  }
+  double sum = 0.0;
+  for (const double b : batches_) {
+    sum += b;
+  }
+  e.mean = sum / static_cast<double>(batches_.size());
+  if (batches_.size() < 2) {
+    return e;
+  }
+  double ss = 0.0;
+  for (const double b : batches_) {
+    const double d = b - e.mean;
+    ss += d * d;
+  }
+  const double var = ss / static_cast<double>(batches_.size() - 1);
+  const double sem = std::sqrt(var / static_cast<double>(batches_.size()));
+  e.half_width = student_t_975(batches_.size() - 1) * sem;
+  return e;
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  const std::size_t n = batches_.size();
+  if (n < 3) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (const double b : batches_) {
+    mean += b;
+  }
+  mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = batches_[i] - mean;
+    den += d * d;
+    if (i + 1 < n) {
+      num += d * (batches_[i + 1] - mean);
+    }
+  }
+  if (den == 0.0) {
+    return 0.0;
+  }
+  return num / den;
+}
+
+bool BatchMeans::batches_look_correlated() const {
+  const std::size_t n = batches_.size();
+  if (n < 3) {
+    return false;
+  }
+  const double band = 2.0 / std::sqrt(static_cast<double>(n));
+  return std::fabs(lag1_autocorrelation()) > band;
+}
+
+double student_t_975(std::size_t df) noexcept {
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) {
+    return kTable[1];  // degenerate; be conservative
+  }
+  if (df < kTable.size()) {
+    return kTable[df];
+  }
+  return 1.96;
+}
+
+}  // namespace xbar::sim

@@ -1,0 +1,64 @@
+// Output analysis for steady-state simulation.
+//
+// The simulator uses the method of batch means: the measurement window is
+// cut into B contiguous batches, each batch yields one (approximately
+// independent) average, and a Student-t interval over the B batch means
+// gives the confidence interval on the steady-state quantity.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xbar::sim {
+
+/// A point estimate with a symmetric confidence interval.
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< CI half width at the requested confidence
+  std::size_t samples = 0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+
+  /// True when `value` lies inside the interval.
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= lower() && value <= upper();
+  }
+};
+
+/// Collects batch means and forms the Student-t interval.
+class BatchMeans {
+ public:
+  /// Record one batch mean.
+  void add(double batch_mean);
+
+  /// Number of batches recorded.
+  [[nodiscard]] std::size_t count() const noexcept { return batches_.size(); }
+
+  /// Point estimate + 95% CI (two-sided Student t with count-1 df).
+  [[nodiscard]] Estimate estimate() const;
+
+  /// Raw batch means (for diagnostics).
+  [[nodiscard]] const std::vector<double>& batches() const noexcept {
+    return batches_;
+  }
+
+  /// Lag-1 autocorrelation of the batch means (0 with fewer than three
+  /// batches or zero variance).  The batch-means CI assumes independent
+  /// batches; a large |r1| means batches are too short.
+  [[nodiscard]] double lag1_autocorrelation() const;
+
+  /// Diagnostic: true when |r1| exceeds the ~95% noise band 2/sqrt(B),
+  /// i.e. the confidence interval should be treated as optimistic.
+  [[nodiscard]] bool batches_look_correlated() const;
+
+ private:
+  std::vector<double> batches_;
+};
+
+/// Two-sided 97.5% Student-t quantile for the given degrees of freedom
+/// (exact table for df <= 30, normal approximation beyond).
+[[nodiscard]] double student_t_975(std::size_t df) noexcept;
+
+}  // namespace xbar::sim

@@ -1,0 +1,77 @@
+#include "sim/traffic_pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace xbar::sim {
+
+namespace {
+
+void sample_uniform_distinct(dist::Xoshiro256& rng, unsigned n, unsigned a,
+                             std::vector<unsigned>& out) {
+  while (out.size() < a) {
+    const auto candidate = static_cast<unsigned>(rng.uniform_below(n));
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+}
+
+class UniformSelector final : public OutputSelector {
+ public:
+  void sample(dist::Xoshiro256& rng, unsigned n, unsigned a,
+              std::vector<unsigned>& out) override {
+    assert(a <= n);
+    out.clear();
+    sample_uniform_distinct(rng, n, a, out);
+  }
+  std::string name() const override { return "uniform"; }
+};
+
+class HotspotSelector final : public OutputSelector {
+ public:
+  HotspotSelector(double hot_fraction, unsigned hot_port)
+      : hot_fraction_(hot_fraction), hot_port_(hot_port) {
+    if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+      throw std::invalid_argument("hot_fraction must be in [0, 1]");
+    }
+  }
+
+  void sample(dist::Xoshiro256& rng, unsigned n, unsigned a,
+              std::vector<unsigned>& out) override {
+    assert(a <= n);
+    assert(hot_port_ < n);
+    out.clear();
+    // The hot port claims the first slot with probability hot_fraction;
+    // all remaining slots are uniform over the rest.
+    if (hot_fraction_ > 0.0 && rng.uniform01() < hot_fraction_) {
+      out.push_back(hot_port_);
+    }
+    sample_uniform_distinct(rng, n, a, out);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "hotspot(h=" << hot_fraction_ << ", port=" << hot_port_ << ")";
+    return os.str();
+  }
+
+ private:
+  double hot_fraction_;
+  unsigned hot_port_;
+};
+
+}  // namespace
+
+std::unique_ptr<OutputSelector> make_uniform_selector() {
+  return std::make_unique<UniformSelector>();
+}
+
+std::unique_ptr<OutputSelector> make_hotspot_selector(double hot_fraction,
+                                                      unsigned hot_port) {
+  return std::make_unique<HotspotSelector>(hot_fraction, hot_port);
+}
+
+}  // namespace xbar::sim

@@ -1,0 +1,44 @@
+// Output-port selection policies ("traffic patterns").
+//
+// The paper assumes a *uniform* pattern — every output equally likely —
+// which is what makes the product form exact.  The authors' companion work
+// (reference [28]) studies hot spots: a fraction of requests targeting one
+// favoured output.  The simulator supports pluggable patterns so the
+// uniform model's predictions can be stress-tested against non-uniform
+// reality (bench/hotspot_sim): the paper's model is exact under uniformity
+// and becomes an optimistic bound as a hot spot sharpens.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/rng.hpp"
+
+namespace xbar::sim {
+
+/// Chooses which `a` distinct output ports a connection request names.
+class OutputSelector {
+ public:
+  virtual ~OutputSelector() = default;
+
+  /// Fill `out` with `a` distinct ports in [0, n_outputs).
+  virtual void sample(dist::Xoshiro256& rng, unsigned n_outputs, unsigned a,
+                      std::vector<unsigned>& out) = 0;
+
+  /// Display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's uniform pattern (the default).
+[[nodiscard]] std::unique_ptr<OutputSelector> make_uniform_selector();
+
+/// Hot-spot pattern: each required output is the hot port with probability
+/// `hot_fraction` (falling back to uniform if the hot port is already in
+/// the request), uniform otherwise.  hot_fraction = 0 degenerates to the
+/// uniform pattern.
+[[nodiscard]] std::unique_ptr<OutputSelector> make_hotspot_selector(
+    double hot_fraction, unsigned hot_port = 0);
+
+}  // namespace xbar::sim

@@ -1,0 +1,68 @@
+#include "workload/bpp_source.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace xbar::workload {
+
+SourceTrace run_bpp_source(const dist::BppParams& params, double warmup,
+                           double horizon, std::uint64_t seed,
+                           std::size_t histogram_max) {
+  dist::Xoshiro256 rng(seed);
+  SourceTrace trace{.arrivals = {},
+                    .occupancy = {},
+                    .occupancy_histogram = dist::Histogram(histogram_max),
+                    .horizon = horizon};
+
+  // Min-heap of service completion times; size == number in service.
+  std::priority_queue<double, std::vector<double>, std::greater<>> completions;
+  double now = 0.0;
+  const double end = warmup + horizon;
+
+  // The histogram samples the occupancy at regular epochs, giving the
+  // *time-stationary* distribution (sampling at arrival epochs would be
+  // biased — peaky arrivals see more-than-average occupancy).
+  const double sample_step = horizon / 65536.0;
+  double next_sample = warmup;
+
+  while (now < end) {
+    const auto k = static_cast<unsigned>(completions.size());
+    const double rate = params.intensity(k);
+
+    const double t_arrival =
+        rate > 0.0 ? now + rng.exponential(rate)
+                   : std::numeric_limits<double>::infinity();
+    const double t_completion =
+        completions.empty() ? std::numeric_limits<double>::infinity()
+                            : completions.top();
+    const double t_next = std::min(t_arrival, t_completion);
+    if (t_next == std::numeric_limits<double>::infinity()) {
+      break;  // dead source (alpha <= 0 and no jobs): nothing more happens
+    }
+    const double segment_end = std::min(t_next, end);
+    if (segment_end > warmup) {
+      const double measured_from = std::max(now, warmup);
+      trace.occupancy.add(static_cast<double>(k), segment_end - measured_from);
+    }
+    while (next_sample < segment_end) {
+      trace.occupancy_histogram.add(k);
+      next_sample += sample_step;
+    }
+    now = t_next;
+    if (now >= end) {
+      break;
+    }
+    if (t_arrival <= t_completion) {
+      if (now >= warmup) {
+        trace.arrivals.push_back(TraceEvent{now - warmup, true});
+      }
+      completions.push(now + rng.exponential(params.mu));
+    } else {
+      completions.pop();
+    }
+  }
+  return trace;
+}
+
+}  // namespace xbar::workload

@@ -1,0 +1,44 @@
+// Stand-alone BPP traffic source (infinite-server semantics).
+//
+// A BPP stream is *defined* by its behaviour against an infinite server
+// group: arrivals at lambda(k) = alpha + beta k where k is the number in
+// service, exponential service at mu.  This module simulates exactly that,
+// producing arrival traces and occupancy statistics, so the distribution
+// layer's claims — occupancy is Binomial/Poisson/Pascal, peakedness is
+// Z = 1/(1 - beta/mu) — can be verified empirically, independent of any
+// switch.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/bpp.hpp"
+#include "dist/empirical.hpp"
+#include "dist/rng.hpp"
+
+namespace xbar::workload {
+
+/// One offered arrival.
+struct TraceEvent {
+  double time = 0.0;
+  bool accepted = true;  ///< always true for an infinite server
+};
+
+/// Result of running the source.
+struct SourceTrace {
+  std::vector<TraceEvent> arrivals;
+  dist::TimeWeightedMoments occupancy;  ///< time-weighted busy-server stats
+  dist::Histogram occupancy_histogram;  ///< busy-server distribution
+  double horizon = 0.0;
+};
+
+/// Simulate a BPP source against an infinite server group for `horizon`
+/// time units (after `warmup`), recording arrivals and occupancy.
+/// `histogram_max` bounds the occupancy histogram.
+[[nodiscard]] SourceTrace run_bpp_source(const dist::BppParams& params,
+                                         double warmup, double horizon,
+                                         std::uint64_t seed,
+                                         std::size_t histogram_max = 64);
+
+}  // namespace xbar::workload

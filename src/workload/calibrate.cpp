@@ -1,0 +1,54 @@
+#include "workload/calibrate.hpp"
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "numeric/roots.hpp"
+#include "workload/scenario.hpp"
+
+namespace xbar::workload {
+
+std::optional<CalibrationResult> calibrate_load(unsigned n, unsigned a,
+                                                double target_blocking,
+                                                double beta_over_alpha,
+                                                double blocking_tolerance) {
+  const auto blocking_at = [&](double alpha_tilde) {
+    const core::CrossbarModel model(
+        core::Dims::square(n),
+        {core::TrafficClass::bursty("cal", alpha_tilde,
+                                    beta_over_alpha * alpha_tilde, a)});
+    return core::solve(model).per_class[0].blocking;
+  };
+
+  // Bracket: blocking is monotone increasing in load, ~0 at tiny load.
+  const double lo = 1e-12;
+  const auto bracket = num::expand_bracket(
+      [&](double alpha) { return blocking_at(alpha) - target_blocking; }, lo,
+      1e-6);
+  if (!bracket) {
+    return std::nullopt;
+  }
+  num::RootOptions opts;
+  opts.x_tolerance = 0.0;
+  opts.f_tolerance = blocking_tolerance;
+  const auto root = num::brent(
+      [&](double alpha) { return blocking_at(alpha) - target_blocking; },
+      bracket->first, bracket->second, opts);
+  if (!root || !root->converged) {
+    return std::nullopt;
+  }
+
+  const core::CrossbarModel model(
+      core::Dims::square(n),
+      {core::TrafficClass::bursty("cal", root->x, beta_over_alpha * root->x,
+                                  a)});
+  const auto measures = core::solve(model);
+  CalibrationResult result;
+  result.alpha_tilde = root->x;
+  result.blocking = measures.per_class[0].blocking;
+  result.concurrency = measures.per_class[0].concurrency;
+  result.iterations = root->iterations;
+  return result;
+}
+
+}  // namespace xbar::workload

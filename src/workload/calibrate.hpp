@@ -1,0 +1,35 @@
+// Load calibration: invert the model.
+//
+// The paper tunes its figures to a 0.5% blocking operating point ("which may
+// be considered an acceptable operating point").  This module answers the
+// planning questions that tuning implies: what offered load alpha~ drives a
+// given switch to a target blocking, and how much carried traffic that
+// admits.  Built on Brent's method over the (monotone) blocking-vs-load
+// curve.
+
+#pragma once
+
+#include <optional>
+
+#include "core/model.hpp"
+
+namespace xbar::workload {
+
+/// Result of a calibration search.
+struct CalibrationResult {
+  double alpha_tilde = 0.0;   ///< load achieving the target
+  double blocking = 0.0;      ///< achieved blocking (within tolerance)
+  double concurrency = 0.0;   ///< carried connections at that load
+  int iterations = 0;
+};
+
+/// Find alpha~ such that a single class (bandwidth `a`, peakedness slope
+/// beta~ = ratio * alpha~) sees `target_blocking` on an n x n crossbar.
+/// `beta_over_alpha` of 0 is Poisson; negative is smooth; positive peaky.
+/// Returns nullopt if the target is unreachable (e.g. above the blocking at
+/// saturating load within the search bracket).
+[[nodiscard]] std::optional<CalibrationResult> calibrate_load(
+    unsigned n, unsigned a, double target_blocking,
+    double beta_over_alpha = 0.0, double blocking_tolerance = 1e-10);
+
+}  // namespace xbar::workload

@@ -1,0 +1,84 @@
+// Scenario catalog: the exact workloads behind every figure and table in the
+// paper, expressed as model factories.  Centralizing them here keeps the
+// benches, tests and examples in agreement about parameters.
+//
+// Units are the paper's tilde (aggregate) units throughout; the per-size
+// normalization rho_r = rho~_r / C(N2, a_r) happens inside CrossbarModel,
+// which is why each sweep point constructs a fresh model.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace xbar::workload {
+
+/// Figures 1-3 operating point: alpha~ = .0024, mu = 1 ("chosen to drive the
+/// non-blocking probability to approximately 99.5%").
+inline constexpr double kFigureAlphaTilde = 0.0024;
+
+/// Figure 1 beta~ series: smooth (Bernoulli) traffic, beta~ from 0 to
+/// -4e-6 — the values printed in the paper (alpha~/beta~ is always a
+/// negative integer, as §2 requires).
+[[nodiscard]] std::vector<double> fig1_beta_tildes();
+
+/// Figure 2 beta~ series: peaky (Pascal) traffic.  The paper prints the
+/// range qualitatively; we use beta~ in {0, alpha/8, alpha/4, alpha/2,
+/// alpha}, the same order of magnitude Table 2 uses (beta~2 = .0012-.0036).
+[[nodiscard]] std::vector<double> fig2_beta_tildes();
+
+/// System sizes swept by figures 1-3 (1..128, log-ish spacing).
+[[nodiscard]] std::vector<unsigned> figure_sizes();
+
+/// Single bursty class (R1 = 0, R2 = 1, a = 1) — figures 1 and 2.
+[[nodiscard]] core::CrossbarModel single_class_model(unsigned n,
+                                                     double alpha_tilde,
+                                                     double beta_tilde);
+
+/// Figure 3 two-class variant: Poisson class (R1) at alpha~1 plus bursty
+/// class (R2) at (alpha~2, beta~2).
+[[nodiscard]] core::CrossbarModel two_class_model(unsigned n,
+                                                  double alpha1_tilde,
+                                                  double alpha2_tilde,
+                                                  double beta2_tilde);
+
+/// Figure 4 / Table 1: two Poisson classes with bandwidths a=1 and a=2 at
+/// constant total load tau = .0048, rho~_r = tau / C(N1, a_r); each class is
+/// analyzed separately (the paper plots their independent effect).
+inline constexpr double kFig4TotalLoad = 0.0048;
+
+/// Sizes used by figure 4 / table 1.
+[[nodiscard]] std::vector<unsigned> fig4_sizes();
+
+/// rho~ for a single class of bandwidth `a` at total load tau on an NxN
+/// switch.  NOTE: reproduces the paper's *Table 1 values*
+/// (tau * a / (2 C(N,a))), which differ from the formula printed in its
+/// text (tau / C(N,a)) — see the erratum note in DESIGN.md.
+[[nodiscard]] double fig4_rho_tilde(unsigned n, unsigned a,
+                                    double tau = kFig4TotalLoad);
+
+/// Single Poisson class with bandwidth a at figure-4 load.
+[[nodiscard]] core::CrossbarModel fig4_model(unsigned n, unsigned a,
+                                             double tau = kFig4TotalLoad);
+
+/// One parameter set of Table 2.
+struct Table2Set {
+  std::string label;
+  double rho1_tilde;   ///< Poisson class 1 load (w1 = 1)
+  double rho2_tilde;   ///< bursty class 2 load (w2 = 1e-4)
+  double beta2_tilde;  ///< bursty class 2 peakedness parameter
+};
+
+/// The three parameter sets of Table 2, in paper order.
+[[nodiscard]] std::vector<Table2Set> table2_sets();
+
+/// Sizes in Table 2's rows.
+[[nodiscard]] std::vector<unsigned> table2_sizes();
+
+/// The two-class Table 2 model (w1 = 1.0, w2 = 1e-4).
+[[nodiscard]] core::CrossbarModel table2_model(unsigned n,
+                                               const Table2Set& set);
+
+}  // namespace xbar::workload

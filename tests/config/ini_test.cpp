@@ -1,0 +1,98 @@
+#include "config/ini.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbar::config {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto file = parse_ini_string(
+      "[alpha]\n"
+      "x = 1\n"
+      "y = two words\n"
+      "[beta b1]\n"
+      "z = 3.5\n");
+  ASSERT_EQ(file.sections.size(), 2u);
+  EXPECT_EQ(file.sections[0].name, "alpha");
+  EXPECT_EQ(file.sections[0].label, "");
+  EXPECT_EQ(file.sections[1].name, "beta");
+  EXPECT_EQ(file.sections[1].label, "b1");
+  EXPECT_EQ(file.sections[0].get("x"), "1");
+  EXPECT_EQ(file.sections[0].get("y"), "two words");
+  EXPECT_DOUBLE_EQ(file.sections[1].get_double("z", 0.0), 3.5);
+}
+
+TEST(Ini, CommentsAndBlankLines) {
+  const auto file = parse_ini_string(
+      "# leading comment\n"
+      "\n"
+      "[s]\n"
+      "a = 1   # trailing comment\n"
+      "; another comment style\n"
+      "b = 2\n");
+  ASSERT_EQ(file.sections.size(), 1u);
+  EXPECT_EQ(file.sections[0].get("a"), "1");
+  EXPECT_EQ(file.sections[0].get("b"), "2");
+}
+
+TEST(Ini, WhitespaceTolerance) {
+  const auto file = parse_ini_string("  [ s ]  \n   key   =   value  \n");
+  EXPECT_EQ(file.sections[0].name, "s");
+  EXPECT_EQ(file.sections[0].get("key"), "value");
+}
+
+TEST(Ini, RepeatedSectionsKeptInOrder) {
+  const auto file = parse_ini_string(
+      "[class a]\nx = 1\n[class b]\nx = 2\n[other]\n");
+  const auto classes = file.find_all("class");
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0]->label, "a");
+  EXPECT_EQ(classes[1]->label, "b");
+  EXPECT_NE(file.find("other"), nullptr);
+  EXPECT_EQ(file.find("missing"), nullptr);
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_ini_string("[ok]\nx = 1\nbroken line\n");
+    FAIL() << "expected IniError";
+  } catch (const IniError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Ini, RejectsKeyBeforeSection) {
+  EXPECT_THROW((void)parse_ini_string("x = 1\n"), IniError);
+}
+
+TEST(Ini, RejectsUnterminatedHeaderAndEmptyKey) {
+  EXPECT_THROW((void)parse_ini_string("[oops\n"), IniError);
+  EXPECT_THROW((void)parse_ini_string("[s]\n = 3\n"), IniError);
+  EXPECT_THROW((void)parse_ini_string("[]\n"), IniError);
+}
+
+TEST(Ini, NumericParsingValidation) {
+  const auto file = parse_ini_string("[s]\nn = 12\nf = 2.5e-3\nbad = oops\n");
+  const auto& s = file.sections[0];
+  EXPECT_EQ(s.get_unsigned("n", 0), 12u);
+  EXPECT_DOUBLE_EQ(s.get_double("f", 0.0), 2.5e-3);
+  EXPECT_EQ(s.get_unsigned("missing", 7), 7u);
+  EXPECT_THROW((void)s.get_double("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)s.get_unsigned("bad", 0), std::invalid_argument);
+}
+
+TEST(Ini, RequireThrowsWithSectionContext) {
+  const auto file = parse_ini_string("[class voice]\nshape = poisson\n");
+  const auto& s = file.sections[0];
+  EXPECT_EQ(s.require("shape"), "poisson");
+  try {
+    (void)s.require("rho");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("class voice"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rho"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::config

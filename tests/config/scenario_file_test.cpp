@@ -1,0 +1,143 @@
+#include "config/scenario_file.hpp"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+
+namespace xbar::config {
+namespace {
+
+constexpr const char* kFull = R"ini(
+[switch]
+inputs  = 8
+outputs = 12
+
+[class voice]
+shape  = poisson
+rho    = 0.4
+weight = 2.0
+
+[class bulk]
+shape     = bursty
+alpha     = 0.2
+beta      = 0.1
+bandwidth = 2
+mu        = 0.5
+
+[solve]
+algorithm = algorithm2
+
+[simulate]
+warmup       = 100
+time         = 2000
+batches      = 8
+replications = 3
+seed         = 77
+hotspot      = 0.25
+)ini";
+
+TEST(ScenarioFile, ParsesFullScenario) {
+  const auto s = parse_scenario_string(kFull);
+  EXPECT_EQ(s.model.dims(), (core::Dims{8, 12}));
+  ASSERT_EQ(s.model.num_classes(), 2u);
+  EXPECT_EQ(s.model.classes()[0].name, "voice");
+  EXPECT_TRUE(s.model.normalized(0).is_poisson());
+  EXPECT_DOUBLE_EQ(s.model.classes()[0].weight, 2.0);
+  EXPECT_EQ(s.model.normalized(1).bandwidth, 2u);
+  EXPECT_DOUBLE_EQ(s.model.classes()[1].mu, 0.5);
+  EXPECT_EQ(s.solver, core::SolverKind::kAlgorithm2);
+  EXPECT_TRUE(s.has_simulation_section);
+  EXPECT_DOUBLE_EQ(s.sim.warmup_time, 100.0);
+  EXPECT_DOUBLE_EQ(s.sim.measurement_time, 2000.0);
+  EXPECT_EQ(s.sim.num_batches, 8u);
+  EXPECT_EQ(s.replications, 3u);
+  EXPECT_EQ(s.sim.seed, 77u);
+  EXPECT_DOUBLE_EQ(s.hotspot_fraction, 0.25);
+}
+
+TEST(ScenarioFile, ParsedModelIsSolvable) {
+  const auto s = parse_scenario_string(kFull);
+  const auto measures = core::solve(s.model, s.solver);
+  EXPECT_GT(measures.per_class[0].blocking, 0.0);
+  EXPECT_LT(measures.per_class[0].blocking, 1.0);
+}
+
+TEST(ScenarioFile, MinimalScenarioDefaults) {
+  const auto s = parse_scenario_string(
+      "[switch]\ninputs = 4\n[class c]\nshape = poisson\nrho = 0.1\n");
+  EXPECT_EQ(s.model.dims(), core::Dims::square(4));  // outputs default inputs
+  EXPECT_EQ(s.solver, core::SolverKind::kAuto);
+  EXPECT_FALSE(s.has_simulation_section);
+  EXPECT_EQ(s.model.normalized(0).bandwidth, 1u);
+  EXPECT_DOUBLE_EQ(s.model.classes()[0].mu, 1.0);
+  EXPECT_DOUBLE_EQ(s.model.classes()[0].weight, 1.0);
+}
+
+TEST(ScenarioFile, RejectsMissingSwitch) {
+  EXPECT_THROW(
+      (void)parse_scenario_string("[class c]\nshape = poisson\nrho = 1\n"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioFile, RejectsMissingClasses) {
+  EXPECT_THROW((void)parse_scenario_string("[switch]\ninputs = 4\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, RejectsUnknownShapeAndAlgorithm) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 4\n[class c]\nshape = weird\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"
+                   "rho = 1\n[solve]\nalgorithm = magic\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, RejectsMissingShapeParameters) {
+  // poisson without rho, bursty without alpha.
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 4\n[class c]\nshape = bursty\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, RejectsOutOfRangeHotspot) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"
+                   "rho = 1\n[simulate]\nhotspot = 1.5\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, ModelValidationPropagates) {
+  // bandwidth exceeding the switch cap must surface as invalid_argument.
+  EXPECT_THROW((void)parse_scenario_string(
+                   "[switch]\ninputs = 2\n[class c]\nshape = poisson\n"
+                   "rho = 1\nbandwidth = 3\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, MissingFileReported) {
+  EXPECT_THROW((void)load_scenario("/nonexistent/path.ini"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, ShippedScenariosParse) {
+  // The scenarios under examples/scenarios must stay valid.
+  for (const char* path : {"examples/scenarios/mixed_64.ini",
+                           "examples/scenarios/table2_set1.ini",
+                           "examples/scenarios/hotspot_16.ini"}) {
+    std::ifstream probe(path);
+    if (!probe) {
+      GTEST_SKIP() << "run from the repository root to check shipped files";
+    }
+    EXPECT_NO_THROW((void)load_scenario(path)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace xbar::config

@@ -1,0 +1,125 @@
+#include "core/algorithm1.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel big_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::poisson("t1", 0.0012),
+                        TrafficClass::bursty("t2", 0.0012, 0.0012)});
+}
+
+TEST(Algorithm1, QBoundaryRowIsInverseFactorial) {
+  const CrossbarModel m(Dims{6, 4}, {TrafficClass::poisson("p", 0.5)});
+  const Algorithm1Solver solver(m);
+  // Q(n1, 0) = 1/n1!, Q(0, n2) = 1/n2!.
+  for (unsigned n1 = 0; n1 <= 6; ++n1) {
+    EXPECT_NEAR(solver.log_q(Dims{n1, 0}), -num::log_factorial(n1), 1e-12);
+  }
+  for (unsigned n2 = 0; n2 <= 4; ++n2) {
+    EXPECT_NEAR(solver.log_q(Dims{0, n2}), -num::log_factorial(n2), 1e-12);
+  }
+}
+
+TEST(Algorithm1, RawDoubleUnderflowsWhereScaledFloatDoesNot) {
+  // Q(N) ~ G/(N!^2) ~ 1e-431 at N = 128: below double's 1e-308 floor.
+  const auto model = big_model(128);
+  const Algorithm1Solver raw(model, {Algorithm1Backend::kDoubleRaw});
+  EXPECT_TRUE(raw.degenerate());
+  const Algorithm1Solver scaled(model, {Algorithm1Backend::kScaledFloat});
+  EXPECT_FALSE(scaled.degenerate());
+  EXPECT_TRUE(std::isfinite(scaled.log_q(model.dims())));
+}
+
+TEST(Algorithm1, DynamicScalingRescuesDoubleArithmeticAt128) {
+  // Raw double dies at N = 128 (previous test); §6 scaling rescues it.
+  const auto model = big_model(128);
+  const Algorithm1Solver dynamic(model,
+                                 {Algorithm1Backend::kDoubleDynamicScaling});
+  EXPECT_FALSE(dynamic.degenerate());
+  EXPECT_GT(dynamic.scaling_events(), 0u);
+  // Paper §6: "the scaling factor does not affect the performance measure
+  // results" — verify against the ScaledFloat backend.
+  const Algorithm1Solver scaled(model, {Algorithm1Backend::kScaledFloat});
+  const auto md = dynamic.solve();
+  const auto ms = scaled.solve();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(md.per_class[r].blocking, ms.per_class[r].blocking, 1e-9);
+    EXPECT_NEAR(md.per_class[r].concurrency, ms.per_class[r].concurrency,
+                1e-9);
+  }
+  EXPECT_NEAR(dynamic.log_q(model.dims()), scaled.log_q(model.dims()), 1e-6);
+}
+
+TEST(Algorithm1, DynamicScalingHasItsOwnCeiling) {
+  // A single Q-grid row at N = 256 spans ~500 decades (the 1/n1! factor),
+  // which exceeds what any uniform per-row scale can fit inside binary64.
+  // §6 scaling therefore extends plain double from N ~ 110 to N ~ 150 but
+  // cannot reach the paper's N = 256 — the reason this library defaults to
+  // the per-value ScaledFloat backend (and why the paper recommends
+  // Algorithm 2 for large switches).
+  const Algorithm1Solver dynamic(big_model(256),
+                                 {Algorithm1Backend::kDoubleDynamicScaling});
+  EXPECT_TRUE(dynamic.degenerate());
+  const Algorithm1Solver scaled(big_model(256),
+                                {Algorithm1Backend::kScaledFloat});
+  EXPECT_FALSE(scaled.degenerate());
+}
+
+TEST(Algorithm1, ScalingEventsAreZeroForOtherBackends) {
+  const auto model = big_model(16);
+  EXPECT_EQ(Algorithm1Solver(model).scaling_events(), 0u);
+}
+
+TEST(Algorithm1, NonBlockingDecreasesWithSubsystemSizeAtFixedTupleRates) {
+  // With per-tuple rates held fixed, the offered load grows ~n^2 while
+  // capacity grows ~n, so blocking rises (non-blocking falls) with size.
+  const auto model = big_model(32);
+  const Algorithm1Solver solver(model);
+  double prev = 1.0 + 1e-12;
+  for (unsigned n = 1; n <= 32; ++n) {
+    const double b = solver.non_blocking(0, Dims::square(n));
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, prev) << n;
+    prev = b;
+  }
+}
+
+TEST(Algorithm1, ClassTooWideForSubsystemIsFullyBlocked) {
+  const CrossbarModel m(Dims::square(4),
+                        {TrafficClass::poisson("w", 0.5, 2)});
+  const Algorithm1Solver solver(m);
+  EXPECT_EQ(solver.non_blocking(0, Dims{1, 1}), 0.0);
+  const auto measures = solver.solve_at(Dims{1, 1});
+  EXPECT_EQ(measures.per_class[0].concurrency, 0.0);
+  EXPECT_EQ(measures.per_class[0].blocking, 1.0);
+}
+
+TEST(Algorithm1, MoveSemantics) {
+  Algorithm1Solver a(big_model(8));
+  const double lq = a.log_q(Dims::square(8));
+  Algorithm1Solver b = std::move(a);
+  EXPECT_DOUBLE_EQ(b.log_q(Dims::square(8)), lq);
+  EXPECT_EQ(b.model().dims(), Dims::square(8));
+}
+
+TEST(Algorithm1, HugeSystemStaysFinite) {
+  // 512x512 with mixed traffic: far beyond double range, still exact.
+  const CrossbarModel model(Dims::square(512),
+                            {TrafficClass::poisson("p", 0.01),
+                             TrafficClass::bursty("b", 0.01, 0.005)});
+  const Algorithm1Solver solver(model);
+  EXPECT_FALSE(solver.degenerate());
+  const auto m = solver.solve();
+  EXPECT_GT(m.per_class[0].blocking, 0.0);
+  EXPECT_LT(m.per_class[0].blocking, 1.0);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,123 @@
+#include "core/algorithm2.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel mixed_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::poisson("p", 0.4),
+                        TrafficClass::bursty("pk", 0.3, 0.15, 2)});
+}
+
+TEST(Algorithm2, BoundaryRatiosMatchFactorials) {
+  const Algorithm2Solver solver(mixed_model(6));
+  // F_1(n1, 0) = Q(n1-1,0)/Q(n1,0) = n1; F_2(0, n2) = n2.
+  for (unsigned n1 = 1; n1 <= 6; ++n1) {
+    EXPECT_DOUBLE_EQ(solver.f1(Dims{n1, 0}), n1);
+  }
+  for (unsigned n2 = 1; n2 <= 6; ++n2) {
+    EXPECT_DOUBLE_EQ(solver.f2(Dims{0, n2}), n2);
+  }
+}
+
+TEST(Algorithm2, FRatiosMatchAlgorithm1QGrid) {
+  const auto model = mixed_model(8);
+  const Algorithm2Solver alg2(model);
+  const Algorithm1Solver alg1(model);
+  for (unsigned n2 = 0; n2 <= 8; ++n2) {
+    for (unsigned n1 = 1; n1 <= 8; ++n1) {
+      const double expected =
+          std::exp(alg1.log_q(Dims{n1 - 1, n2}) - alg1.log_q(Dims{n1, n2}));
+      EXPECT_NEAR(alg2.f1(Dims{n1, n2}), expected, 1e-9 * expected)
+          << n1 << "," << n2;
+    }
+  }
+  for (unsigned n2 = 1; n2 <= 8; ++n2) {
+    for (unsigned n1 = 0; n1 <= 8; ++n1) {
+      const double expected =
+          std::exp(alg1.log_q(Dims{n1, n2 - 1}) - alg1.log_q(Dims{n1, n2}));
+      EXPECT_NEAR(alg2.f2(Dims{n1, n2}), expected, 1e-9 * expected)
+          << n1 << "," << n2;
+    }
+  }
+}
+
+TEST(Algorithm2, FDirectionConsistencyIdentity) {
+  // F_1(n) F_2(n - 1_1) == F_2(n) F_1(n - 1_2)  (both equal
+  // Q(n - 1_1 - 1_2)/Q(n)) — an internal cross-check the recursion must
+  // satisfy without ever having been told to.
+  const Algorithm2Solver solver(mixed_model(8));
+  for (unsigned n2 = 2; n2 <= 8; ++n2) {
+    for (unsigned n1 = 2; n1 <= 8; ++n1) {
+      const double left =
+          solver.f1(Dims{n1, n2}) * solver.f2(Dims{n1 - 1, n2});
+      const double right =
+          solver.f2(Dims{n1, n2}) * solver.f1(Dims{n1, n2 - 1});
+      EXPECT_NEAR(left, right, 1e-9 * left) << n1 << "," << n2;
+    }
+  }
+}
+
+TEST(Algorithm2, HRatioMatchesDefinition) {
+  const auto model = mixed_model(8);
+  const Algorithm2Solver alg2(model);
+  const Algorithm1Solver alg1(model);
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const unsigned a = model.normalized(r).bandwidth;
+    for (unsigned n2 = a; n2 <= 8; ++n2) {
+      for (unsigned n1 = a; n1 <= 8; ++n1) {
+        const double expected = std::exp(alg1.log_q(Dims{n1 - a, n2 - a}) -
+                                         alg1.log_q(Dims{n1, n2}));
+        EXPECT_NEAR(alg2.h(r, Dims{n1, n2}), expected, 1e-8 * expected)
+            << r << " " << n1 << "," << n2;
+      }
+    }
+  }
+}
+
+TEST(Algorithm2, HIsZeroWhereClassCannotFit) {
+  const Algorithm2Solver solver(mixed_model(4));
+  EXPECT_EQ(solver.h(1, Dims{1, 1}), 0.0);  // class 1 has a = 2
+  EXPECT_EQ(solver.h(1, Dims{2, 1}), 0.0);
+  EXPECT_GT(solver.h(1, Dims{2, 2}), 0.0);
+}
+
+TEST(Algorithm2, StableAtVeryLargeSizesWithoutExtendedPrecision) {
+  // Algorithm 2 never forms Q itself, so plain double suffices at N = 512.
+  const CrossbarModel model(Dims::square(512),
+                            {TrafficClass::poisson("t1", 0.0012),
+                             TrafficClass::bursty("t2", 0.0012, 0.0012)});
+  const Algorithm2Solver solver(model);
+  const auto m = solver.solve();
+  EXPECT_GT(m.per_class[0].blocking, 0.0);
+  EXPECT_LT(m.per_class[0].blocking, 0.05);
+  EXPECT_TRUE(std::isfinite(m.revenue));
+}
+
+TEST(Algorithm2, NonBlockingBoundedByOne) {
+  const Algorithm2Solver solver(mixed_model(16));
+  for (unsigned n = 1; n <= 16; ++n) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const double b = solver.non_blocking(r, Dims::square(n));
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Algorithm2, MoveSemantics) {
+  Algorithm2Solver a(mixed_model(4));
+  const auto measures = a.solve();
+  Algorithm2Solver b = std::move(a);
+  EXPECT_DOUBLE_EQ(b.solve().revenue, measures.revenue);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,237 @@
+// The central correctness argument of the library: four independent
+// computation paths — exhaustive enumeration, Algorithm 1 (all numeric
+// backends), Algorithm 2, and the generating-function series expansion —
+// must agree on Q(N) and on every performance measure, across a parameter
+// sweep covering Poisson/Pascal/Bernoulli classes, multi-rate bandwidths and
+// rectangular switches.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm2.hpp"
+#include "core/brute_force.hpp"
+#include "core/generating_function.hpp"
+#include "core/solver.hpp"
+
+namespace xbar::core {
+namespace {
+
+struct ModelCase {
+  std::string label;
+  Dims dims;
+  std::vector<TrafficClass> classes;
+};
+
+std::vector<ModelCase> sweep_cases() {
+  std::vector<ModelCase> cases;
+  // Single-class sweeps over shape and load.
+  for (const unsigned n : {1u, 2u, 3u, 5u}) {
+    for (const double load : {0.05, 0.8, 3.0}) {
+      cases.push_back({"poisson_n" + std::to_string(n) + "_rho" +
+                           std::to_string(load),
+                       Dims::square(n),
+                       {TrafficClass::poisson("p", load)}});
+      // beta = load/4 keeps the per-tuple Pascal ratio beta/mu < 1 even on
+      // the 1x1 switch (C(1,1) = 1 gives no normalization headroom).
+      cases.push_back({"pascal_n" + std::to_string(n) + "_rho" +
+                           std::to_string(load),
+                       Dims::square(n),
+                       {TrafficClass::bursty("pk", load, load / 4.0)}});
+    }
+  }
+  // Smooth (Bernoulli) classes: alpha/beta = -population.
+  cases.push_back({"bernoulli_small",
+                   Dims::square(4),
+                   {TrafficClass::bursty("sm", 0.8, -0.05)}});
+  cases.push_back({"bernoulli_tight_population",
+                   Dims::square(3),
+                   {TrafficClass::bursty("sm", 0.9, -0.3)}});
+  // Multi-rate single class.
+  cases.push_back({"wide_a2",
+                   Dims::square(4),
+                   {TrafficClass::poisson("w", 0.6, 2)}});
+  cases.push_back({"wide_a3_pascal",
+                   Dims::square(6),
+                   {TrafficClass::bursty("w", 0.9, 0.3, 3)}});
+  // Rectangular switches.
+  cases.push_back({"rect_3x5",
+                   Dims{3, 5},
+                   {TrafficClass::poisson("p", 0.7)}});
+  cases.push_back({"rect_5x3_pascal",
+                   Dims{5, 3},
+                   {TrafficClass::bursty("pk", 0.5, 0.25, 2)}});
+  // Multi-class mixtures.
+  cases.push_back({"two_class_mixed",
+                   Dims::square(4),
+                   {TrafficClass::poisson("p", 0.5),
+                    TrafficClass::bursty("pk", 0.4, 0.2)}});
+  cases.push_back({"three_class_zoo",
+                   Dims::square(5),
+                   {TrafficClass::poisson("p", 0.4),
+                    TrafficClass::bursty("pk", 0.3, 0.15, 2),
+                    TrafficClass::bursty("sm", 0.5, -0.02)}});
+  cases.push_back({"paper_table2_shape",
+                   Dims::square(4),
+                   {TrafficClass::poisson("t1", 0.0012),
+                    TrafficClass::bursty("t2", 0.0012, 0.0012)}});
+  return cases;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  CrossbarModel make_model() const {
+    return CrossbarModel(GetParam().dims, GetParam().classes);
+  }
+};
+
+TEST_P(EquivalenceTest, LogQAgreesAcrossAllFourPaths) {
+  const CrossbarModel model = make_model();
+  const BruteForceSolver brute(model);
+  const Algorithm1Solver alg1(model);
+  const Algorithm2Solver alg2(model);
+  const double reference = brute.log_q();
+  EXPECT_NEAR(alg1.log_q(model.dims()), reference,
+              1e-9 * (std::fabs(reference) + 1.0));
+  EXPECT_NEAR(alg2.log_q(model.dims()), reference,
+              1e-9 * (std::fabs(reference) + 1.0));
+  EXPECT_NEAR(series_log_q(model), reference,
+              1e-9 * (std::fabs(reference) + 1.0));
+}
+
+TEST_P(EquivalenceTest, LogQAgreesOnEveryGridCell) {
+  const CrossbarModel model = make_model();
+  const Algorithm1Solver alg1(model);
+  const Algorithm2Solver alg2(model);
+  const BruteForceSolver brute(model);
+  const auto series = series_log_q_grid(model);
+  const unsigned w = model.dims().n1 + 1;
+  for (unsigned n2 = 0; n2 <= model.dims().n2; ++n2) {
+    for (unsigned n1 = 0; n1 <= model.dims().n1; ++n1) {
+      const Dims at{n1, n2};
+      const double ref = brute.log_q(at);
+      const double tol = 1e-9 * (std::fabs(ref) + 1.0);
+      EXPECT_NEAR(alg1.log_q(at), ref, tol) << n1 << "," << n2;
+      EXPECT_NEAR(alg2.log_q(at), ref, tol) << n1 << "," << n2;
+      EXPECT_NEAR(series[static_cast<std::size_t>(n2) * w + n1], ref, tol)
+          << n1 << "," << n2;
+    }
+  }
+}
+
+void expect_measures_near(const Measures& got, const Measures& want,
+                          double tol, const std::string& what) {
+  ASSERT_EQ(got.per_class.size(), want.per_class.size());
+  for (std::size_t r = 0; r < got.per_class.size(); ++r) {
+    EXPECT_NEAR(got.per_class[r].non_blocking, want.per_class[r].non_blocking,
+                tol)
+        << what << " class " << r;
+    EXPECT_NEAR(got.per_class[r].concurrency, want.per_class[r].concurrency,
+                tol * (1.0 + want.per_class[r].concurrency))
+        << what << " class " << r;
+  }
+  EXPECT_NEAR(got.revenue, want.revenue, tol * (1.0 + want.revenue)) << what;
+  EXPECT_NEAR(got.utilization, want.utilization, tol) << what;
+}
+
+TEST_P(EquivalenceTest, MeasuresAgreeWithBruteForce) {
+  const CrossbarModel model = make_model();
+  const Measures reference = BruteForceSolver(model).solve();
+  expect_measures_near(Algorithm1Solver(model).solve(), reference, 1e-9,
+                       "alg1");
+  expect_measures_near(Algorithm2Solver(model).solve(), reference, 1e-9,
+                       "alg2");
+}
+
+TEST_P(EquivalenceTest, Algorithm1BackendsAgree) {
+  const CrossbarModel model = make_model();
+  const Measures reference =
+      Algorithm1Solver(model, {Algorithm1Backend::kScaledFloat}).solve();
+  for (const auto backend :
+       {Algorithm1Backend::kLongDouble, Algorithm1Backend::kDoubleRaw,
+        Algorithm1Backend::kDoubleDynamicScaling}) {
+    const Algorithm1Solver solver(model, {backend});
+    // These small systems don't overflow any backend.
+    EXPECT_FALSE(solver.degenerate());
+    expect_measures_near(solver.solve(), reference, 1e-9, "backend");
+  }
+}
+
+TEST_P(EquivalenceTest, SubsystemMeasuresAgreeWithShrunkenBruteForce) {
+  const CrossbarModel model = make_model();
+  const Dims dims = model.dims();
+  if (dims.n1 < 2 || dims.n2 < 2) {
+    GTEST_SKIP() << "no nontrivial subsystem";
+  }
+  const Dims sub{dims.n1 - 1, dims.n2 - 1};
+  const Measures expected =
+      BruteForceSolver(model.with_dims_same_tuple_rates(sub)).solve();
+  expect_measures_near(Algorithm1Solver(model).solve_at(sub), expected, 1e-9,
+                       "alg1 subsystem");
+  expect_measures_near(Algorithm2Solver(model).solve_at(sub), expected, 1e-9,
+                       "alg2 subsystem");
+}
+
+TEST_P(EquivalenceTest, SolverFacadeMatchesBruteForce) {
+  const CrossbarModel model = make_model();
+  const Measures reference = BruteForceSolver(model).solve();
+  for (const auto kind : {SolverKind::kAuto, SolverKind::kAlgorithm1,
+                          SolverKind::kAlgorithm2, SolverKind::kBruteForce}) {
+    expect_measures_near(solve(model, kind), reference, 1e-9, "facade");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// Larger systems: brute force is infeasible, but Algorithm 1 (ScaledFloat)
+// and Algorithm 2 must still agree with each other and with the series.
+TEST(EquivalenceLarge, Alg1Alg2SeriesAgreeAt64) {
+  const CrossbarModel model(
+      Dims::square(64),
+      {TrafficClass::poisson("t1", 0.0012),
+       TrafficClass::bursty("t2", 0.0012, 0.0012)});
+  const Algorithm1Solver alg1(model);
+  const Algorithm2Solver alg2(model);
+  const double ref = series_log_q(model);
+  EXPECT_NEAR(alg1.log_q(model.dims()), ref, 1e-8 * std::fabs(ref));
+  EXPECT_NEAR(alg2.log_q(model.dims()), ref, 1e-8 * std::fabs(ref));
+  const auto m1 = alg1.solve();
+  const auto m2 = alg2.solve();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(m1.per_class[r].blocking, m2.per_class[r].blocking, 1e-10);
+    EXPECT_NEAR(m1.per_class[r].concurrency, m2.per_class[r].concurrency,
+                1e-9);
+  }
+}
+
+TEST(EquivalenceLarge, HeavyLoadAgreementAt32) {
+  // Saturating load exercises the full numeric range of the Q grid.
+  const CrossbarModel model(Dims::square(32),
+                            {TrafficClass::poisson("hot", 60.0),
+                             TrafficClass::bursty("pk", 10.0, 5.0, 2)});
+  const Algorithm1Solver alg1(model);
+  const Algorithm2Solver alg2(model);
+  const auto m1 = alg1.solve();
+  const auto m2 = alg2.solve();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(m1.per_class[r].blocking, m2.per_class[r].blocking, 1e-9);
+    EXPECT_NEAR(m1.per_class[r].concurrency, m2.per_class[r].concurrency,
+                1e-8 * (1.0 + m2.per_class[r].concurrency));
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

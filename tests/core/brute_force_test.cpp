@@ -1,0 +1,162 @@
+// The brute-force solver is the root of the validation chain, so it gets
+// hand-computed ground truth of its own: tiny systems evaluated with pencil
+// and paper from the product form (paper eq. 2).
+
+#include "core/brute_force.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/state_space.hpp"
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+namespace {
+
+// 1x1 switch, single Poisson class, per-tuple rho (C(1,1)=1 so tilde ==
+// per-tuple).  States: k=0, k=1 with weights 1 and rho.
+TEST(BruteForce, OneByOnePoissonHandComputed) {
+  const double rho = 0.25;
+  const CrossbarModel m(Dims::square(1), {TrafficClass::poisson("p", rho)});
+  const BruteForceSolver solver(m);
+  const auto measures = solver.solve();
+  const double pi1 = rho / (1.0 + rho);
+  EXPECT_NEAR(measures.per_class[0].concurrency, pi1, 1e-12);
+  // B = G(0)/G(1) = 1/(1+rho)
+  EXPECT_NEAR(measures.per_class[0].non_blocking, 1.0 / (1.0 + rho), 1e-12);
+  EXPECT_NEAR(measures.per_class[0].blocking, pi1, 1e-12);
+  EXPECT_NEAR(measures.utilization, pi1, 1e-12);
+}
+
+// 2x2 switch, single Poisson class a=1.  G(2) over k=0,1,2:
+// Psi(0)=1, Psi(1)=2*2=4, Psi(2)=2*2=4... Psi(k)=P(2,k)^2.
+// weights: 1, 4 rho, 4 rho^2/2 = 2 rho^2.
+TEST(BruteForce, TwoByTwoPoissonHandComputed) {
+  const double rho_tilde = 0.3;
+  const double rho = rho_tilde / 2.0;  // C(2,1) = 2
+  const CrossbarModel m(Dims::square(2),
+                        {TrafficClass::poisson("p", rho_tilde)});
+  const BruteForceSolver solver(m);
+  const double g2 = 1.0 + 4.0 * rho + 2.0 * rho * rho;
+  const double g1 = 1.0 + rho;  // 1x1 subsystem: Psi(1) = 1
+  const auto measures = solver.solve();
+  EXPECT_NEAR(measures.per_class[0].non_blocking, g1 / g2, 1e-12);
+  const double e = (4.0 * rho + 4.0 * rho * rho) / g2;
+  EXPECT_NEAR(measures.per_class[0].concurrency, e, 1e-12);
+}
+
+// 2x2 switch, one class with a=2: states k=0 (weight 1) and k=1
+// (weight Psi = P(2,2)^2 = 4, Phi = alpha/mu), alpha = alpha~/C(2,2).
+TEST(BruteForce, WideBandwidthHandComputed) {
+  const double alpha_tilde = 0.5;
+  const CrossbarModel m(Dims::square(2),
+                        {TrafficClass::bursty("w", alpha_tilde, 0.0, 2)});
+  const BruteForceSolver solver(m);
+  const double rho = alpha_tilde;  // C(2,2) = 1
+  const double g = 1.0 + 4.0 * rho;
+  const auto measures = solver.solve();
+  EXPECT_NEAR(measures.per_class[0].concurrency, 4.0 * rho / g, 1e-12);
+  // B = G(N - 2I)/G(N) = G(0)/G(2) = 1/g
+  EXPECT_NEAR(measures.per_class[0].non_blocking, 1.0 / g, 1e-12);
+  EXPECT_NEAR(measures.per_class[0].port_usage,
+              2.0 * measures.per_class[0].concurrency, 1e-12);
+}
+
+// Pascal class on 1x1: lambda(0) = alpha (only state 0 -> 1 transition).
+TEST(BruteForce, PascalOneByOneHandComputed) {
+  const CrossbarModel m(Dims::square(1),
+                        {TrafficClass::bursty("b", 0.2, 0.1)});
+  const auto measures = BruteForceSolver(m).solve();
+  EXPECT_NEAR(measures.per_class[0].concurrency, 0.2 / 1.2, 1e-12);
+}
+
+TEST(BruteForce, PiIsNormalized) {
+  const CrossbarModel m(
+      Dims{3, 4},
+      {TrafficClass::poisson("p", 0.4), TrafficClass::bursty("b", 0.3, 0.1, 2)});
+  const BruteForceSolver solver(m);
+  std::vector<unsigned> bandwidths;
+  for (const auto& c : m.normalized_classes()) {
+    bandwidths.push_back(c.bandwidth);
+  }
+  double total = 0.0;
+  for_each_state(bandwidths, m.dims().cap(),
+                 [&](std::span<const unsigned> k, unsigned) {
+                   total += std::exp(solver.log_pi(k));
+                 });
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(BruteForce, InfeasibleStateHasZeroProbability) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  const BruteForceSolver solver(m);
+  const std::vector<unsigned> k = {3};  // 3 > cap = 2
+  EXPECT_EQ(solver.log_pi(k), -std::numeric_limits<double>::infinity());
+}
+
+// Detailed balance: pi(k) q(k, k+1_r) == pi(k+1_r) q(k+1_r, k) with
+// q(k, k+1_r) = P(N1-u, a) P(N2-u, a) lambda_r(k_r), q(k+1_r, k) =
+// (k_r+1) mu_r.
+TEST(BruteForce, DetailedBalanceHoldsAcrossStateSpace) {
+  const CrossbarModel m(
+      Dims{4, 5},
+      {TrafficClass::poisson("p", 0.4), TrafficClass::bursty("b", 0.5, 0.2, 2)});
+  const BruteForceSolver solver(m);
+  std::vector<unsigned> bandwidths;
+  for (const auto& c : m.normalized_classes()) {
+    bandwidths.push_back(c.bandwidth);
+  }
+  const unsigned cap = m.dims().cap();
+  for_each_state(
+      bandwidths, cap, [&](std::span<const unsigned> k, unsigned usage) {
+        for (std::size_t r = 0; r < bandwidths.size(); ++r) {
+          const unsigned a = bandwidths[r];
+          if (usage + a > cap) {
+            continue;
+          }
+          std::vector<unsigned> up(k.begin(), k.end());
+          ++up[r];
+          const NormalizedClass& c = m.normalized(r);
+          const double lam = c.intensity(k[r]);
+          if (!(lam > 0.0)) {
+            continue;
+          }
+          const double forward =
+              std::exp(solver.log_pi(k)) * lam *
+              num::falling_factorial(m.dims().n1 - usage, a) *
+              num::falling_factorial(m.dims().n2 - usage, a);
+          const double backward =
+              std::exp(solver.log_pi(up)) * (k[r] + 1) * c.mu;
+          EXPECT_NEAR(forward, backward, 1e-12 * (forward + backward));
+        }
+      });
+}
+
+// Call congestion equals 1 - B_r for Poisson classes (PASTA) but exceeds it
+// for peaky classes and falls below it for smooth classes.
+TEST(BruteForce, CallCongestionVersusTimeCongestion) {
+  const CrossbarModel poisson(Dims::square(3),
+                              {TrafficClass::poisson("p", 1.2)});
+  const BruteForceSolver ps(poisson);
+  EXPECT_NEAR(ps.call_congestion(0), ps.solve().per_class[0].blocking, 1e-10);
+
+  const CrossbarModel peaky(Dims::square(3),
+                            {TrafficClass::bursty("pk", 1.2, 1.2)});
+  const BruteForceSolver ks(peaky);
+  EXPECT_GT(ks.call_congestion(0), ks.solve().per_class[0].blocking);
+
+  const CrossbarModel smooth(Dims::square(3),
+                             {TrafficClass::bursty("sm", 1.2, -0.3)});
+  const BruteForceSolver ss(smooth);
+  EXPECT_LT(ss.call_congestion(0), ss.solve().per_class[0].blocking);
+}
+
+TEST(BruteForce, LogQAtZeroDimsIsZero) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  // Q(0,0) = 1.
+  EXPECT_NEAR(BruteForceSolver(m).log_q(Dims{0, 0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace xbar::core

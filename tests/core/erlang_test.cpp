@@ -1,0 +1,90 @@
+#include "core/erlang.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xbar::core {
+namespace {
+
+TEST(ErlangB, TextbookValues) {
+  // Classic tabulated values.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  // A = 10 erlangs, 10 circuits: B ~ 0.2146.
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.21458, 1e-4);
+  // Light load: B ~ A^c / c! for tiny A (leading order; the next term is
+  // O(A) relative, here ~1%).
+  EXPECT_NEAR(erlang_b(0.01, 3), std::pow(0.01, 3) / 6.0,
+              0.02 * std::pow(0.01, 3) / 6.0);
+}
+
+TEST(ErlangB, ZeroLoadAndZeroCircuits) {
+  EXPECT_EQ(erlang_b(0.0, 5), 0.0);
+  EXPECT_EQ(erlang_b(3.0, 0), 1.0);  // no circuits: everything blocked
+}
+
+TEST(ErlangB, MonotoneInLoadAndCircuits) {
+  for (unsigned c = 1; c <= 30; ++c) {
+    EXPECT_LT(erlang_b(2.0, c + 1), erlang_b(2.0, c));
+  }
+  double prev = 0.0;
+  for (double a = 0.5; a < 40.0; a *= 1.5) {
+    const double b = erlang_b(a, 10);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ErlangB, SaturationLimit) {
+  EXPECT_GT(erlang_b(1e6, 10), 0.99998);
+  EXPECT_LT(erlang_b(1e6, 10), 1.0);
+}
+
+TEST(ErlangBReal, AgreesWithIntegerRecursionAtIntegers) {
+  for (unsigned c = 1; c <= 40; c += 3) {
+    for (const double a : {0.5, 2.0, 10.0, 30.0}) {
+      EXPECT_NEAR(erlang_b_real(a, c), erlang_b(a, c),
+                  1e-6 * erlang_b(a, c) + 1e-12)
+          << a << " " << c;
+    }
+  }
+}
+
+TEST(ErlangBReal, InterpolatesMonotonically) {
+  const double b5 = erlang_b(8.0, 5);
+  const double b6 = erlang_b(8.0, 6);
+  const double mid = erlang_b_real(8.0, 5.5);
+  EXPECT_LT(mid, b5);
+  EXPECT_GT(mid, b6);
+}
+
+TEST(ErlangC, RelatesToErlangB) {
+  // C(a, c) = B / (1 - rho (1 - B)) and always >= B.
+  for (const double a : {1.0, 4.0, 8.0}) {
+    const unsigned c = 10;
+    EXPECT_GE(erlang_c(a, c), erlang_b(a, c));
+  }
+  EXPECT_EQ(erlang_c(12.0, 10), 1.0);  // unstable queue
+}
+
+TEST(ErlangC, LightTrafficNearZero) {
+  EXPECT_LT(erlang_c(0.1, 10), 1e-10);
+}
+
+TEST(ErlangBInverse, RoundTrips) {
+  for (const double target : {0.001, 0.005, 0.02, 0.1}) {
+    for (const unsigned c : {4u, 16u, 64u}) {
+      const double a = erlang_b_inverse_load(target, c);
+      EXPECT_NEAR(erlang_b(a, c), target, 1e-9) << target << " " << c;
+    }
+  }
+}
+
+TEST(ErlangBInverse, MoreCircuitsAdmitMoreLoad) {
+  EXPECT_LT(erlang_b_inverse_load(0.01, 8),
+            erlang_b_inverse_load(0.01, 16));
+}
+
+}  // namespace
+}  // namespace xbar::core

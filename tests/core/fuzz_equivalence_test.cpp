@@ -1,0 +1,119 @@
+// Randomized cross-validation: generate a few dozen random-but-admissible
+// models (seeded, reproducible) and require Algorithm 1 and Algorithm 2 to
+// agree everywhere — and brute force too whenever the state space is small
+// enough.  This catches corner interactions the curated sweep might miss
+// (odd bandwidth mixes, near-critical Pascal ratios, tiny Bernoulli
+// populations, rectangular switches).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm2.hpp"
+#include "core/brute_force.hpp"
+#include "core/state_space.hpp"
+#include "dist/rng.hpp"
+
+namespace xbar::core {
+namespace {
+
+// Build a random admissible model from the given RNG.
+CrossbarModel random_model(dist::Xoshiro256& rng) {
+  const unsigned n1 = 2 + static_cast<unsigned>(rng.uniform_below(9));
+  const unsigned n2 = 2 + static_cast<unsigned>(rng.uniform_below(9));
+  const unsigned cap = std::min(n1, n2);
+  const auto num_classes = 1 + rng.uniform_below(3);
+  std::vector<TrafficClass> classes;
+  for (std::uint64_t r = 0; r < num_classes; ++r) {
+    const unsigned a =
+        1 + static_cast<unsigned>(rng.uniform_below(std::min(cap, 3u)));
+    const double mu = 0.25 + 2.0 * rng.uniform01();
+    const double rho_tilde = 0.02 + 3.0 * rng.uniform01();
+    const double alpha_tilde = rho_tilde * mu;
+    const int shape = static_cast<int>(rng.uniform_below(3));
+    double beta_tilde = 0.0;
+    if (shape == 1) {
+      // Pascal: keep the per-tuple ratio beta/mu safely subcritical even
+      // for the smallest normalization C(n2, a) >= 1.
+      beta_tilde = 0.8 * mu * rng.uniform01();
+    } else if (shape == 2) {
+      // Bernoulli: population = 2 * max(n1, n2) sources keeps intensity
+      // positive across the feasible range.
+      beta_tilde = -alpha_tilde / (2.0 * std::max(n1, n2));
+    }
+    classes.push_back(TrafficClass::bursty("c" + std::to_string(r),
+                                           alpha_tilde, beta_tilde, a, mu,
+                                           rng.uniform01()));
+  }
+  return CrossbarModel(Dims{n1, n2}, std::move(classes));
+}
+
+TEST(FuzzEquivalence, RandomModelsAgreeAcrossSolvers) {
+  dist::Xoshiro256 rng(0xF0CCAC1A);
+  for (int trial = 0; trial < 60; ++trial) {
+    const CrossbarModel model = random_model(rng);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                 std::to_string(model.dims().n1) + "x" +
+                 std::to_string(model.dims().n2) + ", R=" +
+                 std::to_string(model.num_classes()));
+
+    const Algorithm1Solver alg1(model);
+    const Algorithm2Solver alg2(model);
+    ASSERT_FALSE(alg1.degenerate());
+
+    const double lq1 = alg1.log_q(model.dims());
+    const double lq2 = alg2.log_q(model.dims());
+    EXPECT_NEAR(lq1, lq2, 1e-8 * (std::fabs(lq1) + 1.0));
+
+    const auto m1 = alg1.solve();
+    const auto m2 = alg2.solve();
+    for (std::size_t r = 0; r < model.num_classes(); ++r) {
+      EXPECT_NEAR(m1.per_class[r].blocking, m2.per_class[r].blocking, 1e-8)
+          << "class " << r;
+      EXPECT_NEAR(m1.per_class[r].concurrency, m2.per_class[r].concurrency,
+                  1e-8 * (1.0 + m2.per_class[r].concurrency))
+          << "class " << r;
+    }
+    EXPECT_NEAR(m1.revenue, m2.revenue, 1e-8 * (1.0 + m2.revenue));
+
+    // Brute-force check when affordable.
+    std::vector<unsigned> bandwidths;
+    for (const auto& c : model.normalized_classes()) {
+      bandwidths.push_back(c.bandwidth);
+    }
+    if (count_states(bandwidths, model.dims().cap()) <= 2000) {
+      const auto mb = BruteForceSolver(model).solve();
+      for (std::size_t r = 0; r < model.num_classes(); ++r) {
+        EXPECT_NEAR(m1.per_class[r].blocking, mb.per_class[r].blocking, 1e-8)
+            << "brute class " << r;
+        EXPECT_NEAR(m1.per_class[r].concurrency,
+                    mb.per_class[r].concurrency,
+                    1e-8 * (1.0 + mb.per_class[r].concurrency))
+            << "brute class " << r;
+      }
+    }
+  }
+}
+
+TEST(FuzzEquivalence, SubsystemQueriesAgreeOnRandomModels) {
+  dist::Xoshiro256 rng(0xBEEFCAFE);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CrossbarModel model = random_model(rng);
+    const Algorithm1Solver alg1(model);
+    const Algorithm2Solver alg2(model);
+    // Probe a random interior subsystem.
+    const Dims at{
+        1 + static_cast<unsigned>(rng.uniform_below(model.dims().n1)),
+        1 + static_cast<unsigned>(rng.uniform_below(model.dims().n2))};
+    const auto m1 = alg1.solve_at(at);
+    const auto m2 = alg2.solve_at(at);
+    for (std::size_t r = 0; r < model.num_classes(); ++r) {
+      EXPECT_NEAR(m1.per_class[r].blocking, m2.per_class[r].blocking, 1e-8)
+          << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,94 @@
+#include "core/generating_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "numeric/kahan.hpp"
+
+namespace xbar::core {
+namespace {
+
+// Closed form vs truncated series: Z(t) = sum_N Q(N) t1^N1 t2^N2.  With a
+// generous grid and small t the truncation error is negligible, so this
+// cross-validates eq. 5 against the Q recurrence end to end.
+void check_series_matches_closed_form(const CrossbarModel& model, double t1,
+                                      double t2, double tol) {
+  const Algorithm1Solver solver(model);
+  num::KahanSum sum;
+  for (unsigned n2 = 0; n2 <= model.dims().n2; ++n2) {
+    for (unsigned n1 = 0; n1 <= model.dims().n1; ++n1) {
+      const double log_term = solver.log_q(Dims{n1, n2}) +
+                              n1 * std::log(t1) + n2 * std::log(t2);
+      sum.add(std::exp(log_term));
+    }
+  }
+  EXPECT_NEAR(std::log(sum.value()), log_z(model, t1, t2), tol);
+}
+
+TEST(GeneratingFunction, ClosedFormMatchesSeriesPoisson) {
+  const CrossbarModel m(Dims::square(24), {TrafficClass::poisson("p", 0.5)});
+  check_series_matches_closed_form(m, 0.3, 0.4, 1e-10);
+}
+
+TEST(GeneratingFunction, ClosedFormMatchesSeriesPascal) {
+  const CrossbarModel m(Dims::square(24),
+                        {TrafficClass::bursty("pk", 0.5, 0.25)});
+  check_series_matches_closed_form(m, 0.25, 0.25, 1e-10);
+}
+
+TEST(GeneratingFunction, ClosedFormMatchesSeriesBernoulli) {
+  const CrossbarModel m(Dims::square(24),
+                        {TrafficClass::bursty("sm", 0.6, -0.01)});
+  check_series_matches_closed_form(m, 0.3, 0.3, 1e-10);
+}
+
+TEST(GeneratingFunction, ClosedFormMatchesSeriesMultiRateMix) {
+  const CrossbarModel m(Dims::square(24),
+                        {TrafficClass::poisson("p", 0.4, 2),
+                         TrafficClass::bursty("pk", 0.3, 0.1)});
+  check_series_matches_closed_form(m, 0.2, 0.35, 1e-10);
+}
+
+TEST(GeneratingFunction, LogZAtOriginCountsOnlyEmptyState) {
+  // Z(0,0) = Q(0,0) = 1 -> log 1 = 0... but the exp(t1+t2) factor means
+  // log_z(0,0) = 0 exactly.
+  const CrossbarModel m(Dims::square(4), {TrafficClass::poisson("p", 0.7)});
+  EXPECT_DOUBLE_EQ(log_z(m, 0.0, 0.0), 0.0);
+}
+
+TEST(GeneratingFunction, PascalRadiusOfConvergenceEnforced) {
+  // beta/mu * (t1 t2)^a >= 1 must throw.
+  const CrossbarModel m(Dims::square(2),
+                        {TrafficClass::bursty("pk", 1.0, 1.8)});
+  // per-tuple x = 1.8/2 = 0.9; t1 t2 = 4 -> y = 3.6 >= 1.
+  EXPECT_THROW((void)log_z(m, 2.0, 2.0), std::domain_error);
+  EXPECT_NO_THROW((void)log_z(m, 0.5, 0.5));
+}
+
+TEST(GeneratingFunction, SeriesGridSelfConsistentUnderClassOrder) {
+  // Convolution order must not matter.
+  const CrossbarModel ab(Dims::square(6),
+                         {TrafficClass::poisson("a", 0.5),
+                          TrafficClass::bursty("b", 0.4, 0.2, 2)});
+  const CrossbarModel ba(Dims::square(6),
+                         {TrafficClass::bursty("b", 0.4, 0.2, 2),
+                          TrafficClass::poisson("a", 0.5)});
+  const auto ga = series_log_q_grid(ab);
+  const auto gb = series_log_q_grid(ba);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_NEAR(ga[i], gb[i], 1e-10 * (std::fabs(ga[i]) + 1.0));
+  }
+}
+
+TEST(GeneratingFunction, SeriesLogQZeroDims) {
+  const CrossbarModel m(Dims{1, 1}, {TrafficClass::poisson("p", 0.3)});
+  const auto grid = series_log_q_grid(m);
+  EXPECT_NEAR(grid[0], 0.0, 1e-14);  // Q(0,0) = 1
+}
+
+}  // namespace
+}  // namespace xbar::core

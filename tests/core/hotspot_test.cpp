@@ -1,0 +1,104 @@
+#include "core/hotspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "fabric/crossbar.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic_pattern.hpp"
+
+namespace xbar::core {
+namespace {
+
+TEST(Hotspot, RejectsInvalidParameters) {
+  EXPECT_THROW((void)solve_hotspot({.ports = 1}), std::invalid_argument);
+  EXPECT_THROW((void)solve_hotspot({.ports = 4, .arrival_rate = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_hotspot({.ports = 4,
+                                    .arrival_rate = 1.0,
+                                    .mu = 1.0,
+                                    .hot_fraction = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(Hotspot, ZeroHotFractionReducesToUniformModel) {
+  // At h = 0 the (b,k) chain is the uniform single-class model in disguise.
+  for (const unsigned n : {4u, 8u, 16u}) {
+    for (const double rho : {0.2, 1.0, 4.0}) {
+      const auto hot = hotspot_crossbar(n, rho, 0.0);
+      const CrossbarModel uniform(Dims::square(n),
+                                  {TrafficClass::poisson("p", rho)});
+      const auto exact = solve(uniform).per_class[0];
+      EXPECT_NEAR(hot.blocking_overall, exact.blocking, 1e-8)
+          << n << " " << rho;
+      EXPECT_NEAR(hot.mean_circuits, exact.concurrency, 1e-7)
+          << n << " " << rho;
+      // With no hot spot both streams see identical blocking.
+      EXPECT_NEAR(hot.blocking_hot, hot.blocking_cold, 1e-8);
+    }
+  }
+}
+
+TEST(Hotspot, BlockingMonotoneInHotFraction) {
+  double prev = -1.0;
+  for (const double h : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto r = hotspot_crossbar(16, 1.0, h);
+    EXPECT_GT(r.blocking_overall, prev) << h;
+    prev = r.blocking_overall;
+  }
+}
+
+TEST(Hotspot, HotStreamSuffersMoreThanColdStream) {
+  const auto r = hotspot_crossbar(16, 1.0, 0.5);
+  EXPECT_GT(r.blocking_hot, r.blocking_cold);
+  EXPECT_GT(r.hot_utilization, r.cold_utilization);
+}
+
+TEST(Hotspot, SevereHotSpotSaturatesHotPortAndStrandsSwitch) {
+  const auto mild = hotspot_crossbar(16, 1.0, 0.1);
+  const auto severe = hotspot_crossbar(16, 1.0, 0.9);
+  EXPECT_GT(severe.hot_utilization, 0.9);
+  // Total carried traffic collapses as the hot port becomes the bottleneck.
+  EXPECT_LT(severe.mean_circuits, mild.mean_circuits);
+}
+
+TEST(Hotspot, MatchesHotspotSimulatorWithinCI) {
+  // The headline validation: the exact (b,k) chain against the event-driven
+  // simulator running sim::make_hotspot_selector.
+  const unsigned n = 8;
+  const double rho = 1.0;
+  for (const double h : {0.0, 0.3, 0.6}) {
+    const auto analytic = hotspot_crossbar(n, rho, h);
+    const CrossbarModel model(Dims::square(n),
+                              {TrafficClass::poisson("p", rho)});
+    fabric::CrossbarFabric fabric(n, n);
+    sim::SimulationConfig cfg;
+    cfg.warmup_time = 400.0;
+    cfg.measurement_time = 12'000.0;
+    cfg.num_batches = 20;
+    cfg.seed = 4242;
+    sim::Simulator simulator(model, fabric, cfg);
+    simulator.set_output_selector(sim::make_hotspot_selector(h, 0));
+    const auto run = simulator.run();
+    const auto& cc = run.per_class[0].call_congestion;
+    EXPECT_NEAR(cc.mean, analytic.blocking_overall,
+                3.0 * cc.half_width + 5e-3)
+        << "h=" << h;
+    EXPECT_NEAR(run.utilization.mean, analytic.utilization, 0.01)
+        << "h=" << h;
+  }
+}
+
+TEST(Hotspot, FullyHotTrafficIsSingleServerLoss) {
+  // h = 1: every request targets the hot port; the system is M/M/1/1 with
+  // an input-availability thinning that is negligible at large N.
+  const double lambda = 2.0;
+  const auto r = solve_hotspot(
+      {.ports = 256, .arrival_rate = lambda, .mu = 1.0, .hot_fraction = 1.0});
+  const double erlang_1 = lambda / (1.0 + lambda);  // M/M/1/1 blocking
+  EXPECT_NEAR(r.blocking_overall, erlang_1, 5e-3);
+  EXPECT_NEAR(r.hot_utilization, erlang_1, 5e-3);
+}
+
+}  // namespace
+}  // namespace xbar::core

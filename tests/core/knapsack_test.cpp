@@ -1,0 +1,187 @@
+#include "core/knapsack.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/erlang.hpp"
+#include "core/solver.hpp"
+#include "numeric/kahan.hpp"
+
+namespace xbar::core {
+namespace {
+
+TEST(Knapsack, SingleUnitClassIsErlangB) {
+  // One Poisson class with a = 1 on C trunks is exactly M/M/C/C.
+  const std::vector<KnapsackClass> classes = {{1, 6.0, 0.0, 1.0}};
+  const auto result = solve_knapsack(10, classes);
+  EXPECT_NEAR(result.time_congestion[0], erlang_b(6.0, 10), 1e-12);
+  // Carried load = A (1 - B).
+  EXPECT_NEAR(result.concurrency[0], 6.0 * (1.0 - erlang_b(6.0, 10)),
+              1e-10);
+}
+
+TEST(Knapsack, OccupancyIsNormalizedDistribution) {
+  const std::vector<KnapsackClass> classes = {{1, 3.0, 0.5, 1.0},
+                                              {2, 1.0, 0.0, 2.0}};
+  const auto result = solve_knapsack(12, classes);
+  num::KahanSum total;
+  for (const double q : result.occupancy) {
+    EXPECT_GE(q, 0.0);
+    total.add(q);
+  }
+  EXPECT_NEAR(total.value(), 1.0, 1e-12);
+}
+
+TEST(Knapsack, HandComputedTwoTrunkSystem) {
+  // C = 2, one Poisson class a = 1, rho = 1: truncated Poisson.
+  const std::vector<KnapsackClass> classes = {{1, 1.0, 0.0, 1.0}};
+  const auto result = solve_knapsack(2, classes);
+  const double g = 1.0 + 1.0 + 0.5;
+  EXPECT_NEAR(result.occupancy[0], 1.0 / g, 1e-12);
+  EXPECT_NEAR(result.occupancy[1], 1.0 / g, 1e-12);
+  EXPECT_NEAR(result.occupancy[2], 0.5 / g, 1e-12);
+  EXPECT_NEAR(result.time_congestion[0], 0.5 / g, 1e-12);
+}
+
+TEST(Knapsack, WideClassBlocksMoreThanUnitClass) {
+  const std::vector<KnapsackClass> classes = {{1, 2.0, 0.0, 1.0},
+                                              {3, 2.0 / 3.0, 0.0, 1.0}};
+  const auto result = solve_knapsack(12, classes);
+  EXPECT_GT(result.time_congestion[1], result.time_congestion[0]);
+}
+
+TEST(Knapsack, PeakyClassRaisesCongestion) {
+  const std::vector<KnapsackClass> poisson = {{1, 4.0, 0.0, 1.0}};
+  const std::vector<KnapsackClass> peaky = {{1, 4.0, 0.5, 1.0}};
+  EXPECT_GT(solve_knapsack(8, peaky).time_congestion[0],
+            solve_knapsack(8, poisson).time_congestion[0]);
+}
+
+TEST(Knapsack, BppMeanMatchesInfiniteServerWhenUncongested) {
+  // Huge capacity: E[k] -> alpha/(mu - beta).
+  const std::vector<KnapsackClass> classes = {{1, 2.0, 0.5, 1.0}};
+  const auto result = solve_knapsack(200, classes);
+  EXPECT_NEAR(result.concurrency[0], 2.0 / (1.0 - 0.5), 1e-6);
+  EXPECT_LT(result.time_congestion[0], 1e-10);
+}
+
+TEST(Knapsack, RejectsBadParameters) {
+  EXPECT_THROW(solve_knapsack(4, std::vector<KnapsackClass>{{0, 1.0, 0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_knapsack(4, std::vector<KnapsackClass>{{5, 1.0, 0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solve_knapsack(4, std::vector<KnapsackClass>{{1, 0.0, 0.0, 1.0}}),
+      std::invalid_argument);  // alpha <= 0
+  EXPECT_THROW(
+      solve_knapsack(4, std::vector<KnapsackClass>{{1, 1.0, -0.5, 1.0}}),
+      std::invalid_argument);  // smooth intensity negative within range
+}
+
+TEST(KnapsackApproximation, UnderestimatesCrossbarBlocking) {
+  // The knapsack keeps the capacity constraint but drops the port-matching
+  // thinning, so it must underestimate blocking — at every load level.
+  for (const double load : {0.2, 0.5, 1.0, 2.0}) {
+    const CrossbarModel model(Dims::square(8),
+                              {TrafficClass::poisson("p", load)});
+    const double exact = solve(model).per_class[0].blocking;
+    const double approx = knapsack_approximation(model).time_congestion[0];
+    EXPECT_LT(approx, exact) << load;
+    EXPECT_GT(approx, 0.0) << load;
+  }
+}
+
+TEST(KnapsackApproximation, TightAtHighUtilizationLooseInBetween) {
+  // At saturation the capacity constraint dominates and the gap narrows
+  // (relatively); the interesting regime is moderate load.
+  const CrossbarModel light(Dims::square(8),
+                            {TrafficClass::poisson("p", 0.1)});
+  const CrossbarModel heavy(Dims::square(8),
+                            {TrafficClass::poisson("p", 20.0)});
+  const double gap_light =
+      solve(light).per_class[0].blocking /
+      knapsack_approximation(light).time_congestion[0];
+  const double gap_heavy =
+      solve(heavy).per_class[0].blocking /
+      knapsack_approximation(heavy).time_congestion[0];
+  EXPECT_GT(gap_light, gap_heavy);
+  EXPECT_LT(gap_heavy, 1.6);
+}
+
+TEST(KnapsackApproximation, HandlesRectangularBurstyClasses) {
+  // The mapping is anchored at the empty switch: alpha_K equals the
+  // crossbar's empty-state total arrival intensity P(N1,a)P(N2,a) alpha.
+  const CrossbarModel model(Dims{4, 6},
+                            {TrafficClass::bursty("b", 0.6, 0.03, 2)});
+  const auto result = knapsack_approximation(model);
+  EXPECT_EQ(result.occupancy.size(), model.dims().cap() + 1u);
+  EXPECT_GT(result.concurrency[0], 0.0);
+}
+
+TEST(Knapsack, SupercriticalPeakyClassStillSolvable) {
+  // x >= 1 diverges on an infinite server but the C-trunk truncation keeps
+  // the knapsack chain ergodic; verify against direct enumeration of the
+  // product form g(j) = sum_{k a = j} prod_l (alpha + beta(l-1))/(l mu).
+  const KnapsackClass c{1, 1.0, 2.0, 1.0};  // x = 2
+  const unsigned cap = 6;
+  const auto result = solve_knapsack(cap, std::vector<KnapsackClass>{c});
+  std::vector<double> g(cap + 1, 0.0);
+  for (unsigned k = 0; k <= cap; ++k) {
+    double phi = 1.0;
+    for (unsigned l = 1; l <= k; ++l) {
+      phi *= (c.alpha + c.beta * (l - 1.0)) / (l * c.mu);
+    }
+    g[k] = phi;
+  }
+  double total = 0.0;
+  for (const double v : g) {
+    total += v;
+  }
+  for (unsigned j = 0; j <= cap; ++j) {
+    EXPECT_NEAR(result.occupancy[j], g[j] / total, 1e-12) << j;
+  }
+}
+
+TEST(KnapsackApproximation, StrongBurstinessMapsToSupercriticalKnapsack) {
+  // The mapping multiplies beta by the tuple count, so a bursty class the
+  // crossbar handles easily maps to a supercritical (x_K >= 1) knapsack
+  // class — still solvable thanks to truncation, and still an
+  // underestimate of the true crossbar blocking.
+  const CrossbarModel model(Dims{4, 6},
+                            {TrafficClass::bursty("b", 0.6, 0.3, 2)});
+  const auto approx = knapsack_approximation(model);
+  const double exact = solve(model).per_class[0].blocking;
+  EXPECT_LT(approx.time_congestion[0], exact);
+}
+
+TEST(Knapsack, CallCongestionMatchesTimeCongestionForPoisson) {
+  // PASTA in one dimension.
+  const std::vector<KnapsackClass> classes = {{1, 5.0, 0.0, 1.0},
+                                              {2, 1.0, 0.0, 1.0}};
+  const auto result = solve_knapsack(10, classes);
+  for (std::size_t r = 0; r < classes.size(); ++r) {
+    EXPECT_NEAR(result.call_congestion[r], result.time_congestion[r], 1e-12)
+        << r;
+  }
+}
+
+TEST(Knapsack, CallCongestionOrderingByShape) {
+  // Peaky arrivals see worse-than-average states; smooth see better.
+  const auto peaky = solve_knapsack(
+      8, std::vector<KnapsackClass>{{1, 2.0, 0.5, 1.0}});
+  EXPECT_GT(peaky.call_congestion[0], peaky.time_congestion[0]);
+  const auto smooth = solve_knapsack(
+      8, std::vector<KnapsackClass>{{1, 8.0, -1.0, 1.0}});
+  EXPECT_LT(smooth.call_congestion[0], smooth.time_congestion[0]);
+}
+
+TEST(Knapsack, UtilizationBounded) {
+  const std::vector<KnapsackClass> classes = {{1, 50.0, 0.0, 1.0}};
+  const auto result = solve_knapsack(10, classes);
+  EXPECT_GT(result.utilization, 0.9);
+  EXPECT_LE(result.utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace xbar::core

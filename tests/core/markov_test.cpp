@@ -1,0 +1,152 @@
+#include "core/markov.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/solver.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel small_mixed() {
+  return CrossbarModel(Dims::square(3),
+                       {TrafficClass::poisson("p", 0.6),
+                        TrafficClass::bursty("pk", 0.5, 0.25)});
+}
+
+TEST(MarkovChain, StateSpaceEnumerationAndLookup) {
+  const MarkovChain chain(small_mixed());
+  // |Γ| for two unit-bandwidth classes with cap 3: C(5,2) = 10.
+  EXPECT_EQ(chain.num_states(), 10u);
+  EXPECT_EQ(chain.empty_state(), 0u);
+  const std::vector<unsigned> k = {1, 2};
+  const auto idx = chain.state_index(k);
+  EXPECT_EQ(chain.state(idx)[0], 1u);
+  EXPECT_EQ(chain.state(idx)[1], 2u);
+  EXPECT_THROW((void)chain.state_index(std::vector<unsigned>{4, 0}),
+               std::out_of_range);
+}
+
+TEST(MarkovChain, SaturatedStateUsesAllCapacity) {
+  const MarkovChain chain(small_mixed());
+  const auto k = chain.state(chain.saturated_state());
+  EXPECT_EQ(k[0] + k[1], 3u);
+}
+
+TEST(MarkovChain, GuardsAgainstStateExplosion) {
+  EXPECT_THROW(MarkovChain(small_mixed(), /*max_states=*/5),
+               std::invalid_argument);
+}
+
+// The fifth independent validation path: power iteration on the explicit
+// generator must reproduce the product form.
+TEST(MarkovChain, StationaryMatchesProductForm) {
+  const auto model = small_mixed();
+  const MarkovChain chain(model);
+  const BruteForceSolver brute(model);
+  const auto pi = chain.stationary();
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    const double expected = std::exp(brute.log_pi(chain.state(s)));
+    EXPECT_NEAR(pi[s], expected, 1e-9) << s;
+  }
+}
+
+TEST(MarkovChain, StationaryMeasuresMatchSolvers) {
+  const auto model = CrossbarModel(Dims{4, 5},
+                                   {TrafficClass::poisson("p", 0.8),
+                                    TrafficClass::bursty("w", 0.5, 0.2, 2)});
+  const MarkovChain chain(model);
+  const auto pi = chain.stationary();
+  const auto measures = solve(model);
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    EXPECT_NEAR(chain.non_blocking_under(pi, r),
+                measures.per_class[r].non_blocking, 1e-8)
+        << r;
+    EXPECT_NEAR(chain.concurrency_under(pi, r),
+                measures.per_class[r].concurrency, 1e-8)
+        << r;
+  }
+}
+
+TEST(MarkovChain, TransientAtZeroIsInitialState) {
+  const MarkovChain chain(small_mixed());
+  const auto p = chain.transient(0.0, chain.empty_state());
+  EXPECT_DOUBLE_EQ(p[chain.empty_state()], 1.0);
+}
+
+TEST(MarkovChain, TransientIsDistributionAtAllTimes) {
+  const MarkovChain chain(small_mixed());
+  for (const double t : {0.01, 0.5, 2.0, 10.0}) {
+    const auto p = chain.transient(t, chain.empty_state());
+    double total = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, -1e-15);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << t;
+  }
+}
+
+TEST(MarkovChain, TransientConvergesToStationaryFromBothExtremes) {
+  const MarkovChain chain(small_mixed());
+  const auto pi = chain.stationary();
+  for (const std::size_t start :
+       {chain.empty_state(), chain.saturated_state()}) {
+    const auto p = chain.transient(50.0, start);
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+      EXPECT_NEAR(p[s], pi[s], 1e-6) << "start " << start << " state " << s;
+    }
+  }
+}
+
+TEST(MarkovChain, ColdStartBlockingRisesTowardSteadyState) {
+  // From an empty switch the blocking probe starts at 0 and relaxes upward.
+  const auto model = CrossbarModel(Dims::square(4),
+                                   {TrafficClass::poisson("p", 2.0)});
+  const MarkovChain chain(model);
+  const auto pi = chain.stationary();
+  const double steady = 1.0 - chain.non_blocking_under(pi, 0);
+  double prev = -1.0;
+  for (const double t : {0.0, 0.1, 0.3, 1.0, 3.0, 10.0}) {
+    const auto p = chain.transient(t, chain.empty_state());
+    const double blocking = 1.0 - chain.non_blocking_under(p, 0);
+    EXPECT_GE(blocking, prev - 1e-9) << t;
+    prev = blocking;
+  }
+  EXPECT_NEAR(prev, steady, 1e-6);
+}
+
+TEST(MarkovChain, SurgeDecaysTowardSteadyState) {
+  // From saturation the blocking probe starts at 1 and relaxes downward.
+  const auto model = CrossbarModel(Dims::square(4),
+                                   {TrafficClass::poisson("p", 2.0)});
+  const MarkovChain chain(model);
+  const auto p0 = chain.transient(0.0, chain.saturated_state());
+  EXPECT_NEAR(1.0 - chain.non_blocking_under(p0, 0), 1.0, 1e-12);
+  const auto p_late = chain.transient(20.0, chain.saturated_state());
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(chain.non_blocking_under(p_late, 0),
+              chain.non_blocking_under(pi, 0), 1e-6);
+}
+
+TEST(MarkovChain, UniformizationRateBoundsExitRates) {
+  const MarkovChain chain(small_mixed());
+  EXPECT_GT(chain.uniformization_rate(), 0.0);
+}
+
+TEST(MarkovChain, BernoulliClassChainIsWellFormed) {
+  // Bernoulli population truncation must not create dangling transitions.
+  const auto model = CrossbarModel(Dims::square(4),
+                                   {TrafficClass::bursty("sm", 2.0, -0.5)});
+  const MarkovChain chain(model);
+  const auto pi = chain.stationary();
+  const BruteForceSolver brute(model);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    EXPECT_NEAR(pi[s], std::exp(brute.log_pi(chain.state(s))), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,178 @@
+// Property tests on the model's qualitative behaviour — the claims the
+// paper's figures make, checked as invariants over parameter sweeps.
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/measures.hpp"
+#include "core/solver.hpp"
+
+namespace xbar::core {
+namespace {
+
+double blocking(unsigned n, double alpha_tilde, double beta_tilde,
+                unsigned a = 1) {
+  const CrossbarModel m(Dims::square(n),
+                        {TrafficClass::bursty("c", alpha_tilde, beta_tilde, a)});
+  return solve(m).per_class[0].blocking;
+}
+
+TEST(ModelProperties, BlockingIncreasesWithLoad) {
+  for (const unsigned n : {2u, 8u, 32u}) {
+    double prev = -1.0;
+    for (double alpha = 0.001; alpha < 3.0; alpha *= 3.0) {
+      const double b = blocking(n, alpha, 0.0);
+      EXPECT_GT(b, prev) << "n=" << n << " alpha=" << alpha;
+      prev = b;
+    }
+  }
+}
+
+TEST(ModelProperties, BlockingIncreasesWithPeakedness) {
+  // Figure 2's claim: peaky (Pascal) traffic blocks more at equal alpha.
+  for (const unsigned n : {4u, 16u, 64u}) {
+    double prev = -1.0;
+    for (const double beta : {0.0, 0.0006, 0.0012, 0.0024}) {
+      const double b = blocking(n, 0.0024, beta);
+      EXPECT_GT(b, prev) << "n=" << n << " beta=" << beta;
+      prev = b;
+    }
+  }
+}
+
+TEST(ModelProperties, PoissonIsUpperBoundForSmoothTraffic) {
+  // Figure 1's claim: the degenerate (Poisson) case bounds Bernoulli
+  // blocking from above.
+  for (const unsigned n : {4u, 16u, 64u, 128u}) {
+    const double poisson = blocking(n, 0.0024, 0.0);
+    for (const double beta : {-1e-6, -2e-6, -4e-6}) {
+      EXPECT_LT(blocking(n, 0.0024, beta), poisson)
+          << "n=" << n << " beta=" << beta;
+    }
+  }
+}
+
+TEST(ModelProperties, SmoothRegularPeakyOrderingAtEqualMeanLoad) {
+  const unsigned n = 16;
+  const double smooth = blocking(n, 0.01, -1e-4);
+  const double regular = blocking(n, 0.01, 0.0);
+  const double peaky = blocking(n, 0.01, 5e-3);
+  EXPECT_LT(smooth, regular);
+  EXPECT_LT(regular, peaky);
+}
+
+TEST(ModelProperties, WiderBandwidthBlocksMoreAtEqualPortLoad) {
+  // Figure 4's claim, at the paper's Table 1 loads: the a=2 class sees
+  // far higher blocking than the a=1 class carrying the same port load.
+  for (const unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+    const double tau = 0.0048;
+    const double rho1 = tau * 1.0 / (2.0 * n);
+    const double rho2 =
+        tau * 2.0 / (2.0 * (n * (n - 1.0) / 2.0));
+    const double b1 = blocking(n, rho1, 0.0, 1);
+    const double b2 = blocking(n, rho2, 0.0, 2);
+    EXPECT_GT(b2, b1) << "n=" << n;
+  }
+}
+
+TEST(ModelProperties, PoissonClassShiftsOperatingPoint) {
+  // Figure 3's claim: adding a Poisson class raises blocking for the bursty
+  // class (shifts the operating point) at every size.
+  for (const unsigned n : {2u, 8u, 32u, 128u}) {
+    const CrossbarModel alone(Dims::square(n),
+                              {TrafficClass::bursty("b", 0.0012, 0.0012)});
+    const CrossbarModel with_poisson(
+        Dims::square(n), {TrafficClass::poisson("p", 0.0012),
+                          TrafficClass::bursty("b", 0.0012, 0.0012)});
+    const double b_alone = solve(alone).per_class[0].blocking;
+    const double b_with = solve(with_poisson).per_class[1].blocking;
+    EXPECT_GT(b_with, b_alone) << "n=" << n;
+  }
+}
+
+TEST(ModelProperties, EqualBandwidthClassesSeeEqualBlocking) {
+  // B_r depends on the class only through a_r.
+  const CrossbarModel m(Dims::square(8),
+                        {TrafficClass::poisson("p", 0.7),
+                         TrafficClass::bursty("pk", 0.2, 0.1),
+                         TrafficClass::bursty("sm", 0.5, -0.05)});
+  const auto measures = solve(m);
+  EXPECT_NEAR(measures.per_class[0].blocking, measures.per_class[1].blocking,
+              1e-12);
+  EXPECT_NEAR(measures.per_class[0].blocking, measures.per_class[2].blocking,
+              1e-12);
+}
+
+TEST(ModelProperties, UtilizationBoundedByOne) {
+  for (const double load : {0.1, 1.0, 10.0, 100.0}) {
+    const CrossbarModel m(Dims::square(8),
+                          {TrafficClass::poisson("p", load)});
+    const auto measures = solve(m);
+    EXPECT_GE(measures.utilization, 0.0);
+    EXPECT_LE(measures.utilization, 1.0);
+  }
+}
+
+TEST(ModelProperties, UtilizationSaturatesTowardOneUnderOverload) {
+  const CrossbarModel m(Dims::square(4),
+                        {TrafficClass::poisson("hot", 500.0)});
+  EXPECT_GT(solve(m).utilization, 0.95);
+}
+
+TEST(ModelProperties, ThroughputEqualsConcurrencyTimesMu) {
+  const CrossbarModel m(Dims::square(6),
+                        {TrafficClass::poisson("f", 0.5, 1, 2.5)});
+  const auto measures = solve(m);
+  EXPECT_NEAR(measures.per_class[0].throughput,
+              2.5 * measures.per_class[0].concurrency, 1e-12);
+}
+
+TEST(ModelProperties, RevenueIsWeightedConcurrency) {
+  const CrossbarModel m(
+      Dims::square(6),
+      {TrafficClass::poisson("a", 0.5, 1, 1.0, 2.0),
+       TrafficClass::bursty("b", 0.4, 0.2, 1, 1.0, 0.5)});
+  const auto measures = solve(m);
+  EXPECT_NEAR(measures.revenue,
+              2.0 * measures.per_class[0].concurrency +
+                  0.5 * measures.per_class[1].concurrency,
+              1e-12);
+}
+
+TEST(ModelProperties, BlockingInsensitiveToMuAtFixedRho) {
+  // The product form depends on alpha and beta only through rho = alpha/mu
+  // and x = beta/mu.
+  const CrossbarModel slow(Dims::square(8),
+                           {TrafficClass::bursty("s", 0.4, 0.2, 1, 1.0)});
+  const CrossbarModel fast(Dims::square(8),
+                           {TrafficClass::bursty("f", 2.0, 1.0, 1, 5.0)});
+  EXPECT_NEAR(solve(slow).per_class[0].blocking,
+              solve(fast).per_class[0].blocking, 1e-12);
+}
+
+TEST(ModelProperties, RectangularSwitchSymmetry) {
+  // Swapping N1 and N2 leaves single-class measures unchanged when the
+  // per-tuple rates are pinned (use a=1 where C(N2,1) normalization makes
+  // tilde rates asymmetric, so pin via equal per-tuple alpha).
+  const double alpha_tuple = 0.05;
+  const CrossbarModel wide(Dims{3, 7},
+                           {TrafficClass::bursty("c", alpha_tuple * 7, 0.0)});
+  const CrossbarModel tall(Dims{7, 3},
+                           {TrafficClass::bursty("c", alpha_tuple * 3, 0.0)});
+  EXPECT_NEAR(solve(wide).per_class[0].blocking,
+              solve(tall).per_class[0].blocking, 1e-12);
+}
+
+TEST(MeasuresOstream, PrintsSummary) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  std::ostringstream os;
+  os << solve(m);
+  EXPECT_NE(os.str().find("revenue"), std::string::npos);
+  EXPECT_NE(os.str().find("class0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,127 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace xbar::core {
+namespace {
+
+TEST(Dims, CapAndMaxSide) {
+  const Dims d{4, 7};
+  EXPECT_EQ(d.cap(), 4u);
+  EXPECT_EQ(d.max_side(), 7u);
+  EXPECT_EQ(Dims::square(5).n1, 5u);
+  EXPECT_EQ(Dims::square(5).n2, 5u);
+}
+
+TEST(Dims, ShrunkByClampsAtZero) {
+  const Dims d{3, 5};
+  EXPECT_EQ(d.shrunk_by(2), (Dims{1, 3}));
+  EXPECT_EQ(d.shrunk_by(4), (Dims{0, 1}));
+}
+
+TEST(TrafficClass, PoissonFactory) {
+  const auto c = TrafficClass::poisson("voice", 0.5, 2, 4.0, 3.0);
+  EXPECT_EQ(c.name, "voice");
+  EXPECT_EQ(c.bandwidth, 2u);
+  EXPECT_DOUBLE_EQ(c.alpha_tilde, 2.0);  // rho~ * mu
+  EXPECT_DOUBLE_EQ(c.beta_tilde, 0.0);
+  EXPECT_DOUBLE_EQ(c.rho_tilde(), 0.5);
+  EXPECT_DOUBLE_EQ(c.weight, 3.0);
+}
+
+TEST(CrossbarModel, NormalizesByOutputSetCount) {
+  // lambda_r = lambda~_r / C(N2, a_r)  (paper §2).
+  const CrossbarModel m(Dims{4, 6},
+                        {TrafficClass::bursty("b", 0.12, 0.06, 2)});
+  const NormalizedClass& n = m.normalized(0);
+  EXPECT_DOUBLE_EQ(n.alpha, 0.12 / 15.0);  // C(6,2) = 15
+  EXPECT_DOUBLE_EQ(n.beta, 0.06 / 15.0);
+  EXPECT_DOUBLE_EQ(n.rho(), 0.12 / 15.0);
+  EXPECT_DOUBLE_EQ(n.x(), 0.06 / 15.0);
+  EXPECT_FALSE(n.is_poisson());
+}
+
+TEST(CrossbarModel, IntensityClampsAtZero) {
+  const CrossbarModel m(Dims::square(4),
+                        {TrafficClass::bursty("s", 0.4, -0.1)});
+  const NormalizedClass& n = m.normalized(0);
+  EXPECT_DOUBLE_EQ(n.intensity(0), 0.1);
+  EXPECT_DOUBLE_EQ(n.intensity(4), 0.0);
+  EXPECT_DOUBLE_EQ(n.intensity(100), 0.0);
+}
+
+TEST(CrossbarModel, RejectsZeroDimensions) {
+  EXPECT_THROW(CrossbarModel(Dims{0, 4}, {TrafficClass::poisson("p", 0.1)}),
+               std::invalid_argument);
+  EXPECT_THROW(CrossbarModel(Dims{4, 0}, {TrafficClass::poisson("p", 0.1)}),
+               std::invalid_argument);
+}
+
+TEST(CrossbarModel, RejectsEmptyClassList) {
+  EXPECT_THROW(CrossbarModel(Dims::square(4), {}), std::invalid_argument);
+}
+
+TEST(CrossbarModel, RejectsZeroBandwidth) {
+  EXPECT_THROW(
+      CrossbarModel(Dims::square(4), {TrafficClass::poisson("p", 0.1, 0)}),
+      std::invalid_argument);
+}
+
+TEST(CrossbarModel, RejectsBandwidthBeyondCap) {
+  EXPECT_THROW(
+      CrossbarModel(Dims{2, 8}, {TrafficClass::poisson("p", 0.1, 3)}),
+      std::invalid_argument);
+  // a == cap is fine.
+  EXPECT_NO_THROW(
+      CrossbarModel(Dims{2, 8}, {TrafficClass::poisson("p", 0.1, 2)}));
+}
+
+TEST(CrossbarModel, RejectsNonPositiveLoadOrMu) {
+  EXPECT_THROW(
+      CrossbarModel(Dims::square(4), {TrafficClass::poisson("p", 0.0)}),
+      std::invalid_argument);
+  EXPECT_THROW(CrossbarModel(Dims::square(4),
+                             {TrafficClass::poisson("p", 0.1, 1, 0.0)}),
+               std::invalid_argument);
+}
+
+TEST(CrossbarModel, RejectsSupercriticalPascal) {
+  // beta/mu >= 1 diverges.  beta~ = 4 * 1.0 on a 4x4 gives beta = 1.0.
+  EXPECT_THROW(CrossbarModel(Dims::square(4),
+                             {TrafficClass::bursty("p", 0.4, 4.0)}),
+               std::invalid_argument);
+}
+
+TEST(CrossbarModel, RejectsBernoulliGoingNegativeInRange) {
+  // alpha~ = .4, beta~ = -.2 on 4x4: per-tuple alpha = .1, beta = -.05;
+  // intensity at k=4 = .1 - .2 < 0 — inadmissible.
+  EXPECT_THROW(CrossbarModel(Dims::square(4),
+                             {TrafficClass::bursty("s", 0.4, -0.2)}),
+               std::invalid_argument);
+}
+
+TEST(CrossbarModel, WithDimsSameTupleRatesPreservesPerTupleParameters) {
+  const CrossbarModel m(Dims::square(8),
+                        {TrafficClass::bursty("b", 0.8, 0.4, 2)});
+  const CrossbarModel sub = m.with_dims_same_tuple_rates(Dims::square(6));
+  EXPECT_EQ(sub.dims(), Dims::square(6));
+  EXPECT_DOUBLE_EQ(sub.normalized(0).alpha, m.normalized(0).alpha);
+  EXPECT_DOUBLE_EQ(sub.normalized(0).beta, m.normalized(0).beta);
+}
+
+TEST(CrossbarModel, ClassAccessors) {
+  const CrossbarModel m(
+      Dims::square(4),
+      {TrafficClass::poisson("a", 0.1), TrafficClass::bursty("b", 0.1, 0.05)});
+  EXPECT_EQ(m.num_classes(), 2u);
+  EXPECT_EQ(m.classes()[0].name, "a");
+  EXPECT_EQ(m.normalized_classes().size(), 2u);
+  EXPECT_TRUE(m.normalized(0).is_poisson());
+  EXPECT_FALSE(m.normalized(1).is_poisson());
+  EXPECT_EQ(m.state_cap(), 4u);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,181 @@
+#include "core/revenue.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel table2_like(unsigned n, double rho2 = 0.0012,
+                          double beta2 = 0.0012) {
+  return CrossbarModel(
+      Dims::square(n),
+      {TrafficClass::poisson("t1", 0.0012, 1, 1.0, 1.0),
+       TrafficClass::bursty("t2", rho2, beta2, 1, 1.0, 0.0001)});
+}
+
+TEST(Revenue, MatchesSolverRevenue) {
+  const auto model = table2_like(8);
+  const RevenueAnalyzer analyzer(model);
+  EXPECT_NEAR(analyzer.revenue(), solve(model).revenue, 1e-12);
+}
+
+TEST(Revenue, ShadowCostIsRevenueDifference) {
+  const auto model = table2_like(8);
+  const RevenueAnalyzer analyzer(model);
+  const double expected =
+      analyzer.revenue() - analyzer.revenue_at(Dims::square(7));
+  EXPECT_NEAR(analyzer.shadow_cost(0), expected, 1e-14);
+}
+
+// The closed-form Poisson gradient must equal a high-accuracy numeric
+// derivative even with a bursty class present (DESIGN.md errata note 1).
+TEST(Revenue, PoissonClosedFormMatchesCentralDifference) {
+  for (const unsigned n : {2u, 4u, 8u, 16u, 64u}) {
+    const RevenueAnalyzer analyzer(table2_like(n));
+    const double exact = analyzer.d_revenue_d_rho_exact(0);
+    const double numeric = analyzer.d_revenue_d_rho_numeric(
+        0, GradientMethod::kCentralDifference, 1e-5);
+    EXPECT_NEAR(exact, numeric, 1e-4 * std::fabs(exact)) << "n=" << n;
+  }
+}
+
+// The exact series for bursty-class gradients (library extension; the paper
+// used forward differences) must match numeric differentiation.
+struct GradientCase {
+  std::string label;
+  unsigned n;
+  std::vector<TrafficClass> classes;
+  std::size_t target;  // class whose gradients we probe
+};
+
+class ExactGradientTest : public ::testing::TestWithParam<GradientCase> {};
+
+TEST_P(ExactGradientTest, DRevenueDXMatchesCentralDifference) {
+  const CrossbarModel model(Dims::square(GetParam().n), GetParam().classes);
+  const RevenueAnalyzer analyzer(model);
+  const std::size_t r = GetParam().target;
+  const double exact = analyzer.d_revenue_d_x_exact(r);
+  const double numeric = analyzer.d_revenue_d_x_numeric(
+      r, GradientMethod::kCentralDifference, 1e-4);
+  EXPECT_NEAR(exact, numeric,
+              1e-4 * (std::fabs(exact) + std::fabs(numeric) + 1e-12));
+}
+
+TEST_P(ExactGradientTest, DRevenueDRhoMatchesCentralDifference) {
+  const CrossbarModel model(Dims::square(GetParam().n), GetParam().classes);
+  const RevenueAnalyzer analyzer(model);
+  const std::size_t r = GetParam().target;
+  const double exact = analyzer.d_revenue_d_rho_exact(r);
+  const double numeric = analyzer.d_revenue_d_rho_numeric(
+      r, GradientMethod::kCentralDifference, 1e-5);
+  EXPECT_NEAR(exact, numeric,
+              1e-4 * (std::fabs(exact) + std::fabs(numeric) + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactGradientTest,
+    ::testing::Values(
+        GradientCase{"pascal_small", 4,
+                     {TrafficClass::poisson("p", 0.0012, 1, 1.0, 1.0),
+                      TrafficClass::bursty("b", 0.0012, 0.0012, 1, 1.0,
+                                           0.0001)},
+                     1},
+        GradientCase{"pascal_large", 64,
+                     {TrafficClass::poisson("p", 0.0012, 1, 1.0, 1.0),
+                      TrafficClass::bursty("b", 0.0012, 0.0012, 1, 1.0,
+                                           0.0001)},
+                     1},
+        GradientCase{"heavy_load", 8,
+                     {TrafficClass::poisson("p", 0.5, 1, 1.0, 1.0),
+                      TrafficClass::bursty("b", 0.4, 0.2, 1, 1.0, 0.3)},
+                     1},
+        GradientCase{"wide_band", 8,
+                     {TrafficClass::poisson("p", 0.3, 1, 1.0, 1.0),
+                      TrafficClass::bursty("b", 0.4, 0.2, 2, 1.0, 0.5)},
+                     1},
+        GradientCase{"bernoulli", 8,
+                     {TrafficClass::poisson("p", 0.3, 1, 1.0, 1.0),
+                      TrafficClass::bursty("sm", 0.8, -0.05, 1, 1.0, 0.5)},
+                     1},
+        GradientCase{"poisson_x_sensitivity", 6,
+                     {TrafficClass::poisson("p", 0.5, 1, 1.0, 1.0)},
+                     0},
+        GradientCase{"three_class", 6,
+                     {TrafficClass::poisson("p", 0.3, 1, 1.0, 1.0),
+                      TrafficClass::bursty("pk", 0.2, 0.1, 1, 1.0, 0.4),
+                      TrafficClass::bursty("sm", 0.4, -0.04, 2, 1.0, 0.7)},
+                     1}),
+    [](const ::testing::TestParamInfo<GradientCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Revenue, ForwardDifferenceConvergesToExact) {
+  const RevenueAnalyzer analyzer(table2_like(16));
+  const double exact = analyzer.d_revenue_d_x_exact(1);
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (const double h : {1e-1, 1e-2, 1e-3}) {
+    const double fd = analyzer.d_revenue_d_x_numeric(
+        1, GradientMethod::kForwardDifference, h);
+    const double err = std::fabs(fd - exact);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Revenue, GradientEconomicsSignTest) {
+  // A high-weight class on an empty switch should raise revenue with load
+  // (w_r >> shadow cost); a worthless class crowding a loaded switch should
+  // lower it.
+  const CrossbarModel good(Dims::square(4),
+                           {TrafficClass::poisson("gold", 0.01, 1, 1.0, 1.0)});
+  EXPECT_GT(RevenueAnalyzer(good).d_revenue_d_rho_exact(0), 0.0);
+
+  const CrossbarModel crowded(
+      Dims::square(4),
+      {TrafficClass::poisson("gold", 2.0, 1, 1.0, 1.0),
+       TrafficClass::poisson("junk", 2.0, 1, 1.0, 1e-6)});
+  EXPECT_LT(RevenueAnalyzer(crowded).d_revenue_d_rho_exact(1), 0.0);
+}
+
+TEST(Revenue, WorthAdmittingFlagMatchesInequality) {
+  const RevenueAnalyzer analyzer(table2_like(8));
+  const auto report = analyzer.analyze();
+  ASSERT_EQ(report.per_class.size(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(report.per_class[r].worth_admitting,
+              analyzer.model().normalized(r).weight >
+                  report.per_class[r].shadow_cost);
+  }
+}
+
+TEST(Revenue, AnalyzeReportsConsistentAcrossMethods) {
+  const RevenueAnalyzer analyzer(table2_like(8));
+  const auto exact = analyzer.analyze(GradientMethod::kExact);
+  const auto central = analyzer.analyze(GradientMethod::kCentralDifference);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(exact.per_class[r].d_revenue_d_rho,
+                central.per_class[r].d_revenue_d_rho,
+                1e-3 * (std::fabs(exact.per_class[r].d_revenue_d_rho) + 1.0));
+    EXPECT_NEAR(exact.per_class[r].d_revenue_d_x,
+                central.per_class[r].d_revenue_d_x,
+                1e-3 * (std::fabs(exact.per_class[r].d_revenue_d_x) + 1e-9));
+    EXPECT_DOUBLE_EQ(exact.per_class[r].shadow_cost,
+                     central.per_class[r].shadow_cost);
+  }
+  EXPECT_DOUBLE_EQ(exact.revenue, central.revenue);
+}
+
+TEST(Revenue, IncreasingBurstinessReducesRevenue) {
+  // Table 2's qualitative conclusion.
+  for (const unsigned n : {8u, 32u, 128u}) {
+    const RevenueAnalyzer analyzer(table2_like(n));
+    EXPECT_LT(analyzer.d_revenue_d_x_exact(1), 0.0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

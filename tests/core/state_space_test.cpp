@@ -1,0 +1,92 @@
+#include "core/state_space.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::core {
+namespace {
+
+TEST(StateSpace, SingleClassUnitBandwidth) {
+  const std::vector<unsigned> a = {1};
+  // k in {0..cap}
+  EXPECT_EQ(count_states(a, 5), 6u);
+  EXPECT_EQ(count_states(a, 0), 1u);
+}
+
+TEST(StateSpace, SingleClassWideBandwidth) {
+  const std::vector<unsigned> a = {3};
+  // k*3 <= 7 -> k in {0,1,2}
+  EXPECT_EQ(count_states(a, 7), 3u);
+}
+
+TEST(StateSpace, TwoClassesTriangleCount) {
+  const std::vector<unsigned> a = {1, 1};
+  // k1 + k2 <= 3: C(5,2) = 10 lattice points
+  EXPECT_EQ(count_states(a, 3), 10u);
+}
+
+TEST(StateSpace, MixedBandwidths) {
+  const std::vector<unsigned> a = {1, 2};
+  // k1 + 2 k2 <= 4: k2=0: 5, k2=1: 3, k2=2: 1 -> 9
+  EXPECT_EQ(count_states(a, 4), 9u);
+}
+
+TEST(StateSpace, VisitorReceivesCorrectUsage) {
+  const std::vector<unsigned> a = {2, 3};
+  for_each_state(a, 9, [&](std::span<const unsigned> k, unsigned usage) {
+    EXPECT_EQ(usage, k[0] * 2 + k[1] * 3);
+    EXPECT_LE(usage, 9u);
+  });
+}
+
+TEST(StateSpace, VisitsEveryFeasibleStateExactlyOnce) {
+  const std::vector<unsigned> a = {1, 2};
+  std::vector<std::vector<unsigned>> seen;
+  for_each_state(a, 3, [&](std::span<const unsigned> k, unsigned) {
+    seen.emplace_back(k.begin(), k.end());
+  });
+  // Enumerate independently.
+  std::vector<std::vector<unsigned>> expected;
+  for (unsigned k1 = 0; k1 <= 3; ++k1) {
+    for (unsigned k2 = 0; k1 + 2 * k2 <= 3; ++k2) {
+      expected.push_back({k1, k2});
+    }
+  }
+  ASSERT_EQ(seen.size(), expected.size());
+  for (const auto& s : expected) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), s), seen.end());
+  }
+}
+
+TEST(StateSpace, LexicographicOrder) {
+  const std::vector<unsigned> a = {1, 1};
+  std::vector<std::vector<unsigned>> seen;
+  for_each_state(a, 1, [&](std::span<const unsigned> k, unsigned) {
+    seen.emplace_back(k.begin(), k.end());
+  });
+  const std::vector<std::vector<unsigned>> expected = {
+      {0, 0}, {0, 1}, {1, 0}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(StateSpace, ThreeClassesCountMatchesDirectEnumeration) {
+  const std::vector<unsigned> a = {1, 2, 3};
+  std::uint64_t direct = 0;
+  for (unsigned k1 = 0; k1 <= 12; ++k1) {
+    for (unsigned k2 = 0; k1 + 2 * k2 <= 12; ++k2) {
+      for (unsigned k3 = 0; k1 + 2 * k2 + 3 * k3 <= 12; ++k3) {
+        ++direct;
+      }
+    }
+  }
+  EXPECT_EQ(count_states(a, 12), direct);
+}
+
+TEST(StateSpace, EmptyClassListHasOneState) {
+  const std::vector<unsigned> a = {};
+  EXPECT_EQ(count_states(a, 10), 1u);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,119 @@
+#include "core/wilkinson.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/erlang.hpp"
+#include "core/knapsack.hpp"
+
+namespace xbar::core {
+namespace {
+
+TEST(OverflowMoments, ZeroLoadIsZero) {
+  const auto m = overflow_moments(0.0, 5);
+  EXPECT_EQ(m.mean, 0.0);
+  EXPECT_EQ(m.variance, 0.0);
+}
+
+TEST(OverflowMoments, MeanIsCarriedThroughErlangB) {
+  const double a = 8.0;
+  const unsigned c = 6;
+  const auto m = overflow_moments(a, c);
+  EXPECT_NEAR(m.mean, a * erlang_b(a, c), 1e-12);
+}
+
+TEST(OverflowMoments, OverflowTrafficIsPeaky) {
+  // The foundational fact of ERT: overflow of Poisson traffic has Z > 1.
+  for (const double a : {2.0, 5.0, 10.0}) {
+    for (const unsigned c : {2u, 5u, 10u}) {
+      const auto m = overflow_moments(a, c);
+      EXPECT_GT(m.peakedness(), 1.0) << a << " " << c;
+    }
+  }
+}
+
+TEST(OverflowMoments, NoTrunksPassesEverything) {
+  // c = 0: overflow is the stream itself, Poisson (Z = 1).
+  const auto m = overflow_moments(4.0, 0);
+  EXPECT_NEAR(m.mean, 4.0, 1e-12);
+  EXPECT_NEAR(m.peakedness(), 1.0, 1e-12);
+}
+
+TEST(EquivalentRandomFit, RoundTripsOverflowMoments) {
+  // Fit (A*, c*) to a real overflow stream's (M, Z) and check that the
+  // fitted source reproduces the moments (Rapp is a ~1% approximation).
+  const double a = 10.0;
+  const unsigned c = 8;
+  const auto target = overflow_moments(a, c);
+  const auto eq = fit_equivalent_random(target.mean, target.peakedness());
+  EXPECT_NEAR(eq.load, a, 0.1 * a);
+  EXPECT_NEAR(eq.trunks, static_cast<double>(c), 1.0);
+}
+
+TEST(EquivalentRandomFit, RejectsSmoothTraffic) {
+  EXPECT_THROW((void)fit_equivalent_random(2.0, 0.8), std::invalid_argument);
+  EXPECT_THROW((void)fit_equivalent_random(0.0, 2.0), std::invalid_argument);
+}
+
+TEST(WilkinsonBlocking, PoissonCaseIsErlangB) {
+  for (const unsigned c : {4u, 10u, 30u}) {
+    EXPECT_NEAR(wilkinson_blocking(6.0, 1.0, c), erlang_b(6.0, c), 1e-12);
+  }
+}
+
+TEST(WilkinsonBlocking, SelfConsistentOnRealOverflowStreams) {
+  // Gold-standard ERT check: take an actual overflow stream (A on c1) and
+  // ask for its blocking on c2 secondary trunks.  Exact answer:
+  // m(c1 + c2)/m(c1).  ERT re-fits (A*, c*) from moments and should land
+  // within a few percent.
+  const double a = 12.0;
+  for (const unsigned c1 : {6u, 10u}) {
+    for (const unsigned c2 : {4u, 8u, 16u}) {
+      const auto m1 = overflow_moments(a, c1);
+      const auto m2 = overflow_moments(a, c1 + c2);
+      const double exact = m2.mean / m1.mean;
+      const double ert =
+          wilkinson_blocking(m1.mean, m1.peakedness(), c2);
+      EXPECT_NEAR(ert, exact, 0.08 * exact + 1e-4) << c1 << " " << c2;
+    }
+  }
+}
+
+TEST(WilkinsonBlocking, PeakyBlocksMoreThanPoissonAtEqualMean) {
+  for (const unsigned c : {8u, 16u}) {
+    EXPECT_GT(wilkinson_blocking(6.0, 2.0, c),
+              wilkinson_blocking(6.0, 1.0, c))
+        << c;
+  }
+}
+
+TEST(WilkinsonBlocking, BoundsExactBppKnapsackFromAbove) {
+  // ERT vs Delbrouck on the same (M, Z).  ERT models the stream as an
+  // Erlang *overflow* process, which is burstier in its higher moments
+  // than a BPP stream with the same mean and peakedness — so ERT must land
+  // above the exact BPP call congestion (which itself exceeds the time
+  // congestion for peaky traffic), within a factor ~2.5 for Z <= 3.
+  for (const double z : {1.5, 2.0, 3.0}) {
+    for (const unsigned c : {8u, 16u}) {
+      const double mean = 0.5 * c;
+      const double beta = 1.0 - 1.0 / z;
+      const double alpha = mean * (1.0 - beta);
+      const auto exact = solve_knapsack(
+          c, std::vector<KnapsackClass>{{1, alpha, beta, 1.0}});
+      const double ert = wilkinson_blocking(mean, z, c);
+      EXPECT_GT(exact.call_congestion[0], exact.time_congestion[0])
+          << "z=" << z << " c=" << c;
+      EXPECT_GT(ert, exact.call_congestion[0]) << "z=" << z << " c=" << c;
+      EXPECT_LT(ert, 2.5 * exact.call_congestion[0])
+          << "z=" << z << " c=" << c;
+    }
+  }
+}
+
+TEST(WilkinsonBlocking, CappedAtOne) {
+  EXPECT_LE(wilkinson_blocking(100.0, 5.0, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,121 @@
+#include "dist/bpp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xbar::dist {
+namespace {
+
+TEST(BppParams, ShapeClassification) {
+  EXPECT_EQ((BppParams{1.0, -0.1, 1.0}).shape(), TrafficShape::kSmooth);
+  EXPECT_EQ((BppParams{1.0, 0.0, 1.0}).shape(), TrafficShape::kRegular);
+  EXPECT_EQ((BppParams{1.0, 0.1, 1.0}).shape(), TrafficShape::kPeaky);
+}
+
+TEST(BppParams, ToStringNames) {
+  EXPECT_EQ(to_string(TrafficShape::kSmooth), "smooth");
+  EXPECT_EQ(to_string(TrafficShape::kRegular), "regular");
+  EXPECT_EQ(to_string(TrafficShape::kPeaky), "peaky");
+}
+
+TEST(BppParams, IntensityIsLinearAndClamped) {
+  const BppParams p{1.0, -0.25, 1.0};  // population 4
+  EXPECT_DOUBLE_EQ(p.intensity(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.intensity(2), 0.5);
+  EXPECT_DOUBLE_EQ(p.intensity(4), 0.0);
+  EXPECT_DOUBLE_EQ(p.intensity(10), 0.0);  // clamped, not negative
+}
+
+TEST(BppParams, PaperMomentFormulas) {
+  // Paper §2: M = alpha/(1-beta), V = alpha/(1-beta)^2, Z = 1/(1-beta)
+  // (with mu = 1).
+  const BppParams p{2.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(p.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 8.0);
+  EXPECT_DOUBLE_EQ(p.peakedness(), 2.0);
+}
+
+TEST(BppParams, PeakednessRegimes) {
+  EXPECT_LT((BppParams{1.0, -0.5, 1.0}).peakedness(), 1.0);  // smooth
+  EXPECT_DOUBLE_EQ((BppParams{1.0, 0.0, 1.0}).peakedness(), 1.0);
+  EXPECT_GT((BppParams{1.0, 0.5, 1.0}).peakedness(), 1.0);  // peaky
+}
+
+TEST(BppParams, MuScalesTheFamily) {
+  // Z depends on beta/mu, so doubling both leaves Z unchanged.
+  const BppParams a{1.0, 0.5, 1.0};
+  const BppParams b{2.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.peakedness(), b.peakedness());
+}
+
+TEST(BppParams, InfiniteMomentsAtCriticalBeta) {
+  const BppParams p{1.0, 1.0, 1.0};
+  EXPECT_TRUE(std::isinf(p.mean()));
+  EXPECT_TRUE(std::isinf(p.variance()));
+}
+
+TEST(BppParams, SourcePopulation) {
+  const BppParams p{2.4, -0.004, 1.0};
+  EXPECT_DOUBLE_EQ(p.source_population(), 600.0);
+}
+
+TEST(BppValidity, PoissonAlwaysValid) {
+  EXPECT_TRUE((BppParams{0.1, 0.0, 1.0}).is_valid(1000));
+}
+
+TEST(BppValidity, PascalRequiresBetaBelowMu) {
+  EXPECT_TRUE((BppParams{1.0, 0.9, 1.0}).is_valid(10));
+  EXPECT_FALSE((BppParams{1.0, 1.0, 1.0}).is_valid(10));
+  EXPECT_FALSE((BppParams{1.0, 2.0, 1.0}).is_valid(10));
+  EXPECT_TRUE((BppParams{1.0, 1.5, 2.0}).is_valid(10));  // beta/mu < 1
+}
+
+TEST(BppValidity, BernoulliRequiresIntegerPopulation) {
+  // Figure 1 parameters: alpha~=.0024, beta~=-4e-6 -> population 600.
+  EXPECT_TRUE((BppParams{0.0024, -4.0e-6, 1.0}).is_valid(128));
+  // Non-integer ratio fails the strict check.
+  EXPECT_FALSE((BppParams{0.0024, -4.1e-6, 1.0}).is_valid(128));
+}
+
+TEST(BppValidity, BernoulliIntensityMustCoverPortRange) {
+  // population 100 < port bound 128: intensity would go negative.
+  const BppParams p{1.0, -0.01, 1.0};
+  EXPECT_TRUE(p.is_valid(100));
+  EXPECT_FALSE(p.is_valid(128));
+}
+
+TEST(BppValidity, RequiresPositiveAlphaAndMu) {
+  EXPECT_FALSE((BppParams{0.0, 0.0, 1.0}).is_valid(10));
+  EXPECT_FALSE((BppParams{1.0, 0.0, 0.0}).is_valid(10));
+}
+
+TEST(BppAdmissible, RelaxesIntegerPopulationOnly) {
+  // Non-integer population: inadmissible strictly, admissible relaxed.
+  const BppParams p{0.0024, -4.1e-6, 1.0};
+  EXPECT_FALSE(p.is_valid(128));
+  EXPECT_TRUE(p.is_admissible(128));
+  // But intensity must still stay non-negative over the port range.
+  EXPECT_FALSE((BppParams{1.0, -0.01, 1.0}).is_admissible(128));
+  // And Pascal convergence still applies.
+  EXPECT_FALSE((BppParams{1.0, 1.0, 1.0}).is_admissible(10));
+}
+
+TEST(BppParams, FromMeanPeakednessRoundTrips) {
+  for (const double z : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+    const BppParams p = BppParams::from_mean_peakedness(3.0, z, 2.0);
+    EXPECT_NEAR(p.mean(), 3.0, 1e-12) << z;
+    EXPECT_NEAR(p.peakedness(), z, 1e-12) << z;
+    EXPECT_DOUBLE_EQ(p.mu, 2.0);
+  }
+}
+
+TEST(BppParams, StreamOutputMentionsShape) {
+  std::ostringstream os;
+  os << BppParams{1.0, 0.5, 1.0};
+  EXPECT_NE(os.str().find("peaky"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xbar::dist

@@ -1,0 +1,146 @@
+#include "dist/counting.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/kahan.hpp"
+
+namespace xbar::dist {
+namespace {
+
+// Shared checks for any counting distribution: pmf sums to 1 and the first
+// two empirical moments of the pmf match the declared ones.
+void check_moments(const CountingDistribution& d, unsigned support_probe,
+                   double tol = 1e-9) {
+  num::KahanSum total;
+  num::KahanSum mean;
+  num::KahanSum second;
+  for (unsigned k = 0; k <= support_probe; ++k) {
+    const double p = d.pmf(k);
+    ASSERT_GE(p, 0.0);
+    total.add(p);
+    mean.add(k * p);
+    second.add(static_cast<double>(k) * k * p);
+  }
+  EXPECT_NEAR(total.value(), 1.0, tol) << d.name();
+  EXPECT_NEAR(mean.value(), d.mean(), tol * (1.0 + d.mean())) << d.name();
+  const double var = second.value() - mean.value() * mean.value();
+  EXPECT_NEAR(var, d.variance(), tol * (1.0 + d.variance())) << d.name();
+}
+
+TEST(BinomialCounting, MomentsAndNormalization) {
+  const BinomialCounting d(40, 0.3);
+  check_moments(d, 40);
+  EXPECT_TRUE(d.has_finite_support());
+  EXPECT_EQ(d.support_bound(), 40u);
+  EXPECT_EQ(d.pmf(41), 0.0);
+}
+
+TEST(BinomialCounting, DegenerateProbabilities) {
+  const BinomialCounting zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(1), 0.0);
+  const BinomialCounting one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(9), 0.0);
+}
+
+TEST(BinomialCounting, PeakednessBelowOne) {
+  EXPECT_LT(BinomialCounting(20, 0.4).peakedness(), 1.0);
+}
+
+TEST(PoissonCounting, MomentsAndNormalization) {
+  const PoissonCounting d(3.7);
+  check_moments(d, 60);
+  EXPECT_FALSE(d.has_finite_support());
+  EXPECT_DOUBLE_EQ(d.peakedness(), 1.0);
+}
+
+TEST(PoissonCounting, MatchesClosedFormPmf) {
+  const PoissonCounting d(2.0);
+  EXPECT_NEAR(d.pmf(0), std::exp(-2.0), 1e-14);
+  EXPECT_NEAR(d.pmf(3), std::exp(-2.0) * 8.0 / 6.0, 1e-14);
+}
+
+TEST(PoissonCounting, ZeroRateIsPointMass) {
+  const PoissonCounting d(0.0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.0);
+}
+
+TEST(PascalCounting, MomentsAndNormalization) {
+  const PascalCounting d(2.5, 0.4);
+  check_moments(d, 120);
+  EXPECT_GT(d.peakedness(), 1.0);
+}
+
+TEST(PascalCounting, GeometricSpecialCase) {
+  // r = 1 is geometric: pmf(k) = p^k (1-p).
+  const PascalCounting d(1.0, 0.3);
+  for (unsigned k = 0; k < 10; ++k) {
+    EXPECT_NEAR(d.pmf(k), std::pow(0.3, k) * 0.7, 1e-12);
+  }
+}
+
+TEST(PascalCounting, NonIntegerRSupported) {
+  const PascalCounting d(0.5, 0.6);
+  check_moments(d, 300, 1e-8);
+}
+
+TEST(Cdf, MonotoneAndBounded) {
+  const PoissonCounting d(5.0);
+  double prev = 0.0;
+  for (unsigned k = 0; k < 30; ++k) {
+    const double c = d.cdf(k);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(d.cdf(60), 1.0, 1e-12);
+}
+
+TEST(InfiniteServerFactory, DispatchesOnBetaSign) {
+  // Smooth -> Binomial with n = -alpha/beta, p = q/(1+q), q = -beta/mu.
+  const auto smooth = infinite_server_occupancy(BppParams{1.0, -0.25, 1.0});
+  EXPECT_NE(smooth->name().find("Binomial"), std::string::npos);
+  EXPECT_TRUE(smooth->has_finite_support());
+  EXPECT_EQ(smooth->support_bound(), 4u);
+
+  const auto regular = infinite_server_occupancy(BppParams{1.5, 0.0, 1.0});
+  EXPECT_NE(regular->name().find("Poisson"), std::string::npos);
+  EXPECT_DOUBLE_EQ(regular->mean(), 1.5);
+
+  const auto peaky = infinite_server_occupancy(BppParams{1.0, 0.5, 1.0});
+  EXPECT_NE(peaky->name().find("Pascal"), std::string::npos);
+}
+
+TEST(InfiniteServerFactory, MomentsMatchBppFormulas) {
+  // The factory's distribution must reproduce the paper's M, V, Z.
+  for (const auto& p :
+       {BppParams{1.0, -0.25, 1.0}, BppParams{1.5, 0.0, 1.0},
+        BppParams{1.0, 0.5, 1.0}, BppParams{0.8, 0.2, 2.0}}) {
+    const auto d = infinite_server_occupancy(p);
+    EXPECT_NEAR(d->mean(), p.mean(), 1e-12) << d->name();
+    EXPECT_NEAR(d->variance(), p.variance(), 1e-12) << d->name();
+    EXPECT_NEAR(d->peakedness(), p.peakedness(), 1e-12) << d->name();
+  }
+}
+
+TEST(PeakednessOrdering, SmoothBelowRegularBelowPeaky) {
+  const auto smooth = infinite_server_occupancy(BppParams{1.0, -0.5, 1.0});
+  const auto regular = infinite_server_occupancy(BppParams{1.0, 0.0, 1.0});
+  const auto peaky = infinite_server_occupancy(BppParams{1.0, 0.5, 1.0});
+  EXPECT_LT(smooth->peakedness(), regular->peakedness());
+  EXPECT_LT(regular->peakedness(), peaky->peakedness());
+}
+
+TEST(LogPmf, ConsistentWithPmf) {
+  const PascalCounting d(3.0, 0.25);
+  for (unsigned k = 0; k < 20; ++k) {
+    EXPECT_NEAR(std::exp(d.log_pmf(k)), d.pmf(k), 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::dist

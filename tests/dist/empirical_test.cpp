@@ -1,0 +1,106 @@
+#include "dist/empirical.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::dist {
+namespace {
+
+TEST(RunningMoments, EmptyState) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.peakedness(), 0.0);
+}
+
+TEST(RunningMoments, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningMoments m;
+  for (const double x : xs) {
+    m.add(x);
+  }
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  // Unbiased sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(m.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningMoments, SingleSampleHasZeroVariance) {
+  RunningMoments m;
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMoments, NumericallyStableAroundLargeOffset) {
+  // Welford keeps precision where the naive sum-of-squares method fails.
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) {
+    m.add(1e9 + (i % 2));
+  }
+  EXPECT_NEAR(m.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(TimeWeightedMoments, PiecewiseConstantAverage) {
+  TimeWeightedMoments m;
+  m.add(1.0, 2.0);  // value 1 for 2s
+  m.add(3.0, 2.0);  // value 3 for 2s
+  EXPECT_DOUBLE_EQ(m.total_time(), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(m.peakedness(), 0.5);
+}
+
+TEST(TimeWeightedMoments, IgnoresNonPositiveDurations) {
+  TimeWeightedMoments m;
+  m.add(100.0, 0.0);
+  m.add(100.0, -1.0);
+  EXPECT_EQ(m.total_time(), 0.0);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(TimeWeightedMoments, ConstantProcessHasZeroVariance) {
+  TimeWeightedMoments m;
+  for (int i = 0; i < 100; ++i) {
+    m.add(7.0, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(m.mean(), 7.0);
+  EXPECT_NEAR(m.variance(), 0.0, 1e-9);
+}
+
+TEST(Histogram, CountsAndFrequencies) {
+  Histogram h(4);
+  for (int i = 0; i < 3; ++i) {
+    h.add(1);
+  }
+  h.add(0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.frequency(2), 0.0);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBucket) {
+  Histogram h(2);  // buckets 0,1,2
+  h.add(100);
+  h.add(2);
+  EXPECT_DOUBLE_EQ(h.frequency(2), 1.0);
+}
+
+TEST(Histogram, OutOfRangeQueryIsZero) {
+  Histogram h(2);
+  h.add(0);
+  EXPECT_DOUBLE_EQ(h.frequency(5), 0.0);
+}
+
+TEST(Histogram, EmptyFrequenciesAreZero) {
+  Histogram h(3);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+}  // namespace
+}  // namespace xbar::dist

@@ -1,0 +1,102 @@
+#include "dist/service.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "dist/empirical.hpp"
+#include "dist/rng.hpp"
+
+namespace xbar::dist {
+namespace {
+
+struct ServiceCase {
+  std::string label;
+  std::function<std::unique_ptr<ServiceDistribution>()> make;
+  double expected_mean;
+  double expected_scv;
+};
+
+class ServiceDistributionTest : public ::testing::TestWithParam<ServiceCase> {
+};
+
+TEST_P(ServiceDistributionTest, DeclaredMomentsMatchParameters) {
+  const auto d = GetParam().make();
+  EXPECT_NEAR(d->mean(), GetParam().expected_mean, 1e-12);
+  EXPECT_NEAR(d->scv(), GetParam().expected_scv, 1e-12);
+}
+
+TEST_P(ServiceDistributionTest, EmpiricalMomentsMatchDeclared) {
+  const auto d = GetParam().make();
+  Xoshiro256 rng(0xABCDEF);
+  RunningMoments m;
+  constexpr int kN = 400'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GE(v, 0.0) << d->name();
+    m.add(v);
+  }
+  EXPECT_NEAR(m.mean(), d->mean(), 0.02 * d->mean()) << d->name();
+  const double scv = m.variance() / (m.mean() * m.mean());
+  EXPECT_NEAR(scv, d->scv(), 0.05 * (d->scv() + 0.1)) << d->name();
+}
+
+TEST_P(ServiceDistributionTest, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ServiceDistributionTest,
+    ::testing::Values(
+        ServiceCase{"exponential", [] { return make_exponential(2.0); }, 0.5,
+                    1.0},
+        ServiceCase{"deterministic", [] { return make_deterministic(1.5); },
+                    1.5, 0.0},
+        ServiceCase{"erlang2", [] { return make_erlang(2, 1.0); }, 1.0, 0.5},
+        ServiceCase{"erlang8", [] { return make_erlang(8, 2.0); }, 2.0,
+                    0.125},
+        ServiceCase{"hyperexp", [] { return make_hyperexponential(1.0, 4.0); },
+                    1.0, 4.0},
+        ServiceCase{"uniform", [] { return make_uniform(3.0); }, 3.0,
+                    1.0 / 3.0},
+        ServiceCase{"lognormal", [] { return make_lognormal(1.0, 2.0); }, 1.0,
+                    2.0}),
+    [](const ::testing::TestParamInfo<ServiceCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Deterministic, AlwaysReturnsMean) {
+  const auto d = make_deterministic(0.7);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(d->sample(rng), 0.7);
+  }
+}
+
+TEST(Hyperexponential, ScvAboveOneRequired) {
+  // scv == 1 degenerates to exponential; the factory requires scv > 1.
+  const auto d = make_hyperexponential(1.0, 1.5);
+  EXPECT_DOUBLE_EQ(d->scv(), 1.5);
+}
+
+TEST(Erlang, SumOfExponentialsShape) {
+  // Erlang-k has P(X < mean/10) much smaller than exponential: check the
+  // left tail thins as k grows.
+  Xoshiro256 rng(3);
+  const auto count_small = [&rng](const ServiceDistribution& d) {
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) {
+      if (d.sample(rng) < 0.1) {
+        ++hits;
+      }
+    }
+    return hits;
+  };
+  const auto e1 = make_exponential(1.0);
+  const auto e4 = make_erlang(4, 1.0);
+  EXPECT_GT(count_small(*e1), 2 * count_small(*e4));
+}
+
+}  // namespace
+}  // namespace xbar::dist

@@ -1,0 +1,188 @@
+#include "fabric/crossbar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+
+namespace xbar::fabric {
+namespace {
+
+TEST(CrossbarFabric, StartsIdle) {
+  const CrossbarFabric f(4, 6);
+  EXPECT_EQ(f.num_inputs(), 4u);
+  EXPECT_EQ(f.num_outputs(), 6u);
+  EXPECT_EQ(f.free_inputs(), 4u);
+  EXPECT_EQ(f.free_outputs(), 6u);
+  EXPECT_EQ(f.active_circuits(), 0u);
+  EXPECT_FALSE(f.input_busy(0));
+  EXPECT_FALSE(f.output_busy(5));
+  EXPECT_TRUE(f.check_invariants());
+}
+
+TEST(CrossbarFabric, RejectsZeroDimensions) {
+  EXPECT_THROW(CrossbarFabric(0, 3), std::invalid_argument);
+  EXPECT_THROW(CrossbarFabric(3, 0), std::invalid_argument);
+}
+
+TEST(CrossbarFabric, ConnectMarksPortsAndCrosspoints) {
+  CrossbarFabric f(4, 4);
+  const std::vector<unsigned> in = {1};
+  const std::vector<unsigned> out = {2};
+  const auto id = f.try_connect(in, out);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(f.input_busy(1));
+  EXPECT_TRUE(f.output_busy(2));
+  EXPECT_TRUE(f.crosspoint_closed(1, 2));
+  EXPECT_FALSE(f.crosspoint_closed(1, 1));
+  EXPECT_EQ(f.free_inputs(), 3u);
+  EXPECT_EQ(f.free_outputs(), 3u);
+  EXPECT_EQ(f.active_circuits(), 1u);
+  EXPECT_TRUE(f.check_invariants());
+}
+
+TEST(CrossbarFabric, ReleaseRestoresState) {
+  CrossbarFabric f(4, 4);
+  const std::vector<unsigned> in = {0, 3};
+  const std::vector<unsigned> out = {1, 2};
+  const auto id = f.try_connect(in, out);
+  ASSERT_TRUE(id.has_value());
+  f.release(*id);
+  EXPECT_EQ(f.free_inputs(), 4u);
+  EXPECT_EQ(f.free_outputs(), 4u);
+  EXPECT_EQ(f.active_circuits(), 0u);
+  EXPECT_FALSE(f.crosspoint_closed(0, 1));
+  EXPECT_TRUE(f.check_invariants());
+}
+
+TEST(CrossbarFabric, RejectsBusyInput) {
+  CrossbarFabric f(4, 4);
+  const std::vector<unsigned> a = {1};
+  const std::vector<unsigned> b = {3};
+  ASSERT_TRUE(f.try_connect(a, b).has_value());
+  EXPECT_FALSE(f.try_connect(a, std::vector<unsigned>{0}).has_value());
+}
+
+TEST(CrossbarFabric, RejectsBusyOutput) {
+  CrossbarFabric f(4, 4);
+  ASSERT_TRUE(
+      f.try_connect(std::vector<unsigned>{1}, std::vector<unsigned>{3})
+          .has_value());
+  EXPECT_FALSE(
+      f.try_connect(std::vector<unsigned>{0}, std::vector<unsigned>{3})
+          .has_value());
+}
+
+TEST(CrossbarFabric, FailedConnectLeavesStateUntouched) {
+  // All-or-nothing: a bundle whose second pair conflicts must not leave the
+  // first pair connected.
+  CrossbarFabric f(4, 4);
+  ASSERT_TRUE(
+      f.try_connect(std::vector<unsigned>{2}, std::vector<unsigned>{2})
+          .has_value());
+  const std::vector<unsigned> in = {0, 2};  // 2 is busy
+  const std::vector<unsigned> out = {0, 1};
+  EXPECT_FALSE(f.try_connect(in, out).has_value());
+  EXPECT_FALSE(f.input_busy(0));
+  EXPECT_FALSE(f.output_busy(0));
+  EXPECT_EQ(f.active_circuits(), 1u);
+  EXPECT_TRUE(f.check_invariants());
+}
+
+TEST(CrossbarFabric, InternallyNonBlocking) {
+  // Any free-input/free-output pair must connect, whatever else is up.
+  CrossbarFabric f(8, 8);
+  for (unsigned i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(f.try_connect(std::vector<unsigned>{i},
+                              std::vector<unsigned>{7 - i})
+                    .has_value());
+  }
+  // Odd inputs and remaining outputs are still all connectable.
+  for (unsigned i = 1; i < 8; i += 2) {
+    EXPECT_TRUE(f.try_connect(std::vector<unsigned>{i},
+                              std::vector<unsigned>{7 - i})
+                    .has_value());
+  }
+  EXPECT_EQ(f.free_inputs(), 0u);
+  EXPECT_EQ(f.active_circuits(), 8u);
+}
+
+TEST(CrossbarFabric, ReleaseUnknownIdThrows) {
+  CrossbarFabric f(2, 2);
+  EXPECT_THROW(f.release(CircuitId{999}), std::logic_error);
+}
+
+TEST(CrossbarFabric, DoubleReleaseThrows) {
+  CrossbarFabric f(2, 2);
+  const auto id = f.try_connect(std::vector<unsigned>{0},
+                                std::vector<unsigned>{0});
+  ASSERT_TRUE(id.has_value());
+  f.release(*id);
+  EXPECT_THROW(f.release(*id), std::logic_error);
+}
+
+TEST(CrossbarFabric, MultiPairBundleOccupiesAllPairs) {
+  CrossbarFabric f(6, 6);
+  const std::vector<unsigned> in = {0, 2, 4};
+  const std::vector<unsigned> out = {5, 3, 1};
+  const auto id = f.try_connect(in, out);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(f.free_inputs(), 3u);
+  EXPECT_TRUE(f.crosspoint_closed(0, 5));
+  EXPECT_TRUE(f.crosspoint_closed(2, 3));
+  EXPECT_TRUE(f.crosspoint_closed(4, 1));
+  EXPECT_EQ(f.active_circuits(), 1u);
+  f.release(*id);
+  EXPECT_TRUE(f.check_invariants());
+}
+
+TEST(CrossbarFabric, InvariantsHoldUnderRandomChurn) {
+  CrossbarFabric f(12, 10);
+  dist::Xoshiro256 rng(2024);
+  std::vector<CircuitId> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.uniform01() < 0.55) {
+      const unsigned a = 1 + static_cast<unsigned>(rng.uniform_below(3));
+      std::vector<unsigned> in;
+      std::vector<unsigned> out;
+      while (in.size() < a) {
+        const auto c = static_cast<unsigned>(rng.uniform_below(12));
+        if (std::find(in.begin(), in.end(), c) == in.end()) {
+          in.push_back(c);
+        }
+      }
+      while (out.size() < a) {
+        const auto c = static_cast<unsigned>(rng.uniform_below(10));
+        if (std::find(out.begin(), out.end(), c) == out.end()) {
+          out.push_back(c);
+        }
+      }
+      if (const auto id = f.try_connect(in, out)) {
+        live.push_back(*id);
+      }
+    } else {
+      const auto pick = rng.uniform_below(live.size());
+      f.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(f.check_invariants()) << "step " << step;
+    }
+  }
+  for (const auto id : live) {
+    f.release(id);
+  }
+  EXPECT_TRUE(f.check_invariants());
+  EXPECT_EQ(f.active_circuits(), 0u);
+  EXPECT_EQ(f.free_inputs(), 12u);
+}
+
+TEST(CrossbarFabric, NameDescribesGeometry) {
+  EXPECT_EQ(CrossbarFabric(8, 16).name(), "crossbar(8x16)");
+}
+
+}  // namespace
+}  // namespace xbar::fabric

@@ -1,0 +1,100 @@
+#include "fabric/lee_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "fabric/banyan.hpp"
+#include "sim/simulator.hpp"
+
+namespace xbar::fabric {
+namespace {
+
+TEST(LeeModel, FixedPointConverges) {
+  const auto r = solve_lee({.ports = 16, .stages = 4, .arrival_rate = 8.0,
+                            .mu = 1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.carried, 0.0);
+  EXPECT_LT(r.carried, 16.0);
+  EXPECT_GT(r.blocking, 0.0);
+  EXPECT_LT(r.blocking, 1.0);
+}
+
+TEST(LeeModel, ZeroLoadGivesZeroBlocking) {
+  const auto r = solve_lee({.ports = 8, .stages = 3,
+                            .arrival_rate = 1e-9, .mu = 1.0});
+  EXPECT_NEAR(r.blocking, 0.0, 1e-8);
+  EXPECT_NEAR(r.carried, 1e-9, 1e-10);
+}
+
+TEST(LeeModel, FlowBalanceHoldsAtFixedPoint) {
+  const LeeParams p{.ports = 16, .stages = 4, .arrival_rate = 6.0, .mu = 2.0};
+  const auto r = solve_lee(p);
+  // Lambda (1 - B) = E mu.
+  EXPECT_NEAR(p.arrival_rate * (1.0 - r.blocking), r.carried * p.mu, 1e-6);
+}
+
+TEST(LeeModel, BlockingMonotoneInLoad) {
+  double prev = -1.0;
+  for (const double lam : {0.5, 2.0, 8.0, 32.0}) {
+    const auto r = solve_lee({.ports = 16, .stages = 4,
+                              .arrival_rate = lam, .mu = 1.0});
+    EXPECT_GT(r.blocking, prev);
+    prev = r.blocking;
+  }
+}
+
+TEST(LeeModel, MoreStagesBlockMore) {
+  // Extra link columns can only hurt.
+  const auto few = solve_lee({.ports = 16, .stages = 2,
+                              .arrival_rate = 8.0, .mu = 1.0});
+  const auto many = solve_lee({.ports = 16, .stages = 6,
+                               .arrival_rate = 8.0, .mu = 1.0});
+  EXPECT_GT(many.blocking, few.blocking);
+}
+
+TEST(LeeModel, BanyanExceedsCrossbarApproximation) {
+  for (const double rho : {0.2, 0.5, 1.0}) {
+    EXPECT_GT(lee_banyan(16, rho).blocking,
+              lee_crossbar(16, rho).blocking)
+        << rho;
+  }
+}
+
+TEST(LeeModel, CrossbarVariantTracksExactModelShape) {
+  // Lee's S = 1 view of the crossbar is only an approximation (it ignores
+  // the joint port-occupancy distribution) but must land within a modest
+  // factor of the exact model across moderate loads.
+  for (const double rho : {0.25, 0.5, 1.0, 2.0}) {
+    const core::CrossbarModel model(core::Dims::square(16),
+                                    {core::TrafficClass::poisson("p", rho)});
+    const double exact = core::solve(model).per_class[0].blocking;
+    const double lee = lee_crossbar(16, rho).blocking;
+    EXPECT_GT(lee, exact * 0.3) << rho;
+    EXPECT_LT(lee, exact * 3.0) << rho;
+  }
+}
+
+TEST(LeeModel, PredictsSimulatedBanyanWithinFactorTwo) {
+  // The headline check: Lee's approximation against the real omega network.
+  const double rho = 1.0;
+  const unsigned n = 16;
+  const core::CrossbarModel model(core::Dims::square(n),
+                                  {core::TrafficClass::poisson("p", rho)});
+  BanyanFabric fabric(n);
+  sim::SimulationConfig cfg;
+  cfg.warmup_time = 500.0;
+  cfg.measurement_time = 15'000.0;
+  cfg.num_batches = 20;
+  cfg.seed = 12345;
+  sim::Simulator simulator(model, fabric, cfg);
+  const double simulated =
+      simulator.run().per_class[0].call_congestion.mean;
+  const double lee = lee_banyan(n, rho).blocking;
+  EXPECT_GT(lee, simulated * 0.5);
+  EXPECT_LT(lee, simulated * 2.0);
+}
+
+}  // namespace
+}  // namespace xbar::fabric

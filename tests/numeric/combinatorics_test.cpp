@@ -1,0 +1,113 @@
+#include "numeric/combinatorics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(FactorialExact, SmallValues) {
+  EXPECT_EQ(factorial_exact(0), 1u);
+  EXPECT_EQ(factorial_exact(1), 1u);
+  EXPECT_EQ(factorial_exact(5), 120u);
+  EXPECT_EQ(factorial_exact(12), 479001600u);
+  EXPECT_EQ(factorial_exact(20), 2432902008176640000ull);
+}
+
+TEST(FactorialExact, OverflowsPast20) {
+  EXPECT_FALSE(factorial_exact(21).has_value());
+  EXPECT_FALSE(factorial_exact(100).has_value());
+}
+
+TEST(FallingFactorialExact, Definition) {
+  EXPECT_EQ(falling_factorial_exact(5, 0), 1u);
+  EXPECT_EQ(falling_factorial_exact(5, 1), 5u);
+  EXPECT_EQ(falling_factorial_exact(5, 2), 20u);
+  EXPECT_EQ(falling_factorial_exact(5, 5), 120u);
+  EXPECT_EQ(falling_factorial_exact(5, 6), 0u);  // a > n
+  EXPECT_EQ(falling_factorial_exact(128, 2), 128u * 127u);
+}
+
+TEST(FallingFactorialExact, DetectsOverflow) {
+  EXPECT_FALSE(falling_factorial_exact(1u << 20, 4).has_value());
+  EXPECT_TRUE(falling_factorial_exact(1u << 20, 3).has_value());
+}
+
+TEST(BinomialExact, PascalTriangleRelation) {
+  for (unsigned n = 1; n <= 30; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_EQ(*binomial_exact(n, k),
+                *binomial_exact(n - 1, k - 1) + *binomial_exact(n - 1, k))
+          << n << " choose " << k;
+    }
+  }
+}
+
+TEST(BinomialExact, EdgeValues) {
+  EXPECT_EQ(binomial_exact(0, 0), 1u);
+  EXPECT_EQ(binomial_exact(10, 0), 1u);
+  EXPECT_EQ(binomial_exact(10, 10), 1u);
+  EXPECT_EQ(binomial_exact(10, 11), 0u);
+  EXPECT_EQ(binomial_exact(52, 5), 2598960u);
+  EXPECT_EQ(binomial_exact(256, 2), 32640u);
+}
+
+TEST(BinomialExact, LargeSymmetric) {
+  // C(60, 30) fits in uint64.
+  EXPECT_EQ(binomial_exact(60, 30), 118264581564861424ull);
+}
+
+TEST(LogFactorial, MatchesExactForSmallN) {
+  for (unsigned n = 0; n <= 20; ++n) {
+    EXPECT_NEAR(log_factorial(n),
+                std::log(static_cast<double>(*factorial_exact(n))), 1e-10);
+  }
+}
+
+TEST(LogFactorial, TableAndLgammaAgreeAtBoundary) {
+  EXPECT_NEAR(log_factorial(1024), std::lgamma(1025.0), 1e-8);
+  EXPECT_NEAR(log_factorial(1025), std::lgamma(1026.0), 1e-8);
+}
+
+TEST(LogFallingFactorial, ConsistentWithLogs) {
+  EXPECT_NEAR(log_falling_factorial(128, 2), std::log(128.0 * 127.0), 1e-12);
+  EXPECT_EQ(log_falling_factorial(3, 4),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(log_falling_factorial(7, 0), 0.0);
+}
+
+TEST(LogBinomial, ConsistentWithExact) {
+  for (unsigned n = 0; n <= 40; n += 4) {
+    for (unsigned k = 0; k <= n; k += 3) {
+      EXPECT_NEAR(log_binomial(n, k),
+                  std::log(static_cast<double>(*binomial_exact(n, k))), 1e-9);
+    }
+  }
+}
+
+TEST(FallingFactorialDouble, ExactInIntegerRangeAndFiniteBeyond) {
+  EXPECT_DOUBLE_EQ(falling_factorial(6, 3), 120.0);
+  EXPECT_EQ(falling_factorial(3, 5), 0.0);
+  const double huge = falling_factorial(100000, 8);
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_NEAR(std::log(huge), log_falling_factorial(100000, 8), 1e-9);
+}
+
+TEST(BinomialDouble, ExactInIntegerRange) {
+  EXPECT_DOUBLE_EQ(binomial(10, 4), 210.0);
+  EXPECT_EQ(binomial(4, 9), 0.0);
+}
+
+TEST(PermutationBinomialIdentity, PEqualsCKFactorial) {
+  // P(n,a) = C(n,a) * a! — the identity behind errata #1 in DESIGN.md.
+  for (unsigned n = 1; n <= 20; ++n) {
+    for (unsigned a = 0; a <= n && a <= 6; ++a) {
+      EXPECT_EQ(*falling_factorial_exact(n, a),
+                *binomial_exact(n, a) * *factorial_exact(a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbar::num

@@ -1,0 +1,51 @@
+#include "numeric/gradient.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(ForwardDifference, LinearFunctionIsExact) {
+  const ScalarFn f = [](double x) { return 3.0 * x + 2.0; };
+  EXPECT_NEAR(forward_difference(f, 1.0, 1e-6), 3.0, 1e-9);
+}
+
+TEST(ForwardDifference, FirstOrderErrorOnQuadratic) {
+  const ScalarFn f = [](double x) { return x * x; };
+  // d/dx x^2 at 1 is 2; forward difference has O(h) bias ~ h.
+  const double h = 1e-3;
+  EXPECT_NEAR(forward_difference(f, 1.0, h), 2.0 + h, 1e-9);
+}
+
+TEST(CentralDifference, QuadraticIsExact) {
+  const ScalarFn f = [](double x) { return x * x; };
+  EXPECT_NEAR(central_difference(f, 3.0, 1e-3), 6.0, 1e-9);
+}
+
+TEST(CentralDifference, TranscendentalAccuracy) {
+  const ScalarFn f = [](double x) { return std::exp(std::sin(x)); };
+  const double x = 0.7;
+  const double exact = std::cos(x) * std::exp(std::sin(x));
+  EXPECT_NEAR(central_difference(f, x, default_step(x)), exact, 1e-9);
+}
+
+TEST(RichardsonDerivative, BeatsPlainCentralDifference) {
+  const ScalarFn f = [](double x) { return std::sin(10.0 * x); };
+  const double x = 0.3;
+  const double exact = 10.0 * std::cos(10.0 * x);
+  const double h = 1e-2;
+  const double central_err = std::fabs(central_difference(f, x, h) - exact);
+  const double rich_err = std::fabs(richardson_derivative(f, x, h) - exact);
+  EXPECT_LT(rich_err, central_err / 10.0);
+}
+
+TEST(DefaultStep, ScalesWithArgument) {
+  EXPECT_GT(default_step(1e6), default_step(1.0) * 1e5);
+  EXPECT_DOUBLE_EQ(default_step(0.0), default_step(0.5));  // absolute floor
+  EXPECT_GT(default_step(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace xbar::num

@@ -1,0 +1,96 @@
+#include "numeric/kahan.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(KahanSum, EmptyIsZero) { EXPECT_EQ(KahanSum{}.value(), 0.0); }
+
+TEST(KahanSum, SimpleSum) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s += 3.0;
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+}
+
+TEST(KahanSum, InitialValueConstructor) {
+  KahanSum s(10.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.value(), 10.5);
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToHugeOnes) {
+  // 1 + 1e16 - 1e16 == 1 exactly with compensation; plain double loses it.
+  KahanSum s;
+  s.add(1.0);
+  s.add(1e16);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+
+  double plain = 1.0;
+  plain += 1e16;
+  plain -= 1e16;
+  EXPECT_NE(plain, 1.0);  // demonstrates why compensation matters
+}
+
+TEST(KahanSum, HandlesTermLargerThanRunningSum) {
+  // The Neumaier variant compensates in both directions.
+  KahanSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(KahanSum, ManySmallTermsBeatNaiveSummation) {
+  KahanSum s;
+  double naive = 0.0;
+  constexpr int kN = 10'000'000;
+  constexpr double kTerm = 0.1;
+  for (int i = 0; i < kN; ++i) {
+    s.add(kTerm);
+    naive += kTerm;
+  }
+  const double exact = kTerm * kN;
+  EXPECT_LT(std::fabs(s.value() - exact), std::fabs(naive - exact));
+  EXPECT_NEAR(s.value(), exact, 1e-6);
+}
+
+TEST(KahanSum, ResetClearsState) {
+  KahanSum s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.value(), 0.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(KahanSum, RandomShuffleInvariance) {
+  // Sum of randomly ordered values across magnitudes is stable.
+  std::mt19937_64 gen(1);
+  std::vector<double> values;
+  for (int e = -20; e <= 20; ++e) {
+    values.push_back(std::ldexp(1.0, e));
+    values.push_back(-std::ldexp(1.0, e) / 3.0);
+  }
+  KahanSum forward;
+  for (const double v : values) {
+    forward.add(v);
+  }
+  std::shuffle(values.begin(), values.end(), gen);
+  KahanSum shuffled;
+  for (const double v : values) {
+    shuffled.add(v);
+  }
+  EXPECT_NEAR(forward.value(), shuffled.value(),
+              1e-15 * std::fabs(forward.value()));
+}
+
+}  // namespace
+}  // namespace xbar::num

@@ -1,0 +1,84 @@
+#include "numeric/log_domain.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+TEST(LogAdd, MatchesDirectComputation) {
+  std::mt19937_64 gen(5);
+  std::uniform_real_distribution<double> dist(-20.0, 20.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = dist(gen);
+    const double b = dist(gen);
+    EXPECT_NEAR(log_add(a, b), std::log(std::exp(a) + std::exp(b)), 1e-12);
+  }
+}
+
+TEST(LogAdd, HandlesExtremeMagnitudes) {
+  // Directly exponentiating 1000 overflows; log_add must not.
+  EXPECT_NEAR(log_add(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_add(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-12);
+  // A vastly smaller operand is absorbed.
+  EXPECT_DOUBLE_EQ(log_add(0.0, -1000.0), std::log1p(std::exp(-1000.0)));
+}
+
+TEST(LogAdd, ZeroOperandIsIdentity) {
+  EXPECT_EQ(log_add(kNegInf, 3.0), 3.0);
+  EXPECT_EQ(log_add(3.0, kNegInf), 3.0);
+  EXPECT_EQ(log_add(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogAdd, Commutative) {
+  EXPECT_DOUBLE_EQ(log_add(1.5, -2.5), log_add(-2.5, 1.5));
+}
+
+TEST(LogSub, MatchesDirectComputation) {
+  EXPECT_NEAR(log_sub(std::log(5.0), std::log(3.0)), std::log(2.0), 1e-12);
+  EXPECT_EQ(log_sub(2.0, 2.0), kNegInf);
+  EXPECT_EQ(log_sub(2.0, kNegInf), 2.0);
+}
+
+TEST(LogSub, NearCancellationStaysFinitePrecision) {
+  const double a = std::log(1.0 + 1e-12);
+  EXPECT_NEAR(log_sub(a, 0.0), std::log(1e-12), 1e-3);
+}
+
+TEST(LogSum, AccumulatesUniformTerms) {
+  LogSum s;
+  for (int i = 0; i < 1000; ++i) {
+    s.add_log(0.0);  // 1000 terms of exp(0) = 1
+  }
+  EXPECT_NEAR(s.log_value(), std::log(1000.0), 1e-12);
+  EXPECT_NEAR(s.value(), 1000.0, 1e-9);
+}
+
+TEST(LogSum, EmptyIsZero) {
+  LogSum s;
+  EXPECT_EQ(s.log_value(), kNegInf);
+  EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(LogSum, AddLinear) {
+  LogSum s;
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_NEAR(s.value(), 5.0, 1e-12);
+}
+
+TEST(LogSum, GeometricSeriesAcrossHundredsOfDecades) {
+  // sum_{k=0..600} 10^{-k} = 10/9 * (1 - 10^{-601}) ~ 1.111...
+  LogSum s;
+  for (int k = 0; k <= 600; ++k) {
+    s.add_log(-k * std::log(10.0));
+  }
+  EXPECT_NEAR(s.value(), 10.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace xbar::num

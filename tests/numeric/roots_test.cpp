@@ -1,0 +1,94 @@
+#include "numeric/roots.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, RejectsInvalidBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0)
+                   .has_value());
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, 0.0, 1e-10);
+}
+
+TEST(Bisect, HonorsIterationCap) {
+  RootOptions opts;
+  opts.max_iterations = 3;
+  opts.x_tolerance = 0.0;
+  const auto r =
+      bisect([](double x) { return x - 0.123456789; }, 0.0, 1.0, opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 3);
+}
+
+TEST(Brent, FindsRootFasterThanBisection) {
+  int brent_calls = 0;
+  int bisect_calls = 0;
+  const auto f = [](int* counter) {
+    return [counter](double x) {
+      ++*counter;
+      return std::cos(x) - x;
+    };
+  };
+  RootOptions opts;
+  opts.x_tolerance = 1e-14;
+  const auto rb = brent(f(&brent_calls), 0.0, 1.0, opts);
+  const auto ri = bisect(f(&bisect_calls), 0.0, 1.0, opts);
+  ASSERT_TRUE(rb && rb->converged);
+  ASSERT_TRUE(ri && ri->converged);
+  EXPECT_NEAR(rb->x, 0.7390851332151607, 1e-10);
+  EXPECT_LT(brent_calls, bisect_calls);
+}
+
+TEST(Brent, HandlesFlatRegions) {
+  // cubic with inflection at the root
+  const auto r = brent([](double x) { return x * x * x; }, -1.0, 2.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, 0.0, 1e-6);
+}
+
+TEST(Brent, RejectsInvalidBracket) {
+  EXPECT_FALSE(
+      brent([](double x) { return std::exp(x); }, 0.0, 1.0).has_value());
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const auto b =
+      expand_bracket([](double x) { return x - 100.0; }, 0.0, 1.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LE(b->first, 100.0);
+  EXPECT_GE(b->second, 100.0);
+}
+
+TEST(ExpandBracket, GivesUpWhenNoRoot) {
+  EXPECT_FALSE(expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 10)
+                   .has_value());
+}
+
+TEST(BrentOnBlockingShapedCurve, ConvergesOnSteepExponential) {
+  // Blocking-vs-load curves are convex and steep; emulate with 1-exp(-kx).
+  const auto f = [](double x) { return 1.0 - std::exp(-50.0 * x) - 0.005; };
+  const auto b = expand_bracket(f, 0.0, 1e-6);
+  ASSERT_TRUE(b.has_value());
+  const auto r = brent(f, b->first, b->second);
+  ASSERT_TRUE(r && r->converged);
+  EXPECT_NEAR(1.0 - std::exp(-50.0 * r->x), 0.005, 1e-9);
+}
+
+}  // namespace
+}  // namespace xbar::num

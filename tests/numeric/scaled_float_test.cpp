@@ -1,0 +1,197 @@
+#include "numeric/scaled_float.hpp"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(ScaledFloat, DefaultIsZero) {
+  ScaledFloat z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_double(), 0.0);
+  EXPECT_EQ(z.log(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(ScaledFloat, RoundTripsDoubles) {
+  for (const double v : {1.0, 0.5, 2.0, 3.141592653589793, 1e-300, 1e300,
+                         123456.789, 7.0 / 3.0}) {
+    EXPECT_DOUBLE_EQ(ScaledFloat{v}.to_double(), v) << v;
+    EXPECT_DOUBLE_EQ(ScaledFloat{-v}.to_double(), -v) << -v;
+  }
+}
+
+TEST(ScaledFloat, NormalizesMantissaToHalfOpenInterval) {
+  const ScaledFloat v{6.0};  // 0.75 * 2^3
+  EXPECT_DOUBLE_EQ(v.mantissa(), 0.75);
+  EXPECT_EQ(v.exponent2(), 3);
+  const ScaledFloat n{-6.0};
+  EXPECT_DOUBLE_EQ(n.mantissa(), -0.75);
+  EXPECT_EQ(n.exponent2(), 3);
+}
+
+TEST(ScaledFloat, FromMantissaExpNormalizes) {
+  const auto v = ScaledFloat::from_mantissa_exp(8.0, 10);  // 8 * 2^10 = 2^13
+  EXPECT_DOUBLE_EQ(v.mantissa(), 0.5);
+  EXPECT_EQ(v.exponent2(), 14);
+  EXPECT_DOUBLE_EQ(v.to_double(), 8192.0);
+}
+
+TEST(ScaledFloat, FromLogMatchesExp) {
+  for (const double lv : {-700.0, -5.0, 0.0, 3.0, 700.0}) {
+    EXPECT_NEAR(ScaledFloat::from_log(lv).log(), lv, 1e-12) << lv;
+  }
+  EXPECT_TRUE(ScaledFloat::from_log(-std::numeric_limits<double>::infinity())
+                  .is_zero());
+}
+
+TEST(ScaledFloat, RepresentsValuesFarBeyondDoubleRange) {
+  // 10^5000: build by squaring.
+  ScaledFloat v{10.0};
+  ScaledFloat big = ScaledFloat::one();
+  for (int i = 0; i < 5000; ++i) {
+    big *= v;
+  }
+  EXPECT_NEAR(big.log10(), 5000.0, 1e-9);
+  EXPECT_EQ(big.to_double(), std::numeric_limits<double>::infinity());
+  ScaledFloat tiny = ScaledFloat::one() / big;
+  EXPECT_NEAR(tiny.log10(), -5000.0, 1e-9);
+  EXPECT_EQ(tiny.to_double(), 0.0);
+  // Ratio of two out-of-range values is still exact.
+  EXPECT_NEAR(ScaledFloat::ratio(big * ScaledFloat{3.0}, big), 3.0, 1e-12);
+}
+
+TEST(ScaledFloat, AdditionMatchesDouble) {
+  std::mt19937_64 gen(42);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = dist(gen);
+    const double b = dist(gen);
+    const ScaledFloat s = ScaledFloat{a} + ScaledFloat{b};
+    EXPECT_NEAR(s.to_double(), a + b, 1e-12 * (std::fabs(a + b) + 1.0));
+  }
+}
+
+TEST(ScaledFloat, AdditionWithHugeExponentGapKeepsLargerOperand) {
+  const ScaledFloat big = ScaledFloat::from_log(5000.0);
+  const ScaledFloat small = ScaledFloat::from_log(-5000.0);
+  EXPECT_EQ(big + small, big);
+  EXPECT_EQ(small + big, big);
+}
+
+TEST(ScaledFloat, SubtractionAndCancellation) {
+  const ScaledFloat a{5.0};
+  const ScaledFloat b{3.0};
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ((b - a).to_double(), -2.0);
+  const ScaledFloat zero = a - a;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.exponent2(), 0);  // canonical zero
+}
+
+TEST(ScaledFloat, MixedSignAddition) {
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = dist(gen);
+    const double b = dist(gen);
+    EXPECT_NEAR((ScaledFloat{a} + ScaledFloat{-b}).to_double(), a - b,
+                1e-12 * (std::fabs(a - b) + 1.0));
+  }
+}
+
+TEST(ScaledFloat, MultiplicationAndDivisionMatchDouble) {
+  std::mt19937_64 gen(43);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = dist(gen);
+    double b = dist(gen);
+    if (b == 0.0) {
+      b = 1.0;
+    }
+    EXPECT_NEAR((ScaledFloat{a} * ScaledFloat{b}).to_double(), a * b,
+                1e-12 * std::fabs(a * b));
+    EXPECT_NEAR((ScaledFloat{a} / ScaledFloat{b}).to_double(), a / b,
+                1e-12 * std::fabs(a / b));
+  }
+}
+
+TEST(ScaledFloat, MultiplicationBySignsFollowsAlgebra) {
+  const ScaledFloat p{2.0};
+  const ScaledFloat n{-3.0};
+  EXPECT_EQ((p * n).sign(), -1);
+  EXPECT_EQ((n * n).sign(), 1);
+  EXPECT_EQ((p * ScaledFloat{}).sign(), 0);
+}
+
+TEST(ScaledFloat, ZeroIsAbsorbingAndNeutral) {
+  const ScaledFloat z;
+  const ScaledFloat v{17.5};
+  EXPECT_EQ((z * v), z);
+  EXPECT_EQ((v + z), v);
+  EXPECT_EQ((z + v), v);
+  EXPECT_TRUE((z / v).is_zero());
+}
+
+TEST(ScaledFloat, OrderingMatchesReals) {
+  std::mt19937_64 gen(44);
+  std::uniform_real_distribution<double> dist(-50.0, 50.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = dist(gen);
+    const double b = dist(gen);
+    EXPECT_EQ(ScaledFloat{a} < ScaledFloat{b}, a < b) << a << " " << b;
+    EXPECT_EQ(ScaledFloat{a} > ScaledFloat{b}, a > b) << a << " " << b;
+  }
+  EXPECT_LT(ScaledFloat{-1.0}, ScaledFloat{});
+  EXPECT_LT(ScaledFloat{}, ScaledFloat{1e-300});
+  // Negative ordering flips with magnitude.
+  EXPECT_LT(ScaledFloat{-100.0}, ScaledFloat{-1.0});
+}
+
+TEST(ScaledFloat, RatioOfExtremeValues) {
+  const ScaledFloat a = ScaledFloat::from_log(-4000.0);
+  const ScaledFloat b = ScaledFloat::from_log(-4001.0);
+  EXPECT_NEAR(ScaledFloat::ratio(a, b), std::exp(1.0), 1e-10);
+  EXPECT_EQ(ScaledFloat::ratio(ScaledFloat{}, b), 0.0);
+  EXPECT_EQ(ScaledFloat::ratio(b, ScaledFloat{}),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(ScaledFloat::ratio(ScaledFloat{}, ScaledFloat{})));
+  EXPECT_EQ(ScaledFloat::ratio(-b, ScaledFloat{}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(ScaledFloat, AbsAndNegation) {
+  const ScaledFloat v{-2.5};
+  EXPECT_DOUBLE_EQ(v.abs().to_double(), 2.5);
+  EXPECT_DOUBLE_EQ((-v).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ((-(-v)).to_double(), -2.5);
+}
+
+TEST(ScaledFloat, StreamsHumanReadableForm) {
+  std::ostringstream os;
+  os << ScaledFloat::from_log(2302.5850929940457);  // ~1e1000
+  EXPECT_NE(os.str().find("e1000"), std::string::npos) << os.str();
+  std::ostringstream zs;
+  zs << ScaledFloat{};
+  EXPECT_EQ(zs.str(), "0");
+}
+
+// Property sweep: sums of many terms spanning huge ranges match a log-domain
+// reference.
+TEST(ScaledFloat, LongAlternatingAccumulationStaysAccurate) {
+  // sum_{k=0..200} (-1)^k 2^k = (2^201 + 1)/3
+  ScaledFloat acc;
+  for (int k = 0; k <= 200; ++k) {
+    ScaledFloat term = ScaledFloat::from_mantissa_exp(1.0, k);
+    acc += (k % 2 == 0) ? term : -term;
+  }
+  const double expected_log = 201.0 * std::log(2.0) - std::log(3.0);
+  EXPECT_NEAR(acc.log(), expected_log, 1e-12);
+}
+
+}  // namespace
+}  // namespace xbar::num

@@ -1,0 +1,58 @@
+#include "report/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbar::report {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, ParsesKeyValueFlags) {
+  const Args a = make({"--n=128", "--label=fig1"});
+  EXPECT_EQ(a.get("n"), "128");
+  EXPECT_EQ(a.get("label"), "fig1");
+  EXPECT_FALSE(a.get("missing").has_value());
+}
+
+TEST(Args, ParsesBareFlags) {
+  const Args a = make({"--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("verbose"), "");
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(Args, NumericAccessorsWithFallbacks) {
+  const Args a = make({"--x=2.5", "--n=32"});
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(a.get_double("y", 1.5), 1.5);
+  EXPECT_EQ(a.get_unsigned("n", 4), 32u);
+  EXPECT_EQ(a.get_unsigned("m", 4), 4u);
+}
+
+TEST(Args, BareFlagFallsBackForNumeric) {
+  const Args a = make({"--n"});
+  EXPECT_EQ(a.get_unsigned("n", 7), 7u);
+}
+
+TEST(Args, CollectsPositionals) {
+  const Args a = make({"alpha", "--k=1", "beta"});
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args a = make({});
+  EXPECT_TRUE(a.positional().empty());
+  EXPECT_FALSE(a.has("anything"));
+}
+
+TEST(Args, ValueWithEqualsSign) {
+  const Args a = make({"--expr=a=b"});
+  EXPECT_EQ(a.get("expr"), "a=b");
+}
+
+}  // namespace
+}  // namespace xbar::report

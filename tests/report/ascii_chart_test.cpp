@@ -1,0 +1,71 @@
+#include "report/ascii_chart.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xbar::report {
+namespace {
+
+TEST(AsciiChart, RendersLegendAndAxes) {
+  std::ostringstream os;
+  render_chart(os,
+               {{"poisson", {1, 2, 3, 4}, {0.1, 0.2, 0.3, 0.4}},
+                {"peaky", {1, 2, 3, 4}, {0.2, 0.4, 0.6, 0.8}}},
+               {.width = 40,
+                .height = 10,
+                .scale = Scale::kLinear,
+                .x_label = "N",
+                .y_label = "blocking",
+                .title = "demo"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("*=poisson"), std::string::npos);
+  EXPECT_NE(out.find("+=peaky"), std::string::npos);
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("blocking"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleSkipsNonPositive) {
+  std::ostringstream os;
+  render_chart(os, {{"s", {1, 2, 3}, {0.0, 1e-3, 1e-2}}},
+               {.width = 20, .height = 6, .scale = Scale::kLog10});
+  EXPECT_NE(os.str().find("log scale"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyDataHandled) {
+  std::ostringstream os;
+  render_chart(os, {{"none", {}, {}}}, {});
+  EXPECT_EQ(os.str(), "(no data)\n");
+}
+
+TEST(AsciiChart, AllNonPositiveOnLogScaleHandled) {
+  std::ostringstream os;
+  render_chart(os, {{"z", {1, 2}, {0.0, 0.0}}},
+               {.scale = Scale::kLog10});
+  EXPECT_EQ(os.str(), "(no data)\n");
+}
+
+TEST(AsciiChart, SinglePointDoesNotDivideByZero) {
+  std::ostringstream os;
+  render_chart(os, {{"pt", {5.0}, {0.5}}}, {.width = 10, .height = 4});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, CanvasDimensionsRespected) {
+  std::ostringstream os;
+  render_chart(os, {{"s", {0, 1}, {0, 1}}}, {.width = 30, .height = 7});
+  // 7 canvas rows + x-axis + x labels + legend + (no title).
+  int lines = 0;
+  for (const char c : os.str()) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 7 + 3);
+}
+
+}  // namespace
+}  // namespace xbar::report

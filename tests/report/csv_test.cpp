@@ -1,0 +1,54 @@
+#include "report/csv.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xbar::report {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"h1", "h2"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(Csv, QuotesCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"two\nlines"});
+  EXPECT_EQ(os.str(), "\"two\nlines\"\n");
+}
+
+TEST(Csv, EmptyCells) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"", "x", ""});
+  EXPECT_EQ(os.str(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace xbar::report

@@ -1,0 +1,65 @@
+#include "report/table.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace xbar::report {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"N", "blocking"});
+  t.add_row({"8", "0.0045"});
+  t.add_row({"128", "0.0052"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("  N  blocking"), std::string::npos);
+  EXPECT_NE(out.find("  8"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, LeftAlignment) {
+  Table t({"name", "v"}, {Align::kLeft, Align::kRight});
+  t.add_row({"ab", "1"});
+  t.add_row({"abcdef", "2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("ab    "), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, AlignmentCountMismatchThrows) {
+  EXPECT_THROW(Table({"a", "b"}, {Align::kLeft}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableFormat, Num) {
+  EXPECT_EQ(Table::num(0.00448, 3), "0.00448");
+  EXPECT_EQ(Table::num(1234.5, 6), "1234.5");
+}
+
+TEST(TableFormat, Sci) {
+  EXPECT_EQ(Table::sci(0.000123456, 3), "1.235e-04");
+}
+
+TEST(TableFormat, Integer) {
+  EXPECT_EQ(Table::integer(-42), "-42");
+  EXPECT_EQ(Table::integer(1234567890123LL), "1234567890123");
+}
+
+}  // namespace
+}  // namespace xbar::report

@@ -1,0 +1,120 @@
+#include "sim/event_queue.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::sim {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.peek_time().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  std::vector<int> order;
+  while (const auto e = q.pop()) {
+    order.push_back(e->second);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue<std::string> q;
+  q.schedule(5.0, "first");
+  q.schedule(5.0, "second");
+  q.schedule(5.0, "third");
+  EXPECT_EQ(q.pop()->second, "first");
+  EXPECT_EQ(q.pop()->second, "second");
+  EXPECT_EQ(q.pop()->second, "third");
+}
+
+TEST(EventQueue, PeekDoesNotConsume) {
+  EventQueue<int> q;
+  q.schedule(2.5, 42);
+  EXPECT_EQ(q.peek_time(), 2.5);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->second, 42);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue<int> q;
+  const auto a = q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->second, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue<int> q;
+  const auto a = q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.cancel(a);
+  q.cancel(a);  // no-op
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->second, 2);
+}
+
+TEST(EventQueue, CancelAfterPopIsHarmless) {
+  EventQueue<int> q;
+  const auto a = q.schedule(1.0, 1);
+  EXPECT_EQ(q.pop()->second, 1);
+  q.cancel(a);
+  q.schedule(2.0, 2);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->second, 2);
+}
+
+TEST(EventQueue, CancelledHeadSkippedByPeek) {
+  EventQueue<int> q;
+  const auto a = q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.cancel(a);
+  EXPECT_EQ(q.peek_time(), 2.0);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue<std::size_t> q;
+  std::vector<EventId> ids;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i % 97), i));
+  }
+  // Cancel every third event.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    q.cancel(ids[i]);
+    ++cancelled;
+  }
+  EXPECT_EQ(q.size(), 1000 - cancelled);
+  double prev = -1.0;
+  std::size_t popped = 0;
+  while (const auto e = q.pop()) {
+    EXPECT_GE(e->first, prev);
+    EXPECT_NE(e->second % 3, 0u);  // cancelled ones never surface
+    prev = e->first;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000 - cancelled);
+}
+
+TEST(EventQueue, MovableOnlyPayload) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.schedule(1.0, std::make_unique<int>(7));
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e->second, 7);
+}
+
+}  // namespace
+}  // namespace xbar::sim

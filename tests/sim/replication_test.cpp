@@ -1,0 +1,104 @@
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm2.hpp"
+#include "fabric/banyan.hpp"
+#include "fabric/crossbar.hpp"
+
+namespace xbar::sim {
+namespace {
+
+using core::CrossbarModel;
+using core::Dims;
+using core::TrafficClass;
+
+ReplicationConfig quick(std::size_t reps = 4) {
+  ReplicationConfig cfg;
+  cfg.replications = reps;
+  cfg.sim.warmup_time = 100.0;
+  cfg.sim.measurement_time = 2000.0;
+  cfg.sim.num_batches = 10;
+  cfg.sim.seed = 5;
+  return cfg;
+}
+
+TEST(Replication, AggregatesAllReplications) {
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 1.0)});
+  const auto result = run_crossbar_replications(model, quick(4));
+  EXPECT_EQ(result.replications, 4u);
+  EXPECT_EQ(result.per_class.size(), 1u);
+  EXPECT_GT(result.per_class[0].offered, 0u);
+  EXPECT_GT(result.total_events, 0u);
+  EXPECT_EQ(result.per_class[0].concurrency.samples, 4u);
+}
+
+TEST(Replication, MatchesAnalyticWithinInterval) {
+  const CrossbarModel model(Dims::square(6),
+                            {TrafficClass::poisson("p", 2.0),
+                             TrafficClass::bursty("pk", 1.0, 0.5)});
+  auto cfg = quick(6);
+  cfg.sim.measurement_time = 5000.0;
+  const auto analytic = core::Algorithm2Solver(model).solve();
+  const auto result = run_crossbar_replications(model, cfg);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(result.per_class[r].time_congestion.mean,
+                analytic.per_class[r].blocking,
+                3.0 * result.per_class[r].time_congestion.half_width + 1e-2)
+        << r;
+    EXPECT_NEAR(result.per_class[r].concurrency.mean,
+                analytic.per_class[r].concurrency,
+                3.0 * result.per_class[r].concurrency.half_width + 0.1)
+        << r;
+  }
+}
+
+TEST(Replication, DeterministicAcrossThreadCounts) {
+  // Each replication owns its seed, so the thread partition must not change
+  // the aggregate.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::bursty("b", 1.0, 0.3)});
+  auto cfg1 = quick(5);
+  cfg1.threads = 1;
+  auto cfg4 = quick(5);
+  cfg4.threads = 4;
+  const auto r1 = run_crossbar_replications(model, cfg1);
+  const auto r4 = run_crossbar_replications(model, cfg4);
+  EXPECT_EQ(r1.per_class[0].offered, r4.per_class[0].offered);
+  EXPECT_DOUBLE_EQ(r1.per_class[0].concurrency.mean,
+                   r4.per_class[0].concurrency.mean);
+}
+
+TEST(Replication, ServiceFactoryAppliesToEveryReplication) {
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 2.0)});
+  auto cfg = quick(4);
+  cfg.service_factory = [](std::size_t, double mu) {
+    return dist::make_deterministic(1.0 / mu);
+  };
+  const auto det = run_crossbar_replications(model, cfg);
+  // Insensitivity: same blocking as the default exponential run.
+  const auto exp_run = run_crossbar_replications(model, quick(4));
+  EXPECT_NEAR(det.per_class[0].call_congestion.mean,
+              exp_run.per_class[0].call_congestion.mean,
+              det.per_class[0].call_congestion.half_width +
+                  exp_run.per_class[0].call_congestion.half_width + 1e-2);
+}
+
+TEST(Replication, CustomFabricFactoryIsUsed) {
+  // Run the same offered traffic through a banyan; internal blocking makes
+  // call congestion strictly worse than the crossbar's.
+  const CrossbarModel model(Dims::square(8),
+                            {TrafficClass::poisson("p", 4.0)});
+  auto cfg = quick(4);
+  const auto xbar_result = run_crossbar_replications(model, cfg);
+  const auto banyan_result = run_replications(
+      model, [](std::size_t) { return std::make_unique<fabric::BanyanFabric>(8); },
+      cfg);
+  EXPECT_GT(banyan_result.per_class[0].call_congestion.mean,
+            xbar_result.per_class[0].call_congestion.mean);
+}
+
+}  // namespace
+}  // namespace xbar::sim

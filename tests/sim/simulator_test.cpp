@@ -1,0 +1,200 @@
+// Simulation vs analysis: the paper's future-work experiment, used here as a
+// test oracle in both directions — the simulator validates the product-form
+// solvers on dynamics the recurrences never see, and the solvers validate
+// the simulator's mechanics.
+
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm2.hpp"
+#include "core/brute_force.hpp"
+#include "fabric/crossbar.hpp"
+
+namespace xbar::sim {
+namespace {
+
+using core::CrossbarModel;
+using core::Dims;
+using core::TrafficClass;
+
+SimulationConfig quick_config(std::uint64_t seed = 7) {
+  SimulationConfig cfg;
+  cfg.warmup_time = 300.0;
+  cfg.measurement_time = 8000.0;
+  cfg.num_batches = 20;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Simulator, RejectsMismatchedFabric) {
+  const CrossbarModel model(Dims::square(4), {TrafficClass::poisson("p", 0.5)});
+  fabric::CrossbarFabric wrong(5, 4);
+  EXPECT_THROW(Simulator(model, wrong, quick_config()), std::invalid_argument);
+}
+
+TEST(Simulator, RunTwiceThrows) {
+  const CrossbarModel model(Dims::square(2), {TrafficClass::poisson("p", 0.5)});
+  fabric::CrossbarFabric f(2, 2);
+  Simulator sim(model, f, quick_config());
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), std::logic_error);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::bursty("b", 0.8, 0.4)});
+  fabric::CrossbarFabric f1(4, 4);
+  fabric::CrossbarFabric f2(4, 4);
+  const auto r1 = Simulator(model, f1, quick_config(99)).run();
+  const auto r2 = Simulator(model, f2, quick_config(99)).run();
+  EXPECT_EQ(r1.per_class[0].offered, r2.per_class[0].offered);
+  EXPECT_EQ(r1.per_class[0].blocked, r2.per_class[0].blocked);
+  EXPECT_DOUBLE_EQ(r1.per_class[0].concurrency.mean,
+                   r2.per_class[0].concurrency.mean);
+  EXPECT_EQ(r1.events, r2.events);
+}
+
+TEST(Simulator, MatchesAnalyticModelMixedTraffic) {
+  const CrossbarModel model(Dims::square(8),
+                            {TrafficClass::poisson("p", 0.5),
+                             TrafficClass::bursty("pk", 0.4, 0.2)});
+  const auto analytic = core::Algorithm2Solver(model).solve();
+  fabric::CrossbarFabric f(8, 8);
+  const auto result = Simulator(model, f, quick_config()).run();
+  for (std::size_t r = 0; r < 2; ++r) {
+    // Time congestion estimates 1 - B_r for every class.
+    EXPECT_NEAR(result.per_class[r].time_congestion.mean,
+                analytic.per_class[r].blocking,
+                3.0 * result.per_class[r].time_congestion.half_width + 5e-3)
+        << r;
+    EXPECT_NEAR(result.per_class[r].concurrency.mean,
+                analytic.per_class[r].concurrency,
+                3.0 * result.per_class[r].concurrency.half_width + 0.05)
+        << r;
+  }
+  // PASTA: call congestion equals time congestion for the Poisson class...
+  EXPECT_NEAR(result.per_class[0].call_congestion.mean,
+              analytic.per_class[0].blocking,
+              3.0 * result.per_class[0].call_congestion.half_width + 5e-3);
+  // ... but exceeds it for the peaky class.
+  EXPECT_GT(result.per_class[1].call_congestion.mean,
+            result.per_class[1].time_congestion.mean);
+}
+
+TEST(Simulator, SmoothClassSeesLessThanTimeAverage) {
+  // Bernoulli arrivals see *fewer* busy servers than the time average.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::bursty("sm", 3.0, -0.5)});
+  const auto analytic = core::BruteForceSolver(model);
+  fabric::CrossbarFabric f(4, 4);
+  const auto result = Simulator(model, f, quick_config()).run();
+  EXPECT_LT(result.per_class[0].call_congestion.mean,
+            result.per_class[0].time_congestion.mean);
+  // And the brute-force call congestion predicts the simulated one.
+  EXPECT_NEAR(result.per_class[0].call_congestion.mean,
+              analytic.call_congestion(0),
+              3.0 * result.per_class[0].call_congestion.half_width + 1e-2);
+}
+
+TEST(Simulator, MultiRateClassMatchesAnalytic) {
+  const CrossbarModel model(Dims::square(6),
+                            {TrafficClass::poisson("wide", 2.0, 2)});
+  const auto analytic = core::BruteForceSolver(model).solve();
+  fabric::CrossbarFabric f(6, 6);
+  const auto result = Simulator(model, f, quick_config()).run();
+  EXPECT_NEAR(result.per_class[0].concurrency.mean,
+              analytic.per_class[0].concurrency,
+              3.0 * result.per_class[0].concurrency.half_width + 0.05);
+  EXPECT_NEAR(result.per_class[0].call_congestion.mean,
+              analytic.per_class[0].blocking,
+              3.0 * result.per_class[0].call_congestion.half_width + 1e-2);
+}
+
+// Insensitivity (paper §2, ref [7]): measures depend on the holding-time
+// distribution only through its mean.
+using ServiceFactoryFn =
+    std::function<std::unique_ptr<dist::ServiceDistribution>()>;
+
+class InsensitivityTest : public ::testing::TestWithParam<ServiceFactoryFn> {
+};
+
+TEST_P(InsensitivityTest, BlockingMatchesExponentialBaseline) {
+  const CrossbarModel model(Dims::square(6),
+                            {TrafficClass::poisson("p", 4.0)});
+  const double analytic_blocking =
+      core::BruteForceSolver(model).solve().per_class[0].blocking;
+  fabric::CrossbarFabric f(6, 6);
+  Simulator sim(model, f, quick_config(321));
+  sim.set_service_distribution(0, GetParam()());
+  const auto result = sim.run();
+  EXPECT_NEAR(result.per_class[0].call_congestion.mean, analytic_blocking,
+              3.0 * result.per_class[0].call_congestion.half_width + 1.5e-2);
+  EXPECT_NEAR(result.per_class[0].time_congestion.mean, analytic_blocking,
+              3.0 * result.per_class[0].time_congestion.half_width + 1.5e-2);
+}
+
+std::string service_case_name(
+    const ::testing::TestParamInfo<ServiceFactoryFn>& info) {
+  static constexpr const char* kNames[] = {
+      "deterministic", "erlang4", "hyperexp", "uniform", "lognormal"};
+  return kNames[info.index];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServiceShapes, InsensitivityTest,
+    ::testing::Values([] { return dist::make_deterministic(1.0); },
+                      [] { return dist::make_erlang(4, 1.0); },
+                      [] { return dist::make_hyperexponential(1.0, 4.0); },
+                      [] { return dist::make_uniform(1.0); },
+                      [] { return dist::make_lognormal(1.0, 2.0); }),
+    service_case_name);
+
+TEST(Simulator, NullServiceDistributionRejected) {
+  const CrossbarModel model(Dims::square(2), {TrafficClass::poisson("p", 0.5)});
+  fabric::CrossbarFabric f(2, 2);
+  Simulator sim(model, f, quick_config());
+  EXPECT_THROW(sim.set_service_distribution(0, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Simulator, BernoulliSourceExhaustionHandled) {
+  // Population of 4 on a 4x4 switch: the arrival intensity hits zero when
+  // all four sources are busy, and the process must pause (not crash).
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::bursty("sm", 2.0, -0.5)});
+  fabric::CrossbarFabric f(4, 4);
+  const auto result = Simulator(model, f, quick_config()).run();
+  EXPECT_GT(result.per_class[0].offered, 0u);
+  // Mean concurrency can never exceed the source population.
+  EXPECT_LE(result.per_class[0].concurrency.mean, 4.0);
+  // Analytic cross-check.
+  const auto analytic = core::BruteForceSolver(model).solve();
+  EXPECT_NEAR(result.per_class[0].concurrency.mean,
+              analytic.per_class[0].concurrency,
+              3.0 * result.per_class[0].concurrency.half_width + 0.05);
+}
+
+TEST(Simulator, UtilizationConsistentWithConcurrency) {
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 1.0, 2)});
+  fabric::CrossbarFabric f(4, 4);
+  const auto result = Simulator(model, f, quick_config()).run();
+  // utilization = a * E / cap
+  EXPECT_NEAR(result.utilization.mean,
+              2.0 * result.per_class[0].concurrency.mean / 4.0, 1e-9);
+}
+
+TEST(Simulator, HeavyLoadSaturates) {
+  const CrossbarModel model(Dims::square(2),
+                            {TrafficClass::poisson("hot", 100.0)});
+  fabric::CrossbarFabric f(2, 2);
+  const auto result = Simulator(model, f, quick_config()).run();
+  EXPECT_GT(result.per_class[0].call_congestion.mean, 0.8);
+  EXPECT_GT(result.utilization.mean, 0.9);
+}
+
+}  // namespace
+}  // namespace xbar::sim

@@ -1,0 +1,155 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+
+namespace xbar::sim {
+namespace {
+
+TEST(StudentT, KnownQuantiles) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000), 1.96, 1e-6);
+}
+
+TEST(StudentT, MonotoneDecreasingInDf) {
+  double prev = student_t_975(1);
+  for (std::size_t df = 2; df <= 40; ++df) {
+    const double t = student_t_975(df);
+    EXPECT_LE(t, prev) << df;
+    prev = t;
+  }
+}
+
+TEST(BatchMeans, EmptyEstimate) {
+  BatchMeans bm;
+  const Estimate e = bm.estimate();
+  EXPECT_EQ(e.samples, 0u);
+  EXPECT_EQ(e.mean, 0.0);
+  EXPECT_EQ(e.half_width, 0.0);
+}
+
+TEST(BatchMeans, SingleBatchHasNoInterval) {
+  BatchMeans bm;
+  bm.add(4.2);
+  const Estimate e = bm.estimate();
+  EXPECT_DOUBLE_EQ(e.mean, 4.2);
+  EXPECT_EQ(e.half_width, 0.0);
+  EXPECT_EQ(e.samples, 1u);
+}
+
+TEST(BatchMeans, HandComputedInterval) {
+  BatchMeans bm;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    bm.add(v);
+  }
+  const Estimate e = bm.estimate();
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  // s^2 = 2.5, sem = sqrt(0.5), t(4) = 2.776
+  EXPECT_NEAR(e.half_width, 2.776 * std::sqrt(0.5), 1e-3);
+  EXPECT_NEAR(e.lower(), 3.0 - e.half_width, 1e-12);
+  EXPECT_NEAR(e.upper(), 3.0 + e.half_width, 1e-12);
+}
+
+TEST(BatchMeans, IdenticalBatchesGiveZeroWidth) {
+  BatchMeans bm;
+  for (int i = 0; i < 10; ++i) {
+    bm.add(7.0);
+  }
+  const Estimate e = bm.estimate();
+  EXPECT_DOUBLE_EQ(e.mean, 7.0);
+  EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+}
+
+TEST(Estimate, ContainsChecksInterval) {
+  const Estimate e{.mean = 10.0, .half_width = 2.0, .samples = 5};
+  EXPECT_TRUE(e.contains(10.0));
+  EXPECT_TRUE(e.contains(8.0));
+  EXPECT_TRUE(e.contains(12.0));
+  EXPECT_FALSE(e.contains(7.9));
+  EXPECT_FALSE(e.contains(12.1));
+}
+
+TEST(BatchMeans, CoverageOnGaussianBatches) {
+  // 95% CI should contain the true mean ~95% of the time; with 200 trials
+  // allow a generous band (>= 85%).
+  dist::Xoshiro256 rng(123);
+  int covered = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BatchMeans bm;
+    for (int b = 0; b < 12; ++b) {
+      // Sum of uniforms approximates a normal with mean 6.
+      double s = 0.0;
+      for (int i = 0; i < 12; ++i) {
+        s += rng.uniform01();
+      }
+      bm.add(s);
+    }
+    if (bm.estimate().contains(6.0)) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, kTrials * 85 / 100);
+  EXPECT_LE(covered, kTrials);
+}
+
+TEST(BatchMeans, Lag1AutocorrelationOnKnownSeries) {
+  // Alternating series has strong negative lag-1 correlation.
+  BatchMeans alt;
+  for (int i = 0; i < 20; ++i) {
+    alt.add(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_LT(alt.lag1_autocorrelation(), -0.8);
+  EXPECT_TRUE(alt.batches_look_correlated());
+
+  // Monotone ramp has strong positive correlation.
+  BatchMeans ramp;
+  for (int i = 0; i < 20; ++i) {
+    ramp.add(static_cast<double>(i));
+  }
+  EXPECT_GT(ramp.lag1_autocorrelation(), 0.6);
+  EXPECT_TRUE(ramp.batches_look_correlated());
+}
+
+TEST(BatchMeans, IndependentBatchesPassTheDiagnostic) {
+  dist::Xoshiro256 rng(77);
+  int flagged = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    BatchMeans bm;
+    for (int b = 0; b < 30; ++b) {
+      bm.add(rng.uniform01());
+    }
+    flagged += bm.batches_look_correlated() ? 1 : 0;
+  }
+  // ~5% false-positive rate expected; allow generous slack.
+  EXPECT_LE(flagged, 10);
+}
+
+TEST(BatchMeans, AutocorrelationEdgeCases) {
+  BatchMeans few;
+  few.add(1.0);
+  few.add(2.0);
+  EXPECT_EQ(few.lag1_autocorrelation(), 0.0);
+  EXPECT_FALSE(few.batches_look_correlated());
+  BatchMeans constant;
+  for (int i = 0; i < 10; ++i) {
+    constant.add(3.0);
+  }
+  EXPECT_EQ(constant.lag1_autocorrelation(), 0.0);
+}
+
+TEST(BatchMeans, BatchesAccessor) {
+  BatchMeans bm;
+  bm.add(1.5);
+  bm.add(2.5);
+  EXPECT_EQ(bm.count(), 2u);
+  EXPECT_EQ(bm.batches(), (std::vector<double>{1.5, 2.5}));
+}
+
+}  // namespace
+}  // namespace xbar::sim

@@ -1,0 +1,152 @@
+#include "sim/traffic_pattern.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "fabric/crossbar.hpp"
+#include "sim/simulator.hpp"
+
+namespace xbar::sim {
+namespace {
+
+TEST(OutputSelector, UniformProducesDistinctInRange) {
+  auto sel = make_uniform_selector();
+  dist::Xoshiro256 rng(1);
+  std::vector<unsigned> out;
+  for (int i = 0; i < 1000; ++i) {
+    sel->sample(rng, 8, 3, out);
+    ASSERT_EQ(out.size(), 3u);
+    for (const unsigned p : out) {
+      EXPECT_LT(p, 8u);
+    }
+    auto sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(OutputSelector, UniformIsUnbiased) {
+  auto sel = make_uniform_selector();
+  dist::Xoshiro256 rng(2);
+  std::vector<int> counts(6, 0);
+  std::vector<unsigned> out;
+  constexpr int kTrials = 60000;
+  for (int i = 0; i < kTrials; ++i) {
+    sel->sample(rng, 6, 1, out);
+    ++counts[out[0]];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kTrials / 6, 500);
+  }
+}
+
+TEST(OutputSelector, HotspotHitsHotPortAtConfiguredRate) {
+  auto sel = make_hotspot_selector(0.3, 2);
+  dist::Xoshiro256 rng(3);
+  std::vector<unsigned> out;
+  int hot_hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    sel->sample(rng, 16, 1, out);
+    if (out[0] == 2) {
+      ++hot_hits;
+    }
+  }
+  // P(hot) = h + (1-h)/16.
+  const double expected = 0.3 + 0.7 / 16.0;
+  EXPECT_NEAR(static_cast<double>(hot_hits) / kTrials, expected, 0.01);
+}
+
+TEST(OutputSelector, HotspotZeroDegeneratesToUniform) {
+  auto sel = make_hotspot_selector(0.0, 0);
+  dist::Xoshiro256 rng(4);
+  std::vector<unsigned> out;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    sel->sample(rng, 4, 1, out);
+    ++counts[out[0]];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 400);
+  }
+}
+
+TEST(OutputSelector, HotspotBundlesStayDistinct) {
+  auto sel = make_hotspot_selector(0.9, 0);
+  dist::Xoshiro256 rng(5);
+  std::vector<unsigned> out;
+  for (int i = 0; i < 2000; ++i) {
+    sel->sample(rng, 6, 4, out);
+    ASSERT_EQ(out.size(), 4u);
+    auto sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(OutputSelector, RejectsInvalidFraction) {
+  EXPECT_THROW(make_hotspot_selector(-0.1), std::invalid_argument);
+  EXPECT_THROW(make_hotspot_selector(1.5), std::invalid_argument);
+}
+
+TEST(SimulatorHotspot, NullSelectorRejected) {
+  const core::CrossbarModel model(core::Dims::square(2),
+                                  {core::TrafficClass::poisson("p", 0.5)});
+  fabric::CrossbarFabric f(2, 2);
+  Simulator sim(model, f, SimulationConfig{});
+  EXPECT_THROW(sim.set_output_selector(nullptr), std::invalid_argument);
+}
+
+TEST(SimulatorHotspot, HotSpotRaisesBlockingAboveUniformModel) {
+  // The analytic model assumes uniform output choice; a hot spot must push
+  // the simulated call congestion above the model's prediction.
+  const core::CrossbarModel model(core::Dims::square(8),
+                                  {core::TrafficClass::poisson("p", 1.0)});
+  const double uniform_blocking =
+      core::solve(model).per_class[0].blocking;
+
+  SimulationConfig cfg;
+  cfg.warmup_time = 300.0;
+  cfg.measurement_time = 8000.0;
+  cfg.num_batches = 20;
+  cfg.seed = 11;
+
+  fabric::CrossbarFabric hot_fabric(8, 8);
+  Simulator hot_sim(model, hot_fabric, cfg);
+  hot_sim.set_output_selector(make_hotspot_selector(0.5, 0));
+  const auto hot = hot_sim.run();
+  EXPECT_GT(hot.per_class[0].call_congestion.mean,
+            uniform_blocking + 3.0 * hot.per_class[0].call_congestion.half_width);
+
+  // And with h = 0 the uniform model is recovered.
+  fabric::CrossbarFabric uni_fabric(8, 8);
+  Simulator uni_sim(model, uni_fabric, cfg);
+  uni_sim.set_output_selector(make_hotspot_selector(0.0, 0));
+  const auto uni = uni_sim.run();
+  EXPECT_NEAR(uni.per_class[0].call_congestion.mean, uniform_blocking,
+              3.0 * uni.per_class[0].call_congestion.half_width + 5e-3);
+}
+
+TEST(SimulatorHotspot, BlockingMonotoneInHotFraction) {
+  const core::CrossbarModel model(core::Dims::square(8),
+                                  {core::TrafficClass::poisson("p", 1.0)});
+  SimulationConfig cfg;
+  cfg.warmup_time = 200.0;
+  cfg.measurement_time = 6000.0;
+  cfg.num_batches = 12;
+  cfg.seed = 13;
+  double prev = -1.0;
+  for (const double h : {0.0, 0.3, 0.6, 0.9}) {
+    fabric::CrossbarFabric f(8, 8);
+    Simulator sim(model, f, cfg);
+    sim.set_output_selector(make_hotspot_selector(h, 0));
+    const double blocking = sim.run().per_class[0].call_congestion.mean;
+    EXPECT_GT(blocking, prev) << h;
+    prev = blocking;
+  }
+}
+
+}  // namespace
+}  // namespace xbar::sim

@@ -1,0 +1,88 @@
+#include "workload/bpp_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/counting.hpp"
+
+namespace xbar::workload {
+namespace {
+
+struct SourceCase {
+  std::string label;
+  dist::BppParams params;
+};
+
+class BppSourceTest : public ::testing::TestWithParam<SourceCase> {};
+
+TEST_P(BppSourceTest, OccupancyMomentsMatchTheory) {
+  const auto& p = GetParam().params;
+  const auto trace = run_bpp_source(p, 200.0, 60'000.0, 42);
+  EXPECT_NEAR(trace.occupancy.mean(), p.mean(), 0.05 * p.mean() + 0.02);
+  EXPECT_NEAR(trace.occupancy.peakedness(), p.peakedness(),
+              0.12 * p.peakedness() + 0.03);
+}
+
+TEST_P(BppSourceTest, OccupancyHistogramMatchesCountingDistribution) {
+  const auto& p = GetParam().params;
+  const auto trace = run_bpp_source(p, 200.0, 60'000.0, 43);
+  const auto theory = dist::infinite_server_occupancy(p);
+  for (unsigned k = 0; k < 12; ++k) {
+    EXPECT_NEAR(trace.occupancy_histogram.frequency(k), theory->pmf(k), 0.02)
+        << GetParam().label << " k=" << k;
+  }
+}
+
+TEST_P(BppSourceTest, ArrivalRateMatchesMeanTimesMu) {
+  // In steady state, arrival rate == departure rate == mean * mu.
+  const auto& p = GetParam().params;
+  const auto trace = run_bpp_source(p, 200.0, 60'000.0, 44);
+  const double rate =
+      static_cast<double>(trace.arrivals.size()) / trace.horizon;
+  EXPECT_NEAR(rate, p.mean() * p.mu, 0.05 * p.mean() * p.mu + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BppSourceTest,
+    ::testing::Values(
+        SourceCase{"smooth", dist::BppParams{4.0, -0.5, 1.0}},
+        SourceCase{"regular", dist::BppParams{3.0, 0.0, 1.0}},
+        SourceCase{"peaky", dist::BppParams{1.5, 0.5, 1.0}},
+        SourceCase{"peaky_fast_service", dist::BppParams{3.0, 1.0, 2.0}}),
+    [](const ::testing::TestParamInfo<SourceCase>& info) {
+      return info.param.label;
+    });
+
+TEST(BppSource, ArrivalTimesAreIncreasingAndInHorizon) {
+  const auto trace =
+      run_bpp_source(dist::BppParams{2.0, 0.0, 1.0}, 10.0, 1000.0, 7);
+  double prev = 0.0;
+  for (const auto& e : trace.arrivals) {
+    EXPECT_GE(e.time, prev);
+    EXPECT_LE(e.time, trace.horizon);
+    prev = e.time;
+  }
+  EXPECT_GT(trace.arrivals.size(), 1000u);  // rate ~2/s for 1000s
+}
+
+TEST(BppSource, DeterministicForSeed) {
+  const auto a = run_bpp_source(dist::BppParams{2.0, 0.5, 1.0}, 10.0, 500.0, 9);
+  const auto b = run_bpp_source(dist::BppParams{2.0, 0.5, 1.0}, 10.0, 500.0, 9);
+  EXPECT_EQ(a.arrivals.size(), b.arrivals.size());
+  EXPECT_DOUBLE_EQ(a.occupancy.mean(), b.occupancy.mean());
+}
+
+TEST(BppSource, PeakinessOrderingInSimulatedTraffic) {
+  // The whole point of BPP: measured Z orders smooth < regular < peaky.
+  const auto smooth =
+      run_bpp_source(dist::BppParams{4.0, -0.5, 1.0}, 100.0, 30'000.0, 1);
+  const auto regular =
+      run_bpp_source(dist::BppParams{8.0 / 3.0, 0.0, 1.0}, 100.0, 30'000.0, 1);
+  const auto peaky =
+      run_bpp_source(dist::BppParams{4.0 / 3.0, 0.5, 1.0}, 100.0, 30'000.0, 1);
+  // All three have mean 8/3; peakedness must order.
+  EXPECT_LT(smooth.occupancy.peakedness(), regular.occupancy.peakedness());
+  EXPECT_LT(regular.occupancy.peakedness(), peaky.occupancy.peakedness());
+}
+
+}  // namespace
+}  // namespace xbar::workload

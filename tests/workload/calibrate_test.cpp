@@ -1,0 +1,68 @@
+#include "workload/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "workload/scenario.hpp"
+
+namespace xbar::workload {
+namespace {
+
+TEST(Calibrate, HitsTargetBlockingPoisson) {
+  const auto result = calibrate_load(16, 1, 0.005);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->blocking, 0.005, 1e-8);
+  EXPECT_GT(result->alpha_tilde, 0.0);
+  EXPECT_GT(result->concurrency, 0.0);
+}
+
+TEST(Calibrate, HitsTargetBlockingPeaky) {
+  const auto result = calibrate_load(16, 1, 0.005, 0.5);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->blocking, 0.005, 1e-8);
+}
+
+TEST(Calibrate, HitsTargetBlockingSmooth) {
+  const auto result = calibrate_load(16, 1, 0.005, -0.001);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->blocking, 0.005, 1e-8);
+}
+
+TEST(Calibrate, PeakyTrafficAdmitsLessLoadAtSameBlocking) {
+  // The operational consequence of Figure 2: at the same blocking target a
+  // peaky stream must be admitted at lower alpha~.
+  const auto poisson = calibrate_load(16, 1, 0.005, 0.0);
+  const auto peaky = calibrate_load(16, 1, 0.005, 0.9);
+  ASSERT_TRUE(poisson && peaky);
+  EXPECT_LT(peaky->alpha_tilde, poisson->alpha_tilde);
+}
+
+TEST(Calibrate, WiderBandwidthAdmitsLessLoad) {
+  const auto narrow = calibrate_load(16, 1, 0.005);
+  const auto wide = calibrate_load(16, 2, 0.005);
+  ASSERT_TRUE(narrow && wide);
+  // Compare carried port-load: the wide class carries fewer connections.
+  EXPECT_LT(wide->concurrency * 2.0, narrow->concurrency * 1.0 + 1e-9);
+}
+
+TEST(Calibrate, CalibratedModelReproducesTarget) {
+  const auto result = calibrate_load(8, 1, 0.01, 0.25);
+  ASSERT_TRUE(result.has_value());
+  const core::CrossbarModel model(
+      core::Dims::square(8),
+      {core::TrafficClass::bursty("check", result->alpha_tilde,
+                                  0.25 * result->alpha_tilde)});
+  EXPECT_NEAR(core::solve(model).per_class[0].blocking, 0.01, 1e-8);
+}
+
+TEST(Calibrate, PaperOperatingPointIsNearFigureLoad) {
+  // The paper says alpha~ = .0024 drives blocking to ~0.5%.  Calibrating a
+  // 64x64 Poisson stream to exactly 0.5% must land in the same decade.
+  const auto result = calibrate_load(64, 1, 0.005);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->alpha_tilde, 0.0024 / 10.0);
+  EXPECT_LT(result->alpha_tilde, 0.0024 * 10.0);
+}
+
+}  // namespace
+}  // namespace xbar::workload

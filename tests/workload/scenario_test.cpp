@@ -1,0 +1,111 @@
+#include "workload/scenario.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xbar::workload {
+namespace {
+
+TEST(Scenario, Fig1BetasAreThePapersAndBernoulliValid) {
+  const auto betas = fig1_beta_tildes();
+  ASSERT_EQ(betas.size(), 5u);
+  EXPECT_DOUBLE_EQ(betas.front(), 0.0);
+  EXPECT_DOUBLE_EQ(betas.back(), -4.0e-6);
+  // alpha~/beta~ must be a negative integer (paper §2) for each nonzero one.
+  for (const double b : betas) {
+    if (b == 0.0) {
+      continue;
+    }
+    const double ratio = kFigureAlphaTilde / b;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-9) << b;
+    EXPECT_LT(ratio, 0.0);
+  }
+}
+
+TEST(Scenario, Fig2BetasArePeaky) {
+  for (const double b : fig2_beta_tildes()) {
+    EXPECT_GE(b, 0.0);
+  }
+  EXPECT_EQ(fig2_beta_tildes().front(), 0.0);
+}
+
+TEST(Scenario, FigureSizesSpanPaperRange) {
+  const auto sizes = figure_sizes();
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_EQ(sizes.back(), 128u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(Scenario, SingleClassModelsValidateAtEverySize) {
+  for (const unsigned n : figure_sizes()) {
+    for (const double b : fig1_beta_tildes()) {
+      EXPECT_NO_THROW(single_class_model(n, kFigureAlphaTilde, b)) << n;
+    }
+    for (const double b : fig2_beta_tildes()) {
+      EXPECT_NO_THROW(single_class_model(n, kFigureAlphaTilde, b)) << n;
+    }
+  }
+}
+
+TEST(Scenario, TwoClassModelHasPoissonThenBursty) {
+  const auto m = two_class_model(8, 0.0012, 0.0012, 0.0036);
+  ASSERT_EQ(m.num_classes(), 2u);
+  EXPECT_TRUE(m.normalized(0).is_poisson());
+  EXPECT_FALSE(m.normalized(1).is_poisson());
+}
+
+// Table 1 of the paper, digit for digit.
+TEST(Scenario, Table1LoadsReproduceThePaper) {
+  const struct {
+    unsigned n;
+    double rho1;
+    double rho2;
+  } rows[] = {{4, 0.000600, 0.000800},
+              {8, 0.000300, 0.000171},
+              {16, 0.000150, 0.0000400},
+              {32, 0.0000750, 0.00000967},
+              {64, 0.0000375, 0.00000238}};
+  for (const auto& row : rows) {
+    EXPECT_NEAR(fig4_rho_tilde(row.n, 1), row.rho1, 1e-6 + row.rho1 * 5e-3)
+        << row.n;
+    EXPECT_NEAR(fig4_rho_tilde(row.n, 2), row.rho2, 1e-8 + row.rho2 * 5e-3)
+        << row.n;
+  }
+}
+
+TEST(Scenario, Fig4ModelsValidate) {
+  for (const unsigned n : fig4_sizes()) {
+    for (const unsigned a : {1u, 2u}) {
+      const auto m = fig4_model(n, a);
+      EXPECT_EQ(m.normalized(0).bandwidth, a);
+    }
+  }
+}
+
+TEST(Scenario, Table2SetsMatchPaperHeaders) {
+  const auto sets = table2_sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_DOUBLE_EQ(sets[0].rho2_tilde, 0.0012);
+  EXPECT_DOUBLE_EQ(sets[1].beta2_tilde, 0.0036);
+  EXPECT_DOUBLE_EQ(sets[2].rho2_tilde, 0.0036);
+  for (const auto& s : sets) {
+    EXPECT_DOUBLE_EQ(s.rho1_tilde, 0.0012);
+  }
+}
+
+TEST(Scenario, Table2ModelWeightsMatchPaper) {
+  const auto m = table2_model(4, table2_sets()[0]);
+  EXPECT_DOUBLE_EQ(m.normalized(0).weight, 1.0);
+  EXPECT_DOUBLE_EQ(m.normalized(1).weight, 0.0001);
+}
+
+TEST(Scenario, Table2SizesRunTo256) {
+  EXPECT_EQ(table2_sizes().back(), 256u);
+  EXPECT_EQ(table2_sizes().front(), 1u);
+}
+
+}  // namespace
+}  // namespace xbar::workload

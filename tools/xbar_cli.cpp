@@ -1,0 +1,197 @@
+// xbar — command-line front end.
+//
+//   xbar solve    <scenario.ini>            exact measures
+//   xbar revenue  <scenario.ini>            W(N), shadow costs, gradients
+//   xbar simulate <scenario.ini>            discrete-event run vs analysis
+//   xbar sweep    <scenario.ini> --sizes=4,8,16,...   blocking vs N (square)
+//
+// Scenario format: see src/config/scenario_file.hpp or examples/scenarios/.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "config/scenario_file.hpp"
+#include "fabric/crossbar.hpp"
+#include "core/revenue.hpp"
+#include "core/solver.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+#include "sim/replication.hpp"
+#include "sim/traffic_pattern.hpp"
+
+namespace {
+
+using namespace xbar;
+
+int usage() {
+  std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini> "
+               "[--sizes=4,8,16]\n";
+  return 2;
+}
+
+void print_measures(const core::CrossbarModel& model,
+                    const core::Measures& measures) {
+  report::Table table({"class", "shape", "a", "blocking", "concurrency",
+                       "throughput"});
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& cm = measures.per_class[r];
+    table.add_row({model.classes()[r].name,
+                   std::string(dist::to_string(
+                       model.normalized(r).bpp().shape())),
+                   report::Table::integer(model.normalized(r).bandwidth),
+                   report::Table::num(cm.blocking, 6),
+                   report::Table::num(cm.concurrency, 6),
+                   report::Table::num(cm.throughput, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "utilization " << report::Table::num(measures.utilization, 4)
+            << "   revenue W(N) " << report::Table::num(measures.revenue, 6)
+            << "\n";
+}
+
+int cmd_solve(const config::Scenario& scenario) {
+  print_measures(scenario.model, core::solve(scenario.model, scenario.solver));
+  return 0;
+}
+
+int cmd_revenue(const config::Scenario& scenario) {
+  const core::RevenueAnalyzer analyzer(scenario.model);
+  const auto report = analyzer.analyze();
+  print_measures(scenario.model, report.measures);
+  std::cout << "\n";
+  report::Table table({"class", "weight", "shadow cost", "dW/drho", "dW/dx",
+                       "verdict"});
+  for (std::size_t r = 0; r < scenario.model.num_classes(); ++r) {
+    const auto& s = report.per_class[r];
+    table.add_row({scenario.model.classes()[r].name,
+                   report::Table::num(scenario.model.normalized(r).weight, 4),
+                   report::Table::num(s.shadow_cost, 5),
+                   report::Table::num(s.d_revenue_d_rho, 5),
+                   report::Table::num(s.d_revenue_d_x, 5),
+                   s.worth_admitting ? "admit more" : "cap it"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const config::Scenario& scenario) {
+  const auto analytic = core::solve(scenario.model, scenario.solver);
+  sim::ReplicationConfig cfg;
+  cfg.replications = scenario.replications;
+  cfg.sim = scenario.sim;
+  const double hotspot = scenario.hotspot_fraction;
+
+  sim::ReplicationResult result;
+  if (hotspot > 0.0) {
+    // Hot-spot runs need a per-simulator selector; run sequential
+    // replications by hand.
+    result.per_class.resize(scenario.model.num_classes());
+    std::vector<std::vector<double>> cc(scenario.model.num_classes());
+    for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
+      fabric::CrossbarFabric xbar_fabric(scenario.model.dims().n1,
+                                         scenario.model.dims().n2);
+      auto sim_cfg = cfg.sim;
+      sim_cfg.seed = cfg.sim.seed + 0x9E3779B9u * (rep + 1);
+      sim::Simulator simulator(scenario.model, xbar_fabric, sim_cfg);
+      simulator.set_output_selector(sim::make_hotspot_selector(hotspot, 0));
+      const auto run = simulator.run();
+      result.total_events += run.events;
+      for (std::size_t r = 0; r < cc.size(); ++r) {
+        if (run.per_class[r].offered > 0) {
+          cc[r].push_back(static_cast<double>(run.per_class[r].blocked) /
+                          static_cast<double>(run.per_class[r].offered));
+        }
+      }
+    }
+    for (std::size_t r = 0; r < cc.size(); ++r) {
+      sim::BatchMeans bm;
+      for (const double v : cc[r]) {
+        bm.add(v);
+      }
+      result.per_class[r].call_congestion = bm.estimate();
+    }
+    result.replications = cfg.replications;
+  } else {
+    result = sim::run_crossbar_replications(scenario.model, cfg);
+  }
+
+  report::Table table({"class", "analytic blocking", "sim call-cong", "CI"});
+  for (std::size_t r = 0; r < scenario.model.num_classes(); ++r) {
+    table.add_row(
+        {scenario.model.classes()[r].name,
+         report::Table::num(analytic.per_class[r].blocking, 5),
+         report::Table::num(result.per_class[r].call_congestion.mean, 5),
+         report::Table::num(result.per_class[r].call_congestion.half_width,
+                            2)});
+  }
+  table.print(std::cout);
+  std::cout << result.replications << " replications, "
+            << result.total_events << " events"
+            << (hotspot > 0.0
+                    ? ", hotspot=" + report::Table::num(hotspot, 2) +
+                          " (analytic column assumes uniform traffic)"
+                    : "")
+            << "\n";
+  return 0;
+}
+
+int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
+  const auto sizes_arg = args.get("sizes").value_or("4,8,16,32,64,128");
+  std::vector<unsigned> sizes;
+  std::stringstream ss(sizes_arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    sizes.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+
+  std::vector<std::string> headers = {"N"};
+  for (const auto& c : scenario.model.classes()) {
+    headers.push_back(c.name);
+  }
+  report::Table table(headers);
+  for (const unsigned n : sizes) {
+    std::vector<core::TrafficClass> classes(
+        scenario.model.classes().begin(), scenario.model.classes().end());
+    const core::CrossbarModel model(core::Dims::square(n),
+                                    std::move(classes));
+    const auto measures = core::solve(model, scenario.solver);
+    std::vector<std::string> row = {report::Table::integer(n)};
+    for (const auto& cm : measures.per_class) {
+      row.push_back(report::Table::num(cm.blocking, 6));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  const xbar::report::Args args(argc, argv);
+  try {
+    const auto scenario = xbar::config::load_scenario(path);
+    if (command == "solve") {
+      return cmd_solve(scenario);
+    }
+    if (command == "revenue") {
+      return cmd_revenue(scenario);
+    }
+    if (command == "simulate") {
+      return cmd_simulate(scenario);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(scenario, args);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
