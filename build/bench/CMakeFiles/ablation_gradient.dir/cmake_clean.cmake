@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gradient.dir/ablation_gradient.cpp.o"
+  "CMakeFiles/ablation_gradient.dir/ablation_gradient.cpp.o.d"
+  "ablation_gradient"
+  "ablation_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_ratio.dir/aspect_ratio.cpp.o"
+  "CMakeFiles/aspect_ratio.dir/aspect_ratio.cpp.o.d"
+  "aspect_ratio"
+  "aspect_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

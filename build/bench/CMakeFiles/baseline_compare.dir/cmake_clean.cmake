@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_compare.dir/baseline_compare.cpp.o"
+  "CMakeFiles/baseline_compare.dir/baseline_compare.cpp.o.d"
+  "baseline_compare"
+  "baseline_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_smooth.dir/fig1_smooth.cpp.o"
+  "CMakeFiles/fig1_smooth.dir/fig1_smooth.cpp.o.d"
+  "fig1_smooth"
+  "fig1_smooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_smooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_peaky.dir/fig2_peaky.cpp.o"
+  "CMakeFiles/fig2_peaky.dir/fig2_peaky.cpp.o.d"
+  "fig2_peaky"
+  "fig2_peaky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_peaky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_two_class.dir/fig3_two_class.cpp.o"
+  "CMakeFiles/fig3_two_class.dir/fig3_two_class.cpp.o.d"
+  "fig3_two_class"
+  "fig3_two_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_two_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

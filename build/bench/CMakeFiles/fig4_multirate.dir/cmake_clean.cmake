@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multirate.dir/fig4_multirate.cpp.o"
+  "CMakeFiles/fig4_multirate.dir/fig4_multirate.cpp.o.d"
+  "fig4_multirate"
+  "fig4_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

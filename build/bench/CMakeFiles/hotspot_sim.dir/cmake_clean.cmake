@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_sim.dir/hotspot_sim.cpp.o"
+  "CMakeFiles/hotspot_sim.dir/hotspot_sim.cpp.o.d"
+  "hotspot_sim"
+  "hotspot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_compare.dir/multistage_compare.cpp.o"
+  "CMakeFiles/multistage_compare.dir/multistage_compare.cpp.o.d"
+  "multistage_compare"
+  "multistage_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

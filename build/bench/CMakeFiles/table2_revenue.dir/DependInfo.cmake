@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_revenue.cpp" "bench/CMakeFiles/table2_revenue.dir/table2_revenue.cpp.o" "gcc" "bench/CMakeFiles/table2_revenue.dir/table2_revenue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/xbar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/xbar_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xbar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/xbar_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_revenue.dir/table2_revenue.cpp.o"
+  "CMakeFiles/table2_revenue.dir/table2_revenue.cpp.o.d"
+  "table2_revenue"
+  "table2_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

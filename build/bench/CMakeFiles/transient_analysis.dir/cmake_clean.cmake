@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_analysis.dir/transient_analysis.cpp.o"
+  "CMakeFiles/transient_analysis.dir/transient_analysis.cpp.o.d"
+  "transient_analysis"
+  "transient_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

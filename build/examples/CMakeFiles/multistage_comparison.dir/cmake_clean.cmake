@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_comparison.dir/multistage_comparison.cpp.o"
+  "CMakeFiles/multistage_comparison.dir/multistage_comparison.cpp.o.d"
+  "multistage_comparison"
+  "multistage_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

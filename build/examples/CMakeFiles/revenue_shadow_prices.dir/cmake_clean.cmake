@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revenue_shadow_prices.dir/revenue_shadow_prices.cpp.o"
+  "CMakeFiles/revenue_shadow_prices.dir/revenue_shadow_prices.cpp.o.d"
+  "revenue_shadow_prices"
+  "revenue_shadow_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revenue_shadow_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

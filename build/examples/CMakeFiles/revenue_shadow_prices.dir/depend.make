@@ -1,0 +1,2 @@
+# Empty dependencies file for revenue_shadow_prices.
+# This may be replaced when dependencies are built.

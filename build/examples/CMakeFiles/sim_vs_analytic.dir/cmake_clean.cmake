@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vs_analytic.dir/sim_vs_analytic.cpp.o"
+  "CMakeFiles/sim_vs_analytic.dir/sim_vs_analytic.cpp.o.d"
+  "sim_vs_analytic"
+  "sim_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_startup.dir/transient_startup.cpp.o"
+  "CMakeFiles/transient_startup.dir/transient_startup.cpp.o.d"
+  "transient_startup"
+  "transient_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_config.dir/ini.cpp.o"
+  "CMakeFiles/xbar_config.dir/ini.cpp.o.d"
+  "CMakeFiles/xbar_config.dir/scenario_file.cpp.o"
+  "CMakeFiles/xbar_config.dir/scenario_file.cpp.o.d"
+  "libxbar_config.a"
+  "libxbar_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

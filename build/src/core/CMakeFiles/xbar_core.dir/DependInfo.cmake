@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm1.cpp" "src/core/CMakeFiles/xbar_core.dir/algorithm1.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/core/algorithm2.cpp" "src/core/CMakeFiles/xbar_core.dir/algorithm2.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/algorithm2.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/xbar_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/erlang.cpp" "src/core/CMakeFiles/xbar_core.dir/erlang.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/erlang.cpp.o.d"
+  "/root/repo/src/core/generating_function.cpp" "src/core/CMakeFiles/xbar_core.dir/generating_function.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/generating_function.cpp.o.d"
+  "/root/repo/src/core/hotspot.cpp" "src/core/CMakeFiles/xbar_core.dir/hotspot.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/hotspot.cpp.o.d"
+  "/root/repo/src/core/knapsack.cpp" "src/core/CMakeFiles/xbar_core.dir/knapsack.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/knapsack.cpp.o.d"
+  "/root/repo/src/core/markov.cpp" "src/core/CMakeFiles/xbar_core.dir/markov.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/markov.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/core/CMakeFiles/xbar_core.dir/measures.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/measures.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/xbar_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/revenue.cpp" "src/core/CMakeFiles/xbar_core.dir/revenue.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/revenue.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/xbar_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/state_space.cpp" "src/core/CMakeFiles/xbar_core.dir/state_space.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/state_space.cpp.o.d"
+  "/root/repo/src/core/wilkinson.cpp" "src/core/CMakeFiles/xbar_core.dir/wilkinson.cpp.o" "gcc" "src/core/CMakeFiles/xbar_core.dir/wilkinson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/xbar_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

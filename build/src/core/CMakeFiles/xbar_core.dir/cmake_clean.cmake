@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/xbar_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/algorithm2.cpp.o"
+  "CMakeFiles/xbar_core.dir/algorithm2.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/brute_force.cpp.o"
+  "CMakeFiles/xbar_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/erlang.cpp.o"
+  "CMakeFiles/xbar_core.dir/erlang.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/generating_function.cpp.o"
+  "CMakeFiles/xbar_core.dir/generating_function.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/hotspot.cpp.o"
+  "CMakeFiles/xbar_core.dir/hotspot.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/knapsack.cpp.o"
+  "CMakeFiles/xbar_core.dir/knapsack.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/markov.cpp.o"
+  "CMakeFiles/xbar_core.dir/markov.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/measures.cpp.o"
+  "CMakeFiles/xbar_core.dir/measures.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/model.cpp.o"
+  "CMakeFiles/xbar_core.dir/model.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/revenue.cpp.o"
+  "CMakeFiles/xbar_core.dir/revenue.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/solver.cpp.o"
+  "CMakeFiles/xbar_core.dir/solver.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/state_space.cpp.o"
+  "CMakeFiles/xbar_core.dir/state_space.cpp.o.d"
+  "CMakeFiles/xbar_core.dir/wilkinson.cpp.o"
+  "CMakeFiles/xbar_core.dir/wilkinson.cpp.o.d"
+  "libxbar_core.a"
+  "libxbar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

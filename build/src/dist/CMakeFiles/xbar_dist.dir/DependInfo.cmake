@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/bpp.cpp" "src/dist/CMakeFiles/xbar_dist.dir/bpp.cpp.o" "gcc" "src/dist/CMakeFiles/xbar_dist.dir/bpp.cpp.o.d"
+  "/root/repo/src/dist/counting.cpp" "src/dist/CMakeFiles/xbar_dist.dir/counting.cpp.o" "gcc" "src/dist/CMakeFiles/xbar_dist.dir/counting.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/xbar_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/xbar_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/rng.cpp" "src/dist/CMakeFiles/xbar_dist.dir/rng.cpp.o" "gcc" "src/dist/CMakeFiles/xbar_dist.dir/rng.cpp.o.d"
+  "/root/repo/src/dist/service.cpp" "src/dist/CMakeFiles/xbar_dist.dir/service.cpp.o" "gcc" "src/dist/CMakeFiles/xbar_dist.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

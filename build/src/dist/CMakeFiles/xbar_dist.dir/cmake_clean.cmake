@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_dist.dir/bpp.cpp.o"
+  "CMakeFiles/xbar_dist.dir/bpp.cpp.o.d"
+  "CMakeFiles/xbar_dist.dir/counting.cpp.o"
+  "CMakeFiles/xbar_dist.dir/counting.cpp.o.d"
+  "CMakeFiles/xbar_dist.dir/empirical.cpp.o"
+  "CMakeFiles/xbar_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/xbar_dist.dir/rng.cpp.o"
+  "CMakeFiles/xbar_dist.dir/rng.cpp.o.d"
+  "CMakeFiles/xbar_dist.dir/service.cpp.o"
+  "CMakeFiles/xbar_dist.dir/service.cpp.o.d"
+  "libxbar_dist.a"
+  "libxbar_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbar_dist.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_fabric.dir/banyan.cpp.o"
+  "CMakeFiles/xbar_fabric.dir/banyan.cpp.o.d"
+  "CMakeFiles/xbar_fabric.dir/crossbar.cpp.o"
+  "CMakeFiles/xbar_fabric.dir/crossbar.cpp.o.d"
+  "CMakeFiles/xbar_fabric.dir/lee_model.cpp.o"
+  "CMakeFiles/xbar_fabric.dir/lee_model.cpp.o.d"
+  "libxbar_fabric.a"
+  "libxbar_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

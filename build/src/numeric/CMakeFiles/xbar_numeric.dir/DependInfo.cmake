@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/combinatorics.cpp" "src/numeric/CMakeFiles/xbar_numeric.dir/combinatorics.cpp.o" "gcc" "src/numeric/CMakeFiles/xbar_numeric.dir/combinatorics.cpp.o.d"
+  "/root/repo/src/numeric/gradient.cpp" "src/numeric/CMakeFiles/xbar_numeric.dir/gradient.cpp.o" "gcc" "src/numeric/CMakeFiles/xbar_numeric.dir/gradient.cpp.o.d"
+  "/root/repo/src/numeric/roots.cpp" "src/numeric/CMakeFiles/xbar_numeric.dir/roots.cpp.o" "gcc" "src/numeric/CMakeFiles/xbar_numeric.dir/roots.cpp.o.d"
+  "/root/repo/src/numeric/scaled_float.cpp" "src/numeric/CMakeFiles/xbar_numeric.dir/scaled_float.cpp.o" "gcc" "src/numeric/CMakeFiles/xbar_numeric.dir/scaled_float.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

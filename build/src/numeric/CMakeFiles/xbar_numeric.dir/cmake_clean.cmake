@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_numeric.dir/combinatorics.cpp.o"
+  "CMakeFiles/xbar_numeric.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/xbar_numeric.dir/gradient.cpp.o"
+  "CMakeFiles/xbar_numeric.dir/gradient.cpp.o.d"
+  "CMakeFiles/xbar_numeric.dir/roots.cpp.o"
+  "CMakeFiles/xbar_numeric.dir/roots.cpp.o.d"
+  "CMakeFiles/xbar_numeric.dir/scaled_float.cpp.o"
+  "CMakeFiles/xbar_numeric.dir/scaled_float.cpp.o.d"
+  "libxbar_numeric.a"
+  "libxbar_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

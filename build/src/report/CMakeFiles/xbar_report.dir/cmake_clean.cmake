@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_report.dir/args.cpp.o"
+  "CMakeFiles/xbar_report.dir/args.cpp.o.d"
+  "CMakeFiles/xbar_report.dir/ascii_chart.cpp.o"
+  "CMakeFiles/xbar_report.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/xbar_report.dir/csv.cpp.o"
+  "CMakeFiles/xbar_report.dir/csv.cpp.o.d"
+  "CMakeFiles/xbar_report.dir/table.cpp.o"
+  "CMakeFiles/xbar_report.dir/table.cpp.o.d"
+  "libxbar_report.a"
+  "libxbar_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

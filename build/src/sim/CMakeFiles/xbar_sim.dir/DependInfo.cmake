@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/replication.cpp" "src/sim/CMakeFiles/xbar_sim.dir/replication.cpp.o" "gcc" "src/sim/CMakeFiles/xbar_sim.dir/replication.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/xbar_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/xbar_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/xbar_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/xbar_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/traffic_pattern.cpp" "src/sim/CMakeFiles/xbar_sim.dir/traffic_pattern.cpp.o" "gcc" "src/sim/CMakeFiles/xbar_sim.dir/traffic_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/xbar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/xbar_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_sim.dir/replication.cpp.o"
+  "CMakeFiles/xbar_sim.dir/replication.cpp.o.d"
+  "CMakeFiles/xbar_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xbar_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xbar_sim.dir/stats.cpp.o"
+  "CMakeFiles/xbar_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/xbar_sim.dir/traffic_pattern.cpp.o"
+  "CMakeFiles/xbar_sim.dir/traffic_pattern.cpp.o.d"
+  "libxbar_sim.a"
+  "libxbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bpp_source.cpp" "src/workload/CMakeFiles/xbar_workload.dir/bpp_source.cpp.o" "gcc" "src/workload/CMakeFiles/xbar_workload.dir/bpp_source.cpp.o.d"
+  "/root/repo/src/workload/calibrate.cpp" "src/workload/CMakeFiles/xbar_workload.dir/calibrate.cpp.o" "gcc" "src/workload/CMakeFiles/xbar_workload.dir/calibrate.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/xbar_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/xbar_workload.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/xbar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_workload.dir/bpp_source.cpp.o"
+  "CMakeFiles/xbar_workload.dir/bpp_source.cpp.o.d"
+  "CMakeFiles/xbar_workload.dir/calibrate.cpp.o"
+  "CMakeFiles/xbar_workload.dir/calibrate.cpp.o.d"
+  "CMakeFiles/xbar_workload.dir/scenario.cpp.o"
+  "CMakeFiles/xbar_workload.dir/scenario.cpp.o.d"
+  "libxbar_workload.a"
+  "libxbar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_config_tests.dir/config/ini_test.cpp.o"
+  "CMakeFiles/xbar_config_tests.dir/config/ini_test.cpp.o.d"
+  "CMakeFiles/xbar_config_tests.dir/config/scenario_file_test.cpp.o"
+  "CMakeFiles/xbar_config_tests.dir/config/scenario_file_test.cpp.o.d"
+  "xbar_config_tests"
+  "xbar_config_tests.pdb"
+  "xbar_config_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_config_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

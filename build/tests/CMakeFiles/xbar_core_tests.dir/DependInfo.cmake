@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algorithm1_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithm1_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithm1_test.cpp.o.d"
+  "/root/repo/tests/core/algorithm2_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithm2_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithm2_test.cpp.o.d"
+  "/root/repo/tests/core/algorithms_equivalence_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithms_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/algorithms_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/erlang_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/erlang_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/erlang_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_equivalence_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/fuzz_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/fuzz_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/generating_function_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/generating_function_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/generating_function_test.cpp.o.d"
+  "/root/repo/tests/core/hotspot_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/hotspot_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/hotspot_test.cpp.o.d"
+  "/root/repo/tests/core/knapsack_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/knapsack_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/knapsack_test.cpp.o.d"
+  "/root/repo/tests/core/markov_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/markov_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/markov_test.cpp.o.d"
+  "/root/repo/tests/core/measures_properties_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/measures_properties_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/measures_properties_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/revenue_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/revenue_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/revenue_test.cpp.o.d"
+  "/root/repo/tests/core/state_space_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/state_space_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/state_space_test.cpp.o.d"
+  "/root/repo/tests/core/table2_regression_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/table2_regression_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/table2_regression_test.cpp.o.d"
+  "/root/repo/tests/core/wilkinson_test.cpp" "tests/CMakeFiles/xbar_core_tests.dir/core/wilkinson_test.cpp.o" "gcc" "tests/CMakeFiles/xbar_core_tests.dir/core/wilkinson_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/xbar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/xbar_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/xbar_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xbar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/xbar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/xbar_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

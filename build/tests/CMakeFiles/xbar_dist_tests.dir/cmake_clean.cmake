@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_dist_tests.dir/dist/bpp_test.cpp.o"
+  "CMakeFiles/xbar_dist_tests.dir/dist/bpp_test.cpp.o.d"
+  "CMakeFiles/xbar_dist_tests.dir/dist/counting_test.cpp.o"
+  "CMakeFiles/xbar_dist_tests.dir/dist/counting_test.cpp.o.d"
+  "CMakeFiles/xbar_dist_tests.dir/dist/empirical_test.cpp.o"
+  "CMakeFiles/xbar_dist_tests.dir/dist/empirical_test.cpp.o.d"
+  "CMakeFiles/xbar_dist_tests.dir/dist/rng_test.cpp.o"
+  "CMakeFiles/xbar_dist_tests.dir/dist/rng_test.cpp.o.d"
+  "CMakeFiles/xbar_dist_tests.dir/dist/service_test.cpp.o"
+  "CMakeFiles/xbar_dist_tests.dir/dist/service_test.cpp.o.d"
+  "xbar_dist_tests"
+  "xbar_dist_tests.pdb"
+  "xbar_dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/banyan_test.cpp.o"
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/banyan_test.cpp.o.d"
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/crossbar_test.cpp.o"
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/crossbar_test.cpp.o.d"
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/lee_model_test.cpp.o"
+  "CMakeFiles/xbar_fabric_tests.dir/fabric/lee_model_test.cpp.o.d"
+  "xbar_fabric_tests"
+  "xbar_fabric_tests.pdb"
+  "xbar_fabric_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_fabric_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

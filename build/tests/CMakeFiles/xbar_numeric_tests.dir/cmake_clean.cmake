@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/combinatorics_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/combinatorics_test.cpp.o.d"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/gradient_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/gradient_test.cpp.o.d"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/kahan_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/kahan_test.cpp.o.d"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/log_domain_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/log_domain_test.cpp.o.d"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/roots_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/roots_test.cpp.o.d"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/scaled_float_test.cpp.o"
+  "CMakeFiles/xbar_numeric_tests.dir/numeric/scaled_float_test.cpp.o.d"
+  "xbar_numeric_tests"
+  "xbar_numeric_tests.pdb"
+  "xbar_numeric_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_numeric_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_report_tests.dir/report/args_test.cpp.o"
+  "CMakeFiles/xbar_report_tests.dir/report/args_test.cpp.o.d"
+  "CMakeFiles/xbar_report_tests.dir/report/ascii_chart_test.cpp.o"
+  "CMakeFiles/xbar_report_tests.dir/report/ascii_chart_test.cpp.o.d"
+  "CMakeFiles/xbar_report_tests.dir/report/csv_test.cpp.o"
+  "CMakeFiles/xbar_report_tests.dir/report/csv_test.cpp.o.d"
+  "CMakeFiles/xbar_report_tests.dir/report/table_test.cpp.o"
+  "CMakeFiles/xbar_report_tests.dir/report/table_test.cpp.o.d"
+  "xbar_report_tests"
+  "xbar_report_tests.pdb"
+  "xbar_report_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_report_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

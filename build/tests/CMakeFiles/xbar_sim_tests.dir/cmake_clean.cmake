@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/xbar_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/xbar_sim_tests.dir/sim/replication_test.cpp.o"
+  "CMakeFiles/xbar_sim_tests.dir/sim/replication_test.cpp.o.d"
+  "CMakeFiles/xbar_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/xbar_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/xbar_sim_tests.dir/sim/stats_test.cpp.o"
+  "CMakeFiles/xbar_sim_tests.dir/sim/stats_test.cpp.o.d"
+  "CMakeFiles/xbar_sim_tests.dir/sim/traffic_pattern_test.cpp.o"
+  "CMakeFiles/xbar_sim_tests.dir/sim/traffic_pattern_test.cpp.o.d"
+  "xbar_sim_tests"
+  "xbar_sim_tests.pdb"
+  "xbar_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_workload_tests.dir/workload/bpp_source_test.cpp.o"
+  "CMakeFiles/xbar_workload_tests.dir/workload/bpp_source_test.cpp.o.d"
+  "CMakeFiles/xbar_workload_tests.dir/workload/calibrate_test.cpp.o"
+  "CMakeFiles/xbar_workload_tests.dir/workload/calibrate_test.cpp.o.d"
+  "CMakeFiles/xbar_workload_tests.dir/workload/scenario_test.cpp.o"
+  "CMakeFiles/xbar_workload_tests.dir/workload/scenario_test.cpp.o.d"
+  "xbar_workload_tests"
+  "xbar_workload_tests.pdb"
+  "xbar_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xbar_numeric_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_dist_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_fabric_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_config_tests[1]_include.cmake")
+include("/root/repo/build/tests/xbar_report_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar.dir/xbar_cli.cpp.o"
+  "CMakeFiles/xbar.dir/xbar_cli.cpp.o.d"
+  "xbar"
+  "xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
