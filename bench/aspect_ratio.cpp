@@ -10,9 +10,9 @@
 
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/table.hpp"
+#include "sweep/sweep.hpp"
 
 int main() {
   using namespace xbar;
@@ -32,12 +32,24 @@ int main() {
                        "utilization"});
   report::Series carried_series{"carried", {}, {}};
   report::Series blocking_series{"blocking", {}, {}};
+  // All splits of the port budget evaluated as one sweep.
+  std::vector<unsigned> splits;
+  std::vector<sweep::ScenarioPoint> points;
   for (unsigned n1 = 4; n1 <= kBudget - 4; n1 += 4) {
     const unsigned n2 = kBudget - n1;
-    const CrossbarModel model(
-        Dims{n1, n2},
-        {TrafficClass::bursty("t", kAlphaTuple * n2, 0.0)});
-    const auto measures = core::solve(model);
+    splits.push_back(n1);
+    points.push_back({CrossbarModel(Dims{n1, n2},
+                                    {TrafficClass::bursty(
+                                        "t", kAlphaTuple * n2, 0.0)}),
+                      std::nullopt});
+  }
+  sweep::SweepRunner runner;
+  const auto results = runner.run(points);
+
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const unsigned n1 = splits[i];
+    const unsigned n2 = kBudget - n1;
+    const auto& measures = results[i];
     table.add_row({report::Table::integer(n1), report::Table::integer(n2),
                    report::Table::integer(std::min(n1, n2)),
                    report::Table::num(measures.per_class[0].blocking, 5),

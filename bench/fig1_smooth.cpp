@@ -13,11 +13,11 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "report/args.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -44,12 +44,27 @@ int main(int argc, char** argv) {
     series[bi].label += report::Table::sci(betas[bi], 0);
   }
 
+  // The whole (size x beta) grid is one sweep: every point is independent,
+  // so the runner fans them out across the shared pool and hands back
+  // results in row-major point order regardless of thread count.
+  std::vector<sweep::ScenarioPoint> points;
+  points.reserve(sizes.size() * betas.size());
   for (const unsigned n : sizes) {
+    for (const double b : betas) {
+      points.push_back({workload::single_class_model(
+                            n, workload::kFigureAlphaTilde, b),
+                        std::nullopt});
+    }
+  }
+  sweep::SweepRunner runner;
+  const auto results = runner.run(points);
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const unsigned n = sizes[si];
     std::vector<std::string> row = {report::Table::integer(n)};
     for (std::size_t bi = 0; bi < betas.size(); ++bi) {
-      const auto model = workload::single_class_model(
-          n, workload::kFigureAlphaTilde, betas[bi]);
-      const double blocking = core::blocking_probability(model, 0);
+      const double blocking =
+          results[si * betas.size() + bi].per_class[0].blocking;
       row.push_back(report::Table::num(blocking, 6));
       series[bi].x.push_back(n);
       series[bi].y.push_back(blocking);

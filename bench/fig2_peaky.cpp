@@ -12,8 +12,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "dist/bpp.hpp"
+#include "sweep/sweep.hpp"
 #include "report/args.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/csv.hpp"
@@ -41,12 +41,26 @@ int main(int argc, char** argv) {
     series[bi].label = "b=" + report::Table::num(betas[bi], 2);
   }
 
+  // One sweep over the full (size x beta) grid through the shared pool;
+  // result order matches point order for any thread count.
+  std::vector<sweep::ScenarioPoint> points;
+  points.reserve(sizes.size() * betas.size());
   for (const unsigned n : sizes) {
+    for (const double b : betas) {
+      points.push_back({workload::single_class_model(
+                            n, workload::kFigureAlphaTilde, b),
+                        std::nullopt});
+    }
+  }
+  sweep::SweepRunner runner;
+  const auto results = runner.run(points);
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const unsigned n = sizes[si];
     std::vector<std::string> row = {report::Table::integer(n)};
     for (std::size_t bi = 0; bi < betas.size(); ++bi) {
-      const auto model = workload::single_class_model(
-          n, workload::kFigureAlphaTilde, betas[bi]);
-      const double blocking = core::blocking_probability(model, 0);
+      const double blocking =
+          results[si * betas.size() + bi].per_class[0].blocking;
       row.push_back(report::Table::num(blocking, 6));
       series[bi].x.push_back(n);
       series[bi].y.push_back(blocking);

@@ -11,11 +11,11 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "report/args.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -40,16 +40,32 @@ int main(int argc, char** argv) {
   series[2].label = "withP.0012";
   series[3].label = "withP.0036";
 
+  // Four points per size (two "alone", two "with Poisson"), fanned out as
+  // one sweep; blocking of the bursty class is per_class[0] when alone and
+  // per_class[1] in the two-class model.
+  std::vector<sweep::ScenarioPoint> points;
+  points.reserve(sizes.size() * 4);
   for (const unsigned n : sizes) {
-    std::vector<double> blocking;
     for (const double b2 : beta2s) {
-      const auto alone = workload::single_class_model(n, kAlpha2, b2);
-      blocking.push_back(core::blocking_probability(alone, 0));
+      points.push_back(
+          {workload::single_class_model(n, kAlpha2, b2), std::nullopt});
     }
     for (const double b2 : beta2s) {
-      const auto both = workload::two_class_model(n, kAlpha1, kAlpha2, b2);
-      blocking.push_back(core::solve(both).per_class[1].blocking);
+      points.push_back({workload::two_class_model(n, kAlpha1, kAlpha2, b2),
+                        std::nullopt});
     }
+  }
+  sweep::SweepRunner runner;
+  const auto results = runner.run(points);
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const unsigned n = sizes[si];
+    const std::vector<double> blocking = {
+        results[si * 4 + 0].per_class[0].blocking,
+        results[si * 4 + 1].per_class[0].blocking,
+        results[si * 4 + 2].per_class[1].blocking,
+        results[si * 4 + 3].per_class[1].blocking,
+    };
     const double delta_alone = blocking[1] - blocking[0];
     const double delta_with = blocking[3] - blocking[2];
     table.add_row({report::Table::integer(n),

@@ -9,6 +9,8 @@
 #include "core/algorithm2.hpp"
 #include "core/brute_force.hpp"
 #include "core/revenue.hpp"
+#include "core/solver.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -101,6 +103,108 @@ void BM_BruteForce_SizeSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BruteForce_SizeSweep)->DenseRange(2, 8, 2);
+
+// --- Sweep engine: the multi-point workload every figure driver runs. ---
+//
+// A 32-point load sweep at N = 128 (single bursty class, beta~ varying).
+// Three flavors:
+//   * Serial     — the pre-sweep-engine driver idiom: fresh core::solve
+//     (kAuto) per point, rebuilding the full grid every time.
+//   * RunnerCold — a fresh SweepRunner per sweep: the kFast kernel but no
+//     cache warm-up; what a one-shot CLI invocation pays.
+//   * RunnerWarm — one persistent SweepRunner re-evaluating the same grid:
+//     the serving/steady-state path, where every point is a cache hit.
+
+std::vector<sweep::ScenarioPoint> load_sweep_points(unsigned n,
+                                                    std::size_t count) {
+  std::vector<sweep::ScenarioPoint> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double beta = 0.0001 * static_cast<double>(i);
+    points.push_back(
+        {core::CrossbarModel(core::Dims::square(n),
+                             {core::TrafficClass::bursty("b", 0.0024, beta)}),
+         std::nullopt});
+  }
+  return points;
+}
+
+void BM_LoadSweep_Serial(benchmark::State& state) {
+  const auto points =
+      load_sweep_points(static_cast<unsigned>(state.range(0)), 32);
+  for (auto _ : state) {
+    for (const auto& p : points) {
+      benchmark::DoNotOptimize(core::solve(p.model));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_LoadSweep_Serial)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSweep_RunnerCold(benchmark::State& state) {
+  const auto points =
+      load_sweep_points(static_cast<unsigned>(state.range(0)), 32);
+  for (auto _ : state) {
+    sweep::SweepRunner runner;
+    benchmark::DoNotOptimize(runner.run(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_LoadSweep_RunnerCold)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSweep_RunnerWarm(benchmark::State& state) {
+  const auto points =
+      load_sweep_points(static_cast<unsigned>(state.range(0)), 32);
+  sweep::SweepOptions options;
+  options.cache_capacity = 64;  // hold the whole sweep
+  sweep::SweepRunner runner(options);
+  benchmark::DoNotOptimize(runner.run(points));  // warm the caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_LoadSweep_RunnerWarm)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Dimension sweep with fixed per-tuple rates: 32 sizes up to N = 128,
+// serial grid-per-size vs one shared max-N grid answered via solve_at.
+
+std::vector<core::Dims> dim_sweep_sizes() {
+  std::vector<core::Dims> sizes;
+  for (unsigned n = 4; n <= 128; n += 4) {
+    sizes.push_back(core::Dims::square(n));
+  }
+  return sizes;
+}
+
+void BM_DimSweep_Serial(benchmark::State& state) {
+  const core::CrossbarModel model(
+      core::Dims::square(128),
+      {core::TrafficClass::bursty("b", 0.0024, 0.0012)});
+  const auto sizes = dim_sweep_sizes();
+  for (auto _ : state) {
+    for (const auto d : sizes) {
+      benchmark::DoNotOptimize(
+          core::solve(model.with_dims_same_tuple_rates(d)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizes.size()));
+}
+BENCHMARK(BM_DimSweep_Serial)->Unit(benchmark::kMillisecond);
+
+void BM_DimSweep_GridReuse(benchmark::State& state) {
+  const core::CrossbarModel model(
+      core::Dims::square(128),
+      {core::TrafficClass::bursty("b", 0.0024, 0.0012)});
+  const auto sizes = dim_sweep_sizes();
+  for (auto _ : state) {
+    sweep::SweepRunner runner;  // cold each iteration: one grid build
+    benchmark::DoNotOptimize(runner.dimension_sweep(model, sizes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizes.size()));
+}
+BENCHMARK(BM_DimSweep_GridReuse)->Unit(benchmark::kMillisecond);
 
 void BM_ExactGradient(benchmark::State& state) {
   const auto model = workload::table2_model(

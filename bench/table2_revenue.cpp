@@ -11,9 +11,9 @@
 
 #include <iostream>
 
-#include "core/algorithm1.hpp"
 #include "core/revenue.hpp"
 #include "report/table.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/scenario.hpp"
 
 int main() {
@@ -21,28 +21,54 @@ int main() {
 
   std::cout << "=== Table 2: revenue analysis (w1 = 1.0, w2 = 1e-4) ===\n";
 
-  for (const auto& set : workload::table2_sets()) {
-    std::cout << "\n--- " << set.label << " ---\n";
+  // Each (parameter set, N) row is an independent unit of work — gradients
+  // plus measures — so the whole table fans out through the sweep engine's
+  // generic map.  The per-slot cache serves the measures solve.
+  struct Row {
+    double d_rho = 0.0;
+    std::string d_x_exact;
+    std::string d_x_fwd;
+    double blocking = 0.0;
+    double revenue = 0.0;
+  };
+  const auto sets = workload::table2_sets();
+  const auto sizes = workload::table2_sizes();
+  sweep::SweepRunner runner;
+  const auto rows = runner.map<Row>(
+      sets.size() * sizes.size(),
+      [&](std::size_t i, sweep::SolverCache& cache) {
+        const auto& set = sets[i / sizes.size()];
+        const unsigned n = sizes[i % sizes.size()];
+        const auto model = workload::table2_model(n, set);
+        const core::RevenueAnalyzer analyzer(model);
+        const auto measures = cache.eval(model);
+        Row row;
+        row.d_rho = analyzer.d_revenue_d_rho_exact(0);
+        row.d_x_exact = "-";
+        row.d_x_fwd = "-";
+        if (n >= 2) {
+          row.d_x_exact =
+              report::Table::sci(analyzer.d_revenue_d_x_exact(1), 5);
+          row.d_x_fwd = report::Table::sci(
+              analyzer.d_revenue_d_x_numeric(
+                  1, core::GradientMethod::kForwardDifference, 1e-4),
+              5);
+        }
+        row.blocking = measures.per_class[0].blocking;
+        row.revenue = measures.revenue;
+        return row;
+      });
+
+  for (std::size_t si = 0; si < sets.size(); ++si) {
+    std::cout << "\n--- " << sets[si].label << " ---\n";
     report::Table table({"N", "dW/drho1", "dW/dx2 (exact)", "dW/dx2 (fwd)",
                          "blocking", "W(N)"});
-    for (const unsigned n : workload::table2_sizes()) {
-      const auto model = workload::table2_model(n, set);
-      const core::RevenueAnalyzer analyzer(model);
-      const auto measures = core::Algorithm1Solver(model).solve();
-      const double d_rho = analyzer.d_revenue_d_rho_exact(0);
-      std::string d_x_exact = "-";
-      std::string d_x_fwd = "-";
-      if (n >= 2) {
-        d_x_exact = report::Table::sci(analyzer.d_revenue_d_x_exact(1), 5);
-        d_x_fwd = report::Table::sci(
-            analyzer.d_revenue_d_x_numeric(
-                1, core::GradientMethod::kForwardDifference, 1e-4),
-            5);
-      }
-      table.add_row({report::Table::integer(n), report::Table::num(d_rho, 6),
-                     d_x_exact, d_x_fwd,
-                     report::Table::num(measures.per_class[0].blocking, 6),
-                     report::Table::num(measures.revenue, 6)});
+    for (std::size_t ni = 0; ni < sizes.size(); ++ni) {
+      const Row& row = rows[si * sizes.size() + ni];
+      table.add_row({report::Table::integer(sizes[ni]),
+                     report::Table::num(row.d_rho, 6), row.d_x_exact,
+                     row.d_x_fwd, report::Table::num(row.blocking, 6),
+                     report::Table::num(row.revenue, 6)});
     }
     table.print(std::cout);
   }

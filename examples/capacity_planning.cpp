@@ -9,9 +9,12 @@
 
 #include <functional>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "report/args.hpp"
 #include "report/table.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/calibrate.hpp"
 
 int main(int argc, char** argv) {
@@ -38,13 +41,28 @@ int main(int argc, char** argv) {
       {"very peaky (b/a = 2)", [](unsigned) { return 2.0; }},
   };
 
-  for (const auto& shape : shapes) {
+  // Every (shape, N) calibration is an independent Brent inversion; fan the
+  // full grid out through the sweep engine and print afterwards.
+  const std::vector<unsigned> plan_sizes = {8u, 16u, 32u, 64u, 128u};
+  sweep::SweepRunner runner;
+  const auto calibrations =
+      runner.map<std::optional<workload::CalibrationResult>>(
+          shapes.size() * plan_sizes.size(),
+          [&](std::size_t i, sweep::SolverCache&) {
+            const auto& shape = shapes[i / plan_sizes.size()];
+            const unsigned n = plan_sizes[i % plan_sizes.size()];
+            return workload::calibrate_load(n, 1, target,
+                                            shape.beta_over_alpha(n));
+          });
+
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const auto& shape = shapes[si];
     std::cout << "--- " << shape.label << " ---\n";
     report::Table table({"N", "admissible alpha~", "carried circuits",
                          "per-port circuits", "iterations"});
-    for (const unsigned n : {8u, 16u, 32u, 64u, 128u}) {
-      const auto result =
-          workload::calibrate_load(n, 1, target, shape.beta_over_alpha(n));
+    for (std::size_t ni = 0; ni < plan_sizes.size(); ++ni) {
+      const unsigned n = plan_sizes[ni];
+      const auto& result = calibrations[si * plan_sizes.size() + ni];
       if (!result) {
         table.add_row({report::Table::integer(n), "unreachable", "-", "-",
                        "-"});

@@ -1,9 +1,11 @@
 #include "core/algorithm1.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "numeric/combinatorics.hpp"
@@ -14,13 +16,23 @@ namespace xbar::core {
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
 // Small adapter so one kernel serves ScaledFloat, long double and double.
 template <typename Real>
 struct RealOps {
   static Real from_double(double v) { return static_cast<Real>(v); }
   static double log_of(Real v) {
-    return std::log(static_cast<double>(v));
+    if (v == Real(0)) {
+      return kNegInf;
+    }
+    if (v < Real(0)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return static_cast<double>(std::log(v));
+  }
+  static bool positive_finite(Real v) {
+    return std::isfinite(v) && v > Real(0);
   }
 };
 
@@ -40,235 +52,331 @@ struct RealOps<num::ScaledFloat> {
     }
     return v.log();
   }
-};
-
-template <>
-struct RealOps<long double> {
-  static long double from_double(double v) { return v; }
-  static double log_of(long double v) {
-    if (v == 0.0L) {
-      return kNegInf;
-    }
-    if (v < 0.0L) {
-      return std::numeric_limits<double>::quiet_NaN();
-    }
-    return static_cast<double>(std::log(v));
+  static bool positive_finite(const num::ScaledFloat& v) {
+    return v.sign() > 0 && std::isfinite(v.mantissa());
   }
 };
 
-// Per-class constants hoisted out of the grid loops.
-struct ClassConst {
+// The classes, split once into the paper's R1 (Poisson) and R2 (bursty)
+// sets and sorted by bandwidth, with everything the inner loops need
+// hoisted out of the grid sweep.  The split removes the per-cell
+// `is_poisson` branch; the sort lets each row activate classes as a
+// monotone prefix (a class contributes only where min(n1, n2) >= a_r),
+// so the steady part of every row runs with no per-class guards at all.
+// `slot_of` maps an original class index to its V plane in the SoA block
+// (kNoSlot for Poisson classes).
+struct PoissonConst {
   unsigned a = 1;
-  double rho = 0.0;
-  double x = 0.0;  // beta/mu
-  bool poisson = true;
+  double coeff = 0.0;  // a * rho
 };
 
-std::vector<ClassConst> class_constants(const CrossbarModel& model) {
-  std::vector<ClassConst> cs;
-  cs.reserve(model.num_classes());
-  for (const auto& c : model.normalized_classes()) {
-    cs.push_back(ClassConst{c.bandwidth, c.rho(), c.x(), c.is_poisson()});
+struct BurstyConst {
+  unsigned a = 1;
+  double coeff = 0.0;   // a * rho
+  double x = 0.0;       // beta/mu
+  std::size_t cls = 0;  // original class index
+};
+
+struct ClassPartition {
+  std::vector<PoissonConst> poisson;  // sorted by a
+  std::vector<BurstyConst> bursty;    // sorted by a
+  std::vector<std::size_t> slot_of;   // per original class index
+  unsigned max_a = 1;
+};
+
+ClassPartition partition_classes(const CrossbarModel& model) {
+  ClassPartition p;
+  p.slot_of.assign(model.num_classes(), kNoSlot);
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const NormalizedClass& c = model.normalized(r);
+    const double coeff = static_cast<double>(c.bandwidth) * c.rho();
+    if (c.is_poisson()) {
+      p.poisson.push_back(PoissonConst{c.bandwidth, coeff});
+    } else {
+      p.bursty.push_back(BurstyConst{c.bandwidth, coeff, c.x(), r});
+    }
+    p.max_a = std::max(p.max_a, c.bandwidth);
   }
-  return cs;
+  const auto by_a = [](const auto& l, const auto& r) { return l.a < r.a; };
+  std::stable_sort(p.poisson.begin(), p.poisson.end(), by_a);
+  std::stable_sort(p.bursty.begin(), p.bursty.end(), by_a);
+  for (std::size_t b = 0; b < p.bursty.size(); ++b) {
+    p.slot_of[p.bursty[b].cls] = b;
+  }
+  return p;
 }
 
-// Straightforward kernel: computes Q (and V for bursty classes) over the
-// whole grid in the chosen Real arithmetic, then snapshots natural logs.
+// Raw recurrence output.  Logs are NOT materialized here: a full-plane log
+// snapshot costs one log() per cell — comparable to the recurrence itself
+// for the double backends — while measure queries only ever touch a handful
+// of cells.  The solver keeps the raw grids and takes logs on demand.
 template <typename Real>
-void build_grid(const CrossbarModel& model, std::vector<double>& log_q,
-                std::vector<std::vector<double>>& log_v) {
+struct Grids {
+  using real_type = Real;
+  std::vector<Real> q;  // (N1+1) x (N2+1), row-major in n2
+  std::vector<Real> v;  // bursty V planes, slot-major SoA
+};
+
+struct DynGrids {
+  std::vector<double> q;
+  std::vector<double> v;
+  std::vector<double> row_log_scale;  // stored = true * exp(scale)
+};
+
+using GridStore = std::variant<Grids<num::ScaledFloat>, Grids<long double>,
+                               Grids<double>, DynGrids>;
+
+// Straightforward kernel: computes Q (and V for bursty classes) over the
+// whole grid in the chosen Real arithmetic.  The bursty V grids live in one
+// contiguous slot-major SoA block so the per-cell work walks dense memory,
+// and each row is split into a guarded prologue (n1 < largest active
+// bandwidth) and a guard-free steady loop.
+template <typename Real>
+Grids<Real> build_grid(const CrossbarModel& model,
+                       const ClassPartition& part) {
   using Ops = RealOps<Real>;
   const unsigned w = model.dims().n1 + 1;
   const unsigned h = model.dims().n2 + 1;
-  const auto classes = class_constants(model);
-  const std::size_t R = classes.size();
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t B = part.bursty.size();
+  const std::size_t P = part.poisson.size();
 
-  std::vector<Real> q(static_cast<std::size_t>(w) * h, Ops::from_double(0.0));
-  std::vector<std::vector<Real>> v(R);
-  for (std::size_t r = 0; r < R; ++r) {
-    if (!classes[r].poisson) {
-      v[r].assign(static_cast<std::size_t>(w) * h, Ops::from_double(0.0));
-    }
+  Grids<Real> g;
+  g.q.assign(plane, Ops::from_double(0.0));
+  g.v.assign(B * plane, Ops::from_double(0.0));
+  std::vector<Real>& q = g.q;
+  std::vector<Real>& v = g.v;
+
+  // Per-class constants and small-integer divisors converted to Real
+  // exactly once (ScaledFloat construction normalizes via frexp — far too
+  // expensive per cell).
+  std::vector<Real> pcoeff(P, Ops::from_double(0.0));
+  for (std::size_t p = 0; p < P; ++p) {
+    pcoeff[p] = Ops::from_double(part.poisson[p].coeff);
   }
-  const auto idx = [w](unsigned n1, unsigned n2) {
-    return static_cast<std::size_t>(n2) * w + n1;
+  std::vector<Real> bcoeff(B, Ops::from_double(0.0));
+  std::vector<Real> bx(B, Ops::from_double(0.0));
+  for (std::size_t b = 0; b < B; ++b) {
+    bcoeff[b] = Ops::from_double(part.bursty[b].coeff);
+    bx[b] = Ops::from_double(part.bursty[b].x);
+  }
+  std::vector<Real> rint(std::max(w, h), Ops::from_double(0.0));
+  for (unsigned k = 0; k < rint.size(); ++k) {
+    rint[k] = Ops::from_double(k);
+  }
+
+  // One interior cell (n1 >= 1, n2 >= 1): V recursions for the active
+  // bursty prefix, then the Q recurrence over the active class prefixes.
+  // `guarded` keeps the n1 >= a checks; the steady-state calls drop them.
+  const auto cell = [&](std::size_t i, unsigned n1, std::size_t np,
+                        std::size_t nb, bool guarded) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (guarded && n1 < a) {
+        continue;
+      }
+      // idx(n1-a, n2-a) == i - a*(w+1): the diagonal back-reference.
+      const std::size_t back = i - static_cast<std::size_t>(a) * (w + 1);
+      Real* vb = v.data() + b * plane;
+      vb[i] = q[back] + bx[b] * vb[back];
+    }
+    Real sum = q[i - 1];
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = part.poisson[p].a;
+      if (guarded && n1 < a) {
+        continue;
+      }
+      sum += pcoeff[p] * q[i - static_cast<std::size_t>(a) * (w + 1)];
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (guarded && n1 < part.bursty[b].a) {
+        continue;
+      }
+      sum += bcoeff[b] * v[b * plane + i];
+    }
+    q[i] = sum / rint[n1];
   };
 
-  q[idx(0, 0)] = Ops::from_double(1.0);
-  for (unsigned n2 = 0; n2 < h; ++n2) {
-    for (unsigned n1 = 0; n1 < w; ++n1) {
-      // V(n, r) = Q(n - a I) + x_r V(n - a I, r); zero if n - a I is
-      // off-grid.  Needed before Q(n) because Q(n)'s bursty term uses V(n).
-      for (std::size_t r = 0; r < R; ++r) {
-        if (classes[r].poisson) {
-          continue;
-        }
-        const unsigned a = classes[r].a;
-        if (n1 >= a && n2 >= a) {
-          const std::size_t back = idx(n1 - a, n2 - a);
-          v[r][idx(n1, n2)] =
-              q[back] + Ops::from_double(classes[r].x) * v[r][back];
-        }
-      }
-      if (n1 == 0 && n2 == 0) {
-        continue;  // Q(0,0) already set
-      }
-      // Advance along i = 1 when possible, else along i = 2; the recurrence
-      // is consistent in both directions.
-      Real sum = (n1 > 0) ? q[idx(n1 - 1, n2)] : q[idx(n1, n2 - 1)];
-      const double divisor = (n1 > 0) ? n1 : n2;
-      for (std::size_t r = 0; r < R; ++r) {
-        const unsigned a = classes[r].a;
-        if (n1 < a || n2 < a) {
-          continue;
-        }
-        const Real coeff = Ops::from_double(a * classes[r].rho);
-        if (classes[r].poisson) {
-          sum += coeff * q[idx(n1 - a, n2 - a)];
-        } else {
-          sum += coeff * v[r][idx(n1, n2)];
-        }
-      }
-      q[idx(n1, n2)] = sum / Ops::from_double(divisor);
+  q[0] = Ops::from_double(1.0);
+  // Row 0 is the pure factorial row: Q(n1, 0) = 1/n1! (no class fits).
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    q[n1] = q[n1 - 1] / rint[n1];
+  }
+  std::size_t np = 0;  // active prefix of part.poisson (a <= n2)
+  std::size_t nb = 0;  // active prefix of part.bursty
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && part.poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && part.bursty[nb].a <= n2) {
+      ++nb;
+    }
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    // Column 0: no class fits (a >= 1 > n1), so Q(0, n2) = Q(0, n2-1)/n2.
+    q[row] = q[row - w] / rint[n2];
+    // Largest active bandwidth decides where the guards become dead.
+    unsigned steady = 1;
+    if (np > 0) {
+      steady = std::max(steady, part.poisson[np - 1].a);
+    }
+    if (nb > 0) {
+      steady = std::max(steady, part.bursty[nb - 1].a);
+    }
+    const unsigned split = std::min(steady, w);
+    for (unsigned n1 = 1; n1 < split; ++n1) {
+      cell(row + n1, n1, np, nb, true);
+    }
+    for (unsigned n1 = split; n1 < w; ++n1) {
+      cell(row + n1, n1, np, nb, false);
     }
   }
-
-  // Snapshot logs for measure queries.
-  log_q.resize(q.size());
-  for (std::size_t i = 0; i < q.size(); ++i) {
-    log_q[i] = Ops::log_of(q[i]);
-  }
-  log_v.assign(R, {});
-  for (std::size_t r = 0; r < R; ++r) {
-    if (classes[r].poisson) {
-      continue;
-    }
-    log_v[r].resize(v[r].size());
-    for (std::size_t i = 0; i < v[r].size(); ++i) {
-      log_v[r][i] = Ops::log_of(v[r][i]);
-    }
-  }
+  return g;
 }
 
 // The paper's §6 backend: IEEE double with explicit dynamic scaling.  Each
 // row carries a cumulative log scale; rows are renormalized whenever their
 // largest entry leaves [scale_low, scale_high].  References to earlier rows
-// are adjusted by the scale difference, and the log snapshot subtracts the
-// row scale so measures are unaffected — the paper's observation that
-// "the scaling factor does not affect the performance measure results".
-void build_grid_dynamic_scaling(const CrossbarModel& model,
-                                const Algorithm1Options& opts,
-                                std::vector<double>& log_q,
-                                std::vector<std::vector<double>>& log_v,
-                                unsigned& scaling_events) {
+// are adjusted by the scale difference, and the on-demand log accessor
+// subtracts the row scale so measures are unaffected — the paper's
+// observation that "the scaling factor does not affect the performance
+// measure results".
+//
+// The cross-row adjustment factors exp(scale[n2] - scale[n2 - d]) are
+// computed once per row for every back-reference distance d and folded into
+// the running omega on each rescale, so the O(N1 N2 R) inner loop performs
+// no exp() calls at all.  Divisions by n1 are replaced with multiplications
+// by a precomputed reciprocal table: the division sat on the loop-carried
+// Q(n1-1, n2) dependency chain and dominated the fill latency.
+DynGrids build_grid_dynamic_scaling(const CrossbarModel& model,
+                                    const Algorithm1Options& opts,
+                                    const ClassPartition& part,
+                                    unsigned& scaling_events) {
   const unsigned w = model.dims().n1 + 1;
   const unsigned h = model.dims().n2 + 1;
-  const auto classes = class_constants(model);
-  const std::size_t R = classes.size();
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t B = part.bursty.size();
+  const std::size_t P = part.poisson.size();
 
-  std::vector<double> q(static_cast<std::size_t>(w) * h, 0.0);
-  std::vector<std::vector<double>> v(R);
-  for (std::size_t r = 0; r < R; ++r) {
-    if (!classes[r].poisson) {
-      v[r].assign(static_cast<std::size_t>(w) * h, 0.0);
-    }
+  DynGrids g;
+  g.q.assign(plane, 0.0);
+  g.v.assign(B * plane, 0.0);
+  g.row_log_scale.assign(h, 0.0);
+  std::vector<double>& q = g.q;
+  std::vector<double>& v = g.v;
+
+  std::vector<double> inv(std::max(w, h), 0.0);
+  for (unsigned k = 1; k < inv.size(); ++k) {
+    inv[k] = 1.0 / k;
   }
-  std::vector<double> row_log_scale(h, 0.0);  // stored = true * exp(scale)
-  const auto idx = [w](unsigned n1, unsigned n2) {
-    return static_cast<std::size_t>(n2) * w + n1;
-  };
 
-  q[idx(0, 0)] = 1.0;
-  for (unsigned n2 = 0; n2 < h; ++n2) {
-    if (n2 > 0) {
-      row_log_scale[n2] = row_log_scale[n2 - 1];
-    }
-    for (unsigned n1 = 0; n1 < w; ++n1) {
-      for (std::size_t r = 0; r < R; ++r) {
-        if (classes[r].poisson) {
-          continue;
-        }
-        const unsigned a = classes[r].a;
-        if (n1 >= a && n2 >= a) {
-          // Bring row (n2 - a) values into this row's scale.
-          const double adjust =
-              std::exp(row_log_scale[n2] - row_log_scale[n2 - a]);
-          const std::size_t back = idx(n1 - a, n2 - a);
-          v[r][idx(n1, n2)] =
-              adjust * (q[back] + classes[r].x * v[r][back]);
-        }
-      }
-      if (n1 == 0 && n2 == 0) {
+  // adjust[d] caches exp(row_log_scale[n2] - row_log_scale[n2 - d]) for the
+  // row being filled, for every back-reference distance d (class bandwidths
+  // plus 1 for the column-0 inherit).  A rescale by omega folds omega into
+  // each cached factor instead of re-exponentiating.
+  const unsigned max_a = part.max_a;
+  std::vector<double> adjust(static_cast<std::size_t>(max_a) + 1, 1.0);
+
+  const auto cell = [&](std::size_t i, unsigned n1, std::size_t np,
+                        std::size_t nb, bool guarded) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (guarded && n1 < a) {
         continue;
       }
-      double sum;
-      if (n1 > 0) {
-        sum = q[idx(n1 - 1, n2)];
-      } else {
-        sum = q[idx(0, n2 - 1)] *
-              std::exp(row_log_scale[n2] - row_log_scale[n2 - 1]);
+      // Bring row (n2 - a) values into this row's scale.
+      const std::size_t back = i - static_cast<std::size_t>(a) * (w + 1);
+      double* vb = v.data() + b * plane;
+      vb[i] = adjust[a] * (q[back] + part.bursty[b].x * vb[back]);
+    }
+    double sum = q[i - 1];
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = part.poisson[p].a;
+      if (guarded && n1 < a) {
+        continue;
       }
-      const double divisor = (n1 > 0) ? n1 : n2;
-      for (std::size_t r = 0; r < R; ++r) {
-        const unsigned a = classes[r].a;
-        if (n1 < a || n2 < a) {
-          continue;
-        }
-        const double coeff = static_cast<double>(a) * classes[r].rho;
-        if (classes[r].poisson) {
-          const double adjust =
-              std::exp(row_log_scale[n2] - row_log_scale[n2 - a]);
-          sum += coeff * adjust * q[idx(n1 - a, n2 - a)];
-        } else {
-          sum += coeff * v[r][idx(n1, n2)];  // already in this row's scale
-        }
+      sum += part.poisson[p].coeff * adjust[a] *
+             q[i - static_cast<std::size_t>(a) * (w + 1)];
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (guarded && n1 < part.bursty[b].a) {
+        continue;
       }
-      const double qval = sum / divisor;
-      q[idx(n1, n2)] = qval;
+      sum += part.bursty[b].coeff * v[b * plane + i];  // row's own scale
+    }
+    return sum * inv[n1];
+  };
 
-      // Dynamic scaling (paper §6): Q spans hundreds of decades even within
-      // a single row (Q ~ 1/(n1! n2!)), so the check runs per cell.  When
-      // the newest value leaves [scale_low, scale_high], multiply the
-      // already-filled prefix of this row by omega and fold omega into the
-      // row's scale; references to earlier rows adjust through the
-      // row_log_scale difference.
-      if (qval > 0.0 &&
-          (qval > opts.scale_high || qval < opts.scale_low)) {
-        const double omega = 1.0 / qval;
-        for (unsigned m1 = 0; m1 <= n1; ++m1) {
-          q[idx(m1, n2)] *= omega;
-          for (std::size_t r = 0; r < R; ++r) {
-            if (!classes[r].poisson) {
-              v[r][idx(m1, n2)] *= omega;
-            }
-          }
-        }
-        row_log_scale[n2] += std::log(omega);
-        ++scaling_events;
+  // Dynamic scaling (paper §6): Q spans hundreds of decades even within a
+  // single row (Q ~ 1/(n1! n2!)), so the check runs per cell.  When the
+  // newest value leaves [scale_low, scale_high], multiply the already
+  // filled prefix of this row by omega and fold omega into the row's scale
+  // and the cached cross-row factors.
+  const auto rescale_if_needed = [&](unsigned n2, unsigned n1, double qval) {
+    if (!(qval > 0.0) ||
+        (qval <= opts.scale_high && qval >= opts.scale_low)) {
+      return;
+    }
+    const double omega = 1.0 / qval;
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    for (std::size_t m = row; m <= row + n1; ++m) {
+      q[m] *= omega;
+    }
+    for (std::size_t b = 0; b < B; ++b) {
+      double* vb = v.data() + b * plane;
+      for (std::size_t m = row; m <= row + n1; ++m) {
+        vb[m] *= omega;
       }
     }
-  }
+    g.row_log_scale[n2] += std::log(omega);
+    for (unsigned d = 1; d <= max_a; ++d) {
+      adjust[d] *= omega;
+    }
+    ++scaling_events;
+  };
 
-  log_q.resize(q.size());
-  log_v.assign(R, {});
-  for (std::size_t r = 0; r < R; ++r) {
-    if (!classes[r].poisson) {
-      log_v[r].resize(v[r].size());
+  q[0] = 1.0;
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    q[n1] = q[n1 - 1] * inv[n1];
+    rescale_if_needed(0, n1, q[n1]);
+  }
+  std::size_t np = 0;
+  std::size_t nb = 0;
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && part.poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && part.bursty[nb].a <= n2) {
+      ++nb;
+    }
+    g.row_log_scale[n2] = g.row_log_scale[n2 - 1];
+    for (unsigned d = 1; d <= max_a; ++d) {
+      adjust[d] = d <= n2 ? std::exp(g.row_log_scale[n2] -
+                                     g.row_log_scale[n2 - d])
+                          : 1.0;
+    }
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    q[row] = q[row - w] * adjust[1] * inv[n2];
+    rescale_if_needed(n2, 0, q[row]);
+    unsigned steady = 1;
+    if (np > 0) {
+      steady = std::max(steady, part.poisson[np - 1].a);
+    }
+    if (nb > 0) {
+      steady = std::max(steady, part.bursty[nb - 1].a);
+    }
+    const unsigned split = std::min(steady, w);
+    for (unsigned n1 = 1; n1 < split; ++n1) {
+      const double qval = cell(row + n1, n1, np, nb, true);
+      q[row + n1] = qval;
+      rescale_if_needed(n2, n1, qval);
+    }
+    for (unsigned n1 = split; n1 < w; ++n1) {
+      const double qval = cell(row + n1, n1, np, nb, false);
+      q[row + n1] = qval;
+      rescale_if_needed(n2, n1, qval);
     }
   }
-  for (unsigned n2 = 0; n2 < h; ++n2) {
-    for (unsigned n1 = 0; n1 < w; ++n1) {
-      const std::size_t i = idx(n1, n2);
-      log_q[i] = std::log(q[i]) - row_log_scale[n2];
-      for (std::size_t r = 0; r < R; ++r) {
-        if (!classes[r].poisson) {
-          log_v[r][i] =
-              v[r][i] > 0.0 ? std::log(v[r][i]) - row_log_scale[n2] : kNegInf;
-        }
-      }
-    }
-  }
+  return g;
 }
 
 }  // namespace
@@ -276,45 +384,78 @@ void build_grid_dynamic_scaling(const CrossbarModel& model,
 struct Algorithm1Solver::Impl {
   CrossbarModel model;
   Algorithm1Options options;
-  std::vector<double> log_q;                 // (N1+1) x (N2+1), row-major n2
-  std::vector<std::vector<double>> log_v;    // per class; empty for Poisson
+  GridStore grids;
+  std::vector<std::size_t> bursty_slot;  // per class; kNoSlot for Poisson
   unsigned scaling_events = 0;
   bool degenerate = false;
 
   Impl(CrossbarModel m, Algorithm1Options o)
       : model(std::move(m)), options(o) {
+    const ClassPartition part = partition_classes(model);
+    bursty_slot = part.slot_of;
     switch (options.backend) {
       case Algorithm1Backend::kScaledFloat:
-        build_grid<num::ScaledFloat>(model, log_q, log_v);
+        grids = build_grid<num::ScaledFloat>(model, part);
         break;
       case Algorithm1Backend::kLongDouble:
-        build_grid<long double>(model, log_q, log_v);
+        grids = build_grid<long double>(model, part);
         break;
       case Algorithm1Backend::kDoubleRaw:
-        build_grid<double>(model, log_q, log_v);
+        grids = build_grid<double>(model, part);
         break;
       case Algorithm1Backend::kDoubleDynamicScaling:
-        build_grid_dynamic_scaling(model, options, log_q, log_v,
-                                   scaling_events);
+        grids = build_grid_dynamic_scaling(model, options, part,
+                                           scaling_events);
         break;
     }
     // Q(n) > 0 for every grid cell (the empty state always contributes
-    // 1/(n1! n2!)), so any non-finite log flags arithmetic breakdown.
-    for (const double lq : log_q) {
-      if (!std::isfinite(lq)) {
-        degenerate = true;
-        break;
-      }
-    }
+    // 1/(n1! n2!)), so any non-positive or non-finite entry flags
+    // arithmetic breakdown.  The scan is a comparison per cell, not a log.
+    degenerate = std::visit(
+        [](const auto& g) {
+          using G = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<G, DynGrids>) {
+            for (const double qv : g.q) {
+              if (!(qv > 0.0) || !std::isfinite(qv)) {
+                return true;
+              }
+            }
+          } else {
+            using Ops = RealOps<typename G::real_type>;
+            for (const auto& qv : g.q) {
+              if (!Ops::positive_finite(qv)) {
+                return true;
+              }
+            }
+          }
+          return false;
+        },
+        grids);
+  }
+
+  [[nodiscard]] std::size_t plane() const {
+    return static_cast<std::size_t>(model.dims().n1 + 1) *
+           (model.dims().n2 + 1);
   }
 
   [[nodiscard]] std::size_t index(unsigned n1, unsigned n2) const {
     return static_cast<std::size_t>(n2) * (model.dims().n1 + 1) + n1;
   }
 
+  // ln Q(at), computed on demand from the raw grid.
   [[nodiscard]] double lq(Dims at) const {
     assert(at.n1 <= model.dims().n1 && at.n2 <= model.dims().n2);
-    return log_q[index(at.n1, at.n2)];
+    const std::size_t i = index(at.n1, at.n2);
+    return std::visit(
+        [&](const auto& g) -> double {
+          using G = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<G, DynGrids>) {
+            return std::log(g.q[i]) - g.row_log_scale[at.n2];
+          } else {
+            return RealOps<typename G::real_type>::log_of(g.q[i]);
+          }
+        },
+        grids);
   }
 
   // ln V(at, r); -inf when V == 0 (subsystem too small).
@@ -323,7 +464,19 @@ struct Algorithm1Solver::Impl {
     if (at.n1 < a || at.n2 < a) {
       return kNegInf;
     }
-    return log_v[r][index(at.n1, at.n2)];
+    const std::size_t i = bursty_slot[r] * plane() + index(at.n1, at.n2);
+    return std::visit(
+        [&](const auto& g) -> double {
+          using G = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<G, DynGrids>) {
+            const double vv = g.v[i];
+            return vv > 0.0 ? std::log(vv) - g.row_log_scale[at.n2]
+                            : kNegInf;
+          } else {
+            return RealOps<typename G::real_type>::log_of(g.v[i]);
+          }
+        },
+        grids);
   }
 
   [[nodiscard]] double non_blocking_at(std::size_t r, Dims at) const {

@@ -1,16 +1,20 @@
 // Discrete-event calendar.
 //
 // A binary-heap future-event list with O(log n) schedule/pop and O(1)
-// cancellation (lazy: cancelled entries are dropped when they surface).
-// Ties in time break by schedule order, making runs deterministic.
+// cancellation (lazy: cancelled entries are dropped when they surface, and
+// the heap is compacted whenever dead entries outnumber live ones, so
+// memory stays proportional to the live event count even under heavy
+// schedule/cancel churn).  Ties in time break by schedule order, making
+// runs deterministic.
 
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace xbar::sim {
@@ -28,16 +32,25 @@ class EventQueue {
   /// Schedule `payload` at absolute `time`; returns a cancellable handle.
   EventId schedule(double time, Payload payload) {
     const EventId id{next_id_++};
-    heap_.push(Entry{time, id.value, std::move(payload)});
-    ++live_;
+    heap_.push_back(Entry{time, id.value, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end());
+    pending_.insert(id.value);
     return id;
   }
 
   /// Cancel a previously scheduled event.  Cancelling an already-fired or
-  /// already-cancelled event is harmless (idempotent).
+  /// already-cancelled event is harmless (idempotent): only ids still in
+  /// the pending set take effect, so stale handles can never corrupt the
+  /// live count or accumulate in the tombstone set.
   void cancel(EventId id) {
-    if (cancelled_.insert(id.value).second && live_ > 0) {
-      --live_;
+    if (pending_.erase(id.value) == 0) {
+      return;
+    }
+    cancelled_.insert(id.value);
+    // Compact once dead entries outnumber live ones; amortized O(1) per
+    // cancellation, and bounds both the heap and the tombstone set.
+    if (cancelled_.size() > pending_.size() && cancelled_.size() > 16) {
+      compact();
     }
   }
 
@@ -47,7 +60,7 @@ class EventQueue {
     if (heap_.empty()) {
       return std::nullopt;
     }
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Pop the earliest pending event.
@@ -56,16 +69,23 @@ class EventQueue {
     if (heap_.empty()) {
       return std::nullopt;
     }
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    --live_;
+    std::pop_heap(heap_.begin(), heap_.end());
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(top.id);
     return std::make_pair(top.time, std::move(top.payload));
   }
 
   /// Number of live (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
 
-  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Cancelled entries still occupying heap slots (test/diagnostic hook;
+  /// bounded above by the live event count plus the compaction floor).
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
+    return cancelled_.size();
+  }
 
  private:
   struct Entry {
@@ -73,7 +93,7 @@ class EventQueue {
     std::uint64_t id;
     Payload payload;
 
-    // Min-heap via std::priority_queue's max-heap + inverted comparison;
+    // Min-heap via the standard max-heap algorithms + inverted comparison;
     // id tiebreak keeps FIFO order for simultaneous events.
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.time != b.time) {
@@ -85,19 +105,29 @@ class EventQueue {
 
   void skip_cancelled() {
     while (!heap_.empty()) {
-      const auto it = cancelled_.find(heap_.top().id);
+      const auto it = cancelled_.find(heap_.front().id);
       if (it == cancelled_.end()) {
         return;
       }
       cancelled_.erase(it);
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
     }
   }
 
-  std::priority_queue<Entry> heap_;
+  // Drop every tombstoned entry and re-heapify: O(live + dead), paid only
+  // after at least as many cancellations, so churn stays amortized O(1).
+  void compact() {
+    std::erase_if(heap_,
+                  [&](const Entry& e) { return cancelled_.contains(e.id); });
+    std::make_heap(heap_.begin(), heap_.end());
+    cancelled_.clear();
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_id_ = 1;
-  std::size_t live_ = 0;
 };
 
 }  // namespace xbar::sim

@@ -1,8 +1,7 @@
 #include "sim/replication.hpp"
 
-#include <thread>
-
 #include "fabric/crossbar.hpp"
+#include "sweep/thread_pool.hpp"
 
 namespace xbar::sim {
 
@@ -26,43 +25,25 @@ ReplicationResult run_replications(const core::CrossbarModel& model,
   const std::size_t reps = config.replications;
   std::vector<SimulationResult> results(reps);
 
-  unsigned threads = config.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, reps));
-
-  // Static partition of replications over worker threads; each replication
-  // owns its fabric and RNG stream, so there is no shared mutable state.
-  const auto worker = [&](unsigned tid) {
-    for (std::size_t rep = tid; rep < reps; rep += threads) {
-      auto fabric = factory(rep);
-      SimulationConfig sim_cfg = config.sim;
-      sim_cfg.seed = config.sim.seed + 0x9E3779B9u * (rep + 1);
-      Simulator simulator(model, *fabric, sim_cfg);
-      if (config.service_factory) {
-        for (std::size_t r = 0; r < R; ++r) {
-          simulator.set_service_distribution(
-              r, config.service_factory(r, model.normalized(r).mu));
+  // Each replication owns its fabric and RNG stream (seed derived from the
+  // replication index, never from the thread), and writes only its own
+  // result slot — so the outcome is identical for every thread count.  The
+  // shared pool replaces the old hand-rolled std::thread spawning.
+  sweep::ThreadPool::shared().parallel_for(
+      reps, config.threads, [&](std::size_t rep, unsigned) {
+        auto fabric = factory(rep);
+        SimulationConfig sim_cfg = config.sim;
+        sim_cfg.seed =
+            config.sim.seed + 0x9E3779B9u * (static_cast<unsigned>(rep) + 1);
+        Simulator simulator(model, *fabric, sim_cfg);
+        if (config.service_factory) {
+          for (std::size_t r = 0; r < R; ++r) {
+            simulator.set_service_distribution(
+                r, config.service_factory(r, model.normalized(r).mu));
+          }
         }
-      }
-      results[rep] = simulator.run();
-    }
-  };
-
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned tid = 0; tid < threads; ++tid) {
-      pool.emplace_back(worker, tid);
-    }
-    for (auto& t : pool) {
-      t.join();
-    }
-  }
+        results[rep] = simulator.run();
+      });
 
   ReplicationResult agg;
   agg.replications = reps;

@@ -1,0 +1,229 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm2.hpp"
+
+namespace xbar::sweep {
+
+// Resolved solver choice for one model.  kFast's degeneracy fallback is a
+// property of the *grid*, not the key: both outcomes build from the same
+// entry, so the key only records the user-visible mode.  (Named-namespace
+// scope, not anonymous: CacheKey embeds it and has external linkage.)
+enum class Mode : std::uint8_t {
+  kAlg1Scaled,
+  kAlg1Fast,  // dynamic-scaling double, ScaledFloat on degeneracy
+  kAlg2,
+};
+
+namespace {
+
+Mode resolve(const core::CrossbarModel& model, SweepSolver solver) {
+  switch (solver) {
+    case SweepSolver::kFast:
+      return Mode::kAlg1Fast;
+    case SweepSolver::kAlgorithm1:
+      return Mode::kAlg1Scaled;
+    case SweepSolver::kAlgorithm2:
+      return Mode::kAlg2;
+    case SweepSolver::kAuto:
+      break;
+  }
+  // Paper §5: Algorithm 1 for small crossbars, Algorithm 2 beyond.
+  return model.dims().cap() <= 32 ? Mode::kAlg1Scaled : Mode::kAlg2;
+}
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  // 64-bit FNV-1a step over an 8-byte lane.
+  h ^= v;
+  return h * 0x100000001B3ull;
+}
+
+std::uint64_t hash_double(std::uint64_t h, double v) {
+  return hash_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+// The full cache key: exact, so a fingerprint collision can never alias
+// two different models.
+struct CacheKey {
+  core::Dims dims;
+  Mode mode = Mode::kAlg1Scaled;
+  std::vector<core::NormalizedClass> classes;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    if (a.dims != b.dims || a.mode != b.mode ||
+        a.classes.size() != b.classes.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a.classes.size(); ++r) {
+      const core::NormalizedClass& x = a.classes[r];
+      const core::NormalizedClass& y = b.classes[r];
+      if (x.bandwidth != y.bandwidth || x.alpha != y.alpha ||
+          x.beta != y.beta || x.mu != y.mu || x.weight != y.weight) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+namespace {
+
+CacheKey make_key(const core::CrossbarModel& model, Mode mode) {
+  CacheKey key;
+  key.dims = model.dims();
+  key.mode = mode;
+  key.classes.assign(model.normalized_classes().begin(),
+                     model.normalized_classes().end());
+  return key;
+}
+
+std::uint64_t fingerprint(const CacheKey& key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  h = hash_mix(h, key.dims.n1);
+  h = hash_mix(h, key.dims.n2);
+  h = hash_mix(h, static_cast<std::uint64_t>(key.mode));
+  for (const core::NormalizedClass& c : key.classes) {
+    h = hash_mix(h, c.bandwidth);
+    h = hash_double(h, c.alpha);
+    h = hash_double(h, c.beta);
+    h = hash_double(h, c.mu);
+    h = hash_double(h, c.weight);
+  }
+  return h;
+}
+
+}  // namespace
+
+struct SolverCache::Entry {
+  std::uint64_t fp = 0;
+  CacheKey key;
+  std::unique_ptr<core::Algorithm1Solver> alg1;
+  std::unique_ptr<core::Algorithm2Solver> alg2;
+};
+
+SolverCache::SolverCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+SolverCache::~SolverCache() = default;
+SolverCache::SolverCache(SolverCache&&) noexcept = default;
+SolverCache& SolverCache::operator=(SolverCache&&) noexcept = default;
+
+SolverCache::Entry& SolverCache::lookup(const core::CrossbarModel& model,
+                                        SweepSolver solver) {
+  const Mode mode = resolve(model, solver);
+  CacheKey key = make_key(model, mode);
+  const std::uint64_t fp = fingerprint(key);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fp == fp && entries_[i].key == key) {
+      ++hits_;
+      // Move-to-front keeps the scan short and the eviction victim last.
+      if (i != 0) {
+        std::rotate(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(i),
+                    entries_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      }
+      return entries_.front();
+    }
+  }
+  ++misses_;
+  Entry entry;
+  entry.fp = fp;
+  entry.key = std::move(key);
+  switch (mode) {
+    case Mode::kAlg1Scaled:
+      entry.alg1 = std::make_unique<core::Algorithm1Solver>(model);
+      break;
+    case Mode::kAlg1Fast: {
+      core::Algorithm1Options opts;
+      opts.backend = core::Algorithm1Backend::kDoubleDynamicScaling;
+      entry.alg1 = std::make_unique<core::Algorithm1Solver>(model, opts);
+      if (entry.alg1->degenerate()) {
+        // Deterministic robustness fallback: the extended-range backend.
+        entry.alg1 = std::make_unique<core::Algorithm1Solver>(model);
+      }
+      break;
+    }
+    case Mode::kAlg2:
+      entry.alg2 = std::make_unique<core::Algorithm2Solver>(model);
+      break;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.pop_back();
+  }
+  entries_.insert(entries_.begin(), std::move(entry));
+  return entries_.front();
+}
+
+core::Measures SolverCache::eval(const core::CrossbarModel& model,
+                                 SweepSolver solver) {
+  Entry& e = lookup(model, solver);
+  return e.alg1 ? e.alg1->solve() : e.alg2->solve();
+}
+
+core::Measures SolverCache::eval_at(const core::CrossbarModel& model,
+                                    core::Dims at, SweepSolver solver) {
+  Entry& e = lookup(model, solver);
+  return e.alg1 ? e.alg1->solve_at(at) : e.alg2->solve_at(at);
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)) {}
+
+ThreadPool& SweepRunner::pool() const noexcept {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::shared();
+}
+
+void SweepRunner::ensure_caches() {
+  unsigned slots = pool().worker_count() + 1;
+  if (options_.threads != 0) {
+    slots = std::min(slots, options_.threads);
+  }
+  while (caches_.size() < slots) {
+    caches_.push_back(std::make_unique<SolverCache>(options_.cache_capacity));
+  }
+}
+
+SolverCache& SweepRunner::cache(unsigned slot) {
+  if (slot >= caches_.size()) {
+    ensure_caches();  // single-threaded use outside parallel_for
+  }
+  assert(slot < caches_.size());
+  return *caches_[slot];
+}
+
+std::vector<core::Measures> SweepRunner::run(
+    const std::vector<ScenarioPoint>& points) {
+  return map<core::Measures>(
+      points.size(), [&](std::size_t i, SolverCache& cache) {
+        const ScenarioPoint& pt = points[i];
+        return pt.eval_at ? cache.eval_at(pt.model, *pt.eval_at,
+                                          options_.solver)
+                          : cache.eval(pt.model, options_.solver);
+      });
+}
+
+std::vector<core::Measures> SweepRunner::dimension_sweep(
+    const core::CrossbarModel& model, const std::vector<core::Dims>& sizes) {
+  core::Dims max_dims = model.dims();
+  for (const core::Dims& d : sizes) {
+    max_dims.n1 = std::max(max_dims.n1, d.n1);
+    max_dims.n2 = std::max(max_dims.n2, d.n2);
+  }
+  const core::CrossbarModel parent =
+      model.dims() == max_dims ? model
+                               : model.with_dims_same_tuple_rates(max_dims);
+  std::vector<ScenarioPoint> points;
+  points.reserve(sizes.size());
+  for (const core::Dims& d : sizes) {
+    points.push_back(ScenarioPoint{parent, d});
+  }
+  return run(points);
+}
+
+}  // namespace xbar::sweep

@@ -1,0 +1,149 @@
+// The sweep engine: deterministic parallel evaluation of scenario grids.
+//
+// Every figure/table reproduction and the CLI used to loop serially over
+// parameter points, constructing a fresh solver — and re-running the full
+// O(N1 N2 (R1+R2)) recurrence — per point.  `SweepRunner` replaces those
+// loops: points are evaluated across the shared `ThreadPool` with results
+// written by index (bit-identical for every thread count), and each
+// participant carries a `SolverCache` so that
+//
+//   * repeated evaluations of the same model (serving paths, warm reruns)
+//     reuse the already-built grid, and
+//   * dimension sweeps with fixed per-tuple rates reuse ONE grid built at
+//     the largest size, answering every smaller size via `solve_at` —
+//     turning 32 solves into one.
+//
+// Note the tilde-unit caveat: the paper's figure sweeps hold the *aggregate*
+// intensity fixed, so per-tuple rates change with N and each size is a
+// genuinely different model (no grid sharing).  `dimension_sweep` is for
+// fixed per-tuple-rate families (`CrossbarModel::with_dims_same_tuple_rates`).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace xbar::core {
+class Algorithm1Solver;
+class Algorithm2Solver;
+}  // namespace xbar::core
+
+namespace xbar::sweep {
+
+/// How the runner solves each scenario point.
+enum class SweepSolver {
+  /// Algorithm 1 on the paper's §6 dynamic-scaling double backend — the
+  /// fastest robust path — falling back to the ScaledFloat backend when the
+  /// double grid degenerates.  The fallback depends only on the point, so
+  /// results stay deterministic.
+  kFast,
+  kAlgorithm1,  ///< Algorithm 1, default (ScaledFloat) backend
+  kAlgorithm2,  ///< Algorithm 2 ratio recursion
+  kAuto,        ///< the paper's §5 size guidance (N <= 32 -> Algorithm 1)
+};
+
+/// One point of a sweep: a model plus, optionally, the subsystem at which
+/// to evaluate it (same per-tuple rates).  `eval_at` is what lets dimension
+/// sweeps share a single max-N grid.
+struct ScenarioPoint {
+  core::CrossbarModel model;
+  std::optional<core::Dims> eval_at;
+};
+
+/// A small MRU cache of solved grids keyed on a model fingerprint
+/// (dimensions, resolved solver, and the exact normalized parameters of
+/// every class).  Lookups compare the full key, so fingerprint collisions
+/// cannot alias.  Not thread-safe: the runner keeps one per pool slot.
+class SolverCache {
+ public:
+  explicit SolverCache(std::size_t capacity = 8);
+  ~SolverCache();
+  SolverCache(SolverCache&&) noexcept;
+  SolverCache& operator=(SolverCache&&) noexcept;
+
+  /// Measures of `model` at its full dimensions.
+  core::Measures eval(const core::CrossbarModel& model,
+                      SweepSolver solver = SweepSolver::kFast);
+
+  /// Measures of `model`'s traffic at subsystem `at` (same per-tuple
+  /// rates), reusing `model`'s cached grid when present.
+  core::Measures eval_at(const core::CrossbarModel& model, core::Dims at,
+                         SweepSolver solver = SweepSolver::kFast);
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry;
+  Entry& lookup(const core::CrossbarModel& model, SweepSolver solver);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  // most-recently-used first
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+struct SweepOptions {
+  /// Max participants (0 = pool workers + caller).  Results are identical
+  /// for every value; this only bounds concurrency.
+  unsigned threads = 0;
+  SweepSolver solver = SweepSolver::kFast;
+  std::size_t cache_capacity = 8;  ///< per-slot SolverCache entries
+  ThreadPool* pool = nullptr;      ///< nullptr = ThreadPool::shared()
+};
+
+/// Deterministic parallel map over scenario points with per-slot solver
+/// caches.  Caches persist across run()/map() calls, so re-evaluating the
+/// same grid of points is nearly free — the serving hot path.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Evaluate all points; results[i] always corresponds to points[i].
+  std::vector<core::Measures> run(const std::vector<ScenarioPoint>& points);
+
+  /// Evaluate the same traffic (per-tuple rates of `model`) at every size
+  /// in `sizes`, building ONE grid at the component-wise max size and
+  /// answering each entry via solve_at.
+  std::vector<core::Measures> dimension_sweep(
+      const core::CrossbarModel& model,
+      const std::vector<core::Dims>& sizes);
+
+  /// Generic deterministic parallel map: out[i] = fn(i, cache) where
+  /// `cache` is the calling slot's SolverCache.  For drivers whose per-point
+  /// work is more than a single solve (revenue rows, calibrations).
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) {
+    ensure_caches();  // allocate every slot's cache before going parallel
+    std::vector<R> out(n);
+    pool().parallel_for(n, options_.threads,
+                        [&](std::size_t i, unsigned slot) {
+                          out[i] = fn(i, cache(slot));
+                        });
+    return out;
+  }
+
+  /// The slot's persistent cache (created on first use).
+  SolverCache& cache(unsigned slot);
+
+  [[nodiscard]] const SweepOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  ThreadPool& pool() const noexcept;
+  void ensure_caches();
+
+  SweepOptions options_;
+  std::vector<std::unique_ptr<SolverCache>> caches_;  // slot-indexed
+};
+
+}  // namespace xbar::sweep

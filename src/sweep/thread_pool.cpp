@@ -1,0 +1,141 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace xbar::sweep {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_slot(
+    unsigned slot, const std::function<void(std::size_t, unsigned)>* body,
+    std::size_t n) {
+  while (!has_error_.load(std::memory_order_relaxed)) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    try {
+      (*body)(i, slot);
+    } catch (...) {
+      if (!has_error_.exchange(true)) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    wake_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    // A straggler that wakes only after the submitter closed the job must
+    // not claim it: the submitter may already have returned (its body is a
+    // dangling reference) and may even have published a fresh job whose
+    // counters this stale claim would corrupt.  job_open_ flips under the
+    // same mutex as every claim, so the check is race-free.
+    if (!job_open_) {
+      continue;
+    }
+    const unsigned slot =
+        slot_claim_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= slots_) {
+      continue;  // job already has enough participants
+    }
+    const auto* body = body_;
+    const std::size_t n = n_;
+    ++active_workers_;
+    lk.unlock();
+    run_slot(slot, body, n);
+    lk.lock();
+    if (--active_workers_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, unsigned concurrency,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  if (n == 0) {
+    return;
+  }
+  unsigned slots = worker_count() + 1;
+  if (concurrency != 0) {
+    slots = std::min(slots, concurrency);
+  }
+  slots = static_cast<unsigned>(
+      std::min<std::size_t>(slots, n));
+
+  // Serial path: tiny jobs, a single participant, or a pool that is
+  // already mid-job (nested parallel_for).  Exceptions propagate directly.
+  std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+  if (slots <= 1 || !submit.owns_lock()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i, 0);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    body_ = &body;
+    n_ = n;
+    slots_ = slots;
+    next_.store(0, std::memory_order_relaxed);
+    slot_claim_.store(1, std::memory_order_relaxed);
+    has_error_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    job_open_ = true;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  run_slot(0, &body, n);  // the caller is slot 0
+
+  // The caller's run_slot only returns once every index is claimed.  Close
+  // the job so no straggler can join it, then wait for workers still
+  // executing claimed indexes (a worker cannot be inside `body` without
+  // having bumped active_workers_ under the lock).
+  std::unique_lock<std::mutex> lk(mutex_);
+  job_open_ = false;
+  done_cv_.wait(lk, [&] { return active_workers_ == 0; });
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace xbar::sweep

@@ -1,0 +1,85 @@
+// A small work-stealing-free thread pool built for deterministic data
+// parallelism: `parallel_for(n, c, body)` runs `body(index, slot)` for every
+// index in [0, n) across at most `c` participants and blocks until all of
+// them finished.  Indexes are handed out through a single atomic counter, so
+// the *schedule* is nondeterministic but any body that writes only
+// `results[index]` produces bit-identical output for every thread count —
+// the property the sweep determinism tests pin down.
+//
+// The calling thread always participates as slot 0, so a pool constructed
+// with W workers reaches a concurrency of W + 1 and `ThreadPool(0)` degrades
+// to plain serial execution with no thread traffic at all.  Nested or
+// concurrent `parallel_for` calls (e.g. a sweep body that itself sweeps)
+// detect the busy pool with a try-lock and run inline serially instead of
+// deadlocking.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xbar::sweep {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` background threads.  `workers == 0` means "one per
+  /// spare hardware thread" (hardware_concurrency - 1, possibly zero).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of background workers; parallel_for's maximum concurrency is
+  /// worker_count() + 1 (the caller participates).
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs body(index, slot) for every index in [0, n).  `concurrency`
+  /// bounds the number of participants (0 = use everything available);
+  /// slot is a dense id in [0, concurrency) identifying the participant,
+  /// suitable for indexing per-thread scratch state.  Blocks until every
+  /// index has completed; rethrows the first exception thrown by any body.
+  void parallel_for(std::size_t n, unsigned concurrency,
+                    const std::function<void(std::size_t, unsigned)>& body);
+
+  /// Process-wide shared pool, started lazily on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_main();
+  void run_slot(unsigned slot,
+                const std::function<void(std::size_t, unsigned)>* body,
+                std::size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;  // serializes parallel_for; try-lock => inline
+
+  std::mutex mutex_;  // guards the job fields and both condition variables
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  bool job_open_ = false;  // guarded by mutex_; claims allowed only if set
+
+  // Current job (valid for the current generation only).
+  const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  unsigned slots_ = 0;  // participants including the caller
+  std::atomic<std::size_t> next_{0};
+  std::atomic<unsigned> slot_claim_{1};
+  unsigned active_workers_ = 0;  // guarded by mutex_
+  std::atomic<bool> has_error_{false};
+  std::exception_ptr error_;  // guarded by mutex_
+};
+
+}  // namespace xbar::sweep

@@ -96,6 +96,73 @@ TEST(FuzzEquivalence, RandomModelsAgreeAcrossSolvers) {
   }
 }
 
+TEST(FuzzEquivalence, AllBackendsAgreeWithBruteForce) {
+  // The kernel rewrite (class partition, lazy logs, cached scale
+  // adjustments) must leave every numeric backend on the same answers.
+  // Brute force is the oracle whenever the state space is affordable;
+  // otherwise the default ScaledFloat backend (validated above against
+  // Algorithm 2 and brute force) stands in.  Backends whose plain
+  // arithmetic degenerates on a draw (possible for kDoubleRaw /
+  // kLongDouble) are skipped for that draw — that is exactly what the
+  // degenerate() flag is for.
+  constexpr Algorithm1Backend kBackends[] = {
+      Algorithm1Backend::kScaledFloat,
+      Algorithm1Backend::kDoubleDynamicScaling,
+      Algorithm1Backend::kLongDouble,
+      Algorithm1Backend::kDoubleRaw,
+  };
+  dist::Xoshiro256 rng(0xBACC0F1A);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CrossbarModel model = random_model(rng);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                 std::to_string(model.dims().n1) + "x" +
+                 std::to_string(model.dims().n2) + ", R=" +
+                 std::to_string(model.num_classes()));
+
+    std::vector<unsigned> bandwidths;
+    for (const auto& c : model.normalized_classes()) {
+      bandwidths.push_back(c.bandwidth);
+    }
+    const bool affordable =
+        count_states(bandwidths, model.dims().cap()) <= 2000;
+    const Measures oracle =
+        affordable ? BruteForceSolver(model).solve()
+                   : Algorithm1Solver(model).solve();
+
+    for (const Algorithm1Backend backend : kBackends) {
+      Algorithm1Options options;
+      options.backend = backend;
+      const Algorithm1Solver solver(model, options);
+      if (solver.degenerate()) {
+        continue;
+      }
+      SCOPED_TRACE("backend " +
+                   std::to_string(static_cast<int>(backend)));
+      const auto m = solver.solve();
+      for (std::size_t r = 0; r < model.num_classes(); ++r) {
+        EXPECT_NEAR(m.per_class[r].blocking, oracle.per_class[r].blocking,
+                    1e-8)
+            << "class " << r;
+        EXPECT_NEAR(m.per_class[r].concurrency,
+                    oracle.per_class[r].concurrency,
+                    1e-8 * (1.0 + oracle.per_class[r].concurrency))
+            << "class " << r;
+      }
+      EXPECT_NEAR(m.revenue, oracle.revenue, 1e-8 * (1.0 + oracle.revenue));
+
+      // Subsystem queries must agree too (the dimension-sweep serving path
+      // relies on solve_at over a shared grid).
+      const Dims at{(model.dims().n1 + 1) / 2, (model.dims().n2 + 1) / 2};
+      const auto ms = solver.solve_at(at);
+      const auto os = Algorithm1Solver(model).solve_at(at);
+      for (std::size_t r = 0; r < model.num_classes(); ++r) {
+        EXPECT_NEAR(ms.per_class[r].blocking, os.per_class[r].blocking, 1e-8)
+            << "subsystem class " << r;
+      }
+    }
+  }
+}
+
 TEST(FuzzEquivalence, SubsystemQueriesAgreeOnRandomModels) {
   dist::Xoshiro256 rng(0xBEEFCAFE);
   for (int trial = 0; trial < 20; ++trial) {

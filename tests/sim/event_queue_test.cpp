@@ -108,6 +108,53 @@ TEST(EventQueue, ManyInterleavedOperations) {
   EXPECT_EQ(popped, 1000 - cancelled);
 }
 
+TEST(EventQueue, CancelAfterPopKeepsBacklogEmpty) {
+  // A stale handle (already fired) must not become a tombstone: before the
+  // pending-set fix, the id sat in the cancelled set forever and corrupted
+  // the live count.
+  EventQueue<int> q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i), i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.pop().has_value());
+  }
+  for (const auto id : ids) {
+    q.cancel(id);
+  }
+  EXPECT_EQ(q.cancelled_backlog(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ChurnKeepsMemoryBounded) {
+  // Timer-churn workload: every scheduled event is cancelled before it can
+  // fire, for many rounds.  Compaction must keep the tombstone set bounded
+  // by the live population (plus the small compaction floor) instead of
+  // growing with the total cancellation count.
+  EventQueue<std::size_t> q;
+  constexpr std::size_t kLive = 8;
+  std::vector<EventId> ring;
+  double t = 0.0;
+  for (std::size_t round = 0; round < 10000; ++round) {
+    ring.push_back(q.schedule(t + 100.0, round));
+    if (ring.size() > kLive) {
+      q.cancel(ring.front());
+      ring.erase(ring.begin());
+    }
+    t += 0.001;
+    EXPECT_LE(q.cancelled_backlog(), q.size() + 16);
+  }
+  EXPECT_EQ(q.size(), kLive);
+  // The survivors still pop in schedule order.
+  std::size_t expect = 10000 - kLive;
+  while (const auto e = q.pop()) {
+    EXPECT_EQ(e->second, expect++);
+  }
+  EXPECT_EQ(expect, 10000u);
+}
+
 TEST(EventQueue, MovableOnlyPayload) {
   EventQueue<std::unique_ptr<int>> q;
   q.schedule(1.0, std::make_unique<int>(7));

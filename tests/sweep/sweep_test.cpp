@@ -1,0 +1,251 @@
+// Sweep engine tests: pool correctness (every index exactly once, exception
+// propagation, nested submission), bit-identical results across thread
+// counts, solver cache reuse, and dimension sweeps answering every size
+// from one max-N grid.
+
+#include "sweep/sweep.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/solver.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace xbar::sweep {
+namespace {
+
+using core::CrossbarModel;
+using core::Dims;
+using core::TrafficClass;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(), 0, [&](std::size_t i, unsigned) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroIndexesIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, 0, [&](std::size_t, unsigned) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ConcurrencyOneRunsSerially) {
+  ThreadPool pool(3);
+  std::vector<unsigned> slots;
+  pool.parallel_for(50, 1, [&](std::size_t, unsigned slot) {
+    slots.push_back(slot);  // safe: single participant
+  });
+  EXPECT_EQ(slots.size(), 50u);
+  for (const unsigned s : slots) {
+    EXPECT_EQ(s, 0u);
+  }
+}
+
+TEST(ThreadPool, SlotIdsAreDense) {
+  ThreadPool pool(3);
+  pool.parallel_for(200, 0, [&](std::size_t, unsigned slot) {
+    EXPECT_LT(slot, 4u);  // workers + caller
+  });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100, 0,
+                                 [&](std::size_t i, unsigned) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, 0, [&](std::size_t, unsigned) { ++total; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, NestedSubmissionFallsBackInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(64);
+  pool.parallel_for(8, 0, [&](std::size_t outer, unsigned) {
+    pool.parallel_for(8, 0, [&](std::size_t inner, unsigned) {
+      counts[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+std::vector<ScenarioPoint> figure_grid() {
+  // A small figure-style grid: sizes x peakedness, aggregate rates held
+  // fixed so every point is a distinct model.
+  std::vector<ScenarioPoint> points;
+  for (const unsigned n : {2u, 4u, 8u, 12u}) {
+    for (const double beta : {0.0, 0.0012, 0.0036}) {
+      points.push_back(
+          {CrossbarModel(Dims::square(n),
+                         {TrafficClass::poisson("p", 0.0024),
+                          TrafficClass::bursty("b", 0.0024, beta)}),
+           std::nullopt});
+    }
+  }
+  return points;
+}
+
+TEST(SweepRunner, ResultsMatchDirectSolve) {
+  const auto points = figure_grid();
+  SweepRunner runner;
+  const auto results = runner.run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto direct = core::solve(points[i].model);
+    for (std::size_t r = 0; r < 2; ++r) {
+      EXPECT_NEAR(results[i].per_class[r].blocking,
+                  direct.per_class[r].blocking, 1e-10)
+          << "point " << i << " class " << r;
+    }
+  }
+}
+
+TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
+  const auto points = figure_grid();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.threads = 8;
+  ThreadPool pool(7);
+  wide.pool = &pool;
+  const auto r1 = SweepRunner(serial).run(points);
+  const auto r8 = SweepRunner(wide).run(points);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    // Exact equality on purpose: the schedule must not leak into values.
+    EXPECT_EQ(r1[i].utilization, r8[i].utilization) << i;
+    EXPECT_EQ(r1[i].revenue, r8[i].revenue) << i;
+    for (std::size_t r = 0; r < r1[i].per_class.size(); ++r) {
+      EXPECT_EQ(r1[i].per_class[r].blocking, r8[i].per_class[r].blocking)
+          << i << "," << r;
+      EXPECT_EQ(r1[i].per_class[r].concurrency,
+                r8[i].per_class[r].concurrency)
+          << i << "," << r;
+    }
+  }
+}
+
+TEST(SweepRunner, SolverChoicesAgree) {
+  const auto points = figure_grid();
+  std::vector<std::vector<core::Measures>> all;
+  for (const SweepSolver solver :
+       {SweepSolver::kFast, SweepSolver::kAlgorithm1, SweepSolver::kAlgorithm2,
+        SweepSolver::kAuto}) {
+    SweepOptions options;
+    options.solver = solver;
+    all.push_back(SweepRunner(options).run(points));
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t s = 1; s < all.size(); ++s) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_NEAR(all[0][i].per_class[r].blocking,
+                    all[s][i].per_class[r].blocking, 1e-8)
+            << "solver " << s << " point " << i;
+      }
+    }
+  }
+}
+
+TEST(SolverCache, RepeatEvaluationsHitTheCache) {
+  const CrossbarModel model(Dims::square(6),
+                            {TrafficClass::bursty("b", 0.01, 0.005)});
+  SolverCache cache;
+  const auto first = cache.eval(model);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto second = cache.eval(model);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.per_class[0].blocking, second.per_class[0].blocking);
+}
+
+TEST(SolverCache, DistinctModelsDoNotAlias) {
+  const CrossbarModel a(Dims::square(6),
+                        {TrafficClass::bursty("b", 0.01, 0.005)});
+  const CrossbarModel b(Dims::square(6),
+                        {TrafficClass::bursty("b", 0.01, 0.006)});
+  SolverCache cache;
+  const auto ma = cache.eval(a);
+  const auto mb = cache.eval(b);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(ma.per_class[0].blocking, mb.per_class[0].blocking);
+}
+
+TEST(SolverCache, EvictsBeyondCapacity) {
+  SolverCache cache(2);
+  std::vector<CrossbarModel> models;
+  for (unsigned n = 2; n <= 5; ++n) {
+    models.emplace_back(Dims::square(n),
+                        std::vector<TrafficClass>{
+                            TrafficClass::bursty("b", 0.01, 0.005)});
+  }
+  for (const auto& m : models) {
+    cache.eval(m);
+  }
+  EXPECT_EQ(cache.misses(), models.size());
+  // The oldest entry was evicted; re-evaluating it misses again.
+  cache.eval(models[0]);
+  EXPECT_EQ(cache.misses(), models.size() + 1);
+}
+
+TEST(SweepRunner, DimensionSweepReusesOneGrid) {
+  // Fixed per-tuple rates: one grid at the max size answers every entry.
+  const CrossbarModel model(Dims::square(16),
+                            {TrafficClass::bursty("b", 0.08, 0.04, 2)});
+  const std::vector<Dims> sizes = {Dims::square(4), Dims::square(8),
+                                   Dims{8, 16}, Dims::square(16)};
+  SweepOptions options;
+  options.threads = 1;  // single slot so cache counters are meaningful
+  SweepRunner runner(options);
+  const auto results = runner.dimension_sweep(model, sizes);
+  ASSERT_EQ(results.size(), sizes.size());
+  EXPECT_EQ(runner.cache(0).misses(), 1u);
+  EXPECT_EQ(runner.cache(0).hits(), sizes.size() - 1);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto direct =
+        core::solve(model.with_dims_same_tuple_rates(sizes[i]));
+    EXPECT_NEAR(results[i].per_class[0].blocking,
+                direct.per_class[0].blocking, 1e-9)
+        << "size " << i;
+  }
+}
+
+TEST(SweepRunner, FastSolverFallsBackDeterministically) {
+  // A model whose raw-double grid would drift needs the ScaledFloat
+  // fallback; running it through kFast twice (and at different thread
+  // counts) must give the exact same numbers.
+  std::vector<ScenarioPoint> points;
+  for (const unsigned n : {32u, 48u}) {
+    points.push_back({CrossbarModel(Dims::square(n),
+                                    {TrafficClass::bursty("b", 0.002, 0.001)}),
+                      std::nullopt});
+  }
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto a = SweepRunner(serial).run(points);
+  const auto b = SweepRunner(SweepOptions{}).run(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(a[i].per_class[0].blocking, b[i].per_class[0].blocking) << i;
+  }
+}
+
+}  // namespace
+}  // namespace xbar::sweep

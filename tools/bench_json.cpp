@@ -1,0 +1,202 @@
+// Writes BENCH_algorithms.json — the repo's committed perf record for the
+// sweep engine and the Algorithm 1 kernel.
+//
+//   build/tools/bench_json [output-path]        (default BENCH_algorithms.json)
+//
+// Two claims are recorded:
+//   1. Multi-point sweeps: the 32-point load sweep at N = 128 through the
+//      sweep engine vs the pre-engine serial idiom (fresh kAuto solve per
+//      point), cold and warm.
+//   2. Single solves: BM_Algorithm1_SizeSweep's model family on the default
+//      backend, compared against the seed-commit numbers measured on the
+//      same machine before the kernel rewrite.
+//
+// Medians of repeated runs, monotonic clock.  The serial baseline is
+// re-measured in the same process as the engine numbers, so the comparison
+// is same-machine, same-load, same-flags.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/model.hpp"
+#include "core/solver.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using namespace xbar;
+
+double median_ms(const std::vector<double>& samples) {
+  std::vector<double> s = samples;
+  std::sort(s.begin(), s.end());
+  const std::size_t m = s.size() / 2;
+  return s.size() % 2 == 1 ? s[m] : 0.5 * (s[m - 1] + s[m]);
+}
+
+template <typename Fn>
+double time_ms(Fn&& fn, int repetitions) {
+  std::vector<double> samples;
+  fn();  // warmup
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return median_ms(samples);
+}
+
+std::vector<sweep::ScenarioPoint> load_sweep_points(unsigned n,
+                                                    std::size_t count) {
+  std::vector<sweep::ScenarioPoint> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double beta = 0.0001 * static_cast<double>(i);
+    points.push_back(
+        {core::CrossbarModel(core::Dims::square(n),
+                             {core::TrafficClass::bursty("b", 0.0024, beta)}),
+         std::nullopt});
+  }
+  return points;
+}
+
+// Same family as BM_Algorithm1_SizeSweep (two classes, Poisson + bursty).
+core::CrossbarModel size_sweep_model(unsigned n) {
+  std::vector<core::TrafficClass> classes;
+  classes.push_back(core::TrafficClass::poisson("p0", 0.01, 1));
+  classes.push_back(core::TrafficClass::bursty("b1", 0.012, 0.005, 2));
+  return core::CrossbarModel(core::Dims::square(n), std::move(classes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_algorithms.json";
+
+  // --- 1. 32-point load sweep at N = 128. ---
+  const auto points = load_sweep_points(128, 32);
+  const double serial_ms = time_ms(
+      [&] {
+        for (const auto& p : points) {
+          volatile double sink = core::solve(p.model).per_class[0].blocking;
+          (void)sink;
+        }
+      },
+      5);
+  const double cold_ms = time_ms(
+      [&] {
+        sweep::SweepRunner runner;
+        volatile double sink = runner.run(points)[0].per_class[0].blocking;
+        (void)sink;
+      },
+      5);
+  sweep::SweepOptions warm_options;
+  warm_options.cache_capacity = 64;
+  sweep::SweepRunner warm_runner(warm_options);
+  (void)warm_runner.run(points);
+  const double warm_ms = time_ms(
+      [&] {
+        volatile double sink =
+            warm_runner.run(points)[0].per_class[0].blocking;
+        (void)sink;
+      },
+      9);
+
+  // --- 2. Dimension sweep: 32 sizes, one shared grid vs grid-per-size. ---
+  const core::CrossbarModel dim_model(
+      core::Dims::square(128),
+      {core::TrafficClass::bursty("b", 0.0024, 0.0012)});
+  std::vector<core::Dims> sizes;
+  for (unsigned n = 4; n <= 128; n += 4) {
+    sizes.push_back(core::Dims::square(n));
+  }
+  const double dim_serial_ms = time_ms(
+      [&] {
+        for (const auto d : sizes) {
+          volatile double sink =
+              core::solve(dim_model.with_dims_same_tuple_rates(d))
+                  .per_class[0]
+                  .blocking;
+          (void)sink;
+        }
+      },
+      5);
+  const double dim_reuse_ms = time_ms(
+      [&] {
+        sweep::SweepRunner runner;
+        volatile double sink =
+            runner.dimension_sweep(dim_model, sizes)[0].per_class[0].blocking;
+        (void)sink;
+      },
+      5);
+
+  // --- 3. Single solves vs the seed commit (same machine, same family). ---
+  struct SeedRow {
+    unsigned n;
+    double seed_ns;  // BM_Algorithm1_SizeSweep at commit 22b8eae
+  };
+  const SeedRow seed_rows[] = {{8, 6494.0},     {16, 21582.0},
+                               {32, 92813.0},   {64, 458472.0},
+                               {128, 1877914.0}, {256, 7792334.0}};
+  struct SolveRow {
+    unsigned n;
+    double seed_ns;
+    double now_ns;
+  };
+  std::vector<SolveRow> solve_rows;
+  for (const auto& row : seed_rows) {
+    const auto model = size_sweep_model(row.n);
+    const int reps = row.n >= 128 ? 5 : 9;
+    const double ms = time_ms(
+        [&] {
+          core::Algorithm1Solver solver(model);
+          volatile double sink = solver.solve().per_class[0].blocking;
+          (void)sink;
+        },
+        reps);
+    solve_rows.push_back({row.n, row.seed_ns, ms * 1e6});
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::perror("bench_json: fopen");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"description\": \"Committed perf record: sweep engine + "
+               "Algorithm 1 kernel; medians, steady_clock, same process\",\n");
+  std::fprintf(out, "  \"load_sweep_n128_32pt\": {\n");
+  std::fprintf(out, "    \"serial_kauto_ms\": %.3f,\n", serial_ms);
+  std::fprintf(out, "    \"runner_cold_ms\": %.3f,\n", cold_ms);
+  std::fprintf(out, "    \"runner_warm_ms\": %.3f,\n", warm_ms);
+  std::fprintf(out, "    \"speedup_cold\": %.2f,\n", serial_ms / cold_ms);
+  std::fprintf(out, "    \"speedup_warm\": %.2f\n", serial_ms / warm_ms);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"dimension_sweep_n128_32sizes\": {\n");
+  std::fprintf(out, "    \"serial_grid_per_size_ms\": %.3f,\n", dim_serial_ms);
+  std::fprintf(out, "    \"shared_grid_ms\": %.3f,\n", dim_reuse_ms);
+  std::fprintf(out, "    \"speedup\": %.2f\n", dim_serial_ms / dim_reuse_ms);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"algorithm1_single_solve\": [\n");
+  for (std::size_t i = 0; i < solve_rows.size(); ++i) {
+    const auto& row = solve_rows[i];
+    std::fprintf(out,
+                 "    {\"n\": %u, \"seed_ns\": %.0f, \"now_ns\": %.0f, "
+                 "\"ratio_seed_over_now\": %.2f}%s\n",
+                 row.n, row.seed_ns, row.now_ns, row.seed_ns / row.now_ns,
+                 i + 1 < solve_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s (load sweep: %.2fx cold, %.2fx warm; dim sweep: "
+              "%.2fx)\n",
+              path.c_str(), serial_ms / cold_ms, serial_ms / warm_ms,
+              dim_serial_ms / dim_reuse_ms);
+  return 0;
+}

@@ -19,6 +19,8 @@
 #include "report/table.hpp"
 #include "sim/replication.hpp"
 #include "sim/traffic_pattern.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
 
 namespace {
 
@@ -84,32 +86,36 @@ int cmd_simulate(const config::Scenario& scenario) {
 
   sim::ReplicationResult result;
   if (hotspot > 0.0) {
-    // Hot-spot runs need a per-simulator selector; run sequential
-    // replications by hand.
+    // Hot-spot runs need a per-simulator selector the replication layer
+    // doesn't model; run the replications through the shared pool with
+    // per-index result slots (deterministic for any thread count) and
+    // aggregate afterwards.
     result.per_class.resize(scenario.model.num_classes());
-    std::vector<std::vector<double>> cc(scenario.model.num_classes());
-    for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
-      fabric::CrossbarFabric xbar_fabric(scenario.model.dims().n1,
-                                         scenario.model.dims().n2);
-      auto sim_cfg = cfg.sim;
-      sim_cfg.seed = cfg.sim.seed + 0x9E3779B9u * (rep + 1);
-      sim::Simulator simulator(scenario.model, xbar_fabric, sim_cfg);
-      simulator.set_output_selector(sim::make_hotspot_selector(hotspot, 0));
-      const auto run = simulator.run();
-      result.total_events += run.events;
-      for (std::size_t r = 0; r < cc.size(); ++r) {
+    std::vector<sim::SimulationResult> runs(cfg.replications);
+    sweep::ThreadPool::shared().parallel_for(
+        cfg.replications, 0, [&](std::size_t rep, unsigned) {
+          fabric::CrossbarFabric xbar_fabric(scenario.model.dims().n1,
+                                             scenario.model.dims().n2);
+          auto sim_cfg = cfg.sim;
+          sim_cfg.seed =
+              cfg.sim.seed + 0x9E3779B9u * (static_cast<unsigned>(rep) + 1);
+          sim::Simulator simulator(scenario.model, xbar_fabric, sim_cfg);
+          simulator.set_output_selector(
+              sim::make_hotspot_selector(hotspot, 0));
+          runs[rep] = simulator.run();
+        });
+    for (std::size_t r = 0; r < result.per_class.size(); ++r) {
+      sim::BatchMeans bm;
+      for (const auto& run : runs) {
         if (run.per_class[r].offered > 0) {
-          cc[r].push_back(static_cast<double>(run.per_class[r].blocked) /
-                          static_cast<double>(run.per_class[r].offered));
+          bm.add(static_cast<double>(run.per_class[r].blocked) /
+                 static_cast<double>(run.per_class[r].offered));
         }
       }
-    }
-    for (std::size_t r = 0; r < cc.size(); ++r) {
-      sim::BatchMeans bm;
-      for (const double v : cc[r]) {
-        bm.add(v);
-      }
       result.per_class[r].call_congestion = bm.estimate();
+    }
+    for (const auto& run : runs) {
+      result.total_events += run.events;
     }
     result.replications = cfg.replications;
   } else {
@@ -150,14 +156,48 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
     headers.push_back(c.name);
   }
   report::Table table(headers);
+
+  // Evaluate every size through the sweep engine, honoring the scenario's
+  // solver choice (brute force stays on the direct path: it is a test
+  // oracle, not a cached grid).
+  std::vector<sweep::ScenarioPoint> points;
+  points.reserve(sizes.size());
   for (const unsigned n : sizes) {
     std::vector<core::TrafficClass> classes(
         scenario.model.classes().begin(), scenario.model.classes().end());
-    const core::CrossbarModel model(core::Dims::square(n),
-                                    std::move(classes));
-    const auto measures = core::solve(model, scenario.solver);
-    std::vector<std::string> row = {report::Table::integer(n)};
-    for (const auto& cm : measures.per_class) {
+    points.push_back({core::CrossbarModel(core::Dims::square(n),
+                                          std::move(classes)),
+                      std::nullopt});
+  }
+  sweep::SweepOptions options;
+  switch (scenario.solver) {
+    case core::SolverKind::kAlgorithm1:
+      options.solver = sweep::SweepSolver::kAlgorithm1;
+      break;
+    case core::SolverKind::kAlgorithm2:
+      options.solver = sweep::SweepSolver::kAlgorithm2;
+      break;
+    case core::SolverKind::kAuto:
+      options.solver = sweep::SweepSolver::kAuto;
+      break;
+    case core::SolverKind::kBruteForce:
+      options.solver = sweep::SweepSolver::kFast;  // overridden below
+      break;
+  }
+  sweep::SweepRunner runner(options);
+  std::vector<core::Measures> results;
+  if (scenario.solver == core::SolverKind::kBruteForce) {
+    results = runner.map<core::Measures>(
+        points.size(), [&](std::size_t i, sweep::SolverCache&) {
+          return core::solve(points[i].model, core::SolverKind::kBruteForce);
+        });
+  } else {
+    results = runner.run(points);
+  }
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row = {report::Table::integer(sizes[i])};
+    for (const auto& cm : results[i].per_class) {
       row.push_back(report::Table::num(cm.blocking, 6));
     }
     table.add_row(std::move(row));
