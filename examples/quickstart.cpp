@@ -51,9 +51,14 @@ int main(int argc, char** argv) {
               << c.bpp().peakedness() << ", a = " << c.bandwidth << "\n";
   }
 
-  // 3. Solve.  kAuto picks Algorithm 1 (exact Q-grid convolution) for small
-  //    switches and Algorithm 2 (stable mean-value recursion) for large.
-  const core::Measures measures = core::solve(model);
+  // 3. Solve.  The default "auto" spec picks Algorithm 1 (exact Q-grid
+  //    convolution) for small switches and Algorithm 2 (stable mean-value
+  //    recursion) for large; solve_result also reports what actually ran.
+  const core::SolveResult solved = core::solve_result(model);
+  const core::Measures& measures = solved.measures;
+  std::cout << "solved with " << core::to_string(solved.diagnostics.algorithm)
+            << " on " << core::to_string(solved.diagnostics.backend)
+            << " in " << solved.diagnostics.wall_seconds * 1e3 << " ms\n";
 
   report::Table table({"class", "blocking", "concurrency", "throughput",
                        "port usage"});

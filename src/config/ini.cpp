@@ -40,8 +40,8 @@ double IniSection::get_double(const std::string& key, double fallback) const {
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
   if (end == v->c_str() || *end != '\0') {
-    throw std::invalid_argument("[" + name + "] " + key +
-                                ": not a number: '" + *v + "'");
+    raise(ErrorKind::kParse,
+          "[" + name + "] " + key + ": not a number: '" + *v + "'");
   }
   return parsed;
 }
@@ -55,8 +55,8 @@ unsigned IniSection::get_unsigned(const std::string& key,
   char* end = nullptr;
   const unsigned long parsed = std::strtoul(v->c_str(), &end, 10);
   if (end == v->c_str() || *end != '\0') {
-    throw std::invalid_argument("[" + name + "] " + key +
-                                ": not an unsigned integer: '" + *v + "'");
+    raise(ErrorKind::kParse,
+          "[" + name + "] " + key + ": not an unsigned integer: '" + *v + "'");
   }
   return static_cast<unsigned>(parsed);
 }
@@ -64,9 +64,9 @@ unsigned IniSection::get_unsigned(const std::string& key,
 std::string IniSection::require(const std::string& key) const {
   const auto v = get(key);
   if (!v) {
-    throw std::invalid_argument("[" + name +
-                                (label.empty() ? "" : " " + label) +
-                                "] missing required key '" + key + "'");
+    raise(ErrorKind::kConfig, "[" + name +
+                                  (label.empty() ? "" : " " + label) +
+                                  "] missing required key '" + key + "'");
   }
   return *v;
 }

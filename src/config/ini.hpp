@@ -13,17 +13,22 @@
 
 #include <istream>
 #include <optional>
-#include <stdexcept>
+#include <source_location>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
+
 namespace xbar::config {
 
-/// Parse error with location.
-class IniError : public std::runtime_error {
+/// Parse error with input location: an `xbar::Error` of kind kParse whose
+/// `line()` is the 1-based line of the malformed input text.
+class IniError : public Error {
  public:
-  IniError(unsigned line, const std::string& what)
-      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+  IniError(unsigned line, const std::string& what,
+           std::source_location where = std::source_location::current())
+      : Error(ErrorKind::kParse,
+              "line " + std::to_string(line) + ": " + what, where),
         line_(line) {}
 
   [[nodiscard]] unsigned line() const noexcept { return line_; }
@@ -41,8 +46,8 @@ struct IniSection {
   /// Value of `key`, if present (first occurrence).
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
 
-  /// Value of `key` parsed as double; throws IniError-free
-  /// std::invalid_argument mentioning the key on garbage.
+  /// Value of `key` parsed as double; raises xbar::Error (kParse)
+  /// mentioning the key on garbage.
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
 
@@ -50,7 +55,7 @@ struct IniSection {
   [[nodiscard]] unsigned get_unsigned(const std::string& key,
                                       unsigned fallback) const;
 
-  /// Required variants: throw std::invalid_argument when missing.
+  /// Required variants: raise xbar::Error (kConfig) when missing.
   [[nodiscard]] std::string require(const std::string& key) const;
   [[nodiscard]] double require_double(const std::string& key) const;
 };

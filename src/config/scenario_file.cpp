@@ -9,23 +9,6 @@ namespace xbar::config {
 
 namespace {
 
-core::SolverKind parse_solver(const std::string& value) {
-  if (value == "auto") {
-    return core::SolverKind::kAuto;
-  }
-  if (value == "algorithm1") {
-    return core::SolverKind::kAlgorithm1;
-  }
-  if (value == "algorithm2") {
-    return core::SolverKind::kAlgorithm2;
-  }
-  if (value == "brute") {
-    return core::SolverKind::kBruteForce;
-  }
-  throw std::invalid_argument("[solve] unknown algorithm '" + value +
-                              "' (expected auto|algorithm1|algorithm2|brute)");
-}
-
 core::TrafficClass parse_class(const IniSection& section) {
   const std::string name =
       section.label.empty() ? "class" + std::to_string(0) : section.label;
@@ -42,9 +25,8 @@ core::TrafficClass parse_class(const IniSection& section) {
                                       section.get_double("beta", 0.0),
                                       bandwidth, mu, weight);
   }
-  throw std::invalid_argument("[class " + section.label +
-                              "] unknown shape '" + shape +
-                              "' (expected poisson|bursty)");
+  raise(ErrorKind::kConfig, "[class " + section.label + "] unknown shape '" +
+                                shape + "' (expected poisson|bursty)");
 }
 
 }  // namespace
@@ -54,12 +36,12 @@ Scenario parse_scenario(std::istream& in) {
 
   const IniSection* sw = ini.find("switch");
   if (sw == nullptr) {
-    throw std::invalid_argument("scenario needs a [switch] section");
+    raise(ErrorKind::kConfig, "scenario needs a [switch] section");
   }
   const unsigned n1 = sw->get_unsigned("inputs", 0);
   const unsigned n2 = sw->get_unsigned("outputs", n1);
   if (n1 == 0) {
-    throw std::invalid_argument("[switch] inputs must be set and positive");
+    raise(ErrorKind::kConfig, "[switch] inputs must be set and positive");
   }
 
   std::vector<core::TrafficClass> classes;
@@ -67,12 +49,12 @@ Scenario parse_scenario(std::istream& in) {
     classes.push_back(parse_class(*section));
   }
   if (classes.empty()) {
-    throw std::invalid_argument("scenario needs at least one [class ...]");
+    raise(ErrorKind::kConfig, "scenario needs at least one [class ...]");
   }
 
   Scenario scenario{
       .model = core::CrossbarModel(core::Dims{n1, n2}, std::move(classes)),
-      .solver = core::SolverKind::kAuto,
+      .solver = {},
       .sim = {},
       .replications = 5,
       .hotspot_fraction = 0.0,
@@ -81,7 +63,7 @@ Scenario parse_scenario(std::istream& in) {
 
   if (const IniSection* solve = ini.find("solve")) {
     if (const auto algo = solve->get("algorithm")) {
-      scenario.solver = parse_solver(*algo);
+      scenario.solver = core::SolverSpec::parse(*algo);
     }
   }
   if (const IniSection* simulate = ini.find("simulate")) {
@@ -93,7 +75,7 @@ Scenario parse_scenario(std::istream& in) {
     scenario.replications = simulate->get_unsigned("replications", 5);
     scenario.hotspot_fraction = simulate->get_double("hotspot", 0.0);
     if (scenario.hotspot_fraction < 0.0 || scenario.hotspot_fraction > 1.0) {
-      throw std::invalid_argument("[simulate] hotspot must be in [0, 1]");
+      raise(ErrorKind::kConfig, "[simulate] hotspot must be in [0, 1]");
     }
   }
   return scenario;
@@ -102,7 +84,7 @@ Scenario parse_scenario(std::istream& in) {
 Scenario load_scenario(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::invalid_argument("cannot open scenario file: " + path);
+    raise(ErrorKind::kIo, "cannot open scenario file: " + path);
   }
   return parse_scenario(in);
 }

@@ -19,7 +19,9 @@
 //   beta  = 0.05
 //
 //   [solve]                  # optional
-//   algorithm = auto         # auto | algorithm1 | algorithm2 | brute
+//   algorithm = auto         # SolverSpec string: auto | fast |
+//                            # algorithm1[/scaled|/double-dynamic|
+//                            # /long-double|/double-raw] | algorithm2 | brute
 //
 //   [simulate]               # optional; enables `xbar simulate`
 //   warmup       = 500
@@ -35,7 +37,7 @@
 #include <string>
 
 #include "core/model.hpp"
-#include "core/solver.hpp"
+#include "core/solver_spec.hpp"
 #include "sim/simulator.hpp"
 
 namespace xbar::config {
@@ -43,16 +45,17 @@ namespace xbar::config {
 /// Parsed scenario.
 struct Scenario {
   core::CrossbarModel model;
-  core::SolverKind solver = core::SolverKind::kAuto;
+  core::SolverSpec solver;  ///< defaults to SolverAlgorithm::kAuto
   sim::SimulationConfig sim;
   std::size_t replications = 5;
   double hotspot_fraction = 0.0;
   bool has_simulation_section = false;
 };
 
-/// Parse a scenario from a stream.  Throws IniError for syntax problems and
-/// std::invalid_argument for semantic ones (missing sections/keys, unknown
-/// shapes, model validation failures).
+/// Parse a scenario from a stream.  Raises xbar::Error: kParse for syntax
+/// problems (IniError carries the input line), kConfig for semantic ones
+/// (missing sections/keys, unknown shapes/solvers), kModel for model
+/// validation failures.
 [[nodiscard]] Scenario parse_scenario(std::istream& in);
 
 /// Parse a scenario from a file path.

@@ -1,0 +1,72 @@
+#include "core/error.hpp"
+
+#include <utility>
+
+namespace xbar {
+
+namespace {
+
+// Trim an absolute compiler path down to the repo-relative tail so that
+// what() is identical no matter where the tree was built.
+std::string trim_path(std::string_view path) {
+  for (const std::string_view root : {"/src/", "/tools/", "/tests/",
+                                      "/bench/", "/examples/"}) {
+    if (const auto pos = path.rfind(root); pos != std::string_view::npos) {
+      return std::string(path.substr(pos + 1));
+    }
+  }
+  const auto slash = path.rfind('/');
+  return std::string(slash == std::string_view::npos
+                         ? path
+                         : path.substr(slash + 1));
+}
+
+std::string format(ErrorKind kind, const std::string& message,
+                   const std::string& file, unsigned line) {
+  std::string out;
+  out += to_string(kind);
+  out += " error: ";
+  out += message;
+  out += " [at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kParse:
+      return "parse";
+    case ErrorKind::kConfig:
+      return "config";
+    case ErrorKind::kModel:
+      return "model";
+    case ErrorKind::kDomain:
+      return "domain";
+    case ErrorKind::kUsage:
+      return "usage";
+    case ErrorKind::kIo:
+      return "io";
+    case ErrorKind::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorKind kind, std::string message, std::source_location where)
+    : std::runtime_error(format(kind, message, trim_path(where.file_name()),
+                                where.line())),
+      kind_(kind),
+      message_(std::move(message)),
+      file_(trim_path(where.file_name())),
+      line_(where.line()) {}
+
+void raise(ErrorKind kind, std::string message, std::source_location where) {
+  throw Error(kind, std::move(message), where);
+}
+
+}  // namespace xbar

@@ -1,0 +1,72 @@
+// Typed errors for the whole toolkit.
+//
+// Every layer (config parsing, model validation, solver dispatch, CLI)
+// used to throw ad-hoc std::runtime_error / std::invalid_argument with
+// free-form text, which made it impossible for callers — the CLI, the
+// sweep engine, a future service frontend — to react to *classes* of
+// failure or to point at the code that raised them.  `xbar::Error` fixes
+// both: every error carries an `ErrorKind` and the C++ source location of
+// the `raise()` call, and `what()` renders all of it in one line:
+//
+//     config error: [solve] unknown algorithm 'magic' [at config/scenario_file.cpp:27]
+//
+// Raise errors through the `raise()` helper so the location is captured
+// automatically; never throw `Error` directly.
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace xbar {
+
+/// Coarse failure classes — what a caller can sensibly branch on.
+enum class ErrorKind {
+  kParse,     ///< malformed input text (INI syntax, bad number)
+  kConfig,    ///< well-formed input with invalid semantics (unknown solver)
+  kModel,     ///< model violates the paper's well-posedness rules (§2)
+  kDomain,    ///< argument outside a function's mathematical domain
+  kUsage,     ///< bad command-line usage (unparseable flag value)
+  kIo,        ///< file system failure (missing scenario file)
+  kInternal,  ///< broken invariant — always a bug
+};
+
+/// Short lowercase name of a kind ("parse", "config", ...).
+[[nodiscard]] std::string_view to_string(ErrorKind kind) noexcept;
+
+/// The toolkit-wide exception: kind + message + raising source location.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::string message, std::source_location where);
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+  /// The message without the kind/location decoration.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// Where `raise()` was called ("config/scenario_file.cpp").  The path is
+  /// trimmed to be stable across build directories.  Named `source_*` so
+  /// subclasses can expose their own notion of file/line (e.g. IniError's
+  /// input line) without a clash.
+  [[nodiscard]] const std::string& source_file() const noexcept {
+    return file_;
+  }
+  [[nodiscard]] unsigned source_line() const noexcept { return line_; }
+
+ private:
+  ErrorKind kind_;
+  std::string message_;
+  std::string file_;
+  unsigned line_;
+};
+
+/// Throw an `Error` of `kind`, capturing the caller's source location.
+[[noreturn]] void raise(
+    ErrorKind kind, std::string message,
+    std::source_location where = std::source_location::current());
+
+}  // namespace xbar

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 #include <utility>
 
+#include "core/error.hpp"
 #include "numeric/combinatorics.hpp"
 
 namespace xbar::core {
@@ -37,8 +37,10 @@ TrafficClass TrafficClass::bursty(std::string name, double alpha_tilde,
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::invalid_argument("CrossbarModel: " + what);
+[[noreturn]] void fail(
+    const std::string& what,
+    std::source_location where = std::source_location::current()) {
+  raise(ErrorKind::kModel, "CrossbarModel: " + what, where);
 }
 
 NormalizedClass normalize(const TrafficClass& c, const Dims& dims) {

@@ -1,34 +1,88 @@
 #include "core/solver.hpp"
 
-#include <stdexcept>
+#include <chrono>
 
 #include "core/algorithm1.hpp"
 #include "core/algorithm2.hpp"
 #include "core/brute_force.hpp"
+#include "core/error.hpp"
 
 namespace xbar::core {
 
-Measures solve(const CrossbarModel& model, SolverKind kind) {
-  if (kind == SolverKind::kAuto) {
-    kind = model.dims().cap() <= 32 ? SolverKind::kAlgorithm1
-                                    : SolverKind::kAlgorithm2;
-  }
-  switch (kind) {
-    case SolverKind::kAlgorithm1:
-      return Algorithm1Solver(model).solve();
-    case SolverKind::kAlgorithm2:
-      return Algorithm2Solver(model).solve();
-    case SolverKind::kBruteForce:
-      return BruteForceSolver(model).solve();
-    case SolverKind::kAuto:
+namespace {
+
+Algorithm1Backend to_algorithm1_backend(NumericBackend backend) {
+  switch (backend) {
+    case NumericBackend::kScaledFloat:
+      return Algorithm1Backend::kScaledFloat;
+    case NumericBackend::kDoubleDynamicScaling:
+      return Algorithm1Backend::kDoubleDynamicScaling;
+    case NumericBackend::kLongDouble:
+      return Algorithm1Backend::kLongDouble;
+    case NumericBackend::kDoubleRaw:
+      return Algorithm1Backend::kDoubleRaw;
+    case NumericBackend::kRatio:
+    case NumericBackend::kLogDomain:
       break;
   }
-  throw std::logic_error("unreachable solver kind");
+  raise(ErrorKind::kInternal,
+        "backend '" + std::string(to_string(backend)) +
+            "' is not an Algorithm 1 grid backend");
+}
+
+}  // namespace
+
+SolveResult solve_result(const CrossbarModel& model, const SolverSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  const ResolvedSolver resolved = resolve(spec, model);
+
+  SolveResult result;
+  result.diagnostics.requested = spec.algorithm;
+  result.diagnostics.algorithm = resolved.algorithm;
+  result.diagnostics.backend = resolved.backend;
+  result.diagnostics.grid = model.dims();
+  result.diagnostics.evaluated_at = model.dims();
+
+  switch (resolved.algorithm) {
+    case SolverAlgorithm::kAlgorithm1: {
+      Algorithm1Options options;
+      options.backend = to_algorithm1_backend(resolved.backend);
+      Algorithm1Solver solver(model, options);
+      if (resolved.fallback_on_degenerate && solver.degenerate()) {
+        // Deterministic robustness fallback: the extended-range backend.
+        // Depends only on the model, never on the schedule.
+        solver = Algorithm1Solver(model);
+        result.diagnostics.backend = NumericBackend::kScaledFloat;
+        result.diagnostics.fast_fallback = true;
+      }
+      result.diagnostics.rescales = solver.scaling_events();
+      result.measures = solver.solve();
+      break;
+    }
+    case SolverAlgorithm::kAlgorithm2:
+      result.measures = Algorithm2Solver(model).solve();
+      break;
+    case SolverAlgorithm::kBruteForce:
+      result.measures = BruteForceSolver(model).solve();
+      break;
+    case SolverAlgorithm::kAuto:
+    case SolverAlgorithm::kFast:
+      raise(ErrorKind::kInternal, "resolve() returned an unresolved solver");
+  }
+
+  result.diagnostics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+Measures solve(const CrossbarModel& model, const SolverSpec& spec) {
+  return solve_result(model, spec).measures;
 }
 
 double blocking_probability(const CrossbarModel& model, std::size_t r,
-                            SolverKind kind) {
-  return solve(model, kind).per_class.at(r).blocking;
+                            const SolverSpec& spec) {
+  return solve(model, spec).per_class.at(r).blocking;
 }
 
 }  // namespace xbar::core

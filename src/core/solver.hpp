@@ -3,33 +3,35 @@
 // Paper §5: "Algorithm 1 is preferable for computing the performance
 // measures of small dimension crossbars (N <= 32) whereas Algorithm 2 is
 // advantageous for larger system sizes."  With the ScaledFloat backend both
-// are robust at any size; kAuto follows the paper's guidance anyway (it is
-// also the faster split in practice: Algorithm 1 does less work per cell for
-// small grids, Algorithm 2 avoids extended-precision arithmetic for big
-// ones).
+// are robust at any size; SolverAlgorithm::kAuto follows the paper's
+// guidance anyway (it is also the faster split in practice: Algorithm 1
+// does less work per cell for small grids, Algorithm 2 avoids
+// extended-precision arithmetic for big ones).
+//
+// Requests are expressed as a `SolverSpec` and the full answer is a
+// `SolveResult` (measures + diagnostics); the bare-`Measures` overloads
+// remain for callers that don't need the record.
 
 #pragma once
 
 #include "core/measures.hpp"
 #include "core/model.hpp"
+#include "core/solver_spec.hpp"
 
 namespace xbar::core {
 
-/// Which algorithm solves the model.
-enum class SolverKind {
-  kAuto,        ///< paper's guidance: Algorithm 1 for N <= 32, else 2
-  kAlgorithm1,  ///< Q-grid convolution (ScaledFloat backend)
-  kAlgorithm2,  ///< mean-value ratio recursion
-  kBruteForce,  ///< exhaustive enumeration (tests/small systems only)
-};
+/// Solve the model and return measures plus diagnostics (which algorithm
+/// and backend ran, fallback/rescale record, wall time).
+[[nodiscard]] SolveResult solve_result(const CrossbarModel& model,
+                                       const SolverSpec& spec = {});
 
 /// Solve the model and return all measures.
 [[nodiscard]] Measures solve(const CrossbarModel& model,
-                             SolverKind kind = SolverKind::kAuto);
+                             const SolverSpec& spec = {});
 
 /// Blocking probability of class r — the quantity the paper's figures plot.
 [[nodiscard]] double blocking_probability(const CrossbarModel& model,
                                           std::size_t r,
-                                          SolverKind kind = SolverKind::kAuto);
+                                          const SolverSpec& spec = {});
 
 }  // namespace xbar::core

@@ -1,0 +1,149 @@
+#include "core/solver_spec.hpp"
+
+#include "core/error.hpp"
+
+namespace xbar::core {
+
+std::string_view to_string(SolverAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case SolverAlgorithm::kAuto:
+      return "auto";
+    case SolverAlgorithm::kFast:
+      return "fast";
+    case SolverAlgorithm::kAlgorithm1:
+      return "algorithm1";
+    case SolverAlgorithm::kAlgorithm2:
+      return "algorithm2";
+    case SolverAlgorithm::kBruteForce:
+      return "brute";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(NumericBackend backend) noexcept {
+  switch (backend) {
+    case NumericBackend::kScaledFloat:
+      return "scaled";
+    case NumericBackend::kDoubleDynamicScaling:
+      return "double-dynamic";
+    case NumericBackend::kLongDouble:
+      return "long-double";
+    case NumericBackend::kDoubleRaw:
+      return "double-raw";
+    case NumericBackend::kRatio:
+      return "ratio";
+    case NumericBackend::kLogDomain:
+      return "log-domain";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::string_view kSpecGrammar =
+    "auto|fast|algorithm1[/scaled|/double-dynamic|/long-double|/double-raw]|"
+    "algorithm2|brute";
+
+std::optional<NumericBackend> parse_grid_backend(std::string_view text) {
+  for (const NumericBackend backend :
+       {NumericBackend::kScaledFloat, NumericBackend::kDoubleDynamicScaling,
+        NumericBackend::kLongDouble, NumericBackend::kDoubleRaw}) {
+    if (text == to_string(backend)) {
+      return backend;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SolverSpec SolverSpec::parse(std::string_view text) {
+  std::string_view name = text;
+  std::optional<std::string_view> backend_name;
+  if (const auto slash = text.find('/'); slash != std::string_view::npos) {
+    name = text.substr(0, slash);
+    backend_name = text.substr(slash + 1);
+  }
+
+  SolverSpec spec;
+  bool known = false;
+  for (const SolverAlgorithm algorithm :
+       {SolverAlgorithm::kAuto, SolverAlgorithm::kFast,
+        SolverAlgorithm::kAlgorithm1, SolverAlgorithm::kAlgorithm2,
+        SolverAlgorithm::kBruteForce}) {
+    if (name == core::to_string(algorithm)) {
+      spec.algorithm = algorithm;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    raise(ErrorKind::kConfig, "unknown solver '" + std::string(text) +
+                                  "' (expected " + std::string(kSpecGrammar) +
+                                  ")");
+  }
+  if (backend_name) {
+    if (spec.algorithm != SolverAlgorithm::kAlgorithm1) {
+      raise(ErrorKind::kConfig,
+            "solver '" + std::string(name) +
+                "' does not take a backend (only algorithm1 does)");
+    }
+    spec.backend = parse_grid_backend(*backend_name);
+    if (!spec.backend) {
+      raise(ErrorKind::kConfig,
+            "unknown algorithm1 backend '" + std::string(*backend_name) +
+                "' (expected scaled|double-dynamic|long-double|double-raw)");
+    }
+  }
+  return spec;
+}
+
+std::string SolverSpec::to_string() const {
+  std::string out(core::to_string(algorithm));
+  if (backend) {
+    out += '/';
+    out += core::to_string(*backend);
+  }
+  return out;
+}
+
+ResolvedSolver resolve(const SolverSpec& spec, const CrossbarModel& model) {
+  if (spec.backend && spec.algorithm != SolverAlgorithm::kAlgorithm1) {
+    raise(ErrorKind::kConfig,
+          "solver spec '" + std::string(to_string(spec.algorithm)) +
+              "' does not take a backend (only algorithm1 does)");
+  }
+  ResolvedSolver resolved;
+  switch (spec.algorithm) {
+    case SolverAlgorithm::kAuto:
+      // Paper §5: Algorithm 1 for small crossbars, Algorithm 2 beyond.
+      if (model.dims().cap() <= 32) {
+        resolved.algorithm = SolverAlgorithm::kAlgorithm1;
+        resolved.backend = NumericBackend::kScaledFloat;
+      } else {
+        resolved.algorithm = SolverAlgorithm::kAlgorithm2;
+        resolved.backend = NumericBackend::kRatio;
+      }
+      return resolved;
+    case SolverAlgorithm::kFast:
+      resolved.algorithm = SolverAlgorithm::kAlgorithm1;
+      resolved.backend = NumericBackend::kDoubleDynamicScaling;
+      resolved.fallback_on_degenerate = true;
+      return resolved;
+    case SolverAlgorithm::kAlgorithm1:
+      resolved.algorithm = SolverAlgorithm::kAlgorithm1;
+      resolved.backend = spec.backend.value_or(NumericBackend::kScaledFloat);
+      return resolved;
+    case SolverAlgorithm::kAlgorithm2:
+      resolved.algorithm = SolverAlgorithm::kAlgorithm2;
+      resolved.backend = NumericBackend::kRatio;
+      return resolved;
+    case SolverAlgorithm::kBruteForce:
+      resolved.algorithm = SolverAlgorithm::kBruteForce;
+      resolved.backend = NumericBackend::kLogDomain;
+      return resolved;
+  }
+  raise(ErrorKind::kInternal, "unreachable solver algorithm");
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,132 @@
+// The unified solve request/result contract.
+//
+// Before this layer existed the solve path spoke two dialects — one solver
+// enum in core and another in the sweep engine, hand-mapped into each
+// other by the CLI — and solvers returned bare
+// `Measures` with no record of *how* the answer was produced (which
+// algorithm `kAuto` picked, whether the `kFast` double grid degenerated
+// and fell back to ScaledFloat, how often the §6 dynamic rescale fired).
+// `SolverSpec` is the one request type every caller uses, and
+// `SolveResult` pairs the measures with `SolveDiagnostics` so those
+// decisions are observable end-to-end: the CLI prints them with
+// --verbose, emits them with --json, and the sweep engine aggregates them
+// into a `SweepReport`.
+//
+// Specs round-trip through strings for config files and the command line:
+//
+//   auto | fast | algorithm1[/scaled|/double-dynamic|/long-double|/double-raw]
+//        | algorithm2 | brute
+//
+// Diagnostics are deterministic wherever the model is: the resolved
+// algorithm, numeric backend, fallback flag, and rescale count depend only
+// on the spec and the model — never on thread count or schedule.  Cache
+// hits and wall time are honest observations and may vary run to run.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// Which algorithm solves the model (the one request vocabulary shared by
+/// the facade, the sweep engine, config files, and the CLI).
+enum class SolverAlgorithm : std::uint8_t {
+  kAuto,        ///< paper §5 guidance: Algorithm 1 for min(N1,N2) <= 32, else 2
+  kFast,        ///< Algorithm 1 on §6 dynamic-scaling doubles with a
+                ///< deterministic ScaledFloat fallback on degeneracy
+  kAlgorithm1,  ///< Q-grid convolution
+  kAlgorithm2,  ///< mean-value ratio recursion
+  kBruteForce,  ///< exhaustive enumeration (tests/small systems only)
+};
+
+/// Arithmetic the resolved solver ran on.
+enum class NumericBackend : std::uint8_t {
+  kScaledFloat,           ///< per-cell binary exponent (Algorithm 1 default)
+  kDoubleDynamicScaling,  ///< IEEE double with the paper's §6 rescaling
+  kLongDouble,            ///< plain long double grid
+  kDoubleRaw,             ///< plain double grid (ablation only)
+  kRatio,                 ///< Algorithm 2 stores only tame Q ratios
+  kLogDomain,             ///< brute force enumerates in the log domain
+};
+
+[[nodiscard]] std::string_view to_string(SolverAlgorithm algorithm) noexcept;
+[[nodiscard]] std::string_view to_string(NumericBackend backend) noexcept;
+
+/// One solve request: the algorithm plus backend options.
+struct SolverSpec {
+  SolverAlgorithm algorithm = SolverAlgorithm::kAuto;
+
+  /// Explicit grid arithmetic — only meaningful with kAlgorithm1 (the
+  /// other algorithms own their backend).  Unset = the algorithm default.
+  std::optional<NumericBackend> backend;
+
+  friend bool operator==(const SolverSpec&, const SolverSpec&) = default;
+
+  /// Parse the canonical string form; raises ErrorKind::kConfig on an
+  /// unknown name or an invalid algorithm/backend combination.
+  [[nodiscard]] static SolverSpec parse(std::string_view text);
+
+  /// Canonical string form; `parse(spec.to_string()) == spec`.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience constructors for the common requests.
+  [[nodiscard]] static SolverSpec fast() noexcept {
+    return SolverSpec{SolverAlgorithm::kFast, std::nullopt};
+  }
+  [[nodiscard]] static SolverSpec brute_force() noexcept {
+    return SolverSpec{SolverAlgorithm::kBruteForce, std::nullopt};
+  }
+};
+
+/// What actually happened during one solve.
+struct SolveDiagnostics {
+  SolverAlgorithm requested = SolverAlgorithm::kAuto;  ///< as specified
+  SolverAlgorithm algorithm =
+      SolverAlgorithm::kAuto;  ///< resolved: never kAuto/kFast
+  NumericBackend backend = NumericBackend::kScaledFloat;  ///< arithmetic used
+
+  /// kFast only: the dynamic-scaling double grid degenerated and the
+  /// solver was rebuilt on ScaledFloat.  Depends only on the model.
+  bool fast_fallback = false;
+
+  /// §6 dynamic rescale count (kDoubleDynamicScaling backend only).
+  unsigned rescales = 0;
+
+  Dims grid;          ///< dimensions of the grid that was built
+  Dims evaluated_at;  ///< subsystem the measures were taken at
+
+  bool cache_hit = false;   ///< answered from an already-built grid
+  double wall_seconds = 0;  ///< end-to-end time of this call
+};
+
+/// Measures plus the record of how they were computed.
+struct SolveResult {
+  Measures measures;
+  SolveDiagnostics diagnostics;
+};
+
+/// A spec resolved against a concrete model: the decisions kAuto/kFast
+/// defer until the dimensions are known.  This is what the solver facade
+/// executes and what the sweep cache keys on.
+struct ResolvedSolver {
+  SolverAlgorithm algorithm =
+      SolverAlgorithm::kAlgorithm1;  ///< never kAuto/kFast
+  NumericBackend backend = NumericBackend::kScaledFloat;
+  bool fallback_on_degenerate = false;  ///< kFast's rescue path
+
+  friend bool operator==(const ResolvedSolver&,
+                         const ResolvedSolver&) = default;
+};
+
+/// Resolve `spec` for `model`.  Raises ErrorKind::kConfig when the spec
+/// combines a backend with an algorithm that does not take one.
+[[nodiscard]] ResolvedSolver resolve(const SolverSpec& spec,
+                                     const CrossbarModel& model);
+
+}  // namespace xbar::core

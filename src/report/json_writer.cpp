@@ -1,0 +1,159 @@
+#include "report/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace xbar::report {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    os_ << "  ";
+  }
+}
+
+void JsonWriter::begin_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already placed the comma and indent
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) {
+      os_ << ',';
+    }
+    stack_.back().has_items = true;
+    newline_indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  os_ << '{';
+  stack_.push_back(Level{Scope::kObject, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    newline_indent();
+  }
+  os_ << '}';
+  if (stack_.empty()) {
+    os_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  os_ << '[';
+  stack_.push_back(Level{Scope::kArray, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    newline_indent();
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) {
+      os_ << ',';
+    }
+    stack_.back().has_items = true;
+    newline_indent();
+  }
+  os_ << '"' << escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  os_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    return value_null();  // JSON has no NaN/Inf
+  }
+  begin_value();
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  os_.write(buf, end - buf);
+  (void)ec;  // shortest round-trip always fits in 32 chars
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  begin_value();
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace xbar::report

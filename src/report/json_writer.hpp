@@ -1,0 +1,71 @@
+// Streaming JSON writer for machine-readable CLI output.
+//
+// A tiny, dependency-free emitter: containers are opened/closed explicitly
+// and the writer tracks nesting to place commas, so callers never build
+// intermediate DOM trees.  Doubles render with shortest round-trip
+// formatting (std::to_chars); non-finite values — which JSON cannot carry —
+// become null.  Output is pretty-printed with two-space indentation so it
+// is pleasant in a terminal and trivially parseable by anything.
+//
+//   JsonWriter json(std::cout);
+//   json.begin_object();
+//   json.key("blocking").value(0.005);
+//   json.key("classes").begin_array().value("voice").value("bulk").end_array();
+//   json.end_object();
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xbar::report {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value_null();
+
+  /// JSON string escaping (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void begin_value();  // comma/indent bookkeeping before any value/container
+  void newline_indent();
+
+  std::ostream& os_;
+  struct Level {
+    Scope scope;
+    bool has_items = false;
+  };
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace xbar::report

@@ -42,6 +42,9 @@ ReplicationResult run_replications(const core::CrossbarModel& model,
                 r, config.service_factory(r, model.normalized(r).mu));
           }
         }
+        if (config.output_selector_factory) {
+          simulator.set_output_selector(config.output_selector_factory(rep));
+        }
         results[rep] = simulator.run();
       });
 

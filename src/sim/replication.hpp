@@ -26,6 +26,12 @@ using FabricFactory =
 using ServiceFactory = std::function<std::unique_ptr<dist::ServiceDistribution>(
     std::size_t cls, double mu)>;
 
+/// Optional per-replication output-selector override (non-uniform traffic,
+/// e.g. hot-spot patterns).  Called with the replication index; must return
+/// a fresh selector for that replication's simulator.
+using SelectorFactory =
+    std::function<std::unique_ptr<OutputSelector>(std::size_t rep)>;
+
 /// Aggregated per-class statistics across replications.
 struct ClassReplicationStats {
   Estimate call_congestion;
@@ -48,6 +54,7 @@ struct ReplicationConfig {
   std::size_t replications = 5;
   SimulationConfig sim;  ///< per-replication run lengths; seed is offset
   ServiceFactory service_factory;  ///< nullptr => exponential
+  SelectorFactory output_selector_factory;  ///< nullptr => uniform outputs
   unsigned threads = 0;  ///< 0 = hardware concurrency
 };
 

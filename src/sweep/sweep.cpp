@@ -3,38 +3,39 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "core/algorithm1.hpp"
 #include "core/algorithm2.hpp"
+#include "core/error.hpp"
+#include "core/solver.hpp"
 
 namespace xbar::sweep {
 
-// Resolved solver choice for one model.  kFast's degeneracy fallback is a
-// property of the *grid*, not the key: both outcomes build from the same
-// entry, so the key only records the user-visible mode.  (Named-namespace
-// scope, not anonymous: CacheKey embeds it and has external linkage.)
-enum class Mode : std::uint8_t {
-  kAlg1Scaled,
-  kAlg1Fast,  // dynamic-scaling double, ScaledFloat on degeneracy
-  kAlg2,
-};
-
 namespace {
 
-Mode resolve(const core::CrossbarModel& model, SweepSolver solver) {
-  switch (solver) {
-    case SweepSolver::kFast:
-      return Mode::kAlg1Fast;
-    case SweepSolver::kAlgorithm1:
-      return Mode::kAlg1Scaled;
-    case SweepSolver::kAlgorithm2:
-      return Mode::kAlg2;
-    case SweepSolver::kAuto:
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::Algorithm1Backend to_algorithm1_backend(core::NumericBackend backend) {
+  switch (backend) {
+    case core::NumericBackend::kScaledFloat:
+      return core::Algorithm1Backend::kScaledFloat;
+    case core::NumericBackend::kDoubleDynamicScaling:
+      return core::Algorithm1Backend::kDoubleDynamicScaling;
+    case core::NumericBackend::kLongDouble:
+      return core::Algorithm1Backend::kLongDouble;
+    case core::NumericBackend::kDoubleRaw:
+      return core::Algorithm1Backend::kDoubleRaw;
+    case core::NumericBackend::kRatio:
+    case core::NumericBackend::kLogDomain:
       break;
   }
-  // Paper §5: Algorithm 1 for small crossbars, Algorithm 2 beyond.
-  return model.dims().cap() <= 32 ? Mode::kAlg1Scaled : Mode::kAlg2;
+  raise(ErrorKind::kInternal, "not an Algorithm 1 grid backend");
 }
 
 std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
@@ -50,14 +51,18 @@ std::uint64_t hash_double(std::uint64_t h, double v) {
 }  // namespace
 
 // The full cache key: exact, so a fingerprint collision can never alias
-// two different models.
+// two different models.  The resolved solver is part of the key — kFast's
+// degeneracy fallback is a property of the *grid*, not the key: both
+// outcomes build from the same entry, so the key records the resolution,
+// not the rescue.  (Named-namespace scope, not anonymous: the Entry embeds
+// it and has external linkage.)
 struct CacheKey {
   core::Dims dims;
-  Mode mode = Mode::kAlg1Scaled;
+  core::ResolvedSolver solver;
   std::vector<core::NormalizedClass> classes;
 
   friend bool operator==(const CacheKey& a, const CacheKey& b) {
-    if (a.dims != b.dims || a.mode != b.mode ||
+    if (a.dims != b.dims || a.solver != b.solver ||
         a.classes.size() != b.classes.size()) {
       return false;
     }
@@ -75,10 +80,11 @@ struct CacheKey {
 
 namespace {
 
-CacheKey make_key(const core::CrossbarModel& model, Mode mode) {
+CacheKey make_key(const core::CrossbarModel& model,
+                  core::ResolvedSolver solver) {
   CacheKey key;
   key.dims = model.dims();
-  key.mode = mode;
+  key.solver = solver;
   key.classes.assign(model.normalized_classes().begin(),
                      model.normalized_classes().end());
   return key;
@@ -88,7 +94,9 @@ std::uint64_t fingerprint(const CacheKey& key) {
   std::uint64_t h = 0xCBF29CE484222325ull;
   h = hash_mix(h, key.dims.n1);
   h = hash_mix(h, key.dims.n2);
-  h = hash_mix(h, static_cast<std::uint64_t>(key.mode));
+  h = hash_mix(h, static_cast<std::uint64_t>(key.solver.algorithm));
+  h = hash_mix(h, static_cast<std::uint64_t>(key.solver.backend));
+  h = hash_mix(h, key.solver.fallback_on_degenerate ? 1u : 0u);
   for (const core::NormalizedClass& c : key.classes) {
     h = hash_mix(h, c.bandwidth);
     h = hash_double(h, c.alpha);
@@ -106,6 +114,9 @@ struct SolverCache::Entry {
   CacheKey key;
   std::unique_ptr<core::Algorithm1Solver> alg1;
   std::unique_ptr<core::Algorithm2Solver> alg2;
+  // Build-time record, copied into every SolveResult answered from this
+  // entry: what actually ran, deterministic per point.
+  core::SolveDiagnostics built;
 };
 
 SolverCache::SolverCache(std::size_t capacity)
@@ -116,42 +127,55 @@ SolverCache::SolverCache(SolverCache&&) noexcept = default;
 SolverCache& SolverCache::operator=(SolverCache&&) noexcept = default;
 
 SolverCache::Entry& SolverCache::lookup(const core::CrossbarModel& model,
-                                        SweepSolver solver) {
-  const Mode mode = resolve(model, solver);
-  CacheKey key = make_key(model, mode);
+                                        const core::SolverSpec& spec,
+                                        bool& was_hit) {
+  const core::ResolvedSolver resolved = core::resolve(spec, model);
+  CacheKey key = make_key(model, resolved);
   const std::uint64_t fp = fingerprint(key);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].fp == fp && entries_[i].key == key) {
       ++hits_;
+      was_hit = true;
       // Move-to-front keeps the scan short and the eviction victim last.
       if (i != 0) {
-        std::rotate(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(i),
+        std::rotate(entries_.begin(),
+                    entries_.begin() + static_cast<std::ptrdiff_t>(i),
                     entries_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
       }
       return entries_.front();
     }
   }
   ++misses_;
+  was_hit = false;
   Entry entry;
   entry.fp = fp;
   entry.key = std::move(key);
-  switch (mode) {
-    case Mode::kAlg1Scaled:
-      entry.alg1 = std::make_unique<core::Algorithm1Solver>(model);
-      break;
-    case Mode::kAlg1Fast: {
+  entry.built.requested = spec.algorithm;
+  entry.built.algorithm = resolved.algorithm;
+  entry.built.backend = resolved.backend;
+  entry.built.grid = model.dims();
+  switch (resolved.algorithm) {
+    case core::SolverAlgorithm::kAlgorithm1: {
       core::Algorithm1Options opts;
-      opts.backend = core::Algorithm1Backend::kDoubleDynamicScaling;
+      opts.backend = to_algorithm1_backend(resolved.backend);
       entry.alg1 = std::make_unique<core::Algorithm1Solver>(model, opts);
-      if (entry.alg1->degenerate()) {
+      if (resolved.fallback_on_degenerate && entry.alg1->degenerate()) {
         // Deterministic robustness fallback: the extended-range backend.
         entry.alg1 = std::make_unique<core::Algorithm1Solver>(model);
+        entry.built.backend = core::NumericBackend::kScaledFloat;
+        entry.built.fast_fallback = true;
       }
+      entry.built.rescales = entry.alg1->scaling_events();
       break;
     }
-    case Mode::kAlg2:
+    case core::SolverAlgorithm::kAlgorithm2:
       entry.alg2 = std::make_unique<core::Algorithm2Solver>(model);
       break;
+    case core::SolverAlgorithm::kAuto:
+    case core::SolverAlgorithm::kFast:
+    case core::SolverAlgorithm::kBruteForce:
+      raise(ErrorKind::kInternal,
+            "resolve() handed the cache an unresolved solver");
   }
   if (entries_.size() >= capacity_) {
     entries_.pop_back();
@@ -160,16 +184,74 @@ SolverCache::Entry& SolverCache::lookup(const core::CrossbarModel& model,
   return entries_.front();
 }
 
+core::SolveResult SolverCache::eval_result(const core::CrossbarModel& model,
+                                           const core::SolverSpec& spec) {
+  return eval_at_result(model, model.dims(), spec);
+}
+
+core::SolveResult SolverCache::eval_at_result(const core::CrossbarModel& model,
+                                              core::Dims at,
+                                              const core::SolverSpec& spec) {
+  const auto start = Clock::now();
+  core::SolveResult result;
+
+  if (spec.algorithm == core::SolverAlgorithm::kBruteForce) {
+    // Brute force is a test oracle, not a cached grid: it stores no state
+    // worth reusing, so it takes the direct path and leaves the counters
+    // alone.  Subsystem evaluation re-normalizes the traffic at `at`.
+    const bool full = at == model.dims();
+    result = core::solve_result(
+        full ? model : model.with_dims_same_tuple_rates(at),
+        core::SolverSpec::brute_force());
+    result.diagnostics.evaluated_at = at;
+    result.diagnostics.wall_seconds = seconds_since(start);
+    return result;
+  }
+
+  bool was_hit = false;
+  Entry& e = lookup(model, spec, was_hit);
+  result.measures = e.alg1 ? e.alg1->solve_at(at) : e.alg2->solve_at(at);
+  result.diagnostics = e.built;
+  result.diagnostics.evaluated_at = at;
+  result.diagnostics.cache_hit = was_hit;
+  result.diagnostics.wall_seconds = seconds_since(start);
+  return result;
+}
+
 core::Measures SolverCache::eval(const core::CrossbarModel& model,
-                                 SweepSolver solver) {
-  Entry& e = lookup(model, solver);
-  return e.alg1 ? e.alg1->solve() : e.alg2->solve();
+                                 const core::SolverSpec& spec) {
+  return eval_result(model, spec).measures;
 }
 
 core::Measures SolverCache::eval_at(const core::CrossbarModel& model,
-                                    core::Dims at, SweepSolver solver) {
-  Entry& e = lookup(model, solver);
-  return e.alg1 ? e.alg1->solve_at(at) : e.alg2->solve_at(at);
+                                    core::Dims at,
+                                    const core::SolverSpec& spec) {
+  return eval_at_result(model, at, spec).measures;
+}
+
+std::size_t SweepReport::total_hits() const noexcept {
+  std::size_t total = 0;
+  for (const SweepSlotCounters& s : slots) {
+    total += s.hits;
+  }
+  return total;
+}
+
+std::size_t SweepReport::total_misses() const noexcept {
+  std::size_t total = 0;
+  for (const SweepSlotCounters& s : slots) {
+    total += s.misses;
+  }
+  return total;
+}
+
+std::vector<core::Measures> SweepReport::measures() const {
+  std::vector<core::Measures> out;
+  out.reserve(results.size());
+  for (const core::SolveResult& r : results) {
+    out.push_back(r.measures);
+  }
+  return out;
 }
 
 SweepRunner::SweepRunner(SweepOptions options)
@@ -197,18 +279,39 @@ SolverCache& SweepRunner::cache(unsigned slot) {
   return *caches_[slot];
 }
 
-std::vector<core::Measures> SweepRunner::run(
-    const std::vector<ScenarioPoint>& points) {
-  return map<core::Measures>(
-      points.size(), [&](std::size_t i, SolverCache& cache) {
-        const ScenarioPoint& pt = points[i];
-        return pt.eval_at ? cache.eval_at(pt.model, *pt.eval_at,
-                                          options_.solver)
-                          : cache.eval(pt.model, options_.solver);
-      });
+std::vector<SweepSlotCounters> SweepRunner::slot_counters() const {
+  std::vector<SweepSlotCounters> counters;
+  counters.reserve(caches_.size());
+  for (const auto& cache : caches_) {
+    counters.push_back(SweepSlotCounters{cache->hits(), cache->misses()});
+  }
+  return counters;
 }
 
-std::vector<core::Measures> SweepRunner::dimension_sweep(
+SweepReport SweepRunner::run_report(const std::vector<ScenarioPoint>& points) {
+  const auto start = Clock::now();
+  SweepReport report;
+  report.results = map<core::SolveResult>(
+      points.size(), [&](std::size_t i, SolverCache& cache) {
+        const ScenarioPoint& pt = points[i];
+        return pt.eval_at
+                   ? cache.eval_at_result(pt.model, *pt.eval_at,
+                                          options_.solver)
+                   : cache.eval_result(pt.model, options_.solver);
+      });
+  report.slots = slot_counters();
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+std::vector<core::Measures> SweepRunner::run(
+    const std::vector<ScenarioPoint>& points) {
+  return run_report(points).measures();
+}
+
+namespace {
+
+std::vector<ScenarioPoint> dimension_points(
     const core::CrossbarModel& model, const std::vector<core::Dims>& sizes) {
   core::Dims max_dims = model.dims();
   for (const core::Dims& d : sizes) {
@@ -223,7 +326,19 @@ std::vector<core::Measures> SweepRunner::dimension_sweep(
   for (const core::Dims& d : sizes) {
     points.push_back(ScenarioPoint{parent, d});
   }
-  return run(points);
+  return points;
+}
+
+}  // namespace
+
+SweepReport SweepRunner::dimension_sweep_report(
+    const core::CrossbarModel& model, const std::vector<core::Dims>& sizes) {
+  return run_report(dimension_points(model, sizes));
+}
+
+std::vector<core::Measures> SweepRunner::dimension_sweep(
+    const core::CrossbarModel& model, const std::vector<core::Dims>& sizes) {
+  return run(dimension_points(model, sizes));
 }
 
 }  // namespace xbar::sweep

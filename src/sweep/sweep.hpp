@@ -13,6 +13,14 @@
 //     the largest size, answering every smaller size via `solve_at` —
 //     turning 32 solves into one.
 //
+// The engine speaks the unified solve contract: requests are
+// `core::SolverSpec`, per-point answers are `core::SolveResult` (measures
+// + diagnostics), and `run_report()` aggregates them — together with each
+// slot's cache hit/miss counters — into a `SweepReport`.  Resolved
+// algorithm, backend, and fallback flags in the diagnostics depend only on
+// the point, so they are identical for every thread count; cache hits and
+// wall times describe what this particular run did.
+//
 // Note the tilde-unit caveat: the paper's figure sweeps hold the *aggregate*
 // intensity fixed, so per-tuple rates change with N and each size is a
 // genuinely different model (no grid sharing).  `dimension_sweep` is for
@@ -29,26 +37,16 @@
 
 #include "core/measures.hpp"
 #include "core/model.hpp"
+#include "core/solver_spec.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace xbar::core {
 class Algorithm1Solver;
 class Algorithm2Solver;
+class BruteForceSolver;
 }  // namespace xbar::core
 
 namespace xbar::sweep {
-
-/// How the runner solves each scenario point.
-enum class SweepSolver {
-  /// Algorithm 1 on the paper's §6 dynamic-scaling double backend — the
-  /// fastest robust path — falling back to the ScaledFloat backend when the
-  /// double grid degenerates.  The fallback depends only on the point, so
-  /// results stay deterministic.
-  kFast,
-  kAlgorithm1,  ///< Algorithm 1, default (ScaledFloat) backend
-  kAlgorithm2,  ///< Algorithm 2 ratio recursion
-  kAuto,        ///< the paper's §5 size guidance (N <= 32 -> Algorithm 1)
-};
 
 /// One point of a sweep: a model plus, optionally, the subsystem at which
 /// to evaluate it (same per-tuple rates).  `eval_at` is what lets dimension
@@ -69,21 +67,32 @@ class SolverCache {
   SolverCache(SolverCache&&) noexcept;
   SolverCache& operator=(SolverCache&&) noexcept;
 
-  /// Measures of `model` at its full dimensions.
-  core::Measures eval(const core::CrossbarModel& model,
-                      SweepSolver solver = SweepSolver::kFast);
+  /// Solve `model` at its full dimensions, with diagnostics (cache hit,
+  /// backend/fallback of the grid that answered, wall time of this call).
+  core::SolveResult eval_result(
+      const core::CrossbarModel& model,
+      const core::SolverSpec& spec = core::SolverSpec::fast());
 
-  /// Measures of `model`'s traffic at subsystem `at` (same per-tuple
-  /// rates), reusing `model`'s cached grid when present.
-  core::Measures eval_at(const core::CrossbarModel& model, core::Dims at,
-                         SweepSolver solver = SweepSolver::kFast);
+  /// Solve `model`'s traffic at subsystem `at` (same per-tuple rates),
+  /// reusing `model`'s cached grid when present.
+  core::SolveResult eval_at_result(
+      const core::CrossbarModel& model, core::Dims at,
+      const core::SolverSpec& spec = core::SolverSpec::fast());
+
+  /// Measures-only conveniences.
+  core::Measures eval(const core::CrossbarModel& model,
+                      const core::SolverSpec& spec = core::SolverSpec::fast());
+  core::Measures eval_at(
+      const core::CrossbarModel& model, core::Dims at,
+      const core::SolverSpec& spec = core::SolverSpec::fast());
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:
   struct Entry;
-  Entry& lookup(const core::CrossbarModel& model, SweepSolver solver);
+  Entry& lookup(const core::CrossbarModel& model, const core::SolverSpec& spec,
+                bool& was_hit);
 
   std::size_t capacity_;
   std::vector<Entry> entries_;  // most-recently-used first
@@ -91,11 +100,32 @@ class SolverCache {
   std::size_t misses_ = 0;
 };
 
+/// One slot's cumulative cache counters (the caches persist across
+/// `run()`/`map()` calls, so these count the runner's lifetime).
+struct SweepSlotCounters {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+/// Everything one sweep produced: per-point results with diagnostics plus
+/// the engine's own observability (per-slot cache counters, wall time).
+struct SweepReport {
+  std::vector<core::SolveResult> results;   ///< results[i] <-> points[i]
+  std::vector<SweepSlotCounters> slots;     ///< per pool slot, cumulative
+  double wall_seconds = 0.0;                ///< end-to-end sweep time
+
+  [[nodiscard]] std::size_t total_hits() const noexcept;
+  [[nodiscard]] std::size_t total_misses() const noexcept;
+
+  /// Measures-only view (for callers migrating from run()).
+  [[nodiscard]] std::vector<core::Measures> measures() const;
+};
+
 struct SweepOptions {
   /// Max participants (0 = pool workers + caller).  Results are identical
   /// for every value; this only bounds concurrency.
   unsigned threads = 0;
-  SweepSolver solver = SweepSolver::kFast;
+  core::SolverSpec solver = core::SolverSpec::fast();
   std::size_t cache_capacity = 8;  ///< per-slot SolverCache entries
   ThreadPool* pool = nullptr;      ///< nullptr = ThreadPool::shared()
 };
@@ -110,12 +140,19 @@ class SweepRunner {
   /// Evaluate all points; results[i] always corresponds to points[i].
   std::vector<core::Measures> run(const std::vector<ScenarioPoint>& points);
 
+  /// Evaluate all points and report diagnostics + cache counters.
+  SweepReport run_report(const std::vector<ScenarioPoint>& points);
+
   /// Evaluate the same traffic (per-tuple rates of `model`) at every size
   /// in `sizes`, building ONE grid at the component-wise max size and
   /// answering each entry via solve_at.
   std::vector<core::Measures> dimension_sweep(
       const core::CrossbarModel& model,
       const std::vector<core::Dims>& sizes);
+
+  /// dimension_sweep with diagnostics + cache counters.
+  SweepReport dimension_sweep_report(const core::CrossbarModel& model,
+                                     const std::vector<core::Dims>& sizes);
 
   /// Generic deterministic parallel map: out[i] = fn(i, cache) where
   /// `cache` is the calling slot's SolverCache.  For drivers whose per-point
@@ -133,6 +170,9 @@ class SweepRunner {
 
   /// The slot's persistent cache (created on first use).
   SolverCache& cache(unsigned slot);
+
+  /// Snapshot of every allocated slot's cumulative cache counters.
+  [[nodiscard]] std::vector<SweepSlotCounters> slot_counters() const;
 
   [[nodiscard]] const SweepOptions& options() const noexcept {
     return options_;

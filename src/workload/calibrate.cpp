@@ -1,7 +1,9 @@
 #include "workload/calibrate.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "core/error.hpp"
 #include "core/solver.hpp"
 #include "numeric/roots.hpp"
 #include "workload/scenario.hpp"
@@ -12,6 +14,21 @@ std::optional<CalibrationResult> calibrate_load(unsigned n, unsigned a,
                                                 double target_blocking,
                                                 double beta_over_alpha,
                                                 double blocking_tolerance) {
+  if (n == 0 || a == 0) {
+    raise(ErrorKind::kDomain,
+          "calibrate_load: n and a must be >= 1 (got n=" + std::to_string(n) +
+              ", a=" + std::to_string(a) + ")");
+  }
+  if (a > n) {
+    raise(ErrorKind::kDomain,
+          "calibrate_load: bandwidth a=" + std::to_string(a) +
+              " exceeds the switch size n=" + std::to_string(n) +
+              "; the class can never fit");
+  }
+  if (!(target_blocking > 0.0 && target_blocking < 1.0)) {
+    raise(ErrorKind::kDomain,
+          "calibrate_load: target blocking must lie in (0, 1)");
+  }
   const auto blocking_at = [&](double alpha_tilde) {
     const core::CrossbarModel model(
         core::Dims::square(n),

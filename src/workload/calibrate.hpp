@@ -27,7 +27,9 @@ struct CalibrationResult {
 /// beta~ = ratio * alpha~) sees `target_blocking` on an n x n crossbar.
 /// `beta_over_alpha` of 0 is Poisson; negative is smooth; positive peaky.
 /// Returns nullopt if the target is unreachable (e.g. above the blocking at
-/// saturating load within the search bracket).
+/// saturating load within the search bracket).  Raises xbar::Error
+/// (kDomain) when the question itself is ill-posed: n or a of zero,
+/// a > n (the class can never fit), or a target outside (0, 1).
 [[nodiscard]] std::optional<CalibrationResult> calibrate_load(
     unsigned n, unsigned a, double target_blocking,
     double beta_over_alpha = 0.0, double blocking_tolerance = 1e-10);

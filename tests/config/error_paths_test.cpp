@@ -1,0 +1,96 @@
+// Error-path coverage for the config stack: every failure mode must arrive
+// as a typed xbar::Error whose what() names the raising source file:line,
+// so the CLI (and any future frontend) can report failures precisely
+// without string-matching ad-hoc exception text.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "config/ini.hpp"
+#include "config/scenario_file.hpp"
+#include "core/error.hpp"
+
+namespace xbar::config {
+namespace {
+
+// what() must carry the "<kind> error: ... [at file:line]" decoration.
+void expect_decorated(const Error& e, ErrorKind kind,
+                      const std::string& needle) {
+  EXPECT_EQ(e.kind(), kind);
+  const std::string what = e.what();
+  EXPECT_NE(what.find(std::string(xbar::to_string(kind)) + " error"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find(needle), std::string::npos) << what;
+  EXPECT_GT(e.source_line(), 0u);
+  EXPECT_NE(what.find(e.source_file() + ':' +
+                      std::to_string(e.source_line())),
+            std::string::npos)
+      << what;
+}
+
+TEST(ErrorPaths, MalformedIniIsAParseErrorWithInputLine) {
+  try {
+    (void)parse_scenario_string("[switch]\ninputs = 4\ngarbage here\n");
+    FAIL() << "expected xbar::Error";
+  } catch (const IniError& e) {
+    expect_decorated(e, ErrorKind::kParse, "line 3");
+    EXPECT_EQ(e.line(), 3u);  // the INI input line, not the C++ one
+  }
+}
+
+TEST(ErrorPaths, NonNumericValueIsAParseError) {
+  try {
+    (void)parse_scenario_string(
+        "[switch]\ninputs = many\n[class c]\nshape = poisson\nrho = 1\n");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    expect_decorated(e, ErrorKind::kParse, "many");
+  }
+}
+
+TEST(ErrorPaths, UnknownSolverIsAConfigError) {
+  try {
+    (void)parse_scenario_string(
+        "[switch]\ninputs = 4\n[class c]\nshape = poisson\nrho = 1\n"
+        "[solve]\nalgorithm = magic\n");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    expect_decorated(e, ErrorKind::kConfig, "magic");
+  }
+}
+
+TEST(ErrorPaths, InfeasibleClassIsAModelError) {
+  // bandwidth 3 on a 2-input switch violates the paper's §2 feasibility cap.
+  try {
+    (void)parse_scenario_string(
+        "[switch]\ninputs = 2\noutputs = 8\n[class c]\nshape = poisson\n"
+        "rho = 1\nbandwidth = 3\n");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    expect_decorated(e, ErrorKind::kModel, "bandwidth");
+  }
+}
+
+TEST(ErrorPaths, MissingScenarioFileIsAnIoError) {
+  try {
+    (void)load_scenario("/nonexistent/path.ini");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    expect_decorated(e, ErrorKind::kIo, "/nonexistent/path.ini");
+  }
+}
+
+TEST(ErrorPaths, ErrorsRemainCatchableAsStdException) {
+  // Downstream code that only knows std::exception must keep working.
+  try {
+    (void)parse_scenario_string("nonsense\n");
+    FAIL() << "expected an exception";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::config

@@ -77,8 +77,8 @@ TEST(Ini, NumericParsingValidation) {
   EXPECT_EQ(s.get_unsigned("n", 0), 12u);
   EXPECT_DOUBLE_EQ(s.get_double("f", 0.0), 2.5e-3);
   EXPECT_EQ(s.get_unsigned("missing", 7), 7u);
-  EXPECT_THROW((void)s.get_double("bad", 0.0), std::invalid_argument);
-  EXPECT_THROW((void)s.get_unsigned("bad", 0), std::invalid_argument);
+  EXPECT_THROW((void)s.get_double("bad", 0.0), xbar::Error);
+  EXPECT_THROW((void)s.get_unsigned("bad", 0), xbar::Error);
 }
 
 TEST(Ini, RequireThrowsWithSectionContext) {
@@ -88,7 +88,8 @@ TEST(Ini, RequireThrowsWithSectionContext) {
   try {
     (void)s.require("rho");
     FAIL();
-  } catch (const std::invalid_argument& e) {
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
     EXPECT_NE(std::string(e.what()).find("class voice"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("rho"), std::string::npos);
   }

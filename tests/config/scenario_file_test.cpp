@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hpp"
 #include "core/solver.hpp"
 
 namespace xbar::config {
@@ -47,7 +48,8 @@ TEST(ScenarioFile, ParsesFullScenario) {
   EXPECT_DOUBLE_EQ(s.model.classes()[0].weight, 2.0);
   EXPECT_EQ(s.model.normalized(1).bandwidth, 2u);
   EXPECT_DOUBLE_EQ(s.model.classes()[1].mu, 0.5);
-  EXPECT_EQ(s.solver, core::SolverKind::kAlgorithm2);
+  EXPECT_EQ(s.solver.algorithm, core::SolverAlgorithm::kAlgorithm2);
+  EXPECT_FALSE(s.solver.backend.has_value());
   EXPECT_TRUE(s.has_simulation_section);
   EXPECT_DOUBLE_EQ(s.sim.warmup_time, 100.0);
   EXPECT_DOUBLE_EQ(s.sim.measurement_time, 2000.0);
@@ -68,7 +70,7 @@ TEST(ScenarioFile, MinimalScenarioDefaults) {
   const auto s = parse_scenario_string(
       "[switch]\ninputs = 4\n[class c]\nshape = poisson\nrho = 0.1\n");
   EXPECT_EQ(s.model.dims(), core::Dims::square(4));  // outputs default inputs
-  EXPECT_EQ(s.solver, core::SolverKind::kAuto);
+  EXPECT_EQ(s.solver.algorithm, core::SolverAlgorithm::kAuto);
   EXPECT_FALSE(s.has_simulation_section);
   EXPECT_EQ(s.model.normalized(0).bandwidth, 1u);
   EXPECT_DOUBLE_EQ(s.model.classes()[0].mu, 1.0);
@@ -78,52 +80,52 @@ TEST(ScenarioFile, MinimalScenarioDefaults) {
 TEST(ScenarioFile, RejectsMissingSwitch) {
   EXPECT_THROW(
       (void)parse_scenario_string("[class c]\nshape = poisson\nrho = 1\n"),
-      std::invalid_argument);
+      xbar::Error);
 }
 
 TEST(ScenarioFile, RejectsMissingClasses) {
   EXPECT_THROW((void)parse_scenario_string("[switch]\ninputs = 4\n"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, RejectsUnknownShapeAndAlgorithm) {
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 4\n[class c]\nshape = weird\n"),
-               std::invalid_argument);
+               xbar::Error);
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"
                    "rho = 1\n[solve]\nalgorithm = magic\n"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, RejectsMissingShapeParameters) {
   // poisson without rho, bursty without alpha.
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"),
-               std::invalid_argument);
+               xbar::Error);
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 4\n[class c]\nshape = bursty\n"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, RejectsOutOfRangeHotspot) {
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 4\n[class c]\nshape = poisson\n"
                    "rho = 1\n[simulate]\nhotspot = 1.5\n"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, ModelValidationPropagates) {
-  // bandwidth exceeding the switch cap must surface as invalid_argument.
+  // bandwidth exceeding the switch cap must surface as a typed error.
   EXPECT_THROW((void)parse_scenario_string(
                    "[switch]\ninputs = 2\n[class c]\nshape = poisson\n"
                    "rho = 1\nbandwidth = 3\n"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, MissingFileReported) {
   EXPECT_THROW((void)load_scenario("/nonexistent/path.ini"),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(ScenarioFile, ShippedScenariosParse) {

@@ -178,10 +178,31 @@ TEST_P(EquivalenceTest, SubsystemMeasuresAgreeWithShrunkenBruteForce) {
 TEST_P(EquivalenceTest, SolverFacadeMatchesBruteForce) {
   const CrossbarModel model = make_model();
   const Measures reference = BruteForceSolver(model).solve();
-  for (const auto kind : {SolverKind::kAuto, SolverKind::kAlgorithm1,
-                          SolverKind::kAlgorithm2, SolverKind::kBruteForce}) {
-    expect_measures_near(solve(model, kind), reference, 1e-9, "facade");
+  for (const auto spec :
+       {SolverSpec{}, SolverSpec::fast(),
+        SolverSpec{SolverAlgorithm::kAlgorithm1, {}},
+        SolverSpec{SolverAlgorithm::kAlgorithm2, {}},
+        SolverSpec::brute_force()}) {
+    expect_measures_near(solve(model, spec), reference, 1e-9, "facade");
   }
+}
+
+TEST_P(EquivalenceTest, SolveResultDiagnosticsDescribeTheRun) {
+  const CrossbarModel model = make_model();
+  const SolveResult result = core::solve_result(model, SolverSpec::fast());
+  EXPECT_EQ(result.diagnostics.requested, SolverAlgorithm::kFast);
+  EXPECT_EQ(result.diagnostics.algorithm, SolverAlgorithm::kAlgorithm1);
+  EXPECT_EQ(result.diagnostics.grid, model.dims());
+  EXPECT_EQ(result.diagnostics.evaluated_at, model.dims());
+  EXPECT_GE(result.diagnostics.wall_seconds, 0.0);
+  if (result.diagnostics.fast_fallback) {
+    EXPECT_EQ(result.diagnostics.backend, NumericBackend::kScaledFloat);
+  } else {
+    EXPECT_EQ(result.diagnostics.backend,
+              NumericBackend::kDoubleDynamicScaling);
+  }
+  expect_measures_near(result.measures, BruteForceSolver(model).solve(), 1e-9,
+                       "diagnostics run");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 #include <gtest/gtest.h>
 
 namespace xbar::core {
@@ -54,25 +56,25 @@ TEST(CrossbarModel, IntensityClampsAtZero) {
 
 TEST(CrossbarModel, RejectsZeroDimensions) {
   EXPECT_THROW(CrossbarModel(Dims{0, 4}, {TrafficClass::poisson("p", 0.1)}),
-               std::invalid_argument);
+               xbar::Error);
   EXPECT_THROW(CrossbarModel(Dims{4, 0}, {TrafficClass::poisson("p", 0.1)}),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(CrossbarModel, RejectsEmptyClassList) {
-  EXPECT_THROW(CrossbarModel(Dims::square(4), {}), std::invalid_argument);
+  EXPECT_THROW(CrossbarModel(Dims::square(4), {}), xbar::Error);
 }
 
 TEST(CrossbarModel, RejectsZeroBandwidth) {
   EXPECT_THROW(
       CrossbarModel(Dims::square(4), {TrafficClass::poisson("p", 0.1, 0)}),
-      std::invalid_argument);
+      xbar::Error);
 }
 
 TEST(CrossbarModel, RejectsBandwidthBeyondCap) {
   EXPECT_THROW(
       CrossbarModel(Dims{2, 8}, {TrafficClass::poisson("p", 0.1, 3)}),
-      std::invalid_argument);
+      xbar::Error);
   // a == cap is fine.
   EXPECT_NO_THROW(
       CrossbarModel(Dims{2, 8}, {TrafficClass::poisson("p", 0.1, 2)}));
@@ -81,17 +83,17 @@ TEST(CrossbarModel, RejectsBandwidthBeyondCap) {
 TEST(CrossbarModel, RejectsNonPositiveLoadOrMu) {
   EXPECT_THROW(
       CrossbarModel(Dims::square(4), {TrafficClass::poisson("p", 0.0)}),
-      std::invalid_argument);
+      xbar::Error);
   EXPECT_THROW(CrossbarModel(Dims::square(4),
                              {TrafficClass::poisson("p", 0.1, 1, 0.0)}),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(CrossbarModel, RejectsSupercriticalPascal) {
   // beta/mu >= 1 diverges.  beta~ = 4 * 1.0 on a 4x4 gives beta = 1.0.
   EXPECT_THROW(CrossbarModel(Dims::square(4),
                              {TrafficClass::bursty("p", 0.4, 4.0)}),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(CrossbarModel, RejectsBernoulliGoingNegativeInRange) {
@@ -99,7 +101,7 @@ TEST(CrossbarModel, RejectsBernoulliGoingNegativeInRange) {
   // intensity at k=4 = .1 - .2 < 0 — inadmissible.
   EXPECT_THROW(CrossbarModel(Dims::square(4),
                              {TrafficClass::bursty("s", 0.4, -0.2)}),
-               std::invalid_argument);
+               xbar::Error);
 }
 
 TEST(CrossbarModel, WithDimsSameTupleRatesPreservesPerTupleParameters) {

@@ -1,0 +1,117 @@
+// SolverSpec: string round-trips, resolution against concrete models, and
+// the typed errors bad specs raise.
+
+#include "core/solver_spec.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel tiny_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::bursty("b", 0.01, 0.005)});
+}
+
+TEST(SolverSpec, CanonicalStringsRoundTrip) {
+  for (const char* text :
+       {"auto", "fast", "algorithm1", "algorithm1/scaled",
+        "algorithm1/double-dynamic", "algorithm1/long-double",
+        "algorithm1/double-raw", "algorithm2", "brute"}) {
+    const SolverSpec spec = SolverSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec) << text;
+  }
+}
+
+TEST(SolverSpec, DefaultIsAuto) {
+  const SolverSpec spec;
+  EXPECT_EQ(spec.algorithm, SolverAlgorithm::kAuto);
+  EXPECT_FALSE(spec.backend.has_value());
+  EXPECT_EQ(spec.to_string(), "auto");
+}
+
+TEST(SolverSpec, ParseRejectsUnknownNames) {
+  for (const char* text : {"", "magic", "algorithm3", "fast/scaled",
+                           "algorithm2/ratio", "algorithm1/float",
+                           "algorithm1/"}) {
+    try {
+      (void)SolverSpec::parse(text);
+      FAIL() << "expected xbar::Error for '" << text << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kConfig) << text;
+      EXPECT_GT(e.source_line(), 0u);
+      EXPECT_NE(e.source_file().find("solver_spec.cpp"), std::string::npos);
+    }
+  }
+}
+
+TEST(SolverSpec, AutoResolvesPerPaperSection5) {
+  const ResolvedSolver small = resolve(SolverSpec{}, tiny_model(8));
+  EXPECT_EQ(small.algorithm, SolverAlgorithm::kAlgorithm1);
+  EXPECT_EQ(small.backend, NumericBackend::kScaledFloat);
+  EXPECT_FALSE(small.fallback_on_degenerate);
+
+  const ResolvedSolver large = resolve(SolverSpec{}, tiny_model(64));
+  EXPECT_EQ(large.algorithm, SolverAlgorithm::kAlgorithm2);
+  EXPECT_EQ(large.backend, NumericBackend::kRatio);
+}
+
+TEST(SolverSpec, FastResolvesToDynamicScalingWithFallback) {
+  const ResolvedSolver r = resolve(SolverSpec::fast(), tiny_model(8));
+  EXPECT_EQ(r.algorithm, SolverAlgorithm::kAlgorithm1);
+  EXPECT_EQ(r.backend, NumericBackend::kDoubleDynamicScaling);
+  EXPECT_TRUE(r.fallback_on_degenerate);
+}
+
+TEST(SolverSpec, ExplicitBackendIsHonored) {
+  const SolverSpec spec = SolverSpec::parse("algorithm1/long-double");
+  const ResolvedSolver r = resolve(spec, tiny_model(4));
+  EXPECT_EQ(r.backend, NumericBackend::kLongDouble);
+  EXPECT_FALSE(r.fallback_on_degenerate);
+}
+
+TEST(SolverSpec, ResolveRejectsBackendOnWrongAlgorithm) {
+  SolverSpec spec;
+  spec.algorithm = SolverAlgorithm::kAlgorithm2;
+  spec.backend = NumericBackend::kLongDouble;  // bypass parse() validation
+  try {
+    (void)resolve(spec, tiny_model(4));
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+  }
+}
+
+TEST(ErrorTaxonomy, WhatNamesKindAndLocation) {
+  try {
+    raise(ErrorKind::kDomain, "probe message");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDomain);
+    EXPECT_EQ(e.message(), "probe message");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("domain error"), std::string::npos) << what;
+    EXPECT_NE(what.find("probe message"), std::string::npos) << what;
+    EXPECT_NE(what.find("solver_spec_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(':' + std::to_string(e.source_line())),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(ErrorTaxonomy, KindNames) {
+  EXPECT_EQ(xbar::to_string(ErrorKind::kParse), "parse");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kConfig), "config");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kModel), "model");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kDomain), "domain");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kUsage), "usage");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kIo), "io");
+  EXPECT_EQ(xbar::to_string(ErrorKind::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace xbar::core

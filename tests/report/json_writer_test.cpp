@@ -1,0 +1,95 @@
+// JsonWriter: structural bookkeeping (commas, nesting), number formatting
+// (shortest round-trip, NaN/Inf -> null), and string escaping.
+
+#include "report/json_writer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xbar::report {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("name").value("xbar");
+  json.key("blocking").value(0.25);
+  json.key("ok").value(true);
+  json.key("count").value(3u);
+  json.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"xbar\",\n"
+            "  \"blocking\": 0.25,\n"
+            "  \"ok\": true,\n"
+            "  \"count\": 3\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("list").begin_array().end_array();
+  json.key("map").begin_object().end_object();
+  json.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"list\": [],\n"
+            "  \"map\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriter, NestedArraysPlaceCommas) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  json.value(1).value(2);
+  json.begin_object();
+  json.key("k").value("v");
+  json.end_object();
+  json.end_array();
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  1,\n"
+            "  2,\n"
+            "  {\n"
+            "    \"k\": \"v\"\n"
+            "  }\n"
+            "]");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  json.value(0.1);
+  json.value(1e-12);
+  json.value(-3.5);
+  json.end_array();
+  EXPECT_EQ(os.str(), "[\n  0.1,\n  1e-12,\n  -3.5\n]");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(os.str(), "[\n  null,\n  null\n]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace xbar::report

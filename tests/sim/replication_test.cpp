@@ -54,6 +54,24 @@ TEST(Replication, MatchesAnalyticWithinInterval) {
   }
 }
 
+TEST(Replication, OutputSelectorFactoryShapesTraffic) {
+  // A hotspot selector concentrates calls on one output, so congestion must
+  // rise measurably versus the uniform default — and stay deterministic.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 2.0)});
+  auto cfg = quick(4);
+  const auto uniform = run_crossbar_replications(model, cfg);
+  cfg.output_selector_factory = [](std::size_t) {
+    return make_hotspot_selector(0.9, 0);
+  };
+  const auto hot = run_crossbar_replications(model, cfg);
+  const auto hot_again = run_crossbar_replications(model, cfg);
+  EXPECT_GT(hot.per_class[0].call_congestion.mean,
+            uniform.per_class[0].call_congestion.mean);
+  EXPECT_EQ(hot.per_class[0].call_congestion.mean,
+            hot_again.per_class[0].call_congestion.mean);
+}
+
 TEST(Replication, DeterministicAcrossThreadCounts) {
   // Each replication owns its seed, so the thread partition must not change
   // the aggregate.

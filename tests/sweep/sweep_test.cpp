@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -126,31 +127,40 @@ TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
   wide.threads = 8;
   ThreadPool pool(7);
   wide.pool = &pool;
-  const auto r1 = SweepRunner(serial).run(points);
-  const auto r8 = SweepRunner(wide).run(points);
-  ASSERT_EQ(r1.size(), r8.size());
-  for (std::size_t i = 0; i < r1.size(); ++i) {
+  const auto r1 = SweepRunner(serial).run_report(points);
+  const auto r8 = SweepRunner(wide).run_report(points);
+  ASSERT_EQ(r1.results.size(), r8.results.size());
+  for (std::size_t i = 0; i < r1.results.size(); ++i) {
+    const auto& m1 = r1.results[i].measures;
+    const auto& m8 = r8.results[i].measures;
     // Exact equality on purpose: the schedule must not leak into values.
-    EXPECT_EQ(r1[i].utilization, r8[i].utilization) << i;
-    EXPECT_EQ(r1[i].revenue, r8[i].revenue) << i;
-    for (std::size_t r = 0; r < r1[i].per_class.size(); ++r) {
-      EXPECT_EQ(r1[i].per_class[r].blocking, r8[i].per_class[r].blocking)
+    EXPECT_EQ(m1.utilization, m8.utilization) << i;
+    EXPECT_EQ(m1.revenue, m8.revenue) << i;
+    for (std::size_t r = 0; r < m1.per_class.size(); ++r) {
+      EXPECT_EQ(m1.per_class[r].blocking, m8.per_class[r].blocking)
           << i << "," << r;
-      EXPECT_EQ(r1[i].per_class[r].concurrency,
-                r8[i].per_class[r].concurrency)
+      EXPECT_EQ(m1.per_class[r].concurrency, m8.per_class[r].concurrency)
           << i << "," << r;
     }
+    // Diagnostics contract: what solved a point depends on the point alone,
+    // never on the schedule.
+    const auto& d1 = r1.results[i].diagnostics;
+    const auto& d8 = r8.results[i].diagnostics;
+    EXPECT_EQ(d1.algorithm, d8.algorithm) << i;
+    EXPECT_EQ(d1.backend, d8.backend) << i;
+    EXPECT_EQ(d1.fast_fallback, d8.fast_fallback) << i;
+    EXPECT_EQ(d1.rescales, d8.rescales) << i;
   }
 }
 
 TEST(SweepRunner, SolverChoicesAgree) {
   const auto points = figure_grid();
   std::vector<std::vector<core::Measures>> all;
-  for (const SweepSolver solver :
-       {SweepSolver::kFast, SweepSolver::kAlgorithm1, SweepSolver::kAlgorithm2,
-        SweepSolver::kAuto}) {
+  for (const std::string_view spec :
+       {"fast", "algorithm1", "algorithm1/long-double", "algorithm2",
+        "auto"}) {
     SweepOptions options;
-    options.solver = solver;
+    options.solver = core::SolverSpec::parse(spec);
     all.push_back(SweepRunner(options).run(points));
   }
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -226,6 +236,72 @@ TEST(SweepRunner, DimensionSweepReusesOneGrid) {
                 direct.per_class[0].blocking, 1e-9)
         << "size " << i;
   }
+}
+
+TEST(SweepRunner, ReportCountsCacheTraffic) {
+  const auto points = figure_grid();
+  SweepOptions options;
+  options.threads = 1;         // single slot so the counters are exact
+  options.cache_capacity = points.size();
+  SweepRunner runner(options);
+
+  const auto cold = runner.run_report(points);
+  ASSERT_EQ(cold.results.size(), points.size());
+  ASSERT_EQ(cold.slots.size(), 1u);
+  EXPECT_EQ(cold.total_misses(), points.size());
+  EXPECT_EQ(cold.total_hits(), 0u);
+  for (const auto& res : cold.results) {
+    EXPECT_FALSE(res.diagnostics.cache_hit);
+  }
+
+  // Re-running the same grid is the serving hot path: every point hits.
+  const auto warm = runner.run_report(points);
+  EXPECT_EQ(warm.total_misses(), points.size());  // counters are cumulative
+  EXPECT_EQ(warm.total_hits(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(warm.results[i].diagnostics.cache_hit) << i;
+    EXPECT_EQ(warm.results[i].measures.per_class[0].blocking,
+              cold.results[i].measures.per_class[0].blocking)
+        << i;
+  }
+}
+
+TEST(SweepRunner, DimensionSweepReportSurfacesGridReuse) {
+  const CrossbarModel model(Dims::square(16),
+                            {TrafficClass::bursty("b", 0.08, 0.04, 2)});
+  const std::vector<Dims> sizes = {Dims::square(4), Dims::square(8),
+                                   Dims::square(16)};
+  SweepOptions options;
+  options.threads = 1;
+  SweepRunner runner(options);
+  const auto report = runner.dimension_sweep_report(model, sizes);
+  EXPECT_EQ(report.total_misses(), 1u);  // one max-N grid answers everything
+  EXPECT_EQ(report.total_hits(), sizes.size() - 1);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(report.results[i].diagnostics.evaluated_at, sizes[i]) << i;
+    EXPECT_EQ(report.results[i].diagnostics.grid, Dims::square(16)) << i;
+  }
+}
+
+TEST(SweepRunner, BruteForceSpecBypassesTheCache) {
+  // Brute force is the test oracle, not a cached grid: it solves directly
+  // and leaves the counters untouched.
+  std::vector<ScenarioPoint> points;
+  points.push_back({CrossbarModel(Dims::square(3),
+                                  {TrafficClass::bursty("b", 0.02, 0.01)}),
+                    std::nullopt});
+  SweepOptions options;
+  options.threads = 1;
+  options.solver = core::SolverSpec::brute_force();
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+  EXPECT_EQ(report.total_hits() + report.total_misses(), 0u);
+  EXPECT_EQ(report.results[0].diagnostics.algorithm,
+            core::SolverAlgorithm::kBruteForce);
+  const auto direct =
+      core::solve(points[0].model, core::SolverSpec::brute_force());
+  EXPECT_EQ(report.results[0].measures.per_class[0].blocking,
+            direct.per_class[0].blocking);
 }
 
 TEST(SweepRunner, FastSolverFallsBackDeterministically) {

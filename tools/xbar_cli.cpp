@@ -5,31 +5,69 @@
 //   xbar simulate <scenario.ini>            discrete-event run vs analysis
 //   xbar sweep    <scenario.ini> --sizes=4,8,16,...   blocking vs N (square)
 //
+// Common flags:
+//   --solver=SPEC   override the scenario's [solve] algorithm
+//                   (auto|fast|algorithm1[/backend]|algorithm2|brute)
+//   --verbose       print solve diagnostics (backend, fallback, rescales,
+//                   cache hits, wall time)
+//   --json          machine-readable output (solve and sweep)
+//
+// All failures surface as typed xbar::Error diagnostics naming the raising
+// source file:line, and the process exits with code 1.
+//
 // Scenario format: see src/config/scenario_file.hpp or examples/scenarios/.
 
+#include <charconv>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "config/scenario_file.hpp"
-#include "fabric/crossbar.hpp"
+#include "core/error.hpp"
 #include "core/revenue.hpp"
 #include "core/solver.hpp"
 #include "report/args.hpp"
+#include "report/json_writer.hpp"
 #include "report/table.hpp"
 #include "sim/replication.hpp"
 #include "sim/traffic_pattern.hpp"
 #include "sweep/sweep.hpp"
-#include "sweep/thread_pool.hpp"
 
 namespace {
 
 using namespace xbar;
 
 int usage() {
-  std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini> "
-               "[--sizes=4,8,16]\n";
+  std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini>\n"
+               "            [--solver=SPEC] [--verbose] [--json]\n"
+               "            [--sizes=4,8,16]          (sweep only)\n"
+               "SPEC: auto|fast|algorithm1[/scaled|/double-dynamic|"
+               "/long-double|/double-raw]|algorithm2|brute\n";
   return 2;
+}
+
+/// The scenario's solver, unless --solver overrides it.
+core::SolverSpec effective_solver(const config::Scenario& scenario,
+                                  const report::Args& args) {
+  if (const auto text = args.get("solver")) {
+    return core::SolverSpec::parse(*text);
+  }
+  return scenario.solver;
+}
+
+std::string dims_text(core::Dims d) {
+  return std::to_string(d.n1) + "x" + std::to_string(d.n2);
+}
+
+void print_diagnostics(const core::SolveDiagnostics& d, std::ostream& os) {
+  os << "solver: requested=" << core::to_string(d.requested)
+     << " resolved=" << core::to_string(d.algorithm)
+     << " backend=" << core::to_string(d.backend)
+     << " fallback=" << (d.fast_fallback ? "yes" : "no")
+     << " rescales=" << d.rescales << " grid=" << dims_text(d.grid)
+     << " eval=" << dims_text(d.evaluated_at)
+     << " cache=" << (d.cache_hit ? "hit" : "miss") << " wall="
+     << report::Table::num(d.wall_seconds * 1e3, 3) << "ms\n";
 }
 
 void print_measures(const core::CrossbarModel& model,
@@ -52,12 +90,74 @@ void print_measures(const core::CrossbarModel& model,
             << "\n";
 }
 
-int cmd_solve(const config::Scenario& scenario) {
-  print_measures(scenario.model, core::solve(scenario.model, scenario.solver));
+void write_measures_json(report::JsonWriter& json,
+                         const core::CrossbarModel& model,
+                         const core::Measures& measures) {
+  json.begin_object();
+  json.key("per_class").begin_array();
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const auto& cm = measures.per_class[r];
+    json.begin_object();
+    json.key("name").value(model.classes()[r].name);
+    json.key("bandwidth").value(model.normalized(r).bandwidth);
+    json.key("blocking").value(cm.blocking);
+    json.key("non_blocking").value(cm.non_blocking);
+    json.key("concurrency").value(cm.concurrency);
+    json.key("throughput").value(cm.throughput);
+    json.key("port_usage").value(cm.port_usage);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("revenue").value(measures.revenue);
+  json.key("total_throughput").value(measures.total_throughput);
+  json.key("utilization").value(measures.utilization);
+  json.end_object();
+}
+
+void write_diagnostics_json(report::JsonWriter& json,
+                            const core::SolveDiagnostics& d) {
+  json.begin_object();
+  json.key("requested").value(core::to_string(d.requested));
+  json.key("algorithm").value(core::to_string(d.algorithm));
+  json.key("backend").value(core::to_string(d.backend));
+  json.key("fast_fallback").value(d.fast_fallback);
+  json.key("rescales").value(d.rescales);
+  json.key("grid").begin_object();
+  json.key("n1").value(d.grid.n1);
+  json.key("n2").value(d.grid.n2);
+  json.end_object();
+  json.key("evaluated_at").begin_object();
+  json.key("n1").value(d.evaluated_at.n1);
+  json.key("n2").value(d.evaluated_at.n2);
+  json.end_object();
+  json.key("cache_hit").value(d.cache_hit);
+  json.key("wall_seconds").value(d.wall_seconds);
+  json.end_object();
+}
+
+int cmd_solve(const config::Scenario& scenario, const report::Args& args) {
+  const core::SolverSpec spec = effective_solver(scenario, args);
+  const core::SolveResult result = core::solve_result(scenario.model, spec);
+  if (args.has("json")) {
+    report::JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("command").value("solve");
+    json.key("solver").value(spec.to_string());
+    json.key("measures");
+    write_measures_json(json, scenario.model, result.measures);
+    json.key("diagnostics");
+    write_diagnostics_json(json, result.diagnostics);
+    json.end_object();
+    return 0;
+  }
+  print_measures(scenario.model, result.measures);
+  if (args.has("verbose")) {
+    print_diagnostics(result.diagnostics, std::cout);
+  }
   return 0;
 }
 
-int cmd_revenue(const config::Scenario& scenario) {
+int cmd_revenue(const config::Scenario& scenario, const report::Args& args) {
   const core::RevenueAnalyzer analyzer(scenario.model);
   const auto report = analyzer.analyze();
   print_measures(scenario.model, report.measures);
@@ -74,59 +174,34 @@ int cmd_revenue(const config::Scenario& scenario) {
                    s.worth_admitting ? "admit more" : "cap it"});
   }
   table.print(std::cout);
+  (void)args;
   return 0;
 }
 
-int cmd_simulate(const config::Scenario& scenario) {
-  const auto analytic = core::solve(scenario.model, scenario.solver);
+int cmd_simulate(const config::Scenario& scenario, const report::Args& args) {
+  const core::SolveResult analytic =
+      core::solve_result(scenario.model, effective_solver(scenario, args));
+
+  // The replication layer owns the whole study — fabric construction, seed
+  // derivation, pooling, aggregation; non-uniform traffic plugs in through
+  // the output-selector factory, so the CLI holds no simulation logic.
   sim::ReplicationConfig cfg;
   cfg.replications = scenario.replications;
   cfg.sim = scenario.sim;
   const double hotspot = scenario.hotspot_fraction;
-
-  sim::ReplicationResult result;
   if (hotspot > 0.0) {
-    // Hot-spot runs need a per-simulator selector the replication layer
-    // doesn't model; run the replications through the shared pool with
-    // per-index result slots (deterministic for any thread count) and
-    // aggregate afterwards.
-    result.per_class.resize(scenario.model.num_classes());
-    std::vector<sim::SimulationResult> runs(cfg.replications);
-    sweep::ThreadPool::shared().parallel_for(
-        cfg.replications, 0, [&](std::size_t rep, unsigned) {
-          fabric::CrossbarFabric xbar_fabric(scenario.model.dims().n1,
-                                             scenario.model.dims().n2);
-          auto sim_cfg = cfg.sim;
-          sim_cfg.seed =
-              cfg.sim.seed + 0x9E3779B9u * (static_cast<unsigned>(rep) + 1);
-          sim::Simulator simulator(scenario.model, xbar_fabric, sim_cfg);
-          simulator.set_output_selector(
-              sim::make_hotspot_selector(hotspot, 0));
-          runs[rep] = simulator.run();
-        });
-    for (std::size_t r = 0; r < result.per_class.size(); ++r) {
-      sim::BatchMeans bm;
-      for (const auto& run : runs) {
-        if (run.per_class[r].offered > 0) {
-          bm.add(static_cast<double>(run.per_class[r].blocked) /
-                 static_cast<double>(run.per_class[r].offered));
-        }
-      }
-      result.per_class[r].call_congestion = bm.estimate();
-    }
-    for (const auto& run : runs) {
-      result.total_events += run.events;
-    }
-    result.replications = cfg.replications;
-  } else {
-    result = sim::run_crossbar_replications(scenario.model, cfg);
+    cfg.output_selector_factory = [hotspot](std::size_t) {
+      return sim::make_hotspot_selector(hotspot, 0);
+    };
   }
+  const sim::ReplicationResult result =
+      sim::run_crossbar_replications(scenario.model, cfg);
 
   report::Table table({"class", "analytic blocking", "sim call-cong", "CI"});
   for (std::size_t r = 0; r < scenario.model.num_classes(); ++r) {
     table.add_row(
         {scenario.model.classes()[r].name,
-         report::Table::num(analytic.per_class[r].blocking, 5),
+         report::Table::num(analytic.measures.per_class[r].blocking, 5),
          report::Table::num(result.per_class[r].call_congestion.mean, 5),
          report::Table::num(result.per_class[r].call_congestion.half_width,
                             2)});
@@ -139,27 +214,52 @@ int cmd_simulate(const config::Scenario& scenario) {
                           " (analytic column assumes uniform traffic)"
                     : "")
             << "\n";
+  if (args.has("verbose")) {
+    print_diagnostics(analytic.diagnostics, std::cout);
+  }
   return 0;
 }
 
-int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
-  const auto sizes_arg = args.get("sizes").value_or("4,8,16,32,64,128");
+/// Parse --sizes: comma-separated positive switch sizes.  Raises a usage
+/// error naming the offending token instead of letting std::stoul garbage
+/// escape as a raw exception (or a size of 0 build a bogus model).
+std::vector<unsigned> parse_sizes(const std::string& arg) {
+  constexpr unsigned kMaxSize = 65536;
   std::vector<unsigned> sizes;
-  std::stringstream ss(sizes_arg);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    sizes.push_back(static_cast<unsigned>(std::stoul(tok)));
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string token =
+        arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    start = comma == std::string::npos ? arg.size() + 1 : comma + 1;
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        token.empty()) {
+      raise(ErrorKind::kUsage,
+            "--sizes: invalid size '" + token +
+                "' (expected comma-separated positive integers, e.g. "
+                "--sizes=4,8,16)");
+    }
+    if (value == 0 || value > kMaxSize) {
+      raise(ErrorKind::kUsage,
+            "--sizes: size " + token + " out of range [1, " +
+                std::to_string(kMaxSize) + "]");
+    }
+    sizes.push_back(value);
   }
+  return sizes;
+}
 
-  std::vector<std::string> headers = {"N"};
-  for (const auto& c : scenario.model.classes()) {
-    headers.push_back(c.name);
-  }
-  report::Table table(headers);
+int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
+  const std::vector<unsigned> sizes =
+      parse_sizes(args.get("sizes").value_or("4,8,16,32,64,128"));
+  const core::SolverSpec spec = effective_solver(scenario, args);
 
-  // Evaluate every size through the sweep engine, honoring the scenario's
-  // solver choice (brute force stays on the direct path: it is a test
-  // oracle, not a cached grid).
+  // Every size through the sweep engine — one spec, no enum mapping; the
+  // engine routes brute force to the direct oracle path itself.
   std::vector<sweep::ScenarioPoint> points;
   points.reserve(sizes.size());
   for (const unsigned n : sizes) {
@@ -170,39 +270,72 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
                       std::nullopt});
   }
   sweep::SweepOptions options;
-  switch (scenario.solver) {
-    case core::SolverKind::kAlgorithm1:
-      options.solver = sweep::SweepSolver::kAlgorithm1;
-      break;
-    case core::SolverKind::kAlgorithm2:
-      options.solver = sweep::SweepSolver::kAlgorithm2;
-      break;
-    case core::SolverKind::kAuto:
-      options.solver = sweep::SweepSolver::kAuto;
-      break;
-    case core::SolverKind::kBruteForce:
-      options.solver = sweep::SweepSolver::kFast;  // overridden below
-      break;
-  }
+  options.solver = spec;
   sweep::SweepRunner runner(options);
-  std::vector<core::Measures> results;
-  if (scenario.solver == core::SolverKind::kBruteForce) {
-    results = runner.map<core::Measures>(
-        points.size(), [&](std::size_t i, sweep::SolverCache&) {
-          return core::solve(points[i].model, core::SolverKind::kBruteForce);
-        });
-  } else {
-    results = runner.run(points);
+  const sweep::SweepReport report = runner.run_report(points);
+
+  if (args.has("json")) {
+    report::JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("command").value("sweep");
+    json.key("solver").value(spec.to_string());
+    json.key("points").begin_array();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      json.begin_object();
+      json.key("n").value(sizes[i]);
+      json.key("measures");
+      write_measures_json(json, points[i].model, report.results[i].measures);
+      json.key("diagnostics");
+      write_diagnostics_json(json, report.results[i].diagnostics);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("cache").begin_object();
+    json.key("slots").begin_array();
+    for (const sweep::SweepSlotCounters& slot : report.slots) {
+      json.begin_object();
+      json.key("hits").value(static_cast<std::uint64_t>(slot.hits));
+      json.key("misses").value(static_cast<std::uint64_t>(slot.misses));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("hits").value(static_cast<std::uint64_t>(report.total_hits()));
+    json.key("misses")
+        .value(static_cast<std::uint64_t>(report.total_misses()));
+    json.end_object();
+    json.key("wall_seconds").value(report.wall_seconds);
+    json.end_object();
+    return 0;
   }
 
+  std::vector<std::string> headers = {"N"};
+  for (const auto& c : scenario.model.classes()) {
+    headers.push_back(c.name);
+  }
+  report::Table table(headers);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::vector<std::string> row = {report::Table::integer(sizes[i])};
-    for (const auto& cm : results[i].per_class) {
+    for (const auto& cm : report.results[i].measures.per_class) {
       row.push_back(report::Table::num(cm.blocking, 6));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+
+  if (args.has("verbose")) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::cout << "N=" << sizes[i] << " ";
+      print_diagnostics(report.results[i].diagnostics, std::cout);
+    }
+    std::size_t slot = 0;
+    for (const sweep::SweepSlotCounters& counters : report.slots) {
+      std::cout << "cache slot " << slot++ << ": hits=" << counters.hits
+                << " misses=" << counters.misses << "\n";
+    }
+    std::cout << "cache total: hits=" << report.total_hits()
+              << " misses=" << report.total_misses() << "   wall="
+              << report::Table::num(report.wall_seconds * 1e3, 3) << "ms\n";
+  }
   return 0;
 }
 
@@ -218,18 +351,21 @@ int main(int argc, char** argv) {
   try {
     const auto scenario = xbar::config::load_scenario(path);
     if (command == "solve") {
-      return cmd_solve(scenario);
+      return cmd_solve(scenario, args);
     }
     if (command == "revenue") {
-      return cmd_revenue(scenario);
+      return cmd_revenue(scenario, args);
     }
     if (command == "simulate") {
-      return cmd_simulate(scenario);
+      return cmd_simulate(scenario, args);
     }
     if (command == "sweep") {
       return cmd_sweep(scenario, args);
     }
     return usage();
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
