@@ -21,7 +21,8 @@
 //   [solve]                  # optional
 //   algorithm = auto         # SolverSpec string: auto | fast |
 //                            # algorithm1[/scaled|/double-dynamic|
-//                            # /long-double|/double-raw] | algorithm2 | brute
+//                            # /long-double|/double-raw|/log-domain]
+//                            # | algorithm2 | brute
 //
 //   [simulate]               # optional; enables `xbar simulate`
 //   warmup       = 500

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "numeric/combinatorics.hpp"
+#include "numeric/log_domain.hpp"
 #include "numeric/scaled_float.hpp"
 
 namespace xbar::core {
@@ -33,6 +34,23 @@ struct RealOps {
   }
   static bool positive_finite(Real v) {
     return std::isfinite(v) && v > Real(0);
+  }
+};
+
+template <>
+struct RealOps<num::SignedLog> {
+  static num::SignedLog from_double(double v) { return num::SignedLog{v}; }
+  static double log_of(const num::SignedLog& v) {
+    if (v.is_zero()) {
+      return kNegInf;
+    }
+    // Negative values (catastrophic cancellation in the Bernoulli
+    // V-recursion) surface as NaN so degeneracy detection catches them.
+    return v.log();
+  }
+  static bool positive_finite(const num::SignedLog& v) {
+    return v.sign() > 0 && !std::isnan(v.log_magnitude()) &&
+           v.log_magnitude() < std::numeric_limits<double>::infinity();
   }
 };
 
@@ -124,7 +142,7 @@ struct DynGrids {
 };
 
 using GridStore = std::variant<Grids<num::ScaledFloat>, Grids<long double>,
-                               Grids<double>, DynGrids>;
+                               Grids<double>, Grids<num::SignedLog>, DynGrids>;
 
 // Straightforward kernel: computes Q (and V for bursty classes) over the
 // whole grid in the chosen Real arithmetic.  The bursty V grids live in one
@@ -406,6 +424,9 @@ struct Algorithm1Solver::Impl {
       case Algorithm1Backend::kDoubleDynamicScaling:
         grids = build_grid_dynamic_scaling(model, options, part,
                                            scaling_events);
+        break;
+      case Algorithm1Backend::kLogDomain:
+        grids = build_grid<num::SignedLog>(model, part);
         break;
     }
     // Q(n) > 0 for every grid cell (the empty state always contributes

@@ -15,6 +15,10 @@
 //     rescaling by omega whenever the grid drifts out of range.
 //   * kLongDouble / kDoubleRaw    — plain arithmetic; kDoubleRaw exists to
 //     demonstrate *why* scaling is needed (see bench/ablation_scaling).
+//   * kLogDomain                  — every cell is a signed log-domain value
+//     (num::SignedLog); slowest, but no linear-domain intermediate is ever
+//     materialized.  The last rung of the sweep engine's numeric-escalation
+//     ladder.
 //
 // Because all performance measures are ratios of Q values, the scaling factor
 // cancels (paper §6), so every backend reports identical measures wherever it
@@ -36,6 +40,7 @@ enum class Algorithm1Backend {
   kDoubleDynamicScaling,
   kLongDouble,
   kDoubleRaw,
+  kLogDomain,
 };
 
 /// Options for Algorithm 1.

@@ -1,12 +1,32 @@
 #include "core/erlang.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace xbar::core {
 
+namespace {
+
+// All three entry points take an offered load; the checks used to be bare
+// asserts, which vanish in release builds and let NaN/negative loads walk
+// straight into the recursions (the fuzzer and bursty sweeps both reach
+// here with attacker/scenario-controlled numbers).
+void require_load(double a, bool strictly_positive, const char* what) {
+  const bool ok =
+      std::isfinite(a) && (strictly_positive ? a > 0.0 : a >= 0.0);
+  if (!ok) {
+    raise(ErrorKind::kDomain, std::string(what) + " requires a finite load " +
+                                  (strictly_positive ? "> 0" : ">= 0") +
+                                  ", got " + std::to_string(a));
+  }
+}
+
+}  // namespace
+
 double erlang_b(double a, unsigned c) {
-  assert(a >= 0.0);
+  require_load(a, false, "erlang_b");
   if (a == 0.0) {
     return 0.0;
   }
@@ -18,7 +38,12 @@ double erlang_b(double a, unsigned c) {
 }
 
 double erlang_b_real(double a, double c) {
-  assert(a > 0.0 && c >= 0.0);
+  require_load(a, true, "erlang_b_real");
+  if (!(std::isfinite(c) && c >= 0.0)) {
+    raise(ErrorKind::kDomain,
+          "erlang_b_real requires a finite trunk count >= 0, got " +
+              std::to_string(c));
+  }
   // 1/B(a, c) = integral_0^inf exp(-a t) (1 + t)^c dt evaluated by the
   // classic continued recursion on the integer part plus a fractional
   // starting point from numerical integration of the remainder.
@@ -60,7 +85,11 @@ double erlang_c(double a, unsigned c) {
 }
 
 double erlang_b_inverse_load(double target, unsigned c) {
-  assert(target > 0.0 && target < 1.0);
+  if (!(std::isfinite(target) && target > 0.0 && target < 1.0)) {
+    raise(ErrorKind::kDomain,
+          "erlang_b_inverse_load requires a target blocking in (0, 1), got " +
+              std::to_string(target));
+  }
   double lo = 0.0;
   double hi = 1.0;
   while (erlang_b(hi, c) < target) {

@@ -5,6 +5,11 @@
 // product form buys over (a) a single Erlang-B group and (b) the
 // "independence" approximation that treats the input and output sides as
 // separate Erlang groups.
+//
+// All entry points validate their numeric domain and raise
+// xbar::Error(kDomain) on non-finite or out-of-range arguments — these
+// functions sit on the scenario/fuzzer input path, so the checks must
+// survive release builds (they used to be asserts).
 
 #pragma once
 

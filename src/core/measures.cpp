@@ -1,5 +1,6 @@
 #include "core/measures.hpp"
 
+#include <cmath>
 #include <ostream>
 
 namespace xbar::core {
@@ -14,6 +15,59 @@ std::ostream& operator<<(std::ostream& os, const Measures& m) {
        << "}";
   }
   return os << "}";
+}
+
+namespace {
+
+// Roundoff slack: non_blocking = exp(log difference) can land a few ulps
+// past 1, making blocking a few ulps negative.  Anything beyond this is a
+// genuine arithmetic breakdown, not noise.
+constexpr double kProbabilityTol = 1e-9;
+
+bool bad_probability(double p) {
+  return !std::isfinite(p) || p < -kProbabilityTol ||
+         p > 1.0 + kProbabilityTol;
+}
+
+bool bad_quantity(double v) {
+  return !std::isfinite(v) || v < -kProbabilityTol;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_measures(const Measures& m) {
+  const auto describe = [](const char* field, std::size_t r, double v) {
+    return std::string(field) + " of class " + std::to_string(r) +
+           " is " + std::to_string(v);
+  };
+  for (std::size_t r = 0; r < m.per_class.size(); ++r) {
+    const ClassMeasures& c = m.per_class[r];
+    if (bad_probability(c.blocking)) {
+      return describe("blocking probability", r, c.blocking);
+    }
+    if (bad_probability(c.non_blocking)) {
+      return describe("non-blocking probability", r, c.non_blocking);
+    }
+    if (bad_quantity(c.concurrency)) {
+      return describe("concurrency", r, c.concurrency);
+    }
+    if (bad_quantity(c.throughput)) {
+      return describe("throughput", r, c.throughput);
+    }
+    if (bad_quantity(c.port_usage)) {
+      return describe("port usage", r, c.port_usage);
+    }
+  }
+  if (bad_quantity(m.revenue)) {
+    return "revenue is " + std::to_string(m.revenue);
+  }
+  if (bad_quantity(m.total_throughput)) {
+    return "total throughput is " + std::to_string(m.total_throughput);
+  }
+  if (bad_quantity(m.utilization)) {
+    return "utilization is " + std::to_string(m.utilization);
+  }
+  return std::nullopt;
 }
 
 }  // namespace xbar::core

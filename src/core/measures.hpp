@@ -4,6 +4,8 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace xbar::core {
@@ -47,5 +49,12 @@ struct Measures {
 };
 
 std::ostream& operator<<(std::ostream& os, const Measures& m);
+
+/// Post-solve numeric guard (sweep fault tolerance): the first violation of
+/// the sanity contract, if any — every probability finite and inside [0, 1]
+/// (up to a tiny roundoff tolerance), every concurrency / throughput /
+/// revenue / utilization finite and non-negative.  Returns std::nullopt for
+/// healthy measures; the message names the offending class and field.
+[[nodiscard]] std::optional<std::string> validate_measures(const Measures& m);
 
 }  // namespace xbar::core

@@ -21,8 +21,9 @@ Algorithm1Backend to_algorithm1_backend(NumericBackend backend) {
       return Algorithm1Backend::kLongDouble;
     case NumericBackend::kDoubleRaw:
       return Algorithm1Backend::kDoubleRaw;
-    case NumericBackend::kRatio:
     case NumericBackend::kLogDomain:
+      return Algorithm1Backend::kLogDomain;
+    case NumericBackend::kRatio:
       break;
   }
   raise(ErrorKind::kInternal,

@@ -41,13 +41,14 @@ std::string_view to_string(NumericBackend backend) noexcept {
 namespace {
 
 constexpr std::string_view kSpecGrammar =
-    "auto|fast|algorithm1[/scaled|/double-dynamic|/long-double|/double-raw]|"
-    "algorithm2|brute";
+    "auto|fast|algorithm1[/scaled|/double-dynamic|/long-double|/double-raw|"
+    "/log-domain]|algorithm2|brute";
 
 std::optional<NumericBackend> parse_grid_backend(std::string_view text) {
   for (const NumericBackend backend :
        {NumericBackend::kScaledFloat, NumericBackend::kDoubleDynamicScaling,
-        NumericBackend::kLongDouble, NumericBackend::kDoubleRaw}) {
+        NumericBackend::kLongDouble, NumericBackend::kDoubleRaw,
+        NumericBackend::kLogDomain}) {
     if (text == to_string(backend)) {
       return backend;
     }
@@ -92,7 +93,8 @@ SolverSpec SolverSpec::parse(std::string_view text) {
     if (!spec.backend) {
       raise(ErrorKind::kConfig,
             "unknown algorithm1 backend '" + std::string(*backend_name) +
-                "' (expected scaled|double-dynamic|long-double|double-raw)");
+                "' (expected scaled|double-dynamic|long-double|double-raw|"
+                "log-domain)");
     }
   }
   return spec;

@@ -14,8 +14,8 @@
 //
 // Specs round-trip through strings for config files and the command line:
 //
-//   auto | fast | algorithm1[/scaled|/double-dynamic|/long-double|/double-raw]
-//        | algorithm2 | brute
+//   auto | fast | algorithm1[/scaled|/double-dynamic|/long-double|/double-raw
+//        |/log-domain] | algorithm2 | brute
 //
 // Diagnostics are deterministic wherever the model is: the resolved
 // algorithm, numeric backend, fallback flag, and rescale count depend only
@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/measures.hpp"
 #include "core/model.hpp"
@@ -52,7 +53,8 @@ enum class NumericBackend : std::uint8_t {
   kLongDouble,            ///< plain long double grid
   kDoubleRaw,             ///< plain double grid (ablation only)
   kRatio,                 ///< Algorithm 2 stores only tame Q ratios
-  kLogDomain,             ///< brute force enumerates in the log domain
+  kLogDomain,             ///< signed log-domain grid (also brute force's
+                          ///< native arithmetic) — escalation last resort
 };
 
 [[nodiscard]] std::string_view to_string(SolverAlgorithm algorithm) noexcept;
@@ -103,6 +105,12 @@ struct SolveDiagnostics {
 
   bool cache_hit = false;   ///< answered from an already-built grid
   double wall_seconds = 0;  ///< end-to-end time of this call
+
+  /// Numeric-escalation record (sweep fault tolerance): every backend
+  /// attempted for this point, in order, ending with the backend that
+  /// produced the final measures.  Empty when the first attempt passed the
+  /// post-solve guards — the overwhelmingly common case.
+  std::vector<NumericBackend> escalation;
 };
 
 /// Measures plus the record of how they were computed.

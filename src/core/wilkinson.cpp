@@ -1,15 +1,32 @@
 #include "core/wilkinson.hpp"
 
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
+#include <string>
 
 #include "core/erlang.hpp"
+#include "core/error.hpp"
 
 namespace xbar::core {
 
+namespace {
+
+// Typed domain checks (kDomain) so sweep fault isolation can classify a bad
+// (mean, Z) pair as an input failure rather than a numeric breakdown.
+void require_peakedness(double z) {
+  if (!(std::isfinite(z) && z >= 1.0)) {
+    raise(ErrorKind::kDomain,
+          "ERT requires a finite peakedness Z >= 1, got " + std::to_string(z));
+  }
+}
+
+}  // namespace
+
 OverflowMoments overflow_moments(double a, unsigned c) {
-  assert(a >= 0.0);
+  if (!(std::isfinite(a) && a >= 0.0)) {
+    raise(ErrorKind::kDomain,
+          "overflow_moments requires a finite load >= 0, got " +
+              std::to_string(a));
+  }
   OverflowMoments m;
   if (a == 0.0) {
     return m;
@@ -22,10 +39,12 @@ OverflowMoments overflow_moments(double a, unsigned c) {
 }
 
 EquivalentRandom fit_equivalent_random(double mean, double z) {
-  if (!(mean > 0.0) || z < 1.0) {
-    throw std::invalid_argument(
-        "ERT fit requires mean > 0 and peakedness Z >= 1");
+  if (!(std::isfinite(mean) && mean > 0.0)) {
+    raise(ErrorKind::kDomain,
+          "ERT fit requires a finite overflow mean > 0, got " +
+              std::to_string(mean));
   }
+  require_peakedness(z);
   EquivalentRandom eq;
   const double variance = z * mean;
   // Rapp's approximation.
@@ -38,8 +57,14 @@ EquivalentRandom fit_equivalent_random(double mean, double z) {
 }
 
 double wilkinson_blocking(double mean, double z, unsigned trunks) {
-  if (z < 1.0) {
-    throw std::invalid_argument("ERT requires peakedness Z >= 1");
+  require_peakedness(z);
+  if (!(std::isfinite(mean) && mean >= 0.0)) {
+    raise(ErrorKind::kDomain,
+          "wilkinson_blocking requires a finite mean >= 0, got " +
+              std::to_string(mean));
+  }
+  if (mean == 0.0) {
+    return 0.0;  // no offered traffic, nothing blocked
   }
   if (z == 1.0) {
     return erlang_b(mean, trunks);

@@ -45,11 +45,13 @@ struct EquivalentRandom {
 /// Rapp's approximation for the ERT fit: given overflow mean M and
 /// peakedness Z >= 1, A* ~ V + 3 Z (Z - 1) and
 /// c* ~ A* (M + Z)/(M + Z - 1) - M - 1 (clamped at 0).
+/// Raises xbar::Error(kDomain) unless M > 0 and Z >= 1, both finite.
 [[nodiscard]] EquivalentRandom fit_equivalent_random(double mean, double z);
 
 /// ERT blocking estimate: a (peaky) stream with mean M and peakedness Z
-/// offered to `trunks` circuits.  For Z = 1 this degenerates to Erlang-B.
-/// Requires Z >= 1 (smooth traffic is outside ERT's domain).
+/// offered to `trunks` circuits.  For Z = 1 this degenerates to Erlang-B;
+/// M = 0 blocks nothing.  Raises xbar::Error(kDomain) unless M >= 0 and
+/// Z >= 1, both finite (smooth traffic is outside ERT's domain).
 [[nodiscard]] double wilkinson_blocking(double mean, double z,
                                         unsigned trunks);
 

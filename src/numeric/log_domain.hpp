@@ -4,10 +4,18 @@
 // sums terms like N1! N2! prod_r Phi_r(k_r) / ((N1-kA)! (N2-kA)!).  Working
 // with natural logs keeps every intermediate finite and gives an independent
 // numerical path against which both paper algorithms are validated.
+//
+// `SignedLog` extends the idea to a full signed real type (sign + log
+// magnitude) with +, *, / — enough for the Algorithm 1 grid recurrence to
+// run entirely in the log domain.  It is the top rung of the sweep engine's
+// numeric-escalation ladder: slower than ScaledFloat but immune to
+// under/overflow by construction, since no linear-domain value is ever
+// materialized.
 
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 namespace xbar::num {
@@ -57,6 +65,116 @@ class LogSum {
 
  private:
   double value_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A signed real number stored as (sign, log|x|).  Zero is sign 0 with
+/// log magnitude -inf.  Addition uses log-sum-exp / log-diff-exp, so no
+/// intermediate ever leaves the representable range: the type cannot
+/// underflow or overflow for any crossbar size.  Used as the Algorithm 1
+/// grid backend behind `NumericBackend::kLogDomain` — the last rung of the
+/// sweep engine's escalation ladder.
+class SignedLog {
+ public:
+  constexpr SignedLog() noexcept = default;
+
+  explicit SignedLog(double v) noexcept {
+    if (v > 0.0) {
+      sign_ = 1;
+      log_mag_ = std::log(v);
+    } else if (v < 0.0) {
+      sign_ = -1;
+      log_mag_ = std::log(-v);
+    }
+  }
+
+  /// Build from a natural-log magnitude (+inf magnitude is not meaningful).
+  [[nodiscard]] static SignedLog from_log(double log_mag,
+                                          int sign = 1) noexcept {
+    SignedLog v;
+    if (log_mag != -std::numeric_limits<double>::infinity() && sign != 0) {
+      v.sign_ = sign < 0 ? -1 : 1;
+      v.log_mag_ = log_mag;
+    }
+    return v;
+  }
+
+  [[nodiscard]] int sign() const noexcept { return sign_; }
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+
+  /// log|x|; -inf for zero.
+  [[nodiscard]] double log_magnitude() const noexcept { return log_mag_; }
+
+  /// ln(x) of a positive value; NaN for negative, -inf for zero.
+  [[nodiscard]] double log() const noexcept {
+    if (sign_ < 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return log_mag_;
+  }
+
+  /// Linear value; may overflow to ±inf for huge magnitudes.
+  [[nodiscard]] double value() const noexcept {
+    return static_cast<double>(sign_) * std::exp(log_mag_);
+  }
+
+  friend SignedLog operator+(const SignedLog& a, const SignedLog& b) noexcept {
+    if (a.sign_ == 0) {
+      return b;
+    }
+    if (b.sign_ == 0) {
+      return a;
+    }
+    if (a.sign_ == b.sign_) {
+      return from_log(log_add(a.log_mag_, b.log_mag_), a.sign_);
+    }
+    // Opposite signs: the larger magnitude wins; equal magnitudes cancel.
+    if (a.log_mag_ == b.log_mag_) {
+      return SignedLog{};
+    }
+    const bool a_wins = a.log_mag_ > b.log_mag_;
+    const SignedLog& hi = a_wins ? a : b;
+    const SignedLog& lo = a_wins ? b : a;
+    return from_log(log_sub(hi.log_mag_, lo.log_mag_), hi.sign_);
+  }
+
+  friend SignedLog operator*(const SignedLog& a, const SignedLog& b) noexcept {
+    if (a.sign_ == 0 || b.sign_ == 0) {
+      return SignedLog{};
+    }
+    return from_log(a.log_mag_ + b.log_mag_, a.sign_ * b.sign_);
+  }
+
+  friend SignedLog operator/(const SignedLog& a, const SignedLog& b) noexcept {
+    if (a.sign_ == 0) {
+      return SignedLog{};
+    }
+    // Division by zero cannot arise in the grid recurrence (divisors are
+    // positive integers); keep the IEEE-ish convention of a NaN magnitude.
+    return from_log(a.log_mag_ - b.log_mag_, a.sign_ * b.sign_);
+  }
+
+  SignedLog& operator+=(const SignedLog& o) noexcept {
+    *this = *this + o;
+    return *this;
+  }
+
+  friend bool operator==(const SignedLog& a, const SignedLog& b) noexcept {
+    return a.sign_ == b.sign_ && (a.sign_ == 0 || a.log_mag_ == b.log_mag_);
+  }
+
+  friend bool operator<(const SignedLog& a, const SignedLog& b) noexcept {
+    if (a.sign_ != b.sign_) {
+      return a.sign_ < b.sign_;
+    }
+    if (a.sign_ == 0) {
+      return false;
+    }
+    return a.sign_ > 0 ? a.log_mag_ < b.log_mag_ : b.log_mag_ < a.log_mag_;
+  }
+
+ private:
+  int sign_ = 0;
+  double log_mag_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace xbar::num

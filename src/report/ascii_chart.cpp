@@ -12,7 +12,13 @@ namespace {
 
 constexpr std::string_view kGlyphs = "*+xo#@%&";
 
+// Transformed y, or NaN for anything unplottable: NaN and ±inf carry no
+// position (log10(+inf) is +inf, which would swallow the whole y range),
+// so both are skipped identically by the callers below.
 double transform(double y, Scale scale) {
+  if (!std::isfinite(y)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (scale == Scale::kLog10) {
     return y > 0.0 ? std::log10(y) : std::numeric_limits<double>::quiet_NaN();
   }
@@ -42,7 +48,7 @@ void render_chart(std::ostream& os, const std::vector<Series>& series,
   for (const auto& s : series) {
     for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
       const double ty = transform(s.y[i], options.scale);
-      if (std::isnan(ty)) {
+      if (std::isnan(ty) || !std::isfinite(s.x[i])) {
         continue;
       }
       x_min = std::min(x_min, s.x[i]);
@@ -71,7 +77,7 @@ void render_chart(std::ostream& os, const std::vector<Series>& series,
     const auto& s = series[si];
     for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
       const double ty = transform(s.y[i], options.scale);
-      if (std::isnan(ty)) {
+      if (std::isnan(ty) || !std::isfinite(s.x[i])) {
         continue;
       }
       const auto col = static_cast<unsigned>(

@@ -1,0 +1,337 @@
+#include "report/json_reader.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace xbar::report {
+
+namespace {
+
+const char* type_name(const JsonValue& v) {
+  if (v.is_null()) return "null";
+  if (v.is_bool()) return "bool";
+  if (v.is_number()) return "number";
+  if (v.is_string()) return "string";
+  if (v.is_array()) return "array";
+  return "object";
+}
+
+[[noreturn]] void type_error(const char* wanted, const JsonValue& v) {
+  raise(ErrorKind::kParse, std::string("JSON value is ") + type_name(v) +
+                               ", expected " + wanted);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    raise(ErrorKind::kParse,
+          what + " at byte " + std::to_string(pos_) + " of JSON input");
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_keyword("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_keyword("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_keyword("null")) return JsonValue();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') {
+      fail("expected string");
+    }
+    ++pos_;
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    const std::uint32_t cp = parse_hex4();
+    // The writer only emits \u00XX for control characters; decode the full
+    // BMP anyway (no surrogate-pair recombination — lone surrogates fail).
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      fail("surrogate code point in \\u escape");
+    }
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) {
+        fail("truncated \\u escape");
+      }
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    // JSON forbids leading zeros ("01"); std::from_chars would accept them.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      pos_ = start;
+      fail("invalid number");
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::is_null() const noexcept {
+  return std::holds_alternative<std::monostate>(data_);
+}
+bool JsonValue::is_bool() const noexcept {
+  return std::holds_alternative<bool>(data_);
+}
+bool JsonValue::is_number() const noexcept {
+  return std::holds_alternative<double>(data_);
+}
+bool JsonValue::is_string() const noexcept {
+  return std::holds_alternative<std::string>(data_);
+}
+bool JsonValue::is_array() const noexcept {
+  return std::holds_alternative<JsonArray>(data_);
+}
+bool JsonValue::is_object() const noexcept {
+  return std::holds_alternative<JsonObject>(data_);
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) type_error("bool", *this);
+  return std::get<bool>(data_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) type_error("number", *this);
+  return std::get<double>(data_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) type_error("string", *this);
+  return std::get<std::string>(data_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) type_error("array", *this);
+  return std::get<JsonArray>(data_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) type_error("object", *this);
+  return std::get<JsonObject>(data_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : std::get<JsonObject>(data_)) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (!is_object()) type_error("object", *this);
+  if (const JsonValue* v = find(key)) {
+    return *v;
+  }
+  raise(ErrorKind::kParse,
+        "JSON object is missing key \"" + std::string(key) + "\"");
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace xbar::report

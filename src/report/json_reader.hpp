@@ -1,0 +1,68 @@
+// Minimal JSON parser — the read half of json_writer.
+//
+// Checkpoint/resume needs to load back exactly what `JsonWriter` emits, so
+// this is a small recursive-descent parser over the full JSON grammar
+// (objects, arrays, strings with the writer's escape set plus \uXXXX,
+// numbers via std::from_chars for exact double round-trip, true/false/null).
+// It builds a plain DOM (`JsonValue`) — checkpoints are small, so no
+// streaming machinery.  Malformed input raises xbar::Error(kParse) with a
+// byte offset; the typed accessors raise kParse on shape mismatches so
+// loaders read as straight-line code.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace xbar::report {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// Ordered map: iteration order is insertion order, matching the writer.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : data_(b) {}
+  explicit JsonValue(double d) : data_(d) {}
+  explicit JsonValue(std::string s) : data_(std::move(s)) {}
+  explicit JsonValue(JsonArray a) : data_(std::move(a)) {}
+  explicit JsonValue(JsonObject o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_bool() const noexcept;
+  [[nodiscard]] bool is_number() const noexcept;
+  [[nodiscard]] bool is_string() const noexcept;
+  [[nodiscard]] bool is_array() const noexcept;
+  [[nodiscard]] bool is_object() const noexcept;
+
+  /// Checked accessors: raise xbar::Error(kParse) when the value is not of
+  /// the requested type (message names the expected/actual type).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; raises kParse if not an object or key missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Object member lookup that tolerates absence (nullptr when missing).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, JsonArray,
+               JsonObject>
+      data_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).  Raises xbar::Error(kParse) on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace xbar::report

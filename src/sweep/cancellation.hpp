@@ -1,0 +1,68 @@
+// Cooperative cancellation for sweeps.
+//
+// A `CancellationToken` is a cheap, copyable handle to shared cancellation
+// state: copies observe (and trip) the same flag, so a caller can hand one
+// to `SweepRunner` / `ThreadPool::parallel_for` and cancel from another
+// thread — or arm a wall-clock deadline so a pathological grid yields
+// partial results instead of a wedged process.  Cancellation is strictly
+// cooperative: the pool stops dispensing indexes and the sweep body checks
+// the token before each solve, but a solve already in flight runs to
+// completion (grid builds are finite; nothing blocks indefinitely).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace xbar::sweep {
+
+class CancellationToken {
+ public:
+  /// A live, not-yet-cancelled token (always carries shared state; default
+  /// construction is never "null").
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  /// Trip the token manually.  All copies observe the cancellation.
+  void request_cancel() const noexcept {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arm a wall-clock budget: the token reads as cancelled once `seconds`
+  /// have elapsed from now.  Re-arming replaces the previous deadline.
+  void arm_deadline(double seconds) const noexcept {
+    const auto ns = std::chrono::steady_clock::now().time_since_epoch() +
+                    std::chrono::nanoseconds(
+                        static_cast<std::int64_t>(seconds * 1e9));
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ns).count(),
+        std::memory_order_relaxed);
+  }
+
+  /// True once cancelled manually or past the armed deadline.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    const std::int64_t deadline =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline == 0) {
+      return false;
+    }
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return now >= deadline;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> deadline_ns{0};  // 0 = no deadline armed
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace xbar::sweep

@@ -1,0 +1,229 @@
+#include "sweep/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "report/json_reader.hpp"
+#include "report/json_writer.hpp"
+
+namespace xbar::sweep {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+
+core::SolverAlgorithm algorithm_from_string(const std::string& name) {
+  for (const auto algorithm :
+       {core::SolverAlgorithm::kAuto, core::SolverAlgorithm::kFast,
+        core::SolverAlgorithm::kAlgorithm1, core::SolverAlgorithm::kAlgorithm2,
+        core::SolverAlgorithm::kBruteForce}) {
+    if (name == core::to_string(algorithm)) {
+      return algorithm;
+    }
+  }
+  raise(ErrorKind::kParse, "checkpoint names unknown algorithm '" + name + "'");
+}
+
+core::NumericBackend backend_from_string(const std::string& name) {
+  for (const auto backend :
+       {core::NumericBackend::kScaledFloat,
+        core::NumericBackend::kDoubleDynamicScaling,
+        core::NumericBackend::kLongDouble, core::NumericBackend::kDoubleRaw,
+        core::NumericBackend::kRatio, core::NumericBackend::kLogDomain}) {
+    if (name == core::to_string(backend)) {
+      return backend;
+    }
+  }
+  raise(ErrorKind::kParse, "checkpoint names unknown backend '" + name + "'");
+}
+
+PointState point_state_from_string(const std::string& name) {
+  for (const auto state : {PointState::kOk, PointState::kRetried}) {
+    if (name == to_string(state)) {
+      return state;
+    }
+  }
+  raise(ErrorKind::kParse,
+        "checkpoint entry has non-completed status '" + name + "'");
+}
+
+std::size_t as_index(const report::JsonValue& v) {
+  const double d = v.as_number();
+  const auto n = static_cast<std::size_t>(d);
+  if (d < 0 || static_cast<double>(n) != d) {
+    raise(ErrorKind::kParse, "checkpoint index is not a non-negative integer");
+  }
+  return n;
+}
+
+void write_dims(report::JsonWriter& json, core::Dims dims) {
+  json.begin_object();
+  json.key("n1").value(static_cast<std::uint64_t>(dims.n1));
+  json.key("n2").value(static_cast<std::uint64_t>(dims.n2));
+  json.end_object();
+}
+
+core::Dims read_dims(const report::JsonValue& v) {
+  core::Dims dims;
+  dims.n1 = static_cast<unsigned>(as_index(v.at("n1")));
+  dims.n2 = static_cast<unsigned>(as_index(v.at("n2")));
+  return dims;
+}
+
+void write_measures(report::JsonWriter& json, const core::Measures& m) {
+  json.begin_object();
+  json.key("per_class").begin_array();
+  for (const core::ClassMeasures& c : m.per_class) {
+    json.begin_object();
+    json.key("non_blocking").value(c.non_blocking);
+    json.key("blocking").value(c.blocking);
+    json.key("concurrency").value(c.concurrency);
+    json.key("throughput").value(c.throughput);
+    json.key("port_usage").value(c.port_usage);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("revenue").value(m.revenue);
+  json.key("total_throughput").value(m.total_throughput);
+  json.key("utilization").value(m.utilization);
+  json.end_object();
+}
+
+core::Measures read_measures(const report::JsonValue& v) {
+  core::Measures m;
+  for (const report::JsonValue& cls : v.at("per_class").as_array()) {
+    core::ClassMeasures c;
+    c.non_blocking = cls.at("non_blocking").as_number();
+    c.blocking = cls.at("blocking").as_number();
+    c.concurrency = cls.at("concurrency").as_number();
+    c.throughput = cls.at("throughput").as_number();
+    c.port_usage = cls.at("port_usage").as_number();
+    m.per_class.push_back(c);
+  }
+  m.revenue = v.at("revenue").as_number();
+  m.total_throughput = v.at("total_throughput").as_number();
+  m.utilization = v.at("utilization").as_number();
+  return m;
+}
+
+void write_diagnostics(report::JsonWriter& json,
+                       const core::SolveDiagnostics& d) {
+  json.begin_object();
+  json.key("requested").value(core::to_string(d.requested));
+  json.key("algorithm").value(core::to_string(d.algorithm));
+  json.key("backend").value(core::to_string(d.backend));
+  json.key("fast_fallback").value(d.fast_fallback);
+  json.key("rescales").value(d.rescales);
+  json.key("grid");
+  write_dims(json, d.grid);
+  json.key("evaluated_at");
+  write_dims(json, d.evaluated_at);
+  json.key("cache_hit").value(d.cache_hit);
+  json.key("wall_seconds").value(d.wall_seconds);
+  json.key("escalation").begin_array();
+  for (const core::NumericBackend backend : d.escalation) {
+    json.value(core::to_string(backend));
+  }
+  json.end_array();
+  json.end_object();
+}
+
+core::SolveDiagnostics read_diagnostics(const report::JsonValue& v) {
+  core::SolveDiagnostics d;
+  d.requested = algorithm_from_string(v.at("requested").as_string());
+  d.algorithm = algorithm_from_string(v.at("algorithm").as_string());
+  d.backend = backend_from_string(v.at("backend").as_string());
+  d.fast_fallback = v.at("fast_fallback").as_bool();
+  d.rescales = static_cast<unsigned>(as_index(v.at("rescales")));
+  d.grid = read_dims(v.at("grid"));
+  d.evaluated_at = read_dims(v.at("evaluated_at"));
+  d.cache_hit = v.at("cache_hit").as_bool();
+  d.wall_seconds = v.at("wall_seconds").as_number();
+  for (const report::JsonValue& backend : v.at("escalation").as_array()) {
+    d.escalation.push_back(backend_from_string(backend.as_string()));
+  }
+  return d;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const SweepCheckpoint& checkpoint) {
+  std::ostringstream out;
+  report::JsonWriter json(out);
+  json.begin_object();
+  json.key("version").value(kCheckpointVersion);
+  json.key("total_points")
+      .value(static_cast<std::uint64_t>(checkpoint.total_points));
+  json.key("solver").value(checkpoint.solver);
+  json.key("completed").begin_array();
+  for (const CheckpointEntry& entry : checkpoint.completed) {
+    json.begin_object();
+    json.key("index").value(static_cast<std::uint64_t>(entry.index));
+    json.key("status").value(to_string(entry.status.state));
+    json.key("measures");
+    write_measures(json, entry.result.measures);
+    json.key("diagnostics");
+    write_diagnostics(json, entry.result.diagnostics);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      raise(ErrorKind::kIo, "cannot open checkpoint file '" + tmp + "'");
+    }
+    file << out.str();
+    file.flush();
+    if (!file) {
+      raise(ErrorKind::kIo, "failed writing checkpoint file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise(ErrorKind::kIo,
+          "failed renaming checkpoint '" + tmp + "' to '" + path + "'");
+  }
+}
+
+SweepCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    raise(ErrorKind::kIo, "cannot read checkpoint file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const report::JsonValue doc = report::parse_json(buffer.str());
+  const double version = doc.at("version").as_number();
+  if (version != kCheckpointVersion) {
+    raise(ErrorKind::kConfig,
+          "unsupported checkpoint version " + std::to_string(version));
+  }
+
+  SweepCheckpoint checkpoint;
+  checkpoint.total_points = as_index(doc.at("total_points"));
+  checkpoint.solver = doc.at("solver").as_string();
+  for (const report::JsonValue& item : doc.at("completed").as_array()) {
+    CheckpointEntry entry;
+    entry.index = as_index(item.at("index"));
+    if (entry.index >= checkpoint.total_points) {
+      raise(ErrorKind::kParse,
+            "checkpoint index " + std::to_string(entry.index) +
+                " is out of range for " +
+                std::to_string(checkpoint.total_points) + " points");
+    }
+    entry.status.state = point_state_from_string(item.at("status").as_string());
+    entry.result.measures = read_measures(item.at("measures"));
+    entry.result.diagnostics = read_diagnostics(item.at("diagnostics"));
+    checkpoint.completed.push_back(std::move(entry));
+  }
+  return checkpoint;
+}
+
+}  // namespace xbar::sweep

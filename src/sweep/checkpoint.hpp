@@ -1,0 +1,48 @@
+// Sweep checkpoint persistence.
+//
+// Long sweeps die for boring reasons — OOM kill, preemption, ^C — and
+// restarting from scratch repeats hours of solves.  A `SweepCheckpoint`
+// captures every completed point (index, status, full `SolveResult`), the
+// point count, and the solver spec of the run that produced it.  Files are
+// JSON written by the report module's writer (doubles in shortest
+// round-trip form) and loaded back with the matching reader, so resumed
+// measures are bit-identical to the originals; writes go through a
+// temporary + rename so a crash mid-write never corrupts an existing
+// checkpoint.  Only kOk/kRetried points are recorded: failures are
+// deterministic, so a resumed run simply re-attempts them.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/solver_spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::sweep {
+
+/// One completed point as persisted.
+struct CheckpointEntry {
+  std::size_t index = 0;     ///< position in the sweep's point vector
+  PointStatus status;        ///< kOk or kRetried only
+  core::SolveResult result;  ///< measures + full diagnostics
+};
+
+struct SweepCheckpoint {
+  std::size_t total_points = 0;  ///< size of the sweep this belongs to
+  std::string solver;            ///< canonical SolverSpec string of the run
+  std::vector<CheckpointEntry> completed;  ///< ascending by index
+};
+
+/// Atomically write `checkpoint` to `path` (path + ".tmp", then rename).
+/// Raises ErrorKind::kIo on filesystem failure.
+void save_checkpoint(const std::string& path,
+                     const SweepCheckpoint& checkpoint);
+
+/// Load a checkpoint written by save_checkpoint.  Raises kIo when the file
+/// cannot be read, kParse on malformed JSON/fields, kConfig on an
+/// unsupported version.
+[[nodiscard]] SweepCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace xbar::sweep

@@ -1,0 +1,72 @@
+#include "sweep/fault_injector.hpp"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace xbar::sweep {
+
+void FaultInjector::add(std::size_t point, FaultAction action,
+                        std::size_t attempts, double delay_seconds) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  rules_.push_back(Rule{point, action, attempts, delay_seconds, 0});
+}
+
+void FaultInjector::apply_pre(std::size_t point) {
+  double sleep_seconds = 0.0;
+  bool should_throw = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (Rule& rule : rules_) {
+      if (rule.point != point || rule.fired >= rule.attempts) {
+        continue;
+      }
+      switch (rule.action) {
+        case FaultAction::kThrow:
+          ++rule.fired;
+          should_throw = true;
+          break;
+        case FaultAction::kDelay:
+          ++rule.fired;
+          sleep_seconds += rule.delay_seconds;
+          break;
+        case FaultAction::kNan:
+          break;  // fires post-solve
+      }
+      if (should_throw) {
+        break;
+      }
+    }
+  }
+  if (sleep_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  if (should_throw) {
+    raise(ErrorKind::kDomain, "injected fault at point " +
+                                  std::to_string(point));
+  }
+}
+
+void FaultInjector::apply_post(std::size_t point, core::Measures& m) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (Rule& rule : rules_) {
+    if (rule.point != point || rule.action != FaultAction::kNan ||
+        rule.fired >= rule.attempts) {
+      continue;
+    }
+    ++rule.fired;
+    m.revenue = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+}
+
+void FaultInjector::reset_attempts() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (Rule& rule : rules_) {
+    rule.fired = 0;
+  }
+}
+
+}  // namespace xbar::sweep

@@ -1,0 +1,67 @@
+// Deterministic fault injection at the solver boundary (test / demo only).
+//
+// The resilience tests — and the CLI's `--inject` flag — need repeatable
+// failures: "point 2 throws", "point 5 produces NaN measures on its first
+// attempt", "point 7 sleeps 50 ms".  A `FaultInjector` holds a list of such
+// rules; `SweepRunner` consults it (when installed via
+// `SweepOptions::fault.injector`) immediately before and after each solve
+// attempt.  Each rule fires on the first `attempts` attempts for its point
+// and then stands aside, which is exactly what an escalation-retry test
+// needs: attempt 0 is poisoned, the retried backend succeeds.
+//
+// The injector is internally synchronized (attempt counters are touched from
+// sweep worker threads) and contains no wall-clock or RNG state, so a given
+// rule set perturbs a sweep identically on every run at every thread count.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/measures.hpp"
+
+namespace xbar::sweep {
+
+/// What a matching rule does to the solve attempt.
+enum class FaultAction {
+  kThrow,  ///< raise xbar::Error(kDomain, "injected fault") pre-solve
+  kNan,    ///< poison the solved measures' revenue with quiet NaN post-solve
+  kDelay,  ///< sleep `delay_seconds` pre-solve (deadline/cancellation tests)
+};
+
+class FaultInjector {
+ public:
+  /// Arms `action` for point `point`, affecting its first `attempts` solve
+  /// attempts (default 1: poison the first try, let retries through).
+  /// `delay_seconds` is only meaningful for kDelay.
+  void add(std::size_t point, FaultAction action, std::size_t attempts = 1,
+           double delay_seconds = 0.0);
+
+  /// Called before a solve attempt: throws or sleeps per the armed rules.
+  void apply_pre(std::size_t point);
+
+  /// Called after a successful solve attempt: corrupts `m` per the armed
+  /// rules (so the numeric guard, not the solver, detects it).
+  void apply_post(std::size_t point, core::Measures& m);
+
+  /// Forget attempt history (rules stay armed) — lets one injector replay
+  /// the same perturbation over a second sweep, e.g. a resumed run.
+  void reset_attempts();
+
+ private:
+  struct Rule {
+    std::size_t point = 0;
+    FaultAction action = FaultAction::kThrow;
+    std::size_t attempts = 1;  // how many leading attempts are affected
+    double delay_seconds = 0.0;
+    std::size_t fired = 0;  // attempts already poisoned (guarded by mutex_)
+  };
+
+  // kThrow/kDelay fire pre-solve; kNan fires post-solve.  A rule's `fired`
+  // counter is bumped exactly once per attempt, in whichever phase acts.
+  std::mutex mutex_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace xbar::sweep

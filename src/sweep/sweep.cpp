@@ -1,15 +1,19 @@
 #include "sweep/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <chrono>
+#include <mutex>
 #include <utility>
 
 #include "core/algorithm1.hpp"
 #include "core/algorithm2.hpp"
 #include "core/error.hpp"
 #include "core/solver.hpp"
+#include "sweep/checkpoint.hpp"
+#include "sweep/fault_injector.hpp"
 
 namespace xbar::sweep {
 
@@ -31,8 +35,9 @@ core::Algorithm1Backend to_algorithm1_backend(core::NumericBackend backend) {
       return core::Algorithm1Backend::kLongDouble;
     case core::NumericBackend::kDoubleRaw:
       return core::Algorithm1Backend::kDoubleRaw;
-    case core::NumericBackend::kRatio:
     case core::NumericBackend::kLogDomain:
+      return core::Algorithm1Backend::kLogDomain;
+    case core::NumericBackend::kRatio:
       break;
   }
   raise(ErrorKind::kInternal, "not an Algorithm 1 grid backend");
@@ -229,6 +234,20 @@ core::Measures SolverCache::eval_at(const core::CrossbarModel& model,
   return eval_at_result(model, at, spec).measures;
 }
 
+std::string_view to_string(PointState state) noexcept {
+  switch (state) {
+    case PointState::kOk:
+      return "ok";
+    case PointState::kRetried:
+      return "retried";
+    case PointState::kFailed:
+      return "failed";
+    case PointState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
 std::size_t SweepReport::total_hits() const noexcept {
   std::size_t total = 0;
   for (const SweepSlotCounters& s : slots) {
@@ -243,6 +262,25 @@ std::size_t SweepReport::total_misses() const noexcept {
     total += s.misses;
   }
   return total;
+}
+
+std::size_t SweepReport::count(PointState state) const noexcept {
+  std::size_t total = 0;
+  for (const PointStatus& s : statuses) {
+    if (s.state == state) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+bool SweepReport::complete() const noexcept {
+  for (const PointStatus& s : statuses) {
+    if (s.state != PointState::kOk && s.state != PointState::kRetried) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<core::Measures> SweepReport::measures() const {
@@ -288,20 +326,218 @@ std::vector<SweepSlotCounters> SweepRunner::slot_counters() const {
   return counters;
 }
 
-SweepReport SweepRunner::run_report(const std::vector<ScenarioPoint>& points) {
+core::SolveResult SweepRunner::solve_point(const ScenarioPoint& pt,
+                                           SolverCache& cache,
+                                           const core::SolverSpec& spec,
+                                           std::size_t index) {
+  FaultInjector* injector = options_.fault.injector;
+  if (injector != nullptr) {
+    injector->apply_pre(index);
+  }
+  core::SolveResult result =
+      pt.eval_at ? cache.eval_at_result(pt.model, *pt.eval_at, spec)
+                 : cache.eval_result(pt.model, spec);
+  if (injector != nullptr) {
+    injector->apply_post(index, result.measures);
+  }
+  return result;
+}
+
+// The guarded per-point path (fault.isolate): attempt the requested spec,
+// and while the post-solve numeric guard rejects the measures, climb the
+// escalation ladder — requested -> algorithm1/scaled -> algorithm1/log-domain
+// (identical rungs skipped, attempts capped by max_escalations).  A thrown
+// xbar::Error fails the point immediately: those failures are deterministic
+// properties of the input, so retrying on a bigger-range backend cannot help.
+void SweepRunner::evaluate_guarded(const std::vector<ScenarioPoint>& points,
+                                   std::size_t i, SolverCache& cache,
+                                   core::SolveResult& result,
+                                   PointStatus& status) {
+  const FaultPolicy& fault = options_.fault;
+
+  const std::vector<core::SolverSpec> ladder = {
+      options_.solver,
+      core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
+                       core::NumericBackend::kScaledFloat},
+      core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
+                       core::NumericBackend::kLogDomain}};
+
+  // Rungs are deduplicated on what they *resolve* to for this model, not on
+  // spec spelling: `auto` on a small grid already is algorithm1/scaled, so
+  // its retry budget goes straight to the log-domain rung.
+  std::vector<core::ResolvedSolver> attempted;
+  std::vector<core::NumericBackend> tried;
+  std::string last_error;
+  std::size_t a = 0;
+  for (const core::SolverSpec& rung : ladder) {
+    if (a > fault.max_escalations) {
+      break;
+    }
+    core::SolveResult attempt;
+    try {
+      const core::ResolvedSolver resolved =
+          core::resolve(rung, points[i].model);
+      if (std::find(attempted.begin(), attempted.end(), resolved) !=
+          attempted.end()) {
+        continue;
+      }
+      attempted.push_back(resolved);
+      attempt = solve_point(points[i], cache, rung, i);
+    } catch (const Error& e) {
+      status.state = PointState::kFailed;
+      status.error_kind = e.kind();
+      status.error = e.message();
+      result = core::SolveResult{};
+      result.diagnostics.escalation = std::move(tried);
+      return;
+    }
+    tried.push_back(attempt.diagnostics.backend);
+    const std::optional<std::string> violation =
+        core::validate_measures(attempt.measures);
+    if (!violation) {
+      result = std::move(attempt);
+      if (a > 0) {
+        status.state = PointState::kRetried;
+        result.diagnostics.escalation = std::move(tried);
+      } else {
+        status.state = PointState::kOk;
+      }
+      return;
+    }
+    last_error = "numeric guard rejected measures: " + *violation;
+    ++a;
+  }
+  status.state = PointState::kFailed;
+  status.error_kind = ErrorKind::kDomain;
+  status.error = last_error;
+  result = core::SolveResult{};
+  result.diagnostics.escalation = std::move(tried);
+}
+
+SweepReport SweepRunner::run_impl(const std::vector<ScenarioPoint>& points,
+                                  const SweepCheckpoint* checkpoint) {
   const auto start = Clock::now();
+  const FaultPolicy& fault = options_.fault;
+  const std::size_t n = points.size();
+
   SweepReport report;
-  report.results = map<core::SolveResult>(
-      points.size(), [&](std::size_t i, SolverCache& cache) {
-        const ScenarioPoint& pt = points[i];
-        return pt.eval_at
-                   ? cache.eval_at_result(pt.model, *pt.eval_at,
-                                          options_.solver)
-                   : cache.eval_result(pt.model, options_.solver);
-      });
+  report.results.resize(n);
+  report.statuses.resize(n);
+
+  // done[i] flips (release) when results[i]/statuses[i] hold the point's
+  // terminal outcome; the checkpoint snapshotter and the post-pass load it
+  // with acquire before reading either.
+  std::vector<std::atomic<bool>> done(n);
+  if (checkpoint != nullptr) {
+    if (checkpoint->total_points != n) {
+      raise(ErrorKind::kConfig,
+            "checkpoint covers " + std::to_string(checkpoint->total_points) +
+                " points but the sweep has " + std::to_string(n));
+    }
+    const std::string solver = options_.solver.to_string();
+    if (checkpoint->solver != solver) {
+      raise(ErrorKind::kConfig, "checkpoint was written with solver '" +
+                                    checkpoint->solver +
+                                    "' but this sweep uses '" + solver + "'");
+    }
+    for (const CheckpointEntry& entry : checkpoint->completed) {
+      if (entry.index >= n) {
+        raise(ErrorKind::kConfig, "checkpoint entry index out of range");
+      }
+      report.results[entry.index] = entry.result;
+      report.statuses[entry.index] = entry.status;
+      done[entry.index].store(true, std::memory_order_relaxed);
+    }
+  }
+
+  CancellationToken token = fault.token;
+  if (fault.deadline_seconds > 0.0) {
+    token.arm_deadline(fault.deadline_seconds);
+  }
+
+  const bool checkpointing =
+      fault.checkpoint_every > 0 && !fault.checkpoint_path.empty();
+  std::atomic<std::size_t> failures{0};
+  std::mutex checkpoint_mutex;       // serializes snapshot + save
+  std::size_t since_checkpoint = 0;  // guarded by checkpoint_mutex
+
+  const auto snapshot_and_save = [&] {
+    SweepCheckpoint cp;
+    cp.total_points = n;
+    cp.solver = options_.solver.to_string();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!done[j].load(std::memory_order_acquire)) {
+        continue;
+      }
+      const PointStatus& s = report.statuses[j];
+      if (s.state != PointState::kOk && s.state != PointState::kRetried) {
+        continue;  // failures re-run on resume; they are not results
+      }
+      cp.completed.push_back(CheckpointEntry{j, s, report.results[j]});
+    }
+    save_checkpoint(fault.checkpoint_path, cp);
+  };
+
+  ensure_caches();
+  pool().parallel_for(
+      n, options_.threads,
+      [&](std::size_t i, unsigned slot) {
+        if (done[i].load(std::memory_order_acquire)) {
+          return;  // restored from the checkpoint
+        }
+        SolverCache& slot_cache = cache(slot);
+        if (fault.isolate) {
+          evaluate_guarded(points, i, slot_cache, report.results[i],
+                           report.statuses[i]);
+        } else {
+          // Historical fail-fast contract: the first error aborts the sweep
+          // (rethrown by parallel_for), no guards, no retries.
+          report.results[i] =
+              solve_point(points[i], slot_cache, options_.solver, i);
+          report.statuses[i] = PointStatus{};  // kOk
+        }
+        done[i].store(true, std::memory_order_release);
+        if (fault.isolate &&
+            report.statuses[i].state == PointState::kFailed &&
+            failures.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                fault.max_failures) {
+          token.request_cancel();  // the caller's copy observes this too
+        }
+        if (checkpointing) {
+          std::lock_guard<std::mutex> lk(checkpoint_mutex);
+          if (++since_checkpoint >= fault.checkpoint_every) {
+            since_checkpoint = 0;
+            snapshot_and_save();
+          }
+        }
+      },
+      &token);
+
+  // Whatever was never claimed (cancellation, deadline, max_failures trip)
+  // is reported as such — partial results, not a wedged process.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!done[i].load(std::memory_order_acquire)) {
+      report.statuses[i].state = PointState::kCancelled;
+      report.results[i] = core::SolveResult{};
+    }
+  }
+  if (checkpointing) {
+    std::lock_guard<std::mutex> lk(checkpoint_mutex);
+    snapshot_and_save();  // final checkpoint reflects the whole run
+  }
+
   report.slots = slot_counters();
   report.wall_seconds = seconds_since(start);
   return report;
+}
+
+SweepReport SweepRunner::run_report(const std::vector<ScenarioPoint>& points) {
+  return run_impl(points, nullptr);
+}
+
+SweepReport SweepRunner::resume(const std::vector<ScenarioPoint>& points,
+                                const SweepCheckpoint& checkpoint) {
+  return run_impl(points, &checkpoint);
 }
 
 std::vector<core::Measures> SweepRunner::run(

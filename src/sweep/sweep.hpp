@@ -32,12 +32,16 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/measures.hpp"
 #include "core/model.hpp"
 #include "core/solver_spec.hpp"
+#include "sweep/cancellation.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace xbar::core {
@@ -47,6 +51,9 @@ class BruteForceSolver;
 }  // namespace xbar::core
 
 namespace xbar::sweep {
+
+class FaultInjector;
+struct SweepCheckpoint;
 
 /// One point of a sweep: a model plus, optionally, the subsystem at which
 /// to evaluate it (same per-tuple rates).  `eval_at` is what lets dimension
@@ -107,18 +114,85 @@ struct SweepSlotCounters {
   std::size_t misses = 0;
 };
 
+/// Terminal state of one sweep point under fault isolation.
+enum class PointState : std::uint8_t {
+  kOk,         ///< first attempt solved and passed the numeric guards
+  kRetried,    ///< a later escalation rung produced guarded-clean measures
+  kFailed,     ///< every permitted attempt failed; results[i] is empty
+  kCancelled,  ///< never started: sweep cancelled / past deadline first
+};
+
+/// Lowercase name ("ok", "retried", "failed", "cancelled").
+[[nodiscard]] std::string_view to_string(PointState state) noexcept;
+
+/// Per-point outcome record; `error_kind`/`error` are meaningful only for
+/// kFailed (the classified kind and message of the last failing attempt).
+struct PointStatus {
+  PointState state = PointState::kOk;
+  ErrorKind error_kind = ErrorKind::kInternal;
+  std::string error;
+};
+
 /// Everything one sweep produced: per-point results with diagnostics plus
 /// the engine's own observability (per-slot cache counters, wall time).
 struct SweepReport {
   std::vector<core::SolveResult> results;   ///< results[i] <-> points[i]
+  std::vector<PointStatus> statuses;        ///< statuses[i] <-> points[i]
   std::vector<SweepSlotCounters> slots;     ///< per pool slot, cumulative
   double wall_seconds = 0.0;                ///< end-to-end sweep time
 
   [[nodiscard]] std::size_t total_hits() const noexcept;
   [[nodiscard]] std::size_t total_misses() const noexcept;
 
+  /// Number of points in `state`.
+  [[nodiscard]] std::size_t count(PointState state) const noexcept;
+
+  /// True when every point produced measures (kOk or kRetried) — the
+  /// CLI's exit-code-0 condition; anything else is a partial result.
+  [[nodiscard]] bool complete() const noexcept;
+
   /// Measures-only view (for callers migrating from run()).
   [[nodiscard]] std::vector<core::Measures> measures() const;
+};
+
+/// How a sweep behaves when a point misbehaves.  The default reproduces
+/// the historical contract exactly: no isolation (the first xbar::Error
+/// aborts the sweep), no guards, no retries, no deadline, no checkpoints.
+struct FaultPolicy {
+  /// Catch per-point failures and record them in `SweepReport::statuses`
+  /// instead of aborting the whole sweep.  Also enables the post-solve
+  /// numeric guards (`core::validate_measures`) and backend escalation.
+  bool isolate = false;
+
+  /// Extra attempts permitted after the first when the numeric guard
+  /// rejects the measures: the escalation ladder is requested spec ->
+  /// algorithm1/scaled -> algorithm1/log-domain (identical rungs skipped),
+  /// so 2 covers the full ladder.  A thrown xbar::Error is never retried —
+  /// a parse/model/domain failure is deterministic, not numeric.
+  std::size_t max_escalations = 2;
+
+  /// Trip cancellation once this many points have failed terminally
+  /// (isolate mode only).  The shared `token` is what gets tripped, so a
+  /// caller-provided token observes the abort too.
+  std::size_t max_failures = static_cast<std::size_t>(-1);
+
+  /// Wall-clock budget for the whole sweep; the token is armed at run
+  /// start.  0 = no deadline.
+  double deadline_seconds = 0.0;
+
+  /// Cooperative cancellation handle; copies share state, so keep a copy
+  /// and `request_cancel()` from anywhere.  Points never started are
+  /// reported kCancelled; in-flight solves finish.
+  CancellationToken token;
+
+  /// Write a checkpoint after every `checkpoint_every` newly completed
+  /// points (0 = never) to `checkpoint_path`, atomically (tmp + rename).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Test/demo hook: deterministic fault injection at the solve boundary.
+  /// Not owned; must outlive the run.
+  FaultInjector* injector = nullptr;
 };
 
 struct SweepOptions {
@@ -128,6 +202,7 @@ struct SweepOptions {
   core::SolverSpec solver = core::SolverSpec::fast();
   std::size_t cache_capacity = 8;  ///< per-slot SolverCache entries
   ThreadPool* pool = nullptr;      ///< nullptr = ThreadPool::shared()
+  FaultPolicy fault;               ///< fault tolerance (default: none)
 };
 
 /// Deterministic parallel map over scenario points with per-slot solver
@@ -140,8 +215,18 @@ class SweepRunner {
   /// Evaluate all points; results[i] always corresponds to points[i].
   std::vector<core::Measures> run(const std::vector<ScenarioPoint>& points);
 
-  /// Evaluate all points and report diagnostics + cache counters.
+  /// Evaluate all points and report diagnostics + cache counters.  With the
+  /// default `FaultPolicy` the first point error propagates (fail-fast);
+  /// with `fault.isolate` each point's failure is recorded in
+  /// `SweepReport::statuses` and the rest of the sweep still runs.
   SweepReport run_report(const std::vector<ScenarioPoint>& points);
+
+  /// run_report, but points recorded as completed (kOk/kRetried) in
+  /// `checkpoint` are restored verbatim — bit-identically — instead of
+  /// re-solved; failed points are re-attempted.  Raises kConfig when the
+  /// checkpoint does not match `points` (count) or this runner's solver.
+  SweepReport resume(const std::vector<ScenarioPoint>& points,
+                     const SweepCheckpoint& checkpoint);
 
   /// Evaluate the same traffic (per-tuple rates of `model`) at every size
   /// in `sizes`, building ONE grid at the component-wise max size and
@@ -181,6 +266,14 @@ class SweepRunner {
  private:
   ThreadPool& pool() const noexcept;
   void ensure_caches();
+  SweepReport run_impl(const std::vector<ScenarioPoint>& points,
+                       const SweepCheckpoint* checkpoint);
+  core::SolveResult solve_point(const ScenarioPoint& pt, SolverCache& cache,
+                                const core::SolverSpec& spec,
+                                std::size_t index);
+  void evaluate_guarded(const std::vector<ScenarioPoint>& points,
+                        std::size_t i, SolverCache& cache,
+                        core::SolveResult& result, PointStatus& status);
 
   SweepOptions options_;
   std::vector<std::unique_ptr<SolverCache>> caches_;  // slot-indexed

@@ -33,8 +33,11 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::run_slot(
     unsigned slot, const std::function<void(std::size_t, unsigned)>* body,
-    std::size_t n) {
+    std::size_t n, const CancellationToken* cancel) {
   while (!has_error_.load(std::memory_order_relaxed)) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      break;
+    }
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) {
       break;
@@ -74,9 +77,10 @@ void ThreadPool::worker_main() {
     }
     const auto* body = body_;
     const std::size_t n = n_;
+    const CancellationToken* cancel = cancel_;
     ++active_workers_;
     lk.unlock();
-    run_slot(slot, body, n);
+    run_slot(slot, body, n, cancel);
     lk.lock();
     if (--active_workers_ == 0) {
       done_cv_.notify_all();
@@ -86,7 +90,8 @@ void ThreadPool::worker_main() {
 
 void ThreadPool::parallel_for(
     std::size_t n, unsigned concurrency,
-    const std::function<void(std::size_t, unsigned)>& body) {
+    const std::function<void(std::size_t, unsigned)>& body,
+    const CancellationToken* cancel) {
   if (n == 0) {
     return;
   }
@@ -102,6 +107,9 @@ void ThreadPool::parallel_for(
   std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
   if (slots <= 1 || !submit.owns_lock()) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return;
+      }
       body(i, 0);
     }
     return;
@@ -110,6 +118,7 @@ void ThreadPool::parallel_for(
   {
     std::lock_guard<std::mutex> lk(mutex_);
     body_ = &body;
+    cancel_ = cancel;
     n_ = n;
     slots_ = slots;
     next_.store(0, std::memory_order_relaxed);
@@ -121,7 +130,7 @@ void ThreadPool::parallel_for(
   }
   wake_cv_.notify_all();
 
-  run_slot(0, &body, n);  // the caller is slot 0
+  run_slot(0, &body, n, cancel);  // the caller is slot 0
 
   // The caller's run_slot only returns once every index is claimed.  Close
   // the job so no straggler can join it, then wait for workers still

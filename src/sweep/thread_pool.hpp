@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "sweep/cancellation.hpp"
+
 namespace xbar::sweep {
 
 class ThreadPool {
@@ -48,8 +50,14 @@ class ThreadPool {
   /// slot is a dense id in [0, concurrency) identifying the participant,
   /// suitable for indexing per-thread scratch state.  Blocks until every
   /// index has completed; rethrows the first exception thrown by any body.
+  ///
+  /// When `cancel` is non-null, participants stop claiming indexes as soon
+  /// as the token reads cancelled: already-running bodies finish, unclaimed
+  /// indexes are never started, and the call returns normally (the caller
+  /// decides what unfinished indexes mean).
   void parallel_for(std::size_t n, unsigned concurrency,
-                    const std::function<void(std::size_t, unsigned)>& body);
+                    const std::function<void(std::size_t, unsigned)>& body,
+                    const CancellationToken* cancel = nullptr);
 
   /// Process-wide shared pool, started lazily on first use.
   static ThreadPool& shared();
@@ -58,7 +66,7 @@ class ThreadPool {
   void worker_main();
   void run_slot(unsigned slot,
                 const std::function<void(std::size_t, unsigned)>* body,
-                std::size_t n);
+                std::size_t n, const CancellationToken* cancel);
 
   std::vector<std::thread> workers_;
 
@@ -73,6 +81,7 @@ class ThreadPool {
 
   // Current job (valid for the current generation only).
   const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
   std::size_t n_ = 0;
   unsigned slots_ = 0;  // participants including the caller
   std::atomic<std::size_t> next_{0};

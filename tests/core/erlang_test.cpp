@@ -1,8 +1,11 @@
 #include "core/erlang.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
+
+#include "core/error.hpp"
 
 namespace xbar::core {
 namespace {
@@ -84,6 +87,39 @@ TEST(ErlangBInverse, RoundTrips) {
 TEST(ErlangBInverse, MoreCircuitsAdmitMoreLoad) {
   EXPECT_LT(erlang_b_inverse_load(0.01, 8),
             erlang_b_inverse_load(0.01, 16));
+}
+
+TEST(ErlangB, RejectsBadLoadWithDomainKind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double a : {-1.0, nan, inf}) {
+    try {
+      (void)erlang_b(a, 4);
+      FAIL() << "expected xbar::Error for a=" << a;
+    } catch (const xbar::Error& e) {
+      EXPECT_EQ(e.kind(), xbar::ErrorKind::kDomain);
+    }
+  }
+}
+
+TEST(ErlangBReal, RejectsBadArgumentsWithDomainKind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)erlang_b_real(0.0, 4.0), xbar::Error);   // a must be > 0
+  EXPECT_THROW((void)erlang_b_real(nan, 4.0), xbar::Error);
+  EXPECT_THROW((void)erlang_b_real(2.0, -1.0), xbar::Error);  // c must be >= 0
+  EXPECT_THROW((void)erlang_b_real(2.0, nan), xbar::Error);
+}
+
+TEST(ErlangBInverse, RejectsBadTargetWithDomainKind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const double target : {0.0, 1.0, -0.5, 1.5, nan}) {
+    try {
+      (void)erlang_b_inverse_load(target, 4);
+      FAIL() << "expected xbar::Error for target=" << target;
+    } catch (const xbar::Error& e) {
+      EXPECT_EQ(e.kind(), xbar::ErrorKind::kDomain);
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // paper's figures make, checked as invariants over parameter sweeps.
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -164,6 +165,58 @@ TEST(ModelProperties, RectangularSwitchSymmetry) {
                            {TrafficClass::bursty("c", alpha_tuple * 3, 0.0)});
   EXPECT_NEAR(solve(wide).per_class[0].blocking,
               solve(tall).per_class[0].blocking, 1e-12);
+}
+
+TEST(ValidateMeasures, AcceptsHealthySolves) {
+  const CrossbarModel m(Dims::square(4),
+                        {TrafficClass::poisson("p", 0.5),
+                         TrafficClass::bursty("b", 0.3, 0.1)});
+  EXPECT_EQ(validate_measures(solve(m)), std::nullopt);
+}
+
+TEST(ValidateMeasures, RejectsNonFiniteAndNamesField) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  Measures good = solve(m);
+
+  Measures bad = good;
+  bad.revenue = std::numeric_limits<double>::quiet_NaN();
+  auto verdict = validate_measures(bad);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("revenue"), std::string::npos);
+
+  bad = good;
+  bad.per_class[0].blocking = std::numeric_limits<double>::infinity();
+  verdict = validate_measures(bad);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("blocking"), std::string::npos);
+}
+
+TEST(ValidateMeasures, RejectsOutOfRangeProbabilities) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  Measures bad = solve(m);
+  bad.per_class[0].non_blocking = 1.5;
+  EXPECT_TRUE(validate_measures(bad).has_value());
+  bad = solve(m);
+  bad.per_class[0].blocking = -0.2;
+  EXPECT_TRUE(validate_measures(bad).has_value());
+  // Tiny roundoff excursions are tolerated.
+  bad = solve(m);
+  bad.per_class[0].blocking = -1e-12;
+  EXPECT_EQ(validate_measures(bad), std::nullopt);
+  bad.per_class[0].non_blocking = 1.0 + 1e-12;
+  EXPECT_EQ(validate_measures(bad), std::nullopt);
+}
+
+TEST(ValidateMeasures, RejectsNegativeQuantities) {
+  const CrossbarModel m(Dims::square(2), {TrafficClass::poisson("p", 0.4)});
+  Measures bad = solve(m);
+  bad.per_class[0].concurrency = -1.0;
+  EXPECT_TRUE(validate_measures(bad).has_value());
+  bad = solve(m);
+  bad.total_throughput = -0.5;
+  auto verdict = validate_measures(bad);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("total throughput"), std::string::npos);
 }
 
 TEST(MeasuresOstream, PrintsSummary) {

@@ -21,7 +21,8 @@ TEST(SolverSpec, CanonicalStringsRoundTrip) {
   for (const char* text :
        {"auto", "fast", "algorithm1", "algorithm1/scaled",
         "algorithm1/double-dynamic", "algorithm1/long-double",
-        "algorithm1/double-raw", "algorithm2", "brute"}) {
+        "algorithm1/double-raw", "algorithm1/log-domain", "algorithm2",
+        "brute"}) {
     const SolverSpec spec = SolverSpec::parse(text);
     EXPECT_EQ(spec.to_string(), text);
     EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec) << text;
@@ -73,6 +74,16 @@ TEST(SolverSpec, ExplicitBackendIsHonored) {
   const ResolvedSolver r = resolve(spec, tiny_model(4));
   EXPECT_EQ(r.backend, NumericBackend::kLongDouble);
   EXPECT_FALSE(r.fallback_on_degenerate);
+}
+
+TEST(SolverSpec, LogDomainBackendResolvesForAlgorithm1) {
+  const SolverSpec spec = SolverSpec::parse("algorithm1/log-domain");
+  EXPECT_EQ(spec.backend, NumericBackend::kLogDomain);
+  const ResolvedSolver r = resolve(spec, tiny_model(4));
+  EXPECT_EQ(r.algorithm, SolverAlgorithm::kAlgorithm1);
+  EXPECT_EQ(r.backend, NumericBackend::kLogDomain);
+  EXPECT_FALSE(r.fallback_on_degenerate);
+  EXPECT_EQ(std::string(to_string(NumericBackend::kLogDomain)), "log-domain");
 }
 
 TEST(SolverSpec, ResolveRejectsBackendOnWrongAlgorithm) {

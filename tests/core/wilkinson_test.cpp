@@ -1,10 +1,12 @@
 #include "core/wilkinson.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "core/erlang.hpp"
+#include "core/error.hpp"
 #include "core/knapsack.hpp"
 
 namespace xbar::core {
@@ -52,8 +54,44 @@ TEST(EquivalentRandomFit, RoundTripsOverflowMoments) {
 }
 
 TEST(EquivalentRandomFit, RejectsSmoothTraffic) {
-  EXPECT_THROW((void)fit_equivalent_random(2.0, 0.8), std::invalid_argument);
-  EXPECT_THROW((void)fit_equivalent_random(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)fit_equivalent_random(2.0, 0.8), xbar::Error);
+  EXPECT_THROW((void)fit_equivalent_random(0.0, 2.0), xbar::Error);
+}
+
+TEST(EquivalentRandomFit, RejectsNonFiniteInputsWithDomainKind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto& [mean, z] : {std::pair{nan, 2.0}, std::pair{inf, 2.0},
+                                std::pair{2.0, nan}, std::pair{2.0, inf}}) {
+    try {
+      (void)fit_equivalent_random(mean, z);
+      FAIL() << "expected xbar::Error for mean=" << mean << " z=" << z;
+    } catch (const xbar::Error& e) {
+      EXPECT_EQ(e.kind(), xbar::ErrorKind::kDomain);
+    }
+  }
+}
+
+TEST(WilkinsonBlocking, RejectsBadInputsWithDomainKind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  try {
+    (void)wilkinson_blocking(6.0, 0.5, 4);
+    FAIL() << "expected xbar::Error for Z < 1";
+  } catch (const xbar::Error& e) {
+    EXPECT_EQ(e.kind(), xbar::ErrorKind::kDomain);
+  }
+  EXPECT_THROW((void)wilkinson_blocking(nan, 2.0, 4), xbar::Error);
+  EXPECT_THROW((void)wilkinson_blocking(-1.0, 2.0, 4), xbar::Error);
+}
+
+TEST(WilkinsonBlocking, ZeroMeanBlocksNothing) {
+  EXPECT_EQ(wilkinson_blocking(0.0, 2.0, 4), 0.0);
+}
+
+TEST(OverflowMoments, RejectsBadLoadWithDomainKind) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)overflow_moments(-1.0, 4), xbar::Error);
+  EXPECT_THROW((void)overflow_moments(inf, 4), xbar::Error);
 }
 
 TEST(WilkinsonBlocking, PoissonCaseIsErlangB) {

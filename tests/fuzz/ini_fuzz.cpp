@@ -1,0 +1,58 @@
+// Fuzz harness for the scenario/INI front door.
+//
+// Contract under test: any byte string fed to `parse_scenario_string`
+// either yields a valid Scenario or raises a typed xbar::Error — never a
+// crash, an uncaught foreign exception, UB, or a hang.  This is the same
+// surface the CLI exposes to untrusted files, and exactly where the typed
+// erlang/wilkinson/model domain checks must hold the line.
+//
+// Built two ways (tests/fuzz/CMakeLists.txt):
+//   * clang + XBAR_BUILD_FUZZERS: a real libFuzzer binary (-fsanitize=
+//     fuzzer,address) for CI's coverage-guided smoke run;
+//   * any compiler, XBAR_FUZZ_STANDALONE: a plain main() that replays the
+//     files given on the command line once each — the corpus regression
+//     mode ctest runs everywhere (gcc has no libFuzzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "config/scenario_file.hpp"
+#include "core/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)xbar::config::parse_scenario_string(text);
+  } catch (const xbar::Error&) {
+    // Typed rejection is the accepted outcome for malformed input.
+  }
+  return 0;
+}
+
+#ifdef XBAR_FUZZ_STANDALONE
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot read corpus file " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus inputs\n";
+  return 0;
+}
+#endif

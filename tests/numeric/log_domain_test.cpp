@@ -80,5 +80,88 @@ TEST(LogSum, GeometricSeriesAcrossHundredsOfDecades) {
   EXPECT_NEAR(s.value(), 10.0 / 9.0, 1e-12);
 }
 
+TEST(SignedLog, ConstructsFromLinearValues) {
+  EXPECT_TRUE(SignedLog{}.is_zero());
+  EXPECT_TRUE(SignedLog(0.0).is_zero());
+  EXPECT_EQ(SignedLog(5.0).sign(), 1);
+  EXPECT_EQ(SignedLog(-5.0).sign(), -1);
+  EXPECT_DOUBLE_EQ(SignedLog(5.0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(SignedLog(-5.0).value(), -5.0);
+  EXPECT_DOUBLE_EQ(SignedLog(3.0).log(), std::log(3.0));
+  EXPECT_EQ(SignedLog{}.log(), kNegInf);
+  EXPECT_TRUE(std::isnan(SignedLog(-3.0).log()));
+}
+
+TEST(SignedLog, ArithmeticMatchesLinearDomain) {
+  std::mt19937_64 gen(11);
+  std::uniform_real_distribution<double> dist(-50.0, 50.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = dist(gen);
+    const double b = dist(gen);
+    const SignedLog la(a);
+    const SignedLog lb(b);
+    EXPECT_NEAR((la + lb).value(), a + b, 1e-9 * (std::abs(a) + std::abs(b)));
+    EXPECT_NEAR((la * lb).value(), a * b, 1e-9 * std::abs(a * b));
+    if (b != 0.0) {
+      EXPECT_NEAR((la / lb).value(), a / b, 1e-9 * std::abs(a / b));
+    }
+  }
+}
+
+TEST(SignedLog, OppositeSignsCancelExactly) {
+  const SignedLog a(7.25);
+  const SignedLog b(-7.25);
+  EXPECT_TRUE((a + b).is_zero());
+  EXPECT_EQ((a + b).value(), 0.0);
+}
+
+TEST(SignedLog, ZeroIsAdditiveIdentityAndMultiplicativeSink) {
+  const SignedLog x(4.5);
+  const SignedLog zero;
+  EXPECT_EQ(x + zero, x);
+  EXPECT_EQ(zero + x, x);
+  EXPECT_TRUE((x * zero).is_zero());
+  EXPECT_TRUE((zero / x).is_zero());
+}
+
+TEST(SignedLog, SurvivesMagnitudesFarBeyondDoubleRange) {
+  // exp(5000) overflows any IEEE double; the log-domain product and sum
+  // stay finite in log space.  This is the property that makes kLogDomain
+  // the escalation ladder's last resort.
+  const SignedLog huge = SignedLog::from_log(5000.0);
+  const SignedLog product = huge * huge;
+  EXPECT_EQ(product.sign(), 1);
+  EXPECT_DOUBLE_EQ(product.log_magnitude(), 10000.0);
+  const SignedLog sum = product + product;
+  EXPECT_NEAR(sum.log_magnitude(), 10000.0 + std::log(2.0), 1e-12);
+  // Ratios of astronomically large values recover ordinary magnitudes.
+  EXPECT_NEAR((sum / product).value(), 2.0, 1e-12);
+
+  const SignedLog tiny = SignedLog::from_log(-5000.0);
+  EXPECT_FALSE(tiny.is_zero());  // a double would have underflowed to 0
+  EXPECT_NEAR((tiny / tiny).value(), 1.0, 1e-12);
+}
+
+TEST(SignedLog, OrderingIsTotalOverSigns) {
+  const SignedLog neg(-2.0);
+  const SignedLog zero;
+  const SignedLog small(1.0);
+  const SignedLog big(3.0);
+  EXPECT_LT(neg, zero);
+  EXPECT_LT(zero, small);
+  EXPECT_LT(small, big);
+  EXPECT_LT(SignedLog(-3.0), SignedLog(-2.0));  // more negative is smaller
+  EXPECT_FALSE(zero < zero);
+  EXPECT_FALSE(big < small);
+}
+
+TEST(SignedLog, CompoundAssignmentAccumulates) {
+  SignedLog acc;
+  for (int i = 1; i <= 10; ++i) {
+    acc += SignedLog(static_cast<double>(i));
+  }
+  EXPECT_NEAR(acc.value(), 55.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace xbar::num

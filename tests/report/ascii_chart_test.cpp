@@ -1,5 +1,6 @@
 #include "report/ascii_chart.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -52,6 +53,40 @@ TEST(AsciiChart, SinglePointDoesNotDivideByZero) {
   std::ostringstream os;
   render_chart(os, {{"pt", {5.0}, {0.5}}}, {.width = 10, .height = 4});
   EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, NonFinitePointsAreSkippedNotPlotted) {
+  // NaN and ±inf y values must be dropped point-wise: an +inf that reached
+  // the y-range scan would swallow the whole range and flatten the series.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream with_bad;
+  render_chart(with_bad,
+               {{"s", {1, 2, 3, 4, 5}, {0.1, nan, 0.3, inf, -inf}}},
+               {.width = 20, .height = 6});
+  std::ostringstream clean;
+  render_chart(clean, {{"s", {1, 3}, {0.1, 0.3}}}, {.width = 20, .height = 6});
+  // Dropping the non-finite points point-wise leaves exactly the chart the
+  // finite points alone would have produced: the axes did not stretch.
+  EXPECT_EQ(with_bad.str(), clean.str());
+  EXPECT_EQ(with_bad.str().find("inf"), std::string::npos);
+  EXPECT_NE(with_bad.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, AllNonFiniteSeriesHandled) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::ostringstream os;
+  render_chart(os, {{"bad", {1, 2}, {inf, -inf}}}, {});
+  EXPECT_EQ(os.str(), "(no data)\n");
+}
+
+TEST(AsciiChart, NonFiniteXValuesAreSkipped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  render_chart(os, {{"s", {1, nan, 3}, {0.1, 0.2, 0.3}}},
+               {.width = 20, .height = 6});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
 }
 
 TEST(AsciiChart, CanvasDimensionsRespected) {

@@ -1,0 +1,127 @@
+// JSON reader tests: exact double round-trip against the writer, the full
+// escape set, typed accessors, and kParse classification of malformed input.
+
+#include "report/json_reader.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace xbar::report {
+namespace {
+
+using xbar::Error;
+using xbar::ErrorKind;
+
+TEST(JsonReader, ParsesLiterals) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_TRUE(parse_json("  null  ").is_null());
+}
+
+TEST(JsonReader, NumbersRoundTripExactly) {
+  // Shortest-round-trip doubles (what JsonWriter emits) must come back
+  // bit-identical.
+  for (const double d :
+       {0.0, -0.0, 1.0, -1.5, 0.1, 1e-300, 1.7976931348623157e308,
+        2.2250738585072014e-308, 0.0024, 123456789.123456789}) {
+    std::string text(64, '\0');
+    snprintf(text.data(), text.size(), "%.17g", d);
+    text.resize(text.find('\0'));
+    const auto v = parse_json(text);
+    ASSERT_TRUE(v.is_number()) << text;
+    EXPECT_EQ(v.as_number(), d) << text;
+  }
+  EXPECT_EQ(parse_json("-12").as_number(), -12.0);
+  EXPECT_EQ(parse_json("3e2").as_number(), 300.0);
+}
+
+TEST(JsonReader, ParsesStringsWithEscapes) {
+  EXPECT_EQ(parse_json(R"("hello")").as_string(), "hello");
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("\b\f\n\r\t")").as_string(), "\b\f\n\r\t");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonReader, ParsesArraysAndObjectsInOrder) {
+  const auto v = parse_json(R"({"b": 2, "a": [1, true, null], "c": {}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "b");  // insertion order preserved
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "c");
+  const auto& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_number(), 1.0);
+  EXPECT_TRUE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_TRUE(v.at("c").as_object().empty());
+}
+
+TEST(JsonReader, FindToleratesMissingKeyAtDoesNot) {
+  const auto v = parse_json(R"({"x": 1})");
+  EXPECT_NE(v.find("x"), nullptr);
+  EXPECT_EQ(v.find("y"), nullptr);
+  try {
+    (void)v.at("y");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+  }
+}
+
+TEST(JsonReader, TypeMismatchRaisesParseNamingTypes) {
+  const auto v = parse_json("42");
+  try {
+    (void)v.as_string();
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
+  }
+}
+
+TEST(JsonReader, MalformedInputRaisesParse) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "{\"a\":}",
+        "[1 2]", "01", "1.2.3", "nul", "\"\\q\"", "\"\\ud800\"",  // lone
+                                                                  // surrogate
+        "{} trailing", "[1]]", "+1", "nan", "inf"}) {
+    try {
+      (void)parse_json(bad);
+      FAIL() << "expected xbar::Error for: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kParse) << bad;
+    }
+  }
+}
+
+TEST(JsonReader, NestedDocumentRoundTrip) {
+  // The shape a sweep checkpoint uses: objects of arrays of objects.
+  const char* doc = R"({
+    "version": 1,
+    "total_points": 12,
+    "solver": "fast",
+    "completed": [
+      {"index": 0, "status": "ok", "revenue": 0.0047999999999999996},
+      {"index": 3, "status": "retried", "revenue": 1e-12}
+    ]
+  })";
+  const auto v = parse_json(doc);
+  EXPECT_EQ(v.at("version").as_number(), 1.0);
+  EXPECT_EQ(v.at("solver").as_string(), "fast");
+  const auto& completed = v.at("completed").as_array();
+  ASSERT_EQ(completed.size(), 2u);
+  EXPECT_EQ(completed[0].at("revenue").as_number(),
+            0.0047999999999999996);
+  EXPECT_EQ(completed[1].at("status").as_string(), "retried");
+}
+
+}  // namespace
+}  // namespace xbar::report

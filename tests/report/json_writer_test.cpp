@@ -80,8 +80,24 @@ TEST(JsonWriter, NonFiniteBecomesNull) {
   json.begin_array();
   json.value(std::numeric_limits<double>::quiet_NaN());
   json.value(std::numeric_limits<double>::infinity());
+  json.value(-std::numeric_limits<double>::infinity());
   json.end_array();
-  EXPECT_EQ(os.str(), "[\n  null,\n  null\n]");
+  EXPECT_EQ(os.str(), "[\n  null,\n  null,\n  null\n]");
+}
+
+TEST(JsonWriter, NonFiniteObjectValuesBecomeNull) {
+  // The uniform-null contract holds in object position too, so downstream
+  // JSON consumers never see a bare `nan`/`inf` token (invalid JSON).
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("revenue").value(std::numeric_limits<double>::quiet_NaN());
+  json.key("utilization").value(-std::numeric_limits<double>::infinity());
+  json.key("ok").value(1.5);
+  json.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n  \"revenue\": null,\n  \"utilization\": null,\n"
+            "  \"ok\": 1.5\n}\n");
 }
 
 TEST(JsonWriter, EscapesStrings) {

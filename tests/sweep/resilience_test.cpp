@@ -1,0 +1,351 @@
+// Sweep fault-tolerance tests: per-point isolation, numeric-guard backend
+// escalation, deterministic cancellation (token, max-failures, deadline),
+// and checkpoint/resume bit-identity.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/solver_spec.hpp"
+#include "sweep/checkpoint.hpp"
+#include "sweep/fault_injector.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::sweep {
+namespace {
+
+using core::CrossbarModel;
+using core::Dims;
+using core::NumericBackend;
+using core::SolverSpec;
+using core::TrafficClass;
+
+std::vector<ScenarioPoint> small_grid(unsigned count = 6) {
+  // Distinct small models so every point is a real solve.
+  std::vector<ScenarioPoint> points;
+  for (unsigned n = 2; n < 2 + count; ++n) {
+    points.push_back({CrossbarModel(Dims::square(n),
+                                    {TrafficClass::poisson("p", 0.0024),
+                                     TrafficClass::bursty("b", 0.0024, 0.0012)}),
+                      std::nullopt});
+  }
+  return points;
+}
+
+SweepOptions isolated_options(unsigned threads = 1) {
+  SweepOptions options;
+  options.threads = threads;
+  options.fault.isolate = true;
+  return options;
+}
+
+// --- Per-point isolation --------------------------------------------------
+
+TEST(FaultIsolation, ThrownErrorDegradesOnlyThatPoint) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(2, FaultAction::kThrow,
+               std::numeric_limits<std::size_t>::max());
+
+  auto options = isolated_options();
+  options.fault.injector = &injector;
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  ASSERT_EQ(report.statuses.size(), points.size());
+  EXPECT_EQ(report.statuses[2].state, PointState::kFailed);
+  EXPECT_EQ(report.statuses[2].error_kind, ErrorKind::kDomain);
+  EXPECT_NE(report.statuses[2].error.find("injected fault"), std::string::npos);
+  EXPECT_TRUE(report.results[2].measures.per_class.empty());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(report.statuses[i].state, PointState::kOk) << "point " << i;
+    EXPECT_FALSE(report.results[i].measures.per_class.empty());
+  }
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.count(PointState::kFailed), 1u);
+  EXPECT_EQ(report.count(PointState::kOk), points.size() - 1);
+}
+
+TEST(FaultIsolation, WithoutIsolationErrorsStillPropagate) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(1, FaultAction::kThrow,
+               std::numeric_limits<std::size_t>::max());
+
+  SweepOptions options;
+  options.threads = 1;
+  options.fault.injector = &injector;  // isolate stays false: historical
+  SweepRunner runner(options);         // fail-fast contract
+  EXPECT_THROW(runner.run_report(points), xbar::Error);
+}
+
+// --- Numeric guards + backend escalation ----------------------------------
+
+TEST(Escalation, NanFirstAttemptRetriesOnNextBackend) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(1, FaultAction::kNan);  // first attempt only
+
+  auto options = isolated_options();
+  options.fault.injector = &injector;
+  options.solver = SolverSpec::fast();
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  EXPECT_EQ(report.statuses[1].state, PointState::kRetried);
+  // fast resolves to the dynamic-scaling double grid; the first escalation
+  // rung is ScaledFloat, which succeeds (the injector only poisoned the
+  // first attempt).
+  const auto& chain = report.results[1].diagnostics.escalation;
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], NumericBackend::kDoubleDynamicScaling);
+  EXPECT_EQ(chain[1], NumericBackend::kScaledFloat);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.count(PointState::kRetried), 1u);
+
+  // The retried point's measures match an untouched solve of the same model.
+  SweepRunner clean(isolated_options());
+  const auto clean_report = clean.run_report(points);
+  EXPECT_EQ(report.results[1].measures.revenue,
+            clean_report.results[1].measures.revenue);
+}
+
+TEST(Escalation, ExhaustedLadderFailsWithGuardMessage) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(0, FaultAction::kNan,
+               std::numeric_limits<std::size_t>::max());  // every attempt
+
+  auto options = isolated_options();
+  options.fault.injector = &injector;
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  EXPECT_EQ(report.statuses[0].state, PointState::kFailed);
+  EXPECT_EQ(report.statuses[0].error_kind, ErrorKind::kDomain);
+  EXPECT_NE(report.statuses[0].error.find("numeric guard"), std::string::npos);
+  // The full ladder was attempted: fast -> scaled -> log-domain.
+  const auto& chain = report.results[0].diagnostics.escalation;
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], NumericBackend::kDoubleDynamicScaling);
+  EXPECT_EQ(chain[1], NumericBackend::kScaledFloat);
+  EXPECT_EQ(chain[2], NumericBackend::kLogDomain);
+}
+
+TEST(Escalation, ZeroEscalationsMeansSingleAttempt) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(0, FaultAction::kNan);
+
+  auto options = isolated_options();
+  options.fault.injector = &injector;
+  options.fault.max_escalations = 0;
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  EXPECT_EQ(report.statuses[0].state, PointState::kFailed);
+  EXPECT_EQ(report.results[0].diagnostics.escalation.size(), 1u);
+}
+
+// --- Cancellation, max-failures, deadline ---------------------------------
+
+TEST(Cancellation, PreCancelledTokenRunsNothing) {
+  const auto points = small_grid();
+  auto options = isolated_options();
+  options.fault.token.request_cancel();
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  EXPECT_EQ(report.count(PointState::kCancelled), points.size());
+  EXPECT_FALSE(report.complete());
+  for (const auto& r : report.results) {
+    EXPECT_TRUE(r.measures.per_class.empty());
+  }
+}
+
+TEST(Cancellation, MaxFailuresTripsDeterministically) {
+  const auto points = small_grid();
+  FaultInjector injector;
+  injector.add(1, FaultAction::kThrow,
+               std::numeric_limits<std::size_t>::max());
+
+  auto options = isolated_options(/*threads=*/1);
+  options.fault.injector = &injector;
+  options.fault.max_failures = 1;
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  // Serial execution claims indexes in order: 0 solves, 1 fails and trips
+  // the token, everything after is never started.
+  EXPECT_EQ(report.statuses[0].state, PointState::kOk);
+  EXPECT_EQ(report.statuses[1].state, PointState::kFailed);
+  for (std::size_t i = 2; i < points.size(); ++i) {
+    EXPECT_EQ(report.statuses[i].state, PointState::kCancelled)
+        << "point " << i;
+  }
+  EXPECT_EQ(report.count(PointState::kOk), 1u);
+  EXPECT_EQ(report.count(PointState::kFailed), 1u);
+  EXPECT_EQ(report.count(PointState::kCancelled), points.size() - 2);
+}
+
+TEST(Cancellation, ExpiredDeadlineCancelsRemainingPoints) {
+  const auto points = small_grid();
+  auto options = isolated_options();
+  options.fault.deadline_seconds = 1e-9;  // already past by the first claim
+  SweepRunner runner(options);
+  const auto report = runner.run_report(points);
+
+  EXPECT_FALSE(report.complete());
+  EXPECT_GT(report.count(PointState::kCancelled), 0u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(report.statuses[i].state == PointState::kOk ||
+                report.statuses[i].state == PointState::kCancelled);
+  }
+}
+
+// --- Checkpoint/resume ----------------------------------------------------
+
+class TempFile {
+ public:
+  explicit TempFile(std::string path) : path_(std::move(path)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Checkpoint, SaveLoadRoundTripsBitIdentically) {
+  const auto points = small_grid();
+  SweepRunner runner(isolated_options());
+  const auto report = runner.run_report(points);
+
+  SweepCheckpoint ck;
+  ck.total_points = points.size();
+  ck.solver = runner.options().solver.to_string();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ck.completed.push_back({i, report.statuses[i], report.results[i]});
+  }
+
+  const TempFile file(::testing::TempDir() + "xbar_ck_roundtrip.json");
+  save_checkpoint(file.path(), ck);
+  const auto loaded = load_checkpoint(file.path());
+
+  ASSERT_EQ(loaded.total_points, ck.total_points);
+  EXPECT_EQ(loaded.solver, ck.solver);
+  ASSERT_EQ(loaded.completed.size(), ck.completed.size());
+  for (std::size_t i = 0; i < ck.completed.size(); ++i) {
+    const auto& a = ck.completed[i];
+    const auto& b = loaded.completed[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.status.state, b.status.state);
+    const auto& ma = a.result.measures;
+    const auto& mb = b.result.measures;
+    ASSERT_EQ(ma.per_class.size(), mb.per_class.size());
+    for (std::size_t r = 0; r < ma.per_class.size(); ++r) {
+      EXPECT_EQ(ma.per_class[r].blocking, mb.per_class[r].blocking);
+      EXPECT_EQ(ma.per_class[r].non_blocking, mb.per_class[r].non_blocking);
+      EXPECT_EQ(ma.per_class[r].concurrency, mb.per_class[r].concurrency);
+      EXPECT_EQ(ma.per_class[r].throughput, mb.per_class[r].throughput);
+      EXPECT_EQ(ma.per_class[r].port_usage, mb.per_class[r].port_usage);
+    }
+    EXPECT_EQ(ma.revenue, mb.revenue);
+    EXPECT_EQ(ma.total_throughput, mb.total_throughput);
+    EXPECT_EQ(ma.utilization, mb.utilization);
+    EXPECT_EQ(a.result.diagnostics.algorithm, b.result.diagnostics.algorithm);
+    EXPECT_EQ(a.result.diagnostics.backend, b.result.diagnostics.backend);
+    EXPECT_EQ(a.result.diagnostics.escalation, b.result.diagnostics.escalation);
+  }
+}
+
+TEST(Checkpoint, KilledSweepResumesBitIdentically) {
+  const auto points = small_grid();
+
+  // Reference: one clean uninterrupted run.
+  SweepRunner reference(isolated_options());
+  const auto full = reference.run_report(points);
+  ASSERT_TRUE(full.complete());
+
+  // "Killed" run: points 3+ fail terminally, checkpoint written per point.
+  const TempFile file(::testing::TempDir() + "xbar_ck_resume.json");
+  FaultInjector injector;
+  for (std::size_t i = 3; i < points.size(); ++i) {
+    injector.add(i, FaultAction::kThrow,
+                 std::numeric_limits<std::size_t>::max());
+  }
+  auto options = isolated_options();
+  options.fault.injector = &injector;
+  options.fault.checkpoint_every = 1;
+  options.fault.checkpoint_path = file.path();
+  SweepRunner crashed(options);
+  const auto partial = crashed.run_report(points);
+  ASSERT_FALSE(partial.complete());
+  ASSERT_EQ(partial.count(PointState::kOk), 3u);
+
+  // Resume with the fault gone: the checkpointed points must be restored
+  // verbatim (no re-solve), the failed ones re-attempted and solved.
+  const auto checkpoint = load_checkpoint(file.path());
+  EXPECT_EQ(checkpoint.completed.size(), 3u);
+  SweepRunner resumed(isolated_options());
+  const auto report = resumed.resume(points, checkpoint);
+
+  ASSERT_TRUE(report.complete());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& a = full.results[i].measures;
+    const auto& b = report.results[i].measures;
+    ASSERT_EQ(a.per_class.size(), b.per_class.size()) << "point " << i;
+    for (std::size_t r = 0; r < a.per_class.size(); ++r) {
+      EXPECT_EQ(a.per_class[r].blocking, b.per_class[r].blocking)
+          << "point " << i << " class " << r;
+      EXPECT_EQ(a.per_class[r].concurrency, b.per_class[r].concurrency);
+    }
+    EXPECT_EQ(a.revenue, b.revenue) << "point " << i;
+    EXPECT_EQ(a.total_throughput, b.total_throughput);
+    EXPECT_EQ(a.utilization, b.utilization);
+  }
+}
+
+TEST(Checkpoint, MismatchedPointCountIsRejected) {
+  const auto points = small_grid();
+  SweepCheckpoint ck;
+  ck.total_points = points.size() + 5;
+  ck.solver = SolverSpec::fast().to_string();
+  SweepRunner runner(isolated_options());
+  try {
+    runner.resume(points, ck);
+    FAIL() << "expected xbar::Error";
+  } catch (const xbar::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+  }
+}
+
+TEST(Checkpoint, MismatchedSolverIsRejected) {
+  const auto points = small_grid();
+  SweepCheckpoint ck;
+  ck.total_points = points.size();
+  ck.solver = "brute";
+  SweepRunner runner(isolated_options());  // solver = fast
+  try {
+    runner.resume(points, ck);
+    FAIL() << "expected xbar::Error";
+  } catch (const xbar::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+  }
+}
+
+TEST(Checkpoint, LoadOfMissingFileRaisesIo) {
+  try {
+    (void)load_checkpoint("/nonexistent/xbar_checkpoint.json");
+    FAIL() << "expected xbar::Error";
+  } catch (const xbar::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::sweep

@@ -12,8 +12,22 @@
 //                   cache hits, wall time)
 //   --json          machine-readable output (solve and sweep)
 //
+// Sweep fault tolerance (sweep only):
+//   --max-failures=N    cancel the sweep once N points fail terminally
+//   --deadline=SECONDS  wall-clock budget; unfinished points report cancelled
+//   --checkpoint=FILE   write a resumable JSON checkpoint as points complete
+//   --resume=FILE       skip points already completed in FILE (bit-identical)
+//   --inject=SPEC       deterministic fault injection for testing/demos:
+//                       comma-separated POINT:ACTION[:SECONDS], ACTION in
+//                       throw|nan|delay (e.g. --inject=2:throw,5:nan)
+//
+// Exit codes: 0 = every requested point produced measures; 2 = the sweep
+// degraded gracefully (some points failed or were cancelled — output and
+// checkpoint still cover the rest); 1 = fatal (bad usage, unreadable
+// scenario, or any error outside per-point isolation).
+//
 // All failures surface as typed xbar::Error diagnostics naming the raising
-// source file:line, and the process exits with code 1.
+// source file:line.
 //
 // Scenario format: see src/config/scenario_file.hpp or examples/scenarios/.
 
@@ -31,6 +45,8 @@
 #include "report/table.hpp"
 #include "sim/replication.hpp"
 #include "sim/traffic_pattern.hpp"
+#include "sweep/checkpoint.hpp"
+#include "sweep/fault_injector.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -41,9 +57,14 @@ int usage() {
   std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini>\n"
                "            [--solver=SPEC] [--verbose] [--json]\n"
                "            [--sizes=4,8,16]          (sweep only)\n"
+               "            [--max-failures=N] [--deadline=SECONDS]\n"
+               "            [--checkpoint=FILE] [--resume=FILE]\n"
+               "            [--inject=POINT:throw|nan|delay[:SECONDS],...]\n"
                "SPEC: auto|fast|algorithm1[/scaled|/double-dynamic|"
-               "/long-double|/double-raw]|algorithm2|brute\n";
-  return 2;
+               "/long-double|/double-raw|/log-domain]|algorithm2|brute\n"
+               "exit: 0 complete, 2 partial (failed/cancelled points), "
+               "1 fatal\n";
+  return 1;
 }
 
 /// The scenario's solver, unless --solver overrides it.
@@ -67,7 +88,14 @@ void print_diagnostics(const core::SolveDiagnostics& d, std::ostream& os) {
      << " rescales=" << d.rescales << " grid=" << dims_text(d.grid)
      << " eval=" << dims_text(d.evaluated_at)
      << " cache=" << (d.cache_hit ? "hit" : "miss") << " wall="
-     << report::Table::num(d.wall_seconds * 1e3, 3) << "ms\n";
+     << report::Table::num(d.wall_seconds * 1e3, 3) << "ms";
+  if (!d.escalation.empty()) {
+    os << " escalation=";
+    for (std::size_t i = 0; i < d.escalation.size(); ++i) {
+      os << (i == 0 ? "" : "->") << core::to_string(d.escalation[i]);
+    }
+  }
+  os << "\n";
 }
 
 void print_measures(const core::CrossbarModel& model,
@@ -132,6 +160,13 @@ void write_diagnostics_json(report::JsonWriter& json,
   json.end_object();
   json.key("cache_hit").value(d.cache_hit);
   json.key("wall_seconds").value(d.wall_seconds);
+  if (!d.escalation.empty()) {
+    json.key("escalation").begin_array();
+    for (const core::NumericBackend backend : d.escalation) {
+      json.value(core::to_string(backend));
+    }
+    json.end_array();
+  }
   json.end_object();
 }
 
@@ -253,6 +288,57 @@ std::vector<unsigned> parse_sizes(const std::string& arg) {
   return sizes;
 }
 
+/// Parse a --flag=value as a non-negative number; raises kUsage on garbage.
+double parse_flag_number(const char* flag, const std::string& text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      !(value >= 0.0)) {
+    raise(ErrorKind::kUsage, std::string("--") + flag +
+                                 ": expected a non-negative number, got '" +
+                                 text + "'");
+  }
+  return value;
+}
+
+/// Parse --inject=POINT:ACTION[:SECONDS],... into armed injector rules.
+void parse_inject(const std::string& arg, sweep::FaultInjector& injector) {
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string token =
+        arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    start = comma == std::string::npos ? arg.size() + 1 : comma + 1;
+    const std::size_t c1 = token.find(':');
+    if (c1 == std::string::npos) {
+      raise(ErrorKind::kUsage,
+            "--inject: expected POINT:ACTION[:SECONDS], got '" + token + "'");
+    }
+    const std::size_t point = static_cast<std::size_t>(
+        parse_flag_number("inject", token.substr(0, c1)));
+    const std::size_t c2 = token.find(':', c1 + 1);
+    const std::string action = token.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    if (action == "throw") {
+      injector.add(point, sweep::FaultAction::kThrow);
+    } else if (action == "nan") {
+      injector.add(point, sweep::FaultAction::kNan);
+    } else if (action == "delay") {
+      const double seconds =
+          c2 == std::string::npos
+              ? 0.05
+              : parse_flag_number("inject", token.substr(c2 + 1));
+      injector.add(point, sweep::FaultAction::kDelay, 1, seconds);
+    } else {
+      raise(ErrorKind::kUsage,
+            "--inject: unknown action '" + action +
+                "' (expected throw, nan, or delay)");
+    }
+  }
+}
+
 int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
   const std::vector<unsigned> sizes =
       parse_sizes(args.get("sizes").value_or("4,8,16,32,64,128"));
@@ -269,10 +355,35 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
                                           std::move(classes)),
                       std::nullopt});
   }
+  // Sweeps degrade gracefully: each point is isolated, guarded, and
+  // escalated by the engine; the exit code reports partial completion.
   sweep::SweepOptions options;
   options.solver = spec;
+  options.fault.isolate = true;
+  sweep::FaultInjector injector;
+  if (const auto inject = args.get("inject")) {
+    parse_inject(*inject, injector);
+    options.fault.injector = &injector;
+  }
+  if (const auto text = args.get("max-failures")) {
+    options.fault.max_failures =
+        static_cast<std::size_t>(parse_flag_number("max-failures", *text));
+  }
+  if (const auto text = args.get("deadline")) {
+    options.fault.deadline_seconds = parse_flag_number("deadline", *text);
+  }
+  if (const auto path = args.get("checkpoint")) {
+    options.fault.checkpoint_path = *path;
+    options.fault.checkpoint_every = 1;
+  }
   sweep::SweepRunner runner(options);
-  const sweep::SweepReport report = runner.run_report(points);
+  const sweep::SweepReport report = [&] {
+    if (const auto resume_path = args.get("resume")) {
+      return runner.resume(points, sweep::load_checkpoint(*resume_path));
+    }
+    return runner.run_report(points);
+  }();
+  const int exit_code = report.complete() ? 0 : 2;
 
   if (args.has("json")) {
     report::JsonWriter json(std::cout);
@@ -281,15 +392,43 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
     json.key("solver").value(spec.to_string());
     json.key("points").begin_array();
     for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const sweep::PointStatus& status = report.statuses[i];
+      const bool solved = status.state == sweep::PointState::kOk ||
+                          status.state == sweep::PointState::kRetried;
       json.begin_object();
       json.key("n").value(sizes[i]);
+      json.key("status").value(sweep::to_string(status.state));
+      if (!status.error.empty()) {
+        json.key("error_kind").value(to_string(status.error_kind));
+        json.key("error").value(status.error);
+      }
       json.key("measures");
-      write_measures_json(json, points[i].model, report.results[i].measures);
+      if (solved) {
+        write_measures_json(json, points[i].model,
+                            report.results[i].measures);
+      } else {
+        json.value_null();
+      }
       json.key("diagnostics");
-      write_diagnostics_json(json, report.results[i].diagnostics);
+      if (solved) {
+        write_diagnostics_json(json, report.results[i].diagnostics);
+      } else {
+        json.value_null();
+      }
       json.end_object();
     }
     json.end_array();
+    json.key("summary").begin_object();
+    json.key("ok").value(
+        static_cast<std::uint64_t>(report.count(sweep::PointState::kOk)));
+    json.key("retried").value(static_cast<std::uint64_t>(
+        report.count(sweep::PointState::kRetried)));
+    json.key("failed").value(
+        static_cast<std::uint64_t>(report.count(sweep::PointState::kFailed)));
+    json.key("cancelled").value(static_cast<std::uint64_t>(
+        report.count(sweep::PointState::kCancelled)));
+    json.key("complete").value(report.complete());
+    json.end_object();
     json.key("cache").begin_object();
     json.key("slots").begin_array();
     for (const sweep::SweepSlotCounters& slot : report.slots) {
@@ -305,22 +444,50 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
     json.end_object();
     json.key("wall_seconds").value(report.wall_seconds);
     json.end_object();
-    return 0;
+    return exit_code;
   }
 
+  const bool degraded = !report.complete();
   std::vector<std::string> headers = {"N"};
   for (const auto& c : scenario.model.classes()) {
     headers.push_back(c.name);
   }
+  if (degraded) {
+    headers.push_back("status");
+  }
   report::Table table(headers);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const sweep::PointStatus& status = report.statuses[i];
+    const bool solved = status.state == sweep::PointState::kOk ||
+                        status.state == sweep::PointState::kRetried;
     std::vector<std::string> row = {report::Table::integer(sizes[i])};
-    for (const auto& cm : report.results[i].measures.per_class) {
-      row.push_back(report::Table::num(cm.blocking, 6));
+    const auto& per_class = report.results[i].measures.per_class;
+    for (std::size_t r = 0; r < scenario.model.num_classes(); ++r) {
+      row.push_back(solved && r < per_class.size()
+                        ? report::Table::num(per_class[r].blocking, 6)
+                        : "-");
+    }
+    if (degraded) {
+      row.push_back(std::string(sweep::to_string(status.state)));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  if (degraded) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const sweep::PointStatus& status = report.statuses[i];
+      if (status.state == sweep::PointState::kFailed) {
+        std::cerr << "point N=" << sizes[i] << " failed ("
+                  << to_string(status.error_kind) << "): " << status.error
+                  << "\n";
+      }
+    }
+    std::cerr << "sweep incomplete: " << report.count(sweep::PointState::kOk)
+              << " ok, " << report.count(sweep::PointState::kRetried)
+              << " retried, " << report.count(sweep::PointState::kFailed)
+              << " failed, " << report.count(sweep::PointState::kCancelled)
+              << " cancelled\n";
+  }
 
   if (args.has("verbose")) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -336,7 +503,7 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
               << " misses=" << report.total_misses() << "   wall="
               << report::Table::num(report.wall_seconds * 1e3, 3) << "ms\n";
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
