@@ -25,6 +25,12 @@ const char* type_name(const JsonValue& v) {
 
 class Parser {
  public:
+  /// Containers may nest at most this deep.  The parser recurses per
+  /// nesting level, so without a cap a short hostile input ("[[[[...")
+  /// converts O(bytes) into O(bytes) stack frames and crashes the process
+  /// — the serving path feeds this parser untrusted sockets.
+  static constexpr std::size_t kMaxDepth = 64;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -74,13 +80,35 @@ class Parser {
     return true;
   }
 
+  /// Bumps the container depth for one recursion level (and checks the
+  /// cap); restores it on every exit path, including thrown errors.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("JSON nesting exceeds depth limit of " +
+                     std::to_string(kMaxDepth));
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue parse_value() {
     skip_whitespace();
     switch (peek()) {
-      case '{':
+      case '{': {
+        const DepthGuard depth(*this);
         return parse_object();
-      case '[':
+      }
+      case '[': {
+        const DepthGuard depth(*this);
         return parse_array();
+      }
       case '"':
         return JsonValue(parse_string());
       case 't':
@@ -261,6 +289,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< current container nesting (see kMaxDepth)
 };
 
 }  // namespace

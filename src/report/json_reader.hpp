@@ -8,6 +8,11 @@
 // streaming machinery.  Malformed input raises xbar::Error(kParse) with a
 // byte offset; the typed accessors raise kParse on shape mismatches so
 // loaders read as straight-line code.
+//
+// The parser is hardened for untrusted input (the serving protocol feeds
+// it raw socket bytes): trailing bytes after the document and container
+// nesting deeper than 64 levels both raise kParse instead of recursing
+// without bound.
 
 #pragma once
 

@@ -6,9 +6,13 @@
 
 namespace xbar::report {
 
-JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+JsonWriter::JsonWriter(std::ostream& os, Style style)
+    : os_(os), style_(style) {}
 
 void JsonWriter::newline_indent() {
+  if (style_ == Style::kCompact) {
+    return;
+  }
   os_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     os_ << "  ";
@@ -43,7 +47,7 @@ JsonWriter& JsonWriter::end_object() {
     newline_indent();
   }
   os_ << '}';
-  if (stack_.empty()) {
+  if (stack_.empty() && style_ == Style::kPretty) {
     os_ << '\n';
   }
   return *this;
@@ -74,7 +78,8 @@ JsonWriter& JsonWriter::key(std::string_view name) {
     stack_.back().has_items = true;
     newline_indent();
   }
-  os_ << '"' << escape(name) << "\": ";
+  os_ << '"' << escape(name)
+      << (style_ == Style::kCompact ? "\":" : "\": ");
   after_key_ = true;
   return *this;
 }

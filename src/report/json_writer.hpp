@@ -4,8 +4,10 @@
 // and the writer tracks nesting to place commas, so callers never build
 // intermediate DOM trees.  Doubles render with shortest round-trip
 // formatting (std::to_chars); non-finite values — which JSON cannot carry —
-// become null.  Output is pretty-printed with two-space indentation so it
-// is pleasant in a terminal and trivially parseable by anything.
+// become null.  The default style is pretty-printed with two-space
+// indentation so it is pleasant in a terminal; `Style::kCompact` emits no
+// whitespace at all, which the newline-delimited serving protocol needs
+// (one response per line, ever).
 //
 //   JsonWriter json(std::cout);
 //   json.begin_object();
@@ -25,8 +27,13 @@ namespace xbar::report {
 
 class JsonWriter {
  public:
+  enum class Style : std::uint8_t {
+    kPretty,   ///< two-space indentation, newline-terminated document
+    kCompact,  ///< no whitespace (single-line wire frames)
+  };
+
   /// Writes to `os`; the stream must outlive the writer.
-  explicit JsonWriter(std::ostream& os);
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty);
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
@@ -60,6 +67,7 @@ class JsonWriter {
   void newline_indent();
 
   std::ostream& os_;
+  Style style_;
   struct Level {
     Scope scope;
     bool has_items = false;

@@ -1,0 +1,56 @@
+#include "report/solve_json.hpp"
+
+namespace xbar::report {
+
+void write_measures_json(JsonWriter& json, const core::CrossbarModel& model,
+                         const core::Measures& measures) {
+  json.begin_object();
+  json.key("per_class").begin_array();
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const core::ClassMeasures& cm = measures.per_class[r];
+    json.begin_object();
+    json.key("name").value(model.classes()[r].name);
+    json.key("bandwidth").value(model.normalized(r).bandwidth);
+    json.key("blocking").value(cm.blocking);
+    json.key("non_blocking").value(cm.non_blocking);
+    json.key("concurrency").value(cm.concurrency);
+    json.key("throughput").value(cm.throughput);
+    json.key("port_usage").value(cm.port_usage);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("revenue").value(measures.revenue);
+  json.key("total_throughput").value(measures.total_throughput);
+  json.key("utilization").value(measures.utilization);
+  json.end_object();
+}
+
+void write_diagnostics_json(JsonWriter& json,
+                            const core::SolveDiagnostics& d) {
+  json.begin_object();
+  json.key("requested").value(core::to_string(d.requested));
+  json.key("algorithm").value(core::to_string(d.algorithm));
+  json.key("backend").value(core::to_string(d.backend));
+  json.key("fast_fallback").value(d.fast_fallback);
+  json.key("rescales").value(d.rescales);
+  json.key("grid").begin_object();
+  json.key("n1").value(d.grid.n1);
+  json.key("n2").value(d.grid.n2);
+  json.end_object();
+  json.key("evaluated_at").begin_object();
+  json.key("n1").value(d.evaluated_at.n1);
+  json.key("n2").value(d.evaluated_at.n2);
+  json.end_object();
+  json.key("cache_hit").value(d.cache_hit);
+  json.key("wall_seconds").value(d.wall_seconds);
+  if (!d.escalation.empty()) {
+    json.key("escalation").begin_array();
+    for (const core::NumericBackend backend : d.escalation) {
+      json.value(core::to_string(backend));
+    }
+    json.end_array();
+  }
+  json.end_object();
+}
+
+}  // namespace xbar::report

@@ -1,0 +1,27 @@
+// Canonical JSON shapes for solve results — shared by every machine-
+// readable surface.
+//
+// The CLI's --json output and the serving protocol must describe measures
+// and diagnostics identically (clients cache and diff them), so the
+// emitters live here rather than being copied per frontend.  Callers own
+// the surrounding document structure; these write exactly one value each.
+
+#pragma once
+
+#include "core/model.hpp"
+#include "core/solver_spec.hpp"
+#include "report/json_writer.hpp"
+
+namespace xbar::report {
+
+/// Measures object: per_class array (name, bandwidth, blocking, ...) plus
+/// revenue / total_throughput / utilization.
+void write_measures_json(JsonWriter& json, const core::CrossbarModel& model,
+                         const core::Measures& measures);
+
+/// Diagnostics object: requested/resolved algorithm, backend, fallback,
+/// rescales, grid/eval dims, cache hit, wall time, escalation ladder.
+void write_diagnostics_json(JsonWriter& json,
+                            const core::SolveDiagnostics& diagnostics);
+
+}  // namespace xbar::report

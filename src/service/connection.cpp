@@ -1,0 +1,159 @@
+#include "service/connection.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+
+namespace xbar::service {
+
+namespace {
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    raise(ErrorKind::kConfig, "invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Socket::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket dial(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_address(host, port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Socket();
+  }
+  // Request/response round trips are latency-bound; never batch them.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Socket();
+  }
+  return sock;
+}
+
+Socket listen_on(const std::string& host, std::uint16_t port,
+                 std::uint16_t& bound_port) {
+  const sockaddr_in addr = make_address(host, port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    raise(ErrorKind::kIo,
+          std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    raise(ErrorKind::kIo, "bind(" + host + ":" + std::to_string(port) +
+                              "): " + std::strerror(errno));
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
+    raise(ErrorKind::kIo,
+          std::string("listen(): ") + std::strerror(errno));
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                    &len) != 0) {
+    raise(ErrorKind::kIo,
+          std::string("getsockname(): ") + std::strerror(errno));
+  }
+  bound_port = ntohs(actual.sin_port);
+  return sock;
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool write_line(int fd, std::string_view line) {
+  std::string frame;
+  frame.reserve(line.size() + 1);
+  frame.append(line);
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+LineReader::LineReader(int fd, std::size_t max_line)
+    : fd_(fd), max_line_(max_line) {}
+
+LineReader::Status LineReader::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      // The cap is a protocol bound on the line itself, so it applies even
+      // when an oversized line arrived whole in a single recv.
+      if (newline > max_line_) {
+        return Status::kOverflow;
+      }
+      out.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!out.empty() && out.back() == '\r') {
+        out.pop_back();
+      }
+      return Status::kLine;
+    }
+    if (buffer_.size() > max_line_) {
+      return Status::kOverflow;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::kEof;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::kTimeout;
+      }
+      return Status::kError;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace xbar::service

@@ -1,0 +1,84 @@
+// Socket plumbing shared by the server, the load generator, and the tests:
+// an RAII fd, blocking dial/listen helpers, and newline framing with a hard
+// line-length cap.
+//
+// Everything here is plain blocking POSIX TCP.  Timeouts are implemented
+// with SO_RCVTIMEO so a reader can wake periodically (the server uses this
+// to notice a drain request while parked on an idle connection), and all
+// sends use MSG_NOSIGNAL so a peer that hangs up mid-write produces an
+// error return instead of SIGPIPE.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xbar::service {
+
+/// Move-only owning file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { reset(); }
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to host:port (numeric IPv4 host).  Returns an invalid Socket on
+/// failure (serving-path callers decide whether that is fatal).
+[[nodiscard]] Socket dial(const std::string& host, std::uint16_t port);
+
+/// Bind + listen on host:port (port 0 = ephemeral).  Raises
+/// xbar::Error(kIo) on failure; `bound_port` receives the actual port.
+[[nodiscard]] Socket listen_on(const std::string& host, std::uint16_t port,
+                               std::uint16_t& bound_port);
+
+/// Set SO_RCVTIMEO (0 disables).
+void set_recv_timeout(int fd, double seconds);
+
+/// Send all of `line` plus a trailing '\n'.  Returns false on any error.
+[[nodiscard]] bool write_line(int fd, std::string_view line);
+
+/// Incremental newline framing over a blocking socket.
+class LineReader {
+ public:
+  /// Lines longer than `max_line` bytes report kOverflow (the connection
+  /// is then unsynchronized — callers should respond and close).
+  LineReader(int fd, std::size_t max_line);
+
+  enum class Status : std::uint8_t {
+    kLine,      ///< `out` holds one complete line (without the newline)
+    kEof,       ///< peer closed cleanly with no buffered partial line
+    kTimeout,   ///< SO_RCVTIMEO elapsed with no complete line
+    kOverflow,  ///< line exceeded max_line
+    kError,     ///< transport error
+  };
+
+  /// Blocks until one of the outcomes above.  A trailing '\r' (telnet
+  /// convention) is stripped.
+  [[nodiscard]] Status read_line(std::string& out);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+};
+
+}  // namespace xbar::service

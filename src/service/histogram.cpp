@@ -1,0 +1,73 @@
+#include "service/histogram.hpp"
+
+#include <cmath>
+
+namespace xbar::service {
+
+namespace {
+
+// Bucket 0 holds everything below 1us; above that, four buckets per octave.
+constexpr double kBaseSeconds = 1e-6;
+constexpr double kBucketsPerOctave = 4.0;
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(double seconds) noexcept {
+  if (!(seconds > kBaseSeconds)) {
+    return 0;
+  }
+  const double octaves = std::log2(seconds / kBaseSeconds);
+  const auto index =
+      static_cast<std::size_t>(octaves * kBucketsPerOctave) + 1;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+double Histogram::bucket_upper_edge(std::size_t index) noexcept {
+  return kBaseSeconds *
+         std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+}
+
+void Histogram::record(double seconds) noexcept {
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = seconds > 0.0 ? seconds : 0.0;
+  const auto ns = static_cast<std::uint64_t>(clamped * 1e9);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) {
+      return bucket_upper_edge(i);
+    }
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.mean = static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+             static_cast<double>(s.count) * 1e-9;
+  }
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  s.max =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+}  // namespace xbar::service

@@ -1,0 +1,258 @@
+#include "service/protocol.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "report/json_reader.hpp"
+#include "report/json_writer.hpp"
+
+namespace xbar::service {
+
+namespace {
+
+using report::JsonValue;
+
+Method parse_method(const std::string& name) {
+  if (name == "ping") return Method::kPing;
+  if (name == "solve") return Method::kSolve;
+  if (name == "revenue") return Method::kRevenue;
+  if (name == "sweep") return Method::kSweep;
+  if (name == "stats") return Method::kStats;
+  raise(ErrorKind::kConfig,
+        "unknown method '" + name +
+            "' (expected ping, solve, revenue, sweep, or stats)");
+}
+
+/// A JSON number that must be a non-negative integer <= `bound`.
+unsigned as_bounded_unsigned(const JsonValue& v, const char* what,
+                             unsigned bound) {
+  const double d = v.as_number();
+  if (!(d >= 0.0) || d != std::floor(d) || d > static_cast<double>(bound)) {
+    raise(ErrorKind::kConfig, std::string(what) +
+                                  " must be an integer in [0, " +
+                                  std::to_string(bound) + "]");
+  }
+  return static_cast<unsigned>(d);
+}
+
+double optional_number(const JsonValue& obj, std::string_view key,
+                       double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+core::TrafficClass parse_class(const JsonValue& v, std::size_t index) {
+  const std::string fallback_name = "class" + std::to_string(index);
+  std::string name = fallback_name;
+  if (const JsonValue* n = v.find("name")) {
+    name = n->as_string();
+  }
+  const std::string& shape = v.at("shape").as_string();
+  unsigned bandwidth = 1;
+  if (const JsonValue* b = v.find("bandwidth")) {
+    bandwidth = as_bounded_unsigned(*b, "class bandwidth", kMaxSwitchSide);
+  }
+  const double mu = optional_number(v, "mu", 1.0);
+  const double weight = optional_number(v, "weight", 1.0);
+  if (shape == "poisson") {
+    return core::TrafficClass::poisson(std::move(name),
+                                       v.at("rho").as_number(), bandwidth, mu,
+                                       weight);
+  }
+  if (shape == "bursty") {
+    return core::TrafficClass::bursty(std::move(name),
+                                      v.at("alpha").as_number(),
+                                      optional_number(v, "beta", 0.0),
+                                      bandwidth, mu, weight);
+  }
+  raise(ErrorKind::kConfig, "class \"" + name + "\": unknown shape '" +
+                                shape + "' (expected poisson|bursty)");
+}
+
+core::CrossbarModel parse_scenario(const JsonValue& scenario) {
+  const JsonValue& sw = scenario.at("switch");
+  const unsigned n1 =
+      as_bounded_unsigned(sw.at("inputs"), "switch inputs", kMaxSwitchSide);
+  const unsigned n2 =
+      sw.find("outputs") == nullptr
+          ? n1
+          : as_bounded_unsigned(sw.at("outputs"), "switch outputs",
+                                kMaxSwitchSide);
+  if (n1 == 0 || n2 == 0) {
+    raise(ErrorKind::kConfig, "switch inputs/outputs must be positive");
+  }
+  const report::JsonArray& class_array = scenario.at("classes").as_array();
+  if (class_array.empty()) {
+    raise(ErrorKind::kConfig, "scenario needs at least one traffic class");
+  }
+  if (class_array.size() > kMaxClasses) {
+    raise(ErrorKind::kConfig,
+          "too many traffic classes (" + std::to_string(class_array.size()) +
+              " > " + std::to_string(kMaxClasses) + ")");
+  }
+  std::vector<core::TrafficClass> classes;
+  classes.reserve(class_array.size());
+  for (std::size_t r = 0; r < class_array.size(); ++r) {
+    classes.push_back(parse_class(class_array[r], r));
+  }
+  return core::CrossbarModel(core::Dims{n1, n2}, std::move(classes));
+}
+
+/// Raw JSON rendering of the request id (string or number only, so the
+/// echo is unambiguous).
+std::string render_id(const JsonValue& v) {
+  if (v.is_string()) {
+    return "\"" + report::JsonWriter::escape(v.as_string()) + "\"";
+  }
+  if (v.is_number()) {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                         v.as_number());
+    (void)ec;
+    return std::string(buf, end);
+  }
+  raise(ErrorKind::kConfig, "id must be a string or a number");
+}
+
+void hex_bits(std::string& out, double v) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(
+      buf, buf + sizeof(buf), std::bit_cast<std::uint64_t>(v), 16);
+  (void)ec;
+  out.append(buf, end);
+  out += ',';
+}
+
+/// Canonical computation fingerprint: method | solver | dims | exact class
+/// parameters (names included — they are echoed in the payload) | sizes.
+std::string canonical_key(Method method, const core::SolverSpec& solver,
+                          const core::CrossbarModel& model,
+                          const std::vector<unsigned>& sizes) {
+  std::string key;
+  key.reserve(128);
+  key += to_string(method);
+  key += '|';
+  key += solver.to_string();
+  key += '|';
+  key += std::to_string(model.dims().n1) + "x" +
+         std::to_string(model.dims().n2);
+  for (const core::TrafficClass& c : model.classes()) {
+    key += '|';
+    key += c.name;
+    key += ':';
+    key += std::to_string(c.bandwidth) + ",";
+    hex_bits(key, c.alpha_tilde);
+    hex_bits(key, c.beta_tilde);
+    hex_bits(key, c.mu);
+    hex_bits(key, c.weight);
+  }
+  if (!sizes.empty()) {
+    key += "|sizes=";
+    for (const unsigned n : sizes) {
+      key += std::to_string(n) + ",";
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::kPing: return "ping";
+    case Method::kSolve: return "solve";
+    case Method::kRevenue: return "revenue";
+    case Method::kSweep: return "sweep";
+    case Method::kStats: return "stats";
+  }
+  return "?";
+}
+
+Request parse_request(std::string_view line) {
+  const JsonValue root = report::parse_json(line);
+  if (!root.is_object()) {
+    raise(ErrorKind::kConfig, "request must be a JSON object");
+  }
+  Request req;
+  req.method = parse_method(root.at("method").as_string());
+  if (const JsonValue* id = root.find("id")) {
+    req.id = render_id(*id);
+  }
+  if (const JsonValue* deadline = root.find("deadline_ms")) {
+    req.deadline_ms = deadline->as_number();
+    if (!(req.deadline_ms >= 0.0) || !std::isfinite(req.deadline_ms)) {
+      raise(ErrorKind::kConfig,
+            "deadline_ms must be a finite non-negative number");
+    }
+  }
+  if (const JsonValue* no_cache = root.find("no_cache")) {
+    req.no_cache = no_cache->as_bool();
+  }
+
+  const bool needs_model = req.method == Method::kSolve ||
+                           req.method == Method::kRevenue ||
+                           req.method == Method::kSweep;
+  if (!needs_model) {
+    return req;
+  }
+  req.model = parse_scenario(root.at("scenario"));
+  if (const JsonValue* solver = root.find("solver")) {
+    req.solver = core::SolverSpec::parse(solver->as_string());
+  }
+  if (req.method == Method::kSweep) {
+    const report::JsonArray& sizes = root.at("sizes").as_array();
+    if (sizes.empty() || sizes.size() > kMaxSweepSizes) {
+      raise(ErrorKind::kConfig,
+            "sizes must hold 1.." + std::to_string(kMaxSweepSizes) +
+                " switch sizes");
+    }
+    req.sizes.reserve(sizes.size());
+    for (const JsonValue& v : sizes) {
+      const unsigned n =
+          as_bounded_unsigned(v, "sweep size", kMaxSwitchSide);
+      if (n == 0) {
+        raise(ErrorKind::kConfig, "sweep sizes must be positive");
+      }
+      req.sizes.push_back(n);
+    }
+  }
+  req.cache_key = canonical_key(req.method, req.solver, *req.model,
+                                req.sizes);
+  return req;
+}
+
+std::string render_ok(const std::string& id, std::string_view result_json,
+                      bool cached) {
+  std::string out;
+  out.reserve(result_json.size() + 64);
+  out += "{\"id\":";
+  out += id;
+  out += ",\"status\":\"ok\",\"cached\":";
+  out += cached ? "true" : "false";
+  out += ",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string render_error(const std::string& id, std::string_view kind,
+                         std::string_view message) {
+  std::string out;
+  out += "{\"id\":";
+  out += id;
+  out += ",\"status\":\"error\",\"error\":{\"kind\":\"";
+  out += report::JsonWriter::escape(kind);
+  out += "\",\"message\":\"";
+  out += report::JsonWriter::escape(message);
+  out += "\"}}";
+  return out;
+}
+
+std::string render_error(const std::string& id, const xbar::Error& error) {
+  return render_error(id, xbar::to_string(error.kind()), error.message());
+}
+
+}  // namespace xbar::service

@@ -1,0 +1,93 @@
+// The xbar_serve wire protocol: newline-delimited JSON over TCP.
+//
+// One request per line, one response line per request, connections may
+// pipeline any number of requests.  A request is a JSON object:
+//
+//   {"method": "solve" | "revenue" | "sweep" | "stats" | "ping",
+//    "id": <string or number, echoed back verbatim>,        (optional)
+//    "scenario": {                                          (solve paths)
+//        "switch":  {"inputs": 64, "outputs": 64},
+//        "classes": [{"name": "voice", "shape": "poisson", "rho": 0.45},
+//                    {"shape": "bursty", "alpha": 0.1, "beta": 0.05,
+//                     "bandwidth": 2, "mu": 2.0, "weight": 0.2}]},
+//    "solver": "auto",                                      (optional)
+//    "sizes": [4, 8, 16],                                   (sweep only)
+//    "deadline_ms": 250,                                    (optional)
+//    "no_cache": true}                                      (optional)
+//
+// and a response is `{"id": ..., "status": "ok", "cached": ...,
+// "result": ...}` or `{"id": ..., "status": "error", "error": {"kind":
+// ..., "message": ...}}`.  Error kinds are the `xbar::ErrorKind` names
+// ("parse", "config", "model", ...) plus the service-level kinds
+// "overloaded" (admission control rejected the connection), "deadline"
+// (the request's budget expired), and "shutdown" (the server is
+// draining).  Scenario semantics mirror config/scenario_file exactly;
+// numeric fields are validated here (kConfig) before the model's own
+// well-posedness rules run (kModel), and untrusted-input bounds (class
+// count, switch size, sweep width) are enforced so a single request
+// cannot ask for an unbounded computation.
+//
+// `parse_request` also derives the request's canonical cache key: the
+// method, the solver spec, and the exact bit pattern of every class
+// parameter plus the sweep sizes — two requests share a key iff they
+// denote the same computation, which is what the server's ResultCache
+// keys on.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/model.hpp"
+#include "core/solver_spec.hpp"
+
+namespace xbar::service {
+
+enum class Method : std::uint8_t { kPing, kSolve, kRevenue, kSweep, kStats };
+inline constexpr std::size_t kMethodCount = 5;
+
+/// Lowercase wire name ("ping", "solve", ...).
+[[nodiscard]] std::string_view to_string(Method method) noexcept;
+
+/// Untrusted-input bounds enforced by `parse_request`.
+inline constexpr std::size_t kMaxClasses = 64;
+inline constexpr unsigned kMaxSwitchSide = 4096;
+inline constexpr std::size_t kMaxSweepSizes = 1024;
+
+/// One parsed request.
+struct Request {
+  Method method = Method::kPing;
+  std::string id = "null";  ///< raw JSON rendering, echoed into responses
+  std::optional<core::CrossbarModel> model;  ///< solve/revenue/sweep
+  core::SolverSpec solver;                   ///< default: auto
+  std::vector<unsigned> sizes;               ///< sweep only
+  double deadline_ms = 0.0;                  ///< 0 = no deadline
+  bool no_cache = false;
+  std::string cache_key;  ///< canonical fingerprint (cacheable methods only)
+};
+
+/// Parse one request line.  Raises xbar::Error — kParse for malformed
+/// JSON, kConfig for a well-formed request with invalid semantics, kModel
+/// when the scenario violates the paper's well-posedness rules.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Render an ok response around an already-rendered result payload.
+[[nodiscard]] std::string render_ok(const std::string& id,
+                                    std::string_view result_json,
+                                    bool cached);
+
+/// Render a typed error response.  `kind` is an ErrorKind name or one of
+/// the service kinds ("overloaded", "deadline", "shutdown").
+[[nodiscard]] std::string render_error(const std::string& id,
+                                       std::string_view kind,
+                                       std::string_view message);
+
+/// render_error with the kind taken from a toolkit error.
+[[nodiscard]] std::string render_error(const std::string& id,
+                                       const xbar::Error& error);
+
+}  // namespace xbar::service

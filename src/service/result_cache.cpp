@@ -1,0 +1,71 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xbar::service {
+
+std::uint64_t cache_fingerprint(std::string_view key) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(std::size_t shards, std::size_t entries_per_shard)
+    : shards_(std::max<std::size_t>(shards, 1)),
+      per_shard_(std::max<std::size_t>(entries_per_shard, 1)) {}
+
+std::optional<std::string> ResultCache::get(std::string_view key) {
+  const std::uint64_t fp = cache_fingerprint(key);
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  for (std::size_t i = 0; i < shard.entries.size(); ++i) {
+    if (shard.entries[i].fp == fp && shard.entries[i].key == key) {
+      const auto it =
+          shard.entries.begin() + static_cast<std::ptrdiff_t>(i);
+      std::rotate(shard.entries.begin(), it, it + 1);  // move to MRU front
+      ++shard.hits;
+      return shard.entries.front().value;
+    }
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(std::string_view key, std::string value) {
+  const std::uint64_t fp = cache_fingerprint(key);
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  for (std::size_t i = 0; i < shard.entries.size(); ++i) {
+    if (shard.entries[i].fp == fp && shard.entries[i].key == key) {
+      shard.entries[i].value = std::move(value);
+      const auto it =
+          shard.entries.begin() + static_cast<std::ptrdiff_t>(i);
+      std::rotate(shard.entries.begin(), it, it + 1);
+      return;
+    }
+  }
+  if (shard.entries.size() >= per_shard_) {
+    shard.entries.pop_back();
+    ++shard.evictions;
+  }
+  shard.entries.insert(shard.entries.begin(),
+                       Entry{fp, std::string(key), std::move(value)});
+}
+
+ResultCacheCounters ResultCache::counters() const {
+  ResultCacheCounters total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace xbar::service

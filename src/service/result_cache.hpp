@@ -1,0 +1,80 @@
+// Sharded LRU result cache — the cross-request reuse layer of xbar_serve.
+//
+// The per-slot `sweep::SolverCache` reuses *grids* within one worker;
+// this cache reuses *finished answers* across every worker and every
+// connection: the value is the rendered result JSON of a completed
+// solve/revenue/sweep, keyed on the canonical request fingerprint
+// (`protocol.hpp` builds it from the exact bit patterns of every model
+// parameter plus the solver spec and sweep sizes, so two requests share an
+// entry iff they are the same computation).  A hit turns a multi-
+// millisecond solve into a string copy, which is what makes a repeated-
+// scenario load run an order of magnitude faster than a cold one.
+//
+// Sharded to keep workers out of each other's way: the key's 64-bit FNV-1a
+// fingerprint picks the shard, each shard is an independent mutex + MRU
+// vector (the same exact-key-compare design as SolverCache, so fingerprint
+// collisions can never alias), and counters are aggregated on read.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xbar::service {
+
+/// Lifetime counters, aggregated over all shards.
+struct ResultCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< currently resident
+};
+
+class ResultCache {
+ public:
+  /// `shards` independent LRU shards of `entries_per_shard` entries each
+  /// (both clamped to at least 1).
+  explicit ResultCache(std::size_t shards = 8,
+                       std::size_t entries_per_shard = 64);
+
+  /// The cached value for `key`, refreshing its recency; counts a hit or
+  /// a miss.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key);
+
+  /// Insert (or refresh) `key`; evicts the shard's least-recently-used
+  /// entry when full.  Does not touch the hit/miss counters.
+  void put(std::string_view key, std::string value);
+
+  [[nodiscard]] ResultCacheCounters counters() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fp = 0;
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Entry> entries;  // most-recently-used first
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t fp) noexcept {
+    return shards_[fp % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_;
+};
+
+/// 64-bit FNV-1a over the key bytes (exposed for tests).
+[[nodiscard]] std::uint64_t cache_fingerprint(std::string_view key) noexcept;
+
+}  // namespace xbar::service

@@ -1,0 +1,483 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/measures.hpp"
+#include "core/revenue.hpp"
+#include "report/json_writer.hpp"
+#include "report/solve_json.hpp"
+#include "service/protocol.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace xbar::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using report::JsonWriter;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::size_t method_index(Method method) noexcept {
+  return static_cast<std::size_t>(method);
+}
+
+}  // namespace
+
+/// Per-worker persistent solve state: the SolverCache keeps grids warm
+/// across requests (serving the same scenario repeatedly re-uses the
+/// already-built grid even when the result cache is bypassed).
+struct Server::Worker {
+  explicit Worker(std::size_t solver_cache_entries)
+      : solver_cache(solver_cache_entries) {}
+  sweep::SolverCache solver_cache;
+  std::thread thread;
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_shards, config_.cache_entries_per_shard) {}
+
+Server::~Server() {
+  stop();
+  if (drain_pipe_read_ >= 0) {
+    ::close(drain_pipe_read_);
+    ::close(drain_pipe_write_);
+  }
+}
+
+void Server::start() {
+  if (started_) {
+    raise(ErrorKind::kInternal, "Server::start() called twice");
+  }
+  listen_socket_ = listen_on(config_.host, config_.port, port_);
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    raise(ErrorKind::kIo, std::string("pipe(): ") + std::strerror(errno));
+  }
+  drain_pipe_read_ = fds[0];
+  drain_pipe_write_ = fds[1];
+  start_time_ = Clock::now();
+  started_ = true;
+
+  const unsigned workers = config_.workers != 0
+                               ? config_.workers
+                               : sweep::ThreadPool::default_concurrency();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(config_.solver_cache_entries));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] {
+      worker_main(*w);
+    });
+  }
+  acceptor_ = std::thread([this] { acceptor_main(); });
+}
+
+void Server::request_drain() {
+  if (!started_) {
+    return;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  const unsigned char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_write_, &byte, 1);
+  queue_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void Server::stop() {
+  request_drain();
+  wait();
+}
+
+void Server::acceptor_main() {
+  for (;;) {
+    pollfd fds[2] = {{listen_socket_.fd(), POLLIN, 0},
+                     {drain_pipe_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        draining_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    Socket conn(::accept(listen_socket_.fd(), nullptr, nullptr));
+    if (!conn.valid()) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_recv_timeout(conn.fd(), config_.idle_poll_seconds);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      (void)write_line(conn.fd(),
+                       render_error("null", "shutdown",
+                                    "server is draining"));
+      break;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      lock.unlock();
+      // Admission control: bounded queue; tell the client instead of
+      // buffering without limit.  The rejected frame carries no id — the
+      // request was never read.
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      (void)write_line(
+          conn.fd(),
+          render_error("null", "overloaded",
+                       "accept queue full; retry with backoff"));
+      continue;
+    }
+    queue_.push_back(std::move(conn));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+  listen_socket_.reset();  // new connections are refused from here on
+}
+
+void Server::worker_main(Worker& worker) {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        return;  // draining and nothing left: accepted work is all done
+      }
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle_connection(worker, std::move(conn));
+  }
+}
+
+void Server::handle_connection(Worker& worker, Socket socket) {
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+  LineReader reader(socket.fd(), config_.max_line_bytes);
+  std::string line;
+  for (;;) {
+    const LineReader::Status status = reader.read_line(line);
+    if (status == LineReader::Status::kLine) {
+      if (!handle_request(worker, socket.fd(), line)) {
+        break;
+      }
+      continue;
+    }
+    if (status == LineReader::Status::kTimeout) {
+      if (draining_.load(std::memory_order_relaxed)) {
+        break;  // idle connection during drain: close it
+      }
+      continue;  // idle connection in normal operation: keep waiting
+    }
+    if (status == LineReader::Status::kOverflow) {
+      requests_total_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)write_line(
+          socket.fd(),
+          render_error("null", "parse",
+                       "request line exceeds " +
+                           std::to_string(config_.max_line_bytes) +
+                           " bytes"));
+      break;  // framing is unsynchronized; drop the connection
+    }
+    break;  // kEof / kError
+  }
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::handle_request(Worker& worker, int fd,
+                            const std::string& line) {
+  const Clock::time_point received = Clock::now();
+  std::string response;
+  try {
+    const Request request = parse_request(line);
+    response = execute(worker, request, received);
+  } catch (const xbar::Error& e) {
+    // The id is unknown when parsing failed — respond with id null.
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response = render_error("null", e);
+  } catch (const std::exception& e) {
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response = render_error("null", "internal", e.what());
+  }
+  latency_.record(seconds_since(received));
+  return write_line(fd, response);
+}
+
+std::string Server::execute(Worker& worker, const Request& request,
+                            Clock::time_point received) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  by_method_[method_index(request.method)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  if (request.method == Method::kPing) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    return render_ok(request.id, "\"pong\"", false);
+  }
+  if (request.method == Method::kStats) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    return render_ok(request.id, render_stats(), false);
+  }
+
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  if (!request.no_cache) {
+    if (std::optional<std::string> hit = cache_.get(request.cache_key)) {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      return render_ok(request.id, *hit, true);
+    }
+  }
+  if (deadline_ms > 0.0 && seconds_since(received) * 1e3 > deadline_ms) {
+    deadlines_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, "deadline",
+                        "deadline expired before execution started");
+  }
+
+  try {
+    std::ostringstream out;
+    JsonWriter json(out, JsonWriter::Style::kCompact);
+    bool deadline_cancelled = false;
+
+    if (request.method == Method::kSolve) {
+      const core::SolveResult result =
+          worker.solver_cache.eval_result(*request.model, request.solver);
+      if (const auto violation = core::validate_measures(result.measures)) {
+        raise(ErrorKind::kDomain, "solve produced invalid measures: " +
+                                      *violation);
+      }
+      json.begin_object();
+      json.key("measures");
+      report::write_measures_json(json, *request.model, result.measures);
+      json.key("diagnostics");
+      report::write_diagnostics_json(json, result.diagnostics);
+      json.end_object();
+    } else if (request.method == Method::kRevenue) {
+      const core::RevenueAnalyzer analyzer(*request.model);
+      const core::RevenueReport rev = analyzer.analyze();
+      if (const auto violation = core::validate_measures(rev.measures)) {
+        raise(ErrorKind::kDomain, "revenue produced invalid measures: " +
+                                      *violation);
+      }
+      json.begin_object();
+      json.key("measures");
+      report::write_measures_json(json, *request.model, rev.measures);
+      json.key("sensitivities").begin_array();
+      for (std::size_t r = 0; r < request.model->num_classes(); ++r) {
+        const core::ClassSensitivity& s = rev.per_class[r];
+        json.begin_object();
+        json.key("name").value(request.model->classes()[r].name);
+        json.key("weight").value(request.model->normalized(r).weight);
+        json.key("shadow_cost").value(s.shadow_cost);
+        json.key("d_revenue_d_rho").value(s.d_revenue_d_rho);
+        json.key("d_revenue_d_x").value(s.d_revenue_d_x);
+        json.key("worth_admitting").value(s.worth_admitting);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    } else {  // Method::kSweep
+      std::vector<sweep::ScenarioPoint> points;
+      points.reserve(request.sizes.size());
+      for (const unsigned n : request.sizes) {
+        std::vector<core::TrafficClass> classes(
+            request.model->classes().begin(),
+            request.model->classes().end());
+        points.push_back({core::CrossbarModel(core::Dims::square(n),
+                                              std::move(classes)),
+                          std::nullopt});
+      }
+      sweep::SweepOptions options;
+      options.solver = request.solver;
+      options.fault.isolate = true;
+      if (deadline_ms > 0.0) {
+        const double remaining =
+            deadline_ms * 1e-3 - seconds_since(received);
+        options.fault.deadline_seconds = remaining > 1e-9 ? remaining : 1e-9;
+      }
+      sweep::SweepRunner runner(options);
+      const sweep::SweepReport swept = runner.run_report(points);
+      deadline_cancelled = deadline_ms > 0.0 &&
+                           swept.count(sweep::PointState::kCancelled) > 0;
+
+      json.begin_object();
+      json.key("points").begin_array();
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const sweep::PointStatus& status = swept.statuses[i];
+        const bool solved = status.state == sweep::PointState::kOk ||
+                            status.state == sweep::PointState::kRetried;
+        json.begin_object();
+        json.key("n").value(request.sizes[i]);
+        json.key("status").value(sweep::to_string(status.state));
+        if (!status.error.empty()) {
+          json.key("error_kind").value(xbar::to_string(status.error_kind));
+          json.key("error").value(status.error);
+        }
+        json.key("measures");
+        if (solved) {
+          report::write_measures_json(json, points[i].model,
+                                      swept.results[i].measures);
+        } else {
+          json.value_null();
+        }
+        json.key("diagnostics");
+        if (solved) {
+          report::write_diagnostics_json(json, swept.results[i].diagnostics);
+        } else {
+          json.value_null();
+        }
+        json.end_object();
+      }
+      json.end_array();
+      json.key("summary").begin_object();
+      json.key("ok").value(
+          static_cast<std::uint64_t>(swept.count(sweep::PointState::kOk)));
+      json.key("retried").value(static_cast<std::uint64_t>(
+          swept.count(sweep::PointState::kRetried)));
+      json.key("failed").value(static_cast<std::uint64_t>(
+          swept.count(sweep::PointState::kFailed)));
+      json.key("cancelled").value(static_cast<std::uint64_t>(
+          swept.count(sweep::PointState::kCancelled)));
+      json.key("complete").value(swept.complete());
+      json.end_object();
+      json.key("cache").begin_object();
+      json.key("hits").value(static_cast<std::uint64_t>(swept.total_hits()));
+      json.key("misses").value(
+          static_cast<std::uint64_t>(swept.total_misses()));
+      json.end_object();
+      json.key("wall_seconds").value(swept.wall_seconds);
+      json.end_object();
+    }
+
+    std::string result_json = std::move(out).str();
+    if (deadline_cancelled) {
+      deadlines_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, "deadline",
+                          "deadline expired mid-sweep; unfinished points "
+                          "were cancelled");
+    }
+    if (!request.no_cache) {
+      cache_.put(request.cache_key, result_json);
+    }
+    if (deadline_ms > 0.0 && seconds_since(received) * 1e3 > deadline_ms) {
+      deadlines_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, "deadline",
+                          "deadline expired during execution");
+    }
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    return render_ok(request.id, result_json, false);
+  } catch (const xbar::Error& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, e);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, "internal", e.what());
+  }
+}
+
+StatsSnapshot Server::stats() const {
+  StatsSnapshot s;
+  s.uptime_seconds = started_ ? seconds_since(start_time_) : 0.0;
+  s.draining = draining_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  s.overload_rejections =
+      overload_rejections_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMethodCount; ++i) {
+    s.by_method[i] = by_method_[i].load(std::memory_order_relaxed);
+  }
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.deadlines = deadlines_.load(std::memory_order_relaxed);
+  s.cache = cache_.counters();
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+std::string Server::render_stats() const {
+  const StatsSnapshot s = stats();
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("uptime_seconds").value(s.uptime_seconds);
+  json.key("draining").value(s.draining);
+  json.key("connections").begin_object();
+  json.key("accepted").value(s.connections_accepted);
+  json.key("active").value(s.connections_active);
+  json.key("overload_rejections").value(s.overload_rejections);
+  json.end_object();
+  json.key("requests").begin_object();
+  json.key("total").value(s.requests_total);
+  json.key("by_method").begin_object();
+  for (std::size_t i = 0; i < kMethodCount; ++i) {
+    json.key(to_string(static_cast<Method>(i))).value(s.by_method[i]);
+  }
+  json.end_object();
+  json.key("by_status").begin_object();
+  json.key("ok").value(s.ok);
+  json.key("error").value(s.errors);
+  json.key("deadline").value(s.deadlines);
+  json.end_object();
+  json.end_object();
+  json.key("result_cache").begin_object();
+  json.key("hits").value(s.cache.hits);
+  json.key("misses").value(s.cache.misses);
+  json.key("evictions").value(s.cache.evictions);
+  json.key("entries").value(s.cache.entries);
+  json.end_object();
+  json.key("latency_ms").begin_object();
+  json.key("count").value(s.latency.count);
+  json.key("mean").value(s.latency.mean * 1e3);
+  json.key("p50").value(s.latency.p50 * 1e3);
+  json.key("p90").value(s.latency.p90 * 1e3);
+  json.key("p99").value(s.latency.p99 * 1e3);
+  json.key("max").value(s.latency.max * 1e3);
+  json.end_object();
+  json.end_object();
+  return std::move(out).str();
+}
+
+}  // namespace xbar::service

@@ -1,0 +1,166 @@
+// xbar_serve's engine: a long-lived concurrent evaluation server.
+//
+// Architecture (one box per thread kind):
+//
+//   acceptor ──> bounded connection queue ──> worker 0..W-1
+//      │                (admission)               │
+//      │  queue full: typed "overloaded"          │ per request:
+//      │  response + close — never unbounded      │   parse (protocol)
+//      │  buffering                               │   result-cache lookup
+//      └─ poll()s a drain pipe, so request_       │   solve on the shared
+//         drain() stops accepting immediately     │   sweep::ThreadPool via
+//                                                 │   a worker SolverCache
+//                                                 │   / SweepRunner
+//                                                 │   respond, record stats
+//
+// Reuse story, end to end: requests are parsed with report/json_reader,
+// validated into a SolverSpec + CrossbarModel by service/protocol, solved
+// through the same SolverCache / SweepRunner machinery the CLI sweeps
+// use (per-worker caches persist across requests, so repeated grids are
+// warm even when the result cache is bypassed), guarded by
+// core::validate_measures via the sweep engine's fault isolation, and
+// cancelled by the same CancellationToken deadline plumbing.  What is new
+// here is the serving shape: the sharded result cache (completed answers
+// shared across workers), admission control, per-request deadlines, and
+// graceful drain — on request_drain() the acceptor closes the listen
+// socket, workers finish every accepted connection's in-flight requests,
+// idle connections are closed at the next poll tick, and wait() returns.
+//
+// Thread safety: the Server object may be started once; stats() and
+// request_drain() are safe from any thread at any time.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/connection.hpp"
+#include "service/histogram.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+
+namespace xbar::service {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+
+  /// Worker threads (each serves one connection at a time).  0 = one per
+  /// hardware thread.
+  unsigned workers = 0;
+
+  /// Admission control: accepted connections waiting for a worker beyond
+  /// this bound are answered with a typed "overloaded" error and closed.
+  std::size_t queue_capacity = 128;
+
+  std::size_t cache_shards = 8;            ///< result-cache shards
+  std::size_t cache_entries_per_shard = 64;
+  std::size_t solver_cache_entries = 8;    ///< per-worker SolverCache grids
+  std::size_t max_line_bytes = 1 << 20;    ///< request frame cap
+
+  /// Applied when a request carries no deadline_ms of its own (0 = none).
+  double default_deadline_ms = 0.0;
+
+  /// Granularity at which parked readers re-check the drain flag; also the
+  /// bound on how long an idle connection can delay wait().
+  double idle_poll_seconds = 0.25;
+};
+
+/// Point-in-time operational stats (the `stats` method renders exactly
+/// this).
+struct StatsSnapshot {
+  double uptime_seconds = 0.0;
+  bool draining = false;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t overload_rejections = 0;
+  std::uint64_t requests_total = 0;
+  std::array<std::uint64_t, kMethodCount> by_method{};
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;    ///< typed toolkit errors (parse/config/...)
+  std::uint64_t deadlines = 0;
+  ResultCacheCounters cache;
+  Histogram::Snapshot latency;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the acceptor + workers.  Raises
+  /// xbar::Error(kIo) when the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); useful with port = 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Begin graceful shutdown: stop accepting, let workers finish accepted
+  /// connections, then exit.  Safe from any thread (and from a
+  /// signal-wait thread).  Idempotent.
+  void request_drain();
+
+  /// Join every thread (returns once drained).
+  void wait();
+
+  /// request_drain() + wait().
+  void stop();
+
+  [[nodiscard]] StatsSnapshot stats() const;
+
+ private:
+  struct Worker;
+
+  void acceptor_main();
+  void worker_main(Worker& worker);
+  void handle_connection(Worker& worker, Socket socket);
+  /// One request line -> one response line.  Returns false when the
+  /// connection must close (frame overflow).
+  bool handle_request(Worker& worker, int fd, const std::string& line);
+  std::string execute(Worker& worker, const Request& request,
+                      std::chrono::steady_clock::time_point received);
+  std::string render_stats() const;
+
+  ServerConfig config_;
+  Socket listen_socket_;
+  std::uint16_t port_ = 0;
+  int drain_pipe_read_ = -1;
+  int drain_pipe_write_ = -1;
+
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> queue_;
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+
+  std::chrono::steady_clock::time_point start_time_;
+  ResultCache cache_;
+  Histogram latency_;
+
+  // Counters (relaxed: monitoring, not synchronization).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::array<std::atomic<std::uint64_t>, kMethodCount> by_method_{};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> deadlines_{0};
+};
+
+}  // namespace xbar::service

@@ -1,0 +1,48 @@
+#include "service/signal.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <pthread.h>
+
+#include "core/error.hpp"
+
+namespace xbar::service {
+
+namespace {
+
+sigset_t drain_signal_set() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  return set;
+}
+
+}  // namespace
+
+void install_drain_signals() {
+  const sigset_t set = drain_signal_set();
+  const int rc = ::pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  if (rc != 0) {
+    raise(ErrorKind::kIo,
+          std::string("pthread_sigmask(): ") + std::strerror(rc));
+  }
+}
+
+int wait_for_drain_signal() {
+  const sigset_t set = drain_signal_set();
+  int signo = 0;
+  for (;;) {
+    const int rc = ::sigwait(&set, &signo);
+    if (rc == 0) {
+      return signo;
+    }
+    if (rc != EINTR) {
+      raise(ErrorKind::kIo,
+            std::string("sigwait(): ") + std::strerror(rc));
+    }
+  }
+}
+
+}  // namespace xbar::service

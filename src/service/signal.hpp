@@ -1,0 +1,25 @@
+// SIGTERM/SIGINT -> graceful drain, without signal handlers.
+//
+// The signals are *blocked* process-wide (install before spawning any
+// threads, so every thread inherits the mask) and collected synchronously
+// with sigwait() in `wait_for_drain_signal()`.  The caller then runs the
+// ordinary drain sequence (stop accepting, finish in-flight requests,
+// flush stats) in normal C++ — nothing ever runs in handler context, and
+// no handler can be deferred or lost in a thread parked in a blocking
+// call (an async handler + self-pipe is exactly the shape TSan's deferred
+// signal delivery starves).
+
+#pragma once
+
+namespace xbar::service {
+
+/// Block SIGTERM and SIGINT in the calling thread.  Call from main()
+/// before starting the server so every spawned thread inherits the mask.
+/// Raises xbar::Error(kIo) on failure.
+void install_drain_signals();
+
+/// Block in sigwait() until SIGTERM or SIGINT arrives; returns the signal
+/// number.  Call after install_drain_signals(), from the same thread.
+[[nodiscard]] int wait_for_drain_signal();
+
+}  // namespace xbar::service

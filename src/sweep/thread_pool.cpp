@@ -31,6 +31,11 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
+unsigned ThreadPool::default_concurrency() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 void ThreadPool::run_slot(
     unsigned slot, const std::function<void(std::size_t, unsigned)>* body,
     std::size_t n, const CancellationToken* cancel) {

@@ -62,6 +62,12 @@ class ThreadPool {
   /// Process-wide shared pool, started lazily on first use.
   static ThreadPool& shared();
 
+  /// "One participant per hardware thread" — what a `concurrency == 0` or
+  /// `workers == 0` request resolves to (never less than 1).  Exposed so
+  /// other subsystems sizing their own thread counts (the serving worker
+  /// pool) agree with the sweep engine about what "use the machine" means.
+  [[nodiscard]] static unsigned default_concurrency() noexcept;
+
  private:
   void worker_main();
   void run_slot(unsigned slot,

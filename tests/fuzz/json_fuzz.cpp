@@ -1,0 +1,54 @@
+// Fuzz harness for the serving front door: raw socket bytes -> JSON parse
+// -> request validation -> model construction.
+//
+// Contract under test: any byte string fed to `service::parse_request`
+// either yields a valid Request or raises a typed xbar::Error — never a
+// crash, unbounded recursion (nesting depth limit), unbounded allocation
+// (class/size caps), or a hang.  This is exactly the surface xbar_serve
+// exposes to untrusted network input.
+//
+// Built two ways, same as ini_fuzz (see tests/fuzz/CMakeLists.txt):
+// libFuzzer under clang, standalone corpus replayer elsewhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/error.hpp"
+#include "service/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)xbar::service::parse_request(text);
+  } catch (const xbar::Error&) {
+    // Typed rejection is the accepted outcome for malformed input.
+  }
+  return 0;
+}
+
+#ifdef XBAR_FUZZ_STANDALONE
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot read corpus file " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus inputs\n";
+  return 0;
+}
+#endif

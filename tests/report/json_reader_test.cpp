@@ -102,6 +102,54 @@ TEST(JsonReader, MalformedInputRaisesParse) {
   }
 }
 
+TEST(JsonReader, RejectsTrailingBytesAfterDocument) {
+  // Untrusted-input contract: a valid document followed by anything but
+  // whitespace is an error, never a silent truncation.
+  for (const char* bad : {"{} x", "[1] [2]", "1 2", "\"a\"b", "null,"}) {
+    try {
+      (void)parse_json(bad);
+      FAIL() << "expected trailing-bytes rejection for: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kParse) << bad;
+      EXPECT_NE(std::string(e.message()).find("trailing"),
+                std::string::npos)
+          << bad;
+    }
+  }
+  EXPECT_TRUE(parse_json("{}  \n\t ").is_object());  // whitespace is fine
+}
+
+TEST(JsonReader, AcceptsNestingUpToTheDepthLimit) {
+  // 64 levels exactly: "[[[...null...]]]".
+  std::string doc(64, '[');
+  doc += "null";
+  doc.append(64, ']');
+  const auto v = parse_json(doc);
+  EXPECT_TRUE(v.is_array());
+}
+
+TEST(JsonReader, RejectsNestingBeyondTheDepthLimit) {
+  // One level past the cap must raise kParse (not recurse toward a stack
+  // overflow); so must a pathological short hostile input.
+  std::string doc(65, '[');
+  doc += "null";
+  doc.append(65, ']');
+  try {
+    (void)parse_json(doc);
+    FAIL() << "expected depth-limit rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    EXPECT_NE(std::string(e.message()).find("nesting"), std::string::npos);
+  }
+  const std::string hostile(100000, '[');
+  EXPECT_THROW((void)parse_json(hostile), Error);
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) {
+    mixed += "{\"a\":[";
+  }
+  EXPECT_THROW((void)parse_json(mixed), Error);
+}
+
 TEST(JsonReader, NestedDocumentRoundTrip) {
   // The shape a sweep checkpoint uses: objects of arrays of objects.
   const char* doc = R"({

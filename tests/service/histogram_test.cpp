@@ -1,0 +1,91 @@
+// Histogram tests: counts/mean/max are exact, quantiles respect the
+// geometric bucket error bound, and concurrent recorders never lose an
+// observation.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/histogram.hpp"
+
+namespace xbar::service {
+namespace {
+
+TEST(Histogram, EmptySnapshotIsAllZeros) {
+  const Histogram h;
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Histogram, CountMeanAndMaxAreExact) {
+  Histogram h;
+  h.record(0.001);
+  h.record(0.002);
+  h.record(0.003);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean, 0.002, 1e-6);  // mean uses the exact total, not buckets
+  EXPECT_NEAR(s.max, 0.003, 1e-6);
+}
+
+TEST(Histogram, QuantilesRespectTheBucketErrorBound) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(0.010);  // everything in one bucket
+  }
+  // Buckets are spaced at 2^(1/4): the reported quantile is the bucket's
+  // upper edge, so it overestimates by at most ~19%.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 0.010);
+  EXPECT_LE(p50, 0.010 * 1.19 + 1e-12);
+  EXPECT_EQ(h.quantile(0.99), p50);  // same bucket
+}
+
+TEST(Histogram, QuantilesOrderAcrossDistinctMagnitudes) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.record(1e-4);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record(1e-1);  // a slow tail, 3 decades up
+  }
+  EXPECT_LT(h.quantile(0.5), 2e-4);
+  EXPECT_GT(h.quantile(0.99), 5e-2);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(Histogram, NegativeAndHugeObservationsClampToTheEdgeBuckets) {
+  Histogram h;
+  h.record(-1.0);     // clamps to the first bucket
+  h.record(1e9);      // clamps to the last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kEach; ++i) {
+        h.record(1e-6 * static_cast<double>(1 + (t + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kEach);
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,151 @@
+// Wire-protocol tests: request parsing (defaults, id echo, typed error
+// classification, untrusted-input bounds), canonical cache keys, and
+// response rendering.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "service/protocol.hpp"
+
+namespace xbar::service {
+namespace {
+
+using xbar::Error;
+using xbar::ErrorKind;
+
+ErrorKind kind_of(const std::string& line) {
+  try {
+    (void)parse_request(line);
+  } catch (const Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected an error for: " << line;
+  return ErrorKind::kInternal;
+}
+
+const char* kSolveLine =
+    R"({"method":"solve","id":7,"scenario":{"switch":{"inputs":8},)"
+    R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})";
+
+TEST(Protocol, ParsesAMinimalPing) {
+  const Request req = parse_request(R"({"method":"ping"})");
+  EXPECT_EQ(req.method, Method::kPing);
+  EXPECT_EQ(req.id, "null");  // absent id echoes as JSON null
+  EXPECT_FALSE(req.model.has_value());
+  EXPECT_EQ(req.deadline_ms, 0.0);
+  EXPECT_FALSE(req.no_cache);
+}
+
+TEST(Protocol, EchoesStringAndNumberIds) {
+  EXPECT_EQ(parse_request(R"({"method":"ping","id":"a\"b"})").id,
+            "\"a\\\"b\"");
+  EXPECT_EQ(parse_request(R"({"method":"ping","id":42})").id, "42");
+  EXPECT_EQ(kind_of(R"({"method":"ping","id":[1]})"), ErrorKind::kConfig);
+}
+
+TEST(Protocol, ParsesASolveScenario) {
+  const Request req = parse_request(kSolveLine);
+  EXPECT_EQ(req.method, Method::kSolve);
+  EXPECT_EQ(req.id, "7");
+  ASSERT_TRUE(req.model.has_value());
+  EXPECT_EQ(req.model->dims().n1, 8u);
+  EXPECT_EQ(req.model->dims().n2, 8u);  // outputs default to inputs
+  ASSERT_EQ(req.model->num_classes(), 1u);
+  EXPECT_EQ(req.model->classes()[0].name, "voice");
+  EXPECT_FALSE(req.cache_key.empty());
+}
+
+TEST(Protocol, ErrorKindsClassifyTheFailure) {
+  EXPECT_EQ(kind_of("not json"), ErrorKind::kParse);
+  EXPECT_EQ(kind_of(R"({"method":"solve"} trailing)"), ErrorKind::kParse);
+  EXPECT_EQ(kind_of(R"({"method":"warp"})"), ErrorKind::kConfig);
+  EXPECT_EQ(kind_of(R"({"id":1})"), ErrorKind::kParse);  // missing method
+  EXPECT_EQ(kind_of(R"({"method":"solve"})"), ErrorKind::kParse);
+  // Well-formed request, ill-posed model (rho <= 0): the model layer's
+  // typed error propagates.
+  EXPECT_EQ(
+      kind_of(
+          R"({"method":"solve","scenario":{"switch":{"inputs":8},)"
+          R"("classes":[{"shape":"poisson","rho":-1}]}})"),
+      ErrorKind::kModel);
+}
+
+TEST(Protocol, EnforcesUntrustedInputBounds) {
+  // Switch side beyond the cap.
+  EXPECT_EQ(
+      kind_of(
+          R"({"method":"solve","scenario":{"switch":{"inputs":1000000},)"
+          R"("classes":[{"shape":"poisson","rho":0.4}]}})"),
+      ErrorKind::kConfig);
+  // Class count beyond the cap.
+  std::string many = R"({"method":"solve","scenario":{"switch")"
+                     R"(:{"inputs":8},"classes":[)";
+  for (std::size_t i = 0; i < kMaxClasses + 1; ++i) {
+    many += (i == 0 ? "" : ",");
+    many += R"({"shape":"poisson","rho":0.01})";
+  }
+  many += "]}}";
+  EXPECT_EQ(kind_of(many), ErrorKind::kConfig);
+  // Sweep sizes: zero and absent both rejected.
+  EXPECT_EQ(
+      kind_of(
+          R"({"method":"sweep","scenario":{"switch":{"inputs":8},)"
+          R"("classes":[{"shape":"poisson","rho":0.4}]},"sizes":[0]})"),
+      ErrorKind::kConfig);
+  EXPECT_EQ(
+      kind_of(R"({"method":"sweep","scenario":{"switch":{"inputs":8},)"
+              R"("classes":[{"shape":"poisson","rho":0.4}]}})"),
+      ErrorKind::kParse);
+  // Negative / non-finite deadline.
+  EXPECT_EQ(kind_of(R"({"method":"ping","deadline_ms":-5})"),
+            ErrorKind::kConfig);
+}
+
+TEST(Protocol, CacheKeyIdentifiesTheComputation) {
+  const std::string base = parse_request(kSolveLine).cache_key;
+  // Byte-for-byte identical request -> same key (that is the cache hit).
+  EXPECT_EQ(parse_request(kSolveLine).cache_key, base);
+  // Whitespace / key order do not change the computation -> same key.
+  EXPECT_EQ(
+      parse_request(
+          R"({ "scenario": {"classes":[{"name":"voice","shape":"poisson",)"
+          R"("rho":0.45}], "switch":{"inputs":8}}, "method": "solve" })")
+          .cache_key,
+      base);
+  // A different load, method, or solver is a different computation.
+  EXPECT_NE(
+      parse_request(
+          R"({"method":"solve","scenario":{"switch":{"inputs":8},)"
+          R"("classes":[{"name":"voice","shape":"poisson","rho":0.451}]}})")
+          .cache_key,
+      base);
+  EXPECT_NE(
+      parse_request(
+          R"({"method":"revenue","scenario":{"switch":{"inputs":8},)"
+          R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})")
+          .cache_key,
+      base);
+  EXPECT_NE(
+      parse_request(
+          R"({"method":"solve","solver":"algorithm2","scenario":)"
+          R"({"switch":{"inputs":8},"classes":[{"name":"voice",)"
+          R"("shape":"poisson","rho":0.45}]}})")
+          .cache_key,
+      base);
+}
+
+TEST(Protocol, RendersResponses) {
+  EXPECT_EQ(render_ok("7", "{\"x\":1}", false),
+            R"({"id":7,"status":"ok","cached":false,"result":{"x":1}})");
+  EXPECT_EQ(render_ok("null", "\"pong\"", true),
+            R"({"id":null,"status":"ok","cached":true,"result":"pong"})");
+  EXPECT_EQ(
+      render_error("\"a\"", "overloaded", "queue full"),
+      R"({"id":"a","status":"error","error":{"kind":"overloaded",)"
+      R"("message":"queue full"}})");
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,97 @@
+// ResultCache tests: hit/miss/eviction accounting, MRU eviction order
+// within a shard, exact-key compare (no fingerprint aliasing), and
+// concurrent access under TSan.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/result_cache.hpp"
+
+namespace xbar::service {
+namespace {
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4, 8);
+  EXPECT_FALSE(cache.get("k").has_value());
+  cache.put("k", "v");
+  const auto v = cache.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "v");
+  const ResultCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(ResultCache, PutRefreshesAnExistingKey) {
+  ResultCache cache(1, 4);
+  cache.put("k", "v1");
+  cache.put("k", "v2");
+  EXPECT_EQ(*cache.get("k"), "v2");
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedWithinAShard) {
+  // One shard, capacity 2: classic LRU probe.
+  ResultCache cache(1, 2);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  ASSERT_TRUE(cache.get("a").has_value());  // a becomes MRU
+  cache.put("c", "3");                      // evicts b (the LRU)
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  const ResultCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+}
+
+TEST(ResultCache, FingerprintCollisionsCannotAlias) {
+  // Even when two keys land in the same shard (forced: 1 shard), the full
+  // key is compared — near-identical keys stay distinct entries.
+  ResultCache cache(1, 8);
+  cache.put("solve|fast|8x8|c:1,abc", "one");
+  cache.put("solve|fast|8x8|c:1,abd", "two");
+  EXPECT_EQ(*cache.get("solve|fast|8x8|c:1,abc"), "one");
+  EXPECT_EQ(*cache.get("solve|fast|8x8|c:1,abd"), "two");
+}
+
+TEST(ResultCache, FingerprintIsDeterministicAndDiscriminates) {
+  EXPECT_EQ(cache_fingerprint("abc"), cache_fingerprint("abc"));
+  EXPECT_NE(cache_fingerprint("abc"), cache_fingerprint("abd"));
+  EXPECT_NE(cache_fingerprint(""), cache_fingerprint("a"));
+}
+
+TEST(ResultCache, ConcurrentGetPutIsSafe) {
+  ResultCache cache(4, 16);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 40);
+        if (i % 3 == 0) {
+          cache.put(key, "v" + std::to_string(i));
+        } else {
+          (void)cache.get(key);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const ResultCacheCounters c = cache.counters();
+  // Each thread does 2000 iterations; i % 3 == 0 (667 of them) are puts,
+  // the remaining 1333 are gets, and every get is a hit or a miss.
+  EXPECT_EQ(c.hits + c.misses, static_cast<std::uint64_t>(kThreads) * 1333);
+  EXPECT_LE(c.entries, 4u * 16u);
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,262 @@
+// End-to-end loopback tests for service::Server: protocol round trips,
+// result-cache hits surfacing in stats, typed error frames (parse /
+// config / deadline / overloaded), and graceful drain.  Everything runs on
+// 127.0.0.1 with ephemeral ports, one Server per test.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "service/connection.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace xbar::service {
+namespace {
+
+constexpr const char* kSolveLine =
+    R"({"method":"solve","id":1,"scenario":{"switch":{"inputs":8},)"
+    R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})";
+
+/// One test client: a persistent connection with framing.
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : socket_(dial("127.0.0.1", port)), reader_(socket_.fd(), 1 << 20) {}
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  void close() { socket_.reset(); }
+
+  /// Round trip; returns the response line ("" on transport failure).
+  std::string rpc(const std::string& line) {
+    if (!socket_.valid() || !write_line(socket_.fd(), line)) {
+      return std::string();
+    }
+    return read();
+  }
+
+  /// Read one already-in-flight line ("" on EOF/error/timeout).
+  std::string read() {
+    std::string out;
+    return reader_.read_line(out) == LineReader::Status::kLine
+               ? out
+               : std::string();
+  }
+
+  [[nodiscard]] LineReader::Status read_status(std::string& out) {
+    return reader_.read_line(out);
+  }
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+ServerConfig test_config() {
+  ServerConfig config;
+  config.workers = 2;
+  config.idle_poll_seconds = 0.05;  // fast drain in tests
+  return config;
+}
+
+TEST(ServerLoopback, PingPong) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.rpc(R"({"method":"ping","id":9})"),
+            R"({"id":9,"status":"ok","cached":false,"result":"pong"})");
+  server.stop();
+}
+
+TEST(ServerLoopback, RepeatedSolveHitsTheResultCacheAndStatsShowsIt) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+
+  const std::string first = client.rpc(kSolveLine);
+  EXPECT_NE(first.find(R"("status":"ok")"), std::string::npos);
+  EXPECT_NE(first.find(R"("cached":false)"), std::string::npos);
+  EXPECT_NE(first.find(R"("measures")"), std::string::npos);
+  EXPECT_NE(first.find(R"("diagnostics")"), std::string::npos);
+
+  const std::string second = client.rpc(kSolveLine);
+  EXPECT_NE(second.find(R"("cached":true)"), std::string::npos);
+  // The cached payload is byte-identical to the computed one.
+  const auto result_of = [](const std::string& line) {
+    return line.substr(line.find(R"("result":)"));
+  };
+  EXPECT_EQ(result_of(first), result_of(second));
+
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("hits":1)"), std::string::npos);
+  EXPECT_NE(stats.find(R"("misses":1)"), std::string::npos);
+  EXPECT_NE(stats.find(R"("solve":2)"), std::string::npos);
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.cache.misses, 1u);
+  EXPECT_GE(s.latency.count, 2u);
+  server.stop();
+}
+
+TEST(ServerLoopback, NoCacheBypassesTheResultCache) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  const std::string line =
+      R"({"method":"solve","no_cache":true,"scenario":{"switch")"
+      R"(:{"inputs":8},"classes":[{"shape":"poisson","rho":0.3}]}})";
+  EXPECT_NE(client.rpc(line).find(R"("cached":false)"), std::string::npos);
+  EXPECT_NE(client.rpc(line).find(R"("cached":false)"), std::string::npos);
+  EXPECT_EQ(server.stats().cache.hits, 0u);
+  EXPECT_EQ(server.stats().cache.misses, 0u);  // lookup skipped entirely
+  server.stop();
+}
+
+TEST(ServerLoopback, TypedErrorsComeBackAsFrames) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+
+  // Malformed JSON: parse error, connection stays usable.
+  const std::string parse_error = client.rpc("this is not json");
+  EXPECT_NE(parse_error.find(R"("kind":"parse")"), std::string::npos);
+
+  // Depth-bombing the parser is a parse error too, not a crash.
+  std::string bomb = R"({"method":"ping","id":)";
+  for (int i = 0; i < 200; ++i) {
+    bomb += '[';
+  }
+  EXPECT_NE(client.rpc(bomb + "1").find(R"("kind":"parse")"),
+            std::string::npos);
+
+  // Unknown method: config error.
+  EXPECT_NE(client.rpc(R"({"method":"warp"})").find(R"("kind":"config")"),
+            std::string::npos);
+
+  // Ill-posed model: model error with the id echoed.
+  const std::string model_error = client.rpc(
+      R"({"method":"solve","id":"m","scenario":{"switch":{"inputs":8},)"
+      R"("classes":[{"shape":"poisson","rho":-1}]}})");
+  EXPECT_NE(model_error.find(R"("kind":"model")"), std::string::npos);
+
+  // The connection survived all four errors.
+  EXPECT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.errors, 4u);
+  EXPECT_EQ(s.ok, 1u);
+  server.stop();
+}
+
+TEST(ServerLoopback, SweepAndRevenueMethodsWork) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+
+  const std::string sweep = client.rpc(
+      R"({"method":"sweep","scenario":{"switch":{"inputs":4},)"
+      R"("classes":[{"shape":"poisson","rho":0.4}]},"sizes":[2,4,8]})");
+  EXPECT_NE(sweep.find(R"("status":"ok")"), std::string::npos);
+  EXPECT_NE(sweep.find(R"("complete":true)"), std::string::npos);
+  EXPECT_NE(sweep.find(R"("points":[)"), std::string::npos);
+
+  const std::string revenue = client.rpc(
+      R"({"method":"revenue","scenario":{"switch":{"inputs":4},)"
+      R"("classes":[{"shape":"poisson","rho":0.4,"weight":2}]}})");
+  EXPECT_NE(revenue.find(R"("sensitivities")"), std::string::npos);
+  EXPECT_NE(revenue.find(R"("shadow_cost")"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerLoopback, ExpiredDeadlineReturnsATypedDeadlineError) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  // A deadline of 1 nanosecond is over before execution starts.
+  const std::string response = client.rpc(
+      R"({"method":"solve","id":5,"deadline_ms":1e-6,"scenario")"
+      R"(:{"switch":{"inputs":8},"classes":[{"shape":"poisson",)"
+      R"("rho":0.45}]}})");
+  EXPECT_NE(response.find(R"("kind":"deadline")"), std::string::npos);
+  EXPECT_NE(response.find(R"("id":5)"), std::string::npos);
+  EXPECT_EQ(server.stats().deadlines, 1u);
+  server.stop();
+}
+
+TEST(ServerLoopback, AdmissionControlRejectsWithTypedOverloaded) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.idle_poll_seconds = 0.05;
+  Server server(config);
+  server.start();
+
+  // Pin the single worker: a connection is held by its worker until EOF,
+  // so after one round trip the worker is parked reading `pinned`.
+  Client pinned(server.port());
+  ASSERT_NE(pinned.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+
+  // Fills the queue (no response expected — it is waiting for a worker).
+  Client queued(server.port());
+  ASSERT_TRUE(queued.connected());
+  set_recv_timeout(queued.fd(), 0.3);
+  std::string none;
+  EXPECT_EQ(queued.read_status(none), LineReader::Status::kTimeout);
+
+  // Queue full: the acceptor answers with a typed overloaded error and
+  // closes — never an unbounded buffer, never a hang.
+  Client rejected(server.port());
+  ASSERT_TRUE(rejected.connected());
+  const std::string frame = rejected.read();
+  EXPECT_NE(frame.find(R"("kind":"overloaded")"), std::string::npos);
+  EXPECT_EQ(server.stats().overload_rejections, 1u);
+
+  // Releasing the worker drains the queue: `queued` now gets served.
+  pinned.close();
+  set_recv_timeout(queued.fd(), 5.0);
+  EXPECT_NE(queued.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServerLoopback, DrainStopsAcceptingAndFinishesInFlight) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  ASSERT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+
+  server.request_drain();
+  server.wait();  // returns once the idle connection is closed
+
+  EXPECT_TRUE(server.stats().draining);
+  // The listen socket is gone: a fresh dial cannot complete a round trip.
+  Client late(server.port());
+  EXPECT_EQ(late.rpc(R"({"method":"ping"})"), "");
+  server.stop();
+}
+
+TEST(ServerLoopback, OversizedFrameIsRejectedAndTheConnectionCloses) {
+  ServerConfig config = test_config();
+  config.max_line_bytes = 256;
+  Server server(config);
+  server.start();
+  Client client(server.port());
+  const std::string big(1024, 'x');
+  const std::string response = client.rpc(big);
+  EXPECT_NE(response.find(R"("kind":"parse")"), std::string::npos);
+  EXPECT_NE(response.find("exceeds"), std::string::npos);
+  // Framing is unsynchronized after an overflow: the server closed it.
+  EXPECT_EQ(client.rpc(R"({"method":"ping"})"), "");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,117 @@
+// SolverCache contract tests: MRU eviction order at capacity, fingerprint
+// discrimination between near-identical models, and counter monotonicity
+// across repeated run()/map() calls (the serving hot path counts on all
+// three).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/solver_spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::sweep {
+namespace {
+
+core::CrossbarModel poisson_model(unsigned n, double rho) {
+  return core::CrossbarModel(core::Dims::square(n),
+                             {core::TrafficClass::poisson("c", rho)});
+}
+
+TEST(SolverCache, EvictsTheLeastRecentlyUsedGridAtCapacity) {
+  SolverCache cache(2);
+  const auto a = poisson_model(4, 0.3);
+  const auto b = poisson_model(6, 0.3);
+  const auto c = poisson_model(8, 0.3);
+
+  (void)cache.eval_result(a);  // miss -> [A]
+  (void)cache.eval_result(b);  // miss -> [B, A]
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  (void)cache.eval_result(a);  // hit, A becomes MRU -> [A, B]
+  EXPECT_EQ(cache.hits(), 1u);
+
+  (void)cache.eval_result(c);  // miss, evicts LRU = B -> [C, A]
+  EXPECT_EQ(cache.misses(), 3u);
+
+  (void)cache.eval_result(a);  // A survived the eviction
+  EXPECT_EQ(cache.hits(), 2u);
+
+  (void)cache.eval_result(b);  // B was evicted: must rebuild
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(SolverCache, FingerprintDiscriminatesNearIdenticalModels) {
+  SolverCache cache(8);
+  // Same dims, same shape, loads differing by one ulp: these denote
+  // different computations and must not alias (the key carries the raw
+  // bits of the load, not a rounded rendering).
+  (void)cache.eval_result(poisson_model(8, 0.45));
+  (void)cache.eval_result(poisson_model(8, std::nextafter(0.45, 1.0)));
+  (void)cache.eval_result(poisson_model(8, 0.4500001));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 3u);
+
+  // A weight-only difference changes the measures (revenue) — also a
+  // distinct entry.
+  (void)cache.eval_result(core::CrossbarModel(
+      core::Dims::square(8),
+      {core::TrafficClass::poisson("c", 0.45, 1, 1.0, 2.0)}));
+  EXPECT_EQ(cache.misses(), 4u);
+
+  // A freshly constructed but numerically identical model is the same
+  // computation: exact-key compare, so it hits.
+  (void)cache.eval_result(poisson_model(8, 0.45));
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Same model, different solver spec: different grid, distinct entry.
+  (void)cache.eval_result(poisson_model(8, 0.45),
+                          core::SolverSpec::parse("algorithm1/log-domain"));
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST(SolverCache, CountersAreMonotonicAcrossRunAndMapCalls) {
+  SweepOptions options;
+  options.threads = 1;  // one slot, so slot 0's counters see everything
+  options.cache_capacity = 16;
+  SweepRunner runner(options);
+
+  std::vector<ScenarioPoint> points;
+  for (const unsigned n : {4u, 6u, 8u}) {
+    points.push_back({poisson_model(n, 0.4), std::nullopt});
+  }
+
+  const SweepReport first = runner.run_report(points);
+  EXPECT_EQ(first.total_hits(), 0u);
+  EXPECT_EQ(first.total_misses(), points.size());
+
+  // Same points again: the per-slot caches persist across run() calls, so
+  // every point hits and the cumulative counters only grow.
+  const SweepReport second = runner.run_report(points);
+  EXPECT_EQ(second.total_hits(), first.total_hits() + points.size());
+  EXPECT_EQ(second.total_misses(), first.total_misses());
+
+  // map() shares the same slot caches: evaluating the same models once
+  // more adds hits, never resets.
+  const auto blocking = runner.map<double>(points.size(), [&](std::size_t i,
+                                                              SolverCache&
+                                                                  cache) {
+    return cache.eval(points[i].model).per_class[0].blocking;
+  });
+  EXPECT_EQ(blocking.size(), points.size());
+  const auto slots = runner.slot_counters();
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const SweepSlotCounters& slot : slots) {
+    hits += slot.hits;
+    misses += slot.misses;
+  }
+  EXPECT_EQ(hits, second.total_hits() + points.size());
+  EXPECT_EQ(misses, second.total_misses());
+}
+
+}  // namespace
+}  // namespace xbar::sweep

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Loopback smoke for xbar_serve + xbar_loadgen:
+#   * start the server on an ephemeral port (discovered via --port-file),
+#   * drive REQUESTS requests through the load generator, including one
+#     malformed frame (must come back as a typed parse error) and a
+#     cache-hit floor (the repeated scenario must mostly hit the result
+#     cache),
+#   * SIGTERM the server and require a clean drain with exit 0.
+#
+# usage: serve_smoke.sh <xbar_serve> <xbar_loadgen> <workdir> [requests]
+# Any failure exits nonzero; the caller (ctest / CI) owns the timeout.
+set -e
+
+SERVE="$1"
+LOADGEN="$2"
+DIR="$3"
+REQUESTS="${4:-200}"
+
+mkdir -p "$DIR"
+PORT_FILE="$DIR/serve_port.$$"
+rm -f "$PORT_FILE"
+
+"$SERVE" --port=0 --threads=2 --queue=64 --port-file="$PORT_FILE" &
+PID=$!
+
+i=0
+while [ ! -s "$PORT_FILE" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve_smoke: server never wrote $PORT_FILE" >&2
+    kill -9 "$PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+
+LG_STATUS=0
+"$LOADGEN" --port="$PORT" --requests="$REQUESTS" --senders=4 \
+  --malformed=1 --min-cached=$((REQUESTS / 2)) || LG_STATUS=$?
+
+kill -TERM "$PID"
+SERVE_STATUS=0
+wait "$PID" || SERVE_STATUS=$?
+rm -f "$PORT_FILE"
+
+if [ "$LG_STATUS" -ne 0 ]; then
+  echo "serve_smoke: loadgen exited $LG_STATUS" >&2
+  exit 1
+fi
+if [ "$SERVE_STATUS" -ne 0 ]; then
+  echo "serve_smoke: server exited $SERVE_STATUS after SIGTERM" >&2
+  exit 1
+fi
+echo "serve_smoke: ok ($REQUESTS requests, clean drain)"

@@ -12,6 +12,10 @@
 //                   cache hits, wall time)
 //   --json          machine-readable output (solve and sweep)
 //
+// Sweep execution (sweep only):
+//   --threads=N     bound sweep concurrency (results are bit-identical for
+//                   every value; 1 = serial)
+//
 // Sweep fault tolerance (sweep only):
 //   --max-failures=N    cancel the sweep once N points fail terminally
 //   --deadline=SECONDS  wall-clock budget; unfinished points report cancelled
@@ -42,6 +46,7 @@
 #include "core/solver.hpp"
 #include "report/args.hpp"
 #include "report/json_writer.hpp"
+#include "report/solve_json.hpp"
 #include "report/table.hpp"
 #include "sim/replication.hpp"
 #include "sim/traffic_pattern.hpp"
@@ -56,7 +61,7 @@ using namespace xbar;
 int usage() {
   std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini>\n"
                "            [--solver=SPEC] [--verbose] [--json]\n"
-               "            [--sizes=4,8,16]          (sweep only)\n"
+               "            [--sizes=4,8,16] [--threads=N]   (sweep only)\n"
                "            [--max-failures=N] [--deadline=SECONDS]\n"
                "            [--checkpoint=FILE] [--resume=FILE]\n"
                "            [--inject=POINT:throw|nan|delay[:SECONDS],...]\n"
@@ -118,57 +123,11 @@ void print_measures(const core::CrossbarModel& model,
             << "\n";
 }
 
-void write_measures_json(report::JsonWriter& json,
-                         const core::CrossbarModel& model,
-                         const core::Measures& measures) {
-  json.begin_object();
-  json.key("per_class").begin_array();
-  for (std::size_t r = 0; r < model.num_classes(); ++r) {
-    const auto& cm = measures.per_class[r];
-    json.begin_object();
-    json.key("name").value(model.classes()[r].name);
-    json.key("bandwidth").value(model.normalized(r).bandwidth);
-    json.key("blocking").value(cm.blocking);
-    json.key("non_blocking").value(cm.non_blocking);
-    json.key("concurrency").value(cm.concurrency);
-    json.key("throughput").value(cm.throughput);
-    json.key("port_usage").value(cm.port_usage);
-    json.end_object();
-  }
-  json.end_array();
-  json.key("revenue").value(measures.revenue);
-  json.key("total_throughput").value(measures.total_throughput);
-  json.key("utilization").value(measures.utilization);
-  json.end_object();
-}
-
-void write_diagnostics_json(report::JsonWriter& json,
-                            const core::SolveDiagnostics& d) {
-  json.begin_object();
-  json.key("requested").value(core::to_string(d.requested));
-  json.key("algorithm").value(core::to_string(d.algorithm));
-  json.key("backend").value(core::to_string(d.backend));
-  json.key("fast_fallback").value(d.fast_fallback);
-  json.key("rescales").value(d.rescales);
-  json.key("grid").begin_object();
-  json.key("n1").value(d.grid.n1);
-  json.key("n2").value(d.grid.n2);
-  json.end_object();
-  json.key("evaluated_at").begin_object();
-  json.key("n1").value(d.evaluated_at.n1);
-  json.key("n2").value(d.evaluated_at.n2);
-  json.end_object();
-  json.key("cache_hit").value(d.cache_hit);
-  json.key("wall_seconds").value(d.wall_seconds);
-  if (!d.escalation.empty()) {
-    json.key("escalation").begin_array();
-    for (const core::NumericBackend backend : d.escalation) {
-      json.value(core::to_string(backend));
-    }
-    json.end_array();
-  }
-  json.end_object();
-}
+// JSON shapes for measures/diagnostics are shared with the serving
+// protocol via report/solve_json — the CLI must emit byte-identical
+// structures so clients can diff the two surfaces.
+using report::write_diagnostics_json;
+using report::write_measures_json;
 
 int cmd_solve(const config::Scenario& scenario, const report::Args& args) {
   const core::SolverSpec spec = effective_solver(scenario, args);
@@ -360,6 +319,10 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
   sweep::SweepOptions options;
   options.solver = spec;
   options.fault.isolate = true;
+  if (const auto text = args.get("threads")) {
+    options.threads =
+        static_cast<unsigned>(parse_flag_number("threads", *text));
+  }
   sweep::FaultInjector injector;
   if (const auto inject = args.get("inject")) {
     parse_inject(*inject, injector);

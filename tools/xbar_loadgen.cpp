@@ -1,0 +1,445 @@
+// xbar_loadgen — open-loop load generator for xbar_serve.
+//
+//   xbar_loadgen --port=N [--host=127.0.0.1] [--requests=1000] [--rps=R]
+//                [--process=poisson|bpp] [--peakedness=Z] [--mu=MU]
+//                [--senders=S] [--method=ping|solve|revenue|sweep]
+//                [--scenario=FILE.ini] [--solver=SPEC] [--sizes=4,8]
+//                [--unique] [--no-cache] [--deadline-ms=MS] [--seed=N]
+//                [--malformed=K] [--min-cached=N] [--json]
+//
+// Arrival times are drawn from the same BPP family the paper models as
+// offered traffic: --process=poisson paces requests as a Poisson stream at
+// --rps; --process=bpp simulates the linear birth-death modulating process
+// lambda(k) = alpha + beta k (dist::BppParams::from_mean_peakedness with
+// mean rps/mu and the requested peakedness), so request arrivals cluster
+// into the bursts whose effect on a shared service the paper is about.
+// --rps=0 disables pacing (send as fast as the connections allow).
+//
+// The schedule is split round-robin across --senders persistent
+// connections; each sender redials after a server-closed connection
+// (overload rejections close the socket by design).  --unique perturbs the
+// scenario per request so every request is a distinct computation (cold
+// cache); the default repeats one scenario, the result-cache hot path.
+// --malformed=K injects K syntactically invalid frames and requires a
+// typed parse error back.  --min-cached=N makes the exit code assert at
+// least N cached responses (CI uses this to pin the cache hot path).
+//
+// Output: achieved RPS plus client-side latency p50/p90/p99/max and
+// counts by outcome (ok / cached / overloaded / deadline / other errors /
+// transport failures).  Exit 0 when every request got a well-formed
+// response with no unexpected errors; 2 when any failed, errored
+// unexpectedly, or an assertion (--min-cached) did not hold; 1 fatal.
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/scenario_file.hpp"
+#include "core/error.hpp"
+#include "core/model.hpp"
+#include "core/solver_spec.hpp"
+#include "dist/bpp.hpp"
+#include "dist/rng.hpp"
+#include "report/args.hpp"
+#include "report/json_writer.hpp"
+#include "service/connection.hpp"
+#include "service/histogram.hpp"
+
+namespace {
+
+using namespace xbar;
+using Clock = std::chrono::steady_clock;
+
+int usage() {
+  std::cerr
+      << "usage: xbar_loadgen --port=N [--host=ADDR] [--requests=N]\n"
+         "                    [--rps=R] [--process=poisson|bpp]\n"
+         "                    [--peakedness=Z] [--mu=MU] [--senders=S]\n"
+         "                    [--method=ping|solve|revenue|sweep]\n"
+         "                    [--scenario=FILE.ini] [--solver=SPEC]\n"
+         "                    [--sizes=4,8] [--unique] [--no-cache]\n"
+         "                    [--deadline-ms=MS] [--seed=N]\n"
+         "                    [--malformed=K] [--min-cached=N] [--json]\n";
+  return 1;
+}
+
+/// The workload description shared by every request: the traffic classes
+/// in tilde units plus the switch dims, rendered to protocol scenario JSON.
+struct Workload {
+  core::Dims dims{16, 16};
+  std::vector<core::TrafficClass> classes;
+};
+
+Workload default_workload() {
+  Workload w;
+  w.classes.push_back(core::TrafficClass::poisson("voice", 0.45));
+  w.classes.push_back(
+      core::TrafficClass::bursty("bulk", 0.1, 0.05, 1, 2.0, 0.2));
+  return w;
+}
+
+Workload load_workload(const std::string& path) {
+  const config::Scenario scenario = config::load_scenario(path);
+  Workload w;
+  w.dims = scenario.model.dims();
+  w.classes.assign(scenario.model.classes().begin(),
+                   scenario.model.classes().end());
+  return w;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, end);
+}
+
+/// Render one request line.  `scale` multiplies every class's alpha~ and
+/// beta~ (scaling both preserves Bernoulli validity: -alpha/beta is
+/// unchanged), which is how --unique makes each request a distinct model.
+std::string render_request(const Workload& w, const std::string& method,
+                           std::size_t id, double scale,
+                           const std::string& solver,
+                           const std::vector<unsigned>& sizes,
+                           double deadline_ms, bool no_cache) {
+  std::string out = "{\"method\":\"" + method + "\",\"id\":";
+  out += std::to_string(id);
+  if (method != "ping" && method != "stats") {
+    out += ",\"scenario\":{\"switch\":{\"inputs\":";
+    out += std::to_string(w.dims.n1);
+    out += ",\"outputs\":";
+    out += std::to_string(w.dims.n2);
+    out += "},\"classes\":[";
+    for (std::size_t r = 0; r < w.classes.size(); ++r) {
+      const core::TrafficClass& c = w.classes[r];
+      if (r != 0) {
+        out += ',';
+      }
+      out += "{\"name\":\"" + report::JsonWriter::escape(c.name) + "\",";
+      if (c.beta_tilde == 0.0) {
+        out += "\"shape\":\"poisson\",\"rho\":";
+        append_number(out, c.alpha_tilde * scale / c.mu);
+      } else {
+        out += "\"shape\":\"bursty\",\"alpha\":";
+        append_number(out, c.alpha_tilde * scale);
+        out += ",\"beta\":";
+        append_number(out, c.beta_tilde * scale);
+      }
+      out += ",\"bandwidth\":" + std::to_string(c.bandwidth);
+      out += ",\"mu\":";
+      append_number(out, c.mu);
+      out += ",\"weight\":";
+      append_number(out, c.weight);
+      out += '}';
+    }
+    out += "]}";
+    if (!solver.empty()) {
+      out += ",\"solver\":\"" + solver + "\"";
+    }
+    if (method == "sweep") {
+      out += ",\"sizes\":[";
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        out += (i == 0 ? "" : ",") + std::to_string(sizes[i]);
+      }
+      out += ']';
+    }
+  }
+  if (deadline_ms > 0.0) {
+    out += ",\"deadline_ms\":";
+    append_number(out, deadline_ms);
+  }
+  if (no_cache) {
+    out += ",\"no_cache\":true";
+  }
+  out += '}';
+  return out;
+}
+
+/// Arrival-time offsets (seconds) for `n` requests.  rps == 0 -> all zero.
+/// Poisson is the peakedness-1 case of the BPP modulator, so both
+/// processes share one simulation: a birth at state k fires at rate
+/// alpha + beta k and is one request; deaths at rate k mu end sessions.
+std::vector<double> arrival_schedule(std::size_t n, double rps, double z,
+                                     double mu, std::uint64_t seed) {
+  std::vector<double> times(n, 0.0);
+  if (rps <= 0.0) {
+    return times;
+  }
+  const dist::BppParams params =
+      dist::BppParams::from_mean_peakedness(rps / mu, z, mu);
+  dist::Xoshiro256 rng(seed);
+  double t = 0.0;
+  unsigned k = static_cast<unsigned>(std::lround(params.mean()));
+  for (std::size_t i = 0; i < n;) {
+    const double birth = params.intensity(k);
+    const double death = static_cast<double>(k) * mu;
+    const double total = birth + death;
+    if (total <= 0.0) {
+      k = 1;  // absorbed (can only happen with degenerate parameters)
+      continue;
+    }
+    t += rng.exponential(total);
+    if (rng.uniform01() * total < birth) {
+      times[i++] = t;
+      ++k;
+    } else {
+      --k;
+    }
+  }
+  return times;
+}
+
+/// Outcome tallies shared across senders.
+struct Tally {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> cached{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> deadline{0};
+  std::atomic<std::uint64_t> shutdown{0};
+  std::atomic<std::uint64_t> error_other{0};
+  std::atomic<std::uint64_t> failed{0};  ///< transport: no response at all
+  std::atomic<std::uint64_t> malformed_ok{0};
+  service::Histogram latency;
+};
+
+bool contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+void classify(const std::string& response, Tally& tally) {
+  if (contains(response, "\"status\":\"ok\"")) {
+    tally.ok.fetch_add(1, std::memory_order_relaxed);
+    if (contains(response, "\"cached\":true")) {
+      tally.cached.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (contains(response, "\"kind\":\"overloaded\"")) {
+    tally.overloaded.fetch_add(1, std::memory_order_relaxed);
+  } else if (contains(response, "\"kind\":\"deadline\"")) {
+    tally.deadline.fetch_add(1, std::memory_order_relaxed);
+  } else if (contains(response, "\"kind\":\"shutdown\"")) {
+    tally.shutdown.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tally.error_other.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// One round trip on a persistent connection, redialing once if the
+/// server closed it (overload rejections close by design).  Returns the
+/// response line, or empty on transport failure.
+std::string round_trip(service::Socket& conn, const std::string& host,
+                       std::uint16_t port, const std::string& line) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!conn.valid()) {
+      conn = service::dial(host, port);
+      if (!conn.valid()) {
+        continue;
+      }
+    }
+    if (!service::write_line(conn.fd(), line)) {
+      conn.reset();
+      continue;
+    }
+    // An overload rejection is written by the acceptor before our request:
+    // whatever line arrives is the server's answer to this connection.
+    service::LineReader reader(conn.fd(), 1 << 20);
+    std::string response;
+    const auto status = reader.read_line(response);
+    if (status == service::LineReader::Status::kLine) {
+      return response;
+    }
+    conn.reset();  // EOF / error: redial and retry once
+  }
+  return std::string();
+}
+
+std::vector<unsigned> parse_sizes_flag(const std::string& arg) {
+  std::vector<unsigned> sizes;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string token =
+        arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    start = comma == std::string::npos ? arg.size() + 1 : comma + 1;
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        value == 0) {
+      raise(ErrorKind::kUsage,
+            "--sizes: invalid size '" + token +
+                "' (expected comma-separated positive integers)");
+    }
+    sizes.push_back(value);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  if (args.has("help") || !args.get("port")) {
+    return usage();
+  }
+  try {
+    const std::string host = args.get("host").value_or("127.0.0.1");
+    const auto port =
+        static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    const std::size_t requests = args.get_unsigned("requests", 1000);
+    const double rps = args.get_double("rps", 0.0);
+    const std::string process = args.get("process").value_or("poisson");
+    if (process != "poisson" && process != "bpp") {
+      raise(ErrorKind::kUsage,
+            "--process must be poisson or bpp, got '" + process + "'");
+    }
+    const double peakedness =
+        process == "poisson" ? 1.0 : args.get_double("peakedness", 4.0);
+    if (!(peakedness >= 1.0)) {
+      raise(ErrorKind::kUsage, "--peakedness must be >= 1");
+    }
+    const double mu = args.get_double("mu", 1.0);
+    const unsigned senders = std::max(1u, args.get_unsigned("senders", 4));
+    const std::string method = args.get("method").value_or("solve");
+    if (method != "ping" && method != "solve" && method != "revenue" &&
+        method != "sweep") {
+      raise(ErrorKind::kUsage, "--method must be ping|solve|revenue|sweep");
+    }
+    const std::string solver = args.get("solver").value_or("");
+    if (!solver.empty()) {
+      (void)core::SolverSpec::parse(solver);  // fail fast on typos
+    }
+    const std::vector<unsigned> sizes =
+        parse_sizes_flag(args.get("sizes").value_or("4,8"));
+    const bool unique = args.has("unique");
+    const bool no_cache = args.has("no-cache");
+    const double deadline_ms = args.get_double("deadline-ms", 0.0);
+    const std::uint64_t seed = args.get_unsigned("seed", 1);
+    const std::size_t malformed = args.get_unsigned("malformed", 0);
+    const std::uint64_t min_cached = args.get_unsigned("min-cached", 0);
+
+    const Workload workload = args.get("scenario")
+                                  ? load_workload(*args.get("scenario"))
+                                  : default_workload();
+    const std::vector<double> schedule =
+        arrival_schedule(requests, rps, peakedness, mu, seed);
+
+    Tally tally;
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(senders);
+    for (unsigned s = 0; s < senders; ++s) {
+      threads.emplace_back([&, s] {
+        service::Socket conn;
+        // Sender 0 leads with the malformed frames: each must come back
+        // as a typed parse error, not a hang or a dropped connection.
+        if (s == 0) {
+          for (std::size_t m = 0; m < malformed; ++m) {
+            const std::string response =
+                round_trip(conn, host, port, "this is not json");
+            if (response.empty()) {
+              tally.failed.fetch_add(1, std::memory_order_relaxed);
+            } else if (contains(response, "\"kind\":\"parse\"")) {
+              tally.malformed_ok.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              tally.error_other.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        for (std::size_t i = s; i < requests; i += senders) {
+          const double scale =
+              unique ? 1.0 + 1e-4 * static_cast<double>(i + 1) : 1.0;
+          const std::string line =
+              render_request(workload, method, i, scale, solver, sizes,
+                             deadline_ms, no_cache);
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(schedule[i])));
+          const Clock::time_point sent = Clock::now();
+          const std::string response = round_trip(conn, host, port, line);
+          tally.latency.record(
+              std::chrono::duration<double>(Clock::now() - sent).count());
+          if (response.empty()) {
+            tally.failed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            classify(response, tally);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const service::Histogram::Snapshot lat = tally.latency.snapshot();
+    const std::uint64_t ok = tally.ok.load();
+    const std::uint64_t cached = tally.cached.load();
+    const std::uint64_t failed = tally.failed.load();
+    const std::uint64_t error_other = tally.error_other.load();
+    const std::uint64_t malformed_ok = tally.malformed_ok.load();
+    const double achieved = wall > 0.0
+                                ? static_cast<double>(ok) / wall
+                                : 0.0;
+
+    if (args.has("json")) {
+      report::JsonWriter json(std::cout);
+      json.begin_object();
+      json.key("requests").value(static_cast<std::uint64_t>(requests));
+      json.key("wall_seconds").value(wall);
+      json.key("achieved_rps").value(achieved);
+      json.key("ok").value(ok);
+      json.key("cached").value(cached);
+      json.key("overloaded").value(tally.overloaded.load());
+      json.key("deadline").value(tally.deadline.load());
+      json.key("shutdown").value(tally.shutdown.load());
+      json.key("error_other").value(error_other);
+      json.key("failed").value(failed);
+      json.key("malformed_ok").value(malformed_ok);
+      json.key("latency_ms").begin_object();
+      json.key("p50").value(lat.p50 * 1e3);
+      json.key("p90").value(lat.p90 * 1e3);
+      json.key("p99").value(lat.p99 * 1e3);
+      json.key("max").value(lat.max * 1e3);
+      json.key("mean").value(lat.mean * 1e3);
+      json.end_object();
+      json.end_object();
+    } else {
+      std::cout << "requests " << requests << "  wall " << wall
+                << "s  achieved " << achieved << " rps\n"
+                << "ok " << ok << " (cached " << cached << ")  overloaded "
+                << tally.overloaded.load() << "  deadline "
+                << tally.deadline.load() << "  shutdown "
+                << tally.shutdown.load() << "  other-errors " << error_other
+                << "  failed " << failed << "\n"
+                << "latency ms: p50 " << lat.p50 * 1e3 << "  p90 "
+                << lat.p90 * 1e3 << "  p99 " << lat.p99 * 1e3 << "  max "
+                << lat.max * 1e3 << "\n";
+      if (malformed > 0) {
+        std::cout << "malformed frames answered with parse errors: "
+                  << malformed_ok << "/" << malformed << "\n";
+      }
+    }
+
+    const bool assertions_hold = failed == 0 && error_other == 0 &&
+                                 malformed_ok == malformed &&
+                                 cached >= min_cached;
+    return assertions_hold ? 0 : 2;
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,115 @@
+// xbar_serve — long-running evaluation daemon.
+//
+//   xbar_serve [--host=127.0.0.1] [--port=0] [--threads=N] [--queue=N]
+//              [--cache-shards=N] [--cache-entries=N] [--deadline-ms=MS]
+//              [--max-line-bytes=N] [--port-file=PATH]
+//
+// Speaks the newline-delimited JSON protocol documented in
+// src/service/protocol.hpp: methods solve / revenue / sweep / stats / ping,
+// one request per line, one response line per request.  --port=0 binds an
+// ephemeral port; the listening line on stdout (and --port-file, written
+// atomically) tell scripts where to connect.  --deadline-ms sets the
+// default per-request budget for requests that carry none.
+//
+// SIGTERM/SIGINT begin a graceful drain: stop accepting, finish every
+// accepted connection's in-flight requests, print a final stats line to
+// stderr, exit 0.  Fatal setup failures (unbindable port, bad flags)
+// exit 1 with a typed diagnostic.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/error.hpp"
+#include "report/args.hpp"
+#include "service/connection.hpp"
+#include "service/server.hpp"
+#include "service/signal.hpp"
+
+namespace {
+
+using namespace xbar;
+
+int usage() {
+  std::cerr
+      << "usage: xbar_serve [--host=ADDR] [--port=N] [--threads=N]\n"
+         "                  [--queue=N] [--cache-shards=N]\n"
+         "                  [--cache-entries=N] [--deadline-ms=MS]\n"
+         "                  [--max-line-bytes=N] [--port-file=PATH]\n"
+         "Newline-delimited JSON over TCP; methods: ping, solve, revenue,\n"
+         "sweep, stats.  SIGTERM/SIGINT drain gracefully.\n";
+  return 1;
+}
+
+/// Write the bound port where pollers can read it, atomically (tmp +
+/// rename) so a reader never sees a partial file.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      raise(ErrorKind::kIo, "cannot write port file '" + tmp + "'");
+    }
+    out << port << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise(ErrorKind::kIo, "cannot rename port file into '" + path + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  if (args.has("help")) {
+    return usage();
+  }
+  try {
+    service::ServerConfig config;
+    if (const auto host = args.get("host")) {
+      config.host = *host;
+    }
+    config.port = static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    config.workers = args.get_unsigned("threads", 0);
+    config.queue_capacity = args.get_unsigned("queue", 128);
+    config.cache_shards = args.get_unsigned("cache-shards", 8);
+    config.cache_entries_per_shard = args.get_unsigned("cache-entries", 64);
+    config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+    config.max_line_bytes =
+        args.get_unsigned("max-line-bytes", 1u << 20);
+
+    // The mask must be in place before any thread exists so every thread
+    // inherits it and the drain signal only ever reaches sigwait() below.
+    service::install_drain_signals();
+
+    service::Server server(std::move(config));
+    server.start();
+    if (const auto path = args.get("port-file")) {
+      write_port_file(*path, server.port());
+    }
+    std::cout << "xbar_serve listening on "
+              << args.get("host").value_or("127.0.0.1") << ':'
+              << server.port() << std::endl;
+
+    const int signo = service::wait_for_drain_signal();
+    std::cerr << "xbar_serve: signal " << signo << ", draining\n";
+    server.request_drain();
+    server.wait();
+
+    const service::StatsSnapshot s = server.stats();
+    std::cerr << "xbar_serve: drained, uptime " << s.uptime_seconds
+              << "s — requests=" << s.requests_total << " ok=" << s.ok
+              << " errors=" << s.errors << " deadlines=" << s.deadlines
+              << " overloaded=" << s.overload_rejections
+              << " cache_hits=" << s.cache.hits
+              << " cache_misses=" << s.cache.misses << "\n";
+    return 0;
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
