@@ -1,0 +1,393 @@
+#include "chaos/proxy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace xbar::chaos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking send of the whole buffer; false on any error.
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Close with SO_LINGER{1,0}: the kernel sends RST instead of FIN.
+void reset_close(service::Socket& sock) {
+  const linger hard{1, 0};
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  sock.reset();
+}
+
+/// Upstream dial for kStall: the receive buffer is clamped to the kernel
+/// minimum *before* connect, so the advertised window is tiny and the
+/// server's send path backs up after a few KB instead of after the
+/// default ~128 KB of buffering.
+service::Socket dial_stall(const std::string& host, std::uint16_t port,
+                           double timeout_seconds) {
+  service::Socket probe = service::dial_timeout(host, port, timeout_seconds);
+  if (!probe.valid()) {
+    return probe;
+  }
+  probe.reset();  // reachable; redo the dial with the clamped buffer
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return service::Socket();
+  }
+  service::Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return sock;
+  }
+  const int tiny = 2048;  // kernel clamps to its floor
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return service::Socket();
+  }
+  return sock;
+}
+
+std::size_t parse_count(std::string_view token, std::string_view what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    raise(ErrorKind::kUsage, "--faults: invalid " + std::string(what) +
+                                 " '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kReset: return "reset";
+    case FaultAction::kTruncate: return "truncate";
+    case FaultAction::kGarbage: return "garbage";
+    case FaultAction::kStall: return "stall";
+  }
+  return "?";
+}
+
+std::vector<FaultRule> parse_fault_spec(std::string_view spec) {
+  std::vector<FaultRule> rules;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view token = spec.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    start = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    const std::size_t first = token.find(':');
+    if (first == std::string_view::npos) {
+      raise(ErrorKind::kUsage,
+            "--faults: expected CONN:action, got '" + std::string(token) +
+                "'");
+    }
+    FaultRule rule;
+    rule.conn = parse_count(token.substr(0, first), "connection index");
+    const std::size_t second = token.find(':', first + 1);
+    const std::string_view action =
+        token.substr(first + 1, second == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : second - first - 1);
+    const std::string_view arg =
+        second == std::string_view::npos ? std::string_view()
+                                         : token.substr(second + 1);
+    if (action == "delay") {
+      rule.action = FaultAction::kDelay;
+      if (arg.empty()) {
+        raise(ErrorKind::kUsage, "--faults: delay needs CONN:delay:MS");
+      }
+      rule.delay_seconds =
+          static_cast<double>(parse_count(arg, "delay ms")) * 1e-3;
+    } else if (action == "drop") {
+      rule.action = FaultAction::kDrop;
+    } else if (action == "reset") {
+      rule.action = FaultAction::kReset;
+      rule.bytes = arg.empty() ? 0 : parse_count(arg, "byte count");
+    } else if (action == "truncate") {
+      rule.action = FaultAction::kTruncate;
+      rule.bytes = arg.empty() ? 16 : parse_count(arg, "byte count");
+    } else if (action == "garbage") {
+      rule.action = FaultAction::kGarbage;
+    } else if (action == "stall") {
+      rule.action = FaultAction::kStall;
+    } else {
+      raise(ErrorKind::kUsage,
+            "--faults: unknown action '" + std::string(action) +
+                "' (expected delay|drop|reset|truncate|garbage|stall)");
+    }
+    rules.push_back(rule);
+  }
+  return rules;
+}
+
+ChaosProxy::ChaosProxy(ProxyConfig config) : config_(std::move(config)) {}
+
+ChaosProxy::~ChaosProxy() {
+  stop();
+  if (stop_pipe_read_ >= 0) {
+    ::close(stop_pipe_read_);
+    ::close(stop_pipe_write_);
+  }
+}
+
+void ChaosProxy::start() {
+  if (started_) {
+    raise(ErrorKind::kInternal, "ChaosProxy::start() called twice");
+  }
+  listen_socket_ =
+      service::listen_on(config_.listen_host, config_.listen_port, port_);
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    raise(ErrorKind::kIo, std::string("pipe(): ") + std::strerror(errno));
+  }
+  stop_pipe_read_ = fds[0];
+  stop_pipe_write_ = fds[1];
+  started_ = true;
+  acceptor_ = std::thread([this] { acceptor_main(); });
+}
+
+void ChaosProxy::stop() {
+  if (!started_) {
+    return;
+  }
+  if (!stopping_.exchange(true)) {
+    const unsigned char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_write_, &byte, 1);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> pumps;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    pumps.swap(pumps_);
+  }
+  for (std::thread& t : pumps) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+ProxyCounters ChaosProxy::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+void ChaosProxy::acceptor_main() {
+  std::size_t index = 0;
+  for (;;) {
+    pollfd fds[2] = {{listen_socket_.fd(), POLLIN, 0},
+                     {stop_pipe_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    service::Socket conn(::accept(listen_socket_.fd(), nullptr, nullptr));
+    if (!conn.valid()) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    FaultRule rule;
+    for (const FaultRule& r : config_.faults) {
+      if (r.conn == index) {
+        rule = r;
+        break;
+      }
+    }
+    ++index;
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.accepted;
+      if (rule.action != FaultAction::kNone) {
+        ++counters_.faulted;
+      }
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    pumps_.emplace_back(
+        [this, c = std::move(conn), rule]() mutable {
+          pump(std::move(c), rule);
+        });
+  }
+  listen_socket_.reset();
+}
+
+void ChaosProxy::pump(service::Socket client, FaultRule rule) {
+  if (rule.action == FaultAction::kDrop) {
+    return;  // close immediately: the client sees EOF before any response
+  }
+  if (rule.action == FaultAction::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(rule.delay_seconds));
+  }
+  service::Socket upstream =
+      rule.action == FaultAction::kStall
+          ? dial_stall(config_.upstream_host, config_.upstream_port,
+                       config_.connect_timeout_seconds)
+          : service::dial_timeout(config_.upstream_host,
+                                  config_.upstream_port,
+                                  config_.connect_timeout_seconds);
+  if (!upstream.valid()) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.upstream_dial_failures;
+    return;  // the client sees EOF, exactly like a dead upstream
+  }
+  if (rule.action == FaultAction::kStall) {
+    stall(std::move(client), std::move(upstream));
+    return;
+  }
+
+  // Bidirectional byte pump with the fault shaping applied to the
+  // upstream->client (response) direction.
+  std::size_t response_forwarded = 0;
+  bool garbage_sent = false;
+  char chunk[4096];
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    pollfd fds[2] = {{client.fd(), POLLIN, 0}, {upstream.fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 500);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(client.fd(), chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        break;
+      }
+      if (!send_all(upstream.fd(), chunk, static_cast<std::size_t>(n))) {
+        break;
+      }
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      counters_.bytes_to_upstream += static_cast<std::uint64_t>(n);
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(upstream.fd(), chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        break;
+      }
+      std::size_t forward = static_cast<std::size_t>(n);
+      if (rule.action == FaultAction::kGarbage && !garbage_sent) {
+        // A line that can never be a protocol frame: clients must treat
+        // the stream as desynchronized, reconnect, and retry.
+        static constexpr char kGarbage[] = "\x15xbar-chaos-garbage\n";
+        garbage_sent = true;
+        if (!send_all(client.fd(), kGarbage, sizeof(kGarbage) - 1)) {
+          break;
+        }
+      }
+      if (rule.action == FaultAction::kTruncate ||
+          rule.action == FaultAction::kReset) {
+        forward = response_forwarded >= rule.bytes
+                      ? 0
+                      : std::min(forward, rule.bytes - response_forwarded);
+      }
+      if (forward > 0 && !send_all(client.fd(), chunk, forward)) {
+        break;
+      }
+      response_forwarded += forward;
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        counters_.bytes_to_client += static_cast<std::uint64_t>(forward);
+      }
+      if (rule.action == FaultAction::kTruncate &&
+          response_forwarded >= rule.bytes) {
+        break;  // clean close mid-frame: a torn response
+      }
+      if (rule.action == FaultAction::kReset &&
+          response_forwarded >= rule.bytes) {
+        reset_close(client);
+        return;
+      }
+    }
+  }
+}
+
+void ChaosProxy::stall(service::Socket client, service::Socket upstream) {
+  // Forward whatever the client sends, never read the response: the
+  // server's send path sees a reader that stopped draining.  Ends when
+  // the client gives up (its timeout closes the socket), the proxy is
+  // stopped, or the stall bound elapses.
+  const Clock::time_point start = Clock::now();
+  char chunk[4096];
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed) ||
+        std::chrono::duration<double>(Clock::now() - start).count() >
+            config_.stall_max_seconds) {
+      break;
+    }
+    pollfd pfd{client.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    const ssize_t n = ::recv(client.fd(), chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    if (!send_all(upstream.fd(), chunk, static_cast<std::size_t>(n))) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters_.bytes_to_upstream += static_cast<std::uint64_t>(n);
+  }
+}
+
+}  // namespace xbar::chaos

@@ -1,0 +1,121 @@
+// ChaosProxy: a TCP fault-injection proxy for resilience testing.
+//
+// Sits between XbarClient/xbar_loadgen and xbar_serve and misbehaves on a
+// *scriptable, deterministic* schedule, so the failure modes a hostile
+// network produces — slow links, dead peers, truncated frames, resets,
+// stalled readers — can be reproduced byte-for-byte in CI instead of
+// hoping the network misbehaves on its own.  The schedule follows the
+// FaultInjector spec style from the sweep engine (`POINT:action`), keyed
+// by the proxy-side connection index:
+//
+//   CONN:delay:MS      hold the connection MS milliseconds before proxying
+//   CONN:drop          accept, then close immediately (client sees EOF)
+//   CONN:reset         forward BYTES response bytes (default 0), then RST
+//                      the client (SO_LINGER 0 close) — `CONN:reset:BYTES`
+//   CONN:truncate:N    forward only the first N response bytes (default
+//                      16), then close cleanly: a torn frame
+//   CONN:garbage       prepend a non-protocol line to the response stream
+//                      (framing desynchronization)
+//   CONN:stall         forward the request upstream, then never relay the
+//                      response and stop reading it (the upstream-facing
+//                      socket keeps a minimal receive buffer), so the
+//                      *server* experiences a slow reader while the client
+//                      waits out its own timeout
+//
+// Connections without a matching rule are proxied faithfully.  Rules are
+// deterministic because connection indices are assigned in accept order —
+// drive the proxy from a single-threaded client (or accept the index
+// interleaving) and a given schedule perturbs the same requests every run.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/connection.hpp"
+
+namespace xbar::chaos {
+
+enum class FaultAction : std::uint8_t {
+  kNone, kDelay, kDrop, kReset, kTruncate, kGarbage, kStall,
+};
+
+[[nodiscard]] std::string_view to_string(FaultAction action) noexcept;
+
+struct FaultRule {
+  std::size_t conn = 0;  ///< accept-order connection index
+  FaultAction action = FaultAction::kNone;
+  double delay_seconds = 0.0;  ///< kDelay only
+  std::size_t bytes = 0;       ///< kReset / kTruncate response-byte budget
+};
+
+/// Parse "CONN:action[:arg][,CONN:action[:arg]]..." (the grammar above).
+/// Raises xbar::Error(kUsage) naming the bad token.
+[[nodiscard]] std::vector<FaultRule> parse_fault_spec(std::string_view spec);
+
+struct ProxyConfig {
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral (read back via port())
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  double connect_timeout_seconds = 2.0;
+  double stall_max_seconds = 30.0;  ///< bound on how long kStall holds on
+  std::vector<FaultRule> faults;
+};
+
+/// Operational counters (monitoring; read with counters()).
+struct ProxyCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t faulted = 0;  ///< connections a rule acted on
+  std::uint64_t upstream_dial_failures = 0;
+  std::uint64_t bytes_to_upstream = 0;
+  std::uint64_t bytes_to_client = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ProxyConfig config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Bind + listen + spawn the acceptor.  Raises xbar::Error(kIo) when the
+  /// listen address cannot be bound.
+  void start();
+
+  /// Stop accepting, close the listen socket, join every pump thread.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] ProxyCounters counters() const;
+
+ private:
+  void acceptor_main();
+  void pump(service::Socket client, FaultRule rule);
+  void stall(service::Socket client, service::Socket upstream);
+
+  ProxyConfig config_;
+  service::Socket listen_socket_;
+  std::uint16_t port_ = 0;
+  int stop_pipe_read_ = -1;
+  int stop_pipe_write_ = -1;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> pumps_;
+
+  mutable std::mutex counters_mutex_;
+  ProxyCounters counters_;
+};
+
+}  // namespace xbar::chaos

@@ -1,0 +1,21 @@
+#include "client/backoff.hpp"
+
+#include <algorithm>
+
+namespace xbar::client {
+
+Backoff::Backoff(BackoffConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+double Backoff::next_delay() {
+  const double base = config_.base_seconds;
+  // Decorrelated jitter: uniform in [base, 3 * previous], envelope capped.
+  const double upper =
+      previous_ <= 0.0 ? base : std::min(config_.cap_seconds, 3.0 * previous_);
+  const double span = std::max(0.0, upper - base);
+  const double delay = base + rng_.uniform01() * span;
+  previous_ = delay;
+  return std::min(delay, config_.cap_seconds);
+}
+
+}  // namespace xbar::client

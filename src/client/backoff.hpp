@@ -1,0 +1,50 @@
+// Retry pacing for the client: exponential backoff with decorrelated
+// jitter.
+//
+// Synchronized retries are how a transient blip becomes a thundering herd:
+// every client that saw the same reset retries at the same instant and
+// knocks the server over again.  Decorrelated jitter (each delay drawn
+// uniformly from [base, 3 * previous]) spreads retries across time while
+// still growing the envelope exponentially, and capping at `cap` bounds
+// the worst-case wait.  The RNG is a seeded Xoshiro256, so a given seed
+// produces the exact same delay sequence on every run — the property the
+// deterministic jitter-bounds tests pin.
+
+#pragma once
+
+#include <cstdint>
+
+#include "dist/rng.hpp"
+
+namespace xbar::client {
+
+struct BackoffConfig {
+  double base_seconds = 0.010;  ///< first delay, and the per-delay floor
+  double cap_seconds = 1.0;     ///< per-delay ceiling
+  unsigned max_attempts = 5;    ///< total tries (first attempt included)
+};
+
+/// One retry episode's delay sequence.  Not thread-safe: each episode (or
+/// each client) owns its own Backoff.
+class Backoff {
+ public:
+  Backoff(BackoffConfig config, std::uint64_t seed);
+
+  /// Delay to sleep before the next retry, in seconds.  Every value is in
+  /// [base, cap]; the upper envelope triples per call until it hits cap.
+  [[nodiscard]] double next_delay();
+
+  /// Start a fresh episode (the envelope collapses back to base).
+  void reset() noexcept { previous_ = 0.0; }
+
+  [[nodiscard]] const BackoffConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  BackoffConfig config_;
+  dist::Xoshiro256 rng_;
+  double previous_ = 0.0;  ///< last delay handed out (0 = fresh episode)
+};
+
+}  // namespace xbar::client

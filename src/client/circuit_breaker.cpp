@@ -1,0 +1,96 @@
+#include "client/circuit_breaker.hpp"
+
+namespace xbar::client {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  if (config_.window == 0) {
+    config_.window = 1;
+  }
+  results_.assign(config_.window, false);
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto cooldown = std::chrono::duration<double>(
+          config_.open_seconds);
+      if (now - opened_at_ < cooldown) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    }
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        return false;  // one probe at a time
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(TimePoint /*now*/) {
+  if (state_ == State::kHalfOpen) {
+    // Probe succeeded: close with a clean slate so one stale window
+    // cannot re-trip the breaker on the next failure.
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+    results_.assign(config_.window, false);
+    next_ = 0;
+    count_ = 0;
+    failures_ = 0;
+    return;
+  }
+  push(false);
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    trip(now);
+    return;
+  }
+  push(true);
+  if (state_ == State::kClosed && count_ >= config_.min_samples &&
+      failure_rate() >= config_.failure_threshold) {
+    trip(now);
+  }
+}
+
+double CircuitBreaker::failure_rate() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(failures_) /
+                           static_cast<double>(count_);
+}
+
+void CircuitBreaker::trip(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  ++times_opened_;
+}
+
+void CircuitBreaker::push(bool failure) {
+  if (count_ == results_.size()) {
+    failures_ -= results_[next_] ? 1 : 0;  // evict the oldest
+  } else {
+    ++count_;
+  }
+  results_[next_] = failure;
+  failures_ += failure ? 1 : 0;
+  next_ = (next_ + 1) % results_.size();
+}
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace xbar::client

@@ -1,0 +1,77 @@
+// Per-endpoint circuit breaker: closed → open → half-open → closed.
+//
+// Retrying a dead endpoint burns the caller's latency budget and piles
+// more load on whatever is struggling.  The breaker watches a sliding
+// window of recent call results; once the failure rate in a full-enough
+// window crosses the threshold it *opens* and fails calls instantly for
+// `open_seconds`.  After that cooldown it goes *half-open* and admits a
+// single probe: success closes the breaker (window reset), failure
+// re-opens it for another cooldown.
+//
+// Time is a parameter, never an ambient read: every method takes `now`, so
+// tests drive the state machine with synthetic clocks and the transitions
+// are exactly reproducible.  The class is not thread-safe — the client
+// serializes calls per endpoint, and each XbarClient owns its breaker.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xbar::client {
+
+struct BreakerConfig {
+  std::size_t window = 16;        ///< sliding window of recent outcomes
+  std::size_t min_samples = 4;    ///< don't trip on fewer results than this
+  double failure_threshold = 0.5; ///< open when failure rate >= this
+  double open_seconds = 0.5;      ///< cooldown before the half-open probe
+};
+
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// May a call proceed at `now`?  In kOpen this flips to kHalfOpen (and
+  /// admits the probe) once the cooldown has elapsed; in kHalfOpen only
+  /// the single in-flight probe is admitted.
+  [[nodiscard]] bool allow(TimePoint now);
+
+  /// Report the result of an admitted call.
+  void record_success(TimePoint now);
+  void record_failure(TimePoint now);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+
+  /// Failure rate over the current window (0 when empty).
+  [[nodiscard]] double failure_rate() const noexcept;
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  [[nodiscard]] std::uint64_t times_opened() const noexcept {
+    return times_opened_;
+  }
+
+ private:
+  void trip(TimePoint now);
+  void push(bool failure);
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  std::vector<bool> results_;  ///< ring buffer, true = failure
+  std::size_t next_ = 0;       ///< ring cursor
+  std::size_t count_ = 0;      ///< valid entries (<= window)
+  std::size_t failures_ = 0;   ///< failures among valid entries
+  bool probe_in_flight_ = false;
+  TimePoint opened_at_{};
+  std::uint64_t times_opened_ = 0;
+};
+
+[[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace xbar::client

@@ -1,0 +1,154 @@
+#include "client/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace xbar::client {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kRefused: return "refused";
+    case Outcome::kReset: return "reset";
+    case Outcome::kOverloaded: return "overloaded";
+    case Outcome::kBreakerOpen: return "breaker_open";
+  }
+  return "?";
+}
+
+XbarClient::XbarClient(ClientConfig config)
+    : config_(std::move(config)),
+      backoff_(config_.backoff, config_.seed),
+      breaker_(config_.breaker) {}
+
+void XbarClient::disconnect() noexcept {
+  reader_.reset();
+  socket_.reset();
+}
+
+CallResult XbarClient::call(const std::string& request_line) {
+  CallResult result;
+  ++counters_.calls;
+  backoff_.reset();
+  const unsigned max_attempts =
+      config_.backoff.max_attempts > 0 ? config_.backoff.max_attempts : 1;
+
+  Outcome last = Outcome::kBreakerOpen;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double delay = backoff_.next_delay();
+      result.backoff_seconds += delay;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      ++counters_.retries;
+    }
+    if (!breaker_.allow(Clock::now())) {
+      ++counters_.breaker_rejections;
+      last = Outcome::kBreakerOpen;
+      continue;  // wait out the cooldown within the retry budget
+    }
+    ++result.attempts;
+    std::string response;
+    const AttemptClass cls = attempt_once(request_line, response);
+    if (cls == AttemptClass::kOk) {
+      breaker_.record_success(Clock::now());
+      result.outcome = Outcome::kOk;
+      result.response = std::move(response);
+      return result;
+    }
+    breaker_.record_failure(Clock::now());
+    switch (cls) {
+      case AttemptClass::kTimeout:
+        ++counters_.attempt_timeouts;
+        last = Outcome::kTimeout;
+        break;
+      case AttemptClass::kRefused:
+        ++counters_.attempt_refused;
+        last = Outcome::kRefused;
+        break;
+      case AttemptClass::kReset:
+        ++counters_.attempt_resets;
+        last = Outcome::kReset;
+        break;
+      case AttemptClass::kOverloaded:
+        ++counters_.attempt_overloaded;
+        last = Outcome::kOverloaded;
+        break;
+      case AttemptClass::kOk:
+        break;  // unreachable
+    }
+  }
+  result.outcome = last;
+  return result;
+}
+
+XbarClient::AttemptClass XbarClient::attempt_once(const std::string& line,
+                                                  std::string& response) {
+  if (!socket_.valid()) {
+    int err = 0;
+    service::Socket fresh = service::dial_timeout(
+        config_.host, config_.port, config_.connect_timeout_seconds, &err);
+    if (!fresh.valid()) {
+      return err == ETIMEDOUT ? AttemptClass::kTimeout
+                              : AttemptClass::kRefused;
+    }
+    service::set_recv_timeout(fresh.fd(), config_.request_timeout_seconds);
+    service::set_send_timeout(fresh.fd(), config_.request_timeout_seconds);
+    socket_ = std::move(fresh);
+    reader_.emplace(socket_.fd(), config_.max_response_bytes);
+  }
+
+  switch (service::send_line(socket_.fd(), line)) {
+    case service::SendStatus::kOk:
+      break;
+    case service::SendStatus::kTimeout:
+      disconnect();
+      return AttemptClass::kTimeout;
+    case service::SendStatus::kError:
+      disconnect();
+      return AttemptClass::kReset;
+  }
+
+  switch (reader_->read_line(response)) {
+    case service::LineReader::Status::kLine:
+      break;
+    case service::LineReader::Status::kTimeout:
+      disconnect();
+      return AttemptClass::kTimeout;
+    case service::LineReader::Status::kEof:
+    case service::LineReader::Status::kOverflow:
+    case service::LineReader::Status::kError:
+      disconnect();
+      return AttemptClass::kReset;
+  }
+
+  // Protocol frames are JSON objects.  Anything else means the stream is
+  // desynchronized (garbage injected, response truncated upstream):
+  // resynchronize by reconnecting and let the retry loop re-send.
+  if (response.empty() || response.front() != '{') {
+    disconnect();
+    return AttemptClass::kReset;
+  }
+  // The server closes the connection after an admission rejection or a
+  // drain notice; both are explicit "come back later" signals.
+  if (contains(response, "\"kind\":\"overloaded\"") ||
+      contains(response, "\"kind\":\"shutdown\"")) {
+    disconnect();
+    return AttemptClass::kOverloaded;
+  }
+  return AttemptClass::kOk;
+}
+
+}  // namespace xbar::client

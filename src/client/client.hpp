@@ -1,0 +1,118 @@
+// XbarClient: a resilient caller for the xbar_serve wire protocol.
+//
+// One client owns one endpoint (host:port) and serializes calls on a
+// persistent connection, transparently redialing when the server recycles
+// it.  Around each request it layers the failure handling a hostile
+// network demands:
+//
+//   * connect + request deadlines (dial_timeout / SO_RCVTIMEO+SO_SNDTIMEO),
+//   * bounded retries paced by Backoff (decorrelated jitter, seeded RNG),
+//   * a CircuitBreaker so a dead endpoint fails fast instead of eating
+//     the full retry budget on every call,
+//   * typed outcomes — the caller learns *how* a call failed (timeout /
+//     refused / reset / overloaded / breaker_open), which is what lets
+//     xbar_loadgen report an error-class breakdown instead of one opaque
+//     failure count.
+//
+// Retryable attempt failures are: connect refused/timed out, send/recv
+// timeout, connection reset / EOF mid-request, a response frame that is
+// not protocol JSON (desynchronized stream — the chaos proxy's garbage
+// fault), and a typed "overloaded"/"shutdown" frame (the server asks for
+// backoff explicitly).  A server-side *error* frame (parse/config/model/
+// ...) is a successful call with outcome kOk: the transport worked; the
+// payload is the caller's business.
+//
+// Not thread-safe: one XbarClient per thread (loadgen gives each sender
+// its own, seeded distinctly, so jitter stays decorrelated across
+// senders).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "client/backoff.hpp"
+#include "client/circuit_breaker.hpp"
+#include "service/connection.hpp"
+
+namespace xbar::client {
+
+/// Final disposition of one call() after retries.
+enum class Outcome : std::uint8_t {
+  kOk,           ///< a well-formed response frame was received
+  kTimeout,      ///< connect/send/recv deadline expired on the last attempt
+  kRefused,      ///< connect failed (nothing listening / unreachable)
+  kReset,        ///< connection reset, EOF, or desynchronized framing
+  kOverloaded,   ///< server answered overloaded/shutdown on every attempt
+  kBreakerOpen,  ///< circuit breaker open; no attempt was admitted
+};
+inline constexpr std::size_t kOutcomeCount = 6;
+
+[[nodiscard]] std::string_view to_string(Outcome outcome) noexcept;
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_seconds = 1.0;
+  /// Per-attempt budget, applied to the send and to the response wait.
+  double request_timeout_seconds = 5.0;
+  std::size_t max_response_bytes = 1 << 20;
+  BackoffConfig backoff;
+  BreakerConfig breaker;
+  std::uint64_t seed = 1;  ///< jitter stream (distinct per client)
+};
+
+struct CallResult {
+  Outcome outcome = Outcome::kReset;
+  std::string response;        ///< the response line (outcome kOk only)
+  unsigned attempts = 0;       ///< network attempts actually made
+  double backoff_seconds = 0;  ///< total time slept between attempts
+};
+
+/// Running tallies across every call (monitoring, not control flow).
+struct ClientCounters {
+  std::uint64_t calls = 0;
+  std::uint64_t retries = 0;  ///< attempts beyond each call's first
+  std::uint64_t attempt_timeouts = 0;
+  std::uint64_t attempt_refused = 0;
+  std::uint64_t attempt_resets = 0;
+  std::uint64_t attempt_overloaded = 0;
+  std::uint64_t breaker_rejections = 0;  ///< attempts the breaker blocked
+};
+
+class XbarClient {
+ public:
+  explicit XbarClient(ClientConfig config);
+
+  /// One request line -> one response line, with retries.  Never throws on
+  /// network failure; the outcome says what happened.
+  [[nodiscard]] CallResult call(const std::string& request_line);
+
+  [[nodiscard]] const ClientCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+
+  /// Drop the persistent connection (the next call redials).
+  void disconnect() noexcept;
+
+ private:
+  /// What a single network attempt produced (kOk carries the response).
+  enum class AttemptClass : std::uint8_t {
+    kOk, kTimeout, kRefused, kReset, kOverloaded,
+  };
+  AttemptClass attempt_once(const std::string& line, std::string& response);
+
+  ClientConfig config_;
+  Backoff backoff_;
+  CircuitBreaker breaker_;
+  service::Socket socket_;
+  std::optional<service::LineReader> reader_;
+  ClientCounters counters_;
+};
+
+}  // namespace xbar::client

@@ -4,8 +4,10 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -58,6 +60,58 @@ Socket dial(const std::string& host, std::uint16_t port) {
   return sock;
 }
 
+Socket dial_timeout(const std::string& host, std::uint16_t port,
+                    double timeout_seconds, int* errno_out) {
+  const auto fail = [&](int err) {
+    if (errno_out != nullptr) {
+      *errno_out = err;
+    }
+    return Socket();
+  };
+  sockaddr_in addr{};
+  try {
+    addr = make_address(host, port);
+  } catch (const xbar::Error&) {
+    return fail(EINVAL);
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!sock.valid()) {
+    return fail(errno);
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      return fail(errno);
+    }
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(std::ceil(timeout_seconds * 1e3));
+    const int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 0);
+    if (ready == 0) {
+      return fail(ETIMEDOUT);
+    }
+    if (ready < 0) {
+      return fail(errno);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return fail(errno);
+    }
+    if (err != 0) {
+      return fail(err);
+    }
+  }
+  // Connected: hand the caller an ordinary blocking socket.
+  const int flags = ::fcntl(sock.fd(), F_GETFL);
+  if (flags >= 0) {
+    ::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK);
+  }
+  return sock;
+}
+
 Socket listen_on(const std::string& host, std::uint16_t port,
                  std::uint16_t& bound_port) {
   const sockaddr_in addr = make_address(host, port);
@@ -88,15 +142,29 @@ Socket listen_on(const std::string& host, std::uint16_t port,
   return sock;
 }
 
-void set_recv_timeout(int fd, double seconds) {
+namespace {
+
+timeval to_timeval(double seconds) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>(
       (seconds - std::floor(seconds)) * 1e6);
+  return tv;
+}
+
+}  // namespace
+
+void set_recv_timeout(int fd, double seconds) {
+  const timeval tv = to_timeval(seconds);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-bool write_line(int fd, std::string_view line) {
+void set_send_timeout(int fd, double seconds) {
+  const timeval tv = to_timeval(seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+SendStatus send_line(int fd, std::string_view line) {
   std::string frame;
   frame.reserve(line.size() + 1);
   frame.append(line);
@@ -109,11 +177,18 @@ bool write_line(int fd, std::string_view line) {
       if (errno == EINTR) {
         continue;
       }
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return SendStatus::kTimeout;
+      }
+      return SendStatus::kError;
     }
     sent += static_cast<std::size_t>(n);
   }
-  return true;
+  return SendStatus::kOk;
+}
+
+bool write_line(int fd, std::string_view line) {
+  return send_line(fd, line) == SendStatus::kOk;
 }
 
 LineReader::LineReader(int fd, std::size_t max_line)

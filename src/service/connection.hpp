@@ -45,6 +45,14 @@ class Socket {
 /// failure (serving-path callers decide whether that is fatal).
 [[nodiscard]] Socket dial(const std::string& host, std::uint16_t port);
 
+/// dial() with a connect deadline: a non-blocking connect polled for up to
+/// `timeout_seconds`.  On failure returns an invalid Socket and, when
+/// `errno_out` is non-null, the errno that ended the attempt (ETIMEDOUT
+/// when the deadline elapsed, ECONNREFUSED when the peer refused, ...).
+[[nodiscard]] Socket dial_timeout(const std::string& host, std::uint16_t port,
+                                  double timeout_seconds,
+                                  int* errno_out = nullptr);
+
 /// Bind + listen on host:port (port 0 = ephemeral).  Raises
 /// xbar::Error(kIo) on failure; `bound_port` receives the actual port.
 [[nodiscard]] Socket listen_on(const std::string& host, std::uint16_t port,
@@ -53,7 +61,21 @@ class Socket {
 /// Set SO_RCVTIMEO (0 disables).
 void set_recv_timeout(int fd, double seconds);
 
-/// Send all of `line` plus a trailing '\n'.  Returns false on any error.
+/// Set SO_SNDTIMEO (0 disables).  With a send timeout armed, a stalled
+/// peer that never drains its receive buffer makes send() fail with
+/// EAGAIN instead of blocking the worker forever.
+void set_send_timeout(int fd, double seconds);
+
+enum class SendStatus : std::uint8_t {
+  kOk,       ///< every byte handed to the kernel
+  kTimeout,  ///< SO_SNDTIMEO elapsed mid-send (slow reader)
+  kError,    ///< any other transport error (reset, closed, ...)
+};
+
+/// Send all of `line` plus a trailing '\n'.
+[[nodiscard]] SendStatus send_line(int fd, std::string_view line);
+
+/// send_line() collapsed to a bool (timeout counts as failure).
 [[nodiscard]] bool write_line(int fd, std::string_view line);
 
 /// Incremental newline framing over a blocking socket.

@@ -21,9 +21,10 @@ Method parse_method(const std::string& name) {
   if (name == "revenue") return Method::kRevenue;
   if (name == "sweep") return Method::kSweep;
   if (name == "stats") return Method::kStats;
+  if (name == "health") return Method::kHealth;
   raise(ErrorKind::kConfig,
         "unknown method '" + name +
-            "' (expected ping, solve, revenue, sweep, or stats)");
+            "' (expected ping, solve, revenue, sweep, stats, or health)");
 }
 
 /// A JSON number that must be a non-negative integer <= `bound`.
@@ -167,6 +168,7 @@ std::string_view to_string(Method method) noexcept {
     case Method::kRevenue: return "revenue";
     case Method::kSweep: return "sweep";
     case Method::kStats: return "stats";
+    case Method::kHealth: return "health";
   }
   return "?";
 }

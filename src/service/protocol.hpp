@@ -3,7 +3,7 @@
 // One request per line, one response line per request, connections may
 // pipeline any number of requests.  A request is a JSON object:
 //
-//   {"method": "solve" | "revenue" | "sweep" | "stats" | "ping",
+//   {"method": "solve" | "revenue" | "sweep" | "stats" | "ping" | "health",
 //    "id": <string or number, echoed back verbatim>,        (optional)
 //    "scenario": {                                          (solve paths)
 //        "switch":  {"inputs": 64, "outputs": 64},
@@ -47,8 +47,10 @@
 
 namespace xbar::service {
 
-enum class Method : std::uint8_t { kPing, kSolve, kRevenue, kSweep, kStats };
-inline constexpr std::size_t kMethodCount = 5;
+enum class Method : std::uint8_t {
+  kPing, kSolve, kRevenue, kSweep, kStats, kHealth,
+};
+inline constexpr std::size_t kMethodCount = 6;
 
 /// Lowercase wire name ("ping", "solve", ...).
 [[nodiscard]] std::string_view to_string(Method method) noexcept;

@@ -191,12 +191,36 @@ void Server::worker_main(Worker& worker) {
 
 void Server::handle_connection(Worker& worker, Socket socket) {
   connections_active_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.send_timeout_seconds > 0.0) {
+    set_send_timeout(socket.fd(), config_.send_timeout_seconds);
+  }
+  if (config_.send_buffer_bytes > 0) {
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF,
+                 &config_.send_buffer_bytes,
+                 sizeof(config_.send_buffer_bytes));
+  }
   LineReader reader(socket.fd(), config_.max_line_bytes);
   std::string line;
+  std::size_t requests_served = 0;
+  std::size_t bytes_read = 0;
+  Clock::time_point last_activity = Clock::now();
   for (;;) {
     const LineReader::Status status = reader.read_line(line);
     if (status == LineReader::Status::kLine) {
+      last_activity = Clock::now();
+      ++requests_served;
+      bytes_read += line.size() + 1;
       if (!handle_request(worker, socket.fd(), line)) {
+        break;
+      }
+      // Per-connection budgets: the over-budget request was still served;
+      // the close recycles the connection (clients simply redial), so one
+      // peer cannot monopolize a worker indefinitely.
+      if ((config_.max_requests_per_connection != 0 &&
+           requests_served >= config_.max_requests_per_connection) ||
+          (config_.max_bytes_per_connection != 0 &&
+           bytes_read >= config_.max_bytes_per_connection)) {
+        budget_disconnects_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       continue;
@@ -204,6 +228,11 @@ void Server::handle_connection(Worker& worker, Socket socket) {
     if (status == LineReader::Status::kTimeout) {
       if (draining_.load(std::memory_order_relaxed)) {
         break;  // idle connection during drain: close it
+      }
+      if (config_.idle_timeout_seconds > 0.0 &&
+          seconds_since(last_activity) > config_.idle_timeout_seconds) {
+        idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        break;  // reap the idle connection; a silent peer frees its worker
       }
       continue;  // idle connection in normal operation: keep waiting
     }
@@ -241,7 +270,18 @@ bool Server::handle_request(Worker& worker, int fd,
     response = render_error("null", "internal", e.what());
   }
   latency_.record(seconds_since(received));
-  return write_line(fd, response);
+  switch (send_line(fd, response)) {
+    case SendStatus::kOk:
+      return true;
+    case SendStatus::kTimeout:
+      // The peer stopped draining its socket: drop it rather than let one
+      // slow reader pin this worker (and its queue slot) indefinitely.
+      slow_reader_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case SendStatus::kError:
+      return false;
+  }
+  return false;
 }
 
 std::string Server::execute(Worker& worker, const Request& request,
@@ -257,6 +297,10 @@ std::string Server::execute(Worker& worker, const Request& request,
   if (request.method == Method::kStats) {
     ok_.fetch_add(1, std::memory_order_relaxed);
     return render_ok(request.id, render_stats(), false);
+  }
+  if (request.method == Method::kHealth) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    return render_ok(request.id, render_health(), false);
   }
 
   const double deadline_ms = request.deadline_ms > 0.0
@@ -432,6 +476,11 @@ StatsSnapshot Server::stats() const {
   s.ok = ok_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.deadlines = deadlines_.load(std::memory_order_relaxed);
+  s.slow_reader_disconnects =
+      slow_reader_disconnects_.load(std::memory_order_relaxed);
+  s.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
+  s.budget_disconnects =
+      budget_disconnects_.load(std::memory_order_relaxed);
   s.cache = cache_.counters();
   s.latency = latency_.snapshot();
   return s;
@@ -448,6 +497,9 @@ std::string Server::render_stats() const {
   json.key("accepted").value(s.connections_accepted);
   json.key("active").value(s.connections_active);
   json.key("overload_rejections").value(s.overload_rejections);
+  json.key("slow_reader_disconnects").value(s.slow_reader_disconnects);
+  json.key("idle_disconnects").value(s.idle_disconnects);
+  json.key("budget_disconnects").value(s.budget_disconnects);
   json.end_object();
   json.key("requests").begin_object();
   json.key("total").value(s.requests_total);
@@ -476,6 +528,31 @@ std::string Server::render_stats() const {
   json.key("p99").value(s.latency.p99 * 1e3);
   json.key("max").value(s.latency.max * 1e3);
   json.end_object();
+  json.end_object();
+  return std::move(out).str();
+}
+
+std::string Server::render_health() const {
+  // Cheap by construction: no solver state, no cache walk — a health
+  // probe must answer even when every worker is saturated.
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_depth = queue_.size();
+  }
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("live").value(true);
+  json.key("status").value(draining ? "draining" : "serving");
+  json.key("draining").value(draining);
+  json.key("queue_depth").value(static_cast<std::uint64_t>(queue_depth));
+  json.key("queue_capacity")
+      .value(static_cast<std::uint64_t>(config_.queue_capacity));
+  json.key("connections_active")
+      .value(connections_active_.load(std::memory_order_relaxed));
+  json.key("workers").value(static_cast<std::uint64_t>(workers_.size()));
   json.end_object();
   return std::move(out).str();
 }

@@ -73,6 +73,26 @@ struct ServerConfig {
   /// Granularity at which parked readers re-check the drain flag; also the
   /// bound on how long an idle connection can delay wait().
   double idle_poll_seconds = 0.25;
+
+  /// Slow-reader protection: a response send that cannot make progress for
+  /// this long (peer stopped draining) disconnects the peer instead of
+  /// blocking the worker forever.  0 = block indefinitely (pre-hardening
+  /// behavior; not recommended).
+  double send_timeout_seconds = 5.0;
+
+  /// Connections idle (no complete request) this long are reaped so a
+  /// silent peer cannot pin a worker forever.  0 = never reap.
+  double idle_timeout_seconds = 0.0;
+
+  /// Per-connection budgets: after this many requests / request bytes the
+  /// connection is closed (clients redial), recycling worker assignment
+  /// under sustained load.  0 = unlimited.
+  std::size_t max_requests_per_connection = 0;
+  std::size_t max_bytes_per_connection = 0;
+
+  /// Clamp SO_SNDBUF on accepted connections (0 = kernel default).  Small
+  /// values make slow-reader detection deterministic in tests.
+  int send_buffer_bytes = 0;
 };
 
 /// Point-in-time operational stats (the `stats` method renders exactly
@@ -88,6 +108,10 @@ struct StatsSnapshot {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;    ///< typed toolkit errors (parse/config/...)
   std::uint64_t deadlines = 0;
+  // Connection-level fault counters (the hardening layer's scoreboard).
+  std::uint64_t slow_reader_disconnects = 0;
+  std::uint64_t idle_disconnects = 0;
+  std::uint64_t budget_disconnects = 0;
   ResultCacheCounters cache;
   Histogram::Snapshot latency;
 };
@@ -132,6 +156,7 @@ class Server {
   std::string execute(Worker& worker, const Request& request,
                       std::chrono::steady_clock::time_point received);
   std::string render_stats() const;
+  std::string render_health() const;
 
   ServerConfig config_;
   Socket listen_socket_;
@@ -142,7 +167,7 @@ class Server {
   std::thread acceptor_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;  ///< also read by the const health path
   std::condition_variable queue_cv_;
   std::deque<Socket> queue_;
   std::atomic<bool> draining_{false};
@@ -161,6 +186,9 @@ class Server {
   std::atomic<std::uint64_t> ok_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> deadlines_{0};
+  std::atomic<std::uint64_t> slow_reader_disconnects_{0};
+  std::atomic<std::uint64_t> idle_disconnects_{0};
+  std::atomic<std::uint64_t> budget_disconnects_{0};
 };
 
 }  // namespace xbar::service

@@ -1,6 +1,11 @@
 #include "sweep/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -173,21 +178,55 @@ void save_checkpoint(const std::string& path,
   json.end_array();
   json.end_object();
 
+  // Crash-durable write: tmp + fsync, rename, then fsync the directory.
+  // rename() alone orders nothing — after a crash the directory entry can
+  // point at a file whose data never reached disk, i.e. an empty or
+  // partial checkpoint.  Syncing the file makes its bytes durable before
+  // the rename exposes them; syncing the directory makes the rename
+  // itself durable.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      raise(ErrorKind::kIo, "cannot open checkpoint file '" + tmp + "'");
-    }
-    file << out.str();
-    file.flush();
-    if (!file) {
-      raise(ErrorKind::kIo, "failed writing checkpoint file '" + tmp + "'");
-    }
+  const std::string payload = out.str();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    raise(ErrorKind::kIo, "cannot open checkpoint file '" + tmp +
+                              "': " + std::strerror(errno));
   }
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int err = errno;
+      ::close(fd);
+      raise(ErrorKind::kIo, "failed writing checkpoint file '" + tmp +
+                                "': " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    raise(ErrorKind::kIo, "fsync of checkpoint '" + tmp +
+                              "' failed: " + std::strerror(err));
+  }
+  ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     raise(ErrorKind::kIo,
           "failed renaming checkpoint '" + tmp + "' to '" + path + "'");
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    // Best-effort: some filesystems refuse directory fsync; the file data
+    // itself is already durable above.
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
   }
 }
 

@@ -7,8 +7,9 @@
 // JSON written by the report module's writer (doubles in shortest
 // round-trip form) and loaded back with the matching reader, so resumed
 // measures are bit-identical to the originals; writes go through a
-// temporary + rename so a crash mid-write never corrupts an existing
-// checkpoint.  Only kOk/kRetried points are recorded: failures are
+// temporary + fsync + rename + directory fsync so a crash mid-write (or
+// right after the rename) can neither corrupt an existing checkpoint nor
+// leave an empty/partial new one.  Only kOk/kRetried points are recorded: failures are
 // deterministic, so a resumed run simply re-attempts them.
 
 #pragma once
@@ -35,8 +36,9 @@ struct SweepCheckpoint {
   std::vector<CheckpointEntry> completed;  ///< ascending by index
 };
 
-/// Atomically write `checkpoint` to `path` (path + ".tmp", then rename).
-/// Raises ErrorKind::kIo on filesystem failure.
+/// Atomically and durably write `checkpoint` to `path` (path + ".tmp",
+/// fsync, rename, fsync of the containing directory).  Raises
+/// ErrorKind::kIo on filesystem failure.
 void save_checkpoint(const std::string& path,
                      const SweepCheckpoint& checkpoint);
 

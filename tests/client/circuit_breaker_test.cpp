@@ -1,0 +1,135 @@
+// Deterministic state-machine tests for the circuit breaker.  Time is a
+// parameter everywhere, so the transitions are driven with synthetic
+// TimePoints and the test never sleeps.
+
+#include "client/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace xbar::client {
+namespace {
+
+using State = CircuitBreaker::State;
+using TimePoint = CircuitBreaker::TimePoint;
+
+TimePoint at(double seconds) {
+  return TimePoint() + std::chrono::duration_cast<TimePoint::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+BreakerConfig tight_config() {
+  BreakerConfig config;
+  config.window = 8;
+  config.min_samples = 4;
+  config.failure_threshold = 0.5;
+  config.open_seconds = 1.0;
+  return config;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  CircuitBreaker breaker(tight_config());
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.allow(at(0)));
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinSamples) {
+  CircuitBreaker breaker(tight_config());
+  // Three straight failures: 100% failure rate but under min_samples.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, OpensAtThresholdWithEnoughSamples) {
+  CircuitBreaker breaker(tight_config());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.allow(at(3.5)));  // cooldown not elapsed
+}
+
+TEST(CircuitBreaker, SuccessesKeepItClosed) {
+  CircuitBreaker breaker(tight_config());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_success(at(i));
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+}
+
+TEST(CircuitBreaker, FullCycleClosedOpenHalfOpenClosed) {
+  CircuitBreaker breaker(tight_config());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  ASSERT_EQ(breaker.state(), State::kOpen);
+
+  // Cooldown (1s) not elapsed: still open, calls rejected.
+  EXPECT_FALSE(breaker.allow(at(3.9)));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+
+  // Cooldown elapsed: one probe admitted, concurrent calls still blocked.
+  EXPECT_TRUE(breaker.allow(at(5.1)));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(at(5.2)));
+
+  // Probe succeeds: closed, window reset, calls flow again.
+  breaker.record_success(at(5.3));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+  EXPECT_TRUE(breaker.allow(at(5.4)));
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+  CircuitBreaker breaker(tight_config());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  ASSERT_EQ(breaker.state(), State::kOpen);
+
+  ASSERT_TRUE(breaker.allow(at(5.1)));  // probe
+  breaker.record_failure(at(5.2));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+
+  // The new cooldown runs from the re-open, not the original trip.
+  EXPECT_FALSE(breaker.allow(at(5.9)));
+  EXPECT_TRUE(breaker.allow(at(6.3)));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+}
+
+TEST(CircuitBreaker, WindowSlidesOldFailuresOut) {
+  BreakerConfig config = tight_config();
+  config.window = 4;
+  CircuitBreaker breaker(config);
+  // Two failures then a run of successes: the failures age out of the
+  // 4-slot ring, so the rate returns to zero.
+  breaker.record_failure(at(0));
+  breaker.record_failure(at(1));
+  for (int i = 2; i < 6; ++i) {
+    breaker.record_success(at(i));
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
+}
+
+TEST(CircuitBreaker, ToStringNamesStates) {
+  EXPECT_EQ(to_string(State::kClosed), "closed");
+  EXPECT_EQ(to_string(State::kOpen), "open");
+  EXPECT_EQ(to_string(State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace xbar::client

@@ -1,0 +1,255 @@
+// Integration tests for XbarClient against a real service::Server, with
+// and without a chaos::ChaosProxy in the path.  Everything runs on
+// 127.0.0.1 with ephemeral ports; fault schedules are deterministic, so
+// the retry/breaker behavior asserted here is exactly reproducible.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chaos/proxy.hpp"
+#include "client/client.hpp"
+#include "core/error.hpp"
+#include "service/connection.hpp"
+#include "service/server.hpp"
+
+namespace xbar::client {
+namespace {
+
+constexpr const char* kPing = R"({"method":"ping","id":1})";
+
+service::ServerConfig server_config() {
+  service::ServerConfig config;
+  config.workers = 2;
+  config.idle_poll_seconds = 0.05;
+  return config;
+}
+
+/// Client config with millisecond-scale backoff so retry-heavy tests
+/// finish fast.
+ClientConfig fast_client(std::uint16_t port) {
+  ClientConfig config;
+  config.port = port;
+  config.connect_timeout_seconds = 1.0;
+  config.request_timeout_seconds = 2.0;
+  config.backoff.base_seconds = 0.002;
+  config.backoff.cap_seconds = 0.010;
+  config.backoff.max_attempts = 5;
+  return config;
+}
+
+/// A port with nothing listening: bind an ephemeral listener, read the
+/// port, close it.
+std::uint16_t dead_port() {
+  std::uint16_t port = 0;
+  {
+    service::Socket listener = service::listen_on("127.0.0.1", 0, port);
+  }
+  return port;
+}
+
+TEST(ClientServer, PingRoundTripsFirstAttempt) {
+  service::Server server(server_config());
+  server.start();
+  XbarClient client(fast_client(server.port()));
+
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_NE(result.response.find("pong"), std::string::npos);
+  EXPECT_EQ(client.counters().retries, 0u);
+  server.stop();
+}
+
+TEST(ClientServer, HealthMethodReportsServing) {
+  service::Server server(server_config());
+  server.start();
+  XbarClient client(fast_client(server.port()));
+
+  const CallResult result = client.call(R"({"method":"health"})");
+  ASSERT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_NE(result.response.find(R"("live":true)"), std::string::npos);
+  EXPECT_NE(result.response.find(R"("status":"serving")"),
+            std::string::npos);
+  EXPECT_NE(result.response.find(R"("queue_depth")"), std::string::npos);
+  server.stop();
+}
+
+TEST(ClientServer, RefusedEndpointExhaustsRetriesWithTypedOutcome) {
+  ClientConfig config = fast_client(dead_port());
+  config.backoff.max_attempts = 4;
+  config.breaker.min_samples = 8;  // keep the breaker out of this test
+  XbarClient client(config);
+
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kRefused);
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_EQ(client.counters().attempt_refused, 4u);
+  EXPECT_EQ(client.counters().retries, 3u);
+  EXPECT_GT(result.backoff_seconds, 0.0);
+}
+
+TEST(ClientServer, BreakerOpensOnRepeatedFailuresAndFailsFast) {
+  ClientConfig config = fast_client(dead_port());
+  config.backoff.max_attempts = 4;
+  config.breaker.window = 4;
+  config.breaker.min_samples = 2;
+  config.breaker.failure_threshold = 0.5;
+  config.breaker.open_seconds = 30.0;  // no half-open within the test
+  XbarClient client(config);
+
+  const CallResult first = client.call(kPing);
+  // Two refused attempts trip the breaker; the remaining budget is
+  // rejected without touching the network.
+  EXPECT_EQ(first.outcome, Outcome::kBreakerOpen);
+  EXPECT_EQ(first.attempts, 2u);
+  EXPECT_EQ(client.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(client.breaker().times_opened(), 1u);
+
+  const CallResult second = client.call(kPing);
+  EXPECT_EQ(second.outcome, Outcome::kBreakerOpen);
+  EXPECT_EQ(second.attempts, 0u);  // failed fast: no network attempts
+  EXPECT_GE(client.counters().breaker_rejections, 6u);
+}
+
+TEST(ClientServer, OverloadedAnswersAreRetriedAndTripTheBreaker) {
+  // workers=1 + queue_capacity=1: one connection pins the worker, one
+  // fills the queue, and every further dial is answered with a typed
+  // overloaded frame and closed.
+  service::ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.idle_poll_seconds = 0.05;
+  service::Server server(config);
+  server.start();
+
+  service::Socket pinned = service::dial("127.0.0.1", server.port());
+  ASSERT_TRUE(pinned.valid());
+  service::LineReader pinned_reader(pinned.fd(), 1 << 16);
+  ASSERT_TRUE(service::write_line(pinned.fd(), kPing));
+  std::string line;
+  ASSERT_EQ(pinned_reader.read_line(line),
+            service::LineReader::Status::kLine);
+  service::Socket queued = service::dial("127.0.0.1", server.port());
+  ASSERT_TRUE(queued.valid());
+
+  ClientConfig cc = fast_client(server.port());
+  cc.backoff.max_attempts = 3;
+  cc.breaker.window = 4;
+  cc.breaker.min_samples = 2;
+  cc.breaker.open_seconds = 30.0;
+  XbarClient client(cc);
+
+  const CallResult result = client.call(kPing);
+  // Every admitted attempt got the overloaded frame; after min_samples
+  // of them the breaker opened, so the final outcome is one of the two
+  // depending on which came last.
+  EXPECT_TRUE(result.outcome == Outcome::kOverloaded ||
+              result.outcome == Outcome::kBreakerOpen);
+  EXPECT_GE(client.counters().attempt_overloaded, 2u);
+  EXPECT_EQ(client.breaker().times_opened(), 1u);
+  EXPECT_EQ(client.breaker().state(), CircuitBreaker::State::kOpen);
+
+  pinned.reset();
+  queued.reset();
+  server.stop();
+}
+
+TEST(ClientServer, GarbageFaultDesynchronizesAndTheRetryRecovers) {
+  service::Server server(server_config());
+  server.start();
+  chaos::ProxyConfig pc;
+  pc.upstream_port = server.port();
+  pc.faults = chaos::parse_fault_spec("0:garbage");
+  chaos::ChaosProxy proxy(pc);
+  proxy.start();
+
+  XbarClient client(fast_client(proxy.port()));
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_NE(result.response.find("pong"), std::string::npos);
+  EXPECT_EQ(result.attempts, 2u);  // garbage line, reconnect, clean reply
+  EXPECT_EQ(client.counters().attempt_resets, 1u);
+
+  proxy.stop();
+  server.stop();
+}
+
+TEST(ClientServer, DropAndTruncateFaultsAreRetriedToSuccess) {
+  service::Server server(server_config());
+  server.start();
+  chaos::ProxyConfig pc;
+  pc.upstream_port = server.port();
+  // Connection 0 is closed before any response; connection 1 forwards
+  // five response bytes and tears the frame; connection 2 is clean.
+  pc.faults = chaos::parse_fault_spec("0:drop,1:truncate:5");
+  chaos::ChaosProxy proxy(pc);
+  proxy.start();
+
+  XbarClient client(fast_client(proxy.port()));
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(client.counters().attempt_resets, 2u);
+
+  proxy.stop();
+  server.stop();
+}
+
+TEST(ClientServer, ResetFaultSurfacesAsResetAndRecovers) {
+  service::Server server(server_config());
+  server.start();
+  chaos::ProxyConfig pc;
+  pc.upstream_port = server.port();
+  pc.faults = chaos::parse_fault_spec("0:reset");
+  chaos::ChaosProxy proxy(pc);
+  proxy.start();
+
+  XbarClient client(fast_client(proxy.port()));
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_GE(client.counters().attempt_resets, 1u);
+
+  proxy.stop();
+  server.stop();
+}
+
+TEST(ClientServer, DelayFaultOnlyDelaysTheFirstConnection) {
+  service::Server server(server_config());
+  server.start();
+  chaos::ProxyConfig pc;
+  pc.upstream_port = server.port();
+  pc.faults = chaos::parse_fault_spec("0:delay:50");
+  chaos::ChaosProxy proxy(pc);
+  proxy.start();
+
+  XbarClient client(fast_client(proxy.port()));
+  const CallResult result = client.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(client.counters().retries, 0u);
+
+  const chaos::ProxyCounters counters = proxy.counters();
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.faulted, 1u);
+
+  proxy.stop();
+  server.stop();
+}
+
+TEST(ClientServer, FaultSpecParserRejectsBadTokens) {
+  EXPECT_THROW((void)chaos::parse_fault_spec("0:explode"), xbar::Error);
+  EXPECT_THROW((void)chaos::parse_fault_spec("nope"), xbar::Error);
+  EXPECT_THROW((void)chaos::parse_fault_spec("0:delay"), xbar::Error);
+  const std::vector<chaos::FaultRule> rules =
+      chaos::parse_fault_spec("0:delay:100,2:reset:8,4:truncate");
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].action, chaos::FaultAction::kDelay);
+  EXPECT_DOUBLE_EQ(rules[0].delay_seconds, 0.1);
+  EXPECT_EQ(rules[1].conn, 2u);
+  EXPECT_EQ(rules[1].bytes, 8u);
+  EXPECT_EQ(rules[2].bytes, 16u);  // truncate's default budget
+}
+
+}  // namespace
+}  // namespace xbar::client

@@ -3,6 +3,10 @@
 // config / deadline / overloaded), and graceful drain.  Everything runs on
 // 127.0.0.1 with ephemeral ports, one Server per test.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <chrono>
 #include <string>
 #include <thread>
@@ -240,6 +244,123 @@ TEST(ServerLoopback, DrainStopsAcceptingAndFinishesInFlight) {
   // The listen socket is gone: a fresh dial cannot complete a round trip.
   Client late(server.port());
   EXPECT_EQ(late.rpc(R"({"method":"ping"})"), "");
+  server.stop();
+}
+
+TEST(ServerLoopback, HealthMethodIsCheapAndReportsServingState) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  const std::string health = client.rpc(R"({"method":"health","id":7})");
+  EXPECT_NE(health.find(R"("id":7)"), std::string::npos);
+  EXPECT_NE(health.find(R"("live":true)"), std::string::npos);
+  EXPECT_NE(health.find(R"("status":"serving")"), std::string::npos);
+  EXPECT_NE(health.find(R"("draining":false)"), std::string::npos);
+  EXPECT_NE(health.find(R"("queue_depth":0)"), std::string::npos);
+  EXPECT_NE(health.find(R"("queue_capacity")"), std::string::npos);
+
+  // health is counted as a method in stats like any other.
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("health":1)"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerLoopback, RequestBudgetRecyclesTheConnection) {
+  ServerConfig config = test_config();
+  config.max_requests_per_connection = 2;
+  Server server(config);
+  server.start();
+  Client client(server.port());
+  EXPECT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  EXPECT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  // The second response was the budget: the server closed the connection.
+  EXPECT_EQ(client.rpc(R"({"method":"ping"})"), "");
+  EXPECT_EQ(server.stats().budget_disconnects, 1u);
+
+  // A redial gets a fresh budget.
+  Client again(server.port());
+  EXPECT_NE(again.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServerLoopback, ByteBudgetRecyclesTheConnection) {
+  ServerConfig config = test_config();
+  config.max_bytes_per_connection = 10;  // any real request exceeds this
+  Server server(config);
+  server.start();
+  Client client(server.port());
+  // The over-budget request is still served before the close.
+  EXPECT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  EXPECT_EQ(client.rpc(R"({"method":"ping"})"), "");
+  EXPECT_EQ(server.stats().budget_disconnects, 1u);
+  server.stop();
+}
+
+TEST(ServerLoopback, IdleConnectionsAreReaped) {
+  ServerConfig config = test_config();
+  config.idle_timeout_seconds = 0.15;
+  Server server(config);
+  server.start();
+  Client client(server.port());
+  EXPECT_NE(client.rpc(R"({"method":"ping"})").find("pong"),
+            std::string::npos);
+  // Go quiet past the idle budget: the server closes the connection.
+  std::string out;
+  set_recv_timeout(client.fd(), 2.0);
+  EXPECT_EQ(client.read_status(out), LineReader::Status::kEof);
+  EXPECT_EQ(server.stats().idle_disconnects, 1u);
+  server.stop();
+}
+
+TEST(ServerLoopback, SlowReaderIsDisconnectedNotBlockedForever) {
+  ServerConfig config = test_config();
+  config.workers = 1;
+  config.send_timeout_seconds = 0.3;
+  config.send_buffer_bytes = 2048;  // kernel clamps to its floor
+  Server server(config);
+  server.start();
+
+  // A reader that never drains: tiny SO_RCVBUF *before* connect keeps the
+  // advertised window small, so in-flight capacity is a few KB, not the
+  // default ~128 KB.
+  Socket slow(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(slow.valid());
+  const int tiny = 2048;
+  ::setsockopt(slow.fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(slow.fd(),
+                      reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Pipeline enough requests that the responses overflow the send buffer
+  // plus the tiny receive window while nobody reads them.  The solve
+  // responses are ~1 KB each and all but the first are cache hits, so the
+  // server produces them far faster than the dead reader "drains" them.
+  std::string burst;
+  for (int i = 0; i < 64; ++i) {
+    burst += kSolveLine;
+    burst += '\n';
+  }
+  (void)::send(slow.fd(), burst.data(), burst.size(), MSG_NOSIGNAL);
+
+  // The worker's blocked send must give up within send_timeout_seconds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().slow_reader_disconnects == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.stats().slow_reader_disconnects, 1u);
+
+  slow.reset();
   server.stop();
 }
 

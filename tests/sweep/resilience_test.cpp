@@ -3,7 +3,9 @@
 // and checkpoint/resume bit-identity.
 
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -345,6 +347,62 @@ TEST(Checkpoint, LoadOfMissingFileRaisesIo) {
   } catch (const xbar::Error& e) {
     EXPECT_EQ(e.kind(), ErrorKind::kIo);
   }
+}
+
+TEST(Checkpoint, TruncatedFileRaisesParseAtEveryCutPoint) {
+  // A crash mid-write must never produce a file save_checkpoint would
+  // leave behind (tmp + fsync + rename guarantees that), but a checkpoint
+  // torn by other means — copied mid-write, bad disk — must fail with a
+  // typed parse error, never a crash or a silently partial resume.
+  const auto points = small_grid();
+  SweepRunner runner(isolated_options());
+  const auto report = runner.run_report(points);
+  SweepCheckpoint ck;
+  ck.total_points = points.size();
+  ck.solver = runner.options().solver.to_string();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ck.completed.push_back({i, report.statuses[i], report.results[i]});
+  }
+  const TempFile file(::testing::TempDir() + "xbar_ck_truncate.json");
+  save_checkpoint(file.path(), ck);
+
+  std::ifstream in(file.path(), std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string full_text = buffer.str();
+  ASSERT_GT(full_text.size(), 64u);
+
+  const TempFile torn(::testing::TempDir() + "xbar_ck_torn.json");
+  // Cut at a spread of byte offsets, including 0 (empty file — what a
+  // non-durable writer leaves after a crash between create and write).
+  for (const double fraction : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999}) {
+    const auto cut =
+        static_cast<std::size_t>(fraction *
+                                 static_cast<double>(full_text.size()));
+    {
+      std::ofstream out(torn.path(), std::ios::trunc | std::ios::binary);
+      out << full_text.substr(0, cut);
+    }
+    try {
+      (void)load_checkpoint(torn.path());
+      FAIL() << "expected xbar::Error for cut at byte " << cut;
+    } catch (const xbar::Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kParse) << "cut at byte " << cut;
+    }
+  }
+}
+
+TEST(Checkpoint, SaveLeavesNoTmpFileBehind) {
+  const auto points = small_grid();
+  SweepCheckpoint ck;
+  ck.total_points = points.size();
+  ck.solver = SolverSpec::fast().to_string();
+  const TempFile file(::testing::TempDir() + "xbar_ck_clean.json");
+  save_checkpoint(file.path(), ck);
+  std::ifstream tmp(file.path() + ".tmp");
+  EXPECT_FALSE(tmp.good());  // renamed away, not left to confuse a resume
+  std::ifstream real(file.path());
+  EXPECT_TRUE(real.good());
 }
 
 }  // namespace

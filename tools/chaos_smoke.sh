@@ -1,0 +1,126 @@
+#!/bin/sh
+# Chaos smoke for the resilient client stack:
+#   xbar_loadgen / xbar_client  ->  xbar_chaosproxy  ->  xbar_serve
+#
+# Phase 1 — fault schedule on the request path.  A single-sender loadgen
+# run walks into four consecutive connection faults (drop, reset,
+# truncate, garbage), which is exactly the breaker's min_samples budget:
+# the circuit breaker must open at least once, and the retry budget must
+# still deliver >= 99% of requests.
+#
+# Phase 2 — slow-reader protection.  A `stall` fault makes the proxy stop
+# draining responses while holding the upstream connection open; a large
+# sweep response then jams the server's (deliberately tiny) send buffer,
+# and the per-connection send timeout must disconnect the dead reader and
+# count it in stats instead of blocking a worker forever.
+#
+# Exit 0 only when: loadgen's assertions hold, the client/proxy/server all
+# exit cleanly, and the server's stats counted at least one slow-reader
+# disconnect.  usage:
+#   chaos_smoke.sh <xbar_serve> <xbar_chaosproxy> <xbar_loadgen> \
+#                  <xbar_client> <workdir>
+set -e
+
+SERVE="$1"
+PROXY="$2"
+LOADGEN="$3"
+CLIENT="$4"
+DIR="$5"
+
+mkdir -p "$DIR"
+SERVE_PORT_FILE="$DIR/chaos_serve_port.$$"
+PROXY_PORT_FILE="$DIR/chaos_proxy_port.$$"
+rm -f "$SERVE_PORT_FILE" "$PROXY_PORT_FILE"
+
+fail() {
+  echo "chaos_smoke: $1" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  kill -9 "$PROXY_PID" 2>/dev/null || true
+  exit 1
+}
+
+wait_for_file() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && return 1
+    sleep 0.1
+  done
+  return 0
+}
+
+# --- server: small send buffer + short send timeout so phase 2's stalled
+# reader trips deterministically; generous idle timeout so phase 1's
+# retry pauses never reap a live connection.
+"$SERVE" --port=0 --threads=2 --queue=64 \
+  --send-timeout-ms=300 --send-buffer=2048 --idle-timeout-ms=30000 \
+  --port-file="$SERVE_PORT_FILE" &
+SERVE_PID=$!
+PROXY_PID=""
+wait_for_file "$SERVE_PORT_FILE" || fail "server never wrote its port file"
+SERVE_PORT=$(cat "$SERVE_PORT_FILE")
+
+# --- phase 1: fault schedule vs the retrying loadgen -----------------------
+"$PROXY" --upstream-port="$SERVE_PORT" --port=0 \
+  --faults=0:drop,1:reset,2:truncate:5,3:garbage \
+  --port-file="$PROXY_PORT_FILE" &
+PROXY_PID=$!
+wait_for_file "$PROXY_PORT_FILE" || fail "proxy never wrote its port file"
+PROXY_PORT=$(cat "$PROXY_PORT_FILE")
+
+LG_STATUS=0
+"$LOADGEN" --proxy="$PROXY_PORT" --requests=300 --senders=1 \
+  --retries=6 --backoff-base-ms=20 --backoff-cap-ms=500 \
+  --min-success-rate=0.99 --min-breaker-opens=1 \
+  --json > "$DIR/chaos_loadgen.json" || LG_STATUS=$?
+[ "$LG_STATUS" -eq 0 ] || fail "loadgen exited $LG_STATUS (assertions: >=99% success, breaker opened)"
+
+kill -TERM "$PROXY_PID"
+wait "$PROXY_PID" || fail "chaos proxy exited nonzero after SIGTERM"
+PROXY_PID=""
+rm -f "$PROXY_PORT_FILE"
+
+# --- phase 2: stalled reader must be disconnected, not block a worker ------
+"$PROXY" --upstream-port="$SERVE_PORT" --port=0 \
+  --faults=0:stall --stall-max-s=5 \
+  --port-file="$PROXY_PORT_FILE" &
+PROXY_PID=$!
+wait_for_file "$PROXY_PORT_FILE" || fail "stall proxy never wrote its port file"
+PROXY_PORT=$(cat "$PROXY_PORT_FILE")
+
+# A sweep over many sizes renders a response far larger than the server's
+# clamped send buffer; the stalling proxy never drains it.  The client
+# call is *expected* to fail (timeout) — that exit code is part of the
+# scenario, not an error.
+SIZES="2"
+n=3
+while [ "$n" -le 64 ]; do SIZES="$SIZES,$n"; n=$((n + 1)); done
+"$CLIENT" --port="$PROXY_PORT" --timeout-ms=1500 --retries=1 \
+  --request="{\"method\":\"sweep\",\"scenario\":{\"switch\":{\"inputs\":4},\"classes\":[{\"shape\":\"poisson\",\"rho\":0.4}]},\"sizes\":[$SIZES]}" \
+  > /dev/null 2>&1 || true
+
+# The server's send timeout is 300 ms; give it a few seconds to fire and
+# be counted.
+i=0
+SLOW=0
+while [ "$i" -lt 40 ]; do
+  STATS=$("$CLIENT" --port="$SERVE_PORT" --method=stats 2>/dev/null || true)
+  SLOW=$(printf '%s' "$STATS" | sed -n 's/.*"slow_reader_disconnects":\([0-9][0-9]*\).*/\1/p')
+  [ -n "$SLOW" ] && [ "$SLOW" -ge 1 ] && break
+  i=$((i + 1))
+  sleep 0.25
+done
+[ -n "$SLOW" ] && [ "$SLOW" -ge 1 ] || fail "stats never counted a slow-reader disconnect (got '${SLOW:-none}')"
+
+kill -TERM "$PROXY_PID"
+wait "$PROXY_PID" || fail "stall proxy exited nonzero after SIGTERM"
+PROXY_PID=""
+
+# --- clean drain -----------------------------------------------------------
+kill -TERM "$SERVE_PID"
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+[ "$SERVE_STATUS" -eq 0 ] || fail "server exited $SERVE_STATUS after SIGTERM"
+rm -f "$SERVE_PORT_FILE" "$PROXY_PORT_FILE"
+
+echo "chaos_smoke: ok (>=99% success through faults, breaker opened, slow_reader_disconnects=$SLOW)"

@@ -1,0 +1,112 @@
+// xbar_chaosproxy — deterministic TCP fault injection for xbar_serve.
+//
+//   xbar_chaosproxy --upstream-port=N [--upstream-host=127.0.0.1]
+//                   [--port=0] [--host=127.0.0.1]
+//                   [--faults=CONN:action[:arg][,...]] [--port-file=PATH]
+//                   [--stall-max-s=S]
+//
+// Sits between a client and xbar_serve and injects faults on a scriptable
+// per-connection schedule (grammar in src/chaos/proxy.hpp):
+//
+//   xbar_chaosproxy --upstream-port=7411 --port=7412 \
+//       --faults=0:delay:100,2:reset,4:truncate:10,6:garbage,8:stall
+//
+// Connections without a rule are proxied faithfully, so the same
+// loadgen/client run works with or without the proxy in the path.
+// --port=0 binds an ephemeral port; the listening line on stdout and
+// --port-file (written atomically) tell scripts where to connect.
+// SIGTERM/SIGINT stop the proxy; the fault/byte counters go to stderr on
+// exit, and the exit code is 0 after a clean stop.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "chaos/proxy.hpp"
+#include "core/error.hpp"
+#include "report/args.hpp"
+#include "service/signal.hpp"
+
+namespace {
+
+using namespace xbar;
+
+int usage() {
+  std::cerr
+      << "usage: xbar_chaosproxy --upstream-port=N [--upstream-host=ADDR]\n"
+         "                       [--port=N] [--host=ADDR]\n"
+         "                       [--faults=CONN:action[:arg][,...]]\n"
+         "                       [--port-file=PATH] [--stall-max-s=S]\n"
+         "actions: delay:MS drop reset[:BYTES] truncate[:BYTES] garbage "
+         "stall\n";
+  return 1;
+}
+
+/// Atomic tmp + rename, same contract as xbar_serve's port file.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      raise(ErrorKind::kIo, "cannot write port file '" + tmp + "'");
+    }
+    out << port << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise(ErrorKind::kIo, "cannot rename port file into '" + path + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  if (args.has("help") || !args.get("upstream-port")) {
+    return usage();
+  }
+  try {
+    chaos::ProxyConfig config;
+    config.listen_host = args.get("host").value_or("127.0.0.1");
+    config.listen_port =
+        static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    config.upstream_host = args.get("upstream-host").value_or("127.0.0.1");
+    config.upstream_port =
+        static_cast<std::uint16_t>(args.get_unsigned("upstream-port", 0));
+    config.stall_max_seconds = args.get_double("stall-max-s", 30.0);
+    if (const auto spec = args.get("faults")) {
+      config.faults = chaos::parse_fault_spec(*spec);
+    }
+
+    service::install_drain_signals();
+
+    chaos::ChaosProxy proxy(std::move(config));
+    proxy.start();
+    if (const auto path = args.get("port-file")) {
+      write_port_file(*path, proxy.port());
+    }
+    std::cout << "xbar_chaosproxy listening on "
+              << args.get("host").value_or("127.0.0.1") << ':'
+              << proxy.port() << " -> "
+              << args.get("upstream-host").value_or("127.0.0.1") << ':'
+              << *args.get("upstream-port") << std::endl;
+
+    const int signo = service::wait_for_drain_signal();
+    std::cerr << "xbar_chaosproxy: signal " << signo << ", stopping\n";
+    proxy.stop();
+
+    const chaos::ProxyCounters c = proxy.counters();
+    std::cerr << "xbar_chaosproxy: accepted=" << c.accepted
+              << " faulted=" << c.faulted
+              << " upstream_dial_failures=" << c.upstream_dial_failures
+              << " bytes_up=" << c.bytes_to_upstream
+              << " bytes_down=" << c.bytes_to_client << "\n";
+    return 0;
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,112 @@
+// xbar_client — resilient command-line client for xbar_serve.
+//
+//   xbar_client --port=N [--host=127.0.0.1]
+//               [--method=ping|stats|health] [--request=JSON]
+//               [--connect-timeout-ms=MS] [--timeout-ms=MS]
+//               [--retries=N] [--backoff-base-ms=MS] [--backoff-cap-ms=MS]
+//               [--breaker-window=N] [--breaker-open-ms=MS] [--seed=N]
+//
+// One-shot requests come from --method (the body-less methods) or
+// --request (a raw protocol line, any method); with neither, every line
+// on stdin is sent in order (a scriptable pipeline mode).  All traffic
+// goes through client::XbarClient, so connect/request deadlines, retries
+// with decorrelated jitter, and the circuit breaker apply exactly as they
+// do for xbar_loadgen — this tool doubles as the way to poke a server (or
+// a chaos proxy) from a shell and see the typed outcome.
+//
+// Responses are printed one per line on stdout.  A call that exhausts its
+// retry budget prints `outcome=<class> attempts=<n>` on stderr.  Exit 0
+// when every call produced a response, 2 when any call failed at the
+// transport level, 1 on usage or fatal errors.
+
+#include <iostream>
+#include <string>
+
+#include "client/client.hpp"
+#include "core/error.hpp"
+#include "report/args.hpp"
+
+namespace {
+
+using namespace xbar;
+
+int usage() {
+  std::cerr
+      << "usage: xbar_client --port=N [--host=ADDR]\n"
+         "                   [--method=ping|stats|health] [--request=JSON]\n"
+         "                   [--connect-timeout-ms=MS] [--timeout-ms=MS]\n"
+         "                   [--retries=N] [--backoff-base-ms=MS]\n"
+         "                   [--backoff-cap-ms=MS] [--breaker-window=N]\n"
+         "                   [--breaker-open-ms=MS] [--seed=N]\n"
+         "With neither --method nor --request, request lines are read\n"
+         "from stdin and sent in order.\n";
+  return 1;
+}
+
+/// Send one line; print the response or the typed failure.  Returns true
+/// when a response came back.
+bool run_one(client::XbarClient& cli, const std::string& line) {
+  const client::CallResult result = cli.call(line);
+  if (result.outcome == client::Outcome::kOk) {
+    std::cout << result.response << "\n";
+    return true;
+  }
+  std::cerr << "outcome=" << client::to_string(result.outcome)
+            << " attempts=" << result.attempts << "\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  if (args.has("help") || !args.get("port")) {
+    return usage();
+  }
+  try {
+    client::ClientConfig config;
+    config.host = args.get("host").value_or("127.0.0.1");
+    config.port = static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    config.connect_timeout_seconds =
+        args.get_double("connect-timeout-ms", 1000.0) * 1e-3;
+    config.request_timeout_seconds =
+        args.get_double("timeout-ms", 5000.0) * 1e-3;
+    config.backoff.max_attempts = args.get_unsigned("retries", 5);
+    config.backoff.base_seconds =
+        args.get_double("backoff-base-ms", 10.0) * 1e-3;
+    config.backoff.cap_seconds =
+        args.get_double("backoff-cap-ms", 1000.0) * 1e-3;
+    config.breaker.window = args.get_unsigned("breaker-window", 16);
+    config.breaker.open_seconds =
+        args.get_double("breaker-open-ms", 500.0) * 1e-3;
+    config.seed = args.get_unsigned("seed", 1);
+    client::XbarClient cli(config);
+
+    bool all_ok = true;
+    if (const auto request = args.get("request")) {
+      all_ok = run_one(cli, *request);
+    } else if (const auto method = args.get("method")) {
+      if (*method != "ping" && *method != "stats" && *method != "health") {
+        raise(ErrorKind::kUsage,
+              "--method must be ping|stats|health (use --request for "
+              "methods that need a scenario)");
+      }
+      all_ok = run_one(cli, "{\"method\":\"" + *method + "\"}");
+    } else {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        all_ok = run_one(cli, line) && all_ok;
+      }
+    }
+    return all_ok ? 0 : 2;
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

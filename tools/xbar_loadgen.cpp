@@ -1,11 +1,15 @@
 // xbar_loadgen — open-loop load generator for xbar_serve.
 //
-//   xbar_loadgen --port=N [--host=127.0.0.1] [--requests=1000] [--rps=R]
-//                [--process=poisson|bpp] [--peakedness=Z] [--mu=MU]
-//                [--senders=S] [--method=ping|solve|revenue|sweep]
+//   xbar_loadgen --port=N [--host=127.0.0.1] [--proxy=HOST:PORT|PORT]
+//                [--requests=1000] [--rps=R] [--process=poisson|bpp]
+//                [--peakedness=Z] [--mu=MU] [--senders=S]
+//                [--method=ping|solve|revenue|sweep]
 //                [--scenario=FILE.ini] [--solver=SPEC] [--sizes=4,8]
 //                [--unique] [--no-cache] [--deadline-ms=MS] [--seed=N]
-//                [--malformed=K] [--min-cached=N] [--json]
+//                [--timeout-ms=MS] [--connect-timeout-ms=MS] [--retries=N]
+//                [--backoff-base-ms=MS] [--backoff-cap-ms=MS]
+//                [--malformed=K] [--min-cached=N] [--min-success-rate=R]
+//                [--min-breaker-opens=N] [--json]
 //
 // Arrival times are drawn from the same BPP family the paper models as
 // offered traffic: --process=poisson paces requests as a Poisson stream at
@@ -15,32 +19,41 @@
 // into the bursts whose effect on a shared service the paper is about.
 // --rps=0 disables pacing (send as fast as the connections allow).
 //
-// The schedule is split round-robin across --senders persistent
-// connections; each sender redials after a server-closed connection
-// (overload rejections close the socket by design).  --unique perturbs the
-// scenario per request so every request is a distinct computation (cold
-// cache); the default repeats one scenario, the result-cache hot path.
-// --malformed=K injects K syntactically invalid frames and requires a
-// typed parse error back.  --min-cached=N makes the exit code assert at
-// least N cached responses (CI uses this to pin the cache hot path).
+// Every sender drives one client::XbarClient (seeded seed+s, so jitter is
+// decorrelated across senders): connect/request deadlines, bounded retries
+// with backoff, and a per-endpoint circuit breaker all apply.  --proxy
+// routes the traffic through an xbar_chaosproxy instead of dialing the
+// server directly — passthrough mode for chaos runs; every assertion
+// below still applies to what comes out the other side.
 //
-// Output: achieved RPS plus client-side latency p50/p90/p99/max and
-// counts by outcome (ok / cached / overloaded / deadline / other errors /
-// transport failures).  Exit 0 when every request got a well-formed
-// response with no unexpected errors; 2 when any failed, errored
-// unexpectedly, or an assertion (--min-cached) did not hold; 1 fatal.
+// --unique perturbs the scenario per request so every request is a
+// distinct computation (cold cache); the default repeats one scenario,
+// the result-cache hot path.  --malformed=K injects K syntactically
+// invalid frames and requires a typed parse error back.  --min-cached=N
+// asserts at least N cached responses.  --min-success-rate=R relaxes the
+// default zero-transport-failures assertion to "fraction of requests with
+// a response >= R" (chaos schedules push faults past any retry budget).
+// --min-breaker-opens=N asserts the circuit breaker tripped at least N
+// times across senders (CI pins that the breaker actually engages).
+//
+// Output: achieved RPS, an error-class breakdown (final client outcome:
+// ok / timeout / refused / reset / overloaded / breaker_open), per-class
+// latency quantiles from the lock-free Histogram, retry/attempt counters,
+// and breaker-open totals.  Exit 0 when every assertion holds; 2
+// otherwise; 1 fatal.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <charconv>
 #include <chrono>
 #include <cmath>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "client/client.hpp"
 #include "config/scenario_file.hpp"
 #include "core/error.hpp"
 #include "core/model.hpp"
@@ -49,7 +62,6 @@
 #include "dist/rng.hpp"
 #include "report/args.hpp"
 #include "report/json_writer.hpp"
-#include "service/connection.hpp"
 #include "service/histogram.hpp"
 
 namespace {
@@ -59,14 +71,19 @@ using Clock = std::chrono::steady_clock;
 
 int usage() {
   std::cerr
-      << "usage: xbar_loadgen --port=N [--host=ADDR] [--requests=N]\n"
-         "                    [--rps=R] [--process=poisson|bpp]\n"
-         "                    [--peakedness=Z] [--mu=MU] [--senders=S]\n"
+      << "usage: xbar_loadgen --port=N [--host=ADDR] [--proxy=HOST:PORT]\n"
+         "                    [--requests=N] [--rps=R]\n"
+         "                    [--process=poisson|bpp] [--peakedness=Z]\n"
+         "                    [--mu=MU] [--senders=S]\n"
          "                    [--method=ping|solve|revenue|sweep]\n"
          "                    [--scenario=FILE.ini] [--solver=SPEC]\n"
          "                    [--sizes=4,8] [--unique] [--no-cache]\n"
          "                    [--deadline-ms=MS] [--seed=N]\n"
-         "                    [--malformed=K] [--min-cached=N] [--json]\n";
+         "                    [--timeout-ms=MS] [--connect-timeout-ms=MS]\n"
+         "                    [--retries=N] [--backoff-base-ms=MS]\n"
+         "                    [--backoff-cap-ms=MS] [--malformed=K]\n"
+         "                    [--min-cached=N] [--min-success-rate=R]\n"
+         "                    [--min-breaker-opens=N] [--json]\n";
   return 1;
 }
 
@@ -196,69 +213,64 @@ std::vector<double> arrival_schedule(std::size_t n, double rps, double z,
   return times;
 }
 
-/// Outcome tallies shared across senders.
+/// Outcome tallies shared across senders: final client outcomes with a
+/// latency histogram per class, plus payload-level classes for requests
+/// that did get a response.
 struct Tally {
-  std::atomic<std::uint64_t> ok{0};
+  std::array<std::atomic<std::uint64_t>, client::kOutcomeCount> by_outcome{};
+  std::array<service::Histogram, client::kOutcomeCount> latency_by_outcome;
   std::atomic<std::uint64_t> cached{0};
-  std::atomic<std::uint64_t> overloaded{0};
   std::atomic<std::uint64_t> deadline{0};
   std::atomic<std::uint64_t> shutdown{0};
   std::atomic<std::uint64_t> error_other{0};
-  std::atomic<std::uint64_t> failed{0};  ///< transport: no response at all
   std::atomic<std::uint64_t> malformed_ok{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> attempt_timeouts{0};
+  std::atomic<std::uint64_t> attempt_refused{0};
+  std::atomic<std::uint64_t> attempt_resets{0};
+  std::atomic<std::uint64_t> attempt_overloaded{0};
+  std::atomic<std::uint64_t> breaker_rejections{0};
+  std::atomic<std::uint64_t> breaker_opened{0};
   service::Histogram latency;
+
+  void absorb(const client::ClientCounters& c, std::uint64_t opened) {
+    retries.fetch_add(c.retries, std::memory_order_relaxed);
+    attempt_timeouts.fetch_add(c.attempt_timeouts,
+                               std::memory_order_relaxed);
+    attempt_refused.fetch_add(c.attempt_refused, std::memory_order_relaxed);
+    attempt_resets.fetch_add(c.attempt_resets, std::memory_order_relaxed);
+    attempt_overloaded.fetch_add(c.attempt_overloaded,
+                                 std::memory_order_relaxed);
+    breaker_rejections.fetch_add(c.breaker_rejections,
+                                 std::memory_order_relaxed);
+    breaker_opened.fetch_add(opened, std::memory_order_relaxed);
+  }
 };
 
 bool contains(const std::string& haystack, std::string_view needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
-void classify(const std::string& response, Tally& tally) {
+std::size_t outcome_index(client::Outcome outcome) {
+  return static_cast<std::size_t>(outcome);
+}
+
+/// Classify the payload of a kOk response (the transport worked; what did
+/// the server say?).
+void classify_response(const std::string& response, Tally& tally) {
   if (contains(response, "\"status\":\"ok\"")) {
-    tally.ok.fetch_add(1, std::memory_order_relaxed);
     if (contains(response, "\"cached\":true")) {
       tally.cached.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
-  if (contains(response, "\"kind\":\"overloaded\"")) {
-    tally.overloaded.fetch_add(1, std::memory_order_relaxed);
-  } else if (contains(response, "\"kind\":\"deadline\"")) {
+  if (contains(response, "\"kind\":\"deadline\"")) {
     tally.deadline.fetch_add(1, std::memory_order_relaxed);
   } else if (contains(response, "\"kind\":\"shutdown\"")) {
     tally.shutdown.fetch_add(1, std::memory_order_relaxed);
   } else {
     tally.error_other.fetch_add(1, std::memory_order_relaxed);
   }
-}
-
-/// One round trip on a persistent connection, redialing once if the
-/// server closed it (overload rejections close by design).  Returns the
-/// response line, or empty on transport failure.
-std::string round_trip(service::Socket& conn, const std::string& host,
-                       std::uint16_t port, const std::string& line) {
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (!conn.valid()) {
-      conn = service::dial(host, port);
-      if (!conn.valid()) {
-        continue;
-      }
-    }
-    if (!service::write_line(conn.fd(), line)) {
-      conn.reset();
-      continue;
-    }
-    // An overload rejection is written by the acceptor before our request:
-    // whatever line arrives is the server's answer to this connection.
-    service::LineReader reader(conn.fd(), 1 << 20);
-    std::string response;
-    const auto status = reader.read_line(response);
-    if (status == service::LineReader::Status::kLine) {
-      return response;
-    }
-    conn.reset();  // EOF / error: redial and retry once
-  }
-  return std::string();
 }
 
 std::vector<unsigned> parse_sizes_flag(const std::string& arg) {
@@ -284,17 +296,40 @@ std::vector<unsigned> parse_sizes_flag(const std::string& arg) {
   return sizes;
 }
 
+void write_quantiles_json(report::JsonWriter& json,
+                          const service::Histogram::Snapshot& lat) {
+  json.begin_object();
+  json.key("count").value(lat.count);
+  json.key("p50").value(lat.p50 * 1e3);
+  json.key("p90").value(lat.p90 * 1e3);
+  json.key("p99").value(lat.p99 * 1e3);
+  json.key("max").value(lat.max * 1e3);
+  json.key("mean").value(lat.mean * 1e3);
+  json.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
-  if (args.has("help") || !args.get("port")) {
+  if (args.has("help") || (!args.get("port") && !args.get("proxy"))) {
     return usage();
   }
   try {
-    const std::string host = args.get("host").value_or("127.0.0.1");
-    const auto port =
-        static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    std::string host = args.get("host").value_or("127.0.0.1");
+    auto port = static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    if (const auto proxy = args.get("proxy")) {
+      // Passthrough mode: aim every sender at the chaos proxy instead.
+      const std::size_t colon = proxy->rfind(':');
+      if (colon == std::string::npos) {
+        port = static_cast<std::uint16_t>(
+            std::stoul(*proxy));  // bare port, host unchanged
+      } else {
+        host = proxy->substr(0, colon);
+        port = static_cast<std::uint16_t>(
+            std::stoul(proxy->substr(colon + 1)));
+      }
+    }
     const std::size_t requests = args.get_unsigned("requests", 1000);
     const double rps = args.get_double("rps", 0.0);
     const std::string process = args.get("process").value_or("poisson");
@@ -326,6 +361,23 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = args.get_unsigned("seed", 1);
     const std::size_t malformed = args.get_unsigned("malformed", 0);
     const std::uint64_t min_cached = args.get_unsigned("min-cached", 0);
+    const double min_success_rate =
+        args.get_double("min-success-rate", -1.0);
+    const std::uint64_t min_breaker_opens =
+        args.get_unsigned("min-breaker-opens", 0);
+
+    client::ClientConfig client_config;
+    client_config.host = host;
+    client_config.port = port;
+    client_config.connect_timeout_seconds =
+        args.get_double("connect-timeout-ms", 1000.0) * 1e-3;
+    client_config.request_timeout_seconds =
+        args.get_double("timeout-ms", 10000.0) * 1e-3;
+    client_config.backoff.max_attempts = args.get_unsigned("retries", 5);
+    client_config.backoff.base_seconds =
+        args.get_double("backoff-base-ms", 5.0) * 1e-3;
+    client_config.backoff.cap_seconds =
+        args.get_double("backoff-cap-ms", 500.0) * 1e-3;
 
     const Workload workload = args.get("scenario")
                                   ? load_workload(*args.get("scenario"))
@@ -339,19 +391,22 @@ int main(int argc, char** argv) {
     threads.reserve(senders);
     for (unsigned s = 0; s < senders; ++s) {
       threads.emplace_back([&, s] {
-        service::Socket conn;
+        client::ClientConfig config = client_config;
+        config.seed = seed + s;  // decorrelate jitter across senders
+        client::XbarClient cli(config);
         // Sender 0 leads with the malformed frames: each must come back
         // as a typed parse error, not a hang or a dropped connection.
         if (s == 0) {
           for (std::size_t m = 0; m < malformed; ++m) {
-            const std::string response =
-                round_trip(conn, host, port, "this is not json");
-            if (response.empty()) {
-              tally.failed.fetch_add(1, std::memory_order_relaxed);
-            } else if (contains(response, "\"kind\":\"parse\"")) {
+            const client::CallResult result = cli.call("this is not json");
+            if (result.outcome == client::Outcome::kOk &&
+                contains(result.response, "\"kind\":\"parse\"")) {
               tally.malformed_ok.fetch_add(1, std::memory_order_relaxed);
-            } else {
+            } else if (result.outcome == client::Outcome::kOk) {
               tally.error_other.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              tally.by_outcome[outcome_index(result.outcome)].fetch_add(
+                  1, std::memory_order_relaxed);
             }
           }
         }
@@ -365,15 +420,18 @@ int main(int argc, char** argv) {
               start + std::chrono::duration_cast<Clock::duration>(
                           std::chrono::duration<double>(schedule[i])));
           const Clock::time_point sent = Clock::now();
-          const std::string response = round_trip(conn, host, port, line);
-          tally.latency.record(
-              std::chrono::duration<double>(Clock::now() - sent).count());
-          if (response.empty()) {
-            tally.failed.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            classify(response, tally);
+          const client::CallResult result = cli.call(line);
+          const double elapsed =
+              std::chrono::duration<double>(Clock::now() - sent).count();
+          tally.latency.record(elapsed);
+          const std::size_t index = outcome_index(result.outcome);
+          tally.by_outcome[index].fetch_add(1, std::memory_order_relaxed);
+          tally.latency_by_outcome[index].record(elapsed);
+          if (result.outcome == client::Outcome::kOk) {
+            classify_response(result.response, tally);
           }
         }
+        tally.absorb(cli.counters(), cli.breaker().times_opened());
       });
     }
     for (std::thread& t : threads) {
@@ -383,14 +441,24 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(Clock::now() - start).count();
 
     const service::Histogram::Snapshot lat = tally.latency.snapshot();
-    const std::uint64_t ok = tally.ok.load();
+    const std::uint64_t ok =
+        tally.by_outcome[outcome_index(client::Outcome::kOk)].load();
     const std::uint64_t cached = tally.cached.load();
-    const std::uint64_t failed = tally.failed.load();
     const std::uint64_t error_other = tally.error_other.load();
     const std::uint64_t malformed_ok = tally.malformed_ok.load();
-    const double achieved = wall > 0.0
-                                ? static_cast<double>(ok) / wall
-                                : 0.0;
+    const std::uint64_t breaker_opened = tally.breaker_opened.load();
+    std::uint64_t failed_transport = 0;
+    for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
+      if (c != outcome_index(client::Outcome::kOk)) {
+        failed_transport += tally.by_outcome[c].load();
+      }
+    }
+    const double achieved =
+        wall > 0.0 ? static_cast<double>(ok) / wall : 0.0;
+    const double success_rate =
+        requests > 0
+            ? static_cast<double>(ok) / static_cast<double>(requests)
+            : 1.0;
 
     if (args.has("json")) {
       report::JsonWriter json(std::cout);
@@ -398,42 +466,77 @@ int main(int argc, char** argv) {
       json.key("requests").value(static_cast<std::uint64_t>(requests));
       json.key("wall_seconds").value(wall);
       json.key("achieved_rps").value(achieved);
-      json.key("ok").value(ok);
+      json.key("success_rate").value(success_rate);
+      json.key("by_outcome").begin_object();
+      for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
+        json.key(client::to_string(static_cast<client::Outcome>(c)))
+            .value(tally.by_outcome[c].load());
+      }
+      json.end_object();
       json.key("cached").value(cached);
-      json.key("overloaded").value(tally.overloaded.load());
       json.key("deadline").value(tally.deadline.load());
       json.key("shutdown").value(tally.shutdown.load());
       json.key("error_other").value(error_other);
-      json.key("failed").value(failed);
       json.key("malformed_ok").value(malformed_ok);
-      json.key("latency_ms").begin_object();
-      json.key("p50").value(lat.p50 * 1e3);
-      json.key("p90").value(lat.p90 * 1e3);
-      json.key("p99").value(lat.p99 * 1e3);
-      json.key("max").value(lat.max * 1e3);
-      json.key("mean").value(lat.mean * 1e3);
+      json.key("retries").value(tally.retries.load());
+      json.key("attempt_errors").begin_object();
+      json.key("timeout").value(tally.attempt_timeouts.load());
+      json.key("refused").value(tally.attempt_refused.load());
+      json.key("reset").value(tally.attempt_resets.load());
+      json.key("overloaded").value(tally.attempt_overloaded.load());
+      json.end_object();
+      json.key("breaker_opened").value(breaker_opened);
+      json.key("breaker_rejections").value(tally.breaker_rejections.load());
+      json.key("latency_ms");
+      write_quantiles_json(json, lat);
+      json.key("latency_ms_by_class").begin_object();
+      for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
+        const service::Histogram::Snapshot snap =
+            tally.latency_by_outcome[c].snapshot();
+        if (snap.count == 0) {
+          continue;
+        }
+        json.key(client::to_string(static_cast<client::Outcome>(c)));
+        write_quantiles_json(json, snap);
+      }
       json.end_object();
       json.end_object();
     } else {
       std::cout << "requests " << requests << "  wall " << wall
-                << "s  achieved " << achieved << " rps\n"
-                << "ok " << ok << " (cached " << cached << ")  overloaded "
-                << tally.overloaded.load() << "  deadline "
-                << tally.deadline.load() << "  shutdown "
-                << tally.shutdown.load() << "  other-errors " << error_other
-                << "  failed " << failed << "\n"
-                << "latency ms: p50 " << lat.p50 * 1e3 << "  p90 "
-                << lat.p90 * 1e3 << "  p99 " << lat.p99 * 1e3 << "  max "
-                << lat.max * 1e3 << "\n";
+                << "s  achieved " << achieved << " rps  success rate "
+                << success_rate << "\n"
+                << "ok " << ok << " (cached " << cached << ", deadline "
+                << tally.deadline.load() << ", shutdown "
+                << tally.shutdown.load() << ", other-errors " << error_other
+                << ")\n"
+                << "transport failures " << failed_transport
+                << "  retries " << tally.retries.load()
+                << "  breaker opened " << breaker_opened << "\n";
+      for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
+        const service::Histogram::Snapshot snap =
+            tally.latency_by_outcome[c].snapshot();
+        if (snap.count == 0) {
+          continue;
+        }
+        std::cout << "latency ms ["
+                  << client::to_string(static_cast<client::Outcome>(c))
+                  << "] count " << snap.count << ": p50 " << snap.p50 * 1e3
+                  << "  p90 " << snap.p90 * 1e3 << "  p99 "
+                  << snap.p99 * 1e3 << "  max " << snap.max * 1e3 << "\n";
+      }
       if (malformed > 0) {
         std::cout << "malformed frames answered with parse errors: "
                   << malformed_ok << "/" << malformed << "\n";
       }
     }
 
-    const bool assertions_hold = failed == 0 && error_other == 0 &&
+    const bool transport_ok = min_success_rate >= 0.0
+                                  ? success_rate >= min_success_rate
+                                  : failed_transport == 0;
+    const bool assertions_hold = transport_ok && error_other == 0 &&
                                  malformed_ok == malformed &&
-                                 cached >= min_cached;
+                                 cached >= min_cached &&
+                                 breaker_opened >= min_breaker_opens;
     return assertions_hold ? 0 : 2;
   } catch (const xbar::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -3,13 +3,24 @@
 //   xbar_serve [--host=127.0.0.1] [--port=0] [--threads=N] [--queue=N]
 //              [--cache-shards=N] [--cache-entries=N] [--deadline-ms=MS]
 //              [--max-line-bytes=N] [--port-file=PATH]
+//              [--send-timeout-ms=MS] [--idle-timeout-ms=MS]
+//              [--max-conn-requests=N] [--max-conn-bytes=N]
+//              [--send-buffer=BYTES]
 //
 // Speaks the newline-delimited JSON protocol documented in
-// src/service/protocol.hpp: methods solve / revenue / sweep / stats / ping,
-// one request per line, one response line per request.  --port=0 binds an
-// ephemeral port; the listening line on stdout (and --port-file, written
-// atomically) tell scripts where to connect.  --deadline-ms sets the
-// default per-request budget for requests that carry none.
+// src/service/protocol.hpp: methods solve / revenue / sweep / stats /
+// health / ping, one request per line, one response line per request.
+// --port=0 binds an ephemeral port; the listening line on stdout (and
+// --port-file, written atomically) tell scripts where to connect.
+// --deadline-ms sets the default per-request budget for requests that
+// carry none.
+//
+// Connection hardening: --send-timeout-ms disconnects readers that stop
+// draining responses (counted as slow_reader_disconnects in stats);
+// --idle-timeout-ms reaps connections with no traffic; the per-connection
+// budgets --max-conn-requests / --max-conn-bytes bound what one peer can
+// consume before being recycled.  --send-buffer clamps SO_SNDBUF so the
+// slow-reader path triggers deterministically in tests.
 //
 // SIGTERM/SIGINT begin a graceful drain: stop accepting, finish every
 // accepted connection's in-flight requests, print a final stats line to
@@ -37,8 +48,11 @@ int usage() {
          "                  [--queue=N] [--cache-shards=N]\n"
          "                  [--cache-entries=N] [--deadline-ms=MS]\n"
          "                  [--max-line-bytes=N] [--port-file=PATH]\n"
+         "                  [--send-timeout-ms=MS] [--idle-timeout-ms=MS]\n"
+         "                  [--max-conn-requests=N] [--max-conn-bytes=N]\n"
+         "                  [--send-buffer=BYTES]\n"
          "Newline-delimited JSON over TCP; methods: ping, solve, revenue,\n"
-         "sweep, stats.  SIGTERM/SIGINT drain gracefully.\n";
+         "sweep, stats, health.  SIGTERM/SIGINT drain gracefully.\n";
   return 1;
 }
 
@@ -78,6 +92,16 @@ int main(int argc, char** argv) {
     config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
     config.max_line_bytes =
         args.get_unsigned("max-line-bytes", 1u << 20);
+    config.send_timeout_seconds =
+        args.get_double("send-timeout-ms", 5000.0) * 1e-3;
+    config.idle_timeout_seconds =
+        args.get_double("idle-timeout-ms", 0.0) * 1e-3;
+    config.max_requests_per_connection =
+        args.get_unsigned("max-conn-requests", 0);
+    config.max_bytes_per_connection =
+        args.get_unsigned("max-conn-bytes", 0);
+    config.send_buffer_bytes =
+        static_cast<int>(args.get_unsigned("send-buffer", 0));
 
     // The mask must be in place before any thread exists so every thread
     // inherits it and the drain signal only ever reaches sigwait() below.
@@ -102,6 +126,9 @@ int main(int argc, char** argv) {
               << "s — requests=" << s.requests_total << " ok=" << s.ok
               << " errors=" << s.errors << " deadlines=" << s.deadlines
               << " overloaded=" << s.overload_rejections
+              << " slow_readers=" << s.slow_reader_disconnects
+              << " idle_disconnects=" << s.idle_disconnects
+              << " budget_disconnects=" << s.budget_disconnects
               << " cache_hits=" << s.cache.hits
               << " cache_misses=" << s.cache.misses << "\n";
     return 0;
