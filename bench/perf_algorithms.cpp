@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/algorithm1.hpp"
+#include "core/algorithm1_batch.hpp"
 #include "core/algorithm2.hpp"
 #include "core/brute_force.hpp"
 #include "core/revenue.hpp"
@@ -92,6 +93,92 @@ BENCHMARK(BM_Algorithm1_Backend)
     ->Arg(static_cast<int>(core::Algorithm1Backend::kDoubleDynamicScaling))
     ->Arg(static_cast<int>(core::Algorithm1Backend::kLongDouble))
     ->Arg(static_cast<int>(core::Algorithm1Backend::kDoubleRaw));
+
+// Roofline view of the lane kernel (kDoubleDynamicScaling): cells/s plus
+// effective GFLOP/s and GB/s for the two-class family above (one Poisson
+// class a=1, one bursty a=2).  Per interior cell the phase-structured fill
+// does: phase V (per bursty class) 3 flops / 3 accesses, phase A 2 flops /
+// 3 accesses per class, phase B 2 flops / 2 accesses, plus the acc clear —
+// flops = 2 + 2 R1 + 5 R2, accesses = 3 + 3 R1 + 6 R2 doubles.
+constexpr double kFlopsPerCell = 9.0;   // R1 = R2 = 1
+constexpr double kBytesPerCell = 96.0;  // 12 double accesses
+
+void BM_Algorithm1_Roofline(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const auto model = model_with_classes(n, 2);
+  const core::Algorithm1Options opts{
+      core::Algorithm1Backend::kDoubleDynamicScaling};
+  for (auto _ : state) {
+    core::Algorithm1Solver solver(model, opts);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  const double cells = static_cast<double>(n + 1) * (n + 1);
+  const double its = static_cast<double>(state.iterations());
+  state.counters["cells/s"] =
+      benchmark::Counter(cells * its, benchmark::Counter::kIsRate);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cells * its * kFlopsPerCell * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["GB/s"] = benchmark::Counter(
+      cells * its * kBytesPerCell * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["bytes/cell"] = kBytesPerCell;
+}
+BENCHMARK(BM_Algorithm1_Roofline)->RangeMultiplier(2)->Range(32, 256);
+
+// --- Batched multi-scenario solves (Algorithm1BatchSolver). ---
+//
+// 16 scenarios sharing Dims and class skeleton, differing only in loads:
+// Sequential builds 16 independent solvers (the loop-carried phase-B chain
+// caps each one); Batched advances all 16 lanes through one traversal,
+// turning the chain into a stride-1 pass across lanes.
+
+std::vector<core::CrossbarModel> batch_lane_models(unsigned n,
+                                                   std::size_t count) {
+  std::vector<core::CrossbarModel> models;
+  for (std::size_t s = 0; s < count; ++s) {
+    const double bump = 0.0004 * static_cast<double>(s);
+    models.push_back(core::CrossbarModel(
+        core::Dims::square(n),
+        {core::TrafficClass::poisson("p0", 0.01 + bump, 1),
+         core::TrafficClass::bursty("b1", 0.012 + bump, 0.005, 2)}));
+  }
+  return models;
+}
+
+void BM_Algorithm1_Batch16_Sequential(benchmark::State& state) {
+  const auto models =
+      batch_lane_models(static_cast<unsigned>(state.range(0)), 16);
+  const core::Algorithm1Options opts{
+      core::Algorithm1Backend::kDoubleDynamicScaling};
+  for (auto _ : state) {
+    for (const auto& m : models) {
+      core::Algorithm1Solver solver(m, opts);
+      benchmark::DoNotOptimize(solver.solve());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Algorithm1_Batch16_Sequential)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm1_Batch16_Batched(benchmark::State& state) {
+  const auto models =
+      batch_lane_models(static_cast<unsigned>(state.range(0)), 16);
+  const core::Algorithm1Options opts{
+      core::Algorithm1Backend::kDoubleDynamicScaling};
+  for (auto _ : state) {
+    core::Algorithm1BatchSolver batch(models, opts);
+    for (std::size_t s = 0; s < batch.batch_size(); ++s) {
+      benchmark::DoNotOptimize(batch.solve(s));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Algorithm1_Batch16_Batched)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BruteForce_SizeSweep(benchmark::State& state) {
   // Exponential state space: only tiny systems are feasible.

@@ -1,559 +1,18 @@
 #include "core/algorithm1.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
+#include <memory>
 #include <utility>
-#include <variant>
-#include <vector>
 
-#include "numeric/combinatorics.hpp"
-#include "numeric/log_domain.hpp"
-#include "numeric/scaled_float.hpp"
+#include "core/algorithm1_internal.hpp"
 
 namespace xbar::core {
-
-namespace {
-
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-
-// Small adapter so one kernel serves ScaledFloat, long double and double.
-template <typename Real>
-struct RealOps {
-  static Real from_double(double v) { return static_cast<Real>(v); }
-  static double log_of(Real v) {
-    if (v == Real(0)) {
-      return kNegInf;
-    }
-    if (v < Real(0)) {
-      return std::numeric_limits<double>::quiet_NaN();
-    }
-    return static_cast<double>(std::log(v));
-  }
-  static bool positive_finite(Real v) {
-    return std::isfinite(v) && v > Real(0);
-  }
-};
-
-template <>
-struct RealOps<num::SignedLog> {
-  static num::SignedLog from_double(double v) { return num::SignedLog{v}; }
-  static double log_of(const num::SignedLog& v) {
-    if (v.is_zero()) {
-      return kNegInf;
-    }
-    // Negative values (catastrophic cancellation in the Bernoulli
-    // V-recursion) surface as NaN so degeneracy detection catches them.
-    return v.log();
-  }
-  static bool positive_finite(const num::SignedLog& v) {
-    return v.sign() > 0 && !std::isnan(v.log_magnitude()) &&
-           v.log_magnitude() < std::numeric_limits<double>::infinity();
-  }
-};
-
-template <>
-struct RealOps<num::ScaledFloat> {
-  static num::ScaledFloat from_double(double v) {
-    return num::ScaledFloat{v};
-  }
-  static double log_of(const num::ScaledFloat& v) {
-    if (v.is_zero()) {
-      return kNegInf;
-    }
-    if (v.sign() < 0) {
-      // Only reachable through catastrophic cancellation in the Bernoulli
-      // V-recursion; surfaces as NaN so degeneracy detection catches it.
-      return std::numeric_limits<double>::quiet_NaN();
-    }
-    return v.log();
-  }
-  static bool positive_finite(const num::ScaledFloat& v) {
-    return v.sign() > 0 && std::isfinite(v.mantissa());
-  }
-};
-
-// The classes, split once into the paper's R1 (Poisson) and R2 (bursty)
-// sets and sorted by bandwidth, with everything the inner loops need
-// hoisted out of the grid sweep.  The split removes the per-cell
-// `is_poisson` branch; the sort lets each row activate classes as a
-// monotone prefix (a class contributes only where min(n1, n2) >= a_r),
-// so the steady part of every row runs with no per-class guards at all.
-// `slot_of` maps an original class index to its V plane in the SoA block
-// (kNoSlot for Poisson classes).
-struct PoissonConst {
-  unsigned a = 1;
-  double coeff = 0.0;  // a * rho
-};
-
-struct BurstyConst {
-  unsigned a = 1;
-  double coeff = 0.0;   // a * rho
-  double x = 0.0;       // beta/mu
-  std::size_t cls = 0;  // original class index
-};
-
-struct ClassPartition {
-  std::vector<PoissonConst> poisson;  // sorted by a
-  std::vector<BurstyConst> bursty;    // sorted by a
-  std::vector<std::size_t> slot_of;   // per original class index
-  unsigned max_a = 1;
-};
-
-ClassPartition partition_classes(const CrossbarModel& model) {
-  ClassPartition p;
-  p.slot_of.assign(model.num_classes(), kNoSlot);
-  for (std::size_t r = 0; r < model.num_classes(); ++r) {
-    const NormalizedClass& c = model.normalized(r);
-    const double coeff = static_cast<double>(c.bandwidth) * c.rho();
-    if (c.is_poisson()) {
-      p.poisson.push_back(PoissonConst{c.bandwidth, coeff});
-    } else {
-      p.bursty.push_back(BurstyConst{c.bandwidth, coeff, c.x(), r});
-    }
-    p.max_a = std::max(p.max_a, c.bandwidth);
-  }
-  const auto by_a = [](const auto& l, const auto& r) { return l.a < r.a; };
-  std::stable_sort(p.poisson.begin(), p.poisson.end(), by_a);
-  std::stable_sort(p.bursty.begin(), p.bursty.end(), by_a);
-  for (std::size_t b = 0; b < p.bursty.size(); ++b) {
-    p.slot_of[p.bursty[b].cls] = b;
-  }
-  return p;
-}
-
-// Raw recurrence output.  Logs are NOT materialized here: a full-plane log
-// snapshot costs one log() per cell — comparable to the recurrence itself
-// for the double backends — while measure queries only ever touch a handful
-// of cells.  The solver keeps the raw grids and takes logs on demand.
-template <typename Real>
-struct Grids {
-  using real_type = Real;
-  std::vector<Real> q;  // (N1+1) x (N2+1), row-major in n2
-  std::vector<Real> v;  // bursty V planes, slot-major SoA
-};
-
-struct DynGrids {
-  std::vector<double> q;
-  std::vector<double> v;
-  std::vector<double> row_log_scale;  // stored = true * exp(scale)
-};
-
-using GridStore = std::variant<Grids<num::ScaledFloat>, Grids<long double>,
-                               Grids<double>, Grids<num::SignedLog>, DynGrids>;
-
-// Straightforward kernel: computes Q (and V for bursty classes) over the
-// whole grid in the chosen Real arithmetic.  The bursty V grids live in one
-// contiguous slot-major SoA block so the per-cell work walks dense memory,
-// and each row is split into a guarded prologue (n1 < largest active
-// bandwidth) and a guard-free steady loop.
-template <typename Real>
-Grids<Real> build_grid(const CrossbarModel& model,
-                       const ClassPartition& part) {
-  using Ops = RealOps<Real>;
-  const unsigned w = model.dims().n1 + 1;
-  const unsigned h = model.dims().n2 + 1;
-  const std::size_t plane = static_cast<std::size_t>(w) * h;
-  const std::size_t B = part.bursty.size();
-  const std::size_t P = part.poisson.size();
-
-  Grids<Real> g;
-  g.q.assign(plane, Ops::from_double(0.0));
-  g.v.assign(B * plane, Ops::from_double(0.0));
-  std::vector<Real>& q = g.q;
-  std::vector<Real>& v = g.v;
-
-  // Per-class constants and small-integer divisors converted to Real
-  // exactly once (ScaledFloat construction normalizes via frexp — far too
-  // expensive per cell).
-  std::vector<Real> pcoeff(P, Ops::from_double(0.0));
-  for (std::size_t p = 0; p < P; ++p) {
-    pcoeff[p] = Ops::from_double(part.poisson[p].coeff);
-  }
-  std::vector<Real> bcoeff(B, Ops::from_double(0.0));
-  std::vector<Real> bx(B, Ops::from_double(0.0));
-  for (std::size_t b = 0; b < B; ++b) {
-    bcoeff[b] = Ops::from_double(part.bursty[b].coeff);
-    bx[b] = Ops::from_double(part.bursty[b].x);
-  }
-  std::vector<Real> rint(std::max(w, h), Ops::from_double(0.0));
-  for (unsigned k = 0; k < rint.size(); ++k) {
-    rint[k] = Ops::from_double(k);
-  }
-
-  // One interior cell (n1 >= 1, n2 >= 1): V recursions for the active
-  // bursty prefix, then the Q recurrence over the active class prefixes.
-  // `guarded` keeps the n1 >= a checks; the steady-state calls drop them.
-  const auto cell = [&](std::size_t i, unsigned n1, std::size_t np,
-                        std::size_t nb, bool guarded) {
-    for (std::size_t b = 0; b < nb; ++b) {
-      const unsigned a = part.bursty[b].a;
-      if (guarded && n1 < a) {
-        continue;
-      }
-      // idx(n1-a, n2-a) == i - a*(w+1): the diagonal back-reference.
-      const std::size_t back = i - static_cast<std::size_t>(a) * (w + 1);
-      Real* vb = v.data() + b * plane;
-      vb[i] = q[back] + bx[b] * vb[back];
-    }
-    Real sum = q[i - 1];
-    for (std::size_t p = 0; p < np; ++p) {
-      const unsigned a = part.poisson[p].a;
-      if (guarded && n1 < a) {
-        continue;
-      }
-      sum += pcoeff[p] * q[i - static_cast<std::size_t>(a) * (w + 1)];
-    }
-    for (std::size_t b = 0; b < nb; ++b) {
-      if (guarded && n1 < part.bursty[b].a) {
-        continue;
-      }
-      sum += bcoeff[b] * v[b * plane + i];
-    }
-    q[i] = sum / rint[n1];
-  };
-
-  q[0] = Ops::from_double(1.0);
-  // Row 0 is the pure factorial row: Q(n1, 0) = 1/n1! (no class fits).
-  for (unsigned n1 = 1; n1 < w; ++n1) {
-    q[n1] = q[n1 - 1] / rint[n1];
-  }
-  std::size_t np = 0;  // active prefix of part.poisson (a <= n2)
-  std::size_t nb = 0;  // active prefix of part.bursty
-  for (unsigned n2 = 1; n2 < h; ++n2) {
-    while (np < P && part.poisson[np].a <= n2) {
-      ++np;
-    }
-    while (nb < B && part.bursty[nb].a <= n2) {
-      ++nb;
-    }
-    const std::size_t row = static_cast<std::size_t>(n2) * w;
-    // Column 0: no class fits (a >= 1 > n1), so Q(0, n2) = Q(0, n2-1)/n2.
-    q[row] = q[row - w] / rint[n2];
-    // Largest active bandwidth decides where the guards become dead.
-    unsigned steady = 1;
-    if (np > 0) {
-      steady = std::max(steady, part.poisson[np - 1].a);
-    }
-    if (nb > 0) {
-      steady = std::max(steady, part.bursty[nb - 1].a);
-    }
-    const unsigned split = std::min(steady, w);
-    for (unsigned n1 = 1; n1 < split; ++n1) {
-      cell(row + n1, n1, np, nb, true);
-    }
-    for (unsigned n1 = split; n1 < w; ++n1) {
-      cell(row + n1, n1, np, nb, false);
-    }
-  }
-  return g;
-}
-
-// The paper's §6 backend: IEEE double with explicit dynamic scaling.  Each
-// row carries a cumulative log scale; rows are renormalized whenever their
-// largest entry leaves [scale_low, scale_high].  References to earlier rows
-// are adjusted by the scale difference, and the on-demand log accessor
-// subtracts the row scale so measures are unaffected — the paper's
-// observation that "the scaling factor does not affect the performance
-// measure results".
-//
-// The cross-row adjustment factors exp(scale[n2] - scale[n2 - d]) are
-// computed once per row for every back-reference distance d and folded into
-// the running omega on each rescale, so the O(N1 N2 R) inner loop performs
-// no exp() calls at all.  Divisions by n1 are replaced with multiplications
-// by a precomputed reciprocal table: the division sat on the loop-carried
-// Q(n1-1, n2) dependency chain and dominated the fill latency.
-DynGrids build_grid_dynamic_scaling(const CrossbarModel& model,
-                                    const Algorithm1Options& opts,
-                                    const ClassPartition& part,
-                                    unsigned& scaling_events) {
-  const unsigned w = model.dims().n1 + 1;
-  const unsigned h = model.dims().n2 + 1;
-  const std::size_t plane = static_cast<std::size_t>(w) * h;
-  const std::size_t B = part.bursty.size();
-  const std::size_t P = part.poisson.size();
-
-  DynGrids g;
-  g.q.assign(plane, 0.0);
-  g.v.assign(B * plane, 0.0);
-  g.row_log_scale.assign(h, 0.0);
-  std::vector<double>& q = g.q;
-  std::vector<double>& v = g.v;
-
-  std::vector<double> inv(std::max(w, h), 0.0);
-  for (unsigned k = 1; k < inv.size(); ++k) {
-    inv[k] = 1.0 / k;
-  }
-
-  // adjust[d] caches exp(row_log_scale[n2] - row_log_scale[n2 - d]) for the
-  // row being filled, for every back-reference distance d (class bandwidths
-  // plus 1 for the column-0 inherit).  A rescale by omega folds omega into
-  // each cached factor instead of re-exponentiating.
-  const unsigned max_a = part.max_a;
-  std::vector<double> adjust(static_cast<std::size_t>(max_a) + 1, 1.0);
-
-  const auto cell = [&](std::size_t i, unsigned n1, std::size_t np,
-                        std::size_t nb, bool guarded) {
-    for (std::size_t b = 0; b < nb; ++b) {
-      const unsigned a = part.bursty[b].a;
-      if (guarded && n1 < a) {
-        continue;
-      }
-      // Bring row (n2 - a) values into this row's scale.
-      const std::size_t back = i - static_cast<std::size_t>(a) * (w + 1);
-      double* vb = v.data() + b * plane;
-      vb[i] = adjust[a] * (q[back] + part.bursty[b].x * vb[back]);
-    }
-    double sum = q[i - 1];
-    for (std::size_t p = 0; p < np; ++p) {
-      const unsigned a = part.poisson[p].a;
-      if (guarded && n1 < a) {
-        continue;
-      }
-      sum += part.poisson[p].coeff * adjust[a] *
-             q[i - static_cast<std::size_t>(a) * (w + 1)];
-    }
-    for (std::size_t b = 0; b < nb; ++b) {
-      if (guarded && n1 < part.bursty[b].a) {
-        continue;
-      }
-      sum += part.bursty[b].coeff * v[b * plane + i];  // row's own scale
-    }
-    return sum * inv[n1];
-  };
-
-  // Dynamic scaling (paper §6): Q spans hundreds of decades even within a
-  // single row (Q ~ 1/(n1! n2!)), so the check runs per cell.  When the
-  // newest value leaves [scale_low, scale_high], multiply the already
-  // filled prefix of this row by omega and fold omega into the row's scale
-  // and the cached cross-row factors.
-  const auto rescale_if_needed = [&](unsigned n2, unsigned n1, double qval) {
-    if (!(qval > 0.0) ||
-        (qval <= opts.scale_high && qval >= opts.scale_low)) {
-      return;
-    }
-    const double omega = 1.0 / qval;
-    const std::size_t row = static_cast<std::size_t>(n2) * w;
-    for (std::size_t m = row; m <= row + n1; ++m) {
-      q[m] *= omega;
-    }
-    for (std::size_t b = 0; b < B; ++b) {
-      double* vb = v.data() + b * plane;
-      for (std::size_t m = row; m <= row + n1; ++m) {
-        vb[m] *= omega;
-      }
-    }
-    g.row_log_scale[n2] += std::log(omega);
-    for (unsigned d = 1; d <= max_a; ++d) {
-      adjust[d] *= omega;
-    }
-    ++scaling_events;
-  };
-
-  q[0] = 1.0;
-  for (unsigned n1 = 1; n1 < w; ++n1) {
-    q[n1] = q[n1 - 1] * inv[n1];
-    rescale_if_needed(0, n1, q[n1]);
-  }
-  std::size_t np = 0;
-  std::size_t nb = 0;
-  for (unsigned n2 = 1; n2 < h; ++n2) {
-    while (np < P && part.poisson[np].a <= n2) {
-      ++np;
-    }
-    while (nb < B && part.bursty[nb].a <= n2) {
-      ++nb;
-    }
-    g.row_log_scale[n2] = g.row_log_scale[n2 - 1];
-    for (unsigned d = 1; d <= max_a; ++d) {
-      adjust[d] = d <= n2 ? std::exp(g.row_log_scale[n2] -
-                                     g.row_log_scale[n2 - d])
-                          : 1.0;
-    }
-    const std::size_t row = static_cast<std::size_t>(n2) * w;
-    q[row] = q[row - w] * adjust[1] * inv[n2];
-    rescale_if_needed(n2, 0, q[row]);
-    unsigned steady = 1;
-    if (np > 0) {
-      steady = std::max(steady, part.poisson[np - 1].a);
-    }
-    if (nb > 0) {
-      steady = std::max(steady, part.bursty[nb - 1].a);
-    }
-    const unsigned split = std::min(steady, w);
-    for (unsigned n1 = 1; n1 < split; ++n1) {
-      const double qval = cell(row + n1, n1, np, nb, true);
-      q[row + n1] = qval;
-      rescale_if_needed(n2, n1, qval);
-    }
-    for (unsigned n1 = split; n1 < w; ++n1) {
-      const double qval = cell(row + n1, n1, np, nb, false);
-      q[row + n1] = qval;
-      rescale_if_needed(n2, n1, qval);
-    }
-  }
-  return g;
-}
-
-}  // namespace
-
-struct Algorithm1Solver::Impl {
-  CrossbarModel model;
-  Algorithm1Options options;
-  GridStore grids;
-  std::vector<std::size_t> bursty_slot;  // per class; kNoSlot for Poisson
-  unsigned scaling_events = 0;
-  bool degenerate = false;
-
-  Impl(CrossbarModel m, Algorithm1Options o)
-      : model(std::move(m)), options(o) {
-    const ClassPartition part = partition_classes(model);
-    bursty_slot = part.slot_of;
-    switch (options.backend) {
-      case Algorithm1Backend::kScaledFloat:
-        grids = build_grid<num::ScaledFloat>(model, part);
-        break;
-      case Algorithm1Backend::kLongDouble:
-        grids = build_grid<long double>(model, part);
-        break;
-      case Algorithm1Backend::kDoubleRaw:
-        grids = build_grid<double>(model, part);
-        break;
-      case Algorithm1Backend::kDoubleDynamicScaling:
-        grids = build_grid_dynamic_scaling(model, options, part,
-                                           scaling_events);
-        break;
-      case Algorithm1Backend::kLogDomain:
-        grids = build_grid<num::SignedLog>(model, part);
-        break;
-    }
-    // Q(n) > 0 for every grid cell (the empty state always contributes
-    // 1/(n1! n2!)), so any non-positive or non-finite entry flags
-    // arithmetic breakdown.  The scan is a comparison per cell, not a log.
-    degenerate = std::visit(
-        [](const auto& g) {
-          using G = std::decay_t<decltype(g)>;
-          if constexpr (std::is_same_v<G, DynGrids>) {
-            for (const double qv : g.q) {
-              if (!(qv > 0.0) || !std::isfinite(qv)) {
-                return true;
-              }
-            }
-          } else {
-            using Ops = RealOps<typename G::real_type>;
-            for (const auto& qv : g.q) {
-              if (!Ops::positive_finite(qv)) {
-                return true;
-              }
-            }
-          }
-          return false;
-        },
-        grids);
-  }
-
-  [[nodiscard]] std::size_t plane() const {
-    return static_cast<std::size_t>(model.dims().n1 + 1) *
-           (model.dims().n2 + 1);
-  }
-
-  [[nodiscard]] std::size_t index(unsigned n1, unsigned n2) const {
-    return static_cast<std::size_t>(n2) * (model.dims().n1 + 1) + n1;
-  }
-
-  // ln Q(at), computed on demand from the raw grid.
-  [[nodiscard]] double lq(Dims at) const {
-    assert(at.n1 <= model.dims().n1 && at.n2 <= model.dims().n2);
-    const std::size_t i = index(at.n1, at.n2);
-    return std::visit(
-        [&](const auto& g) -> double {
-          using G = std::decay_t<decltype(g)>;
-          if constexpr (std::is_same_v<G, DynGrids>) {
-            return std::log(g.q[i]) - g.row_log_scale[at.n2];
-          } else {
-            return RealOps<typename G::real_type>::log_of(g.q[i]);
-          }
-        },
-        grids);
-  }
-
-  // ln V(at, r); -inf when V == 0 (subsystem too small).
-  [[nodiscard]] double lv(std::size_t r, Dims at) const {
-    const unsigned a = model.normalized(r).bandwidth;
-    if (at.n1 < a || at.n2 < a) {
-      return kNegInf;
-    }
-    const std::size_t i = bursty_slot[r] * plane() + index(at.n1, at.n2);
-    return std::visit(
-        [&](const auto& g) -> double {
-          using G = std::decay_t<decltype(g)>;
-          if constexpr (std::is_same_v<G, DynGrids>) {
-            const double vv = g.v[i];
-            return vv > 0.0 ? std::log(vv) - g.row_log_scale[at.n2]
-                            : kNegInf;
-          } else {
-            return RealOps<typename G::real_type>::log_of(g.v[i]);
-          }
-        },
-        grids);
-  }
-
-  [[nodiscard]] double non_blocking_at(std::size_t r, Dims at) const {
-    const unsigned a = model.normalized(r).bandwidth;
-    if (at.n1 < a || at.n2 < a) {
-      return 0.0;  // the class can never fit in this subsystem
-    }
-    const double log_b = lq(Dims{at.n1 - a, at.n2 - a}) - lq(at) -
-                         num::log_falling_factorial(at.n1, a) -
-                         num::log_falling_factorial(at.n2, a);
-    return std::exp(log_b);
-  }
-
-  [[nodiscard]] double concurrency_at(std::size_t r, Dims at) const {
-    const NormalizedClass& c = model.normalized(r);
-    const unsigned a = c.bandwidth;
-    if (at.n1 < a || at.n2 < a) {
-      return 0.0;
-    }
-    if (c.is_poisson()) {
-      // E_r = rho_r Q(N - a I)/Q(N)
-      return c.rho() * std::exp(lq(Dims{at.n1 - a, at.n2 - a}) - lq(at));
-    }
-    // E_r = rho_r V(N, r)/Q(N)
-    const double logv = lv(r, at);
-    if (logv == kNegInf) {
-      return 0.0;
-    }
-    return c.rho() * std::exp(logv - lq(at));
-  }
-
-  [[nodiscard]] Measures measures_at(Dims at) const {
-    Measures m;
-    const std::size_t R = model.num_classes();
-    m.per_class.resize(R);
-    for (std::size_t r = 0; r < R; ++r) {
-      const NormalizedClass& c = model.normalized(r);
-      ClassMeasures& cm = m.per_class[r];
-      cm.non_blocking = non_blocking_at(r, at);
-      cm.blocking = 1.0 - cm.non_blocking;
-      cm.concurrency = concurrency_at(r, at);
-      cm.throughput = cm.concurrency * c.mu;
-      cm.port_usage = cm.concurrency * static_cast<double>(c.bandwidth);
-      m.revenue += c.weight * cm.concurrency;
-      m.total_throughput += cm.throughput;
-      m.utilization += cm.port_usage;
-    }
-    const unsigned cap = at.cap();
-    m.utilization = cap > 0 ? m.utilization / cap : 0.0;
-    return m;
-  }
-};
 
 Algorithm1Solver::Algorithm1Solver(CrossbarModel model,
                                    Algorithm1Options options)
     : impl_(std::make_unique<Impl>(std::move(model), options)) {}
+
+Algorithm1Solver::Algorithm1Solver(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
 
 Algorithm1Solver::~Algorithm1Solver() = default;
 Algorithm1Solver::Algorithm1Solver(Algorithm1Solver&&) noexcept = default;

@@ -94,6 +94,13 @@ class Algorithm1Solver {
 
  private:
   struct Impl;
+  friend class Algorithm1BatchSolver;
+
+  /// From-parts constructor used by the batched solver, which fills many
+  /// scenarios' grids in one traversal and de-interleaves them into
+  /// ordinary solvers.
+  explicit Algorithm1Solver(std::unique_ptr<Impl> impl);
+
   std::unique_ptr<Impl> impl_;
 };
 

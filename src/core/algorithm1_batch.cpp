@@ -1,0 +1,639 @@
+#include "core/algorithm1_batch.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/algorithm1_internal.hpp"
+#include "core/error.hpp"
+#include "numeric/arena.hpp"
+#include "numeric/simd.hpp"
+
+namespace xbar::core {
+
+namespace {
+
+using alg1::ClassPartition;
+using alg1::DynGrids;
+using alg1::Grids;
+
+// Lanes can share a traversal when their sorted Poisson/bursty bandwidth
+// sequences coincide: loop bounds and activation prefixes are then
+// identical and only the per-class constants differ per lane.
+std::vector<unsigned> skeleton_key(const ClassPartition& p) {
+  std::vector<unsigned> key;
+  key.reserve(p.poisson.size() + p.bursty.size() + 1);
+  for (const auto& pc : p.poisson) {
+    key.push_back(pc.a);
+  }
+  key.push_back(~0u);  // separator between the two sets
+  for (const auto& bc : p.bursty) {
+    key.push_back(bc.a);
+  }
+  return key;
+}
+
+// Per-lane constants interleaved lane-minor, like the grids.
+struct LaneConsts {
+  std::size_t L = 0;
+  std::vector<double> pcoeff;  // [p * L + s]
+  std::vector<double> bcoeff;  // [b * L + s]
+  std::vector<double> bx;      // [b * L + s]
+};
+
+LaneConsts interleave_consts(const std::vector<const ClassPartition*>& parts) {
+  LaneConsts c;
+  c.L = parts.size();
+  const std::size_t P = parts[0]->poisson.size();
+  const std::size_t B = parts[0]->bursty.size();
+  c.pcoeff.resize(P * c.L);
+  c.bcoeff.resize(B * c.L);
+  c.bx.resize(B * c.L);
+  for (std::size_t s = 0; s < c.L; ++s) {
+    for (std::size_t p = 0; p < P; ++p) {
+      c.pcoeff[p * c.L + s] = parts[s]->poisson[p].coeff;
+    }
+    for (std::size_t b = 0; b < B; ++b) {
+      c.bcoeff[b * c.L + s] = parts[s]->bursty[b].coeff;
+      c.bx[b * c.L + s] = parts[s]->bursty[b].x;
+    }
+  }
+  return c;
+}
+
+// The fill only ever reads back max_a rows of Q and V, so the interleaved
+// working set is a circular window of max_a + 1 rows (~a few hundred KB for
+// any N and L) instead of full (L x plane) grids.  Materializing the full
+// interleaved grids costs a multi-megabyte zero-init, a cold de-interleave
+// sweep and a cold degeneracy re-scan — three full-grid memory passes that
+// together dwarfed the fill itself at N = 128, L = 16.  With the window,
+// each finished row is de-interleaved into the per-lane output planes while
+// still cache-hot, the degeneracy predicates ride the same row visit, and
+// the outputs are allocated uninitialized because the row copy writes every
+// cell exactly once.
+struct LaneWindow {
+  std::size_t rows = 0;  // max_a + 1
+  std::size_t wl = 0;    // doubles per interleaved row: w * L
+  num::ArenaBuffer<double> q;  // [rows][w][L], row r at slot r % rows
+  num::ArenaBuffer<double> v;  // [B][rows][w][L]
+
+  LaneWindow(unsigned w, std::size_t L, std::size_t B, unsigned max_a)
+      : rows(static_cast<std::size_t>(max_a) + 1),
+        wl(static_cast<std::size_t>(w) * L),
+        // q is fully written before first read; v's pre-activation rows and
+        // per-row n1 < a prefixes are read as the zeros the single kernel's
+        // zero-initialized grid supplies, so v must start zeroed.
+        q(rows * wl, num::uninitialized),
+        v(B * rows * wl) {}
+
+  [[nodiscard]] double* q_row(unsigned n2) {
+    return q.data() + (n2 % rows) * wl;
+  }
+  [[nodiscard]] double* v_row(std::size_t b, unsigned n2) {
+    return v.data() + (b * rows + n2 % rows) * wl;
+  }
+};
+
+// Degeneracy predicates as branchless accumulators (the ternaries compile
+// to compare/select, so the s-loops stay SIMD).  `x - x == 0` is the
+// finiteness test without a libm call: NaN and +/-inf both fail it.
+// bad_q counts cells violating positive_finite, bad_v cells violating
+// finite_nonneg — exactly scan_degenerate's predicates for double grids.
+void scan_row(const double* qrow, std::size_t w, std::size_t L, double* bad) {
+  for (std::size_t n1 = 0; n1 < w; ++n1) {
+    const double* const cell = qrow + n1 * L;
+    XBAR_PRAGMA_SIMD
+    for (std::size_t s = 0; s < L; ++s) {
+      const double qv = cell[s];
+      bad[s] += (qv > 0.0 && qv - qv == 0.0) ? 0.0 : 1.0;
+    }
+  }
+}
+
+void scan_row_v(const double* vrow, std::size_t w, std::size_t L,
+                double* bad) {
+  for (std::size_t n1 = 0; n1 < w; ++n1) {
+    const double* const cell = vrow + n1 * L;
+    XBAR_PRAGMA_SIMD
+    for (std::size_t s = 0; s < L; ++s) {
+      const double vv = cell[s];
+      bad[s] += (vv >= 0.0 && vv - vv == 0.0) ? 0.0 : 1.0;
+    }
+  }
+}
+
+// Copy one interleaved row into every lane's plane, starting at element
+// `off` of each destination.  Tiled transpose: per block the interleaved
+// source chunk (kBlock * L doubles) is pulled into L1 by the first lane and
+// the remaining lanes re-read it for free, while each lane writes one
+// contiguous run.  Plain cell-major (all lanes advancing together) loses
+// badly at L = 16: the per-lane planes come from power-of-two arena
+// buckets, so the L destinations are congruent mod 4K and the parallel
+// write streams evict each other out of the same L1 sets.
+void emit_row(const double* rowbuf, std::size_t w, std::size_t L,
+              double* const* dst, std::size_t off) {
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t j0 = 0; j0 < w; j0 += kBlock) {
+    const std::size_t jend = j0 + kBlock < w ? j0 + kBlock : w;
+    for (std::size_t s = 0; s < L; ++s) {
+      double* const d = dst[s] + off;
+      for (std::size_t n1 = j0; n1 < jend; ++n1) {
+        d[n1] = rowbuf[n1 * L + s];
+      }
+    }
+  }
+}
+
+// Lane-interleaved fill, kDoubleRaw flavor: plain double arithmetic with
+// divisions on the chain — per lane the exact op sequence of the single
+// build_grid<double>, so de-interleaving reproduces it bit for bit.
+std::vector<Grids<double>> fill_lanes_raw(
+    Dims dims, const std::vector<const ClassPartition*>& parts,
+    std::vector<unsigned char>& degen) {
+  const unsigned w = dims.n1 + 1;
+  const unsigned h = dims.n2 + 1;
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t L = parts.size();
+  const std::size_t P = parts[0]->poisson.size();
+  const std::size_t B = parts[0]->bursty.size();
+  const LaneConsts lc = interleave_consts(parts);
+  degen.assign(L, 0);
+
+  LaneWindow win(w, L, B, parts[0]->max_a);
+  num::ArenaBuffer<double> accbuf(static_cast<std::size_t>(w) * L);
+  double* const acc = accbuf.data();
+  std::vector<double> bad(L, 0.0);
+
+  std::vector<Grids<double>> out(L);
+  std::vector<double*> qdst(L);
+  std::vector<double*> vdst(L);
+  for (std::size_t s = 0; s < L; ++s) {
+    out[s].q = num::ArenaBuffer<double>(plane, num::uninitialized);
+    out[s].v = num::ArenaBuffer<double>(B * plane, num::uninitialized);
+    qdst[s] = out[s].q.data();
+    vdst[s] = out[s].v.data();
+  }
+  const auto finish_row = [&](unsigned n2) {
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    const double* const qrow = win.q_row(n2);
+    scan_row(qrow, w, L, bad.data());
+    emit_row(qrow, w, L, qdst.data(), row);
+    for (std::size_t b = 0; b < B; ++b) {
+      const double* const vrow = win.v_row(b, n2);
+      scan_row_v(vrow, w, L, bad.data());
+      emit_row(vrow, w, L, vdst.data(), b * plane + row);
+    }
+  };
+
+  std::vector<double> rint(std::max(w, h), 0.0);
+  for (unsigned k = 0; k < rint.size(); ++k) {
+    rint[k] = static_cast<double>(k);
+  }
+
+  double* const q0 = win.q_row(0);
+  for (std::size_t s = 0; s < L; ++s) {
+    q0[s] = 1.0;
+  }
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    const double d = rint[n1];
+    XBAR_PRAGMA_SIMD
+    for (std::size_t s = 0; s < L; ++s) {
+      q0[n1 * L + s] = q0[(n1 - 1) * L + s] / d;
+    }
+  }
+  finish_row(0);
+  std::size_t np = 0;
+  std::size_t nb = 0;
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && parts[0]->poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && parts[0]->bursty[nb].a <= n2) {
+      ++nb;
+    }
+    double* const qr = win.q_row(n2);
+    const double dn2 = rint[n2];
+    {
+      const double* const qp = win.q_row(n2 - 1);
+      XBAR_PRAGMA_SIMD
+      for (std::size_t s = 0; s < L; ++s) {
+        qr[s] = qp[s] / dn2;
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = parts[0]->bursty[b].a;
+      if (a >= w || a > n2) {
+        continue;
+      }
+      const double* const qin = win.q_row(n2 - a);
+      const double* const vin = win.v_row(b, n2 - a);
+      double* const vb = win.v_row(b, n2);
+      const double* const x = lc.bx.data() + b * L;
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        const std::size_t in = j * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          vb[o + s] = qin[in + s] + x[s] * vin[in + s];
+        }
+      }
+    }
+    for (std::size_t m = L; m < static_cast<std::size_t>(w) * L; ++m) {
+      acc[m] = 0.0;
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = parts[0]->poisson[p].a;
+      if (a >= w || a > n2) {
+        continue;
+      }
+      const double* const qin = win.q_row(n2 - a);
+      const double* const c = lc.pcoeff.data() + p * L;
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        const std::size_t in = j * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          acc[o + s] += c[s] * qin[in + s];
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = parts[0]->bursty[b].a;
+      if (a >= w || a > n2) {
+        continue;
+      }
+      const double* const vb = win.v_row(b, n2);
+      const double* const c = lc.bcoeff.data() + b * L;
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          acc[o + s] += c[s] * vb[o + s];
+        }
+      }
+    }
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      const double d = rint[n1];
+      const std::size_t o = static_cast<std::size_t>(n1) * L;
+      const std::size_t prev = o - L;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t s = 0; s < L; ++s) {
+        qr[o + s] = (qr[prev + s] + acc[o + s]) / d;
+      }
+    }
+    finish_row(n2);
+  }
+  for (std::size_t s = 0; s < L; ++s) {
+    degen[s] = bad[s] != 0.0 ? 1 : 0;
+  }
+  return out;
+}
+
+// Lane-interleaved fill, kDoubleDynamicScaling flavor: per-lane row scales
+// and rescale events, reciprocal-multiply chain — per lane the exact op
+// sequence of the single build_grid_dynamic_scaling.  Rescales only ever
+// touch the current row, so the row window stays valid: a finished row is
+// final the moment its phase B completes.
+std::vector<DynGrids> fill_lanes_dynamic(
+    Dims dims, const Algorithm1Options& opts,
+    const std::vector<const ClassPartition*>& parts,
+    std::vector<unsigned>& events, std::vector<unsigned char>& degen) {
+  const unsigned w = dims.n1 + 1;
+  const unsigned h = dims.n2 + 1;
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t L = parts.size();
+  const std::size_t P = parts[0]->poisson.size();
+  const std::size_t B = parts[0]->bursty.size();
+  const unsigned max_a = parts[0]->max_a;
+  const LaneConsts lc = interleave_consts(parts);
+  events.assign(L, 0);
+  degen.assign(L, 0);
+
+  LaneWindow win(w, L, B, max_a);
+  num::ArenaBuffer<double> accbuf(static_cast<std::size_t>(w) * L);
+  num::ArenaBuffer<double> rlsbuf(static_cast<std::size_t>(h) * L);
+  double* const acc = accbuf.data();
+  double* const rls = rlsbuf.data();
+  std::vector<double> bad(L, 0.0);
+
+  std::vector<DynGrids> out(L);
+  std::vector<double*> qdst(L);
+  std::vector<double*> vdst(L);
+  for (std::size_t s = 0; s < L; ++s) {
+    out[s].q = num::ArenaBuffer<double>(plane, num::uninitialized);
+    out[s].v = num::ArenaBuffer<double>(B * plane, num::uninitialized);
+    out[s].row_log_scale = num::ArenaBuffer<double>(h, num::uninitialized);
+    qdst[s] = out[s].q.data();
+    vdst[s] = out[s].v.data();
+  }
+  const auto finish_row = [&](unsigned n2) {
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    const double* const qrow = win.q_row(n2);
+    scan_row(qrow, w, L, bad.data());
+    emit_row(qrow, w, L, qdst.data(), row);
+    for (std::size_t b = 0; b < B; ++b) {
+      const double* const vrow = win.v_row(b, n2);
+      scan_row_v(vrow, w, L, bad.data());
+      emit_row(vrow, w, L, vdst.data(), b * plane + row);
+    }
+    for (std::size_t s = 0; s < L; ++s) {
+      out[s].row_log_scale[n2] = rls[static_cast<std::size_t>(n2) * L + s];
+    }
+  };
+
+  std::vector<double> inv(std::max(w, h), 0.0);
+  for (unsigned k = 1; k < inv.size(); ++k) {
+    inv[k] = 1.0 / k;
+  }
+  std::vector<double> adjust((static_cast<std::size_t>(max_a) + 1) * L, 1.0);
+  std::vector<double> padj(L, 0.0);
+
+  const auto out_of_range = [&](double qval) {
+    return !(!(qval > 0.0) ||
+             (qval <= opts.scale_high && qval >= opts.scale_low));
+  };
+
+  double* const q0 = win.q_row(0);
+  for (std::size_t s = 0; s < L; ++s) {
+    q0[s] = 1.0;
+  }
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    const double d = inv[n1];
+    XBAR_PRAGMA_SIMD
+    for (std::size_t s = 0; s < L; ++s) {
+      q0[n1 * L + s] = q0[(n1 - 1) * L + s] * d;
+    }
+    for (std::size_t s = 0; s < L; ++s) {
+      if (out_of_range(q0[n1 * L + s])) {
+        const double omega = 1.0 / q0[n1 * L + s];
+        for (unsigned m = 0; m <= n1; ++m) {
+          q0[m * L + s] *= omega;
+        }
+        rls[s] += std::log(omega);
+        ++events[s];
+      }
+    }
+  }
+  finish_row(0);
+  std::size_t np = 0;
+  std::size_t nb = 0;
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && parts[0]->poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && parts[0]->bursty[nb].a <= n2) {
+      ++nb;
+    }
+    double* const qr = win.q_row(n2);
+    for (std::size_t s = 0; s < L; ++s) {
+      rls[n2 * L + s] = rls[(n2 - 1) * L + s];
+    }
+    for (unsigned d = 1; d <= max_a; ++d) {
+      for (std::size_t s = 0; s < L; ++s) {
+        adjust[d * L + s] =
+            d <= n2 ? std::exp(rls[n2 * L + s] - rls[(n2 - d) * L + s]) : 1.0;
+      }
+    }
+    const double dn2 = inv[n2];
+    {
+      const double* const qp = win.q_row(n2 - 1);
+      for (std::size_t s = 0; s < L; ++s) {
+        qr[s] = qp[s] * adjust[L + s] * dn2;
+      }
+    }
+    for (std::size_t s = 0; s < L; ++s) {
+      if (out_of_range(qr[s])) {
+        // Column-0 rescale: only q[row] exists in this row so far; fold
+        // omega into the lane's cross-row factors for the phases below.
+        const double omega = 1.0 / qr[s];
+        qr[s] *= omega;
+        rls[n2 * L + s] += std::log(omega);
+        for (unsigned d = 1; d <= max_a; ++d) {
+          adjust[d * L + s] *= omega;
+        }
+        ++events[s];
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = parts[0]->bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const double* const qin = win.q_row(n2 - a);
+      const double* const vin = win.v_row(b, n2 - a);
+      double* const vb = win.v_row(b, n2);
+      const double* const x = lc.bx.data() + b * L;
+      const double* const adj = adjust.data() + a * L;
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        const std::size_t in = j * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          vb[o + s] = adj[s] * (qin[in + s] + x[s] * vin[in + s]);
+        }
+      }
+    }
+    for (std::size_t m = L; m < static_cast<std::size_t>(w) * L; ++m) {
+      acc[m] = 0.0;
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = parts[0]->poisson[p].a;
+      if (a >= w) {
+        continue;
+      }
+      const double* const qin = win.q_row(n2 - a);
+      const double* const adj = adjust.data() + a * L;
+      for (std::size_t s = 0; s < L; ++s) {
+        padj[s] = lc.pcoeff[p * L + s] * adj[s];
+      }
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        const std::size_t in = j * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          acc[o + s] += padj[s] * qin[in + s];
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = parts[0]->bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const double* const vb = win.v_row(b, n2);
+      const double* const c = lc.bcoeff.data() + b * L;
+      const std::size_t count = w - a;
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t o = (static_cast<std::size_t>(a) + j) * L;
+        XBAR_PRAGMA_SIMD
+        for (std::size_t s = 0; s < L; ++s) {
+          acc[o + s] += c[s] * vb[o + s];
+        }
+      }
+    }
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      const double d = inv[n1];
+      const std::size_t o = static_cast<std::size_t>(n1) * L;
+      const std::size_t prev = o - L;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t s = 0; s < L; ++s) {
+        qr[o + s] = (qr[prev + s] + acc[o + s]) * d;
+      }
+      for (std::size_t s = 0; s < L; ++s) {
+        if (out_of_range(qr[o + s])) {
+          const double omega = 1.0 / qr[o + s];
+          for (std::size_t m = 0; m <= static_cast<std::size_t>(n1); ++m) {
+            qr[m * L + s] *= omega;
+          }
+          for (std::size_t b = 0; b < B; ++b) {
+            double* const vb = win.v_row(b, n2);
+            for (std::size_t m = 0; m < w; ++m) {
+              vb[m * L + s] *= omega;
+            }
+          }
+          for (unsigned m = n1 + 1; m < w; ++m) {
+            acc[static_cast<std::size_t>(m) * L + s] *= omega;
+          }
+          rls[n2 * L + s] += std::log(omega);
+          ++events[s];
+        }
+      }
+    }
+    finish_row(n2);
+  }
+  for (std::size_t s = 0; s < L; ++s) {
+    degen[s] = bad[s] != 0.0 ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Algorithm1BatchSolver::lane_backend(Algorithm1Backend backend) noexcept {
+  return backend == Algorithm1Backend::kDoubleDynamicScaling ||
+         backend == Algorithm1Backend::kDoubleRaw;
+}
+
+Algorithm1BatchSolver::Algorithm1BatchSolver(std::vector<CrossbarModel> models,
+                                             Algorithm1Options options) {
+  if (models.empty()) {
+    raise(ErrorKind::kConfig, "batch solve requires at least one scenario");
+  }
+  const Dims dims = models[0].dims();
+  for (const auto& m : models) {
+    if (m.dims().n1 != dims.n1 || m.dims().n2 != dims.n2) {
+      raise(ErrorKind::kConfig,
+            "batch solve requires all scenarios to share one Dims");
+    }
+  }
+  const std::size_t n = models.size();
+  solvers_.resize(n);
+  batched_.assign(n, false);
+
+  std::vector<ClassPartition> parts;
+  parts.reserve(n);
+  for (const auto& m : models) {
+    parts.push_back(alg1::partition_classes(m));
+  }
+
+  if (lane_backend(options.backend)) {
+    std::map<std::vector<unsigned>, std::vector<std::size_t>> groups;
+    for (std::size_t s = 0; s < n; ++s) {
+      groups[skeleton_key(parts[s])].push_back(s);
+    }
+    for (const auto& group : groups) {
+      const std::vector<std::size_t>& lanes = group.second;
+      if (lanes.size() < 2) {
+        continue;  // nothing to amortize; the single path handles it
+      }
+      std::vector<const ClassPartition*> gparts;
+      gparts.reserve(lanes.size());
+      for (const std::size_t lane : lanes) {
+        gparts.push_back(&parts[lane]);
+      }
+      if (options.backend == Algorithm1Backend::kDoubleDynamicScaling) {
+        std::vector<unsigned> events;
+        std::vector<unsigned char> degen;
+        std::vector<DynGrids> grids =
+            fill_lanes_dynamic(dims, options, gparts, events, degen);
+        for (std::size_t k = 0; k < lanes.size(); ++k) {
+          const std::size_t lane = lanes[k];
+          auto impl = std::make_unique<Algorithm1Solver::Impl>(
+              std::move(models[lane]), options,
+              alg1::GridStore{std::move(grids[k])}, parts[lane].slot_of,
+              events[k], degen[k] != 0);
+          solvers_[lane].reset(new Algorithm1Solver(std::move(impl)));
+          batched_[lane] = true;
+        }
+      } else {
+        std::vector<unsigned char> degen;
+        std::vector<Grids<double>> grids = fill_lanes_raw(dims, gparts, degen);
+        for (std::size_t k = 0; k < lanes.size(); ++k) {
+          const std::size_t lane = lanes[k];
+          auto impl = std::make_unique<Algorithm1Solver::Impl>(
+              std::move(models[lane]), options,
+              alg1::GridStore{std::move(grids[k])}, parts[lane].slot_of, 0u,
+              degen[k] != 0);
+          solvers_[lane].reset(new Algorithm1Solver(std::move(impl)));
+          batched_[lane] = true;
+        }
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (solvers_[s] == nullptr) {
+      solvers_[s] =
+          std::make_unique<Algorithm1Solver>(std::move(models[s]), options);
+    }
+  }
+}
+
+Algorithm1BatchSolver::~Algorithm1BatchSolver() = default;
+Algorithm1BatchSolver::Algorithm1BatchSolver(Algorithm1BatchSolver&&) noexcept =
+    default;
+Algorithm1BatchSolver& Algorithm1BatchSolver::operator=(
+    Algorithm1BatchSolver&&) noexcept = default;
+
+std::size_t Algorithm1BatchSolver::batch_size() const noexcept {
+  return solvers_.size();
+}
+
+const Algorithm1Solver& Algorithm1BatchSolver::solver(std::size_t s) const {
+  assert(s < solvers_.size() && solvers_[s] != nullptr);
+  return *solvers_[s];
+}
+
+Measures Algorithm1BatchSolver::solve(std::size_t s) const {
+  return solver(s).solve();
+}
+
+Measures Algorithm1BatchSolver::solve_at(std::size_t s, Dims at) const {
+  return solver(s).solve_at(at);
+}
+
+bool Algorithm1BatchSolver::degenerate(std::size_t s) const {
+  return solver(s).degenerate();
+}
+
+unsigned Algorithm1BatchSolver::scaling_events(std::size_t s) const {
+  return solver(s).scaling_events();
+}
+
+bool Algorithm1BatchSolver::lane_batched(std::size_t s) const {
+  assert(s < batched_.size());
+  return batched_[s];
+}
+
+std::unique_ptr<Algorithm1Solver> Algorithm1BatchSolver::extract(
+    std::size_t s) {
+  assert(s < solvers_.size() && solvers_[s] != nullptr);
+  return std::move(solvers_[s]);
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,83 @@
+// Batched Algorithm 1: advance B scenarios that share one `Dims` through a
+// single grid traversal.
+//
+// The phase-B chain Q(n1) = (Q(n1-1) + acc) / n1 is loop-carried, so a
+// single solve cannot vectorize it — but the chains of different scenarios
+// are independent.  The batch kernel stores the grids scenario-major
+// (lane-interleaved: element s of cell c lives at `c * L + s`), which turns
+// every phase — including the chain — into stride-1 loops across lanes that
+// vectorize and pipeline.  Per-lane arithmetic is the exact op sequence of
+// the single-scenario kernel, so de-interleaving lane s reproduces the
+// single solve of scenario s bit for bit (double backends).
+//
+// Scenarios are grouped by "class skeleton" (the sorted bandwidth sequences
+// of the Poisson and bursty class sets): lanes in a group share loop bounds
+// and activation prefixes and differ only in per-class constants.  Lanes
+// whose skeleton is unique in the batch, and all lanes under backends with
+// non-trivial cell types (ScaledFloat, long double, log-domain), fall back
+// to ordinary single solves — results are identical either way, the batch
+// is purely a throughput optimization for the double backends.
+//
+// After the fill, each lane is de-interleaved into a regular
+// `Algorithm1Solver`, so every query (subsystem measures, log Q, degeneracy)
+// behaves exactly like the single-scenario path, and `extract()` lets the
+// sweep-tier `SolverCache` adopt the solvers for later warm hits.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+class Algorithm1BatchSolver {
+ public:
+  /// Solves every scenario up front (one traversal per skeleton group).
+  /// All models must share the same `Dims`; raises ErrorKind::kConfig
+  /// otherwise or for an empty batch.
+  explicit Algorithm1BatchSolver(std::vector<CrossbarModel> models,
+                                 Algorithm1Options options = {});
+  ~Algorithm1BatchSolver();
+
+  Algorithm1BatchSolver(Algorithm1BatchSolver&&) noexcept;
+  Algorithm1BatchSolver& operator=(Algorithm1BatchSolver&&) noexcept;
+  Algorithm1BatchSolver(const Algorithm1BatchSolver&) = delete;
+  Algorithm1BatchSolver& operator=(const Algorithm1BatchSolver&) = delete;
+
+  [[nodiscard]] std::size_t batch_size() const noexcept;
+
+  /// The per-scenario solver (valid until extract()).
+  [[nodiscard]] const Algorithm1Solver& solver(std::size_t s) const;
+
+  /// Measures of scenario `s` at its full dimensions.
+  [[nodiscard]] Measures solve(std::size_t s) const;
+
+  /// Measures of scenario `s` at a subsystem.
+  [[nodiscard]] Measures solve_at(std::size_t s, Dims at) const;
+
+  [[nodiscard]] bool degenerate(std::size_t s) const;
+  [[nodiscard]] unsigned scaling_events(std::size_t s) const;
+
+  /// True iff the scenarios of lane `s` were advanced through the
+  /// lane-interleaved kernel (as opposed to a single-solve fallback).
+  [[nodiscard]] bool lane_batched(std::size_t s) const;
+
+  /// Transfers ownership of scenario `s`'s solver (at most once per lane;
+  /// the lane's other accessors become invalid afterwards).
+  [[nodiscard]] std::unique_ptr<Algorithm1Solver> extract(std::size_t s);
+
+  /// True iff `backend` has a lane-interleaved kernel (the double
+  /// backends); other backends solve lane by lane.
+  [[nodiscard]] static bool lane_backend(Algorithm1Backend backend) noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Algorithm1Solver>> solvers_;
+  std::vector<bool> batched_;
+};
+
+}  // namespace xbar::core

@@ -1,0 +1,648 @@
+// Internals of Algorithm 1, shared by the single-scenario solver
+// (algorithm1.cpp) and the batched solver (algorithm1_batch.cpp).  Not part
+// of the public API — include only from those translation units and tests
+// that need white-box access.
+//
+// The grid fill is phase-structured per row so the hot loops are stride-1
+// elementwise passes the compiler can vectorize (see numeric/simd.hpp):
+//
+//   phase V  — for each active bursty class, V(n1, n2) = Q(n1-a, n2-a) +
+//              x V(n1-a, n2-a) across the row: pure elementwise reads from
+//              finished rows, vectorizable.
+//   phase A  — per-class contribution accumulator acc[n1] built by one
+//              elementwise pass per active class: vectorizable.
+//   phase B  — the loop-carried chain Q(n1) = (Q(n1-1) + acc[n1]) / n1,
+//              the only part that must stay scalar.
+//
+// Classes activate when min(n1, n2) >= a_r; the n2 condition is the sorted
+// active prefix (np/nb), the n1 condition is each class's loop starting at
+// n1 = a_r, so no per-cell guard remains anywhere.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/model.hpp"
+#include "numeric/arena.hpp"
+#include "numeric/combinatorics.hpp"
+#include "numeric/log_domain.hpp"
+#include "numeric/scaled_float.hpp"
+#include "numeric/simd.hpp"
+
+namespace xbar::core::alg1 {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+// Small adapter so one kernel serves ScaledFloat, long double and double.
+template <typename Real>
+struct RealOps {
+  static Real from_double(double v) { return static_cast<Real>(v); }
+  static double log_of(Real v) {
+    if (v == Real(0)) {
+      return kNegInf;
+    }
+    if (v < Real(0)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return static_cast<double>(std::log(v));
+  }
+  static bool positive_finite(Real v) {
+    return std::isfinite(v) && v > Real(0);
+  }
+  /// Valid V-plane entry: finite and non-negative (zero means "subsystem too
+  /// small", which is legitimate; negative means the Bernoulli V-recursion
+  /// cancelled catastrophically).
+  static bool finite_nonneg(Real v) {
+    return std::isfinite(v) && v >= Real(0);
+  }
+};
+
+template <>
+struct RealOps<num::SignedLog> {
+  static num::SignedLog from_double(double v) { return num::SignedLog{v}; }
+  static double log_of(const num::SignedLog& v) {
+    if (v.is_zero()) {
+      return kNegInf;
+    }
+    // Negative values (catastrophic cancellation in the Bernoulli
+    // V-recursion) surface as NaN so degeneracy detection catches them.
+    return v.log();
+  }
+  static bool positive_finite(const num::SignedLog& v) {
+    return v.sign() > 0 && !std::isnan(v.log_magnitude()) &&
+           v.log_magnitude() < std::numeric_limits<double>::infinity();
+  }
+  static bool finite_nonneg(const num::SignedLog& v) {
+    if (v.is_zero()) {
+      return true;
+    }
+    return positive_finite(v);
+  }
+};
+
+template <>
+struct RealOps<num::ScaledFloat> {
+  static num::ScaledFloat from_double(double v) {
+    return num::ScaledFloat{v};
+  }
+  static double log_of(const num::ScaledFloat& v) {
+    if (v.is_zero()) {
+      return kNegInf;
+    }
+    if (v.sign() < 0) {
+      // Only reachable through catastrophic cancellation in the Bernoulli
+      // V-recursion; surfaces as NaN so degeneracy detection catches it.
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return v.log();
+  }
+  static bool positive_finite(const num::ScaledFloat& v) {
+    return v.sign() > 0 && std::isfinite(v.mantissa());
+  }
+  static bool finite_nonneg(const num::ScaledFloat& v) {
+    return v.sign() >= 0 && std::isfinite(v.mantissa());
+  }
+};
+
+// The classes, split once into the paper's R1 (Poisson) and R2 (bursty)
+// sets and sorted by bandwidth, with everything the inner loops need
+// hoisted out of the grid sweep.  `slot_of` maps an original class index to
+// its V plane in the SoA block (kNoSlot for Poisson classes).
+struct PoissonConst {
+  unsigned a = 1;
+  double coeff = 0.0;  // a * rho
+};
+
+struct BurstyConst {
+  unsigned a = 1;
+  double coeff = 0.0;   // a * rho
+  double x = 0.0;       // beta/mu
+  std::size_t cls = 0;  // original class index
+};
+
+struct ClassPartition {
+  std::vector<PoissonConst> poisson;  // sorted by a
+  std::vector<BurstyConst> bursty;    // sorted by a
+  std::vector<std::size_t> slot_of;   // per original class index
+  unsigned max_a = 1;
+};
+
+inline ClassPartition partition_classes(const CrossbarModel& model) {
+  ClassPartition p;
+  p.slot_of.assign(model.num_classes(), kNoSlot);
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const NormalizedClass& c = model.normalized(r);
+    const double coeff = static_cast<double>(c.bandwidth) * c.rho();
+    if (c.is_poisson()) {
+      p.poisson.push_back(PoissonConst{c.bandwidth, coeff});
+    } else {
+      p.bursty.push_back(BurstyConst{c.bandwidth, coeff, c.x(), r});
+    }
+    p.max_a = std::max(p.max_a, c.bandwidth);
+  }
+  const auto by_a = [](const auto& l, const auto& r) { return l.a < r.a; };
+  std::stable_sort(p.poisson.begin(), p.poisson.end(), by_a);
+  std::stable_sort(p.bursty.begin(), p.bursty.end(), by_a);
+  for (std::size_t b = 0; b < p.bursty.size(); ++b) {
+    p.slot_of[p.bursty[b].cls] = b;
+  }
+  return p;
+}
+
+// Raw recurrence output, arena-backed (numeric/arena.hpp) so repeated
+// solves recycle the same blocks.  Logs are NOT materialized here: a
+// full-plane log snapshot costs one log() per cell — comparable to the
+// recurrence itself for the double backends — while measure queries only
+// ever touch a handful of cells.  The solver keeps the raw grids and takes
+// logs on demand.
+template <typename Real>
+struct Grids {
+  using real_type = Real;
+  num::ArenaBuffer<Real> q;  // (N1+1) x (N2+1), row-major in n2
+  num::ArenaBuffer<Real> v;  // bursty V planes, slot-major SoA
+};
+
+struct DynGrids {
+  num::ArenaBuffer<double> q;
+  num::ArenaBuffer<double> v;
+  num::ArenaBuffer<double> row_log_scale;  // stored = true * exp(scale)
+};
+
+using GridStore = std::variant<Grids<num::ScaledFloat>, Grids<long double>,
+                               Grids<double>, Grids<num::SignedLog>, DynGrids>;
+
+// Phase-structured kernel in the chosen Real arithmetic.  The bursty V
+// grids live in one contiguous slot-major SoA block so the per-class passes
+// walk dense memory.
+template <typename Real>
+Grids<Real> build_grid(const CrossbarModel& model,
+                       const ClassPartition& part) {
+  using Ops = RealOps<Real>;
+  const unsigned w = model.dims().n1 + 1;
+  const unsigned h = model.dims().n2 + 1;
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t B = part.bursty.size();
+  const std::size_t P = part.poisson.size();
+
+  Grids<Real> g;
+  g.q = num::ArenaBuffer<Real>(plane);
+  g.v = num::ArenaBuffer<Real>(B * plane);
+  Real* const q = g.q.data();
+  Real* const v = g.v.data();
+
+  // Per-class constants and small-integer divisors converted to Real
+  // exactly once.
+  std::vector<Real> pcoeff(P, Ops::from_double(0.0));
+  for (std::size_t p = 0; p < P; ++p) {
+    pcoeff[p] = Ops::from_double(part.poisson[p].coeff);
+  }
+  std::vector<Real> bcoeff(B, Ops::from_double(0.0));
+  std::vector<Real> bx(B, Ops::from_double(0.0));
+  for (std::size_t b = 0; b < B; ++b) {
+    bcoeff[b] = Ops::from_double(part.bursty[b].coeff);
+    bx[b] = Ops::from_double(part.bursty[b].x);
+  }
+  std::vector<Real> rint(std::max(w, h), Ops::from_double(0.0));
+  for (unsigned k = 0; k < rint.size(); ++k) {
+    rint[k] = Ops::from_double(k);
+  }
+  const Real zero = Ops::from_double(0.0);
+  num::ArenaBuffer<Real> accbuf(w);
+  Real* const acc = accbuf.data();
+
+  q[0] = Ops::from_double(1.0);
+  // Row 0 is the pure factorial row: Q(n1, 0) = 1/n1! (no class fits).
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    q[n1] = q[n1 - 1] / rint[n1];
+  }
+  std::size_t np = 0;  // active prefix of part.poisson (a <= n2)
+  std::size_t nb = 0;  // active prefix of part.bursty
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && part.poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && part.bursty[nb].a <= n2) {
+      ++nb;
+    }
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    // Column 0: no class fits (a >= 1 > n1), so Q(0, n2) = Q(0, n2-1)/n2.
+    q[row] = q[row - w] / rint[n2];
+
+    // Phase V: each active bursty class reads the finished diagonal row
+    // (n1 - a, n2 - a) elementwise.
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const std::size_t base = static_cast<std::size_t>(n2 - a) * w;
+      Real* const vb = v + b * plane;
+      const Real x = bx[b];
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        vb[row + a + j] = q[base + j] + x * vb[base + j];
+      }
+    }
+
+    // Phase A: per-class contributions, one elementwise pass per class.
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      acc[n1] = zero;
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = part.poisson[p].a;
+      if (a >= w) {
+        continue;
+      }
+      const std::size_t base = static_cast<std::size_t>(n2 - a) * w;
+      const Real c = pcoeff[p];
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        acc[a + j] += c * q[base + j];
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const Real* const vb = v + b * plane;
+      const Real c = bcoeff[b];
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        acc[a + j] += c * vb[row + a + j];
+      }
+    }
+
+    // Phase B: the loop-carried chain.
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      q[row + n1] = (q[row + n1 - 1] + acc[n1]) / rint[n1];
+    }
+  }
+  return g;
+}
+
+// The paper's §6 backend: IEEE double with explicit dynamic scaling.  Each
+// row carries a cumulative log scale; rows are renormalized whenever their
+// newest entry leaves [scale_low, scale_high].  References to earlier rows
+// are adjusted by the scale difference, and the on-demand log accessor
+// subtracts the row scale so measures are unaffected — the paper's
+// observation that "the scaling factor does not affect the performance
+// measure results".
+//
+// The cross-row factors exp(scale[n2] - scale[n2 - d]) are computed once
+// per row for every back-reference distance d.  A rescale by omega during
+// the phase-B chain multiplies the finished prefix of the Q row, the
+// already-computed V rows and the pending acc tail; a rescale at column 0
+// additionally folds omega into the cached cross-row factors, which the
+// phase V/A passes still need.  Divisions by n1 are replaced with
+// multiplications by a precomputed reciprocal table: the division sat on
+// the loop-carried Q(n1-1, n2) chain and dominated the fill latency.
+inline DynGrids build_grid_dynamic_scaling(const CrossbarModel& model,
+                                           const Algorithm1Options& opts,
+                                           const ClassPartition& part,
+                                           unsigned& scaling_events) {
+  const unsigned w = model.dims().n1 + 1;
+  const unsigned h = model.dims().n2 + 1;
+  const std::size_t plane = static_cast<std::size_t>(w) * h;
+  const std::size_t B = part.bursty.size();
+  const std::size_t P = part.poisson.size();
+
+  DynGrids g;
+  g.q = num::ArenaBuffer<double>(plane);
+  g.v = num::ArenaBuffer<double>(B * plane);
+  g.row_log_scale = num::ArenaBuffer<double>(h);
+  double* const q = g.q.data();
+  double* const v = g.v.data();
+  double* const rls = g.row_log_scale.data();
+
+  std::vector<double> inv(std::max(w, h), 0.0);
+  for (unsigned k = 1; k < inv.size(); ++k) {
+    inv[k] = 1.0 / k;
+  }
+  const unsigned max_a = part.max_a;
+  std::vector<double> adjust(static_cast<std::size_t>(max_a) + 1, 1.0);
+  num::ArenaBuffer<double> accbuf(w);
+  double* const acc = accbuf.data();
+
+  const auto out_of_range = [&](double qval) {
+    return !(!(qval > 0.0) ||
+             (qval <= opts.scale_high && qval >= opts.scale_low));
+  };
+
+  q[0] = 1.0;
+  for (unsigned n1 = 1; n1 < w; ++n1) {
+    q[n1] = q[n1 - 1] * inv[n1];
+    if (out_of_range(q[n1])) {
+      const double omega = 1.0 / q[n1];
+      for (unsigned m = 0; m <= n1; ++m) {
+        q[m] *= omega;
+      }
+      rls[0] += std::log(omega);
+      ++scaling_events;
+    }
+  }
+  std::size_t np = 0;
+  std::size_t nb = 0;
+  for (unsigned n2 = 1; n2 < h; ++n2) {
+    while (np < P && part.poisson[np].a <= n2) {
+      ++np;
+    }
+    while (nb < B && part.bursty[nb].a <= n2) {
+      ++nb;
+    }
+    rls[n2] = rls[n2 - 1];
+    for (unsigned d = 1; d <= max_a; ++d) {
+      adjust[d] = d <= n2 ? std::exp(rls[n2] - rls[n2 - d]) : 1.0;
+    }
+    const std::size_t row = static_cast<std::size_t>(n2) * w;
+    q[row] = q[row - w] * adjust[1] * inv[n2];
+    if (out_of_range(q[row])) {
+      // Column-0 rescale: only q[row] exists in this row so far; fold omega
+      // into the cross-row factors the upcoming phases will use.
+      const double omega = 1.0 / q[row];
+      q[row] *= omega;
+      rls[n2] += std::log(omega);
+      for (unsigned d = 1; d <= max_a; ++d) {
+        adjust[d] *= omega;
+      }
+      ++scaling_events;
+    }
+
+    // Phase V: bring row (n2 - a) values into this row's scale.
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const std::size_t base = static_cast<std::size_t>(n2 - a) * w;
+      double* const vb = v + b * plane;
+      const double x = part.bursty[b].x;
+      const double adj = adjust[a];
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        vb[row + a + j] = adj * (q[base + j] + x * vb[base + j]);
+      }
+    }
+
+    // Phase A: per-class contributions in this row's scale.
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      acc[n1] = 0.0;
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+      const unsigned a = part.poisson[p].a;
+      if (a >= w) {
+        continue;
+      }
+      const std::size_t base = static_cast<std::size_t>(n2 - a) * w;
+      const double c = part.poisson[p].coeff * adjust[a];
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        acc[a + j] += c * q[base + j];
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      const unsigned a = part.bursty[b].a;
+      if (a >= w) {
+        continue;
+      }
+      const double* const vb = v + b * plane;
+      const double c = part.bursty[b].coeff;
+      const std::size_t count = w - a;
+      XBAR_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) {
+        acc[a + j] += c * vb[row + a + j];
+      }
+    }
+
+    // Phase B: the chain, with the paper's per-cell scaling check.  Q spans
+    // hundreds of decades even within a single row (Q ~ 1/(n1! n2!)).
+    for (unsigned n1 = 1; n1 < w; ++n1) {
+      const double qval = (q[row + n1 - 1] + acc[n1]) * inv[n1];
+      q[row + n1] = qval;
+      if (out_of_range(qval)) {
+        const double omega = 1.0 / qval;
+        for (std::size_t m = row; m <= row + n1; ++m) {
+          q[m] *= omega;
+        }
+        // The V rows are fully materialized and the acc tail was computed
+        // in the old scale: both move with the row.
+        for (std::size_t b = 0; b < B; ++b) {
+          double* const vb = v + b * plane;
+          XBAR_PRAGMA_SIMD
+          for (std::size_t m = row; m < row + w; ++m) {
+            vb[m] *= omega;
+          }
+        }
+        for (unsigned m = n1 + 1; m < w; ++m) {
+          acc[m] *= omega;
+        }
+        rls[n2] += std::log(omega);
+        ++scaling_events;
+      }
+    }
+  }
+  return g;
+}
+
+/// Degeneracy scan: Q(n) > 0 for every grid cell (the empty state always
+/// contributes 1/(n1! n2!)), so any non-positive or non-finite Q entry
+/// flags arithmetic breakdown.  V planes must be finite and non-negative:
+/// a Bernoulli-class cancellation can leave Q finite while a V plane has
+/// already gone negative, which poisons the class measures (log of a
+/// negative number) — it must be flagged too.  The scan is a comparison
+/// per cell, not a log.
+inline bool scan_degenerate(const GridStore& grids) {
+  return std::visit(
+      [](const auto& g) {
+        using G = std::decay_t<decltype(g)>;
+        if constexpr (std::is_same_v<G, DynGrids>) {
+          for (const double qv : g.q) {
+            if (!(qv > 0.0) || !std::isfinite(qv)) {
+              return true;
+            }
+          }
+          for (const double vv : g.v) {
+            if (!(vv >= 0.0) || !std::isfinite(vv)) {
+              return true;
+            }
+          }
+        } else {
+          using Ops = RealOps<typename G::real_type>;
+          for (const auto& qv : g.q) {
+            if (!Ops::positive_finite(qv)) {
+              return true;
+            }
+          }
+          for (const auto& vv : g.v) {
+            if (!Ops::finite_nonneg(vv)) {
+              return true;
+            }
+          }
+        }
+        return false;
+      },
+      grids);
+}
+
+}  // namespace xbar::core::alg1
+
+namespace xbar::core {
+
+struct Algorithm1Solver::Impl {
+  CrossbarModel model;
+  Algorithm1Options options;
+  alg1::GridStore grids;
+  std::vector<std::size_t> bursty_slot;  // per class; kNoSlot for Poisson
+  unsigned scaling_events = 0;
+  bool degenerate = false;
+
+  Impl(CrossbarModel m, Algorithm1Options o)
+      : model(std::move(m)), options(o) {
+    const alg1::ClassPartition part = alg1::partition_classes(model);
+    bursty_slot = part.slot_of;
+    switch (options.backend) {
+      case Algorithm1Backend::kScaledFloat:
+        grids = alg1::build_grid<num::ScaledFloat>(model, part);
+        break;
+      case Algorithm1Backend::kLongDouble:
+        grids = alg1::build_grid<long double>(model, part);
+        break;
+      case Algorithm1Backend::kDoubleRaw:
+        grids = alg1::build_grid<double>(model, part);
+        break;
+      case Algorithm1Backend::kDoubleDynamicScaling:
+        grids = alg1::build_grid_dynamic_scaling(model, options, part,
+                                                 scaling_events);
+        break;
+      case Algorithm1Backend::kLogDomain:
+        grids = alg1::build_grid<num::SignedLog>(model, part);
+        break;
+    }
+    degenerate = alg1::scan_degenerate(grids);
+  }
+
+  /// From-parts constructor for the batched solver: the grids were filled
+  /// by the lane-interleaved kernel and de-interleaved row by row, with the
+  /// degeneracy scan fused into that copy (re-scanning here would re-read
+  /// the whole grid cold).  `is_degenerate` must be the result of the same
+  /// predicates scan_degenerate applies.
+  Impl(CrossbarModel m, Algorithm1Options o, alg1::GridStore g,
+       std::vector<std::size_t> slots, unsigned events, bool is_degenerate)
+      : model(std::move(m)),
+        options(o),
+        grids(std::move(g)),
+        bursty_slot(std::move(slots)),
+        scaling_events(events),
+        degenerate(is_degenerate) {}
+
+  [[nodiscard]] std::size_t plane() const {
+    return static_cast<std::size_t>(model.dims().n1 + 1) *
+           (model.dims().n2 + 1);
+  }
+
+  [[nodiscard]] std::size_t index(unsigned n1, unsigned n2) const {
+    return static_cast<std::size_t>(n2) * (model.dims().n1 + 1) + n1;
+  }
+
+  // ln Q(at), computed on demand from the raw grid.
+  [[nodiscard]] double lq(Dims at) const {
+    assert(at.n1 <= model.dims().n1 && at.n2 <= model.dims().n2);
+    const std::size_t i = index(at.n1, at.n2);
+    return std::visit(
+        [&](const auto& g) -> double {
+          using G = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<G, alg1::DynGrids>) {
+            return std::log(g.q[i]) - g.row_log_scale[at.n2];
+          } else {
+            return alg1::RealOps<typename G::real_type>::log_of(g.q[i]);
+          }
+        },
+        grids);
+  }
+
+  // ln V(at, r); -inf when V == 0 (subsystem too small).
+  [[nodiscard]] double lv(std::size_t r, Dims at) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return alg1::kNegInf;
+    }
+    const std::size_t i = bursty_slot[r] * plane() + index(at.n1, at.n2);
+    return std::visit(
+        [&](const auto& g) -> double {
+          using G = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<G, alg1::DynGrids>) {
+            const double vv = g.v[i];
+            return vv > 0.0 ? std::log(vv) - g.row_log_scale[at.n2]
+                            : alg1::kNegInf;
+          } else {
+            return alg1::RealOps<typename G::real_type>::log_of(g.v[i]);
+          }
+        },
+        grids);
+  }
+
+  [[nodiscard]] double non_blocking_at(std::size_t r, Dims at) const {
+    const unsigned a = model.normalized(r).bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;  // the class can never fit in this subsystem
+    }
+    const double log_b = lq(Dims{at.n1 - a, at.n2 - a}) - lq(at) -
+                         num::log_falling_factorial(at.n1, a) -
+                         num::log_falling_factorial(at.n2, a);
+    return std::exp(log_b);
+  }
+
+  [[nodiscard]] double concurrency_at(std::size_t r, Dims at) const {
+    const NormalizedClass& c = model.normalized(r);
+    const unsigned a = c.bandwidth;
+    if (at.n1 < a || at.n2 < a) {
+      return 0.0;
+    }
+    if (c.is_poisson()) {
+      // E_r = rho_r Q(N - a I)/Q(N)
+      return c.rho() * std::exp(lq(Dims{at.n1 - a, at.n2 - a}) - lq(at));
+    }
+    // E_r = rho_r V(N, r)/Q(N)
+    const double logv = lv(r, at);
+    if (logv == alg1::kNegInf) {
+      return 0.0;
+    }
+    return c.rho() * std::exp(logv - lq(at));
+  }
+
+  [[nodiscard]] Measures measures_at(Dims at) const {
+    Measures m;
+    const std::size_t R = model.num_classes();
+    m.per_class.resize(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      const NormalizedClass& c = model.normalized(r);
+      ClassMeasures& cm = m.per_class[r];
+      cm.non_blocking = non_blocking_at(r, at);
+      cm.blocking = 1.0 - cm.non_blocking;
+      cm.concurrency = concurrency_at(r, at);
+      cm.throughput = cm.concurrency * c.mu;
+      cm.port_usage = cm.concurrency * static_cast<double>(c.bandwidth);
+      m.revenue += c.weight * cm.concurrency;
+      m.total_throughput += cm.throughput;
+      m.utilization += cm.port_usage;
+    }
+    const unsigned cap = at.cap();
+    m.utilization = cap > 0 ? m.utilization / cap : 0.0;
+    return m;
+  }
+};
+
+}  // namespace xbar::core

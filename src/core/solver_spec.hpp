@@ -104,6 +104,7 @@ struct SolveDiagnostics {
   Dims evaluated_at;  ///< subsystem the measures were taken at
 
   bool cache_hit = false;   ///< answered from an already-built grid
+  bool batched = false;     ///< grid came from a multi-scenario batch solve
   double wall_seconds = 0;  ///< end-to-end time of this call
 
   /// Numeric-escalation record (sweep fault tolerance): every backend

@@ -1,0 +1,10 @@
+#include "numeric/arena.hpp"
+
+namespace xbar::num {
+
+ArenaPool& ArenaPool::global() {
+  static ArenaPool* pool = new ArenaPool();  // leaked: outlives all users
+  return *pool;
+}
+
+}  // namespace xbar::num

@@ -1,0 +1,230 @@
+// Reusable block pool for grid storage.
+//
+// Every Algorithm 1 solve allocates a handful of large, short-lived buffers
+// (the Q grid, the per-class V planes, scratch accumulators).  Sweeps and
+// the serving path construct thousands of solvers, so without reuse the
+// allocator traffic — page faults on first touch more than malloc itself —
+// shows up in the profile.  `ArenaPool` keeps freed blocks on a size-bucketed
+// free list and hands them back to the next solve; the per-slot
+// `SolverCache`s in src/sweep keep one pool warm per worker for the whole
+// sweep.  `ArenaBuffer<T>` is the RAII view the kernels use.
+//
+// Blocks are 64-byte aligned (cache line / widest vector on the targets we
+// care about) so the SIMD kernels never straddle an alignment boundary that
+// the scalar build would not.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xbar::num {
+
+/// Thread-safe pool of raw 64-byte-aligned blocks, bucketed by
+/// power-of-two capacity.  Blocks released back to the pool are recycled by
+/// later acquires of any size up to the block capacity (same bucket).
+/// Cached bytes are capped; releases beyond the cap free eagerly.
+class ArenaPool {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  struct Stats {
+    std::size_t acquires = 0;    ///< total acquire() calls
+    std::size_t reuses = 0;      ///< acquires served from the free list
+    std::size_t cached_bytes = 0;
+    std::size_t cached_blocks = 0;
+  };
+
+  explicit ArenaPool(std::size_t max_cached_bytes = std::size_t{256} << 20)
+      : max_cached_bytes_(max_cached_bytes) {}
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  ~ArenaPool() { trim(); }
+
+  /// Process-wide pool, used when a buffer is not told otherwise.
+  static ArenaPool& global();
+
+  /// A block of at least `bytes` capacity.  The returned capacity is the
+  /// bucket size; pass it back verbatim to release().
+  [[nodiscard]] void* acquire(std::size_t bytes, std::size_t& capacity) {
+    const std::size_t cap = bucket_of(bytes);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.acquires;
+      for (std::size_t i = free_.size(); i-- > 0;) {
+        if (free_[i].capacity == cap) {
+          void* p = free_[i].ptr;
+          free_[i] = free_.back();
+          free_.pop_back();
+          stats_.cached_bytes -= cap;
+          --stats_.cached_blocks;
+          ++stats_.reuses;
+          capacity = cap;
+          return p;
+        }
+      }
+    }
+    capacity = cap;
+    return ::operator new(cap, std::align_val_t{kAlignment});
+  }
+
+  /// Return a block obtained from acquire().  `capacity` must be the value
+  /// acquire() reported.
+  void release(void* ptr, std::size_t capacity) noexcept {
+    if (ptr == nullptr) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stats_.cached_bytes + capacity <= max_cached_bytes_) {
+        free_.push_back({ptr, capacity});
+        stats_.cached_bytes += capacity;
+        ++stats_.cached_blocks;
+        return;
+      }
+    }
+    ::operator delete(ptr, std::align_val_t{kAlignment});
+  }
+
+  /// Drop every cached block.
+  void trim() noexcept {
+    std::vector<Block> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      doomed.swap(free_);
+      stats_.cached_bytes = 0;
+      stats_.cached_blocks = 0;
+    }
+    for (const Block& b : doomed) {
+      ::operator delete(b.ptr, std::align_val_t{kAlignment});
+    }
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Block {
+    void* ptr;
+    std::size_t capacity;
+  };
+
+  /// Smallest power of two >= bytes (minimum 256): big-buffer reuse across
+  /// slightly different grid sizes with at most 2x slack.
+  static std::size_t bucket_of(std::size_t bytes) noexcept {
+    std::size_t cap = 256;
+    while (cap < bytes) {
+      cap <<= 1;
+    }
+    return cap;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Block> free_;
+  Stats stats_;
+  const std::size_t max_cached_bytes_;
+};
+
+/// Tag requesting storage without value-initialization (see ArenaBuffer).
+struct uninitialized_t {
+  explicit uninitialized_t() = default;
+};
+inline constexpr uninitialized_t uninitialized{};
+
+/// RAII typed buffer drawn from an ArenaPool.  Move-only; the element type
+/// must be trivially destructible (the pool recycles raw bytes).  Elements
+/// are value-initialized on construction, exactly like
+/// `std::vector<T>(n)` — unless the `uninitialized` tag is passed, for
+/// buffers whose every element is about to be overwritten (zeroing a
+/// multi-megabyte grid that a kernel immediately fills costs a full memory
+/// sweep for nothing).
+template <typename T>
+class ArenaBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ArenaBuffer recycles raw storage");
+
+ public:
+  ArenaBuffer() noexcept = default;
+
+  explicit ArenaBuffer(std::size_t n, ArenaPool& pool = ArenaPool::global())
+      : pool_(&pool), size_(n) {
+    if (n == 0) {
+      return;
+    }
+    data_ = static_cast<T*>(pool_->acquire(n * sizeof(T), capacity_));
+    for (std::size_t i = 0; i < n; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T();
+    }
+  }
+
+  ArenaBuffer(std::size_t n, uninitialized_t,
+              ArenaPool& pool = ArenaPool::global())
+      : pool_(&pool), size_(n) {
+    static_assert(std::is_trivial_v<T>,
+                  "uninitialized storage requires a trivial element type");
+    if (n == 0) {
+      return;
+    }
+    data_ = static_cast<T*>(pool_->acquire(n * sizeof(T), capacity_));
+  }
+
+  ArenaBuffer(ArenaBuffer&& other) noexcept
+      : pool_(other.pool_),
+        data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  ~ArenaBuffer() { reset(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void reset() noexcept {
+    if (data_ != nullptr) {
+      pool_->release(data_, capacity_);
+      data_ = nullptr;
+      size_ = 0;
+      capacity_ = 0;
+    }
+  }
+
+  ArenaPool* pool_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace xbar::num

@@ -10,25 +10,6 @@ constexpr double kLn2 = 0.6931471805599453094;
 constexpr double kLog10Of2 = 0.3010299956639811952;
 }  // namespace
 
-ScaledFloat::ScaledFloat(double value) {
-  assert(std::isfinite(value));
-  if (value == 0.0) {
-    return;
-  }
-  int e = 0;
-  mantissa_ = std::frexp(value, &e);  // preserves sign
-  exponent_ = e;
-}
-
-ScaledFloat ScaledFloat::from_mantissa_exp(double mantissa,
-                                           std::int64_t exp2) {
-  ScaledFloat r;
-  r.mantissa_ = mantissa;
-  r.exponent_ = exp2;
-  r.normalize();
-  return r;
-}
-
 ScaledFloat ScaledFloat::from_log(double log_value) {
   if (log_value == -std::numeric_limits<double>::infinity()) {
     return ScaledFloat{};
@@ -39,18 +20,6 @@ ScaledFloat ScaledFloat::from_log(double log_value) {
   const auto e = static_cast<std::int64_t>(std::floor(log2v));
   const double m = std::exp(log_value - static_cast<double>(e) * kLn2);
   return from_mantissa_exp(m, e);
-}
-
-void ScaledFloat::normalize() noexcept {
-  assert(std::isfinite(mantissa_));
-  if (mantissa_ == 0.0) {
-    mantissa_ = 0.0;  // normalize -0.0 too
-    exponent_ = 0;
-    return;
-  }
-  int shift = 0;
-  mantissa_ = std::frexp(mantissa_, &shift);
-  exponent_ += shift;
 }
 
 double ScaledFloat::to_double() const noexcept {
@@ -82,69 +51,6 @@ double ScaledFloat::log10() const noexcept {
     return -std::numeric_limits<double>::infinity();
   }
   return std::log10(mantissa_) + static_cast<double>(exponent_) * kLog10Of2;
-}
-
-ScaledFloat ScaledFloat::abs() const noexcept {
-  ScaledFloat r = *this;
-  r.mantissa_ = std::fabs(r.mantissa_);
-  return r;
-}
-
-ScaledFloat ScaledFloat::operator-() const noexcept {
-  ScaledFloat r = *this;
-  r.mantissa_ = -r.mantissa_;
-  return r;
-}
-
-ScaledFloat& ScaledFloat::operator+=(const ScaledFloat& rhs) noexcept {
-  if (rhs.mantissa_ == 0.0) {
-    return *this;
-  }
-  if (mantissa_ == 0.0) {
-    *this = rhs;
-    return *this;
-  }
-  // Align to the larger exponent; if the gap exceeds double precision the
-  // smaller operand vanishes, which is the mathematically correct rounding.
-  const ScaledFloat& hi = (exponent_ >= rhs.exponent_) ? *this : rhs;
-  const ScaledFloat& lo = (exponent_ >= rhs.exponent_) ? rhs : *this;
-  const std::int64_t gap = hi.exponent_ - lo.exponent_;
-  double sum = hi.mantissa_;
-  if (gap <= std::numeric_limits<double>::digits + 1) {
-    sum += std::ldexp(lo.mantissa_, -static_cast<int>(gap));
-  }
-  const std::int64_t e = hi.exponent_;
-  mantissa_ = sum;
-  exponent_ = e;
-  normalize();
-  return *this;
-}
-
-ScaledFloat& ScaledFloat::operator-=(const ScaledFloat& rhs) noexcept {
-  return *this += -rhs;
-}
-
-ScaledFloat& ScaledFloat::operator*=(const ScaledFloat& rhs) noexcept {
-  if (mantissa_ == 0.0 || rhs.mantissa_ == 0.0) {
-    mantissa_ = 0.0;
-    exponent_ = 0;
-    return *this;
-  }
-  mantissa_ *= rhs.mantissa_;  // |m| in [0.25, 1): no overflow possible
-  exponent_ += rhs.exponent_;
-  normalize();
-  return *this;
-}
-
-ScaledFloat& ScaledFloat::operator/=(const ScaledFloat& rhs) noexcept {
-  assert(!rhs.is_zero());
-  if (mantissa_ == 0.0) {
-    return *this;
-  }
-  mantissa_ /= rhs.mantissa_;  // |m| in (0.5, 2): no overflow possible
-  exponent_ -= rhs.exponent_;
-  normalize();
-  return *this;
 }
 
 std::strong_ordering operator<=>(const ScaledFloat& a,

@@ -11,9 +11,18 @@
 //
 // Values are signed: smooth (Bernoulli) traffic has beta < 0, which makes
 // the V-recursion of Algorithm 1 an alternating sum.
+//
+// The arithmetic operators are the inner loop of the default Algorithm 1
+// backend, so they live here in the header and normalize by exponent-field
+// bit manipulation instead of calling frexp()/ldexp(): for normal doubles
+// the two are bit-identical, and the libm calls (plus the out-of-line call
+// overhead) used to dominate the grid fill.  Subnormal and zero mantissas
+// take the frexp slow path.
 
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <compare>
 #include <cstdint>
@@ -21,6 +30,15 @@
 #include <limits>
 
 namespace xbar::num {
+
+namespace detail {
+
+/// 2^e as a double for e in [-1022, 1023] (always a normal value).
+[[nodiscard]] inline double pow2(int e) noexcept {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + e) << 52);
+}
+
+}  // namespace detail
 
 /// A real number `mantissa * 2^exponent` with |mantissa| in [0.5, 1) (or
 /// exactly 0).  Supports the arithmetic the model's recurrences need:
@@ -32,11 +50,20 @@ class ScaledFloat {
   constexpr ScaledFloat() noexcept = default;
 
   /// Construct from a finite double.
-  explicit ScaledFloat(double value);
+  explicit ScaledFloat(double value) noexcept {
+    mantissa_ = value;
+    normalize();
+  }
 
   /// Named constructor from `mantissa * 2^exp2`; any finite mantissa is
   /// accepted and renormalized.
-  static ScaledFloat from_mantissa_exp(double mantissa, std::int64_t exp2);
+  static ScaledFloat from_mantissa_exp(double mantissa, std::int64_t exp2) {
+    ScaledFloat r;
+    r.mantissa_ = mantissa;
+    r.exponent_ = exp2;
+    r.normalize();
+    return r;
+  }
 
   /// Named constructor for `exp(log_value)`; accepts any finite double and
   /// -inf (maps to zero).  Useful to ingest log-domain results.
@@ -69,14 +96,70 @@ class ScaledFloat {
   [[nodiscard]] double log10() const noexcept;
 
   /// Absolute value.
-  [[nodiscard]] ScaledFloat abs() const noexcept;
+  [[nodiscard]] ScaledFloat abs() const noexcept {
+    ScaledFloat r = *this;
+    r.mantissa_ = std::fabs(r.mantissa_);
+    return r;
+  }
 
-  ScaledFloat operator-() const noexcept;
+  ScaledFloat operator-() const noexcept {
+    ScaledFloat r = *this;
+    r.mantissa_ = -r.mantissa_;
+    return r;
+  }
 
-  ScaledFloat& operator+=(const ScaledFloat& rhs) noexcept;
-  ScaledFloat& operator-=(const ScaledFloat& rhs) noexcept;
-  ScaledFloat& operator*=(const ScaledFloat& rhs) noexcept;
-  ScaledFloat& operator/=(const ScaledFloat& rhs) noexcept;
+  ScaledFloat& operator+=(const ScaledFloat& rhs) noexcept {
+    if (rhs.mantissa_ == 0.0) {
+      return *this;
+    }
+    if (mantissa_ == 0.0) {
+      *this = rhs;
+      return *this;
+    }
+    // Align to the larger exponent; if the gap exceeds double precision the
+    // smaller operand vanishes, which is the mathematically correct
+    // rounding.  The gap is <= 54, so 2^-gap is a normal double and the
+    // alignment multiply is exact — identical to ldexp.
+    const ScaledFloat& hi = (exponent_ >= rhs.exponent_) ? *this : rhs;
+    const ScaledFloat& lo = (exponent_ >= rhs.exponent_) ? rhs : *this;
+    const std::int64_t gap = hi.exponent_ - lo.exponent_;
+    double sum = hi.mantissa_;
+    if (gap <= std::numeric_limits<double>::digits + 1) {
+      sum += lo.mantissa_ * detail::pow2(-static_cast<int>(gap));
+    }
+    const std::int64_t e = hi.exponent_;
+    mantissa_ = sum;
+    exponent_ = e;
+    normalize();
+    return *this;
+  }
+
+  ScaledFloat& operator-=(const ScaledFloat& rhs) noexcept {
+    return *this += -rhs;
+  }
+
+  ScaledFloat& operator*=(const ScaledFloat& rhs) noexcept {
+    if (mantissa_ == 0.0 || rhs.mantissa_ == 0.0) {
+      mantissa_ = 0.0;
+      exponent_ = 0;
+      return *this;
+    }
+    mantissa_ *= rhs.mantissa_;  // |m| in [0.25, 1): no overflow possible
+    exponent_ += rhs.exponent_;
+    normalize();
+    return *this;
+  }
+
+  ScaledFloat& operator/=(const ScaledFloat& rhs) noexcept {
+    assert(!rhs.is_zero());
+    if (mantissa_ == 0.0) {
+      return *this;
+    }
+    mantissa_ /= rhs.mantissa_;  // |m| in (0.5, 2): no overflow possible
+    exponent_ -= rhs.exponent_;
+    normalize();
+    return *this;
+  }
 
   friend ScaledFloat operator+(ScaledFloat a, const ScaledFloat& b) noexcept {
     a += b;
@@ -108,7 +191,28 @@ class ScaledFloat {
   static double ratio(const ScaledFloat& a, const ScaledFloat& b) noexcept;
 
  private:
-  void normalize() noexcept;
+  void normalize() noexcept {
+    assert(std::isfinite(mantissa_));
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(mantissa_);
+    const std::uint64_t field = (bits >> 52) & 0x7FFu;
+    if (field == 0) {
+      // Zero (normalize -0.0 too) or subnormal: the rare slow path.
+      if (mantissa_ == 0.0) {
+        mantissa_ = 0.0;
+        exponent_ = 0;
+        return;
+      }
+      int shift = 0;
+      mantissa_ = std::frexp(mantissa_, &shift);
+      exponent_ += shift;
+      return;
+    }
+    // Normal double: frexp is exactly "set the exponent field to 1022"
+    // (|m| lands in [0.5, 1)) plus the field's distance from 1022.
+    exponent_ += static_cast<std::int64_t>(field) - 1022;
+    mantissa_ = std::bit_cast<double>((bits & ~(0x7FFull << 52)) |
+                                      (0x3FEull << 52));
+  }
 
   double mantissa_ = 0.0;       // 0, or |m| in [0.5, 1), sign carried here
   std::int64_t exponent_ = 0;   // value = mantissa_ * 2^exponent_

@@ -42,6 +42,7 @@ void write_diagnostics_json(JsonWriter& json,
   json.key("n2").value(d.evaluated_at.n2);
   json.end_object();
   json.key("cache_hit").value(d.cache_hit);
+  json.key("batched").value(d.batched);
   json.key("wall_seconds").value(d.wall_seconds);
   if (!d.escalation.empty()) {
     json.key("escalation").begin_array();

@@ -22,9 +22,11 @@ Method parse_method(const std::string& name) {
   if (name == "sweep") return Method::kSweep;
   if (name == "stats") return Method::kStats;
   if (name == "health") return Method::kHealth;
+  if (name == "batch") return Method::kBatch;
   raise(ErrorKind::kConfig,
         "unknown method '" + name +
-            "' (expected ping, solve, revenue, sweep, stats, or health)");
+            "' (expected ping, solve, revenue, sweep, batch, stats, or "
+            "health)");
 }
 
 /// A JSON number that must be a non-negative integer <= `bound`.
@@ -127,17 +129,7 @@ void hex_bits(std::string& out, double v) {
   out += ',';
 }
 
-/// Canonical computation fingerprint: method | solver | dims | exact class
-/// parameters (names included — they are echoed in the payload) | sizes.
-std::string canonical_key(Method method, const core::SolverSpec& solver,
-                          const core::CrossbarModel& model,
-                          const std::vector<unsigned>& sizes) {
-  std::string key;
-  key.reserve(128);
-  key += to_string(method);
-  key += '|';
-  key += solver.to_string();
-  key += '|';
+void append_model_key(std::string& key, const core::CrossbarModel& model) {
   key += std::to_string(model.dims().n1) + "x" +
          std::to_string(model.dims().n2);
   for (const core::TrafficClass& c : model.classes()) {
@@ -149,6 +141,23 @@ std::string canonical_key(Method method, const core::SolverSpec& solver,
     hex_bits(key, c.beta_tilde);
     hex_bits(key, c.mu);
     hex_bits(key, c.weight);
+  }
+}
+
+/// Canonical computation fingerprint: method | solver | per scenario its
+/// dims and exact class parameters (names included — they are echoed in
+/// the payload) | sizes.
+std::string canonical_key(Method method, const core::SolverSpec& solver,
+                          const std::vector<core::CrossbarModel>& models,
+                          const std::vector<unsigned>& sizes) {
+  std::string key;
+  key.reserve(128);
+  key += to_string(method);
+  key += '|';
+  key += solver.to_string();
+  for (const core::CrossbarModel& model : models) {
+    key += '|';
+    append_model_key(key, model);
   }
   if (!sizes.empty()) {
     key += "|sizes=";
@@ -169,6 +178,7 @@ std::string_view to_string(Method method) noexcept {
     case Method::kSweep: return "sweep";
     case Method::kStats: return "stats";
     case Method::kHealth: return "health";
+    case Method::kBatch: return "batch";
   }
   return "?";
 }
@@ -192,6 +202,25 @@ Request parse_request(std::string_view line) {
   }
   if (const JsonValue* no_cache = root.find("no_cache")) {
     req.no_cache = no_cache->as_bool();
+  }
+
+  if (req.method == Method::kBatch) {
+    const report::JsonArray& scenarios = root.at("scenarios").as_array();
+    if (scenarios.empty() || scenarios.size() > kMaxBatchScenarios) {
+      raise(ErrorKind::kConfig,
+            "scenarios must hold 1.." + std::to_string(kMaxBatchScenarios) +
+                " entries");
+    }
+    req.scenarios.reserve(scenarios.size());
+    for (const JsonValue& scenario : scenarios) {
+      req.scenarios.push_back(parse_scenario(scenario));
+    }
+    if (const JsonValue* solver = root.find("solver")) {
+      req.solver = core::SolverSpec::parse(solver->as_string());
+    }
+    req.cache_key =
+        canonical_key(req.method, req.solver, req.scenarios, req.sizes);
+    return req;
   }
 
   const bool needs_model = req.method == Method::kSolve ||
@@ -221,7 +250,7 @@ Request parse_request(std::string_view line) {
       req.sizes.push_back(n);
     }
   }
-  req.cache_key = canonical_key(req.method, req.solver, *req.model,
+  req.cache_key = canonical_key(req.method, req.solver, {*req.model},
                                 req.sizes);
   return req;
 }

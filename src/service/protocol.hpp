@@ -3,7 +3,8 @@
 // One request per line, one response line per request, connections may
 // pipeline any number of requests.  A request is a JSON object:
 //
-//   {"method": "solve" | "revenue" | "sweep" | "stats" | "ping" | "health",
+//   {"method": "solve" | "revenue" | "sweep" | "batch" | "stats" | "ping"
+//            | "health",
 //    "id": <string or number, echoed back verbatim>,        (optional)
 //    "scenario": {                                          (solve paths)
 //        "switch":  {"inputs": 64, "outputs": 64},
@@ -12,6 +13,7 @@
 //                     "bandwidth": 2, "mu": 2.0, "weight": 0.2}]},
 //    "solver": "auto",                                      (optional)
 //    "sizes": [4, 8, 16],                                   (sweep only)
+//    "scenarios": [{...}, {...}],                           (batch only)
 //    "deadline_ms": 250,                                    (optional)
 //    "no_cache": true}                                      (optional)
 //
@@ -48,9 +50,9 @@
 namespace xbar::service {
 
 enum class Method : std::uint8_t {
-  kPing, kSolve, kRevenue, kSweep, kStats, kHealth,
+  kPing, kSolve, kRevenue, kSweep, kStats, kHealth, kBatch,
 };
-inline constexpr std::size_t kMethodCount = 6;
+inline constexpr std::size_t kMethodCount = 7;
 
 /// Lowercase wire name ("ping", "solve", ...).
 [[nodiscard]] std::string_view to_string(Method method) noexcept;
@@ -59,12 +61,14 @@ inline constexpr std::size_t kMethodCount = 6;
 inline constexpr std::size_t kMaxClasses = 64;
 inline constexpr unsigned kMaxSwitchSide = 4096;
 inline constexpr std::size_t kMaxSweepSizes = 1024;
+inline constexpr std::size_t kMaxBatchScenarios = 64;
 
 /// One parsed request.
 struct Request {
   Method method = Method::kPing;
   std::string id = "null";  ///< raw JSON rendering, echoed into responses
   std::optional<core::CrossbarModel> model;  ///< solve/revenue/sweep
+  std::vector<core::CrossbarModel> scenarios;  ///< batch only
   core::SolverSpec solver;                   ///< default: auto
   std::vector<unsigned> sizes;               ///< sweep only
   double deadline_ms = 0.0;                  ///< 0 = no deadline

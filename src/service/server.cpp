@@ -336,6 +336,32 @@ std::string Server::execute(Worker& worker, const Request& request,
       json.key("diagnostics");
       report::write_diagnostics_json(json, result.diagnostics);
       json.end_object();
+    } else if (request.method == Method::kBatch) {
+      // One call through the worker's solver cache: scenarios sharing
+      // dimensions advance through a single batched grid traversal, and
+      // repeats are answered from already-built grids.
+      const std::vector<core::SolveResult> results =
+          worker.solver_cache.eval_batch_result(request.scenarios,
+                                                request.solver);
+      json.begin_object();
+      json.key("scenarios").begin_array();
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (const auto violation =
+                core::validate_measures(results[i].measures)) {
+          raise(ErrorKind::kDomain, "batch scenario " + std::to_string(i) +
+                                        " produced invalid measures: " +
+                                        *violation);
+        }
+        json.begin_object();
+        json.key("measures");
+        report::write_measures_json(json, request.scenarios[i],
+                                    results[i].measures);
+        json.key("diagnostics");
+        report::write_diagnostics_json(json, results[i].diagnostics);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
     } else if (request.method == Method::kRevenue) {
       const core::RevenueAnalyzer analyzer(*request.model);
       const core::RevenueReport rev = analyzer.analyze();

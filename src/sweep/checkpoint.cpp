@@ -127,6 +127,7 @@ void write_diagnostics(report::JsonWriter& json,
   json.key("evaluated_at");
   write_dims(json, d.evaluated_at);
   json.key("cache_hit").value(d.cache_hit);
+  json.key("batched").value(d.batched);
   json.key("wall_seconds").value(d.wall_seconds);
   json.key("escalation").begin_array();
   for (const core::NumericBackend backend : d.escalation) {
@@ -146,6 +147,10 @@ core::SolveDiagnostics read_diagnostics(const report::JsonValue& v) {
   d.grid = read_dims(v.at("grid"));
   d.evaluated_at = read_dims(v.at("evaluated_at"));
   d.cache_hit = v.at("cache_hit").as_bool();
+  // Absent in checkpoints written before the batch solver existed.
+  if (const report::JsonValue* batched = v.find("batched")) {
+    d.batched = batched->as_bool();
+  }
   d.wall_seconds = v.at("wall_seconds").as_number();
   for (const report::JsonValue& backend : v.at("escalation").as_array()) {
     d.escalation.push_back(backend_from_string(backend.as_string()));

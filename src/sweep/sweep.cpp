@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/algorithm1.hpp"
+#include "core/algorithm1_batch.hpp"
 #include "core/algorithm2.hpp"
 #include "core/error.hpp"
 #include "core/solver.hpp"
@@ -223,6 +224,146 @@ core::SolveResult SolverCache::eval_at_result(const core::CrossbarModel& model,
   return result;
 }
 
+std::vector<core::SolveResult> SolverCache::eval_batch_result(
+    const std::vector<core::CrossbarModel>& models,
+    const core::SolverSpec& spec) {
+  const auto start = Clock::now();
+  std::vector<core::SolveResult> out(models.size());
+  if (models.empty()) {
+    return out;
+  }
+
+  // The batch path covers exactly what Algorithm1BatchSolver can advance in
+  // lockstep: Algorithm 1 on a lane backend.  Anything else degrades to
+  // sequential evaluation with identical results.
+  std::vector<core::ResolvedSolver> resolved(models.size());
+  bool batchable = true;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    resolved[i] = core::resolve(spec, models[i]);
+    if (resolved[i].algorithm != core::SolverAlgorithm::kAlgorithm1 ||
+        !core::Algorithm1BatchSolver::lane_backend(
+            to_algorithm1_backend(resolved[i].backend))) {
+      batchable = false;
+    }
+  }
+  if (!batchable) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      out[i] = eval_result(models[i], spec);
+    }
+    return out;
+  }
+
+  // Pass 1: the miss set — first occurrences of keys the cache does not
+  // hold.  Duplicates and cached models are answered as hits in pass 3.
+  std::vector<CacheKey> keys(models.size());
+  std::vector<std::uint64_t> fps(models.size());
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    keys[i] = make_key(models[i], resolved[i]);
+    fps[i] = fingerprint(keys[i]);
+    bool known = false;
+    for (const Entry& e : entries_) {
+      if (e.fp == fps[i] && e.key == keys[i]) {
+        known = true;
+        break;
+      }
+    }
+    for (const std::size_t j : miss) {
+      if (fps[j] == fps[i] && keys[j] == keys[i]) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      miss.push_back(i);
+    }
+  }
+
+  // Pass 2: build every miss before inserting any of them, one batch solve
+  // per (dims, backend) group, so capacity eviction can never drop a grid
+  // that has not answered yet.
+  std::vector<Entry> built(miss.size());
+  std::vector<bool> pending(miss.size(), false);
+  {
+    std::vector<bool> taken(miss.size(), false);
+    for (std::size_t g = 0; g < miss.size(); ++g) {
+      if (taken[g]) {
+        continue;
+      }
+      std::vector<std::size_t> lanes;  // indices into `miss`
+      for (std::size_t k = g; k < miss.size(); ++k) {
+        if (!taken[k] &&
+            models[miss[k]].dims() == models[miss[g]].dims() &&
+            resolved[miss[k]] == resolved[miss[g]]) {
+          taken[k] = true;
+          lanes.push_back(k);
+        }
+      }
+      std::vector<core::CrossbarModel> group;
+      group.reserve(lanes.size());
+      for (const std::size_t k : lanes) {
+        group.push_back(models[miss[k]]);
+      }
+      core::Algorithm1Options opts;
+      opts.backend = to_algorithm1_backend(resolved[miss[g]].backend);
+      core::Algorithm1BatchSolver batch(std::move(group), opts);
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        const std::size_t k = lanes[lane];
+        const std::size_t i = miss[k];
+        Entry& e = built[k];
+        e.fp = fps[i];
+        e.key = keys[i];
+        e.built.requested = spec.algorithm;
+        e.built.algorithm = resolved[i].algorithm;
+        e.built.backend = resolved[i].backend;
+        e.built.grid = models[i].dims();
+        e.built.batched = batch.lane_batched(lane);
+        e.alg1 = batch.extract(lane);
+        if (resolved[i].fallback_on_degenerate && e.alg1->degenerate()) {
+          // kFast's rescue, per scenario: the rebuilt ScaledFloat grid is a
+          // single solve, so the entry honestly drops the batched flag.
+          e.alg1 = std::make_unique<core::Algorithm1Solver>(models[i]);
+          e.built.backend = core::NumericBackend::kScaledFloat;
+          e.built.fast_fallback = true;
+          e.built.batched = false;
+        }
+        e.built.rescales = e.alg1->scaling_events();
+        pending[k] = true;
+      }
+    }
+  }
+
+  // Pass 3: answer in input order.  A pending miss answers from its own
+  // just-built entry (counted as a miss), then moves into the cache;
+  // everything else goes through lookup() so hits stay honest.
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    std::size_t k = miss.size();
+    for (std::size_t m = 0; m < miss.size(); ++m) {
+      if (pending[m] && miss[m] == i) {
+        k = m;
+        break;
+      }
+    }
+    if (k == miss.size()) {
+      out[i] = eval_at_result(models[i], models[i].dims(), spec);
+      continue;
+    }
+    ++misses_;
+    pending[k] = false;
+    Entry& e = built[k];
+    out[i].measures = e.alg1->solve_at(models[i].dims());
+    out[i].diagnostics = e.built;
+    out[i].diagnostics.evaluated_at = models[i].dims();
+    out[i].diagnostics.cache_hit = false;
+    out[i].diagnostics.wall_seconds = seconds_since(start);
+    if (entries_.size() >= capacity_) {
+      entries_.pop_back();
+    }
+    entries_.insert(entries_.begin(), std::move(e));
+  }
+  return out;
+}
+
 core::Measures SolverCache::eval(const core::CrossbarModel& model,
                                  const core::SolverSpec& spec) {
   return eval_result(model, spec).measures;
@@ -414,6 +555,64 @@ void SweepRunner::evaluate_guarded(const std::vector<ScenarioPoint>& points,
   result.diagnostics.escalation = std::move(tried);
 }
 
+// Cut the point list into parallel tasks: a task is either one point (the
+// historical path) or a batch group — >= 2 not-yet-done points with the same
+// dims whose resolved solver is an Algorithm-1 lane backend, evaluated at
+// full dimensions, with no fault injector in play (its hooks are per-point
+// pre/post contracts).  Groups share one grid traversal through the slot
+// cache's batch path.  Grouping is deterministic in input order, and batch
+// results are bit-identical to the single path, so the report does not
+// depend on whether batching fired.
+std::vector<std::vector<std::size_t>> SweepRunner::plan_tasks(
+    const std::vector<ScenarioPoint>& points,
+    const std::vector<std::atomic<bool>>& done) const {
+  struct Group {
+    core::Dims dims;
+    core::ResolvedSolver solver;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Group> groups;
+  std::vector<std::vector<std::size_t>> tasks;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (done[i].load(std::memory_order_relaxed)) {
+      continue;  // restored from the checkpoint
+    }
+    bool groupable = false;
+    core::ResolvedSolver resolved;
+    if (!points[i].eval_at && options_.fault.injector == nullptr) {
+      try {
+        resolved = core::resolve(options_.solver, points[i].model);
+        groupable =
+            resolved.algorithm == core::SolverAlgorithm::kAlgorithm1 &&
+            core::Algorithm1BatchSolver::lane_backend(
+                to_algorithm1_backend(resolved.backend));
+      } catch (const Error&) {
+        groupable = false;  // the point path reports this properly
+      }
+    }
+    if (!groupable) {
+      tasks.push_back({i});
+      continue;
+    }
+    Group* home = nullptr;
+    for (Group& g : groups) {
+      if (g.dims == points[i].model.dims() && g.solver == resolved) {
+        home = &g;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      groups.push_back(Group{points[i].model.dims(), resolved, {}});
+      home = &groups.back();
+    }
+    home->members.push_back(i);
+  }
+  for (Group& g : groups) {
+    tasks.push_back(std::move(g.members));
+  }
+  return tasks;
+}
+
 SweepReport SweepRunner::run_impl(const std::vector<ScenarioPoint>& points,
                                   const SweepCheckpoint* checkpoint) {
   const auto start = Clock::now();
@@ -479,36 +678,83 @@ SweepReport SweepRunner::run_impl(const std::vector<ScenarioPoint>& points,
   };
 
   ensure_caches();
+  const std::vector<std::vector<std::size_t>> tasks = plan_tasks(points, done);
   pool().parallel_for(
-      n, options_.threads,
-      [&](std::size_t i, unsigned slot) {
-        if (done[i].load(std::memory_order_acquire)) {
-          return;  // restored from the checkpoint
-        }
+      tasks.size(), options_.threads,
+      [&](std::size_t t, unsigned slot) {
         SolverCache& slot_cache = cache(slot);
-        if (fault.isolate) {
-          evaluate_guarded(points, i, slot_cache, report.results[i],
-                           report.statuses[i]);
-        } else {
-          // Historical fail-fast contract: the first error aborts the sweep
-          // (rethrown by parallel_for), no guards, no retries.
-          report.results[i] =
-              solve_point(points[i], slot_cache, options_.solver, i);
-          report.statuses[i] = PointStatus{};  // kOk
-        }
-        done[i].store(true, std::memory_order_release);
-        if (fault.isolate &&
-            report.statuses[i].state == PointState::kFailed &&
-            failures.fetch_add(1, std::memory_order_relaxed) + 1 >=
-                fault.max_failures) {
-          token.request_cancel();  // the caller's copy observes this too
-        }
-        if (checkpointing) {
-          std::lock_guard<std::mutex> lk(checkpoint_mutex);
-          if (++since_checkpoint >= fault.checkpoint_every) {
-            since_checkpoint = 0;
-            snapshot_and_save();
+
+        // Point epilogue shared by both task shapes: publish, count
+        // failures toward the trip wire, tick the checkpoint cadence.
+        const auto finish = [&](std::size_t i) {
+          done[i].store(true, std::memory_order_release);
+          if (fault.isolate &&
+              report.statuses[i].state == PointState::kFailed &&
+              failures.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                  fault.max_failures) {
+            token.request_cancel();  // the caller's copy observes this too
           }
+          if (checkpointing) {
+            std::lock_guard<std::mutex> lk(checkpoint_mutex);
+            if (++since_checkpoint >= fault.checkpoint_every) {
+              since_checkpoint = 0;
+              snapshot_and_save();
+            }
+          }
+        };
+
+        const std::vector<std::size_t>& members = tasks[t];
+        if (members.size() == 1) {
+          const std::size_t i = members.front();
+          if (fault.isolate) {
+            evaluate_guarded(points, i, slot_cache, report.results[i],
+                             report.statuses[i]);
+          } else {
+            // Historical fail-fast contract: the first error aborts the
+            // sweep (rethrown by parallel_for), no guards, no retries.
+            report.results[i] =
+                solve_point(points[i], slot_cache, options_.solver, i);
+            report.statuses[i] = PointStatus{};  // kOk
+          }
+          finish(i);
+          return;
+        }
+
+        // Batch group: one traversal for every member.  Under isolation a
+        // batch error or a guard-rejected member degrades that member to
+        // the per-point guarded path (whose first rung re-reads the grid
+        // the batch just cached, then escalates as usual); without
+        // isolation errors propagate fail-fast exactly like the point path.
+        std::vector<core::CrossbarModel> group;
+        group.reserve(members.size());
+        for (const std::size_t i : members) {
+          group.push_back(points[i].model);
+        }
+        std::vector<core::SolveResult> results;
+        bool batch_ok = true;
+        if (fault.isolate) {
+          try {
+            results = slot_cache.eval_batch_result(group, options_.solver);
+          } catch (const Error&) {
+            batch_ok = false;
+          }
+        } else {
+          results = slot_cache.eval_batch_result(group, options_.solver);
+        }
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          const std::size_t i = members[m];
+          if (batch_ok && fault.isolate &&
+              core::validate_measures(results[m].measures)) {
+            evaluate_guarded(points, i, slot_cache, report.results[i],
+                             report.statuses[i]);
+          } else if (batch_ok) {
+            report.results[i] = std::move(results[m]);
+            report.statuses[i] = PointStatus{};  // kOk
+          } else {
+            evaluate_guarded(points, i, slot_cache, report.results[i],
+                             report.statuses[i]);
+          }
+          finish(i);
         }
       },
       &token);

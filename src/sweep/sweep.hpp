@@ -28,6 +28,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -84,6 +85,18 @@ class SolverCache {
   /// reusing `model`'s cached grid when present.
   core::SolveResult eval_at_result(
       const core::CrossbarModel& model, core::Dims at,
+      const core::SolverSpec& spec = core::SolverSpec::fast());
+
+  /// Solve several scenarios in one call; results[i] <-> models[i].  Models
+  /// already cached are answered as hits.  When the resolved solver is an
+  /// Algorithm-1 lane backend (the kFast default resolves to one), the
+  /// misses sharing dimensions advance through ONE grid traversal via
+  /// `core::Algorithm1BatchSolver` — bit-identical to sequential
+  /// `eval_result` calls — and their grids are cached for later hits with
+  /// `diagnostics.batched` set.  Other specs fall back to sequential
+  /// evaluation.  kFast's degeneracy rescue still applies per scenario.
+  std::vector<core::SolveResult> eval_batch_result(
+      const std::vector<core::CrossbarModel>& models,
       const core::SolverSpec& spec = core::SolverSpec::fast());
 
   /// Measures-only conveniences.
@@ -274,6 +287,9 @@ class SweepRunner {
   void evaluate_guarded(const std::vector<ScenarioPoint>& points,
                         std::size_t i, SolverCache& cache,
                         core::SolveResult& result, PointStatus& status);
+  std::vector<std::vector<std::size_t>> plan_tasks(
+      const std::vector<ScenarioPoint>& points,
+      const std::vector<std::atomic<bool>>& done) const;
 
   SweepOptions options_;
   std::vector<std::unique_ptr<SolverCache>> caches_;  // slot-indexed

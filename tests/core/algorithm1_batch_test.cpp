@@ -1,0 +1,185 @@
+// Batched-vs-single equivalence: Algorithm1BatchSolver must reproduce the
+// single-scenario solver for every backend.  For the double backends the
+// batch runs the lane-interleaved kernel whose per-lane op sequence is the
+// single kernel's — results must match BIT FOR BIT.  The remaining backends
+// fall back to per-lane single solves inside the batch, so they are
+// trivially identical, but the suite pins that contract too.
+
+#include "core/algorithm1_batch.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/error.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+namespace {
+
+// Mixed Poisson/bursty sets across bandwidths a in {1, 2, 4}, with enough
+// load variation that lanes rescale at different times.
+std::vector<CrossbarModel> mixed_scenarios(unsigned n, std::size_t count) {
+  std::vector<CrossbarModel> models;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double bump = 0.0003 * static_cast<double>(i);
+    std::vector<TrafficClass> classes;
+    classes.push_back(TrafficClass::poisson("p1", 0.01 + bump, 1));
+    classes.push_back(TrafficClass::poisson("p4", 0.002 + bump / 4, 4));
+    classes.push_back(TrafficClass::bursty("b2", 0.012 + bump, 0.005, 2));
+    classes.push_back(TrafficClass::bursty("b1", 0.02, 0.004 + bump, 1));
+    models.emplace_back(Dims::square(n), std::move(classes));
+  }
+  return models;
+}
+
+void expect_bitwise_equal(const Measures& batch, const Measures& single) {
+  ASSERT_EQ(batch.per_class.size(), single.per_class.size());
+  for (std::size_t r = 0; r < batch.per_class.size(); ++r) {
+    EXPECT_EQ(batch.per_class[r].non_blocking, single.per_class[r].non_blocking)
+        << "class " << r;
+    EXPECT_EQ(batch.per_class[r].blocking, single.per_class[r].blocking)
+        << "class " << r;
+    EXPECT_EQ(batch.per_class[r].concurrency, single.per_class[r].concurrency)
+        << "class " << r;
+    EXPECT_EQ(batch.per_class[r].throughput, single.per_class[r].throughput)
+        << "class " << r;
+  }
+  EXPECT_EQ(batch.revenue, single.revenue);
+  EXPECT_EQ(batch.total_throughput, single.total_throughput);
+  EXPECT_EQ(batch.utilization, single.utilization);
+}
+
+void expect_close(const Measures& batch, const Measures& single) {
+  ASSERT_EQ(batch.per_class.size(), single.per_class.size());
+  for (std::size_t r = 0; r < batch.per_class.size(); ++r) {
+    EXPECT_NEAR(batch.per_class[r].blocking, single.per_class[r].blocking,
+                1e-12)
+        << "class " << r;
+    EXPECT_NEAR(batch.per_class[r].concurrency,
+                single.per_class[r].concurrency,
+                1e-12 * (1.0 + std::fabs(single.per_class[r].concurrency)))
+        << "class " << r;
+  }
+  EXPECT_NEAR(batch.revenue, single.revenue,
+              1e-12 * (1.0 + std::fabs(single.revenue)));
+}
+
+class BatchBackendTest : public ::testing::TestWithParam<Algorithm1Backend> {};
+
+TEST_P(BatchBackendTest, BatchedMatchesSingle) {
+  const auto models = mixed_scenarios(48, 6);
+  Algorithm1Options opts;
+  opts.backend = GetParam();
+  Algorithm1BatchSolver batch(models, opts);
+  ASSERT_EQ(batch.batch_size(), models.size());
+  const bool bitwise = Algorithm1BatchSolver::lane_backend(opts.backend);
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    const Algorithm1Solver single(models[s], opts);
+    EXPECT_EQ(batch.degenerate(s), single.degenerate()) << "lane " << s;
+    EXPECT_EQ(batch.scaling_events(s), single.scaling_events())
+        << "lane " << s;
+    if (bitwise) {
+      EXPECT_TRUE(batch.lane_batched(s)) << "lane " << s;
+      expect_bitwise_equal(batch.solve(s), single.solve());
+      // Subsystem queries walk other grid cells — pin those too.
+      const Dims sub{24, 30};
+      expect_bitwise_equal(batch.solve_at(s, sub), single.solve_at(sub));
+      EXPECT_EQ(batch.solver(s).log_q(sub), single.log_q(sub));
+    } else {
+      EXPECT_FALSE(batch.lane_batched(s)) << "lane " << s;
+      expect_close(batch.solve(s), single.solve());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BatchBackendTest,
+    ::testing::Values(Algorithm1Backend::kScaledFloat,
+                      Algorithm1Backend::kDoubleDynamicScaling,
+                      Algorithm1Backend::kLongDouble,
+                      Algorithm1Backend::kDoubleRaw,
+                      Algorithm1Backend::kLogDomain),
+    [](const auto& info) {
+      switch (info.param) {
+        case Algorithm1Backend::kScaledFloat:
+          return "scaled";
+        case Algorithm1Backend::kDoubleDynamicScaling:
+          return "dynamic";
+        case Algorithm1Backend::kLongDouble:
+          return "long_double";
+        case Algorithm1Backend::kDoubleRaw:
+          return "raw";
+        case Algorithm1Backend::kLogDomain:
+          return "log_domain";
+      }
+      return "unknown";
+    });
+
+TEST(Algorithm1BatchTest, LargeGridsRescaleIdentically) {
+  // n = 96 drives the dynamic-scaling backend through many rescales; per
+  // lane they must fire at exactly the same cells as the single solve.
+  const auto models = mixed_scenarios(96, 4);
+  Algorithm1Options opts;
+  opts.backend = Algorithm1Backend::kDoubleDynamicScaling;
+  Algorithm1BatchSolver batch(models, opts);
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    const Algorithm1Solver single(models[s], opts);
+    EXPECT_GT(single.scaling_events(), 0u);
+    EXPECT_EQ(batch.scaling_events(s), single.scaling_events());
+    expect_bitwise_equal(batch.solve(s), single.solve());
+  }
+}
+
+TEST(Algorithm1BatchTest, HeterogeneousSkeletonsFallBackAndStillAgree) {
+  // Different class structures cannot share a traversal; lanes with a
+  // unique skeleton take the single-solve path inside the batch.
+  std::vector<CrossbarModel> models;
+  models.emplace_back(
+      Dims::square(32),
+      std::vector<TrafficClass>{TrafficClass::poisson("p", 0.01, 1)});
+  models.emplace_back(
+      Dims::square(32),
+      std::vector<TrafficClass>{TrafficClass::bursty("b", 0.01, 0.002, 2)});
+  models.emplace_back(
+      Dims::square(32),
+      std::vector<TrafficClass>{TrafficClass::poisson("p", 0.02, 1)});
+  Algorithm1Options opts;
+  opts.backend = Algorithm1Backend::kDoubleDynamicScaling;
+  Algorithm1BatchSolver batch(models, opts);
+  EXPECT_TRUE(batch.lane_batched(0));
+  EXPECT_FALSE(batch.lane_batched(1));  // unique skeleton
+  EXPECT_TRUE(batch.lane_batched(2));
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    const Algorithm1Solver single(models[s], opts);
+    expect_bitwise_equal(batch.solve(s), single.solve());
+  }
+}
+
+TEST(Algorithm1BatchTest, ExtractTransfersTheSolver) {
+  const auto models = mixed_scenarios(16, 2);
+  Algorithm1Options opts;
+  opts.backend = Algorithm1Backend::kDoubleRaw;
+  Algorithm1BatchSolver batch(models, opts);
+  const double expected = batch.solve(1).revenue;
+  std::unique_ptr<Algorithm1Solver> owned = batch.extract(1);
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(owned->solve().revenue, expected);
+}
+
+TEST(Algorithm1BatchTest, RejectsEmptyAndMismatchedDims) {
+  EXPECT_THROW(Algorithm1BatchSolver(std::vector<CrossbarModel>{}), Error);
+  std::vector<CrossbarModel> models;
+  models.emplace_back(
+      Dims::square(8),
+      std::vector<TrafficClass>{TrafficClass::poisson("p", 0.01, 1)});
+  models.emplace_back(
+      Dims::square(16),
+      std::vector<TrafficClass>{TrafficClass::poisson("p", 0.01, 1)});
+  EXPECT_THROW(Algorithm1BatchSolver{std::move(models)}, Error);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,134 @@
+// Regression tests for the degeneracy scan.
+//
+// The scan used to inspect only the Q grid.  A Bernoulli-class cancellation
+// (x = beta/mu < 0 makes the V-recursion an alternating sum) can leave a V
+// plane negative while every Q entry is still positive and finite — Q only
+// *adds* coeff * V, so a small negative V passes unnoticed — and the class
+// measures then silently evaluate log of a negative number.  The scan now
+// covers the V planes; these tests pin that.
+//
+// Reaching the cancellation through the public constructor requires a model
+// the validator rejects (smooth-traffic admissibility forces K >= N, which
+// keeps the V series first-term dominated; a randomized search over 10^5
+// admissible models produced no negative V), so the regression is pinned
+// white-box: fill healthy grids with the real kernel, poison one V entry
+// with the tiny negative value cancellation would leave, and assert the
+// scan flags what a Q-only scan misses.
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm1_internal.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel bernoulli_model(unsigned n) {
+  std::vector<TrafficClass> classes;
+  classes.push_back(TrafficClass::bursty("b", 2.0 * static_cast<double>(n),
+                                         -1.0, 1, 0.5));
+  classes.push_back(TrafficClass::poisson("p", 0.1 * n, 1));
+  return CrossbarModel(Dims::square(n), std::move(classes));
+}
+
+template <typename G>
+bool q_only_scan(const G& g) {
+  if constexpr (std::is_same_v<G, alg1::DynGrids>) {
+    for (const double qv : g.q) {
+      if (!(qv > 0.0) || !std::isfinite(qv)) {
+        return true;
+      }
+    }
+  } else {
+    using Ops = alg1::RealOps<typename G::real_type>;
+    for (const auto& qv : g.q) {
+      if (!Ops::positive_finite(qv)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(DegeneracyScanTest, NegativeVPlaneEntryIsFlaggedThoughQIsHealthy) {
+  const CrossbarModel model = bernoulli_model(12);
+  const auto part = alg1::partition_classes(model);
+  alg1::Grids<double> g = alg1::build_grid<double>(model, part);
+  ASSERT_FALSE(q_only_scan(g));
+  ASSERT_FALSE(alg1::scan_degenerate(alg1::GridStore{std::move(g)}));
+
+  // Rebuild and poison one interior V cell with the tiny negative residue a
+  // catastrophic cancellation leaves: Q stays untouched (healthy), so the
+  // old Q-only scan reports a clean grid — the regression.
+  alg1::Grids<double> bad = alg1::build_grid<double>(model, part);
+  bad.v[bad.v.size() / 2] = -1e-300;
+  EXPECT_FALSE(q_only_scan(bad));
+  EXPECT_TRUE(alg1::scan_degenerate(alg1::GridStore{std::move(bad)}));
+}
+
+TEST(DegeneracyScanTest, NonFiniteVPlaneEntryIsFlagged) {
+  const CrossbarModel model = bernoulli_model(10);
+  const auto part = alg1::partition_classes(model);
+  alg1::Grids<double> g = alg1::build_grid<double>(model, part);
+  g.v[g.v.size() - 1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(alg1::scan_degenerate(alg1::GridStore{std::move(g)}));
+}
+
+TEST(DegeneracyScanTest, DynamicScalingVPlanesAreScannedToo) {
+  const CrossbarModel model = bernoulli_model(12);
+  const auto part = alg1::partition_classes(model);
+  Algorithm1Options opts;
+  unsigned events = 0;
+  alg1::DynGrids g =
+      alg1::build_grid_dynamic_scaling(model, opts, part, events);
+  ASSERT_FALSE(alg1::scan_degenerate(alg1::GridStore{std::move(g)}));
+
+  unsigned events2 = 0;
+  alg1::DynGrids bad =
+      alg1::build_grid_dynamic_scaling(model, opts, part, events2);
+  bad.v[bad.v.size() / 3] = -4.2e-290;
+  EXPECT_FALSE(q_only_scan(bad));
+  EXPECT_TRUE(alg1::scan_degenerate(alg1::GridStore{std::move(bad)}));
+}
+
+TEST(DegeneracyScanTest, ScaledFloatNegativeVIsFlagged) {
+  const CrossbarModel model = bernoulli_model(8);
+  const auto part = alg1::partition_classes(model);
+  alg1::Grids<num::ScaledFloat> g =
+      alg1::build_grid<num::ScaledFloat>(model, part);
+  g.v[g.v.size() / 2] = num::ScaledFloat{-1e-12};
+  EXPECT_FALSE(q_only_scan(g));
+  EXPECT_TRUE(alg1::scan_degenerate(alg1::GridStore{std::move(g)}));
+}
+
+// Zero V entries are the normal "subsystem too small for this class" state
+// and must never be flagged; likewise a hard alternating Bernoulli load
+// (x close to -1) that still resolves positively.
+TEST(DegeneracyScanTest, HealthyAlternatingBernoulliIsNotFlagged) {
+  for (unsigned n : {8u, 16u, 32u}) {
+    std::vector<TrafficClass> classes;
+    // mu = 1/n makes x = beta/mu = -0.98: a maximally alternating V series.
+    classes.push_back(TrafficClass::bursty(
+        "b", static_cast<double>(n) * 0.98 * 1.02, -0.98, 1,
+        1.0 / static_cast<double>(n)));
+    const CrossbarModel model(Dims::square(n), std::move(classes));
+    for (const Algorithm1Backend backend :
+         {Algorithm1Backend::kScaledFloat, Algorithm1Backend::kDoubleRaw,
+          Algorithm1Backend::kDoubleDynamicScaling}) {
+      Algorithm1Options opts;
+      opts.backend = backend;
+      const Algorithm1Solver solver(model, opts);
+      EXPECT_FALSE(solver.degenerate())
+          << "n=" << n << " backend=" << static_cast<int>(backend);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

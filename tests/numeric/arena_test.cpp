@@ -1,0 +1,119 @@
+#include "numeric/arena.hpp"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::num {
+namespace {
+
+TEST(ArenaPoolTest, RecyclesBlocksOfTheSameBucket) {
+  ArenaPool pool;
+  std::size_t cap1 = 0;
+  void* p1 = pool.acquire(1000, cap1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_GE(cap1, 1000u);
+  pool.release(p1, cap1);
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+
+  // A same-bucket request gets the cached block back.
+  std::size_t cap2 = 0;
+  void* p2 = pool.acquire(900, cap2);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(cap2, cap1);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  pool.release(p2, cap2);
+}
+
+TEST(ArenaPoolTest, AlignmentIsCacheLine) {
+  ArenaPool pool;
+  std::size_t cap = 0;
+  void* p = pool.acquire(64, cap);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % ArenaPool::kAlignment, 0u);
+  pool.release(p, cap);
+}
+
+TEST(ArenaPoolTest, ByteCapBoundsTheCache) {
+  ArenaPool pool(/*max_cached_bytes=*/1024);
+  std::size_t cap_a = 0;
+  std::size_t cap_b = 0;
+  void* a = pool.acquire(1024, cap_a);
+  void* b = pool.acquire(1024, cap_b);
+  pool.release(a, cap_a);
+  pool.release(b, cap_b);  // over the cap: freed, not cached
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+  EXPECT_LE(pool.stats().cached_bytes, 1024u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+}
+
+TEST(ArenaBufferTest, ValueInitializesAndMoves) {
+  ArenaPool pool;
+  ArenaBuffer<double> buf(128, pool);
+  ASSERT_EQ(buf.size(), 128u);
+  for (const double v : buf) {
+    EXPECT_EQ(v, 0.0);
+  }
+  buf[7] = 3.5;
+  ArenaBuffer<double> moved = std::move(buf);
+  EXPECT_EQ(moved.size(), 128u);
+  EXPECT_EQ(moved[7], 3.5);
+  EXPECT_EQ(buf.size(), 0u);  // NOLINT(bugprone-use-after-move): pinned empty
+}
+
+TEST(ArenaBufferTest, ReleaseReturnsToPoolOnDestruction) {
+  ArenaPool pool;
+  {
+    ArenaBuffer<double> buf(256, pool);
+    EXPECT_EQ(pool.stats().cached_blocks, 0u);
+  }
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+  // The next same-sized buffer reuses the block but is still zeroed.
+  ArenaBuffer<double> again(256, pool);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  for (const double v : again) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(ArenaPoolTest, UninitializedTagSkipsZeroingButStillRecycles) {
+  ArenaPool pool;
+  {
+    ArenaBuffer<double> warm(512, pool);
+    for (double& v : warm) {
+      v = 7.0;
+    }
+  }
+  // Tagged construction takes the cached block back without touching the
+  // bytes; size/iteration behave like the zeroing ctor.
+  ArenaBuffer<double> raw(512, uninitialized, pool);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(raw.size(), 512u);
+  for (double& v : raw) {
+    v = 1.0;
+  }
+  EXPECT_EQ(raw[511], 1.0);
+}
+
+TEST(ArenaPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  ArenaPool pool;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 200; ++i) {
+        ArenaBuffer<double> buf(64 + static_cast<std::size_t>(i % 7) * 100,
+                                pool);
+        buf[0] = 1.0;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(pool.stats().acquires, 800u);
+}
+
+}  // namespace
+}  // namespace xbar::num

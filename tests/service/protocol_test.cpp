@@ -136,6 +136,41 @@ TEST(Protocol, CacheKeyIdentifiesTheComputation) {
       base);
 }
 
+TEST(Protocol, ParsesABatchOfScenarios) {
+  const Request req = parse_request(
+      R"({"method":"batch","id":3,"solver":"fast","scenarios":[)"
+      R"({"switch":{"inputs":8},"classes":[{"shape":"poisson","rho":0.4}]},)"
+      R"({"switch":{"inputs":8},"classes":[{"shape":"bursty","alpha":0.1,)"
+      R"("beta":0.05,"bandwidth":2}]}]})");
+  EXPECT_EQ(req.method, Method::kBatch);
+  ASSERT_EQ(req.scenarios.size(), 2u);
+  EXPECT_EQ(req.scenarios[0].dims().n1, 8u);
+  EXPECT_EQ(req.scenarios[1].normalized(0).bandwidth, 2u);
+  EXPECT_FALSE(req.model.has_value());
+  EXPECT_FALSE(req.cache_key.empty());
+  // Scenario order is part of the computation (results align by index).
+  const Request swapped = parse_request(
+      R"({"method":"batch","id":3,"solver":"fast","scenarios":[)"
+      R"({"switch":{"inputs":8},"classes":[{"shape":"bursty","alpha":0.1,)"
+      R"("beta":0.05,"bandwidth":2}]},)"
+      R"({"switch":{"inputs":8},"classes":[{"shape":"poisson","rho":0.4}]}]})");
+  EXPECT_NE(swapped.cache_key, req.cache_key);
+}
+
+TEST(Protocol, BatchBoundsAndMissingScenariosAreRejected) {
+  EXPECT_EQ(kind_of(R"({"method":"batch","scenarios":[]})"),
+            ErrorKind::kConfig);
+  EXPECT_EQ(kind_of(R"({"method":"batch"})"), ErrorKind::kParse);
+  std::string many = R"({"method":"batch","scenarios":[)";
+  for (std::size_t i = 0; i < kMaxBatchScenarios + 1; ++i) {
+    many += (i == 0 ? "" : ",");
+    many += R"({"switch":{"inputs":4},)"
+            R"("classes":[{"shape":"poisson","rho":0.1}]})";
+  }
+  many += "]}";
+  EXPECT_EQ(kind_of(many), ErrorKind::kConfig);
+}
+
 TEST(Protocol, RendersResponses) {
   EXPECT_EQ(render_ok("7", "{\"x\":1}", false),
             R"({"id":7,"status":"ok","cached":false,"result":{"x":1}})");

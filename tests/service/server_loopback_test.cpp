@@ -379,5 +379,47 @@ TEST(ServerLoopback, OversizedFrameIsRejectedAndTheConnectionCloses) {
   server.stop();
 }
 
+TEST(ServerLoopback, BatchSolvesScenariosSharingDimsThroughOneTraversal) {
+  Server server(test_config());
+  server.start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Two fresh same-dims scenarios (the fast solver resolves to the
+  // dynamic-scaling lane backend) batch through one traversal; the repeat
+  // of the first scenario is answered from the grid the batch just cached.
+  const std::string response = client.rpc(
+      R"({"method":"batch","id":1,"solver":"fast","scenarios":[)"
+      R"({"switch":{"inputs":12},"classes":[{"shape":"poisson","rho":0.3},)"
+      R"({"shape":"bursty","alpha":0.1,"beta":0.04,"bandwidth":2}]},)"
+      R"({"switch":{"inputs":12},"classes":[{"shape":"poisson","rho":0.35},)"
+      R"({"shape":"bursty","alpha":0.12,"beta":0.04,"bandwidth":2}]},)"
+      R"({"switch":{"inputs":12},"classes":[{"shape":"poisson","rho":0.3},)"
+      R"({"shape":"bursty","alpha":0.1,"beta":0.04,"bandwidth":2}]}]})");
+  ASSERT_NE(response.find(R"("status":"ok")"), std::string::npos) << response;
+  EXPECT_NE(response.find(R"("batched":true)"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find(R"("cache_hit":true)"), std::string::npos)
+      << response;
+
+  // Each scenario's measures match its standalone solve bit-for-bit: the
+  // solve response embeds the same serialized measures object.
+  const std::string single = client.rpc(
+      R"({"method":"solve","id":2,"solver":"fast",)"
+      R"("scenario":{"switch":{"inputs":12},)"
+      R"("classes":[{"shape":"poisson","rho":0.35},)"
+      R"({"shape":"bursty","alpha":0.12,"beta":0.04,"bandwidth":2}]}})");
+  ASSERT_NE(single.find(R"("status":"ok")"), std::string::npos) << single;
+  const auto measures_of = [](const std::string& payload, std::size_t from) {
+    const std::size_t begin = payload.find(R"("measures":)", from);
+    const std::size_t end = payload.find(R"(,"diagnostics")", begin);
+    return payload.substr(begin, end - begin);
+  };
+  const std::size_t second =
+      response.find(R"("measures":)", response.find(R"("measures":)") + 1);
+  EXPECT_EQ(measures_of(response, second), measures_of(single, 0));
+  server.stop();
+}
+
 }  // namespace
 }  // namespace xbar::service

@@ -113,5 +113,106 @@ TEST(SolverCache, CountersAreMonotonicAcrossRunAndMapCalls) {
   EXPECT_EQ(misses, second.total_misses());
 }
 
+core::CrossbarModel mixed_model(unsigned n, double bump) {
+  return core::CrossbarModel(
+      core::Dims::square(n),
+      {core::TrafficClass::poisson("p", 0.01 + bump),
+       core::TrafficClass::bursty("b", 0.012 + bump, 0.005, 2)});
+}
+
+TEST(SolverCacheBatch, BatchedMissesMatchSequentialSolvesBitForBit) {
+  const std::vector<core::CrossbarModel> models = {
+      mixed_model(24, 0.0), mixed_model(24, 0.001), mixed_model(24, 0.002)};
+  SolverCache batched(8);
+  SolverCache sequential(8);
+  const auto spec = core::SolverSpec::fast();
+  const std::vector<core::SolveResult> batch =
+      batched.eval_batch_result(models, spec);
+  ASSERT_EQ(batch.size(), models.size());
+  EXPECT_EQ(batched.misses(), 3u);
+  EXPECT_EQ(batched.hits(), 0u);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const core::SolveResult single = sequential.eval_result(models[i], spec);
+    EXPECT_EQ(batch[i].measures.revenue, single.measures.revenue) << i;
+    EXPECT_EQ(batch[i].measures.utilization, single.measures.utilization)
+        << i;
+    EXPECT_EQ(batch[i].diagnostics.backend, single.diagnostics.backend) << i;
+    EXPECT_EQ(batch[i].diagnostics.rescales, single.diagnostics.rescales)
+        << i;
+    EXPECT_TRUE(batch[i].diagnostics.batched) << i;
+    EXPECT_FALSE(batch[i].diagnostics.cache_hit) << i;
+  }
+}
+
+TEST(SolverCacheBatch, CachedModelsAnswerAsHitsAndKeepTheBatchedFlag) {
+  SolverCache cache(8);
+  const auto spec = core::SolverSpec::fast();
+  const std::vector<core::CrossbarModel> models = {mixed_model(16, 0.0),
+                                                   mixed_model(16, 0.001)};
+  (void)cache.eval_batch_result(models, spec);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Second call: everything already cached, including an in-call repeat.
+  const std::vector<core::CrossbarModel> repeat = {
+      mixed_model(16, 0.001), mixed_model(16, 0.0), mixed_model(16, 0.001)};
+  const std::vector<core::SolveResult> again =
+      cache.eval_batch_result(repeat, spec);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  for (const core::SolveResult& r : again) {
+    EXPECT_TRUE(r.diagnostics.cache_hit);
+    EXPECT_TRUE(r.diagnostics.batched);  // the answering grid was batched
+  }
+}
+
+TEST(SolverCacheBatch, NonLaneSpecsFallBackToSequentialEvaluation) {
+  SolverCache cache(8);
+  const core::SolverSpec spec{core::SolverAlgorithm::kAlgorithm1,
+                              core::NumericBackend::kScaledFloat};
+  const std::vector<core::CrossbarModel> models = {mixed_model(12, 0.0),
+                                                   mixed_model(12, 0.001)};
+  const std::vector<core::SolveResult> results =
+      cache.eval_batch_result(models, spec);
+  EXPECT_EQ(cache.misses(), 2u);
+  for (const core::SolveResult& r : results) {
+    EXPECT_FALSE(r.diagnostics.batched);
+    EXPECT_EQ(r.diagnostics.backend, core::NumericBackend::kScaledFloat);
+  }
+}
+
+TEST(SolverCacheBatch, MixedDimsSplitIntoPerDimsBatches) {
+  SolverCache cache(8);
+  const std::vector<core::CrossbarModel> models = {
+      mixed_model(12, 0.0), mixed_model(20, 0.0), mixed_model(12, 0.001),
+      mixed_model(20, 0.001)};
+  const std::vector<core::SolveResult> results =
+      cache.eval_batch_result(models, core::SolverSpec::fast());
+  EXPECT_EQ(cache.misses(), 4u);
+  SolverCache sequential(8);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_TRUE(results[i].diagnostics.batched) << i;
+    EXPECT_EQ(results[i].measures.revenue,
+              sequential.eval(models[i], core::SolverSpec::fast()).revenue)
+        << i;
+  }
+}
+
+TEST(SolverCacheBatch, CapacitySmallerThanTheBatchStillAnswersEveryModel) {
+  SolverCache cache(2);
+  std::vector<core::CrossbarModel> models;
+  for (int i = 0; i < 5; ++i) {
+    models.push_back(mixed_model(16, 0.0005 * i));
+  }
+  const std::vector<core::SolveResult> results =
+      cache.eval_batch_result(models, core::SolverSpec::fast());
+  ASSERT_EQ(results.size(), 5u);
+  SolverCache sequential(8);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(results[i].measures.revenue,
+              sequential.eval(models[i], core::SolverSpec::fast()).revenue)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace xbar::sweep

@@ -323,5 +323,62 @@ TEST(SweepRunner, FastSolverFallsBackDeterministically) {
   }
 }
 
+TEST(SweepRunner, SameDimsPointsBatchThroughOneTraversalAndStayWarm) {
+  std::vector<ScenarioPoint> points;
+  for (const double beta : {0.001, 0.002, 0.003, 0.004}) {
+    points.push_back({CrossbarModel(Dims::square(20),
+                                    {TrafficClass::poisson("p", 0.01),
+                                     TrafficClass::bursty("b", 0.01, beta)}),
+                      std::nullopt});
+  }
+  SweepOptions options;
+  options.threads = 1;  // single slot so counters and grouping are exact
+  SweepRunner runner(options);
+  const auto cold = runner.run_report(points);
+  ASSERT_EQ(cold.results.size(), points.size());
+  EXPECT_EQ(cold.total_misses(), points.size());
+
+  // Every point shares dims and the kFast lane backend, so the whole sweep
+  // was one grid traversal — and it must be bit-identical to sequential,
+  // never-batched solves.
+  SolverCache sequential(8);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(cold.results[i].diagnostics.batched) << i;
+    EXPECT_EQ(cold.statuses[i].state, PointState::kOk) << i;
+    const core::SolveResult single = sequential.eval_result(points[i].model);
+    EXPECT_EQ(cold.results[i].measures.revenue, single.measures.revenue)
+        << i;
+    EXPECT_EQ(cold.results[i].measures.utilization,
+              single.measures.utilization)
+        << i;
+    EXPECT_EQ(cold.results[i].diagnostics.rescales,
+              single.diagnostics.rescales)
+        << i;
+  }
+
+  // The warm path must still answer from the per-slot cache.
+  const auto warm = runner.run_report(points);
+  EXPECT_EQ(warm.total_hits(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(warm.results[i].diagnostics.cache_hit) << i;
+    EXPECT_EQ(warm.results[i].measures.revenue,
+              cold.results[i].measures.revenue)
+        << i;
+  }
+
+  // Isolation changes fault handling, not results: same measures, kOk.
+  SweepOptions isolated;
+  isolated.threads = 1;
+  isolated.fault.isolate = true;
+  SweepRunner guarded(isolated);
+  const auto report = guarded.run_report(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(report.statuses[i].state, PointState::kOk) << i;
+    EXPECT_EQ(report.results[i].measures.revenue,
+              cold.results[i].measures.revenue)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace xbar::sweep

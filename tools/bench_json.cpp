@@ -10,10 +10,15 @@
 //   2. Single solves: BM_Algorithm1_SizeSweep's model family on the default
 //      backend, compared against the seed-commit numbers measured on the
 //      same machine before the kernel rewrite.
+//   3. Roofline: the dynamic-scaling lane kernel per N — cells/s, bytes per
+//      cell, effective GFLOP/s and GB/s, from the kernel's per-cell op
+//      counts (see bench/perf_algorithms.cpp).
+//   4. Batched multi-scenario solves: 16 same-dims scenarios through one
+//      lane-interleaved traversal vs 16 sequential solver builds.
 //
-// Medians of repeated runs, monotonic clock.  The serial baseline is
-// re-measured in the same process as the engine numbers, so the comparison
-// is same-machine, same-load, same-flags.
+// Medians of repeated runs, monotonic clock.  Every baseline is re-measured
+// in the same process as the number it is compared against, so each
+// comparison is same-machine, same-load, same-flags.
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/algorithm1.hpp"
+#include "core/algorithm1_batch.hpp"
 #include "core/model.hpp"
 #include "core/solver.hpp"
 #include "sweep/sweep.hpp"
@@ -161,6 +167,82 @@ int main(int argc, char** argv) {
     solve_rows.push_back({row.n, row.seed_ns, ms * 1e6});
   }
 
+  // --- 4. Roofline: dynamic-scaling lane kernel per N. ---
+  //
+  // Per interior cell of the two-class family (R1 = 1 Poisson a=1, R2 = 1
+  // bursty a=2): phase V does 3 flops / 3 double accesses per bursty class,
+  // phase A 2 flops / 3 accesses per class, phase B 2 flops / 2 accesses,
+  // plus the acc clear — flops = 2 + 2 R1 + 5 R2 = 9, accesses =
+  // 3 + 3 R1 + 6 R2 = 12 doubles (96 bytes).
+  constexpr double kFlopsPerCell = 9.0;
+  constexpr double kBytesPerCell = 96.0;
+  const core::Algorithm1Options fast_opts{
+      core::Algorithm1Backend::kDoubleDynamicScaling};
+  struct RooflineRow {
+    unsigned n;
+    double ns;
+    double cells;
+  };
+  std::vector<RooflineRow> roofline_rows;
+  for (const unsigned n : {32u, 64u, 128u, 256u}) {
+    const auto model = size_sweep_model(n);
+    const int reps = n >= 128 ? 5 : 9;
+    const double ms = time_ms(
+        [&] {
+          core::Algorithm1Solver solver(model, fast_opts);
+          volatile double sink = solver.solve().per_class[0].blocking;
+          (void)sink;
+        },
+        reps);
+    roofline_rows.push_back(
+        {n, ms * 1e6, static_cast<double>(n + 1) * (n + 1)});
+  }
+
+  // --- 5. Batched multi-scenario solves: 16 lanes at N = 128. ---
+  //
+  // Two baselines.  `sequential_16_default_ms` is what the serving and
+  // sweep paths did before the batch API existed: one default-spec solve
+  // per scenario (kAuto backend).  `sequential_16_fast_ms` holds the
+  // backend fixed at the batch kernel's own dynamic-scaling flavor, so it
+  // isolates what the shared traversal alone buys over a loop of
+  // identical single solves.
+  std::vector<core::CrossbarModel> lanes;
+  for (std::size_t s = 0; s < 16; ++s) {
+    const double bump = 0.0004 * static_cast<double>(s);
+    lanes.push_back(core::CrossbarModel(
+        core::Dims::square(128),
+        {core::TrafficClass::poisson("p0", 0.01 + bump, 1),
+         core::TrafficClass::bursty("b1", 0.012 + bump, 0.005, 2)}));
+  }
+  const double batch_seq_default_ms = time_ms(
+      [&] {
+        for (const auto& m : lanes) {
+          core::Algorithm1Solver solver(m);
+          volatile double sink = solver.solve().per_class[0].blocking;
+          (void)sink;
+        }
+      },
+      7);
+  const double batch_seq_fast_ms = time_ms(
+      [&] {
+        for (const auto& m : lanes) {
+          core::Algorithm1Solver solver(m, fast_opts);
+          volatile double sink = solver.solve().per_class[0].blocking;
+          (void)sink;
+        }
+      },
+      7);
+  const double batch_ms = time_ms(
+      [&] {
+        core::Algorithm1BatchSolver batch(lanes, fast_opts);
+        volatile double sink = 0.0;
+        for (std::size_t s = 0; s < batch.batch_size(); ++s) {
+          sink = batch.solve(s).per_class[0].blocking;
+        }
+        (void)sink;
+      },
+      7);
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::perror("bench_json: fopen");
@@ -191,12 +273,39 @@ int main(int argc, char** argv) {
                  row.n, row.seed_ns, row.now_ns, row.seed_ns / row.now_ns,
                  i + 1 < solve_rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"algorithm1_roofline_dynamic_scaling\": [\n");
+  for (std::size_t i = 0; i < roofline_rows.size(); ++i) {
+    const auto& row = roofline_rows[i];
+    const double secs = row.ns * 1e-9;
+    std::fprintf(out,
+                 "    {\"n\": %u, \"now_ns\": %.0f, \"cells\": %.0f, "
+                 "\"cells_per_s\": %.3e, \"flops_per_cell\": %.0f, "
+                 "\"bytes_per_cell\": %.0f, \"gflops\": %.2f, "
+                 "\"gbytes_per_s\": %.2f}%s\n",
+                 row.n, row.ns, row.cells, row.cells / secs, kFlopsPerCell,
+                 kBytesPerCell, row.cells * kFlopsPerCell / secs * 1e-9,
+                 row.cells * kBytesPerCell / secs * 1e-9,
+                 i + 1 < roofline_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"batch_16_scenarios_n128\": {\n");
+  std::fprintf(out, "    \"sequential_16_default_ms\": %.3f,\n",
+               batch_seq_default_ms);
+  std::fprintf(out, "    \"sequential_16_fast_ms\": %.3f,\n",
+               batch_seq_fast_ms);
+  std::fprintf(out, "    \"batched_one_traversal_ms\": %.3f,\n", batch_ms);
+  std::fprintf(out, "    \"per_scenario_speedup\": %.2f,\n",
+               batch_seq_default_ms / batch_ms);
+  std::fprintf(out, "    \"same_backend_speedup\": %.2f\n",
+               batch_seq_fast_ms / batch_ms);
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s (load sweep: %.2fx cold, %.2fx warm; dim sweep: "
-              "%.2fx)\n",
+              "%.2fx; 16-lane batch: %.2fx vs default, %.2fx same-backend)\n",
               path.c_str(), serial_ms / cold_ms, serial_ms / warm_ms,
-              dim_serial_ms / dim_reuse_ms);
+              dim_serial_ms / dim_reuse_ms, batch_seq_default_ms / batch_ms,
+              batch_seq_fast_ms / batch_ms);
   return 0;
 }

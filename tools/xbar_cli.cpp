@@ -4,6 +4,10 @@
 //   xbar revenue  <scenario.ini>            W(N), shadow costs, gradients
 //   xbar simulate <scenario.ini>            discrete-event run vs analysis
 //   xbar sweep    <scenario.ini> --sizes=4,8,16,...   blocking vs N (square)
+//   xbar batch    <s1.ini> <s2.ini> ...     solve many scenarios in one go:
+//                 scenarios sharing dimensions advance through a single
+//                 batched grid traversal (one --solver spec for all;
+//                 per-scenario timing with --verbose)
 //
 // Common flags:
 //   --solver=SPEC   override the scenario's [solve] algorithm
@@ -35,7 +39,9 @@
 //
 // Scenario format: see src/config/scenario_file.hpp or examples/scenarios/.
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -60,6 +66,8 @@ using namespace xbar;
 
 int usage() {
   std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini>\n"
+               "       xbar batch <s1.ini> <s2.ini> ... [--solver=SPEC] "
+               "[--verbose] [--json]\n"
                "            [--solver=SPEC] [--verbose] [--json]\n"
                "            [--sizes=4,8,16] [--threads=N]   (sweep only)\n"
                "            [--max-failures=N] [--deadline=SECONDS]\n"
@@ -469,6 +477,83 @@ int cmd_sweep(const config::Scenario& scenario, const report::Args& args) {
   return exit_code;
 }
 
+// `xbar batch`: many scenario files, one call through the solver cache —
+// scenarios sharing dimensions (and the resolved lane backend) advance
+// through a single batched grid traversal, bit-identical to solving each
+// file alone.  One solver spec governs the whole batch: --solver if given,
+// otherwise the first scenario's [solve] section.
+int cmd_batch(const std::vector<std::string>& files,
+              const report::Args& args) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<config::Scenario> scenarios;
+  scenarios.reserve(files.size());
+  std::vector<core::CrossbarModel> models;
+  models.reserve(files.size());
+  for (const std::string& file : files) {
+    scenarios.push_back(config::load_scenario(file));
+    models.push_back(scenarios.back().model);
+  }
+  const core::SolverSpec spec = [&] {
+    if (const auto text = args.get("solver")) {
+      return core::SolverSpec::parse(*text);
+    }
+    return scenarios.front().solver;
+  }();
+
+  sweep::SolverCache cache(std::max<std::size_t>(models.size(), 8));
+  const Clock::time_point start = Clock::now();
+  const std::vector<core::SolveResult> results =
+      cache.eval_batch_result(models, spec);
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (args.has("json")) {
+    report::JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("command").value("batch");
+    json.key("solver").value(spec.to_string());
+    json.key("scenarios").begin_array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json.begin_object();
+      json.key("file").value(files[i]);
+      json.key("measures");
+      write_measures_json(json, models[i], results[i].measures);
+      json.key("diagnostics");
+      write_diagnostics_json(json, results[i].diagnostics);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("wall_seconds").value(wall_seconds);
+    json.end_object();
+    return 0;
+  }
+
+  report::Table table({"scenario", "grid", "utilization", "revenue W(N)",
+                       "batched", "wall ms"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Per-scenario wall time is cumulative from batch start to this
+    // scenario's answer (the traversal is shared, not divisible).
+    table.add_row(
+        {files[i], dims_text(results[i].diagnostics.grid),
+         report::Table::num(results[i].measures.utilization, 4),
+         report::Table::num(results[i].measures.revenue, 6),
+         results[i].diagnostics.batched ? "yes" : "no",
+         report::Table::num(results[i].diagnostics.wall_seconds * 1e3, 3)});
+  }
+  table.print(std::cout);
+  std::cout << files.size() << " scenarios in "
+            << report::Table::num(wall_seconds * 1e3, 3) << "ms ("
+            << cache.hits() << " cache hits, " << cache.misses()
+            << " solves)\n";
+  if (args.has("verbose")) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::cout << files[i] << " ";
+      print_diagnostics(results[i].diagnostics, std::cout);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -479,6 +564,16 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
   const xbar::report::Args args(argc, argv);
   try {
+    if (command == "batch") {
+      // Positionals: "batch" itself, then the scenario files.
+      const auto& positional = args.positional();
+      const std::vector<std::string> files(positional.begin() + 1,
+                                           positional.end());
+      if (files.empty()) {
+        return usage();
+      }
+      return cmd_batch(files, args);
+    }
     const auto scenario = xbar::config::load_scenario(path);
     if (command == "solve") {
       return cmd_solve(scenario, args);
