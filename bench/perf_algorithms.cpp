@@ -9,6 +9,7 @@
 #include "core/algorithm1_batch.hpp"
 #include "core/algorithm2.hpp"
 #include "core/brute_force.hpp"
+#include "core/priority.hpp"
 #include "core/revenue.hpp"
 #include "core/solver.hpp"
 #include "sweep/sweep.hpp"
@@ -179,6 +180,36 @@ BENCHMARK(BM_Algorithm1_Batch16_Batched)
     ->Arg(64)
     ->Arg(128)
     ->Unit(benchmark::kMillisecond);
+
+// --- Fabric models: what the two non-crossbar fabrics cost to solve. ---
+//
+// speedup-s is the regular Algorithm 1 machinery on an s-times-larger grid,
+// so its cost curve is the size sweep shifted by s^2; the priority CTMC is
+// a dense stationary solve over Γ(N), exponential in R like brute force.
+
+void BM_Speedup2_ScaledSolve(benchmark::State& state) {
+  const auto model =
+      model_with_classes(static_cast<unsigned>(state.range(0)), 2);
+  const auto spec =
+      core::SolverSpec::parse("algorithm1/double-dynamic@speedup-2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_result(model, spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Speedup2_ScaledSolve)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_PriorityCtmc_SizeSweep(benchmark::State& state) {
+  // Exact CTMC: small systems only, like the brute-force reference.
+  const auto model =
+      model_with_classes(static_cast<unsigned>(state.range(0)), 2);
+  for (auto _ : state) {
+    core::PriorityCtmcSolver solver(model);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_PriorityCtmc_SizeSweep)->DenseRange(2, 8, 2);
 
 void BM_BruteForce_SizeSweep(benchmark::State& state) {
   // Exponential state space: only tiny systems are feasible.

@@ -1,0 +1,240 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/state_space.hpp"
+#include "numeric/combinatorics.hpp"
+
+namespace xbar::core {
+
+namespace {
+
+// Hash of one flattened state vector, for the neighbor index map.
+struct StateKey {
+  const unsigned* data;
+  std::size_t size;
+
+  friend bool operator==(const StateKey& a, const StateKey& b) {
+    return a.size == b.size && std::equal(a.data, a.data + a.size, b.data);
+  }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (std::size_t i = 0; i < k.size; ++i) {
+      h ^= k.data[i];
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+PriorityCtmcSolver::PriorityCtmcSolver(CrossbarModel model,
+                                       PriorityOptions options)
+    : model_(std::move(model)), options_(options) {
+  const unsigned cap = model_.dims().cap();
+  bandwidths_.reserve(model_.num_classes());
+  for (const auto& cls : model_.normalized_classes()) {
+    bandwidths_.push_back(cls.bandwidth);
+  }
+  for (std::size_t r = 0; r < bandwidths_.size(); ++r) {
+    if (bandwidths_[r] + reservation(r) > cap) {
+      raise(ErrorKind::kModel,
+            "priority fabric: class " + std::to_string(r) +
+                " can never be admitted (bandwidth " +
+                std::to_string(bandwidths_[r]) + " + reservation " +
+                std::to_string(reservation(r)) + " exceeds capacity " +
+                std::to_string(cap) + ")");
+    }
+  }
+  const std::uint64_t count = count_states(bandwidths_, cap);
+  if (count > options_.max_states) {
+    raise(ErrorKind::kModel,
+          "priority fabric: state space has " + std::to_string(count) +
+              " states (limit " + std::to_string(options_.max_states) + ")");
+  }
+  states_.reserve(count * bandwidths_.size());
+  usage_.reserve(count);
+  for_each_state(bandwidths_, cap,
+                 [&](std::span<const unsigned> k, unsigned usage) {
+                   states_.insert(states_.end(), k.begin(), k.end());
+                   usage_.push_back(usage);
+                 });
+  solve_stationary();
+}
+
+unsigned PriorityCtmcSolver::reservation(std::size_t r) const noexcept {
+  return static_cast<unsigned>(r) * options_.reservation_step;
+}
+
+// Probability a class-r request arriving with u port pairs busy is
+// admitted: the arbiter gate times the chance all 2 a_r chosen ports are
+// free.
+double PriorityCtmcSolver::acceptance(std::size_t state, std::size_t r) const {
+  const unsigned u = usage_[state];
+  const unsigned a = bandwidths_[r];
+  const Dims d = model_.dims();
+  if (u + a > d.cap() - reservation(r)) {
+    return 0.0;
+  }
+  return num::falling_factorial(d.n1 - u, a) *
+         num::falling_factorial(d.n2 - u, a) /
+         (num::falling_factorial(d.n1, a) * num::falling_factorial(d.n2, a));
+}
+
+void PriorityCtmcSolver::solve_stationary() {
+  const std::size_t R = bandwidths_.size();
+  const std::size_t S = usage_.size();
+  const Dims d = model_.dims();
+
+  std::unordered_map<StateKey, std::size_t, StateKeyHash> index;
+  index.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    index.emplace(StateKey{states_.data() + s * R, R}, s);
+  }
+
+  // Sparse uniformized transition structure: per state, the birth/death
+  // targets and their CTMC rates.
+  struct Arc {
+    std::uint32_t target;
+    double rate;
+  };
+  std::vector<std::vector<Arc>> arcs(S);
+  std::vector<double> outflow(S, 0.0);
+  std::vector<unsigned> scratch(R);
+  for (std::size_t s = 0; s < S; ++s) {
+    const unsigned* k = states_.data() + s * R;
+    const unsigned u = usage_[s];
+    for (std::size_t r = 0; r < R; ++r) {
+      const NormalizedClass& cls = model_.normalized(r);
+      const unsigned a = cls.bandwidth;
+      // Birth: offered per-tuple intensity over the free ordered tuples,
+      // gated by the reservation (exactly the simulator's admission).
+      if (u + a <= d.cap() - std::min(reservation(r), d.cap())) {
+        const double free_tuples = num::falling_factorial(d.n1 - u, a) *
+                                   num::falling_factorial(d.n2 - u, a);
+        const double rate = cls.intensity(k[r]) * free_tuples;
+        if (rate > 0.0) {
+          std::copy(k, k + R, scratch.begin());
+          ++scratch[r];
+          const auto it = index.find(StateKey{scratch.data(), R});
+          if (it != index.end()) {
+            arcs[s].push_back({static_cast<std::uint32_t>(it->second), rate});
+            outflow[s] += rate;
+          }
+        }
+      }
+      // Death.
+      if (k[r] > 0) {
+        const double rate = static_cast<double>(k[r]) * cls.mu;
+        std::copy(k, k + R, scratch.begin());
+        --scratch[r];
+        const auto it = index.find(StateKey{scratch.data(), R});
+        arcs[s].push_back({static_cast<std::uint32_t>(it->second), rate});
+        outflow[s] += rate;
+      }
+    }
+  }
+
+  // Uniformize: P = I + Q/Lambda with Lambda strictly above every outflow,
+  // then power-iterate pi <- pi P.  The slack keeps a self-loop at every
+  // state, so the DTMC is aperiodic and convergence is guaranteed.
+  const double lambda =
+      1.05 * *std::max_element(outflow.begin(), outflow.end()) + 1e-9;
+  pi_.assign(S, 1.0 / static_cast<double>(S));
+  std::vector<double> next(S, 0.0);
+  for (iterations_ = 0; iterations_ < options_.max_iterations; ++iterations_) {
+    for (std::size_t s = 0; s < S; ++s) {
+      next[s] = pi_[s] * (1.0 - outflow[s] / lambda);
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      const double mass = pi_[s] / lambda;
+      for (const Arc& arc : arcs[s]) {
+        next[arc.target] += mass * arc.rate;
+      }
+    }
+    double diff = 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < S; ++s) {
+      diff += std::abs(next[s] - pi_[s]);
+      total += next[s];
+    }
+    // Renormalize each step to stop roundoff drift from accumulating.
+    for (std::size_t s = 0; s < S; ++s) {
+      pi_[s] = next[s] / total;
+    }
+    if (diff < options_.tolerance) {
+      return;
+    }
+  }
+  raise(ErrorKind::kInternal,
+        "priority CTMC stationary solve did not converge in " +
+            std::to_string(options_.max_iterations) + " iterations");
+}
+
+Measures PriorityCtmcSolver::solve() const {
+  const std::size_t R = bandwidths_.size();
+  const std::size_t S = usage_.size();
+  Measures m;
+  m.per_class.resize(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    const NormalizedClass& cls = model_.normalized(r);
+    double accept = 0.0;
+    double concurrency = 0.0;
+    for (std::size_t s = 0; s < S; ++s) {
+      accept += pi_[s] * acceptance(s, r);
+      concurrency += pi_[s] * static_cast<double>(states_[s * R + r]);
+    }
+    ClassMeasures& cm = m.per_class[r];
+    cm.non_blocking = accept;
+    cm.blocking = 1.0 - accept;
+    cm.concurrency = concurrency;
+    cm.throughput = concurrency * cls.mu;
+    cm.port_usage = concurrency * static_cast<double>(cls.bandwidth);
+    m.revenue += cls.weight * concurrency;
+    m.total_throughput += cm.throughput;
+    m.utilization += cm.port_usage;
+  }
+  m.utilization /= static_cast<double>(model_.dims().cap());
+  return m;
+}
+
+double PriorityCtmcSolver::call_congestion(std::size_t r) const {
+  const std::size_t R = bandwidths_.size();
+  const NormalizedClass& cls = model_.normalized(r);
+  double offered = 0.0;
+  double accepted = 0.0;
+  for (std::size_t s = 0; s < usage_.size(); ++s) {
+    const double rate = cls.intensity(states_[s * R + r]);
+    offered += pi_[s] * rate;
+    accepted += pi_[s] * rate * acceptance(s, r);
+  }
+  if (offered <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - accepted / offered;
+}
+
+double PriorityCtmcSolver::reservation_blocking(std::size_t r) const {
+  // Probability the arbiter gate bites where the ports alone would not:
+  // cap - t_r < u + a_r <= cap.
+  const unsigned a = bandwidths_[r];
+  const unsigned cap = model_.dims().cap();
+  const unsigned t = std::min(reservation(r), cap);
+  double p = 0.0;
+  for (std::size_t s = 0; s < usage_.size(); ++s) {
+    const unsigned u = usage_[s];
+    if (u + a > cap - t && u + a <= cap) {
+      p += pi_[s];
+    }
+  }
+  return p;
+}
+
+}  // namespace xbar::core

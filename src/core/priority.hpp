@@ -1,0 +1,99 @@
+// Priority-arbitrated admission under BPP traffic (the `priority` fabric).
+//
+// The paper's crossbar admits any request that finds a_r free inputs and
+// a_r free outputs.  NoC-style switches instead put a fixed-priority
+// arbiter in front of the fabric (Mandal et al., "Analytical Performance
+// Modeling of NoCs under Priority Arbitration and Bursty Traffic"): lower
+// priorities must leave headroom for higher ones.  We model that as
+// reservation-based admission — class r (declaration order, 0 highest)
+// additionally requires
+//
+//     u + a_r <= cap - t_r,        t_r = r * reservation_step,
+//
+// where u is the number of busy port pairs and cap = min(N1, N2).  The
+// reservation breaks the product form, so no G-ratio shortcut exists;
+// instead we solve the exact CTMC on the feasible state space Γ(N)
+// numerically (uniformization + power iteration on plain doubles — the
+// kDense backend).  Transition rates are exactly the simulator's process:
+// class-r births at per-tuple intensity lambda_r(k_r) times the number of
+// free ordered port tuples P(N1-u, a_r) P(N2-u, a_r), gated by the
+// reservation; deaths at k_r mu_r.
+//
+// With reservation_step == 0 the chain *is* the paper's crossbar process,
+// so every measure must match Algorithm 1/2 and brute force exactly —
+// that equivalence is the solver's correctness oracle in tests.
+//
+// Exponential in R like the brute-force reference, so intended for the
+// same small-system regime.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// Options for the priority CTMC solve.
+struct PriorityOptions {
+  /// Headroom (in port pairs) class r reserves for classes 0..r-1 is
+  /// r * reservation_step.  0 reproduces the plain crossbar exactly.
+  unsigned reservation_step = 1;
+
+  /// Stationary-solve convergence: stop when the L1 change of pi across one
+  /// uniformized power step drops below this.
+  double tolerance = 1e-13;
+
+  /// Hard iteration cap for the power iteration.
+  unsigned max_iterations = 500000;
+
+  /// Refuse state spaces larger than this (the chain is exponential in R).
+  std::uint64_t max_states = 2000000;
+};
+
+/// Exact CTMC solver for the priority-arbitrated crossbar.
+class PriorityCtmcSolver {
+ public:
+  explicit PriorityCtmcSolver(CrossbarModel model, PriorityOptions options = {});
+
+  /// All measures from the stationary distribution.  `blocking` is time
+  /// congestion (1 minus the stationary acceptance probability of a test
+  /// request), matching the paper's B_r convention.
+  [[nodiscard]] Measures solve() const;
+
+  /// Fraction of class-r *arrivals* blocked (call congestion) — the
+  /// quantity the simulator counts; differs from 1 - B_r for bursty
+  /// classes.
+  [[nodiscard]] double call_congestion(std::size_t r) const;
+
+  /// Stationary probability that class r's reservation gate (not port
+  /// scarcity) is what forbids admission.
+  [[nodiscard]] double reservation_blocking(std::size_t r) const;
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return usage_.size();
+  }
+
+  /// Power-iteration steps the stationary solve took.
+  [[nodiscard]] unsigned iterations() const noexcept { return iterations_; }
+
+  [[nodiscard]] const CrossbarModel& model() const noexcept { return model_; }
+
+ private:
+  [[nodiscard]] unsigned reservation(std::size_t r) const noexcept;
+  [[nodiscard]] double acceptance(std::size_t state, std::size_t r) const;
+  void solve_stationary();
+
+  CrossbarModel model_;
+  PriorityOptions options_;
+  std::vector<unsigned> bandwidths_;
+  std::vector<unsigned> states_;  ///< flattened |Γ| x R state vectors
+  std::vector<unsigned> usage_;   ///< k·A per state
+  std::vector<double> pi_;        ///< stationary distribution
+  unsigned iterations_ = 0;
+};
+
+}  // namespace xbar::core

@@ -6,6 +6,8 @@
 #include "core/algorithm2.hpp"
 #include "core/brute_force.hpp"
 #include "core/error.hpp"
+#include "core/priority.hpp"
+#include "core/speedup.hpp"
 
 namespace xbar::core {
 
@@ -24,6 +26,7 @@ Algorithm1Backend to_algorithm1_backend(NumericBackend backend) {
     case NumericBackend::kLogDomain:
       return Algorithm1Backend::kLogDomain;
     case NumericBackend::kRatio:
+    case NumericBackend::kDense:
       break;
   }
   raise(ErrorKind::kInternal,
@@ -41,18 +44,30 @@ SolveResult solve_result(const CrossbarModel& model, const SolverSpec& spec) {
   result.diagnostics.requested = spec.algorithm;
   result.diagnostics.algorithm = resolved.algorithm;
   result.diagnostics.backend = resolved.backend;
+  result.diagnostics.fabric = resolved.fabric;
   result.diagnostics.grid = model.dims();
   result.diagnostics.evaluated_at = model.dims();
+
+  // Speedup-s is solved as the paper's crossbar at the virtual dimensions
+  // (s N1, s N2) — the product form survives replication unchanged.
+  const CrossbarModel* target = &model;
+  std::optional<CrossbarModel> scaled;
+  if (resolved.fabric.kind == FabricKind::kSpeedup) {
+    scaled = speedup_scaled_model(model, resolved.fabric.speedup);
+    target = &*scaled;
+    result.diagnostics.grid = target->dims();
+    result.diagnostics.evaluated_at = target->dims();
+  }
 
   switch (resolved.algorithm) {
     case SolverAlgorithm::kAlgorithm1: {
       Algorithm1Options options;
       options.backend = to_algorithm1_backend(resolved.backend);
-      Algorithm1Solver solver(model, options);
+      Algorithm1Solver solver(*target, options);
       if (resolved.fallback_on_degenerate && solver.degenerate()) {
         // Deterministic robustness fallback: the extended-range backend.
         // Depends only on the model, never on the schedule.
-        solver = Algorithm1Solver(model);
+        solver = Algorithm1Solver(*target);
         result.diagnostics.backend = NumericBackend::kScaledFloat;
         result.diagnostics.fast_fallback = true;
       }
@@ -61,10 +76,13 @@ SolveResult solve_result(const CrossbarModel& model, const SolverSpec& spec) {
       break;
     }
     case SolverAlgorithm::kAlgorithm2:
-      result.measures = Algorithm2Solver(model).solve();
+      result.measures = Algorithm2Solver(*target).solve();
       break;
     case SolverAlgorithm::kBruteForce:
-      result.measures = BruteForceSolver(model).solve();
+      result.measures = BruteForceSolver(*target).solve();
+      break;
+    case SolverAlgorithm::kPriorityCtmc:
+      result.measures = PriorityCtmcSolver(*target).solve();
       break;
     case SolverAlgorithm::kAuto:
     case SolverAlgorithm::kFast:

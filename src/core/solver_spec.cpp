@@ -1,5 +1,8 @@
 #include "core/solver_spec.hpp"
 
+#include <array>
+#include <charconv>
+
 #include "core/error.hpp"
 
 namespace xbar::core {
@@ -16,6 +19,8 @@ std::string_view to_string(SolverAlgorithm algorithm) noexcept {
       return "algorithm2";
     case SolverAlgorithm::kBruteForce:
       return "brute";
+    case SolverAlgorithm::kPriorityCtmc:
+      return "priority-ctmc";
   }
   return "unknown";
 }
@@ -34,6 +39,8 @@ std::string_view to_string(NumericBackend backend) noexcept {
       return "ratio";
     case NumericBackend::kLogDomain:
       return "log-domain";
+    case NumericBackend::kDense:
+      return "dense";
   }
   return "unknown";
 }
@@ -42,7 +49,23 @@ namespace {
 
 constexpr std::string_view kSpecGrammar =
     "auto|fast|algorithm1[/scaled|/double-dynamic|/long-double|/double-raw|"
-    "/log-domain]|algorithm2|brute";
+    "/log-domain]|algorithm2|brute, optionally @crossbar|@speedup-<s>|"
+    "@priority";
+
+constexpr std::string_view kFabricGrammar =
+    "crossbar|speedup-<s>|priority (s in [2, 16])";
+
+constexpr std::array<FabricInfo, 3> kFabricRegistry = {{
+    {"crossbar", "crossbar",
+     "the paper's internally non-blocking crossbar (default; omitted from "
+     "canonical spec strings)"},
+    {"speedup-<s>", "speedup-2",
+     "speedup-s replicated crosspoints: every port carries s circuits "
+     "(Cogill-Lall)"},
+    {"priority", "priority",
+     "fixed-priority arbiter with per-priority capacity reservation, exact "
+     "CTMC under BPP classes (Mandal et al.)"},
+}};
 
 std::optional<NumericBackend> parse_grid_backend(std::string_view text) {
   for (const NumericBackend backend :
@@ -56,17 +79,79 @@ std::optional<NumericBackend> parse_grid_backend(std::string_view text) {
   return std::nullopt;
 }
 
+[[noreturn]] void raise_bad_fabric(std::string_view token,
+                                   std::string_view detail) {
+  std::string message = "unknown fabric '" + std::string(token) +
+                        "' (expected " + std::string(kFabricGrammar) + ")";
+  if (!detail.empty()) {
+    message += ": ";
+    message += detail;
+  }
+  raise(ErrorKind::kConfig, message);
+}
+
 }  // namespace
 
+std::span<const FabricInfo> fabric_registry() noexcept {
+  return kFabricRegistry;
+}
+
+FabricModel FabricModel::parse(std::string_view text) {
+  if (text == "crossbar") {
+    return crossbar();
+  }
+  if (text == "priority") {
+    return priority();
+  }
+  constexpr std::string_view kSpeedupPrefix = "speedup-";
+  if (text.starts_with(kSpeedupPrefix)) {
+    const std::string_view digits = text.substr(kSpeedupPrefix.size());
+    unsigned s = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), s);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      raise_bad_fabric(text, "speedup factor must be a positive integer");
+    }
+    if (s == 1) {
+      raise_bad_fabric(text, "speedup-1 is the plain crossbar; use 'crossbar'");
+    }
+    if (s < kMinSpeedup || s > kMaxSpeedup) {
+      raise_bad_fabric(text, "speedup factor out of range");
+    }
+    return speedup_s(s);
+  }
+  raise_bad_fabric(text, {});
+}
+
+std::string FabricModel::to_string() const {
+  switch (kind) {
+    case FabricKind::kCrossbar:
+      return "crossbar";
+    case FabricKind::kSpeedup:
+      return "speedup-" + std::to_string(static_cast<unsigned>(speedup));
+    case FabricKind::kPriority:
+      return "priority";
+  }
+  return "unknown";
+}
+
 SolverSpec SolverSpec::parse(std::string_view text) {
-  std::string_view name = text;
-  std::optional<std::string_view> backend_name;
-  if (const auto slash = text.find('/'); slash != std::string_view::npos) {
-    name = text.substr(0, slash);
-    backend_name = text.substr(slash + 1);
+  // The fabric qualifier binds last: SPEC[@FABRIC], where SPEC may itself
+  // contain a '/backend' part.
+  std::string_view spec_text = text;
+  SolverSpec spec;
+  if (const auto at = text.find('@'); at != std::string_view::npos) {
+    spec_text = text.substr(0, at);
+    spec.fabric = FabricModel::parse(text.substr(at + 1));
   }
 
-  SolverSpec spec;
+  std::string_view name = spec_text;
+  std::optional<std::string_view> backend_name;
+  if (const auto slash = spec_text.find('/'); slash != std::string_view::npos) {
+    name = spec_text.substr(0, slash);
+    backend_name = spec_text.substr(slash + 1);
+  }
+
   bool known = false;
   for (const SolverAlgorithm algorithm :
        {SolverAlgorithm::kAuto, SolverAlgorithm::kFast,
@@ -97,6 +182,13 @@ SolverSpec SolverSpec::parse(std::string_view text) {
                 "log-domain)");
     }
   }
+  if (spec.fabric.kind == FabricKind::kPriority &&
+      spec.algorithm != SolverAlgorithm::kAuto) {
+    raise(ErrorKind::kConfig,
+          "the priority fabric has its own exact solver; request "
+          "'auto@priority' (got '" +
+              std::string(text) + "')");
+  }
   return spec;
 }
 
@@ -105,6 +197,12 @@ std::string SolverSpec::to_string() const {
   if (backend) {
     out += '/';
     out += core::to_string(*backend);
+  }
+  // The crossbar default is omitted so legacy spec strings — and every
+  // cache key and checkpoint fingerprint built from them — stay identical.
+  if (fabric.kind != FabricKind::kCrossbar) {
+    out += '@';
+    out += fabric.to_string();
   }
   return out;
 }
@@ -116,10 +214,54 @@ ResolvedSolver resolve(const SolverSpec& spec, const CrossbarModel& model) {
               "' does not take a backend (only algorithm1 does)");
   }
   ResolvedSolver resolved;
+  resolved.fabric = spec.fabric;
+
+  if (spec.fabric.kind == FabricKind::kPriority) {
+    if (spec.algorithm != SolverAlgorithm::kAuto) {
+      raise(ErrorKind::kConfig,
+            "the priority fabric has its own exact solver; request "
+            "'auto@priority'");
+    }
+    // Every class must be admissible under its own reservation: class r
+    // (declaration order = priority order, 0 highest) keeps t_r = r trunks
+    // of headroom free for higher priorities.
+    const auto& classes = model.classes();
+    for (std::size_t r = 0; r < classes.size(); ++r) {
+      if (classes[r].bandwidth + r > model.dims().cap()) {
+        raise(ErrorKind::kModel,
+              "priority fabric: class " + std::to_string(r) +
+                  " can never be admitted (bandwidth " +
+                  std::to_string(classes[r].bandwidth) +
+                  " + reservation " + std::to_string(r) + " exceeds capacity " +
+                  std::to_string(model.dims().cap()) + ")");
+      }
+    }
+    resolved.algorithm = SolverAlgorithm::kPriorityCtmc;
+    resolved.backend = NumericBackend::kDense;
+    return resolved;
+  }
+
+  // Speedup scales every dimension by s before the product-form solve; the
+  // kAuto crossover and validation both look at the *scaled* system.
+  const unsigned s = spec.fabric.kind == FabricKind::kSpeedup
+                         ? static_cast<unsigned>(spec.fabric.speedup)
+                         : 1U;
+  if (spec.fabric.kind == FabricKind::kSpeedup) {
+    const std::uint64_t scaled_side =
+        static_cast<std::uint64_t>(model.dims().max_side()) * s;
+    if (scaled_side > 65536) {
+      raise(ErrorKind::kConfig,
+            "speedup-" + std::to_string(s) + " scales the " +
+                std::to_string(model.dims().n1) + "x" +
+                std::to_string(model.dims().n2) +
+                " crossbar past the 65536-port ceiling");
+    }
+  }
+
   switch (spec.algorithm) {
     case SolverAlgorithm::kAuto:
       // Paper §5: Algorithm 1 for small crossbars, Algorithm 2 beyond.
-      if (model.dims().cap() <= 32) {
+      if (model.dims().cap() * s <= 32) {
         resolved.algorithm = SolverAlgorithm::kAlgorithm1;
         resolved.backend = NumericBackend::kScaledFloat;
       } else {
@@ -144,6 +286,9 @@ ResolvedSolver resolve(const SolverSpec& spec, const CrossbarModel& model) {
       resolved.algorithm = SolverAlgorithm::kBruteForce;
       resolved.backend = NumericBackend::kLogDomain;
       return resolved;
+    case SolverAlgorithm::kPriorityCtmc:
+      raise(ErrorKind::kConfig,
+            "priority-ctmc is not directly requestable; use 'auto@priority'");
   }
   raise(ErrorKind::kInternal, "unreachable solver algorithm");
 }

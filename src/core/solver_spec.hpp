@@ -17,6 +17,19 @@
 //   auto | fast | algorithm1[/scaled|/double-dynamic|/long-double|/double-raw
 //        |/log-domain] | algorithm2 | brute
 //
+// optionally qualified by the switch-fabric / arbitration model:
+//
+//   SPEC[@crossbar | @speedup-<s> | @priority]
+//
+// The fabric is a *dimension of the request*, exactly like the algorithm
+// and the backend: it is part of `ResolvedSolver` (so every solver cache
+// keys on it), of `SolveDiagnostics` (so reports show which fabric
+// answered), and of the canonical string form (so the serving tier's
+// result-cache fingerprints distinguish fabrics).  The plain crossbar is
+// the default and renders *without* the `@crossbar` suffix — legacy spec
+// strings, checkpoints, and warm cache keys are byte-identical to the
+// pre-fabric era.
+//
 // Diagnostics are deterministic wherever the model is: the resolved
 // algorithm, numeric backend, fallback flag, and rescale count depend only
 // on the spec and the model — never on thread count or schedule.  Cache
@@ -26,6 +39,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +58,9 @@ enum class SolverAlgorithm : std::uint8_t {
   kAlgorithm1,  ///< Q-grid convolution
   kAlgorithm2,  ///< mean-value ratio recursion
   kBruteForce,  ///< exhaustive enumeration (tests/small systems only)
+  kPriorityCtmc,  ///< exact CTMC of the priority arbiter (resolved form of
+                  ///< any spec with the `priority` fabric; not requestable
+                  ///< directly — request `auto@priority`)
 };
 
 /// Arithmetic the resolved solver ran on.
@@ -55,10 +72,69 @@ enum class NumericBackend : std::uint8_t {
   kRatio,                 ///< Algorithm 2 stores only tame Q ratios
   kLogDomain,             ///< signed log-domain grid (also brute force's
                           ///< native arithmetic) — escalation last resort
+  kDense,                 ///< dense stationary-distribution solve on plain
+                          ///< doubles (the priority CTMC's arithmetic)
 };
 
 [[nodiscard]] std::string_view to_string(SolverAlgorithm algorithm) noexcept;
 [[nodiscard]] std::string_view to_string(NumericBackend backend) noexcept;
+
+/// Which switch-fabric / arbitration model the solve describes.
+enum class FabricKind : std::uint8_t {
+  kCrossbar,  ///< the paper's internally non-blocking crossbar (default)
+  kSpeedup,   ///< speedup-s replicated crosspoints: s planes, each port
+              ///< replicated s times (grounded in Cogill–Lall's speedup
+              ///< analysis; see core/speedup.hpp)
+  kPriority,  ///< fixed-priority arbitrated admission with per-priority
+              ///< headroom reservation under BPP classes (grounded in
+              ///< Mandal et al.; see core/priority.hpp)
+};
+
+/// Bounds on the speedup factor accepted by `FabricModel::parse`.
+inline constexpr unsigned kMinSpeedup = 2;
+inline constexpr unsigned kMaxSpeedup = 16;
+
+/// The fabric dimension of a solve request: a kind plus, for kSpeedup, the
+/// replication factor s.  Round-trips through "crossbar", "speedup-<s>",
+/// and "priority"; the crossbar is the default and is *omitted* from
+/// `SolverSpec::to_string()` so legacy spec strings (and every fingerprint
+/// derived from them) are unchanged.
+struct FabricModel {
+  FabricKind kind = FabricKind::kCrossbar;
+  std::uint8_t speedup = 1;  ///< kSpeedup only; always 1 otherwise
+
+  friend bool operator==(const FabricModel&, const FabricModel&) = default;
+
+  [[nodiscard]] static FabricModel crossbar() noexcept { return {}; }
+  [[nodiscard]] static FabricModel speedup_s(unsigned s) noexcept {
+    return FabricModel{FabricKind::kSpeedup, static_cast<std::uint8_t>(s)};
+  }
+  [[nodiscard]] static FabricModel priority() noexcept {
+    return FabricModel{FabricKind::kPriority, 1};
+  }
+
+  /// Parse one fabric token ("crossbar", "speedup-4", "priority"); raises
+  /// ErrorKind::kConfig naming the bad token otherwise (speedup factors
+  /// outside [kMinSpeedup, kMaxSpeedup] included).
+  [[nodiscard]] static FabricModel parse(std::string_view text);
+
+  /// Canonical token; `parse(f.to_string()) == f`.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One registry row per fabric: the canonical token (or token shape for
+/// parameterized fabrics), a sample parseable token, and a one-line
+/// description.  `xbar --list-solvers`, the parse error message, and the
+/// round-trip property tests all derive from this table — adding a fabric
+/// means one core model file plus one row here.
+struct FabricInfo {
+  std::string_view grammar;  ///< e.g. "speedup-<s>"
+  std::string_view example;  ///< a concrete parseable token, e.g. "speedup-2"
+  std::string_view summary;
+};
+
+/// All registered fabrics, crossbar first.
+[[nodiscard]] std::span<const FabricInfo> fabric_registry() noexcept;
 
 /// One solve request: the algorithm plus backend options.
 struct SolverSpec {
@@ -67,6 +143,9 @@ struct SolverSpec {
   /// Explicit grid arithmetic — only meaningful with kAlgorithm1 (the
   /// other algorithms own their backend).  Unset = the algorithm default.
   std::optional<NumericBackend> backend;
+
+  /// Which fabric/arbitration model to solve (default: plain crossbar).
+  FabricModel fabric;
 
   friend bool operator==(const SolverSpec&, const SolverSpec&) = default;
 
@@ -79,10 +158,19 @@ struct SolverSpec {
 
   /// Convenience constructors for the common requests.
   [[nodiscard]] static SolverSpec fast() noexcept {
-    return SolverSpec{SolverAlgorithm::kFast, std::nullopt};
+    return SolverSpec{SolverAlgorithm::kFast, std::nullopt, FabricModel{}};
   }
   [[nodiscard]] static SolverSpec brute_force() noexcept {
-    return SolverSpec{SolverAlgorithm::kBruteForce, std::nullopt};
+    return SolverSpec{SolverAlgorithm::kBruteForce, std::nullopt,
+                      FabricModel{}};
+  }
+
+  /// This spec with a different fabric (the common way callers qualify a
+  /// base algorithm request).
+  [[nodiscard]] SolverSpec with_fabric(FabricModel f) const noexcept {
+    SolverSpec out = *this;
+    out.fabric = f;
+    return out;
   }
 };
 
@@ -92,6 +180,7 @@ struct SolveDiagnostics {
   SolverAlgorithm algorithm =
       SolverAlgorithm::kAuto;  ///< resolved: never kAuto/kFast
   NumericBackend backend = NumericBackend::kScaledFloat;  ///< arithmetic used
+  FabricModel fabric;  ///< fabric/arbitration model that answered
 
   /// kFast only: the dynamic-scaling double grid degenerated and the
   /// solver was rebuilt on ScaledFloat.  Depends only on the model.
@@ -128,6 +217,7 @@ struct ResolvedSolver {
       SolverAlgorithm::kAlgorithm1;  ///< never kAuto/kFast
   NumericBackend backend = NumericBackend::kScaledFloat;
   bool fallback_on_degenerate = false;  ///< kFast's rescue path
+  FabricModel fabric;                   ///< carried through from the spec
 
   friend bool operator==(const ResolvedSolver&,
                          const ResolvedSolver&) = default;

@@ -1,0 +1,67 @@
+#include "core/speedup.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xbar::core {
+
+CrossbarModel speedup_scaled_model(const CrossbarModel& model, unsigned s) {
+  if (s < 2) {
+    raise(ErrorKind::kConfig,
+          "speedup factor must be at least 2 (1 is the plain crossbar)");
+  }
+  const Dims d = model.dims();
+  const std::uint64_t scaled_side = static_cast<std::uint64_t>(d.max_side()) * s;
+  if (scaled_side > 65536) {
+    raise(ErrorKind::kConfig,
+          "speedup-" + std::to_string(s) + " scales the " +
+              std::to_string(d.n1) + "x" + std::to_string(d.n2) +
+              " crossbar past the 65536-port ceiling");
+  }
+  // Same aggregate (tilde) classes: the CrossbarModel constructor
+  // re-normalizes per-tuple intensities for the scaled output count.
+  return CrossbarModel(Dims{d.n1 * s, d.n2 * s},
+                       {model.classes().begin(), model.classes().end()});
+}
+
+SpeedupBound cogill_lall_bound(const CrossbarModel& model, unsigned s) {
+  if (s < 1) {
+    raise(ErrorKind::kConfig, "speedup factor must be positive");
+  }
+  SpeedupBound bound;
+  const double cap = static_cast<double>(model.dims().cap());
+  double port_load = 0.0;  // offered busy-port-pairs, sum_r a_r rho~_r
+  double weighted_z = 0.0;
+  double arrival_rate = 0.0;  // offered port demand per unit time
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const TrafficClass& cls = model.classes()[r];
+    const double a = static_cast<double>(cls.bandwidth);
+    const double rho = cls.rho_tilde();
+    // BPP peakedness z = 1 / (1 - beta/mu): > 1 Pascal, < 1 Bernoulli.
+    const double z = 1.0 / (1.0 - model.normalized(r).x());
+    port_load += a * rho;
+    weighted_z += a * rho * z;
+    arrival_rate += a * cls.alpha_tilde;
+  }
+  bound.load = port_load / cap;
+  bound.peakedness = port_load > 0.0 ? weighted_z / port_load : 1.0;
+
+  // Cogill–Lall: maximal matching with speedup s is stable for normalized
+  // load below s/2, with a drift (Kingman-style) bound on the mean backlog.
+  const double margin = static_cast<double>(s) / 2.0 - bound.load;
+  bound.stable = margin > 0.0;
+  if (!bound.stable) {
+    bound.mean_backlog = std::numeric_limits<double>::infinity();
+    bound.mean_delay = std::numeric_limits<double>::infinity();
+    return bound;
+  }
+  bound.mean_backlog =
+      bound.load * (1.0 + bound.peakedness) / (2.0 * margin);
+  bound.mean_delay =
+      arrival_rate > 0.0 ? bound.mean_backlog * cap / arrival_rate : 0.0;
+  return bound;
+}
+
+}  // namespace xbar::core

@@ -1,0 +1,47 @@
+// Speedup-s switching (the `speedup-<s>` fabric).
+//
+// "A Delay Analysis of Maximal Matching Switching with Speedup" (Cogill &
+// Lall) studies switches whose fabric runs s times faster than the line
+// rate.  In the circuit-switched setting of this paper that corresponds to
+// replicated crosspoints: every physical port carries s independent
+// circuit appearances (s planes with per-port s-way muxes), so the switch
+// behaves exactly like the paper's crossbar at the *virtual* dimensions
+// (s N1, s N2) offered the same aggregate (tilde) traffic.  The product
+// form therefore survives verbatim — `speedup_scaled_model` builds that
+// scaled model and the regular Algorithm 1/2 machinery (numeric guards,
+// escalation, batching) runs on it unchanged.  `fabric::SpeedupFabric`
+// realizes the same semantics structurally so the simulator can
+// cross-validate the scaled solve.
+//
+// Cogill–Lall's headline results — maximal matching is stable whenever the
+// normalized load is below s/2, with an explicit mean-backlog bound — are
+// exposed as `cogill_lall_bound` for the bench/report layers; they live
+// outside `Measures` because they bound the queueing (waiting) side that
+// the loss model deliberately does not track.
+
+#pragma once
+
+#include "core/model.hpp"
+
+namespace xbar::core {
+
+/// The crossbar model the speedup-s switch is equivalent to: dimensions
+/// scaled by s, same aggregate (tilde) classes.  Raises kConfig when the
+/// scaled dimensions leave the supported range.
+[[nodiscard]] CrossbarModel speedup_scaled_model(const CrossbarModel& model,
+                                                 unsigned s);
+
+/// Cogill–Lall-style stability and mean-backlog bound for speedup-s
+/// maximal matching under this model's offered load.
+struct SpeedupBound {
+  double load = 0.0;        ///< normalized offered port load rho
+  double peakedness = 1.0;  ///< load-weighted BPP peakedness z
+  bool stable = false;      ///< rho < s/2 (maximal matching, speedup s)
+  double mean_backlog = 0.0;  ///< drift bound on E[backlog]; inf if unstable
+  double mean_delay = 0.0;    ///< Little's-law delay bound; inf if unstable
+};
+
+[[nodiscard]] SpeedupBound cogill_lall_bound(const CrossbarModel& model,
+                                             unsigned s);
+
+}  // namespace xbar::core

@@ -28,6 +28,7 @@ class BanyanFabric final : public SwitchFabric {
   [[nodiscard]] unsigned num_inputs() const noexcept override { return n_; }
   [[nodiscard]] unsigned num_outputs() const noexcept override { return n_; }
 
+  using SwitchFabric::try_connect;  // keep the priority-aware overload
   [[nodiscard]] std::optional<CircuitId> try_connect(
       std::span<const unsigned> inputs,
       std::span<const unsigned> outputs) override;

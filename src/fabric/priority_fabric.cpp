@@ -1,0 +1,51 @@
+#include "fabric/priority_fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xbar::fabric {
+
+PriorityFabric::PriorityFabric(unsigned n1, unsigned n2,
+                               unsigned reservation_step)
+    : inner_(n1, n2), cap_(std::min(n1, n2)), step_(reservation_step) {}
+
+std::optional<CircuitId> PriorityFabric::try_connect(
+    std::span<const unsigned> inputs, std::span<const unsigned> outputs) {
+  return try_connect(inputs, outputs, 0);
+}
+
+std::optional<CircuitId> PriorityFabric::try_connect(
+    std::span<const unsigned> inputs, std::span<const unsigned> outputs,
+    unsigned priority) {
+  assert(inputs.size() == outputs.size());
+  const auto bundle = static_cast<unsigned>(inputs.size());
+  const unsigned reserved = std::min(priority * step_, cap_);
+  // Arbiter gate first: leave `reserved` pairs of headroom for higher
+  // ranks.  Only then does the crossbar's port check run.
+  if (busy_pairs_ + bundle > cap_ - reserved) {
+    ++arbiter_rejections_;
+    return std::nullopt;
+  }
+  const auto id = inner_.try_connect(inputs, outputs);
+  if (id) {
+    busy_pairs_ += bundle;
+    bundle_size_.emplace(id->value, bundle);
+  }
+  return id;
+}
+
+void PriorityFabric::release(CircuitId id) {
+  inner_.release(id);  // throws on unknown ids before we touch our state
+  const auto it = bundle_size_.find(id.value);
+  assert(it != bundle_size_.end());
+  busy_pairs_ -= it->second;
+  bundle_size_.erase(it);
+}
+
+std::string PriorityFabric::name() const {
+  return "priority(" + std::to_string(inner_.num_inputs()) + "x" +
+         std::to_string(inner_.num_outputs()) +
+         ",step=" + std::to_string(step_) + ")";
+}
+
+}  // namespace xbar::fabric

@@ -1,0 +1,86 @@
+// Fixed-priority arbitrated crossbar (Mandal et al., made structural).
+//
+// A plain crossbar behind a priority arbiter: a request of arbitration
+// rank p (0 = highest) is admitted only if, after admission, at least
+// p * reservation_step port pairs of headroom remain for higher ranks —
+//
+//     busy_pairs + bundle <= cap - p * reservation_step,
+//
+// cap = min(N1, N2).  Requests that pass the gate are then subject to the
+// crossbar's ordinary port-availability check.  This is the process the
+// exact CTMC in `core::PriorityCtmcSolver` solves, which is what the
+// simulator cross-validates.  The two-argument `try_connect` is rank 0
+// (an unarbitrated request).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "fabric/crossbar.hpp"
+#include "fabric/switch_fabric.hpp"
+
+namespace xbar::fabric {
+
+class PriorityFabric final : public SwitchFabric {
+ public:
+  /// Build an idle N1 x N2 arbitrated crossbar.  Rank p reserves
+  /// p * reservation_step port pairs (step 0 = plain crossbar).
+  PriorityFabric(unsigned n1, unsigned n2, unsigned reservation_step = 1);
+
+  [[nodiscard]] unsigned num_inputs() const noexcept override {
+    return inner_.num_inputs();
+  }
+  [[nodiscard]] unsigned num_outputs() const noexcept override {
+    return inner_.num_outputs();
+  }
+
+  [[nodiscard]] std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs,
+      std::span<const unsigned> outputs) override;
+
+  [[nodiscard]] std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs, std::span<const unsigned> outputs,
+      unsigned priority) override;
+
+  void release(CircuitId id) override;
+
+  [[nodiscard]] bool input_busy(unsigned port) const override {
+    return inner_.input_busy(port);
+  }
+  [[nodiscard]] bool output_busy(unsigned port) const override {
+    return inner_.output_busy(port);
+  }
+  [[nodiscard]] unsigned free_inputs() const noexcept override {
+    return inner_.free_inputs();
+  }
+  [[nodiscard]] unsigned free_outputs() const noexcept override {
+    return inner_.free_outputs();
+  }
+  [[nodiscard]] unsigned active_circuits() const noexcept override {
+    return inner_.active_circuits();
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned reservation_step() const noexcept { return step_; }
+
+  /// Port pairs currently held across all circuits.
+  [[nodiscard]] unsigned busy_pairs() const noexcept { return busy_pairs_; }
+
+  /// Requests refused by the arbiter gate (ports may have been free).
+  [[nodiscard]] std::uint64_t arbiter_rejections() const noexcept {
+    return arbiter_rejections_;
+  }
+
+ private:
+  CrossbarFabric inner_;
+  unsigned cap_;
+  unsigned step_;
+  unsigned busy_pairs_ = 0;
+  std::uint64_t arbiter_rejections_ = 0;
+  std::unordered_map<std::uint64_t, unsigned> bundle_size_;
+};
+
+}  // namespace xbar::fabric

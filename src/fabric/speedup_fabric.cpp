@@ -1,0 +1,145 @@
+#include "fabric/speedup_fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xbar::fabric {
+
+SpeedupFabric::SpeedupFabric(unsigned n1, unsigned n2, unsigned speedup)
+    : n1_(n1),
+      n2_(n2),
+      s_(speedup),
+      input_busy_(static_cast<std::size_t>(n1) * speedup, 0),
+      output_busy_(static_cast<std::size_t>(n2) * speedup, 0) {
+  if (n1 == 0 || n2 == 0) {
+    throw std::invalid_argument("SpeedupFabric: dimensions must be positive");
+  }
+  if (speedup == 0) {
+    throw std::invalid_argument("SpeedupFabric: speedup must be positive");
+  }
+}
+
+std::optional<CircuitId> SpeedupFabric::try_connect(
+    std::span<const unsigned> inputs, std::span<const unsigned> outputs) {
+  assert(inputs.size() == outputs.size());
+  assert(!inputs.empty());
+  // All-or-nothing admission over virtual ports: check before touching
+  // state.  The per-port mux makes any free input appearance reachable
+  // from any free output appearance, so no path check is needed.
+  for (const unsigned in : inputs) {
+    assert(in < num_inputs());
+    if (input_busy_[in]) {
+      return std::nullopt;
+    }
+  }
+  for (const unsigned out : outputs) {
+    assert(out < num_outputs());
+    if (output_busy_[out]) {
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_busy_[inputs[i]] = 1;
+    output_busy_[outputs[i]] = 1;
+  }
+  busy_inputs_ += static_cast<unsigned>(inputs.size());
+  busy_outputs_ += static_cast<unsigned>(outputs.size());
+  const CircuitId id{next_id_++};
+  circuits_.emplace(id.value,
+                    Circuit{{inputs.begin(), inputs.end()},
+                            {outputs.begin(), outputs.end()}});
+  return id;
+}
+
+void SpeedupFabric::release(CircuitId id) {
+  const auto it = circuits_.find(id.value);
+  if (it == circuits_.end()) {
+    throw std::logic_error("SpeedupFabric::release: unknown circuit id");
+  }
+  const Circuit& c = it->second;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    input_busy_[c.inputs[i]] = 0;
+    output_busy_[c.outputs[i]] = 0;
+  }
+  busy_inputs_ -= static_cast<unsigned>(c.inputs.size());
+  busy_outputs_ -= static_cast<unsigned>(c.outputs.size());
+  circuits_.erase(it);
+}
+
+bool SpeedupFabric::input_busy(unsigned port) const {
+  assert(port < num_inputs());
+  return input_busy_[port] != 0;
+}
+
+bool SpeedupFabric::output_busy(unsigned port) const {
+  assert(port < num_outputs());
+  return output_busy_[port] != 0;
+}
+
+unsigned SpeedupFabric::free_inputs() const noexcept {
+  return num_inputs() - busy_inputs_;
+}
+
+unsigned SpeedupFabric::free_outputs() const noexcept {
+  return num_outputs() - busy_outputs_;
+}
+
+unsigned SpeedupFabric::active_circuits() const noexcept {
+  return static_cast<unsigned>(circuits_.size());
+}
+
+std::string SpeedupFabric::name() const {
+  return "speedup-" + std::to_string(s_) + "(" + std::to_string(n1_) + "x" +
+         std::to_string(n2_) + ")";
+}
+
+unsigned SpeedupFabric::input_load(unsigned physical_port) const {
+  assert(physical_port < n1_);
+  unsigned load = 0;
+  for (unsigned plane = 0; plane < s_; ++plane) {
+    load += input_busy_[static_cast<std::size_t>(plane) * n1_ + physical_port];
+  }
+  return load;
+}
+
+unsigned SpeedupFabric::output_load(unsigned physical_port) const {
+  assert(physical_port < n2_);
+  unsigned load = 0;
+  for (unsigned plane = 0; plane < s_; ++plane) {
+    load += output_busy_[static_cast<std::size_t>(plane) * n2_ + physical_port];
+  }
+  return load;
+}
+
+bool SpeedupFabric::check_invariants() const {
+  std::vector<std::uint8_t> in_expect(input_busy_.size(), 0);
+  std::vector<std::uint8_t> out_expect(output_busy_.size(), 0);
+  for (const auto& [id, c] : circuits_) {
+    if (c.inputs.size() != c.outputs.size() || c.inputs.empty()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      if (c.inputs[i] >= input_busy_.size() ||
+          c.outputs[i] >= output_busy_.size()) {
+        return false;
+      }
+      if (in_expect[c.inputs[i]] || out_expect[c.outputs[i]]) {
+        return false;  // two circuits share a virtual port
+      }
+      in_expect[c.inputs[i]] = 1;
+      out_expect[c.outputs[i]] = 1;
+    }
+  }
+  unsigned busy_in = 0;
+  unsigned busy_out = 0;
+  for (std::size_t p = 0; p < in_expect.size(); ++p) {
+    busy_in += in_expect[p];
+  }
+  for (std::size_t p = 0; p < out_expect.size(); ++p) {
+    busy_out += out_expect[p];
+  }
+  return in_expect == input_busy_ && out_expect == output_busy_ &&
+         busy_in == busy_inputs_ && busy_out == busy_outputs_;
+}
+
+}  // namespace xbar::fabric

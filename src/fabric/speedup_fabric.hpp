@@ -1,0 +1,78 @@
+// Speedup-s replicated-crosspoint switch (Cogill–Lall speedup, made
+// structural).
+//
+// Each physical port carries s independent circuit appearances: s crossbar
+// planes with an s-way mux/demux at every port, so any free appearance of
+// an input can reach any free appearance of an output.  The fabric
+// therefore exposes s*N1 virtual inputs and s*N2 virtual outputs and is
+// internally non-blocking over them — exactly the crossbar the analytical
+// speedup model (`core::speedup_scaled_model`) solves, which is what lets
+// the simulator cross-validate that model verbatim.  Virtual port v maps
+// to physical port v % N and plane v / N.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/switch_fabric.hpp"
+
+namespace xbar::fabric {
+
+class SpeedupFabric final : public SwitchFabric {
+ public:
+  /// Build an idle N1 x N2 switch with speedup s (s >= 1).
+  SpeedupFabric(unsigned n1, unsigned n2, unsigned speedup);
+
+  /// Virtual dimensions: every physical port appears `speedup` times.
+  [[nodiscard]] unsigned num_inputs() const noexcept override {
+    return n1_ * s_;
+  }
+  [[nodiscard]] unsigned num_outputs() const noexcept override {
+    return n2_ * s_;
+  }
+
+  using SwitchFabric::try_connect;  // keep the priority-aware overload
+  [[nodiscard]] std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs,
+      std::span<const unsigned> outputs) override;
+
+  void release(CircuitId id) override;
+
+  [[nodiscard]] bool input_busy(unsigned port) const override;
+  [[nodiscard]] bool output_busy(unsigned port) const override;
+  [[nodiscard]] unsigned free_inputs() const noexcept override;
+  [[nodiscard]] unsigned free_outputs() const noexcept override;
+  [[nodiscard]] unsigned active_circuits() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned speedup() const noexcept { return s_; }
+
+  /// Busy appearances of a physical input/output port (0..s).
+  [[nodiscard]] unsigned input_load(unsigned physical_port) const;
+  [[nodiscard]] unsigned output_load(unsigned physical_port) const;
+
+  /// Port state vs circuit table consistency (property tests).
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Circuit {
+    std::vector<unsigned> inputs;
+    std::vector<unsigned> outputs;
+  };
+
+  unsigned n1_;
+  unsigned n2_;
+  unsigned s_;
+  std::vector<std::uint8_t> input_busy_;   // per virtual input
+  std::vector<std::uint8_t> output_busy_;  // per virtual output
+  std::unordered_map<std::uint64_t, Circuit> circuits_;
+  std::uint64_t next_id_ = 1;
+  unsigned busy_inputs_ = 0;
+  unsigned busy_outputs_ = 0;
+};
+
+}  // namespace xbar::fabric

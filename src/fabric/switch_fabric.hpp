@@ -43,6 +43,17 @@ class SwitchFabric {
   [[nodiscard]] virtual std::optional<CircuitId> try_connect(
       std::span<const unsigned> inputs, std::span<const unsigned> outputs) = 0;
 
+  /// Priority-aware admission: `priority` is the requester's arbitration
+  /// rank (0 = highest; the simulator passes the traffic-class index).
+  /// Fabrics without an arbiter ignore it — the default forwards to the
+  /// two-argument overload.
+  [[nodiscard]] virtual std::optional<CircuitId> try_connect(
+      std::span<const unsigned> inputs, std::span<const unsigned> outputs,
+      unsigned priority) {
+    (void)priority;
+    return try_connect(inputs, outputs);
+  }
+
   /// Tear down a previously established circuit.  Unknown ids are a
   /// precondition violation.
   virtual void release(CircuitId id) = 0;

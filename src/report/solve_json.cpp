@@ -31,6 +31,7 @@ void write_diagnostics_json(JsonWriter& json,
   json.key("requested").value(core::to_string(d.requested));
   json.key("algorithm").value(core::to_string(d.algorithm));
   json.key("backend").value(core::to_string(d.backend));
+  json.key("fabric").value(d.fabric.to_string());
   json.key("fast_fallback").value(d.fast_fallback);
   json.key("rescales").value(d.rescales);
   json.key("grid").begin_object();

@@ -1,6 +1,10 @@
 #include "sim/replication.hpp"
 
+#include "core/error.hpp"
+#include "core/speedup.hpp"
 #include "fabric/crossbar.hpp"
+#include "fabric/priority_fabric.hpp"
+#include "fabric/speedup_fabric.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace xbar::sim {
@@ -89,6 +93,44 @@ ReplicationResult run_crossbar_replications(const core::CrossbarModel& model,
         return std::make_unique<fabric::CrossbarFabric>(dims.n1, dims.n2);
       },
       config);
+}
+
+FabricFactory make_fabric_factory(const core::CrossbarModel& model,
+                                  core::FabricModel fabric) {
+  const core::Dims dims = model.dims();
+  switch (fabric.kind) {
+    case core::FabricKind::kCrossbar:
+      return [dims](std::size_t) {
+        return std::make_unique<fabric::CrossbarFabric>(dims.n1, dims.n2);
+      };
+    case core::FabricKind::kSpeedup: {
+      // The fabric exposes s*N virtual ports, so the caller must pair it
+      // with the scaled model (see run_fabric_replications).
+      const unsigned s = fabric.speedup;
+      return [dims, s](std::size_t) {
+        return std::make_unique<fabric::SpeedupFabric>(dims.n1, dims.n2, s);
+      };
+    }
+    case core::FabricKind::kPriority:
+      return [dims](std::size_t) {
+        return std::make_unique<fabric::PriorityFabric>(dims.n1, dims.n2);
+      };
+  }
+  raise(ErrorKind::kInternal, "unreachable fabric kind");
+}
+
+ReplicationResult run_fabric_replications(const core::CrossbarModel& model,
+                                          core::FabricModel fabric,
+                                          const ReplicationConfig& config) {
+  if (fabric.kind == core::FabricKind::kSpeedup) {
+    const core::CrossbarModel scaled =
+        core::speedup_scaled_model(model, fabric.speedup);
+    // SpeedupFabric wants the *physical* dimensions; the scaled model
+    // carries the virtual ones, so build the factory from the original.
+    return run_replications(scaled, make_fabric_factory(model, fabric),
+                            config);
+  }
+  return run_replications(model, make_fabric_factory(model, fabric), config);
 }
 
 }  // namespace xbar::sim

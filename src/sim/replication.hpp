@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/solver_spec.hpp"
 #include "dist/service.hpp"
 #include "sim/simulator.hpp"
 
@@ -67,5 +68,18 @@ struct ReplicationConfig {
 /// Convenience: replications on fresh CrossbarFabric instances.
 [[nodiscard]] ReplicationResult run_crossbar_replications(
     const core::CrossbarModel& model, const ReplicationConfig& config);
+
+/// Factory producing fresh fabrics of the requested kind at the model's
+/// dimensions (speedup fabrics expose the scaled virtual dimensions).
+[[nodiscard]] FabricFactory make_fabric_factory(const core::CrossbarModel& model,
+                                                core::FabricModel fabric);
+
+/// Replications on the requested fabric.  For `speedup-<s>` the simulation
+/// runs the equivalent scaled model (`core::speedup_scaled_model`) on a
+/// SpeedupFabric — the form the analytical solver is exact for; crossbar
+/// and priority run `model` as given.
+[[nodiscard]] ReplicationResult run_fabric_replications(
+    const core::CrossbarModel& model, core::FabricModel fabric,
+    const ReplicationConfig& config);
 
 }  // namespace xbar::sim

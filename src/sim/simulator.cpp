@@ -190,7 +190,10 @@ struct Simulator::Impl {
     }
     sample_distinct(model.dims().n1, a, in_scratch);
     output_selector->sample(rng, model.dims().n2, a, out_scratch);
-    const auto circuit = fabric.try_connect(in_scratch, out_scratch);
+    // The class index doubles as the arbitration rank (0 = highest);
+    // fabrics without an arbiter ignore it.
+    const auto circuit = fabric.try_connect(in_scratch, out_scratch,
+                                            static_cast<unsigned>(r));
     if (circuit) {
       ++k[r];
       busy_ports += a;

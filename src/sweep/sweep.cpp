@@ -12,7 +12,9 @@
 #include "core/algorithm1_batch.hpp"
 #include "core/algorithm2.hpp"
 #include "core/error.hpp"
+#include "core/priority.hpp"
 #include "core/solver.hpp"
+#include "core/speedup.hpp"
 #include "sweep/checkpoint.hpp"
 #include "sweep/fault_injector.hpp"
 
@@ -39,9 +41,29 @@ core::Algorithm1Backend to_algorithm1_backend(core::NumericBackend backend) {
     case core::NumericBackend::kLogDomain:
       return core::Algorithm1Backend::kLogDomain;
     case core::NumericBackend::kRatio:
+    case core::NumericBackend::kDense:
       break;
   }
   raise(ErrorKind::kInternal, "not an Algorithm 1 grid backend");
+}
+
+// The model a grid entry is actually built on: speedup-s solves the
+// paper's crossbar at the virtual dimensions (s N1, s N2), every other
+// fabric solves the model as given.
+core::CrossbarModel fabric_target(const core::CrossbarModel& model,
+                                  core::FabricModel fabric) {
+  if (fabric.kind == core::FabricKind::kSpeedup) {
+    return core::speedup_scaled_model(model, fabric.speedup);
+  }
+  return model;
+}
+
+// Subsystem coordinates on that grid: speedup scales them too.
+core::Dims fabric_eval_dims(core::Dims at, core::FabricModel fabric) {
+  if (fabric.kind == core::FabricKind::kSpeedup) {
+    return core::Dims{at.n1 * fabric.speedup, at.n2 * fabric.speedup};
+  }
+  return at;
 }
 
 std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
@@ -103,6 +125,13 @@ std::uint64_t fingerprint(const CacheKey& key) {
   h = hash_mix(h, static_cast<std::uint64_t>(key.solver.algorithm));
   h = hash_mix(h, static_cast<std::uint64_t>(key.solver.backend));
   h = hash_mix(h, key.solver.fallback_on_degenerate ? 1u : 0u);
+  // The fabric contributes lanes only when it is not the default crossbar —
+  // the same omission rule the canonical spec string uses, so the legacy
+  // crossbar fingerprint is unchanged (pinned by a regression test).
+  if (key.solver.fabric.kind != core::FabricKind::kCrossbar) {
+    h = hash_mix(h, static_cast<std::uint64_t>(key.solver.fabric.kind));
+    h = hash_mix(h, key.solver.fabric.speedup);
+  }
   for (const core::NormalizedClass& c : key.classes) {
     h = hash_mix(h, c.bandwidth);
     h = hash_double(h, c.alpha);
@@ -120,6 +149,7 @@ struct SolverCache::Entry {
   CacheKey key;
   std::unique_ptr<core::Algorithm1Solver> alg1;
   std::unique_ptr<core::Algorithm2Solver> alg2;
+  std::unique_ptr<core::PriorityCtmcSolver> prio;
   // Build-time record, copied into every SolveResult answered from this
   // entry: what actually ran, deterministic per point.
   core::SolveDiagnostics built;
@@ -159,23 +189,34 @@ SolverCache::Entry& SolverCache::lookup(const core::CrossbarModel& model,
   entry.built.requested = spec.algorithm;
   entry.built.algorithm = resolved.algorithm;
   entry.built.backend = resolved.backend;
+  entry.built.fabric = resolved.fabric;
   entry.built.grid = model.dims();
   switch (resolved.algorithm) {
     case core::SolverAlgorithm::kAlgorithm1: {
+      const core::CrossbarModel target =
+          fabric_target(model, resolved.fabric);
+      entry.built.grid = target.dims();
       core::Algorithm1Options opts;
       opts.backend = to_algorithm1_backend(resolved.backend);
-      entry.alg1 = std::make_unique<core::Algorithm1Solver>(model, opts);
+      entry.alg1 = std::make_unique<core::Algorithm1Solver>(target, opts);
       if (resolved.fallback_on_degenerate && entry.alg1->degenerate()) {
         // Deterministic robustness fallback: the extended-range backend.
-        entry.alg1 = std::make_unique<core::Algorithm1Solver>(model);
+        entry.alg1 = std::make_unique<core::Algorithm1Solver>(target);
         entry.built.backend = core::NumericBackend::kScaledFloat;
         entry.built.fast_fallback = true;
       }
       entry.built.rescales = entry.alg1->scaling_events();
       break;
     }
-    case core::SolverAlgorithm::kAlgorithm2:
-      entry.alg2 = std::make_unique<core::Algorithm2Solver>(model);
+    case core::SolverAlgorithm::kAlgorithm2: {
+      const core::CrossbarModel target =
+          fabric_target(model, resolved.fabric);
+      entry.built.grid = target.dims();
+      entry.alg2 = std::make_unique<core::Algorithm2Solver>(target);
+      break;
+    }
+    case core::SolverAlgorithm::kPriorityCtmc:
+      entry.prio = std::make_unique<core::PriorityCtmcSolver>(model);
       break;
     case core::SolverAlgorithm::kAuto:
     case core::SolverAlgorithm::kFast:
@@ -208,17 +249,27 @@ core::SolveResult SolverCache::eval_at_result(const core::CrossbarModel& model,
     const bool full = at == model.dims();
     result = core::solve_result(
         full ? model : model.with_dims_same_tuple_rates(at),
-        core::SolverSpec::brute_force());
+        core::SolverSpec::brute_force().with_fabric(spec.fabric));
     result.diagnostics.evaluated_at = at;
     result.diagnostics.wall_seconds = seconds_since(start);
     return result;
   }
 
+  if (spec.fabric.kind == core::FabricKind::kPriority &&
+      at != model.dims()) {
+    // The priority CTMC has no subsystem shortcut: a smaller `at` is a
+    // genuinely different chain, so re-normalize and cache that model.
+    return eval_at_result(model.with_dims_same_tuple_rates(at), at, spec);
+  }
+
   bool was_hit = false;
   Entry& e = lookup(model, spec, was_hit);
-  result.measures = e.alg1 ? e.alg1->solve_at(at) : e.alg2->solve_at(at);
+  const core::Dims eval_dims = fabric_eval_dims(at, e.built.fabric);
+  result.measures = e.prio ? e.prio->solve()
+                   : e.alg1 ? e.alg1->solve_at(eval_dims)
+                            : e.alg2->solve_at(eval_dims);
   result.diagnostics = e.built;
-  result.diagnostics.evaluated_at = at;
+  result.diagnostics.evaluated_at = eval_dims;
   result.diagnostics.cache_hit = was_hit;
   result.diagnostics.wall_seconds = seconds_since(start);
   return result;
@@ -302,7 +353,9 @@ std::vector<core::SolveResult> SolverCache::eval_batch_result(
       std::vector<core::CrossbarModel> group;
       group.reserve(lanes.size());
       for (const std::size_t k : lanes) {
-        group.push_back(models[miss[k]]);
+        // Speedup lanes advance the *scaled* grid through the traversal.
+        group.push_back(
+            fabric_target(models[miss[k]], resolved[miss[k]].fabric));
       }
       core::Algorithm1Options opts;
       opts.backend = to_algorithm1_backend(resolved[miss[g]].backend);
@@ -316,13 +369,15 @@ std::vector<core::SolveResult> SolverCache::eval_batch_result(
         e.built.requested = spec.algorithm;
         e.built.algorithm = resolved[i].algorithm;
         e.built.backend = resolved[i].backend;
-        e.built.grid = models[i].dims();
+        e.built.fabric = resolved[i].fabric;
+        e.built.grid = fabric_eval_dims(models[i].dims(), resolved[i].fabric);
         e.built.batched = batch.lane_batched(lane);
         e.alg1 = batch.extract(lane);
         if (resolved[i].fallback_on_degenerate && e.alg1->degenerate()) {
           // kFast's rescue, per scenario: the rebuilt ScaledFloat grid is a
           // single solve, so the entry honestly drops the batched flag.
-          e.alg1 = std::make_unique<core::Algorithm1Solver>(models[i]);
+          e.alg1 = std::make_unique<core::Algorithm1Solver>(
+              fabric_target(models[i], resolved[i].fabric));
           e.built.backend = core::NumericBackend::kScaledFloat;
           e.built.fast_fallback = true;
           e.built.batched = false;
@@ -351,9 +406,11 @@ std::vector<core::SolveResult> SolverCache::eval_batch_result(
     ++misses_;
     pending[k] = false;
     Entry& e = built[k];
-    out[i].measures = e.alg1->solve_at(models[i].dims());
+    const core::Dims eval_dims =
+        fabric_eval_dims(models[i].dims(), e.built.fabric);
+    out[i].measures = e.alg1->solve_at(eval_dims);
     out[i].diagnostics = e.built;
-    out[i].diagnostics.evaluated_at = models[i].dims();
+    out[i].diagnostics.evaluated_at = eval_dims;
     out[i].diagnostics.cache_hit = false;
     out[i].diagnostics.wall_seconds = seconds_since(start);
     if (entries_.size() >= capacity_) {
@@ -496,12 +553,18 @@ void SweepRunner::evaluate_guarded(const std::vector<ScenarioPoint>& points,
                                    PointStatus& status) {
   const FaultPolicy& fault = options_.fault;
 
-  const std::vector<core::SolverSpec> ladder = {
-      options_.solver,
-      core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
-                       core::NumericBackend::kScaledFloat},
-      core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
-                       core::NumericBackend::kLogDomain}};
+  // Escalation rungs inherit the requested fabric — retrying on a different
+  // fabric would answer a different question.  The priority fabric owns its
+  // single exact solver, so it gets no alternate rungs.
+  std::vector<core::SolverSpec> ladder = {options_.solver};
+  if (options_.solver.fabric.kind != core::FabricKind::kPriority) {
+    ladder.push_back(core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
+                                      core::NumericBackend::kScaledFloat,
+                                      options_.solver.fabric});
+    ladder.push_back(core::SolverSpec{core::SolverAlgorithm::kAlgorithm1,
+                                      core::NumericBackend::kLogDomain,
+                                      options_.solver.fabric});
+  }
 
   // Rungs are deduplicated on what they *resolve* to for this model, not on
   // spec spelling: `auto` on a small grid already is algorithm1/scaled, so

@@ -1,0 +1,216 @@
+// The fabric dimension of SolverSpec: round-trips over every
+// (algorithm x backend x fabric) combination, the canonical omission of the
+// default crossbar, typed rejection of bad fabric tokens, and resolution
+// (solver choice, crossover, and validation) per fabric.
+
+#include "core/solver_spec.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/model.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel tiny_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::bursty("b", 0.01, 0.005)});
+}
+
+const std::vector<std::string>& base_specs() {
+  static const std::vector<std::string> kBases = {
+      "auto",
+      "fast",
+      "algorithm1",
+      "algorithm1/scaled",
+      "algorithm1/double-dynamic",
+      "algorithm1/long-double",
+      "algorithm1/double-raw",
+      "algorithm1/log-domain",
+      "algorithm2",
+      "brute"};
+  return kBases;
+}
+
+TEST(FabricSpec, RoundTripsEveryAlgorithmBackendFabricCombination) {
+  // The priority fabric only composes with "auto" (it owns its solver), so
+  // the full grid is every base spec x {crossbar-implicit, speedup-s} plus
+  // the one admissible priority spec.
+  for (const std::string& base : base_specs()) {
+    for (const char* fabric : {"", "@speedup-2", "@speedup-7", "@speedup-16"}) {
+      const std::string text = base + fabric;
+      const SolverSpec spec = SolverSpec::parse(text);
+      EXPECT_EQ(spec.to_string(), text);
+      EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec) << text;
+    }
+  }
+  const SolverSpec prio = SolverSpec::parse("auto@priority");
+  EXPECT_EQ(prio.fabric.kind, FabricKind::kPriority);
+  EXPECT_EQ(prio.to_string(), "auto@priority");
+  EXPECT_EQ(SolverSpec::parse(prio.to_string()), prio);
+}
+
+TEST(FabricSpec, ExplicitCrossbarCanonicalizesToTheBareSpec) {
+  // "@crossbar" parses but is omitted from the canonical rendering, so
+  // every legacy spec string (and every cache key derived from one) is
+  // byte-identical to its fabric-qualified spelling.
+  for (const std::string& base : base_specs()) {
+    const SolverSpec spec = SolverSpec::parse(base + "@crossbar");
+    EXPECT_EQ(spec.fabric, FabricModel::crossbar());
+    EXPECT_EQ(spec.to_string(), base);
+    EXPECT_EQ(spec, SolverSpec::parse(base));
+  }
+}
+
+TEST(FabricSpec, FabricDefaultsToCrossbar) {
+  EXPECT_EQ(SolverSpec{}.fabric, FabricModel::crossbar());
+  EXPECT_EQ(SolverSpec::fast().fabric, FabricModel::crossbar());
+  EXPECT_EQ(FabricModel{}.to_string(), "crossbar");
+}
+
+TEST(FabricSpec, RejectionNamesTheBadFabricToken) {
+  // Same shape as the CLI's --sizes errors: the offending token plus the
+  // accepted grammar, so a typo is self-diagnosing.
+  for (const char* text :
+       {"auto@banyan", "auto@", "auto@speedup-", "auto@speedup-x",
+        "auto@speedup-0", "auto@speedup-17", "fast@speedup-2x",
+        "auto@crossbar2"}) {
+    try {
+      (void)SolverSpec::parse(text);
+      FAIL() << "expected xbar::Error for '" << text << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kConfig) << text;
+      const std::string what = e.what();
+      EXPECT_NE(what.find("unknown fabric '"), std::string::npos) << what;
+      EXPECT_NE(what.find("crossbar|speedup-<s>|priority"), std::string::npos)
+          << what;
+      // The bad token itself must appear, quoted.
+      const std::string token(std::string_view(text).substr(
+          std::string_view(text).find('@') + 1));
+      EXPECT_NE(what.find("'" + token + "'"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(FabricSpec, SpeedupOneIsRejectedTowardTheCrossbarSpelling) {
+  try {
+    (void)SolverSpec::parse("auto@speedup-1");
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+    EXPECT_NE(std::string(e.what()).find("use 'crossbar'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FabricSpec, PriorityRequiresTheAutoSpec) {
+  for (const char* text : {"fast@priority", "algorithm1@priority",
+                           "algorithm1/scaled@priority", "algorithm2@priority",
+                           "brute@priority"}) {
+    try {
+      (void)SolverSpec::parse(text);
+      FAIL() << "expected xbar::Error for '" << text << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kConfig) << text;
+      EXPECT_NE(std::string(e.what()).find("auto@priority"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(FabricSpec, ResolveCarriesTheFabricThrough) {
+  const ResolvedSolver r =
+      resolve(SolverSpec::parse("algorithm1/long-double@speedup-3"),
+              tiny_model(4));
+  EXPECT_EQ(r.fabric, FabricModel::speedup_s(3));
+  EXPECT_EQ(r.algorithm, SolverAlgorithm::kAlgorithm1);
+  EXPECT_EQ(r.backend, NumericBackend::kLongDouble);
+}
+
+TEST(FabricSpec, AutoCrossoverUsesTheScaledCapUnderSpeedup) {
+  // auto picks Algorithm 1 for small grids and Algorithm 2 past the
+  // crossover; under speedup-s the grid actually solved is s times larger,
+  // so the crossover must look at the scaled cap.
+  const ResolvedSolver small =
+      resolve(SolverSpec::parse("auto@speedup-2"), tiny_model(8));
+  EXPECT_EQ(small.algorithm, SolverAlgorithm::kAlgorithm1);
+
+  const ResolvedSolver pushed =
+      resolve(SolverSpec::parse("auto@speedup-2"), tiny_model(24));
+  EXPECT_EQ(pushed.algorithm, SolverAlgorithm::kAlgorithm2);
+
+  // The same 24x24 model without speedup stays below the crossover.
+  const ResolvedSolver plain = resolve(SolverSpec{}, tiny_model(24));
+  EXPECT_EQ(plain.algorithm, SolverAlgorithm::kAlgorithm1);
+}
+
+TEST(FabricSpec, AutoPriorityResolvesToTheDedicatedCtmcSolver) {
+  const ResolvedSolver r =
+      resolve(SolverSpec::parse("auto@priority"), tiny_model(4));
+  EXPECT_EQ(r.algorithm, SolverAlgorithm::kPriorityCtmc);
+  EXPECT_EQ(r.backend, NumericBackend::kDense);
+  EXPECT_EQ(r.fabric, FabricModel::priority());
+  EXPECT_EQ(std::string(to_string(SolverAlgorithm::kPriorityCtmc)),
+            "priority-ctmc");
+  EXPECT_EQ(std::string(to_string(NumericBackend::kDense)), "dense");
+}
+
+TEST(FabricSpec, PriorityCtmcCannotBeRequestedDirectly) {
+  SolverSpec spec;
+  spec.algorithm = SolverAlgorithm::kPriorityCtmc;  // bypass parse()
+  try {
+    (void)resolve(spec, tiny_model(4));
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+  }
+}
+
+TEST(FabricSpec, ResolveRejectsSpeedupPastThePortCeiling) {
+  try {
+    (void)resolve(SolverSpec::parse("auto@speedup-16"), tiny_model(8192));
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+    EXPECT_NE(std::string(e.what()).find("65536"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FabricSpec, ResolveRejectsAPriorityClassThatCanNeverAdmit) {
+  // cap = 2 and two classes of bandwidth 2: class 1 must leave one pair
+  // reserved, so u + 2 <= 1 is infeasible.
+  const CrossbarModel model(Dims::square(2),
+                            {TrafficClass::poisson("p0", 0.1, 2),
+                             TrafficClass::poisson("p1", 0.1, 2)});
+  try {
+    (void)resolve(SolverSpec::parse("auto@priority"), model);
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kModel);
+  }
+}
+
+TEST(FabricSpec, RegistryCoversEveryFabricKind) {
+  bool crossbar = false;
+  bool speedup = false;
+  bool priority = false;
+  for (const FabricInfo& info : fabric_registry()) {
+    // Every example token must parse to a valid fabric.
+    const FabricModel parsed = FabricModel::parse(info.example);
+    crossbar |= parsed.kind == FabricKind::kCrossbar;
+    speedup |= parsed.kind == FabricKind::kSpeedup;
+    priority |= parsed.kind == FabricKind::kPriority;
+    EXPECT_FALSE(info.summary.empty());
+  }
+  EXPECT_TRUE(crossbar);
+  EXPECT_TRUE(speedup);
+  EXPECT_TRUE(priority);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,137 @@
+// Priority-arbitrated CTMC solver.  The load-bearing test is the
+// reservation_step = 0 oracle: with no reservation the chain *is* the
+// paper's crossbar process, so every measure must match brute force (and
+// hence Algorithms 1/2) to solver tolerance.
+
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/error.hpp"
+#include "core/model.hpp"
+#include "core/solver.hpp"
+#include "core/state_space.hpp"
+
+namespace xbar::core {
+namespace {
+
+// Loads high enough that blocking is well away from zero, mixing Poisson
+// and Pascal classes (the regimes where call and time congestion differ).
+CrossbarModel mixed_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::poisson("p", 1.5),
+                        TrafficClass::bursty("b", 1.0, 0.4, 2)});
+}
+
+TEST(PriorityCtmc, StepZeroReproducesTheProductFormExactly) {
+  const CrossbarModel model = mixed_model(6);
+  PriorityOptions options;
+  options.reservation_step = 0;  // no reservation: the plain crossbar
+  const PriorityCtmcSolver ctmc(model, options);
+  const BruteForceSolver oracle(model);
+  const Measures lhs = ctmc.solve();
+  const Measures rhs = oracle.solve();
+  ASSERT_EQ(lhs.per_class.size(), rhs.per_class.size());
+  for (std::size_t r = 0; r < lhs.per_class.size(); ++r) {
+    EXPECT_NEAR(lhs.per_class[r].blocking, rhs.per_class[r].blocking, 1e-9)
+        << r;
+    EXPECT_NEAR(lhs.per_class[r].concurrency, rhs.per_class[r].concurrency,
+                1e-9)
+        << r;
+    EXPECT_NEAR(lhs.per_class[r].throughput, rhs.per_class[r].throughput,
+                1e-9)
+        << r;
+    EXPECT_NEAR(ctmc.call_congestion(r), oracle.call_congestion(r), 1e-9)
+        << r;
+  }
+  EXPECT_NEAR(lhs.utilization, rhs.utilization, 1e-9);
+  EXPECT_NEAR(lhs.revenue, rhs.revenue, 1e-9);
+}
+
+TEST(PriorityCtmc, StateSpaceMatchesTheSharedEnumeration) {
+  const CrossbarModel model = mixed_model(5);
+  const PriorityCtmcSolver ctmc(model);
+  std::vector<unsigned> bandwidths;
+  for (const auto& cls : model.normalized_classes()) {
+    bandwidths.push_back(cls.bandwidth);
+  }
+  EXPECT_EQ(ctmc.num_states(),
+            count_states(bandwidths, model.dims().cap()));
+  EXPECT_GT(ctmc.iterations(), 0u);
+}
+
+TEST(PriorityCtmc, ReservationOrdersBlockingByPriority) {
+  // Three identical classes: with reservation_step = 1 the arbiter gives
+  // class 0 the most headroom, so blocking must be strictly ordered by
+  // priority index, and every class must block at least as much as in the
+  // unreserved chain... except class 0, which can only gain from the
+  // others being throttled.
+  const CrossbarModel model(Dims::square(5),
+                            {TrafficClass::poisson("p0", 1.2),
+                             TrafficClass::poisson("p1", 1.2),
+                             TrafficClass::poisson("p2", 1.2)});
+  const Measures reserved = PriorityCtmcSolver(model).solve();
+  EXPECT_LT(reserved.per_class[0].blocking, reserved.per_class[1].blocking);
+  EXPECT_LT(reserved.per_class[1].blocking, reserved.per_class[2].blocking);
+
+  PriorityOptions flat;
+  flat.reservation_step = 0;
+  const Measures unreserved = PriorityCtmcSolver(model, flat).solve();
+  // Identical classes, no reservation: symmetric blocking.
+  EXPECT_NEAR(unreserved.per_class[0].blocking,
+              unreserved.per_class[2].blocking, 1e-9);
+  // The reservation throttles the lowest class hardest and shields the top.
+  EXPECT_GT(reserved.per_class[2].blocking, unreserved.per_class[2].blocking);
+  EXPECT_LT(reserved.per_class[0].blocking, unreserved.per_class[0].blocking);
+}
+
+TEST(PriorityCtmc, ReservationBlockingIsZeroForTheTopPriority) {
+  const CrossbarModel model = mixed_model(5);
+  const PriorityCtmcSolver ctmc(model);
+  EXPECT_EQ(ctmc.reservation_blocking(0), 0.0);
+  EXPECT_GT(ctmc.reservation_blocking(1), 0.0);
+}
+
+TEST(PriorityCtmc, SolveResultRoutesAutoPriorityToTheCtmc) {
+  const CrossbarModel model = mixed_model(4);
+  const SolveResult result =
+      solve_result(model, SolverSpec::parse("auto@priority"));
+  EXPECT_EQ(result.diagnostics.algorithm, SolverAlgorithm::kPriorityCtmc);
+  EXPECT_EQ(result.diagnostics.backend, NumericBackend::kDense);
+  EXPECT_EQ(result.diagnostics.fabric, FabricModel::priority());
+  const Measures direct = PriorityCtmcSolver(model).solve();
+  EXPECT_EQ(result.measures.per_class[0].blocking,
+            direct.per_class[0].blocking);
+  EXPECT_EQ(result.measures.revenue, direct.revenue);
+}
+
+TEST(PriorityCtmc, RefusesOversizedStateSpaces) {
+  PriorityOptions options;
+  options.max_states = 4;  // far below the real count
+  try {
+    (void)PriorityCtmcSolver(mixed_model(6), options);
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kModel);
+  }
+}
+
+TEST(PriorityCtmc, RefusesAClassThatCanNeverBeAdmitted) {
+  // cap = 3, reservation_step = 2: class 1 needs u + 2 <= 3 - 2, which no
+  // state satisfies for bandwidth 2.
+  const CrossbarModel model(Dims::square(3),
+                            {TrafficClass::poisson("p0", 0.5, 2),
+                             TrafficClass::poisson("p1", 0.5, 2)});
+  PriorityOptions options;
+  options.reservation_step = 2;
+  try {
+    (void)PriorityCtmcSolver(model, options);
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kModel);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,130 @@
+// Speedup-s model: the scaled-model equivalence that makes the fabric a
+// plain product-form solve, and the Cogill–Lall stability/backlog bound.
+
+#include "core/speedup.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/model.hpp"
+#include "core/solver.hpp"
+
+namespace xbar::core {
+namespace {
+
+CrossbarModel two_class_model(unsigned n) {
+  return CrossbarModel(Dims::square(n),
+                       {TrafficClass::poisson("p", 0.02),
+                        TrafficClass::bursty("b", 0.03, 0.01, 2)});
+}
+
+TEST(SpeedupModel, ScaledModelMultipliesBothSidesAndKeepsTheClasses) {
+  const CrossbarModel model(Dims{4, 6},
+                            {TrafficClass::poisson("p", 0.05)});
+  const CrossbarModel scaled = speedup_scaled_model(model, 3);
+  EXPECT_EQ(scaled.dims().n1, 12u);
+  EXPECT_EQ(scaled.dims().n2, 18u);
+  ASSERT_EQ(scaled.num_classes(), model.num_classes());
+  // Aggregate (tilde) traffic is preserved; only the per-tuple
+  // normalization changes with the output count.
+  EXPECT_EQ(scaled.classes()[0].alpha_tilde, model.classes()[0].alpha_tilde);
+  EXPECT_EQ(scaled.classes()[0].mu, model.classes()[0].mu);
+}
+
+TEST(SpeedupModel, SpeedupOneIsRejected) {
+  const CrossbarModel model = two_class_model(4);
+  try {
+    (void)speedup_scaled_model(model, 1);
+    FAIL() << "expected xbar::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+  }
+}
+
+TEST(SpeedupModel, SolveEqualsThePlainSolveOfTheScaledModel) {
+  // The whole design: `X@speedup-s` is byte-identical to solving the scaled
+  // model with `X` — same grids, same backend arithmetic, same measures.
+  const CrossbarModel model = two_class_model(6);
+  const SolveResult via_fabric =
+      solve_result(model, SolverSpec::parse("algorithm1/scaled@speedup-2"));
+  const SolveResult via_scaled = solve_result(
+      speedup_scaled_model(model, 2), SolverSpec::parse("algorithm1/scaled"));
+  ASSERT_EQ(via_fabric.measures.per_class.size(),
+            via_scaled.measures.per_class.size());
+  for (std::size_t r = 0; r < via_fabric.measures.per_class.size(); ++r) {
+    EXPECT_EQ(via_fabric.measures.per_class[r].blocking,
+              via_scaled.measures.per_class[r].blocking)
+        << r;
+    EXPECT_EQ(via_fabric.measures.per_class[r].concurrency,
+              via_scaled.measures.per_class[r].concurrency)
+        << r;
+  }
+  EXPECT_EQ(via_fabric.measures.revenue, via_scaled.measures.revenue);
+  // Diagnostics report the grid actually solved (the virtual dims) and the
+  // fabric that asked for it.
+  EXPECT_EQ(via_fabric.diagnostics.grid.n1, 12u);
+  EXPECT_EQ(via_fabric.diagnostics.evaluated_at.n1, 12u);
+  EXPECT_EQ(via_fabric.diagnostics.fabric, FabricModel::speedup_s(2));
+  EXPECT_EQ(via_scaled.diagnostics.fabric, FabricModel::crossbar());
+}
+
+TEST(SpeedupModel, BruteForceAgreesThroughTheFabricSpec) {
+  const CrossbarModel model(Dims::square(2),
+                            {TrafficClass::bursty("b", 0.2, 0.1)});
+  const SolveResult brute =
+      solve_result(model, SolverSpec::parse("brute@speedup-2"));
+  const SolveResult alg1 =
+      solve_result(model, SolverSpec::parse("algorithm1/long-double@speedup-2"));
+  EXPECT_NEAR(brute.measures.per_class[0].blocking,
+              alg1.measures.per_class[0].blocking, 1e-10);
+  EXPECT_NEAR(brute.measures.utilization, alg1.measures.utilization, 1e-10);
+}
+
+TEST(CogillLallBound, StabilityThresholdIsHalfTheSpeedup) {
+  // rho = sum a_r rho~_r / cap = (0.02 + 2 * 0.03 * ...) small here, so
+  // every s >= 1 is stable; push the load up to cross s/2 instead.
+  const CrossbarModel light = two_class_model(8);
+  const SpeedupBound stable = cogill_lall_bound(light, 2);
+  EXPECT_TRUE(stable.stable);
+  EXPECT_GT(stable.load, 0.0);
+  EXPECT_LT(stable.load, 1.0);
+  EXPECT_TRUE(std::isfinite(stable.mean_backlog));
+  EXPECT_TRUE(std::isfinite(stable.mean_delay));
+
+  // Aggregate load 4.8 over cap 8 => normalized load 0.6: above 1/2
+  // (unstable at s = 1), below 2/2 (stable at s = 2).
+  const CrossbarModel heavy(Dims::square(8),
+                            {TrafficClass::poisson("p", 4.8)});
+  EXPECT_FALSE(cogill_lall_bound(heavy, 1).stable);
+  EXPECT_TRUE(std::isinf(cogill_lall_bound(heavy, 1).mean_backlog));
+  EXPECT_TRUE(cogill_lall_bound(heavy, 2).stable);
+}
+
+TEST(CogillLallBound, BacklogShrinksAsTheSpeedupGrows) {
+  const CrossbarModel model(Dims::square(8),
+                            {TrafficClass::poisson("p", 3.2)});
+  double previous = cogill_lall_bound(model, 1).mean_backlog;
+  for (unsigned s = 2; s <= 4; ++s) {
+    const SpeedupBound bound = cogill_lall_bound(model, s);
+    EXPECT_TRUE(bound.stable) << s;
+    EXPECT_LT(bound.mean_backlog, previous) << s;
+    previous = bound.mean_backlog;
+  }
+}
+
+TEST(CogillLallBound, PeakednessReflectsTheTrafficMix) {
+  // Poisson-only traffic has z = 1; adding a Pascal (bursty) class pushes
+  // the load-weighted peakedness above 1 and the backlog bound with it.
+  const CrossbarModel poisson(Dims::square(8),
+                              {TrafficClass::poisson("p", 0.2)});
+  EXPECT_NEAR(cogill_lall_bound(poisson, 2).peakedness, 1.0, 1e-12);
+
+  const CrossbarModel bursty(Dims::square(8),
+                             {TrafficClass::bursty("b", 0.2, 0.5)});
+  EXPECT_GT(cogill_lall_bound(bursty, 2).peakedness, 1.0);
+}
+
+}  // namespace
+}  // namespace xbar::core

@@ -1,0 +1,92 @@
+// PriorityFabric: the arbiter gate in front of an ordinary crossbar —
+// reservation headroom per rank, rejection accounting, and rank-0
+// equivalence to the unarbitrated switch.
+
+#include "fabric/priority_fabric.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::fabric {
+namespace {
+
+std::vector<unsigned> ports(std::initializer_list<unsigned> p) { return p; }
+
+TEST(PriorityFabric, RankZeroBehavesLikeThePlainCrossbar) {
+  PriorityFabric fabric(4, 4);
+  EXPECT_EQ(fabric.num_inputs(), 4u);
+  EXPECT_EQ(fabric.num_outputs(), 4u);
+  // Rank 0 reserves nothing: it can fill the switch completely.
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fabric.try_connect(ports({i}), ports({i}), 0).has_value())
+        << i;
+  }
+  EXPECT_EQ(fabric.busy_pairs(), 4u);
+  EXPECT_EQ(fabric.arbiter_rejections(), 0u);
+}
+
+TEST(PriorityFabric, LowerRanksMustLeaveHeadroom) {
+  PriorityFabric fabric(4, 4, 1);
+  // Rank 2 reserves 2 pairs: it may use at most cap - 2 = 2.
+  ASSERT_TRUE(fabric.try_connect(ports({0}), ports({0}), 2).has_value());
+  ASSERT_TRUE(fabric.try_connect(ports({1}), ports({1}), 2).has_value());
+  EXPECT_FALSE(fabric.try_connect(ports({2}), ports({2}), 2).has_value());
+  EXPECT_EQ(fabric.arbiter_rejections(), 1u);
+  // Ports 2 and 3 are physically free — only the gate refused.
+  EXPECT_FALSE(fabric.input_busy(2));
+  EXPECT_FALSE(fabric.output_busy(2));
+
+  // Rank 1 may take one more (up to 3 pairs), rank 0 the last.
+  ASSERT_TRUE(fabric.try_connect(ports({2}), ports({2}), 1).has_value());
+  EXPECT_FALSE(fabric.try_connect(ports({3}), ports({3}), 1).has_value());
+  EXPECT_TRUE(fabric.try_connect(ports({3}), ports({3}), 0).has_value());
+  EXPECT_EQ(fabric.busy_pairs(), 4u);
+  EXPECT_EQ(fabric.arbiter_rejections(), 2u);
+}
+
+TEST(PriorityFabric, ReleaseReturnsHeadroomToTheArbiter) {
+  PriorityFabric fabric(3, 3, 1);
+  const auto a = fabric.try_connect(ports({0}), ports({0}), 1);
+  const auto b = fabric.try_connect(ports({1}), ports({1}), 1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Rank 1's budget (cap - 1 = 2 pairs) is exhausted.
+  EXPECT_FALSE(fabric.try_connect(ports({2}), ports({2}), 1).has_value());
+  fabric.release(*a);
+  EXPECT_EQ(fabric.busy_pairs(), 1u);
+  EXPECT_TRUE(fabric.try_connect(ports({2}), ports({2}), 1).has_value());
+}
+
+TEST(PriorityFabric, GateCountsPairsAcrossMultiPortBundles) {
+  PriorityFabric fabric(4, 4, 1);
+  // A two-pair bundle at rank 1 needs busy + 2 <= cap - 1 = 3.
+  ASSERT_TRUE(
+      fabric.try_connect(ports({0, 1}), ports({0, 1}), 1).has_value());
+  EXPECT_EQ(fabric.busy_pairs(), 2u);
+  EXPECT_FALSE(
+      fabric.try_connect(ports({2, 3}), ports({2, 3}), 1).has_value());
+  EXPECT_EQ(fabric.arbiter_rejections(), 1u);
+  // The same bundle at rank 0 passes the gate and the crossbar.
+  EXPECT_TRUE(
+      fabric.try_connect(ports({2, 3}), ports({2, 3}), 0).has_value());
+}
+
+TEST(PriorityFabric, BusyPortsStillRejectAfterTheGate) {
+  PriorityFabric fabric(4, 4, 1);
+  ASSERT_TRUE(fabric.try_connect(ports({0}), ports({0}), 0).has_value());
+  const auto before = fabric.arbiter_rejections();
+  // Gate passes (1 + 1 <= 4), but input 0 is busy: a port rejection, not an
+  // arbiter rejection.
+  EXPECT_FALSE(fabric.try_connect(ports({0}), ports({1}), 0).has_value());
+  EXPECT_EQ(fabric.arbiter_rejections(), before);
+  EXPECT_EQ(fabric.busy_pairs(), 1u);
+}
+
+TEST(PriorityFabric, NameRecordsDimsAndStep) {
+  const PriorityFabric fabric(4, 6, 2);
+  EXPECT_EQ(fabric.name(), "priority(4x6,step=2)");
+}
+
+}  // namespace
+}  // namespace xbar::fabric

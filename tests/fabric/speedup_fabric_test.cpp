@@ -1,0 +1,87 @@
+// SpeedupFabric: virtual-port bookkeeping, physical-port load accounting,
+// and all-or-nothing bundle semantics.
+
+#include "fabric/speedup_fabric.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xbar::fabric {
+namespace {
+
+TEST(SpeedupFabric, ExposesTheScaledVirtualDimensions) {
+  const SpeedupFabric fabric(4, 6, 2);
+  EXPECT_EQ(fabric.num_inputs(), 8u);
+  EXPECT_EQ(fabric.num_outputs(), 12u);
+  EXPECT_EQ(fabric.speedup(), 2u);
+  EXPECT_EQ(fabric.free_inputs(), 8u);
+  EXPECT_EQ(fabric.free_outputs(), 12u);
+  EXPECT_TRUE(fabric.check_invariants());
+}
+
+TEST(SpeedupFabric, OnePhysicalPortCarriesSpeedupCircuits) {
+  SpeedupFabric fabric(4, 4, 3);
+  // Virtual inputs 0, 4, 8 are the three appearances of physical input 0.
+  std::vector<CircuitId> ids;
+  for (unsigned plane = 0; plane < 3; ++plane) {
+    const unsigned vin = plane * 4 + 0;
+    const unsigned vout = plane * 4 + 1;
+    const auto id = fabric.try_connect(std::vector<unsigned>{vin},
+                                       std::vector<unsigned>{vout});
+    ASSERT_TRUE(id.has_value()) << plane;
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(fabric.input_load(0), 3u);
+  EXPECT_EQ(fabric.output_load(1), 3u);
+  EXPECT_EQ(fabric.input_load(1), 0u);
+  EXPECT_EQ(fabric.active_circuits(), 3u);
+
+  // Every appearance of physical input 0 is busy: a fourth circuit on any
+  // of its virtual ports is refused.
+  EXPECT_FALSE(fabric
+                   .try_connect(std::vector<unsigned>{0u},
+                                std::vector<unsigned>{2u})
+                   .has_value());
+  EXPECT_TRUE(fabric.check_invariants());
+
+  fabric.release(ids[1]);
+  EXPECT_EQ(fabric.input_load(0), 2u);
+  EXPECT_TRUE(fabric
+                  .try_connect(std::vector<unsigned>{4u},
+                               std::vector<unsigned>{6u})
+                  .has_value());
+  EXPECT_TRUE(fabric.check_invariants());
+}
+
+TEST(SpeedupFabric, BundlesAreAllOrNothing) {
+  SpeedupFabric fabric(3, 3, 2);
+  // Occupy virtual output 5, then request a bundle that needs it: the
+  // whole bundle must fail and leave the other named ports untouched.
+  const auto hold = fabric.try_connect(std::vector<unsigned>{5u},
+                                       std::vector<unsigned>{5u});
+  ASSERT_TRUE(hold.has_value());
+
+  const std::vector<unsigned> ins = {0u, 1u};
+  const std::vector<unsigned> outs = {0u, 5u};
+  EXPECT_FALSE(fabric.try_connect(ins, outs).has_value());
+  EXPECT_FALSE(fabric.input_busy(0));
+  EXPECT_FALSE(fabric.input_busy(1));
+  EXPECT_FALSE(fabric.output_busy(0));
+  EXPECT_EQ(fabric.active_circuits(), 1u);
+  EXPECT_TRUE(fabric.check_invariants());
+
+  // Without the conflict the same bundle connects.
+  EXPECT_TRUE(fabric
+                  .try_connect(ins, std::vector<unsigned>{0u, 1u})
+                  .has_value());
+  EXPECT_TRUE(fabric.check_invariants());
+}
+
+TEST(SpeedupFabric, NameRecordsTheSpeedupAndPhysicalDims) {
+  const SpeedupFabric fabric(4, 6, 2);
+  EXPECT_EQ(fabric.name(), "speedup-2(4x6)");
+}
+
+}  // namespace
+}  // namespace xbar::fabric

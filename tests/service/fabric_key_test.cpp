@@ -1,0 +1,69 @@
+// Service canonical cache keys under the fabric dimension: legacy requests
+// keep their exact pre-fabric keys (warm ResultCaches stay valid across the
+// upgrade), fabric-qualified requests are distinct computations, and the
+// solver spec round-trips through the NDJSON protocol.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "service/protocol.hpp"
+
+namespace xbar::service {
+namespace {
+
+const char* kLegacyLine =
+    R"({"method":"solve","scenario":{"switch":{"inputs":8},)"
+    R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})";
+
+std::string key_with_solver(const std::string& solver) {
+  return parse_request(
+             R"({"method":"solve","solver":")" + solver +
+             R"(","scenario":{"switch":{"inputs":8},)"
+             R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})")
+      .cache_key;
+}
+
+TEST(FabricCacheKey, LegacyKeyIsPinnedByteForByte) {
+  // The canonical key leads with method|solver; the default crossbar is
+  // omitted from the solver rendering, so the legacy prefix is exactly
+  // what it was before fabrics existed.  This is the regression pin.
+  const std::string key = parse_request(kLegacyLine).cache_key;
+  EXPECT_EQ(key.rfind("solve|auto|", 0), 0u) << key;
+  EXPECT_EQ(key.find('@'), std::string::npos) << key;
+}
+
+TEST(FabricCacheKey, ExplicitCrossbarAliasesTheLegacyKey) {
+  EXPECT_EQ(key_with_solver("auto@crossbar"),
+            parse_request(kLegacyLine).cache_key);
+  EXPECT_EQ(key_with_solver("fast@crossbar"), key_with_solver("fast"));
+}
+
+TEST(FabricCacheKey, FabricQualifiedSpecsAreDistinctComputations) {
+  const std::string base = parse_request(kLegacyLine).cache_key;
+  const std::string speedup = key_with_solver("auto@speedup-2");
+  const std::string priority = key_with_solver("auto@priority");
+  EXPECT_NE(speedup, base);
+  EXPECT_NE(priority, base);
+  EXPECT_NE(speedup, priority);
+  EXPECT_NE(speedup, key_with_solver("auto@speedup-3"));
+  // The fabric rides in through the canonical solver rendering.
+  EXPECT_NE(speedup.find("|auto@speedup-2|"), std::string::npos) << speedup;
+  EXPECT_NE(priority.find("|auto@priority|"), std::string::npos) << priority;
+}
+
+TEST(FabricCacheKey, BadFabricTokensRaiseConfigErrors) {
+  try {
+    (void)key_with_solver("auto@banyan");
+    FAIL() << "expected xbar::Error";
+  } catch (const xbar::Error& e) {
+    EXPECT_EQ(e.kind(), xbar::ErrorKind::kConfig);
+    EXPECT_NE(std::string(e.what()).find("unknown fabric 'banyan'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,103 @@
+// Discrete-event cross-validation of the two new analytical fabric models.
+// Each analytical solver and its structural fabric describe the same
+// stochastic process, so simulated congestion must land inside the
+// replication confidence intervals around the analytical answer.
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/priority.hpp"
+#include "core/solver.hpp"
+#include "sim/replication.hpp"
+
+namespace xbar::sim {
+namespace {
+
+using core::CrossbarModel;
+using core::Dims;
+using core::FabricModel;
+using core::TrafficClass;
+
+ReplicationConfig study(std::size_t reps = 6) {
+  ReplicationConfig cfg;
+  cfg.replications = reps;
+  cfg.sim.warmup_time = 200.0;
+  cfg.sim.measurement_time = 5000.0;
+  cfg.sim.num_batches = 10;
+  cfg.sim.seed = 11;
+  return cfg;
+}
+
+TEST(FabricCrossValidation, SpeedupSimMatchesTheScaledProductForm) {
+  // Loads high enough that blocking is resolvable by simulation.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 1.5),
+                             TrafficClass::bursty("pk", 0.8, 0.3)});
+  const core::SolveResult analytic = core::solve_result(
+      model, core::SolverSpec::parse("algorithm1/long-double@speedup-2"));
+  const ReplicationResult sim =
+      run_fabric_replications(model, FabricModel::speedup_s(2), study());
+  ASSERT_EQ(sim.per_class.size(), analytic.measures.per_class.size());
+  for (std::size_t r = 0; r < sim.per_class.size(); ++r) {
+    EXPECT_NEAR(sim.per_class[r].time_congestion.mean,
+                analytic.measures.per_class[r].blocking,
+                3.0 * sim.per_class[r].time_congestion.half_width + 1e-2)
+        << r;
+    EXPECT_NEAR(sim.per_class[r].concurrency.mean,
+                analytic.measures.per_class[r].concurrency,
+                3.0 * sim.per_class[r].concurrency.half_width + 0.1)
+        << r;
+  }
+}
+
+TEST(FabricCrossValidation, SpeedupRaisesCarriedTrafficOverTheCrossbar) {
+  // Same physical switch and offered process per plane: the speedup fabric
+  // carries roughly s times the connections of the plain crossbar.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("p", 2.0)});
+  const auto plain =
+      run_fabric_replications(model, FabricModel::crossbar(), study(4));
+  const auto sped =
+      run_fabric_replications(model, FabricModel::speedup_s(2), study(4));
+  EXPECT_GT(sped.per_class[0].concurrency.mean,
+            1.5 * plain.per_class[0].concurrency.mean);
+}
+
+TEST(FabricCrossValidation, PrioritySimMatchesTheCtmcCallCongestion) {
+  // The simulator counts blocked arrivals (call congestion) and its probe
+  // does not model the arbiter gate, so the CTMC's call_congestion is the
+  // comparable quantity on both sides.
+  const CrossbarModel model(Dims::square(4),
+                            {TrafficClass::poisson("hi", 1.2),
+                             TrafficClass::bursty("lo", 0.8, 0.3)});
+  const core::PriorityCtmcSolver ctmc(model);
+  const ReplicationResult sim =
+      run_fabric_replications(model, FabricModel::priority(), study());
+  ASSERT_EQ(sim.per_class.size(), model.num_classes());
+  for (std::size_t r = 0; r < sim.per_class.size(); ++r) {
+    EXPECT_NEAR(sim.per_class[r].call_congestion.mean,
+                ctmc.call_congestion(r),
+                3.0 * sim.per_class[r].call_congestion.half_width + 1e-2)
+        << r;
+    const double analytic_concurrency =
+        ctmc.solve().per_class[r].concurrency;
+    EXPECT_NEAR(sim.per_class[r].concurrency.mean, analytic_concurrency,
+                3.0 * sim.per_class[r].concurrency.half_width + 0.1)
+        << r;
+  }
+}
+
+TEST(FabricCrossValidation, PriorityArbiterShiftsBlockingDownTheRanks) {
+  // Two identical classes: under the arbiter, the declaration-order rank
+  // makes the second class measurably worse off than the first.
+  const CrossbarModel model(Dims::square(3),
+                            {TrafficClass::poisson("hi", 1.5),
+                             TrafficClass::poisson("lo", 1.5)});
+  const auto result =
+      run_fabric_replications(model, FabricModel::priority(), study());
+  EXPECT_GT(result.per_class[1].call_congestion.mean,
+            result.per_class[0].call_congestion.mean);
+}
+
+}  // namespace
+}  // namespace xbar::sim

@@ -1,0 +1,120 @@
+// Fingerprint stability under the fabric dimension.  The contract: specs on
+// the default crossbar produce exactly the cache keys they produced before
+// fabrics existed (legacy checkpoints and warm caches stay valid), while any
+// non-default fabric is a distinct computation with a distinct entry.
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/solver_spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::sweep {
+namespace {
+
+core::CrossbarModel poisson_model(unsigned n, double rho) {
+  return core::CrossbarModel(core::Dims::square(n),
+                             {core::TrafficClass::poisson("c", rho)});
+}
+
+TEST(FabricFingerprint, ExplicitCrossbarAliasesTheLegacyKey) {
+  // "fast" predates the fabric dimension; "fast@crossbar" must land on the
+  // same entry — the regression pin that legacy keys did not shift.
+  SolverCache cache(8);
+  const auto model = poisson_model(8, 0.4);
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast"));
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast@crossbar"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FabricFingerprint, EachFabricIsADistinctEntry) {
+  SolverCache cache(8);
+  const auto model = poisson_model(8, 0.4);
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast"));
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast@speedup-2"));
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast@speedup-3"));
+  (void)cache.eval_result(model, core::SolverSpec::parse("auto@priority"));
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Re-asking each is a hit — fabric entries cache like any other.
+  (void)cache.eval_result(model, core::SolverSpec::parse("fast@speedup-2"));
+  (void)cache.eval_result(model, core::SolverSpec::parse("auto@priority"));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(FabricFingerprint, SpeedupEntriesAnswerFromTheScaledGrid) {
+  SolverCache cache(8);
+  const auto model = poisson_model(6, 0.4);
+  const auto result =
+      cache.eval_result(model, core::SolverSpec::parse("fast@speedup-2"));
+  EXPECT_EQ(result.diagnostics.grid.n1, 12u);
+  EXPECT_EQ(result.diagnostics.evaluated_at.n1, 12u);
+  EXPECT_EQ(result.diagnostics.fabric, core::FabricModel::speedup_s(2));
+
+  // The cached grid serves repeat queries without a rebuild.
+  const auto again =
+      cache.eval_result(model, core::SolverSpec::parse("fast@speedup-2"));
+  EXPECT_TRUE(again.diagnostics.cache_hit);
+  EXPECT_EQ(again.measures.per_class[0].blocking,
+            result.measures.per_class[0].blocking);
+}
+
+TEST(FabricFingerprint, PriorityEntriesCacheTheCtmc) {
+  SolverCache cache(8);
+  const auto model = poisson_model(4, 1.2);
+  const auto result =
+      cache.eval_result(model, core::SolverSpec::parse("auto@priority"));
+  EXPECT_EQ(result.diagnostics.algorithm, core::SolverAlgorithm::kPriorityCtmc);
+  EXPECT_FALSE(result.diagnostics.cache_hit);
+  const auto again =
+      cache.eval_result(model, core::SolverSpec::parse("auto@priority"));
+  EXPECT_TRUE(again.diagnostics.cache_hit);
+  EXPECT_EQ(again.measures.revenue, result.measures.revenue);
+}
+
+TEST(FabricFingerprint, SweepRunnerThreadsFabricSpecsThrough) {
+  SweepOptions options;
+  options.threads = 1;
+  options.solver = core::SolverSpec::parse("fast@speedup-2");
+  SweepRunner runner(options);
+  std::vector<ScenarioPoint> points;
+  for (const unsigned n : {4u, 6u}) {
+    points.push_back({poisson_model(n, 0.3), std::nullopt});
+  }
+  const SweepReport report = runner.run_report(points);
+  ASSERT_TRUE(report.complete());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(report.results[i].diagnostics.fabric,
+              core::FabricModel::speedup_s(2))
+        << i;
+    EXPECT_EQ(report.results[i].diagnostics.grid.n1,
+              points[i].model.dims().n1 * 2)
+        << i;
+  }
+}
+
+TEST(FabricFingerprint, BatchKeepsFabricEntriesApart) {
+  SolverCache cache(8);
+  const std::vector<core::CrossbarModel> models = {poisson_model(6, 0.3),
+                                                   poisson_model(6, 0.35)};
+  const auto plain =
+      cache.eval_batch_result(models, core::SolverSpec::fast());
+  const auto scaled = cache.eval_batch_result(
+      models, core::SolverSpec::parse("fast@speedup-2"));
+  EXPECT_EQ(cache.misses(), 4u);  // nothing aliased
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(plain[i].diagnostics.grid.n1, 6u) << i;
+    EXPECT_EQ(scaled[i].diagnostics.grid.n1, 12u) << i;
+    // Scaled measures genuinely differ from the plain crossbar's.
+    EXPECT_NE(plain[i].measures.per_class[0].blocking,
+              scaled[i].measures.per_class[0].blocking)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace xbar::sweep

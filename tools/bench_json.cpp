@@ -15,6 +15,8 @@
 //      counts (see bench/perf_algorithms.cpp).
 //   4. Batched multi-scenario solves: 16 same-dims scenarios through one
 //      lane-interleaved traversal vs 16 sequential solver builds.
+//   5. Fabric models: the speedup-2 scaled solve vs the plain solve at the
+//      same physical size, and the priority CTMC at brute-force scale.
 //
 // Medians of repeated runs, monotonic clock.  Every baseline is re-measured
 // in the same process as the number it is compared against, so each
@@ -29,6 +31,7 @@
 #include "core/algorithm1.hpp"
 #include "core/algorithm1_batch.hpp"
 #include "core/model.hpp"
+#include "core/priority.hpp"
 #include "core/solver.hpp"
 #include "sweep/sweep.hpp"
 
@@ -243,6 +246,40 @@ int main(int argc, char** argv) {
       },
       7);
 
+  // --- 6. Fabric models: speedup-s scaled solve and the priority CTMC. ---
+  //
+  // speedup-2 at N = 64 runs the same kernel on the 128x128 virtual grid,
+  // so its cost should track the plain N = 128 solve; the priority CTMC is
+  // exact over Γ(N) and only feasible at brute-force scales.
+  const auto fabric_model = size_sweep_model(64);
+  const core::SolverSpec speedup_spec =
+      core::SolverSpec::parse("algorithm1/double-dynamic@speedup-2");
+  const double plain_n64_ms = time_ms(
+      [&] {
+        core::Algorithm1Solver solver(fabric_model, fast_opts);
+        volatile double sink = solver.solve().per_class[0].blocking;
+        (void)sink;
+      },
+      7);
+  const double speedup2_n64_ms = time_ms(
+      [&] {
+        volatile double sink = core::solve_result(fabric_model, speedup_spec)
+                                   .measures.per_class[0]
+                                   .blocking;
+        (void)sink;
+      },
+      7);
+  const auto priority_model = size_sweep_model(6);
+  std::size_t priority_states = 0;
+  const double priority_n6_ms = time_ms(
+      [&] {
+        core::PriorityCtmcSolver solver(priority_model);
+        priority_states = solver.num_states();
+        volatile double sink = solver.solve().per_class[0].blocking;
+        (void)sink;
+      },
+      7);
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::perror("bench_json: fopen");
@@ -299,6 +336,15 @@ int main(int argc, char** argv) {
                batch_seq_default_ms / batch_ms);
   std::fprintf(out, "    \"same_backend_speedup\": %.2f\n",
                batch_seq_fast_ms / batch_ms);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"fabric_models\": {\n");
+  std::fprintf(out, "    \"plain_n64_ms\": %.3f,\n", plain_n64_ms);
+  std::fprintf(out, "    \"speedup2_n64_ms\": %.3f,\n", speedup2_n64_ms);
+  std::fprintf(out, "    \"scaled_grid_cost_ratio\": %.2f,\n",
+               speedup2_n64_ms / plain_n64_ms);
+  std::fprintf(out, "    \"priority_ctmc_n6_ms\": %.3f,\n", priority_n6_ms);
+  std::fprintf(out, "    \"priority_ctmc_n6_states\": %zu\n",
+               priority_states);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

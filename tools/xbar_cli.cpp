@@ -9,9 +9,14 @@
 //                 batched grid traversal (one --solver spec for all;
 //                 per-scenario timing with --verbose)
 //
+// Discovery:
+//   xbar --list-solvers                      enumerate every valid --solver
+//                 token: algorithms, algorithm1 backends, and fabrics
+//
 // Common flags:
 //   --solver=SPEC   override the scenario's [solve] algorithm
-//                   (auto|fast|algorithm1[/backend]|algorithm2|brute)
+//                   (auto|fast|algorithm1[/backend]|algorithm2|brute,
+//                   optionally @crossbar|@speedup-<s>|@priority)
 //   --verbose       print solve diagnostics (backend, fallback, rescales,
 //                   cache hits, wall time)
 //   --json          machine-readable output (solve and sweep)
@@ -68,6 +73,7 @@ int usage() {
   std::cerr << "usage: xbar <solve|revenue|simulate|sweep> <scenario.ini>\n"
                "       xbar batch <s1.ini> <s2.ini> ... [--solver=SPEC] "
                "[--verbose] [--json]\n"
+               "       xbar --list-solvers\n"
                "            [--solver=SPEC] [--verbose] [--json]\n"
                "            [--sizes=4,8,16] [--threads=N]   (sweep only)\n"
                "            [--max-failures=N] [--deadline=SECONDS]\n"
@@ -75,9 +81,64 @@ int usage() {
                "            [--inject=POINT:throw|nan|delay[:SECONDS],...]\n"
                "SPEC: auto|fast|algorithm1[/scaled|/double-dynamic|"
                "/long-double|/double-raw|/log-domain]|algorithm2|brute\n"
+               "      optionally @crossbar|@speedup-<s>|@priority "
+               "(s in [2, 16])\n"
                "exit: 0 complete, 2 partial (failed/cancelled points), "
                "1 fatal\n";
   return 1;
+}
+
+// `xbar --list-solvers`: enumerate every token SolverSpec::parse accepts so
+// scripts can discover the spec grammar without scraping usage text.  Tokens
+// come from the same to_string/registry functions the parser round-trips
+// through, so this listing cannot drift from the grammar.
+int cmd_list_solvers() {
+  std::cout << "solver spec: ALGORITHM[/BACKEND][@FABRIC]\n\n";
+  report::Table algorithms({"algorithm", "notes"});
+  algorithms.add_row({std::string(core::to_string(
+                          core::SolverAlgorithm::kAuto)),
+                      "pick per model size (default)"});
+  algorithms.add_row({std::string(core::to_string(
+                          core::SolverAlgorithm::kFast)),
+                      "auto with double-dynamic fast path"});
+  algorithms.add_row({std::string(core::to_string(
+                          core::SolverAlgorithm::kAlgorithm1)),
+                      "Q-grid convolution (takes /BACKEND)"});
+  algorithms.add_row({std::string(core::to_string(
+                          core::SolverAlgorithm::kAlgorithm2)),
+                      "ratio recursion"});
+  algorithms.add_row({std::string(core::to_string(
+                          core::SolverAlgorithm::kBruteForce)),
+                      "direct state-space sum (small models)"});
+  algorithms.print(std::cout);
+  std::cout << "\n";
+  report::Table backends({"algorithm1 backend", "notes"});
+  backends.add_row({std::string(core::to_string(
+                        core::NumericBackend::kScaledFloat)),
+                    "scaled fixed-point grid (default)"});
+  backends.add_row({std::string(core::to_string(
+                        core::NumericBackend::kDoubleDynamicScaling)),
+                    "double with dynamic rescaling"});
+  backends.add_row({std::string(core::to_string(
+                        core::NumericBackend::kLongDouble)),
+                    "extended precision"});
+  backends.add_row({std::string(core::to_string(
+                        core::NumericBackend::kDoubleRaw)),
+                    "raw double (overflow-prone; testing)"});
+  backends.add_row({std::string(core::to_string(
+                        core::NumericBackend::kLogDomain)),
+                    "log-domain accumulation"});
+  backends.print(std::cout);
+  std::cout << "\n";
+  report::Table fabrics({"fabric", "example", "notes"});
+  for (const core::FabricInfo& info : core::fabric_registry()) {
+    fabrics.add_row({std::string(info.grammar), std::string(info.example),
+                     std::string(info.summary)});
+  }
+  fabrics.print(std::cout);
+  std::cout << "\nexamples: --solver=auto  --solver=algorithm1/log-domain"
+               "  --solver=fast@speedup-2  --solver=auto@priority\n";
+  return 0;
 }
 
 /// The scenario's solver, unless --solver overrides it.
@@ -97,6 +158,7 @@ void print_diagnostics(const core::SolveDiagnostics& d, std::ostream& os) {
   os << "solver: requested=" << core::to_string(d.requested)
      << " resolved=" << core::to_string(d.algorithm)
      << " backend=" << core::to_string(d.backend)
+     << " fabric=" << d.fabric.to_string()
      << " fallback=" << (d.fast_fallback ? "yes" : "no")
      << " rescales=" << d.rescales << " grid=" << dims_text(d.grid)
      << " eval=" << dims_text(d.evaluated_at)
@@ -181,8 +243,8 @@ int cmd_revenue(const config::Scenario& scenario, const report::Args& args) {
 }
 
 int cmd_simulate(const config::Scenario& scenario, const report::Args& args) {
-  const core::SolveResult analytic =
-      core::solve_result(scenario.model, effective_solver(scenario, args));
+  const core::SolverSpec spec = effective_solver(scenario, args);
+  const core::SolveResult analytic = core::solve_result(scenario.model, spec);
 
   // The replication layer owns the whole study — fabric construction, seed
   // derivation, pooling, aggregation; non-uniform traffic plugs in through
@@ -196,8 +258,10 @@ int cmd_simulate(const config::Scenario& scenario, const report::Args& args) {
       return sim::make_hotspot_selector(hotspot, 0);
     };
   }
+  // The fabric under test follows the solver spec, so `simulate` always
+  // cross-checks the analytical model against its own structural switch.
   const sim::ReplicationResult result =
-      sim::run_crossbar_replications(scenario.model, cfg);
+      sim::run_fabric_replications(scenario.model, spec.fabric, cfg);
 
   report::Table table({"class", "analytic blocking", "sim call-cong", "CI"});
   for (std::size_t r = 0; r < scenario.model.num_classes(); ++r) {
@@ -557,6 +621,10 @@ int cmd_batch(const std::vector<std::string>& files,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && (std::string(argv[1]) == "--list-solvers" ||
+                    std::string(argv[1]) == "list-solvers")) {
+    return cmd_list_solvers();
+  }
   if (argc < 3) {
     return usage();
   }
