@@ -21,6 +21,7 @@ bool CircuitBreaker::allow(TimePoint now) {
       }
       state_ = State::kHalfOpen;
       probe_in_flight_ = true;
+      ++times_half_open_;
       return true;
     }
     case State::kHalfOpen:
@@ -39,6 +40,7 @@ void CircuitBreaker::record_success(TimePoint /*now*/) {
     // cannot re-trip the breaker on the next failure.
     state_ = State::kClosed;
     probe_in_flight_ = false;
+    ++times_reclosed_;
     results_.assign(config_.window, false);
     next_ = 0;
     count_ = 0;

@@ -57,6 +57,16 @@ class CircuitBreaker {
     return times_opened_;
   }
 
+  /// Times the cooldown elapsed and a half-open probe was admitted.
+  [[nodiscard]] std::uint64_t times_half_open() const noexcept {
+    return times_half_open_;
+  }
+
+  /// Times a half-open probe succeeded and the breaker re-closed.
+  [[nodiscard]] std::uint64_t times_reclosed() const noexcept {
+    return times_reclosed_;
+  }
+
  private:
   void trip(TimePoint now);
   void push(bool failure);
@@ -70,6 +80,8 @@ class CircuitBreaker {
   bool probe_in_flight_ = false;
   TimePoint opened_at_{};
   std::uint64_t times_opened_ = 0;
+  std::uint64_t times_half_open_ = 0;
+  std::uint64_t times_reclosed_ = 0;
 };
 
 [[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;

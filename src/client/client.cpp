@@ -34,6 +34,17 @@ XbarClient::XbarClient(ClientConfig config)
       backoff_(config_.backoff, config_.seed),
       breaker_(config_.breaker) {}
 
+ClientStats XbarClient::stats() const {
+  ClientStats s;
+  s.endpoint = config_.host + ':' + std::to_string(config_.port);
+  s.counters = counters_;
+  s.breaker_state = breaker_.state();
+  s.breaker_opened = breaker_.times_opened();
+  s.breaker_half_open = breaker_.times_half_open();
+  s.breaker_reclosed = breaker_.times_reclosed();
+  return s;
+}
+
 void XbarClient::disconnect() noexcept {
   reader_.reset();
   socket_.reset();

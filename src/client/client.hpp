@@ -80,6 +80,32 @@ struct ClientCounters {
   std::uint64_t attempt_resets = 0;
   std::uint64_t attempt_overloaded = 0;
   std::uint64_t breaker_rejections = 0;  ///< attempts the breaker blocked
+
+  /// Fold `other` into this tally (pool aggregation over many clients).
+  void absorb(const ClientCounters& other) noexcept {
+    calls += other.calls;
+    retries += other.retries;
+    attempt_timeouts += other.attempt_timeouts;
+    attempt_refused += other.attempt_refused;
+    attempt_resets += other.attempt_resets;
+    attempt_overloaded += other.attempt_overloaded;
+    breaker_rejections += other.breaker_rejections;
+  }
+};
+
+/// Queryable per-endpoint statistics: the call tallies plus the breaker's
+/// state-transition history and (when the caller hedges through a pool)
+/// the hedge win/loss record.  This is what `xbar_client --stats` and the
+/// router's per-backend stats render.
+struct ClientStats {
+  std::string endpoint;  ///< "host:port"
+  ClientCounters counters;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  std::uint64_t breaker_opened = 0;
+  std::uint64_t breaker_half_open = 0;
+  std::uint64_t breaker_reclosed = 0;
+  std::uint64_t hedges_won = 0;   ///< hedged calls whose hedge answered first
+  std::uint64_t hedges_lost = 0;  ///< hedges that lost the race (or failed)
 };
 
 class XbarClient {
@@ -96,6 +122,10 @@ class XbarClient {
   [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
     return breaker_;
   }
+
+  /// Point-in-time ClientStats for this endpoint (hedge fields stay zero —
+  /// hedging lives in the pooled/router layer above single clients).
+  [[nodiscard]] ClientStats stats() const;
 
   /// Drop the persistent connection (the next call redials).
   void disconnect() noexcept;

@@ -1,0 +1,90 @@
+#include "client/pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace xbar::client {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ClientPool::ClientPool(PoolConfig config)
+    : config_(std::move(config)), breaker_(config_.breaker) {
+  endpoint_ =
+      config_.client.host + ':' + std::to_string(config_.client.port);
+  // The pool owns retry policy (none) and breaking (shared): each client
+  // makes exactly one attempt, and its private breaker can never trip
+  // (failure rates cannot exceed 1).
+  config_.client.backoff.max_attempts = 1;
+  config_.client.breaker.failure_threshold = 2.0;
+}
+
+std::unique_ptr<XbarClient> ClientPool::acquire() {
+  std::uint64_t seed_offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<XbarClient> client = std::move(idle_.back());
+      idle_.pop_back();
+      return client;
+    }
+    seed_offset = ++next_seed_;
+  }
+  ClientConfig config = config_.client;
+  config.seed = config.seed + seed_offset;
+  return std::make_unique<XbarClient>(config);
+}
+
+void ClientPool::release(std::unique_ptr<XbarClient> client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() < config_.max_idle) {
+    idle_.push_back(std::move(client));
+    return;
+  }
+  retired_.absorb(client->counters());  // keep the tallies, drop the socket
+}
+
+CallResult ClientPool::call(const std::string& request_line) {
+  if (!breaker_.allow(Clock::now())) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++breaker_rejections_;
+    }
+    CallResult rejected;
+    rejected.outcome = Outcome::kBreakerOpen;
+    return rejected;
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<XbarClient> client = acquire();
+  CallResult result = client->call(request_line);
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (result.outcome == Outcome::kOk) {
+    breaker_.record_success(Clock::now());
+  } else {
+    breaker_.record_failure(Clock::now());
+  }
+  release(std::move(client));
+  return result;
+}
+
+ClientStats ClientPool::stats() const {
+  ClientStats s;
+  s.endpoint = endpoint_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.counters = retired_;
+    for (const auto& client : idle_) {
+      s.counters.absorb(client->counters());
+    }
+    s.counters.breaker_rejections += breaker_rejections_;
+  }
+  const SharedBreaker::Snapshot b = breaker_.snapshot();
+  s.breaker_state = b.state;
+  s.breaker_opened = b.opened;
+  s.breaker_half_open = b.half_open;
+  s.breaker_reclosed = b.reclosed;
+  return s;
+}
+
+}  // namespace xbar::client

@@ -1,0 +1,95 @@
+// ClientPool: one endpoint, many concurrent callers.
+//
+// XbarClient is deliberately single-threaded, which is the right shape for
+// a load-generator sender but the wrong one for a router whose workers all
+// talk to the same backend.  The pool bridges the two: it keeps a stack of
+// idle XbarClients (each owning one persistent connection), hands one to
+// each call, and returns it afterwards — so concurrent calls cost one TCP
+// connection each at peak and reuse them when load subsides.
+//
+// Failure handling is split between the layers on purpose:
+//
+//   * the pool's SharedBreaker is the *endpoint's* health, fed by every
+//     call from every thread.  One worker discovering a dead backend
+//     protects all of them (and the half-open single-probe contract holds
+//     across threads — see shared_breaker.hpp);
+//   * pooled clients run with max_attempts = 1 and their private breaker
+//     disabled: the caller (the router) owns retry policy, because its
+//     retry is a *failover to a different backend*, not a re-dial of this
+//     one.  Sleeping inside the pool would hold a worker hostage to a
+//     backend the ring has better alternatives for.
+//
+// outstanding() — calls currently in flight — is the load signal the
+// router's bounded-load ring and least-outstanding fallback read.
+//
+// Thread-safe throughout.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "client/shared_breaker.hpp"
+
+namespace xbar::client {
+
+struct PoolConfig {
+  /// Per-connection settings.  `backoff.max_attempts` is forced to 1 and
+  /// the per-client breaker is neutralized — the pool's shared breaker and
+  /// the caller's failover replace them.
+  ClientConfig client;
+  std::size_t max_idle = 4;  ///< connections kept warm between calls
+  BreakerConfig breaker;     ///< the shared, endpoint-wide breaker
+};
+
+class ClientPool {
+ public:
+  explicit ClientPool(PoolConfig config);
+
+  /// One breaker-gated, single-attempt call.  Returns kBreakerOpen (zero
+  /// attempts) when the shared breaker rejects; otherwise the attempt's
+  /// outcome, recorded into the shared breaker.  Thread-safe.
+  [[nodiscard]] CallResult call(const std::string& request_line);
+
+  /// Calls currently in flight through this pool.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] SharedBreaker& breaker() noexcept { return breaker_; }
+  [[nodiscard]] const SharedBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  /// Aggregated stats: tallies across every client the pool ever owned
+  /// (idle + retired; leased clients contribute after they return) plus
+  /// the shared breaker's transition history.
+  [[nodiscard]] ClientStats stats() const;
+
+ private:
+  std::unique_ptr<XbarClient> acquire();
+  void release(std::unique_ptr<XbarClient> client);
+
+  PoolConfig config_;
+  std::string endpoint_;
+  SharedBreaker breaker_;
+  std::atomic<std::size_t> outstanding_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<XbarClient>> idle_;
+  ClientCounters retired_;       ///< tallies of clients already dropped
+  std::uint64_t next_seed_ = 0;  ///< distinct jitter stream per client
+  std::uint64_t breaker_rejections_ = 0;
+};
+
+}  // namespace xbar::client

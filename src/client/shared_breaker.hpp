@@ -1,0 +1,80 @@
+// SharedBreaker: a CircuitBreaker safe to consult from many threads.
+//
+// The plain CircuitBreaker is deliberately single-threaded — one
+// XbarClient, one endpoint, one caller.  A connection pool inverts that:
+// many router workers share one endpoint, and they must share one view of
+// its health, or each worker rediscovers a dead backend on its own and the
+// fleet burns a full timeout per worker instead of one.
+//
+// The wrapper is a monitor: one mutex around the underlying state machine,
+// so the half-open contract survives concurrency — when the cooldown
+// elapses and N threads race into allow(), *exactly one* wins the probe
+// slot and the other N-1 are rejected until that probe reports back.  That
+// single-probe guarantee is what keeps a recovering backend from being
+// instantly re-buried under a thundering herd, and it is pinned by a
+// dedicated multi-thread test under TSan.
+//
+// Time stays a parameter (every method takes `now`), so the concurrent
+// tests drive the clock synthetically exactly like the single-threaded
+// ones.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "client/circuit_breaker.hpp"
+
+namespace xbar::client {
+
+class SharedBreaker {
+ public:
+  using TimePoint = CircuitBreaker::TimePoint;
+  using State = CircuitBreaker::State;
+
+  explicit SharedBreaker(BreakerConfig config = {}) : breaker_(config) {}
+
+  /// May a call proceed at `now`?  Thread-safe; in half-open exactly one
+  /// concurrent caller is admitted.
+  [[nodiscard]] bool allow(TimePoint now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_.allow(now);
+  }
+
+  void record_success(TimePoint now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    breaker_.record_success(now);
+  }
+
+  void record_failure(TimePoint now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    breaker_.record_failure(now);
+  }
+
+  [[nodiscard]] State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_.state();
+  }
+
+  /// Consistent point-in-time view of the state machine's counters.
+  struct Snapshot {
+    State state = State::kClosed;
+    double failure_rate = 0.0;
+    std::uint64_t opened = 0;     ///< transitions into kOpen
+    std::uint64_t half_open = 0;  ///< probes admitted after cooldown
+    std::uint64_t reclosed = 0;   ///< successful probes (half-open -> closed)
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {breaker_.state(), breaker_.failure_rate(),
+            breaker_.times_opened(), breaker_.times_half_open(),
+            breaker_.times_reclosed()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  CircuitBreaker breaker_;
+};
+
+}  // namespace xbar::client

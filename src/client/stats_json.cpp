@@ -1,0 +1,31 @@
+#include "client/stats_json.hpp"
+
+namespace xbar::client {
+
+void write_client_stats_json(report::JsonWriter& json,
+                             const ClientStats& stats) {
+  json.begin_object();
+  json.key("endpoint").value(stats.endpoint);
+  json.key("calls").value(stats.counters.calls);
+  json.key("retries").value(stats.counters.retries);
+  json.key("attempt_errors").begin_object();
+  json.key("timeout").value(stats.counters.attempt_timeouts);
+  json.key("refused").value(stats.counters.attempt_refused);
+  json.key("reset").value(stats.counters.attempt_resets);
+  json.key("overloaded").value(stats.counters.attempt_overloaded);
+  json.end_object();
+  json.key("breaker").begin_object();
+  json.key("state").value(to_string(stats.breaker_state));
+  json.key("rejections").value(stats.counters.breaker_rejections);
+  json.key("opened").value(stats.breaker_opened);
+  json.key("half_open").value(stats.breaker_half_open);
+  json.key("reclosed").value(stats.breaker_reclosed);
+  json.end_object();
+  json.key("hedges").begin_object();
+  json.key("won").value(stats.hedges_won);
+  json.key("lost").value(stats.hedges_lost);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace xbar::client

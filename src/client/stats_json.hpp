@@ -1,0 +1,16 @@
+// JSON rendering for ClientStats, shared by `xbar_client --stats` and the
+// router's per-backend stats (one schema, whoever the observer is).
+
+#pragma once
+
+#include "client/client.hpp"
+#include "report/json_writer.hpp"
+
+namespace xbar::client {
+
+/// Emit `stats` as one JSON object onto `json` (caller owns the writer
+/// position — emits begin_object..end_object).
+void write_client_stats_json(report::JsonWriter& json,
+                             const ClientStats& stats);
+
+}  // namespace xbar::client

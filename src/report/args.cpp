@@ -11,8 +11,10 @@ Args::Args(int argc, const char* const* argv) {
       const auto eq = arg.find('=');
       if (eq == std::string::npos) {
         flags_.emplace(arg.substr(2), "");
+        ordered_.emplace_back(arg.substr(2), "");
       } else {
         flags_.emplace(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        ordered_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
       }
     } else {
       positional_.push_back(arg);
@@ -45,5 +47,15 @@ unsigned Args::get_unsigned(const std::string& key, unsigned fallback) const {
 }
 
 bool Args::has(const std::string& key) const { return flags_.contains(key); }
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : ordered_) {
+    if (k == key) {
+      values.push_back(v);
+    }
+  }
+  return values;
+}
 
 }  // namespace xbar::report

@@ -28,6 +28,11 @@ class Args {
   /// True when --key was given (with or without a value).
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Every value of a repeatable --key=value, in command-line order
+  /// (empty when absent).  `get` sees the first occurrence.
+  [[nodiscard]] std::vector<std::string> get_all(
+      const std::string& key) const;
+
   /// Non-flag arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -35,6 +40,7 @@ class Args {
 
  private:
   std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::pair<std::string, std::string>> ordered_;  ///< all flags
   std::vector<std::string> positional_;
 };
 

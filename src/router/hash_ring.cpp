@@ -1,0 +1,138 @@
+#include "router/hash_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace xbar::router {
+
+namespace {
+
+/// FNV-1a over bytes (the same primitive the result cache fingerprints
+/// with), finished with a splitmix64 mix so ring positions scatter even
+/// when inputs share long prefixes.
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t backends, RingConfig config)
+    : backends_(backends), config_(config) {
+  if (config_.vnodes == 0) {
+    config_.vnodes = 1;
+  }
+  if (!(config_.load_factor >= 1.0)) {
+    config_.load_factor = 1.0;
+  }
+  points_.reserve(backends_ * config_.vnodes);
+  for (std::size_t b = 0; b < backends_; ++b) {
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      const std::string label =
+          std::to_string(b) + '/' + std::to_string(v);
+      points_.push_back({mix(fnv1a(label)), static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.backend < b.backend;
+            });
+}
+
+std::uint64_t HashRing::hash_key(std::string_view key) noexcept {
+  return mix(fnv1a(key));
+}
+
+std::vector<std::size_t> HashRing::by_load(
+    const std::vector<char>& alive,
+    const std::vector<std::size_t>& outstanding) {
+  std::vector<std::size_t> order;
+  order.reserve(alive.size());
+  for (std::size_t b = 0; b < alive.size(); ++b) {
+    if (alive[b]) {
+      order.push_back(b);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return outstanding[a] < outstanding[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> HashRing::plan(
+    std::uint64_t key_hash, const std::vector<char>& alive,
+    const std::vector<std::size_t>& outstanding) const {
+  std::size_t alive_count = 0;
+  std::size_t total_outstanding = 0;
+  for (std::size_t b = 0; b < alive.size(); ++b) {
+    if (alive[b]) {
+      ++alive_count;
+      total_outstanding += outstanding[b];
+    }
+  }
+  if (alive_count == 0 || points_.empty()) {
+    return {};
+  }
+
+  // Bounded-load admission threshold: fair share of the in-flight work
+  // (counting the request being placed), scaled by c, rounded up.
+  const double fair =
+      config_.load_factor *
+      (static_cast<double>(total_outstanding) + 1.0) /
+      static_cast<double>(alive_count);
+  const auto admitted = [&](std::size_t b) {
+    return static_cast<double>(outstanding[b]) < std::ceil(fair);
+  };
+
+  // Walk ring successors from the key's position, collecting each alive
+  // backend once, in ring order.
+  std::vector<std::size_t> ring_order;
+  ring_order.reserve(alive_count);
+  std::vector<char> seen(alive.size(), 0);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.position < h; });
+  for (std::size_t walked = 0;
+       walked < points_.size() && ring_order.size() < alive_count;
+       ++walked, ++it) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    const std::size_t b = it->backend;
+    if (!seen[b] && alive[b]) {
+      seen[b] = 1;
+      ring_order.push_back(b);
+    }
+  }
+
+  // Admitted candidates keep ring order (affinity); deferred ones go to
+  // the tail sorted by load, so failover still prefers the least-buried.
+  std::vector<std::size_t> preferred;
+  std::vector<std::size_t> deferred;
+  preferred.reserve(ring_order.size());
+  for (const std::size_t b : ring_order) {
+    (admitted(b) ? preferred : deferred).push_back(b);
+  }
+  std::stable_sort(deferred.begin(), deferred.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return outstanding[a] < outstanding[b];
+                   });
+  preferred.insert(preferred.end(), deferred.begin(), deferred.end());
+  return preferred;
+}
+
+}  // namespace xbar::router

@@ -1,0 +1,84 @@
+// Consistent hash ring with bounded load — the router's placement policy.
+//
+// Why consistent hashing at all: every backend keeps two caches keyed on
+// the canonical scenario+spec fingerprint (the sharded ResultCache and the
+// per-worker SolverCaches).  Spraying requests round-robin would dilute
+// both across the fleet; hashing the fingerprint onto a ring gives each
+// backend a stable key range, so its caches stay hot, and
+// adding/removing one backend of B remaps only ~1/B of the keys instead
+// of reshuffling everything.
+//
+// Why *bounded load* (Mirrokni et al.'s consistent-hashing-with-bounded-
+// loads variant): pure affinity has a pathology under skew — one hot key
+// range can bury its owner while neighbors idle.  Each pick therefore
+// admits the ring-order candidate only if its in-flight count stays under
+// ceil(c * (total_inflight + 1) / alive_backends); overloaded candidates
+// are deferred (not dropped) to the tail of the preference order, sorted
+// by load.  c = 1 degenerates to least-loaded, c = inf to pure ring
+// order; the default 1.25 keeps affinity until a backend is ~25% over its
+// fair share.  The same spill rule is what bounds the backlog a slow
+// backend can accumulate — the ring never keeps feeding a backend that is
+// already `c`x over fair share, for the same reason speedup bounds
+// backlog in a maximal-matching switch: capacity beyond fair share is
+// what drains bursts.
+//
+// The ring itself: `vnodes` virtual points per backend (splitmix64-mixed
+// FNV-1a of "backend/vnode"), sorted once at construction.  Membership
+// changes are expressed per lookup via the `alive` mask rather than by
+// rebuilding — ejection/readmission is frequent under chaos, the backend
+// set is not.
+//
+// Everything here is pure and deterministic: no clocks, no RNG, no
+// internal state mutation after construction — the unit tests pin exact
+// placements.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xbar::router {
+
+struct RingConfig {
+  std::size_t vnodes = 64;    ///< virtual points per backend
+  double load_factor = 1.25;  ///< bounded-load c (>= 1; larger = stickier)
+};
+
+class HashRing {
+ public:
+  HashRing(std::size_t backends, RingConfig config = {});
+
+  [[nodiscard]] std::size_t backends() const noexcept { return backends_; }
+
+  /// 64-bit position for a request key (the canonical fingerprint).
+  [[nodiscard]] static std::uint64_t hash_key(std::string_view key) noexcept;
+
+  /// Full preference order for `key_hash` over the alive backends:
+  /// ring-successor candidates that pass the bounded-load admission first
+  /// (affinity preserved), then the deferred/overloaded ones by ascending
+  /// outstanding.  Empty iff no backend is alive.  `outstanding[b]` is the
+  /// in-flight count per backend (indexed like `alive`).
+  [[nodiscard]] std::vector<std::size_t> plan(
+      std::uint64_t key_hash, const std::vector<char>& alive,
+      const std::vector<std::size_t>& outstanding) const;
+
+  /// Keyless preference order (non-cacheable methods): alive backends by
+  /// ascending outstanding, ties by index.
+  [[nodiscard]] static std::vector<std::size_t> by_load(
+      const std::vector<char>& alive,
+      const std::vector<std::size_t>& outstanding);
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t backend;
+  };
+
+  std::size_t backends_;
+  RingConfig config_;
+  std::vector<Point> points_;  ///< sorted by position
+};
+
+}  // namespace xbar::router

@@ -1,0 +1,158 @@
+#include "router/membership.hpp"
+
+#include <algorithm>
+
+namespace xbar::router {
+
+std::string_view to_string(BackendState state) noexcept {
+  switch (state) {
+    case BackendState::kHealthy: return "healthy";
+    case BackendState::kSuspect: return "suspect";
+    case BackendState::kEjected: return "ejected";
+  }
+  return "?";
+}
+
+Membership::Membership(std::size_t backends, MembershipConfig config,
+                       std::uint64_t seed, TimePoint now)
+    : config_(config), slots_(backends), rng_(seed) {
+  config_.suspect_after = std::max(1u, config_.suspect_after);
+  config_.eject_after = std::max(config_.suspect_after, config_.eject_after);
+  config_.readmit_after = std::max(1u, config_.readmit_after);
+  for (Slot& slot : slots_) {
+    slot.next_probe = now;  // first round fires immediately
+  }
+}
+
+double Membership::jittered(double base_seconds) {
+  const double u = 2.0 * rng_.uniform01() - 1.0;  // [-1, 1)
+  return base_seconds * (1.0 + config_.probe_jitter * u);
+}
+
+void Membership::schedule(Slot& slot, TimePoint now, double base_seconds) {
+  slot.next_probe =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(jittered(base_seconds)));
+}
+
+void Membership::record_success(std::size_t b, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[b];
+  slot.status.consecutive_failures = 0;
+  ++slot.status.consecutive_successes;
+  switch (slot.status.state) {
+    case BackendState::kHealthy:
+      break;
+    case BackendState::kSuspect:
+      // One good answer clears suspicion: the backend never left the
+      // rotation, so there is no key-range movement to be careful about.
+      slot.status.state = BackendState::kHealthy;
+      break;
+    case BackendState::kEjected:
+      if (slot.status.consecutive_successes >= config_.readmit_after) {
+        slot.status.state = BackendState::kHealthy;
+        ++slot.status.readmissions;
+        slot.backoff_seconds = 0.0;
+      }
+      break;
+  }
+  schedule(slot, now, config_.probe_interval_seconds);
+}
+
+void Membership::record_failure(std::size_t b, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[b];
+  slot.status.consecutive_successes = 0;
+  ++slot.status.consecutive_failures;
+  switch (slot.status.state) {
+    case BackendState::kHealthy:
+      if (slot.status.consecutive_failures >= config_.suspect_after) {
+        slot.status.state = BackendState::kSuspect;
+      }
+      if (slot.status.consecutive_failures >= config_.eject_after) {
+        slot.status.state = BackendState::kEjected;
+        ++slot.status.ejections;
+        slot.backoff_seconds = config_.probe_interval_seconds;
+      }
+      break;
+    case BackendState::kSuspect:
+      if (slot.status.consecutive_failures >= config_.eject_after) {
+        slot.status.state = BackendState::kEjected;
+        ++slot.status.ejections;
+        slot.backoff_seconds = config_.probe_interval_seconds;
+      }
+      break;
+    case BackendState::kEjected:
+      // Still dead: exponential probe backoff, capped, so a long outage
+      // costs probes per backoff period instead of per interval.
+      slot.backoff_seconds =
+          std::min(2.0 * slot.backoff_seconds,
+                   config_.ejected_backoff_cap_seconds);
+      break;
+  }
+  schedule(slot, now,
+           slot.status.state == BackendState::kEjected
+               ? slot.backoff_seconds
+               : config_.probe_interval_seconds);
+}
+
+void Membership::note_health(std::size_t b, double load, bool draining,
+                             std::uint64_t cache_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[b].status.load = load;
+  slots_[b].status.draining = draining;
+  slots_[b].status.cache_entries = cache_entries;
+}
+
+BackendState Membership::state(std::size_t b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[b].status.state;
+}
+
+BackendStatus Membership::status(std::size_t b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[b].status;
+}
+
+std::vector<char> Membership::alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<char> mask(slots_.size(), 0);
+  for (std::size_t b = 0; b < slots_.size(); ++b) {
+    mask[b] = slots_[b].status.state != BackendState::kEjected ? 1 : 0;
+  }
+  return mask;
+}
+
+std::size_t Membership::alive_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) {
+    n += slot.status.state != BackendState::kEjected ? 1 : 0;
+  }
+  return n;
+}
+
+Membership::TimePoint Membership::next_probe_due(std::size_t b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[b].next_probe;
+}
+
+std::uint64_t Membership::ejections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Slot& slot : slots_) {
+    n += slot.status.ejections;
+  }
+  return n;
+}
+
+std::uint64_t Membership::readmissions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Slot& slot : slots_) {
+    n += slot.status.readmissions;
+  }
+  return n;
+}
+
+}  // namespace xbar::router

@@ -1,0 +1,123 @@
+// Fleet membership: per-backend health state machines.
+//
+//            failures >= suspect_after      failures >= eject_after
+//   healthy ───────────────────────> suspect ─────────────────────> ejected
+//      ^                                │ any success                  │
+//      └────────────────────────────────┘                             │
+//      ^                  successes >= readmit_after (readmission)    │
+//      └──────────────────────────────────────────────────────────────┘
+//
+// The three states answer different questions.  *healthy* and *suspect*
+// are both routable — suspect only marks "the last probe(s) failed, keep
+// an eye on it", so one dropped packet does not dump a backend's whole
+// key range onto its neighbors (every handoff is a cache-cold start).
+// *ejected* is out of the rotation entirely; only the prober talks to it,
+// and readmission demands `readmit_after` *consecutive* successes so a
+// flapping backend cannot oscillate its key range in and out.
+//
+// Probe pacing is jittered everywhere (interval * (1 ± jitter * U)) so a
+// fleet of probers never synchronizes into a thundering herd, and backs
+// off exponentially (capped) while a backend stays ejected — a dead
+// backend costs a probe per backoff period, not per interval.
+//
+// Time is a parameter, never an ambient read (the CircuitBreaker
+// discipline): record_* and next_probe_due all take/return explicit time
+// points, so the tests replay exact transition sequences with a synthetic
+// clock.  The class is a monitor (internal mutex): the probe thread and
+// every router worker feed it concurrently.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "dist/rng.hpp"
+
+namespace xbar::router {
+
+enum class BackendState : std::uint8_t { kHealthy, kSuspect, kEjected };
+
+[[nodiscard]] std::string_view to_string(BackendState state) noexcept;
+
+struct MembershipConfig {
+  double probe_interval_seconds = 0.25;  ///< base probe cadence
+  double probe_jitter = 0.2;             ///< ± fraction of the interval
+  unsigned suspect_after = 1;  ///< consecutive failures -> suspect
+  unsigned eject_after = 3;    ///< consecutive failures -> ejected
+  unsigned readmit_after = 2;  ///< consecutive successes to readmit
+  double ejected_backoff_cap_seconds = 2.0;  ///< probe backoff ceiling
+};
+
+/// Point-in-time view of one backend's machine (for stats rendering).
+struct BackendStatus {
+  BackendState state = BackendState::kHealthy;
+  unsigned consecutive_failures = 0;
+  unsigned consecutive_successes = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t readmissions = 0;
+  // Last health-payload observations (note_health); routing hints only.
+  double load = 0.0;
+  bool draining = false;
+  std::uint64_t cache_entries = 0;
+};
+
+class Membership {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// All backends start healthy with probes due immediately (`now`), so
+  /// the first probe round converges the real state right after start().
+  Membership(std::size_t backends, MembershipConfig config,
+             std::uint64_t seed, TimePoint now);
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Probe or data-path outcome for backend `b` at `now`.  Failures are
+  /// transport-level (timeout/refused/reset); a served "overloaded" frame
+  /// is *liveness*, so callers report it as success and let the breaker /
+  /// bounded-load ring handle the pressure.
+  void record_success(std::size_t b, TimePoint now);
+  void record_failure(std::size_t b, TimePoint now);
+
+  /// Attach the latest health-payload observations (load, draining flag,
+  /// result-cache occupancy) to backend `b`.
+  void note_health(std::size_t b, double load, bool draining,
+                   std::uint64_t cache_entries);
+
+  [[nodiscard]] BackendState state(std::size_t b) const;
+  [[nodiscard]] BackendStatus status(std::size_t b) const;
+
+  /// Routable mask: healthy or suspect.
+  [[nodiscard]] std::vector<char> alive() const;
+  [[nodiscard]] std::size_t alive_count() const;
+
+  /// When backend `b`'s next probe is due (jittered; backed off while
+  /// ejected).
+  [[nodiscard]] TimePoint next_probe_due(std::size_t b) const;
+
+  /// Fleet-wide transition totals.
+  [[nodiscard]] std::uint64_t ejections() const;
+  [[nodiscard]] std::uint64_t readmissions() const;
+
+ private:
+  struct Slot {
+    BackendStatus status;
+    TimePoint next_probe;
+    double backoff_seconds = 0.0;  ///< current ejected-probe backoff
+  };
+
+  /// base * (1 ± jitter * U), U uniform in [0, 1).  Caller holds mutex_.
+  double jittered(double base_seconds);
+  void schedule(Slot& slot, TimePoint now, double base_seconds);
+
+  MembershipConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  dist::Xoshiro256 rng_;
+};
+
+}  // namespace xbar::router

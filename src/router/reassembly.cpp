@@ -1,0 +1,38 @@
+#include "router/reassembly.hpp"
+
+#include "core/error.hpp"
+#include "report/json_reader.hpp"
+#include "service/protocol.hpp"
+
+namespace xbar::router {
+
+RelayResult relay_or_error(std::string_view backend_line,
+                           const std::string& id) {
+  const auto reject = [&](std::string_view why) {
+    RelayResult r;
+    r.relayed = false;
+    r.frame = service::render_error(id, "io", std::string("backend sent ") +
+                                                  std::string(why));
+    return r;
+  };
+  if (backend_line.empty()) {
+    return reject("an empty frame");
+  }
+  try {
+    const report::JsonValue doc = report::parse_json(backend_line);
+    if (!doc.is_object()) {
+      return reject("a non-object frame");
+    }
+    const report::JsonValue* status = doc.find("status");
+    if (status == nullptr || !status->is_string()) {
+      return reject("a frame without a status");
+    }
+  } catch (const xbar::Error&) {
+    return reject("a malformed frame");
+  }
+  RelayResult r;
+  r.frame.assign(backend_line);
+  return r;
+}
+
+}  // namespace xbar::router

@@ -1,0 +1,39 @@
+// Backend-response reassembly: the router's trust boundary with its own
+// fleet.
+//
+// The front tier relays backend response lines to clients verbatim — it
+// must not re-serialize (that would perturb float formatting and double
+// the parse cost) — but it also must not relay garbage: a backend that
+// truncates a frame mid-write, or a misconfigured process that is not
+// xbar_serve at all, would otherwise corrupt the client's NDJSON stream.
+// So every backend line passes through `relay_or_error` first: a frame is
+// relayed only if it parses as a JSON object carrying a "status" member
+// (the protocol's response envelope); anything else becomes a typed "io"
+// error frame under the *client's* request id.  The router never crashes
+// and never emits a non-protocol line, no matter what the backend sends —
+// this function is the fuzz target for exactly that property.
+//
+// Note the split with XbarClient: the client already rejects frames that
+// do not start with '{' as transport resets (kReset) before they reach
+// this layer, so reassembly's job is the harder half — '{'-prefixed bytes
+// that are not a well-formed response envelope.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace xbar::router {
+
+struct RelayResult {
+  std::string frame;    ///< line to send to the client (no trailing \n)
+  bool relayed = true;  ///< false when `frame` is a synthesized "io" error
+};
+
+/// Validate one backend response line for client `id` (raw JSON rendering,
+/// as parse_request yields).  Returns the line itself when it is a valid
+/// response envelope, otherwise a typed "io" error frame echoing `id`.
+[[nodiscard]] RelayResult relay_or_error(std::string_view backend_line,
+                                         const std::string& id);
+
+}  // namespace xbar::router

@@ -1,0 +1,713 @@
+#include "router/router.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "client/stats_json.hpp"
+#include "core/error.hpp"
+#include "report/json_reader.hpp"
+#include "report/json_writer.hpp"
+#include "router/reassembly.hpp"
+
+namespace xbar::router {
+
+namespace {
+
+using report::JsonWriter;
+using service::LineReader;
+using service::Method;
+using service::render_error;
+using service::render_ok;
+using service::Request;
+using service::SendStatus;
+using service::Socket;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The prober's request line.  The id marks the traffic in backend logs.
+constexpr const char* kProbeLine =
+    "{\"method\":\"health\",\"id\":\"router-probe\"}";
+
+}  // namespace
+
+/// First-OK-wins rendezvous between a request's hedged attempts.  The
+/// request worker and up to two attempt threads meet here; the loser's
+/// frame is dropped under the same lock that elected the winner, which is
+/// what makes response deduplication structural rather than best-effort.
+struct Router::Rendezvous {
+  std::mutex mutex;
+  std::condition_variable cv;
+  unsigned launched = 0;
+  unsigned finished = 0;
+  bool has_winner = false;
+  std::size_t winner_slot = 0;     ///< 0 = primary, 1 = hedge
+  std::size_t winner_backend = 0;
+  std::string winner_frame;
+};
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.backends.size(), config_.ring) {
+  membership_ = std::make_unique<Membership>(
+      config_.backends.size(), config_.membership, config_.seed,
+      Clock::now());
+  backends_.reserve(config_.backends.size());
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    client::PoolConfig pool;
+    pool.client = config_.backend_client;
+    pool.client.host = config_.backends[b].host;
+    pool.client.port = config_.backends[b].port;
+    pool.client.seed = config_.seed * 0x9e3779b9u + b;
+    pool.max_idle = config_.pool_max_idle;
+    pool.breaker = config_.breaker;
+    auto backend = std::make_unique<Backend>();
+    backend->pool = std::make_unique<client::ClientPool>(std::move(pool));
+    backends_.push_back(std::move(backend));
+  }
+}
+
+Router::~Router() {
+  stop();
+  if (drain_pipe_read_ >= 0) {
+    ::close(drain_pipe_read_);
+    ::close(drain_pipe_write_);
+  }
+}
+
+void Router::start() {
+  if (started_) {
+    raise(ErrorKind::kInternal, "Router::start() called twice");
+  }
+  if (config_.backends.empty()) {
+    raise(ErrorKind::kConfig, "router needs at least one backend");
+  }
+  listen_socket_ = service::listen_on(config_.host, config_.port, port_);
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    raise(ErrorKind::kIo, std::string("pipe(): ") + std::strerror(errno));
+  }
+  drain_pipe_read_ = fds[0];
+  drain_pipe_write_ = fds[1];
+  start_time_ = Clock::now();
+  started_ = true;
+
+  const unsigned workers =
+      config_.workers != 0
+          ? config_.workers
+          : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_main(); });
+  prober_ = std::thread([this] { prober_main(); });
+}
+
+void Router::request_drain() {
+  if (!started_) {
+    return;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  const unsigned char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_write_, &byte, 1);
+  queue_cv_.notify_all();
+  prober_cv_.notify_all();
+}
+
+void Router::wait() {
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  if (prober_.joinable()) {
+    prober_.join();
+  }
+  // Hedge losers may still be in flight against slow backends; they hold
+  // pooled connections, so wait for every attempt to land before
+  // declaring the router drained.
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_attempts_ == 0; });
+}
+
+void Router::stop() {
+  request_drain();
+  wait();
+}
+
+void Router::acceptor_main() {
+  for (;;) {
+    pollfd fds[2] = {{listen_socket_.fd(), POLLIN, 0},
+                     {drain_pipe_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        draining_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    Socket conn(::accept(listen_socket_.fd(), nullptr, nullptr));
+    if (!conn.valid()) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    service::set_recv_timeout(conn.fd(), config_.idle_poll_seconds);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      (void)service::write_line(
+          conn.fd(),
+          render_error("null", "shutdown", "router is draining"));
+      break;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      lock.unlock();
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      (void)service::write_line(
+          conn.fd(),
+          render_error("null", "overloaded",
+                       "router accept queue full; retry with backoff"));
+      continue;
+    }
+    queue_.push_back(std::move(conn));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+  listen_socket_.reset();
+}
+
+void Router::worker_main() {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        return;
+      }
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle_connection(std::move(conn));
+  }
+}
+
+void Router::handle_connection(Socket socket) {
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.send_timeout_seconds > 0.0) {
+    service::set_send_timeout(socket.fd(), config_.send_timeout_seconds);
+  }
+  LineReader reader(socket.fd(), config_.max_line_bytes);
+  std::string line;
+  for (;;) {
+    const LineReader::Status status = reader.read_line(line);
+    if (status == LineReader::Status::kLine) {
+      if (!handle_request(socket.fd(), line)) {
+        break;
+      }
+      continue;
+    }
+    if (status == LineReader::Status::kTimeout) {
+      if (draining_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      continue;
+    }
+    if (status == LineReader::Status::kOverflow) {
+      requests_total_.fetch_add(1, std::memory_order_relaxed);
+      local_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)service::write_line(
+          socket.fd(),
+          render_error("null", "parse",
+                       "request line exceeds " +
+                           std::to_string(config_.max_line_bytes) +
+                           " bytes"));
+      break;
+    }
+    break;  // kEof / kError
+  }
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Router::handle_request(int fd, const std::string& line) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  try {
+    const Request request = service::parse_request(line);
+    switch (request.method) {
+      case Method::kPing:
+        local_ok_.fetch_add(1, std::memory_order_relaxed);
+        response = render_ok(request.id, "\"pong\"", false);
+        break;
+      case Method::kStats:
+        local_ok_.fetch_add(1, std::memory_order_relaxed);
+        response = render_ok(request.id, render_stats(), false);
+        break;
+      case Method::kHealth:
+        local_ok_.fetch_add(1, std::memory_order_relaxed);
+        response = render_ok(request.id, render_health(), false);
+        break;
+      default:
+        response = route(request, line);
+        break;
+    }
+  } catch (const xbar::Error& e) {
+    // The id is unknown when parsing failed — respond with id null.  A
+    // malformed line is answered here; the fleet never sees it.
+    local_errors_.fetch_add(1, std::memory_order_relaxed);
+    response = render_error("null", e);
+  } catch (const std::exception& e) {
+    local_errors_.fetch_add(1, std::memory_order_relaxed);
+    response = render_error("null", "internal", e.what());
+  }
+  switch (service::send_line(fd, response)) {
+    case SendStatus::kOk:
+      return true;
+    case SendStatus::kTimeout:
+    case SendStatus::kError:
+      return false;
+  }
+  return false;
+}
+
+std::vector<std::size_t> Router::outstanding_by_backend() const {
+  std::vector<std::size_t> outstanding(backends_.size(), 0);
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    outstanding[b] = backends_[b]->pool->outstanding();
+  }
+  return outstanding;
+}
+
+std::vector<std::size_t> Router::placement_plan(
+    const Request& request) const {
+  const std::vector<char> alive = membership_->alive();
+  const std::vector<std::size_t> outstanding = outstanding_by_backend();
+  if (!request.cache_key.empty()) {
+    return ring_.plan(HashRing::hash_key(request.cache_key), alive,
+                      outstanding);
+  }
+  return HashRing::by_load(alive, outstanding);
+}
+
+double Router::hedge_delay_seconds() const {
+  if (backend_latency_.count() < config_.hedge.warmup) {
+    return config_.hedge.cold_delay_seconds;
+  }
+  return std::clamp(backend_latency_.quantile(config_.hedge.quantile),
+                    config_.hedge.min_delay_seconds,
+                    config_.hedge.max_delay_seconds);
+}
+
+void Router::observe_attempt(std::size_t b,
+                             const client::CallResult& result,
+                             double seconds) {
+  const Clock::time_point now = Clock::now();
+  switch (result.outcome) {
+    case client::Outcome::kOk:
+      // Only served responses feed the hedge-delay histogram: timeouts
+      // would teach the quantile the timeout ceiling, not the latency.
+      backend_latency_.record(seconds);
+      membership_->record_success(b, now);
+      break;
+    case client::Outcome::kOverloaded:
+      // A typed "overloaded" frame is *liveness*: the backend answered.
+      // The breaker and the bounded-load ring handle the pressure.
+      membership_->record_success(b, now);
+      break;
+    case client::Outcome::kTimeout:
+    case client::Outcome::kRefused:
+    case client::Outcome::kReset:
+      membership_->record_failure(b, now);
+      break;
+    case client::Outcome::kBreakerOpen:
+      break;  // no attempt was made; not evidence about the backend
+  }
+}
+
+void Router::launch_attempt(const std::shared_ptr<Rendezvous>& rendezvous,
+                            std::size_t slot, std::size_t b,
+                            const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++inflight_attempts_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rendezvous->mutex);
+    ++rendezvous->launched;
+  }
+  std::thread([this, rendezvous, slot, b, line] {
+    const Clock::time_point begin = Clock::now();
+    client::CallResult result = backends_[b]->pool->call(line);
+    observe_attempt(b, result, seconds_since(begin));
+    {
+      std::lock_guard<std::mutex> lock(rendezvous->mutex);
+      ++rendezvous->finished;
+      if (result.outcome == client::Outcome::kOk &&
+          !rendezvous->has_winner) {
+        rendezvous->has_winner = true;
+        rendezvous->winner_slot = slot;
+        rendezvous->winner_backend = b;
+        rendezvous->winner_frame = std::move(result.response);
+      }
+    }
+    rendezvous->cv.notify_all();
+    {
+      // Notify under the lock: wait() may destroy the router (and this
+      // cv) the moment it can observe the count at zero, and it cannot
+      // observe that until this lock is released.
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --inflight_attempts_;
+      inflight_cv_.notify_all();
+    }
+  }).detach();
+}
+
+std::string Router::route(const Request& request, const std::string& line) {
+  const std::vector<std::size_t> plan = placement_plan(request);
+  if (plan.empty()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, "overloaded",
+                        "every backend is ejected; retry with backoff");
+  }
+
+  // Phase 1: hedged primary.  The primary attempt runs on its own thread;
+  // if it is still silent after the armed delay and the plan has a second
+  // candidate, the hedge races it and the first OK frame wins.
+  auto rendezvous = std::make_shared<Rendezvous>();
+  launch_attempt(rendezvous, 0, plan[0], line);
+  bool hedged = false;
+  if (config_.hedge.enabled && plan.size() > 1) {
+    const double delay = hedge_delay_seconds();
+    std::unique_lock<std::mutex> lock(rendezvous->mutex);
+    const bool settled = rendezvous->cv.wait_for(
+        lock, std::chrono::duration<double>(delay), [&] {
+          return rendezvous->finished >= rendezvous->launched;
+        });
+    hedged = !settled;
+  }
+  if (hedged) {
+    hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+    launch_attempt(rendezvous, 1, plan[1], line);
+  }
+
+  std::string frame;
+  bool have_frame = false;
+  {
+    std::unique_lock<std::mutex> lock(rendezvous->mutex);
+    rendezvous->cv.wait(lock, [&] {
+      return rendezvous->has_winner ||
+             rendezvous->finished == rendezvous->launched;
+    });
+    if (rendezvous->has_winner) {
+      frame = rendezvous->winner_frame;
+      have_frame = true;
+    }
+    if (rendezvous->launched == 2) {
+      // Hedge accounting (won + lost == launched is the smoke-test
+      // invariant that proves no request was answered twice).
+      Backend& hedge_backend = *backends_[plan[1]];
+      if (rendezvous->has_winner && rendezvous->winner_slot == 1) {
+        hedge_backend.hedges_won.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hedge_backend.hedges_lost.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // A winning frame must still survive reassembly — a backend that sent
+  // '{'-prefixed garbage is a failover, not a relay.
+  std::string pending_io_error;
+  const auto accept_frame =
+      [&](std::string&& candidate) -> std::optional<std::string> {
+    RelayResult relay = relay_or_error(candidate, request.id);
+    if (relay.relayed) {
+      routed_ok_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(relay.frame);
+    }
+    relay_rejections_.fetch_add(1, std::memory_order_relaxed);
+    pending_io_error = std::move(relay.frame);
+    return std::nullopt;
+  };
+  if (have_frame) {
+    if (std::optional<std::string> ok = accept_frame(std::move(frame))) {
+      return *ok;
+    }
+  }
+
+  // Phase 2: synchronous failover down the rest of the plan.  No hedging
+  // here — by now the fast path has failed and the priority is finding
+  // *any* healthy candidate, cheapest (least-loaded, per the plan) first.
+  for (std::size_t i = hedged ? 2 : 1; i < plan.size(); ++i) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    const Clock::time_point begin = Clock::now();
+    client::CallResult result = backends_[plan[i]]->pool->call(line);
+    observe_attempt(plan[i], result, seconds_since(begin));
+    if (result.outcome == client::Outcome::kOk) {
+      if (std::optional<std::string> ok =
+              accept_frame(std::move(result.response))) {
+        return *ok;
+      }
+    }
+  }
+
+  // Exhausted.  A corrupt-frame error is more specific than a shed, so
+  // prefer it when one occurred.
+  if (!pending_io_error.empty()) {
+    return pending_io_error;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return render_error(request.id, "overloaded",
+                      "no backend could serve the request; retry with "
+                      "backoff");
+}
+
+void Router::prober_main() {
+  // One single-threaded probe client per backend, with tight budgets and
+  // retries/breaker disabled: a probe *is* the retry policy, and it must
+  // keep reaching ejected backends the data path has given up on.
+  std::vector<std::unique_ptr<client::XbarClient>> probes;
+  probes.reserve(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    client::ClientConfig pc = config_.backend_client;
+    pc.host = config_.backends[b].host;
+    pc.port = config_.backends[b].port;
+    pc.connect_timeout_seconds = config_.probe_timeout_seconds;
+    pc.request_timeout_seconds = config_.probe_timeout_seconds;
+    pc.backoff.max_attempts = 1;
+    pc.breaker.failure_threshold = 2.0;  // unreachable: never trips
+    pc.seed = config_.seed * 0x2545f491u + b;
+    probes.push_back(std::make_unique<client::XbarClient>(pc));
+  }
+  while (!draining_.load(std::memory_order_relaxed)) {
+    const Clock::time_point now = Clock::now();
+    Clock::time_point earliest = now + std::chrono::seconds(1);
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      if (membership_->next_probe_due(b) <= now) {
+        probe_one(b, *probes[b]);
+      }
+      earliest = std::min(earliest, membership_->next_probe_due(b));
+    }
+    std::unique_lock<std::mutex> lock(prober_mutex_);
+    prober_cv_.wait_until(lock, earliest, [this] {
+      return draining_.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void Router::probe_one(std::size_t b, client::XbarClient& probe_client) {
+  backends_[b]->probes.fetch_add(1, std::memory_order_relaxed);
+  const client::CallResult result = probe_client.call(kProbeLine);
+  // Dial per probe: the backends are thread-per-connection, so a parked
+  // persistent probe connection would pin one backend worker full-time.
+  // Redialing also exercises the accept path, which is the half a probe
+  // exists to verify.
+  probe_client.disconnect();
+  const Clock::time_point now = Clock::now();
+  if (result.outcome == client::Outcome::kOk ||
+      result.outcome == client::Outcome::kOverloaded) {
+    membership_->record_success(b, now);
+  } else {
+    backends_[b]->probe_failures.fetch_add(1, std::memory_order_relaxed);
+    membership_->record_failure(b, now);
+  }
+  if (result.outcome != client::Outcome::kOk) {
+    return;
+  }
+  // Harvest the routing hints from the health payload; a malformed
+  // payload only costs us the hints, never the liveness verdict.
+  try {
+    const report::JsonValue doc = report::parse_json(result.response);
+    const report::JsonValue* payload = doc.find("result");
+    if (payload == nullptr || !payload->is_object()) {
+      return;
+    }
+    double load = 0.0;
+    bool draining = false;
+    std::uint64_t cache_entries = 0;
+    if (const report::JsonValue* v = payload->find("load");
+        v != nullptr && v->is_number()) {
+      load = v->as_number();
+    }
+    if (const report::JsonValue* v = payload->find("draining");
+        v != nullptr && v->is_bool()) {
+      draining = v->as_bool();
+    }
+    if (const report::JsonValue* v = payload->find("cache_entries");
+        v != nullptr && v->is_number()) {
+      cache_entries = static_cast<std::uint64_t>(v->as_number());
+    }
+    membership_->note_health(b, load, draining, cache_entries);
+  } catch (const xbar::Error&) {
+  }
+}
+
+RouterStatsSnapshot Router::stats() const {
+  RouterStatsSnapshot s;
+  s.uptime_seconds = started_ ? seconds_since(start_time_) : 0.0;
+  s.draining = draining_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  s.overload_rejections =
+      overload_rejections_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.routed_ok = routed_ok_.load(std::memory_order_relaxed);
+  s.local_ok = local_ok_.load(std::memory_order_relaxed);
+  s.local_errors = local_errors_.load(std::memory_order_relaxed);
+  s.relay_rejections = relay_rejections_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.hedges_launched = hedges_launched_.load(std::memory_order_relaxed);
+  s.ejections = membership_->ejections();
+  s.readmissions = membership_->readmissions();
+  s.hedge_delay_seconds = hedge_delay_seconds();
+  s.backend_latency = backend_latency_.snapshot();
+  s.backends.reserve(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    const Backend& backend = *backends_[b];
+    BackendSnapshot bs;
+    bs.endpoint = backend.pool->endpoint();
+    bs.status = membership_->status(b);
+    bs.outstanding = backend.pool->outstanding();
+    bs.client = backend.pool->stats();
+    bs.client.hedges_won =
+        backend.hedges_won.load(std::memory_order_relaxed);
+    bs.client.hedges_lost =
+        backend.hedges_lost.load(std::memory_order_relaxed);
+    bs.probes = backend.probes.load(std::memory_order_relaxed);
+    bs.probe_failures =
+        backend.probe_failures.load(std::memory_order_relaxed);
+    s.hedges_won += bs.client.hedges_won;
+    s.hedges_lost += bs.client.hedges_lost;
+    s.backends.push_back(std::move(bs));
+  }
+  return s;
+}
+
+std::string Router::render_stats() const {
+  const RouterStatsSnapshot s = stats();
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("uptime_seconds").value(s.uptime_seconds);
+  json.key("draining").value(s.draining);
+  json.key("connections").begin_object();
+  json.key("accepted").value(s.connections_accepted);
+  json.key("active").value(s.connections_active);
+  json.key("overload_rejections").value(s.overload_rejections);
+  json.end_object();
+  json.key("requests").begin_object();
+  json.key("total").value(s.requests_total);
+  json.key("routed_ok").value(s.routed_ok);
+  json.key("local_ok").value(s.local_ok);
+  json.key("local_errors").value(s.local_errors);
+  json.key("relay_rejections").value(s.relay_rejections);
+  json.key("failovers").value(s.failovers);
+  json.key("shed").value(s.shed);
+  json.end_object();
+  json.key("hedging").begin_object();
+  json.key("delay_ms").value(s.hedge_delay_seconds * 1e3);
+  json.key("launched").value(s.hedges_launched);
+  json.key("won").value(s.hedges_won);
+  json.key("lost").value(s.hedges_lost);
+  json.end_object();
+  json.key("membership").begin_object();
+  json.key("ejections").value(s.ejections);
+  json.key("readmissions").value(s.readmissions);
+  json.end_object();
+  json.key("backend_latency_ms").begin_object();
+  json.key("count").value(s.backend_latency.count);
+  json.key("mean").value(s.backend_latency.mean * 1e3);
+  json.key("p50").value(s.backend_latency.p50 * 1e3);
+  json.key("p90").value(s.backend_latency.p90 * 1e3);
+  json.key("p99").value(s.backend_latency.p99 * 1e3);
+  json.key("max").value(s.backend_latency.max * 1e3);
+  json.end_object();
+  json.key("backends").begin_array();
+  for (const BackendSnapshot& bs : s.backends) {
+    json.begin_object();
+    json.key("endpoint").value(bs.endpoint);
+    json.key("state").value(to_string(bs.status.state));
+    json.key("outstanding")
+        .value(static_cast<std::uint64_t>(bs.outstanding));
+    json.key("consecutive_failures")
+        .value(static_cast<std::uint64_t>(bs.status.consecutive_failures));
+    json.key("consecutive_successes").value(
+        static_cast<std::uint64_t>(bs.status.consecutive_successes));
+    json.key("ejections").value(bs.status.ejections);
+    json.key("readmissions").value(bs.status.readmissions);
+    json.key("load").value(bs.status.load);
+    json.key("draining").value(bs.status.draining);
+    json.key("cache_entries").value(bs.status.cache_entries);
+    json.key("probes").value(bs.probes);
+    json.key("probe_failures").value(bs.probe_failures);
+    json.key("client");
+    client::write_client_stats_json(json, bs.client);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(out).str();
+}
+
+std::string Router::render_health() const {
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_depth = queue_.size();
+  }
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  const std::size_t alive = membership_->alive_count();
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("live").value(true);
+  json.key("status").value(draining    ? "draining"
+                           : alive > 0 ? "serving"
+                                       : "no-backends");
+  json.key("draining").value(draining);
+  json.key("queue_depth").value(static_cast<std::uint64_t>(queue_depth));
+  json.key("queue_capacity")
+      .value(static_cast<std::uint64_t>(config_.queue_capacity));
+  json.key("load").value(
+      config_.queue_capacity > 0
+          ? static_cast<double>(queue_depth) /
+                static_cast<double>(config_.queue_capacity)
+          : 0.0);
+  json.key("backends").value(static_cast<std::uint64_t>(backends_.size()));
+  json.key("alive_backends").value(static_cast<std::uint64_t>(alive));
+  json.end_object();
+  return std::move(out).str();
+}
+
+}  // namespace xbar::router

@@ -1,0 +1,245 @@
+// Router: the fault-tolerant front tier over an xbar_serve fleet.
+//
+// Architecture (one box per thread kind):
+//
+//   acceptor ──> bounded connection queue ──> worker 0..W-1
+//      │               (admission)                │ per request:
+//      │  queue full: typed "overloaded"          │   parse (protocol) for
+//      │  response + close                        │   method + id + the
+//      └─ poll()s a drain pipe                    │   canonical cache_key
+//                                                 │   place on the ring
+//                 prober (one thread)             │   hedged call + failover
+//      health-probes every backend on its         │   reassemble, relay
+//      jittered schedule; the only path that      │
+//      talks to *ejected* backends                │
+//
+// Placement: cacheable methods (solve/revenue/sweep/batch) hash their
+// canonical fingerprint onto the bounded-load ring, so each backend's
+// result/solver caches stay hot on a stable key range; non-cacheable
+// methods go least-outstanding.  Membership (healthy/suspect/ejected) is
+// driven by probe outcomes plus data-path transport failures; a served
+// "overloaded" frame counts as liveness.  Readmission happens only via
+// probes — the data path never touches an ejected backend.
+//
+// Hedging: after the primary has been silent for the observed backend
+// latency's `hedge_quantile` (clamped; a fixed cold value until warmup),
+// the same request is issued to the next candidate and the first OK frame
+// wins.  Every method the router forwards is idempotent — backends are
+// deterministic evaluators keyed on the same fingerprint — so a hedge can
+// never double-apply anything; deduplication is structural (the worker
+// writes exactly one response per request id, the loser's frame is
+// dropped on the floor).  Failures fail over synchronously down the rest
+// of the placement plan; when the plan is exhausted (or empty because the
+// whole fleet is ejected) the router sheds with a typed "overloaded"
+// frame, which clients already treat as retryable backpressure.
+//
+// The router speaks the exact same NDJSON protocol on both sides, so
+// xbar_client/xbar_loadgen work against it unchanged, and so does another
+// router (tiers compose).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.hpp"
+#include "client/pool.hpp"
+#include "router/hash_ring.hpp"
+#include "router/membership.hpp"
+#include "service/connection.hpp"
+#include "service/histogram.hpp"
+#include "service/protocol.hpp"
+
+namespace xbar::router {
+
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct HedgeConfig {
+  bool enabled = true;
+  double quantile = 0.9;         ///< latency quantile that arms the hedge
+  double min_delay_seconds = 0.002;  ///< clamp floor for the armed delay
+  double max_delay_seconds = 0.5;    ///< clamp ceiling
+  double cold_delay_seconds = 0.05;  ///< used until `warmup` observations
+  std::uint64_t warmup = 64;     ///< observations before the quantile rules
+};
+
+struct RouterConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::vector<BackendAddress> backends;
+
+  unsigned workers = 0;  ///< 0 = one per hardware thread
+  std::size_t queue_capacity = 128;
+  std::size_t max_line_bytes = 1 << 20;
+  double idle_poll_seconds = 0.25;
+  double send_timeout_seconds = 5.0;
+
+  RingConfig ring;
+  MembershipConfig membership;
+  HedgeConfig hedge;
+
+  /// Per-backend connection settings (host/port overwritten per backend).
+  client::ClientConfig backend_client;
+  /// Idle pooled connections kept warm per backend.  Backends are
+  /// thread-per-connection, so every warm connection pins one backend
+  /// worker: a backend must run with at least `pool_max_idle` + slack
+  /// worker threads, or the router's own pool starves it.
+  std::size_t pool_max_idle = 2;
+  client::BreakerConfig breaker;
+
+  double probe_timeout_seconds = 0.25;  ///< health-probe call budget
+  std::uint64_t seed = 1;
+};
+
+/// Per-backend operational view (stats rendering + tests).
+struct BackendSnapshot {
+  std::string endpoint;
+  BackendStatus status;
+  std::size_t outstanding = 0;
+  client::ClientStats client;  ///< pool tallies + hedge wins/losses
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+};
+
+/// Point-in-time router stats (the `stats` method renders exactly this).
+struct RouterStatsSnapshot {
+  double uptime_seconds = 0.0;
+  bool draining = false;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t overload_rejections = 0;  ///< accept-queue admission drops
+  std::uint64_t requests_total = 0;
+  std::uint64_t routed_ok = 0;      ///< backend frames relayed
+  std::uint64_t local_ok = 0;       ///< ping/stats/health answered here
+  std::uint64_t local_errors = 0;   ///< parse/internal answered here
+  std::uint64_t relay_rejections = 0;  ///< corrupt backend frames replaced
+  std::uint64_t failovers = 0;      ///< attempts beyond each request's first
+  std::uint64_t shed = 0;           ///< typed "overloaded" after exhaustion
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t hedges_lost = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t readmissions = 0;
+  double hedge_delay_seconds = 0.0;  ///< the currently armed delay
+  service::Histogram::Snapshot backend_latency;
+  std::vector<BackendSnapshot> backends;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind, listen, and spawn acceptor + workers + prober.  Raises
+  /// xbar::Error(kIo/kConfig) on bind failure or an empty backend list.
+  void start();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful shutdown: stop accepting, finish accepted connections, wait
+  /// for hedge losers to land, stop probing.  Safe from any thread.
+  void request_drain();
+  void wait();
+  void stop();
+
+  [[nodiscard]] RouterStatsSnapshot stats() const;
+
+  /// The delay a hedge would arm right now (exposed for tests).
+  [[nodiscard]] double hedge_delay_seconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One backend's data-path state.
+  struct Backend {
+    std::unique_ptr<client::ClientPool> pool;
+    std::atomic<std::uint64_t> hedges_won{0};
+    std::atomic<std::uint64_t> hedges_lost{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> probe_failures{0};
+  };
+
+  /// First-OK-wins rendezvous between a request's hedged attempts.
+  struct Rendezvous;
+
+  void acceptor_main();
+  void worker_main();
+  void handle_connection(service::Socket socket);
+  bool handle_request(int fd, const std::string& line);
+  std::string route(const service::Request& request,
+                    const std::string& line);
+  /// Launch one attempt against backend `b` on a tracked thread.
+  void launch_attempt(const std::shared_ptr<Rendezvous>& rendezvous,
+                      std::size_t slot, std::size_t b,
+                      const std::string& line);
+  /// Feed one attempt outcome into membership + latency.
+  void observe_attempt(std::size_t b, const client::CallResult& result,
+                       double seconds);
+  void prober_main();
+  void probe_one(std::size_t b, client::XbarClient& probe_client);
+
+  [[nodiscard]] std::vector<std::size_t> placement_plan(
+      const service::Request& request) const;
+  [[nodiscard]] std::vector<std::size_t> outstanding_by_backend() const;
+  std::string render_stats() const;
+  std::string render_health() const;
+
+  RouterConfig config_;
+  service::Socket listen_socket_;
+  std::uint16_t port_ = 0;
+  int drain_pipe_read_ = -1;
+  int drain_pipe_write_ = -1;
+  bool started_ = false;
+
+  HashRing ring_;
+  std::unique_ptr<Membership> membership_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  service::Histogram backend_latency_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread prober_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<service::Socket> queue_;
+  std::atomic<bool> draining_{false};
+
+  std::mutex prober_mutex_;  ///< prober parks here between due probes
+  std::condition_variable prober_cv_;
+
+  // Hedge losers outlive their request; drain waits for them.
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_attempts_ = 0;
+
+  Clock::time_point start_time_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> routed_ok_{0};
+  std::atomic<std::uint64_t> local_ok_{0};
+  std::atomic<std::uint64_t> local_errors_{0};
+  std::atomic<std::uint64_t> relay_rejections_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> hedges_launched_{0};
+};
+
+}  // namespace xbar::router

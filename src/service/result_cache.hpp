@@ -52,6 +52,11 @@ class ResultCache {
 
   [[nodiscard]] ResultCacheCounters counters() const;
 
+  /// Total entry slots across every shard (shards * entries_per_shard).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shards_.size() * per_shard_;
+  }
+
  private:
   struct Entry {
     std::uint64_t fp = 0;

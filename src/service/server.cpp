@@ -579,6 +579,22 @@ std::string Server::render_health() const {
   json.key("connections_active")
       .value(connections_active_.load(std::memory_order_relaxed));
   json.key("workers").value(static_cast<std::uint64_t>(workers_.size()));
+  // Routing signals for a front tier: admission-queue pressure in [0, 1]
+  // and result-cache occupancy, both O(1) reads.  A router uses `load` to
+  // break ties and `cache_entries` to see whether a backend's key range is
+  // actually warm (counters() aggregates per-shard under shard mutexes —
+  // still cheap, no entry walk).
+  json.key("load").value(
+      config_.queue_capacity > 0
+          ? static_cast<double>(queue_depth) /
+                static_cast<double>(config_.queue_capacity)
+          : 0.0);
+  const ResultCacheCounters cache = cache_.counters();
+  json.key("cache_entries").value(cache.entries);
+  json.key("cache_capacity")
+      .value(static_cast<std::uint64_t>(cache_.capacity()));
+  json.key("requests_total")
+      .value(requests_total_.load(std::memory_order_relaxed));
   json.end_object();
   return std::move(out).str();
 }

@@ -125,6 +125,28 @@ TEST(CircuitBreaker, WindowSlidesOldFailuresOut) {
   EXPECT_DOUBLE_EQ(breaker.failure_rate(), 0.0);
 }
 
+TEST(CircuitBreaker, TransitionCountersRecordTheFullHistory) {
+  CircuitBreaker breaker(tight_config());
+  EXPECT_EQ(breaker.times_half_open(), 0u);
+  EXPECT_EQ(breaker.times_reclosed(), 0u);
+
+  // Trip, probe-and-fail, probe-and-succeed: opened twice, two probes
+  // admitted, one of them re-closed the breaker.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  ASSERT_TRUE(breaker.allow(at(5.1)));
+  breaker.record_failure(at(5.2));
+  ASSERT_TRUE(breaker.allow(at(6.5)));
+  breaker.record_success(at(6.6));
+
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_EQ(breaker.times_half_open(), 2u);
+  EXPECT_EQ(breaker.times_reclosed(), 1u);
+}
+
 TEST(CircuitBreaker, ToStringNamesStates) {
   EXPECT_EQ(to_string(State::kClosed), "closed");
   EXPECT_EQ(to_string(State::kOpen), "open");

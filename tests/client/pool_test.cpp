@@ -1,0 +1,233 @@
+// ClientPool + SharedBreaker tests.  The load-bearing one is the
+// half-open contract under concurrency: when the cooldown elapses and N
+// threads race into allow(), exactly one wins the probe slot — run under
+// TSan this also proves the monitor is data-race free.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/pool.hpp"
+#include "client/shared_breaker.hpp"
+#include "service/connection.hpp"
+#include "service/server.hpp"
+
+namespace xbar::client {
+namespace {
+
+constexpr const char* kPing = R"({"method":"ping","id":1})";
+
+using TimePoint = SharedBreaker::TimePoint;
+
+TimePoint at(double seconds) {
+  return TimePoint() + std::chrono::duration_cast<TimePoint::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+BreakerConfig tight_breaker() {
+  BreakerConfig config;
+  config.window = 8;
+  config.min_samples = 4;
+  config.failure_threshold = 0.5;
+  config.open_seconds = 1.0;
+  return config;
+}
+
+/// A port with nothing listening.
+std::uint16_t dead_port() {
+  std::uint16_t port = 0;
+  {
+    service::Socket listener = service::listen_on("127.0.0.1", 0, port);
+  }
+  return port;
+}
+
+void trip(SharedBreaker& breaker) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.allow(at(i)));
+    breaker.record_failure(at(i));
+  }
+  ASSERT_EQ(breaker.state(), SharedBreaker::State::kOpen);
+}
+
+/// N threads race allow(now) through a start barrier; returns how many
+/// were admitted.
+unsigned race_allow(SharedBreaker& breaker, TimePoint now,
+                    unsigned racers) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<unsigned> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(racers);
+  for (unsigned t = 0; t < racers; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+        std::this_thread::yield();
+      }
+      if (breaker.allow(now)) {
+        admitted.fetch_add(1);
+      }
+    });
+  }
+  while (ready.load() < racers) {
+    std::this_thread::yield();
+  }
+  go.store(true);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return admitted.load();
+}
+
+TEST(SharedBreaker, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  SharedBreaker breaker(tight_breaker());
+  trip(breaker);
+
+  // Cooldown elapsed; 8 threads race for the probe slot.  Any admitted
+  // count other than exactly 1 means a recovering backend would be
+  // re-buried under a thundering herd (or never probed at all).
+  EXPECT_EQ(race_allow(breaker, at(10), 8), 1u);
+  EXPECT_EQ(breaker.state(), SharedBreaker::State::kHalfOpen);
+  SharedBreaker::Snapshot snapshot = breaker.snapshot();
+  EXPECT_EQ(snapshot.half_open, 1u);
+
+  // While the probe is in flight, later callers are still rejected.
+  EXPECT_EQ(race_allow(breaker, at(11), 8), 0u);
+
+  // Probe fails: re-open, new cooldown, and the next elapsed cooldown
+  // again admits exactly one.
+  breaker.record_failure(at(12));
+  EXPECT_EQ(breaker.state(), SharedBreaker::State::kOpen);
+  EXPECT_EQ(race_allow(breaker, at(12.5), 8), 0u);  // cooldown running
+  EXPECT_EQ(race_allow(breaker, at(20), 8), 1u);
+  snapshot = breaker.snapshot();
+  EXPECT_EQ(snapshot.half_open, 2u);
+
+  // Probe succeeds: closed, and the herd flows again.
+  breaker.record_success(at(21));
+  EXPECT_EQ(breaker.state(), SharedBreaker::State::kClosed);
+  snapshot = breaker.snapshot();
+  EXPECT_EQ(snapshot.reclosed, 1u);
+  EXPECT_EQ(race_allow(breaker, at(22), 8), 8u);
+}
+
+TEST(SharedBreaker, ConcurrentOutcomeRecordingStaysConsistent) {
+  SharedBreaker breaker(tight_breaker());
+  // Hammer the monitor from many threads (success/failure interleaved);
+  // under TSan this is the data-race check for the record paths.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&breaker, t] {
+      for (int i = 0; i < 200; ++i) {
+        if ((t + i) % 2 == 0) {
+          breaker.record_success(at(i));
+        } else {
+          breaker.record_failure(at(i));
+        }
+        (void)breaker.snapshot();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const SharedBreaker::Snapshot snapshot = breaker.snapshot();
+  EXPECT_GE(snapshot.failure_rate, 0.0);
+  EXPECT_LE(snapshot.failure_rate, 1.0);
+}
+
+TEST(ClientPool, RoundTripsAndReturnsConnectionsToIdle) {
+  service::ServerConfig sc;
+  sc.workers = 4;
+  sc.idle_poll_seconds = 0.05;
+  service::Server server(sc);
+  server.start();
+
+  PoolConfig pc;
+  pc.client.port = server.port();
+  pc.max_idle = 2;
+  ClientPool pool(pc);
+
+  const CallResult result = pool.call(kPing);
+  EXPECT_EQ(result.outcome, Outcome::kOk);
+  EXPECT_NE(result.response.find("pong"), std::string::npos);
+  EXPECT_EQ(pool.outstanding(), 0u);
+
+  const ClientStats stats = pool.stats();
+  EXPECT_EQ(stats.counters.calls, 1u);
+  EXPECT_EQ(stats.endpoint,
+            "127.0.0.1:" + std::to_string(server.port()));
+  server.stop();
+}
+
+TEST(ClientPool, ConcurrentCallersAllSucceed) {
+  service::ServerConfig sc;
+  sc.workers = 6;
+  sc.idle_poll_seconds = 0.05;
+  service::Server server(sc);
+  server.start();
+
+  PoolConfig pc;
+  pc.client.port = server.port();
+  pc.max_idle = 4;
+  ClientPool pool(pc);
+
+  std::atomic<unsigned> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        if (pool.call(kPing).outcome == Outcome::kOk) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(ok.load(), 64u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.stats().counters.calls, 64u);
+  server.stop();
+}
+
+TEST(ClientPool, SingleAttemptPerCallSharedBreakerProtectsAllCallers) {
+  PoolConfig pc;
+  pc.client.port = dead_port();
+  pc.client.connect_timeout_seconds = 0.5;
+  pc.breaker.window = 4;
+  pc.breaker.min_samples = 2;
+  pc.breaker.failure_threshold = 0.5;
+  pc.breaker.open_seconds = 30.0;  // no half-open within the test
+  ClientPool pool(pc);
+
+  // Pooled clients never retry (failover is the caller's job): each call
+  // is exactly one network attempt, recorded into the shared breaker.
+  const CallResult first = pool.call(kPing);
+  EXPECT_EQ(first.outcome, Outcome::kRefused);
+  EXPECT_EQ(first.attempts, 1u);
+  const CallResult second = pool.call(kPing);
+  EXPECT_EQ(second.outcome, Outcome::kRefused);
+  EXPECT_EQ(second.attempts, 1u);
+
+  // min_samples reached: the endpoint-wide breaker is open, every caller
+  // now fails fast with zero attempts.
+  EXPECT_EQ(pool.breaker().state(), SharedBreaker::State::kOpen);
+  const CallResult third = pool.call(kPing);
+  EXPECT_EQ(third.outcome, Outcome::kBreakerOpen);
+  EXPECT_EQ(third.attempts, 0u);
+
+  const ClientStats stats = pool.stats();
+  EXPECT_EQ(stats.breaker_state, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(stats.breaker_opened, 1u);
+  EXPECT_GE(stats.counters.attempt_refused, 2u);
+}
+
+}  // namespace
+}  // namespace xbar::client

@@ -1,0 +1,68 @@
+// Fuzz harness for the router's backend-response reassembly — the trust
+// boundary between the front tier and its own fleet.
+//
+// Contract under test: `router::relay_or_error` fed any byte string
+// either relays the line verbatim (it was a well-formed response
+// envelope) or synthesizes a typed "io" error frame under the client's
+// request id — never a crash, never an exception escaping, and never a
+// non-protocol line toward the client.  A backend that truncates a frame
+// mid-write or speaks a different protocol entirely must not be able to
+// corrupt a client's NDJSON stream.
+//
+// Built two ways, same as ini_fuzz (see tests/fuzz/CMakeLists.txt):
+// libFuzzer under clang, standalone corpus replayer elsewhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "router/reassembly.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  const xbar::router::RelayResult result =
+      xbar::router::relay_or_error(line, "null");
+  // Invariants the router's data path leans on; a violation here is a
+  // client-visible protocol corruption, so trap on it like a crash.
+  if (result.relayed) {
+    if (result.frame != line) {
+      std::abort();  // relayed frames must be verbatim
+    }
+  } else {
+    const std::string_view frame(result.frame);
+    if (frame.empty() || frame.front() != '{' ||
+        frame.find("\"status\":\"error\"") == std::string_view::npos ||
+        frame.find("\"kind\":\"io\"") == std::string_view::npos) {
+      std::abort();  // synthesized frames must be typed protocol errors
+    }
+  }
+  return 0;
+}
+
+#ifdef XBAR_FUZZ_STANDALONE
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot read corpus file " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus inputs\n";
+  return 0;
+}
+#endif

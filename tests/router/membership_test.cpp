@@ -1,0 +1,208 @@
+// Deterministic state-machine tests for fleet membership.  Time is a
+// parameter everywhere (the CircuitBreaker discipline), so transition
+// sequences are replayed with a synthetic clock and nothing sleeps.
+
+#include "router/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace xbar::router {
+namespace {
+
+using TimePoint = Membership::TimePoint;
+
+TimePoint at(double seconds) {
+  return TimePoint() + std::chrono::duration_cast<TimePoint::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+double seconds_until(TimePoint from, TimePoint to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+MembershipConfig tight_config() {
+  MembershipConfig config;
+  config.probe_interval_seconds = 1.0;
+  config.probe_jitter = 0.2;
+  config.suspect_after = 1;
+  config.eject_after = 3;
+  config.readmit_after = 2;
+  config.ejected_backoff_cap_seconds = 8.0;
+  return config;
+}
+
+TEST(Membership, StartsHealthyWithProbesDueImmediately) {
+  Membership m(3, tight_config(), 7, at(0));
+  EXPECT_EQ(m.size(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(m.state(b), BackendState::kHealthy);
+    EXPECT_EQ(m.next_probe_due(b), at(0));
+  }
+  EXPECT_EQ(m.alive_count(), 3u);
+  EXPECT_EQ(m.ejections(), 0u);
+  EXPECT_EQ(m.readmissions(), 0u);
+}
+
+TEST(Membership, OneFailureSuspectsButKeepsRoutable) {
+  Membership m(2, tight_config(), 7, at(0));
+  m.record_failure(0, at(1));
+  EXPECT_EQ(m.state(0), BackendState::kSuspect);
+  // Suspect stays in the rotation: one dropped packet must not dump a
+  // backend's whole key range onto its neighbors.
+  EXPECT_EQ(m.alive_count(), 2u);
+  EXPECT_EQ(m.alive()[0], 1);
+  EXPECT_EQ(m.ejections(), 0u);
+}
+
+TEST(Membership, OneSuccessClearsSuspicion) {
+  Membership m(1, tight_config(), 7, at(0));
+  m.record_failure(0, at(1));
+  ASSERT_EQ(m.state(0), BackendState::kSuspect);
+  m.record_success(0, at(2));
+  EXPECT_EQ(m.state(0), BackendState::kHealthy);
+  EXPECT_EQ(m.status(0).consecutive_failures, 0u);
+}
+
+TEST(Membership, ConsecutiveFailuresEject) {
+  Membership m(2, tight_config(), 7, at(0));
+  m.record_failure(1, at(1));
+  m.record_failure(1, at(2));
+  EXPECT_EQ(m.state(1), BackendState::kSuspect);
+  m.record_failure(1, at(3));
+  EXPECT_EQ(m.state(1), BackendState::kEjected);
+  EXPECT_EQ(m.alive_count(), 1u);
+  EXPECT_EQ(m.alive()[1], 0);
+  EXPECT_EQ(m.ejections(), 1u);
+  EXPECT_EQ(m.status(1).ejections, 1u);
+}
+
+TEST(Membership, InterleavedSuccessResetsTheFailureStreak) {
+  Membership m(1, tight_config(), 7, at(0));
+  m.record_failure(0, at(1));
+  m.record_failure(0, at(2));
+  m.record_success(0, at(3));  // streak broken
+  m.record_failure(0, at(4));
+  m.record_failure(0, at(5));
+  EXPECT_EQ(m.state(0), BackendState::kSuspect);
+  EXPECT_EQ(m.ejections(), 0u);
+}
+
+TEST(Membership, ReadmissionNeedsConsecutiveSuccesses) {
+  Membership m(1, tight_config(), 7, at(0));
+  for (int i = 0; i < 3; ++i) {
+    m.record_failure(0, at(i));
+  }
+  ASSERT_EQ(m.state(0), BackendState::kEjected);
+
+  // One success is not enough; a failure resets the streak (a flapping
+  // backend cannot oscillate its key range in and out).
+  m.record_success(0, at(10));
+  EXPECT_EQ(m.state(0), BackendState::kEjected);
+  m.record_failure(0, at(11));
+  m.record_success(0, at(12));
+  EXPECT_EQ(m.state(0), BackendState::kEjected);
+  m.record_success(0, at(13));
+  EXPECT_EQ(m.state(0), BackendState::kHealthy);
+  EXPECT_EQ(m.readmissions(), 1u);
+  EXPECT_EQ(m.status(0).readmissions, 1u);
+  EXPECT_EQ(m.alive_count(), 1u);
+}
+
+TEST(Membership, ProbeScheduleIsJitteredAroundTheInterval) {
+  Membership m(1, tight_config(), 42, at(0));
+  // Healthy cadence: every reschedule lands in interval * (1 ± jitter).
+  TimePoint now = at(0);
+  for (int i = 0; i < 32; ++i) {
+    m.record_success(0, now);
+    const double delta = seconds_until(now, m.next_probe_due(0));
+    EXPECT_GE(delta, 1.0 * (1.0 - 0.2) - 1e-9);
+    EXPECT_LE(delta, 1.0 * (1.0 + 0.2) + 1e-9);
+    now = m.next_probe_due(0);
+  }
+}
+
+TEST(Membership, EjectedProbeBackoffDoublesAndCaps) {
+  Membership m(1, tight_config(), 42, at(0));
+  for (int i = 0; i < 3; ++i) {
+    m.record_failure(0, at(i));
+  }
+  ASSERT_EQ(m.state(0), BackendState::kEjected);
+  // At ejection the backoff starts at the probe interval; each further
+  // failed probe doubles it, capped — a dead backend costs a probe per
+  // backoff period, not per interval.  Jitter widens each step by ±20%.
+  double expected = 1.0;
+  TimePoint now = at(2);
+  double last = seconds_until(now, m.next_probe_due(0));
+  EXPECT_GE(last, expected * 0.8 - 1e-9);
+  EXPECT_LE(last, expected * 1.2 + 1e-9);
+  for (int i = 0; i < 5; ++i) {
+    now = m.next_probe_due(0);
+    m.record_failure(0, now);
+    expected = std::min(2.0 * expected, 8.0);
+    const double delta = seconds_until(now, m.next_probe_due(0));
+    EXPECT_GE(delta, expected * 0.8 - 1e-9);
+    EXPECT_LE(delta, expected * 1.2 + 1e-9);
+  }
+  // Readmission clears the backoff: the healthy cadence returns.
+  m.record_success(0, at(100));
+  m.record_success(0, at(101));
+  ASSERT_EQ(m.state(0), BackendState::kHealthy);
+  const double delta = seconds_until(at(101), m.next_probe_due(0));
+  EXPECT_GE(delta, 0.8 - 1e-9);
+  EXPECT_LE(delta, 1.2 + 1e-9);
+}
+
+TEST(Membership, ConfigIsClampedToACoherentLadder) {
+  MembershipConfig config = tight_config();
+  config.suspect_after = 5;
+  config.eject_after = 2;   // below suspect_after: clamped up to 5
+  config.readmit_after = 0; // clamped up to 1
+  Membership m(1, config, 7, at(0));
+  for (int i = 0; i < 4; ++i) {
+    m.record_failure(0, at(i));
+    EXPECT_EQ(m.state(0), BackendState::kHealthy) << "failure " << i;
+  }
+  m.record_failure(0, at(4));
+  // suspect_after == eject_after: the suspect window collapses and the
+  // fifth failure ejects directly.
+  EXPECT_EQ(m.state(0), BackendState::kEjected);
+  m.record_success(0, at(5));
+  EXPECT_EQ(m.state(0), BackendState::kHealthy);  // readmit_after == 1
+}
+
+TEST(Membership, NoteHealthAttachesObservations) {
+  Membership m(2, tight_config(), 7, at(0));
+  m.note_health(1, 0.75, true, 128);
+  const BackendStatus status = m.status(1);
+  EXPECT_DOUBLE_EQ(status.load, 0.75);
+  EXPECT_TRUE(status.draining);
+  EXPECT_EQ(status.cache_entries, 128u);
+  // Routing hints only: state is untouched.
+  EXPECT_EQ(status.state, BackendState::kHealthy);
+}
+
+TEST(Membership, FleetCountersAggregateAcrossBackends) {
+  Membership m(3, tight_config(), 7, at(0));
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (int i = 0; i < 3; ++i) {
+      m.record_failure(b, at(i));
+    }
+    m.record_success(b, at(10));
+    m.record_success(b, at(11));
+  }
+  EXPECT_EQ(m.ejections(), 2u);
+  EXPECT_EQ(m.readmissions(), 2u);
+  EXPECT_EQ(m.alive_count(), 3u);
+}
+
+TEST(Membership, ToStringNamesStates) {
+  EXPECT_EQ(to_string(BackendState::kHealthy), "healthy");
+  EXPECT_EQ(to_string(BackendState::kSuspect), "suspect");
+  EXPECT_EQ(to_string(BackendState::kEjected), "ejected");
+}
+
+}  // namespace
+}  // namespace xbar::router

@@ -1,0 +1,101 @@
+// The router's trust boundary with its own fleet: a backend line is
+// relayed verbatim iff it is a JSON object carrying a string "status";
+// everything else becomes a typed "io" error frame echoing the client's
+// request id.  The fuzz harness drives the same function with arbitrary
+// bytes; these tests pin the exact classifications.
+
+#include "router/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xbar::router {
+namespace {
+
+void expect_rejected(const RelayResult& r, const std::string& id) {
+  EXPECT_FALSE(r.relayed);
+  EXPECT_NE(r.frame.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(r.frame.find("\"kind\":\"io\""), std::string::npos);
+  EXPECT_NE(r.frame.find("\"id\":" + id), std::string::npos);
+  EXPECT_NE(r.frame.find("backend sent"), std::string::npos);
+}
+
+TEST(Reassembly, ValidOkFrameIsRelayedVerbatim) {
+  const std::string line =
+      R"({"id":7,"status":"ok","cached":true,"result":{"blocking":0.125}})";
+  const RelayResult r = relay_or_error(line, "7");
+  EXPECT_TRUE(r.relayed);
+  // Verbatim, byte for byte: re-serializing would perturb float
+  // formatting and double the parse cost.
+  EXPECT_EQ(r.frame, line);
+}
+
+TEST(Reassembly, ValidErrorFrameIsRelayedToo) {
+  // Backend-originated typed errors (parse/config/deadline) pass through
+  // untouched — they are protocol, not corruption.
+  const std::string line =
+      R"({"id":"x","status":"error","error":{"kind":"config","message":"bad"}})";
+  const RelayResult r = relay_or_error(line, "\"x\"");
+  EXPECT_TRUE(r.relayed);
+  EXPECT_EQ(r.frame, line);
+}
+
+TEST(Reassembly, EmptyFrameIsRejected) {
+  expect_rejected(relay_or_error("", "1"), "1");
+}
+
+TEST(Reassembly, TruncatedFrameIsRejected) {
+  // A backend that died mid-write tears the frame; the client must see a
+  // typed error, not half a JSON document.
+  expect_rejected(
+      relay_or_error(R"({"id":1,"status":"ok","result":{"blo)", "1"), "1");
+}
+
+TEST(Reassembly, GarbageIsRejected) {
+  expect_rejected(relay_or_error("{ nope", "2"), "2");
+  expect_rejected(relay_or_error("{]", "2"), "2");
+}
+
+TEST(Reassembly, NonObjectDocumentsAreRejected) {
+  expect_rejected(relay_or_error("[1,2,3]", "3"), "3");
+  expect_rejected(relay_or_error("\"ok\"", "3"), "3");
+  expect_rejected(relay_or_error("42", "3"), "3");
+}
+
+TEST(Reassembly, ObjectWithoutStatusIsRejected) {
+  expect_rejected(relay_or_error(R"({"id":4,"result":{}})", "4"), "4");
+}
+
+TEST(Reassembly, NonStringStatusIsRejected) {
+  expect_rejected(relay_or_error(R"({"id":5,"status":200})", "5"), "5");
+  expect_rejected(relay_or_error(R"({"id":5,"status":null})", "5"), "5");
+}
+
+TEST(Reassembly, ClientIdIsEchoedRaw) {
+  // The id is raw JSON from parse_request (string ids keep their
+  // quotes, absent ids are the literal null) and must round-trip into
+  // the synthesized frame unmangled.
+  const RelayResult str = relay_or_error("", "\"req-9\"");
+  EXPECT_NE(str.frame.find("\"id\":\"req-9\""), std::string::npos);
+  const RelayResult nul = relay_or_error("", "null");
+  EXPECT_NE(nul.frame.find("\"id\":null"), std::string::npos);
+}
+
+TEST(Reassembly, DeeplyNestedValidEnvelopeStillRelays) {
+  std::string line = R"({"status":"ok","result":)";
+  for (int i = 0; i < 16; ++i) {
+    line += R"({"n":)";
+  }
+  line += "1";
+  for (int i = 0; i < 16; ++i) {
+    line += "}";
+  }
+  line += "}";
+  const RelayResult r = relay_or_error(line, "null");
+  EXPECT_TRUE(r.relayed);
+  EXPECT_EQ(r.frame, line);
+}
+
+}  // namespace
+}  // namespace xbar::router

@@ -1,0 +1,355 @@
+// In-process integration tests for the Router: real service::Servers as
+// backends (plus hand-rolled fake backends for corruption and stalls),
+// raw NDJSON connections as the client.  Placement is computed with the
+// same HashRing the router uses, so every test deterministically finds a
+// request owned by the backend it wants to exercise.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "router/hash_ring.hpp"
+#include "router/router.hpp"
+#include "service/connection.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace xbar::router {
+namespace {
+
+/// One raw NDJSON connection (the router speaks the server's protocol,
+/// so this mirrors the server loopback tests' client).
+class Conn {
+ public:
+  explicit Conn(std::uint16_t port)
+      : socket_(service::dial("127.0.0.1", port)),
+        reader_(socket_.fd(), 1 << 20) {}
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  std::string rpc(const std::string& line) {
+    if (!socket_.valid() || !service::write_line(socket_.fd(), line)) {
+      return std::string();
+    }
+    std::string out;
+    return reader_.read_line(out) == service::LineReader::Status::kLine
+               ? out
+               : std::string();
+  }
+
+ private:
+  service::Socket socket_;
+  service::LineReader reader_;
+};
+
+/// A backend that is not xbar_serve: answers every request line with a
+/// fixed frame (kGarbage) or accepts and never answers at all (kStall).
+class FakeBackend {
+ public:
+  enum class Mode { kGarbage, kStall };
+
+  explicit FakeBackend(Mode mode) : mode_(mode) {
+    listener_ = service::listen_on("127.0.0.1", 0, port_);
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~FakeBackend() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, sever every open connection, join all threads.
+  /// Call only after the router holding pooled connections is stopped
+  /// (or rely on the severing to unblock its readers).
+  void stop() {
+    if (stopped_.exchange(true)) {
+      return;
+    }
+    ::shutdown(listener_.fd(), SHUT_RDWR);  // unblock the accept()
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    for (const int fd : fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // unblock blocked readers
+    }
+    for (std::thread& conn : conns_) {
+      if (conn.joinable()) {
+        conn.join();
+      }
+    }
+    for (const int fd : fds_) {
+      ::close(fd);
+    }
+    listener_.reset();
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd < 0) {
+        return;  // listener shut down
+      }
+      fds_.push_back(fd);
+      conns_.emplace_back([this, fd] { serve(fd); });
+    }
+  }
+
+  void serve(int fd) {
+    service::LineReader reader(fd, 1 << 16);
+    std::string line;
+    while (reader.read_line(line) == service::LineReader::Status::kLine) {
+      if (mode_ == Mode::kGarbage) {
+        if (!service::write_line(fd, R"({"bogus":1})")) {
+          return;
+        }
+      }
+      // kStall: swallow the request and say nothing — the failure mode
+      // that looks exactly like a frozen process behind a live socket.
+    }
+  }
+
+  Mode mode_;
+  service::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+  std::vector<int> fds_;  // touched only by acceptor_, read after join
+  std::vector<std::thread> conns_;
+};
+
+service::ServerConfig backend_config() {
+  service::ServerConfig config;
+  // Thread-per-connection: cover the router's warm pool plus probe and
+  // hedge transients.
+  config.workers = 6;
+  config.idle_poll_seconds = 0.05;
+  return config;
+}
+
+/// Router over `ports`, tuned for test speed; the prober runs its
+/// immediate first round and then stays out of the way for 60s.
+RouterConfig router_config(const std::vector<std::uint16_t>& ports) {
+  RouterConfig config;
+  for (const std::uint16_t port : ports) {
+    config.backends.push_back({"127.0.0.1", port});
+  }
+  config.workers = 2;
+  config.idle_poll_seconds = 0.05;
+  config.membership.probe_interval_seconds = 60.0;
+  config.probe_timeout_seconds = 0.25;
+  config.backend_client.connect_timeout_seconds = 0.5;
+  config.backend_client.request_timeout_seconds = 1.0;
+  config.pool_max_idle = 2;
+  config.hedge.enabled = false;  // hedge tests switch it on explicitly
+  return config;
+}
+
+std::string solve_line(int id, double rho) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                R"({"method":"solve","id":%d,"scenario":{"switch":)"
+                R"({"inputs":8},"classes":[{"name":"voice","shape":)"
+                R"("poisson","rho":%.4f}]}})",
+                id, rho);
+  return std::string(buffer);
+}
+
+/// A solve line whose cache key the ring places on backend `owner` first
+/// (under zero load, all alive) — computed with the router's own ring,
+/// so the test drives the exact backend it means to.
+std::string line_owned_by(std::size_t owner, std::size_t backends,
+                          int id) {
+  const HashRing ring(backends);
+  const std::vector<char> alive(backends, 1);
+  const std::vector<std::size_t> idle(backends, 0);
+  for (int k = 0; k < 1000; ++k) {
+    const std::string line = solve_line(id, 0.10 + 0.0007 * k);
+    const service::Request request = service::parse_request(line);
+    if (ring.plan(HashRing::hash_key(request.cache_key), alive, idle)
+            .front() == owner) {
+      return line;
+    }
+  }
+  ADD_FAILURE() << "no key found owned by backend " << owner;
+  return solve_line(id, 0.5);
+}
+
+std::uint16_t dead_port() {
+  std::uint16_t port = 0;
+  {
+    service::Socket listener = service::listen_on("127.0.0.1", 0, port);
+  }
+  return port;
+}
+
+TEST(RouterFleet, LocalMethodsAreAnsweredByTheRouterItself) {
+  service::Server backend(backend_config());
+  backend.start();
+  Router router(router_config({backend.port()}));
+  router.start();
+
+  Conn conn(router.port());
+  ASSERT_TRUE(conn.connected());
+  EXPECT_NE(conn.rpc(R"({"method":"ping","id":1})").find("pong"),
+            std::string::npos);
+  const std::string stats = conn.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find("\"hedging\""), std::string::npos);
+  EXPECT_NE(stats.find("\"membership\""), std::string::npos);
+  EXPECT_NE(stats.find("\"backends\""), std::string::npos);
+  const std::string health = conn.rpc(R"({"method":"health"})");
+  EXPECT_NE(health.find("\"live\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"alive_backends\":1"), std::string::npos);
+
+  EXPECT_EQ(router.stats().local_ok, 3u);
+  EXPECT_EQ(router.stats().routed_ok, 0u);
+
+  // Parse errors are also local: a typed frame, not a dropped line.
+  EXPECT_NE(conn.rpc("{ nope").find("\"kind\":\"parse\""),
+            std::string::npos);
+  EXPECT_EQ(router.stats().local_errors, 1u);
+
+  router.stop();
+  backend.stop();
+}
+
+TEST(RouterFleet, PlacementAffinityKeepsBackendCachesHot) {
+  service::Server b0(backend_config());
+  service::Server b1(backend_config());
+  b0.start();
+  b1.start();
+  Router router(router_config({b0.port(), b1.port()}));
+  router.start();
+
+  const std::string line = solve_line(1, 0.37);
+  Conn first(router.port());
+  EXPECT_NE(first.rpc(line).find("\"status\":\"ok\""), std::string::npos);
+  // Same fingerprint, different connection: the ring must choose the
+  // same backend, whose result cache now answers.
+  Conn second(router.port());
+  const std::string repeat = second.rpc(line);
+  EXPECT_NE(repeat.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(repeat.find("\"cached\":true"), std::string::npos);
+
+  EXPECT_EQ(router.stats().routed_ok, 2u);
+  router.stop();
+  b0.stop();
+  b1.stop();
+}
+
+TEST(RouterFleet, FailoverRidesThroughADeadBackend) {
+  service::Server live(backend_config());
+  live.start();
+  // Backend 0 is a dead port: the first data-path attempt is refused and
+  // the request must fail over to backend 1 within the same call.
+  Router router(router_config({dead_port(), live.port()}));
+  router.start();
+
+  Conn conn(router.port());
+  const std::string line = line_owned_by(0, 2, 1);
+  const std::string response = conn.rpc(line);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  const RouterStatsSnapshot stats = router.stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+
+  router.stop();
+  live.stop();
+}
+
+TEST(RouterFleet, ExhaustionShedsTypedOverloadedFrames) {
+  Router router(router_config({dead_port()}));
+  router.start();
+
+  Conn conn(router.port());
+  // Every attempt is refused; the plan has no one else, so the router
+  // sheds a typed "overloaded" frame the client treats as retryable.
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = conn.rpc(solve_line(i, 0.2 + 0.1 * i));
+    EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(response.find("\"kind\":\"overloaded\""), std::string::npos);
+  }
+  // Three data-path failures ejected the backend: the plan is now empty
+  // and the shed names the reason.
+  const std::string response = conn.rpc(solve_line(9, 0.9));
+  EXPECT_NE(response.find("\"kind\":\"overloaded\""), std::string::npos);
+  EXPECT_NE(response.find("ejected"), std::string::npos);
+
+  const RouterStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.shed, 4u);
+  EXPECT_GE(stats.ejections, 1u);
+
+  router.stop();
+}
+
+TEST(RouterFleet, CorruptBackendFramesBecomeTypedIoErrors) {
+  FakeBackend fake(FakeBackend::Mode::kGarbage);
+  Router router(router_config({fake.port()}));
+  router.start();
+
+  Conn conn(router.port());
+  // The backend answers `{"bogus":1}` to everything: not a response
+  // envelope, so the router must synthesize a typed "io" error under the
+  // client's id — never relay the corruption, never crash.
+  const std::string response = conn.rpc(solve_line(5, 0.41));
+  EXPECT_NE(response.find("\"id\":5"), std::string::npos);
+  EXPECT_NE(response.find("\"kind\":\"io\""), std::string::npos);
+  EXPECT_NE(response.find("backend sent"), std::string::npos);
+
+  // The stream stays framed: the next request round-trips normally.
+  EXPECT_NE(conn.rpc(R"({"method":"ping","id":6})").find("pong"),
+            std::string::npos);
+
+  EXPECT_GE(router.stats().relay_rejections, 1u);
+
+  router.stop();
+  fake.stop();
+}
+
+TEST(RouterFleet, HedgeRescuesAStalledPrimaryWithoutDuplicates) {
+  FakeBackend stalled(FakeBackend::Mode::kStall);
+  service::Server live(backend_config());
+  live.start();
+
+  RouterConfig config = router_config({stalled.port(), live.port()});
+  config.hedge.enabled = true;
+  config.hedge.cold_delay_seconds = 0.01;
+  Router router(std::move(config));
+  router.start();
+
+  Conn conn(router.port());
+  // Owned by the stalled backend: the primary goes silent, the hedge
+  // fires after ~10ms against the live backend, and its frame wins.
+  const std::string line = line_owned_by(0, 2, 1);
+  const std::string response = conn.rpc(line);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  // Structural dedup: exactly one frame per request.  If the loser's
+  // frame were ever written too, this ping would read the stale solve
+  // frame and desynchronize.
+  const std::string ping = conn.rpc(R"({"method":"ping","id":77})");
+  EXPECT_NE(ping.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(ping.find("pong"), std::string::npos);
+
+  // Drain first: every in-flight attempt (the stalled primary included)
+  // lands, so the hedge ledger is final — and must balance exactly.
+  router.stop();
+  const RouterStatsSnapshot stats = router.stats();
+  EXPECT_GE(stats.hedges_launched, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.hedges_won + stats.hedges_lost, stats.hedges_launched);
+  EXPECT_EQ(stats.requests_total, 2u);
+
+  stalled.stop();
+  live.stop();
+}
+
+}  // namespace
+}  // namespace xbar::router

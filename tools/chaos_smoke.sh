@@ -27,27 +27,13 @@ LOADGEN="$3"
 CLIENT="$4"
 DIR="$5"
 
+SMOKE_NAME=chaos_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
 mkdir -p "$DIR"
 SERVE_PORT_FILE="$DIR/chaos_serve_port.$$"
 PROXY_PORT_FILE="$DIR/chaos_proxy_port.$$"
 rm -f "$SERVE_PORT_FILE" "$PROXY_PORT_FILE"
-
-fail() {
-  echo "chaos_smoke: $1" >&2
-  kill -9 "$SERVE_PID" 2>/dev/null || true
-  kill -9 "$PROXY_PID" 2>/dev/null || true
-  exit 1
-}
-
-wait_for_file() {
-  i=0
-  while [ ! -s "$1" ]; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && return 1
-    sleep 0.1
-  done
-  return 0
-}
 
 # --- server: small send buffer + short send timeout so phase 2's stalled
 # reader trips deterministically; generous idle timeout so phase 1's
@@ -56,7 +42,7 @@ wait_for_file() {
   --send-timeout-ms=300 --send-buffer=2048 --idle-timeout-ms=30000 \
   --port-file="$SERVE_PORT_FILE" &
 SERVE_PID=$!
-PROXY_PID=""
+smoke_track "$SERVE_PID"
 wait_for_file "$SERVE_PORT_FILE" || fail "server never wrote its port file"
 SERVE_PORT=$(cat "$SERVE_PORT_FILE")
 
@@ -65,6 +51,7 @@ SERVE_PORT=$(cat "$SERVE_PORT_FILE")
   --faults=0:drop,1:reset,2:truncate:5,3:garbage \
   --port-file="$PROXY_PORT_FILE" &
 PROXY_PID=$!
+smoke_track "$PROXY_PID"
 wait_for_file "$PROXY_PORT_FILE" || fail "proxy never wrote its port file"
 PROXY_PORT=$(cat "$PROXY_PORT_FILE")
 
@@ -77,7 +64,7 @@ LG_STATUS=0
 
 kill -TERM "$PROXY_PID"
 wait "$PROXY_PID" || fail "chaos proxy exited nonzero after SIGTERM"
-PROXY_PID=""
+smoke_untrack "$PROXY_PID"
 rm -f "$PROXY_PORT_FILE"
 
 # --- phase 2: stalled reader must be disconnected, not block a worker ------
@@ -85,6 +72,7 @@ rm -f "$PROXY_PORT_FILE"
   --faults=0:stall --stall-max-s=5 \
   --port-file="$PROXY_PORT_FILE" &
 PROXY_PID=$!
+smoke_track "$PROXY_PID"
 wait_for_file "$PROXY_PORT_FILE" || fail "stall proxy never wrote its port file"
 PROXY_PORT=$(cat "$PROXY_PORT_FILE")
 
@@ -114,12 +102,13 @@ done
 
 kill -TERM "$PROXY_PID"
 wait "$PROXY_PID" || fail "stall proxy exited nonzero after SIGTERM"
-PROXY_PID=""
+smoke_untrack "$PROXY_PID"
 
 # --- clean drain -----------------------------------------------------------
 kill -TERM "$SERVE_PID"
 SERVE_STATUS=0
 wait "$SERVE_PID" || SERVE_STATUS=$?
+smoke_untrack "$SERVE_PID"
 [ "$SERVE_STATUS" -eq 0 ] || fail "server exited $SERVE_STATUS after SIGTERM"
 rm -f "$SERVE_PORT_FILE" "$PROXY_PORT_FILE"
 

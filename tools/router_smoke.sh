@@ -1,0 +1,189 @@
+#!/bin/sh
+# Fleet smoke for xbar_router: three xbar_serve backends (one of them
+# behind a faultless xbar_chaosproxy, so it can be "killed" by killing the
+# proxy and later resurrected on the same port), chaos applied mid-run.
+#
+#   xbar_loadgen -> xbar_router -> { serve1, serve2, proxy3 -> serve3 }
+#
+# Phases:
+#   A  affinity     — two identical --unique runs (same seed): the second
+#                     must mostly hit the backends' result caches, which
+#                     only happens if consistent hashing kept each key on
+#                     the same backend across runs.
+#   B  killed       — kill -9 the proxy in front of backend 3 mid-fleet;
+#                     a >=99%-success run must ride through on failover,
+#                     the router must *eject* the dead backend, and after
+#                     the proxy is resurrected the router must *readmit*
+#                     it (both observed via the router's stats method).
+#   C  stalled      — SIGSTOP backend 1 (connections stay open, nothing
+#                     answers: the failure mode ejection exists for); a
+#                     >=99%-success run must ride through on hedges +
+#                     failover; SIGCONT must lead to readmission.
+#
+# Cross-cutting assertions: hedge accounting is exact (won + lost ==
+# launched — every hedged request elected exactly one winner, so no
+# request id was ever answered twice; a duplicate line would also
+# desynchronize the pipelined loadgen clients and fail their assertions),
+# and every process drains cleanly on SIGTERM.
+#
+# usage: router_smoke.sh <xbar_serve> <xbar_router> <xbar_chaosproxy> \
+#                        <xbar_loadgen> <xbar_client> <workdir>
+set -e
+
+SERVE="$1"
+ROUTER="$2"
+PROXY="$3"
+LOADGEN="$4"
+CLIENT="$5"
+DIR="$6"
+
+SMOKE_NAME=router_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
+mkdir -p "$DIR"
+B1_PORT_FILE="$DIR/router_b1_port.$$"
+B2_PORT_FILE="$DIR/router_b2_port.$$"
+B3_PORT_FILE="$DIR/router_b3_port.$$"
+P3_PORT_FILE="$DIR/router_p3_port.$$"
+ROUTER_PORT_FILE="$DIR/router_port.$$"
+rm -f "$B1_PORT_FILE" "$B2_PORT_FILE" "$B3_PORT_FILE" "$P3_PORT_FILE" \
+  "$ROUTER_PORT_FILE"
+
+# --- the fleet -------------------------------------------------------------
+# Backends are thread-per-connection, so their --threads must cover the
+# router's warm pool (--pool-idle) plus transient hedge/failover
+# connections; 4 threads against --pool-idle=2 leaves that slack.
+"$SERVE" --port=0 --threads=4 --queue=64 --port-file="$B1_PORT_FILE" &
+B1_PID=$!
+smoke_track "$B1_PID"
+"$SERVE" --port=0 --threads=4 --queue=64 --port-file="$B2_PORT_FILE" &
+B2_PID=$!
+smoke_track "$B2_PID"
+"$SERVE" --port=0 --threads=4 --queue=64 --port-file="$B3_PORT_FILE" &
+B3_PID=$!
+smoke_track "$B3_PID"
+wait_for_file "$B1_PORT_FILE" || fail "backend 1 never wrote its port file"
+wait_for_file "$B2_PORT_FILE" || fail "backend 2 never wrote its port file"
+wait_for_file "$B3_PORT_FILE" || fail "backend 3 never wrote its port file"
+B1_PORT=$(cat "$B1_PORT_FILE")
+B2_PORT=$(cat "$B2_PORT_FILE")
+B3_PORT=$(cat "$B3_PORT_FILE")
+
+# Backend 3 sits behind a faultless proxy: killing the proxy severs it
+# (connection refused), restarting the proxy on the same port revives it.
+"$PROXY" --upstream-port="$B3_PORT" --port=0 --port-file="$P3_PORT_FILE" &
+P3_PID=$!
+smoke_track "$P3_PID"
+wait_for_file "$P3_PORT_FILE" || fail "proxy never wrote its port file"
+P3_PORT=$(cat "$P3_PORT_FILE")
+
+"$ROUTER" --port=0 --threads=4 --queue=64 \
+  --backend=127.0.0.1:"$B1_PORT" --backend=127.0.0.1:"$B2_PORT" \
+  --backend=127.0.0.1:"$P3_PORT" \
+  --probe-interval-ms=100 --probe-timeout-ms=250 \
+  --eject-after=3 --readmit-after=2 \
+  --connect-timeout-ms=500 --request-timeout-ms=1000 \
+  --hedge-cold-ms=50 --pool-idle=2 \
+  --port-file="$ROUTER_PORT_FILE" 2> "$DIR/router_stderr.$$" &
+ROUTER_PID=$!
+smoke_track "$ROUTER_PID"
+wait_for_file "$ROUTER_PORT_FILE" || fail "router never wrote its port file"
+ROUTER_PORT=$(cat "$ROUTER_PORT_FILE")
+
+router_stats() {
+  "$CLIENT" --port="$ROUTER_PORT" --method=stats 2>/dev/null || true
+}
+
+# "ejections readmissions" from the router's membership counters (the
+# per-backend copies appear later in the document, so anchor on the
+# membership object itself).
+membership_counts() {
+  router_stats |
+    sed -n 's/.*"membership":{"ejections":\([0-9]*\),"readmissions":\([0-9]*\)}.*/\1 \2/p'
+}
+
+wait_for_counter() {
+  # wait_for_counter <field-index: 1|2> <floor> <label>
+  _j=0
+  while [ "$_j" -lt 80 ]; do
+    _counts=$(membership_counts)
+    _value=$(printf '%s' "$_counts" | cut -d' ' -f"$1")
+    [ -n "$_value" ] && [ "$_value" -ge "$2" ] && return 0
+    _j=$((_j + 1))
+    sleep 0.1
+  done
+  fail "router stats never reported $3 >= $2 (last: '${_counts:-none}')"
+}
+
+# --- phase A: placement affinity ------------------------------------------
+# Same seed twice: identical key sequence.  Run 1 warms the fleet's result
+# caches; run 2 must mostly hit them — which requires that the ring sent
+# each key to the same backend both times.
+"$LOADGEN" --port="$ROUTER_PORT" --requests=150 --senders=4 \
+  --unique --seed=7 || fail "warmup run failed"
+"$LOADGEN" --port="$ROUTER_PORT" --requests=150 --senders=4 \
+  --unique --seed=7 --min-cached=100 ||
+  fail "affinity run failed (cache-hit floor of 100/150 not met)"
+
+# --- phase B: a backend dies mid-fleet ------------------------------------
+kill -9 "$P3_PID" 2>/dev/null || true
+smoke_untrack "$P3_PID"
+
+"$LOADGEN" --port="$ROUTER_PORT" --requests=200 --senders=4 \
+  --unique --seed=8 --min-success-rate=0.99 ||
+  fail "kill phase: success rate fell below 99% with one dead backend"
+wait_for_counter 1 1 "ejections"
+
+# Resurrect backend 3 by restarting its proxy on the same (now free) port;
+# the prober must readmit it.
+rm -f "$P3_PORT_FILE"
+"$PROXY" --upstream-port="$B3_PORT" --port="$P3_PORT" \
+  --port-file="$P3_PORT_FILE" &
+P3_PID=$!
+smoke_track "$P3_PID"
+wait_for_file "$P3_PORT_FILE" || fail "restarted proxy never wrote its port file"
+wait_for_counter 2 1 "readmissions"
+
+# --- phase C: a backend stalls mid-fleet ----------------------------------
+# SIGSTOP freezes backend 1 with its sockets open: connects succeed,
+# nothing answers.  Hedges + request timeouts must carry the run, probes
+# must time out and eject it.
+kill -STOP "$B1_PID"
+"$LOADGEN" --port="$ROUTER_PORT" --requests=200 --senders=4 \
+  --unique --seed=9 --min-success-rate=0.99 ||
+  fail "stall phase: success rate fell below 99% with one stalled backend"
+wait_for_counter 1 2 "ejections (stall)"
+
+kill -CONT "$B1_PID"
+wait_for_counter 2 2 "readmissions (after SIGCONT)"
+
+# --- hedge accounting ------------------------------------------------------
+HEDGES=$(router_stats |
+  sed -n 's/.*"hedging":{"delay_ms":[^,]*,"launched":\([0-9]*\),"won":\([0-9]*\),"lost":\([0-9]*\)}.*/\1 \2 \3/p')
+[ -n "$HEDGES" ] || fail "router stats carried no hedging object"
+LAUNCHED=$(printf '%s' "$HEDGES" | cut -d' ' -f1)
+WON=$(printf '%s' "$HEDGES" | cut -d' ' -f2)
+LOST=$(printf '%s' "$HEDGES" | cut -d' ' -f3)
+[ $((WON + LOST)) -eq "$LAUNCHED" ] ||
+  fail "hedge accounting broken: launched=$LAUNCHED won=$WON lost=$LOST"
+
+# --- clean drain -----------------------------------------------------------
+kill -TERM "$ROUTER_PID"
+ROUTER_STATUS=0
+wait "$ROUTER_PID" || ROUTER_STATUS=$?
+smoke_untrack "$ROUTER_PID"
+[ "$ROUTER_STATUS" -eq 0 ] ||
+  fail "router exited $ROUTER_STATUS after SIGTERM"
+
+kill -TERM "$P3_PID"
+wait "$P3_PID" || fail "proxy exited nonzero after SIGTERM"
+smoke_untrack "$P3_PID"
+for PID in "$B1_PID" "$B2_PID" "$B3_PID"; do
+  kill -TERM "$PID"
+  wait "$PID" || fail "a backend exited nonzero after SIGTERM"
+  smoke_untrack "$PID"
+done
+rm -f "$B1_PORT_FILE" "$B2_PORT_FILE" "$B3_PORT_FILE" "$P3_PORT_FILE" \
+  "$ROUTER_PORT_FILE" "$DIR/router_stderr.$$"
+
+echo "router_smoke: ok (affinity held, kill+stall survived at >=99%, ejections+readmissions observed, hedges $LAUNCHED=${WON}w+${LOST}l)"

@@ -16,23 +16,18 @@ LOADGEN="$2"
 DIR="$3"
 REQUESTS="${4:-200}"
 
+SMOKE_NAME=serve_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
 mkdir -p "$DIR"
 PORT_FILE="$DIR/serve_port.$$"
 rm -f "$PORT_FILE"
 
 "$SERVE" --port=0 --threads=2 --queue=64 --port-file="$PORT_FILE" &
 PID=$!
+smoke_track "$PID"
 
-i=0
-while [ ! -s "$PORT_FILE" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "serve_smoke: server never wrote $PORT_FILE" >&2
-    kill -9 "$PID" 2>/dev/null || true
-    exit 1
-  fi
-  sleep 0.1
-done
+wait_for_file "$PORT_FILE" || fail "server never wrote $PORT_FILE"
 PORT=$(cat "$PORT_FILE")
 
 LG_STATUS=0
@@ -42,14 +37,9 @@ LG_STATUS=0
 kill -TERM "$PID"
 SERVE_STATUS=0
 wait "$PID" || SERVE_STATUS=$?
+smoke_untrack "$PID"
 rm -f "$PORT_FILE"
 
-if [ "$LG_STATUS" -ne 0 ]; then
-  echo "serve_smoke: loadgen exited $LG_STATUS" >&2
-  exit 1
-fi
-if [ "$SERVE_STATUS" -ne 0 ]; then
-  echo "serve_smoke: server exited $SERVE_STATUS after SIGTERM" >&2
-  exit 1
-fi
+[ "$LG_STATUS" -eq 0 ] || fail "loadgen exited $LG_STATUS"
+[ "$SERVE_STATUS" -eq 0 ] || fail "server exited $SERVE_STATUS after SIGTERM"
 echo "serve_smoke: ok ($REQUESTS requests, clean drain)"

@@ -1,0 +1,54 @@
+# Shared plumbing for the tools/*_smoke.sh scripts.  Source it (after
+# setting SMOKE_NAME) — do not execute it.
+#
+#   SMOKE_NAME=my_smoke
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# What it provides:
+#   smoke_track PID     register a background process for cleanup
+#   smoke_untrack PID   deregister after a successful `wait`
+#   wait_for_file PATH  poll (10s cap) until PATH is non-empty — the
+#                       port-file handshake every daemon here uses with
+#                       --port=0, so nothing ever binds a fixed port and
+#                       parallel ctest runs cannot collide
+#   fail MESSAGE        diagnostic to stderr, exit 1
+#
+# Cleanup is a single EXIT trap that kills every still-tracked pid, so a
+# `set -e` failure (or a fail()) anywhere in a script can no longer leak
+# orphaned servers/proxies that outlive the test and pin ports.
+
+SMOKE_PIDS=""
+
+smoke_track() {
+  SMOKE_PIDS="$SMOKE_PIDS $1"
+}
+
+smoke_untrack() {
+  _rest=""
+  for _pid in $SMOKE_PIDS; do
+    [ "$_pid" = "$1" ] || _rest="$_rest $_pid"
+  done
+  SMOKE_PIDS="$_rest"
+}
+
+smoke_cleanup() {
+  for _pid in $SMOKE_PIDS; do
+    kill -9 "$_pid" 2>/dev/null || true
+  done
+}
+trap smoke_cleanup EXIT
+
+fail() {
+  echo "${SMOKE_NAME:-smoke}: $1" >&2
+  exit 1
+}
+
+wait_for_file() {
+  _i=0
+  while [ ! -s "$1" ]; do
+    _i=$((_i + 1))
+    [ "$_i" -gt 100 ] && return 1
+    sleep 0.1
+  done
+  return 0
+}

@@ -5,6 +5,7 @@
 //               [--connect-timeout-ms=MS] [--timeout-ms=MS]
 //               [--retries=N] [--backoff-base-ms=MS] [--backoff-cap-ms=MS]
 //               [--breaker-window=N] [--breaker-open-ms=MS] [--seed=N]
+//               [--stats]
 //
 // One-shot requests come from --method (the body-less methods) or
 // --request (a raw protocol line, any method); with neither, every line
@@ -15,7 +16,10 @@
 // a chaos proxy) from a shell and see the typed outcome.
 //
 // Responses are printed one per line on stdout.  A call that exhausts its
-// retry budget prints `outcome=<class> attempts=<n>` on stderr.  Exit 0
+// retry budget prints `outcome=<class> attempts=<n>` on stderr.  --stats
+// prints the endpoint's ClientStats (attempts, retries, breaker state and
+// transition counts) as one JSON line on stdout after the responses — the
+// queryable form of what the client library tracked for the run.  Exit 0
 // when every call produced a response, 2 when any call failed at the
 // transport level, 1 on usage or fatal errors.
 
@@ -23,8 +27,10 @@
 #include <string>
 
 #include "client/client.hpp"
+#include "client/stats_json.hpp"
 #include "core/error.hpp"
 #include "report/args.hpp"
+#include "report/json_writer.hpp"
 
 namespace {
 
@@ -37,9 +43,11 @@ int usage() {
          "                   [--connect-timeout-ms=MS] [--timeout-ms=MS]\n"
          "                   [--retries=N] [--backoff-base-ms=MS]\n"
          "                   [--backoff-cap-ms=MS] [--breaker-window=N]\n"
-         "                   [--breaker-open-ms=MS] [--seed=N]\n"
+         "                   [--breaker-open-ms=MS] [--seed=N] [--stats]\n"
          "With neither --method nor --request, request lines are read\n"
-         "from stdin and sent in order.\n";
+         "from stdin and sent in order.  --stats appends the endpoint's\n"
+         "client-side stats (attempts, retries, breaker transitions) as\n"
+         "one JSON line.\n";
   return 1;
 }
 
@@ -100,6 +108,11 @@ int main(int argc, char** argv) {
         }
         all_ok = run_one(cli, line) && all_ok;
       }
+    }
+    if (args.has("stats")) {
+      report::JsonWriter json(std::cout, report::JsonWriter::Style::kCompact);
+      client::write_client_stats_json(json, cli.stats());
+      std::cout << "\n";
     }
     return all_ok ? 0 : 2;
   } catch (const xbar::Error& e) {

@@ -1,0 +1,180 @@
+// xbar_router — fault-tolerant front tier over an xbar_serve fleet.
+//
+//   xbar_router --backend=HOST:PORT [--backend=HOST:PORT ...]
+//               [--host=127.0.0.1] [--port=0] [--threads=N] [--queue=N]
+//               [--port-file=PATH] [--vnodes=N] [--load-factor=C]
+//               [--probe-interval-ms=MS] [--probe-timeout-ms=MS]
+//               [--suspect-after=N] [--eject-after=N] [--readmit-after=N]
+//               [--hedge-quantile=Q] [--hedge-cold-ms=MS] [--no-hedge]
+//               [--connect-timeout-ms=MS] [--request-timeout-ms=MS]
+//               [--pool-idle=N] [--seed=N]
+//
+// Speaks the exact NDJSON protocol of xbar_serve on both sides, so
+// xbar_client and xbar_loadgen work against it unchanged.  Cacheable
+// methods (solve/revenue/sweep/batch) are placed by consistent hashing
+// with bounded loads on the request's canonical fingerprint, so each
+// backend's caches stay hot on a stable key range; ping/stats/health are
+// answered locally (the router's own stats/health — probe a backend
+// directly for its view).  Backends are health-probed on a jittered
+// schedule and move healthy -> suspect -> ejected on consecutive
+// failures, readmitted after consecutive probe successes.  Slow primaries
+// are hedged after the observed latency quantile; failures fail over down
+// the placement plan; exhaustion sheds a typed "overloaded" frame.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish accepted
+// connections (including hedge stragglers), print a final stats line to
+// stderr, exit 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/error.hpp"
+#include "report/args.hpp"
+#include "router/router.hpp"
+#include "service/signal.hpp"
+
+namespace {
+
+using namespace xbar;
+
+int usage() {
+  std::cerr
+      << "usage: xbar_router --backend=HOST:PORT [--backend=... ...]\n"
+         "                   [--host=ADDR] [--port=N] [--threads=N]\n"
+         "                   [--queue=N] [--port-file=PATH]\n"
+         "                   [--vnodes=N] [--load-factor=C]\n"
+         "                   [--probe-interval-ms=MS] "
+         "[--probe-timeout-ms=MS]\n"
+         "                   [--suspect-after=N] [--eject-after=N]\n"
+         "                   [--readmit-after=N] [--hedge-quantile=Q]\n"
+         "                   [--hedge-cold-ms=MS] [--no-hedge]\n"
+         "                   [--connect-timeout-ms=MS]\n"
+         "                   [--request-timeout-ms=MS] [--pool-idle=N]\n"
+         "                   [--seed=N]\n"
+         "Routes the xbar_serve NDJSON protocol across a fleet: consistent\n"
+         "hashing on the request fingerprint, health-probe ejection and\n"
+         "readmission, hedged requests, failover, typed overload shedding.\n"
+         "SIGTERM/SIGINT drain gracefully.\n";
+  return 1;
+}
+
+/// Write the bound port atomically (tmp + rename), matching xbar_serve.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      raise(ErrorKind::kIo, "cannot write port file '" + tmp + "'");
+    }
+    out << port << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise(ErrorKind::kIo, "cannot rename port file into '" + path + "'");
+  }
+}
+
+router::BackendAddress parse_backend(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    raise(ErrorKind::kUsage,
+          "--backend expects HOST:PORT, got '" + spec + "'");
+  }
+  router::BackendAddress address;
+  address.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    raise(ErrorKind::kUsage,
+          "--backend port must be 1..65535, got '" + port + "'");
+  }
+  address.port = static_cast<std::uint16_t>(value);
+  return address;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  if (args.has("help")) {
+    return usage();
+  }
+  try {
+    router::RouterConfig config;
+    for (const std::string& spec : args.get_all("backend")) {
+      config.backends.push_back(parse_backend(spec));
+    }
+    if (config.backends.empty()) {
+      std::cerr << "error: at least one --backend=HOST:PORT is required\n";
+      return usage();
+    }
+    if (const auto host = args.get("host")) {
+      config.host = *host;
+    }
+    config.port = static_cast<std::uint16_t>(args.get_unsigned("port", 0));
+    config.workers = args.get_unsigned("threads", 0);
+    config.queue_capacity = args.get_unsigned("queue", 128);
+    config.ring.vnodes = args.get_unsigned("vnodes", 64);
+    config.ring.load_factor = args.get_double("load-factor", 1.25);
+    config.membership.probe_interval_seconds =
+        args.get_double("probe-interval-ms", 250.0) * 1e-3;
+    config.probe_timeout_seconds =
+        args.get_double("probe-timeout-ms", 250.0) * 1e-3;
+    config.membership.suspect_after =
+        static_cast<unsigned>(args.get_unsigned("suspect-after", 1));
+    config.membership.eject_after =
+        static_cast<unsigned>(args.get_unsigned("eject-after", 3));
+    config.membership.readmit_after =
+        static_cast<unsigned>(args.get_unsigned("readmit-after", 2));
+    config.hedge.enabled = !args.has("no-hedge");
+    config.hedge.quantile = args.get_double("hedge-quantile", 0.9);
+    config.hedge.cold_delay_seconds =
+        args.get_double("hedge-cold-ms", 50.0) * 1e-3;
+    config.backend_client.connect_timeout_seconds =
+        args.get_double("connect-timeout-ms", 1000.0) * 1e-3;
+    config.backend_client.request_timeout_seconds =
+        args.get_double("request-timeout-ms", 5000.0) * 1e-3;
+    config.pool_max_idle = args.get_unsigned("pool-idle", 2);
+    config.seed = args.get_unsigned("seed", 1);
+
+    service::install_drain_signals();
+
+    router::Router router(std::move(config));
+    router.start();
+    if (const auto path = args.get("port-file")) {
+      write_port_file(*path, router.port());
+    }
+    std::cout << "xbar_router listening on "
+              << args.get("host").value_or("127.0.0.1") << ':'
+              << router.port() << std::endl;
+
+    const int signo = service::wait_for_drain_signal();
+    std::cerr << "xbar_router: signal " << signo << ", draining\n";
+    router.request_drain();
+    router.wait();
+
+    const router::RouterStatsSnapshot s = router.stats();
+    std::cerr << "xbar_router: drained, uptime " << s.uptime_seconds
+              << "s — requests=" << s.requests_total
+              << " routed_ok=" << s.routed_ok
+              << " local_ok=" << s.local_ok
+              << " local_errors=" << s.local_errors
+              << " relay_rejections=" << s.relay_rejections
+              << " failovers=" << s.failovers << " shed=" << s.shed
+              << " hedges=" << s.hedges_launched << "/" << s.hedges_won
+              << "w/" << s.hedges_lost << "l"
+              << " ejections=" << s.ejections
+              << " readmissions=" << s.readmissions << "\n";
+    return 0;
+  } catch (const xbar::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
