@@ -1,0 +1,337 @@
+#include "advisor/advisor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/knapsack.hpp"
+#include "core/revenue.hpp"
+
+namespace xbar::advisor {
+
+std::string_view to_string(AdvisorState state) noexcept {
+  switch (state) {
+    case AdvisorState::kQuiet:
+      return "quiet";
+    case AdvisorState::kConfident:
+      return "confident";
+    case AdvisorState::kRefitting:
+      return "refitting";
+  }
+  return "quiet";
+}
+
+Advisor::Advisor(AdvisorConfig config)
+    : config_(std::move(config)),
+      estimator_(config_.estimator),
+      cache_(/*capacity=*/2 * config_.candidate_sizes.size() + 4) {
+  latest_.target_blocking = config_.target_blocking;
+}
+
+bool Advisor::observe(ObservedEvent event) {
+  bool admitted = true;
+  bool need_solve = false;
+  {
+    std::lock_guard lock(mu_);
+    if (config_.enact && state_ != AdvisorState::kQuiet &&
+        std::find(denied_.begin(), denied_.end(), event.class_name) !=
+            denied_.end()) {
+      // Enacted admission control: the connection is refused, but it was
+      // offered — count it as a blocked arrival so the fit still sees it.
+      event.blocked = true;
+      admitted = false;
+      ++denied_events_;
+    }
+    estimator_.observe(event);
+    ++events_;
+    if (state_ == AdvisorState::kConfident && estimator_.drifted()) {
+      note_drift_locked();
+    }
+    if (events_ - last_solve_events_ >= config_.solve_every_events) {
+      last_solve_events_ = events_;
+      need_solve = true;
+    }
+  }
+  if (need_solve) {
+    run_solve_cycle();
+  }
+  return admitted;
+}
+
+std::size_t Advisor::observe_batch(std::span<const ObservedEvent> events) {
+  std::size_t admitted = 0;
+  for (const auto& e : events) {
+    if (observe(e)) {
+      ++admitted;
+    }
+  }
+  return admitted;
+}
+
+bool Advisor::admits(const std::string& class_name) const {
+  std::lock_guard lock(mu_);
+  if (!config_.enact || state_ == AdvisorState::kQuiet) {
+    return true;
+  }
+  return std::find(denied_.begin(), denied_.end(), class_name) ==
+         denied_.end();
+}
+
+Recommendation Advisor::recommendation() const {
+  std::lock_guard lock(rec_mu_);
+  return latest_;
+}
+
+AdvisorState Advisor::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::uint64_t Advisor::events_observed() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::uint64_t Advisor::events_denied() const {
+  std::lock_guard lock(mu_);
+  return denied_events_;
+}
+
+void Advisor::note_drift_locked() {
+  state_ = AdvisorState::kRefitting;
+  ++refits_;
+  estimator_.reset_fit();
+  // Safety: a drifting advisor stops enacting stale economics — everything
+  // is re-admitted until the refit converges.
+  denied_.clear();
+}
+
+void Advisor::solve_now() { run_solve_cycle(); }
+
+void Advisor::run_solve_cycle() {
+  std::lock_guard solve_lock(solve_mu_);
+
+  std::vector<FittedClass> fits;
+  AdvisorState state;
+  {
+    std::lock_guard lock(mu_);
+    fits = estimator_.fitted();
+    // Prune classes with no mass yet — a class seen once contributes
+    // nothing fittable and would only poison the model.
+    std::erase_if(fits, [](const FittedClass& f) {
+      return !(f.mean_occupancy > 0.0) || !(f.mean_hold > 0.0);
+    });
+    const bool confident =
+        !fits.empty() && std::all_of(fits.begin(), fits.end(),
+                                     [](const FittedClass& f) {
+                                       return f.confident;
+                                     });
+    if (confident && state_ != AdvisorState::kConfident) {
+      state_ = AdvisorState::kConfident;
+    }
+    state = state_;
+  }
+  const bool confident = state == AdvisorState::kConfident;
+
+  if (fits.empty() || !confident) {
+    // Stay quiet: publish the fit progress but no sizing advice.
+    std::lock_guard lock(rec_mu_);
+    latest_ = Recommendation{};
+    latest_.state = state;
+    latest_.confident = false;
+    latest_.target_blocking = config_.target_blocking;
+    latest_.fits = std::move(fits);
+    {
+      std::lock_guard mlock(mu_);
+      latest_.solve_cycles = solve_cycles_;
+      latest_.refits = refits_;
+      latest_.fitted_at = estimator_.now();
+    }
+    return;
+  }
+
+  Recommendation rec = compute(std::move(fits), state, confident);
+  {
+    std::lock_guard lock(mu_);
+    ++solve_cycles_;
+    rec.solve_cycles = solve_cycles_;
+    rec.refits = refits_;
+    rec.fitted_at = estimator_.now();
+    if (config_.enact) {
+      denied_.clear();
+      for (const auto& advice : rec.per_class) {
+        if (!advice.admit) {
+          denied_.push_back(advice.name);
+        }
+      }
+    }
+  }
+  std::lock_guard lock(rec_mu_);
+  latest_ = std::move(rec);
+}
+
+Recommendation Advisor::compute(std::vector<FittedClass> fits,
+                                AdvisorState state, bool confident) {
+  Recommendation rec;
+  rec.state = state;
+  rec.confident = confident;
+  rec.target_blocking = config_.target_blocking;
+
+  unsigned min_size = 1;
+  for (const auto& f : fits) {
+    min_size = std::max(min_size, f.bandwidth);
+  }
+
+  // Candidate grid: the configured sizes (>= the widest class), plus the
+  // currently provisioned size so the revenue delta is always computable.
+  std::vector<unsigned> sizes = config_.candidate_sizes;
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  std::erase_if(sizes, [&](unsigned n) { return n < min_size; });
+  const auto is_candidate = [&](unsigned n) {
+    return std::find(config_.candidate_sizes.begin(),
+                     config_.candidate_sizes.end(),
+                     n) != config_.candidate_sizes.end();
+  };
+  if (config_.current_size >= min_size &&
+      std::find(sizes.begin(), sizes.end(), config_.current_size) ==
+          sizes.end()) {
+    sizes.push_back(config_.current_size);
+    std::sort(sizes.begin(), sizes.end());
+  }
+
+  std::vector<unsigned> built_sizes;
+  std::vector<core::CrossbarModel> models;
+  for (const unsigned n : sizes) {
+    std::vector<core::TrafficClass> classes;
+    classes.reserve(fits.size());
+    for (const auto& f : fits) {
+      classes.push_back(f.traffic_class(n));
+    }
+    try {
+      models.emplace_back(core::Dims::square(n), std::move(classes));
+      built_sizes.push_back(n);
+    } catch (const std::exception&) {
+      // A size at which the fitted parameters are not representable (e.g.
+      // a tiny switch under a smooth fit) is simply not a viable option.
+    }
+  }
+  if (models.empty()) {
+    rec.fits = std::move(fits);
+    return rec;
+  }
+
+  // One batched multi-scenario solve over the whole grid: misses sharing
+  // dimensions advance through a single traversal, warm sizes are hits.
+  const std::vector<core::SolveResult> solved =
+      cache_.eval_batch_result(models, config_.solver);
+
+  std::size_t chosen = solved.size();
+  std::size_t largest_candidate = solved.size();
+  for (std::size_t i = 0; i < solved.size(); ++i) {
+    const auto& per_class = solved[i].measures.per_class;
+    SizingOption opt;
+    opt.size = built_sizes[i];
+    opt.revenue = solved[i].measures.revenue;
+    opt.worst_blocking = 0.0;
+    for (const auto& cm : per_class) {
+      opt.worst_blocking = std::max(opt.worst_blocking, cm.blocking);
+    }
+    opt.meets_slo = opt.worst_blocking <= config_.target_blocking;
+    rec.options.push_back(opt);
+    if (is_candidate(opt.size)) {
+      largest_candidate = i;
+      if (opt.meets_slo && chosen == solved.size()) {
+        chosen = i;  // smallest feasible candidate (sizes are ascending)
+      }
+    }
+  }
+  if (chosen == solved.size()) {
+    chosen = largest_candidate != solved.size() ? largest_candidate
+                                                : solved.size() - 1;
+    rec.slo_met = false;
+  } else {
+    rec.slo_met = true;
+  }
+  rec.recommended_size = built_sizes[chosen];
+  rec.revenue = solved[chosen].measures.revenue;
+
+  if (config_.current_size > 0) {
+    for (std::size_t i = 0; i < built_sizes.size(); ++i) {
+      if (built_sizes[i] == config_.current_size) {
+        rec.current_revenue = solved[i].measures.revenue;
+        rec.revenue_delta = rec.revenue - rec.current_revenue;
+        break;
+      }
+    }
+  }
+
+  // Admission economics at the recommended size (paper §4): shadow costs
+  // via the revenue analyzer; admit iff w_r > DeltaW_r.
+  const core::CrossbarModel& chosen_model = models[chosen];
+  const core::RevenueReport report =
+      core::RevenueAnalyzer(chosen_model).analyze();
+  rec.per_class.reserve(fits.size());
+  for (std::size_t r = 0; r < fits.size(); ++r) {
+    ClassAdvice advice;
+    advice.name = fits[r].name;
+    advice.bandwidth = fits[r].bandwidth;
+    advice.weight = fits[r].weight;
+    if (r < report.per_class.size()) {
+      advice.shadow_cost = report.per_class[r].shadow_cost;
+      advice.admit = report.per_class[r].worth_admitting;
+    }
+    if (r < solved[chosen].measures.per_class.size()) {
+      advice.blocking = solved[chosen].measures.per_class[r].blocking;
+    }
+    rec.per_class.push_back(advice);
+  }
+
+  // Trunk-reservation search: rank classes by weight (heaviest first gets
+  // no reservation against it) and sweep the step size, keeping the step
+  // that maximizes weighted carried revenue through the reserved knapsack.
+  const std::vector<core::KnapsackClass> kn =
+      core::knapsack_classes(chosen_model);
+  const unsigned capacity = chosen_model.dims().cap();
+  std::vector<std::size_t> rank(fits.size());
+  std::iota(rank.begin(), rank.end(), std::size_t{0});
+  std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    return fits[a].weight > fits[b].weight;
+  });
+  std::vector<unsigned> rank_of(fits.size(), 0);
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    rank_of[rank[i]] = static_cast<unsigned>(i);
+  }
+  double best_value = -1.0;
+  unsigned best_step = 0;
+  std::vector<unsigned> best_res(fits.size(), 0);
+  for (unsigned step = 0; step <= config_.max_reservation_step; ++step) {
+    std::vector<unsigned> res(fits.size());
+    for (std::size_t r = 0; r < fits.size(); ++r) {
+      res[r] = std::min(rank_of[r] * step, capacity);
+    }
+    double value = 0.0;
+    try {
+      const core::KnapsackResult kr = core::solve_knapsack(capacity, kn, res);
+      for (std::size_t r = 0; r < fits.size(); ++r) {
+        value += fits[r].weight * kr.concurrency[r];
+      }
+    } catch (const std::exception&) {
+      continue;  // infeasible reservation vector at this step
+    }
+    if (value > best_value) {
+      best_value = value;
+      best_step = step;
+      best_res = res;
+    }
+  }
+  rec.reservation_step = best_step;
+  for (std::size_t r = 0; r < rec.per_class.size(); ++r) {
+    rec.per_class[r].reservation = best_res[r];
+  }
+
+  rec.fits = std::move(fits);
+  return rec;
+}
+
+}  // namespace xbar::advisor

@@ -1,0 +1,174 @@
+// The online capacity-planning advisor (ROADMAP item 2; paper §4 served
+// live).
+//
+// The advisor closes the loop between the estimator and the paper's
+// planning machinery.  It ingests `ObservedEvent`s, and — once every class
+// fit passes the confidence gate — periodically re-solves the *fitted*
+// model through the standard `SolverSpec` pipeline:
+//
+//   1. build one `CrossbarModel` per candidate square size N from the
+//      fitted classes (tilde units: the estimator's aggregate rates are
+//      exactly the model's aggregate units) and solve them all in one
+//      `SolverCache::eval_batch_result` call (the Algorithm-1 batch lane);
+//   2. recommend the smallest size whose worst-class blocking meets the
+//      target (else the largest candidate, flagged `slo_met = false`);
+//   3. at the recommended size, run `RevenueAnalyzer` for shadow costs —
+//      a class is worth admitting iff w_r > DeltaW_r (paper §4) — and
+//      search trunk-reservation steps through the reserved knapsack,
+//      keeping the step that maximizes weighted carried revenue;
+//   4. publish a typed `Recommendation` {sizing, per-class admission,
+//      expected revenue delta vs. the configured current size, confidence}.
+//
+// State machine: kQuiet (estimates not yet confident) -> kConfident
+// (recommendations flowing) -> kRefitting on detected drift (the slow
+// window is reset and relearned; recommendations keep streaming from the
+// last solve but are marked unconfident until the refit converges).
+//
+// Enactment: with `enact` set, classes the economics mark not-worth-
+// admitting are *denied* — `admits()` gates the caller's admission path.
+// Safety: enactment only ever acts on a confident recommendation, and a
+// drifting advisor re-admits everything until it is confident again.
+//
+// Thread safety: `observe*`, `admits`, and `recommendation` may be called
+// from any thread.  Solve cycles run inline on the observing thread that
+// crosses the cadence threshold, serialized by a dedicated solve mutex so
+// ingestion from other threads continues meanwhile.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "advisor/estimator.hpp"
+#include "core/solver_spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::advisor {
+
+/// Advisor tuning.
+struct AdvisorConfig {
+  /// Candidate square switch sizes to evaluate (sorted ascending at use).
+  std::vector<unsigned> candidate_sizes = {4, 8, 12, 16, 24, 32};
+  /// Per-class call-blocking SLO the sizing must meet.
+  double target_blocking = 0.005;
+  /// The currently provisioned square size; 0 = unknown (no delta).
+  unsigned current_size = 0;
+  /// Trunk-reservation steps searched: 0..max (0 = no reservation).
+  unsigned max_reservation_step = 4;
+  /// Re-solve after this many newly observed events.
+  std::uint64_t solve_every_events = 256;
+  core::SolverSpec solver = core::SolverSpec::fast();
+  EstimatorConfig estimator;
+  /// Deny admission to classes not worth admitting (paper §4 economics).
+  bool enact = false;
+};
+
+/// Advisor lifecycle state.
+enum class AdvisorState : std::uint8_t {
+  kQuiet,      ///< estimates below the confidence gate; no advice yet
+  kConfident,  ///< fits stable, recommendations current
+  kRefitting,  ///< drift detected; relearning the slow window
+};
+
+[[nodiscard]] std::string_view to_string(AdvisorState state) noexcept;
+
+/// Per-class admission advice at the recommended configuration.
+struct ClassAdvice {
+  std::string name;
+  unsigned bandwidth = 1;
+  double weight = 0.0;
+  double shadow_cost = 0.0;  ///< DeltaW_r at the recommended size
+  bool admit = true;         ///< w_r > DeltaW_r (paper §4)
+  double blocking = 0.0;     ///< call congestion at the recommended size
+  unsigned reservation = 0;  ///< trunks reserved against this class
+};
+
+/// One evaluated candidate size.
+struct SizingOption {
+  unsigned size = 0;
+  double worst_blocking = 1.0;
+  double revenue = 0.0;
+  bool meets_slo = false;
+};
+
+/// A full recommendation snapshot.
+struct Recommendation {
+  AdvisorState state = AdvisorState::kQuiet;
+  bool confident = false;     ///< advice backed by confident fits
+  unsigned recommended_size = 0;
+  bool slo_met = false;
+  double revenue = 0.0;          ///< W at the recommended size
+  double current_revenue = 0.0;  ///< W at the configured current size
+  double revenue_delta = 0.0;    ///< recommended minus current
+  double target_blocking = 0.0;
+  unsigned reservation_step = 0;  ///< chosen trunk-reservation step
+  std::vector<ClassAdvice> per_class;
+  std::vector<SizingOption> options;  ///< every candidate evaluated
+  std::vector<FittedClass> fits;      ///< estimator snapshot behind it
+  std::uint64_t solve_cycles = 0;     ///< completed re-solves so far
+  std::uint64_t refits = 0;           ///< drift-triggered fit resets
+  double fitted_at = 0.0;             ///< trace time of the snapshot
+};
+
+/// The streaming advisor.
+class Advisor {
+ public:
+  explicit Advisor(AdvisorConfig config);
+
+  /// Ingest one event.  Returns false when enactment denies this class:
+  /// the caller should refuse the connection and the event is recorded as
+  /// blocked regardless of its own flag.
+  bool observe(ObservedEvent event);
+
+  /// Ingest a batch (one NDJSON `observe` frame).  Returns the number of
+  /// events *admitted* (not denied by enactment).
+  std::size_t observe_batch(std::span<const ObservedEvent> events);
+
+  /// True when the enactment gate currently admits `class_name` (always
+  /// true when enactment is off or the advisor is not confident).
+  [[nodiscard]] bool admits(const std::string& class_name) const;
+
+  /// Latest published recommendation (copy; cheap R, small options list).
+  [[nodiscard]] Recommendation recommendation() const;
+
+  /// Current lifecycle state.
+  [[nodiscard]] AdvisorState state() const;
+
+  /// Force a solve cycle now (tests, advise-on-demand).  No-op while no
+  /// class fit is confident.
+  void solve_now();
+
+  [[nodiscard]] const AdvisorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t events_observed() const;
+  [[nodiscard]] std::uint64_t events_denied() const;
+
+ private:
+  void note_drift_locked();
+  void run_solve_cycle();
+  [[nodiscard]] Recommendation compute(std::vector<FittedClass> fits,
+                                       AdvisorState state, bool confident);
+
+  AdvisorConfig config_;
+
+  mutable std::mutex mu_;  ///< estimator + state + deny set + counters
+  TrafficEstimator estimator_;
+  AdvisorState state_ = AdvisorState::kQuiet;
+  std::vector<std::string> denied_;  ///< enactment deny set (small R)
+  std::uint64_t events_ = 0;
+  std::uint64_t denied_events_ = 0;
+  std::uint64_t refits_ = 0;
+  std::uint64_t solve_cycles_ = 0;
+  std::uint64_t last_solve_events_ = 0;
+
+  std::mutex solve_mu_;        ///< serializes solve cycles
+  sweep::SolverCache cache_;   ///< guarded by solve_mu_
+  mutable std::mutex rec_mu_;  ///< guards latest_
+  Recommendation latest_;
+};
+
+}  // namespace xbar::advisor

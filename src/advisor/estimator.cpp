@@ -1,0 +1,220 @@
+#include "advisor/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace xbar::advisor {
+
+namespace {
+
+/// Clamp z into the representable band for a switch whose larger side has
+/// `max_side` ports: a smooth class needs source population M/(1-z) >=
+/// max_side, i.e. z >= 1 - M/max_side (with a hair of slack so the
+/// admissibility check never sits exactly on the boundary).
+double representable_peakedness(double z, double mean_occupancy,
+                                unsigned max_side) {
+  if (z >= 1.0 || max_side == 0) {
+    return z;
+  }
+  const double floor_z =
+      1.0 - mean_occupancy / static_cast<double>(max_side) + 1e-9;
+  return std::max(z, floor_z);
+}
+
+}  // namespace
+
+core::TrafficClass FittedClass::traffic_class(unsigned max_side) const {
+  const double z = representable_peakedness(peakedness, mean_occupancy,
+                                            max_side);
+  const dist::BppParams p =
+      dist::BppParams::from_mean_peakedness(mean_occupancy, z, mu());
+  core::TrafficClass tc;
+  tc.name = name;
+  tc.bandwidth = bandwidth;
+  tc.alpha_tilde = p.alpha;
+  tc.beta_tilde = p.beta;
+  tc.mu = p.mu;
+  tc.weight = weight;
+  return tc;
+}
+
+void DecayedScale::advance(double dt, double k) noexcept {
+  if (dt <= 0.0) {
+    return;
+  }
+  // Exact piecewise integration of e^{-(now-s)/tau} over a span with
+  // constant occupancy k: existing mass decays by d = e^{-dt/tau}, the new
+  // span contributes tau (1 - d) of weighted time.
+  const double d = std::exp(-dt / tau);
+  const double span = tau * (1.0 - d);
+  arrivals *= d;
+  observed = observed * d + span;
+  holds *= d;
+  hold_count *= d;
+  occ_time = occ_time * d + span;
+  occ_s1 = occ_s1 * d + k * span;
+  occ_s2 = occ_s2 * d + k * k * span;
+}
+
+ClassEstimator::ClassEstimator(std::string name, EstimatorConfig config)
+    : name_(std::move(name)), config_(config) {
+  slow_.tau = config_.window_seconds;
+  fast_.tau = config_.drift_window_seconds;
+}
+
+void ClassEstimator::integrate_to(double now) {
+  if (!started_) {
+    now_ = now;
+    started_ = true;
+    return;
+  }
+  if (now <= now_) {
+    return;  // simultaneous / out-of-order: clamp, never rewind
+  }
+  // Step through departures in order so each inter-event span integrates
+  // with the occupancy that actually prevailed over it.
+  while (!departures_.empty() && departures_.top() <= now) {
+    const double td = departures_.top();
+    departures_.pop();
+    if (td > now_) {
+      const double k = static_cast<double>(occupancy_);
+      slow_.advance(td - now_, k);
+      fast_.advance(td - now_, k);
+      now_ = td;
+    }
+    if (occupancy_ > 0) {
+      --occupancy_;
+    }
+  }
+  if (now > now_) {
+    const double k = static_cast<double>(occupancy_);
+    slow_.advance(now - now_, k);
+    fast_.advance(now - now_, k);
+    now_ = now;
+  }
+}
+
+void ClassEstimator::observe(const ObservedEvent& event) {
+  integrate_to(event.t);
+  bandwidth_ = event.bandwidth;
+  weight_ = event.weight;
+  ++total_events_;
+  ++events_since_fit_;
+  slow_.arrivals += 1.0;
+  fast_.arrivals += 1.0;
+  if (event.blocked) {
+    ++total_blocked_;
+    return;
+  }
+  if (event.hold > 0.0) {
+    slow_.holds += event.hold;
+    slow_.hold_count += 1.0;
+    ++occupancy_;
+    departures_.push(now_ + event.hold);
+  }
+}
+
+void ClassEstimator::advance_to(double now) { integrate_to(now); }
+
+FittedClass ClassEstimator::fitted() const {
+  FittedClass f;
+  f.name = name_;
+  f.bandwidth = bandwidth_;
+  f.weight = weight_;
+  f.events = static_cast<double>(events_since_fit_);
+  f.arrival_rate = slow_.arrival_rate();
+  f.mean_hold =
+      slow_.hold_count > 0.0 ? slow_.holds / slow_.hold_count : 0.0;
+  if (slow_.occ_time > 0.0) {
+    f.mean_occupancy = slow_.occ_s1 / slow_.occ_time;
+    const double var =
+        slow_.occ_s2 / slow_.occ_time - f.mean_occupancy * f.mean_occupancy;
+    f.peakedness = f.mean_occupancy > 1e-12
+                       ? std::clamp(var / f.mean_occupancy,
+                                    1.0 / config_.peakedness_cap,
+                                    config_.peakedness_cap)
+                       : 1.0;
+  }
+  const double observed_span =
+      started_ ? slow_.observed : 0.0;  // decayed seconds in window
+  f.confident = f.events >= config_.min_events &&
+                observed_span >= std::min(config_.min_observe_seconds,
+                                          0.95 * slow_.tau) &&
+                f.mean_hold > 0.0 && f.mean_occupancy > 0.0;
+  return f;
+}
+
+bool ClassEstimator::drifted() const noexcept {
+  // Need both windows warm, else startup transients flag forever.
+  if (fast_.arrivals < 8.0 ||
+      static_cast<double>(events_since_fit_) < config_.min_events) {
+    return false;
+  }
+  const double slow_rate = slow_.arrival_rate();
+  const double fast_rate = fast_.arrival_rate();
+  if (slow_rate <= 0.0) {
+    return fast_rate > 0.0;
+  }
+  return std::abs(fast_rate - slow_rate) / slow_rate >
+         config_.drift_threshold;
+}
+
+void ClassEstimator::reset_fit() {
+  const double tau = slow_.tau;
+  slow_ = DecayedScale{};
+  slow_.tau = tau;
+  events_since_fit_ = 0;
+  // The fast window keeps running: it is the post-shift rate reference the
+  // new fit converges toward.  In-flight departures and occupancy_ stay —
+  // they are observed state, and dropping them would corrupt the integral.
+}
+
+TrafficEstimator::TrafficEstimator(EstimatorConfig config)
+    : config_(config) {}
+
+void TrafficEstimator::observe(const ObservedEvent& event) {
+  now_ = std::max(now_, event.t);
+  ++total_events_;
+  for (auto& c : classes_) {
+    if (c.name() == event.class_name) {
+      c.observe(event);
+      return;
+    }
+  }
+  classes_.emplace_back(event.class_name, config_);
+  classes_.back().observe(event);
+}
+
+void TrafficEstimator::advance_to(double now) {
+  now_ = std::max(now_, now);
+  for (auto& c : classes_) {
+    c.advance_to(now);
+  }
+}
+
+std::vector<FittedClass> TrafficEstimator::fitted() const {
+  std::vector<FittedClass> out;
+  out.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    out.push_back(c.fitted());
+  }
+  return out;
+}
+
+bool TrafficEstimator::drifted() const noexcept {
+  for (const auto& c : classes_) {
+    if (c.drifted()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TrafficEstimator::reset_fit() {
+  for (auto& c : classes_) {
+    c.reset_fit();
+  }
+}
+
+}  // namespace xbar::advisor

@@ -1,0 +1,231 @@
+// Online per-class BPP parameter estimation from a live connection trace.
+//
+// The paper's planning machinery (revenue gradients, shadow costs, the
+// knapsack admission gate) consumes a `CrossbarModel` — offered classes as
+// (lambda_r, peakedness z_r, mean holding 1/mu_r).  Batch studies fit those
+// from a complete trace; the serving tier needs the same fit *online*, from
+// a stream of connection events, tracking the current traffic rather than
+// the all-time average.
+//
+// The estimator keeps, per class, exponentially decayed counters at two
+// timescales:
+//
+//   * a slow window (`window_seconds`, the fit window) accumulating the
+//     decayed arrival count, observed time, hold moments, and the
+//     time-weighted occupancy moments from which the BPP parameters are
+//     moment-matched:  M = E[k], z = Var[k]/E[k] (the paper's peakedness),
+//     mu = 1/mean-hold, i.e. exactly `BppParams::from_mean_peakedness`;
+//   * a fast window (`drift_window_seconds`) tracking only the arrival
+//     rate, used to *detect* regime shifts: when the fast-window rate
+//     diverges from the slow-window rate by more than `drift_threshold`,
+//     the fit is stale and the owner should `reset_fit()` and re-learn.
+//
+// Occupancy is reconstructed from the event stream itself: every admitted
+// arrival pushes its departure time (arrival + hold) onto a min-heap, and
+// moments are integrated piecewise between events with the heap supplying
+// the departure instants in order.  Blocked arrivals count toward the
+// offered arrival rate but not toward occupancy or holding time — the fit
+// therefore measures *carried* occupancy, a faithful stand-in for offered
+// occupancy while blocking is small (the regime in which capacity advice
+// is actionable at all; DESIGN.md §13 discusses the bias).
+//
+// Everything is driven by explicit event timestamps (trace seconds), never
+// the wall clock, so tests are exactly reproducible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "dist/bpp.hpp"
+
+namespace xbar::advisor {
+
+/// One observed connection event: a class-r arrival at trace time `t`
+/// holding `bandwidth` input/output ports for `hold` seconds.  `blocked`
+/// marks arrivals the switch (or the admission gate) turned away.
+struct ObservedEvent {
+  std::string class_name;
+  double t = 0.0;          ///< arrival time, trace seconds (monotone-ish)
+  double hold = 0.0;       ///< holding time; ignored when blocked
+  unsigned bandwidth = 1;  ///< a_r, ports per connection
+  double weight = 1.0;     ///< revenue weight w_r
+  bool blocked = false;    ///< offered but not carried
+};
+
+/// Estimator tuning.  Defaults suit traces with per-class arrival rates in
+/// the 1..1000 /s range and holds around a second.
+struct EstimatorConfig {
+  double window_seconds = 60.0;       ///< slow (fit) decay timescale tau
+  double drift_window_seconds = 5.0;  ///< fast (drift) decay timescale
+  /// Confidence gate: the fit is advertised only after this many arrivals
+  /// since the fit window last reset (an undecayed count — the decayed
+  /// arrival mass saturates at rate*tau, which would lock low-rate classes
+  /// out forever) AND `min_observe_seconds` of observed time.
+  double min_events = 50.0;
+  double min_observe_seconds = 5.0;
+  /// Relative fast-vs-slow arrival-rate divergence that flags drift.
+  double drift_threshold = 0.35;
+  /// Peakedness is clamped into [1/z_cap, z_cap] before model building —
+  /// tiny samples can put the raw moment ratio anywhere.
+  double peakedness_cap = 16.0;
+};
+
+/// The fitted view of one class, in estimator-native units (aggregate
+/// arrivals per second over the whole switch — the paper's tilde units).
+struct FittedClass {
+  std::string name;
+  unsigned bandwidth = 1;
+  double weight = 1.0;
+  double arrival_rate = 0.0;    ///< decayed offered arrivals / second
+  double mean_hold = 0.0;       ///< decayed mean holding time (1/mu)
+  double mean_occupancy = 0.0;  ///< decayed time-average concurrent calls M
+  double peakedness = 1.0;      ///< decayed Var[k]/E[k] (z)
+  double events = 0.0;          ///< arrivals since the fit last reset
+  bool confident = false;       ///< past the confidence gate
+
+  /// Completion rate mu = 1/mean_hold.
+  [[nodiscard]] double mu() const noexcept {
+    return mean_hold > 0.0 ? 1.0 / mean_hold : 1.0;
+  }
+
+  /// The fitted BPP parameters via moment matching (mean = M, Z = z).
+  [[nodiscard]] dist::BppParams bpp() const noexcept {
+    return dist::BppParams::from_mean_peakedness(mean_occupancy, peakedness,
+                                                 mu());
+  }
+
+  /// This class as a `TrafficClass` for a switch with `max_side` ports on
+  /// its larger side.  Smooth fits (z < 1) imply a finite source population
+  /// M/(1-z); when that population is smaller than `max_side` the model's
+  /// admissibility rule (lambda(k) >= 0 across feasible states) would
+  /// reject it, so z is clamped up just far enough — the fit stays smooth
+  /// but representable.  Peaky fits pass through unchanged.
+  [[nodiscard]] core::TrafficClass traffic_class(unsigned max_side) const;
+};
+
+/// Decayed accumulators for one class at one timescale.
+struct DecayedScale {
+  double tau = 60.0;      ///< decay timescale, seconds
+  double arrivals = 0.0;  ///< decayed offered-arrival count
+  double observed = 0.0;  ///< decayed observed time (normalizer for rate)
+  double holds = 0.0;     ///< decayed sum of holding times (admitted only)
+  double hold_count = 0.0;
+  double occ_time = 0.0;  ///< decayed time integral weight W
+  double occ_s1 = 0.0;    ///< decayed integral of k dt
+  double occ_s2 = 0.0;    ///< decayed integral of k^2 dt
+
+  /// Advance all accumulators over [t, t + dt) with occupancy `k`.
+  void advance(double dt, double k) noexcept;
+
+  [[nodiscard]] double arrival_rate() const noexcept {
+    return observed > 0.0 ? arrivals / observed : 0.0;
+  }
+};
+
+/// Per-class online estimator: dual-timescale decayed counters plus the
+/// departure heap that reconstructs occupancy.
+class ClassEstimator {
+ public:
+  ClassEstimator(std::string name, EstimatorConfig config);
+
+  /// Ingest one event.  Time runs forward; an event timestamped earlier
+  /// than the current clock is treated as simultaneous (dt = 0) rather
+  /// than rewinding.
+  void observe(const ObservedEvent& event);
+
+  /// Advance the clock to `now` (process departures, decay) without an
+  /// arrival — call before reading a fit so idle time is accounted.
+  void advance_to(double now);
+
+  /// Current fitted parameters.  `confident` reflects the gate.
+  [[nodiscard]] FittedClass fitted() const;
+
+  /// True when the fast window's arrival rate has diverged from the slow
+  /// window's by more than `drift_threshold` (both windows past a minimal
+  /// event count, so startup is not flagged).
+  [[nodiscard]] bool drifted() const noexcept;
+
+  /// Forget the slow-window fit (drift response).  In-flight connections
+  /// (the departure heap and current occupancy) are kept — they are
+  /// ground truth, not estimate — so the re-fit warms up fast.
+  void reset_fit();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] unsigned current_occupancy() const noexcept {
+    return occupancy_;
+  }
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    return total_events_;
+  }
+  [[nodiscard]] std::uint64_t total_blocked() const noexcept {
+    return total_blocked_;
+  }
+  [[nodiscard]] std::uint64_t events_since_fit() const noexcept {
+    return events_since_fit_;
+  }
+
+ private:
+  void integrate_to(double now);
+
+  std::string name_;
+  EstimatorConfig config_;
+  DecayedScale slow_;
+  DecayedScale fast_;
+  double now_ = 0.0;
+  bool started_ = false;
+  unsigned occupancy_ = 0;
+  unsigned bandwidth_ = 1;
+  double weight_ = 1.0;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t total_blocked_ = 0;
+  std::uint64_t events_since_fit_ = 0;  ///< undecayed; confidence gate
+  /// Departure instants of in-flight connections (min-heap).
+  std::priority_queue<double, std::vector<double>, std::greater<>> departures_;
+};
+
+/// Registry of per-class estimators keyed by class name.
+class TrafficEstimator {
+ public:
+  explicit TrafficEstimator(EstimatorConfig config = {});
+
+  /// Route one event to its class estimator (created on first sight).
+  void observe(const ObservedEvent& event);
+
+  /// Advance every class to `now`.
+  void advance_to(double now);
+
+  /// Fits for every known class, in first-seen order.
+  [[nodiscard]] std::vector<FittedClass> fitted() const;
+
+  /// True when any class reports drift.
+  [[nodiscard]] bool drifted() const noexcept;
+
+  /// Reset every class's slow-window fit (keep in-flight state).
+  void reset_fit();
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    return total_events_;
+  }
+
+  [[nodiscard]] const EstimatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  EstimatorConfig config_;
+  std::vector<ClassEstimator> classes_;  // first-seen order; small R
+  double now_ = 0.0;
+  std::uint64_t total_events_ = 0;
+};
+
+}  // namespace xbar::advisor

@@ -9,8 +9,13 @@
 namespace xbar::core {
 
 KnapsackResult solve_knapsack(unsigned capacity,
-                              std::span<const KnapsackClass> classes) {
+                              std::span<const KnapsackClass> classes,
+                              std::span<const unsigned> reservations) {
   using num::ScaledFloat;
+  if (!reservations.empty() && reservations.size() != classes.size()) {
+    throw std::invalid_argument(
+        "knapsack: reservations must match class count");
+  }
   for (const auto& c : classes) {
     if (c.trunks == 0 || c.trunks > capacity) {
       throw std::invalid_argument("knapsack: class trunks out of range");
@@ -29,6 +34,17 @@ KnapsackResult solve_knapsack(unsigned capacity,
           "knapsack: smooth class intensity goes negative in range");
     }
   }
+  for (const unsigned res : reservations) {
+    if (res > capacity) {
+      throw std::invalid_argument("knapsack: reservation exceeds capacity");
+    }
+  }
+  // Class r's admission ceiling: occupancy after admission may not exceed
+  // ceil_r = C - res_r.  With no reservations every ceiling is C and the
+  // recursion below is exactly Kaufman-Roberts/Delbrouck.
+  const auto ceiling = [&](std::size_t r) {
+    return capacity - (reservations.empty() ? 0U : reservations[r]);
+  };
 
   // Unnormalized occupancy g(j) and per-class y_r(j), in extended range
   // (heavy overload can push g far past double).
@@ -41,7 +57,9 @@ KnapsackResult solve_knapsack(unsigned capacity,
     ScaledFloat sum;
     for (std::size_t r = 0; r < R; ++r) {
       const unsigned a = classes[r].trunks;
-      if (j < a) {
+      // Reservation truncation (Roberts' approximation): class r holds no
+      // occupancy above its admission ceiling.
+      if (j < a || j > ceiling(r)) {
         continue;
       }
       y[r][j] = g[j - a] + ScaledFloat{classes[r].x()} * y[r][j - a];
@@ -94,14 +112,27 @@ KnapsackResult solve_knapsack(unsigned capacity,
   };
   for (std::size_t r = 0; r < R; ++r) {
     const unsigned a = classes[r].trunks;
-    const long free_cap = static_cast<long>(capacity) - static_cast<long>(a);
-    // Time congestion: P(occupancy > C - a).
+    const long ceil_r = static_cast<long>(ceiling(r));
+    const long free_cap = ceil_r - static_cast<long>(a);
+    if (free_cap < 0) {
+      // Reservation leaves no room to admit class r at all.
+      result.time_congestion[r] = 1.0;
+      result.call_congestion[r] = 1.0;
+      result.concurrency[r] = 0.0;
+      continue;
+    }
+    // Time congestion: P(occupancy > ceil_r - a) — the states in which a
+    // class-r arrival is refused (by capacity or by reservation).
     result.time_congestion[r] =
-        1.0 - ScaledFloat::ratio(prefix[capacity - a], total);
-    result.concurrency[r] = truncated_mean(r, static_cast<long>(capacity));
+        1.0 -
+        ScaledFloat::ratio(prefix[static_cast<std::size_t>(free_cap)], total);
+    // Under the truncation approximation class r holds no occupancy above
+    // its ceiling, so its mean lives below ceil_r.
+    result.concurrency[r] = truncated_mean(r, ceil_r);
     // Call congestion: 1 - E[lambda_r 1{fits}] / E[lambda_r] with
     // lambda_r = alpha_r + beta_r k_r (equals time congestion for Poisson).
-    const double p_fits = ScaledFloat::ratio(prefix[capacity - a], total);
+    const double p_fits =
+        ScaledFloat::ratio(prefix[static_cast<std::size_t>(free_cap)], total);
     const double accepted = classes[r].alpha * p_fits +
                             classes[r].beta * truncated_mean(r, free_cap);
     const double offered =
@@ -112,7 +143,12 @@ KnapsackResult solve_knapsack(unsigned capacity,
   return result;
 }
 
-KnapsackResult knapsack_approximation(const CrossbarModel& model) {
+KnapsackResult solve_knapsack(unsigned capacity,
+                              std::span<const KnapsackClass> classes) {
+  return solve_knapsack(capacity, classes, {});
+}
+
+std::vector<KnapsackClass> knapsack_classes(const CrossbarModel& model) {
   const Dims dims = model.dims();
   std::vector<KnapsackClass> classes;
   classes.reserve(model.num_classes());
@@ -126,7 +162,18 @@ KnapsackResult knapsack_approximation(const CrossbarModel& model) {
     k.mu = c.mu;
     classes.push_back(k);
   }
-  return solve_knapsack(dims.cap(), classes);
+  return classes;
+}
+
+KnapsackResult knapsack_approximation(const CrossbarModel& model) {
+  const std::vector<KnapsackClass> classes = knapsack_classes(model);
+  return solve_knapsack(model.dims().cap(), classes);
+}
+
+KnapsackResult knapsack_approximation(const CrossbarModel& model,
+                                      std::span<const unsigned> reservations) {
+  const std::vector<KnapsackClass> classes = knapsack_classes(model);
+  return solve_knapsack(model.dims().cap(), classes, reservations);
 }
 
 }  // namespace xbar::core

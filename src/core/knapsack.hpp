@@ -57,11 +57,35 @@ struct KnapsackResult {
 [[nodiscard]] KnapsackResult solve_knapsack(
     unsigned capacity, std::span<const KnapsackClass> classes);
 
-/// The knapsack viewed as an approximation of a crossbar model: capacity
-/// min(N1, N2), class intensities aggregated over all port tuples
+/// Trunk-reservation variant: class r is admitted only while occupancy
+/// stays at or below C - reservations[r] after admission, protecting the
+/// top `reservations[r]` trunks for other (typically higher-weight)
+/// classes.  Reservation breaks product form, so this uses the standard
+/// one-dimensional approximation (Roberts / Tran-Gia): the y_r recursion is
+/// truncated at the class's admission ceiling, y_r(j) = 0 for
+/// j > C - reservations[r].  With all-zero reservations the result is
+/// bit-identical to the exact recursion above.  `reservations` must have
+/// one entry per class, each <= capacity.
+[[nodiscard]] KnapsackResult solve_knapsack(
+    unsigned capacity, std::span<const KnapsackClass> classes,
+    std::span<const unsigned> reservations);
+
+/// The crossbar model's classes in knapsack-native units: capacity
+/// min(N1, N2), intensities aggregated over all port tuples
 /// (alpha_K = P(N1,a) P(N2,a) alpha_r etc.), which matches the crossbar's
-/// empty-switch arrival rates exactly and drops only the port-matching
-/// thinning.
+/// empty-switch arrival rates exactly.  Exposed so admission-policy
+/// searches (trunk reservation) can rebuild the class list once and solve
+/// it under many reservation vectors.
+[[nodiscard]] std::vector<KnapsackClass> knapsack_classes(
+    const CrossbarModel& model);
+
+/// The knapsack viewed as an approximation of a crossbar model: the
+/// aggregated classes above at capacity min(N1, N2), which drops only the
+/// port-matching thinning.
 [[nodiscard]] KnapsackResult knapsack_approximation(const CrossbarModel& model);
+
+/// knapsack_approximation under per-class trunk reservation.
+[[nodiscard]] KnapsackResult knapsack_approximation(
+    const CrossbarModel& model, std::span<const unsigned> reservations);
 
 }  // namespace xbar::core

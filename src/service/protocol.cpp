@@ -23,10 +23,12 @@ Method parse_method(const std::string& name) {
   if (name == "stats") return Method::kStats;
   if (name == "health") return Method::kHealth;
   if (name == "batch") return Method::kBatch;
+  if (name == "observe") return Method::kObserve;
+  if (name == "advise") return Method::kAdvise;
   raise(ErrorKind::kConfig,
         "unknown method '" + name +
-            "' (expected ping, solve, revenue, sweep, batch, stats, or "
-            "health)");
+            "' (expected ping, solve, revenue, sweep, batch, stats, health, "
+            "observe, or advise)");
 }
 
 /// A JSON number that must be a non-negative integer <= `bound`.
@@ -168,6 +170,41 @@ std::string canonical_key(Method method, const core::SolverSpec& solver,
   return key;
 }
 
+advisor::ObservedEvent parse_event(const JsonValue& v, std::size_t index) {
+  if (!v.is_object()) {
+    raise(ErrorKind::kConfig,
+          "events[" + std::to_string(index) + "] must be an object");
+  }
+  advisor::ObservedEvent e;
+  e.class_name = v.at("class").as_string();
+  if (e.class_name.empty() || e.class_name.size() > 128) {
+    raise(ErrorKind::kConfig, "event class name must be 1..128 chars");
+  }
+  e.t = v.at("t").as_number();
+  if (!std::isfinite(e.t) || e.t < 0.0) {
+    raise(ErrorKind::kConfig,
+          "event t must be a finite non-negative trace time");
+  }
+  e.hold = optional_number(v, "hold", 0.0);
+  if (!std::isfinite(e.hold) || e.hold < 0.0) {
+    raise(ErrorKind::kConfig, "event hold must be finite and non-negative");
+  }
+  if (const JsonValue* b = v.find("bandwidth")) {
+    e.bandwidth = as_bounded_unsigned(*b, "event bandwidth", kMaxSwitchSide);
+    if (e.bandwidth == 0) {
+      raise(ErrorKind::kConfig, "event bandwidth must be positive");
+    }
+  }
+  e.weight = optional_number(v, "weight", 1.0);
+  if (!std::isfinite(e.weight) || e.weight < 0.0) {
+    raise(ErrorKind::kConfig, "event weight must be finite and non-negative");
+  }
+  if (const JsonValue* blocked = v.find("blocked")) {
+    e.blocked = blocked->as_bool();
+  }
+  return e;
+}
+
 }  // namespace
 
 std::string_view to_string(Method method) noexcept {
@@ -179,6 +216,8 @@ std::string_view to_string(Method method) noexcept {
     case Method::kStats: return "stats";
     case Method::kHealth: return "health";
     case Method::kBatch: return "batch";
+    case Method::kObserve: return "observe";
+    case Method::kAdvise: return "advise";
   }
   return "?";
 }
@@ -202,6 +241,21 @@ Request parse_request(std::string_view line) {
   }
   if (const JsonValue* no_cache = root.find("no_cache")) {
     req.no_cache = no_cache->as_bool();
+  }
+
+  if (req.method == Method::kObserve) {
+    // Advisor ingestion: a bounded array of trace events, never cached.
+    const report::JsonArray& events = root.at("events").as_array();
+    if (events.empty() || events.size() > kMaxObserveEvents) {
+      raise(ErrorKind::kConfig,
+            "events must hold 1.." + std::to_string(kMaxObserveEvents) +
+                " entries");
+    }
+    req.events.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      req.events.push_back(parse_event(events[i], i));
+    }
+    return req;
   }
 
   if (req.method == Method::kBatch) {

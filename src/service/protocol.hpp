@@ -4,7 +4,7 @@
 // pipeline any number of requests.  A request is a JSON object:
 //
 //   {"method": "solve" | "revenue" | "sweep" | "batch" | "stats" | "ping"
-//            | "health",
+//            | "health" | "observe" | "advise",
 //    "id": <string or number, echoed back verbatim>,        (optional)
 //    "scenario": {                                          (solve paths)
 //        "switch":  {"inputs": 64, "outputs": 64},
@@ -14,8 +14,16 @@
 //    "solver": "auto",                                      (optional)
 //    "sizes": [4, 8, 16],                                   (sweep only)
 //    "scenarios": [{...}, {...}],                           (batch only)
+//    "events": [{"class": "voice", "t": 12.5, "hold": 0.9,  (observe only)
+//                "bandwidth": 1, "weight": 1.0, "blocked": false}],
 //    "deadline_ms": 250,                                    (optional)
 //    "no_cache": true}                                      (optional)
+//
+// `observe` ingests externally captured connection-trace events into the
+// server's streaming capacity advisor (timestamps are trace seconds, not
+// wall clock); `advise` returns its current recommendation.  Both are
+// advisor-path methods: never cached, rejected with kConfig when the
+// server runs without `--advise`.
 //
 // and a response is `{"id": ..., "status": "ok", "cached": ...,
 // "result": ...}` or `{"id": ..., "status": "error", "error": {"kind":
@@ -43,6 +51,7 @@
 #include <string_view>
 #include <vector>
 
+#include "advisor/estimator.hpp"
 #include "core/error.hpp"
 #include "core/model.hpp"
 #include "core/solver_spec.hpp"
@@ -51,8 +60,9 @@ namespace xbar::service {
 
 enum class Method : std::uint8_t {
   kPing, kSolve, kRevenue, kSweep, kStats, kHealth, kBatch,
+  kObserve, kAdvise,
 };
-inline constexpr std::size_t kMethodCount = 7;
+inline constexpr std::size_t kMethodCount = 9;
 
 /// Lowercase wire name ("ping", "solve", ...).
 [[nodiscard]] std::string_view to_string(Method method) noexcept;
@@ -62,6 +72,7 @@ inline constexpr std::size_t kMaxClasses = 64;
 inline constexpr unsigned kMaxSwitchSide = 4096;
 inline constexpr std::size_t kMaxSweepSizes = 1024;
 inline constexpr std::size_t kMaxBatchScenarios = 64;
+inline constexpr std::size_t kMaxObserveEvents = 4096;
 
 /// One parsed request.
 struct Request {
@@ -71,6 +82,7 @@ struct Request {
   std::vector<core::CrossbarModel> scenarios;  ///< batch only
   core::SolverSpec solver;                   ///< default: auto
   std::vector<unsigned> sizes;               ///< sweep only
+  std::vector<advisor::ObservedEvent> events;  ///< observe only
   double deadline_ms = 0.0;                  ///< 0 = no deadline
   bool no_cache = false;
   std::string cache_key;  ///< canonical fingerprint (cacheable methods only)

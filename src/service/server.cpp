@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <exception>
@@ -39,6 +40,55 @@ std::size_t method_index(Method method) noexcept {
 
 }  // namespace
 
+void TrafficLedger::record(std::string_view name, double arrival_time,
+                           double hold, bool blocked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = nullptr;
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    entries_.emplace_back();
+    entry = &entries_.back();
+    entry->name = std::string(name);
+  } else if (arrival_time >= entry->last_arrival) {
+    entry->interarrival_sum += arrival_time - entry->last_arrival;
+    ++entry->interarrival_count;
+  }
+  entry->last_arrival = std::max(entry->last_arrival, arrival_time);
+  ++entry->offered;
+  if (blocked) {
+    ++entry->blocked;
+  } else if (hold > 0.0) {
+    entry->hold_sum += hold;
+    ++entry->hold_count;
+  }
+}
+
+std::vector<ClassTrafficSnapshot> TrafficLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClassTrafficSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    ClassTrafficSnapshot s;
+    s.name = e.name;
+    s.offered = e.offered;
+    s.blocked = e.blocked;
+    s.mean_interarrival_seconds =
+        e.interarrival_count > 0
+            ? e.interarrival_sum / static_cast<double>(e.interarrival_count)
+            : 0.0;
+    s.mean_hold_seconds =
+        e.hold_count > 0 ? e.hold_sum / static_cast<double>(e.hold_count)
+                         : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 /// Per-worker persistent solve state: the SolverCache keeps grids warm
 /// across requests (serving the same scenario repeatedly re-uses the
 /// already-built grid even when the result cache is bypassed).
@@ -51,7 +101,11 @@ struct Server::Worker {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_shards, config_.cache_entries_per_shard) {}
+      cache_(config_.cache_shards, config_.cache_entries_per_shard) {
+  if (config_.advisor.has_value()) {
+    advisor_ = std::make_unique<advisor::Advisor>(*config_.advisor);
+  }
+}
 
 Server::~Server() {
   stop();
@@ -259,6 +313,14 @@ bool Server::handle_request(Worker& worker, int fd,
   try {
     const Request request = parse_request(line);
     response = execute(worker, request, received);
+    // Request-stream tap: every parsed request lands in the traffic ledger
+    // as a pseudo-class arrival with hold = serving latency.  Responses we
+    // render carry exactly one status field, so the substring test is an
+    // unambiguous ok/error discriminator.
+    traffic_.record(std::string("method:") +
+                        std::string(to_string(request.method)),
+                    seconds_since(start_time_), seconds_since(received),
+                    response.find("\"status\":\"ok\"") == std::string::npos);
   } catch (const xbar::Error& e) {
     // The id is unknown when parsing failed — respond with id null.
     requests_total_.fetch_add(1, std::memory_order_relaxed);
@@ -301,6 +363,29 @@ std::string Server::execute(Worker& worker, const Request& request,
   if (request.method == Method::kHealth) {
     ok_.fetch_add(1, std::memory_order_relaxed);
     return render_ok(request.id, render_health(), false);
+  }
+  // Advisor-path methods: stateful, never cached, must precede the result-
+  // cache lookup (their cache key is intentionally empty).
+  if (request.method == Method::kObserve ||
+      request.method == Method::kAdvise) {
+    if (advisor_ == nullptr) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, "config",
+                          "server is not running with --advise");
+    }
+    try {
+      const std::string result = request.method == Method::kObserve
+                                     ? execute_observe(request)
+                                     : execute_advise(request);
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      return render_ok(request.id, result, false);
+    } catch (const xbar::Error& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, e);
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, "internal", e.what());
+    }
   }
 
   const double deadline_ms = request.deadline_ms > 0.0
@@ -485,6 +570,96 @@ std::string Server::execute(Worker& worker, const Request& request,
   }
 }
 
+std::string Server::execute_observe(const Request& request) {
+  // Ingest the trace batch.  Enactment may deny events class-wise; denied
+  // connections are recorded as blocked in the ledger so the stats frame
+  // shows what admission control is doing.
+  std::size_t admitted = 0;
+  for (const advisor::ObservedEvent& event : request.events) {
+    const bool ok = advisor_->observe(event);
+    if (ok) {
+      ++admitted;
+    }
+    traffic_.record(event.class_name, event.t, event.hold,
+                    event.blocked || !ok);
+  }
+  const advisor::AdvisorState state = advisor_->state();
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("ingested").value(static_cast<std::uint64_t>(
+      request.events.size()));
+  json.key("admitted").value(static_cast<std::uint64_t>(admitted));
+  json.key("denied").value(
+      static_cast<std::uint64_t>(request.events.size() - admitted));
+  json.key("state").value(advisor::to_string(state));
+  json.end_object();
+  return std::move(out).str();
+}
+
+std::string Server::execute_advise(const Request& request) const {
+  (void)request;
+  const advisor::Recommendation rec = advisor_->recommendation();
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("state").value(advisor::to_string(rec.state));
+  json.key("confident").value(rec.confident);
+  json.key("target_blocking").value(rec.target_blocking);
+  json.key("recommended").begin_object();
+  json.key("n1").value(rec.recommended_size);
+  json.key("n2").value(rec.recommended_size);
+  json.key("slo_met").value(rec.slo_met);
+  json.key("revenue").value(rec.revenue);
+  json.key("current_revenue").value(rec.current_revenue);
+  json.key("revenue_delta").value(rec.revenue_delta);
+  json.key("reservation_step").value(rec.reservation_step);
+  json.end_object();
+  json.key("classes").begin_array();
+  for (const advisor::ClassAdvice& advice : rec.per_class) {
+    json.begin_object();
+    json.key("name").value(advice.name);
+    json.key("bandwidth").value(advice.bandwidth);
+    json.key("weight").value(advice.weight);
+    json.key("shadow_cost").value(advice.shadow_cost);
+    json.key("admit").value(advice.admit);
+    json.key("blocking").value(advice.blocking);
+    json.key("reservation").value(advice.reservation);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("fits").begin_array();
+  for (const advisor::FittedClass& fit : rec.fits) {
+    json.begin_object();
+    json.key("name").value(fit.name);
+    json.key("bandwidth").value(fit.bandwidth);
+    json.key("weight").value(fit.weight);
+    json.key("arrival_rate").value(fit.arrival_rate);
+    json.key("mean_hold").value(fit.mean_hold);
+    json.key("mean_occupancy").value(fit.mean_occupancy);
+    json.key("peakedness").value(fit.peakedness);
+    json.key("events").value(fit.events);
+    json.key("confident").value(fit.confident);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("options").begin_array();
+  for (const advisor::SizingOption& opt : rec.options) {
+    json.begin_object();
+    json.key("n").value(opt.size);
+    json.key("worst_blocking").value(opt.worst_blocking);
+    json.key("revenue").value(opt.revenue);
+    json.key("meets_slo").value(opt.meets_slo);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("solve_cycles").value(rec.solve_cycles);
+  json.key("refits").value(rec.refits);
+  json.key("fitted_at").value(rec.fitted_at);
+  json.end_object();
+  return std::move(out).str();
+}
+
 StatsSnapshot Server::stats() const {
   StatsSnapshot s;
   s.uptime_seconds = started_ ? seconds_since(start_time_) : 0.0;
@@ -509,6 +684,12 @@ StatsSnapshot Server::stats() const {
       budget_disconnects_.load(std::memory_order_relaxed);
   s.cache = cache_.counters();
   s.latency = latency_.snapshot();
+  s.traffic = traffic_.snapshot();
+  if (advisor_ != nullptr) {
+    s.advisor_enabled = true;
+    s.advisor_events = advisor_->events_observed();
+    s.advisor_denied = advisor_->events_denied();
+  }
   return s;
 }
 
@@ -554,6 +735,24 @@ std::string Server::render_stats() const {
   json.key("p99").value(s.latency.p99 * 1e3);
   json.key("max").value(s.latency.max * 1e3);
   json.end_object();
+  json.key("traffic").begin_array();
+  for (const ClassTrafficSnapshot& t : s.traffic) {
+    json.begin_object();
+    json.key("class").value(t.name);
+    json.key("offered").value(t.offered);
+    json.key("blocked").value(t.blocked);
+    json.key("mean_interarrival_s").value(t.mean_interarrival_seconds);
+    json.key("mean_hold_s").value(t.mean_hold_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  if (s.advisor_enabled) {
+    json.key("advisor").begin_object();
+    json.key("events").value(s.advisor_events);
+    json.key("denied").value(s.advisor_denied);
+    json.key("state").value(advisor::to_string(advisor_->state()));
+    json.end_object();
+  }
   json.end_object();
   return std::move(out).str();
 }

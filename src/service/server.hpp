@@ -39,10 +39,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "advisor/advisor.hpp"
 #include "service/connection.hpp"
 #include "service/histogram.hpp"
 #include "service/protocol.hpp"
@@ -93,6 +96,50 @@ struct ServerConfig {
   /// Clamp SO_SNDBUF on accepted connections (0 = kernel default).  Small
   /// values make slow-reader detection deterministic in tests.
   int send_buffer_bytes = 0;
+
+  /// Streaming capacity advisor (ROADMAP item 2).  When set, the server
+  /// accepts the `observe` (trace ingestion) and `advise` (current
+  /// recommendation) methods, and — with `advisor->enact` — denies
+  /// observed connections whose class the revenue economics mark not
+  /// worth admitting.  Unset: both methods answer kConfig.
+  std::optional<advisor::AdvisorConfig> advisor;
+};
+
+/// One row of the `stats` frame's per-class traffic section: offered and
+/// blocked arrivals, mean inter-arrival, mean hold.  Fed by `observe`
+/// ingestion (trace classes, trace seconds) and by the request tap (every
+/// served request under the pseudo-class "method:<name>", arrival on the
+/// server clock, hold = request latency).
+struct ClassTrafficSnapshot {
+  std::string name;
+  std::uint64_t offered = 0;
+  std::uint64_t blocked = 0;
+  double mean_interarrival_seconds = 0.0;
+  double mean_hold_seconds = 0.0;
+};
+
+/// Thread-safe per-class ledger behind the traffic section.  Class count
+/// is protocol-bounded and small, so a flat vector under one mutex is
+/// cheaper than anything sharded.
+class TrafficLedger {
+ public:
+  void record(std::string_view name, double arrival_time, double hold,
+              bool blocked);
+  [[nodiscard]] std::vector<ClassTrafficSnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t offered = 0;
+    std::uint64_t blocked = 0;
+    double hold_sum = 0.0;
+    std::uint64_t hold_count = 0;
+    double last_arrival = 0.0;
+    double interarrival_sum = 0.0;
+    std::uint64_t interarrival_count = 0;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // first-seen order
 };
 
 /// Point-in-time operational stats (the `stats` method renders exactly
@@ -114,6 +161,10 @@ struct StatsSnapshot {
   std::uint64_t budget_disconnects = 0;
   ResultCacheCounters cache;
   Histogram::Snapshot latency;
+  std::vector<ClassTrafficSnapshot> traffic;  ///< per-class counters
+  bool advisor_enabled = false;
+  std::uint64_t advisor_events = 0;  ///< events ingested via observe
+  std::uint64_t advisor_denied = 0;  ///< connections denied by enactment
 };
 
 class Server {
@@ -155,6 +206,8 @@ class Server {
   bool handle_request(Worker& worker, int fd, const std::string& line);
   std::string execute(Worker& worker, const Request& request,
                       std::chrono::steady_clock::time_point received);
+  std::string execute_observe(const Request& request);
+  std::string execute_advise(const Request& request) const;
   std::string render_stats() const;
   std::string render_health() const;
 
@@ -176,6 +229,8 @@ class Server {
   std::chrono::steady_clock::time_point start_time_;
   ResultCache cache_;
   Histogram latency_;
+  TrafficLedger traffic_;
+  std::unique_ptr<advisor::Advisor> advisor_;  ///< null without --advise
 
   // Counters (relaxed: monitoring, not synchronization).
   std::atomic<std::uint64_t> connections_accepted_{0};

@@ -1,0 +1,256 @@
+#include "advisor/advisor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/solver.hpp"
+#include "dist/rng.hpp"
+#include "sweep/sweep.hpp"
+
+namespace xbar::advisor {
+namespace {
+
+/// Drive one class of the advisor with a BPP birth-death trace (aggregate
+/// intensity alpha + beta k, holds ~ exp(mu)) over [start, start+seconds).
+/// Occupancy persists across calls through `k_io` so rate shifts continue
+/// the same connection process.  Returns how many arrivals were admitted.
+std::size_t drive(Advisor& advisor, const std::string& name, double alpha,
+                  double beta, double mu, double start, double seconds,
+                  dist::Xoshiro256& rng, unsigned& k_io,
+                  std::priority_queue<double, std::vector<double>,
+                                      std::greater<>>& departures,
+                  double weight = 1.0, unsigned bandwidth = 1) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  unsigned k = k_io;
+  double t = start;
+  const double end = start + seconds;
+  std::size_t admitted = 0;
+  auto rate = [&] {
+    const double v = alpha + beta * static_cast<double>(k);
+    return v > 0.0 ? v : 0.0;
+  };
+  double next_arrival = rate() > 0.0 ? t + rng.exponential(rate()) : kInf;
+  while (true) {
+    const bool departure_next =
+        !departures.empty() && departures.top() < next_arrival;
+    const double at = departure_next ? departures.top() : next_arrival;
+    if (at >= end) {
+      break;
+    }
+    t = at;
+    if (departure_next) {
+      departures.pop();
+      --k;
+    } else {
+      ObservedEvent event;
+      event.class_name = name;
+      event.t = t;
+      event.hold = rng.exponential(mu);
+      event.weight = weight;
+      event.bandwidth = bandwidth;
+      if (advisor.observe(event)) {
+        ++admitted;
+      }
+      departures.push(t + event.hold);
+      ++k;
+    }
+    next_arrival = rate() > 0.0 ? t + rng.exponential(rate()) : kInf;
+  }
+  k_io = k;
+  return admitted;
+}
+
+AdvisorConfig small_config() {
+  AdvisorConfig config;
+  config.candidate_sizes = {4, 8};
+  config.solve_every_events = 64;
+  config.estimator.window_seconds = 40.0;
+  config.estimator.min_events = 40.0;
+  return config;
+}
+
+TEST(Advisor, StartsQuietAndSolveNowIsSafe) {
+  Advisor advisor(small_config());
+  EXPECT_EQ(advisor.state(), AdvisorState::kQuiet);
+  advisor.solve_now();  // nothing fitted yet: must not throw or advise
+  const Recommendation rec = advisor.recommendation();
+  EXPECT_EQ(rec.state, AdvisorState::kQuiet);
+  EXPECT_FALSE(rec.confident);
+  EXPECT_EQ(rec.recommended_size, 0u);
+  EXPECT_TRUE(rec.options.empty());
+}
+
+TEST(Advisor, QuietRecommendationCarriesFitProgress) {
+  Advisor advisor(small_config());
+  dist::Xoshiro256 rng(17);
+  unsigned k = 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  drive(advisor, "warm", 2.0, 0.0, 1.0, 0.0, 8.0, rng, k, heap);
+  advisor.solve_now();
+  const Recommendation rec = advisor.recommendation();
+  EXPECT_FALSE(rec.confident);
+  ASSERT_EQ(rec.fits.size(), 1u);
+  EXPECT_EQ(rec.fits[0].name, "warm");
+  EXPECT_FALSE(rec.fits[0].confident);
+  EXPECT_EQ(rec.recommended_size, 0u);  // no sizing advice while quiet
+}
+
+TEST(Advisor, BecomesConfidentAndRecommendationMatchesBatchSolve) {
+  AdvisorConfig config = small_config();
+  config.current_size = 4;
+  Advisor advisor(config);
+  dist::Xoshiro256 rng(29);
+  unsigned k = 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  drive(advisor, "voice", 3.0, 0.0, 1.0, 0.0, 120.0, rng, k, heap);
+  advisor.solve_now();
+  EXPECT_EQ(advisor.state(), AdvisorState::kConfident);
+  const Recommendation rec = advisor.recommendation();
+  ASSERT_TRUE(rec.confident);
+  ASSERT_EQ(rec.options.size(), 2u);
+  EXPECT_GT(rec.solve_cycles, 0u);
+
+  // Batch-equivalence: rebuilding the fitted model per candidate size and
+  // solving through the same pipeline must reproduce the advisor's choice
+  // and numbers exactly (the "live matches batch capacity planning"
+  // acceptance bar, unit-sized).
+  sweep::SolverCache cache;
+  std::size_t chosen = config.candidate_sizes.size();
+  for (std::size_t i = 0; i < config.candidate_sizes.size(); ++i) {
+    const unsigned n = config.candidate_sizes[i];
+    const core::CrossbarModel model(
+        core::Dims::square(n), {rec.fits[0].traffic_class(n)});
+    const core::SolveResult solved = cache.eval_result(model, config.solver);
+    double worst = 0.0;
+    for (const auto& cm : solved.measures.per_class) {
+      worst = std::max(worst, cm.blocking);
+    }
+    EXPECT_NEAR(rec.options[i].worst_blocking, worst, 1e-12) << n;
+    EXPECT_NEAR(rec.options[i].revenue, solved.measures.revenue, 1e-12) << n;
+    if (worst <= config.target_blocking &&
+        chosen == config.candidate_sizes.size()) {
+      chosen = i;
+    }
+  }
+  const unsigned expected_size =
+      chosen < config.candidate_sizes.size()
+          ? config.candidate_sizes[chosen]
+          : config.candidate_sizes.back();
+  EXPECT_EQ(rec.recommended_size, expected_size);
+  EXPECT_EQ(rec.slo_met, chosen < config.candidate_sizes.size());
+  // current_size = 4 is a candidate, so the delta is computable.
+  EXPECT_NEAR(rec.revenue_delta, rec.revenue - rec.current_revenue, 1e-12);
+}
+
+TEST(Advisor, DriftTriggersRefitThenReconverges) {
+  AdvisorConfig config = small_config();
+  config.estimator.drift_window_seconds = 4.0;
+  Advisor advisor(config);
+  dist::Xoshiro256 rng(41);
+  unsigned k = 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  drive(advisor, "c", 3.0, 0.0, 1.0, 0.0, 120.0, rng, k, heap);
+  advisor.solve_now();
+  ASSERT_EQ(advisor.state(), AdvisorState::kConfident);
+
+  // 6x rate jump: drift must be noticed while observing, the slow window
+  // reset, and the advisor eventually reconverge on the new rate.
+  drive(advisor, "c", 18.0, 0.0, 1.0, 120.0, 240.0, rng, k, heap);
+  advisor.solve_now();
+  const Recommendation rec = advisor.recommendation();
+  EXPECT_GE(rec.refits, 1u);
+  EXPECT_EQ(advisor.state(), AdvisorState::kConfident);
+  ASSERT_TRUE(rec.confident);
+  ASSERT_EQ(rec.fits.size(), 1u);
+  EXPECT_NEAR(rec.fits[0].arrival_rate, 18.0, 2.0);
+}
+
+TEST(Advisor, EnactmentDeniesUneconomicClassAndDriftReadmits) {
+  AdvisorConfig config = small_config();
+  config.enact = true;
+  config.candidate_sizes = {8};
+  Advisor advisor(config);
+  dist::Xoshiro256 rng(53);
+  unsigned kv = 0;
+  unsigned kj = 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> hv;
+  std::priority_queue<double, std::vector<double>, std::greater<>> hj;
+
+  // Heavy high-weight traffic plus a featherweight class whose weight is
+  // far below the shadow cost of the ports it would occupy.
+  for (int slice = 0; slice < 30; ++slice) {
+    const double t0 = 4.0 * slice;
+    drive(advisor, "voice", 4.0, 0.0, 1.0, t0, 4.0, rng, kv, hv, 1.0);
+    drive(advisor, "junk", 1.0, 0.0, 1.0, t0, 4.0, rng, kj, hj, 0.01);
+  }
+  advisor.solve_now();
+  ASSERT_EQ(advisor.state(), AdvisorState::kConfident);
+  const Recommendation rec = advisor.recommendation();
+  ASSERT_EQ(rec.per_class.size(), 2u);
+  const auto junk = std::find_if(
+      rec.per_class.begin(), rec.per_class.end(),
+      [](const ClassAdvice& a) { return a.name == "junk"; });
+  ASSERT_NE(junk, rec.per_class.end());
+  ASSERT_FALSE(junk->admit);
+  EXPECT_FALSE(advisor.admits("junk"));
+  EXPECT_TRUE(advisor.admits("voice"));
+
+  // A denied observe returns false and is counted.
+  ObservedEvent event;
+  event.class_name = "junk";
+  event.t = 121.0;
+  event.hold = 1.0;
+  event.weight = 0.01;
+  EXPECT_FALSE(advisor.observe(event));
+  EXPECT_GT(advisor.events_denied(), 0u);
+
+  // Safety valve: drift clears the deny set until the refit converges.
+  drive(advisor, "voice", 24.0, 0.0, 1.0, 122.0, 30.0, rng, kv, hv, 1.0);
+  if (advisor.state() == AdvisorState::kRefitting) {
+    EXPECT_TRUE(advisor.admits("junk"));
+  }
+  EXPECT_GE(advisor.recommendation().refits, 1u);
+}
+
+TEST(Advisor, CandidateFloorSkipsSizesBelowWidestClass) {
+  AdvisorConfig config = small_config();
+  config.candidate_sizes = {2, 8};
+  // Candidate filtering is under test, not change detection: at this low a
+  // rate the 5 s fast window holds ~8 events and noisy estimates can flag
+  // spurious drift, so drift is effectively disabled here.
+  config.estimator.drift_threshold = 100.0;
+  Advisor advisor(config);
+  dist::Xoshiro256 rng(61);
+  unsigned k = 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  drive(advisor, "wide", 1.5, 0.0, 1.0, 0.0, 120.0, rng, k, heap, 1.0,
+        /*bandwidth=*/3);
+  advisor.solve_now();
+  const Recommendation rec = advisor.recommendation();
+  ASSERT_TRUE(rec.confident);
+  // A 2x2 switch cannot carry a bandwidth-3 connection: only 8 remains.
+  ASSERT_EQ(rec.options.size(), 1u);
+  EXPECT_EQ(rec.options[0].size, 8u);
+  EXPECT_EQ(rec.recommended_size, 8u);
+}
+
+TEST(Advisor, ObserveBatchCountsAdmissions) {
+  Advisor advisor(small_config());
+  std::vector<ObservedEvent> events(10);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].class_name = "b";
+    events[i].t = 0.5 * static_cast<double>(i);
+    events[i].hold = 1.0;
+  }
+  EXPECT_EQ(advisor.observe_batch(events), events.size());
+  EXPECT_EQ(advisor.events_observed(), events.size());
+}
+
+}  // namespace
+}  // namespace xbar::advisor

@@ -1,0 +1,250 @@
+#include "advisor/estimator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/bpp.hpp"
+#include "dist/rng.hpp"
+
+namespace xbar::advisor {
+namespace {
+
+/// Simulate a BPP birth-death connection process (aggregate intensity
+/// lambda(k) = alpha + beta k, holds ~ exp(mu)) for `seconds` of trace time
+/// and feed every arrival into `est`.  Departure clocks are pre-sampled per
+/// connection (exact for exponential holds); the arrival clock is resampled
+/// on every occupancy change (exact by memorylessness).  Returns the number
+/// of events generated.
+std::size_t drive_bpp(TrafficEstimator& est, const std::string& name,
+                      double alpha, double beta, double mu, double start,
+                      double seconds, dist::Xoshiro256& rng,
+                      unsigned* occupancy_io = nullptr) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  unsigned k = occupancy_io != nullptr ? *occupancy_io : 0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> departures;
+  double t = start;
+  const double end = start + seconds;
+  std::size_t events = 0;
+  auto arrival_rate = [&] {
+    const double rate = alpha + beta * static_cast<double>(k);
+    return rate > 0.0 ? rate : 0.0;
+  };
+  double next_arrival =
+      arrival_rate() > 0.0 ? t + rng.exponential(arrival_rate()) : kInf;
+  while (true) {
+    const bool departure_next =
+        !departures.empty() && departures.top() < next_arrival;
+    const double at = departure_next ? departures.top() : next_arrival;
+    if (at >= end) {
+      break;
+    }
+    t = at;
+    if (departure_next) {
+      departures.pop();
+      --k;
+    } else {
+      const double hold = rng.exponential(mu);
+      ObservedEvent event;
+      event.class_name = name;
+      event.t = t;
+      event.hold = hold;
+      est.observe(event);
+      ++events;
+      departures.push(t + hold);
+      ++k;
+    }
+    next_arrival =
+        arrival_rate() > 0.0 ? t + rng.exponential(arrival_rate()) : kInf;
+  }
+  est.advance_to(end);
+  if (occupancy_io != nullptr) {
+    *occupancy_io = k;
+  }
+  return events;
+}
+
+EstimatorConfig long_window() {
+  EstimatorConfig config;
+  config.window_seconds = 600.0;  // long fit window: low-variance recovery
+  config.min_events = 50.0;
+  return config;
+}
+
+TEST(Estimator, RecoversPoissonParameters) {
+  // Poisson: lambda = 5, mu = 1 -> M = 5, z = 1.
+  TrafficEstimator est(long_window());
+  dist::Xoshiro256 rng(11);
+  drive_bpp(est, "p", 5.0, 0.0, 1.0, 0.0, 2000.0, rng);
+  const std::vector<FittedClass> fits = est.fitted();
+  ASSERT_EQ(fits.size(), 1u);
+  const FittedClass& f = fits[0];
+  EXPECT_TRUE(f.confident);
+  EXPECT_NEAR(f.arrival_rate, 5.0, 0.25);
+  EXPECT_NEAR(f.mean_hold, 1.0, 0.05);
+  EXPECT_NEAR(f.mean_occupancy, 5.0, 0.25);
+  EXPECT_NEAR(f.peakedness, 1.0, 0.1);
+}
+
+TEST(Estimator, RecoversBurstyBppParametersWithinFivePercent) {
+  // The ISSUE acceptance bar: a synthetic BPP trace with known
+  // (lambda-at-mean, z, 1/mu) is recovered within 5%.
+  const double mean = 6.0;
+  const double z = 3.0;
+  const double mu = 1.0;
+  const dist::BppParams p =
+      dist::BppParams::from_mean_peakedness(mean, z, mu);
+  TrafficEstimator est(long_window());
+  dist::Xoshiro256 rng(23);
+  drive_bpp(est, "bursty", p.alpha, p.beta, mu, 0.0, 4000.0, rng);
+  const FittedClass f = est.fitted()[0];
+  EXPECT_TRUE(f.confident);
+  EXPECT_NEAR(f.mean_occupancy, mean, 0.05 * mean);
+  EXPECT_NEAR(f.peakedness, z, 0.05 * z);
+  EXPECT_NEAR(f.mean_hold, 1.0 / mu, 0.05 / mu);
+  // The fitted BPP parameters reproduce the generator's.
+  const dist::BppParams fitted = f.bpp();
+  EXPECT_NEAR(fitted.alpha, p.alpha, 0.15 * p.alpha);
+  EXPECT_NEAR(fitted.beta, p.beta, 0.15 * p.beta);
+}
+
+TEST(Estimator, ModulatedPoissonReadsAsPeaked) {
+  // A two-state modulated Poisson stream (rate 2 / rate 14 switching every
+  // 40 s) is over-dispersed: the fit must report z noticeably above 1.
+  TrafficEstimator est(long_window());
+  dist::Xoshiro256 rng(31);
+  double t = 0.0;
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const double rate = (cycle % 2 == 0) ? 2.0 : 14.0;
+    drive_bpp(est, "mmpp", rate, 0.0, 1.0, t, 40.0, rng);
+    t += 40.0;
+  }
+  const FittedClass f = est.fitted()[0];
+  EXPECT_TRUE(f.confident);
+  EXPECT_GT(f.peakedness, 1.25);
+}
+
+TEST(Estimator, ConfidenceGateHoldsUntilEnoughEvents) {
+  EstimatorConfig config;
+  config.window_seconds = 60.0;
+  config.min_events = 50.0;
+  TrafficEstimator est(config);
+  dist::Xoshiro256 rng(5);
+  // ~20 events: below the gate.
+  drive_bpp(est, "c", 2.0, 0.0, 1.0, 0.0, 10.0, rng);
+  EXPECT_FALSE(est.fitted()[0].confident);
+  // Keep going past 50 events and the observe-time floor.
+  drive_bpp(est, "c", 2.0, 0.0, 1.0, 10.0, 40.0, rng);
+  EXPECT_TRUE(est.fitted()[0].confident);
+}
+
+TEST(Estimator, LowRateClassStillReachesConfidence) {
+  // Regression: the gate counts *undecayed* arrivals since the last fit
+  // reset.  A decayed count saturates at rate*tau (here 0.5 * 30 = 15 < 50)
+  // and would lock low-rate classes out of confidence forever.
+  EstimatorConfig config;
+  config.window_seconds = 30.0;
+  config.min_events = 50.0;
+  TrafficEstimator est(config);
+  dist::Xoshiro256 rng(7);
+  drive_bpp(est, "slow", 0.5, 0.0, 0.5, 0.0, 400.0, rng);
+  const FittedClass f = est.fitted()[0];
+  EXPECT_GE(f.events, 50.0);
+  EXPECT_TRUE(f.confident);
+}
+
+TEST(Estimator, DetectsDriftAndRelearnsAfterReset) {
+  EstimatorConfig config;
+  config.window_seconds = 60.0;
+  config.drift_window_seconds = 4.0;
+  config.min_events = 50.0;
+  TrafficEstimator est(config);
+  dist::Xoshiro256 rng(13);
+  unsigned k = 0;
+  drive_bpp(est, "c", 4.0, 0.0, 1.0, 0.0, 300.0, rng, &k);
+  EXPECT_TRUE(est.fitted()[0].confident);
+  EXPECT_FALSE(est.drifted());
+  // 5x rate jump: the fast window diverges from the slow fit within a few
+  // seconds of trace time.
+  drive_bpp(est, "c", 20.0, 0.0, 1.0, 300.0, 20.0, rng, &k);
+  EXPECT_TRUE(est.drifted());
+  est.reset_fit();
+  EXPECT_FALSE(est.fitted()[0].confident);  // gate restarts
+  EXPECT_FALSE(est.drifted());              // warmup gate quiet again
+  drive_bpp(est, "c", 20.0, 0.0, 1.0, 320.0, 300.0, rng, &k);
+  const FittedClass f = est.fitted()[0];
+  EXPECT_TRUE(f.confident);
+  EXPECT_NEAR(f.arrival_rate, 20.0, 1.0);
+  EXPECT_FALSE(est.drifted());
+}
+
+TEST(Estimator, BlockedArrivalsCountTowardRateOnly) {
+  TrafficEstimator est(EstimatorConfig{});
+  for (int i = 0; i < 100; ++i) {
+    ObservedEvent event;
+    event.class_name = "b";
+    event.t = 0.1 * i;
+    event.hold = 1.0;
+    event.blocked = true;
+    est.observe(event);
+  }
+  est.advance_to(20.0);
+  const FittedClass f = est.fitted()[0];
+  EXPECT_GT(f.arrival_rate, 0.0);       // offered rate sees them
+  EXPECT_EQ(f.mean_occupancy, 0.0);     // carried occupancy does not
+  EXPECT_EQ(f.mean_hold, 0.0);
+  EXPECT_FALSE(f.confident);            // no carried traffic -> no fit
+}
+
+TEST(Estimator, OutOfOrderTimestampsNeverRewind) {
+  TrafficEstimator est(EstimatorConfig{});
+  ObservedEvent event;
+  event.class_name = "c";
+  event.t = 10.0;
+  event.hold = 1.0;
+  est.observe(event);
+  event.t = 4.0;  // late-arriving frame: clamped, not rewound
+  est.observe(event);
+  est.advance_to(12.0);
+  EXPECT_GE(est.now(), 12.0);
+  EXPECT_EQ(est.fitted().size(), 1u);
+}
+
+TEST(Estimator, TracksClassesIndependently) {
+  TrafficEstimator est(long_window());
+  dist::Xoshiro256 rng(3);
+  drive_bpp(est, "a", 6.0, 0.0, 1.0, 0.0, 500.0, rng);
+  drive_bpp(est, "b", 1.0, 0.0, 2.0, 0.0, 500.0, rng);
+  const std::vector<FittedClass> fits = est.fitted();
+  ASSERT_EQ(fits.size(), 2u);
+  EXPECT_EQ(fits[0].name, "a");  // first-seen order
+  EXPECT_EQ(fits[1].name, "b");
+  EXPECT_NEAR(fits[0].arrival_rate, 6.0, 0.5);
+  EXPECT_NEAR(fits[1].arrival_rate, 1.0, 0.2);
+  EXPECT_NEAR(fits[1].mean_hold, 0.5, 0.05);
+}
+
+TEST(Estimator, SmoothFitStaysRepresentable) {
+  // A smooth fit (z < 1) with small M implies a tiny source population;
+  // traffic_class() must clamp z so the model's admissibility rule
+  // (lambda(k) >= 0 across feasible states) accepts the class.
+  FittedClass f;
+  f.name = "smooth";
+  f.mean_occupancy = 1.5;
+  f.peakedness = 0.2;  // raw population M/(1-z) < 2
+  f.mean_hold = 1.0;
+  const core::TrafficClass tc = f.traffic_class(16);
+  // Population alpha/-beta must cover the switch's larger side.
+  ASSERT_LT(tc.beta_tilde, 0.0);
+  EXPECT_GE(tc.alpha_tilde / -tc.beta_tilde, 16.0);
+  // And the class must build into a model without throwing.
+  EXPECT_NO_THROW(
+      core::CrossbarModel(core::Dims::square(16), {tc}));
+}
+
+}  // namespace
+}  // namespace xbar::advisor

@@ -176,6 +176,68 @@ TEST(Knapsack, CallCongestionOrderingByShape) {
   EXPECT_LT(smooth.call_congestion[0], smooth.time_congestion[0]);
 }
 
+TEST(KnapsackReservation, ZeroReservationsBitIdenticalToPlainSolve) {
+  // The reservation-aware recursion with an all-zero reservation vector
+  // must reproduce the unreserved solver exactly — same product form, same
+  // truncation, no approximation slack allowed.
+  const std::vector<KnapsackClass> classes = {{1, 3.0, 0.5, 1.0},
+                                              {2, 1.0, 0.0, 2.0},
+                                              {3, 0.4, 0.1, 0.7}};
+  const auto plain = solve_knapsack(12, classes);
+  const auto reserved =
+      solve_knapsack(12, classes, std::vector<unsigned>{0, 0, 0});
+  for (std::size_t j = 0; j < plain.occupancy.size(); ++j) {
+    EXPECT_EQ(plain.occupancy[j], reserved.occupancy[j]) << j;
+  }
+  for (std::size_t r = 0; r < classes.size(); ++r) {
+    EXPECT_EQ(plain.time_congestion[r], reserved.time_congestion[r]) << r;
+    EXPECT_EQ(plain.call_congestion[r], reserved.call_congestion[r]) << r;
+    EXPECT_EQ(plain.concurrency[r], reserved.concurrency[r]) << r;
+  }
+  EXPECT_EQ(plain.utilization, reserved.utilization);
+}
+
+TEST(KnapsackReservation, ReservationRaisesOwnBlockingProtectsOther) {
+  // Trunk reservation (Roberts' 1-D approximation): reserving r trunks
+  // against class 0 must raise class 0's congestion and lower class 1's —
+  // monotonically in the reservation size.
+  const std::vector<KnapsackClass> classes = {{1, 4.0, 0.0, 1.0},
+                                              {1, 4.0, 0.0, 1.0}};
+  double prev_own = 0.0;
+  double prev_other = 1.0;
+  for (const unsigned res : {0u, 2u, 4u}) {
+    const auto result =
+        solve_knapsack(8, classes, std::vector<unsigned>{res, 0});
+    EXPECT_GE(result.time_congestion[0], prev_own) << res;
+    EXPECT_LE(result.time_congestion[1], prev_other) << res;
+    prev_own = result.time_congestion[0];
+    prev_other = result.time_congestion[1];
+  }
+  // A non-trivial reservation strictly separates the two symmetric classes.
+  const auto split =
+      solve_knapsack(8, classes, std::vector<unsigned>{4, 0});
+  EXPECT_GT(split.time_congestion[0], split.time_congestion[1]);
+}
+
+TEST(KnapsackReservation, FullReservationBlocksClassCompletely) {
+  const std::vector<KnapsackClass> classes = {{1, 2.0, 0.0, 1.0},
+                                              {1, 2.0, 0.0, 1.0}};
+  const auto result =
+      solve_knapsack(6, classes, std::vector<unsigned>{6, 0});
+  // Class 0 may never accept (ceiling at 0): congestion 1, carries nothing.
+  EXPECT_NEAR(result.time_congestion[0], 1.0, 1e-12);
+  EXPECT_NEAR(result.concurrency[0], 0.0, 1e-12);
+  // Class 1 then sees a private Erlang system.
+  EXPECT_NEAR(result.time_congestion[1], erlang_b(2.0, 6), 1e-10);
+}
+
+TEST(KnapsackReservation, RejectsWrongReservationVectorLength) {
+  const std::vector<KnapsackClass> classes = {{1, 2.0, 0.0, 1.0}};
+  EXPECT_THROW(
+      solve_knapsack(4, classes, std::vector<unsigned>{1, 1}),
+      std::invalid_argument);
+}
+
 TEST(Knapsack, UtilizationBounded) {
   const std::vector<KnapsackClass> classes = {{1, 50.0, 0.0, 1.0}};
   const auto result = solve_knapsack(10, classes);

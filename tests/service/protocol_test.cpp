@@ -171,6 +171,73 @@ TEST(Protocol, BatchBoundsAndMissingScenariosAreRejected) {
   EXPECT_EQ(kind_of(many), ErrorKind::kConfig);
 }
 
+TEST(Protocol, ParsesAnObserveFrame) {
+  const Request req = parse_request(
+      R"({"method":"observe","id":4,"events":[)"
+      R"({"class":"voice","t":1.5,"hold":0.8,"bandwidth":2,)"
+      R"("weight":0.5,"blocked":true},)"
+      R"({"class":"bulk","t":2.0}]})");
+  EXPECT_EQ(req.method, Method::kObserve);
+  ASSERT_EQ(req.events.size(), 2u);
+  EXPECT_EQ(req.events[0].class_name, "voice");
+  EXPECT_DOUBLE_EQ(req.events[0].t, 1.5);
+  EXPECT_DOUBLE_EQ(req.events[0].hold, 0.8);
+  EXPECT_EQ(req.events[0].bandwidth, 2u);
+  EXPECT_DOUBLE_EQ(req.events[0].weight, 0.5);
+  EXPECT_TRUE(req.events[0].blocked);
+  // Defaults: hold 0 (blocked/unknown), bandwidth 1, weight 1, unblocked.
+  EXPECT_EQ(req.events[1].class_name, "bulk");
+  EXPECT_DOUBLE_EQ(req.events[1].hold, 0.0);
+  EXPECT_EQ(req.events[1].bandwidth, 1u);
+  EXPECT_DOUBLE_EQ(req.events[1].weight, 1.0);
+  EXPECT_FALSE(req.events[1].blocked);
+  // Observe is never result-cached: the key must stay empty.
+  EXPECT_TRUE(req.cache_key.empty());
+}
+
+TEST(Protocol, ParsesAnAdviseRequest) {
+  const Request req = parse_request(R"({"method":"advise","id":9})");
+  EXPECT_EQ(req.method, Method::kAdvise);
+  EXPECT_FALSE(req.model.has_value());
+  EXPECT_TRUE(req.cache_key.empty());
+}
+
+TEST(Protocol, ObserveFrameBoundsAndValidation) {
+  // Missing or empty events.
+  EXPECT_EQ(kind_of(R"({"method":"observe","id":1})"), ErrorKind::kParse);
+  EXPECT_EQ(kind_of(R"({"method":"observe","id":1,"events":[]})"),
+            ErrorKind::kConfig);
+  // Hostile field values are rejected with typed config errors.
+  EXPECT_EQ(kind_of(R"({"method":"observe","events":[{"class":"","t":0}]})"),
+            ErrorKind::kConfig);
+  EXPECT_EQ(
+      kind_of(R"({"method":"observe","events":[{"class":"c","t":-1}]})"),
+      ErrorKind::kConfig);
+  EXPECT_EQ(
+      kind_of(
+          R"({"method":"observe","events":[{"class":"c","t":0,"hold":-2}]})"),
+      ErrorKind::kConfig);
+  EXPECT_EQ(
+      kind_of(R"({"method":"observe","events":[)"
+              R"({"class":"c","t":0,"bandwidth":0}]})"),
+      ErrorKind::kConfig);
+  // Frame-size cap: one event over kMaxObserveEvents is refused.
+  std::string big = R"({"method":"observe","events":[)";
+  for (std::size_t i = 0; i <= kMaxObserveEvents; ++i) {
+    if (i != 0) {
+      big += ',';
+    }
+    big += R"({"class":"c","t":0})";
+  }
+  big += "]}";
+  EXPECT_EQ(kind_of(big), ErrorKind::kConfig);
+}
+
+TEST(Protocol, ObserveAndAdviseMethodNamesRoundTrip) {
+  EXPECT_EQ(to_string(Method::kObserve), "observe");
+  EXPECT_EQ(to_string(Method::kAdvise), "advise");
+}
+
 TEST(Protocol, RendersResponses) {
   EXPECT_EQ(render_ok("7", "{\"x\":1}", false),
             R"({"id":7,"status":"ok","cached":false,"result":{"x":1}})");

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Advisor smoke for xbar_serve --advise + xbar_loadgen --method=observe:
+#   * start the server with the streaming capacity advisor enabled on an
+#     ephemeral port (discovered via --port-file),
+#   * stream a scripted two-phase connection trace (6x load shift at
+#     t=120s of trace time) through the `observe` method,
+#   * require the final `advise` frame to be confident, to have counted at
+#     least one drift-triggered refit, and to recommend the largest
+#     candidate size (the shifted load saturates the blocking SLO, so the
+#     16x16 recommendation is the deterministic batch answer),
+#   * SIGTERM the server and require a clean drain with exit 0.
+#
+# usage: advisor_smoke.sh <xbar_serve> <xbar_loadgen> <workdir>
+# Any failure exits nonzero; the caller (ctest / CI) owns the timeout.
+set -e
+
+SERVE="$1"
+LOADGEN="$2"
+DIR="$3"
+
+SMOKE_NAME=advisor_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
+mkdir -p "$DIR"
+PORT_FILE="$DIR/advisor_port.$$"
+rm -f "$PORT_FILE"
+
+"$SERVE" --port=0 --threads=2 --port-file="$PORT_FILE" \
+  --advise --advisor-sizes=4,8,12,16 --advisor-every=128 \
+  --advisor-window-s=30 --advisor-min-events=40 &
+PID=$!
+smoke_track "$PID"
+
+wait_for_file "$PORT_FILE" || fail "server never wrote $PORT_FILE"
+PORT=$(cat "$PORT_FILE")
+
+LG_STATUS=0
+"$LOADGEN" --port="$PORT" --method=observe --observe-batch=64 --seed=7 \
+  --phases="120:scale=1;240:scale=6" \
+  --assert-min-refits=1 --assert-recommended=16 || LG_STATUS=$?
+
+kill -TERM "$PID"
+SERVE_STATUS=0
+wait "$PID" || SERVE_STATUS=$?
+smoke_untrack "$PID"
+rm -f "$PORT_FILE"
+
+[ "$LG_STATUS" -eq 0 ] || fail "loadgen exited $LG_STATUS"
+[ "$SERVE_STATUS" -eq 0 ] || fail "server exited $SERVE_STATUS after SIGTERM"
+echo "advisor_smoke: ok (scripted shift, refit counted, clean drain)"

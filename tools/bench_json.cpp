@@ -17,6 +17,9 @@
 //      lane-interleaved traversal vs 16 sequential solver builds.
 //   5. Fabric models: the speedup-2 scaled solve vs the plain solve at the
 //      same physical size, and the priority CTMC at brute-force scale.
+//   6. Advisor fit: streaming-estimator ingest throughput over a synthetic
+//      Poisson trace, plus the fit + candidate-solve recommendation cycle
+//      cold (fresh advisor) and warm (unchanged fit, solver-cache hit).
 //
 // Medians of repeated runs, monotonic clock.  Every baseline is re-measured
 // in the same process as the number it is compared against, so each
@@ -28,11 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "advisor/advisor.hpp"
 #include "core/algorithm1.hpp"
 #include "core/algorithm1_batch.hpp"
 #include "core/model.hpp"
 #include "core/priority.hpp"
 #include "core/solver.hpp"
+#include "dist/rng.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -280,6 +285,62 @@ int main(int argc, char** argv) {
       },
       7);
 
+  // --- 7. Advisor: estimator ingest + recommendation cycle. ---
+  //
+  // A 50k-event Poisson trace (lambda = 20, mu = 1) pre-generated once;
+  // ingest is re-run on a fresh estimator per rep.  The cold cycle is what
+  // a drift refit costs end to end (fresh advisor, full ingest + fit +
+  // candidate solves over {8, 16, 32, 64}); the warm cycle repeats
+  // solve_now() with an unchanged fit, so every candidate hits the
+  // advisor's solver cache — the steady-state advise cost.
+  std::vector<advisor::ObservedEvent> trace;
+  {
+    dist::Xoshiro256 rng(2026);
+    double t = 0.0;
+    trace.reserve(50000);
+    for (std::size_t i = 0; i < 50000; ++i) {
+      t += rng.exponential(20.0);
+      advisor::ObservedEvent e;
+      e.class_name = "bench";
+      e.t = t;
+      e.hold = rng.exponential(1.0);
+      trace.push_back(e);
+    }
+  }
+  advisor::AdvisorConfig advisor_config;
+  advisor_config.candidate_sizes = {8, 16, 32, 64};
+  const double ingest_ms = time_ms(
+      [&] {
+        advisor::TrafficEstimator est(advisor_config.estimator);
+        for (const auto& e : trace) {
+          est.observe(e);
+        }
+        volatile double sink = est.fitted()[0].arrival_rate;
+        (void)sink;
+      },
+      7);
+  const double advisor_cold_ms = time_ms(
+      [&] {
+        advisor::Advisor adv(advisor_config);
+        (void)adv.observe_batch(trace);
+        adv.solve_now();
+        volatile double sink =
+            static_cast<double>(adv.recommendation().recommended_size);
+        (void)sink;
+      },
+      7);
+  advisor::Advisor warm_advisor(advisor_config);
+  (void)warm_advisor.observe_batch(trace);
+  warm_advisor.solve_now();
+  const double advisor_warm_ms = time_ms(
+      [&] {
+        warm_advisor.solve_now();
+        volatile double sink =
+            static_cast<double>(warm_advisor.recommendation().recommended_size);
+        (void)sink;
+      },
+      9);
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::perror("bench_json: fopen");
@@ -345,6 +406,15 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"priority_ctmc_n6_ms\": %.3f,\n", priority_n6_ms);
   std::fprintf(out, "    \"priority_ctmc_n6_states\": %zu\n",
                priority_states);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"advisor_fit\": {\n");
+  std::fprintf(out, "    \"trace_events\": %zu,\n", trace.size());
+  std::fprintf(out, "    \"ingest_ms\": %.3f,\n", ingest_ms);
+  std::fprintf(out, "    \"ingest_events_per_s\": %.3e,\n",
+               static_cast<double>(trace.size()) / (ingest_ms * 1e-3));
+  std::fprintf(out, "    \"cold_fit_solve_cycle_ms\": %.3f,\n",
+               advisor_cold_ms);
+  std::fprintf(out, "    \"warm_advise_cycle_ms\": %.3f\n", advisor_warm_ms);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

@@ -1,7 +1,7 @@
 // xbar_client — resilient command-line client for xbar_serve.
 //
 //   xbar_client --port=N [--host=127.0.0.1]
-//               [--method=ping|stats|health] [--request=JSON]
+//               [--method=ping|stats|health|advise] [--request=JSON]
 //               [--connect-timeout-ms=MS] [--timeout-ms=MS]
 //               [--retries=N] [--backoff-base-ms=MS] [--backoff-cap-ms=MS]
 //               [--breaker-window=N] [--breaker-open-ms=MS] [--seed=N]
@@ -39,7 +39,8 @@ using namespace xbar;
 int usage() {
   std::cerr
       << "usage: xbar_client --port=N [--host=ADDR]\n"
-         "                   [--method=ping|stats|health] [--request=JSON]\n"
+         "                   [--method=ping|stats|health|advise]\n"
+         "                   [--request=JSON]\n"
          "                   [--connect-timeout-ms=MS] [--timeout-ms=MS]\n"
          "                   [--retries=N] [--backoff-base-ms=MS]\n"
          "                   [--backoff-cap-ms=MS] [--breaker-window=N]\n"
@@ -94,9 +95,10 @@ int main(int argc, char** argv) {
     if (const auto request = args.get("request")) {
       all_ok = run_one(cli, *request);
     } else if (const auto method = args.get("method")) {
-      if (*method != "ping" && *method != "stats" && *method != "health") {
+      if (*method != "ping" && *method != "stats" && *method != "health" &&
+          *method != "advise") {
         raise(ErrorKind::kUsage,
-              "--method must be ping|stats|health (use --request for "
+              "--method must be ping|stats|health|advise (use --request for "
               "methods that need a scenario)");
       }
       all_ok = run_one(cli, "{\"method\":\"" + *method + "\"}");

@@ -3,13 +3,34 @@
 //   xbar_loadgen --port=N [--host=127.0.0.1] [--proxy=HOST:PORT|PORT]
 //                [--requests=1000] [--rps=R] [--process=poisson|bpp]
 //                [--peakedness=Z] [--mu=MU] [--senders=S]
-//                [--method=ping|solve|revenue|sweep]
+//                [--method=ping|solve|revenue|sweep|observe]
 //                [--scenario=FILE.ini] [--solver=SPEC] [--sizes=4,8]
 //                [--unique] [--no-cache] [--deadline-ms=MS] [--seed=N]
 //                [--timeout-ms=MS] [--connect-timeout-ms=MS] [--retries=N]
 //                [--backoff-base-ms=MS] [--backoff-cap-ms=MS]
 //                [--malformed=K] [--min-cached=N] [--min-success-rate=R]
 //                [--min-breaker-opens=N] [--json]
+//                [--phases=SPEC] [--observe-batch=K]
+//                [--assert-recommended=N] [--assert-min-refits=N]
+//
+// --phases scripts piecewise load shifts: "DUR:key=val,...;DUR:..." where
+// DUR is the phase length in seconds and keys are rps, scale (multiplies
+// every class's alpha~/beta~), peakedness, mu, and class<i>=S (scale one
+// class — a mix shift).  Request modes allocate requests across phases in
+// proportion to rps*DUR and pace each phase at its own rate; stats are
+// reported per phase.
+//
+// --method=observe drives xbar_serve's streaming capacity advisor: instead
+// of solve requests, the workload's classes are simulated as BPP
+// birth-death connection processes (lambda_r(k) = alpha~_r + beta~_r k,
+// holds ~ exp(mu_r)) over the scripted phases in *virtual trace time*
+// (DUR = trace seconds, sent as fast as the socket allows), batched
+// --observe-batch events per `observe` frame.  Senders are forced to 1 —
+// the advisor reconstructs occupancy from event order.  After the trace, a
+// final `advise` request prints the server's recommendation;
+// --assert-recommended=N requires a confident recommendation of an NxN
+// switch and --assert-min-refits=K requires at least K drift-triggered
+// refits (the convergence assertions the advisor smoke runs on).
 //
 // Arrival times are drawn from the same BPP family the paper models as
 // offered traffic: --process=poisson paces requests as a Poisson stream at
@@ -48,9 +69,15 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <functional>
 #include <iostream>
+#include <limits>
+#include <queue>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "client/client.hpp"
@@ -83,7 +110,10 @@ int usage() {
          "                    [--retries=N] [--backoff-base-ms=MS]\n"
          "                    [--backoff-cap-ms=MS] [--malformed=K]\n"
          "                    [--min-cached=N] [--min-success-rate=R]\n"
-         "                    [--min-breaker-opens=N] [--json]\n";
+         "                    [--min-breaker-opens=N] [--json]\n"
+         "                    [--phases=\"DUR:rps=R,scale=S;...\"]\n"
+         "                    [--observe-batch=K] [--assert-recommended=N]\n"
+         "                    [--assert-min-refits=N]\n";
   return 1;
 }
 
@@ -213,6 +243,371 @@ std::vector<double> arrival_schedule(std::size_t n, double rps, double z,
   return times;
 }
 
+/// One scripted load phase.
+struct Phase {
+  double duration = 0.0;    ///< seconds (virtual trace seconds for observe)
+  double rps = 0.0;         ///< request modes: pacing rate this phase
+  double scale = 1.0;       ///< multiplies every class's alpha~/beta~
+  double peakedness = 1.0;  ///< request-mode pacing burstiness
+  double mu = 1.0;          ///< request-mode pacing session rate
+  std::vector<std::pair<std::size_t, double>> class_scale;  ///< mix shifts
+};
+
+/// Parse "DUR:key=val,...;DUR:..." (see the header comment).  Defaults for
+/// per-phase keys come from the global flags.
+std::vector<Phase> parse_phases(const std::string& spec, double rps,
+                                double peakedness, double mu) {
+  std::vector<Phase> phases;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) {
+      continue;
+    }
+    Phase phase;
+    phase.rps = rps;
+    phase.peakedness = peakedness;
+    phase.mu = mu;
+    const std::size_t colon = token.find(':');
+    const std::string dur = token.substr(0, colon);
+    try {
+      phase.duration = std::stod(dur);
+    } catch (const std::exception&) {
+      raise(ErrorKind::kUsage, "--phases: bad duration '" + dur + "'");
+    }
+    if (!(phase.duration > 0.0)) {
+      raise(ErrorKind::kUsage, "--phases: duration must be positive");
+    }
+    std::size_t kpos = colon == std::string::npos ? token.size() : colon + 1;
+    while (kpos < token.size()) {
+      std::size_t kend = token.find(',', kpos);
+      if (kend == std::string::npos) {
+        kend = token.size();
+      }
+      const std::string kv = token.substr(kpos, kend - kpos);
+      kpos = kend + 1;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        raise(ErrorKind::kUsage, "--phases: expected key=val, got '" + kv +
+                                     "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      double value = 0.0;
+      try {
+        value = std::stod(kv.substr(eq + 1));
+      } catch (const std::exception&) {
+        raise(ErrorKind::kUsage, "--phases: bad value in '" + kv + "'");
+      }
+      if (key == "rps") {
+        phase.rps = value;
+      } else if (key == "scale") {
+        phase.scale = value;
+      } else if (key == "peakedness") {
+        phase.peakedness = value;
+      } else if (key == "mu") {
+        phase.mu = value;
+      } else if (key.size() > 5 && key.compare(0, 5, "class") == 0) {
+        std::size_t index = 0;
+        const auto [ptr, ec] = std::from_chars(
+            key.data() + 5, key.data() + key.size(), index);
+        if (ec != std::errc{} || ptr != key.data() + key.size()) {
+          raise(ErrorKind::kUsage, "--phases: bad class key '" + key + "'");
+        }
+        phase.class_scale.emplace_back(index, value);
+      } else {
+        raise(ErrorKind::kUsage,
+              "--phases: unknown key '" + key +
+                  "' (expected rps, scale, peakedness, mu, class<i>)");
+      }
+    }
+    phases.push_back(std::move(phase));
+  }
+  if (phases.empty()) {
+    raise(ErrorKind::kUsage, "--phases: no phases given");
+  }
+  return phases;
+}
+
+/// The workload as one phase sees it (scale + mix shifts applied).
+Workload phase_workload(const Workload& base, const Phase& phase) {
+  Workload w = base;
+  for (core::TrafficClass& c : w.classes) {
+    c.alpha_tilde *= phase.scale;
+    c.beta_tilde *= phase.scale;
+  }
+  for (const auto& [index, factor] : phase.class_scale) {
+    if (index < w.classes.size()) {
+      w.classes[index].alpha_tilde *= factor;
+      w.classes[index].beta_tilde *= factor;
+    }
+  }
+  return w;
+}
+
+/// Per-phase outcome tally (request modes and observe mode share it).
+struct PhaseTally {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> events{0};    ///< observe: events generated
+  std::atomic<std::uint64_t> admitted{0};  ///< observe: server admitted
+  std::atomic<std::uint64_t> denied{0};    ///< observe: enactment denied
+  service::Histogram latency;
+};
+
+bool contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Pull the unsigned value of `"key":N` out of a response line (0 when
+/// absent) — enough JSON for the loadgen's own accounting.
+std::uint64_t scrape_unsigned(const std::string& response,
+                              std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = response.find(needle);
+  if (at == std::string::npos) {
+    return 0;
+  }
+  std::uint64_t value = 0;
+  const char* begin = response.data() + at + needle.size();
+  const char* end = response.data() + response.size();
+  (void)std::from_chars(begin, end, value);
+  return value;
+}
+
+/// First-occurrence `"key":true` check.  The advise frame renders the
+/// top-level confidence flag before the per-fit ones, so first wins.
+bool scrape_bool(const std::string& response, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = response.find(needle);
+  return at != std::string::npos &&
+         response.compare(at + needle.size(), 4, "true") == 0;
+}
+
+/// --method=observe: simulate the workload's classes as BPP birth-death
+/// connection processes over the scripted phases and stream the resulting
+/// trace into the server's advisor (see the header comment).  Returns the
+/// process exit code.
+int run_observe_mode(const client::ClientConfig& client_config,
+                     const Workload& base, const std::vector<Phase>& phases,
+                     std::size_t batch, std::uint64_t seed,
+                     unsigned assert_recommended,
+                     std::uint64_t assert_min_refits, bool json_output) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  client::XbarClient cli(client_config);
+  dist::Xoshiro256 rng(seed);
+  const std::size_t num_classes = base.classes.size();
+
+  // Per-class CTMC state: occupancy, pre-sampled departure clocks (exact
+  // for exponential holds), and the next-arrival clock, resampled whenever
+  // the occupancy or the phase (i.e. the birth rate) changes —
+  // memorylessness makes that resampling exact too.
+  std::vector<unsigned> occupancy(num_classes, 0);
+  std::vector<double> next_arrival(num_classes, kInf);
+  std::vector<
+      std::priority_queue<double, std::vector<double>, std::greater<>>>
+      departures(num_classes);
+
+  std::deque<PhaseTally> tallies;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    tallies.emplace_back();
+  }
+
+  double t = 0.0;
+  std::size_t id = 0;
+  std::uint64_t frames_failed = 0;
+  std::string frame;
+  std::size_t frame_events = 0;
+  std::size_t frame_phase = 0;
+
+  auto flush = [&]() {
+    if (frame_events == 0) {
+      return;
+    }
+    const std::string line = "{\"method\":\"observe\",\"id\":" +
+                             std::to_string(id++) + ",\"events\":[" + frame +
+                             "]}";
+    const Clock::time_point sent_at = Clock::now();
+    const client::CallResult result = cli.call(line);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - sent_at).count();
+    PhaseTally& tally = tallies[frame_phase];
+    tally.sent.fetch_add(1, std::memory_order_relaxed);
+    tally.latency.record(elapsed);
+    if (result.outcome == client::Outcome::kOk &&
+        contains(result.response, "\"status\":\"ok\"")) {
+      tally.ok.fetch_add(1, std::memory_order_relaxed);
+      tally.admitted.fetch_add(scrape_unsigned(result.response, "admitted"),
+                               std::memory_order_relaxed);
+      tally.denied.fetch_add(scrape_unsigned(result.response, "denied"),
+                             std::memory_order_relaxed);
+    } else {
+      tally.failed.fetch_add(1, std::memory_order_relaxed);
+      ++frames_failed;
+    }
+    frame.clear();
+    frame_events = 0;
+  };
+
+  const Clock::time_point start = Clock::now();
+  double phase_start = 0.0;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const Workload w = phase_workload(base, phases[p]);
+    const double phase_end = phase_start + phases[p].duration;
+    for (std::size_t r = 0; r < num_classes; ++r) {
+      const core::TrafficClass& c = w.classes[r];
+      const double rate = c.alpha_tilde + c.beta_tilde * occupancy[r];
+      next_arrival[r] = rate > 0.0 ? t + rng.exponential(rate) : kInf;
+    }
+    while (true) {
+      std::size_t best = num_classes;
+      bool is_departure = false;
+      double best_t = phase_end;
+      for (std::size_t r = 0; r < num_classes; ++r) {
+        if (!departures[r].empty() && departures[r].top() < best_t) {
+          best_t = departures[r].top();
+          best = r;
+          is_departure = true;
+        }
+        if (next_arrival[r] < best_t) {
+          best_t = next_arrival[r];
+          best = r;
+          is_departure = false;
+        }
+      }
+      if (best == num_classes) {
+        break;  // next event lands beyond this phase
+      }
+      t = best_t;
+      const core::TrafficClass& c = w.classes[best];
+      if (is_departure) {
+        departures[best].pop();
+        --occupancy[best];
+      } else {
+        const double hold = rng.exponential(c.mu);
+        if (frame_events == 0) {
+          frame_phase = p;
+        } else {
+          frame += ',';
+        }
+        frame += "{\"class\":\"" + report::JsonWriter::escape(c.name) +
+                 "\",\"t\":";
+        append_number(frame, t);
+        frame += ",\"hold\":";
+        append_number(frame, hold);
+        frame += ",\"bandwidth\":" + std::to_string(c.bandwidth);
+        frame += ",\"weight\":";
+        append_number(frame, c.weight);
+        frame += '}';
+        ++frame_events;
+        tallies[p].events.fetch_add(1, std::memory_order_relaxed);
+        departures[best].push(t + hold);
+        ++occupancy[best];
+        if (frame_events >= batch) {
+          flush();
+        }
+      }
+      const double rate =
+          c.alpha_tilde + c.beta_tilde * occupancy[best];
+      next_arrival[best] = rate > 0.0 ? t + rng.exponential(rate) : kInf;
+    }
+    t = phase_end;
+    phase_start = phase_end;
+  }
+  flush();
+
+  const client::CallResult advise =
+      cli.call("{\"method\":\"advise\",\"id\":" + std::to_string(id++) + "}");
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const bool advise_ok = advise.outcome == client::Outcome::kOk &&
+                         contains(advise.response, "\"status\":\"ok\"");
+  const std::uint64_t recommended =
+      advise_ok ? scrape_unsigned(advise.response, "n1") : 0;
+  const std::uint64_t refits =
+      advise_ok ? scrape_unsigned(advise.response, "refits") : 0;
+  const bool confident = advise_ok && scrape_bool(advise.response,
+                                                  "confident");
+
+  std::uint64_t events = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t denied = 0;
+  for (const PhaseTally& tally : tallies) {
+    events += tally.events.load();
+    frames += tally.sent.load();
+    admitted += tally.admitted.load();
+    denied += tally.denied.load();
+  }
+
+  if (json_output) {
+    report::JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("events").value(events);
+    json.key("frames").value(frames);
+    json.key("frames_failed").value(frames_failed);
+    json.key("admitted").value(admitted);
+    json.key("denied").value(denied);
+    json.key("wall_seconds").value(wall);
+    json.key("phases").begin_array();
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      json.begin_object();
+      json.key("duration_s").value(phases[p].duration);
+      json.key("events").value(tallies[p].events.load());
+      json.key("frames").value(tallies[p].sent.load());
+      json.key("frames_failed").value(tallies[p].failed.load());
+      json.key("admitted").value(tallies[p].admitted.load());
+      json.key("denied").value(tallies[p].denied.load());
+      json.end_object();
+    }
+    json.end_array();
+    json.key("advise").begin_object();
+    json.key("ok").value(advise_ok);
+    json.key("confident").value(confident);
+    json.key("recommended").value(recommended);
+    json.key("refits").value(refits);
+    json.end_object();
+    json.end_object();
+  } else {
+    std::cout << "observe trace: " << events << " events in " << frames
+              << " frames (" << frames_failed << " failed), admitted "
+              << admitted << ", denied " << denied << ", wall " << wall
+              << "s\n";
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      std::cout << "phase " << p << " (" << phases[p].duration
+                << "s): events " << tallies[p].events.load() << "  frames "
+                << tallies[p].sent.load() << "  admitted "
+                << tallies[p].admitted.load() << "  denied "
+                << tallies[p].denied.load() << "\n";
+    }
+    if (advise_ok) {
+      std::cout << "advise: recommended " << recommended << "x"
+                << recommended << "  confident "
+                << (confident ? "true" : "false") << "  refits " << refits
+                << "\n"
+                << advise.response << "\n";
+    } else {
+      std::cout << "advise: no usable response ("
+                << client::to_string(advise.outcome) << ")\n";
+    }
+  }
+
+  bool assertions_hold = frames_failed == 0 && advise_ok;
+  if (assert_recommended > 0) {
+    assertions_hold = assertions_hold && confident &&
+                      recommended == assert_recommended;
+  }
+  if (assert_min_refits > 0) {
+    assertions_hold = assertions_hold && refits >= assert_min_refits;
+  }
+  return assertions_hold ? 0 : 2;
+}
+
 /// Outcome tallies shared across senders: final client outcomes with a
 /// latency histogram per class, plus payload-level classes for requests
 /// that did get a response.
@@ -246,10 +641,6 @@ struct Tally {
     breaker_opened.fetch_add(opened, std::memory_order_relaxed);
   }
 };
-
-bool contains(const std::string& haystack, std::string_view needle) {
-  return haystack.find(needle) != std::string::npos;
-}
 
 std::size_t outcome_index(client::Outcome outcome) {
   return static_cast<std::size_t>(outcome);
@@ -346,9 +737,11 @@ int main(int argc, char** argv) {
     const unsigned senders = std::max(1u, args.get_unsigned("senders", 4));
     const std::string method = args.get("method").value_or("solve");
     if (method != "ping" && method != "solve" && method != "revenue" &&
-        method != "sweep") {
-      raise(ErrorKind::kUsage, "--method must be ping|solve|revenue|sweep");
+        method != "sweep" && method != "observe") {
+      raise(ErrorKind::kUsage,
+            "--method must be ping|solve|revenue|sweep|observe");
     }
+    const bool observe_mode = method == "observe";
     const std::string solver = args.get("solver").value_or("");
     if (!solver.empty()) {
       (void)core::SolverSpec::parse(solver);  // fail fast on typos
@@ -382,8 +775,65 @@ int main(int argc, char** argv) {
     const Workload workload = args.get("scenario")
                                   ? load_workload(*args.get("scenario"))
                                   : default_workload();
-    const std::vector<double> schedule =
-        arrival_schedule(requests, rps, peakedness, mu, seed);
+
+    std::vector<Phase> phases;
+    if (const auto spec = args.get("phases")) {
+      phases = parse_phases(*spec, rps, peakedness, mu);
+    } else if (observe_mode) {
+      // Observe without a script: one steady phase (default 60 virtual
+      // seconds of trace).
+      Phase steady;
+      steady.duration = args.get_double("duration", 60.0);
+      steady.rps = rps;
+      steady.peakedness = peakedness;
+      steady.mu = mu;
+      phases.push_back(steady);
+    }
+
+    if (observe_mode) {
+      // Single sender: the advisor reconstructs occupancy from event
+      // order, so the trace must arrive in simulation order.
+      const std::size_t batch = std::max<std::size_t>(
+          1, args.get_unsigned("observe-batch", 64));
+      return run_observe_mode(
+          client_config, workload, phases, batch, seed,
+          args.get_unsigned("assert-recommended", 0),
+          args.get_unsigned("assert-min-refits", 0), args.has("json"));
+    }
+
+    // Request modes.  With --phases, requests are allocated per phase in
+    // proportion to rps*duration, each phase paced with its own process
+    // parameters against the phase-scaled workload.
+    std::vector<double> schedule;
+    std::vector<std::size_t> phase_of;
+    std::vector<Workload> phase_workloads;
+    std::deque<PhaseTally> phase_tallies;
+    std::size_t total_requests = requests;
+    if (!phases.empty()) {
+      double offset = 0.0;
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        if (!(phases[p].rps > 0.0)) {
+          raise(ErrorKind::kUsage,
+                "--phases: request modes need rps > 0 in every phase");
+        }
+        const auto n = static_cast<std::size_t>(std::max(
+            1.0, std::floor(phases[p].rps * phases[p].duration + 0.5)));
+        const std::vector<double> local = arrival_schedule(
+            n, phases[p].rps, phases[p].peakedness, phases[p].mu,
+            seed + 1000 * p + 1);
+        for (const double at : local) {
+          schedule.push_back(offset + at);
+          phase_of.push_back(p);
+        }
+        offset += phases[p].duration;
+        phase_workloads.push_back(phase_workload(workload, phases[p]));
+        phase_tallies.emplace_back();
+      }
+      total_requests = schedule.size();
+    } else {
+      schedule = arrival_schedule(requests, rps, peakedness, mu, seed);
+    }
+    const std::size_t requests_planned = total_requests;
 
     Tally tally;
     const Clock::time_point start = Clock::now();
@@ -410,11 +860,13 @@ int main(int argc, char** argv) {
             }
           }
         }
-        for (std::size_t i = s; i < requests; i += senders) {
+        for (std::size_t i = s; i < requests_planned; i += senders) {
           const double scale =
               unique ? 1.0 + 1e-4 * static_cast<double>(i + 1) : 1.0;
+          const Workload& w =
+              phase_of.empty() ? workload : phase_workloads[phase_of[i]];
           const std::string line =
-              render_request(workload, method, i, scale, solver, sizes,
+              render_request(w, method, i, scale, solver, sizes,
                              deadline_ms, no_cache);
           std::this_thread::sleep_until(
               start + std::chrono::duration_cast<Clock::duration>(
@@ -427,6 +879,16 @@ int main(int argc, char** argv) {
           const std::size_t index = outcome_index(result.outcome);
           tally.by_outcome[index].fetch_add(1, std::memory_order_relaxed);
           tally.latency_by_outcome[index].record(elapsed);
+          const bool request_ok =
+              result.outcome == client::Outcome::kOk &&
+              contains(result.response, "\"status\":\"ok\"");
+          if (!phase_of.empty()) {
+            PhaseTally& pt = phase_tallies[phase_of[i]];
+            pt.sent.fetch_add(1, std::memory_order_relaxed);
+            pt.latency.record(elapsed);
+            (request_ok ? pt.ok : pt.failed)
+                .fetch_add(1, std::memory_order_relaxed);
+          }
           if (result.outcome == client::Outcome::kOk) {
             classify_response(result.response, tally);
           }
@@ -456,14 +918,32 @@ int main(int argc, char** argv) {
     const double achieved =
         wall > 0.0 ? static_cast<double>(ok) / wall : 0.0;
     const double success_rate =
-        requests > 0
-            ? static_cast<double>(ok) / static_cast<double>(requests)
+        requests_planned > 0
+            ? static_cast<double>(ok) / static_cast<double>(requests_planned)
             : 1.0;
 
     if (args.has("json")) {
       report::JsonWriter json(std::cout);
       json.begin_object();
-      json.key("requests").value(static_cast<std::uint64_t>(requests));
+      json.key("requests").value(
+          static_cast<std::uint64_t>(requests_planned));
+      if (!phases.empty()) {
+        json.key("phases").begin_array();
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+          const service::Histogram::Snapshot snap =
+              phase_tallies[p].latency.snapshot();
+          json.begin_object();
+          json.key("duration_s").value(phases[p].duration);
+          json.key("rps").value(phases[p].rps);
+          json.key("sent").value(phase_tallies[p].sent.load());
+          json.key("ok").value(phase_tallies[p].ok.load());
+          json.key("failed").value(phase_tallies[p].failed.load());
+          json.key("latency_ms");
+          write_quantiles_json(json, snap);
+          json.end_object();
+        }
+        json.end_array();
+      }
       json.key("wall_seconds").value(wall);
       json.key("achieved_rps").value(achieved);
       json.key("success_rate").value(success_rate);
@@ -502,7 +982,7 @@ int main(int argc, char** argv) {
       json.end_object();
       json.end_object();
     } else {
-      std::cout << "requests " << requests << "  wall " << wall
+      std::cout << "requests " << requests_planned << "  wall " << wall
                 << "s  achieved " << achieved << " rps  success rate "
                 << success_rate << "\n"
                 << "ok " << ok << " (cached " << cached << ", deadline "
@@ -512,6 +992,17 @@ int main(int argc, char** argv) {
                 << "transport failures " << failed_transport
                 << "  retries " << tally.retries.load()
                 << "  breaker opened " << breaker_opened << "\n";
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        const service::Histogram::Snapshot snap =
+            phase_tallies[p].latency.snapshot();
+        std::cout << "phase " << p << " (" << phases[p].duration << "s @ "
+                  << phases[p].rps << " rps): sent "
+                  << phase_tallies[p].sent.load() << "  ok "
+                  << phase_tallies[p].ok.load() << "  failed "
+                  << phase_tallies[p].failed.load() << "  p50 "
+                  << snap.p50 * 1e3 << "ms  p99 " << snap.p99 * 1e3
+                  << "ms\n";
+      }
       for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
         const service::Histogram::Snapshot snap =
             tally.latency_by_outcome[c].snapshot();

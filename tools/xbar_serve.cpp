@@ -6,10 +6,24 @@
 //              [--send-timeout-ms=MS] [--idle-timeout-ms=MS]
 //              [--max-conn-requests=N] [--max-conn-bytes=N]
 //              [--send-buffer=BYTES]
+//              [--advise] [--advisor-sizes=4,8,16,...]
+//              [--advisor-target=0.005] [--advisor-current=N]
+//              [--advisor-window-s=S] [--advisor-min-events=N]
+//              [--advisor-every=N] [--advisor-max-reservation=N]
+//              [--advisor-solver=SPEC] [--advisor-enact]
 //
 // Speaks the newline-delimited JSON protocol documented in
 // src/service/protocol.hpp: methods solve / revenue / sweep / stats /
 // health / ping, one request per line, one response line per request.
+//
+// --advise enables the streaming capacity advisor: the `observe` method
+// ingests connection-trace events, the advisor fits per-class BPP
+// parameters online, periodically re-solves the fitted model over the
+// --advisor-sizes candidate grid against the --advisor-target blocking
+// SLO, and the `advise` method returns the current recommendation
+// (sizing, per-class admission, revenue delta vs. --advisor-current).
+// --advisor-enact turns the per-class admission advice into an enforced
+// gate on observed connections.
 // --port=0 binds an ephemeral port; the listening line on stdout (and
 // --port-file, written atomically) tell scripts where to connect.
 // --deadline-ms sets the default per-request budget for requests that
@@ -30,7 +44,9 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/error.hpp"
 #include "report/args.hpp"
@@ -51,8 +67,14 @@ int usage() {
          "                  [--send-timeout-ms=MS] [--idle-timeout-ms=MS]\n"
          "                  [--max-conn-requests=N] [--max-conn-bytes=N]\n"
          "                  [--send-buffer=BYTES]\n"
+         "                  [--advise] [--advisor-sizes=4,8,16]\n"
+         "                  [--advisor-target=B] [--advisor-current=N]\n"
+         "                  [--advisor-window-s=S] [--advisor-min-events=N]\n"
+         "                  [--advisor-every=N] [--advisor-max-reservation=N]\n"
+         "                  [--advisor-solver=SPEC] [--advisor-enact]\n"
          "Newline-delimited JSON over TCP; methods: ping, solve, revenue,\n"
-         "sweep, stats, health.  SIGTERM/SIGINT drain gracefully.\n";
+         "sweep, stats, health (+ observe, advise with --advise).\n"
+         "SIGTERM/SIGINT drain gracefully.\n";
   return 1;
 }
 
@@ -70,6 +92,34 @@ void write_port_file(const std::string& path, std::uint16_t port) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     raise(ErrorKind::kIo, "cannot rename port file into '" + path + "'");
   }
+}
+
+/// Parse "4,8,16" into candidate sizes (kConfig on junk).
+std::vector<unsigned> parse_sizes(const std::string& spec) {
+  std::vector<unsigned> sizes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string token = spec.substr(pos, end - pos);
+    try {
+      const unsigned long n = std::stoul(token);
+      if (n == 0 || n > 4096) {
+        throw std::out_of_range("size");
+      }
+      sizes.push_back(static_cast<unsigned>(n));
+    } catch (const std::exception&) {
+      raise(ErrorKind::kConfig,
+            "--advisor-sizes: bad size '" + token + "'");
+    }
+    pos = end + 1;
+  }
+  if (sizes.empty()) {
+    raise(ErrorKind::kConfig, "--advisor-sizes: no sizes given");
+  }
+  return sizes;
 }
 
 }  // namespace
@@ -103,6 +153,27 @@ int main(int argc, char** argv) {
     config.send_buffer_bytes =
         static_cast<int>(args.get_unsigned("send-buffer", 0));
 
+    if (args.has("advise") || args.has("advisor-enact")) {
+      advisor::AdvisorConfig advisor;
+      if (const auto sizes = args.get("advisor-sizes")) {
+        advisor.candidate_sizes = parse_sizes(*sizes);
+      }
+      advisor.target_blocking = args.get_double("advisor-target", 0.005);
+      advisor.current_size = args.get_unsigned("advisor-current", 0);
+      advisor.max_reservation_step =
+          args.get_unsigned("advisor-max-reservation", 4);
+      advisor.solve_every_events = args.get_unsigned("advisor-every", 256);
+      advisor.estimator.window_seconds =
+          args.get_double("advisor-window-s", 60.0);
+      advisor.estimator.min_events =
+          static_cast<double>(args.get_unsigned("advisor-min-events", 50));
+      if (const auto spec = args.get("advisor-solver")) {
+        advisor.solver = core::SolverSpec::parse(*spec);
+      }
+      advisor.enact = args.has("advisor-enact");
+      config.advisor = std::move(advisor);
+    }
+
     // The mask must be in place before any thread exists so every thread
     // inherits it and the drain signal only ever reaches sigwait() below.
     service::install_drain_signals();
@@ -130,7 +201,12 @@ int main(int argc, char** argv) {
               << " idle_disconnects=" << s.idle_disconnects
               << " budget_disconnects=" << s.budget_disconnects
               << " cache_hits=" << s.cache.hits
-              << " cache_misses=" << s.cache.misses << "\n";
+              << " cache_misses=" << s.cache.misses;
+    if (s.advisor_enabled) {
+      std::cerr << " advisor_events=" << s.advisor_events
+                << " advisor_denied=" << s.advisor_denied;
+    }
+    std::cerr << "\n";
     return 0;
   } catch (const xbar::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
