@@ -29,6 +29,36 @@ std::string_view to_string(Outcome outcome) noexcept {
   return "?";
 }
 
+std::string_view to_string(ResponseClass cls) noexcept {
+  switch (cls) {
+    case ResponseClass::kNone: return "none";
+    case ResponseClass::kExact: return "exact";
+    case ResponseClass::kStale: return "stale";
+    case ResponseClass::kBoundOnly: return "bound";
+    case ResponseClass::kShed: return "shed";
+  }
+  return "?";
+}
+
+ResponseClass classify_response(std::string_view response) noexcept {
+  if (response.empty()) {
+    return ResponseClass::kNone;
+  }
+  if (contains(response, "\"degraded\":{\"mode\":\"stale\"")) {
+    return ResponseClass::kStale;
+  }
+  if (contains(response, "\"degraded\":{\"mode\":\"bound\"")) {
+    return ResponseClass::kBoundOnly;
+  }
+  if (contains(response, "priority-shed")) {
+    return ResponseClass::kShed;
+  }
+  if (contains(response, "\"status\":\"ok\"")) {
+    return ResponseClass::kExact;
+  }
+  return ResponseClass::kNone;
+}
+
 XbarClient::XbarClient(ClientConfig config)
     : config_(std::move(config)),
       backoff_(config_.backoff, config_.seed),
@@ -58,6 +88,7 @@ CallResult XbarClient::call(const std::string& request_line) {
       config_.backoff.max_attempts > 0 ? config_.backoff.max_attempts : 1;
 
   Outcome last = Outcome::kBreakerOpen;
+  std::string overloaded_frame;
   for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       const double delay = backoff_.next_delay();
@@ -77,6 +108,7 @@ CallResult XbarClient::call(const std::string& request_line) {
       breaker_.record_success(Clock::now());
       result.outcome = Outcome::kOk;
       result.response = std::move(response);
+      result.response_class = classify_response(result.response);
       return result;
     }
     breaker_.record_failure(Clock::now());
@@ -96,12 +128,19 @@ CallResult XbarClient::call(const std::string& request_line) {
       case AttemptClass::kOverloaded:
         ++counters_.attempt_overloaded;
         last = Outcome::kOverloaded;
+        // Keep the typed frame: a priority-shed is a *decision* the
+        // caller may want to read, not just a transport symptom.
+        overloaded_frame = std::move(response);
         break;
       case AttemptClass::kOk:
         break;  // unreachable
     }
   }
   result.outcome = last;
+  if (last == Outcome::kOverloaded && !overloaded_frame.empty()) {
+    result.response = std::move(overloaded_frame);
+    result.response_class = classify_response(result.response);
+  }
   return result;
 }
 

@@ -52,6 +52,27 @@ inline constexpr std::size_t kOutcomeCount = 6;
 
 [[nodiscard]] std::string_view to_string(Outcome outcome) noexcept;
 
+/// What kind of answer an ok (or shed) frame carried — the degradation
+/// ladder as the caller sees it.  Exact frames have no `degraded` field;
+/// the overload-controlled server flags stale and bound-only answers
+/// explicitly, and shed frames carry the "priority-shed" marker.
+enum class ResponseClass : std::uint8_t {
+  kNone,       ///< no usable frame (transport failure) or an error frame
+  kExact,      ///< full-fidelity answer, byte-identical to unloaded serving
+  kStale,      ///< served from an expired cache entry ("mode":"stale")
+  kBoundOnly,  ///< knapsack bound answer with error bar ("mode":"bound")
+  kShed,       ///< priority-shed by the overload ladder
+};
+inline constexpr std::size_t kResponseClassCount = 5;
+
+[[nodiscard]] std::string_view to_string(ResponseClass cls) noexcept;
+
+/// Classify a response frame by its degradation markers.  Cheap substring
+/// probes over the rendered frame (the same discipline the loadgen's
+/// payload accounting uses).
+[[nodiscard]] ResponseClass classify_response(
+    std::string_view response) noexcept;
+
 struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -66,7 +87,12 @@ struct ClientConfig {
 
 struct CallResult {
   Outcome outcome = Outcome::kReset;
-  std::string response;        ///< the response line (outcome kOk only)
+  /// The response line.  Populated for outcome kOk, and for kOverloaded
+  /// when the server sent a typed shed/overloaded frame (so callers can
+  /// distinguish a priority-shed from a full accept queue).
+  std::string response;
+  /// Degradation class of `response` (kNone when there is no frame).
+  ResponseClass response_class = ResponseClass::kNone;
   unsigned attempts = 0;       ///< network attempts actually made
   double backoff_seconds = 0;  ///< total time slept between attempts
 };

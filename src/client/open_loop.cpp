@@ -1,0 +1,31 @@
+#include "client/open_loop.hpp"
+
+#include <algorithm>
+
+namespace xbar::client {
+
+OpenLoopSample open_loop_latency(double intended_s, double sent_s,
+                                 double done_s) noexcept {
+  OpenLoopSample sample;
+  sample.service = std::max(0.0, done_s - sent_s);
+  sample.corrected = std::max(sample.service, done_s - intended_s);
+  return sample;
+}
+
+std::vector<OpenLoopSample> replay_open_loop(
+    const std::vector<double>& schedule,
+    const std::vector<double>& service_times) {
+  const std::size_t n = std::min(schedule.size(), service_times.size());
+  std::vector<OpenLoopSample> samples;
+  samples.reserve(n);
+  double free_at = 0.0;  // when the serial sender finishes its last send
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sent = std::max(schedule[i], free_at);
+    const double done = sent + std::max(0.0, service_times[i]);
+    samples.push_back(open_loop_latency(schedule[i], sent, done));
+    free_at = done;
+  }
+  return samples;
+}
+
+}  // namespace xbar::client

@@ -1,0 +1,54 @@
+// Open-loop latency accounting that does not lie under backpressure.
+//
+// An open-loop generator *intends* to send request i at
+// start + schedule[i].  When a server stalls, a serial sender cannot keep
+// that appointment: it is still waiting on request i-1, so request i goes
+// out late — and measuring latency from the *actual* send time silently
+// drops the queueing delay the stall caused.  That is coordinated
+// omission: the generator coordinates with the system under test and
+// omits exactly the samples that hurt, so a 500 ms stall can vanish from
+// the report entirely.
+//
+// The fix is bookkeeping, not machinery: latency = completion − the
+// *intended* arrival time.  `open_loop_latency` packages that correction
+// for one sample; `replay_open_loop` replays a whole (schedule, service
+// time) trace through a serial open-loop sender, producing the corrected
+// and service-only samples a regression test can pin quantiles on.
+//
+// Closed-loop runs (no pacing, rps = 0) have no intended arrival process,
+// so there is nothing to correct: corrected == service by construction.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xbar::client {
+
+/// One request's two latencies, in seconds.
+struct OpenLoopSample {
+  double corrected = 0.0;  ///< completion - intended arrival (open loop)
+  double service = 0.0;    ///< completion - actual send (what the server saw)
+};
+
+/// Correct one sample: `intended_s` is when the schedule wanted the
+/// request sent, `sent_s` when the sender actually got to it, `done_s`
+/// when the response landed (all on one clock, seconds).  The corrected
+/// latency is clamped to at least the service latency — a sender ahead of
+/// schedule earns no credit.
+[[nodiscard]] OpenLoopSample open_loop_latency(double intended_s,
+                                               double sent_s,
+                                               double done_s) noexcept;
+
+/// Replay a serial open-loop sender over an intended-arrival schedule and
+/// per-request service times: request i is sent at
+/// max(schedule[i], completion of request i-1) and completes service[i]
+/// later.  Returns one sample per request (sizes must match; the shorter
+/// bounds the replay).  This is the oracle the coordinated-omission
+/// regression test pins: a mid-trace stall must surface in the corrected
+/// quantiles even though every post-stall service time looks healthy.
+[[nodiscard]] std::vector<OpenLoopSample> replay_open_loop(
+    const std::vector<double>& schedule,
+    const std::vector<double>& service_times);
+
+}  // namespace xbar::client

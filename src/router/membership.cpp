@@ -1,6 +1,7 @@
 #include "router/membership.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace xbar::router {
 
@@ -37,7 +38,21 @@ void Membership::schedule(Slot& slot, TimePoint now, double base_seconds) {
 
 void Membership::record_success(std::size_t b, TimePoint now) {
   std::lock_guard<std::mutex> lock(mutex_);
+  success_locked(slots_[b], now);
+}
+
+void Membership::record_overloaded(std::size_t b, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Slot& slot = slots_[b];
+  // Liveness-wise this is a success: the backend answered a well-formed
+  // frame.  But it answered "go away", so bump the decaying score that
+  // keeps hedges from piling onto a saturated backend.
+  slot.overload_score = decayed_score(slot, now) + 1.0;
+  slot.overload_at = now;
+  success_locked(slot, now);
+}
+
+void Membership::success_locked(Slot& slot, TimePoint now) {
   slot.status.consecutive_failures = 0;
   ++slot.status.consecutive_successes;
   switch (slot.status.state) {
@@ -97,11 +112,48 @@ void Membership::record_failure(std::size_t b, TimePoint now) {
 }
 
 void Membership::note_health(std::size_t b, double load, bool draining,
-                             std::uint64_t cache_entries) {
+                             std::uint64_t cache_entries, double pressure) {
   std::lock_guard<std::mutex> lock(mutex_);
   slots_[b].status.load = load;
   slots_[b].status.draining = draining;
   slots_[b].status.cache_entries = cache_entries;
+  slots_[b].status.pressure = std::clamp(pressure, 0.0, 1.0);
+}
+
+double Membership::decayed_score(const Slot& slot, TimePoint now) const {
+  if (slot.overload_score <= 0.0) {
+    return 0.0;
+  }
+  const double tau = std::max(1e-9, config_.overload_decay_seconds);
+  const double dt = std::max(
+      0.0, std::chrono::duration<double>(now - slot.overload_at).count());
+  return slot.overload_score * std::exp(-dt / tau);
+}
+
+double Membership::overload_score(std::size_t b, TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decayed_score(slots_[b], now);
+}
+
+bool Membership::hedge_eligible(std::size_t b, TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Slot& slot = slots_[b];
+  if (slot.status.state == BackendState::kEjected || slot.status.draining) {
+    return false;
+  }
+  if (slot.status.pressure >= config_.brownout_pressure) {
+    return false;
+  }
+  return decayed_score(slot, now) < config_.hedge_suppress_threshold;
+}
+
+std::vector<double> Membership::pressures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out(slots_.size(), 0.0);
+  for (std::size_t b = 0; b < slots_.size(); ++b) {
+    out[b] = slots_[b].status.pressure;
+  }
+  return out;
 }
 
 BackendState Membership::state(std::size_t b) const {

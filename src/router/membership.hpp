@@ -50,6 +50,15 @@ struct MembershipConfig {
   unsigned eject_after = 3;    ///< consecutive failures -> ejected
   unsigned readmit_after = 2;  ///< consecutive successes to readmit
   double ejected_backoff_cap_seconds = 2.0;  ///< probe backoff ceiling
+  /// Brownout tracking: each served `overloaded` frame bumps the
+  /// backend's overload score by 1; the score decays exponentially with
+  /// this time constant.  A backend stays hedge-ineligible while its
+  /// decayed score is at or above `hedge_suppress_threshold`, or while
+  /// its advertised pressure is at or above `brownout_pressure` — a hedge
+  /// into a saturated backend only amplifies the overload it is fleeing.
+  double overload_decay_seconds = 2.0;
+  double hedge_suppress_threshold = 0.5;
+  double brownout_pressure = 0.8;
 };
 
 /// Point-in-time view of one backend's machine (for stats rendering).
@@ -63,6 +72,7 @@ struct BackendStatus {
   double load = 0.0;
   bool draining = false;
   std::uint64_t cache_entries = 0;
+  double pressure = 0.0;  ///< backend-advertised overload pressure [0, 1]
 };
 
 class Membership {
@@ -83,10 +93,15 @@ class Membership {
   void record_success(std::size_t b, TimePoint now);
   void record_failure(std::size_t b, TimePoint now);
 
+  /// A served "overloaded" frame from backend `b`: liveness-wise a
+  /// success (the backend answered), but it also bumps the decaying
+  /// overload score that gates hedge eligibility.
+  void record_overloaded(std::size_t b, TimePoint now);
+
   /// Attach the latest health-payload observations (load, draining flag,
-  /// result-cache occupancy) to backend `b`.
+  /// result-cache occupancy, advertised overload pressure) to backend `b`.
   void note_health(std::size_t b, double load, bool draining,
-                   std::uint64_t cache_entries);
+                   std::uint64_t cache_entries, double pressure = 0.0);
 
   [[nodiscard]] BackendState state(std::size_t b) const;
   [[nodiscard]] BackendStatus status(std::size_t b) const;
@@ -94,6 +109,17 @@ class Membership {
   /// Routable mask: healthy or suspect.
   [[nodiscard]] std::vector<char> alive() const;
   [[nodiscard]] std::size_t alive_count() const;
+
+  /// Decayed overload score for backend `b` as of `now` (tests/stats).
+  [[nodiscard]] double overload_score(std::size_t b, TimePoint now) const;
+
+  /// Whether backend `b` is a sane hedge target at `now`: routable, not
+  /// draining, decayed overload score under `hedge_suppress_threshold`,
+  /// and advertised pressure under `brownout_pressure`.
+  [[nodiscard]] bool hedge_eligible(std::size_t b, TimePoint now) const;
+
+  /// Advertised pressure per backend (placement weighting).
+  [[nodiscard]] std::vector<double> pressures() const;
 
   /// When backend `b`'s next probe is due (jittered; backed off while
   /// ejected).
@@ -108,11 +134,19 @@ class Membership {
     BackendStatus status;
     TimePoint next_probe;
     double backoff_seconds = 0.0;  ///< current ejected-probe backoff
+    double overload_score = 0.0;   ///< decaying served-overloaded count
+    TimePoint overload_at{};       ///< when overload_score was last set
   };
 
   /// base * (1 ± jitter * U), U uniform in [0, 1).  Caller holds mutex_.
   double jittered(double base_seconds);
   void schedule(Slot& slot, TimePoint now, double base_seconds);
+  /// Success-path state transition shared by record_success and
+  /// record_overloaded.  Caller holds mutex_.
+  void success_locked(Slot& slot, TimePoint now);
+  /// Slot's overload score decayed to `now`.  Caller holds mutex_.
+  [[nodiscard]] double decayed_score(const Slot& slot,
+                                     TimePoint now) const;
 
   MembershipConfig config_;
   mutable std::mutex mutex_;

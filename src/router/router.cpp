@@ -310,7 +310,17 @@ std::vector<std::size_t> Router::outstanding_by_backend() const {
 std::vector<std::size_t> Router::placement_plan(
     const Request& request) const {
   const std::vector<char> alive = membership_->alive();
-  const std::vector<std::size_t> outstanding = outstanding_by_backend();
+  std::vector<std::size_t> outstanding = outstanding_by_backend();
+  // Brownout weighting: advertised pressure shows up as virtual
+  // outstanding load, so the bounded-load ring spills away from a
+  // saturated backend before it starts shedding.
+  if (config_.pressure_penalty > 0.0) {
+    const std::vector<double> pressures = membership_->pressures();
+    for (std::size_t b = 0; b < outstanding.size(); ++b) {
+      outstanding[b] += static_cast<std::size_t>(
+          pressures[b] * config_.pressure_penalty);
+    }
+  }
   if (!request.cache_key.empty()) {
     return ring_.plan(HashRing::hash_key(request.cache_key), alive,
                       outstanding);
@@ -340,8 +350,9 @@ void Router::observe_attempt(std::size_t b,
       break;
     case client::Outcome::kOverloaded:
       // A typed "overloaded" frame is *liveness*: the backend answered.
-      // The breaker and the bounded-load ring handle the pressure.
-      membership_->record_success(b, now);
+      // It still decays the backend's hedge eligibility — hedging into a
+      // backend that just said "go away" only deepens its overload.
+      membership_->record_overloaded(b, now);
       break;
     case client::Outcome::kTimeout:
     case client::Outcome::kRefused:
@@ -414,9 +425,27 @@ std::string Router::route(const Request& request, const std::string& line) {
         });
     hedged = !settled;
   }
+  std::size_t hedge_target = 0;
+  bool hedge_launched = false;
   if (hedged) {
-    hedges_launched_.fetch_add(1, std::memory_order_relaxed);
-    launch_attempt(rendezvous, 1, plan[1], line);
+    // The hedge must not land on a browned-out backend: pick the first
+    // eligible candidate down the plan (plan order is already cheapest
+    // first).  With no eligible target, suppress the hedge — the primary
+    // keeps running and failover still covers a true failure.
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+      if (membership_->hedge_eligible(plan[i], now)) {
+        hedge_target = plan[i];
+        hedge_launched = true;
+        break;
+      }
+    }
+    if (hedge_launched) {
+      hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+      launch_attempt(rendezvous, 1, hedge_target, line);
+    } else {
+      hedges_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   std::string frame;
@@ -434,7 +463,7 @@ std::string Router::route(const Request& request, const std::string& line) {
     if (rendezvous->launched == 2) {
       // Hedge accounting (won + lost == launched is the smoke-test
       // invariant that proves no request was answered twice).
-      Backend& hedge_backend = *backends_[plan[1]];
+      Backend& hedge_backend = *backends_[hedge_target];
       if (rendezvous->has_winner && rendezvous->winner_slot == 1) {
         hedge_backend.hedges_won.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -466,7 +495,13 @@ std::string Router::route(const Request& request, const std::string& line) {
   // Phase 2: synchronous failover down the rest of the plan.  No hedging
   // here — by now the fast path has failed and the priority is finding
   // *any* healthy candidate, cheapest (least-loaded, per the plan) first.
-  for (std::size_t i = hedged ? 2 : 1; i < plan.size(); ++i) {
+  // The hedge target (if any) was already tried; everything else in the
+  // plan — including candidates skipped as hedge-ineligible — still gets
+  // its synchronous shot.
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    if (hedge_launched && plan[i] == hedge_target) {
+      continue;
+    }
     failovers_.fetch_add(1, std::memory_order_relaxed);
     const Clock::time_point begin = Clock::now();
     client::CallResult result = backends_[plan[i]]->pool->call(line);
@@ -532,9 +567,10 @@ void Router::probe_one(std::size_t b, client::XbarClient& probe_client) {
   // exists to verify.
   probe_client.disconnect();
   const Clock::time_point now = Clock::now();
-  if (result.outcome == client::Outcome::kOk ||
-      result.outcome == client::Outcome::kOverloaded) {
+  if (result.outcome == client::Outcome::kOk) {
     membership_->record_success(b, now);
+  } else if (result.outcome == client::Outcome::kOverloaded) {
+    membership_->record_overloaded(b, now);
   } else {
     backends_[b]->probe_failures.fetch_add(1, std::memory_order_relaxed);
     membership_->record_failure(b, now);
@@ -565,7 +601,12 @@ void Router::probe_one(std::size_t b, client::XbarClient& probe_client) {
         v != nullptr && v->is_number()) {
       cache_entries = static_cast<std::uint64_t>(v->as_number());
     }
-    membership_->note_health(b, load, draining, cache_entries);
+    double pressure = 0.0;
+    if (const report::JsonValue* v = payload->find("pressure");
+        v != nullptr && v->is_number()) {
+      pressure = v->as_number();
+    }
+    membership_->note_health(b, load, draining, cache_entries, pressure);
   } catch (const xbar::Error&) {
   }
 }
@@ -588,6 +629,8 @@ RouterStatsSnapshot Router::stats() const {
   s.failovers = failovers_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
   s.hedges_launched = hedges_launched_.load(std::memory_order_relaxed);
+  s.hedges_suppressed =
+      hedges_suppressed_.load(std::memory_order_relaxed);
   s.ejections = membership_->ejections();
   s.readmissions = membership_->readmissions();
   s.hedge_delay_seconds = hedge_delay_seconds();
@@ -640,6 +683,7 @@ std::string Router::render_stats() const {
   json.key("launched").value(s.hedges_launched);
   json.key("won").value(s.hedges_won);
   json.key("lost").value(s.hedges_lost);
+  json.key("suppressed").value(s.hedges_suppressed);
   json.end_object();
   json.key("membership").begin_object();
   json.key("ejections").value(s.ejections);
@@ -669,6 +713,7 @@ std::string Router::render_stats() const {
     json.key("load").value(bs.status.load);
     json.key("draining").value(bs.status.draining);
     json.key("cache_entries").value(bs.status.cache_entries);
+    json.key("pressure").value(bs.status.pressure);
     json.key("probes").value(bs.probes);
     json.key("probe_failures").value(bs.probe_failures);
     json.key("client");
@@ -706,6 +751,21 @@ std::string Router::render_health() const {
           : 0.0);
   json.key("backends").value(static_cast<std::uint64_t>(backends_.size()));
   json.key("alive_backends").value(static_cast<std::uint64_t>(alive));
+  // Fleet pressure as a downstream router tier would want it: the least
+  // pressured routable backend bounds what a new request must endure.
+  {
+    const std::vector<char> mask = membership_->alive();
+    const std::vector<double> pressures = membership_->pressures();
+    double fleet = 1.0;
+    bool any = false;
+    for (std::size_t b = 0; b < mask.size(); ++b) {
+      if (mask[b] != 0) {
+        fleet = any ? std::min(fleet, pressures[b]) : pressures[b];
+        any = true;
+      }
+    }
+    json.key("pressure").value(any ? fleet : 1.0);
+  }
   json.end_object();
   return std::move(out).str();
 }

@@ -100,6 +100,12 @@ struct RouterConfig {
 
   double probe_timeout_seconds = 0.25;  ///< health-probe call budget
   std::uint64_t seed = 1;
+
+  /// Brownout-aware placement: each backend's advertised pressure [0, 1]
+  /// inflates its apparent outstanding count by `pressure * penalty`
+  /// virtual requests, steering the bounded-load ring away from saturated
+  /// backends before they start shedding.
+  double pressure_penalty = 4.0;
 };
 
 /// Per-backend operational view (stats rendering + tests).
@@ -129,6 +135,7 @@ struct RouterStatsSnapshot {
   std::uint64_t hedges_launched = 0;
   std::uint64_t hedges_won = 0;
   std::uint64_t hedges_lost = 0;
+  std::uint64_t hedges_suppressed = 0;  ///< armed but no eligible target
   std::uint64_t ejections = 0;
   std::uint64_t readmissions = 0;
   double hedge_delay_seconds = 0.0;  ///< the currently armed delay
@@ -240,6 +247,7 @@ class Router {
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> hedges_launched_{0};
+  std::atomic<std::uint64_t> hedges_suppressed_{0};
 };
 
 }  // namespace xbar::router

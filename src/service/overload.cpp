@@ -1,0 +1,157 @@
+#include "service/overload.hpp"
+
+#include <algorithm>
+
+namespace xbar::service {
+
+const char* to_string(LadderRung rung) {
+  switch (rung) {
+    case LadderRung::kExact:
+      return "exact";
+    case LadderRung::kStale:
+      return "stale";
+    case LadderRung::kBoundOnly:
+      return "bound";
+    case LadderRung::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+OverloadController::OverloadController(OverloadConfig config)
+    : config_(config) {
+  config_.min_limit = std::max<std::size_t>(1, config_.min_limit);
+  config_.max_limit = std::max(config_.max_limit, config_.min_limit);
+  config_.initial_limit = std::clamp(config_.initial_limit,
+                                     config_.min_limit, config_.max_limit);
+  config_.window = std::max<std::size_t>(1, config_.window);
+  config_.smoothing = std::clamp(config_.smoothing, 0.0, 1.0);
+  config_.decrease_factor = std::clamp(config_.decrease_factor, 0.1, 0.99);
+  config_.priority_levels = std::max(1u, config_.priority_levels);
+  limit_raw_ = static_cast<double>(config_.initial_limit);
+  limit_.store(config_.initial_limit, std::memory_order_relaxed);
+  window_.reserve(config_.window);
+}
+
+bool OverloadController::admit(std::size_t in_flight) {
+  if (in_flight >= limit_.load(std::memory_order_relaxed)) {
+    limited_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void OverloadController::on_latency(double seconds, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.empty()) {
+    window_start_ = now;
+  }
+  window_.push_back(seconds);
+  const double elapsed =
+      std::chrono::duration<double>(now - window_start_).count();
+  if (window_.size() < config_.window && elapsed < config_.window_seconds) {
+    return;
+  }
+
+  // Close the window: exact p99 over the sample buffer (the buffer is
+  // small, so nth_element beats maintaining a histogram).
+  const std::size_t index =
+      std::min(window_.size() - 1, (window_.size() * 99) / 100);
+  std::nth_element(window_.begin(),
+                   window_.begin() + static_cast<std::ptrdiff_t>(index),
+                   window_.end());
+  const double p99 = window_[index];
+  window_.clear();
+  window_p99_.store(p99, std::memory_order_relaxed);
+
+  const double ratio = config_.target_p99_seconds > 0.0
+                           ? p99 / config_.target_p99_seconds
+                           : 0.0;
+  const std::uint64_t closed =
+      windows_.fetch_add(1, std::memory_order_relaxed) + 1;
+  smoothed_ratio_ = closed == 1 ? ratio
+                                : (1.0 - config_.smoothing) * smoothed_ratio_ +
+                                      config_.smoothing * ratio;
+  latency_ratio_.store(smoothed_ratio_, std::memory_order_relaxed);
+
+  // AIMD on the *raw* window ratio: react to the spike now, let the EWMA
+  // smooth only the advertised pressure.
+  if (ratio > 1.0) {
+    limit_raw_ = std::max(static_cast<double>(config_.min_limit),
+                          limit_raw_ * config_.decrease_factor);
+    limit_decreases_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    limit_raw_ = std::min(static_cast<double>(config_.max_limit),
+                          limit_raw_ + config_.additive_step);
+    limit_increases_.fetch_add(1, std::memory_order_relaxed);
+  }
+  limit_.store(static_cast<std::size_t>(limit_raw_),
+               std::memory_order_relaxed);
+  refresh_pressure();
+}
+
+void OverloadController::note_queue(std::size_t depth, std::size_t capacity) {
+  const double fraction =
+      capacity > 0
+          ? std::min(1.0, static_cast<double>(depth) /
+                              static_cast<double>(capacity))
+          : 0.0;
+  queue_fraction_.store(fraction, std::memory_order_relaxed);
+  refresh_pressure();
+}
+
+void OverloadController::refresh_pressure() {
+  const double ratio = latency_ratio_.load(std::memory_order_relaxed);
+  const double latency_component = ratio <= 1.0 ? 0.0 : 1.0 - 1.0 / ratio;
+  const double raw = std::max(
+      latency_component, queue_fraction_.load(std::memory_order_relaxed));
+  pressure_.store(std::clamp(raw, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+unsigned OverloadController::rank_of(int priority) const {
+  const unsigned top = config_.priority_levels - 1;
+  if (priority < 0) {
+    return top;  // unset priority: shed last
+  }
+  return std::min(static_cast<unsigned>(priority), top);
+}
+
+LadderRung OverloadController::classify(unsigned rank,
+                                        double step_scale) const {
+  const double p = pressure();
+  const unsigned r = std::min(rank, config_.priority_levels - 1);
+  const double threshold =
+      config_.shed_start + static_cast<double>(r) * config_.shed_step *
+                               std::max(1.0, step_scale);
+  if (p >= threshold) {
+    return LadderRung::kShed;
+  }
+  if (p >= config_.bound_at) {
+    return LadderRung::kBoundOnly;
+  }
+  if (p >= config_.stale_at) {
+    return LadderRung::kStale;
+  }
+  return LadderRung::kExact;
+}
+
+OverloadSnapshot OverloadController::snapshot() const {
+  OverloadSnapshot s;
+  s.limit = limit_.load(std::memory_order_relaxed);
+  s.pressure = pressure_.load(std::memory_order_relaxed);
+  s.latency_ratio = latency_ratio_.load(std::memory_order_relaxed);
+  s.queue_fraction = queue_fraction_.load(std::memory_order_relaxed);
+  s.window_p99_ms = window_p99_.load(std::memory_order_relaxed) * 1e3;
+  s.windows = windows_.load(std::memory_order_relaxed);
+  s.limit_increases = limit_increases_.load(std::memory_order_relaxed);
+  s.limit_decreases = limit_decreases_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.limited = limited_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.bound_served = bound_served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace xbar::service

@@ -1,0 +1,168 @@
+// Adaptive overload control for the serving tier.
+//
+// The paper predicts what a multi-rate crossbar does *under load*; this is
+// the serving stack's own answer to the same question.  An
+// OverloadController per server replaces the static accept-queue bound as
+// the primary admission signal with an AIMD concurrency limit driven by the
+// observed p99 against a latency target, and exposes a *degradation
+// ladder* the request path walks instead of shedding outright:
+//
+//   kExact     -> full solve, byte-identical frames to the unloaded path
+//   kStale     -> serve an expired ResultCache entry, flagged with age_ms
+//   kBoundOnly -> cheap knapsack bound answer with an error bracket
+//   kShed      -> typed `overloaded` rejection, lowest priority first
+//
+// Priority shedding uses trunk-reservation-style thresholds (the paper's
+// own admission discipline): request rank r is shed once pressure crosses
+// shed_start + r * shed_step, so low ranks go first and high ranks keep
+// degraded service until the very top of the pressure range.  The advisor's
+// per-class shadow costs (PR 9) can widen the spacing via `step_scale`.
+//
+// Pressure is a [0,1] scalar published to the router via stats/health
+// frames (brownout propagation): max of a smoothed latency component
+// (1 - target/p99, zero when under target) and the instantaneous accept
+// queue fraction.  Everything here is "time is a parameter" — callers pass
+// `now`, nothing reads the clock — so tests replay transitions with a
+// synthetic clock and nothing sleeps.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace xbar::service {
+
+/// One rung of the degradation ladder, in escalation order.
+enum class LadderRung { kExact = 0, kStale, kBoundOnly, kShed };
+
+const char* to_string(LadderRung rung);
+
+struct OverloadConfig {
+  /// Latency SLO the AIMD loop steers the window p99 toward.
+  double target_p99_seconds = 0.050;
+  /// Concurrency limit bounds and start point.
+  std::size_t min_limit = 4;
+  std::size_t max_limit = 1024;
+  std::size_t initial_limit = 64;
+  /// Additive increase per under-target window; multiplicative decrease
+  /// factor per over-target window.
+  double additive_step = 2.0;
+  double decrease_factor = 0.7;
+  /// A window closes after this many samples or this much wall time,
+  /// whichever comes first (the time bound keeps the signal fresh at low
+  /// rates).
+  std::size_t window = 64;
+  double window_seconds = 1.0;
+  /// EWMA weight of the newest window's p99/target ratio.
+  double smoothing = 0.3;
+  /// How long a cache entry may be served as "stale" once the ladder is
+  /// past kExact.  0 disables stale serving (entries never expire, the
+  /// pre-overload behavior).
+  double stale_ttl_seconds = 5.0;
+  /// Ladder thresholds on pressure in [0,1].
+  double stale_at = 0.50;
+  double bound_at = 0.70;
+  double shed_start = 0.85;
+  /// Trunk-reservation spacing between per-rank shed thresholds.
+  double shed_step = 0.05;
+  /// Number of distinct priority ranks (requests without a priority get
+  /// the top rank: shed last).
+  unsigned priority_levels = 4;
+};
+
+/// Point-in-time view for stats frames and tests.
+struct OverloadSnapshot {
+  std::size_t limit = 0;
+  double pressure = 0.0;
+  double latency_ratio = 0.0;
+  double queue_fraction = 0.0;
+  double window_p99_ms = 0.0;
+  std::uint64_t windows = 0;
+  std::uint64_t limit_increases = 0;
+  std::uint64_t limit_decreases = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t limited = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t bound_served = 0;
+  std::uint64_t shed = 0;
+};
+
+class OverloadController {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  explicit OverloadController(OverloadConfig config);
+
+  /// Admission check for a newly accepted connection: `in_flight` is the
+  /// server's current concurrency (queued + active connections).  False
+  /// means shed at the door with a typed `overloaded` frame.
+  bool admit(std::size_t in_flight);
+
+  /// Current adaptive concurrency limit.
+  std::size_t limit() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Feed one served-request latency into the current window; closes the
+  /// window (AIMD step + pressure update) when it is full or old enough.
+  void on_latency(double seconds, TimePoint now);
+
+  /// Instantaneous accept-queue occupancy, folded into pressure.
+  void note_queue(std::size_t depth, std::size_t capacity);
+
+  /// Brownout pressure in [0,1], advertised via stats/health frames.
+  double pressure() const {
+    return pressure_.load(std::memory_order_relaxed);
+  }
+
+  /// Which rung of the ladder a request of priority rank `rank` gets at
+  /// the current pressure.  `step_scale` >= 1 widens the per-rank shed
+  /// spacing (the advisor's reservation step feeds this).
+  LadderRung classify(unsigned rank, double step_scale = 1.0) const;
+
+  /// Rank for a request-carried priority (negative = unset = top rank).
+  unsigned rank_of(int priority) const;
+
+  /// Ladder accounting, called by the server when it serves a rung.
+  void count_stale() { stale_served_.fetch_add(1, std::memory_order_relaxed); }
+  void count_bound() { bound_served_.fetch_add(1, std::memory_order_relaxed); }
+  void count_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+
+  OverloadSnapshot snapshot() const;
+
+  const OverloadConfig& config() const { return config_; }
+
+ private:
+  void refresh_pressure();
+
+  OverloadConfig config_;
+
+  // Window state under the mutex; published signals are lock-free atomics
+  // so admit()/pressure()/classify() never contend with window closes.
+  mutable std::mutex mutex_;
+  std::vector<double> window_;
+  TimePoint window_start_{};
+  double limit_raw_ = 0.0;
+  double smoothed_ratio_ = 0.0;
+
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<double> pressure_{0.0};
+  std::atomic<double> latency_ratio_{0.0};
+  std::atomic<double> queue_fraction_{0.0};
+  std::atomic<double> window_p99_{0.0};
+  std::atomic<std::uint64_t> windows_{0};
+  std::atomic<std::uint64_t> limit_increases_{0};
+  std::atomic<std::uint64_t> limit_decreases_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> limited_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> bound_served_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace xbar::service

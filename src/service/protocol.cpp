@@ -242,6 +242,10 @@ Request parse_request(std::string_view line) {
   if (const JsonValue* no_cache = root.find("no_cache")) {
     req.no_cache = no_cache->as_bool();
   }
+  if (const JsonValue* priority = root.find("priority")) {
+    req.priority = static_cast<int>(
+        as_bounded_unsigned(*priority, "priority", 63));
+  }
 
   if (req.method == Method::kObserve) {
     // Advisor ingestion: a bounded array of trace events, never cached.
@@ -317,6 +321,23 @@ std::string render_ok(const std::string& id, std::string_view result_json,
   out += id;
   out += ",\"status\":\"ok\",\"cached\":";
   out += cached ? "true" : "false";
+  out += ",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string render_ok_degraded(const std::string& id,
+                               std::string_view result_json, bool cached,
+                               std::string_view degraded_json) {
+  std::string out;
+  out.reserve(result_json.size() + degraded_json.size() + 80);
+  out += "{\"id\":";
+  out += id;
+  out += ",\"status\":\"ok\",\"cached\":";
+  out += cached ? "true" : "false";
+  out += ",\"degraded\":";
+  out += degraded_json;
   out += ",\"result\":";
   out += result_json;
   out += "}";

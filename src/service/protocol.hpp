@@ -17,7 +17,13 @@
 //    "events": [{"class": "voice", "t": 12.5, "hold": 0.9,  (observe only)
 //                "bandwidth": 1, "weight": 1.0, "blocked": false}],
 //    "deadline_ms": 250,                                    (optional)
-//    "no_cache": true}                                      (optional)
+//    "no_cache": true,                                      (optional)
+//    "priority": 2}                                         (optional)
+//
+// `priority` ranks the request for overload shedding (0 = shed first;
+// omitted = top rank, shed last).  It is deliberately *not* part of the
+// cache key: the same computation at two priorities is still the same
+// computation.
 //
 // `observe` ingests externally captured connection-trace events into the
 // server's streaming capacity advisor (timestamps are trace seconds, not
@@ -85,6 +91,7 @@ struct Request {
   std::vector<advisor::ObservedEvent> events;  ///< observe only
   double deadline_ms = 0.0;                  ///< 0 = no deadline
   bool no_cache = false;
+  int priority = -1;  ///< shed rank (0 = shed first); -1 = unset (top rank)
   std::string cache_key;  ///< canonical fingerprint (cacheable methods only)
 };
 
@@ -97,6 +104,15 @@ struct Request {
 [[nodiscard]] std::string render_ok(const std::string& id,
                                     std::string_view result_json,
                                     bool cached);
+
+/// Render a degraded-but-ok response: identical to render_ok except for a
+/// `degraded` object (already-rendered JSON, e.g. `{"mode":"stale",
+/// "age_ms":1200}`) between `cached` and `result`.  Exact-path responses
+/// never carry the field, so unloaded frames stay byte-identical.
+[[nodiscard]] std::string render_ok_degraded(const std::string& id,
+                                             std::string_view result_json,
+                                             bool cached,
+                                             std::string_view degraded_json);
 
 /// Render a typed error response.  `kind` is an ErrorKind name or one of
 /// the service kinds ("overloaded", "deadline", "shutdown").

@@ -35,13 +35,36 @@ std::optional<std::string> ResultCache::get(std::string_view key) {
   return std::nullopt;
 }
 
-void ResultCache::put(std::string_view key, std::string value) {
+std::optional<ResultCache::AgedValue> ResultCache::get_with_age(
+    std::string_view key, Clock::time_point now) {
+  const std::uint64_t fp = cache_fingerprint(key);
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  for (std::size_t i = 0; i < shard.entries.size(); ++i) {
+    if (shard.entries[i].fp == fp && shard.entries[i].key == key) {
+      const auto it =
+          shard.entries.begin() + static_cast<std::ptrdiff_t>(i);
+      std::rotate(shard.entries.begin(), it, it + 1);
+      ++shard.hits;
+      const Entry& front = shard.entries.front();
+      const double age = std::max(
+          0.0, std::chrono::duration<double>(now - front.inserted).count());
+      return AgedValue{front.value, age};
+    }
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(std::string_view key, std::string value,
+                      Clock::time_point now) {
   const std::uint64_t fp = cache_fingerprint(key);
   Shard& shard = shard_for(fp);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   for (std::size_t i = 0; i < shard.entries.size(); ++i) {
     if (shard.entries[i].fp == fp && shard.entries[i].key == key) {
       shard.entries[i].value = std::move(value);
+      shard.entries[i].inserted = now;
       const auto it =
           shard.entries.begin() + static_cast<std::ptrdiff_t>(i);
       std::rotate(shard.entries.begin(), it, it + 1);
@@ -53,7 +76,7 @@ void ResultCache::put(std::string_view key, std::string value) {
     ++shard.evictions;
   }
   shard.entries.insert(shard.entries.begin(),
-                       Entry{fp, std::string(key), std::move(value)});
+                       Entry{fp, std::string(key), std::move(value), now});
 }
 
 ResultCacheCounters ResultCache::counters() const {

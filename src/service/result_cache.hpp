@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -37,6 +38,16 @@ struct ResultCacheCounters {
 
 class ResultCache {
  public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A cached value together with how long ago it was inserted — the
+  /// overload ladder's stale-serving path needs the age to decide whether
+  /// an entry is still fresh and to flag the frame honestly.
+  struct AgedValue {
+    std::string value;
+    double age_seconds = 0.0;
+  };
+
   /// `shards` independent LRU shards of `entries_per_shard` entries each
   /// (both clamped to at least 1).
   explicit ResultCache(std::size_t shards = 8,
@@ -46,9 +57,16 @@ class ResultCache {
   /// a miss.
   [[nodiscard]] std::optional<std::string> get(std::string_view key);
 
+  /// Like get(), but also reports the entry's age at `now`.  Identical
+  /// hit/miss accounting and recency behavior.
+  [[nodiscard]] std::optional<AgedValue> get_with_age(
+      std::string_view key, Clock::time_point now = Clock::now());
+
   /// Insert (or refresh) `key`; evicts the shard's least-recently-used
-  /// entry when full.  Does not touch the hit/miss counters.
-  void put(std::string_view key, std::string value);
+  /// entry when full.  Does not touch the hit/miss counters.  Refreshing
+  /// resets the entry's insertion time to `now`.
+  void put(std::string_view key, std::string value,
+           Clock::time_point now = Clock::now());
 
   [[nodiscard]] ResultCacheCounters counters() const;
 
@@ -62,6 +80,7 @@ class ResultCache {
     std::uint64_t fp = 0;
     std::string key;
     std::string value;
+    Clock::time_point inserted{};
   };
   struct Shard {
     mutable std::mutex mutex;

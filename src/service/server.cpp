@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <optional>
@@ -15,6 +16,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/knapsack.hpp"
 #include "core/measures.hpp"
 #include "core/revenue.hpp"
 #include "report/json_writer.hpp"
@@ -36,6 +38,45 @@ double seconds_since(Clock::time_point start) {
 
 std::size_t method_index(Method method) noexcept {
   return static_cast<std::size_t>(method);
+}
+
+/// One scenario's bound-only answer: the Kaufman-Roberts knapsack
+/// approximation with an explicit per-class blocking bracket.  The
+/// knapsack drops the port-matching thinning factor, so its congestion is
+/// a *lower* bound; the upper edge applies the two-sided 1-(1-B)^2
+/// heuristic (both input and output side thin independently at worst).
+void write_bound_json(JsonWriter& json, const core::CrossbarModel& model) {
+  const core::KnapsackResult bound = core::knapsack_approximation(model);
+  const unsigned capacity =
+      std::min(model.dims().n1, model.dims().n2);
+  json.begin_object();
+  json.key("bound").begin_object();
+  json.key("method").value("knapsack");
+  json.key("capacity").value(capacity);
+  json.key("utilization").value(bound.utilization);
+  json.key("classes").begin_array();
+  for (std::size_t r = 0; r < model.num_classes(); ++r) {
+    const double lower = bound.call_congestion[r];
+    const double upper =
+        std::clamp(1.0 - (1.0 - lower) * (1.0 - lower), lower, 1.0);
+    json.begin_object();
+    json.key("name").value(model.classes()[r].name);
+    json.key("bandwidth").value(model.classes()[r].bandwidth);
+    json.key("blocking_lower").value(lower);
+    json.key("blocking_upper").value(upper);
+    json.key("time_congestion").value(bound.time_congestion[r]);
+    json.key("mean_concurrency").value(bound.concurrency[r]);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("error_bar").begin_object();
+  json.key("kind").value("one_sided");
+  json.key("note").value(
+      "knapsack capacity bound drops port-matching thinning; true "
+      "blocking lies in [blocking_lower, blocking_upper]");
+  json.end_object();
+  json.end_object();
+  json.end_object();
 }
 
 }  // namespace
@@ -104,6 +145,9 @@ Server::Server(ServerConfig config)
       cache_(config_.cache_shards, config_.cache_entries_per_shard) {
   if (config_.advisor.has_value()) {
     advisor_ = std::make_unique<advisor::Advisor>(*config_.advisor);
+  }
+  if (config_.overload.has_value()) {
+    overload_ = std::make_unique<OverloadController>(*config_.overload);
   }
 }
 
@@ -218,7 +262,28 @@ void Server::acceptor_main() {
                        "accept queue full; retry with backoff"));
       continue;
     }
+    if (overload_ != nullptr) {
+      // Adaptive admission: the AIMD limit on concurrency (queued +
+      // active connections) is the primary signal; the static queue bound
+      // above stays as the hard memory backstop.
+      const std::size_t in_flight =
+          queue_.size() +
+          connections_active_.load(std::memory_order_relaxed);
+      if (!overload_->admit(in_flight)) {
+        lock.unlock();
+        overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+        (void)write_line(
+            conn.fd(),
+            render_error("null", "overloaded",
+                         "adaptive concurrency limit reached; retry with "
+                         "backoff"));
+        continue;
+      }
+    }
     queue_.push_back(std::move(conn));
+    if (overload_ != nullptr) {
+      overload_->note_queue(queue_.size(), config_.queue_capacity);
+    }
     lock.unlock();
     queue_cv_.notify_one();
   }
@@ -238,6 +303,9 @@ void Server::worker_main(Worker& worker) {
       }
       conn = std::move(queue_.front());
       queue_.pop_front();
+      if (overload_ != nullptr) {
+        overload_->note_queue(queue_.size(), config_.queue_capacity);
+      }
     }
     handle_connection(worker, std::move(conn));
   }
@@ -332,6 +400,11 @@ bool Server::handle_request(Worker& worker, int fd,
     response = render_error("null", "internal", e.what());
   }
   latency_.record(seconds_since(received));
+  if (overload_ != nullptr) {
+    // Every served request feeds the SLO window — the AIMD loop reacts to
+    // what the server actually delivers, cheap methods included.
+    overload_->on_latency(seconds_since(received), Clock::now());
+  }
   switch (send_line(fd, response)) {
     case SendStatus::kOk:
       return true;
@@ -391,16 +464,84 @@ std::string Server::execute(Worker& worker, const Request& request,
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : config_.default_deadline_ms;
+  const LadderRung rung = ladder_rung(request);
   if (!request.no_cache) {
-    if (std::optional<std::string> hit = cache_.get(request.cache_key)) {
-      ok_.fetch_add(1, std::memory_order_relaxed);
-      return render_ok(request.id, *hit, true);
+    if (std::optional<ResultCache::AgedValue> hit =
+            cache_.get_with_age(request.cache_key)) {
+      const double ttl = overload_ != nullptr
+                             ? overload_->config().stale_ttl_seconds
+                             : 0.0;
+      if (ttl <= 0.0 || hit->age_seconds <= ttl) {
+        // Fresh (or ttl disabled, the pre-overload behavior): the frame is
+        // byte-identical to the unloaded path.
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        return render_ok(request.id, hit->value, true);
+      }
+      if (rung != LadderRung::kExact) {
+        // First rung of the ladder: an expired answer now is better than a
+        // fresh answer the pressured solver cannot afford.  The frame says
+        // so honestly.
+        overload_->count_stale();
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        std::string degraded = "{\"mode\":\"stale\",\"age_ms\":";
+        degraded +=
+            std::to_string(static_cast<std::uint64_t>(hit->age_seconds * 1e3));
+        degraded += "}";
+        return render_ok_degraded(request.id, hit->value, true, degraded);
+      }
+      // Expired and unpressured: fall through and recompute (the put below
+      // refreshes the entry's age).
     }
   }
   if (deadline_ms > 0.0 && seconds_since(received) * 1e3 > deadline_ms) {
     deadlines_.fetch_add(1, std::memory_order_relaxed);
     return render_error(request.id, "deadline",
                         "deadline expired before execution started");
+  }
+  if (rung == LadderRung::kShed) {
+    // Bottom of the ladder: trunk-reservation shedding, lowest rank first.
+    overload_->count_shed();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    char pressure[16];
+    std::snprintf(pressure, sizeof(pressure), "%.2f",
+                  overload_->pressure());
+    return render_error(request.id, "overloaded",
+                        std::string("priority-shed at pressure ") + pressure +
+                            "; retry with backoff");
+  }
+  if (rung == LadderRung::kBoundOnly &&
+      (request.method == Method::kSolve ||
+       request.method == Method::kBatch)) {
+    // Middle rung: the Kaufman-Roberts knapsack bound instead of the full
+    // solve — O(C R) versus a grid traversal, with an explicit error
+    // bracket (the knapsack drops port-matching thinning, so it
+    // *underestimates* blocking; the upper edge is the 1-(1-B)^2 two-sided
+    // heuristic).  Never cached: a bound must not shadow an exact answer.
+    try {
+      std::ostringstream out;
+      JsonWriter json(out, JsonWriter::Style::kCompact);
+      if (request.method == Method::kSolve) {
+        write_bound_json(json, *request.model);
+      } else {
+        json.begin_object();
+        json.key("scenarios").begin_array();
+        for (const core::CrossbarModel& model : request.scenarios) {
+          write_bound_json(json, model);
+        }
+        json.end_array();
+        json.end_object();
+      }
+      overload_->count_bound();
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      return render_ok_degraded(request.id, std::move(out).str(), false,
+                                "{\"mode\":\"bound\"}");
+    } catch (const xbar::Error& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, e);
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return render_error(request.id, "internal", e.what());
+    }
   }
 
   try {
@@ -660,6 +801,44 @@ std::string Server::execute_advise(const Request& request) const {
   return std::move(out).str();
 }
 
+LadderRung Server::ladder_rung(const Request& request) const {
+  if (overload_ == nullptr) {
+    return LadderRung::kExact;
+  }
+  unsigned rank = overload_->rank_of(request.priority);
+  double step_scale = 1.0;
+  if (advisor_ != nullptr &&
+      overload_->pressure() >= overload_->config().shed_start) {
+    // Consult the advisor only when shedding is imminent: a confident
+    // recommendation's reservation step widens the trunk-reservation
+    // spacing between rank thresholds, and a class whose shadow-cost
+    // economics say "not worth admitting" is demoted to the shed-first
+    // rank regardless of the priority it asked for.
+    const advisor::Recommendation rec = advisor_->recommendation();
+    if (rec.confident) {
+      step_scale =
+          std::max(1.0, static_cast<double>(rec.reservation_step));
+      if (request.model.has_value() && rank > 0) {
+        for (const advisor::ClassAdvice& advice : rec.per_class) {
+          if (advice.admit) {
+            continue;
+          }
+          for (const core::TrafficClass& c : request.model->classes()) {
+            if (c.name == advice.name) {
+              rank = 0;
+              break;
+            }
+          }
+          if (rank == 0) {
+            break;
+          }
+        }
+      }
+    }
+  }
+  return overload_->classify(rank, step_scale);
+}
+
 StatsSnapshot Server::stats() const {
   StatsSnapshot s;
   s.uptime_seconds = started_ ? seconds_since(start_time_) : 0.0;
@@ -689,6 +868,10 @@ StatsSnapshot Server::stats() const {
     s.advisor_enabled = true;
     s.advisor_events = advisor_->events_observed();
     s.advisor_denied = advisor_->events_denied();
+  }
+  if (overload_ != nullptr) {
+    s.overload_enabled = true;
+    s.overload = overload_->snapshot();
   }
   return s;
 }
@@ -753,6 +936,23 @@ std::string Server::render_stats() const {
     json.key("state").value(advisor::to_string(advisor_->state()));
     json.end_object();
   }
+  if (s.overload_enabled) {
+    json.key("overload").begin_object();
+    json.key("pressure").value(s.overload.pressure);
+    json.key("limit").value(static_cast<std::uint64_t>(s.overload.limit));
+    json.key("latency_ratio").value(s.overload.latency_ratio);
+    json.key("queue_fraction").value(s.overload.queue_fraction);
+    json.key("window_p99_ms").value(s.overload.window_p99_ms);
+    json.key("windows").value(s.overload.windows);
+    json.key("limit_increases").value(s.overload.limit_increases);
+    json.key("limit_decreases").value(s.overload.limit_decreases);
+    json.key("admitted").value(s.overload.admitted);
+    json.key("limited").value(s.overload.limited);
+    json.key("stale_served").value(s.overload.stale_served);
+    json.key("bound_served").value(s.overload.bound_served);
+    json.key("shed").value(s.overload.shed);
+    json.end_object();
+  }
   json.end_object();
   return std::move(out).str();
 }
@@ -794,6 +994,14 @@ std::string Server::render_health() const {
       .value(static_cast<std::uint64_t>(cache_.capacity()));
   json.key("requests_total")
       .value(requests_total_.load(std::memory_order_relaxed));
+  // Brownout propagation: the router's membership reads `pressure` off the
+  // health probe and steers placement/hedging away from browned-out
+  // backends.  Absent (or 0) when the controller is off.
+  if (overload_ != nullptr) {
+    json.key("pressure").value(overload_->pressure());
+    json.key("overload_limit")
+        .value(static_cast<std::uint64_t>(overload_->limit()));
+  }
   json.end_object();
   return std::move(out).str();
 }

@@ -48,6 +48,7 @@
 #include "advisor/advisor.hpp"
 #include "service/connection.hpp"
 #include "service/histogram.hpp"
+#include "service/overload.hpp"
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
 
@@ -103,6 +104,13 @@ struct ServerConfig {
   /// observed connections whose class the revenue economics mark not
   /// worth admitting.  Unset: both methods answer kConfig.
   std::optional<advisor::AdvisorConfig> advisor;
+
+  /// Adaptive overload control + degradation ladder (service/overload.hpp).
+  /// When set, an AIMD concurrency limit becomes the primary admission
+  /// signal (the static queue bound stays as the hard backstop) and the
+  /// request path serves stale / bound-only / shed responses as pressure
+  /// rises.  Unset: the pre-overload behavior, every frame byte-identical.
+  std::optional<OverloadConfig> overload;
 };
 
 /// One row of the `stats` frame's per-class traffic section: offered and
@@ -165,6 +173,8 @@ struct StatsSnapshot {
   bool advisor_enabled = false;
   std::uint64_t advisor_events = 0;  ///< events ingested via observe
   std::uint64_t advisor_denied = 0;  ///< connections denied by enactment
+  bool overload_enabled = false;
+  OverloadSnapshot overload;  ///< zeroed when the controller is off
 };
 
 class Server {
@@ -208,6 +218,9 @@ class Server {
                       std::chrono::steady_clock::time_point received);
   std::string execute_observe(const Request& request);
   std::string execute_advise(const Request& request) const;
+  /// Which rung of the degradation ladder this request gets right now
+  /// (kExact whenever the controller is off).
+  LadderRung ladder_rung(const Request& request) const;
   std::string render_stats() const;
   std::string render_health() const;
 
@@ -231,6 +244,7 @@ class Server {
   Histogram latency_;
   TrafficLedger traffic_;
   std::unique_ptr<advisor::Advisor> advisor_;  ///< null without --advise
+  std::unique_ptr<OverloadController> overload_;  ///< null when disabled
 
   // Counters (relaxed: monitoring, not synchronization).
   std::atomic<std::uint64_t> connections_accepted_{0};

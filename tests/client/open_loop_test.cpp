@@ -1,0 +1,108 @@
+// Coordinated-omission tests for client::open_loop_latency and the
+// replay_open_loop oracle.  The regression being pinned: a paced
+// (open-loop) load generator that timestamps from the actual send instant
+// hides every queueing delay a stalled server causes, because the sender
+// itself stops sending.  Correct open-loop latency is measured from the
+// *intended* arrival on the schedule.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/open_loop.hpp"
+
+namespace xbar::client {
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+TEST(OpenLoop, CorrectedLatencyCountsFromTheIntendedArrival) {
+  // Intended at t=1.0, actually sent at t=1.5 (the sender was stuck
+  // behind a stalled response), done at t=1.6.
+  const OpenLoopSample s = open_loop_latency(1.0, 1.5, 1.6);
+  EXPECT_NEAR(s.service, 0.1, 1e-12);    // what the server took
+  EXPECT_NEAR(s.corrected, 0.6, 1e-12);  // what a real open-loop client saw
+}
+
+TEST(OpenLoop, CorrectedNeverDropsBelowService) {
+  // Sent *before* the intended instant (scheduler jitter): clamping keeps
+  // corrected from under-reporting the service time.
+  const OpenLoopSample s = open_loop_latency(1.0, 0.9, 0.95);
+  EXPECT_NEAR(s.service, 0.05, 1e-12);
+  EXPECT_NEAR(s.corrected, 0.05, 1e-12);
+}
+
+TEST(OpenLoop, ClosedLoopConventionMakesThemEqual) {
+  // Closed-loop senders pass intended == sent; the correction vanishes.
+  const OpenLoopSample s = open_loop_latency(2.0, 2.0, 2.25);
+  EXPECT_DOUBLE_EQ(s.service, 0.25);
+  EXPECT_DOUBLE_EQ(s.corrected, 0.25);
+}
+
+TEST(OpenLoop, NegativeDurationsClampToZero) {
+  const OpenLoopSample s = open_loop_latency(1.0, 1.5, 1.4);
+  EXPECT_DOUBLE_EQ(s.service, 0.0);
+  EXPECT_NEAR(s.corrected, 0.4, 1e-12);  // done - intended still counts
+}
+
+TEST(OpenLoop, ReplaySurfacesAStallTheServiceTimesHide) {
+  // 100 requests at 100 rps; the server answers in 1ms except requests
+  // 20..29, which each take 500ms (a 5s stall in aggregate).  A serial
+  // sender falls 5s behind the schedule and never catches up within the
+  // run, so *most* intended arrivals wait out the backlog.
+  std::vector<double> schedule(100);
+  std::vector<double> service(100, 1e-3);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i] = 0.01 * static_cast<double>(i);
+  }
+  for (std::size_t i = 20; i < 30; ++i) {
+    service[i] = 0.5;
+  }
+
+  const std::vector<OpenLoopSample> samples =
+      replay_open_loop(schedule, service);
+  ASSERT_EQ(samples.size(), schedule.size());
+
+  std::vector<double> corrected;
+  std::vector<double> measured_service;
+  corrected.reserve(samples.size());
+  measured_service.reserve(samples.size());
+  for (const OpenLoopSample& s : samples) {
+    corrected.push_back(s.corrected);
+    measured_service.push_back(s.service);
+    EXPECT_GE(s.corrected, s.service);
+  }
+
+  // The naive (service-time) view says the run was fine...
+  EXPECT_NEAR(median(measured_service), 1e-3, 1e-12);
+  // ...the corrected view exposes the seconds of queueing delay.
+  EXPECT_GT(median(corrected), 1.0);
+  // Requests before the stall are unaffected either way.
+  EXPECT_DOUBLE_EQ(samples[0].corrected, 1e-3);
+  EXPECT_NEAR(samples[19].corrected, 1e-3, 1e-12);
+  // The first stalled request pays only its own service time (it was sent
+  // on schedule); the ones behind it inherit the backlog.
+  EXPECT_DOUBLE_EQ(samples[20].corrected, 0.5);
+  EXPECT_GT(samples[29].corrected, 4.0);
+}
+
+TEST(OpenLoop, ReplayWithoutBacklogMatchesService) {
+  // Service always faster than the inter-arrival gap: no queueing, so
+  // corrected == service for every sample.
+  const std::vector<double> schedule = {0.0, 0.1, 0.2, 0.3};
+  const std::vector<double> service = {0.01, 0.02, 0.01, 0.05};
+  const std::vector<OpenLoopSample> samples =
+      replay_open_loop(schedule, service);
+  ASSERT_EQ(samples.size(), 4u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(samples[i].corrected, service[i], 1e-12);
+    EXPECT_NEAR(samples[i].service, service[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace xbar::client

@@ -1,0 +1,107 @@
+// Edge-case coverage for service::Histogram: empty/single/all-equal
+// quantiles, the top-bucket clamp for absurd samples, negative input
+// clamping, and concurrent recording (this binary runs under TSan in CI,
+// which exercises the relaxed-atomic bucket counters).
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/histogram.hpp"
+
+namespace xbar::service {
+namespace {
+
+TEST(HistogramEdge, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(HistogramEdge, SingleSampleCollapsesQuantiles) {
+  Histogram h;
+  h.record(5e-3);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  // Every quantile is the one occupied bucket's upper edge: at least the
+  // sample, at most ~19% above it (4 buckets per octave).
+  EXPECT_EQ(s.p50, s.p90);
+  EXPECT_EQ(s.p90, s.p99);
+  EXPECT_GE(s.p50, 5e-3);
+  EXPECT_LE(s.p50, 5e-3 * 1.2);
+  // max is exact, not bucketed.
+  EXPECT_NEAR(s.max, 5e-3, 1e-9);
+  EXPECT_NEAR(s.mean, 5e-3, 1e-9);
+}
+
+TEST(HistogramEdge, AllEqualSamplesShareOneBucket) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(5e-3);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.p50, s.p99);
+  EXPECT_NEAR(s.mean, 5e-3, 1e-9);
+  EXPECT_NEAR(s.max, 5e-3, 1e-9);
+}
+
+TEST(HistogramEdge, TopBucketClampsAbsurdSamples) {
+  Histogram h;
+  h.record(1e9);  // ~31 years; far past the last bucket edge
+  const Histogram::Snapshot s = h.snapshot();
+  // Quantiles saturate at the top bucket's upper edge (~an hour), finite.
+  EXPECT_TRUE(std::isfinite(s.p99));
+  EXPECT_GT(s.p99, 3000.0);
+  EXPECT_LT(s.p99, 4000.0);
+  // max keeps the exact value even when the bucket clamps.
+  EXPECT_NEAR(s.max, 1e9, 1.0);
+}
+
+TEST(HistogramEdge, NegativeSamplesClampToTheFloorBucket) {
+  Histogram h;
+  h.record(-1.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  // Lands in bucket 0 (everything <= 1us), contributes 0 to mean/max.
+  EXPECT_LE(s.p50, 1e-6);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(HistogramEdge, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Spread across a few buckets so the quantile walk sees a real
+        // distribution, deterministically per thread.
+        h.record(1e-4 * static_cast<double>((t + i) % 7 + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(s.p50, 1e-4);
+  EXPECT_LE(s.p99, 7e-4 * 1.2);
+  EXPECT_NEAR(s.max, 7e-4, 1e-9);
+}
+
+}  // namespace
+}  // namespace xbar::service

@@ -1,0 +1,343 @@
+// OverloadController unit tests (synthetic clock, no sleeps for the AIMD
+// loop) plus loopback integration for the degradation ladder: stale
+// serving with age_ms, bound-only knapsack answers with an error bracket,
+// trunk-reservation priority shedding, the adaptive admission limit, and
+// pressure surfacing in the stats/health frames.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "service/connection.hpp"
+#include "service/overload.hpp"
+#include "service/server.hpp"
+
+namespace xbar::service {
+namespace {
+
+using TimePoint = OverloadController::TimePoint;
+
+TimePoint at(double seconds) {
+  return TimePoint() +
+         std::chrono::duration_cast<TimePoint::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+OverloadConfig controller_config() {
+  OverloadConfig config;
+  config.target_p99_seconds = 0.1;
+  config.min_limit = 2;
+  config.max_limit = 64;
+  config.initial_limit = 10;
+  config.additive_step = 2.0;
+  config.decrease_factor = 0.7;
+  config.window = 4;
+  config.window_seconds = 1.0;
+  config.smoothing = 1.0;  // tests read the newest window directly
+  return config;
+}
+
+void feed_window(OverloadController& controller, double seconds,
+                 double base_time) {
+  for (std::size_t i = 0; i < controller.config().window; ++i) {
+    controller.on_latency(seconds, at(base_time + 1e-3 * double(i)));
+  }
+}
+
+TEST(OverloadController, AdditiveIncreaseWhenUnderTarget) {
+  OverloadController controller(controller_config());
+  EXPECT_EQ(controller.limit(), 10u);
+  feed_window(controller, 0.01, 0.0);  // p99 well under the 100ms target
+  EXPECT_EQ(controller.limit(), 12u);
+  const OverloadSnapshot s = controller.snapshot();
+  EXPECT_EQ(s.windows, 1u);
+  EXPECT_EQ(s.limit_increases, 1u);
+  EXPECT_EQ(s.limit_decreases, 0u);
+  EXPECT_DOUBLE_EQ(s.pressure, 0.0);  // under target: no latency pressure
+}
+
+TEST(OverloadController, MultiplicativeDecreaseWhenOverTarget) {
+  OverloadController controller(controller_config());
+  feed_window(controller, 0.5, 0.0);  // 5x the target
+  EXPECT_EQ(controller.limit(), 7u);  // 10 * 0.7
+  feed_window(controller, 0.5, 0.1);
+  feed_window(controller, 0.5, 0.2);
+  feed_window(controller, 0.5, 0.3);
+  feed_window(controller, 0.5, 0.4);
+  // Decrease is floored at min_limit.
+  EXPECT_EQ(controller.limit(), 2u);
+  EXPECT_GE(controller.snapshot().limit_decreases, 5u);
+}
+
+TEST(OverloadController, WindowClosesByTimeAtLowRates) {
+  OverloadConfig config = controller_config();
+  config.window = 1000;  // never closes by count here
+  OverloadController controller(config);
+  controller.on_latency(0.01, at(0.0));
+  EXPECT_EQ(controller.snapshot().windows, 0u);
+  controller.on_latency(0.01, at(2.0));  // > window_seconds elapsed
+  EXPECT_EQ(controller.snapshot().windows, 1u);
+}
+
+TEST(OverloadController, PressureWalksTheLadderThresholds) {
+  OverloadController controller(controller_config());
+  // ratio 2 -> latency component 1 - 1/2 = 0.5 -> exactly stale_at.
+  feed_window(controller, 0.2, 0.0);
+  EXPECT_DOUBLE_EQ(controller.pressure(), 0.5);
+  EXPECT_EQ(controller.classify(0), LadderRung::kStale);
+  EXPECT_EQ(controller.classify(3), LadderRung::kStale);
+
+  // ratio 5 -> component 0.8: bound-only for every rank (< shed_start).
+  feed_window(controller, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(controller.pressure(), 0.8);
+  EXPECT_EQ(controller.classify(0), LadderRung::kBoundOnly);
+  EXPECT_EQ(controller.classify(3), LadderRung::kBoundOnly);
+
+  // ratio 100 -> component 0.99: trunk reservation separates the ranks —
+  // thresholds 0.85 / 0.90 / 0.95 shed, the top rank's 1.00 does not.
+  feed_window(controller, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(controller.pressure(), 0.99);
+  EXPECT_EQ(controller.classify(0), LadderRung::kShed);
+  EXPECT_EQ(controller.classify(1), LadderRung::kShed);
+  EXPECT_EQ(controller.classify(2), LadderRung::kShed);
+  EXPECT_EQ(controller.classify(3), LadderRung::kBoundOnly);
+
+  // step_scale widens the spacing: rank 1's threshold becomes
+  // 0.85 + 1 * 0.05 * 4 = 1.05, out of reach.
+  EXPECT_EQ(controller.classify(1, 4.0), LadderRung::kBoundOnly);
+}
+
+TEST(OverloadController, QueueFractionFeedsPressure) {
+  OverloadController controller(controller_config());
+  controller.note_queue(64, 128);
+  EXPECT_DOUBLE_EQ(controller.pressure(), 0.5);
+  controller.note_queue(0, 128);
+  EXPECT_DOUBLE_EQ(controller.pressure(), 0.0);
+}
+
+TEST(OverloadController, RankOfMapsPriorities) {
+  OverloadController controller(controller_config());  // 4 levels
+  EXPECT_EQ(controller.rank_of(-1), 3u);  // unset: shed last
+  EXPECT_EQ(controller.rank_of(0), 0u);   // explicit 0: shed first
+  EXPECT_EQ(controller.rank_of(2), 2u);
+  EXPECT_EQ(controller.rank_of(99), 3u);  // clamped to the top rank
+}
+
+TEST(OverloadController, AdmitEnforcesTheLimitAndCounts) {
+  OverloadConfig config = controller_config();
+  config.initial_limit = 4;
+  OverloadController controller(config);
+  EXPECT_TRUE(controller.admit(3));
+  EXPECT_FALSE(controller.admit(4));
+  const OverloadSnapshot s = controller.snapshot();
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.limited, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration: one Server per test, the ladder rung forced
+// deterministic by setting its threshold to 0 (any pressure qualifies,
+// including none) and parking the others out of reach (> 1).
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : socket_(dial("127.0.0.1", port)), reader_(socket_.fd(), 1 << 20) {}
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  std::string rpc(const std::string& line) {
+    if (!socket_.valid() || !write_line(socket_.fd(), line)) {
+      return std::string();
+    }
+    std::string out;
+    return reader_.read_line(out) == LineReader::Status::kLine
+               ? out
+               : std::string();
+  }
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+constexpr const char* kSolveLine =
+    R"({"method":"solve","id":1,"scenario":{"switch":{"inputs":8},)"
+    R"("classes":[{"name":"voice","shape":"poisson","rho":0.45}]}})";
+
+ServerConfig overload_server_config() {
+  ServerConfig config;
+  config.workers = 2;
+  config.idle_poll_seconds = 0.05;
+  OverloadConfig overload;
+  // Park every rung out of reach; each test pulls one down to 0.
+  overload.stale_at = 2.0;
+  overload.bound_at = 2.0;
+  overload.shed_start = 2.0;
+  overload.shed_step = 0.05;
+  overload.stale_ttl_seconds = 0.1;
+  config.overload = overload;
+  return config;
+}
+
+// The solve diagnostics embed the measured wall time, which differs run
+// to run; blank it out so the comparison pins everything else.
+std::string strip_wall_seconds(std::string frame) {
+  const std::string key = "\"wall_seconds\":";
+  const std::size_t begin = frame.find(key);
+  if (begin == std::string::npos) {
+    return frame;
+  }
+  const std::size_t end = frame.find_first_of(",}", begin + key.size());
+  frame.erase(begin, end - begin);
+  return frame;
+}
+
+TEST(ServerOverload, ExactPathFramesMatchTheUnloadedServer) {
+  // Same request against an overload-enabled and a plain server: the
+  // exact-path frames must be byte-identical (the PR's compatibility
+  // guarantee) — modulo the measured wall time in the diagnostics.
+  ServerConfig plain;
+  plain.workers = 2;
+  plain.idle_poll_seconds = 0.05;
+  Server baseline(plain);
+  baseline.start();
+  Server overloaded(overload_server_config());
+  overloaded.start();
+
+  Client a(baseline.port());
+  Client b(overloaded.port());
+  EXPECT_EQ(strip_wall_seconds(a.rpc(kSolveLine)),
+            strip_wall_seconds(b.rpc(kSolveLine)));  // computed
+  EXPECT_EQ(strip_wall_seconds(a.rpc(kSolveLine)),
+            strip_wall_seconds(b.rpc(kSolveLine)));  // cached
+  baseline.stop();
+  overloaded.stop();
+}
+
+TEST(ServerOverload, StaleRungServesExpiredEntriesWithAge) {
+  ServerConfig config = overload_server_config();
+  config.overload->stale_at = 0.0;  // always at least stale
+  Server server(config);
+  server.start();
+  Client client(server.port());
+
+  // Warm the cache (rung kStale, but a miss still computes), then let the
+  // entry expire past the 100ms ttl.
+  const std::string first = client.rpc(kSolveLine);
+  EXPECT_NE(first.find(R"("cached":false)"), std::string::npos);
+  const std::string fresh = client.rpc(kSolveLine);
+  EXPECT_NE(fresh.find(R"("cached":true)"), std::string::npos);
+  EXPECT_EQ(fresh.find("degraded"), std::string::npos);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const std::string stale = client.rpc(kSolveLine);
+  EXPECT_NE(stale.find(R"("degraded":{"mode":"stale","age_ms":)"),
+            std::string::npos);
+  EXPECT_NE(stale.find(R"("cached":true)"), std::string::npos);
+  // The payload is the cached exact answer, only the envelope differs.
+  EXPECT_NE(stale.find(R"("measures")"), std::string::npos);
+
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("stale_served":1)"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerOverload, BoundRungAnswersWithKnapsackBracket) {
+  ServerConfig config = overload_server_config();
+  config.overload->bound_at = 0.0;  // always bound-only
+  Server server(config);
+  server.start();
+  Client client(server.port());
+
+  const std::string response = client.rpc(kSolveLine);
+  EXPECT_NE(response.find(R"("degraded":{"mode":"bound"})"),
+            std::string::npos);
+  EXPECT_NE(response.find(R"("method":"knapsack")"), std::string::npos);
+  EXPECT_NE(response.find(R"("blocking_lower")"), std::string::npos);
+  EXPECT_NE(response.find(R"("blocking_upper")"), std::string::npos);
+  EXPECT_NE(response.find(R"("error_bar")"), std::string::npos);
+  // Bound answers are never cached: the repeat is computed again.
+  EXPECT_NE(client.rpc(kSolveLine).find(R"("cached":false)"),
+            std::string::npos);
+
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("bound_served":2)"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerOverload, ShedRungIsPriorityAware) {
+  ServerConfig config = overload_server_config();
+  config.overload->shed_start = 0.0;  // rank 0 sheds at any pressure
+  config.overload->shed_step = 0.1;   // rank >= 1 needs pressure > 0
+  Server server(config);
+  server.start();
+  Client client(server.port());
+
+  // priority 0: shed first — a typed overloaded error, not a hangup.
+  const std::string low = client.rpc(
+      R"({"method":"solve","id":2,"priority":0,"scenario":{"switch":)"
+      R"({"inputs":8},"classes":[{"name":"voice","shape":"poisson",)"
+      R"("rho":0.45}]}})");
+  EXPECT_NE(low.find(R"("kind":"overloaded")"), std::string::npos);
+  EXPECT_NE(low.find("priority-shed"), std::string::npos);
+
+  // Unset priority rides the top rank: still served exactly.
+  const std::string top = client.rpc(kSolveLine);
+  EXPECT_NE(top.find(R"("status":"ok")"), std::string::npos);
+  EXPECT_EQ(top.find("degraded"), std::string::npos);
+
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("shed":1)"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerOverload, AdaptiveLimitRejectsAtTheDoor) {
+  ServerConfig config = overload_server_config();
+  config.overload->min_limit = 1;
+  config.overload->max_limit = 1;
+  config.overload->initial_limit = 1;
+  Server server(config);
+  server.start();
+
+  Client first(server.port());
+  ASSERT_TRUE(first.connected());
+  // Make the first connection active so in_flight is visibly 1.
+  EXPECT_NE(first.rpc(R"({"method":"ping","id":1})").find("pong"),
+            std::string::npos);
+
+  Client second(server.port());
+  std::string rejection;
+  // The rejection frame is written by the acceptor before closing.
+  if (second.connected()) {
+    rejection = second.rpc(R"({"method":"ping","id":2})");
+    if (rejection.empty()) {
+      rejection = "(connection closed)";
+    }
+  }
+  const StatsSnapshot stats = server.stats();
+  EXPECT_TRUE(stats.overload_enabled);
+  EXPECT_GE(stats.overload.limited, 1u);
+  EXPECT_EQ(stats.overload.limit, 1u);
+  server.stop();
+}
+
+TEST(ServerOverload, PressureRidesStatsAndHealthFrames) {
+  Server server(overload_server_config());
+  server.start();
+  Client client(server.port());
+
+  const std::string stats = client.rpc(R"({"method":"stats"})");
+  EXPECT_NE(stats.find(R"("overload":{)"), std::string::npos);
+  EXPECT_NE(stats.find(R"("pressure":)"), std::string::npos);
+  EXPECT_NE(stats.find(R"("limit":)"), std::string::npos);
+  const std::string health = client.rpc(R"({"method":"health"})");
+  EXPECT_NE(health.find(R"("pressure":)"), std::string::npos);
+  EXPECT_NE(health.find(R"("overload_limit":)"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace xbar::service

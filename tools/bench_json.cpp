@@ -20,6 +20,10 @@
 //   6. Advisor fit: streaming-estimator ingest throughput over a synthetic
 //      Poisson trace, plus the fit + candidate-solve recommendation cycle
 //      cold (fresh advisor) and warm (unchanged fit, solver-cache hit).
+//   7. Overload ladder: an in-process server on the loopback driven at
+//      1x/3x/10x its sustainable solve rate, with and without the adaptive
+//      overload controller — admitted RPS and the CO-corrected p99 of
+//      admitted requests per cell.
 //
 // Medians of repeated runs, monotonic clock.  Every baseline is re-measured
 // in the same process as the number it is compared against, so each
@@ -29,15 +33,19 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "advisor/advisor.hpp"
+#include "client/open_loop.hpp"
 #include "core/algorithm1.hpp"
 #include "core/algorithm1_batch.hpp"
 #include "core/model.hpp"
 #include "core/priority.hpp"
 #include "core/solver.hpp"
 #include "dist/rng.hpp"
+#include "service/connection.hpp"
+#include "service/server.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -84,6 +92,159 @@ core::CrossbarModel size_sweep_model(unsigned n) {
   classes.push_back(core::TrafficClass::poisson("p0", 0.01, 1));
   classes.push_back(core::TrafficClass::bursty("b1", 0.012, 0.005, 2));
   return core::CrossbarModel(core::Dims::square(n), std::move(classes));
+}
+
+// --- Overload ladder (section 7) -----------------------------------------
+
+struct LadderRow {
+  double load_x = 0.0;
+  bool controller = false;
+  double offered_rps = 0.0;
+  double admitted_rps = 0.0;
+  std::uint64_t admitted = 0;
+  std::uint64_t degraded = 0;  // bound-only/stale among the admitted
+  std::uint64_t refused = 0;   // typed shed/limited (or lost) answers
+  double corrected_p50_ms = 0.0;
+  double corrected_p99_ms = 0.0;
+};
+
+// Every request is a distinct cold solve (rho keyed off a global request
+// index), so the result cache never flattens the load.
+std::string ladder_request(std::uint64_t id, double rho) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                R"({"method":"solve","id":%llu,"scenario":{"switch":)"
+                R"({"inputs":64},"classes":[{"name":"voice","shape":)"
+                R"("poisson","rho":%.6f}]}})",
+                static_cast<unsigned long long>(id), rho);
+  return std::string(buffer);
+}
+
+double quantile_ms(std::vector<double> v, double q) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t k = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(static_cast<double>(v.size()) * q));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k] * 1e3;
+}
+
+// Drives one (load, controller) cell: 64 paced open-loop senders against a
+// fresh in-process server, one connection per request (the server is
+// thread-per-connection, so its bounded accept queue and the adaptive
+// admission limit only see load that arrives as connections).  Latency is
+// CO-corrected from each request's *intended* arrival on the schedule
+// (client/open_loop.hpp) — a sender stuck behind a slow answer books the
+// backlog it suffered, not just the service time.
+LadderRow drive_ladder_cell(double load_x, bool with_controller,
+                            double offered_rps, double target_seconds,
+                            std::uint64_t key_base) {
+  service::ServerConfig config;
+  config.workers = 4;
+  config.queue_capacity = 64;
+  config.idle_poll_seconds = 0.05;
+  if (with_controller) {
+    service::OverloadConfig overload;
+    overload.target_p99_seconds = target_seconds;
+    overload.window = 32;
+    overload.min_limit = 16;
+    // Start the concurrency limit at the queue bound: the ladder (pressure
+    // from queue occupancy) gets first crack at overload, and the AIMD
+    // loop then trims the limit only if degraded serving still misses the
+    // latency target.
+    overload.initial_limit = 64;
+    overload.max_limit = 256;
+    config.overload = overload;
+  }
+  service::Server server(config);
+  server.start();
+
+  // Enough senders that an overloaded cell can actually pile connections
+  // into the accept queue (closed-loop senders cap in-flight at the
+  // sender count, so 8 senders could never fill a 64-slot queue).
+  constexpr std::uint64_t kSenders = 64;
+  constexpr std::uint64_t kTotal = 2000;
+  std::vector<std::vector<double>> corrected(kSenders);
+  std::vector<std::uint64_t> admitted(kSenders, 0);
+  std::vector<std::uint64_t> degraded(kSenders, 0);
+  std::vector<std::uint64_t> refused(kSenders, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> senders;
+  senders.reserve(kSenders);
+  for (std::uint64_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (std::uint64_t i = s; i < kTotal; i += kSenders) {
+        const double intended =
+            static_cast<double>(i) / offered_rps;
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(intended)));
+        const std::uint64_t key = key_base + i;
+        const std::string line = ladder_request(
+            key, 0.05 + 1e-6 * static_cast<double>(key));
+        const double sent =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        service::Socket socket = service::dial("127.0.0.1", server.port());
+        std::string response;
+        if (!socket.valid()) {
+          ++refused[s];
+          continue;
+        }
+        service::LineReader reader(socket.fd(), 1 << 20);
+        if (!service::write_line(socket.fd(), line) ||
+            reader.read_line(response) !=
+                service::LineReader::Status::kLine) {
+          ++refused[s];
+          continue;
+        }
+        const double done =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (response.find("\"status\":\"ok\"") != std::string::npos) {
+          ++admitted[s];
+          if (response.find("\"degraded\"") != std::string::npos) {
+            ++degraded[s];
+          }
+          corrected[s].push_back(
+              client::open_loop_latency(intended, sent, done).corrected);
+        } else {
+          ++refused[s];
+        }
+      }
+    });
+  }
+  for (std::thread& t : senders) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  LadderRow row;
+  row.load_x = load_x;
+  row.controller = with_controller;
+  row.offered_rps = offered_rps;
+  std::vector<double> all;
+  for (std::uint64_t s = 0; s < kSenders; ++s) {
+    row.admitted += admitted[s];
+    row.degraded += degraded[s];
+    row.refused += refused[s];
+    all.insert(all.end(), corrected[s].begin(), corrected[s].end());
+  }
+  row.admitted_rps =
+      wall > 0.0 ? static_cast<double>(row.admitted) / wall : 0.0;
+  row.corrected_p50_ms = quantile_ms(all, 0.50);
+  row.corrected_p99_ms = quantile_ms(all, 0.99);
+  return row;
 }
 
 }  // namespace
@@ -341,6 +502,60 @@ int main(int argc, char** argv) {
       },
       9);
 
+  // --- 8. Overload ladder: admitted RPS / p99 at 1x/3x/10x load. ---
+  //
+  // The sustainable rate is calibrated in-process: one warm connection
+  // measures the round-trip of a cold solve, and 1x is set to one core's
+  // worth of that work (1/rtt).  10x is then structurally unsustainable
+  // for 8 closed-loop senders unless the controller degrades answers, so
+  // the with/without comparison is machine-independent in shape: without
+  // the controller the CO-corrected p99 books the schedule backlog;
+  // with it the ladder's bound-only answers keep the senders on schedule.
+  double ladder_rtt_seconds = 0.0;
+  {
+    service::ServerConfig calibration_config;
+    calibration_config.workers = 4;
+    calibration_config.idle_poll_seconds = 0.05;
+    service::Server calibration(calibration_config);
+    calibration.start();
+    std::vector<double> rtts;
+    for (std::uint64_t i = 0; i < 9; ++i) {
+      // Connection per request, like the cells: the calibrated unit of
+      // work is connect + cold solve + response.
+      const std::string line =
+          ladder_request(900000 + i, 0.9 + 1e-6 * static_cast<double>(i));
+      const auto t0 = std::chrono::steady_clock::now();
+      service::Socket socket =
+          service::dial("127.0.0.1", calibration.port());
+      service::LineReader reader(socket.fd(), 1 << 20);
+      std::string response;
+      if (!socket.valid() || !service::write_line(socket.fd(), line) ||
+          reader.read_line(response) != service::LineReader::Status::kLine) {
+        break;
+      }
+      rtts.push_back(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    }
+    calibration.stop();
+    ladder_rtt_seconds = rtts.empty() ? 1e-4 : median_ms(rtts);
+  }
+  const double ladder_base_rps = 1.0 / ladder_rtt_seconds;
+  const double ladder_target_seconds = 4.0 * ladder_rtt_seconds;
+  std::vector<LadderRow> ladder_rows;
+  {
+    std::uint64_t key_base = 0;
+    for (const double load : {1.0, 3.0, 10.0}) {
+      for (const bool controller : {false, true}) {
+        ladder_rows.push_back(drive_ladder_cell(load, controller,
+                                                load * ladder_base_rps,
+                                                ladder_target_seconds,
+                                                key_base));
+        key_base += 10000;
+      }
+    }
+  }
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::perror("bench_json: fopen");
@@ -415,6 +630,31 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"cold_fit_solve_cycle_ms\": %.3f,\n",
                advisor_cold_ms);
   std::fprintf(out, "    \"warm_advise_cycle_ms\": %.3f\n", advisor_warm_ms);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"overload_ladder\": {\n");
+  std::fprintf(out, "    \"calibrated_solve_rtt_ms\": %.3f,\n",
+               ladder_rtt_seconds * 1e3);
+  std::fprintf(out, "    \"base_rps\": %.0f,\n", ladder_base_rps);
+  std::fprintf(out, "    \"target_p99_ms\": %.3f,\n",
+               ladder_target_seconds * 1e3);
+  std::fprintf(out, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < ladder_rows.size(); ++i) {
+    const auto& row = ladder_rows[i];
+    std::fprintf(out,
+                 "      {\"load_x\": %.0f, \"controller\": %s, "
+                 "\"offered_rps\": %.0f, \"admitted_rps\": %.0f, "
+                 "\"admitted\": %llu, \"degraded\": %llu, "
+                 "\"refused\": %llu, \"corrected_p50_ms\": %.3f, "
+                 "\"corrected_p99_ms\": %.3f}%s\n",
+                 row.load_x, row.controller ? "true" : "false",
+                 row.offered_rps, row.admitted_rps,
+                 static_cast<unsigned long long>(row.admitted),
+                 static_cast<unsigned long long>(row.degraded),
+                 static_cast<unsigned long long>(row.refused),
+                 row.corrected_p50_ms, row.corrected_p99_ms,
+                 i + 1 < ladder_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

@@ -1,0 +1,175 @@
+#!/bin/sh
+# Overload-ladder smoke: two xbar_serve backends running adaptive overload
+# control behind an xbar_router, pushed an order of magnitude past the
+# load the tiny latency target calls sustainable.
+#
+#   xbar_loadgen -> xbar_router -> { serve1 (overload), serve2 (overload) }
+#
+# The backends' p99 target is set to 0.1us, so the very first closed
+# latency window drives the pressure signal toward 1.0 and the whole
+# degradation ladder becomes reachable deterministically:
+#
+#   W  warm      — a --unique run *below* the window size (60 requests
+#                  across 2 backends never closes a 64-sample window), so
+#                  pressure stays 0 and every answer is exact + cached.
+#   H  heat      — 10x the warm load, cold keys: the first windows close,
+#                  pressure jumps past bound_at, and the tail of the run
+#                  must come back as bound-only knapsack answers
+#                  (--min-bound) while staying >=99% typed.
+#   S  stale     — the warm keys again after their 0.2s TTL expired:
+#                  expired cache entries under pressure must be served
+#                  stale with an age stamp (--min-stale).
+#   P  shed      — a 4-request --priority=0 probe straight at backend 1:
+#                  rank 0 sheds first (threshold 0.7 < pressure), every
+#                  refusal is a typed frame, and the backend's own
+#                  stale/bound/shed counters must all have moved.
+#   D  drain     — SIGTERM backend 2 in the middle of a paced overload
+#                  run: it must drain and exit 0 while the run rides
+#                  through on the surviving backend at >=99% success.
+#
+# usage: overload_smoke.sh <xbar_serve> <xbar_router> <xbar_loadgen> \
+#                          <xbar_client> <workdir>
+set -e
+
+SERVE="$1"
+ROUTER="$2"
+LOADGEN="$3"
+CLIENT="$4"
+DIR="$5"
+
+SMOKE_NAME=overload_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
+mkdir -p "$DIR"
+B1_PORT_FILE="$DIR/overload_b1_port.$$"
+B2_PORT_FILE="$DIR/overload_b2_port.$$"
+ROUTER_PORT_FILE="$DIR/overload_router_port.$$"
+rm -f "$B1_PORT_FILE" "$B2_PORT_FILE" "$ROUTER_PORT_FILE"
+
+# --- the fleet -------------------------------------------------------------
+# 0.1us p99 target: any real handling latency is ~40-5000x over it, so
+# pressure = 1 - 1/ratio lands in [0.95, 1) as soon as a window closes.
+# Thresholds are spread under that: stale at 0.2, bound at 0.4, shedding
+# from 0.7 (rank 0) stepping to 1.0 (default rank 3, unreachable — the
+# latency component is strictly < 1).  min-limit 16 keeps the AIMD
+# limiter, which slams to its floor under this target, above the senders'
+# concurrency so admission never masks the ladder.
+OVERLOAD_FLAGS="--overload --overload-target-ms=0.0001 \
+  --overload-min-limit=16 --overload-max-limit=64 \
+  --overload-initial-limit=32 --overload-window=64 \
+  --overload-stale-ttl-s=0.2 --overload-stale-at=0.2 \
+  --overload-bound-at=0.4 --overload-shed-start=0.7 \
+  --overload-shed-step=0.1 --overload-levels=4"
+
+"$SERVE" --port=0 --threads=6 --queue=64 $OVERLOAD_FLAGS \
+  --port-file="$B1_PORT_FILE" &
+B1_PID=$!
+smoke_track "$B1_PID"
+"$SERVE" --port=0 --threads=6 --queue=64 $OVERLOAD_FLAGS \
+  --port-file="$B2_PORT_FILE" &
+B2_PID=$!
+smoke_track "$B2_PID"
+wait_for_file "$B1_PORT_FILE" || fail "backend 1 never wrote its port file"
+wait_for_file "$B2_PORT_FILE" || fail "backend 2 never wrote its port file"
+B1_PORT=$(cat "$B1_PORT_FILE")
+B2_PORT=$(cat "$B2_PORT_FILE")
+
+"$ROUTER" --port=0 --threads=4 --queue=64 \
+  --backend=127.0.0.1:"$B1_PORT" --backend=127.0.0.1:"$B2_PORT" \
+  --probe-interval-ms=100 --probe-timeout-ms=250 \
+  --connect-timeout-ms=500 --request-timeout-ms=1000 \
+  --hedge-cold-ms=50 --pool-idle=2 \
+  --port-file="$ROUTER_PORT_FILE" 2> "$DIR/overload_router_stderr.$$" &
+ROUTER_PID=$!
+smoke_track "$ROUTER_PID"
+wait_for_file "$ROUTER_PORT_FILE" || fail "router never wrote its port file"
+ROUTER_PORT=$(cat "$ROUTER_PORT_FILE")
+
+backend_counter() {
+  # backend_counter <port> <key> — one integer from the stats frame's
+  # overload object (0 when the key is absent or the backend is gone).
+  _v=$("$CLIENT" --port="$1" --method=stats 2>/dev/null |
+    sed -n 's/.*"'"$2"'":\([0-9]*\).*/\1/p')
+  echo "${_v:-0}"
+}
+
+# --- phase W: sustainable load is exact and cached ------------------------
+# 60 unique keys split across 2 backends stay under the 64-sample window,
+# so no window ever closes: pressure 0, exact answers, caches seeded.
+"$LOADGEN" --port="$ROUTER_PORT" --requests=60 --senders=2 \
+  --unique --seed=21 || fail "warm run failed"
+
+# --- phase H: 10x load trips the ladder into bound-only answers -----------
+"$LOADGEN" --port="$ROUTER_PORT" --requests=600 --senders=8 \
+  --unique --seed=99 --min-success-rate=0.99 \
+  --overload --min-typed-rate=0.99 --min-bound=20 --max-ok-p99-ms=2000 ||
+  fail "heat run: typed rate, bound-only floor, or admitted p99 violated"
+
+# --- phase S: expired cache entries are served stale under pressure -------
+# Same seed/senders/count as W => byte-identical key stream, routed to the
+# same backends by the ring.  The TTL (0.2s) has lapsed; pressure is still
+# hot from H (it holds until the next window closes), so the ladder must
+# serve the expired entries with an age stamp instead of recomputing.
+sleep 0.5
+"$LOADGEN" --port="$ROUTER_PORT" --requests=60 --senders=2 \
+  --unique --seed=21 --min-success-rate=0.99 \
+  --overload --min-typed-rate=0.99 --min-stale=30 ||
+  fail "stale run: expired entries were not served stale under pressure"
+
+# --- phase P: rank 0 is shed first, as typed frames -----------------------
+# 4 requests from 1 sender stay under the breaker's 4-sample minimum, so
+# every refusal reaches the wire as a typed overloaded frame (a 5th
+# request would be eaten by the client's own breaker instead).
+"$LOADGEN" --port="$B1_PORT" --requests=4 --senders=1 --retries=1 \
+  --unique --seed=777 --priority=0 --min-success-rate=0.0 \
+  --overload --min-typed-rate=0.99 ||
+  fail "shed probe: priority-0 requests were not answered with typed sheds"
+
+SHED=$(backend_counter "$B1_PORT" shed)
+[ "$SHED" -ge 1 ] ||
+  fail "backend 1 stats reported no shed requests (shed=$SHED)"
+STALE=$(( $(backend_counter "$B1_PORT" stale_served) \
+        + $(backend_counter "$B2_PORT" stale_served) ))
+BOUND=$(( $(backend_counter "$B1_PORT" bound_served) \
+        + $(backend_counter "$B2_PORT" bound_served) ))
+[ "$STALE" -ge 1 ] || fail "backends reported stale_served=0"
+[ "$BOUND" -ge 1 ] || fail "backends reported bound_served=0"
+
+# --- phase D: one backend drains cleanly mid-overload ---------------------
+# A paced 3s overload run; backend 2 gets SIGTERM ~0.7s in.  Its in-flight
+# work must finish (exit 0) and the router must carry the rest of the run
+# on backend 1 at >=99% success.
+"$LOADGEN" --port="$ROUTER_PORT" --requests=900 --senders=8 --rps=300 \
+  --unique --seed=31 --min-success-rate=0.99 \
+  --overload --min-typed-rate=0.99 > "$DIR/overload_drain_out.$$" 2>&1 &
+LG_PID=$!
+smoke_track "$LG_PID"
+sleep 0.7
+
+kill -TERM "$B2_PID"
+B2_STATUS=0
+wait "$B2_PID" || B2_STATUS=$?
+smoke_untrack "$B2_PID"
+[ "$B2_STATUS" -eq 0 ] ||
+  fail "backend 2 exited $B2_STATUS on SIGTERM mid-overload"
+
+LG_STATUS=0
+wait "$LG_PID" || LG_STATUS=$?
+smoke_untrack "$LG_PID"
+[ "$LG_STATUS" -eq 0 ] || {
+  cat "$DIR/overload_drain_out.$$" >&2
+  fail "drain run exited $LG_STATUS (success/typed-rate floor violated)"
+}
+
+# --- clean drain -----------------------------------------------------------
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || fail "router exited nonzero after SIGTERM"
+smoke_untrack "$ROUTER_PID"
+kill -TERM "$B1_PID"
+wait "$B1_PID" || fail "backend 1 exited nonzero after SIGTERM"
+smoke_untrack "$B1_PID"
+rm -f "$B1_PORT_FILE" "$B2_PORT_FILE" "$ROUTER_PORT_FILE" \
+  "$DIR/overload_router_stderr.$$" "$DIR/overload_drain_out.$$"
+
+echo "overload_smoke: ok (ladder walked exact->bound->stale->shed," \
+  "stale=$STALE bound=$BOUND shed=$SHED, mid-overload drain clean)"

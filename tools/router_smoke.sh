@@ -159,7 +159,7 @@ wait_for_counter 2 2 "readmissions (after SIGCONT)"
 
 # --- hedge accounting ------------------------------------------------------
 HEDGES=$(router_stats |
-  sed -n 's/.*"hedging":{"delay_ms":[^,]*,"launched":\([0-9]*\),"won":\([0-9]*\),"lost":\([0-9]*\)}.*/\1 \2 \3/p')
+  sed -n 's/.*"hedging":{"delay_ms":[^,]*,"launched":\([0-9]*\),"won":\([0-9]*\),"lost":\([0-9]*\),"suppressed":[0-9]*}.*/\1 \2 \3/p')
 [ -n "$HEDGES" ] || fail "router stats carried no hedging object"
 LAUNCHED=$(printf '%s' "$HEDGES" | cut -d' ' -f1)
 WON=$(printf '%s' "$HEDGES" | cut -d' ' -f2)

@@ -12,6 +12,27 @@
 //                [--min-breaker-opens=N] [--json]
 //                [--phases=SPEC] [--observe-batch=K]
 //                [--assert-recommended=N] [--assert-min-refits=N]
+//                [--priority=N] [--overload] [--min-typed-rate=R]
+//                [--min-stale=N] [--min-bound=N] [--max-ok-p99-ms=MS]
+//
+// Latency accounting is coordinated-omission-corrected: under pacing
+// (rps > 0 or --phases) the headline latency of request i is measured
+// from its *intended* arrival time start + schedule[i], not from the
+// moment a backpressured sender finally got to send it — a stalled
+// server shows up in the quantiles instead of silently thinning them
+// (see src/client/open_loop.hpp).  The uncorrected service time is
+// reported alongside as service_latency.  Unpaced runs (rps = 0) have
+// no intended arrival process, so corrected == service there.
+//
+// --priority=N stamps every request with a shed rank (0 = shed first)
+// for servers running --overload.  --overload prints the degraded-mode
+// breakdown (exact / stale / bound / shed response classes), and the
+// paired assertions gate on it: --min-typed-rate=R requires the
+// fraction of requests answered with a *typed* frame (ok or a typed
+// overloaded/shed decision) to reach R; --min-stale / --min-bound
+// require the degradation ladder's stale and bound-only rungs to have
+// actually served; --max-ok-p99-ms bounds the service-time p99 of
+// admitted (ok) requests.
 //
 // --phases scripts piecewise load shifts: "DUR:key=val,...;DUR:..." where
 // DUR is the phase length in seconds and keys are rps, scale (multiplies
@@ -81,6 +102,7 @@
 #include <vector>
 
 #include "client/client.hpp"
+#include "client/open_loop.hpp"
 #include "config/scenario_file.hpp"
 #include "core/error.hpp"
 #include "core/model.hpp"
@@ -113,7 +135,10 @@ int usage() {
          "                    [--min-breaker-opens=N] [--json]\n"
          "                    [--phases=\"DUR:rps=R,scale=S;...\"]\n"
          "                    [--observe-batch=K] [--assert-recommended=N]\n"
-         "                    [--assert-min-refits=N]\n";
+         "                    [--assert-min-refits=N]\n"
+         "                    [--priority=N] [--overload]\n"
+         "                    [--min-typed-rate=R] [--min-stale=N]\n"
+         "                    [--min-bound=N] [--max-ok-p99-ms=MS]\n";
   return 1;
 }
 
@@ -155,7 +180,8 @@ std::string render_request(const Workload& w, const std::string& method,
                            std::size_t id, double scale,
                            const std::string& solver,
                            const std::vector<unsigned>& sizes,
-                           double deadline_ms, bool no_cache) {
+                           double deadline_ms, bool no_cache,
+                           int priority) {
   std::string out = "{\"method\":\"" + method + "\",\"id\":";
   out += std::to_string(id);
   if (method != "ping" && method != "stats") {
@@ -204,6 +230,9 @@ std::string render_request(const Workload& w, const std::string& method,
   }
   if (no_cache) {
     out += ",\"no_cache\":true";
+  }
+  if (priority >= 0) {
+    out += ",\"priority\":" + std::to_string(priority);
   }
   out += '}';
   return out;
@@ -614,6 +643,8 @@ int run_observe_mode(const client::ClientConfig& client_config,
 struct Tally {
   std::array<std::atomic<std::uint64_t>, client::kOutcomeCount> by_outcome{};
   std::array<service::Histogram, client::kOutcomeCount> latency_by_outcome;
+  std::array<std::atomic<std::uint64_t>, client::kResponseClassCount>
+      by_response_class{};
   std::atomic<std::uint64_t> cached{0};
   std::atomic<std::uint64_t> deadline{0};
   std::atomic<std::uint64_t> shutdown{0};
@@ -626,7 +657,8 @@ struct Tally {
   std::atomic<std::uint64_t> attempt_overloaded{0};
   std::atomic<std::uint64_t> breaker_rejections{0};
   std::atomic<std::uint64_t> breaker_opened{0};
-  service::Histogram latency;
+  service::Histogram latency;          ///< CO-corrected (intended arrival)
+  service::Histogram service_latency;  ///< send -> response (uncorrected)
 
   void absorb(const client::ClientCounters& c, std::uint64_t opened) {
     retries.fetch_add(c.retries, std::memory_order_relaxed);
@@ -758,6 +790,15 @@ int main(int argc, char** argv) {
         args.get_double("min-success-rate", -1.0);
     const std::uint64_t min_breaker_opens =
         args.get_unsigned("min-breaker-opens", 0);
+    const int priority =
+        args.has("priority")
+            ? static_cast<int>(args.get_unsigned("priority", 0))
+            : -1;
+    const bool overload_report = args.has("overload");
+    const double min_typed_rate = args.get_double("min-typed-rate", -1.0);
+    const std::uint64_t min_stale = args.get_unsigned("min-stale", 0);
+    const std::uint64_t min_bound = args.get_unsigned("min-bound", 0);
+    const double max_ok_p99_ms = args.get_double("max-ok-p99-ms", 0.0);
 
     client::ClientConfig client_config;
     client_config.host = host;
@@ -860,6 +901,7 @@ int main(int argc, char** argv) {
             }
           }
         }
+        const bool paced = !phase_of.empty() || rps > 0.0;
         for (std::size_t i = s; i < requests_planned; i += senders) {
           const double scale =
               unique ? 1.0 + 1e-4 * static_cast<double>(i + 1) : 1.0;
@@ -867,25 +909,40 @@ int main(int argc, char** argv) {
               phase_of.empty() ? workload : phase_workloads[phase_of[i]];
           const std::string line =
               render_request(w, method, i, scale, solver, sizes,
-                             deadline_ms, no_cache);
+                             deadline_ms, no_cache, priority);
           std::this_thread::sleep_until(
               start + std::chrono::duration_cast<Clock::duration>(
                           std::chrono::duration<double>(schedule[i])));
           const Clock::time_point sent = Clock::now();
           const client::CallResult result = cli.call(line);
-          const double elapsed =
-              std::chrono::duration<double>(Clock::now() - sent).count();
-          tally.latency.record(elapsed);
+          const Clock::time_point done = Clock::now();
+          // Coordinated-omission correction: under pacing the headline
+          // latency runs from the *intended* arrival, so the queueing a
+          // stalled server forced onto this sender is charged to it.
+          const double sent_s =
+              std::chrono::duration<double>(sent - start).count();
+          const double done_s =
+              std::chrono::duration<double>(done - start).count();
+          const client::OpenLoopSample sample = client::open_loop_latency(
+              paced ? schedule[i] : sent_s, sent_s, done_s);
+          tally.latency.record(sample.corrected);
+          tally.service_latency.record(sample.service);
           const std::size_t index = outcome_index(result.outcome);
           tally.by_outcome[index].fetch_add(1, std::memory_order_relaxed);
-          tally.latency_by_outcome[index].record(elapsed);
+          tally.latency_by_outcome[index].record(sample.service);
+          if (result.response_class != client::ResponseClass::kNone) {
+            tally
+                .by_response_class[static_cast<std::size_t>(
+                    result.response_class)]
+                .fetch_add(1, std::memory_order_relaxed);
+          }
           const bool request_ok =
               result.outcome == client::Outcome::kOk &&
               contains(result.response, "\"status\":\"ok\"");
           if (!phase_of.empty()) {
             PhaseTally& pt = phase_tallies[phase_of[i]];
             pt.sent.fetch_add(1, std::memory_order_relaxed);
-            pt.latency.record(elapsed);
+            pt.latency.record(sample.corrected);
             (request_ok ? pt.ok : pt.failed)
                 .fetch_add(1, std::memory_order_relaxed);
           }
@@ -903,8 +960,26 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(Clock::now() - start).count();
 
     const service::Histogram::Snapshot lat = tally.latency.snapshot();
+    const service::Histogram::Snapshot service_lat =
+        tally.service_latency.snapshot();
+    const service::Histogram::Snapshot ok_service =
+        tally.latency_by_outcome[outcome_index(client::Outcome::kOk)]
+            .snapshot();
     const std::uint64_t ok =
         tally.by_outcome[outcome_index(client::Outcome::kOk)].load();
+    const std::uint64_t overloaded_typed =
+        tally.by_outcome[outcome_index(client::Outcome::kOverloaded)]
+            .load();
+    const std::uint64_t stale_served =
+        tally
+            .by_response_class[static_cast<std::size_t>(
+                client::ResponseClass::kStale)]
+            .load();
+    const std::uint64_t bound_served =
+        tally
+            .by_response_class[static_cast<std::size_t>(
+                client::ResponseClass::kBoundOnly)]
+            .load();
     const std::uint64_t cached = tally.cached.load();
     const std::uint64_t error_other = tally.error_other.load();
     const std::uint64_t malformed_ok = tally.malformed_ok.load();
@@ -920,6 +995,13 @@ int main(int argc, char** argv) {
     const double success_rate =
         requests_planned > 0
             ? static_cast<double>(ok) / static_cast<double>(requests_planned)
+            : 1.0;
+    // Typed = the server made a decision and said so in a frame: an ok
+    // answer (exact/stale/bound) or a typed overloaded/shed response.
+    const double typed_rate =
+        requests_planned > 0
+            ? static_cast<double>(ok + overloaded_typed) /
+                  static_cast<double>(requests_planned)
             : 1.0;
 
     if (args.has("json")) {
@@ -967,8 +1049,17 @@ int main(int argc, char** argv) {
       json.end_object();
       json.key("breaker_opened").value(breaker_opened);
       json.key("breaker_rejections").value(tally.breaker_rejections.load());
+      json.key("typed_rate").value(typed_rate);
+      json.key("by_response_class").begin_object();
+      for (std::size_t c = 0; c < client::kResponseClassCount; ++c) {
+        json.key(client::to_string(static_cast<client::ResponseClass>(c)))
+            .value(tally.by_response_class[c].load());
+      }
+      json.end_object();
       json.key("latency_ms");
       write_quantiles_json(json, lat);
+      json.key("service_latency_ms");
+      write_quantiles_json(json, service_lat);
       json.key("latency_ms_by_class").begin_object();
       for (std::size_t c = 0; c < client::kOutcomeCount; ++c) {
         const service::Histogram::Snapshot snap =
@@ -991,7 +1082,22 @@ int main(int argc, char** argv) {
                 << ")\n"
                 << "transport failures " << failed_transport
                 << "  retries " << tally.retries.load()
-                << "  breaker opened " << breaker_opened << "\n";
+                << "  breaker opened " << breaker_opened << "\n"
+                << "latency (CO-corrected) p50 " << lat.p50 * 1e3
+                << "ms  p99 " << lat.p99 * 1e3 << "ms  |  service p50 "
+                << service_lat.p50 * 1e3 << "ms  p99 "
+                << service_lat.p99 * 1e3 << "ms\n";
+      if (overload_report) {
+        std::cout << "typed rate " << typed_rate << "  response classes:";
+        for (std::size_t c = 0; c < client::kResponseClassCount; ++c) {
+          std::cout << "  "
+                    << client::to_string(
+                           static_cast<client::ResponseClass>(c))
+                    << " " << tally.by_response_class[c].load();
+        }
+        std::cout << "\nadmitted (ok) service p99 " << ok_service.p99 * 1e3
+                  << "ms over " << ok_service.count << " requests\n";
+      }
       for (std::size_t p = 0; p < phases.size(); ++p) {
         const service::Histogram::Snapshot snap =
             phase_tallies[p].latency.snapshot();
@@ -1024,10 +1130,18 @@ int main(int argc, char** argv) {
     const bool transport_ok = min_success_rate >= 0.0
                                   ? success_rate >= min_success_rate
                                   : failed_transport == 0;
+    // Overload runs shed by design: the ladder's typed refusals land in
+    // error_other / deadline accounting paths only when *untyped*, so the
+    // min-typed-rate gate replaces the zero-error discipline there.
+    const bool overload_ok =
+        (min_typed_rate < 0.0 || typed_rate >= min_typed_rate) &&
+        stale_served >= min_stale && bound_served >= min_bound &&
+        (max_ok_p99_ms <= 0.0 || ok_service.p99 * 1e3 <= max_ok_p99_ms);
     const bool assertions_hold = transport_ok && error_other == 0 &&
                                  malformed_ok == malformed &&
                                  cached >= min_cached &&
-                                 breaker_opened >= min_breaker_opens;
+                                 breaker_opened >= min_breaker_opens &&
+                                 overload_ok;
     return assertions_hold ? 0 : 2;
   } catch (const xbar::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -11,6 +11,12 @@
 //              [--advisor-window-s=S] [--advisor-min-events=N]
 //              [--advisor-every=N] [--advisor-max-reservation=N]
 //              [--advisor-solver=SPEC] [--advisor-enact]
+//              [--overload] [--overload-target-ms=MS]
+//              [--overload-min-limit=N] [--overload-max-limit=N]
+//              [--overload-initial-limit=N] [--overload-window=N]
+//              [--overload-stale-ttl-s=S] [--overload-stale-at=P]
+//              [--overload-bound-at=P] [--overload-shed-start=P]
+//              [--overload-shed-step=P] [--overload-levels=N]
 //
 // Speaks the newline-delimited JSON protocol documented in
 // src/service/protocol.hpp: methods solve / revenue / sweep / stats /
@@ -24,6 +30,13 @@
 // (sizing, per-class admission, revenue delta vs. --advisor-current).
 // --advisor-enact turns the per-class admission advice into an enforced
 // gate on observed connections.
+//
+// --overload enables adaptive overload control: an AIMD concurrency
+// limit tracks the observed p99 against --overload-target-ms, and the
+// degradation ladder (serve-stale within --overload-stale-ttl-s, then
+// bound-only knapsack answers, then priority-aware shedding above
+// --overload-shed-start) keeps answering *something* typed while the
+// limiter converges.  Advertised pressure rides the stats/health frames.
 // --port=0 binds an ephemeral port; the listening line on stdout (and
 // --port-file, written atomically) tell scripts where to connect.
 // --deadline-ms sets the default per-request budget for requests that
@@ -72,6 +85,13 @@ int usage() {
          "                  [--advisor-window-s=S] [--advisor-min-events=N]\n"
          "                  [--advisor-every=N] [--advisor-max-reservation=N]\n"
          "                  [--advisor-solver=SPEC] [--advisor-enact]\n"
+         "                  [--overload] [--overload-target-ms=MS]\n"
+         "                  [--overload-min-limit=N] [--overload-max-limit=N]\n"
+         "                  [--overload-initial-limit=N]\n"
+         "                  [--overload-window=N] [--overload-stale-ttl-s=S]\n"
+         "                  [--overload-stale-at=P] [--overload-bound-at=P]\n"
+         "                  [--overload-shed-start=P]\n"
+         "                  [--overload-shed-step=P] [--overload-levels=N]\n"
          "Newline-delimited JSON over TCP; methods: ping, solve, revenue,\n"
          "sweep, stats, health (+ observe, advise with --advise).\n"
          "SIGTERM/SIGINT drain gracefully.\n";
@@ -174,6 +194,26 @@ int main(int argc, char** argv) {
       config.advisor = std::move(advisor);
     }
 
+    if (args.has("overload")) {
+      service::OverloadConfig overload;
+      overload.target_p99_seconds =
+          args.get_double("overload-target-ms", 50.0) * 1e-3;
+      overload.min_limit = args.get_unsigned("overload-min-limit", 4);
+      overload.max_limit = args.get_unsigned("overload-max-limit", 1024);
+      overload.initial_limit =
+          args.get_unsigned("overload-initial-limit", 64);
+      overload.window = args.get_unsigned("overload-window", 64);
+      overload.stale_ttl_seconds =
+          args.get_double("overload-stale-ttl-s", 5.0);
+      overload.stale_at = args.get_double("overload-stale-at", 0.50);
+      overload.bound_at = args.get_double("overload-bound-at", 0.70);
+      overload.shed_start = args.get_double("overload-shed-start", 0.85);
+      overload.shed_step = args.get_double("overload-shed-step", 0.05);
+      overload.priority_levels =
+          static_cast<unsigned>(args.get_unsigned("overload-levels", 4));
+      config.overload = overload;
+    }
+
     // The mask must be in place before any thread exists so every thread
     // inherits it and the drain signal only ever reaches sigwait() below.
     service::install_drain_signals();
@@ -205,6 +245,14 @@ int main(int argc, char** argv) {
     if (s.advisor_enabled) {
       std::cerr << " advisor_events=" << s.advisor_events
                 << " advisor_denied=" << s.advisor_denied;
+    }
+    if (s.overload_enabled) {
+      std::cerr << " pressure=" << s.overload.pressure
+                << " limit=" << s.overload.limit
+                << " limited=" << s.overload.limited
+                << " stale_served=" << s.overload.stale_served
+                << " bound_served=" << s.overload.bound_served
+                << " shed=" << s.overload.shed;
     }
     std::cerr << "\n";
     return 0;
